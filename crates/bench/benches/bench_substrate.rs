@@ -1,0 +1,109 @@
+//! Criterion benches for the substrate layers: parsing, elaboration,
+//! simulation, modality parsing, SI-CoT refinement, generation and
+//! co-simulation throughput. These are not paper artifacts; they document
+//! the cost model underneath every table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use haven_lm::model::CodeGenModel;
+use haven_lm::profiles;
+use haven_sicot::SiCot;
+use haven_spec::codegen::{emit, EmitStyle};
+use haven_spec::cosim::cosimulate;
+use haven_spec::describe::{describe, DescribeStyle};
+use haven_spec::stimuli::stimuli_for;
+use haven_spec::builders;
+use haven_verilog::elab::compile;
+use haven_verilog::parser::parse;
+use haven_verilog::sim::Simulator;
+
+const FSM_SRC: &str = "module fsm(input clk, input rst_n, input x, output reg out);
+    localparam S_A = 1'd0, S_B = 1'd1;
+    reg state, next_state;
+    always @(posedge clk or negedge rst_n)
+        if (!rst_n) state <= S_A;
+        else state <= next_state;
+    always @(*)
+        case (state)
+            S_A: next_state = x ? S_A : S_B;
+            S_B: next_state = x ? S_B : S_A;
+            default: next_state = S_A;
+        endcase
+    always @(*)
+        case (state)
+            S_A: out = 1'd0;
+            S_B: out = 1'd1;
+            default: out = 1'd0;
+        endcase
+endmodule";
+
+fn bench_frontend(c: &mut Criterion) {
+    c.bench_function("verilog/parse_fsm", |b| {
+        b.iter(|| parse(black_box(FSM_SRC)).unwrap())
+    });
+    c.bench_function("verilog/compile_fsm", |b| {
+        b.iter(|| compile(black_box(FSM_SRC)).unwrap())
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let design = compile(FSM_SRC).unwrap();
+    c.bench_function("verilog/sim_100_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(design.clone()).unwrap();
+            sim.poke_u64("rst_n", 0).unwrap();
+            sim.poke_u64("rst_n", 1).unwrap();
+            for i in 0..100u64 {
+                sim.poke_u64("x", i & 1).unwrap();
+                sim.tick("clk").unwrap();
+            }
+            black_box(sim.peek("out").unwrap())
+        })
+    });
+}
+
+fn bench_cosim(c: &mut Criterion) {
+    let spec = builders::counter("cnt", 8, Some(100));
+    let src = emit(&spec, &EmitStyle::correct());
+    let stim = stimuli_for(&spec, 1);
+    c.bench_function("spec/cosim_counter", |b| {
+        b.iter(|| black_box(cosimulate(&spec, &src, &stim)))
+    });
+}
+
+fn bench_lm(c: &mut Criterion) {
+    let spec = builders::counter("cnt", 4, Some(10));
+    let prompt = describe(&spec, DescribeStyle::Engineer);
+    let model = CodeGenModel::new(profiles::base_codeqwen(), 0.2);
+    c.bench_function("lm/generate_counter", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            black_box(model.generate(&prompt, "bench", i))
+        })
+    });
+    let fsm_prompt = describe(&builders::fsm_ab("f"), DescribeStyle::Engineer);
+    let sicot = SiCot::new(model.clone());
+    c.bench_function("sicot/refine_fsm_prompt", |b| {
+        b.iter(|| black_box(sicot.refine(&fsm_prompt, "bench")))
+    });
+}
+
+fn bench_datagen(c: &mut Criterion) {
+    c.bench_function("datagen/flow_small", |b| {
+        b.iter(|| black_box(haven_datagen::run(&haven_datagen::FlowConfig::small(1))))
+    });
+    c.bench_function("datagen/qm_4var", |b| {
+        let vars: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let minterms: Vec<u64> = vec![0, 1, 3, 7, 8, 9, 11, 15];
+        b.iter(|| black_box(haven_datagen::qm::minimal_sop(&vars, &minterms)))
+    });
+}
+
+criterion_group! {
+    name = substrate;
+    config = Criterion::default().sample_size(20);
+    targets = bench_frontend, bench_simulator, bench_cosim, bench_lm, bench_datagen
+}
+criterion_main!(substrate);

@@ -1,0 +1,91 @@
+//! Criterion benches timing the regeneration of each paper artifact at a
+//! reduced scale (one model / one cell per artifact). The full-protocol
+//! regenerations are the `table4`/`table5`/`table6`/`fig3`/`fig4`/
+//! `dataset_stats` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use haven::experiments::{
+    ablation_point, composition_point, table4_row, table5_row, table6_entry, AblationSetting,
+    Contender, Scale, Suites,
+};
+use haven_lm::profiles;
+
+fn bench_scale() -> Scale {
+    let mut s = Scale::quick();
+    s.n = 2;
+    s.task_limit = Some(10);
+    s
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let scale = bench_scale();
+    let suites = Suites::generate(&scale);
+    let contender = Contender {
+        profile: profiles::rtlcoder_deepseek(),
+        sicot: false,
+        group: "LLM for Verilog",
+    };
+    c.bench_function("table4/one_model_all_suites", |b| {
+        b.iter(|| black_box(table4_row(&contender, &suites, &scale)))
+    });
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let scale = bench_scale();
+    let suites = Suites::generate(&scale);
+    let profile = profiles::deepseek_coder_v2();
+    c.bench_function("table5/one_model_symbolic", |b| {
+        b.iter(|| black_box(table5_row(&profile, false, &suites, &scale)))
+    });
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let scale = bench_scale();
+    let suites = Suites::generate(&scale);
+    let profile = profiles::gpt4o_mini();
+    c.bench_function("table6/one_model_with_and_without_sicot", |b| {
+        b.iter(|| black_box(table6_entry(&profile, &suites, &scale)))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let scale = bench_scale();
+    let suites = Suites::generate(&scale);
+    let flow = haven_datagen::run(&scale.flow);
+    let base = profiles::base_codeqwen();
+    c.bench_function("fig3/one_ablation_cell", |b| {
+        b.iter(|| {
+            black_box(ablation_point(
+                &base,
+                AblationSetting::VanillaCotKl,
+                &flow,
+                &suites,
+                &scale,
+            ))
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let scale = bench_scale();
+    let suites = Suites::generate(&scale);
+    let flow = haven_datagen::run(&scale.flow);
+    c.bench_function("fig4/one_composition_cell", |b| {
+        b.iter(|| black_box(composition_point(0.5, 0.5, &flow, &suites, &scale)))
+    });
+}
+
+fn bench_dataset_stats(c: &mut Criterion) {
+    c.bench_function("dataset_stats/small_flow", |b| {
+        b.iter(|| black_box(haven_datagen::run(&haven_datagen::FlowConfig::small(2)).stats))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table4, bench_table5, bench_table6, bench_fig3, bench_fig4, bench_dataset_stats
+}
+criterion_main!(tables);

@@ -1,0 +1,75 @@
+//! Regenerates the **§III-C/D dataset funnel**: corpus → captioned →
+//! verified vanilla → matched → K-dataset, plus the L-dataset — the
+//! counts the paper quotes as ≈550k → ≈43k vanilla → 14k K + 5k L.
+//!
+//! ```sh
+//! cargo run --release -p haven-bench --bin dataset_stats [-- --quick]
+//! cargo run --release -p haven-bench --bin dataset_stats -- --export out/
+//! ```
+//!
+//! `--export <dir>` additionally writes the three datasets as JSON
+//! (`vanilla.json`, `k_dataset.json`, `l_dataset.json`).
+
+use haven_bench::scale_from_args;
+use haven_eval::report::Table;
+
+fn main() {
+    let scale = scale_from_args();
+    let flow = haven_datagen::run(&scale.flow);
+    let s = flow.stats;
+
+    // Optional JSON export.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--export") {
+        let dir = std::path::PathBuf::from(
+            args.get(i + 1).map(String::as_str).unwrap_or("dataset-export"),
+        );
+        std::fs::create_dir_all(&dir).expect("create export dir");
+        for (name, data) in [
+            ("vanilla.json", &flow.vanilla),
+            ("k_dataset.json", &flow.k_dataset),
+            ("l_dataset.json", &flow.l_dataset),
+        ] {
+            let path = dir.join(name);
+            let json = serde_json::to_string_pretty(data).expect("serialize dataset");
+            std::fs::write(&path, json).expect("write dataset");
+            eprintln!("wrote {} ({} pairs)", path.display(), data.len());
+        }
+    }
+
+    let ratio = 550_000.0 / s.corpus_files as f64;
+    let mut table = Table::new(vec!["Stage", "Ours", "x scale", "Paper"]);
+    let row = |stage: &str, ours: usize, paper: &str| {
+        vec![
+            stage.to_string(),
+            ours.to_string(),
+            format!("{:.0}", ours as f64 * ratio),
+            paper.to_string(),
+        ]
+    };
+    table.row(row("corpus files (step 5 input)", s.corpus_files, "~550,000"));
+    table.row(row("captioned", s.captioned, "n/a"));
+    table.row(row("vanilla pairs, verified", s.vanilla_valid, "~43,000"));
+    table.row(row("matched >=1 exemplar (step 6)", s.matched, "n/a"));
+    table.row(row("K-dataset pairs (steps 7-8)", s.k_pairs, "~14,000"));
+    table.row(row("L-dataset pairs (steps 9-12)", s.l_pairs, "~5,000"));
+    table.row(row(
+        "KL-dataset (shuffled, step 13)",
+        s.k_pairs + s.l_pairs,
+        "~19,000",
+    ));
+
+    println!("\nDataset generation funnel (Fig. 2), scale 1:{:.0}\n", ratio);
+    println!("{}", table.render());
+
+    // Composition breakdown.
+    let mut topics = std::collections::BTreeMap::<&str, usize>::new();
+    for p in &flow.k_dataset.pairs {
+        *topics.entry(p.topic.label()).or_default() += 1;
+    }
+    let mut t2 = Table::new(vec!["K-dataset topic", "pairs"]);
+    for (topic, n) in topics {
+        t2.row(vec![topic.to_string(), n.to_string()]);
+    }
+    println!("{}", t2.render());
+}

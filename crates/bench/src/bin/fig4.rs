@@ -1,0 +1,45 @@
+//! Regenerates **Fig. 4** — the KL-dataset composition study: CodeQwen
+//! fine-tuned on vanilla plus {0, 50, 100}% of the K-dataset crossed with
+//! {0, 50, 100}% of the L-dataset, evaluated on VerilogEval-human.
+//!
+//! ```sh
+//! cargo run --release -p haven-bench --bin fig4 [-- --quick]
+//! ```
+
+use haven::experiments::{composition_point, Suites};
+use haven_bench::scale_from_args;
+use haven_eval::report::Table;
+
+fn main() {
+    let scale = scale_from_args();
+    let suites = Suites::generate(&scale);
+    eprintln!(
+        "fig4: {} human tasks, n = {}, temps {:?}",
+        suites.human.len(),
+        scale.n,
+        scale.temperatures
+    );
+    let flow = haven_datagen::run(&scale.flow);
+    eprintln!(
+        "dataset: {} K pairs, {} L pairs",
+        flow.stats.k_pairs, flow.stats.l_pairs
+    );
+
+    let fractions = [0.0, 0.5, 1.0];
+    let mut table = Table::new(vec!["K %", "L %", "pass@1", "pass@5"]);
+    for &k in &fractions {
+        for &l in &fractions {
+            eprintln!("  K={:.0}% L={:.0}%", k * 100.0, l * 100.0);
+            let p = composition_point(k, l, &flow, &suites, &scale);
+            table.row(vec![
+                format!("{:.0}", k * 100.0),
+                format!("{:.0}", l * 100.0),
+                format!("{:.1}", p.pass1),
+                format!("{:.1}", p.pass5),
+            ]);
+        }
+    }
+    println!("\nFig. 4 — KL-dataset composition on CodeQwen, VerilogEval-human (reproduced)\n");
+    println!("{}", table.render());
+    println!("Paper reference: both K%% and L%% help monotonically; K contributes more (it is the larger set), and enlarging KL further keeps helping.");
+}

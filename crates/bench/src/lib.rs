@@ -1,0 +1,39 @@
+//! # haven-bench
+//!
+//! Experiment binaries regenerating every table and figure of the paper's
+//! evaluation (run with `--quick` for a scaled-down pass):
+//!
+//! * `table4` — main comparison on VerilogEval v1 / RTLLM / VerilogEval v2
+//! * `table5` — symbolic-modality evaluation (44 tasks)
+//! * `table6` — SI-CoT on commercial LLMs
+//! * `fig3`   — technique ablation (Base / Vanilla / +CoT / +KL / +CoT+KL)
+//! * `fig4`   — KL-dataset composition grid
+//! * `dataset_stats` — the §III-C/D generation funnel
+//!
+//! plus Criterion benches (`cargo bench`) timing each regeneration and the
+//! substrate layers.
+
+#![warn(missing_docs)]
+
+use haven::experiments::Scale;
+
+/// Parses the common `--quick` flag: full paper protocol by default,
+/// scaled-down when given.
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        let mut s = Scale::quick();
+        s.task_limit = Some(40);
+        s.n = 5;
+        // The dataset flow is cheap even at full scale; quick mode only
+        // trims samples and tasks so HaVen models train on the real data.
+        s.flow = haven_datagen::FlowConfig::default();
+        s
+    } else {
+        Scale::full()
+    }
+}
+
+/// Formats a `(pass@1, pass@5)` pair.
+pub fn pair(v: (f64, f64)) -> (String, String) {
+    (format!("{:.1}", v.0), format!("{:.1}", v.1))
+}

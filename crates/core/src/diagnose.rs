@@ -1,0 +1,373 @@
+//! Post-mortem failure attribution: given a failed candidate, decide which
+//! hallucination class (and, where possible, sub-type) produced it.
+//!
+//! This is the executable counterpart of the paper's Table II "error
+//! analysis" column: the original presents hand-classified examples; here
+//! the classification is computed from the artifacts — the verdict, the
+//! candidate's AST, its lint report and its attribute analysis versus the
+//! golden spec.
+
+use haven_modality::detect::ModalityKind;
+use haven_spec::cosim::Verdict;
+use haven_spec::ir::Behavior;
+use haven_spec::Spec;
+use haven_verilog::analyze::{analyze, ResetKind};
+use haven_verilog::lint::{lint_module, LintRule};
+use haven_verilog::parser::parse;
+use serde::{Deserialize, Serialize};
+
+use crate::taxonomy::{HallucinationClass, HallucinationType};
+
+/// The attribution for one failed sample.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// Best-guess sub-type, when the evidence pins one down.
+    pub hallucination: Option<HallucinationType>,
+    /// Top-level class (present whenever `hallucination` is, and
+    /// sometimes when only the class is determinable).
+    pub class: Option<HallucinationClass>,
+    /// Human-readable evidence trail.
+    pub evidence: Vec<String>,
+}
+
+impl Diagnosis {
+    fn of(t: HallucinationType, evidence: Vec<String>) -> Diagnosis {
+        Diagnosis {
+            hallucination: Some(t),
+            class: Some(t.class()),
+            evidence,
+        }
+    }
+
+    fn class_only(c: HallucinationClass, evidence: Vec<String>) -> Diagnosis {
+        Diagnosis {
+            hallucination: None,
+            class: Some(c),
+            evidence,
+        }
+    }
+
+    fn unknown(evidence: Vec<String>) -> Diagnosis {
+        Diagnosis {
+            hallucination: None,
+            class: None,
+            evidence,
+        }
+    }
+}
+
+/// Attributes a failed sample to a hallucination class.
+///
+/// `modality` is the symbolic modality the task was posed in, if any —
+/// functional mismatches on symbolic tasks default to the symbolic class
+/// when no knowledge-level evidence overrides them.
+pub fn diagnose(
+    spec: &Spec,
+    source: &str,
+    verdict: &Verdict,
+    modality: Option<ModalityKind>,
+) -> Diagnosis {
+    match verdict {
+        Verdict::Pass => Diagnosis::unknown(vec!["sample passed".into()]),
+        Verdict::SyntaxError(msg) => Diagnosis::of(
+            HallucinationType::SyntaxMisapplication,
+            vec![format!("compiler rejected the code: {msg}")],
+        ),
+        Verdict::InterfaceError(msg) => Diagnosis::class_only(
+            HallucinationClass::Knowledge,
+            vec![format!(
+                "module interface does not match the requested header: {msg}"
+            )],
+        ),
+        Verdict::SimulationError(msg) => Diagnosis::class_only(
+            HallucinationClass::Knowledge,
+            vec![format!("runtime failure (combinational loop?): {msg}")],
+        ),
+        Verdict::FunctionalMismatch { detail, .. } => {
+            diagnose_functional(spec, source, detail, modality)
+        }
+    }
+}
+
+fn diagnose_functional(
+    spec: &Spec,
+    source: &str,
+    detail: &str,
+    modality: Option<ModalityKind>,
+) -> Diagnosis {
+    let mut evidence = vec![format!("functional mismatch: {detail}")];
+    let Ok(file) = parse(source) else {
+        return Diagnosis::of(HallucinationType::SyntaxMisapplication, evidence);
+    };
+    let Some(module) = file.modules.first() else {
+        return Diagnosis::of(HallucinationType::SyntaxMisapplication, evidence);
+    };
+    let analysis = analyze(module);
+
+    // 1. Attribute-level evidence: reset kind / clock edge / enable.
+    if spec.behavior.is_sequential() {
+        let wanted_reset = spec.attrs.reset.as_ref().map(|r| r.kind);
+        let got_reset = analysis.attributes.reset;
+        let reset_differs = match (wanted_reset, got_reset) {
+            (Some(w), Some(g)) => w.is_async() != g.is_async() || async_polarity_differs(w, g),
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if reset_differs {
+            evidence.push(format!(
+                "reset style differs: spec {wanted_reset:?}, code {got_reset:?}"
+            ));
+            return Diagnosis::of(HallucinationType::AttributeMisunderstanding, evidence);
+        }
+        if let Some(edge) = analysis.attributes.clock_edge {
+            if edge != spec.attrs.edge {
+                evidence.push(format!(
+                    "clock edge differs: spec {:?}, code {edge:?}",
+                    spec.attrs.edge
+                ));
+                return Diagnosis::of(HallucinationType::AttributeMisunderstanding, evidence);
+            }
+        }
+        if detail.contains("at clk-low") {
+            evidence.push("divergence at the inactive clock phase".into());
+            return Diagnosis::of(HallucinationType::AttributeMisunderstanding, evidence);
+        }
+    }
+
+    // 2. Convention-level evidence from lint.
+    let issues = lint_module(module);
+    for issue in &issues {
+        match issue.rule {
+            LintRule::BlockingInSequential | LintRule::IncompleteSensitivity => {
+                evidence.push(format!("lint: {}", issue.message));
+                return Diagnosis::of(HallucinationType::ConventionMisapplication, evidence);
+            }
+            LintRule::CaseMissingDefault | LintRule::InferredLatch => {
+                evidence.push(format!("lint: {}", issue.message));
+                return Diagnosis::of(HallucinationType::CornerCaseMishandling, evidence);
+            }
+            LintRule::MissingReset if spec.attrs.reset.is_some() => {
+                evidence.push(format!("lint: {}", issue.message));
+                return Diagnosis::of(HallucinationType::ConventionMisapplication, evidence);
+            }
+            _ => {}
+        }
+    }
+
+    // 2b. FSM convention: a Moore output written inside an edge-triggered
+    // block (registered output — one cycle late) violates the
+    // three-process convention even when lint-clean.
+    if matches!(spec.behavior, Behavior::Fsm(_)) {
+        let mut seq_writes = Vec::new();
+        for item in &module.items {
+            if let haven_verilog::ast::Item::Always {
+                sensitivity: haven_verilog::ast::Sensitivity::Edges(_),
+                body,
+                ..
+            } = item
+            {
+                body.collect_writes(&mut seq_writes);
+            }
+        }
+        if spec
+            .outputs
+            .iter()
+            .any(|o| seq_writes.contains(&o.name))
+        {
+            evidence.push("Moore output is registered in the clocked block".into());
+            return Diagnosis::of(HallucinationType::ConventionMisapplication, evidence);
+        }
+    }
+
+    // 3. Symbolic tasks with none of the above: the interpretation itself
+    // was wrong.
+    if let Some(kind) = modality {
+        evidence.push(format!(
+            "task was posed as a {} and the structure is convention-clean",
+            kind.label()
+        ));
+        let t = match kind {
+            ModalityKind::TruthTable => HallucinationType::TruthTableMisinterpretation,
+            ModalityKind::Waveform => HallucinationType::WaveformMisinterpretation,
+            ModalityKind::StateDiagram => HallucinationType::StateDiagramMisinterpretation,
+        };
+        return Diagnosis::of(t, evidence);
+    }
+
+    // 4. Combinational specs that parse clean: a wrong expression.
+    if matches!(spec.behavior, Behavior::Comb(_)) {
+        evidence.push("combinational task with convention-clean code".into());
+        return Diagnosis::of(HallucinationType::IncorrectExpression, evidence);
+    }
+
+    Diagnosis::class_only(HallucinationClass::Logical, evidence)
+}
+
+fn async_polarity_differs(want: ResetKind, got: ResetKind) -> bool {
+    matches!(
+        (want, got),
+        (ResetKind::AsyncActiveLow, ResetKind::AsyncActiveHigh)
+            | (ResetKind::AsyncActiveHigh, ResetKind::AsyncActiveLow)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haven_spec::builders;
+    use haven_spec::codegen::{emit, EmitStyle};
+    use haven_spec::cosim::cosimulate;
+    use haven_spec::stimuli::stimuli_for;
+
+    fn run(spec: &Spec, src: &str) -> Verdict {
+        cosimulate(spec, src, &stimuli_for(spec, 5)).verdict
+    }
+
+    #[test]
+    fn python_code_is_syntax_misapplication() {
+        let spec = builders::adder("a", 4);
+        let v = run(&spec, "def adder(a, b): return a + b");
+        let d = diagnose(&spec, "def adder(a, b): return a + b", &v, None);
+        assert_eq!(
+            d.hallucination,
+            Some(HallucinationType::SyntaxMisapplication)
+        );
+    }
+
+    #[test]
+    fn wrong_reset_style_is_attribute_misunderstanding() {
+        let spec = builders::counter("c", 4, None); // async rst_n
+        let src = emit(
+            &spec,
+            &EmitStyle {
+                reset_kind_override: Some(ResetKind::Sync),
+                ..EmitStyle::correct()
+            },
+        );
+        let v = run(&spec, &src);
+        let d = diagnose(&spec, &src, &v, None);
+        assert_eq!(
+            d.hallucination,
+            Some(HallucinationType::AttributeMisunderstanding),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_edge_is_attribute_misunderstanding() {
+        use haven_verilog::ast::Edge;
+        let spec = builders::counter("c", 4, None);
+        let src = emit(
+            &spec,
+            &EmitStyle {
+                edge_override: Some(Edge::Neg),
+                ..EmitStyle::correct()
+            },
+        );
+        let v = run(&spec, &src);
+        let d = diagnose(&spec, &src, &v, None);
+        assert_eq!(
+            d.hallucination,
+            Some(HallucinationType::AttributeMisunderstanding),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn blocking_pipeline_is_convention_misapplication() {
+        let spec = builders::pipeline("p", 4, 2);
+        let src = emit(
+            &spec,
+            &EmitStyle {
+                nonblocking_in_seq: false,
+                ..EmitStyle::correct()
+            },
+        );
+        let v = run(&spec, &src);
+        let d = diagnose(&spec, &src, &v, None);
+        assert_eq!(
+            d.hallucination,
+            Some(HallucinationType::ConventionMisapplication),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_gate_is_incorrect_expression() {
+        let spec = builders::gate("g", haven_verilog::ast::BinaryOp::BitAnd);
+        let src = "module g(input a, input b, output y);\n    assign y = a | b;\nendmodule";
+        let v = run(&spec, src);
+        let d = diagnose(&spec, src, &v, None);
+        assert_eq!(d.hallucination, Some(HallucinationType::IncorrectExpression));
+    }
+
+    #[test]
+    fn symbolic_task_failure_attributes_to_modality() {
+        // A truth-table task implemented convention-clean but wrong.
+        let spec = builders::truth_table_spec(
+            "t",
+            vec!["a".into(), "b".into()],
+            vec!["out".into()],
+            vec![(0, 0), (1, 0), (2, 0), (3, 1)],
+        );
+        let wrong = builders::truth_table_spec(
+            "t",
+            vec!["a".into(), "b".into()],
+            vec!["out".into()],
+            vec![(0, 1), (1, 0), (2, 0), (3, 1)],
+        );
+        let src = emit(&wrong, &EmitStyle::correct());
+        let v = run(&spec, &src);
+        let d = diagnose(&spec, &src, &v, Some(ModalityKind::TruthTable));
+        assert_eq!(
+            d.hallucination,
+            Some(HallucinationType::TruthTableMisinterpretation),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn renamed_port_is_knowledge_class() {
+        let spec = builders::adder("a", 4);
+        let src = "module a(input [3:0] x, input [3:0] y, output [3:0] s);\n    assign s = x + y;\nendmodule";
+        let v = run(&spec, src);
+        let d = diagnose(&spec, src, &v, None);
+        assert_eq!(d.class, Some(HallucinationClass::Knowledge));
+        assert_eq!(d.hallucination, None);
+    }
+
+    #[test]
+    fn passing_sample_is_not_diagnosed() {
+        let spec = builders::adder("a", 4);
+        let src = emit(&spec, &EmitStyle::correct());
+        let v = run(&spec, &src);
+        let d = diagnose(&spec, &src, &v, None);
+        assert_eq!(d.class, None);
+    }
+}
+
+#[cfg(test)]
+mod registered_output_tests {
+    use super::*;
+    use haven_lm::hallucinate::{ConventionVariant, GenPlan};
+    use haven_spec::builders;
+    use haven_spec::cosim::cosimulate;
+    use haven_spec::stimuli::stimuli_for;
+
+    #[test]
+    fn registered_fsm_output_is_convention_misapplication() {
+        let spec = builders::fsm_ab("f");
+        let plan = GenPlan {
+            variant: ConventionVariant::RegisteredFsmOutput,
+            ..GenPlan::faithful(spec.clone())
+        };
+        let src = haven_lm::generate::render(&plan);
+        let v = cosimulate(&spec, &src, &stimuli_for(&spec, 3)).verdict;
+        let d = diagnose(&spec, &src, &v, None);
+        assert_eq!(
+            d.hallucination,
+            Some(HallucinationType::ConventionMisapplication),
+            "{d:?}"
+        );
+    }
+}

@@ -1,0 +1,473 @@
+//! Reusable experiment runners — one per paper table/figure. The
+//! `haven-bench` binaries are thin wrappers that print these results.
+
+use haven_datagen::{Dataset, FlowConfig, FlowOutput};
+use haven_eval::harness::{evaluate, EvalConfig, SicotMode};
+use haven_eval::suites::{self, BenchTask};
+use haven_lm::finetune::finetune;
+use haven_lm::profiles::{self, ModelProfile};
+use haven_modality::detect::ModalityKind;
+use serde::{Deserialize, Serialize};
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Samples per task.
+    pub n: usize,
+    /// Temperature sweep.
+    pub temperatures: Vec<f64>,
+    /// Cap on tasks per suite (`None` = full suite).
+    pub task_limit: Option<usize>,
+    /// Dataset flow configuration.
+    pub flow: FlowConfig,
+}
+
+impl Scale {
+    /// The paper's protocol: n = 10, temperatures {0.2, 0.5, 0.8}, full
+    /// suites, full (1:100) dataset flow.
+    pub fn full() -> Scale {
+        Scale {
+            n: 10,
+            temperatures: vec![0.2, 0.5, 0.8],
+            task_limit: None,
+            flow: FlowConfig::default(),
+        }
+    }
+
+    /// A fast configuration for tests and Criterion benches.
+    pub fn quick() -> Scale {
+        Scale {
+            n: 3,
+            temperatures: vec![0.2],
+            task_limit: Some(20),
+            flow: FlowConfig::small(7),
+        }
+    }
+
+    fn config(&self, sicot: SicotMode) -> EvalConfig {
+        EvalConfig {
+            n: self.n,
+            temperatures: self.temperatures.clone(),
+            sicot,
+            ..EvalConfig::default()
+        }
+    }
+
+    fn cap<T>(&self, mut v: Vec<T>) -> Vec<T> {
+        if let Some(limit) = self.task_limit {
+            v.truncate(limit);
+        }
+        v
+    }
+}
+
+/// The benchmark seed used across all experiments.
+pub const SUITE_SEED: u64 = 2025;
+
+/// All suites, generated once.
+#[derive(Debug, Clone)]
+pub struct Suites {
+    /// VerilogEval-machine analogue.
+    pub machine: Vec<BenchTask>,
+    /// VerilogEval-human analogue.
+    pub human: Vec<BenchTask>,
+    /// RTLLM analogue.
+    pub rtllm: Vec<BenchTask>,
+    /// VerilogEval v2 analogue.
+    pub v2: Vec<BenchTask>,
+    /// The 44-task symbolic subset.
+    pub symbolic: Vec<BenchTask>,
+}
+
+impl Suites {
+    /// Generates all suites at the canonical seed, capped by `scale`.
+    pub fn generate(scale: &Scale) -> Suites {
+        Suites {
+            machine: scale.cap(suites::verilog_eval_machine(SUITE_SEED)),
+            human: scale.cap(suites::verilog_eval_human(SUITE_SEED)),
+            rtllm: scale.cap(suites::rtllm(SUITE_SEED)),
+            v2: scale.cap(suites::verilog_eval_v2(SUITE_SEED)),
+            symbolic: scale.cap(suites::symbolic44(SUITE_SEED)),
+        }
+    }
+}
+
+// ---- Table IV -------------------------------------------------------------
+
+/// One row of Table IV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Model name.
+    pub model: String,
+    /// Open-source flag.
+    pub open_source: bool,
+    /// Size label.
+    pub size: String,
+    /// Group label (General LLM / CodeGen LLM / LLM for Verilog / Ours).
+    pub group: &'static str,
+    /// VerilogEval-machine pass@1 / pass@5.
+    pub machine: (f64, f64),
+    /// VerilogEval-human pass@1 / pass@5.
+    pub human: (f64, f64),
+    /// RTLLM syntax pass@5 / functional pass@5.
+    pub rtllm: (f64, f64),
+    /// VerilogEval v2 pass@1 / pass@5.
+    pub v2: (f64, f64),
+}
+
+/// A model entry for the main comparison.
+pub struct Contender {
+    /// Profile to evaluate.
+    pub profile: ModelProfile,
+    /// Whether it deploys SI-CoT (the HaVen rows).
+    pub sicot: bool,
+    /// Row group.
+    pub group: &'static str,
+}
+
+/// The paper's baseline roster (Table IV rows 1–17).
+pub fn baseline_roster() -> Vec<Contender> {
+    let g = "General LLM";
+    let c = "CodeGen LLM";
+    let v = "LLM for Verilog";
+    let mk = |p: ModelProfile, group| Contender {
+        profile: p,
+        sicot: false,
+        group,
+    };
+    vec![
+        mk(profiles::gpt35(), g),
+        mk(profiles::gpt4(), g),
+        mk(profiles::starcoder(), c),
+        mk(profiles::base_codellama(), c),
+        mk(profiles::base_deepseek(), c),
+        mk(profiles::base_codeqwen(), c),
+        mk(profiles::chipnemo(), v),
+        mk(profiles::thakur(), v),
+        mk(profiles::rtlcoder_mistral(), v),
+        mk(profiles::rtlcoder_deepseek(), v),
+        mk(profiles::betterv_codellama(), v),
+        mk(profiles::betterv_deepseek(), v),
+        mk(profiles::betterv_codeqwen(), v),
+        mk(profiles::autovcoder_codellama(), v),
+        mk(profiles::autovcoder_deepseek(), v),
+        mk(profiles::autovcoder_codeqwen(), v),
+        mk(profiles::origen(), v),
+    ]
+}
+
+/// The three HaVen contenders, trained on the flow's KL-dataset.
+pub fn haven_roster(flow: &FlowOutput) -> Vec<Contender> {
+    let kl = flow.kl_dataset(crate::pipeline::KL_SHUFFLE_SEED);
+    let samples = kl.train_samples();
+    [
+        profiles::base_codellama(),
+        profiles::base_deepseek(),
+        profiles::base_codeqwen(),
+    ]
+    .into_iter()
+    .map(|base| Contender {
+        profile: finetune(&base, &samples),
+        sicot: true,
+        group: "Ours",
+    })
+    .collect()
+}
+
+/// Evaluates one contender across all four benchmarks.
+pub fn table4_row(contender: &Contender, suites: &Suites, scale: &Scale) -> Table4Row {
+    let mode = if contender.sicot {
+        SicotMode::SelfRefine
+    } else {
+        SicotMode::Off
+    };
+    let cfg = scale.config(mode);
+    let machine = evaluate(&contender.profile, &suites.machine, &cfg);
+    let human = evaluate(&contender.profile, &suites.human, &cfg);
+    let rtllm = evaluate(&contender.profile, &suites.rtllm, &cfg);
+    let v2 = evaluate(&contender.profile, &suites.v2, &cfg);
+    let k5 = scale.n.min(5);
+    Table4Row {
+        model: contender.profile.name.clone(),
+        open_source: contender.profile.open_source,
+        size: contender.profile.size.clone(),
+        group: contender.group,
+        machine: (machine.pass_at(1), machine.pass_at(k5)),
+        human: (human.pass_at(1), human.pass_at(k5)),
+        rtllm: (rtllm.syntax_pass_at(k5), rtllm.pass_at(k5)),
+        v2: (v2.pass_at(1), v2.pass_at(k5)),
+    }
+}
+
+// ---- Table V ---------------------------------------------------------------
+
+/// One row of Table V.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table5Row {
+    /// Model name.
+    pub model: String,
+    /// (passes, total) per modality.
+    pub truth_table: (usize, usize),
+    /// Waveform results.
+    pub waveform: (usize, usize),
+    /// State-diagram results.
+    pub state_diagram: (usize, usize),
+    /// Overall pass@1 (percent).
+    pub overall: f64,
+}
+
+/// Evaluates a model on the 44 symbolic tasks, split per modality.
+pub fn table5_row(
+    profile: &ModelProfile,
+    sicot: bool,
+    suites: &Suites,
+    scale: &Scale,
+) -> Table5Row {
+    let mode = if sicot {
+        SicotMode::SelfRefine
+    } else {
+        SicotMode::Off
+    };
+    let cfg = scale.config(mode);
+    let result = evaluate(profile, &suites.symbolic, &cfg);
+    let ids_of = |kind: ModalityKind| -> Vec<&str> {
+        suites
+            .symbolic
+            .iter()
+            .filter(|t| t.modality == Some(kind))
+            .map(|t| t.id.as_str())
+            .collect()
+    };
+    let part = |kind: ModalityKind| -> (usize, usize) {
+        result.filtered(&ids_of(kind)).pass_counts()
+    };
+    Table5Row {
+        model: profile.name.clone(),
+        truth_table: part(ModalityKind::TruthTable),
+        waveform: part(ModalityKind::Waveform),
+        state_diagram: part(ModalityKind::StateDiagram),
+        overall: result.pass_at(1),
+    }
+}
+
+// ---- Table VI ---------------------------------------------------------------
+
+/// One column of Table VI: a commercial model with and without SI-CoT
+/// instructions produced by the base CodeQwen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table6Entry {
+    /// Model name.
+    pub model: String,
+    /// pass@1 without SI-CoT (percent).
+    pub without: f64,
+    /// pass@1 with CodeQwen-produced SI-CoT instructions (percent).
+    pub with: f64,
+}
+
+/// Runs the Table VI protocol for one commercial model.
+pub fn table6_entry(profile: &ModelProfile, suites: &Suites, scale: &Scale) -> Table6Entry {
+    let plain = evaluate(profile, &suites.symbolic, &scale.config(SicotMode::Off));
+    let refined = evaluate(
+        profile,
+        &suites.symbolic,
+        &scale.config(SicotMode::External(profiles::base_codeqwen())),
+    );
+    Table6Entry {
+        model: profile.name.clone(),
+        without: plain.pass_at(1),
+        with: refined.pass_at(1),
+    }
+}
+
+// ---- Fig. 3 -----------------------------------------------------------------
+
+/// The five ablation settings of Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AblationSetting {
+    /// Original pre-trained LLM.
+    Base,
+    /// Fine-tuned on the vanilla dataset only.
+    Vanilla,
+    /// Vanilla fine-tune + SI-CoT prompting.
+    VanillaCot,
+    /// Fine-tuned on vanilla + KL.
+    VanillaKl,
+    /// Vanilla + KL fine-tune + SI-CoT (the full HaVen).
+    VanillaCotKl,
+}
+
+impl AblationSetting {
+    /// All settings in Fig. 3 order.
+    pub const ALL: [AblationSetting; 5] = [
+        AblationSetting::Base,
+        AblationSetting::Vanilla,
+        AblationSetting::VanillaCot,
+        AblationSetting::VanillaKl,
+        AblationSetting::VanillaCotKl,
+    ];
+
+    /// Fig. 3 legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AblationSetting::Base => "Base",
+            AblationSetting::Vanilla => "Vanilla",
+            AblationSetting::VanillaCot => "Vanilla+CoT",
+            AblationSetting::VanillaKl => "Vanilla+KL",
+            AblationSetting::VanillaCotKl => "Vanilla+CoT+KL",
+        }
+    }
+}
+
+/// One Fig. 3 measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationPoint {
+    /// Base model.
+    pub base: String,
+    /// Setting.
+    pub setting: AblationSetting,
+    /// pass@1 / pass@5 on VerilogEval-human (percent).
+    pub pass1: f64,
+    /// pass@5.
+    pub pass5: f64,
+}
+
+/// Runs one ablation cell.
+pub fn ablation_point(
+    base: &ModelProfile,
+    setting: AblationSetting,
+    flow: &FlowOutput,
+    suites: &Suites,
+    scale: &Scale,
+) -> AblationPoint {
+    use AblationSetting::*;
+    let vanilla = flow.vanilla.train_samples();
+    let kl = flow.kl_dataset(crate::pipeline::KL_SHUFFLE_SEED);
+    let mut vanilla_kl = flow.vanilla.clone();
+    vanilla_kl.extend(kl.pairs.iter().cloned());
+
+    let profile = match setting {
+        Base => base.clone(),
+        Vanilla | VanillaCot => finetune(base, &vanilla),
+        VanillaKl | VanillaCotKl => finetune(base, &vanilla_kl.train_samples()),
+    };
+    let mode = match setting {
+        VanillaCot | VanillaCotKl => SicotMode::SelfRefine,
+        _ => SicotMode::Off,
+    };
+    let result = evaluate(&profile, &suites.human, &scale.config(mode));
+    AblationPoint {
+        base: base.name.clone(),
+        setting,
+        pass1: result.pass_at(1),
+        pass5: result.pass_at(scale.n.min(5)),
+    }
+}
+
+// ---- Fig. 4 ------------------------------------------------------------------
+
+/// One Fig. 4 grid cell: a {0, 50, 100}% mix of K and L data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositionPoint {
+    /// Fraction of the K-dataset used (0.0 / 0.5 / 1.0).
+    pub k_fraction: f64,
+    /// Fraction of the L-dataset used.
+    pub l_fraction: f64,
+    /// pass@1 on VerilogEval-human (percent).
+    pub pass1: f64,
+    /// pass@5.
+    pub pass5: f64,
+}
+
+/// Runs one composition cell on CodeQwen (the paper's Fig. 4 base model).
+pub fn composition_point(
+    k_fraction: f64,
+    l_fraction: f64,
+    flow: &FlowOutput,
+    suites: &Suites,
+    scale: &Scale,
+) -> CompositionPoint {
+    let k = flow.k_dataset.take_fraction(k_fraction);
+    let l = flow.l_dataset.take_fraction(l_fraction);
+    let mut data = flow.vanilla.clone();
+    data.extend(Dataset::combine_shuffled(&[&k, &l], 0x4b4c).pairs);
+    let profile = finetune(&profiles::base_codeqwen(), &data.train_samples());
+    let result = evaluate(&profile, &suites.human, &scale.config(SicotMode::Off));
+    CompositionPoint {
+        k_fraction,
+        l_fraction,
+        pass1: result.pass_at(1),
+        pass5: result.pass_at(scale.n.min(5)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            n: 2,
+            temperatures: vec![0.2],
+            task_limit: Some(10),
+            flow: FlowConfig::small(3),
+        }
+    }
+
+    #[test]
+    fn table4_row_produces_percentages() {
+        let scale = tiny_scale();
+        let suites = Suites::generate(&scale);
+        let row = table4_row(
+            &Contender {
+                profile: profiles::gpt4(),
+                sicot: false,
+                group: "General LLM",
+            },
+            &suites,
+            &scale,
+        );
+        for v in [
+            row.machine.0,
+            row.machine.1,
+            row.human.0,
+            row.human.1,
+            row.rtllm.0,
+            row.rtllm.1,
+            row.v2.0,
+            row.v2.1,
+        ] {
+            assert!((0.0..=100.0).contains(&v), "{row:?}");
+        }
+        assert!(row.machine.1 >= row.machine.0);
+    }
+
+    #[test]
+    fn table5_row_counts_sum_to_suite() {
+        let scale = Scale {
+            task_limit: None,
+            ..tiny_scale()
+        };
+        let suites = Suites::generate(&scale);
+        let row = table5_row(&profiles::deepseek_coder_v2(), false, &suites, &scale);
+        assert_eq!(row.truth_table.1, 10);
+        assert_eq!(row.waveform.1, 13);
+        assert_eq!(row.state_diagram.1, 21);
+    }
+
+    #[test]
+    fn ablation_and_composition_run() {
+        let scale = tiny_scale();
+        let suites = Suites::generate(&scale);
+        let flow = haven_datagen::run(&scale.flow);
+        let p = ablation_point(
+            &profiles::base_codeqwen(),
+            AblationSetting::VanillaCotKl,
+            &flow,
+            &suites,
+            &scale,
+        );
+        assert!(p.pass1 >= 0.0);
+        let c = composition_point(0.5, 1.0, &flow, &suites, &scale);
+        assert!(c.pass1 >= 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! # haven
+//!
+//! A full reproduction of **"HaVen: Hallucination-Mitigated LLM for
+//! Verilog Code Generation Aligned with HDL Engineers"** (DATE 2025) as a
+//! Rust workspace — see `DESIGN.md` for the system inventory and the
+//! substitutions made for GPU training and proprietary data.
+//!
+//! This crate is the façade:
+//!
+//! * [`taxonomy`] — the paper's hallucination taxonomy (Table II);
+//! * [`pipeline::Haven`] — SI-CoT prompt refinement in front of a
+//!   KL-fine-tuned CodeGen-LLM (Fig. 1);
+//! * [`experiments`] — runners for every table and figure of §IV.
+//!
+//! The substrates live in their own crates and are re-exported here:
+//! [`haven_verilog`] (frontend + four-state simulator), [`haven_spec`]
+//! (hardware-intent IR, golden models, co-simulation), [`haven_modality`]
+//! (truth tables / waveforms / state diagrams), [`haven_lm`] (the
+//! simulated CodeGen-LLM), [`haven_sicot`] (SI-CoT), [`haven_datagen`]
+//! (K/L dataset flow) and [`haven_eval`] (benchmarks + pass@k harness).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use haven::Haven;
+//! use haven_lm::profiles;
+//!
+//! let flow = haven_datagen::run(&haven_datagen::FlowConfig::small(1));
+//! let haven = Haven::train(profiles::base_deepseek(), &flow, 0.2);
+//! let code = haven.generate(
+//!     "Implement the truth table below\na b out\n0 0 0\n0 1 0\n1 0 0\n1 1 1\n\
+//!      The module header is: `module and_gate (input a, input b, output out);`",
+//!     "quickstart",
+//!     0,
+//! );
+//! assert!(code.contains("module and_gate"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod diagnose;
+pub mod experiments;
+pub mod pipeline;
+pub mod taxonomy;
+
+pub use diagnose::{diagnose, Diagnosis};
+pub use experiments::{Scale, Suites};
+pub use pipeline::{train_default_models, Haven};
+pub use taxonomy::{HallucinationClass, HallucinationType};
+
+// Re-export the substrate crates under their full names.
+pub use haven_datagen;
+pub use haven_eval;
+pub use haven_lm;
+pub use haven_modality;
+pub use haven_sicot;
+pub use haven_spec;
+pub use haven_verilog;

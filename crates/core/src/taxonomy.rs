@@ -1,0 +1,133 @@
+//! The hallucination taxonomy of paper §II (Table II), with the mapping
+//! onto the simulated model's skill channels.
+
+use haven_lm::skills::Channel;
+use serde::{Deserialize, Serialize};
+
+/// Top-level hallucination classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HallucinationClass {
+    /// Misreading symbols, diagrams and tabular formats.
+    Symbolic,
+    /// Missing domain knowledge (conventions, syntax, attributes).
+    Knowledge,
+    /// Failures of logical reasoning.
+    Logical,
+}
+
+/// The nine sub-types of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HallucinationType {
+    /// State-diagram misinterpretation ("A and B should be reversed").
+    StateDiagramMisinterpretation,
+    /// Waveform-chart misinterpretation.
+    WaveformMisinterpretation,
+    /// Truth-table misinterpretation.
+    TruthTableMisinterpretation,
+    /// Digital-design-convention misapplication (`state = a + b`).
+    ConventionMisapplication,
+    /// Verilog syntax misapplication (`def adder_4bit()`).
+    SyntaxMisapplication,
+    /// Misunderstanding Verilog-specific attributes (sync vs async reset).
+    AttributeMisunderstanding,
+    /// Incorrect logical expression (`(a + c) & b` for "(a+b) | c").
+    IncorrectExpression,
+    /// Incorrect handling of corner cases (missing `default`).
+    CornerCaseMishandling,
+    /// Failure to adhere to instructional logic (`&&` read as `||`).
+    InstructionalInfidelity,
+}
+
+impl HallucinationType {
+    /// All sub-types, in Table II order.
+    pub const ALL: [HallucinationType; 9] = [
+        HallucinationType::StateDiagramMisinterpretation,
+        HallucinationType::WaveformMisinterpretation,
+        HallucinationType::TruthTableMisinterpretation,
+        HallucinationType::ConventionMisapplication,
+        HallucinationType::SyntaxMisapplication,
+        HallucinationType::AttributeMisunderstanding,
+        HallucinationType::IncorrectExpression,
+        HallucinationType::CornerCaseMishandling,
+        HallucinationType::InstructionalInfidelity,
+    ];
+
+    /// The top-level class of this sub-type.
+    pub fn class(self) -> HallucinationClass {
+        match self {
+            HallucinationType::StateDiagramMisinterpretation
+            | HallucinationType::WaveformMisinterpretation
+            | HallucinationType::TruthTableMisinterpretation => HallucinationClass::Symbolic,
+            HallucinationType::ConventionMisapplication
+            | HallucinationType::SyntaxMisapplication
+            | HallucinationType::AttributeMisunderstanding => HallucinationClass::Knowledge,
+            HallucinationType::IncorrectExpression
+            | HallucinationType::CornerCaseMishandling
+            | HallucinationType::InstructionalInfidelity => HallucinationClass::Logical,
+        }
+    }
+
+    /// The simulated model's skill channel that governs this sub-type.
+    pub fn channel(self) -> Channel {
+        match self {
+            HallucinationType::StateDiagramMisinterpretation => Channel::SymbolStateDiagram,
+            HallucinationType::WaveformMisinterpretation => Channel::SymbolWaveform,
+            HallucinationType::TruthTableMisinterpretation => Channel::SymbolTruthTable,
+            HallucinationType::ConventionMisapplication => Channel::KnowledgeConvention,
+            HallucinationType::SyntaxMisapplication => Channel::KnowledgeSyntax,
+            HallucinationType::AttributeMisunderstanding => Channel::KnowledgeAttributes,
+            HallucinationType::IncorrectExpression => Channel::LogicExpression,
+            HallucinationType::CornerCaseMishandling => Channel::LogicCornerCase,
+            HallucinationType::InstructionalInfidelity => Channel::LogicInstruction,
+        }
+    }
+
+    /// Which HaVen technique mitigates this sub-type.
+    pub fn mitigation(self) -> &'static str {
+        match self.class() {
+            HallucinationClass::Symbolic => "SI-CoT (symbolic interpretation chain-of-thought)",
+            HallucinationClass::Knowledge => "K-dataset fine-tuning",
+            HallucinationClass::Logical => "L-dataset fine-tuning",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_subtype_has_distinct_channel() {
+        let channels: std::collections::HashSet<Channel> =
+            HallucinationType::ALL.iter().map(|t| t.channel()).collect();
+        assert_eq!(channels.len(), 9);
+    }
+
+    #[test]
+    fn classes_partition_into_three_by_three() {
+        for class in [
+            HallucinationClass::Symbolic,
+            HallucinationClass::Knowledge,
+            HallucinationClass::Logical,
+        ] {
+            let n = HallucinationType::ALL
+                .iter()
+                .filter(|t| t.class() == class)
+                .count();
+            assert_eq!(n, 3, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn mitigations_follow_the_paper() {
+        assert!(HallucinationType::TruthTableMisinterpretation
+            .mitigation()
+            .contains("SI-CoT"));
+        assert!(HallucinationType::AttributeMisunderstanding
+            .mitigation()
+            .contains("K-dataset"));
+        assert!(HallucinationType::CornerCaseMishandling
+            .mitigation()
+            .contains("L-dataset"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Vanilla captioning, topic matching, exemplar-guided rewriting and
+//! compile verification (Fig. 2 steps 5–8).
+
+use haven_lm::finetune::SampleKind;
+use haven_spec::describe::{describe, DescribeStyle};
+use haven_verilog::analyze::{analyze, Analysis};
+use haven_verilog::elab::compile;
+use haven_verilog::parser::parse;
+
+use crate::corpus::CorpusSample;
+use crate::exemplars::{matching, Exemplar};
+use crate::pairs::InstructionCodePair;
+
+/// Fraction of parseable samples for which the captioner produces a
+/// *usable* instruction. The paper's funnel (≈550k scraped files →
+/// ≈43k valid vanilla pairs) implies most GPT-3.5 captions fail the
+/// validity checks; combined with the ≈22% broken-file rate this yield
+/// reproduces that ratio.
+pub const CAPTION_YIELD: f64 = 0.10;
+
+fn stable_unit(sample_id: usize, salt: &str) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in salt.bytes().chain(sample_id.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Step 5 — "Vanilla Instruction-code Pairs": captions a corpus sample the
+/// way GPT-3.5 captions scraped code — topic right, attributes vague.
+///
+/// Returns `None` for files that don't parse (a captioner can't describe
+/// what it can't read as a module) and for the large fraction whose
+/// caption fails the validity checks (see [`CAPTION_YIELD`]).
+pub fn caption(sample: &CorpusSample) -> Option<InstructionCodePair> {
+    if stable_unit(sample.id, "caption-valid") >= CAPTION_YIELD {
+        return None;
+    }
+    let file = parse(&sample.source).ok()?;
+    let module = file.modules.first()?;
+    let analysis = analyze(module);
+    let topic = *analysis.topics.first()?;
+    // The captioner writes from the code's *apparent* intent; our corpus
+    // keeps the true spec, which stands in for "what a competent reader
+    // would say this code is".
+    let instruction = match &sample.spec {
+        Some(spec) => describe(spec, DescribeStyle::Vanilla),
+        None => format!("Write a Verilog module like `{}`.", module.name),
+    };
+    Some(InstructionCodePair {
+        instruction,
+        code: sample.source.clone(),
+        kind: SampleKind::Vanilla,
+        topic,
+        has_attributes: false,
+        logic_category: None,
+    })
+}
+
+/// Step 6 — "Parser for Topic Matching": analyzes the pair's code (our
+/// slang substitute) and returns matching exemplars.
+pub fn match_exemplars<'a>(
+    pair: &InstructionCodePair,
+    library: &'a [Exemplar],
+) -> (Analysis, Vec<&'a Exemplar>) {
+    let analysis = parse(&pair.code)
+        .ok()
+        .and_then(|f| f.modules.first().map(analyze))
+        .unwrap_or(Analysis {
+            topics: vec![pair.topic],
+            attributes: Default::default(),
+        });
+    let hits = matching(library, &analysis.topics, analysis.attributes.reset);
+    (analysis, hits)
+}
+
+/// Step 7 — "Data Augmentation": rewrites a vanilla pair toward one
+/// exemplar, producing an HDL-aligned instruction for the *same* code.
+///
+/// The rewrite recovers the precise engineer phrasing (attributes spelled
+/// out, header given) from the sample's underlying intent, mirroring how
+/// GPT-3.5 rewrites a caption given a high-quality exemplar to imitate.
+pub fn rewrite(
+    pair: &InstructionCodePair,
+    exemplar: &Exemplar,
+    sample: &CorpusSample,
+) -> Option<InstructionCodePair> {
+    let spec = sample.spec.as_ref()?;
+    let mut instruction = describe(spec, DescribeStyle::Engineer);
+    instruction.push_str(&format!(
+        "\nFollow the conventions of the `{}` exemplar.",
+        exemplar.id
+    ));
+    Some(InstructionCodePair {
+        instruction,
+        code: pair.code.clone(),
+        kind: SampleKind::Knowledge,
+        topic: exemplar.topic,
+        has_attributes: spec.behavior.is_sequential() && spec.attrs.reset.is_some(),
+        logic_category: None,
+    })
+}
+
+/// Acceptance gate for step 7: the rewriter keeps roughly one rewrite in
+/// three (deterministic in sample and exemplar), matching the paper's
+/// vanilla→K ratio (43k → 14k with multi-exemplar rewrites).
+pub fn rewrite_accepted(sample_id: usize, exemplar_id: &str) -> bool {
+    stable_unit(sample_id, exemplar_id) < 0.30
+}
+
+/// Step 8 — "Verification": keeps only pairs whose code compiles.
+pub fn verify(pairs: Vec<InstructionCodePair>) -> Vec<InstructionCodePair> {
+    pairs
+        .into_iter()
+        .filter(|p| compile(&p.code).is_ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate, CorpusConfig, Quality};
+    use crate::exemplars::library;
+
+    fn small_corpus() -> Vec<CorpusSample> {
+        // Caption yield is 10%, so keep the corpus large enough that the
+        // caption-dependent tests still see a healthy sample.
+        generate(
+            &CorpusConfig {
+                size: 800,
+                ..CorpusConfig::default()
+            },
+            13,
+        )
+    }
+
+    #[test]
+    fn captions_skip_unparseable_files() {
+        for s in small_corpus() {
+            let captioned = caption(&s);
+            if s.quality == Quality::Broken && haven_verilog::parser::parse(&s.source).is_err() {
+                assert!(captioned.is_none(), "sample {}", s.id);
+            }
+        }
+    }
+
+    #[test]
+    fn captions_are_vague_rewrites_are_precise() {
+        let corpus = small_corpus();
+        let lib = library();
+        let mut checked = 0;
+        for s in &corpus {
+            let Some(pair) = caption(s) else { continue };
+            assert!(!pair.instruction.contains("rst"), "{}", pair.instruction);
+            let (_, hits) = match_exemplars(&pair, &lib);
+            for e in hits {
+                let Some(rw) = rewrite(&pair, e, s) else {
+                    continue;
+                };
+                assert!(rw.instruction.contains("module"), "{}", rw.instruction);
+                assert_eq!(rw.kind, SampleKind::Knowledge);
+                checked += 1;
+            }
+        }
+        assert!(checked > 10, "only {checked} rewrites exercised");
+    }
+
+    #[test]
+    fn verification_filters_broken_code() {
+        let corpus = small_corpus();
+        let pairs: Vec<InstructionCodePair> = corpus
+            .iter()
+            .map(|s| InstructionCodePair {
+                instruction: "x".into(),
+                code: s.source.clone(),
+                kind: SampleKind::Vanilla,
+                topic: haven_verilog::analyze::Topic::CombLogic,
+                has_attributes: false,
+                logic_category: None,
+            })
+            .collect();
+        let kept = verify(pairs);
+        let expected = corpus.iter().filter(|s| s.quality != Quality::Broken).count();
+        assert_eq!(kept.len(), expected);
+    }
+
+    #[test]
+    fn topic_matching_finds_exemplars_for_sequential_code() {
+        let lib = library();
+        let src = "module c(input clk, input rst_n, output reg [3:0] q);\n always @(posedge clk or negedge rst_n)\n  if (!rst_n) q <= 4'd0; else q <= q + 4'd1;\nendmodule";
+        let pair = InstructionCodePair {
+            instruction: "a counter".into(),
+            code: src.into(),
+            kind: SampleKind::Vanilla,
+            topic: haven_verilog::analyze::Topic::Counter,
+            has_attributes: false,
+            logic_category: None,
+        };
+        let (analysis, hits) = match_exemplars(&pair, &lib);
+        assert!(analysis.topics.contains(&haven_verilog::analyze::Topic::Counter));
+        assert!(!hits.is_empty());
+        assert!(hits
+            .iter()
+            .all(|e| e.reset == Some(haven_verilog::analyze::ResetKind::AsyncActiveLow)));
+    }
+}

@@ -1,0 +1,341 @@
+//! The synthetic "GitHub corpus" (Fig. 2 step 5 input).
+//!
+//! The paper scrapes ≈550k Verilog samples from public repositories. We
+//! synthesize a corpus with the properties that matter downstream:
+//! heterogeneous topics, mixed attribute conventions, mixed code quality
+//! (clean / unconventional / outright broken), and a sprinkle of
+//! non-Verilog noise files — at a configurable scale (default 1:100).
+
+use haven_spec::codegen::{emit, EmitStyle};
+use haven_spec::ir::*;
+use haven_spec::{builders, Spec};
+use haven_verilog::analyze::ResetKind;
+use haven_verilog::ast::{BinaryOp, Edge};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Quality class of a corpus file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Quality {
+    /// Convention-clean code.
+    Clean,
+    /// Compiles, but violates conventions (blocking in seq, no default…).
+    Unconventional,
+    /// Does not compile (half-finished or non-Verilog content).
+    Broken,
+}
+
+/// One scraped "file".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusSample {
+    /// Stable sample id.
+    pub id: usize,
+    /// File contents.
+    pub source: String,
+    /// Quality class it was synthesized as (hidden from the pipeline;
+    /// used only to validate pipeline filtering in tests).
+    pub quality: Quality,
+    /// The underlying intent, when the file was generated from one.
+    /// Hidden from the pipeline; the captioner uses it the way GPT-3.5
+    /// "reads" code.
+    pub spec: Option<Spec>,
+}
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of files to synthesize (paper: ≈550k; default 1:100 scale).
+    pub size: usize,
+    /// Fraction of broken files.
+    pub broken_rate: f64,
+    /// Fraction of unconventional (but compiling) files.
+    pub unconventional_rate: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> CorpusConfig {
+        CorpusConfig {
+            size: 5500,
+            broken_rate: 0.22,
+            unconventional_rate: 0.30,
+        }
+    }
+}
+
+/// Synthesizes the corpus. Deterministic in `seed`.
+pub fn generate(cfg: &CorpusConfig, seed: u64) -> Vec<CorpusSample> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x636f_7270);
+    (0..cfg.size).map(|id| sample(id, cfg, &mut rng)).collect()
+}
+
+fn sample(id: usize, cfg: &CorpusConfig, rng: &mut StdRng) -> CorpusSample {
+    // A slice of real repositories is hierarchical: structural adders
+    // built from full-adder submodules. These exercise instance
+    // flattening through the captioning/verification path.
+    if rng.gen_bool(0.06) {
+        let width = rng.gen_range(2..=6usize);
+        let spec = haven_spec::builders::adder(&format!("gh_{id:05}"), width);
+        return CorpusSample {
+            id,
+            source: hierarchical_adder_source(&spec.name, width),
+            quality: Quality::Clean,
+            spec: Some(spec),
+        };
+    }
+    let spec = random_spec(rng, id);
+    let roll: f64 = rng.gen();
+    if roll < cfg.broken_rate {
+        let source = broken_source(&spec, rng);
+        CorpusSample {
+            id,
+            source,
+            quality: Quality::Broken,
+            spec: Some(spec),
+        }
+    } else if roll < cfg.broken_rate + cfg.unconventional_rate {
+        let style = unconventional_style(rng);
+        CorpusSample {
+            id,
+            source: emit(&spec, &style),
+            quality: Quality::Unconventional,
+            spec: Some(spec),
+        }
+    } else {
+        CorpusSample {
+            id,
+            source: emit(&spec, &EmitStyle::correct()),
+            quality: Quality::Clean,
+            spec: Some(spec),
+        }
+    }
+}
+
+fn random_spec(rng: &mut StdRng, id: usize) -> Spec {
+    let name = format!("gh_{id:05}");
+    let mut spec = match rng.gen_range(0..10u8) {
+        0 => builders::counter(&name, rng.gen_range(2..=8usize), None),
+        1 => {
+            let w = rng.gen_range(3..=6usize);
+            builders::counter(&name, w, Some(rng.gen_range(3..1u64 << w)))
+        }
+        2 => builders::shift_register(
+            &name,
+            rng.gen_range(2..=16usize),
+            if rng.gen_bool(0.5) {
+                ShiftDirection::Left
+            } else {
+                ShiftDirection::Right
+            },
+        ),
+        3 => builders::clock_divider(&name, rng.gen_range(2..=8u64)),
+        4 => builders::pipeline(&name, rng.gen_range(1..=16usize), rng.gen_range(1..=3usize)),
+        5 => builders::fsm_ab(&name),
+        6 => {
+            let all = [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::And,
+                AluOp::Or,
+                AluOp::Xor,
+                AluOp::NotA,
+            ];
+            let n = rng.gen_range(2..=all.len());
+            builders::alu(&name, rng.gen_range(4..=16usize), all[..n].to_vec())
+        }
+        7 => builders::adder(&name, rng.gen_range(2..=16usize)),
+        8 => builders::mux2(&name, rng.gen_range(1..=8usize)),
+        _ => builders::gate(
+            &name,
+            [BinaryOp::BitAnd, BinaryOp::BitOr, BinaryOp::BitXor][rng.gen_range(0..3)],
+        ),
+    };
+    if spec.behavior.is_sequential() {
+        spec.attrs.reset = match rng.gen_range(0..4u8) {
+            0 => Some(ResetSpec {
+                name: "rst_n".into(),
+                kind: ResetKind::AsyncActiveLow,
+            }),
+            1 => Some(ResetSpec {
+                name: "rst".into(),
+                kind: ResetKind::AsyncActiveHigh,
+            }),
+            2 => Some(ResetSpec {
+                name: "rst".into(),
+                kind: ResetKind::Sync,
+            }),
+            _ => Some(ResetSpec {
+                name: "rst_n".into(),
+                kind: ResetKind::AsyncActiveLow,
+            }),
+        };
+        if rng.gen_bool(0.2) {
+            spec.attrs.edge = Edge::Neg;
+        }
+        if rng.gen_bool(0.3) {
+            spec.attrs.enable = Some(EnableSpec {
+                name: "en".into(),
+                active_high: rng.gen_bool(0.8),
+            });
+        }
+    }
+    spec
+}
+
+fn unconventional_style(rng: &mut StdRng) -> EmitStyle {
+    let mut style = EmitStyle::correct();
+    match rng.gen_range(0..3u8) {
+        0 => style.nonblocking_in_seq = false,
+        1 => style.case_default = false,
+        _ => style.comb_always_block = true,
+    }
+    style
+}
+
+/// A ripple-carry adder built structurally from full-adder instances.
+fn hierarchical_adder_source(name: &str, width: usize) -> String {
+    let mut body = String::new();
+    if width > 1 {
+        let carries: Vec<String> = (0..width - 1).map(|i| format!("c{i}")).collect();
+        body.push_str(&format!("    wire {};
+", carries.join(", ")));
+    }
+    for i in 0..width {
+        let cin = if i == 0 {
+            "1'b0".to_string()
+        } else {
+            format!("c{}", i - 1)
+        };
+        let cout = if i == width - 1 {
+            ".cout()".to_string()
+        } else {
+            format!(".cout(c{i})")
+        };
+        body.push_str(&format!(
+            "    fa_{name} u{i} (.a(a[{i}]), .b(b[{i}]), .cin({cin}), .sum(s[{i}]), {cout});
+"
+        ));
+    }
+    format!(
+        "module {name} (
+    input [{w}:0] a,
+    input [{w}:0] b,
+    output [{w}:0] s
+);
+{body}endmodule
+module fa_{name} (
+    input a,
+    input b,
+    input cin,
+    output sum,
+    output cout
+);
+    assign sum = a ^ b ^ cin;
+    assign cout = (a & b) | (a & cin) | (b & cin);
+endmodule
+",
+        w = width - 1
+    )
+}
+
+fn broken_source(spec: &Spec, rng: &mut StdRng) -> String {
+    let good = emit(spec, &EmitStyle::correct());
+    match rng.gen_range(0..4u8) {
+        0 => good.replacen("endmodule", "", 1),
+        1 => match good.match_indices(';').nth(1) {
+            Some((i, _)) => {
+                let mut s = good;
+                s.remove(i);
+                s
+            }
+            None => good,
+        },
+        2 => format!("# {}\nThis repo contains my homework solutions.\n", spec.name),
+        _ => good.replacen("module", "modul", 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haven_verilog::elab::compile;
+
+    #[test]
+    fn corpus_is_deterministic_and_sized() {
+        let cfg = CorpusConfig {
+            size: 300,
+            ..CorpusConfig::default()
+        };
+        let a = generate(&cfg, 5);
+        let b = generate(&cfg, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 300);
+    }
+
+    #[test]
+    fn quality_labels_match_compilability() {
+        let cfg = CorpusConfig {
+            size: 400,
+            ..CorpusConfig::default()
+        };
+        for s in generate(&cfg, 9) {
+            let compiles = compile(&s.source).is_ok();
+            match s.quality {
+                Quality::Broken => assert!(!compiles, "sample {} should be broken", s.id),
+                _ => assert!(compiles, "sample {} should compile:\n{}", s.id, s.source),
+            }
+        }
+    }
+
+    #[test]
+    fn quality_mix_roughly_matches_config() {
+        let cfg = CorpusConfig {
+            size: 2000,
+            broken_rate: 0.25,
+            unconventional_rate: 0.25,
+        };
+        let corpus = generate(&cfg, 11);
+        let broken = corpus.iter().filter(|s| s.quality == Quality::Broken).count() as f64;
+        let frac = broken / corpus.len() as f64;
+        assert!((frac - 0.25).abs() < 0.05, "broken fraction {frac}");
+    }
+
+    #[test]
+    fn hierarchical_samples_exist_compile_and_are_correct() {
+        use haven_spec::cosim::cosimulate;
+        use haven_spec::stimuli::stimuli_for;
+        let cfg = CorpusConfig {
+            size: 400,
+            ..CorpusConfig::default()
+        };
+        let corpus = generate(&cfg, 21);
+        let hier: Vec<&CorpusSample> = corpus
+            .iter()
+            .filter(|s| s.source.matches("module ").count() > 1)
+            .collect();
+        assert!(!hier.is_empty(), "no hierarchical samples generated");
+        for s in hier.iter().take(5) {
+            compile(&s.source).unwrap_or_else(|e| panic!("{e}
+{}", s.source));
+            // The structural adder must actually add.
+            let spec = s.spec.as_ref().unwrap();
+            let report = cosimulate(spec, &s.source, &stimuli_for(spec, 1));
+            assert!(report.verdict.functional_ok(), "{:?}
+{}", report.verdict, s.source);
+        }
+    }
+
+    #[test]
+    fn topics_are_heterogeneous() {
+        let cfg = CorpusConfig {
+            size: 500,
+            ..CorpusConfig::default()
+        };
+        let corpus = generate(&cfg, 3);
+        let mut topics = std::collections::HashSet::new();
+        for s in corpus.iter().filter_map(|s| s.spec.as_ref()) {
+            topics.insert(s.behavior.topic());
+        }
+        assert!(topics.len() >= 6, "only {topics:?}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Instruction evolution (Fig. 2 step 12).
+//!
+//! The paper uses GPT-3.5 to rewrite instructions for linguistic variety,
+//! constrained to "adding or removing no more than ten words" while
+//! preserving the semantic core. We substitute a rule-based rewriter with
+//! the same contract: bounded word-count delta, semantics-preserving edits
+//! only (politeness prefixes/suffixes, verb synonyms, filler removal).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::pairs::InstructionCodePair;
+
+/// The maximum words the evolution may add or remove (paper: ten).
+pub const MAX_WORD_DELTA: usize = 10;
+
+/// Semantics-free prefixes that may be prepended.
+const PREFIXES: [&str; 4] = [
+    "Please",
+    "As an HDL engineer,",
+    "For this design task,",
+    "Carefully",
+];
+
+/// Semantics-free suffix sentences (≤ 8 words each).
+const SUFFIXES: [&str; 4] = [
+    "Write clean, synthesizable Verilog.",
+    "Keep the implementation conventional.",
+    "Follow standard RTL coding practices.",
+    "Return only the Verilog module.",
+];
+
+/// Verb swaps that preserve meaning.
+const VERB_SWAPS: [(&str, &str); 3] = [
+    ("Implement", "Design"),
+    ("Create", "Build"),
+    ("Write", "Develop"),
+];
+
+fn word_count(s: &str) -> usize {
+    s.split_whitespace().count()
+}
+
+/// Evolves one instruction. Deterministic in `seed`.
+pub fn evolve_instruction(instruction: &str, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6576_6f6c);
+    let mut text = instruction.to_string();
+    // Verb synonym (0 word delta).
+    if rng.gen_bool(0.5) {
+        let (from, to) = VERB_SWAPS[rng.gen_range(0..VERB_SWAPS.len())];
+        text = text.replacen(from, to, 1);
+    }
+    // Prefix (1–4 words).
+    if rng.gen_bool(0.6) {
+        let p = PREFIXES[rng.gen_range(0..PREFIXES.len())];
+        // Prefixing the first line keeps symbolic blocks untouched.
+        let mut lines = text.lines();
+        if let Some(first) = lines.next() {
+            let lowered = {
+                let mut c = first.chars();
+                match c.next() {
+                    Some(f) => f.to_lowercase().collect::<String>() + c.as_str(),
+                    None => String::new(),
+                }
+            };
+            let rest: Vec<&str> = lines.collect();
+            text = if rest.is_empty() {
+                format!("{p} {lowered}")
+            } else {
+                format!("{p} {lowered}\n{}", rest.join("\n"))
+            };
+        }
+    }
+    // Suffix sentence (≤ 8 words).
+    if rng.gen_bool(0.6) {
+        let s = SUFFIXES[rng.gen_range(0..SUFFIXES.len())];
+        text = format!("{text}\n{s}");
+    }
+    debug_assert!(
+        word_count(&text).abs_diff(word_count(instruction)) <= MAX_WORD_DELTA,
+        "evolution exceeded the word budget"
+    );
+    text
+}
+
+/// Evolves every pair's instruction in place.
+pub fn evolve_pairs(pairs: &mut [InstructionCodePair], seed: u64) {
+    for (i, p) in pairs.iter_mut().enumerate() {
+        p.instruction = evolve_instruction(&p.instruction, seed ^ (i as u64) << 3);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = "Implement a 4-bit up counter named `cnt` with output `q`.\nUse an asynchronous active-low reset named `rst_n`.\nThe module header is: `module cnt (input clk, input rst_n, output [3:0] q);`";
+
+    #[test]
+    fn word_delta_is_bounded() {
+        for seed in 0..200 {
+            let evolved = evolve_instruction(BASE, seed);
+            let delta = word_count(&evolved).abs_diff(word_count(BASE));
+            assert!(delta <= MAX_WORD_DELTA, "seed {seed}: delta {delta}");
+        }
+    }
+
+    #[test]
+    fn semantic_core_preserved() {
+        for seed in 0..50 {
+            let evolved = evolve_instruction(BASE, seed);
+            assert!(evolved.contains("4-bit"), "{evolved}");
+            assert!(evolved.contains("rst_n"), "{evolved}");
+            assert!(evolved.contains("module cnt"), "{evolved}");
+            // Still machine-perceivable to the same behaviour.
+            let p = haven_lm::perception::perceive(&evolved)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{evolved}"));
+            assert!(matches!(
+                p.spec.behavior,
+                haven_spec::Behavior::Counter(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn evolution_adds_variety() {
+        let variants: std::collections::HashSet<String> =
+            (0..30).map(|s| evolve_instruction(BASE, s)).collect();
+        assert!(variants.len() >= 5, "only {} variants", variants.len());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(evolve_instruction(BASE, 4), evolve_instruction(BASE, 4));
+    }
+}

@@ -1,0 +1,262 @@
+//! L-dataset generation (Fig. 2 steps 9–11).
+//!
+//! Step 9 distinguishes two logical-reasoning regimes: *finding the most
+//! concise expression* (Karnaugh-map style problems, solved here with
+//! Quine–McCluskey) and *faithfully implementing logic with no concise
+//! form* (instructional if/elif/else chains). Step 10 generates the
+//! expressions and input–output values; step 11 integrates them into the
+//! instruction and code templates.
+
+use haven_lm::finetune::{LogicCategory, SampleKind};
+use haven_spec::codegen::{emit, EmitStyle};
+use haven_spec::describe::{
+    chain_expr, render_chain_words, ChainArm, IfChain,
+};
+use haven_spec::ir::{AttrSpec, Behavior, CombRule, PortSpec, Spec};
+use haven_verilog::ast::BinaryOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::pairs::InstructionCodePair;
+use crate::qm;
+
+/// L-dataset generation parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogicConfig {
+    /// Karnaugh/minimization problems.
+    pub n_minimization: usize,
+    /// Word-chain expression problems.
+    pub n_chains: usize,
+    /// Instructional if/elif/else problems.
+    pub n_chains_instructional: usize,
+}
+
+impl Default for LogicConfig {
+    fn default() -> LogicConfig {
+        LogicConfig {
+            n_minimization: 20,
+            n_chains: 15,
+            n_chains_instructional: 15,
+        }
+    }
+}
+
+/// Generates the L-dataset. Deterministic in `seed`.
+pub fn generate(cfg: &LogicConfig, seed: u64) -> Vec<InstructionCodePair> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6c64_6174);
+    let mut out = Vec::new();
+    for i in 0..cfg.n_minimization {
+        out.push(minimization_pair(&mut rng, i));
+    }
+    for i in 0..cfg.n_chains {
+        out.push(chain_pair(&mut rng, i));
+    }
+    for i in 0..cfg.n_chains_instructional {
+        out.push(instructional_pair(&mut rng, i));
+    }
+    out
+}
+
+/// Category 1: a Karnaugh-map / truth-table minimization problem. The
+/// instruction presents input–output values; the code implements the
+/// Quine–McCluskey-minimal expression.
+fn minimization_pair(rng: &mut StdRng, index: usize) -> InstructionCodePair {
+    let n = rng.gen_range(2..=4usize);
+    let vars: Vec<String> = ["a", "b", "c", "d"][..n].iter().map(|s| s.to_string()).collect();
+    let minterms: Vec<u64> = (0..1u64 << n).filter(|_| rng.gen_bool(0.45)).collect();
+    let expr = qm::minimal_sop(&vars, &minterms);
+    let name = format!("kmap_{index:03}");
+    let spec = Spec {
+        name: name.clone(),
+        inputs: vars.iter().map(PortSpec::bit).collect(),
+        outputs: vec![PortSpec::bit("out")],
+        behavior: Behavior::Comb(vec![CombRule {
+            output: "out".into(),
+            expr,
+        }]),
+        attrs: AttrSpec::default(),
+    };
+    let rows: Vec<String> = (0..1u64 << n)
+        .map(|i| {
+            let bits: String = (0..n)
+                .map(|k| ((i >> (n - 1 - k)) & 1).to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            format!("{bits} {}", u64::from(minterms.contains(&i)))
+        })
+        .collect();
+    let instruction = format!(
+        "Derive the most concise logical expression for the Karnaugh map below and implement it.\n{} out\n{}\n{}",
+        vars.join(" "),
+        rows.join("\n"),
+        haven_spec::describe::header_sentence(&spec)
+    );
+    InstructionCodePair {
+        instruction,
+        code: emit(&spec, &EmitStyle::correct()),
+        kind: SampleKind::Logic,
+        topic: haven_verilog::analyze::Topic::CombLogic,
+        has_attributes: false,
+        logic_category: Some(LogicCategory::Expression),
+    }
+}
+
+/// Category 1b: a word-chain expression ("a plus b, then or c").
+fn chain_pair(rng: &mut StdRng, index: usize) -> InstructionCodePair {
+    let pool = ["a", "b", "c", "d"];
+    let len = rng.gen_range(2..=3usize);
+    let ops = [BinaryOp::Add, BinaryOp::BitAnd, BinaryOp::BitOr, BinaryOp::BitXor];
+    let rest: Vec<(BinaryOp, String)> = (0..len)
+        .map(|i| {
+            (
+                ops[rng.gen_range(0..ops.len())],
+                pool[(i + 1) % pool.len()].to_string(),
+            )
+        })
+        .collect();
+    let name = format!("chain_{index:03}");
+    let expr = chain_expr(pool[0], &rest);
+    let mut inputs = vec![pool[0].to_string()];
+    for (_, o) in &rest {
+        if !inputs.contains(o) {
+            inputs.push(o.clone());
+        }
+    }
+    let spec = Spec {
+        name: name.clone(),
+        inputs: inputs.iter().map(|n| PortSpec::new(n, 4)).collect(),
+        outputs: vec![PortSpec::new("out", 4)],
+        behavior: Behavior::Comb(vec![CombRule {
+            output: "out".into(),
+            expr,
+        }]),
+        attrs: AttrSpec::default(),
+    };
+    let instruction = format!(
+        "Create a 4-bit module named `{name}`. The output `out` equals {}.\n{}",
+        render_chain_words(pool[0], &rest),
+        haven_spec::describe::header_sentence(&spec)
+    );
+    InstructionCodePair {
+        instruction,
+        code: emit(&spec, &EmitStyle::correct()),
+        kind: SampleKind::Logic,
+        topic: haven_verilog::analyze::Topic::CombLogic,
+        has_attributes: false,
+        logic_category: Some(LogicCategory::Expression),
+    }
+}
+
+/// Category 2: faithful implementation of stepwise instructional logic,
+/// including the corner-case `else`.
+fn instructional_pair(rng: &mut StdRng, index: usize) -> InstructionCodePair {
+    let n_arms = rng.gen_range(2..=4usize);
+    let arms: Vec<ChainArm> = (0..n_arms)
+        .map(|_| ChainArm {
+            conditions: vec![
+                ("a".into(), u64::from(rng.gen_bool(0.5))),
+                ("b".into(), u64::from(rng.gen_bool(0.5))),
+            ],
+            output_value: u64::from(rng.gen_bool(0.5)),
+        })
+        .collect();
+    let chain = IfChain {
+        arms,
+        else_value: u64::from(rng.gen_bool(0.5)),
+    };
+    let name = format!("instr_{index:03}");
+    let expr = chain.to_expr(&|_| 1, 1);
+    let spec = Spec {
+        name: name.clone(),
+        inputs: vec![PortSpec::bit("a"), PortSpec::bit("b")],
+        outputs: vec![PortSpec::bit("out")],
+        behavior: Behavior::Comb(vec![CombRule {
+            output: "out".into(),
+            expr,
+        }]),
+        attrs: AttrSpec::default(),
+    };
+    let instruction = format!(
+        "Create a module named `{name}`.\n{}\n{}",
+        chain.to_text("out"),
+        haven_spec::describe::header_sentence(&spec)
+    );
+    // Alternate which logical sub-skill the sample is labelled as
+    // training: instruction-following or corner-case coverage.
+    let category = if index.is_multiple_of(2) {
+        LogicCategory::Instruction
+    } else {
+        LogicCategory::CornerCase
+    };
+    InstructionCodePair {
+        instruction,
+        code: emit(&spec, &EmitStyle::correct()),
+        kind: SampleKind::Logic,
+        topic: haven_verilog::analyze::Topic::CombLogic,
+        has_attributes: false,
+        logic_category: Some(category),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haven_verilog::elab::compile;
+
+    #[test]
+    fn generated_pairs_compile_and_cover_categories() {
+        let pairs = generate(&LogicConfig::default(), 3);
+        assert_eq!(pairs.len(), 50);
+        let mut cats = std::collections::HashSet::new();
+        for p in &pairs {
+            compile(&p.code).unwrap_or_else(|e| panic!("{e}\n{}", p.code));
+            assert_eq!(p.kind, SampleKind::Logic);
+            cats.insert(p.logic_category);
+        }
+        assert_eq!(cats.len(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(
+            generate(&LogicConfig::default(), 9),
+            generate(&LogicConfig::default(), 9)
+        );
+    }
+
+    #[test]
+    fn minimization_instructions_contain_the_map() {
+        let pairs = generate(
+            &LogicConfig {
+                n_minimization: 3,
+                n_chains: 0,
+                n_chains_instructional: 0,
+            },
+            1,
+        );
+        for p in pairs {
+            assert!(p.instruction.contains("Karnaugh map"), "{}", p.instruction);
+            assert!(p.instruction.contains("out"), "{}", p.instruction);
+        }
+    }
+
+    #[test]
+    fn chain_instructions_use_word_phrasing() {
+        let pairs = generate(
+            &LogicConfig {
+                n_minimization: 0,
+                n_chains: 5,
+                n_chains_instructional: 0,
+            },
+            2,
+        );
+        for p in pairs {
+            assert!(
+                p.instruction.contains("equals"),
+                "{}",
+                p.instruction
+            );
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Instruction–code pair and dataset types shared by the generation flow.
+
+use haven_lm::finetune::{LogicCategory, SampleKind, TrainSample};
+use haven_verilog::analyze::Topic;
+use serde::{Deserialize, Serialize};
+
+/// One instruction–code training pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstructionCodePair {
+    /// The instruction text.
+    pub instruction: String,
+    /// The Verilog code.
+    pub code: String,
+    /// Producing pipeline stage.
+    pub kind: SampleKind,
+    /// Design topic of the code.
+    pub topic: Topic,
+    /// Whether the instruction states reset/edge/enable attributes.
+    pub has_attributes: bool,
+    /// L-sample reasoning category.
+    pub logic_category: Option<LogicCategory>,
+}
+
+impl InstructionCodePair {
+    /// Reduces the pair to what the fine-tuning law consumes.
+    pub fn to_train_sample(&self) -> TrainSample {
+        TrainSample {
+            kind: self.kind,
+            topic: self.topic,
+            has_attributes: self.has_attributes,
+            logic_category: self.logic_category,
+        }
+    }
+}
+
+/// A labelled dataset of pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The pairs.
+    pub pairs: Vec<InstructionCodePair>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Training-law view of the dataset.
+    pub fn train_samples(&self) -> Vec<TrainSample> {
+        self.pairs.iter().map(|p| p.to_train_sample()).collect()
+    }
+
+    /// Deterministically shuffles and combines datasets (the paper's
+    /// "K-dataset and L-dataset are shuffled and combined as KL-dataset").
+    pub fn combine_shuffled(parts: &[&Dataset], seed: u64) -> Dataset {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut pairs: Vec<InstructionCodePair> = parts
+            .iter()
+            .flat_map(|d| d.pairs.iter().cloned())
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x6b6c);
+        pairs.shuffle(&mut rng);
+        Dataset { pairs }
+    }
+
+    /// The first `fraction` of the dataset (Fig. 4's {0, 50, 100}% mixes).
+    pub fn take_fraction(&self, fraction: f64) -> Dataset {
+        let n = (self.pairs.len() as f64 * fraction.clamp(0.0, 1.0)).round() as usize;
+        Dataset {
+            pairs: self.pairs[..n.min(self.pairs.len())].to_vec(),
+        }
+    }
+}
+
+impl FromIterator<InstructionCodePair> for Dataset {
+    fn from_iter<I: IntoIterator<Item = InstructionCodePair>>(iter: I) -> Dataset {
+        Dataset {
+            pairs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<InstructionCodePair> for Dataset {
+    fn extend<I: IntoIterator<Item = InstructionCodePair>>(&mut self, iter: I) {
+        self.pairs.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(kind: SampleKind, topic: Topic) -> InstructionCodePair {
+        InstructionCodePair {
+            instruction: "do it".into(),
+            code: "module m; endmodule".into(),
+            kind,
+            topic,
+            has_attributes: false,
+            logic_category: None,
+        }
+    }
+
+    #[test]
+    fn combine_is_deterministic_and_complete() {
+        let k: Dataset = (0..10).map(|_| pair(SampleKind::Knowledge, Topic::Fsm)).collect();
+        let l: Dataset = (0..5).map(|_| pair(SampleKind::Logic, Topic::CombLogic)).collect();
+        let a = Dataset::combine_shuffled(&[&k, &l], 7);
+        let b = Dataset::combine_shuffled(&[&k, &l], 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 15);
+        assert_eq!(
+            a.pairs.iter().filter(|p| p.kind == SampleKind::Logic).count(),
+            5
+        );
+    }
+
+    #[test]
+    fn fraction_takes_prefix() {
+        let d: Dataset = (0..10).map(|_| pair(SampleKind::Vanilla, Topic::Adder)).collect();
+        assert_eq!(d.take_fraction(0.5).len(), 5);
+        assert_eq!(d.take_fraction(0.0).len(), 0);
+        assert_eq!(d.take_fraction(1.0).len(), 10);
+        assert_eq!(d.take_fraction(2.0).len(), 10);
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+    use haven_lm::finetune::{LogicCategory, SampleKind};
+    use haven_verilog::analyze::Topic;
+
+    #[test]
+    fn dataset_json_roundtrip() {
+        let d: Dataset = vec![
+            InstructionCodePair {
+                instruction: "Implement a counter.".into(),
+                code: "module m; endmodule".into(),
+                kind: SampleKind::Knowledge,
+                topic: Topic::Counter,
+                has_attributes: true,
+                logic_category: None,
+            },
+            InstructionCodePair {
+                instruction: "Implement the logic below:".into(),
+                code: "module l; endmodule".into(),
+                kind: SampleKind::Logic,
+                topic: Topic::CombLogic,
+                has_attributes: false,
+                logic_category: Some(LogicCategory::Instruction),
+            },
+        ]
+        .into_iter()
+        .collect();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,262 @@
+//! Quine–McCluskey two-level minimization.
+//!
+//! Powers the L-dataset's first logical-reasoning category (§III-D step 9):
+//! "finding the most concise logical expression" for a truth table or
+//! Karnaugh map. The implementation computes all prime implicants by
+//! iterated merging, then covers the minterms greedily after selecting
+//! essential primes.
+
+use haven_verilog::ast::{BinaryOp, Expr, UnaryOp};
+
+/// An implicant over `n` variables: `bits` gives the cared-for values,
+/// `mask` has a 1 for every cared-for position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Implicant {
+    /// Variable values on cared positions.
+    pub bits: u64,
+    /// 1 = position is cared for, 0 = don't care.
+    pub mask: u64,
+}
+
+impl Implicant {
+    /// Whether the implicant covers a minterm.
+    pub fn covers(&self, minterm: u64) -> bool {
+        minterm & self.mask == self.bits
+    }
+
+    /// Renders as a product term over variables (index 0 = MSB).
+    pub fn to_expr(&self, vars: &[String]) -> Option<Expr> {
+        let n = vars.len();
+        let mut term: Option<Expr> = None;
+        for (i, var) in vars.iter().enumerate() {
+            let bit = 1u64 << (n - 1 - i);
+            if self.mask & bit == 0 {
+                continue;
+            }
+            let lit = if self.bits & bit != 0 {
+                Expr::ident(var)
+            } else {
+                Expr::Unary(UnaryOp::BitNot, Box::new(Expr::ident(var)))
+            };
+            term = Some(match term {
+                Some(t) => Expr::Binary(BinaryOp::BitAnd, Box::new(t), Box::new(lit)),
+                None => lit,
+            });
+        }
+        term
+    }
+
+    /// Number of literals in the product term.
+    pub fn literals(&self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
+/// Minimizes a single-output function given its ON-set minterms over `n`
+/// variables. Returns the selected prime implicants (empty = constant 0;
+/// a single all-don't-care implicant = constant 1).
+pub fn minimize(n: usize, minterms: &[u64]) -> Vec<Implicant> {
+    assert!(n <= 16, "minimization limited to 16 variables");
+    let full_mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut on: Vec<u64> = minterms.iter().map(|m| m & full_mask).collect();
+    on.sort_unstable();
+    on.dedup();
+    if on.is_empty() {
+        return Vec::new();
+    }
+    if on.len() == 1usize << n {
+        return vec![Implicant { bits: 0, mask: 0 }];
+    }
+
+    // Iterated merging: start from minterms, repeatedly combine pairs that
+    // differ in exactly one cared bit. Unmerged implicants are prime.
+    let mut current: Vec<Implicant> = on
+        .iter()
+        .map(|&m| Implicant {
+            bits: m,
+            mask: full_mask,
+        })
+        .collect();
+    let mut primes: Vec<Implicant> = Vec::new();
+    while !current.is_empty() {
+        let mut merged_flags = vec![false; current.len()];
+        let mut next: Vec<Implicant> = Vec::new();
+        for i in 0..current.len() {
+            for j in i + 1..current.len() {
+                let (a, b) = (current[i], current[j]);
+                if a.mask != b.mask {
+                    continue;
+                }
+                let diff = a.bits ^ b.bits;
+                if diff.count_ones() == 1 {
+                    merged_flags[i] = true;
+                    merged_flags[j] = true;
+                    let m = Implicant {
+                        bits: a.bits & !diff,
+                        mask: a.mask & !diff,
+                    };
+                    if !next.contains(&m) {
+                        next.push(m);
+                    }
+                }
+            }
+        }
+        for (i, imp) in current.iter().enumerate() {
+            if !merged_flags[i] && !primes.contains(imp) {
+                primes.push(*imp);
+            }
+        }
+        current = next;
+    }
+
+    // Cover: essential primes first, then greedy by coverage.
+    let mut uncovered: Vec<u64> = on.clone();
+    let mut selected: Vec<Implicant> = Vec::new();
+    // Essential primes.
+    for &m in &on {
+        let covering: Vec<&Implicant> = primes.iter().filter(|p| p.covers(m)).collect();
+        if covering.len() == 1 {
+            let p = *covering[0];
+            if !selected.contains(&p) {
+                selected.push(p);
+            }
+        }
+    }
+    uncovered.retain(|&m| !selected.iter().any(|p| p.covers(m)));
+    while !uncovered.is_empty() {
+        let best = primes
+            .iter()
+            .filter(|p| !selected.contains(p))
+            .max_by_key(|p| {
+                (
+                    uncovered.iter().filter(|&&m| p.covers(m)).count(),
+                    std::cmp::Reverse(p.literals()),
+                )
+            })
+            .copied()
+            .expect("primes cover all minterms");
+        selected.push(best);
+        uncovered.retain(|&m| !best.covers(m));
+    }
+    selected.sort();
+    selected
+}
+
+/// Builds the minimal sum-of-products expression for the ON-set.
+/// `vars[0]` is the most significant input bit. Returns a constant for
+/// degenerate functions.
+pub fn minimal_sop(vars: &[String], minterms: &[u64]) -> Expr {
+    let primes = minimize(vars.len(), minterms);
+    if primes.is_empty() {
+        return Expr::lit(0, 1);
+    }
+    let mut sum: Option<Expr> = None;
+    for p in &primes {
+        let term = match p.to_expr(vars) {
+            Some(t) => t,
+            None => return Expr::lit(1, 1), // tautology
+        };
+        sum = Some(match sum {
+            Some(s) => Expr::Binary(BinaryOp::BitOr, Box::new(s), Box::new(term)),
+            None => term,
+        });
+    }
+    sum.expect("non-empty primes")
+}
+
+/// Number of product terms in the cover (for dataset difficulty labels).
+pub fn term_count(n: usize, minterms: &[u64]) -> usize {
+    minimize(n, minterms).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haven_verilog::eval::{eval_expr, SignalEnv};
+    use haven_verilog::logic::LogicVec;
+    use haven_verilog::pretty::pretty_expr;
+
+    struct BitEnv<'a> {
+        vars: &'a [String],
+        value: u64,
+    }
+
+    impl SignalEnv for BitEnv<'_> {
+        fn value_of(&self, name: &str) -> Option<LogicVec> {
+            let i = self.vars.iter().position(|v| v == name)?;
+            let bit = self.value >> (self.vars.len() - 1 - i) & 1;
+            Some(LogicVec::from_u64(bit, 1))
+        }
+        fn lsb_of(&self, _: &str) -> usize {
+            0
+        }
+    }
+
+    fn vars(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Exhaustive equivalence: minimized SOP == original ON-set.
+    fn check_equivalent(n: usize, minterms: &[u64]) {
+        let vs = vars(&["a", "b", "c", "d"][..n]);
+        let expr = minimal_sop(&vs, minterms);
+        for value in 0..1u64 << n {
+            let env = BitEnv { vars: &vs, value };
+            let got = eval_expr(&expr, &env).truthiness() == haven_verilog::logic::Logic::One;
+            let want = minterms.contains(&value);
+            assert_eq!(got, want, "minterms {minterms:?} at {value:04b}: {}", pretty_expr(&expr));
+        }
+    }
+
+    #[test]
+    fn classic_examples() {
+        // XOR has no simplification: two terms.
+        assert_eq!(term_count(2, &[0b01, 0b10]), 2);
+        // AND: one term.
+        assert_eq!(term_count(2, &[0b11]), 1);
+        // a: minterms {10, 11} → single literal a.
+        let primes = minimize(2, &[0b10, 0b11]);
+        assert_eq!(primes, vec![Implicant { bits: 0b10, mask: 0b10 }]);
+    }
+
+    #[test]
+    fn textbook_four_variable_case() {
+        // f(a,b,c,d) = Σ(4,8,10,11,12,15) — a standard QM exercise; the
+        // minimal cover is {b·c̄·d̄, a·c̄·d̄ ∪ a·b̄·d̄, a·c·d} = 3 terms
+        // (e.g. -100, 10-0, 1-11).
+        let minterms = [4u64, 8, 10, 11, 12, 15];
+        check_equivalent(4, &minterms);
+        assert_eq!(term_count(4, &minterms), 3);
+    }
+
+    #[test]
+    fn exhaustive_equivalence_on_all_3var_functions() {
+        for f in 0u64..256 {
+            let minterms: Vec<u64> = (0..8).filter(|&m| f >> m & 1 == 1).collect();
+            check_equivalent(3, &minterms);
+        }
+    }
+
+    #[test]
+    fn degenerate_functions() {
+        assert!(minimize(3, &[]).is_empty());
+        let all: Vec<u64> = (0..8).collect();
+        assert_eq!(minimize(3, &all), vec![Implicant { bits: 0, mask: 0 }]);
+        let e = minimal_sop(&vars(&["a", "b", "c"]), &all);
+        assert_eq!(e, Expr::lit(1, 1));
+    }
+
+    #[test]
+    fn minimization_is_no_larger_than_canonical_sop() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let minterms: Vec<u64> = (0..16).filter(|_| rng.gen_bool(0.4)).collect();
+            if minterms.is_empty() {
+                continue;
+            }
+            assert!(term_count(4, &minterms) <= minterms.len());
+            check_equivalent(4, &minterms);
+        }
+    }
+}

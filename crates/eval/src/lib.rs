@@ -1,0 +1,24 @@
+//! # haven-eval
+//!
+//! Benchmark suites, metrics and the evaluation harness of the HaVen
+//! reproduction.
+//!
+//! * [`suites`] — procedurally generated analogues of VerilogEval v1
+//!   (machine 143 / human 156), RTLLM v1.1 (29), VerilogEval v2 (156,
+//!   spec-to-RTL chat format) and the 44-task symbolic subset.
+//! * [`passk`] — the unbiased pass@k estimator (paper Eq. 1).
+//! * [`harness`] — samples a model n times per task across the
+//!   temperature sweep, compiles + co-simulates every sample against the
+//!   task's golden model, and reports the best temperature.
+//! * [`report`] — plain-text tables for experiment binaries.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod passk;
+pub mod report;
+pub mod suites;
+
+pub use harness::{evaluate, EvalConfig, SicotMode, SuiteResult, TaskResult};
+pub use passk::{mean_pass_at_k, pass_at_k};
+pub use suites::{BenchTask, SuiteKind};

@@ -1,0 +1,111 @@
+//! The unbiased pass@k estimator (paper Eq. 1, from Chen et al. 2021):
+//!
+//! `pass@k = E[ 1 − C(n−c, k) / C(n, k) ]`
+//!
+//! where `n` is the number of samples per problem and `c` the number that
+//! passed.
+
+/// Unbiased per-task pass@k estimate.
+///
+/// # Panics
+///
+/// Panics if `c > n` or `k > n` or `k == 0`.
+pub fn pass_at_k(n: usize, c: usize, k: usize) -> f64 {
+    assert!(c <= n, "passes cannot exceed samples");
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+    if c == 0 {
+        return 0.0;
+    }
+    if n - c < k {
+        return 1.0;
+    }
+    // 1 - prod_{i=n-c+1..=n} (1 - k / i)
+    let mut prod = 1.0f64;
+    for i in (n - c + 1)..=n {
+        prod *= 1.0 - k as f64 / i as f64;
+    }
+    1.0 - prod
+}
+
+/// Mean pass@k over tasks given each task's `(n, c)`.
+pub fn mean_pass_at_k(counts: &[(usize, usize)], k: usize) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    counts.iter().map(|&(n, c)| pass_at_k(n, c, k)).sum::<f64>() / counts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(pass_at_k(10, 0, 1), 0.0);
+        assert_eq!(pass_at_k(10, 10, 1), 1.0);
+        assert_eq!(pass_at_k(10, 6, 5), 1.0); // n-c=4 < k=5
+    }
+
+    #[test]
+    fn pass_at_1_is_c_over_n() {
+        for (n, c) in [(10usize, 3usize), (10, 7), (5, 2)] {
+            let got = pass_at_k(n, c, 1);
+            let want = c as f64 / n as f64;
+            assert!((got - want).abs() < 1e-12, "n={n} c={c}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn matches_combinatorial_definition() {
+        // 1 - C(n-c,k)/C(n,k) computed directly.
+        fn choose(n: usize, k: usize) -> f64 {
+            if k > n {
+                return 0.0;
+            }
+            let mut r = 1.0;
+            for i in 0..k {
+                r *= (n - i) as f64 / (k - i) as f64;
+            }
+            r
+        }
+        for n in [5usize, 10] {
+            for c in 0..=n {
+                for k in 1..=n {
+                    let direct = 1.0 - choose(n - c, k) / choose(n, k);
+                    let got = pass_at_k(n, c, k);
+                    assert!(
+                        (got - direct).abs() < 1e-9,
+                        "n={n} c={c} k={k}: {got} vs {direct}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_k_and_c() {
+        for c in 0..=10usize {
+            let mut prev = 0.0;
+            for k in 1..=10usize {
+                let v = pass_at_k(10, c, k);
+                assert!(v + 1e-12 >= prev);
+                prev = v;
+            }
+        }
+        for k in 1..=10usize {
+            let mut prev = 0.0;
+            for c in 0..=10usize {
+                let v = pass_at_k(10, c, k);
+                assert!(v + 1e-12 >= prev);
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn mean_over_tasks() {
+        let counts = [(10, 10), (10, 0)];
+        assert!((mean_pass_at_k(&counts, 1) - 0.5).abs() < 1e-12);
+        assert!(mean_pass_at_k(&[], 1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use haven_eval::report::Table;
+/// let mut t = Table::new(vec!["Model", "pass@1"]);
+/// t.row(vec!["GPT-4".into(), "43.5".into()]);
+/// let text = t.render();
+/// assert!(text.contains("GPT-4"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Table {
+        Table {
+            headers: headers.into_iter().map(str::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells beyond the header count are dropped; missing
+    /// cells render empty).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().take(cols).enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(line, "{cell:<w$}  ");
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 2).sum::<usize>() - 2;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a percentage with one decimal, or `n/a` for `None`.
+pub fn pct(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.1}"),
+        None => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["Model", "pass@1", "pass@5"]);
+        t.row(vec!["GPT-4".into(), "43.5".into(), "55.8".into()]);
+        t.row(vec!["HaVen-DeepSeek".into(), "57.3".into(), "64.2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Model"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // column alignment: pass@1 starts at same offset in all rows
+        let off = lines[0].find("pass@1").unwrap();
+        assert_eq!(&lines[2][off..off + 4], "43.5");
+        assert_eq!(&lines[3][off..off + 4], "57.3");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(Some(43.52)), "43.5");
+        assert_eq!(pct(None), "n/a");
+    }
+}

@@ -1,0 +1,606 @@
+//! Procedurally generated benchmark suites mirroring the paper's four
+//! evaluation sets.
+//!
+//! | Suite | Size | Mirrors | Character |
+//! |---|---|---|---|
+//! | [`verilog_eval_machine`] | 143 | VerilogEval-machine | GPT-written, precise, mostly combinational |
+//! | [`verilog_eval_human`]   | 156 | VerilogEval-human | engineer-style: symbolic blocks, attributes, logic chains |
+//! | [`rtllm`]                | 29  | RTLLM v1.1 | larger parameterized designs |
+//! | [`verilog_eval_v2`]      | 156 | VerilogEval v2 | the human tasks in spec-to-RTL chat format |
+//! | [`symbolic44`]           | 44  | §IV-C subset | 10 truth tables, 13 waveforms, 21 state diagrams |
+//!
+//! Every task carries its golden [`Spec`]; prompts are rendered with the
+//! same formats the paper's Tables I–III show. Generation is deterministic
+//! in the suite seed.
+
+use haven_modality::detect::ModalityKind;
+use haven_modality::waveform::Waveform;
+use haven_spec::describe::{
+    self, describe, render_chain_words, ChainArm, DescribeStyle, IfChain,
+};
+use haven_spec::ir::*;
+use haven_spec::{builders, Spec};
+use haven_verilog::analyze::ResetKind;
+use haven_verilog::ast::{BinaryOp, Edge};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which benchmark a task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SuiteKind {
+    /// VerilogEval v1, machine-generated half.
+    VerilogEvalMachine,
+    /// VerilogEval v1, human-written half.
+    VerilogEvalHuman,
+    /// RTLLM v1.1.
+    Rtllm,
+    /// VerilogEval v2 (specification-to-RTL).
+    VerilogEvalV2,
+}
+
+impl SuiteKind {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SuiteKind::VerilogEvalMachine => "VerilogEval-machine",
+            SuiteKind::VerilogEvalHuman => "VerilogEval-human",
+            SuiteKind::Rtllm => "RTLLM v1.1",
+            SuiteKind::VerilogEvalV2 => "VerilogEval v2",
+        }
+    }
+}
+
+/// One benchmark task: a prompt plus the golden spec that judges it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchTask {
+    /// Stable id (`human/021`, …) — seeds the per-task difficulty draw.
+    pub id: String,
+    /// Owning suite.
+    pub suite: SuiteKind,
+    /// The instruction given to the model.
+    pub prompt: String,
+    /// Golden specification (drives testbench and co-simulation).
+    pub spec: Spec,
+    /// The symbolic modality this task is built around, if any.
+    pub modality: Option<ModalityKind>,
+    /// Per-task stimulus seed.
+    pub stim_seed: u64,
+}
+
+fn task(
+    suite: SuiteKind,
+    prefix: &str,
+    index: usize,
+    prompt: String,
+    spec: Spec,
+    modality: Option<ModalityKind>,
+) -> BenchTask {
+    BenchTask {
+        id: format!("{prefix}/{index:03}"),
+        suite,
+        prompt,
+        spec,
+        modality,
+        stim_seed: 0x9e37_79b9 ^ (index as u64) << 8 ^ prefix.len() as u64,
+    }
+}
+
+// ---- random spec/prompt factories ---------------------------------------
+
+fn random_attrs(rng: &mut StdRng, richness: f64) -> AttrSpec {
+    let mut attrs = AttrSpec::conventional();
+    if rng.gen_bool(richness) {
+        attrs.reset = Some(match rng.gen_range(0..3u8) {
+            0 => ResetSpec {
+                name: "rst_n".into(),
+                kind: ResetKind::AsyncActiveLow,
+            },
+            1 => ResetSpec {
+                name: "rst".into(),
+                kind: ResetKind::AsyncActiveHigh,
+            },
+            _ => ResetSpec {
+                name: "rst".into(),
+                kind: ResetKind::Sync,
+            },
+        });
+    }
+    if rng.gen_bool(richness * 0.4) {
+        attrs.edge = Edge::Neg;
+    }
+    if rng.gen_bool(richness * 0.5) {
+        attrs.enable = Some(EnableSpec {
+            name: "en".into(),
+            active_high: rng.gen_bool(0.7),
+        });
+    }
+    attrs
+}
+
+fn random_comb_expr(rng: &mut StdRng, inputs: &[&str]) -> haven_verilog::ast::Expr {
+    use haven_verilog::ast::Expr;
+    let ops = [
+        BinaryOp::BitAnd,
+        BinaryOp::BitOr,
+        BinaryOp::BitXor,
+        BinaryOp::Add,
+    ];
+    let mut e = Expr::ident(inputs[0]);
+    for name in &inputs[1..] {
+        let op = ops[rng.gen_range(0..ops.len())];
+        let rhs = if rng.gen_bool(0.25) {
+            Expr::Unary(haven_verilog::ast::UnaryOp::BitNot, Box::new(Expr::ident(*name)))
+        } else {
+            Expr::ident(*name)
+        };
+        e = Expr::Binary(op, Box::new(e), Box::new(rhs));
+    }
+    e
+}
+
+fn random_truth_table(rng: &mut StdRng, name: &str, n_inputs: usize) -> Spec {
+    let input_names: Vec<String> = ["a", "b", "c", "d"][..n_inputs]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<(u64, u64)> = (0..1u64 << n_inputs)
+        .map(|i| (i, u64::from(rng.gen_bool(0.5))))
+        .collect();
+    builders::truth_table_spec(name, input_names, vec!["out".into()], rows)
+}
+
+fn random_fsm(rng: &mut StdRng, name: &str, n_states: usize) -> Spec {
+    let states: Vec<String> = (0..n_states)
+        .map(|i| char::from(b'A' + i as u8).to_string())
+        .collect();
+    // Random transitions, but keep every state reachable from state 0 by
+    // construction: state i's 0-edge goes to (i+1) % n.
+    let transitions: Vec<(usize, usize)> = (0..n_states)
+        .map(|i| ((i + 1) % n_states, rng.gen_range(0..n_states)))
+        .collect();
+    let mut outputs: Vec<u64> = (0..n_states).map(|_| u64::from(rng.gen_bool(0.5))).collect();
+    // At least one 0 and one 1 output so the FSM is observable.
+    outputs[0] = 0;
+    outputs[n_states - 1] = 1;
+    builders::fsm(name, states, 0, transitions, outputs)
+}
+
+/// A waveform task: full-coverage samples of a combinational function in
+/// shuffled order, rendered as a chart.
+fn waveform_task(rng: &mut StdRng, name: &str, n_inputs: usize) -> (Spec, String) {
+    let spec = random_truth_table(rng, name, n_inputs);
+    let Behavior::TruthTable(tt) = &spec.behavior else {
+        unreachable!()
+    };
+    let mut order: Vec<u64> = (0..1u64 << n_inputs).collect();
+    order.shuffle(rng);
+    let names = &tt.inputs;
+    let mut signals: Vec<(String, Vec<u8>)> = names
+        .iter()
+        .map(|n| (n.clone(), Vec::new()))
+        .collect();
+    let mut out_samples = Vec::new();
+    for &combo in &order {
+        for (k, (_, samples)) in signals.iter_mut().enumerate() {
+            samples.push((combo >> (n_inputs - 1 - k) & 1) as u8);
+        }
+        out_samples.push(tt.lookup(combo) as u8);
+    }
+    signals.push(("out".into(), out_samples));
+    let time: Vec<u64> = (0..order.len() as u64).map(|i| i * 10).collect();
+    let wf = Waveform {
+        signals,
+        time: Some(time),
+    };
+    let prompt = format!(
+        "Implement a combinational module named `{name}` matching the waveform chart below.\n{}{}",
+        wf.to_text(),
+        describe::header_sentence(&spec)
+    );
+    (spec, prompt)
+}
+
+fn chain_task(rng: &mut StdRng, name: &str) -> (Spec, String) {
+    let pool = ["a", "b", "c", "d"];
+    let len = rng.gen_range(2..=3usize);
+    let ops = [BinaryOp::Add, BinaryOp::BitAnd, BinaryOp::BitOr, BinaryOp::BitXor];
+    let rest: Vec<(BinaryOp, String)> = (0..len)
+        .map(|i| {
+            (
+                ops[rng.gen_range(0..ops.len())],
+                pool[(i + 1) % pool.len()].to_string(),
+            )
+        })
+        .collect();
+    let expr = describe::chain_expr(pool[0], &rest);
+    let words = render_chain_words(pool[0], &rest);
+    let mut inputs: Vec<String> = vec![pool[0].to_string()];
+    for (_, o) in &rest {
+        if !inputs.contains(o) {
+            inputs.push(o.clone());
+        }
+    }
+    let width = if rest.iter().any(|(op, _)| *op == BinaryOp::Add) {
+        4
+    } else {
+        1
+    };
+    let spec = Spec {
+        name: name.to_string(),
+        inputs: inputs.iter().map(|n| PortSpec::new(n, width)).collect(),
+        outputs: vec![PortSpec::new("out", width)],
+        behavior: Behavior::Comb(vec![CombRule {
+            output: "out".into(),
+            expr,
+        }]),
+        attrs: AttrSpec::default(),
+    };
+    let prompt = format!(
+        "Create a {width}-bit module named `{name}`. The output `out` equals {words}.\n{}",
+        describe::header_sentence(&spec)
+    );
+    (spec, prompt)
+}
+
+fn if_chain_task(rng: &mut StdRng, name: &str) -> (Spec, String) {
+    let n_arms = rng.gen_range(2..=3usize);
+    let arms: Vec<ChainArm> = (0..n_arms)
+        .map(|_| ChainArm {
+            conditions: vec![
+                ("a".into(), u64::from(rng.gen_bool(0.5))),
+                ("b".into(), u64::from(rng.gen_bool(0.5))),
+            ],
+            output_value: u64::from(rng.gen_bool(0.5)),
+        })
+        .collect();
+    let chain = IfChain {
+        arms,
+        else_value: u64::from(rng.gen_bool(0.5)),
+    };
+    let expr = chain.to_expr(&|_| 1, 1);
+    let spec = Spec {
+        name: name.to_string(),
+        inputs: vec![PortSpec::bit("a"), PortSpec::bit("b")],
+        outputs: vec![PortSpec::bit("out")],
+        behavior: Behavior::Comb(vec![CombRule {
+            output: "out".into(),
+            expr,
+        }]),
+        attrs: AttrSpec::default(),
+    };
+    let prompt = format!(
+        "Create a module named `{name}`.\n{}\n{}",
+        chain.to_text("out"),
+        describe::header_sentence(&spec)
+    );
+    (spec, prompt)
+}
+
+fn engineer_prompt(spec: &Spec) -> String {
+    describe(spec, DescribeStyle::Engineer)
+}
+
+// ---- suite generators ------------------------------------------------------
+
+/// VerilogEval-machine analogue: 143 GPT-style precise tasks, mostly
+/// combinational datapath pieces.
+pub fn verilog_eval_machine(seed: u64) -> Vec<BenchTask> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0000_6d61_6368);
+    let mut tasks = Vec::new();
+    for i in 0..143usize {
+        let name = format!("m{i:03}");
+        let (spec, modality) = match i % 9 {
+            0 => (builders::gate(&name, [BinaryOp::BitAnd, BinaryOp::BitOr, BinaryOp::BitXor][i / 9 % 3]), None),
+            1 => (builders::adder(&name, rng.gen_range(2..=8usize)), None),
+            2 => (builders::mux2(&name, rng.gen_range(1..=8usize)), None),
+            3 => (builders::comparator(&name, rng.gen_range(2..=6usize)), None),
+            4 => (builders::decoder(&name, rng.gen_range(2..=3usize)), None),
+            5 => {
+                let names = ["a", "b", "c"];
+                let expr = random_comb_expr(&mut rng, &names);
+                (
+                    builders::comb(
+                        &name,
+                        names.iter().map(|n| PortSpec::bit(*n)).collect(),
+                        PortSpec::bit("y"),
+                        expr,
+                    ),
+                    None,
+                )
+            }
+            6 => {
+                let mut s = builders::register(&name, rng.gen_range(1..=16usize));
+                s.attrs = random_attrs(&mut rng, 0.4);
+                (s, None)
+            }
+            7 => {
+                let mut s = builders::counter(&name, rng.gen_range(2..=6usize), None);
+                s.attrs = random_attrs(&mut rng, 0.4);
+                (s, None)
+            }
+            _ => (random_truth_table(&mut rng, &name, 2), None),
+        };
+        let prompt = engineer_prompt(&spec);
+        tasks.push(task(
+            SuiteKind::VerilogEvalMachine,
+            "machine",
+            i,
+            prompt,
+            spec,
+            modality,
+        ));
+    }
+    tasks
+}
+
+/// VerilogEval-human analogue: 156 engineer-written tasks. The first 44
+/// are the symbolic-modality subset of §IV-C (10 truth tables, 13
+/// waveforms, 21 state diagrams); the rest mix sequential design tasks
+/// with attribute demands and logical-reasoning prompts.
+pub fn verilog_eval_human(seed: u64) -> Vec<BenchTask> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0068_756d_616e);
+    let mut tasks = Vec::new();
+    let mut idx = 0usize;
+    let mut push = |spec: Spec, prompt: String, modality: Option<ModalityKind>,
+                    tasks: &mut Vec<BenchTask>| {
+        tasks.push(task(
+            SuiteKind::VerilogEvalHuman,
+            "human",
+            idx,
+            prompt,
+            spec,
+            modality,
+        ));
+        idx += 1;
+    };
+
+    // 10 truth-table tasks.
+    for k in 0..10 {
+        let spec = random_truth_table(&mut rng, &format!("tt{k}"), 2 + k % 2);
+        let prompt = engineer_prompt(&spec);
+        push(spec, prompt, Some(ModalityKind::TruthTable), &mut tasks);
+    }
+    // 13 waveform tasks.
+    for k in 0..13 {
+        let (spec, prompt) = waveform_task(&mut rng, &format!("wf{k}"), 2 + k % 2);
+        push(spec, prompt, Some(ModalityKind::Waveform), &mut tasks);
+    }
+    // 21 state-diagram tasks.
+    for k in 0..21 {
+        let spec = random_fsm(&mut rng, &format!("sd{k}"), 2 + k % 3);
+        let prompt = engineer_prompt(&spec);
+        push(spec, prompt, Some(ModalityKind::StateDiagram), &mut tasks);
+    }
+    // 112 further engineer tasks.
+    for k in 0..112 {
+        let name = format!("h{k:03}");
+        match k % 8 {
+            0 => {
+                let width = rng.gen_range(3..=8usize);
+                let max_mod = (1u64 << width).min(12);
+                let mut s = builders::counter(
+                    &name,
+                    width,
+                    Some(rng.gen_range(5..=max_mod.max(5))),
+                );
+                s.attrs = random_attrs(&mut rng, 0.9);
+                let p = engineer_prompt(&s);
+                push(s, p, None, &mut tasks);
+            }
+            1 => {
+                let mut s = builders::shift_register(
+                    &name,
+                    rng.gen_range(4..=8usize),
+                    if rng.gen_bool(0.5) {
+                        ShiftDirection::Left
+                    } else {
+                        ShiftDirection::Right
+                    },
+                );
+                s.attrs = random_attrs(&mut rng, 0.9);
+                let p = engineer_prompt(&s);
+                push(s, p, None, &mut tasks);
+            }
+            2 => {
+                let mut s = builders::clock_divider(&name, rng.gen_range(2..=6u64));
+                s.attrs = random_attrs(&mut rng, 0.9);
+                let p = engineer_prompt(&s);
+                push(s, p, None, &mut tasks);
+            }
+            3 => {
+                let mut s = builders::pipeline(
+                    &name,
+                    rng.gen_range(4..=8usize),
+                    rng.gen_range(2..=3usize),
+                );
+                s.attrs = random_attrs(&mut rng, 0.9);
+                let p = engineer_prompt(&s);
+                push(s, p, None, &mut tasks);
+            }
+            4 => {
+                let ops = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor];
+                let n = rng.gen_range(3..=5usize);
+                let s = builders::alu(&name, rng.gen_range(4..=8usize), ops[..n].to_vec());
+                let p = engineer_prompt(&s);
+                push(s, p, None, &mut tasks);
+            }
+            5 => {
+                let (s, p) = chain_task(&mut rng, &name);
+                push(s, p, None, &mut tasks);
+            }
+            6 => {
+                let (s, p) = if_chain_task(&mut rng, &name);
+                push(s, p, None, &mut tasks);
+            }
+            _ => {
+                let mut s = builders::down_counter(&name, rng.gen_range(3..=6usize), None);
+                s.attrs = random_attrs(&mut rng, 0.9);
+                let p = engineer_prompt(&s);
+                push(s, p, None, &mut tasks);
+            }
+        }
+    }
+    tasks
+}
+
+/// The 44-task symbolic subset of §IV-C (Table V): exactly the symbolic
+/// tasks of the human suite.
+pub fn symbolic44(seed: u64) -> Vec<BenchTask> {
+    verilog_eval_human(seed)
+        .into_iter()
+        .filter(|t| t.modality.is_some())
+        .collect()
+}
+
+/// RTLLM v1.1 analogue: 29 larger design tasks.
+pub fn rtllm(seed: u64) -> Vec<BenchTask> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0072_746c_6c6d);
+    let mut tasks = Vec::new();
+    for i in 0..29usize {
+        let name = format!("r{i:02}");
+        let spec = match i % 6 {
+            0 => {
+                let ops = vec![
+                    AluOp::Add,
+                    AluOp::Sub,
+                    AluOp::And,
+                    AluOp::Or,
+                    AluOp::Xor,
+                    AluOp::NotA,
+                    AluOp::ShlA,
+                    AluOp::ShrA,
+                ];
+                builders::alu(&name, rng.gen_range(8..=16usize), ops)
+            }
+            1 => {
+                let mut s = builders::counter(
+                    &name,
+                    rng.gen_range(8..=12usize),
+                    Some(rng.gen_range(50..=100u64)),
+                );
+                s.attrs = random_attrs(&mut rng, 1.0);
+                s
+            }
+            2 => {
+                let mut s = builders::shift_register(&name, rng.gen_range(8..=16usize), ShiftDirection::Right);
+                s.attrs = random_attrs(&mut rng, 1.0);
+                s
+            }
+            3 => random_fsm(&mut rng, &name, 4),
+            4 => {
+                let mut s = builders::pipeline(&name, rng.gen_range(8..=16usize), 3);
+                s.attrs = random_attrs(&mut rng, 1.0);
+                s
+            }
+            _ => {
+                let mut s = builders::clock_divider(&name, rng.gen_range(4..=10u64));
+                s.attrs = random_attrs(&mut rng, 1.0);
+                s
+            }
+        };
+        let prompt = engineer_prompt(&spec);
+        let modality = matches!(spec.behavior, Behavior::Fsm(_))
+            .then_some(ModalityKind::StateDiagram);
+        tasks.push(task(SuiteKind::Rtllm, "rtllm", i, prompt, spec, modality));
+    }
+    tasks
+}
+
+/// VerilogEval v2 analogue: the human tasks re-posed as specification-to-
+/// RTL chat prompts ("Question: … Answer:").
+pub fn verilog_eval_v2(seed: u64) -> Vec<BenchTask> {
+    verilog_eval_human(seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut t)| {
+            t.id = format!("v2/{i:03}");
+            t.suite = SuiteKind::VerilogEvalV2;
+            t.prompt = format!("Question:\n{}\nAnswer:", t.prompt);
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haven_spec::codegen::{emit, EmitStyle};
+    use haven_spec::cosim::cosimulate;
+    use haven_spec::stimuli::stimuli_for;
+
+    #[test]
+    fn suite_sizes_match_the_paper() {
+        assert_eq!(verilog_eval_machine(1).len(), 143);
+        assert_eq!(verilog_eval_human(1).len(), 156);
+        assert_eq!(rtllm(1).len(), 29);
+        assert_eq!(verilog_eval_v2(1).len(), 156);
+        let s44 = symbolic44(1);
+        assert_eq!(s44.len(), 44);
+        let count = |k: ModalityKind| s44.iter().filter(|t| t.modality == Some(k)).count();
+        assert_eq!(count(ModalityKind::TruthTable), 10);
+        assert_eq!(count(ModalityKind::Waveform), 13);
+        assert_eq!(count(ModalityKind::StateDiagram), 21);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(verilog_eval_human(7), verilog_eval_human(7));
+        assert_ne!(
+            verilog_eval_human(7)[50].prompt,
+            verilog_eval_human(8)[50].prompt
+        );
+    }
+
+    /// Reference solutions must pass their own testbenches on every task —
+    /// the analogue of the benchmark authors validating golden solutions.
+    #[test]
+    fn golden_solutions_pass_every_task() {
+        let mut all = verilog_eval_machine(1);
+        all.extend(verilog_eval_human(1));
+        all.extend(rtllm(1));
+        for t in &all {
+            let src = emit(&t.spec, &EmitStyle::correct());
+            let stim = stimuli_for(&t.spec, t.stim_seed);
+            let report = cosimulate(&t.spec, &src, &stim);
+            assert!(
+                report.verdict.functional_ok(),
+                "{}: {:?}",
+                t.id,
+                report.verdict
+            );
+        }
+    }
+
+    /// Every prompt must be faithfully understandable by a perfect model.
+    #[test]
+    fn prompts_are_perceivable() {
+        let mut all = verilog_eval_machine(1);
+        all.extend(verilog_eval_human(1));
+        all.extend(rtllm(1));
+        all.extend(verilog_eval_v2(1));
+        for t in &all {
+            let p = haven_lm::perception::perceive(&t.prompt)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", t.id, t.prompt));
+            assert_eq!(
+                p.spec.behavior, t.spec.behavior,
+                "{}:\n{}",
+                t.id, t.prompt
+            );
+        }
+    }
+
+    #[test]
+    fn symbolic_tasks_expose_raw_modalities() {
+        for t in symbolic44(1) {
+            let p = haven_lm::perception::perceive(&t.prompt).unwrap();
+            assert!(
+                p.has_raw_modality(t.modality.unwrap()),
+                "{}: {:?}",
+                t.id,
+                p.exposures
+            );
+        }
+    }
+}

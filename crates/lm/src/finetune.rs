@@ -1,0 +1,302 @@
+//! Fine-tuning dynamics: how a dataset moves a model's skills.
+//!
+//! The paper fine-tunes with AdamW on 2×A100; we substitute a saturating
+//! learning law — `skill' = skill + (ceiling − skill)·(1 − e^(−n/τ))` —
+//! applied per skill dimension, where `n` counts the dataset samples that
+//! exercise that dimension. The law has the two properties the paper's
+//! ablations rely on:
+//!
+//! * **more data of a kind keeps helping, with diminishing returns**
+//!   (Fig. 4's monotone K%/L% grid and the "further enlarging KL-dataset
+//!   is still beneficial" remark);
+//! * **data quality bounds the outcome**: vanilla captions have lower
+//!   ceilings than exemplar-aligned K-data, so `Vanilla < Vanilla+KL`
+//!   (Fig. 3) no matter how large the vanilla set grows.
+
+use haven_verilog::analyze::Topic;
+use serde::{Deserialize, Serialize};
+
+use crate::profiles::ModelProfile;
+use crate::skills::Channel;
+
+/// Which pipeline produced a training sample (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SampleKind {
+    /// Step 5: GPT-3.5-captioned code from the scraped corpus.
+    Vanilla,
+    /// Steps 4–8: exemplar-aligned, compile-verified K-dataset pair.
+    Knowledge,
+    /// Steps 9–12: generated L-dataset pair.
+    Logic,
+}
+
+/// Which logical-reasoning category an L-sample trains (§III-D step 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogicCategory {
+    /// Finding the concise expression (Karnaugh maps, minimization).
+    Expression,
+    /// Covering all input combinations / defaults.
+    CornerCase,
+    /// Faithfully implementing stepwise instructions.
+    Instruction,
+}
+
+/// One instruction–code training pair, reduced to what the learning law
+/// needs. (The full text pairs live in `haven-datagen`.)
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainSample {
+    /// Producing pipeline.
+    pub kind: SampleKind,
+    /// Design topic of the code.
+    pub topic: Topic,
+    /// Whether the instruction states reset/edge/enable attributes.
+    pub has_attributes: bool,
+    /// L-sample category.
+    pub logic_category: Option<LogicCategory>,
+}
+
+/// Ceilings and time-constants of the learning law.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearningConfig {
+    /// (ceiling, tau) for syntax from any sample.
+    pub syntax: (f64, f64),
+    /// (ceiling, tau) for per-topic conventions from vanilla samples.
+    pub vanilla_convention: (f64, f64),
+    /// (ceiling, tau) for attributes from vanilla samples.
+    pub vanilla_attributes: (f64, f64),
+    /// (ceiling, tau) for per-topic conventions from K samples.
+    pub knowledge_convention: (f64, f64),
+    /// (ceiling, tau) for attributes from K samples (those stating them).
+    pub knowledge_attributes: (f64, f64),
+    /// (ceiling, tau) for each logic channel from matching L samples.
+    pub logic: (f64, f64),
+    /// (ceiling, tau) for interface discipline from any sample.
+    pub interface: (f64, f64),
+}
+
+impl Default for LearningConfig {
+    fn default() -> LearningConfig {
+        LearningConfig {
+            syntax: (0.97, 120.0),
+            vanilla_convention: (0.66, 40.0),
+            vanilla_attributes: (0.60, 120.0),
+            knowledge_convention: (0.78, 9.0),
+            knowledge_attributes: (0.76, 25.0),
+            logic: (0.78, 6.0),
+            interface: (0.96, 120.0),
+        }
+    }
+}
+
+fn raise(current: f64, ceiling: f64, tau: f64, n_effective: f64) -> f64 {
+    if n_effective <= 0.0 || ceiling <= current {
+        return current;
+    }
+    current + (ceiling - current) * (1.0 - (-n_effective / tau).exp())
+}
+
+/// Fine-tunes `base` on `dataset`, returning the tuned profile (named
+/// `HaVen-<base>` when the dataset contains K or L samples, else
+/// `Vanilla-<base>`).
+pub fn finetune(base: &ModelProfile, dataset: &[TrainSample]) -> ModelProfile {
+    finetune_with(base, dataset, &LearningConfig::default())
+}
+
+/// [`finetune`] with explicit learning constants (ablation benches).
+pub fn finetune_with(
+    base: &ModelProfile,
+    dataset: &[TrainSample],
+    cfg: &LearningConfig,
+) -> ModelProfile {
+    let mut out = base.clone();
+    let eff = |n: usize| n as f64 * base.finetune_efficiency;
+    let total = dataset.len();
+    let n_attr_k = dataset
+        .iter()
+        .filter(|s| s.kind == SampleKind::Knowledge && s.has_attributes)
+        .count();
+    let n_vanilla = dataset
+        .iter()
+        .filter(|s| s.kind == SampleKind::Vanilla)
+        .count();
+
+    // Syntax and interface discipline improve with any data volume.
+    let syn = out.skills.channel(Channel::KnowledgeSyntax);
+    out.skills
+        .set_channel(Channel::KnowledgeSyntax, raise(syn, cfg.syntax.0, cfg.syntax.1, eff(total)));
+    let ifc = out.skills.channel(Channel::Interface);
+    out.skills.set_channel(
+        Channel::Interface,
+        raise(ifc, cfg.interface.0, cfg.interface.1, eff(total)),
+    );
+
+    // Per-topic conventions: vanilla first (lower ceiling), then K-data
+    // (higher ceiling) — order does not matter because `raise` never
+    // lowers a skill.
+    for topic in Topic::ALL {
+        let n_v = dataset
+            .iter()
+            .filter(|s| s.kind == SampleKind::Vanilla && s.topic == topic)
+            .count();
+        // Logic pairs are precise, verified instruction-code pairs too:
+        // they teach their (combinational) topic at knowledge grade.
+        let n_k = dataset
+            .iter()
+            .filter(|s| {
+                matches!(s.kind, SampleKind::Knowledge | SampleKind::Logic) && s.topic == topic
+            })
+            .count();
+        if n_v + n_k == 0 {
+            continue;
+        }
+        let mut v = out.skills.topic(topic);
+        v = raise(
+            v,
+            cfg.vanilla_convention.0,
+            cfg.vanilla_convention.1,
+            eff(n_v),
+        );
+        v = raise(
+            v,
+            cfg.knowledge_convention.0,
+            cfg.knowledge_convention.1,
+            eff(n_k),
+        );
+        out.skills.set_topic(topic, v);
+    }
+
+    // Attributes.
+    let mut attr = out.skills.channel(Channel::KnowledgeAttributes);
+    attr = raise(
+        attr,
+        cfg.vanilla_attributes.0,
+        cfg.vanilla_attributes.1,
+        eff(n_vanilla),
+    );
+    attr = raise(
+        attr,
+        cfg.knowledge_attributes.0,
+        cfg.knowledge_attributes.1,
+        eff(n_attr_k),
+    );
+    out.skills.set_channel(Channel::KnowledgeAttributes, attr);
+
+    // Logic channels from L samples.
+    for (cat, channel) in [
+        (LogicCategory::Expression, Channel::LogicExpression),
+        (LogicCategory::CornerCase, Channel::LogicCornerCase),
+        (LogicCategory::Instruction, Channel::LogicInstruction),
+    ] {
+        let n = dataset
+            .iter()
+            .filter(|s| s.logic_category == Some(cat))
+            .count();
+        let v = out.skills.channel(channel);
+        out.skills
+            .set_channel(channel, raise(v, cfg.logic.0, cfg.logic.1, eff(n)));
+    }
+
+    let has_kl = dataset
+        .iter()
+        .any(|s| matches!(s.kind, SampleKind::Knowledge | SampleKind::Logic));
+    out.name = if has_kl {
+        format!("HaVen-{}", base.name)
+    } else {
+        format!("Vanilla-{}", base.name)
+    };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    fn k_sample(topic: Topic) -> TrainSample {
+        TrainSample {
+            kind: SampleKind::Knowledge,
+            topic,
+            has_attributes: true,
+            logic_category: None,
+        }
+    }
+
+    fn v_sample(topic: Topic) -> TrainSample {
+        TrainSample {
+            kind: SampleKind::Vanilla,
+            topic,
+            has_attributes: false,
+            logic_category: None,
+        }
+    }
+
+    fn l_sample(cat: LogicCategory) -> TrainSample {
+        TrainSample {
+            kind: SampleKind::Logic,
+            topic: Topic::CombLogic,
+            has_attributes: false,
+            logic_category: Some(cat),
+        }
+    }
+
+    #[test]
+    fn knowledge_data_beats_vanilla_on_conventions() {
+        let base = profiles::base_codeqwen();
+        let vanilla: Vec<TrainSample> = (0..200).map(|_| v_sample(Topic::Fsm)).collect();
+        let knowledge: Vec<TrainSample> = (0..50).map(|_| k_sample(Topic::Fsm)).collect();
+        let after_v = finetune(&base, &vanilla);
+        let after_k = finetune(&base, &knowledge);
+        assert!(after_k.skills.topic(Topic::Fsm) > after_v.skills.topic(Topic::Fsm));
+        // Vanilla still beats base.
+        assert!(after_v.skills.topic(Topic::Fsm) > base.skills.topic(Topic::Fsm));
+    }
+
+    #[test]
+    fn more_data_monotonically_helps() {
+        let base = profiles::base_codeqwen();
+        let mut prev = base.skills.topic(Topic::Counter);
+        for n in [5usize, 20, 80, 300] {
+            let data: Vec<TrainSample> = (0..n).map(|_| k_sample(Topic::Counter)).collect();
+            let tuned = finetune(&base, &data);
+            let now = tuned.skills.topic(Topic::Counter);
+            assert!(now >= prev, "n={n}: {now} < {prev}");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn logic_samples_move_only_their_category() {
+        let base = profiles::base_codeqwen();
+        let data: Vec<TrainSample> = (0..40).map(|_| l_sample(LogicCategory::Expression)).collect();
+        let tuned = finetune(&base, &data);
+        assert!(
+            tuned.skills.channel(Channel::LogicExpression)
+                > base.skills.channel(Channel::LogicExpression)
+        );
+        assert_eq!(
+            tuned.skills.channel(Channel::LogicInstruction),
+            base.skills.channel(Channel::LogicInstruction)
+        );
+    }
+
+    #[test]
+    fn finetuning_never_lowers_a_skill() {
+        let base = profiles::gpt4(); // strong base
+        let data: Vec<TrainSample> = (0..100).map(|_| v_sample(Topic::Fsm)).collect();
+        let tuned = finetune(&base, &data);
+        for c in Channel::ALL {
+            assert!(tuned.skills.channel(c) >= base.skills.channel(c) - 1e-12);
+        }
+        assert!(tuned.skills.topic(Topic::Fsm) >= base.skills.topic(Topic::Fsm));
+    }
+
+    #[test]
+    fn naming_reflects_dataset_composition() {
+        let base = profiles::base_deepseek();
+        let v: Vec<TrainSample> = (0..10).map(|_| v_sample(Topic::Adder)).collect();
+        assert_eq!(finetune(&base, &v).name, "Vanilla-DeepSeek-Coder");
+        let mut kl = v;
+        kl.push(k_sample(Topic::Adder));
+        assert_eq!(finetune(&base, &kl).name, "HaVen-DeepSeek-Coder");
+    }
+}

@@ -1,0 +1,197 @@
+//! Rendering a [`GenPlan`] to Verilog source, including the structural
+//! convention variants that need custom emission.
+
+use haven_spec::codegen::{emit, EmitStyle};
+use haven_spec::ir::{Behavior, Spec};
+use haven_verilog::analyze::ResetKind;
+use haven_verilog::ast::Edge;
+
+use crate::hallucinate::{apply_sabotage, ConventionVariant, GenPlan};
+
+/// Renders the plan to source text (the model's "completion").
+pub fn render(plan: &GenPlan) -> String {
+    let base = match plan.variant {
+        ConventionVariant::Standard => emit(&plan.spec, &plan.style),
+        ConventionVariant::RegisteredFsmOutput => emit_registered_fsm(&plan.spec, &plan.style),
+        ConventionVariant::IncompleteSensitivity => emit_incomplete_sensitivity(&plan.spec),
+    };
+    match plan.sabotage {
+        Some(s) => apply_sabotage(&base, s, &plan.spec.name),
+        None => base,
+    }
+}
+
+/// FSM emission where the Moore output is *registered* — structurally
+/// plausible but one clock late versus the conventional style.
+fn emit_registered_fsm(spec: &Spec, style: &EmitStyle) -> String {
+    let Behavior::Fsm(f) = &spec.behavior else {
+        return emit(spec, style);
+    };
+    let sw = f.state_width();
+    let clk = &spec.attrs.clock;
+    let edge = match style.edge_override.unwrap_or(spec.attrs.edge) {
+        Edge::Pos => "posedge",
+        Edge::Neg => "negedge",
+    };
+    let mut ports = Vec::new();
+    for p in spec.all_inputs() {
+        ports.push(format!("input {}", p.name));
+    }
+    for p in &spec.outputs {
+        let range = if p.width == 1 {
+            String::new()
+        } else {
+            format!("[{}:0] ", p.width - 1)
+        };
+        ports.push(format!("output reg {range}{}", p.name));
+    }
+    let params: Vec<String> = f
+        .states
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("S_{} = {}'d{}", s.to_uppercase(), sw, i))
+        .collect();
+    let mut sens = format!("{edge} {clk}");
+    let mut reset_branch = String::new();
+    if let Some(r) = &spec.attrs.reset {
+        if r.kind.is_async() {
+            let redge = match r.kind {
+                ResetKind::AsyncActiveLow => "negedge",
+                _ => "posedge",
+            };
+            sens.push_str(&format!(" or {redge} {}", r.name));
+        }
+        let cond = match r.kind {
+            ResetKind::AsyncActiveLow => format!("!{}", r.name),
+            ResetKind::AsyncActiveHigh => r.name.clone(),
+            ResetKind::Sync => {
+                if r.name.ends_with("_n") {
+                    format!("!{}", r.name)
+                } else {
+                    r.name.clone()
+                }
+            }
+        };
+        reset_branch = format!(
+            "        if ({cond}) begin state <= S_{}; {} <= {}'d{}; end\n        else ",
+            f.states[f.initial].to_uppercase(),
+            f.output,
+            f.output_width,
+            f.outputs[f.initial]
+        );
+    }
+    let mut arms = String::new();
+    for (i, s) in f.states.iter().enumerate() {
+        let (t0, t1) = f.transitions[i];
+        arms.push_str(&format!(
+            "            S_{}: state <= {} ? S_{} : S_{};\n",
+            s.to_uppercase(),
+            f.input,
+            f.states[t1].to_uppercase(),
+            f.states[t0].to_uppercase()
+        ));
+    }
+    format!(
+        "module {name} (\n    {ports}\n);\n    localparam {params};\n    reg [{swm}:0] state;\n    always @({sens})\n{reset}begin\n        case (state)\n{arms}            default: state <= S_{init};\n        endcase\n        {out} <= {outexpr};\n        end\nendmodule\n",
+        name = spec.name,
+        ports = ports.join(",\n    "),
+        params = params.join(", "),
+        swm = sw - 1,
+        sens = sens,
+        reset = reset_branch,
+        arms = arms,
+        init = f.states[f.initial].to_uppercase(),
+        out = f.output,
+        outexpr = output_mux(f),
+    )
+}
+
+fn output_mux(f: &haven_spec::ir::FsmSpec) -> String {
+    // Nested ternaries over the *current* state — combined with the
+    // non-blocking write this registers the output one cycle late.
+    let sw = f.state_width();
+    let mut expr = format!("{}'d{}", f.output_width, f.outputs[f.initial]);
+    for (i, _) in f.states.iter().enumerate().rev() {
+        expr = format!(
+            "(state == {sw}'d{i}) ? {w}'d{v} : ({expr})",
+            w = f.output_width,
+            v = f.outputs[i]
+        );
+    }
+    expr
+}
+
+/// Combinational emission with a deliberately incomplete sensitivity list
+/// (first input only).
+fn emit_incomplete_sensitivity(spec: &Spec) -> String {
+    let mut style = EmitStyle::correct();
+    style.comb_always_block = true;
+    let src = emit(spec, &style);
+    match spec.inputs.first() {
+        Some(p) => src.replacen("always @(*)", &format!("always @({})", p.name), 1),
+        None => src,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haven_spec::builders;
+    use haven_spec::cosim::{cosimulate, Verdict};
+    use haven_spec::stimuli::stimuli_for;
+    use haven_verilog::elab::compile;
+
+    #[test]
+    fn faithful_plans_pass_cosim() {
+        let spec = builders::fsm_ab("f");
+        let plan = GenPlan::faithful(spec.clone());
+        let src = render(&plan);
+        let report = cosimulate(&spec, &src, &stimuli_for(&spec, 3));
+        assert!(report.verdict.functional_ok(), "{:?}", report.verdict);
+    }
+
+    #[test]
+    fn registered_fsm_output_compiles_and_fails_functionally() {
+        let spec = builders::fsm_ab("f");
+        let plan = GenPlan {
+            variant: ConventionVariant::RegisteredFsmOutput,
+            ..GenPlan::faithful(spec.clone())
+        };
+        let src = render(&plan);
+        compile(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let report = cosimulate(&spec, &src, &stimuli_for(&spec, 3));
+        assert!(
+            matches!(report.verdict, Verdict::FunctionalMismatch { .. }),
+            "{:?}\n{src}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn incomplete_sensitivity_compiles_and_fails_functionally() {
+        let spec = builders::gate("g", haven_verilog::ast::BinaryOp::BitAnd);
+        let plan = GenPlan {
+            variant: ConventionVariant::IncompleteSensitivity,
+            ..GenPlan::faithful(spec.clone())
+        };
+        let src = render(&plan);
+        compile(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let report = cosimulate(&spec, &src, &stimuli_for(&spec, 3));
+        assert!(
+            matches!(report.verdict, Verdict::FunctionalMismatch { .. }),
+            "{:?}\n{src}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn sabotaged_plan_fails_syntax() {
+        let spec = builders::counter("c", 4, None);
+        let plan = GenPlan {
+            sabotage: Some(crate::hallucinate::Sabotage::PythonDef),
+            ..GenPlan::faithful(spec.clone())
+        };
+        let report = cosimulate(&spec, &render(&plan), &stimuli_for(&spec, 3));
+        assert!(matches!(report.verdict, Verdict::SyntaxError(_)));
+    }
+}

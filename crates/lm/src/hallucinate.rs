@@ -1,0 +1,647 @@
+//! Concrete corruption operators, one family per hallucination sub-type.
+//!
+//! When a channel "fires" for a sample, one of these operators perturbs
+//! the generation plan. The perturbed plan still renders to real Verilog
+//! that is then compiled and co-simulated — whether the corruption is
+//! fatal is decided by execution, not by this module.
+
+use haven_spec::codegen::EmitStyle;
+use haven_spec::ir::*;
+use haven_verilog::analyze::{ResetKind, Topic};
+use haven_verilog::ast::{BinaryOp, Edge, Expr};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Text-level syntax sabotage (Verilog-syntax-misapplication).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sabotage {
+    /// Python-style definition (`def adder_4bit():` — the Table II case).
+    PythonDef,
+    /// One missing statement semicolon.
+    MissingSemicolon,
+    /// Missing `endmodule`.
+    MissingEndmodule,
+    /// Dangling `begin` without its `end`.
+    UnbalancedBegin,
+    /// A reference to a signal that is never declared.
+    UndeclaredSignal,
+}
+
+/// Structural convention errors that need dedicated emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConventionVariant {
+    /// Standard emission (possibly with style knobs).
+    Standard,
+    /// FSM whose Moore output is registered (one cycle late).
+    RegisteredFsmOutput,
+    /// Combinational block with an incomplete sensitivity list.
+    IncompleteSensitivity,
+}
+
+/// Everything needed to render one candidate completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenPlan {
+    /// (Possibly corrupted) spec the model intends to implement.
+    pub spec: Spec,
+    /// Emission conventions.
+    pub style: EmitStyle,
+    /// Structural emission variant.
+    pub variant: ConventionVariant,
+    /// Syntax sabotage applied after rendering.
+    pub sabotage: Option<Sabotage>,
+}
+
+impl GenPlan {
+    /// A faithful plan for a spec.
+    pub fn faithful(spec: Spec) -> GenPlan {
+        GenPlan {
+            spec,
+            style: EmitStyle::correct(),
+            variant: ConventionVariant::Standard,
+            sabotage: None,
+        }
+    }
+}
+
+// ---- symbolic corruptions ------------------------------------------------
+
+/// Misinterpret a truth table: flip one or two row outputs, or misread a
+/// whole output column as a different function of the inputs.
+pub fn corrupt_truth_table(plan: &mut GenPlan, rng: &mut StdRng) {
+    let Behavior::TruthTable(tt) = &mut plan.spec.behavior else {
+        return;
+    };
+    if tt.rows.is_empty() {
+        return;
+    }
+    match rng.gen_range(0..3u8) {
+        0 => {
+            // Flip output bits of one random row ("out should be a & b").
+            let i = rng.gen_range(0..tt.rows.len());
+            let bits = tt.outputs.len().max(1);
+            let flip = 1u64 << rng.gen_range(0..bits);
+            tt.rows[i].1 ^= flip;
+        }
+        1 => {
+            // Flip two distinct rows (or one, for single-row tables).
+            let n = tt.rows.len();
+            let i = rng.gen_range(0..n);
+            tt.rows[i].1 ^= 1;
+            if n > 1 {
+                let j = (i + 1 + rng.gen_range(0..n - 1)) % n;
+                tt.rows[j].1 ^= 1;
+            }
+        }
+        _ => {
+            // Misread row order: reverse the input-bit association.
+            let n = tt.rows.len();
+            let outs: Vec<u64> = tt.rows.iter().map(|(_, o)| *o).collect();
+            for (k, row) in tt.rows.iter_mut().enumerate() {
+                row.1 = outs[n - 1 - k];
+            }
+        }
+    }
+}
+
+/// Misinterpret a state diagram: the Table II failure ("A and B should be
+/// reversed") and close relatives.
+pub fn corrupt_state_diagram(plan: &mut GenPlan, rng: &mut StdRng) {
+    let Behavior::Fsm(f) = &mut plan.spec.behavior else {
+        return;
+    };
+    let n = f.states.len();
+    if n < 2 {
+        return;
+    }
+    match rng.gen_range(0..3u8) {
+        0 => {
+            // Swap the roles of two states in every transition target.
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n);
+            if a == b {
+                b = (b + 1) % n;
+            }
+            for t in &mut f.transitions {
+                for target in [&mut t.0, &mut t.1] {
+                    if *target == a {
+                        *target = b;
+                    } else if *target == b {
+                        *target = a;
+                    }
+                }
+            }
+        }
+        1 => {
+            // Invert the input condition of one state (swap its 0/1 edges).
+            let s = rng.gen_range(0..n);
+            let (t0, t1) = f.transitions[s];
+            f.transitions[s] = (t1, t0);
+        }
+        _ => {
+            // Misread a transition target (always to a *different* state).
+            let s = rng.gen_range(0..n);
+            if rng.gen_bool(0.5) {
+                let cur = f.transitions[s].0;
+                f.transitions[s].0 = (cur + 1 + rng.gen_range(0..n - 1)) % n;
+            } else {
+                let cur = f.transitions[s].1;
+                f.transitions[s].1 = (cur + 1 + rng.gen_range(0..n - 1)) % n;
+            }
+        }
+    }
+}
+
+/// Misinterpret a waveform: shift the perceived alignment by one sample
+/// (outputs associated with the previous inputs), or drop a sample.
+pub fn corrupt_waveform(plan: &mut GenPlan, rng: &mut StdRng) {
+    let Behavior::TruthTable(tt) = &mut plan.spec.behavior else {
+        return;
+    };
+    if tt.rows.len() < 2 {
+        return;
+    }
+    if rng.gen_bool(0.5) {
+        // Misalignment: rotate outputs against inputs. Guarantee a real
+        // change (a constant output column rotates onto itself).
+        let outs: Vec<u64> = tt.rows.iter().map(|(_, o)| *o).collect();
+        let n = outs.len();
+        for (k, row) in tt.rows.iter_mut().enumerate() {
+            row.1 = outs[(k + 1) % n];
+        }
+        if tt.rows.iter().map(|(_, o)| *o).collect::<Vec<_>>() == outs {
+            tt.rows[0].1 ^= 1;
+        }
+    } else {
+        // Dropped sample: the misread row must actually matter, so drop a
+        // row whose outputs are non-zero (a dropped all-zero row reads
+        // back identically through the default arm).
+        let candidates: Vec<usize> = tt
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, o))| *o != 0)
+            .map(|(i, _)| i)
+            .collect();
+        match candidates.as_slice() {
+            [] => tt.rows[0].1 ^= 1,
+            c => {
+                let i = c[rng.gen_range(0..c.len())];
+                tt.rows.remove(i);
+            }
+        }
+        plan.style.case_default = true; // remaining combos read as 0
+    }
+}
+
+// ---- knowledge corruptions -------------------------------------------
+
+/// Misunderstand reset/edge/enable attributes (Table II: "the reset
+/// should be asynchronous").
+pub fn corrupt_attributes(plan: &mut GenPlan, rng: &mut StdRng) {
+    let has_reset = plan.spec.attrs.reset.is_some();
+    let has_enable = plan.spec.attrs.enable.is_some();
+    let mut options: Vec<u8> = Vec::new();
+    if has_reset {
+        options.extend([0, 1]);
+    }
+    options.push(2);
+    if has_enable {
+        options.push(3);
+    }
+    match options[rng.gen_range(0..options.len())] {
+        0 => {
+            // async <-> sync confusion
+            let kind = plan.spec.attrs.reset.as_ref().expect("has reset").kind;
+            plan.style.reset_kind_override = Some(match kind {
+                ResetKind::Sync => ResetKind::AsyncActiveHigh,
+                _ => ResetKind::Sync,
+            });
+        }
+        1 => {
+            // polarity confusion
+            let kind = plan.spec.attrs.reset.as_ref().expect("has reset").kind;
+            plan.style.reset_kind_override = Some(match kind {
+                ResetKind::AsyncActiveLow => ResetKind::AsyncActiveHigh,
+                ResetKind::AsyncActiveHigh => ResetKind::AsyncActiveLow,
+                ResetKind::Sync => ResetKind::AsyncActiveLow,
+            });
+        }
+        2 => {
+            // edge confusion
+            let edge = plan.style.edge_override.unwrap_or(plan.spec.attrs.edge);
+            plan.style.edge_override = Some(match edge {
+                Edge::Pos => Edge::Neg,
+                Edge::Neg => Edge::Pos,
+            });
+        }
+        _ => plan.style.flip_enable_polarity = true,
+    }
+}
+
+/// Violate a digital-design convention appropriate to the topic. Some of
+/// these are fatal, some merely unconventional — execution decides.
+pub fn corrupt_convention(plan: &mut GenPlan, topic: Topic, rng: &mut StdRng) {
+    match topic {
+        Topic::Fsm => match rng.gen_range(0..3u8) {
+            0 => plan.variant = ConventionVariant::RegisteredFsmOutput,
+            1 => plan.style.ignore_reset = true,
+            _ => plan.style.case_default = false,
+        },
+        Topic::Counter | Topic::ClockDivider => match rng.gen_range(0..3u8) {
+            0 => plan.style.ignore_reset = true,
+            1 => off_by_one(plan),
+            _ => plan.style.nonblocking_in_seq = false,
+        },
+        Topic::ShiftRegister => match rng.gen_range(0..3u8) {
+            0 => flip_shift_direction(plan),
+            1 => plan.style.ignore_reset = true,
+            _ => plan.style.nonblocking_in_seq = false,
+        },
+        Topic::Register => match rng.gen_range(0..2u8) {
+            0 => plan.style.nonblocking_in_seq = false,
+            _ => plan.style.ignore_reset = true,
+        },
+        Topic::Alu => match rng.gen_range(0..2u8) {
+            0 => plan.style.case_default = false,
+            _ => swap_alu_ops(plan, rng),
+        },
+        _ => match rng.gen_range(0..2u8) {
+            0 => plan.variant = ConventionVariant::IncompleteSensitivity,
+            _ => plan.style.case_default = false,
+        },
+    }
+}
+
+fn off_by_one(plan: &mut GenPlan) {
+    match &mut plan.spec.behavior {
+        Behavior::Counter(c) => {
+            if let Some(m) = &mut c.modulus {
+                *m = m.saturating_add(1);
+            } else {
+                plan.style.ignore_reset = true;
+            }
+        }
+        Behavior::ClockDiv(c) => c.half_period += 1,
+        _ => {}
+    }
+}
+
+fn flip_shift_direction(plan: &mut GenPlan) {
+    if let Behavior::ShiftReg(s) = &mut plan.spec.behavior {
+        s.direction = match s.direction {
+            ShiftDirection::Left => ShiftDirection::Right,
+            ShiftDirection::Right => ShiftDirection::Left,
+        };
+    }
+}
+
+fn swap_alu_ops(plan: &mut GenPlan, rng: &mut StdRng) {
+    if let Behavior::Alu(a) = &mut plan.spec.behavior {
+        if a.ops.len() >= 2 {
+            let i = rng.gen_range(0..a.ops.len());
+            let j = (i + 1) % a.ops.len();
+            a.ops.swap(i, j);
+        }
+    }
+}
+
+/// Pick a syntax sabotage (Verilog-syntax misapplication).
+pub fn pick_sabotage(rng: &mut StdRng) -> Sabotage {
+    match rng.gen_range(0..5u8) {
+        0 => Sabotage::PythonDef,
+        1 => Sabotage::MissingSemicolon,
+        2 => Sabotage::MissingEndmodule,
+        3 => Sabotage::UnbalancedBegin,
+        _ => Sabotage::UndeclaredSignal,
+    }
+}
+
+/// Apply a sabotage to otherwise-correct source text.
+pub fn apply_sabotage(source: &str, sabotage: Sabotage, module_name: &str) -> String {
+    match sabotage {
+        Sabotage::PythonDef => {
+            format!("def {module_name}():\n    return output\n")
+        }
+        Sabotage::MissingSemicolon => {
+            // Remove the first statement-terminating semicolon after the
+            // header.
+            match source.match_indices(';').nth(1) {
+                Some((i, _)) => {
+                    let mut s = source.to_string();
+                    s.remove(i);
+                    s
+                }
+                None => source.to_string(),
+            }
+        }
+        Sabotage::MissingEndmodule => source.replacen("endmodule", "", 1),
+        Sabotage::UnbalancedBegin => source.replacen("endmodule", "begin\nendmodule", 1),
+        Sabotage::UndeclaredSignal => {
+            source.replacen("endmodule", "    assign phantom_wire = ghost_sig;\nendmodule", 1)
+        }
+    }
+}
+
+// ---- logical corruptions -----------------------------------------------
+
+/// Incorrect logical expression: wrong operator, swapped operands or
+/// right-associated chain (the Table II `(a + c) & b` failure family).
+pub fn corrupt_expression(plan: &mut GenPlan, rng: &mut StdRng) {
+    let Behavior::Comb(rules) = &mut plan.spec.behavior else {
+        return;
+    };
+    let Some(rule) = rules.first_mut() else { return };
+    match rng.gen_range(0..3u8) {
+        0 => mutate_operator(&mut rule.expr, rng),
+        1 => swap_operands(&mut rule.expr),
+        _ => reassociate_right(&mut rule.expr),
+    }
+}
+
+fn mutate_operator(e: &mut Expr, rng: &mut StdRng) {
+    if let Expr::Binary(op, _, _) = e {
+        let alternatives = [
+            BinaryOp::Add,
+            BinaryOp::BitOr,
+            BinaryOp::BitAnd,
+            BinaryOp::BitXor,
+            BinaryOp::Sub,
+        ];
+        let mut pick = alternatives[rng.gen_range(0..alternatives.len())];
+        if pick == *op {
+            pick = alternatives[(rng.gen_range(0..alternatives.len()) + 1) % alternatives.len()];
+        }
+        *op = pick;
+        return;
+    }
+    if let Expr::Ternary(_, t, _) = e {
+        mutate_operator(t, rng);
+    }
+}
+
+fn swap_operands(e: &mut Expr) {
+    if let Expr::Binary(_, a, b) = e {
+        // Swap the innermost left operand with the outer right operand:
+        // (a + b) | c  →  (c + b) | a.
+        if let Expr::Binary(_, inner_a, _) = a.as_mut() {
+            std::mem::swap(inner_a, b);
+        } else {
+            std::mem::swap(a, b);
+        }
+    }
+}
+
+fn reassociate_right(e: &mut Expr) {
+    // (a OP1 b) OP2 c  →  a OP1 (b OP2 c)
+    if let Expr::Binary(op2, left, c) = e {
+        if let Expr::Binary(op1, a, b) = left.as_mut() {
+            let new = Expr::Binary(
+                *op1,
+                a.clone(),
+                Box::new(Expr::Binary(*op2, b.clone(), c.clone())),
+            );
+            *e = new;
+        }
+    }
+}
+
+/// Incorrect corner-case handling: drop the default/else fallback.
+pub fn corrupt_corner_case(plan: &mut GenPlan, rng: &mut StdRng) {
+    match &mut plan.spec.behavior {
+        Behavior::TruthTable(tt) => {
+            // Forget the all-zero rows and the default arm: unlisted
+            // combinations now latch.
+            plan.style.case_default = false;
+            if tt.rows.len() > 1 {
+                tt.rows.retain(|(_, o)| *o != 0);
+                if tt.rows.is_empty() {
+                    tt.rows.push((0, 0));
+                }
+            }
+        }
+        Behavior::Comb(rules) => {
+            if let Some(rule) = rules.first_mut() {
+                replace_final_else(&mut rule.expr, rng);
+            }
+        }
+        Behavior::Alu(_) => plan.style.case_default = false,
+        _ => plan.style.case_default = false,
+    }
+}
+
+fn replace_final_else(e: &mut Expr, rng: &mut StdRng) {
+    // Walk to the last ternary else and zero it (or flip a 1-bit value).
+    if let Expr::Ternary(_, _, f) = e {
+        if matches!(f.as_ref(), Expr::Ternary(..)) {
+            replace_final_else(f, rng);
+        } else {
+            **f = Expr::lit(u64::from(rng.gen_bool(0.5)), 1);
+        }
+    }
+}
+
+/// Failure to adhere to instructional logic: weaken a conjunction to a
+/// disjunction or skew one tested constant (Table II's `a==0 || b==0`).
+pub fn corrupt_instruction(plan: &mut GenPlan, rng: &mut StdRng) {
+    let Behavior::Comb(rules) = &mut plan.spec.behavior else {
+        return;
+    };
+    let Some(rule) = rules.first_mut() else { return };
+    if !weaken_first_and(&mut rule.expr) {
+        mutate_operator(&mut rule.expr, rng);
+    }
+}
+
+fn weaken_first_and(e: &mut Expr) -> bool {
+    match e {
+        Expr::Binary(op @ BinaryOp::LogicAnd, _, _) => {
+            *op = BinaryOp::LogicOr;
+            true
+        }
+        Expr::Binary(_, a, b) => weaken_first_and(a) || weaken_first_and(b),
+        Expr::Ternary(c, t, f) => {
+            weaken_first_and(c) || weaken_first_and(t) || weaken_first_and(f)
+        }
+        Expr::Unary(_, a) => weaken_first_and(a),
+        _ => false,
+    }
+}
+
+// ---- interface corruption ----------------------------------------------
+
+/// Ignore the given header: rename a port or change a width.
+pub fn corrupt_interface(plan: &mut GenPlan, rng: &mut StdRng) {
+    let n_in = plan.spec.inputs.len();
+    let n_out = plan.spec.outputs.len();
+    if n_in + n_out == 0 {
+        return;
+    }
+    let pick = rng.gen_range(0..n_in + n_out);
+    let (old, port_is_input) = if pick < n_in {
+        (plan.spec.inputs[pick].name.clone(), true)
+    } else {
+        (plan.spec.outputs[pick - n_in].name.clone(), false)
+    };
+    if rng.gen_bool(0.7) {
+        // Rename: `sum` → `sum_out`, `a` → `a_in`, etc.
+        let suffix = if port_is_input { "_in" } else { "_out" };
+        let new = format!("{old}{suffix}");
+        if port_is_input {
+            plan.spec.inputs[pick].name = new.clone();
+        } else {
+            plan.spec.outputs[pick - n_in].name = new.clone();
+        }
+        crate::perception::rename_port_in_behavior(&mut plan.spec.behavior, &old, &new);
+    } else {
+        // Width skew.
+        let port = if port_is_input {
+            &mut plan.spec.inputs[pick]
+        } else {
+            &mut plan.spec.outputs[pick - n_in]
+        };
+        port.width = (port.width + 1).min(64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haven_spec::builders;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn truth_table_corruption_changes_rows() {
+        for seed in 0..10 {
+            let spec = builders::truth_table_spec(
+                "t",
+                vec!["a".into(), "b".into()],
+                vec!["out".into()],
+                vec![(0, 0), (1, 0), (2, 0), (3, 1)],
+            );
+            let mut plan = GenPlan::faithful(spec.clone());
+            corrupt_truth_table(&mut plan, &mut rng(seed));
+            assert_ne!(plan.spec.behavior, spec.behavior, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn state_diagram_corruption_changes_transitions() {
+        for seed in 0..10 {
+            let spec = builders::fsm_ab("f");
+            let mut plan = GenPlan::faithful(spec.clone());
+            corrupt_state_diagram(&mut plan, &mut rng(seed));
+            assert_ne!(plan.spec.behavior, spec.behavior, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn expression_corruption_changes_expr() {
+        use haven_verilog::pretty::pretty_expr;
+        let rest = vec![
+            (BinaryOp::Add, "b".to_string()),
+            (BinaryOp::BitOr, "c".to_string()),
+        ];
+        let expr = haven_spec::describe::chain_expr("a", &rest);
+        for seed in 0..10 {
+            let spec = haven_spec::builders::comb(
+                "m",
+                vec![
+                    haven_spec::ir::PortSpec::bit("a"),
+                    haven_spec::ir::PortSpec::bit("b"),
+                    haven_spec::ir::PortSpec::bit("c"),
+                ],
+                haven_spec::ir::PortSpec::bit("out"),
+                expr.clone(),
+            );
+            let mut plan = GenPlan::faithful(spec);
+            corrupt_expression(&mut plan, &mut rng(seed));
+            let Behavior::Comb(rules) = &plan.spec.behavior else {
+                panic!()
+            };
+            assert_ne!(
+                pretty_expr(&rules[0].expr),
+                pretty_expr(&expr),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn sabotages_break_compilation() {
+        use haven_spec::codegen::{emit, EmitStyle};
+        use haven_verilog::elab::compile;
+        let spec = builders::counter("c", 4, None);
+        let good = emit(&spec, &EmitStyle::correct());
+        assert!(compile(&good).is_ok());
+        for s in [
+            Sabotage::PythonDef,
+            Sabotage::MissingSemicolon,
+            Sabotage::MissingEndmodule,
+            Sabotage::UnbalancedBegin,
+            Sabotage::UndeclaredSignal,
+        ] {
+            let bad = apply_sabotage(&good, s, "c");
+            assert!(compile(&bad).is_err(), "{s:?} should not compile:\n{bad}");
+        }
+    }
+
+    #[test]
+    fn attribute_corruption_touches_style() {
+        for seed in 0..10 {
+            let mut spec = builders::counter("c", 4, None);
+            spec.attrs.enable = Some(haven_spec::ir::EnableSpec {
+                name: "en".into(),
+                active_high: true,
+            });
+            let mut plan = GenPlan::faithful(spec);
+            corrupt_attributes(&mut plan, &mut rng(seed));
+            let changed = plan.style != EmitStyle::correct();
+            assert!(changed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn interface_corruption_changes_a_port() {
+        for seed in 0..10 {
+            let spec = builders::adder("a", 4);
+            let mut plan = GenPlan::faithful(spec.clone());
+            corrupt_interface(&mut plan, &mut rng(seed));
+            let same = plan.spec.inputs == spec.inputs && plan.spec.outputs == spec.outputs;
+            assert!(!same, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn instruction_corruption_weakens_and() {
+        use haven_spec::describe::{ChainArm, IfChain};
+        let chain = IfChain {
+            arms: vec![ChainArm {
+                conditions: vec![("a".into(), 0), ("b".into(), 0)],
+                output_value: 0,
+            }],
+            else_value: 1,
+        };
+        let expr = chain.to_expr(&|_| 1, 1);
+        let spec = haven_spec::builders::comb(
+            "m",
+            vec![
+                haven_spec::ir::PortSpec::bit("a"),
+                haven_spec::ir::PortSpec::bit("b"),
+            ],
+            haven_spec::ir::PortSpec::bit("out"),
+            expr,
+        );
+        let mut plan = GenPlan::faithful(spec);
+        corrupt_instruction(&mut plan, &mut rng(1));
+        let Behavior::Comb(rules) = &plan.spec.behavior else {
+            panic!()
+        };
+        let printed = haven_verilog::pretty::pretty_expr(&rules[0].expr);
+        assert!(printed.contains("||"), "{printed}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # haven-lm
+//!
+//! The simulated CodeGen-LLM at the heart of the HaVen reproduction.
+//!
+//! Real LLM fine-tuning is not reproducible on this substrate (no GPUs, no
+//! 550k-sample corpus), so this crate substitutes a *mechanistic* model of
+//! how code LLMs succeed and fail on Verilog tasks:
+//!
+//! * a prompt is [`perception::perceive`]d into a faithful
+//!   [`Spec`](haven_spec::Spec);
+//! * each hallucination channel of the paper's taxonomy (Table II) may
+//!   fire — a deterministic Bernoulli draw against a skill-, task- and
+//!   temperature-dependent probability ([`skills`]);
+//! * a fired channel applies a concrete [corruption](hallucinate) (swap
+//!   FSM states, weaken `&&` to `||`, drop the default arm, flip reset
+//!   polarity, break the syntax, …);
+//! * the plan renders to real Verilog that downstream harnesses compile
+//!   and co-simulate — correctness is decided by execution, never by the
+//!   coin flip itself.
+//!
+//! [`finetune`](finetune::finetune) moves skills under a saturating
+//! learning law driven by dataset composition, mirroring the paper's
+//! K/L-dataset training. [`profiles`] holds calibrated presets for every
+//! model in the paper's tables.
+
+#![warn(missing_docs)]
+
+pub mod finetune;
+pub mod generate;
+pub mod hallucinate;
+pub mod model;
+pub mod perception;
+pub mod profiles;
+pub mod rng;
+pub mod skills;
+
+pub use finetune::{finetune, SampleKind, TrainSample};
+pub use model::{CodeGenModel, GenTrace};
+pub use perception::{perceive, Perception};
+pub use profiles::ModelProfile;
+pub use skills::{Channel, SkillSet};

@@ -1,0 +1,1130 @@
+//! Prompt understanding: recovers a [`Spec`] from instruction text.
+//!
+//! This is the *faithful* reading of a prompt — what a model with perfect
+//! skills would understand. Hallucination channels (see
+//! [`crate::hallucinate`]) then corrupt this perception stochastically.
+//!
+//! The parser inverts three prompt registers:
+//!
+//! 1. the engineer-style sentences of [`haven_spec::describe`];
+//! 2. raw symbolic blocks (truth tables, waveforms, state diagrams);
+//! 3. the structured natural-language forms SI-CoT produces (Table III).
+
+use haven_modality::detect::{detect, ModalityKind, ParsedModality};
+use haven_modality::state_diagram::StateDiagram;
+use haven_modality::truth_table::TruthTable;
+use haven_spec::describe::{word_binop, ChainArm, IfChain};
+use haven_spec::ir::*;
+use haven_verilog::analyze::ResetKind;
+use haven_verilog::ast::{BinaryOp, Edge, Expr};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// What kinds of hallucination risk a prompt exposes the model to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Exposure {
+    /// A raw (unparsed) symbolic block the model must interpret itself.
+    RawModality(ModalityKind),
+    /// A symbolic block already interpreted into structured NL by SI-CoT.
+    StructuredModality(ModalityKind),
+    /// A logical expression phrased as a word chain.
+    WordChain,
+    /// An instructional if/elif/else chain.
+    IfChain,
+    /// The exact module header was given.
+    HeaderGiven,
+    /// Reset/edge/enable attributes were stated explicitly.
+    AttributesStated,
+}
+
+/// A faithful reading of the prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Perception {
+    /// The recovered specification.
+    pub spec: Spec,
+    /// Risk channels this prompt exercises.
+    pub exposures: Vec<Exposure>,
+}
+
+impl Perception {
+    /// Whether the prompt exposed the model to a raw modality block.
+    pub fn has_raw_modality(&self, kind: ModalityKind) -> bool {
+        self.exposures.contains(&Exposure::RawModality(kind))
+    }
+}
+
+/// Failure to recover any task from a prompt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerceiveError {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for PerceiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot understand prompt: {}", self.message)
+    }
+}
+
+impl Error for PerceiveError {}
+
+fn err(m: impl Into<String>) -> PerceiveError {
+    PerceiveError { message: m.into() }
+}
+
+/// Parses a prompt into the task it describes.
+///
+/// # Errors
+///
+/// Returns [`PerceiveError`] when no known task shape is recognizable —
+/// the simulated model then falls back to emitting a guess.
+pub fn perceive(prompt: &str) -> Result<Perception, PerceiveError> {
+    // Strip a VerilogEval-v2 style chat envelope if present.
+    let body = strip_chat_envelope(prompt);
+    let mut exposures = Vec::new();
+
+    // Header (exact interface), if provided anywhere.
+    let header = find_header(&body);
+    if header.is_some() {
+        exposures.push(Exposure::HeaderGiven);
+    }
+
+    // Attributes.
+    let (attrs, attrs_stated) = parse_attrs(&body);
+    if attrs_stated {
+        exposures.push(Exposure::AttributesStated);
+    }
+
+    // Raw symbolic blocks.
+    let blocks = detect(&body);
+
+    // Structured SI-CoT text?
+    let structured = parse_structured(&body);
+
+    let lower = body.to_ascii_lowercase();
+    let name = find_name(&body, &header);
+
+    // --- dispatch on task shape ---------------------------------------
+    let mut spec: Option<Spec> = None;
+
+    if lower.contains("implement the logic below") {
+        exposures.push(Exposure::IfChain);
+        spec = Some(parse_if_chain_task(&body, &name, &header)?);
+    } else if let Some(s) = parse_chain_task(&body, &name, &header) {
+        exposures.push(Exposure::WordChain);
+        spec = Some(s);
+    } else if lower.contains("state machine") || lower.contains("fsm") {
+        // FSM from raw diagram or structured interpretation.
+        if let Some(block) = blocks
+            .iter()
+            .find(|b| b.kind == ModalityKind::StateDiagram)
+        {
+            exposures.push(Exposure::RawModality(ModalityKind::StateDiagram));
+            let ParsedModality::StateDiagram(sd) =
+                block.parse().map_err(|e| err(e.to_string()))?
+            else {
+                unreachable!()
+            };
+            spec = Some(fsm_spec_from_diagram(&sd, &name, &attrs)?);
+        } else if let Some(Structured::Fsm(sd)) = &structured {
+            exposures.push(Exposure::StructuredModality(ModalityKind::StateDiagram));
+            spec = Some(fsm_spec_from_diagram(sd, &name, &attrs)?);
+        }
+    } else if lower.contains("counter") {
+        spec = Some(parse_counter(&lower, &name, &attrs)?);
+    } else if lower.contains("shift register") {
+        spec = Some(parse_shift_register(&body, &lower, &name, &attrs)?);
+    } else if lower.contains("clock divider") {
+        spec = Some(parse_clock_divider(&body, &lower, &name, &attrs)?);
+    } else if lower.contains("pipeline register") || lower.contains("d register") {
+        spec = Some(parse_register(&lower, &name, &attrs)?);
+    } else if lower.contains("alu") {
+        spec = Some(parse_alu(&body, &lower, &name)?);
+    }
+
+    if spec.is_none() {
+        // Truth table / waveform tasks (raw or structured) and generic
+        // combinational tasks.
+        if let Some(block) = blocks.iter().find(|b| b.kind == ModalityKind::TruthTable) {
+            exposures.push(Exposure::RawModality(ModalityKind::TruthTable));
+            let ParsedModality::TruthTable(tt) =
+                block.parse().map_err(|e| err(e.to_string()))?
+            else {
+                unreachable!()
+            };
+            spec = Some(tt_spec(&tt, &name));
+        } else if let Some(block) = blocks.iter().find(|b| b.kind == ModalityKind::Waveform) {
+            exposures.push(Exposure::RawModality(ModalityKind::Waveform));
+            let ParsedModality::Waveform(w) = block.parse().map_err(|e| err(e.to_string()))?
+            else {
+                unreachable!()
+            };
+            spec = Some(waveform_spec(&w, &name));
+        } else if let Some(Structured::Table(tt)) = &structured {
+            // Structured rules text covers both TT and waveform tasks.
+            let kind = if body.contains("When time is") {
+                ModalityKind::Waveform
+            } else {
+                ModalityKind::TruthTable
+            };
+            exposures.push(Exposure::StructuredModality(kind));
+            spec = Some(tt_spec(tt, &name));
+        } else if lower.contains("combinational module") || lower.contains("function:") {
+            spec = Some(parse_comb(&body, &name)?);
+        }
+    }
+
+    let mut spec = spec.ok_or_else(|| err("no recognizable task shape"))?;
+    if spec.behavior.is_sequential() {
+        spec.attrs = attrs;
+    }
+
+    // The header, when present, pins down exact port names and widths.
+    if let Some(h) = &header {
+        apply_header(&mut spec, h);
+    }
+
+    Ok(Perception { spec, exposures })
+}
+
+// ---- helpers -----------------------------------------------------------
+
+fn strip_chat_envelope(prompt: &str) -> String {
+    // "Question:" ... "Answer:" — keep only the question body.
+    if let Some(q) = prompt.find("Question:") {
+        let rest = &prompt[q + "Question:".len()..];
+        let body = match rest.find("Answer:") {
+            Some(a) => &rest[..a],
+            None => rest,
+        };
+        body.trim().to_string()
+    } else {
+        prompt.to_string()
+    }
+}
+
+/// Extracts backticked fragments of a string.
+fn backticked(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('`') {
+        let after = &rest[start + 1..];
+        match after.find('`') {
+            Some(end) => {
+                out.push(after[..end].to_string());
+                rest = &after[end + 1..];
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// First number matching `<n>-bit` / `<n>-stage`, or after a keyword.
+fn number_before(text: &str, suffix: &str) -> Option<u64> {
+    let idx = text.find(suffix)?;
+    let head = &text[..idx];
+    let digits: String = head
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    let digits: String = digits.chars().rev().collect();
+    digits.parse().ok()
+}
+
+fn number_after(text: &str, prefix: &str) -> Option<u64> {
+    let idx = text.find(prefix)?;
+    let tail = text[idx + prefix.len()..].trim_start();
+    let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// A `module name (ports...);` header anywhere in the prompt.
+fn find_header(body: &str) -> Option<haven_verilog::ast::Module> {
+    for (idx, _) in body.match_indices("module ") {
+        let tail = &body[idx..];
+        let Some(end) = tail.find(';') else { continue };
+        let text = format!("{} endmodule", &tail[..=end]);
+        if let Ok(f) = haven_verilog::parser::parse(&text) {
+            return f.modules.into_iter().next();
+        }
+    }
+    None
+}
+
+fn find_name(body: &str, header: &Option<haven_verilog::ast::Module>) -> String {
+    if let Some(h) = header {
+        return h.name.clone();
+    }
+    for marker in ["named `", "called `"] {
+        if let Some(i) = body.find(marker) {
+            let tail = &body[i + marker.len()..];
+            if let Some(end) = tail.find('`') {
+                return tail[..end].to_string();
+            }
+        }
+    }
+    for marker in ["named ", "called "] {
+        if let Some(i) = body.find(marker) {
+            let tail = &body[i + marker.len()..];
+            let word: String = tail
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !word.is_empty() {
+                return word;
+            }
+        }
+    }
+    "top_module".to_string()
+}
+
+fn parse_attrs(body: &str) -> (AttrSpec, bool) {
+    let lower = body.to_ascii_lowercase();
+    let mut attrs = AttrSpec::default();
+    let mut stated = false;
+    let named_after = |key: &str| -> Option<String> {
+        let i = lower.find(key)?;
+        let ticks = backticked(&body[i + key.len()..]);
+        ticks.into_iter().next()
+    };
+    if lower.contains("asynchronous active-low reset") {
+        attrs.reset = Some(ResetSpec {
+            name: named_after("asynchronous active-low reset named ").unwrap_or_else(|| "rst_n".into()),
+            kind: ResetKind::AsyncActiveLow,
+        });
+        stated = true;
+    } else if lower.contains("asynchronous active-high reset") {
+        attrs.reset = Some(ResetSpec {
+            name: named_after("asynchronous active-high reset named ").unwrap_or_else(|| "rst".into()),
+            kind: ResetKind::AsyncActiveHigh,
+        });
+        stated = true;
+    } else if lower.contains("synchronous reset") {
+        attrs.reset = Some(ResetSpec {
+            name: named_after("synchronous reset named ").unwrap_or_else(|| "rst".into()),
+            kind: ResetKind::Sync,
+        });
+        stated = true;
+    }
+    if lower.contains("negative edge") {
+        attrs.edge = Edge::Neg;
+        stated = true;
+    }
+    if lower.contains("active-high enable") {
+        attrs.enable = Some(EnableSpec {
+            name: named_after("active-high enable named ").unwrap_or_else(|| "en".into()),
+            active_high: true,
+        });
+        stated = true;
+    } else if lower.contains("active-low enable") {
+        attrs.enable = Some(EnableSpec {
+            name: named_after("active-low enable named ").unwrap_or_else(|| "en".into()),
+            active_high: false,
+        });
+        stated = true;
+    }
+    (attrs, stated)
+}
+
+fn apply_header(spec: &mut Spec, header: &haven_verilog::ast::Module) {
+    spec.name = header.name.clone();
+    // Keep behaviour; adopt port names/widths where they correspond by
+    // position among data inputs and outputs.
+    use haven_verilog::ast::Direction;
+    let widths: Vec<(String, usize, Direction)> = header
+        .ports
+        .iter()
+        .filter_map(|p| {
+            let d = p.direction?;
+            let w = match &p.range {
+                Some(r) => {
+                    let msb = haven_verilog::eval::eval_const(&r.msb)?.to_u64()? as usize;
+                    let lsb = haven_verilog::eval::eval_const(&r.lsb)?.to_u64()? as usize;
+                    msb - lsb + 1
+                }
+                None => 1,
+            };
+            Some((p.name.clone(), w, d))
+        })
+        .collect();
+    let control: Vec<String> = spec
+        .attrs
+        .control_ports()
+        .into_iter()
+        .map(|p| p.name)
+        .collect();
+    let ins: Vec<(String, usize)> = widths
+        .iter()
+        .filter(|(n, _, d)| *d == Direction::Input && !control.contains(n))
+        .map(|(n, w, _)| (n.clone(), *w))
+        .collect();
+    let outs: Vec<(String, usize)> = widths
+        .iter()
+        .filter(|(_, _, d)| *d == Direction::Output)
+        .map(|(n, w, _)| (n.clone(), *w))
+        .collect();
+    let mut renames: Vec<(String, String)> = Vec::new();
+    if ins.len() == spec.inputs.len() {
+        for (port, (n, w)) in spec.inputs.iter_mut().zip(&ins) {
+            if port.name != *n {
+                renames.push((port.name.clone(), n.clone()));
+            }
+            port.name = n.clone();
+            port.width = *w;
+        }
+    }
+    if outs.len() == spec.outputs.len() {
+        for (port, (n, w)) in spec.outputs.iter_mut().zip(&outs) {
+            if port.name != *n {
+                renames.push((port.name.clone(), n.clone()));
+            }
+            port.name = n.clone();
+            port.width = *w;
+        }
+    }
+    for (old, new) in renames {
+        rename_port_in_behavior(&mut spec.behavior, &old, &new);
+    }
+}
+
+/// Renames a port everywhere the behaviour references it.
+pub fn rename_port_in_behavior(b: &mut Behavior, old: &str, new: &str) {
+    let fix = |s: &mut String| {
+        if s == old {
+            *s = new.to_string();
+        }
+    };
+    match b {
+        Behavior::Comb(rules) => {
+            for r in rules {
+                fix(&mut r.output);
+                rename_in_expr(&mut r.expr, old, new);
+            }
+        }
+        Behavior::TruthTable(tt) => {
+            tt.inputs.iter_mut().for_each(fix);
+            tt.outputs.iter_mut().for_each(fix);
+        }
+        Behavior::Fsm(f) => {
+            fix(&mut f.input);
+            fix(&mut f.output);
+        }
+        Behavior::Counter(c) => fix(&mut c.output),
+        Behavior::ShiftReg(s) => {
+            fix(&mut s.serial_in);
+            fix(&mut s.output);
+        }
+        Behavior::ClockDiv(c) => fix(&mut c.output),
+        Behavior::Register(r) => {
+            fix(&mut r.input);
+            fix(&mut r.output);
+        }
+        Behavior::Alu(a) => {
+            fix(&mut a.a);
+            fix(&mut a.b);
+            fix(&mut a.op);
+            fix(&mut a.y);
+        }
+    }
+}
+
+fn rename_in_expr(e: &mut Expr, old: &str, new: &str) {
+    match e {
+        Expr::Ident(n) | Expr::Index(n, _) | Expr::Slice(n, _, _) => {
+            if n == old {
+                *n = new.to_string();
+            }
+        }
+        Expr::Literal(_) => {}
+        Expr::Unary(_, a) => rename_in_expr(a, old, new),
+        Expr::Binary(_, a, b) => {
+            rename_in_expr(a, old, new);
+            rename_in_expr(b, old, new);
+        }
+        Expr::Ternary(c, t, f) => {
+            rename_in_expr(c, old, new);
+            rename_in_expr(t, old, new);
+            rename_in_expr(f, old, new);
+        }
+        Expr::Concat(parts) => parts.iter_mut().for_each(|p| rename_in_expr(p, old, new)),
+        Expr::Replicate(n, inner) => {
+            rename_in_expr(n, old, new);
+            rename_in_expr(inner, old, new);
+        }
+    }
+}
+
+// ---- structured SI-CoT text ---------------------------------------------
+
+enum Structured {
+    Table(TruthTable),
+    Fsm(StateDiagram),
+}
+
+fn parse_structured(body: &str) -> Option<Structured> {
+    if body.contains("States&Outputs:") {
+        return parse_structured_fsm(body).map(Structured::Fsm);
+    }
+    if body.contains("Variables:") && body.contains("Rules:") {
+        return parse_structured_rules(body).map(Structured::Table);
+    }
+    None
+}
+
+/// Parses `Variables: 1. a(input); ... Rules: 1. If a=0, b=1, then out=0;`
+/// and the waveform variant `When time is 0ns, a=0, b=1, out=1;` into a
+/// truth table.
+fn parse_structured_rules(body: &str) -> Option<TruthTable> {
+    let vars_idx = body.find("Variables:")?;
+    let rules_idx = body.find("Rules:")?;
+    let vars_text = &body[vars_idx + "Variables:".len()..rules_idx];
+    let rules_text = &body[rules_idx + "Rules:".len()..];
+
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    for item in vars_text.split(';') {
+        let item = item.trim();
+        let Some(open) = item.find('(') else { continue };
+        let name = item[..open]
+            .rsplit(|c: char| c.is_whitespace() || c == '.')
+            .next()?
+            .trim()
+            .to_string();
+        if item[open..].starts_with("(input") {
+            inputs.push(name);
+        } else if item[open..].starts_with("(output") {
+            outputs.push(name);
+        }
+    }
+    if inputs.is_empty() || outputs.is_empty() {
+        return None;
+    }
+
+    let mut rows: Vec<(u64, u64)> = Vec::new();
+    for rule in rules_text.split(';') {
+        let rule = rule.trim();
+        if rule.is_empty() {
+            continue;
+        }
+        // Collect name=value pairs regardless of phrasing.
+        let mut in_bits = 0u64;
+        let mut out_bits = 0u64;
+        let mut seen_in = 0usize;
+        let mut seen_out = 0usize;
+        for token in rule
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|t| t.contains('='))
+        {
+            let (k, v) = token.split_once('=')?;
+            let k = k.trim();
+            let v: u64 = v.trim().trim_end_matches('.').parse().ok()?;
+            if let Some(pos) = inputs.iter().position(|n| n == k) {
+                in_bits |= (v & 1) << (inputs.len() - 1 - pos);
+                seen_in += 1;
+            } else if let Some(pos) = outputs.iter().position(|n| n == k) {
+                out_bits |= (v & 1) << (outputs.len() - 1 - pos);
+                seen_out += 1;
+            }
+        }
+        if seen_in == inputs.len() && seen_out == outputs.len()
+            && !rows.iter().any(|(i, _)| *i == in_bits) {
+                rows.push((in_bits, out_bits));
+            }
+    }
+    if rows.is_empty() {
+        return None;
+    }
+    Some(TruthTable {
+        inputs,
+        outputs,
+        rows,
+    })
+}
+
+/// Parses `States&Outputs: 1. state A(out=0); ... State transition: 1.
+/// From state A: If x = 0, then transit to state B; ...`.
+fn parse_structured_fsm(body: &str) -> Option<StateDiagram> {
+    use haven_modality::state_diagram::StateEdge;
+    let so_idx = body.find("States&Outputs:")?;
+    let tr_idx = body.find("State transition:")?;
+    let so_text = &body[so_idx + "States&Outputs:".len()..tr_idx];
+    let tr_text = &body[tr_idx + "State transition:".len()..];
+
+    let mut outputs: Vec<(String, u64)> = Vec::new();
+    for item in so_text.split(';') {
+        let item = item.trim();
+        let Some(i) = item.find("state ") else { continue };
+        let rest = &item[i + "state ".len()..];
+        let open = rest.find('(')?;
+        let name = rest[..open].trim().to_string();
+        let out_val: u64 = rest[open..]
+            .trim_start_matches('(')
+            .trim_start_matches("out=")
+            .trim_end_matches(')')
+            .parse()
+            .ok()?;
+        outputs.push((name, out_val));
+    }
+
+    let mut edges = Vec::new();
+    // Split into per-state clauses on "From state".
+    for clause in tr_text.split("From state ").skip(1) {
+        let colon = clause.find(':')?;
+        let from = clause[..colon].trim().to_string();
+        let from_out = outputs
+            .iter()
+            .find(|(n, _)| *n == from)
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        for cond in clause[colon + 1..].split(';') {
+            let cond = cond.trim();
+            let Some(if_idx) = cond.find("If ") else { continue };
+            let Some(then_idx) = cond.find("then transit to state ") else {
+                continue;
+            };
+            let test = &cond[if_idx + 3..then_idx];
+            let (input, val) = test.split_once('=')?;
+            let input = input.trim().to_string();
+            let input_value: u8 = val.trim().trim_end_matches(',').parse().ok()?;
+            let to = cond[then_idx + "then transit to state ".len()..]
+                .trim()
+                .trim_end_matches('.')
+                .to_string();
+            edges.push(StateEdge {
+                from: from.clone(),
+                output: from_out,
+                input,
+                input_value,
+                to,
+            });
+        }
+    }
+    if edges.is_empty() {
+        return None;
+    }
+    Some(StateDiagram { edges })
+}
+
+// ---- per-shape spec builders --------------------------------------------
+
+fn tt_spec(tt: &TruthTable, name: &str) -> Spec {
+    Spec {
+        name: name.to_string(),
+        inputs: tt.inputs.iter().map(PortSpec::bit).collect(),
+        outputs: tt.outputs.iter().map(PortSpec::bit).collect(),
+        behavior: Behavior::TruthTable(tt.to_spec()),
+        attrs: AttrSpec::default(),
+    }
+}
+
+fn waveform_spec(w: &haven_modality::waveform::Waveform, name: &str) -> Spec {
+    let inputs: Vec<String> = w.input_names().iter().map(|s| s.to_string()).collect();
+    let outputs: Vec<String> = w.output_names().iter().map(|s| s.to_string()).collect();
+    let mut rows = w.to_samples();
+    rows.sort_unstable();
+    Spec {
+        name: name.to_string(),
+        inputs: inputs.iter().map(PortSpec::bit).collect(),
+        outputs: outputs.iter().map(PortSpec::bit).collect(),
+        behavior: Behavior::TruthTable(haven_spec::ir::TruthTableSpec {
+            inputs,
+            outputs,
+            rows,
+        }),
+        attrs: AttrSpec::default(),
+    }
+}
+
+fn fsm_spec_from_diagram(
+    sd: &StateDiagram,
+    name: &str,
+    _attrs: &AttrSpec,
+) -> Result<Spec, PerceiveError> {
+    let f = sd
+        .to_fsm_spec("out", 1)
+        .map_err(|e| err(e.to_string()))?;
+    Ok(Spec {
+        name: name.to_string(),
+        inputs: vec![PortSpec::bit(f.input.clone())],
+        outputs: vec![PortSpec::new(f.output.clone(), f.output_width)],
+        behavior: Behavior::Fsm(f),
+        attrs: AttrSpec::conventional(),
+    })
+}
+
+fn parse_counter(lower: &str, name: &str, _attrs: &AttrSpec) -> Result<Spec, PerceiveError> {
+    let width = number_before(lower, "-bit").unwrap_or(4) as usize;
+    let direction = if lower.contains(" down counter") {
+        CountDirection::Down
+    } else {
+        CountDirection::Up
+    };
+    let modulus = number_after(lower, "modulo ");
+    let mut spec = haven_spec::builders::counter(name, width.clamp(1, 64), modulus);
+    if let Behavior::Counter(c) = &mut spec.behavior {
+        c.direction = direction;
+    }
+    Ok(spec)
+}
+
+fn parse_shift_register(
+    body: &str,
+    lower: &str,
+    name: &str,
+    _attrs: &AttrSpec,
+) -> Result<Spec, PerceiveError> {
+    let width = number_before(lower, "-bit").unwrap_or(8) as usize;
+    let direction = if lower.contains("shifts right") || lower.contains("shift right") {
+        ShiftDirection::Right
+    } else {
+        ShiftDirection::Left
+    };
+    let mut spec = haven_spec::builders::shift_register(name, width.clamp(1, 64), direction);
+    if let Some(i) = lower.find("serial input") {
+        if let Some(n) = backticked(&body[i..]).into_iter().next() {
+            if let Behavior::ShiftReg(s) = &mut spec.behavior {
+                s.serial_in = n.clone();
+            }
+            spec.inputs[0].name = n;
+        }
+    }
+    if let Some(i) = lower.find("parallel output") {
+        if let Some(n) = backticked(&body[i..]).into_iter().next() {
+            if let Behavior::ShiftReg(s) = &mut spec.behavior {
+                s.output = n.clone();
+            }
+            spec.outputs[0].name = n;
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_clock_divider(
+    body: &str,
+    lower: &str,
+    name: &str,
+    _attrs: &AttrSpec,
+) -> Result<Spec, PerceiveError> {
+    let hp = number_after(lower, "toggles every ").unwrap_or(2);
+    let mut spec = haven_spec::builders::clock_divider(name, hp.max(1));
+    if let Some(i) = lower.find("output") {
+        if let Some(n) = backticked(&body[i..]).into_iter().next() {
+            if let Behavior::ClockDiv(c) = &mut spec.behavior {
+                c.output = n.clone();
+            }
+            spec.outputs[0].name = n;
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_register(lower: &str, name: &str, _attrs: &AttrSpec) -> Result<Spec, PerceiveError> {
+    let width = number_before(lower, "-bit").unwrap_or(8) as usize;
+    let stages = number_before(lower, "-stage").unwrap_or(1) as usize;
+    Ok(haven_spec::builders::pipeline(
+        name,
+        width.clamp(1, 64),
+        stages.clamp(1, 8),
+    ))
+}
+
+fn parse_alu(body: &str, lower: &str, name: &str) -> Result<Spec, PerceiveError> {
+    let width = number_before(lower, "-bit").unwrap_or(8) as usize;
+    let mut ops = Vec::new();
+    if let Some(i) = body.find("Opcodes:") {
+        let line = body[i + "Opcodes:".len()..]
+            .lines()
+            .next()
+            .unwrap_or_default();
+        for item in line.split(';') {
+            let Some((_, mnemonic)) = item.split_once(':') else {
+                continue;
+            };
+            let m = mnemonic.trim().trim_end_matches('.').to_ascii_uppercase();
+            let op = match m.as_str() {
+                "ADD" => AluOp::Add,
+                "SUB" => AluOp::Sub,
+                "AND" => AluOp::And,
+                "OR" => AluOp::Or,
+                "XOR" => AluOp::Xor,
+                "NOT" => AluOp::NotA,
+                "SHL" => AluOp::ShlA,
+                "SHR" => AluOp::ShrA,
+                _ => continue,
+            };
+            ops.push(op);
+        }
+    }
+    if ops.is_empty() {
+        ops = vec![AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or];
+    }
+    Ok(haven_spec::builders::alu(name, width.clamp(1, 64), ops))
+}
+
+fn parse_comb(body: &str, name: &str) -> Result<Spec, PerceiveError> {
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    let mut rules = Vec::new();
+    for line in body.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("Inputs:") {
+            inputs = parse_port_list(rest);
+        } else if let Some(rest) = t.strip_prefix("Outputs:") {
+            outputs = parse_port_list(rest);
+        } else if let Some(rest) = t.strip_prefix("Function:") {
+            let rest = rest.trim().trim_end_matches(';');
+            let (out, expr_text) = rest
+                .split_once('=')
+                .ok_or_else(|| err("malformed Function line"))?;
+            let expr = haven_verilog::parser::parse_expr(expr_text.trim())
+                .map_err(|e| err(format!("bad function expression: {e}")))?;
+            rules.push(CombRule {
+                output: out.trim().to_string(),
+                expr,
+            });
+        }
+    }
+    if rules.is_empty() {
+        return Err(err("combinational task without Function lines"));
+    }
+    if inputs.is_empty() {
+        // Infer from expression reads.
+        let mut reads = Vec::new();
+        for r in &rules {
+            r.expr.collect_reads(&mut reads);
+        }
+        reads.sort();
+        reads.dedup();
+        inputs = reads.into_iter().map(PortSpec::bit).collect();
+    }
+    if outputs.is_empty() {
+        outputs = rules.iter().map(|r| PortSpec::bit(r.output.clone())).collect();
+    }
+    Ok(Spec {
+        name: name.to_string(),
+        inputs,
+        outputs,
+        behavior: Behavior::Comb(rules),
+        attrs: AttrSpec::default(),
+    })
+}
+
+fn parse_port_list(rest: &str) -> Vec<PortSpec> {
+    // "`a` (4 bits), `b` (1 bit)."
+    let mut out = Vec::new();
+    for item in rest.split(',') {
+        let names = backticked(item);
+        let Some(name) = names.into_iter().next() else {
+            continue;
+        };
+        let width = number_after(item, "(").unwrap_or(1) as usize;
+        out.push(PortSpec::new(name, width.clamp(1, 64)));
+    }
+    out
+}
+
+/// `The output `y` equals a plus b, then or c.`
+fn parse_chain_task(
+    body: &str,
+    name: &str,
+    _header: &Option<haven_verilog::ast::Module>,
+) -> Option<Spec> {
+    let lower = body.to_ascii_lowercase();
+    let idx = lower.find("equals ")?;
+    // Only treat as a chain task when the marker phrasing is present.
+    if !lower.contains("the output") {
+        return None;
+    }
+    let out_name = backticked(&body[..idx])
+        .into_iter()
+        .last()
+        .unwrap_or_else(|| "out".to_string());
+    let tail = body[idx + "equals ".len()..]
+        .lines()
+        .next()?
+        .trim()
+        .trim_end_matches('.');
+    let tokens: Vec<String> = tail
+        .replace(',', " , ")
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    // Grammar: ident (op ident)（, then op ident)*
+    let mut iter = tokens.iter().peekable();
+    let first = iter.next()?.clone();
+    if !first.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    let mut rest: Vec<(BinaryOp, String)> = Vec::new();
+    while let Some(tok) = iter.next() {
+        let op_word = if tok == "," {
+            // ", then <op>"
+            if iter.next().map(String::as_str) != Some("then") {
+                return None;
+            }
+            iter.next()?.clone()
+        } else {
+            tok.clone()
+        };
+        let op = word_binop(&op_word)?;
+        let operand = iter.next()?.clone();
+        rest.push((op, operand));
+    }
+    if rest.is_empty() {
+        return None;
+    }
+    let expr = haven_spec::describe::chain_expr(&first, &rest);
+    let mut reads = vec![first];
+    reads.extend(rest.iter().map(|(_, o)| o.clone()));
+    reads.sort();
+    reads.dedup();
+    let width = number_before(&lower, "-bit").unwrap_or(1) as usize;
+    Some(Spec {
+        name: name.to_string(),
+        inputs: reads.into_iter().map(|n| PortSpec::new(n, width)).collect(),
+        outputs: vec![PortSpec::new(out_name.clone(), width)],
+        behavior: Behavior::Comb(vec![CombRule {
+            output: out_name,
+            expr,
+        }]),
+        attrs: AttrSpec::default(),
+    })
+}
+
+/// `Implement the logic below:\nif a == 0 && b == 0; out = 0;\nelif ...\nelse; out = 1;`
+fn parse_if_chain_task(
+    body: &str,
+    name: &str,
+    _header: &Option<haven_verilog::ast::Module>,
+) -> Result<Spec, PerceiveError> {
+    let mut arms = Vec::new();
+    let mut else_value = 0u64;
+    let mut output = "out".to_string();
+    for line in body.lines() {
+        let t = line.trim();
+        let (cond_part, assign_part) = if let Some(rest) = t.strip_prefix("if ") {
+            let Some((c, a)) = rest.split_once(';') else {
+                continue;
+            };
+            (Some(c), a)
+        } else if let Some(rest) = t.strip_prefix("elif ") {
+            let Some((c, a)) = rest.split_once(';') else {
+                continue;
+            };
+            (Some(c), a)
+        } else if let Some(rest) = t.strip_prefix("else;") {
+            (None, rest)
+        } else {
+            continue;
+        };
+        let Some((o, v)) = assign_part.split_once('=') else {
+            continue;
+        };
+        output = o.trim().to_string();
+        let value: u64 = v
+            .trim()
+            .trim_end_matches(';')
+            .parse()
+            .map_err(|_| err("bad output value in logic chain"))?;
+        match cond_part {
+            Some(c) => {
+                let mut conditions = Vec::new();
+                for clause in c.split("&&") {
+                    let Some((var, val)) = clause.split_once("==") else {
+                        return Err(err("bad condition in logic chain"));
+                    };
+                    conditions.push((
+                        var.trim().to_string(),
+                        val.trim().parse().map_err(|_| err("bad condition value"))?,
+                    ));
+                }
+                arms.push(ChainArm {
+                    conditions,
+                    output_value: value,
+                });
+            }
+            None => else_value = value,
+        }
+    }
+    if arms.is_empty() {
+        return Err(err("logic chain has no arms"));
+    }
+    let chain = IfChain { arms, else_value };
+    let mut input_names: Vec<String> = Vec::new();
+    for arm in &chain.arms {
+        for (n, _) in &arm.conditions {
+            if !input_names.contains(n) {
+                input_names.push(n.clone());
+            }
+        }
+    }
+    let expr = chain.to_expr(&|_| 1, 1);
+    Ok(Spec {
+        name: name.to_string(),
+        inputs: input_names.iter().map(PortSpec::bit).collect(),
+        outputs: vec![PortSpec::bit(output.clone())],
+        behavior: Behavior::Comb(vec![CombRule {
+            output,
+            expr,
+        }]),
+        attrs: AttrSpec::default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haven_spec::builders;
+    use haven_spec::describe::{describe, DescribeStyle};
+
+    /// Every engineer-style description must round-trip through
+    /// perception back to an equivalent spec.
+    #[test]
+    fn engineer_descriptions_roundtrip() {
+        use haven_spec::ir::{AluOp, ShiftDirection};
+        let specs = vec![
+            builders::counter("cnt", 4, Some(10)),
+            builders::down_counter("dc", 6, None),
+            builders::shift_register("sr", 8, ShiftDirection::Right),
+            builders::clock_divider("cd", 3),
+            builders::pipeline("pipe", 8, 3),
+            builders::register("r", 16),
+            builders::alu("alu", 8, vec![AluOp::Add, AluOp::Sub, AluOp::Xor]),
+            builders::adder("add", 8),
+            builders::mux2("mux", 4),
+        ];
+        for spec in specs {
+            let prompt = describe(&spec, DescribeStyle::Engineer);
+            let p = perceive(&prompt).unwrap_or_else(|e| panic!("{}: {e}\n{prompt}", spec.name));
+            assert_eq!(p.spec.behavior, spec.behavior, "behavior for {}", spec.name);
+            assert_eq!(p.spec.attrs, spec.attrs, "attrs for {}", spec.name);
+            assert_eq!(p.spec.name, spec.name);
+            assert!(p.exposures.contains(&Exposure::HeaderGiven));
+        }
+    }
+
+    #[test]
+    fn raw_state_diagram_perceived() {
+        let prompt = "Implement the finite state machine named `fsm` described by the state diagram below.\nA[out=0]-[x=0]->B\nA[out=0]-[x=1]->A\nB[out=1]-[x=0]->A\nB[out=1]-[x=1]->B\nUse an asynchronous active-low reset named `rst_n`.";
+        let p = perceive(prompt).unwrap();
+        assert!(p.has_raw_modality(ModalityKind::StateDiagram));
+        let Behavior::Fsm(f) = &p.spec.behavior else {
+            panic!()
+        };
+        assert_eq!(f.transitions, vec![(1, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn structured_fsm_text_perceived_without_raw_exposure() {
+        let prompt = "Implement the finite state machine named `fsm`.\nStates&Outputs: 1. state A(out=0); 2. state B(out=1);\nState transition: 1. From state A: If x = 0, then transit to state B; If x = 1, then transit to state A; 2. From state B: If x = 0, then transit to state A; If x = 1, then transit to state B;\nUse an asynchronous active-low reset named `rst_n`.";
+        let p = perceive(prompt).unwrap();
+        assert!(!p.has_raw_modality(ModalityKind::StateDiagram));
+        assert!(p
+            .exposures
+            .contains(&Exposure::StructuredModality(ModalityKind::StateDiagram)));
+        let Behavior::Fsm(f) = &p.spec.behavior else {
+            panic!()
+        };
+        assert_eq!(f.transitions, vec![(1, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn raw_truth_table_perceived() {
+        let prompt = "Implement a combinational module named `tt` realizing the truth table below.\na b out\n0 0 0\n0 1 0\n1 0 0\n1 1 1";
+        let p = perceive(prompt).unwrap();
+        assert!(p.has_raw_modality(ModalityKind::TruthTable));
+        let Behavior::TruthTable(tt) = &p.spec.behavior else {
+            panic!()
+        };
+        assert_eq!(tt.lookup(0b11), 1);
+    }
+
+    #[test]
+    fn structured_rules_text_perceived() {
+        let prompt = "Implement a combinational module named `tt`.\nVariables: 1. a(input); 2. b(input); 3. out(output);\nRules: 1. If a=0, b=0, then out=0; 2. If a=0, b=1, then out=0; 3. If a=1, b=0, then out=0; 4. If a=1, b=1, then out=1;";
+        let p = perceive(prompt).unwrap();
+        assert!(p
+            .exposures
+            .contains(&Exposure::StructuredModality(ModalityKind::TruthTable)));
+        let Behavior::TruthTable(tt) = &p.spec.behavior else {
+            panic!()
+        };
+        assert_eq!(tt.rows.len(), 4);
+        assert_eq!(tt.lookup(0b11), 1);
+    }
+
+    #[test]
+    fn waveform_chart_perceived() {
+        let prompt = "Implement a combinational module named `w` matching the waveform below.\na: 0 1 0 1\nb: 0 0 1 1\nout: 0 0 0 1\ntime(ns): 0 10 20 30";
+        let p = perceive(prompt).unwrap();
+        assert!(p.has_raw_modality(ModalityKind::Waveform));
+        let Behavior::TruthTable(tt) = &p.spec.behavior else {
+            panic!()
+        };
+        assert_eq!(tt.lookup(0b11), 1);
+        assert_eq!(tt.lookup(0b10), 0);
+    }
+
+    #[test]
+    fn chain_words_task_perceived() {
+        let prompt =
+            "Create a module named `m`. The output `out` equals a plus b, then or c.";
+        let p = perceive(prompt).unwrap();
+        assert!(p.exposures.contains(&Exposure::WordChain));
+        let Behavior::Comb(rules) = &p.spec.behavior else {
+            panic!()
+        };
+        assert_eq!(
+            haven_verilog::pretty::pretty_expr(&rules[0].expr),
+            "(a + b) | c"
+        );
+    }
+
+    #[test]
+    fn if_chain_task_perceived() {
+        let chain = IfChain {
+            arms: vec![
+                ChainArm {
+                    conditions: vec![("a".into(), 0), ("b".into(), 0)],
+                    output_value: 0,
+                },
+                ChainArm {
+                    conditions: vec![("a".into(), 1), ("b".into(), 0)],
+                    output_value: 0,
+                },
+            ],
+            else_value: 1,
+        };
+        let prompt = format!("Create a module named `m`.\n{}", chain.to_text("out"));
+        let p = perceive(&prompt).unwrap();
+        assert!(p.exposures.contains(&Exposure::IfChain));
+        let Behavior::Comb(rules) = &p.spec.behavior else {
+            panic!()
+        };
+        assert_eq!(rules[0].output, "out");
+        assert_eq!(p.spec.inputs.len(), 2);
+    }
+
+    #[test]
+    fn chat_envelope_stripped() {
+        let prompt = "Question:\nImplement a 4-bit up counter named `c` with output `q`.\nUse an asynchronous active-low reset named `rst_n`.\nThe module header is: `module c (input clk, input rst_n, output [3:0] q);`\nAnswer:";
+        let p = perceive(prompt).unwrap();
+        assert!(matches!(p.spec.behavior, Behavior::Counter(_)));
+        assert_eq!(p.spec.name, "c");
+    }
+
+    #[test]
+    fn gibberish_is_an_error() {
+        assert!(perceive("please write something nice").is_err());
+    }
+
+    #[test]
+    fn header_overrides_port_names() {
+        let prompt = "Implement a 4-bit up counter named `cnt` with output `count`.\nUse an asynchronous active-low reset named `rst_n`.\nThe module header is: `module cnt (input clk, input rst_n, output [3:0] count);`";
+        let p = perceive(prompt).unwrap();
+        assert_eq!(p.spec.outputs[0].name, "count");
+    }
+}

@@ -1,0 +1,274 @@
+//! Detecting symbolic blocks inside free-form prompts — SI-CoT step 1,
+//! "Identify Symbolic Components" (Fig. 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ParseModalityError;
+use crate::state_diagram::StateDiagram;
+use crate::truth_table::TruthTable;
+use crate::waveform::Waveform;
+
+/// The three symbolic modalities of the paper's taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModalityKind {
+    /// Tabular truth table.
+    TruthTable,
+    /// Waveform chart.
+    Waveform,
+    /// State-diagram edge list.
+    StateDiagram,
+}
+
+impl ModalityKind {
+    /// Human-readable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModalityKind::TruthTable => "truth table",
+            ModalityKind::Waveform => "waveform chart",
+            ModalityKind::StateDiagram => "state diagram",
+        }
+    }
+}
+
+/// A detected symbolic block within a prompt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModalityBlock {
+    /// Detected modality.
+    pub kind: ModalityKind,
+    /// The block's raw text.
+    pub text: String,
+    /// First line of the block in the prompt (0-based).
+    pub start_line: usize,
+    /// One past the last line of the block.
+    pub end_line: usize,
+}
+
+/// Parse result of a block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedModality {
+    /// Parsed truth table.
+    TruthTable(TruthTable),
+    /// Parsed waveform.
+    Waveform(Waveform),
+    /// Parsed state diagram.
+    StateDiagram(StateDiagram),
+}
+
+impl ModalityBlock {
+    /// Parses the block's text with the matching modality parser.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the modality parser's error.
+    pub fn parse(&self) -> Result<ParsedModality, ParseModalityError> {
+        Ok(match self.kind {
+            ModalityKind::TruthTable => ParsedModality::TruthTable(TruthTable::parse(&self.text)?),
+            ModalityKind::Waveform => ParsedModality::Waveform(Waveform::parse(&self.text)?),
+            ModalityKind::StateDiagram => {
+                ParsedModality::StateDiagram(StateDiagram::parse(&self.text)?)
+            }
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineClass {
+    StateEdge,
+    WaveRow,
+    BinaryRow(usize),
+    WordHeader(usize),
+    Other,
+}
+
+fn classify(line: &str) -> LineClass {
+    let t = line.trim();
+    if t.contains("]->") && t.contains("-[") {
+        return LineClass::StateEdge;
+    }
+    if let Some((name, rest)) = t.split_once(':') {
+        let name_ok = !name.trim().is_empty()
+            && name
+                .trim()
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '(' || c == ')');
+        let cells: Vec<&str> = rest.split_whitespace().collect();
+        let all_binary_or_time = !cells.is_empty()
+            && cells.iter().all(|c| {
+                matches!(*c, "0" | "1") || c.trim_end_matches("ns").parse::<u64>().is_ok()
+            });
+        if name_ok && all_binary_or_time && cells.len() >= 2 {
+            return LineClass::WaveRow;
+        }
+    }
+    let clean = t.replace('|', " ");
+    let cells: Vec<&str> = clean.split_whitespace().collect();
+    if cells.len() >= 2 {
+        if cells.iter().all(|c| matches!(*c, "0" | "1")) {
+            return LineClass::BinaryRow(cells.len());
+        }
+        let wordish = cells.iter().all(|c| {
+            c.chars().next().is_some_and(|f| f.is_ascii_alphabetic())
+                && c.chars().all(|ch| ch.is_ascii_alphanumeric() || ch == '_')
+        });
+        if wordish {
+            return LineClass::WordHeader(cells.len());
+        }
+    }
+    LineClass::Other
+}
+
+/// Scans a prompt and returns every symbolic block it contains, in order.
+///
+/// Detection is purely syntactic: a run of `A[..]-[..]->B` edges is a
+/// state diagram, `name: 0 1 0 1` rows form a waveform chart, and a word
+/// header followed by same-width binary rows is a truth table.
+///
+/// # Examples
+///
+/// ```
+/// use haven_modality::detect::{detect, ModalityKind};
+/// let blocks = detect("Implement this FSM\nA[out=0]-[x=0]->B\nA[out=0]-[x=1]->A");
+/// assert_eq!(blocks.len(), 1);
+/// assert_eq!(blocks[0].kind, ModalityKind::StateDiagram);
+/// ```
+pub fn detect(prompt: &str) -> Vec<ModalityBlock> {
+    let lines: Vec<&str> = prompt.lines().collect();
+    let classes: Vec<LineClass> = lines.iter().map(|l| classify(l)).collect();
+    let mut blocks = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        match classes[i] {
+            LineClass::StateEdge => {
+                let start = i;
+                while i < lines.len() && classes[i] == LineClass::StateEdge {
+                    i += 1;
+                }
+                blocks.push(ModalityBlock {
+                    kind: ModalityKind::StateDiagram,
+                    text: lines[start..i].join("\n"),
+                    start_line: start,
+                    end_line: i,
+                });
+            }
+            LineClass::WaveRow => {
+                let start = i;
+                while i < lines.len() && classes[i] == LineClass::WaveRow {
+                    i += 1;
+                }
+                // A single `name: 0 1` line is too weak a signal on its own.
+                if i - start >= 2 {
+                    blocks.push(ModalityBlock {
+                        kind: ModalityKind::Waveform,
+                        text: lines[start..i].join("\n"),
+                        start_line: start,
+                        end_line: i,
+                    });
+                }
+            }
+            LineClass::WordHeader(cols) => {
+                // Truth table = header + ≥2 binary rows of the same width.
+                let mut j = i + 1;
+                while j < lines.len() && classes[j] == LineClass::BinaryRow(cols) {
+                    j += 1;
+                }
+                if j - (i + 1) >= 2 {
+                    blocks.push(ModalityBlock {
+                        kind: ModalityKind::TruthTable,
+                        text: lines[i..j].join("\n"),
+                        start_line: i,
+                        end_line: j,
+                    });
+                    i = j;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    blocks
+}
+
+/// Removes the given blocks from a prompt, leaving the surrounding prose.
+pub fn strip_blocks(prompt: &str, blocks: &[ModalityBlock]) -> String {
+    let lines: Vec<&str> = prompt.lines().collect();
+    let mut keep = vec![true; lines.len()];
+    for b in blocks {
+        for flag in keep.iter_mut().take(b.end_line.min(lines.len())).skip(b.start_line) {
+            *flag = false;
+        }
+    }
+    lines
+        .iter()
+        .zip(keep)
+        .filter_map(|(l, k)| k.then_some(*l))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_state_diagram_after_prose() {
+        let p = "Implement the FSM below with async reset.\nA[out=0]-[x=0]->B\nA[out=0]-[x=1]->A\nB[out=1]-[x=0]->A\nB[out=1]-[x=1]->B\nUse conventional style.";
+        let blocks = detect(p);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].kind, ModalityKind::StateDiagram);
+        assert_eq!(blocks[0].start_line, 1);
+        assert_eq!(blocks[0].end_line, 5);
+        assert!(matches!(
+            blocks[0].parse().unwrap(),
+            ParsedModality::StateDiagram(_)
+        ));
+    }
+
+    #[test]
+    fn detects_truth_table_with_header() {
+        let p = "Implement the truth table below\na b out\n0 0 0\n0 1 1\n1 0 1\n1 1 0";
+        let blocks = detect(p);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].kind, ModalityKind::TruthTable);
+        let ParsedModality::TruthTable(tt) = blocks[0].parse().unwrap() else {
+            panic!()
+        };
+        assert_eq!(tt.rows.len(), 4);
+    }
+
+    #[test]
+    fn detects_waveform_rows() {
+        let p = "Match this waveform:\na: 0 1 1 0\nb: 1 0 1 0\nout: 1 0 0 1\ntime(ns): 0 10 20 30";
+        let blocks = detect(p);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].kind, ModalityKind::Waveform);
+    }
+
+    #[test]
+    fn plain_prose_has_no_blocks() {
+        let p = "Create a module where the output equals a plus b, then or c.";
+        assert!(detect(p).is_empty());
+    }
+
+    #[test]
+    fn single_wave_row_is_not_a_block() {
+        assert!(detect("note: 0 1").is_empty());
+    }
+
+    #[test]
+    fn strip_blocks_keeps_prose() {
+        let p = "Implement the truth table below\na b out\n0 0 0\n0 1 1\n1 0 1\n1 1 0\nThanks!";
+        let blocks = detect(p);
+        let stripped = strip_blocks(p, &blocks);
+        assert_eq!(stripped, "Implement the truth table below\nThanks!");
+    }
+
+    #[test]
+    fn two_blocks_detected_independently() {
+        let p = "first\na b out\n0 0 1\n1 1 0\n0 1 1\nthen\nA[out=0]-[x=0]->B\nA[out=0]-[x=1]->A";
+        let blocks = detect(p);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].kind, ModalityKind::TruthTable);
+        assert_eq!(blocks[1].kind, ModalityKind::StateDiagram);
+    }
+}

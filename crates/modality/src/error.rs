@@ -1,0 +1,44 @@
+//! Modality parsing errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing a symbolic modality block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModalityError {
+    /// Which modality was being parsed.
+    pub modality: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseModalityError {
+    pub(crate) fn new(modality: &'static str, message: impl Into<String>) -> ParseModalityError {
+        ParseModalityError {
+            modality,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseModalityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} block: {}", self.modality, self.message)
+    }
+}
+
+impl Error for ParseModalityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = ParseModalityError::new("truth table", "row width mismatch");
+        assert_eq!(
+            e.to_string(),
+            "invalid truth table block: row width mismatch"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # haven-modality
+//!
+//! Symbolic modalities of the HaVen hallucination taxonomy: truth tables,
+//! waveform charts and state diagrams, in the text notations HDL engineers
+//! actually paste into specs (paper Tables I–III).
+//!
+//! Each modality has a parser, an emitter (used by the benchmark suite and
+//! dataset generators to *render* prompts), a structured natural-language
+//! interpretation (the SI-CoT output format of Table III), and a conversion
+//! toward [`haven_spec`] types.
+//!
+//! [`detect::detect`] implements SI-CoT step 1: locating symbolic blocks
+//! inside free-form prompts.
+//!
+//! ```
+//! use haven_modality::{detect::detect, truth_table::TruthTable};
+//!
+//! let tt = TruthTable::parse("a b out\n0 0 0\n0 1 0\n1 0 0\n1 1 1")?;
+//! assert!(tt.to_natural_language().contains("If a=1, b=1, then out=1"));
+//! # Ok::<(), haven_modality::error::ParseModalityError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod error;
+pub mod state_diagram;
+pub mod truth_table;
+pub mod waveform;
+
+pub use detect::{detect, ModalityBlock, ModalityKind, ParsedModality};
+pub use state_diagram::StateDiagram;
+pub use truth_table::TruthTable;
+pub use waveform::Waveform;

@@ -1,0 +1,259 @@
+//! The state-diagram modality: the edge-list notation from the paper
+//! (`A[out=0]-[x=0]->B`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ParseModalityError;
+use haven_spec::ir::FsmSpec;
+
+/// One transition edge `FROM[out=V]-[in=B]->TO`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateEdge {
+    /// Source state name.
+    pub from: String,
+    /// Moore output value in the source state.
+    pub output: u64,
+    /// Input signal name on the edge label.
+    pub input: String,
+    /// Input value (0/1) that takes this edge.
+    pub input_value: u8,
+    /// Destination state name.
+    pub to: String,
+}
+
+/// A parsed textual state diagram.
+///
+/// # Examples
+///
+/// ```
+/// use haven_modality::state_diagram::StateDiagram;
+/// let sd = StateDiagram::parse(
+///     "A[out=0]-[x=0]->B\nA[out=0]-[x=1]->A\nB[out=1]-[x=0]->A\nB[out=1]-[x=1]->B",
+/// )?;
+/// assert_eq!(sd.states(), vec!["A", "B"]);
+/// # Ok::<(), haven_modality::error::ParseModalityError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateDiagram {
+    /// Edges in declaration order; the first edge's source is the initial
+    /// state.
+    pub edges: Vec<StateEdge>,
+}
+
+impl StateDiagram {
+    /// Parses one edge per line: `A[out=0]-[x=0]->B`. `==` is accepted in
+    /// the input condition (`-[in==1]->`), matching the paper's Table II.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed edges, non-binary labels, or
+    /// diagrams without edges.
+    pub fn parse(text: &str) -> Result<StateDiagram, ParseModalityError> {
+        let err = |m: &str| ParseModalityError::new("state diagram", m);
+        let mut edges = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            edges.push(parse_edge(line).ok_or_else(|| err(&format!("bad edge `{line}`")))?);
+        }
+        if edges.is_empty() {
+            return Err(err("no edges"));
+        }
+        Ok(StateDiagram { edges })
+    }
+
+    /// State names in first-appearance order (sources first).
+    pub fn states(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for e in &self.edges {
+            if !out.contains(&e.from.as_str()) {
+                out.push(&e.from);
+            }
+        }
+        for e in &self.edges {
+            if !out.contains(&e.to.as_str()) {
+                out.push(&e.to);
+            }
+        }
+        out
+    }
+
+    /// Renders back to the edge-list text format.
+    pub fn to_text(&self) -> String {
+        self.edges
+            .iter()
+            .map(|e| {
+                format!(
+                    "{}[out={}]-[{}={}]->{}",
+                    e.from, e.output, e.input, e.input_value, e.to
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// The structured CoT interpretation of Table III:
+    /// `States&Outputs: ... State transition: 1. From state A: If x = 0,
+    /// then transit to state B; ...`.
+    pub fn to_natural_language(&self) -> String {
+        let states = self.states();
+        let mut s = String::from("States&Outputs: ");
+        for (i, st) in states.iter().enumerate() {
+            let out = self
+                .edges
+                .iter()
+                .find(|e| &e.from == st)
+                .map(|e| e.output)
+                .unwrap_or(0);
+            s.push_str(&format!("{}. state {st}(out={out}); ", i + 1));
+        }
+        s.push_str("\nState transition: ");
+        for (i, st) in states.iter().enumerate() {
+            let mut clauses = Vec::new();
+            for e in self.edges.iter().filter(|e| &e.from == st) {
+                clauses.push(format!(
+                    "If {} = {}, then transit to state {}",
+                    e.input, e.input_value, e.to
+                ));
+            }
+            if !clauses.is_empty() {
+                s.push_str(&format!("{}. From state {st}: {}; ", i + 1, clauses.join("; ")));
+            }
+        }
+        s.trim_end().to_string()
+    }
+
+    /// Converts to an [`FsmSpec`] over the (single) edge input signal.
+    ///
+    /// Missing transitions self-loop; the first edge's source state is the
+    /// initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if edges reference more than one input signal.
+    pub fn to_fsm_spec(&self, output: &str, output_width: usize) -> Result<FsmSpec, ParseModalityError> {
+        let err = |m: &str| ParseModalityError::new("state diagram", m);
+        let input = self.edges[0].input.clone();
+        if self.edges.iter().any(|e| e.input != input) {
+            return Err(err("edges reference multiple input signals"));
+        }
+        let states: Vec<String> = self.states().iter().map(|s| s.to_string()).collect();
+        let idx = |name: &str| states.iter().position(|s| s == name).expect("known state");
+        let mut transitions: Vec<(usize, usize)> = (0..states.len()).map(|i| (i, i)).collect();
+        let mut outputs = vec![0u64; states.len()];
+        for e in &self.edges {
+            let f = idx(&e.from);
+            let t = idx(&e.to);
+            if e.input_value == 0 {
+                transitions[f].0 = t;
+            } else {
+                transitions[f].1 = t;
+            }
+            outputs[f] = e.output;
+        }
+        Ok(FsmSpec {
+            states,
+            initial: 0,
+            input,
+            output: output.to_string(),
+            transitions,
+            outputs,
+            output_width,
+        })
+    }
+}
+
+fn parse_edge(line: &str) -> Option<StateEdge> {
+    // FROM [ out = V ] - [ IN =(=)? B ] -> TO
+    let (from, rest) = line.split_once('[')?;
+    let (out_part, rest) = rest.split_once(']')?;
+    let rest = rest.trim().strip_prefix('-')?;
+    let rest = rest.trim().strip_prefix('[')?;
+    let (cond_part, rest) = rest.split_once(']')?;
+    let rest = rest.trim().strip_prefix("->")?;
+    let to = rest.trim();
+
+    let (okey, oval) = out_part.split_once('=')?;
+    if !okey.trim().eq_ignore_ascii_case("out") && !okey.trim().is_empty() {
+        // accept any output label name
+    }
+    let output: u64 = oval.trim().parse().ok()?;
+
+    let cond = cond_part.replace("==", "=");
+    let (ikey, ival) = cond.split_once('=')?;
+    let input_value: u8 = ival.trim().parse().ok()?;
+    if input_value > 1 {
+        return None;
+    }
+    let from = from.trim();
+    if from.is_empty() || to.is_empty() {
+        return None;
+    }
+    Some(StateEdge {
+        from: from.to_string(),
+        output,
+        input: ikey.trim().to_string(),
+        input_value,
+        to: to.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AB: &str = "A[out=0]-[x=0]->B\nA[out=0]-[x=1]->A\nB[out=1]-[x=0]->A\nB[out=1]-[x=1]->B";
+
+    #[test]
+    fn parse_roundtrip() {
+        let sd = StateDiagram::parse(AB).unwrap();
+        assert_eq!(StateDiagram::parse(&sd.to_text()).unwrap(), sd);
+    }
+
+    #[test]
+    fn double_equals_accepted() {
+        let sd = StateDiagram::parse("A[out=0]-[in==0]->B\nA[out=0]-[in==1]->A").unwrap();
+        assert_eq!(sd.edges[0].input, "in");
+        assert_eq!(sd.edges[0].input_value, 0);
+    }
+
+    #[test]
+    fn states_in_first_appearance_order() {
+        let sd = StateDiagram::parse(AB).unwrap();
+        assert_eq!(sd.states(), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn fsm_spec_matches_paper_semantics() {
+        let sd = StateDiagram::parse(AB).unwrap();
+        let f = sd.to_fsm_spec("out", 1).unwrap();
+        assert_eq!(f.states, vec!["A", "B"]);
+        assert_eq!(f.transitions, vec![(1, 0), (0, 1)]);
+        assert_eq!(f.outputs, vec![0, 1]);
+        assert_eq!(f.initial, 0);
+    }
+
+    #[test]
+    fn natural_language_matches_table_iii_shape() {
+        let nl = StateDiagram::parse(AB).unwrap().to_natural_language();
+        assert!(nl.contains("1. state A(out=0);"));
+        assert!(nl.contains("2. state B(out=1);"));
+        assert!(nl.contains("From state A: If x = 0, then transit to state B"));
+    }
+
+    #[test]
+    fn malformed_edges_rejected() {
+        assert!(StateDiagram::parse("A->B").is_err());
+        assert!(StateDiagram::parse("A[out=0]-[x=2]->B").is_err());
+        assert!(StateDiagram::parse("").is_err());
+    }
+
+    #[test]
+    fn multiple_inputs_rejected_in_fsm_conversion() {
+        let sd =
+            StateDiagram::parse("A[out=0]-[x=0]->B\nB[out=1]-[w=0]->A").unwrap();
+        assert!(sd.to_fsm_spec("out", 1).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! The truth-table modality: the tabular format HDL engineers paste into
+//! specs (Table I / Table III of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ParseModalityError;
+use haven_spec::ir::TruthTableSpec;
+
+/// A parsed textual truth table.
+///
+/// # Examples
+///
+/// ```
+/// use haven_modality::truth_table::TruthTable;
+/// let tt = TruthTable::parse("a b out\n0 0 0\n0 1 0\n1 0 0\n1 1 1\n")?;
+/// assert_eq!(tt.inputs, vec!["a", "b"]);
+/// assert_eq!(tt.lookup(0b11), Some(1));
+/// # Ok::<(), haven_modality::error::ParseModalityError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TruthTable {
+    /// Input column names.
+    pub inputs: Vec<String>,
+    /// Output column names.
+    pub outputs: Vec<String>,
+    /// `(input_bits, output_bits)` rows; first input column is the MSB.
+    pub rows: Vec<(u64, u64)>,
+}
+
+/// Column names treated as outputs when splitting a header.
+fn is_output_name(name: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    n.starts_with("out")
+        || n.starts_with('y')
+        || n.starts_with('z')
+        || n.starts_with('f')
+        || n.starts_with('q')
+}
+
+impl TruthTable {
+    /// Parses the whitespace- or pipe-separated tabular format:
+    ///
+    /// ```text
+    /// a b out
+    /// 0 0 0
+    /// 0 1 0
+    /// 1 0 0
+    /// 1 1 1
+    /// ```
+    ///
+    /// The header row names the columns; columns named `out*`/`y*`/`z*`/
+    /// `f*`/`q*` (and always at least the last column) are outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the header is missing, a row's width differs
+    /// from the header, or a cell is not `0`/`1`.
+    pub fn parse(text: &str) -> Result<TruthTable, ParseModalityError> {
+        let err = |m: &str| ParseModalityError::new("truth table", m);
+        let mut lines = text
+            .lines()
+            .map(|l| l.replace('|', " "))
+            .map(|l| l.trim().to_string())
+            .filter(|l| !l.is_empty() && !l.chars().all(|c| "-+= ".contains(c)));
+        let header = lines.next().ok_or_else(|| err("empty block"))?;
+        let columns: Vec<String> = header.split_whitespace().map(str::to_string).collect();
+        if columns.len() < 2 {
+            return Err(err("header needs at least one input and one output"));
+        }
+        // Split columns: outputs are the trailing run of output-named
+        // columns (at minimum the last column).
+        let mut split = columns.len() - 1;
+        while split > 1 && is_output_name(&columns[split - 1]) {
+            split -= 1;
+        }
+        let inputs: Vec<String> = columns[..split].to_vec();
+        let outputs: Vec<String> = columns[split..].to_vec();
+
+        let mut rows = Vec::new();
+        for line in lines {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            if cells.len() != columns.len() {
+                return Err(err(&format!(
+                    "row `{line}` has {} cells, header has {}",
+                    cells.len(),
+                    columns.len()
+                )));
+            }
+            let mut in_bits = 0u64;
+            for c in &cells[..split] {
+                in_bits = in_bits << 1
+                    | match *c {
+                        "0" => 0,
+                        "1" => 1,
+                        other => return Err(err(&format!("bad cell `{other}`"))),
+                    };
+            }
+            let mut out_bits = 0u64;
+            for c in &cells[split..] {
+                out_bits = out_bits << 1
+                    | match *c {
+                        "0" => 0,
+                        "1" => 1,
+                        other => return Err(err(&format!("bad cell `{other}`"))),
+                    };
+            }
+            rows.push((in_bits, out_bits));
+        }
+        if rows.is_empty() {
+            return Err(err("no data rows"));
+        }
+        Ok(TruthTable {
+            inputs,
+            outputs,
+            rows,
+        })
+    }
+
+    /// Renders back to the tabular text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.inputs.join(" "));
+        out.push(' ');
+        out.push_str(&self.outputs.join(" "));
+        out.push('\n');
+        for (i, o) in &self.rows {
+            let mut cells = Vec::new();
+            for k in (0..self.inputs.len()).rev() {
+                cells.push(((i >> k) & 1).to_string());
+            }
+            for k in (0..self.outputs.len()).rev() {
+                cells.push(((o >> k) & 1).to_string());
+            }
+            out.push_str(&cells.join(" "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The structured natural-language interpretation of Table III:
+    /// `Variables: 1. a(input); ... Rules: 1. If a=0, b=0, then out=0; ...`.
+    pub fn to_natural_language(&self) -> String {
+        let mut s = String::from("Variables: ");
+        let mut n = 1;
+        for i in &self.inputs {
+            s.push_str(&format!("{n}. {i}(input); "));
+            n += 1;
+        }
+        for o in &self.outputs {
+            s.push_str(&format!("{n}. {o}(output); "));
+            n += 1;
+        }
+        s.push_str("\nRules: ");
+        for (k, (ib, ob)) in self.rows.iter().enumerate() {
+            let mut conds = Vec::new();
+            for (idx, name) in self.inputs.iter().enumerate() {
+                let bit = ib >> (self.inputs.len() - 1 - idx) & 1;
+                conds.push(format!("{name}={bit}"));
+            }
+            let mut effects = Vec::new();
+            for (idx, name) in self.outputs.iter().enumerate() {
+                let bit = ob >> (self.outputs.len() - 1 - idx) & 1;
+                effects.push(format!("{name}={bit}"));
+            }
+            s.push_str(&format!(
+                "{}. If {}, then {}; ",
+                k + 1,
+                conds.join(", "),
+                effects.join(", ")
+            ));
+        }
+        s.trim_end().to_string()
+    }
+
+    /// Output bits for an input combination.
+    pub fn lookup(&self, input_bits: u64) -> Option<u64> {
+        self.rows
+            .iter()
+            .find(|(i, _)| *i == input_bits)
+            .map(|(_, o)| *o)
+    }
+
+    /// Converts into the spec-level representation.
+    pub fn to_spec(&self) -> TruthTableSpec {
+        TruthTableSpec {
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+            rows: self.rows.clone(),
+        }
+    }
+
+    /// Builds the textual table from a spec-level table.
+    pub fn from_spec(spec: &TruthTableSpec) -> TruthTable {
+        TruthTable {
+            inputs: spec.inputs.clone(),
+            outputs: spec.outputs.clone(),
+            rows: spec.rows.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AND: &str = "a b out\n0 0 0\n0 1 0\n1 0 0\n1 1 1\n";
+
+    #[test]
+    fn parse_roundtrip() {
+        let tt = TruthTable::parse(AND).unwrap();
+        assert_eq!(TruthTable::parse(&tt.to_text()).unwrap(), tt);
+    }
+
+    #[test]
+    fn pipe_separated_tables_parse() {
+        let tt = TruthTable::parse("| a | b | out |\n| 0 | 1 | 1 |\n| 1 | 0 | 0 |\n").unwrap();
+        assert_eq!(tt.rows, vec![(0b01, 1), (0b10, 0)]);
+    }
+
+    #[test]
+    fn multi_output_split() {
+        let tt = TruthTable::parse("a b y z\n0 0 0 1\n1 1 1 0\n").unwrap();
+        assert_eq!(tt.inputs, vec!["a", "b"]);
+        assert_eq!(tt.outputs, vec!["y", "z"]);
+        assert_eq!(tt.lookup(0b11), Some(0b10));
+    }
+
+    #[test]
+    fn last_column_is_output_even_without_out_name() {
+        let tt = TruthTable::parse("p s r\n0 0 1\n").unwrap();
+        assert_eq!(tt.inputs, vec!["p", "s"]);
+        assert_eq!(tt.outputs, vec!["r"]);
+    }
+
+    #[test]
+    fn q_named_columns_count_as_outputs() {
+        // `q` is conventionally an output (register) name.
+        let tt = TruthTable::parse("p q r\n0 0 1\n").unwrap();
+        assert_eq!(tt.inputs, vec!["p"]);
+        assert_eq!(tt.outputs, vec!["q", "r"]);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        assert!(TruthTable::parse("a b out\n0 0\n").is_err());
+        assert!(TruthTable::parse("a b out\n0 2 1\n").is_err());
+        assert!(TruthTable::parse("a b out\n").is_err());
+    }
+
+    #[test]
+    fn natural_language_matches_table_iii_shape() {
+        let nl = TruthTable::parse(AND).unwrap().to_natural_language();
+        assert!(nl.starts_with("Variables: 1. a(input); 2. b(input); 3. out(output);"));
+        assert!(nl.contains("1. If a=0, b=0, then out=0;"));
+        assert!(nl.contains("4. If a=1, b=1, then out=1;"));
+    }
+
+    #[test]
+    fn separator_lines_are_skipped() {
+        let tt = TruthTable::parse("a b out\n----\n0 0 1\n").unwrap();
+        assert_eq!(tt.rows.len(), 1);
+    }
+}

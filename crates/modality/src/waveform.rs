@@ -1,0 +1,253 @@
+//! The waveform-chart modality: per-signal sample rows
+//! (`a: 0 1 1 0` / `time(ns): 0 10 20 30`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ParseModalityError;
+
+/// One sampled logic level.
+pub type Sample = u8;
+
+/// A parsed textual waveform chart.
+///
+/// # Examples
+///
+/// ```
+/// use haven_modality::waveform::Waveform;
+/// let w = Waveform::parse("a: 0 1 1 0\nb: 1 0 1 0\nout: 1 0 0 1\ntime(ns): 0 10 20 30")?;
+/// assert_eq!(w.len(), 4);
+/// assert_eq!(w.signal("out").unwrap()[0], 1);
+/// # Ok::<(), haven_modality::error::ParseModalityError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Waveform {
+    /// `(signal name, samples)` in declaration order.
+    pub signals: Vec<(String, Vec<Sample>)>,
+    /// Sample timestamps in ns, when the chart has a time row.
+    pub time: Option<Vec<u64>>,
+}
+
+fn is_output_name(name: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    n.starts_with("out") || n.starts_with('y') || n.starts_with('z') || n.starts_with('f')
+}
+
+impl Waveform {
+    /// Parses `name: v v v ...` rows. A `time`/`time(ns)`/`t` row becomes
+    /// the timestamp axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when rows have differing lengths, no rows are
+    /// present, or samples are not `0`/`1`.
+    pub fn parse(text: &str) -> Result<Waveform, ParseModalityError> {
+        let err = |m: &str| ParseModalityError::new("waveform chart", m);
+        let mut signals = Vec::new();
+        let mut time = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((name, rest)) = line.split_once(':') else {
+                return Err(err(&format!("line `{line}` has no `name:` prefix")));
+            };
+            let name = name.trim();
+            let is_time = {
+                let n = name.to_ascii_lowercase();
+                n == "t" || n == "time" || n.starts_with("time(")
+            };
+            if is_time {
+                let stamps: Result<Vec<u64>, _> = rest
+                    .split_whitespace()
+                    .map(|t| t.trim_end_matches("ns").parse::<u64>())
+                    .collect();
+                time = Some(stamps.map_err(|_| err("bad timestamp"))?);
+            } else {
+                let samples: Result<Vec<Sample>, ParseModalityError> = rest
+                    .split_whitespace()
+                    .map(|s| match s {
+                        "0" => Ok(0),
+                        "1" => Ok(1),
+                        other => Err(err(&format!("bad sample `{other}`"))),
+                    })
+                    .collect();
+                signals.push((name.to_string(), samples?));
+            }
+        }
+        if signals.is_empty() {
+            return Err(err("no signal rows"));
+        }
+        let n = signals[0].1.len();
+        if n == 0 {
+            return Err(err("signal rows have no samples"));
+        }
+        for (name, samples) in &signals {
+            if samples.len() != n {
+                return Err(err(&format!(
+                    "signal `{name}` has {} samples, expected {n}",
+                    samples.len()
+                )));
+            }
+        }
+        if let Some(t) = &time {
+            if t.len() != n {
+                return Err(err("time row length differs from signal rows"));
+            }
+        }
+        Ok(Waveform { signals, time })
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.signals.first().map_or(0, |(_, s)| s.len())
+    }
+
+    /// `true` when the chart has no sample points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Samples of one signal.
+    pub fn signal(&self, name: &str) -> Option<&[Sample]> {
+        self.signals
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.as_slice())
+    }
+
+    /// Input signal names (everything not output-named).
+    pub fn input_names(&self) -> Vec<&str> {
+        self.signals
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .filter(|n| !is_output_name(n))
+            .collect()
+    }
+
+    /// Output signal names.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.signals
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .filter(|n| is_output_name(n))
+            .collect()
+    }
+
+    /// Renders back to the chart text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, samples) in &self.signals {
+            out.push_str(&format!(
+                "{name}: {}\n",
+                samples
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+        }
+        if let Some(t) = &self.time {
+            out.push_str(&format!(
+                "time(ns): {}\n",
+                t.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+            ));
+        }
+        out
+    }
+
+    /// The structured interpretation of Table III:
+    /// `Variables: ... Rules: When time is 0ns, a=0, b=1, out=1; ...`.
+    pub fn to_natural_language(&self) -> String {
+        let mut s = String::from("Variables: ");
+        let mut n = 1;
+        for name in self.input_names() {
+            s.push_str(&format!("{n}. {name}(input); "));
+            n += 1;
+        }
+        for name in self.output_names() {
+            s.push_str(&format!("{n}. {name}(output); "));
+            n += 1;
+        }
+        s.push_str("\nRules: ");
+        for k in 0..self.len() {
+            let when = match &self.time {
+                Some(t) => format!("When time is {}ns", t[k]),
+                None => format!("At sample {k}"),
+            };
+            let vals: Vec<String> = self
+                .signals
+                .iter()
+                .map(|(name, samples)| format!("{name}={}", samples[k]))
+                .collect();
+            s.push_str(&format!("{when}, {}; ", vals.join(", ")));
+        }
+        s.trim_end().to_string()
+    }
+
+    /// Interprets the chart as samples of a combinational function:
+    /// `(packed input bits, packed output bits)` per sample point, first
+    /// input row = MSB. Duplicate input combinations keep first-seen value.
+    pub fn to_samples(&self) -> Vec<(u64, u64)> {
+        let ins = self.input_names();
+        let outs = self.output_names();
+        let mut seen = Vec::new();
+        let mut result = Vec::new();
+        for k in 0..self.len() {
+            let mut ib = 0u64;
+            for name in &ins {
+                ib = ib << 1 | u64::from(self.signal(name).expect("named signal")[k]);
+            }
+            if seen.contains(&ib) {
+                continue;
+            }
+            seen.push(ib);
+            let mut ob = 0u64;
+            for name in &outs {
+                ob = ob << 1 | u64::from(self.signal(name).expect("named signal")[k]);
+            }
+            result.push((ib, ob));
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XNOR: &str = "a: 0 1 1 0\nb: 1 0 1 0\nout: 0 0 1 1\ntime(ns): 0 10 20 30";
+
+    #[test]
+    fn parse_roundtrip() {
+        let w = Waveform::parse(XNOR).unwrap();
+        assert_eq!(Waveform::parse(&w.to_text()).unwrap(), w);
+    }
+
+    #[test]
+    fn input_output_split() {
+        let w = Waveform::parse(XNOR).unwrap();
+        assert_eq!(w.input_names(), vec!["a", "b"]);
+        assert_eq!(w.output_names(), vec!["out"]);
+    }
+
+    #[test]
+    fn samples_pack_and_dedup() {
+        let w = Waveform::parse("a: 0 0 1\nb: 1 1 0\nout: 1 1 0").unwrap();
+        assert_eq!(w.to_samples(), vec![(0b01, 1), (0b10, 0)]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(Waveform::parse("a: 0 1\nout: 1").is_err());
+        assert!(Waveform::parse("a: 0 2\nout: 1 1").is_err());
+        assert!(Waveform::parse("time(ns): 0 10").is_err());
+    }
+
+    #[test]
+    fn natural_language_mentions_times() {
+        let nl = Waveform::parse(XNOR).unwrap().to_natural_language();
+        assert!(nl.contains("When time is 0ns, a=0, b=1, out=0;"));
+        assert!(nl.contains("When time is 30ns, a=0, b=0, out=1;"));
+    }
+}

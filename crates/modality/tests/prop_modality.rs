@@ -1,0 +1,147 @@
+//! Property tests for modality parsers and emitters.
+
+use haven_modality::state_diagram::{StateDiagram, StateEdge};
+use haven_modality::truth_table::TruthTable;
+use haven_modality::waveform::Waveform;
+use haven_modality::{detect, ModalityKind};
+use proptest::prelude::*;
+
+fn arb_truth_table() -> impl Strategy<Value = TruthTable> {
+    (2usize..=4, proptest::collection::vec(0u64..2, 4..=16)).prop_map(|(n, outs)| {
+        let names = ["a", "b", "c", "d"];
+        let rows: Vec<(u64, u64)> = outs
+            .iter()
+            .take(1 << n)
+            .enumerate()
+            .map(|(i, &o)| (i as u64, o))
+            .collect();
+        TruthTable {
+            inputs: names[..n].iter().map(|s| s.to_string()).collect(),
+            outputs: vec!["out".to_string()],
+            rows,
+        }
+    })
+}
+
+fn arb_waveform() -> impl Strategy<Value = Waveform> {
+    (2usize..=3, 2usize..=8, any::<u64>()).prop_map(|(n_sig, n_samples, seed)| {
+        let mut x = seed | 1;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33 & 1) as u8
+        };
+        let mut signals: Vec<(String, Vec<u8>)> = Vec::new();
+        for k in 0..n_sig {
+            signals.push((
+                ["a", "b", "c"][k].to_string(),
+                (0..n_samples).map(|_| next()).collect(),
+            ));
+        }
+        signals.push(("out".to_string(), (0..n_samples).map(|_| next()).collect()));
+        Waveform {
+            signals,
+            time: Some((0..n_samples as u64).map(|i| i * 10).collect()),
+        }
+    })
+}
+
+fn arb_state_diagram() -> impl Strategy<Value = StateDiagram> {
+    (2usize..=4, any::<u64>()).prop_map(|(n, seed)| {
+        let mut x = seed | 1;
+        let mut next = |m: usize| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as usize % m
+        };
+        let states: Vec<String> = (0..n).map(|i| format!("S{i}")).collect();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            let out = next(2) as u64;
+            for v in 0..2u8 {
+                edges.push(StateEdge {
+                    from: states[i].clone(),
+                    output: out,
+                    input: "x".to_string(),
+                    input_value: v,
+                    to: states[next(n)].clone(),
+                });
+            }
+        }
+        StateDiagram { edges }
+    })
+}
+
+proptest! {
+    #[test]
+    fn truth_table_text_roundtrips(tt in arb_truth_table()) {
+        let parsed = TruthTable::parse(&tt.to_text()).unwrap();
+        prop_assert_eq!(parsed, tt);
+    }
+
+    #[test]
+    fn truth_table_detected_in_prose(tt in arb_truth_table()) {
+        let prompt = format!("Implement the table below\n{}\nThanks.", tt.to_text());
+        let blocks = detect::detect(&prompt);
+        prop_assert_eq!(blocks.len(), 1);
+        prop_assert_eq!(blocks[0].kind, ModalityKind::TruthTable);
+    }
+
+    #[test]
+    fn waveform_text_roundtrips(w in arb_waveform()) {
+        let parsed = Waveform::parse(&w.to_text()).unwrap();
+        prop_assert_eq!(parsed, w);
+    }
+
+    #[test]
+    fn waveform_samples_are_consistent(w in arb_waveform()) {
+        // Every (input combo, output) sample pair must agree with the
+        // chart columns at its first occurrence.
+        let samples = w.to_samples();
+        let ins = w.input_names();
+        for (ib, ob) in samples {
+            // find the first sample index with this input combination
+            let idx = (0..w.len()).find(|&k| {
+                let mut packed = 0u64;
+                for name in &ins {
+                    packed = packed << 1 | u64::from(w.signal(name).unwrap()[k]);
+                }
+                packed == ib
+            });
+            prop_assert!(idx.is_some());
+            let k = idx.unwrap();
+            let mut packed_out = 0u64;
+            for name in w.output_names() {
+                packed_out = packed_out << 1 | u64::from(w.signal(name).unwrap()[k]);
+            }
+            prop_assert_eq!(packed_out, ob);
+        }
+    }
+
+    #[test]
+    fn state_diagram_text_roundtrips(sd in arb_state_diagram()) {
+        let parsed = StateDiagram::parse(&sd.to_text()).unwrap();
+        prop_assert_eq!(parsed, sd);
+    }
+
+    #[test]
+    fn state_diagram_nl_preserves_transitions(sd in arb_state_diagram()) {
+        // The Table III NL rendering parses back (via the lm-side parser
+        // in cross-crate tests); here: NL mentions every transition.
+        let nl = sd.to_natural_language();
+        for e in &sd.edges {
+            prop_assert!(
+                nl.contains(&format!("If {} = {}, then transit to state {}", e.input, e.input_value, e.to)),
+                "{nl}"
+            );
+        }
+    }
+
+    #[test]
+    fn fsm_conversion_covers_both_input_values(sd in arb_state_diagram()) {
+        let f = sd.to_fsm_spec("out", 1).unwrap();
+        prop_assert_eq!(f.transitions.len(), f.states.len());
+        for (t0, t1) in &f.transitions {
+            prop_assert!(*t0 < f.states.len());
+            prop_assert!(*t1 < f.states.len());
+        }
+    }
+}

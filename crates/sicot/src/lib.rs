@@ -1,0 +1,224 @@
+//! # haven-sicot
+//!
+//! Symbolic-Interpretation Chain-of-Thought (SI-CoT) — the prompt
+//! refinement stage of HaVen (paper §III-B, Fig. 1):
+//!
+//! 1. **Identify symbolic components** in the user prompt
+//!    ([`haven_modality::detect()`][haven_modality::detect::detect]).
+//! 2. **Parse regular modalities** (truth tables, waveform charts) with an
+//!    external parser, and **interpret state diagrams** with the CoT
+//!    prompting model; both are rewritten into the structured
+//!    natural-language forms of Table III.
+//! 3. **Add a module header** when the instruction lacks one.
+//!
+//! The refined prompt is then fed to the CodeGen-LLM, which reads
+//! structured NL far more reliably than raw symbols — that differential is
+//! exactly the mechanism the paper's Tables V/VI measure.
+
+#![warn(missing_docs)]
+
+use haven_lm::model::CodeGenModel;
+use haven_modality::detect::{detect, ModalityKind, ParsedModality};
+use serde::{Deserialize, Serialize};
+
+/// One action SI-CoT took while refining a prompt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CotStep {
+    /// Step 1 found a symbolic block of this kind.
+    Identified(ModalityKind),
+    /// Step 2 parsed a regular modality with the external parser.
+    Parsed(ModalityKind),
+    /// Step 2 interpreted a state diagram with the CoT prompting model.
+    Interpreted,
+    /// Step 3 appended a module header.
+    HeaderAdded,
+}
+
+/// The output of SI-CoT refinement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefinedPrompt {
+    /// The rewritten instruction text.
+    pub text: String,
+    /// Steps taken, in order.
+    pub steps: Vec<CotStep>,
+}
+
+impl RefinedPrompt {
+    /// Whether refinement changed the prompt at all.
+    pub fn changed(&self) -> bool {
+        !self.steps.is_empty()
+    }
+}
+
+/// The SI-CoT prompt refiner. Wraps a *CoT prompting model* — in the
+/// paper, the same pre-trained LLM that also generates code.
+#[derive(Debug, Clone)]
+pub struct SiCot {
+    cot_model: CodeGenModel,
+}
+
+impl SiCot {
+    /// Creates the refiner around a CoT prompting model.
+    pub fn new(cot_model: CodeGenModel) -> SiCot {
+        SiCot { cot_model }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &CodeGenModel {
+        &self.cot_model
+    }
+
+    /// Runs the three SI-CoT steps on a prompt.
+    ///
+    /// Prompts with no symbolic components pass through unchanged except
+    /// for header completion; parser-illegible blocks are left raw.
+    pub fn refine(&self, prompt: &str, task_id: &str) -> RefinedPrompt {
+        let mut steps = Vec::new();
+        // Step 1: identify symbolic components.
+        let blocks = detect(prompt);
+        let mut text = prompt.to_string();
+        // Replace blocks bottom-up so earlier line numbers stay valid.
+        for block in blocks.iter().rev() {
+            steps.push(CotStep::Identified(block.kind));
+            let replacement = match block.parse() {
+                // Step 2a: regular modalities go through the parser.
+                Ok(ParsedModality::TruthTable(tt)) => {
+                    steps.push(CotStep::Parsed(ModalityKind::TruthTable));
+                    tt.to_natural_language()
+                }
+                Ok(ParsedModality::Waveform(w)) => {
+                    steps.push(CotStep::Parsed(ModalityKind::Waveform));
+                    w.to_natural_language()
+                }
+                // Step 2b: state diagrams go through the CoT model.
+                Ok(ParsedModality::StateDiagram(sd)) => {
+                    steps.push(CotStep::Interpreted);
+                    self.cot_model.interpret_state_diagram(&sd, task_id)
+                }
+                // Illegible block: leave it in place.
+                Err(_) => continue,
+            };
+            let lines: Vec<&str> = text.lines().collect();
+            let mut new_lines: Vec<String> = Vec::new();
+            new_lines.extend(lines[..block.start_line].iter().map(|s| s.to_string()));
+            new_lines.push(replacement);
+            new_lines.extend(lines[block.end_line..].iter().map(|s| s.to_string()));
+            text = new_lines.join("\n");
+        }
+        steps.reverse();
+
+        // Step 3: append a module header when the instruction lacks one.
+        if !has_header(&text) {
+            if let Ok(p) = haven_lm::perception::perceive(&text) {
+                let header = haven_spec::codegen::emit_header(&p.spec);
+                text.push_str(&format!("\nThe module header is: `{header}`"));
+                steps.push(CotStep::HeaderAdded);
+            }
+        }
+        RefinedPrompt { text, steps }
+    }
+}
+
+fn has_header(text: &str) -> bool {
+    for (idx, _) in text.match_indices("module ") {
+        let tail = &text[idx..];
+        if let Some(end) = tail.find(';') {
+            if haven_verilog::parser::parse(&format!("{} endmodule", &tail[..=end])).is_ok() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haven_lm::profiles::ModelProfile;
+
+    fn refiner(skill: f64) -> SiCot {
+        SiCot::new(CodeGenModel::new(
+            ModelProfile::uniform("cot-model", skill),
+            0.2,
+        ))
+    }
+
+    const SD_PROMPT: &str = "Implement the finite state machine named `fsm` described by the state diagram below, using the conventional three-process FSM style.\nA[out=0]-[x=0]->B\nA[out=0]-[x=1]->A\nB[out=1]-[x=0]->A\nB[out=1]-[x=1]->B\nUse an asynchronous active-low reset named `rst_n`.\nThe module header is: `module fsm (input clk, input rst_n, input x, output out);`";
+
+    #[test]
+    fn state_diagram_is_interpreted_into_structured_nl() {
+        let r = refiner(1.0).refine(SD_PROMPT, "t1");
+        assert!(r.steps.contains(&CotStep::Interpreted));
+        assert!(r.text.contains("States&Outputs:"), "{}", r.text);
+        assert!(!r.text.contains("]->"), "raw edges should be gone:\n{}", r.text);
+        // The refined prompt still perceives to the same FSM.
+        let p = haven_lm::perception::perceive(&r.text).unwrap();
+        let haven_spec::Behavior::Fsm(f) = &p.spec.behavior else {
+            panic!()
+        };
+        assert_eq!(f.transitions, vec![(1, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn truth_table_goes_through_the_parser_exactly() {
+        let prompt = "Implement a combinational module named `tt` realizing the truth table below.\na b out\n0 0 0\n0 1 0\n1 0 0\n1 1 1\nThe module header is: `module tt (input a, input b, output out);`";
+        // Even a hopeless CoT model parses regular modalities perfectly —
+        // that is the point of using an external parser.
+        let r = refiner(0.01).refine(prompt, "t2");
+        assert!(r.steps.contains(&CotStep::Parsed(ModalityKind::TruthTable)));
+        assert!(r.text.contains("Rules:"));
+        let p = haven_lm::perception::perceive(&r.text).unwrap();
+        let haven_spec::Behavior::TruthTable(tt) = &p.spec.behavior else {
+            panic!()
+        };
+        assert_eq!(tt.lookup(0b11), 1);
+    }
+
+    #[test]
+    fn waveform_goes_through_the_parser() {
+        let prompt = "Implement a combinational module named `w`.\na: 0 1 0 1\nb: 0 0 1 1\nout: 0 1 1 0\ntime(ns): 0 10 20 30";
+        let r = refiner(0.01).refine(prompt, "t3");
+        assert!(r.steps.contains(&CotStep::Parsed(ModalityKind::Waveform)));
+        assert!(r.text.contains("When time is 0ns"));
+    }
+
+    #[test]
+    fn header_added_when_missing() {
+        let prompt = "Implement a 4-bit up counter named `cnt` with output `q`.\nUse an asynchronous active-low reset named `rst_n`.";
+        let r = refiner(1.0).refine(prompt, "t4");
+        assert!(r.steps.contains(&CotStep::HeaderAdded));
+        assert!(
+            r.text.contains("module cnt (input clk, input rst_n, output [3:0] q);"),
+            "{}",
+            r.text
+        );
+    }
+
+    #[test]
+    fn plain_prose_with_header_passes_through() {
+        let prompt = "Implement a 4-bit up counter named `cnt` with output `q`.\nThe module header is: `module cnt (input clk, input rst_n, output [3:0] q);`\nUse an asynchronous active-low reset named `rst_n`.";
+        let r = refiner(1.0).refine(prompt, "t5");
+        assert!(!r.changed());
+        assert_eq!(r.text, prompt);
+    }
+
+    #[test]
+    fn weak_cot_model_can_bake_in_a_misinterpretation() {
+        // With a very weak CoT model, some task seeds produce a corrupted
+        // structured interpretation (SI-CoT helps but is not magic).
+        let weak = refiner(0.01);
+        let mut corrupted = 0;
+        for i in 0..30 {
+            let r = weak.refine(SD_PROMPT, &format!("task-{i}"));
+            let p = haven_lm::perception::perceive(&r.text).unwrap();
+            let haven_spec::Behavior::Fsm(f) = &p.spec.behavior else {
+                panic!()
+            };
+            if f.transitions != vec![(1, 0), (0, 1)] {
+                corrupted += 1;
+            }
+        }
+        assert!(corrupted > 0, "weak CoT model never misinterpreted");
+        assert!(corrupted < 30, "weak CoT model always misinterpreted");
+    }
+}

@@ -1,0 +1,62 @@
+//! SI-CoT refinement properties: idempotency, multi-block handling and
+//! total robustness on arbitrary prompts.
+
+use haven_lm::model::CodeGenModel;
+use haven_lm::profiles::ModelProfile;
+use haven_sicot::SiCot;
+use proptest::prelude::*;
+
+fn refiner() -> SiCot {
+    SiCot::new(CodeGenModel::new(ModelProfile::uniform("ref", 1.0), 0.2))
+}
+
+#[test]
+fn refinement_is_idempotent() {
+    let prompt = "Implement the finite state machine named `fsm` described by the state diagram below, using the conventional three-process FSM style.\nA[out=0]-[x=0]->B\nA[out=0]-[x=1]->A\nB[out=1]-[x=0]->A\nB[out=1]-[x=1]->B\nUse an asynchronous active-low reset named `rst_n`.";
+    let r = refiner();
+    let once = r.refine(prompt, "idem");
+    let twice = r.refine(&once.text, "idem");
+    assert_eq!(once.text, twice.text, "second refinement changed the text");
+    assert!(!twice.changed(), "second refinement reported steps: {:?}", twice.steps);
+}
+
+#[test]
+fn multiple_blocks_are_all_interpreted() {
+    let prompt = "Implement a module combining the table and diagram below.\na b out\n0 0 0\n0 1 1\n1 0 1\n1 1 0\nand the FSM:\nA[out=0]-[x=0]->B\nA[out=0]-[x=1]->A";
+    let r = refiner().refine(prompt, "multi");
+    assert!(r.text.contains("Rules:"), "{}", r.text);
+    assert!(r.text.contains("States&Outputs:"), "{}", r.text);
+    assert!(!r.text.contains("]->"), "{}", r.text);
+}
+
+#[test]
+fn chat_enveloped_prompts_refine_in_place() {
+    let prompt = "Question:\nImplement a combinational module named `tt` realizing the truth table below.\na b out\n0 0 1\n0 1 0\n1 0 0\n1 1 1\nThe module header is: `module tt (input a, input b, output out);`\nAnswer:";
+    let r = refiner().refine(prompt, "chat");
+    assert!(r.text.contains("Rules:"), "{}", r.text);
+    assert!(r.text.starts_with("Question:"), "envelope lost: {}", r.text);
+}
+
+proptest! {
+    /// Refinement never panics and never loses non-symbolic lines.
+    #[test]
+    fn refine_is_total_and_preserves_prose(prose in "[ -~]{0,120}") {
+        let r = refiner().refine(&prose, "fuzz");
+        let _ = r.text;
+    }
+
+    /// Perception never panics on arbitrary input.
+    #[test]
+    fn perceive_is_total(junk in ".{0,200}") {
+        let _ = haven_lm::perception::perceive(&junk);
+    }
+
+    /// Generation never panics even on junk prompts, and always returns
+    /// non-empty text.
+    #[test]
+    fn generation_is_total(junk in "[ -~]{0,150}", sample in 0usize..4) {
+        let model = CodeGenModel::new(ModelProfile::uniform("fuzz", 0.5), 0.5);
+        let out = model.generate(&junk, "fuzz-task", sample);
+        prop_assert!(!out.is_empty());
+    }
+}

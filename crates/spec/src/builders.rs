@@ -1,0 +1,316 @@
+//! Convenience constructors for common specs.
+//!
+//! These are the module classes the paper's exemplar library covers
+//! (FSMs, clock dividers, counters, shift registers, ALUs, plus the
+//! combinational staples used by the benchmark suites).
+
+use haven_verilog::ast::{BinaryOp, Expr};
+
+use crate::ir::*;
+
+/// Two-input gate `y = a <op> b` (1-bit).
+pub fn gate(name: &str, op: BinaryOp) -> Spec {
+    Spec {
+        name: name.to_string(),
+        inputs: vec![PortSpec::bit("a"), PortSpec::bit("b")],
+        outputs: vec![PortSpec::bit("y")],
+        behavior: Behavior::Comb(vec![CombRule {
+            output: "y".into(),
+            expr: Expr::Binary(op, Box::new(Expr::ident("a")), Box::new(Expr::ident("b"))),
+        }]),
+        attrs: AttrSpec::default(),
+    }
+}
+
+/// Arbitrary single-output combinational logic `y = expr(inputs)`.
+pub fn comb(name: &str, inputs: Vec<PortSpec>, output: PortSpec, expr: Expr) -> Spec {
+    Spec {
+        name: name.to_string(),
+        inputs,
+        behavior: Behavior::Comb(vec![CombRule {
+            output: output.name.clone(),
+            expr,
+        }]),
+        outputs: vec![output],
+        attrs: AttrSpec::default(),
+    }
+}
+
+/// `width`-bit ripple adder `s = a + b` (no carry out).
+pub fn adder(name: &str, width: usize) -> Spec {
+    Spec {
+        name: name.to_string(),
+        inputs: vec![PortSpec::new("a", width), PortSpec::new("b", width)],
+        outputs: vec![PortSpec::new("s", width)],
+        behavior: Behavior::Comb(vec![CombRule {
+            output: "s".into(),
+            expr: Expr::Binary(
+                BinaryOp::Add,
+                Box::new(Expr::ident("a")),
+                Box::new(Expr::ident("b")),
+            ),
+        }]),
+        attrs: AttrSpec::default(),
+    }
+}
+
+/// 2-to-1 multiplexer over `width`-bit data.
+pub fn mux2(name: &str, width: usize) -> Spec {
+    Spec {
+        name: name.to_string(),
+        inputs: vec![
+            PortSpec::new("a", width),
+            PortSpec::new("b", width),
+            PortSpec::bit("sel"),
+        ],
+        outputs: vec![PortSpec::new("y", width)],
+        behavior: Behavior::Comb(vec![CombRule {
+            output: "y".into(),
+            expr: Expr::Ternary(
+                Box::new(Expr::ident("sel")),
+                Box::new(Expr::ident("b")),
+                Box::new(Expr::ident("a")),
+            ),
+        }]),
+        attrs: AttrSpec::default(),
+    }
+}
+
+/// Magnitude comparator `lt = a < b`.
+pub fn comparator(name: &str, width: usize) -> Spec {
+    Spec {
+        name: name.to_string(),
+        inputs: vec![PortSpec::new("a", width), PortSpec::new("b", width)],
+        outputs: vec![PortSpec::bit("lt")],
+        behavior: Behavior::Comb(vec![CombRule {
+            output: "lt".into(),
+            expr: Expr::Binary(
+                BinaryOp::Lt,
+                Box::new(Expr::ident("a")),
+                Box::new(Expr::ident("b")),
+            ),
+        }]),
+        attrs: AttrSpec::default(),
+    }
+}
+
+/// Binary-to-one-hot decoder (`sel` bits in, `2^sel` bits out).
+pub fn decoder(name: &str, sel_width: usize) -> Spec {
+    let out_width = 1usize << sel_width;
+    Spec {
+        name: name.to_string(),
+        inputs: vec![PortSpec::new("sel", sel_width)],
+        outputs: vec![PortSpec::new("y", out_width)],
+        behavior: Behavior::Comb(vec![CombRule {
+            output: "y".into(),
+            expr: Expr::Binary(
+                BinaryOp::Shl,
+                Box::new(Expr::lit(1, out_width)),
+                Box::new(Expr::ident("sel")),
+            ),
+        }]),
+        attrs: AttrSpec::default(),
+    }
+}
+
+/// Truth-table spec over 1-bit columns.
+pub fn truth_table_spec(
+    name: &str,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    rows: Vec<(u64, u64)>,
+) -> Spec {
+    Spec {
+        name: name.to_string(),
+        inputs: inputs.iter().map(PortSpec::bit).collect(),
+        outputs: outputs.iter().map(PortSpec::bit).collect(),
+        behavior: Behavior::TruthTable(TruthTableSpec {
+            inputs,
+            outputs,
+            rows,
+        }),
+        attrs: AttrSpec::default(),
+    }
+}
+
+/// The paper's running two-state Moore FSM (Table I / Table III):
+/// `A[out=0]-[x=0]->B, A-[x=1]->A, B[out=1]-[x=0]->A, B-[x=1]->B`.
+pub fn fsm_ab(name: &str) -> Spec {
+    fsm(
+        name,
+        vec!["A".into(), "B".into()],
+        0,
+        vec![(1, 0), (0, 1)],
+        vec![0, 1],
+    )
+}
+
+/// A Moore FSM over a 1-bit input `x` with output `out`.
+pub fn fsm(
+    name: &str,
+    states: Vec<String>,
+    initial: usize,
+    transitions: Vec<(usize, usize)>,
+    outputs: Vec<u64>,
+) -> Spec {
+    let output_width = outputs
+        .iter()
+        .map(|&o| 64 - o.leading_zeros() as usize)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    Spec {
+        name: name.to_string(),
+        inputs: vec![PortSpec::bit("x")],
+        outputs: vec![PortSpec::new("out", output_width)],
+        behavior: Behavior::Fsm(FsmSpec {
+            states,
+            initial,
+            input: "x".into(),
+            output: "out".into(),
+            transitions,
+            outputs,
+            output_width,
+        }),
+        attrs: AttrSpec::conventional(),
+    }
+}
+
+/// Up counter with optional modulus, conventional attributes, output `q`.
+pub fn counter(name: &str, width: usize, modulus: Option<u64>) -> Spec {
+    Spec {
+        name: name.to_string(),
+        inputs: vec![],
+        outputs: vec![PortSpec::new("q", width)],
+        behavior: Behavior::Counter(CounterSpec {
+            width,
+            direction: CountDirection::Up,
+            modulus,
+            output: "q".into(),
+        }),
+        attrs: AttrSpec::conventional(),
+    }
+}
+
+/// Down counter.
+pub fn down_counter(name: &str, width: usize, modulus: Option<u64>) -> Spec {
+    let mut s = counter(name, width, modulus);
+    if let Behavior::Counter(c) = &mut s.behavior {
+        c.direction = CountDirection::Down;
+    }
+    s
+}
+
+/// Serial-in parallel-out shift register with input `din`, output `q`.
+pub fn shift_register(name: &str, width: usize, direction: ShiftDirection) -> Spec {
+    Spec {
+        name: name.to_string(),
+        inputs: vec![PortSpec::bit("din")],
+        outputs: vec![PortSpec::new("q", width)],
+        behavior: Behavior::ShiftReg(ShiftRegSpec {
+            width,
+            direction,
+            serial_in: "din".into(),
+            output: "q".into(),
+        }),
+        attrs: AttrSpec::conventional(),
+    }
+}
+
+/// Clock divider with output `clk_out` toggling every `half_period` cycles.
+pub fn clock_divider(name: &str, half_period: u64) -> Spec {
+    Spec {
+        name: name.to_string(),
+        inputs: vec![],
+        outputs: vec![PortSpec::bit("clk_out")],
+        behavior: Behavior::ClockDiv(ClockDivSpec {
+            half_period,
+            output: "clk_out".into(),
+        }),
+        attrs: AttrSpec::conventional(),
+    }
+}
+
+/// `stages`-deep pipeline register, input `d`, output `q`.
+pub fn pipeline(name: &str, width: usize, stages: usize) -> Spec {
+    Spec {
+        name: name.to_string(),
+        inputs: vec![PortSpec::new("d", width)],
+        outputs: vec![PortSpec::new("q", width)],
+        behavior: Behavior::Register(RegisterSpec {
+            width,
+            input: "d".into(),
+            output: "q".into(),
+            stages,
+        }),
+        attrs: AttrSpec::conventional(),
+    }
+}
+
+/// Simple D register (1-stage pipeline).
+pub fn register(name: &str, width: usize) -> Spec {
+    pipeline(name, width, 1)
+}
+
+/// Combinational ALU over ports `a`, `b`, `op` → `y`.
+pub fn alu(name: &str, width: usize, ops: Vec<AluOp>) -> Spec {
+    let spec = AluSpec {
+        width,
+        ops,
+        a: "a".into(),
+        b: "b".into(),
+        op: "op".into(),
+        y: "y".into(),
+    };
+    Spec {
+        name: name.to_string(),
+        inputs: vec![
+            PortSpec::new("a", width),
+            PortSpec::new("b", width),
+            PortSpec::new("op", spec.op_width()),
+        ],
+        outputs: vec![PortSpec::new("y", width)],
+        behavior: Behavior::Alu(spec),
+        attrs: AttrSpec::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_well_formed_specs() {
+        for spec in [
+            gate("g", BinaryOp::BitAnd),
+            adder("a", 4),
+            mux2("m", 8),
+            comparator("c", 4),
+            decoder("d", 2),
+            fsm_ab("f"),
+            counter("cnt", 4, Some(10)),
+            down_counter("dc", 4, None),
+            shift_register("sr", 8, ShiftDirection::Right),
+            clock_divider("cd", 5),
+            pipeline("p", 8, 3),
+            alu("alu", 8, vec![AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or]),
+        ] {
+            for p in spec.all_inputs().iter().chain(spec.outputs.iter()) {
+                assert!(p.width >= 1 && p.width <= 64, "{}: {}", spec.name, p.name);
+            }
+            assert!(!spec.outputs.is_empty());
+        }
+    }
+
+    #[test]
+    fn sequential_specs_have_clocks() {
+        assert!(counter("c", 4, None)
+            .all_inputs()
+            .iter()
+            .any(|p| p.name == "clk"));
+        assert!(!gate("g", BinaryOp::BitOr)
+            .all_inputs()
+            .iter()
+            .any(|p| p.name == "clk"));
+    }
+}

@@ -1,0 +1,615 @@
+//! Emits Verilog source from a [`Spec`].
+//!
+//! [`EmitStyle`] exposes the convention-level choices an HDL engineer (or a
+//! hallucinating model) makes: blocking vs non-blocking in sequential
+//! blocks, `default` arms, reset style, clock edge and enable polarity.
+//! `EmitStyle::correct()` emission is verified (in `cosim` tests) to match
+//! the [`GoldenModel`](crate::golden::GoldenModel) cycle-for-cycle; each
+//! deviation knob produces *compilable* Verilog that misbehaves in exactly
+//! the way the corresponding hallucination sub-type describes.
+
+use std::fmt::Write as _;
+
+use haven_verilog::analyze::ResetKind;
+use haven_verilog::ast::Edge;
+use haven_verilog::pretty::pretty_expr;
+
+use crate::ir::*;
+
+/// Convention-level emission choices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmitStyle {
+    /// Use `<=` in edge-triggered blocks (correct) or `=` (hallucinated).
+    pub nonblocking_in_seq: bool,
+    /// Emit `default` arms in combinational `case` statements.
+    pub case_default: bool,
+    /// Override the spec's reset style (misunderstanding-attributes
+    /// hallucination); `None` keeps the spec's style.
+    pub reset_kind_override: Option<ResetKind>,
+    /// Override the clock edge; `None` keeps the spec's edge.
+    pub edge_override: Option<Edge>,
+    /// Invert the enable polarity (active-high ↔ active-low confusion).
+    pub flip_enable_polarity: bool,
+    /// Use an `always @(*)` block for combinational rules instead of
+    /// `assign` (stylistic diversity for the synthetic corpus).
+    pub comb_always_block: bool,
+    /// Keep the reset port in the header but never use it (the
+    /// missing-reset convention error); the module powers up unknown.
+    pub ignore_reset: bool,
+}
+
+impl EmitStyle {
+    /// The conventions a careful HDL engineer follows.
+    pub fn correct() -> EmitStyle {
+        EmitStyle {
+            nonblocking_in_seq: true,
+            case_default: true,
+            reset_kind_override: None,
+            edge_override: None,
+            flip_enable_polarity: false,
+            comb_always_block: false,
+            ignore_reset: false,
+        }
+    }
+}
+
+impl Default for EmitStyle {
+    fn default() -> EmitStyle {
+        EmitStyle::correct()
+    }
+}
+
+/// Renders a spec as a complete Verilog module.
+///
+/// # Examples
+///
+/// ```
+/// use haven_spec::{builders, codegen::{emit, EmitStyle}};
+/// use haven_verilog::elab::compile;
+/// let src = emit(&builders::counter("cnt", 4, None), &EmitStyle::correct());
+/// assert!(compile(&src).is_ok());
+/// ```
+pub fn emit(spec: &Spec, style: &EmitStyle) -> String {
+    let mut ctx = Emitter {
+        spec,
+        style,
+        out: String::new(),
+    };
+    ctx.module();
+    ctx.out
+}
+
+/// The module header (name + port list) alone — what SI-CoT appends when a
+/// prompt lacks one (Fig. 1 step 3).
+pub fn emit_header(spec: &Spec) -> String {
+    let mut ports = Vec::new();
+    for p in spec.all_inputs() {
+        ports.push(format!("input {}{}", range_of(p.width), p.name));
+    }
+    for p in &spec.outputs {
+        ports.push(format!("output {}{}", range_of(p.width), p.name));
+    }
+    format!("module {} ({});", spec.name, ports.join(", "))
+}
+
+fn range_of(width: usize) -> String {
+    if width == 1 {
+        String::new()
+    } else {
+        format!("[{}:0] ", width - 1)
+    }
+}
+
+fn lit(value: u64, width: usize) -> String {
+    format!("{width}'d{value}")
+}
+
+struct Emitter<'a> {
+    spec: &'a Spec,
+    style: &'a EmitStyle,
+    out: String,
+}
+
+impl Emitter<'_> {
+    fn push(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    fn line(&mut self, indent: usize, s: &str) {
+        for _ in 0..indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    /// Outputs written procedurally must be declared `reg`.
+    fn output_is_reg(&self, name: &str) -> bool {
+        match &self.spec.behavior {
+            Behavior::Comb(_) => self.style.comb_always_block,
+            Behavior::TruthTable(_) | Behavior::Alu(_) => true,
+            Behavior::Fsm(f) => name == f.output,
+            Behavior::Counter(c) => name == c.output,
+            Behavior::ShiftReg(s) => name == s.output,
+            Behavior::ClockDiv(c) => name == c.output,
+            Behavior::Register(r) => name == r.output,
+        }
+    }
+
+    fn module(&mut self) {
+        let spec = self.spec;
+        let mut ports = Vec::new();
+        for p in spec.all_inputs() {
+            ports.push(format!("input {}{}", range_of(p.width), p.name));
+        }
+        for p in &spec.outputs {
+            let reg = if self.output_is_reg(&p.name) {
+                "reg "
+            } else {
+                ""
+            };
+            ports.push(format!("output {reg}{}{}", range_of(p.width), p.name));
+        }
+        self.push(&format!("module {} (\n    {}\n);\n", spec.name, ports.join(",\n    ")));
+        match &spec.behavior {
+            Behavior::Comb(rules) => self.comb(rules),
+            Behavior::TruthTable(tt) => self.truth_table(tt),
+            Behavior::Fsm(f) => self.fsm(f),
+            Behavior::Counter(c) => self.counter(c),
+            Behavior::ShiftReg(s) => self.shift_reg(s),
+            Behavior::ClockDiv(c) => self.clock_div(c),
+            Behavior::Register(r) => self.register(r),
+            Behavior::Alu(a) => self.alu(a),
+        }
+        self.push("endmodule\n");
+    }
+
+    // ---- sequential scaffolding ----------------------------------------
+
+    fn reset(&self) -> Option<ResetSpec> {
+        if self.style.ignore_reset {
+            return None;
+        }
+        let mut reset = self.spec.attrs.reset.clone()?;
+        if let Some(kind) = self.style.reset_kind_override {
+            reset.kind = kind;
+        }
+        Some(reset)
+    }
+
+    fn edge(&self) -> Edge {
+        self.style.edge_override.unwrap_or(self.spec.attrs.edge)
+    }
+
+    fn sensitivity(&self) -> String {
+        let clk = &self.spec.attrs.clock;
+        let edge = match self.edge() {
+            Edge::Pos => "posedge",
+            Edge::Neg => "negedge",
+        };
+        match self.reset() {
+            Some(r) if r.kind.is_async() => {
+                let redge = match r.kind {
+                    ResetKind::AsyncActiveLow => "negedge",
+                    _ => "posedge",
+                };
+                format!("@({edge} {clk} or {redge} {})", r.name)
+            }
+            _ => format!("@({edge} {clk})"),
+        }
+    }
+
+    /// The expression that is true while reset is asserted.
+    fn reset_cond(&self, r: &ResetSpec) -> String {
+        let active_low = match r.kind {
+            ResetKind::AsyncActiveLow => true,
+            ResetKind::AsyncActiveHigh => false,
+            ResetKind::Sync => r.name.ends_with("_n"),
+        };
+        if active_low {
+            format!("!{}", r.name)
+        } else {
+            r.name.clone()
+        }
+    }
+
+    fn enable_cond(&self) -> Option<String> {
+        let en = self.spec.attrs.enable.as_ref()?;
+        let active_high = en.active_high ^ self.style.flip_enable_polarity;
+        Some(if active_high {
+            en.name.clone()
+        } else {
+            format!("!{}", en.name)
+        })
+    }
+
+    fn seq_assign(&self) -> &'static str {
+        if self.style.nonblocking_in_seq {
+            "<="
+        } else {
+            "="
+        }
+    }
+
+    /// Emits a standard sequential block:
+    /// reset → `reset_body`; else (under enable if any) → `update_body`.
+    fn seq_block(&mut self, reset_body: &[String], update_body: &[String]) {
+        let sens = self.sensitivity();
+        self.line(1, &format!("always {sens}"));
+        match self.reset() {
+            Some(r) => {
+                let cond = self.reset_cond(&r);
+                if reset_body.len() == 1 {
+                    self.line(2, &format!("if ({cond}) {}", reset_body[0]));
+                } else {
+                    self.line(2, &format!("if ({cond}) begin"));
+                    for s in reset_body {
+                        self.line(3, s);
+                    }
+                    self.line(2, "end");
+                }
+                match self.enable_cond() {
+                    Some(en) => self.emit_branch(&format!("else if ({en})"), update_body),
+                    None => self.emit_branch("else", update_body),
+                }
+            }
+            None => match self.enable_cond() {
+                Some(en) => self.emit_branch(&format!("if ({en})"), update_body),
+                None => {
+                    if update_body.len() == 1 {
+                        self.line(2, &update_body[0]);
+                    } else {
+                        self.line(2, "begin");
+                        for s in update_body {
+                            self.line(3, s);
+                        }
+                        self.line(2, "end");
+                    }
+                }
+            },
+        }
+    }
+
+    fn emit_branch(&mut self, head: &str, body: &[String]) {
+        if body.len() == 1 {
+            self.line(2, &format!("{head} {}", body[0]));
+        } else {
+            self.line(2, &format!("{head} begin"));
+            for s in body {
+                self.line(3, s);
+            }
+            self.line(2, "end");
+        }
+    }
+
+    // ---- behaviours ------------------------------------------------------
+
+    fn comb(&mut self, rules: &[CombRule]) {
+        if self.style.comb_always_block {
+            self.line(1, "always @(*) begin");
+            for rule in rules {
+                let e = pretty_expr(&rule.expr);
+                self.line(2, &format!("{} = {};", rule.output, e));
+            }
+            self.line(1, "end");
+        } else {
+            for rule in rules {
+                let e = pretty_expr(&rule.expr);
+                self.line(1, &format!("assign {} = {};", rule.output, e));
+            }
+        }
+    }
+
+    fn truth_table(&mut self, tt: &TruthTableSpec) {
+        let sel = format!("{{{}}}", tt.inputs.join(", "));
+        let n = tt.inputs.len();
+        self.line(1, "always @(*)");
+        self.line(2, &format!("case ({sel})"));
+        for (i, o) in &tt.rows {
+            let assigns: Vec<String> = tt
+                .outputs
+                .iter()
+                .enumerate()
+                .map(|(k, name)| {
+                    let shift = tt.outputs.len() - 1 - k;
+                    format!("{name} = {};", lit(o >> shift & 1, 1))
+                })
+                .collect();
+            if assigns.len() == 1 {
+                self.line(3, &format!("{}: {}", lit(*i, n), assigns[0]));
+            } else {
+                self.line(3, &format!("{}: begin {} end", lit(*i, n), assigns.join(" ")));
+            }
+        }
+        if self.style.case_default {
+            let assigns: Vec<String> = tt
+                .outputs
+                .iter()
+                .map(|name| format!("{name} = {};", lit(0, 1)))
+                .collect();
+            if assigns.len() == 1 {
+                self.line(3, &format!("default: {}", assigns[0]));
+            } else {
+                self.line(3, &format!("default: begin {} end", assigns.join(" ")));
+            }
+        }
+        self.line(2, "endcase");
+    }
+
+    fn fsm(&mut self, f: &FsmSpec) {
+        let sw = f.state_width();
+        let params: Vec<String> = f
+            .states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("S_{} = {}", s.to_uppercase(), lit(i as u64, sw)))
+            .collect();
+        self.line(1, &format!("localparam {};", params.join(", ")));
+        self.line(1, &format!("reg [{}:0] state, next_state;", sw - 1));
+        // 1: state register
+        let asg = self.seq_assign();
+        let init = format!("S_{}", f.states[f.initial].to_uppercase());
+        self.seq_block(
+            &[format!("state {asg} {init};")],
+            &[format!("state {asg} next_state;")],
+        );
+        // 2: next-state logic
+        self.line(1, "always @(*)");
+        self.line(2, "case (state)");
+        for (i, s) in f.states.iter().enumerate() {
+            let (t0, t1) = f.transitions[i];
+            self.line(
+                3,
+                &format!(
+                    "S_{}: next_state = {} ? S_{} : S_{};",
+                    s.to_uppercase(),
+                    f.input,
+                    f.states[t1].to_uppercase(),
+                    f.states[t0].to_uppercase()
+                ),
+            );
+        }
+        if self.style.case_default {
+            self.line(3, &format!("default: next_state = {init};"));
+        }
+        self.line(2, "endcase");
+        // 3: output logic
+        self.line(1, "always @(*)");
+        self.line(2, "case (state)");
+        for (i, s) in f.states.iter().enumerate() {
+            self.line(
+                3,
+                &format!(
+                    "S_{}: {} = {};",
+                    s.to_uppercase(),
+                    f.output,
+                    lit(f.outputs[i], f.output_width)
+                ),
+            );
+        }
+        if self.style.case_default {
+            self.line(
+                3,
+                &format!(
+                    "default: {} = {};",
+                    f.output,
+                    lit(f.outputs[f.initial], f.output_width)
+                ),
+            );
+        }
+        self.line(2, "endcase");
+    }
+
+    fn counter(&mut self, c: &CounterSpec) {
+        let asg = self.seq_assign();
+        let q = &c.output;
+        let w = c.width;
+        // A modulus at or above the natural 2^width wrap is the natural wrap.
+        let natural = if w >= 64 { u64::MAX } else { 1u64 << w };
+        let modulus = c.modulus.filter(|&m| m < natural);
+        let update = match (c.direction, modulus) {
+            (CountDirection::Up, None) => vec![format!("{q} {asg} {q} + {};", lit(1, w))],
+            (CountDirection::Down, None) => vec![format!("{q} {asg} {q} - {};", lit(1, w))],
+            (CountDirection::Up, Some(m)) => vec![format!(
+                "if ({q} == {}) {q} {asg} {}; else {q} {asg} {q} + {};",
+                lit(m - 1, w),
+                lit(0, w),
+                lit(1, w)
+            )],
+            (CountDirection::Down, Some(m)) => vec![format!(
+                "if ({q} == {}) {q} {asg} {}; else {q} {asg} {q} - {};",
+                lit(0, w),
+                lit(m - 1, w),
+                lit(1, w)
+            )],
+        };
+        self.seq_block(&[format!("{q} {asg} {};", lit(0, w))], &update);
+    }
+
+    fn shift_reg(&mut self, s: &ShiftRegSpec) {
+        let asg = self.seq_assign();
+        let q = &s.output;
+        let w = s.width;
+        let update = if w == 1 {
+            vec![format!("{q} {asg} {};", s.serial_in)]
+        } else {
+            match s.direction {
+                ShiftDirection::Left => {
+                    vec![format!("{q} {asg} {{{q}[{}:0], {}}};", w - 2, s.serial_in)]
+                }
+                ShiftDirection::Right => {
+                    vec![format!("{q} {asg} {{{}, {q}[{}:1]}};", s.serial_in, w - 1)]
+                }
+            }
+        };
+        self.seq_block(&[format!("{q} {asg} {};", lit(0, w))], &update);
+    }
+
+    fn clock_div(&mut self, c: &ClockDivSpec) {
+        let asg = self.seq_assign();
+        let q = &c.output;
+        let cw = (64 - (c.half_period.max(2) - 1).leading_zeros()) as usize;
+        self.line(1, &format!("reg [{}:0] cnt;", cw - 1));
+        let update = vec![format!(
+            "if (cnt == {}) begin cnt {asg} {}; {q} {asg} ~{q}; end else cnt {asg} cnt + {};",
+            lit(c.half_period - 1, cw),
+            lit(0, cw),
+            lit(1, cw)
+        )];
+        self.seq_block(
+            &[
+                format!("cnt {asg} {};", lit(0, cw)),
+                format!("{q} {asg} {};", lit(0, 1)),
+            ],
+            &update,
+        );
+    }
+
+    fn register(&mut self, r: &RegisterSpec) {
+        let asg = self.seq_assign();
+        let w = r.width;
+        if r.stages <= 1 {
+            self.seq_block(
+                &[format!("{} {asg} {};", r.output, lit(0, w))],
+                &[format!("{} {asg} {};", r.output, r.input)],
+            );
+            return;
+        }
+        let mut decl = String::new();
+        for i in 1..=r.stages - 1 {
+            let _ = write!(decl, "stage{i}");
+            if i < r.stages - 1 {
+                decl.push_str(", ");
+            }
+        }
+        self.line(1, &format!("reg {}{decl};", range_of(w)));
+        let mut resets = vec![format!("{} {asg} {};", r.output, lit(0, w))];
+        let mut updates = Vec::new();
+        for i in 1..=r.stages - 1 {
+            resets.push(format!("stage{i} {asg} {};", lit(0, w)));
+        }
+        updates.push(format!("stage1 {asg} {};", r.input));
+        for i in 2..=r.stages - 1 {
+            updates.push(format!("stage{i} {asg} stage{};", i - 1));
+        }
+        updates.push(format!("{} {asg} stage{};", r.output, r.stages - 1));
+        self.seq_block(&resets, &updates);
+    }
+
+    fn alu(&mut self, a: &AluSpec) {
+        let ow = a.op_width();
+        self.line(1, "always @(*)");
+        self.line(2, &format!("case ({})", a.op));
+        for (i, op) in a.ops.iter().enumerate() {
+            let expr = alu_expr(*op, &a.a, &a.b);
+            self.line(3, &format!("{}: {} = {expr};", lit(i as u64, ow), a.y));
+        }
+        if self.style.case_default {
+            let last = alu_expr(*a.ops.last().expect("ALU has ops"), &a.a, &a.b);
+            self.line(3, &format!("default: {} = {last};", a.y));
+        }
+        self.line(2, "endcase");
+    }
+}
+
+fn alu_expr(op: AluOp, a: &str, b: &str) -> String {
+    match op {
+        AluOp::Add => format!("{a} + {b}"),
+        AluOp::Sub => format!("{a} - {b}"),
+        AluOp::And => format!("{a} & {b}"),
+        AluOp::Or => format!("{a} | {b}"),
+        AluOp::Xor => format!("{a} ^ {b}"),
+        AluOp::NotA => format!("~{a}"),
+        AluOp::ShlA => format!("{a} << 1"),
+        AluOp::ShrA => format!("{a} >> 1"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use haven_verilog::elab::compile;
+
+    #[test]
+    fn all_builders_emit_compilable_verilog() {
+        let specs = vec![
+            builders::gate("g", haven_verilog::ast::BinaryOp::BitAnd),
+            builders::adder("a", 8),
+            builders::mux2("m", 4),
+            builders::comparator("cmp", 4),
+            builders::decoder("dec", 3),
+            builders::truth_table_spec(
+                "tt",
+                vec!["a".into(), "b".into(), "c".into()],
+                vec!["y".into()],
+                (0..8).map(|i| (i, (i % 3 == 0) as u64)).collect(),
+            ),
+            builders::fsm_ab("fsm"),
+            builders::counter("cnt", 4, Some(10)),
+            builders::down_counter("dcnt", 6, None),
+            builders::shift_register("sr", 8, crate::ir::ShiftDirection::Right),
+            builders::shift_register("sl", 1, crate::ir::ShiftDirection::Left),
+            builders::clock_divider("cd", 4),
+            builders::pipeline("pipe", 8, 3),
+            builders::register("r", 16),
+            builders::alu(
+                "alu",
+                8,
+                vec![AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor],
+            ),
+        ];
+        for spec in specs {
+            let src = emit(&spec, &EmitStyle::correct());
+            compile(&src).unwrap_or_else(|e| panic!("{}: {e}\n{src}", spec.name));
+        }
+    }
+
+    #[test]
+    fn style_knobs_still_compile() {
+        let spec = builders::counter("c", 4, Some(12));
+        for style in [
+            EmitStyle {
+                nonblocking_in_seq: false,
+                ..EmitStyle::correct()
+            },
+            EmitStyle {
+                reset_kind_override: Some(ResetKind::Sync),
+                ..EmitStyle::correct()
+            },
+            EmitStyle {
+                edge_override: Some(Edge::Neg),
+                ..EmitStyle::correct()
+            },
+            EmitStyle {
+                case_default: false,
+                ..EmitStyle::correct()
+            },
+        ] {
+            let src = emit(&spec, &style);
+            compile(&src).unwrap_or_else(|e| panic!("{style:?}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn header_lists_all_ports() {
+        let h = emit_header(&builders::counter("c", 4, None));
+        assert_eq!(h, "module c (input clk, input rst_n, output [3:0] q);");
+    }
+
+    #[test]
+    fn wrong_reset_style_changes_sensitivity() {
+        let spec = builders::counter("c", 4, None);
+        let ok = emit(&spec, &EmitStyle::correct());
+        assert!(ok.contains("negedge rst_n"));
+        let bad = emit(
+            &spec,
+            &EmitStyle {
+                reset_kind_override: Some(ResetKind::Sync),
+                ..EmitStyle::correct()
+            },
+        );
+        assert!(!bad.contains("negedge rst_n"));
+        assert!(bad.contains("if (!rst_n)"));
+    }
+}

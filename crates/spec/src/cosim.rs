@@ -1,0 +1,424 @@
+//! Co-simulation: runs Verilog source and the golden model through the
+//! same test program and compares outputs at every checkpoint.
+//!
+//! This is the reproduction's *functional correctness* oracle — the role
+//! the paper's benchmark testbenches play.
+
+use haven_verilog::elab::compile;
+use haven_verilog::sim::Simulator;
+use haven_verilog::VerilogError;
+use serde::{Deserialize, Serialize};
+
+use crate::golden::GoldenModel;
+use crate::ir::Spec;
+use crate::stimuli::{Stimuli, StimulusStep};
+
+/// Why a candidate failed (or that it passed).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Compiles and matches the golden model at every checkpoint.
+    Pass,
+    /// Lex/parse/elaboration failure — the syntax-fail bucket.
+    SyntaxError(String),
+    /// Compiles, but the interface doesn't bind (missing/renamed ports).
+    InterfaceError(String),
+    /// Compiles and binds, but outputs diverge from the golden model.
+    FunctionalMismatch {
+        /// First differing checkpoint (0-based).
+        at_check: usize,
+        /// Description of the first mismatch.
+        detail: String,
+    },
+    /// A runtime simulation failure (combinational oscillation etc.).
+    SimulationError(String),
+}
+
+impl Verdict {
+    /// Syntax-level success: everything except [`Verdict::SyntaxError`].
+    pub fn syntax_ok(&self) -> bool {
+        !matches!(self, Verdict::SyntaxError(_))
+    }
+
+    /// Full functional success.
+    pub fn functional_ok(&self) -> bool {
+        matches!(self, Verdict::Pass)
+    }
+}
+
+/// Co-simulation statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CosimReport {
+    /// Final verdict.
+    pub verdict: Verdict,
+    /// Checkpoints compared before stopping.
+    pub checks_run: usize,
+    /// Checkpoints where the golden model was fully known and compared.
+    pub checks_compared: usize,
+}
+
+fn interface_or_sim_error(
+    e: VerilogError,
+    checks_run: usize,
+    checks_compared: usize,
+) -> CosimReport {
+    let msg = e.to_string();
+    let verdict = if msg.contains("no signal") || msg.contains("non-input") {
+        Verdict::InterfaceError(msg)
+    } else {
+        Verdict::SimulationError(msg)
+    };
+    CosimReport {
+        verdict,
+        checks_run,
+        checks_compared,
+    }
+}
+
+/// Oracle options — exposed so the design choices documented in
+/// `DESIGN.md` §5 can be ablated (see `haven-bench`'s `oracle_ablation`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CosimOptions {
+    /// Compare outputs at clk-low inside every tick; this is what makes
+    /// wrong-clock-edge implementations observable.
+    pub mid_tick_checks: bool,
+}
+
+impl Default for CosimOptions {
+    fn default() -> CosimOptions {
+        CosimOptions {
+            mid_tick_checks: true,
+        }
+    }
+}
+
+/// Runs `source` against the golden model of `spec` under `stimuli`.
+///
+/// The first module in `source` is taken as the DUT. Output comparison is
+/// skipped while the golden model is unknown (`x`), exactly as a careful
+/// testbench masks don't-care windows.
+pub fn cosimulate(spec: &Spec, source: &str, stimuli: &Stimuli) -> CosimReport {
+    cosimulate_with(spec, source, stimuli, &CosimOptions::default())
+}
+
+/// [`cosimulate`] with explicit oracle options.
+pub fn cosimulate_with(
+    spec: &Spec,
+    source: &str,
+    stimuli: &Stimuli,
+    options: &CosimOptions,
+) -> CosimReport {
+    let design = match compile(source) {
+        Ok(d) => d,
+        Err(e) => {
+            return CosimReport {
+                verdict: Verdict::SyntaxError(e.to_string()),
+                checks_run: 0,
+                checks_compared: 0,
+            }
+        }
+    };
+    let mut sim = match Simulator::new(design) {
+        Ok(s) => s,
+        Err(e) => {
+            return CosimReport {
+                verdict: Verdict::SimulationError(e.to_string()),
+                checks_run: 0,
+                checks_compared: 0,
+            }
+        }
+    };
+    let mut golden = GoldenModel::new(spec);
+    let clock = spec.attrs.clock.clone();
+    let mut checks_run = 0usize;
+    let mut checks_compared = 0usize;
+
+    for step in &stimuli.steps {
+        match step {
+            StimulusStep::Set(name, value) => {
+                golden.set_input(name, *value);
+                match sim.poke_u64(name, *value) {
+                    Ok(()) => {}
+                    Err(e @ VerilogError::Simulate { .. }) => {
+                        // Distinguish missing-port binding errors from
+                        // runtime failures by the message.
+                        let msg = e.to_string();
+                        let verdict = if msg.contains("no signal") || msg.contains("non-input")
+                        {
+                            Verdict::InterfaceError(msg)
+                        } else {
+                            Verdict::SimulationError(msg)
+                        };
+                        return CosimReport {
+                            verdict,
+                            checks_run,
+                            checks_compared,
+                        };
+                    }
+                    Err(e) => {
+                        return CosimReport {
+                            verdict: Verdict::SimulationError(e.to_string()),
+                            checks_run,
+                            checks_compared,
+                        }
+                    }
+                }
+            }
+            StimulusStep::Tick => {
+                // Falling edge first, with a *mid-tick checkpoint*: a DUT
+                // built on the wrong clock edge has updated at the wrong
+                // moment and gets caught here. For posedge specs the golden
+                // model must still hold its pre-tick state at clk-low; for
+                // negedge specs the falling edge IS the active edge, so the
+                // golden model ticks first.
+                if let Err(e) = sim.poke_u64(&clock, 0) {
+                    return interface_or_sim_error(e, checks_run, checks_compared);
+                }
+                if spec.attrs.edge == haven_verilog::ast::Edge::Neg {
+                    golden.tick();
+                }
+                if options.mid_tick_checks {
+                    let expected = golden.outputs();
+                    for (name, want) in &expected {
+                        let Some(want) = want else { continue };
+                        let got = sim.peek(name).ok().and_then(|v| v.to_u64());
+                        if got != Some(*want) {
+                            return CosimReport {
+                                verdict: Verdict::FunctionalMismatch {
+                                    at_check: checks_run,
+                                    detail: format!(
+                                        "`{name}` at clk-low: expected {want}, got {}",
+                                        got.map_or("x".to_string(), |g| g.to_string())
+                                    ),
+                                },
+                                checks_run,
+                                checks_compared,
+                            };
+                        }
+                    }
+                }
+                if spec.attrs.edge != haven_verilog::ast::Edge::Neg {
+                    golden.tick();
+                }
+                if let Err(e) = sim.poke_u64(&clock, 1) {
+                    return interface_or_sim_error(e, checks_run, checks_compared);
+                }
+            }
+            StimulusStep::Check => {
+                checks_run += 1;
+                let expected = golden.outputs();
+                let mut known_any = false;
+                for (name, want) in &expected {
+                    let Some(want) = want else { continue };
+                    known_any = true;
+                    let got = match sim.peek(name) {
+                        Ok(v) => v.to_u64(),
+                        Err(e) => {
+                            return CosimReport {
+                                verdict: Verdict::InterfaceError(e.to_string()),
+                                checks_run,
+                                checks_compared,
+                            }
+                        }
+                    };
+                    if got != Some(*want) {
+                        let detail = match got {
+                            Some(g) => format!("`{name}`: expected {want}, got {g}"),
+                            None => format!("`{name}`: expected {want}, got x"),
+                        };
+                        return CosimReport {
+                            verdict: Verdict::FunctionalMismatch {
+                                at_check: checks_run - 1,
+                                detail,
+                            },
+                            checks_run,
+                            checks_compared: checks_compared + 1,
+                        };
+                    }
+                }
+                if known_any {
+                    checks_compared += 1;
+                }
+            }
+        }
+    }
+    CosimReport {
+        verdict: Verdict::Pass,
+        checks_run,
+        checks_compared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::codegen::{emit, EmitStyle};
+    use crate::stimuli::stimuli_for;
+    use haven_verilog::analyze::ResetKind;
+
+    fn check_correct(spec: &Spec) -> CosimReport {
+        let src = emit(spec, &EmitStyle::correct());
+        let stim = stimuli_for(spec, 42);
+        cosimulate(spec, &src, &stim)
+    }
+
+    /// The keystone test: for every builder, correct emission must match
+    /// the independently-written golden model at every checkpoint.
+    #[test]
+    fn correct_emission_matches_golden_for_all_builders() {
+        use crate::ir::{AluOp, ShiftDirection};
+        let specs = vec![
+            builders::gate("g", haven_verilog::ast::BinaryOp::BitXor),
+            builders::adder("a", 8),
+            builders::mux2("m", 4),
+            builders::comparator("cmp", 5),
+            builders::decoder("dec", 3),
+            builders::truth_table_spec(
+                "tt",
+                vec!["a".into(), "b".into(), "c".into()],
+                vec!["y".into(), "z".into()],
+                (0..8).map(|i| (i, i * 3 % 4)).collect(),
+            ),
+            builders::fsm_ab("fsm"),
+            builders::fsm(
+                "fsm4",
+                vec!["S0".into(), "S1".into(), "S2".into(), "S3".into()],
+                0,
+                vec![(1, 0), (2, 1), (3, 0), (3, 3)],
+                vec![0, 0, 1, 1],
+            ),
+            builders::counter("cnt", 4, Some(10)),
+            builders::counter("cnt2", 6, None),
+            builders::down_counter("dcnt", 4, Some(9)),
+            builders::shift_register("sr", 8, ShiftDirection::Right),
+            builders::shift_register("sl", 5, ShiftDirection::Left),
+            builders::clock_divider("cd", 3),
+            builders::pipeline("pipe", 8, 3),
+            builders::register("r", 16),
+            builders::alu("alu", 8, vec![AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Xor]),
+        ];
+        for spec in specs {
+            let report = check_correct(&spec);
+            assert!(
+                report.verdict.functional_ok(),
+                "{}: {:?}\n{}",
+                spec.name,
+                report.verdict,
+                emit(&spec, &EmitStyle::correct())
+            );
+            assert!(report.checks_compared > 0, "{}: nothing compared", spec.name);
+        }
+    }
+
+    #[test]
+    fn wrong_reset_style_is_caught() {
+        let spec = builders::counter("c", 4, None); // spec: async rst_n
+        let src = emit(
+            &spec,
+            &EmitStyle {
+                reset_kind_override: Some(ResetKind::Sync),
+                ..EmitStyle::correct()
+            },
+        );
+        let report = cosimulate(&spec, &src, &stimuli_for(&spec, 42));
+        assert!(
+            matches!(report.verdict, Verdict::FunctionalMismatch { .. }),
+            "{:?}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn wrong_edge_is_caught() {
+        use haven_verilog::ast::Edge;
+        let spec = builders::counter("c", 4, None);
+        let src = emit(
+            &spec,
+            &EmitStyle {
+                edge_override: Some(Edge::Neg),
+                ..EmitStyle::correct()
+            },
+        );
+        let report = cosimulate(&spec, &src, &stimuli_for(&spec, 42));
+        assert!(
+            matches!(report.verdict, Verdict::FunctionalMismatch { .. }),
+            "{:?}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn wrong_enable_polarity_is_caught() {
+        let mut spec = builders::counter("c", 4, None);
+        spec.attrs.enable = Some(crate::ir::EnableSpec {
+            name: "en".into(),
+            active_high: true,
+        });
+        let src = emit(
+            &spec,
+            &EmitStyle {
+                flip_enable_polarity: true,
+                ..EmitStyle::correct()
+            },
+        );
+        let report = cosimulate(&spec, &src, &stimuli_for(&spec, 42));
+        assert!(
+            matches!(report.verdict, Verdict::FunctionalMismatch { .. }),
+            "{:?}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn syntax_error_is_syntax_verdict() {
+        let spec = builders::adder("a", 4);
+        let report = cosimulate(&spec, "def adder(a, b): return a + b", &stimuli_for(&spec, 1));
+        assert!(matches!(report.verdict, Verdict::SyntaxError(_)));
+        assert!(!report.verdict.syntax_ok());
+    }
+
+    #[test]
+    fn wrong_ports_are_interface_errors() {
+        let spec = builders::adder("a", 4);
+        let src = "module a(input [3:0] x, input [3:0] y, output [3:0] s);\n assign s = x + y;\nendmodule";
+        let report = cosimulate(&spec, src, &stimuli_for(&spec, 1));
+        assert!(
+            matches!(report.verdict, Verdict::InterfaceError(_)),
+            "{:?}",
+            report.verdict
+        );
+        assert!(report.verdict.syntax_ok(), "interface errors still count as syntactically valid");
+    }
+
+    #[test]
+    fn wrong_operator_is_functional_mismatch() {
+        let spec = builders::gate("g", haven_verilog::ast::BinaryOp::BitAnd);
+        // hallucinated: OR instead of AND
+        let src = "module g(input a, input b, output y);\n assign y = a | b;\nendmodule";
+        let report = cosimulate(&spec, src, &stimuli_for(&spec, 1));
+        assert!(matches!(
+            report.verdict,
+            Verdict::FunctionalMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn blocking_pipeline_bug_is_caught() {
+        // 2-stage pipeline written with blocking assignments collapses to
+        // 1 stage — the co-sim must see it.
+        let spec = builders::pipeline("p", 4, 2);
+        let src = emit(
+            &spec,
+            &EmitStyle {
+                nonblocking_in_seq: false,
+                ..EmitStyle::correct()
+            },
+        );
+        let report = cosimulate(&spec, &src, &stimuli_for(&spec, 42));
+        assert!(
+            matches!(report.verdict, Verdict::FunctionalMismatch { .. }),
+            "{:?}",
+            report.verdict
+        );
+    }
+}

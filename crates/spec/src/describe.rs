@@ -1,0 +1,501 @@
+//! Rendering specs as natural-language instructions.
+//!
+//! Two registers of instruction exist in the paper's world:
+//!
+//! * **Engineer style** — precise, convention-laden phrasing with explicit
+//!   attributes and a module header: what VerilogEval-human tasks and the
+//!   K-dataset exemplars look like.
+//! * **Vanilla style** — the loose, underspecified captions a
+//!   general-purpose LLM writes for scraped code (§III-C step 5): correct
+//!   topic, but attributes and conventions dropped or vague.
+//!
+//! The engineer templates double as a *grammar*: the simulated CodeGen-LLM
+//! in `haven-lm` parses these sentences back into specs, so every template
+//! here has an inverse there. Symbolic tasks embed modality text blocks
+//! (rendered by `haven-modality`) instead of sentences; this module leaves
+//! a `{{TABLE}}`-style placeholder slot to the caller for those.
+
+use haven_verilog::analyze::ResetKind;
+use haven_verilog::ast::{BinaryOp, Edge, Expr, UnaryOp};
+use haven_verilog::pretty::pretty_expr;
+
+use crate::codegen::emit_header;
+use crate::ir::*;
+
+/// Instruction register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DescribeStyle {
+    /// Precise HDL-engineer phrasing, attributes spelled out, header given.
+    Engineer,
+    /// Loose caption: topic right, attributes and header omitted.
+    Vanilla,
+}
+
+/// Renders the attribute sentences (reset / edge / enable conventions).
+pub fn attr_sentences(attrs: &AttrSpec) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(r) = &attrs.reset {
+        let s = match r.kind {
+            ResetKind::AsyncActiveLow => {
+                format!("Use an asynchronous active-low reset named `{}`.", r.name)
+            }
+            ResetKind::AsyncActiveHigh => {
+                format!("Use an asynchronous active-high reset named `{}`.", r.name)
+            }
+            ResetKind::Sync => format!("Use a synchronous reset named `{}`.", r.name),
+        };
+        out.push(s);
+    }
+    if attrs.edge == Edge::Neg {
+        out.push(format!(
+            "Registers update on the negative edge of `{}`.",
+            attrs.clock
+        ));
+    }
+    if let Some(e) = &attrs.enable {
+        let pol = if e.active_high {
+            "active-high"
+        } else {
+            "active-low"
+        };
+        out.push(format!("Include an {pol} enable named `{}`.", e.name));
+    }
+    out
+}
+
+/// The header sentence (engineer prompts end with it; SI-CoT appends it
+/// when missing).
+pub fn header_sentence(spec: &Spec) -> String {
+    format!("The module header is: `{}`", emit_header(spec))
+}
+
+fn port_list(ports: &[PortSpec]) -> String {
+    ports
+        .iter()
+        .map(|p| {
+            if p.width == 1 {
+                format!("`{}` (1 bit)", p.name)
+            } else {
+                format!("`{}` ({} bits)", p.name, p.width)
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders the core engineer-style instruction body (without symbolic
+/// blocks — the caller inserts those after the first sentence for
+/// truth-table / waveform / state-diagram tasks).
+pub fn describe(spec: &Spec, style: DescribeStyle) -> String {
+    match style {
+        DescribeStyle::Engineer => engineer(spec),
+        DescribeStyle::Vanilla => vanilla(spec),
+    }
+}
+
+fn engineer(spec: &Spec) -> String {
+    let mut lines = Vec::new();
+    match &spec.behavior {
+        Behavior::Comb(rules) => {
+            lines.push(format!(
+                "Implement a combinational module named `{}`.",
+                spec.name
+            ));
+            lines.push(format!("Inputs: {}.", port_list(&spec.inputs)));
+            lines.push(format!("Outputs: {}.", port_list(&spec.outputs)));
+            for r in rules {
+                lines.push(format!("Function: {} = {};", r.output, pretty_expr(&r.expr)));
+            }
+        }
+        Behavior::TruthTable(tt) => {
+            lines.push(format!(
+                "Implement a combinational module named `{}` realizing the truth table below.",
+                spec.name
+            ));
+            lines.push(truth_table_text(tt));
+        }
+        Behavior::Fsm(f) => {
+            lines.push(format!(
+                "Implement the finite state machine named `{}` described by the state diagram below, using the conventional three-process FSM style.",
+                spec.name
+            ));
+            lines.push(state_diagram_text(f));
+        }
+        Behavior::Counter(c) => {
+            let dir = match c.direction {
+                CountDirection::Up => "up",
+                CountDirection::Down => "down",
+            };
+            let mut s = format!(
+                "Implement a {}-bit {dir} counter named `{}` with output `{}`.",
+                c.width, spec.name, c.output
+            );
+            if let Some(m) = c.modulus {
+                s.push_str(&format!(" The counter counts modulo {m}."));
+            }
+            lines.push(s);
+        }
+        Behavior::ShiftReg(s) => {
+            let dir = match s.direction {
+                ShiftDirection::Left => "left",
+                ShiftDirection::Right => "right",
+            };
+            lines.push(format!(
+                "Implement a {}-bit shift register named `{}` that shifts {dir}, with serial input `{}` and parallel output `{}`.",
+                s.width, spec.name, s.serial_in, s.output
+            ));
+        }
+        Behavior::ClockDiv(c) => {
+            lines.push(format!(
+                "Implement a clock divider named `{}` whose output `{}` toggles every {} clock cycles.",
+                spec.name, c.output, c.half_period
+            ));
+        }
+        Behavior::Register(r) => {
+            if r.stages <= 1 {
+                lines.push(format!(
+                    "Implement a {}-bit D register named `{}` with input `{}` and output `{}`.",
+                    r.width, spec.name, r.input, r.output
+                ));
+            } else {
+                lines.push(format!(
+                    "Implement a {}-stage pipeline register named `{}` with {}-bit input `{}` and output `{}`.",
+                    r.stages, spec.name, r.width, r.input, r.output
+                ));
+            }
+        }
+        Behavior::Alu(a) => {
+            let ops = a
+                .ops
+                .iter()
+                .enumerate()
+                .map(|(i, op)| format!("{i}: {}", op.mnemonic()))
+                .collect::<Vec<_>>()
+                .join("; ");
+            lines.push(format!(
+                "Implement a {}-bit ALU named `{}` with operands `{}` and `{}`, opcode `{}` and result `{}`. Opcodes: {}.",
+                a.width, spec.name, a.a, a.b, a.op, a.y, ops
+            ));
+        }
+    }
+    if spec.behavior.is_sequential() {
+        lines.extend(attr_sentences(&spec.attrs));
+    }
+    lines.push(header_sentence(spec));
+    lines.join("\n")
+}
+
+fn vanilla(spec: &Spec) -> String {
+    // Loose captions: topic preserved, everything else vague — this is
+    // the "trivial and misaligned description" failure mode of Table I.
+    match &spec.behavior {
+        Behavior::Comb(_) | Behavior::TruthTable(_) => format!(
+            "Write a Verilog module called {} that computes a logic function of its inputs.",
+            spec.name
+        ),
+        Behavior::Fsm(_) => format!(
+            "Write a Verilog module called {} that implements a state machine.",
+            spec.name
+        ),
+        Behavior::Counter(c) => format!(
+            "Write a Verilog module called {} that implements a {}-bit counter.",
+            spec.name, c.width
+        ),
+        Behavior::ShiftReg(s) => format!(
+            "Write a Verilog module called {} that implements a {}-bit shift register.",
+            spec.name, s.width
+        ),
+        Behavior::ClockDiv(_) => format!(
+            "Write a Verilog module called {} that divides the clock.",
+            spec.name
+        ),
+        Behavior::Register(r) => format!(
+            "Write a Verilog module called {} that registers a {}-bit value.",
+            spec.name, r.width
+        ),
+        Behavior::Alu(a) => format!(
+            "Write a Verilog module called {} that implements a {}-bit ALU.",
+            spec.name, a.width
+        ),
+    }
+}
+
+/// Renders a truth table in the paper's tabular text format
+/// (`haven-modality` parses this format; the duplication here avoids a
+/// crate cycle and is pinned by cross-crate tests).
+pub fn truth_table_text(tt: &TruthTableSpec) -> String {
+    let mut out = String::new();
+    out.push_str(&tt.inputs.join(" "));
+    out.push(' ');
+    out.push_str(&tt.outputs.join(" "));
+    for (i, o) in &tt.rows {
+        out.push('\n');
+        let mut cells = Vec::new();
+        for k in (0..tt.inputs.len()).rev() {
+            cells.push((i >> k & 1).to_string());
+        }
+        for k in (0..tt.outputs.len()).rev() {
+            cells.push((o >> k & 1).to_string());
+        }
+        out.push_str(&cells.join(" "));
+    }
+    out
+}
+
+/// Renders an FSM as the paper's state-diagram edge list
+/// (`A[out=0]-[x=0]->B`).
+pub fn state_diagram_text(f: &FsmSpec) -> String {
+    let mut lines = Vec::new();
+    for (i, s) in f.states.iter().enumerate() {
+        let (t0, t1) = f.transitions[i];
+        for (v, t) in [(0usize, t0), (1usize, t1)] {
+            lines.push(format!(
+                "{s}[out={}]-[{}={v}]->{}",
+                f.outputs[i], f.input, f.states[t]
+            ));
+        }
+    }
+    lines.join("\n")
+}
+
+// ---- word-rendered logical expressions (L-dataset, §III-D) -------------
+
+/// Renders a left-to-right operator chain the way the paper's Table II
+/// example phrases it: `(a + b) | c` → "a plus b, then or c".
+///
+/// Only flat chains are rendered this way; the value folds left-to-right,
+/// which is exactly the ambiguity that trips models without logical
+/// fine-tuning.
+pub fn render_chain_words(first: &str, rest: &[(BinaryOp, String)]) -> String {
+    let mut s = first.to_string();
+    for (i, (op, operand)) in rest.iter().enumerate() {
+        let word = binop_word(*op);
+        if i == 0 {
+            s.push_str(&format!(" {word} {operand}"));
+        } else {
+            s.push_str(&format!(", then {word} {operand}"));
+        }
+    }
+    s
+}
+
+/// The word for a binary operator in chain phrasing.
+pub fn binop_word(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::Add => "plus",
+        BinaryOp::Sub => "minus",
+        BinaryOp::BitAnd => "and",
+        BinaryOp::BitOr => "or",
+        BinaryOp::BitXor => "xor",
+        _ => "combined with",
+    }
+}
+
+/// Parses a chain word back to its operator (inverse of [`binop_word`]).
+pub fn word_binop(word: &str) -> Option<BinaryOp> {
+    Some(match word {
+        "plus" => BinaryOp::Add,
+        "minus" => BinaryOp::Sub,
+        "and" => BinaryOp::BitAnd,
+        "or" => BinaryOp::BitOr,
+        "xor" => BinaryOp::BitXor,
+        _ => return None,
+    })
+}
+
+/// Folds a chain into the left-associated expression it denotes.
+pub fn chain_expr(first: &str, rest: &[(BinaryOp, String)]) -> Expr {
+    let mut e = Expr::ident(first);
+    for (op, operand) in rest {
+        e = Expr::Binary(*op, Box::new(e), Box::new(Expr::ident(operand)));
+    }
+    e
+}
+
+// ---- instructional if/else chains (L-dataset, §III-D) ------------------
+
+/// One arm of an instructional condition chain: all `(input, value)` pairs
+/// must hold for `output_value` to apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainArm {
+    /// Conjunction of equality tests.
+    pub conditions: Vec<(String, u64)>,
+    /// Output when the arm is taken.
+    pub output_value: u64,
+}
+
+/// An if / else-if / else specification of a 1-output function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IfChain {
+    /// Arms in priority order.
+    pub arms: Vec<ChainArm>,
+    /// Output when no arm matches.
+    pub else_value: u64,
+}
+
+impl IfChain {
+    /// Renders the pseudocode block the paper's Table II shows
+    /// ("Implement the logic below: if a == 0 && b == 0; out = 0; ...").
+    pub fn to_text(&self, output: &str) -> String {
+        let mut lines = vec!["Implement the logic below:".to_string()];
+        for (i, arm) in self.arms.iter().enumerate() {
+            let kw = if i == 0 { "if" } else { "elif" };
+            let conds = arm
+                .conditions
+                .iter()
+                .map(|(n, v)| format!("{n} == {v}"))
+                .collect::<Vec<_>>()
+                .join(" && ");
+            lines.push(format!("{kw} {conds}; {output} = {};", arm.output_value));
+        }
+        lines.push(format!("else; {output} = {};", self.else_value));
+        lines.join("\n")
+    }
+
+    /// The nested-ternary expression the chain denotes. `widths` maps each
+    /// input to its port width (for literal sizing).
+    pub fn to_expr(&self, widths: &dyn Fn(&str) -> usize, out_width: usize) -> Expr {
+        let mut expr = Expr::lit(self.else_value, out_width);
+        for arm in self.arms.iter().rev() {
+            let mut cond: Option<Expr> = None;
+            for (name, value) in &arm.conditions {
+                let test = Expr::Binary(
+                    BinaryOp::Eq,
+                    Box::new(Expr::ident(name)),
+                    Box::new(Expr::lit(*value, widths(name))),
+                );
+                cond = Some(match cond {
+                    Some(c) => Expr::Binary(BinaryOp::LogicAnd, Box::new(c), Box::new(test)),
+                    None => test,
+                });
+            }
+            expr = Expr::Ternary(
+                Box::new(cond.expect("arm has conditions")),
+                Box::new(Expr::lit(arm.output_value, out_width)),
+                Box::new(expr),
+            );
+        }
+        expr
+    }
+}
+
+/// Renders an arbitrary expression to guarded English for simple forms;
+/// falls back to Verilog syntax in backticks.
+pub fn expr_phrase(e: &Expr) -> String {
+    match e {
+        Expr::Binary(op, a, b) => {
+            if let (Expr::Ident(x), Expr::Ident(y)) = (a.as_ref(), b.as_ref()) {
+                return format!("{x} {} {y}", binop_word(*op));
+            }
+            format!("`{}`", pretty_expr(e))
+        }
+        Expr::Unary(UnaryOp::BitNot, a) => {
+            if let Expr::Ident(x) = a.as_ref() {
+                return format!("not {x}");
+            }
+            format!("`{}`", pretty_expr(e))
+        }
+        _ => format!("`{}`", pretty_expr(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn engineer_counter_description_is_precise() {
+        let d = describe(&builders::counter("cnt", 4, Some(10)), DescribeStyle::Engineer);
+        assert!(d.contains("4-bit up counter named `cnt`"), "{d}");
+        assert!(d.contains("modulo 10"), "{d}");
+        assert!(d.contains("asynchronous active-low reset named `rst_n`"), "{d}");
+        assert!(d.contains("module cnt (input clk, input rst_n, output [3:0] q);"), "{d}");
+    }
+
+    #[test]
+    fn vanilla_counter_description_is_vague() {
+        let d = describe(&builders::counter("cnt", 4, Some(10)), DescribeStyle::Vanilla);
+        assert!(!d.contains("rst_n"), "{d}");
+        assert!(!d.contains("modulo"), "{d}");
+        assert!(d.contains("counter"), "{d}");
+    }
+
+    #[test]
+    fn chain_words_match_paper_example() {
+        // "the output signal equals a plus b, then or c" = (a + b) | c
+        let rest = vec![
+            (BinaryOp::Add, "b".to_string()),
+            (BinaryOp::BitOr, "c".to_string()),
+        ];
+        assert_eq!(render_chain_words("a", &rest), "a plus b, then or c");
+        let e = chain_expr("a", &rest);
+        assert_eq!(pretty_expr(&e), "(a + b) | c");
+    }
+
+    #[test]
+    fn if_chain_text_and_expr_agree() {
+        use haven_verilog::eval::eval_expr;
+        use haven_verilog::logic::LogicVec;
+        use std::collections::HashMap;
+
+        let chain = IfChain {
+            arms: vec![
+                ChainArm {
+                    conditions: vec![("a".into(), 0), ("b".into(), 0)],
+                    output_value: 0,
+                },
+                ChainArm {
+                    conditions: vec![("a".into(), 1), ("b".into(), 0)],
+                    output_value: 0,
+                },
+            ],
+            else_value: 1,
+        };
+        let text = chain.to_text("out");
+        assert!(text.contains("if a == 0 && b == 0; out = 0;"), "{text}");
+        assert!(text.contains("else; out = 1;"), "{text}");
+
+        struct E(HashMap<String, u64>);
+        impl haven_verilog::eval::SignalEnv for E {
+            fn value_of(&self, n: &str) -> Option<LogicVec> {
+                self.0.get(n).map(|&v| LogicVec::from_u64(v, 1))
+            }
+            fn lsb_of(&self, _: &str) -> usize {
+                0
+            }
+        }
+        let expr = chain.to_expr(&|_| 1, 1);
+        for (a, b, want) in [(0, 0, 0u64), (1, 0, 0), (0, 1, 1), (1, 1, 1)] {
+            let env = E([("a".to_string(), a), ("b".to_string(), b)]
+                .into_iter()
+                .collect());
+            assert_eq!(
+                eval_expr(&expr, &env).to_u64(),
+                Some(want),
+                "a={a} b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_builders_describe_without_panicking() {
+        use crate::ir::{AluOp, ShiftDirection};
+        for spec in [
+            builders::gate("g", BinaryOp::BitAnd),
+            builders::adder("a", 8),
+            builders::mux2("m", 4),
+            builders::fsm_ab("f"),
+            builders::counter("c", 4, None),
+            builders::shift_register("s", 8, ShiftDirection::Left),
+            builders::clock_divider("d", 3),
+            builders::pipeline("p", 8, 2),
+            builders::alu("alu", 8, vec![AluOp::Add, AluOp::Sub]),
+            builders::truth_table_spec("t", vec!["a".into()], vec!["y".into()], vec![(0, 1)]),
+        ] {
+            for style in [DescribeStyle::Engineer, DescribeStyle::Vanilla] {
+                assert!(!describe(&spec, style).is_empty());
+            }
+        }
+    }
+}

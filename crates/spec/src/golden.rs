@@ -1,0 +1,524 @@
+//! Golden behavioural models derived directly from a [`Spec`].
+//!
+//! A [`GoldenModel`] is the reference implementation the evaluation harness
+//! co-simulates generated Verilog against. It is intentionally *not* built
+//! from Verilog: having two independent executable interpretations of every
+//! spec (this one, and the emitted code running on `haven-verilog`'s
+//! simulator) is what gives the functional-pass metric its teeth.
+//!
+//! Unknown values are modelled with `Option` — `None` plays the role of
+//! Verilog's `x`. The model's unknown-ness rules mirror what the *correct*
+//! emitted code does under four-state simulation (e.g. an un-reset FSM
+//! recovers through its `default` arm; an un-reset counter never recovers).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use haven_verilog::ast::Expr;
+use haven_verilog::eval::{eval_expr, SignalEnv};
+use haven_verilog::logic::LogicVec;
+
+use crate::ir::{Behavior, CountDirection, ShiftDirection, Spec};
+
+/// Reference interpreter for a [`Spec`].
+///
+/// # Examples
+///
+/// ```
+/// use haven_spec::{builders, golden::GoldenModel};
+/// let spec = builders::counter("cnt", 4, None); // 4-bit up counter
+/// let mut g = GoldenModel::new(&spec);
+/// g.set_input("rst_n", 0);
+/// g.tick();
+/// g.set_input("rst_n", 1);
+/// g.tick();
+/// assert_eq!(g.output("q"), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GoldenModel {
+    spec: Spec,
+    inputs: HashMap<String, u64>,
+    state: GoldenState,
+}
+
+#[derive(Debug, Clone)]
+enum GoldenState {
+    /// Combinational behaviours carry no state.
+    None,
+    /// FSM state index; `None` = unknown.
+    Fsm(Option<usize>),
+    /// A scalar register value (counter); `None` = unknown.
+    Value(Option<u64>),
+    /// Shift register bits, LSB first; `None` bits are unknown.
+    Bits(Vec<Option<bool>>),
+    /// Clock divider: cycle counter and output phase.
+    ClockDiv {
+        count: Option<u64>,
+        out: Option<bool>,
+    },
+    /// Pipeline stages, index 0 = oldest (drives the output).
+    Pipeline(VecDeque<Option<u64>>),
+}
+
+impl GoldenModel {
+    /// Creates the model in its power-up state (everything unknown).
+    pub fn new(spec: &Spec) -> GoldenModel {
+        let state = match &spec.behavior {
+            Behavior::Comb(_) | Behavior::TruthTable(_) | Behavior::Alu(_) => GoldenState::None,
+            Behavior::Fsm(_) => GoldenState::Fsm(None),
+            Behavior::Counter(_) => GoldenState::Value(None),
+            Behavior::ShiftReg(s) => GoldenState::Bits(vec![None; s.width]),
+            Behavior::ClockDiv(_) => GoldenState::ClockDiv {
+                count: None,
+                out: None,
+            },
+            Behavior::Register(r) => {
+                GoldenState::Pipeline(VecDeque::from(vec![None; r.stages.max(1)]))
+            }
+        };
+        GoldenModel {
+            spec: spec.clone(),
+            inputs: HashMap::new(),
+            state,
+        }
+    }
+
+    /// The spec this model interprets.
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// Drives an input (or control) signal; the value is masked to the
+    /// port width. Asserting an asynchronous reset takes effect
+    /// immediately, like the corresponding sensitivity-list entry.
+    pub fn set_input(&mut self, name: &str, value: u64) {
+        let width = self.spec.port_width(name).unwrap_or(1);
+        let masked = mask(value, width);
+        self.inputs.insert(name.to_string(), masked);
+        if let Some(reset) = &self.spec.attrs.reset {
+            if reset.kind.is_async() && reset.name == name && reset.asserted_by(masked != 0) {
+                self.apply_reset();
+            }
+        }
+    }
+
+    /// One active clock edge.
+    pub fn tick(&mut self) {
+        if !self.spec.behavior.is_sequential() {
+            return;
+        }
+        // Reset dominates (both styles behave identically *at* the edge).
+        if let Some(reset) = &self.spec.attrs.reset {
+            let level = self.inputs.get(&reset.name).copied();
+            match level {
+                Some(l) if reset.asserted_by(l != 0) => {
+                    self.apply_reset();
+                    return;
+                }
+                Some(_) => {}
+                // Unknown reset level: state becomes unknown.
+                None => {
+                    self.invalidate();
+                    return;
+                }
+            }
+        }
+        if let Some(en) = &self.spec.attrs.enable {
+            match self.inputs.get(&en.name).copied() {
+                Some(l) if (l != 0) != en.active_high => return, // hold
+                Some(_) => {}
+                None => {
+                    self.invalidate();
+                    return;
+                }
+            }
+        }
+        self.update_state();
+    }
+
+    /// Runs `n` clock edges with current inputs held.
+    pub fn tick_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Current value of one output; `None` = unknown (`x`).
+    pub fn output(&self, name: &str) -> Option<u64> {
+        self.outputs().get(name).copied().flatten()
+    }
+
+    /// All outputs; `None` entries are unknown (`x`).
+    pub fn outputs(&self) -> HashMap<String, Option<u64>> {
+        let mut out = HashMap::new();
+        match (&self.spec.behavior, &self.state) {
+            (Behavior::Comb(rules), _) => {
+                let env = self.env();
+                for rule in rules {
+                    let v = eval_expr(&rule.expr, &env);
+                    let width = self.spec.port_width(&rule.output).unwrap_or(v.width());
+                    out.insert(rule.output.clone(), v.resized(width).to_u64());
+                }
+            }
+            (Behavior::TruthTable(tt), _) => {
+                let mut bits = Some(0u64);
+                for name in &tt.inputs {
+                    match (bits, self.inputs.get(name)) {
+                        (Some(acc), Some(&v)) => bits = Some(acc << 1 | (v & 1)),
+                        _ => bits = None,
+                    }
+                }
+                let row = bits.map(|b| tt.lookup(b));
+                for (i, name) in tt.outputs.iter().enumerate() {
+                    let shift = tt.outputs.len() - 1 - i;
+                    out.insert(name.clone(), row.map(|r| r >> shift & 1));
+                }
+            }
+            (Behavior::Alu(alu), _) => {
+                let a = self.inputs.get(&alu.a).copied();
+                let b = self.inputs.get(&alu.b).copied();
+                let op = self.inputs.get(&alu.op).copied();
+                let y = match (a, b, op) {
+                    (Some(a), Some(b), Some(op)) => {
+                        // Out-of-range opcodes fall to the last op (the
+                        // emitted `default` arm).
+                        let idx = (op as usize).min(alu.ops.len() - 1);
+                        Some(alu.ops[idx].apply(a, b, alu.width))
+                    }
+                    _ => None,
+                };
+                out.insert(alu.y.clone(), y);
+            }
+            (Behavior::Fsm(f), GoldenState::Fsm(s)) => {
+                out.insert(f.output.clone(), s.map(|s| f.outputs[s]));
+            }
+            (Behavior::Counter(c), GoldenState::Value(v)) => {
+                out.insert(c.output.clone(), *v);
+            }
+            (Behavior::ShiftReg(s), GoldenState::Bits(bits)) => {
+                let mut v = Some(0u64);
+                for (i, b) in bits.iter().enumerate() {
+                    v = match (v, b) {
+                        (Some(acc), Some(true)) => Some(acc | 1 << i),
+                        (Some(acc), Some(false)) => Some(acc),
+                        _ => None,
+                    };
+                }
+                out.insert(s.output.clone(), v);
+            }
+            (Behavior::ClockDiv(c), GoldenState::ClockDiv { out: o, .. }) => {
+                out.insert(c.output.clone(), o.map(u64::from));
+            }
+            (Behavior::Register(r), GoldenState::Pipeline(stages)) => {
+                out.insert(r.output.clone(), stages.front().copied().flatten());
+            }
+            _ => unreachable!("state/behaviour mismatch"),
+        }
+        out
+    }
+
+    fn env(&self) -> GoldenEnv<'_> {
+        GoldenEnv { model: self }
+    }
+
+    fn apply_reset(&mut self) {
+        match (&self.spec.behavior, &mut self.state) {
+            (Behavior::Fsm(f), GoldenState::Fsm(s)) => *s = Some(f.initial),
+            (_, GoldenState::Value(v)) => *v = Some(0),
+            (_, GoldenState::Bits(bits)) => bits.fill(Some(false)),
+            (_, GoldenState::ClockDiv { count, out }) => {
+                *count = Some(0);
+                *out = Some(false);
+            }
+            (_, GoldenState::Pipeline(stages)) => stages.iter_mut().for_each(|s| *s = Some(0)),
+            _ => {}
+        }
+    }
+
+    fn invalidate(&mut self) {
+        match &mut self.state {
+            GoldenState::Fsm(s) => *s = None,
+            GoldenState::Value(v) => *v = None,
+            GoldenState::Bits(bits) => bits.fill(None),
+            GoldenState::ClockDiv { count, out } => {
+                *count = None;
+                *out = None;
+            }
+            GoldenState::Pipeline(stages) => stages.iter_mut().for_each(|s| *s = None),
+            GoldenState::None => {}
+        }
+    }
+
+    fn update_state(&mut self) {
+        match (&self.spec.behavior, &mut self.state) {
+            (Behavior::Fsm(f), GoldenState::Fsm(s)) => {
+                let input = self.inputs.get(&f.input).copied();
+                *s = match (*s, input) {
+                    (Some(cur), Some(x)) => {
+                        let (t0, t1) = f.transitions[cur];
+                        Some(if x & 1 == 1 { t1 } else { t0 })
+                    }
+                    // Unknown state: the conventional `default` arm steers
+                    // next_state to the initial state, so the FSM recovers
+                    // after one clock even without a reset.
+                    (None, _) => Some(f.initial),
+                    (Some(_), None) => None,
+                }
+            }
+            (Behavior::Counter(c), GoldenState::Value(v)) => {
+                let natural = 1u64 << c.width.min(63);
+                let limit = c.modulus.unwrap_or(natural).min(natural);
+                *v = v.map(|cur| match c.direction {
+                    CountDirection::Up => {
+                        if cur + 1 >= limit {
+                            0
+                        } else {
+                            cur + 1
+                        }
+                    }
+                    CountDirection::Down => {
+                        if cur == 0 {
+                            limit - 1
+                        } else {
+                            cur - 1
+                        }
+                    }
+                });
+            }
+            (Behavior::ShiftReg(sr), GoldenState::Bits(bits)) => {
+                let sin = self.inputs.get(&sr.serial_in).map(|&v| v & 1 == 1);
+                match sr.direction {
+                    ShiftDirection::Left => {
+                        bits.pop();
+                        bits.insert(0, sin);
+                    }
+                    ShiftDirection::Right => {
+                        bits.remove(0);
+                        bits.push(sin);
+                    }
+                }
+            }
+            (Behavior::ClockDiv(c), GoldenState::ClockDiv { count, out }) => {
+                if let (Some(cnt), Some(o)) = (count.as_mut(), out.as_mut()) {
+                    if *cnt + 1 >= c.half_period {
+                        *cnt = 0;
+                        *o = !*o;
+                    } else {
+                        *cnt += 1;
+                    }
+                }
+            }
+            (Behavior::Register(r), GoldenState::Pipeline(stages)) => {
+                let din = self
+                    .inputs
+                    .get(&r.input)
+                    .map(|&v| mask(v, r.width));
+                stages.pop_front();
+                stages.push_back(din);
+            }
+            _ => {}
+        }
+    }
+}
+
+struct GoldenEnv<'a> {
+    model: &'a GoldenModel,
+}
+
+impl SignalEnv for GoldenEnv<'_> {
+    fn value_of(&self, name: &str) -> Option<LogicVec> {
+        let width = self.model.spec.port_width(name)?;
+        match self.model.inputs.get(name) {
+            Some(&v) => Some(LogicVec::from_u64(v, width)),
+            None => Some(LogicVec::unknown(width)),
+        }
+    }
+    fn lsb_of(&self, _name: &str) -> usize {
+        0
+    }
+}
+
+fn mask(value: u64, width: usize) -> u64 {
+    if width >= 64 {
+        value
+    } else {
+        value & ((1u64 << width) - 1)
+    }
+}
+
+// `Expr` is re-exported for downstream convenience when building comb rules.
+pub use haven_verilog::ast::Expr as CombExpr;
+
+#[allow(unused)]
+fn _assert_send_sync(m: GoldenModel) -> impl Send + Sync {
+    m
+}
+
+#[allow(unused)]
+fn _expr_is_used(_: Option<Expr>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn comb_xor_gate() {
+        let spec = builders::gate("xor2", haven_verilog::ast::BinaryOp::BitXor);
+        let mut g = GoldenModel::new(&spec);
+        assert_eq!(g.output("y"), None, "inputs not driven yet");
+        g.set_input("a", 1);
+        g.set_input("b", 1);
+        assert_eq!(g.output("y"), Some(0));
+        g.set_input("b", 0);
+        assert_eq!(g.output("y"), Some(1));
+    }
+
+    #[test]
+    fn counter_with_modulus_wraps() {
+        let spec = builders::counter("c", 4, Some(10));
+        let mut g = GoldenModel::new(&spec);
+        g.set_input("rst_n", 0);
+        g.set_input("rst_n", 1);
+        for i in 1..=10 {
+            g.tick();
+            assert_eq!(g.output("q"), Some(i % 10), "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn unreset_counter_stays_unknown() {
+        let mut spec = builders::counter("c", 4, None);
+        spec.attrs.reset = None;
+        let mut g = GoldenModel::new(&spec);
+        g.tick_n(5);
+        assert_eq!(g.output("q"), None);
+    }
+
+    #[test]
+    fn unreset_fsm_recovers_via_default() {
+        let mut spec = builders::fsm_ab("f");
+        spec.attrs.reset = None;
+        let mut g = GoldenModel::new(&spec);
+        g.set_input("x", 0);
+        g.tick();
+        // default arm steers to initial state A (out = 0)
+        assert_eq!(g.output("out"), Some(0));
+    }
+
+    #[test]
+    fn fsm_follows_paper_transitions() {
+        // A[out=0]-[x=0]->B, A-[x=1]->A, B[out=1]-[x=0]->A, B-[x=1]->B
+        let spec = builders::fsm_ab("f");
+        let mut g = GoldenModel::new(&spec);
+        g.set_input("rst_n", 0);
+        g.set_input("rst_n", 1);
+        g.set_input("x", 0);
+        g.tick();
+        assert_eq!(g.output("out"), Some(1), "A --0--> B");
+        g.set_input("x", 1);
+        g.tick();
+        assert_eq!(g.output("out"), Some(1), "B --1--> B");
+        g.set_input("x", 0);
+        g.tick();
+        assert_eq!(g.output("out"), Some(0), "B --0--> A");
+    }
+
+    #[test]
+    fn shift_register_left() {
+        let spec = builders::shift_register("s", 4, ShiftDirection::Left);
+        let mut g = GoldenModel::new(&spec);
+        g.set_input("rst_n", 0);
+        g.set_input("rst_n", 1);
+        for bit in [1u64, 1, 0, 1] {
+            g.set_input("din", bit);
+            g.tick();
+        }
+        // q = (((1 << 1 | 1) << 1 | 0) << 1 | 1) = 1101
+        assert_eq!(g.output("q"), Some(0b1101));
+    }
+
+    #[test]
+    fn enable_gates_updates() {
+        let mut spec = builders::counter("c", 4, None);
+        spec.attrs.enable = Some(crate::ir::EnableSpec {
+            name: "en".into(),
+            active_high: true,
+        });
+        let mut g = GoldenModel::new(&spec);
+        g.set_input("rst_n", 0);
+        g.set_input("rst_n", 1);
+        g.set_input("en", 0);
+        g.tick_n(3);
+        assert_eq!(g.output("q"), Some(0), "disabled: holds");
+        g.set_input("en", 1);
+        g.tick_n(2);
+        assert_eq!(g.output("q"), Some(2));
+    }
+
+    #[test]
+    fn clock_divider_by_3_toggles() {
+        let spec = builders::clock_divider("d", 3);
+        let mut g = GoldenModel::new(&spec);
+        g.set_input("rst_n", 0);
+        g.set_input("rst_n", 1);
+        let mut seen = Vec::new();
+        for _ in 0..9 {
+            g.tick();
+            seen.push(g.output("clk_out").unwrap());
+        }
+        assert_eq!(seen, vec![0, 0, 1, 1, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn pipeline_register_delays_by_stages() {
+        let spec = builders::pipeline("p", 8, 2);
+        let mut g = GoldenModel::new(&spec);
+        g.set_input("rst_n", 0);
+        g.set_input("rst_n", 1);
+        g.set_input("d", 0xAB);
+        g.tick();
+        assert_eq!(g.output("q"), Some(0), "still flushing reset zeros");
+        g.tick();
+        assert_eq!(g.output("q"), Some(0xAB));
+    }
+
+    #[test]
+    fn alu_selects_ops_and_clamps_opcode() {
+        let spec = builders::alu("a", 8, vec![crate::ir::AluOp::Add, crate::ir::AluOp::Sub]);
+        let mut g = GoldenModel::new(&spec);
+        g.set_input("a", 7);
+        g.set_input("b", 3);
+        g.set_input("op", 0);
+        assert_eq!(g.output("y"), Some(10));
+        g.set_input("op", 1);
+        assert_eq!(g.output("y"), Some(4));
+    }
+
+    #[test]
+    fn truth_table_and_gate() {
+        let spec = builders::truth_table_spec(
+            "tt",
+            vec!["a".into(), "b".into()],
+            vec!["out".into()],
+            vec![(0b00, 0), (0b01, 0), (0b10, 0), (0b11, 1)],
+        );
+        let mut g = GoldenModel::new(&spec);
+        g.set_input("a", 1);
+        g.set_input("b", 1);
+        assert_eq!(g.output("out"), Some(1));
+        g.set_input("b", 0);
+        assert_eq!(g.output("out"), Some(0));
+    }
+
+    #[test]
+    fn async_reset_applies_without_clock() {
+        let spec = builders::counter("c", 4, None);
+        let mut g = GoldenModel::new(&spec);
+        g.set_input("rst_n", 1);
+        g.tick_n(3); // state unknown: reset was never asserted
+        assert_eq!(g.output("q"), None);
+        g.set_input("rst_n", 0); // async assert, no clock needed
+        assert_eq!(g.output("q"), Some(0));
+    }
+}

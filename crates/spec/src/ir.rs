@@ -1,0 +1,490 @@
+//! The hardware-intent intermediate representation.
+//!
+//! A [`Spec`] captures *what a module is supposed to do*, independent of
+//! any Verilog text. Everything in the reproduction meets here:
+//!
+//! * the dataset generators produce specs and render them to prompts + code;
+//! * the simulated LLM parses prompts back into (possibly corrupted) specs;
+//! * the evaluation harness derives golden models and stimuli from specs.
+//!
+//! Combinational behaviour reuses [`haven_verilog::ast::Expr`] as its
+//! expression language, so golden evaluation and code emission share the
+//! battle-tested evaluator and pretty-printer from `haven-verilog`.
+
+use haven_verilog::analyze::{ResetKind, Topic};
+use haven_verilog::ast::{Edge, Expr};
+use serde::{Deserialize, Serialize};
+
+/// One named port with a width.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortSpec {
+    /// Port name.
+    pub name: String,
+    /// Bit width (1..=64).
+    pub width: usize,
+}
+
+impl PortSpec {
+    /// Creates a port.
+    pub fn new(name: impl Into<String>, width: usize) -> PortSpec {
+        PortSpec {
+            name: name.into(),
+            width,
+        }
+    }
+
+    /// One-bit port shorthand.
+    pub fn bit(name: impl Into<String>) -> PortSpec {
+        PortSpec::new(name, 1)
+    }
+}
+
+/// Sequential-control attributes: clocking, reset and enable conventions
+/// (§III-C: "critical Verilog attributes").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrSpec {
+    /// Clock signal name (present for all sequential behaviours).
+    pub clock: String,
+    /// Active clock edge.
+    pub edge: Edge,
+    /// Reset signal and style, if the design has one.
+    pub reset: Option<ResetSpec>,
+    /// Enable signal, if the design has one.
+    pub enable: Option<EnableSpec>,
+}
+
+impl Default for AttrSpec {
+    fn default() -> AttrSpec {
+        AttrSpec {
+            clock: "clk".to_string(),
+            edge: Edge::Pos,
+            reset: None,
+            enable: None,
+        }
+    }
+}
+
+impl AttrSpec {
+    /// Conventional attributes: posedge clk, async active-low `rst_n`.
+    pub fn conventional() -> AttrSpec {
+        AttrSpec {
+            clock: "clk".into(),
+            edge: Edge::Pos,
+            reset: Some(ResetSpec {
+                name: "rst_n".into(),
+                kind: ResetKind::AsyncActiveLow,
+            }),
+            enable: None,
+        }
+    }
+
+    /// Control ports implied by these attributes, in conventional order.
+    pub fn control_ports(&self) -> Vec<PortSpec> {
+        let mut ports = vec![PortSpec::bit(self.clock.clone())];
+        if let Some(r) = &self.reset {
+            ports.push(PortSpec::bit(r.name.clone()));
+        }
+        if let Some(e) = &self.enable {
+            ports.push(PortSpec::bit(e.name.clone()));
+        }
+        ports
+    }
+}
+
+/// Reset signal description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResetSpec {
+    /// Signal name (`rst`, `rst_n`, `reset`…).
+    pub name: String,
+    /// Style: sync / async, polarity.
+    pub kind: ResetKind,
+}
+
+impl ResetSpec {
+    /// Whether the given signal level asserts the reset.
+    pub fn asserted_by(&self, level: bool) -> bool {
+        match self.kind {
+            ResetKind::AsyncActiveLow => !level,
+            ResetKind::AsyncActiveHigh => level,
+            // The name decides polarity of a sync reset: `_n` = active low.
+            ResetKind::Sync => {
+                if self.name.ends_with("_n") {
+                    !level
+                } else {
+                    level
+                }
+            }
+        }
+    }
+}
+
+/// Enable signal description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnableSpec {
+    /// Signal name.
+    pub name: String,
+    /// `true` if the design updates when the signal is high.
+    pub active_high: bool,
+}
+
+/// A single combinational rule: `output = expr(inputs)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombRule {
+    /// Driven output port.
+    pub output: String,
+    /// Expression over input port names.
+    pub expr: Expr,
+}
+
+/// An explicit truth table over 1-bit inputs and outputs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TruthTableSpec {
+    /// Input column names (MSB-first in the row encoding).
+    pub inputs: Vec<String>,
+    /// Output column names.
+    pub outputs: Vec<String>,
+    /// `rows[i] = (input_bits, output_bits)`; input bits are packed with
+    /// `inputs[0]` as the most significant bit. Missing combinations read
+    /// as all-zero outputs.
+    pub rows: Vec<(u64, u64)>,
+}
+
+impl TruthTableSpec {
+    /// Output bits for an input combination (0 if the row is absent).
+    pub fn lookup(&self, input_bits: u64) -> u64 {
+        self.rows
+            .iter()
+            .find(|(i, _)| *i == input_bits)
+            .map(|(_, o)| *o)
+            .unwrap_or(0)
+    }
+}
+
+/// A Moore finite state machine over a single 1-bit input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FsmSpec {
+    /// State names (`A`, `B`, …); index is the binary encoding.
+    pub states: Vec<String>,
+    /// Reset / initial state index.
+    pub initial: usize,
+    /// The 1-bit input the transitions depend on.
+    pub input: String,
+    /// The Moore output port.
+    pub output: String,
+    /// `transitions[s] = (next_if_input_0, next_if_input_1)`.
+    pub transitions: Vec<(usize, usize)>,
+    /// `outputs[s]` = output value in state `s`.
+    pub outputs: Vec<u64>,
+    /// Width of the output port.
+    pub output_width: usize,
+}
+
+impl FsmSpec {
+    /// Bits needed to encode the state register.
+    pub fn state_width(&self) -> usize {
+        (usize::BITS - (self.states.len().max(2) - 1).leading_zeros()) as usize
+    }
+}
+
+/// Counter direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CountDirection {
+    /// Increments.
+    Up,
+    /// Decrements.
+    Down,
+}
+
+/// An up/down counter, optionally modulo-N.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSpec {
+    /// Count register width.
+    pub width: usize,
+    /// Direction.
+    pub direction: CountDirection,
+    /// Wrap at this value (`None` = natural 2^width wrap). For `Up`, the
+    /// counter counts `0..modulus-1`; for `Down`, `modulus-1..0`.
+    pub modulus: Option<u64>,
+    /// Output port name.
+    pub output: String,
+}
+
+/// Shift direction (towards MSB = left).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShiftDirection {
+    /// Serial input enters at bit 0.
+    Left,
+    /// Serial input enters at the MSB.
+    Right,
+}
+
+/// A serial-in parallel-out shift register.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShiftRegSpec {
+    /// Register width.
+    pub width: usize,
+    /// Shift direction.
+    pub direction: ShiftDirection,
+    /// Serial data input port.
+    pub serial_in: String,
+    /// Parallel output port.
+    pub output: String,
+}
+
+/// A clock divider producing a square wave at `clk / (2 * half_period)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockDivSpec {
+    /// Input-clock cycles per output half-period (≥ 1).
+    pub half_period: u64,
+    /// Divided-clock output port.
+    pub output: String,
+}
+
+/// A D register / pipeline stage with optional enable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterSpec {
+    /// Data width.
+    pub width: usize,
+    /// Data input port.
+    pub input: String,
+    /// Registered output port.
+    pub output: String,
+    /// Pipeline depth (1 = simple register).
+    pub stages: usize,
+}
+
+/// Operations an [`AluSpec`] can select between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a & b`
+    And,
+    /// `a | b`
+    Or,
+    /// `a ^ b`
+    Xor,
+    /// `~a`
+    NotA,
+    /// `a << 1`
+    ShlA,
+    /// `a >> 1`
+    ShrA,
+}
+
+impl AluOp {
+    /// Applies the operation on `width`-bit operands.
+    pub fn apply(self, a: u64, b: u64, width: usize) -> u64 {
+        let mask = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let r = match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::NotA => !a,
+            AluOp::ShlA => a << 1,
+            AluOp::ShrA => (a & mask) >> 1,
+        };
+        r & mask
+    }
+
+    /// Short mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "ADD",
+            AluOp::Sub => "SUB",
+            AluOp::And => "AND",
+            AluOp::Or => "OR",
+            AluOp::Xor => "XOR",
+            AluOp::NotA => "NOT",
+            AluOp::ShlA => "SHL",
+            AluOp::ShrA => "SHR",
+        }
+    }
+}
+
+/// A combinational ALU with an opcode select.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AluSpec {
+    /// Operand width.
+    pub width: usize,
+    /// Selected operations; opcode `i` selects `ops[i]`.
+    pub ops: Vec<AluOp>,
+    /// First operand port.
+    pub a: String,
+    /// Second operand port.
+    pub b: String,
+    /// Opcode port.
+    pub op: String,
+    /// Result port.
+    pub y: String,
+}
+
+impl AluSpec {
+    /// Opcode port width.
+    pub fn op_width(&self) -> usize {
+        (usize::BITS - (self.ops.len().max(2) - 1).leading_zeros()) as usize
+    }
+}
+
+/// What a module does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Behavior {
+    /// One expression per output.
+    Comb(Vec<CombRule>),
+    /// Explicit truth table.
+    TruthTable(TruthTableSpec),
+    /// Moore FSM.
+    Fsm(FsmSpec),
+    /// Counter.
+    Counter(CounterSpec),
+    /// Shift register.
+    ShiftReg(ShiftRegSpec),
+    /// Clock divider.
+    ClockDiv(ClockDivSpec),
+    /// D register / pipeline.
+    Register(RegisterSpec),
+    /// ALU.
+    Alu(AluSpec),
+}
+
+impl Behavior {
+    /// Whether the behaviour needs a clock.
+    pub fn is_sequential(&self) -> bool {
+        !matches!(self, Behavior::Comb(_) | Behavior::TruthTable(_) | Behavior::Alu(_))
+    }
+
+    /// The design topic this behaviour corresponds to.
+    pub fn topic(&self) -> Topic {
+        match self {
+            Behavior::Comb(_) => Topic::CombLogic,
+            Behavior::TruthTable(_) => Topic::CombLogic,
+            Behavior::Fsm(_) => Topic::Fsm,
+            Behavior::Counter(_) => Topic::Counter,
+            Behavior::ShiftReg(_) => Topic::ShiftRegister,
+            Behavior::ClockDiv(_) => Topic::ClockDivider,
+            Behavior::Register(_) => Topic::Register,
+            Behavior::Alu(_) => Topic::Alu,
+        }
+    }
+}
+
+/// A complete module specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Spec {
+    /// Module name.
+    pub name: String,
+    /// Data input ports (control ports come from `attrs`).
+    pub inputs: Vec<PortSpec>,
+    /// Output ports.
+    pub outputs: Vec<PortSpec>,
+    /// Behaviour.
+    pub behavior: Behavior,
+    /// Sequential attributes; ignored for combinational behaviours.
+    pub attrs: AttrSpec,
+}
+
+impl Spec {
+    /// All input ports including clock/reset/enable, in header order.
+    pub fn all_inputs(&self) -> Vec<PortSpec> {
+        let mut ports = Vec::new();
+        if self.behavior.is_sequential() {
+            ports.extend(self.attrs.control_ports());
+        }
+        ports.extend(self.inputs.iter().cloned());
+        ports
+    }
+
+    /// Looks up the width of any port (input, control or output).
+    pub fn port_width(&self, name: &str) -> Option<usize> {
+        self.all_inputs()
+            .iter()
+            .chain(self.outputs.iter())
+            .find(|p| p.name == name)
+            .map(|p| p.width)
+    }
+
+    /// Sum of data-input widths (drives exhaustive-vs-random stimulus).
+    pub fn data_input_bits(&self) -> usize {
+        self.inputs.iter().map(|p| p.width).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsm_state_width() {
+        let mk = |n: usize| FsmSpec {
+            states: (0..n).map(|i| format!("S{i}")).collect(),
+            initial: 0,
+            input: "x".into(),
+            output: "out".into(),
+            transitions: vec![(0, 0); n],
+            outputs: vec![0; n],
+            output_width: 1,
+        };
+        assert_eq!(mk(2).state_width(), 1);
+        assert_eq!(mk(3).state_width(), 2);
+        assert_eq!(mk(4).state_width(), 2);
+        assert_eq!(mk(5).state_width(), 3);
+    }
+
+    #[test]
+    fn reset_assertion_levels() {
+        let r = ResetSpec {
+            name: "rst_n".into(),
+            kind: ResetKind::AsyncActiveLow,
+        };
+        assert!(r.asserted_by(false));
+        assert!(!r.asserted_by(true));
+        let r = ResetSpec {
+            name: "rst".into(),
+            kind: ResetKind::Sync,
+        };
+        assert!(r.asserted_by(true));
+        let r = ResetSpec {
+            name: "srst_n".into(),
+            kind: ResetKind::Sync,
+        };
+        assert!(r.asserted_by(false));
+    }
+
+    #[test]
+    fn alu_ops_mask_to_width() {
+        assert_eq!(AluOp::Add.apply(0xF, 1, 4), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1, 4), 0xF);
+        assert_eq!(AluOp::NotA.apply(0b1010, 0, 4), 0b0101);
+        assert_eq!(AluOp::ShrA.apply(0b1000, 0, 4), 0b0100);
+    }
+
+    #[test]
+    fn control_ports_in_order() {
+        let mut attrs = AttrSpec::conventional();
+        attrs.enable = Some(EnableSpec {
+            name: "en".into(),
+            active_high: true,
+        });
+        let names: Vec<String> = attrs.control_ports().into_iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["clk", "rst_n", "en"]);
+    }
+
+    #[test]
+    fn truth_table_lookup_defaults_to_zero() {
+        let tt = TruthTableSpec {
+            inputs: vec!["a".into(), "b".into()],
+            outputs: vec!["y".into()],
+            rows: vec![(0b11, 1)],
+        };
+        assert_eq!(tt.lookup(0b11), 1);
+        assert_eq!(tt.lookup(0b01), 0);
+    }
+}

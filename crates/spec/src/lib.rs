@@ -1,0 +1,40 @@
+//! # haven-spec
+//!
+//! The hardware-intent IR shared by every stage of the HaVen reproduction.
+//!
+//! A [`ir::Spec`] describes *what a module should do*; this crate can turn
+//! that intent into:
+//!
+//! * Verilog source — [`codegen::emit`] with convention knobs
+//!   ([`codegen::EmitStyle`]) covering both correct and hallucinated styles;
+//! * a reference interpreter — [`golden::GoldenModel`];
+//! * a discriminating test program — [`stimuli::stimuli_for`];
+//! * a functional verdict for any candidate source — [`cosim::cosimulate`].
+//!
+//! The crate's keystone invariant (enforced by tests): **correct emission
+//! co-simulates exactly with the golden model**, while each deviation knob
+//! produces compilable code that the co-simulation catches.
+//!
+//! ```
+//! use haven_spec::{builders, codegen::{emit, EmitStyle}, cosim, stimuli};
+//!
+//! let spec = builders::fsm_ab("fsm");
+//! let source = emit(&spec, &EmitStyle::correct());
+//! let program = stimuli::stimuli_for(&spec, 42);
+//! let report = cosim::cosimulate(&spec, &source, &program);
+//! assert!(report.verdict.functional_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod describe;
+pub mod codegen;
+pub mod cosim;
+pub mod golden;
+pub mod ir;
+pub mod stimuli;
+
+pub use cosim::{cosimulate, CosimReport, Verdict};
+pub use golden::GoldenModel;
+pub use ir::{Behavior, Spec};

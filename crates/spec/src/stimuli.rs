@@ -1,0 +1,234 @@
+//! Stimulus generation: derives a deterministic test program from a spec.
+//!
+//! The program is designed to *discriminate*, not just to cover: it
+//! includes episodes that only pass when the DUT implements the right
+//! reset style (async asserts without a clock edge), the right enable
+//! polarity (a disabled hold window), and the right corner cases
+//! (exhaustive sweeps for small combinational cones).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::ir::{Behavior, Spec};
+
+/// One step of a test program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StimulusStep {
+    /// Drive an input.
+    Set(String, u64),
+    /// One clock cycle on the spec's clock.
+    Tick,
+    /// Compare every output against the golden model.
+    Check,
+}
+
+/// A deterministic test program for one spec.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stimuli {
+    /// Steps in execution order.
+    pub steps: Vec<StimulusStep>,
+}
+
+impl Stimuli {
+    /// Number of [`StimulusStep::Check`] samples.
+    pub fn check_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, StimulusStep::Check))
+            .count()
+    }
+}
+
+/// Inputs wider than this get random rather than exhaustive sweeps.
+const EXHAUSTIVE_LIMIT_BITS: usize = 10;
+
+/// Random vectors used when a sweep is not exhaustive.
+const RANDOM_VECTORS: usize = 64;
+
+/// Clock cycles driven for sequential specs.
+const SEQ_CYCLES: usize = 48;
+
+/// Builds the test program for `spec`. Deterministic in `seed`.
+pub fn stimuli_for(spec: &Spec, seed: u64) -> Stimuli {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5743_1fd0_9e1b_77a3);
+    if spec.behavior.is_sequential() {
+        sequential_program(spec, &mut rng)
+    } else {
+        combinational_program(spec, &mut rng)
+    }
+}
+
+fn combinational_program(spec: &Spec, rng: &mut StdRng) -> Stimuli {
+    let mut steps = Vec::new();
+    let total_bits = spec.data_input_bits();
+    if total_bits <= EXHAUSTIVE_LIMIT_BITS {
+        for v in 0..(1u64 << total_bits) {
+            set_packed(spec, v, &mut steps);
+            steps.push(StimulusStep::Check);
+        }
+    } else {
+        for _ in 0..RANDOM_VECTORS {
+            for p in &spec.inputs {
+                steps.push(StimulusStep::Set(p.name.clone(), rng.gen::<u64>()));
+            }
+            steps.push(StimulusStep::Check);
+        }
+    }
+    Stimuli { steps }
+}
+
+/// Unpacks bits of `v` into the spec's data inputs, first input = high bits.
+fn set_packed(spec: &Spec, v: u64, steps: &mut Vec<StimulusStep>) {
+    let mut shift = spec.data_input_bits();
+    for p in &spec.inputs {
+        shift -= p.width;
+        let mask = if p.width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << p.width) - 1
+        };
+        steps.push(StimulusStep::Set(p.name.clone(), v >> shift & mask));
+    }
+}
+
+fn sequential_program(spec: &Spec, rng: &mut StdRng) -> Stimuli {
+    let mut steps = Vec::new();
+    let reset = spec.attrs.reset.clone();
+    let enable = spec.attrs.enable.clone();
+
+    let assert_level = |asserted: bool, r: &crate::ir::ResetSpec| -> u64 {
+        // asserted_by(level) — find the level that matches.
+        u64::from(r.asserted_by(true) == asserted)
+    };
+
+    // Drive all data inputs to 0 first so nothing floats.
+    for p in &spec.inputs {
+        steps.push(StimulusStep::Set(p.name.clone(), 0));
+    }
+    if let Some(en) = &enable {
+        steps.push(StimulusStep::Set(en.name.clone(), u64::from(en.active_high)));
+    }
+
+    // Episode 1: reset. Async resets must take effect *without* an edge —
+    // that check is what separates async from sync implementations.
+    if let Some(r) = &reset {
+        steps.push(StimulusStep::Set(r.name.clone(), assert_level(true, r)));
+        if r.kind.is_async() {
+            steps.push(StimulusStep::Check);
+        }
+        steps.push(StimulusStep::Tick);
+        steps.push(StimulusStep::Check);
+        steps.push(StimulusStep::Set(r.name.clone(), assert_level(false, r)));
+    }
+
+    // Episode 2: free-running operation with randomized data inputs.
+    let midpoint = SEQ_CYCLES / 2;
+    for cycle in 0..SEQ_CYCLES {
+        for p in &spec.inputs {
+            steps.push(StimulusStep::Set(p.name.clone(), rng.gen::<u64>()));
+        }
+        steps.push(StimulusStep::Tick);
+        steps.push(StimulusStep::Check);
+
+        // Episode 3 (embedded): a disabled hold window.
+        if cycle == midpoint {
+            if let Some(en) = &enable {
+                steps.push(StimulusStep::Set(
+                    en.name.clone(),
+                    u64::from(!en.active_high),
+                ));
+                for _ in 0..3 {
+                    for p in &spec.inputs {
+                        steps.push(StimulusStep::Set(p.name.clone(), rng.gen::<u64>()));
+                    }
+                    steps.push(StimulusStep::Tick);
+                    steps.push(StimulusStep::Check);
+                }
+                steps.push(StimulusStep::Set(en.name.clone(), u64::from(en.active_high)));
+            }
+            // Episode 4 (embedded): mid-run reset pulse.
+            if let Some(r) = &reset {
+                steps.push(StimulusStep::Set(r.name.clone(), assert_level(true, r)));
+                if r.kind.is_async() {
+                    steps.push(StimulusStep::Check);
+                } else {
+                    steps.push(StimulusStep::Tick);
+                    steps.push(StimulusStep::Check);
+                }
+                steps.push(StimulusStep::Set(r.name.clone(), assert_level(false, r)));
+            }
+        }
+    }
+
+    // FSM-style designs benefit from a directed walk of both input values.
+    if matches!(spec.behavior, Behavior::Fsm(_)) {
+        for pattern in [0u64, 1, 1, 0, 0, 0, 1, 0, 1, 1] {
+            for p in &spec.inputs {
+                steps.push(StimulusStep::Set(p.name.clone(), pattern));
+            }
+            steps.push(StimulusStep::Tick);
+            steps.push(StimulusStep::Check);
+        }
+    }
+
+    Stimuli { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn combinational_small_is_exhaustive() {
+        let spec = builders::gate("g", haven_verilog::ast::BinaryOp::BitAnd);
+        let s = stimuli_for(&spec, 1);
+        assert_eq!(s.check_count(), 4);
+    }
+
+    #[test]
+    fn combinational_large_is_random_but_bounded() {
+        let spec = builders::adder("a", 16);
+        let s = stimuli_for(&spec, 1);
+        assert_eq!(s.check_count(), RANDOM_VECTORS);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let spec = builders::counter("c", 4, None);
+        assert_eq!(stimuli_for(&spec, 7), stimuli_for(&spec, 7));
+        assert_ne!(
+            stimuli_for(&builders::adder("a", 16), 7),
+            stimuli_for(&builders::adder("a", 16), 8)
+        );
+    }
+
+    #[test]
+    fn async_reset_gets_edge_free_check() {
+        let spec = builders::counter("c", 4, None); // async rst_n
+        let s = stimuli_for(&spec, 1);
+        // The program must contain a Check immediately after the reset Set
+        // with no intervening Tick.
+        let idx = s
+            .steps
+            .iter()
+            .position(|st| matches!(st, StimulusStep::Set(n, 0) if n == "rst_n"))
+            .expect("reset assertion present");
+        assert_eq!(s.steps[idx + 1], StimulusStep::Check);
+    }
+
+    #[test]
+    fn enable_hold_window_present() {
+        let mut spec = builders::counter("c", 4, None);
+        spec.attrs.enable = Some(crate::ir::EnableSpec {
+            name: "en".into(),
+            active_high: true,
+        });
+        let s = stimuli_for(&spec, 1);
+        assert!(s
+            .steps
+            .iter()
+            .any(|st| matches!(st, StimulusStep::Set(n, 0) if n == "en")));
+    }
+}

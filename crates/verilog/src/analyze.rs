@@ -1,0 +1,781 @@
+//! Structural analysis: recovers design *topics* and Verilog *attributes*
+//! from parsed modules.
+//!
+//! This is the reproduction's stand-in for the paper's use of the slang
+//! parser in step 6 of the K-dataset flow ("Parser for Topic Matching"):
+//! each vanilla code sample is mapped to the exemplar topics and attribute
+//! set it exercises, so the augmentation stage can pick matching exemplars.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::*;
+
+/// A recognizable digital-design topic (the module classes the paper's
+/// exemplar library covers, §III-C step 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Topic {
+    /// Finite state machine (state register + next-state logic).
+    Fsm,
+    /// Up/down counter.
+    Counter,
+    /// Shift register.
+    ShiftRegister,
+    /// Arithmetic logic unit (op-select over arithmetic results).
+    Alu,
+    /// Clock divider (toggle on terminal count).
+    ClockDivider,
+    /// Multiplexer.
+    Mux,
+    /// Decoder (binary to one-hot).
+    Decoder,
+    /// Encoder or priority encoder.
+    Encoder,
+    /// Adder / arithmetic datapath.
+    Adder,
+    /// Magnitude or equality comparator.
+    Comparator,
+    /// Plain register / pipeline stage.
+    Register,
+    /// Unstructured combinational logic.
+    CombLogic,
+}
+
+impl Topic {
+    /// All topics, in a stable order.
+    pub const ALL: [Topic; 12] = [
+        Topic::Fsm,
+        Topic::Counter,
+        Topic::ShiftRegister,
+        Topic::Alu,
+        Topic::ClockDivider,
+        Topic::Mux,
+        Topic::Decoder,
+        Topic::Encoder,
+        Topic::Adder,
+        Topic::Comparator,
+        Topic::Register,
+        Topic::CombLogic,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Topic::Fsm => "finite state machine",
+            Topic::Counter => "counter",
+            Topic::ShiftRegister => "shift register",
+            Topic::Alu => "ALU",
+            Topic::ClockDivider => "clock divider",
+            Topic::Mux => "multiplexer",
+            Topic::Decoder => "decoder",
+            Topic::Encoder => "encoder",
+            Topic::Adder => "adder",
+            Topic::Comparator => "comparator",
+            Topic::Register => "register",
+            Topic::CombLogic => "combinational logic",
+        }
+    }
+}
+
+/// How a sequential block is reset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResetKind {
+    /// Reset signal in the sensitivity list, active low (`negedge rst_n`).
+    AsyncActiveLow,
+    /// Reset signal in the sensitivity list, active high (`posedge rst`).
+    AsyncActiveHigh,
+    /// Reset tested inside the clocked block only.
+    Sync,
+}
+
+impl ResetKind {
+    /// `true` for the asynchronous variants.
+    pub fn is_async(self) -> bool {
+        !matches!(self, ResetKind::Sync)
+    }
+}
+
+/// Verilog-specific attributes of a module (§III-C: reset mechanisms,
+/// clocking and edge sensitivity, enable signals).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attributes {
+    /// Reset style, if any sequential logic is present and reset.
+    pub reset: Option<ResetKind>,
+    /// Clock edge used by sequential logic.
+    pub clock_edge: Option<Edge>,
+    /// Whether an enable-like signal gates sequential updates.
+    pub has_enable: bool,
+    /// Whether the module has any edge-triggered process.
+    pub is_sequential: bool,
+    /// Whether every sequential assignment uses `<=`.
+    pub clean_nonblocking: bool,
+    /// Whether every `case` inside combinational logic has a `default`.
+    pub cases_have_default: bool,
+}
+
+/// The full analysis result for a module.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Analysis {
+    /// Detected topics (possibly several; e.g. an FSM with a counter).
+    pub topics: Vec<Topic>,
+    /// Extracted attributes.
+    pub attributes: Attributes,
+}
+
+/// Analyzes a parsed module.
+///
+/// # Examples
+///
+/// ```
+/// use haven_verilog::{parser::parse, analyze::{analyze, Topic}};
+/// let f = parse("module c(input clk, output reg [3:0] q);
+///                always @(posedge clk) q <= q + 4'd1; endmodule")?;
+/// let a = analyze(&f.modules[0]);
+/// assert!(a.topics.contains(&Topic::Counter));
+/// # Ok::<(), haven_verilog::error::VerilogError>(())
+/// ```
+pub fn analyze(module: &Module) -> Analysis {
+    let mut topics = Vec::new();
+    let attributes = extract_attributes(module);
+
+    if detect_fsm(module) {
+        topics.push(Topic::Fsm);
+    }
+    if detect_counter(module) {
+        topics.push(Topic::Counter);
+    }
+    if detect_shift_register(module) {
+        topics.push(Topic::ShiftRegister);
+    }
+    if detect_alu(module) {
+        topics.push(Topic::Alu);
+    }
+    if detect_clock_divider(module) {
+        topics.push(Topic::ClockDivider);
+    }
+    if detect_mux(module) {
+        topics.push(Topic::Mux);
+    }
+    if detect_decoder(module) {
+        topics.push(Topic::Decoder);
+    }
+    if detect_encoder(module) {
+        topics.push(Topic::Encoder);
+    }
+    if detect_adder(module) {
+        topics.push(Topic::Adder);
+    }
+    if detect_comparator(module) {
+        topics.push(Topic::Comparator);
+    }
+    if topics.is_empty() && attributes.is_sequential {
+        topics.push(Topic::Register);
+    }
+    if topics.is_empty() {
+        topics.push(Topic::CombLogic);
+    }
+
+    Analysis { topics, attributes }
+}
+
+fn seq_blocks(module: &Module) -> impl Iterator<Item = (&Vec<(Edge, String)>, &Stmt)> {
+    module.items.iter().filter_map(|i| match i {
+        Item::Always {
+            sensitivity: Sensitivity::Edges(edges),
+            body,
+            ..
+        } => Some((edges, body)),
+        _ => None,
+    })
+}
+
+fn comb_blocks(module: &Module) -> impl Iterator<Item = &Stmt> {
+    module.items.iter().filter_map(|i| match i {
+        Item::Always {
+            sensitivity: Sensitivity::Star | Sensitivity::Levels(_),
+            body,
+            ..
+        } => Some(body),
+        _ => None,
+    })
+}
+
+fn looks_like_reset(name: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    n.contains("rst") || n.contains("reset") || n.contains("clear") || n == "clr"
+}
+
+fn looks_like_clock(name: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    n.contains("clk") || n.contains("clock")
+}
+
+fn looks_like_enable(name: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    n == "en" || n == "ena" || n.contains("enable") || n.ends_with("_en") || n.starts_with("en_")
+}
+
+fn extract_attributes(module: &Module) -> Attributes {
+    let mut attrs = Attributes {
+        clean_nonblocking: true,
+        cases_have_default: true,
+        ..Attributes::default()
+    };
+    for (edges, body) in seq_blocks(module) {
+        attrs.is_sequential = true;
+        for (edge, name) in edges {
+            if looks_like_clock(name) {
+                attrs.clock_edge.get_or_insert(*edge);
+            } else if looks_like_reset(name) {
+                attrs.reset = Some(match edge {
+                    Edge::Neg => ResetKind::AsyncActiveLow,
+                    Edge::Pos => ResetKind::AsyncActiveHigh,
+                });
+            }
+        }
+        if attrs.clock_edge.is_none() {
+            // single-edge block without a recognizable clock name: treat
+            // the first entry as the clock
+            if let Some((edge, _)) = edges.first() {
+                attrs.clock_edge = Some(*edge);
+            }
+        }
+        if attrs.reset.is_none() && body_tests_reset(body) {
+            attrs.reset = Some(ResetKind::Sync);
+        }
+        if body_tests_enable(body) {
+            attrs.has_enable = true;
+        }
+        if stmt_has_blocking(body) {
+            attrs.clean_nonblocking = false;
+        }
+    }
+    for body in comb_blocks(module) {
+        if !stmt_cases_have_default(body) {
+            attrs.cases_have_default = false;
+        }
+    }
+    attrs
+}
+
+fn body_tests_reset(stmt: &Stmt) -> bool {
+    stmt_conditions(stmt)
+        .iter()
+        .any(|c| expr_mentions(c, looks_like_reset))
+}
+
+fn body_tests_enable(stmt: &Stmt) -> bool {
+    stmt_conditions(stmt)
+        .iter()
+        .any(|c| expr_mentions(c, looks_like_enable))
+}
+
+fn stmt_conditions(stmt: &Stmt) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn walk<'a>(s: &'a Stmt, out: &mut Vec<&'a Expr>) {
+        match s {
+            Stmt::Block(ss) => ss.iter().for_each(|s| walk(s, out)),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                out.push(cond);
+                walk(then_branch, out);
+                if let Some(e) = else_branch {
+                    walk(e, out);
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                arms.iter().for_each(|(_, b)| walk(b, out));
+                if let Some(d) = default {
+                    walk(d, out);
+                }
+            }
+            Stmt::For { body, .. } => walk(body, out),
+            _ => {}
+        }
+    }
+    walk(stmt, &mut out);
+    out
+}
+
+fn expr_mentions(e: &Expr, pred: impl Fn(&str) -> bool + Copy) -> bool {
+    let mut reads = Vec::new();
+    e.collect_reads(&mut reads);
+    reads.iter().any(|r| pred(r))
+}
+
+fn stmt_has_blocking(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Block(ss) => ss.iter().any(stmt_has_blocking),
+        Stmt::Blocking { .. } => true,
+        Stmt::NonBlocking { .. } => false,
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            stmt_has_blocking(then_branch)
+                || else_branch.as_deref().map(stmt_has_blocking).unwrap_or(false)
+        }
+        Stmt::Case { arms, default, .. } => {
+            arms.iter().any(|(_, b)| stmt_has_blocking(b))
+                || default.as_deref().map(stmt_has_blocking).unwrap_or(false)
+        }
+        Stmt::For { body, .. } => stmt_has_blocking(body),
+        Stmt::Empty => false,
+    }
+}
+
+fn stmt_cases_have_default(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Block(ss) => ss.iter().all(stmt_cases_have_default),
+        Stmt::Case { arms, default, .. } => {
+            default.is_some()
+                && arms.iter().all(|(_, b)| stmt_cases_have_default(b))
+                && default
+                    .as_deref()
+                    .map(stmt_cases_have_default)
+                    .unwrap_or(true)
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            stmt_cases_have_default(then_branch)
+                && else_branch
+                    .as_deref()
+                    .map(stmt_cases_have_default)
+                    .unwrap_or(true)
+        }
+        Stmt::For { body, .. } => stmt_cases_have_default(body),
+        _ => true,
+    }
+}
+
+// ---- topic detectors --------------------------------------------------
+
+/// FSM: some register written in a sequential block is also the selector
+/// of a `case` somewhere, or state/next_state naming is used.
+fn detect_fsm(module: &Module) -> bool {
+    let mut seq_written = Vec::new();
+    for (_, body) in seq_blocks(module) {
+        body.collect_writes(&mut seq_written);
+    }
+    if seq_written.iter().any(|w| w.to_ascii_lowercase().contains("state")) {
+        return true;
+    }
+    let mut case_selectors = Vec::new();
+    for body in comb_blocks(module) {
+        collect_case_selectors(body, &mut case_selectors);
+    }
+    case_selectors
+        .iter()
+        .any(|sel| seq_written.iter().any(|w| w == sel))
+}
+
+fn collect_case_selectors(stmt: &Stmt, out: &mut Vec<String>) {
+    match stmt {
+        Stmt::Block(ss) => ss.iter().for_each(|s| collect_case_selectors(s, out)),
+        Stmt::Case { expr, arms, default, .. } => {
+            if let Expr::Ident(n) = expr {
+                out.push(n.clone());
+            }
+            arms.iter().for_each(|(_, b)| collect_case_selectors(b, out));
+            if let Some(d) = default {
+                collect_case_selectors(d, out);
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_case_selectors(then_branch, out);
+            if let Some(e) = else_branch {
+                collect_case_selectors(e, out);
+            }
+        }
+        Stmt::For { body, .. } => collect_case_selectors(body, out),
+        _ => {}
+    }
+}
+
+/// Counter: a sequential write of the form `q <= q ± const-ish`.
+fn detect_counter(module: &Module) -> bool {
+    seq_blocks(module).any(|(_, body)| stmt_has_self_increment(body))
+}
+
+fn stmt_has_self_increment(stmt: &Stmt) -> bool {
+    stmt_any_assign(stmt, &mut |lhs, rhs| {
+        let targets = lhs.target_names();
+        if targets.len() != 1 {
+            return false;
+        }
+        matches!(
+            rhs,
+            Expr::Binary(BinaryOp::Add | BinaryOp::Sub, a, _)
+                if matches!(a.as_ref(), Expr::Ident(n) if n == targets[0])
+        )
+    })
+}
+
+/// Shift register: `q <= {q[...], d}` or `q <= q << 1`-style self-shift.
+fn detect_shift_register(module: &Module) -> bool {
+    seq_blocks(module).any(|(_, body)| {
+        stmt_any_assign(body, &mut |lhs, rhs| {
+            let targets = lhs.target_names();
+            if targets.len() != 1 {
+                return false;
+            }
+            let t = targets[0];
+            match rhs {
+                Expr::Concat(parts) => parts.iter().any(|p| match p {
+                    Expr::Slice(n, _, _) | Expr::Index(n, _) | Expr::Ident(n) => n == t,
+                    _ => false,
+                }),
+                Expr::Binary(BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShr, a, _) => {
+                    matches!(a.as_ref(), Expr::Ident(n) if n == t)
+                }
+                _ => false,
+            }
+        })
+    })
+}
+
+/// ALU: a case over an op-select whose arms compute different arithmetic /
+/// logic operations into the same target.
+fn detect_alu(module: &Module) -> bool {
+    let mut found = false;
+    let mut visit = |stmt: &Stmt| {
+        collect_cases(stmt, &mut |arms| {
+            let mut ops = std::collections::HashSet::new();
+            for (_, body) in arms {
+                stmt_any_assign(body, &mut |_, rhs| {
+                    if let Expr::Binary(op, _, _) = rhs {
+                        ops.insert(*op);
+                    }
+                    false
+                });
+            }
+            if ops.len() >= 3
+                && (ops.contains(&BinaryOp::Add) || ops.contains(&BinaryOp::Sub))
+            {
+                found = true;
+            }
+        });
+    };
+    for body in comb_blocks(module) {
+        visit(body);
+    }
+    for (_, body) in seq_blocks(module) {
+        visit(body);
+    }
+    found
+}
+
+fn collect_cases<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a [(Vec<Expr>, Stmt)])) {
+    match stmt {
+        Stmt::Block(ss) => ss.iter().for_each(|s| collect_cases(s, f)),
+        Stmt::Case { arms, default, .. } => {
+            f(arms);
+            arms.iter().for_each(|(_, b)| collect_cases(b, f));
+            if let Some(d) = default {
+                collect_cases(d, f);
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_cases(then_branch, f);
+            if let Some(e) = else_branch {
+                collect_cases(e, f);
+            }
+        }
+        Stmt::For { body, .. } => collect_cases(body, f),
+        _ => {}
+    }
+}
+
+/// Clock divider: sequential toggle `q <= ~q` (usually under a compare).
+fn detect_clock_divider(module: &Module) -> bool {
+    seq_blocks(module).any(|(_, body)| {
+        stmt_any_assign(body, &mut |lhs, rhs| {
+            let targets = lhs.target_names();
+            targets.len() == 1
+                && matches!(
+                    rhs,
+                    Expr::Unary(UnaryOp::BitNot | UnaryOp::LogicNot, a)
+                        if matches!(a.as_ref(), Expr::Ident(n) if n == targets[0])
+                )
+        })
+    })
+}
+
+/// Mux: a top-level ternary or input-selected case feeding an output.
+fn detect_mux(module: &Module) -> bool {
+    let has_sel_port = module
+        .ports
+        .iter()
+        .any(|p| p.name.to_ascii_lowercase().contains("sel"));
+    if !has_sel_port {
+        return false;
+    }
+    let assigns_ternary = module.items.iter().any(|i| {
+        matches!(i, Item::ContinuousAssign { rhs: Expr::Ternary(..), .. })
+    });
+    let case_on_sel = comb_blocks(module).any(|b| {
+        let mut sels = Vec::new();
+        collect_case_selectors(b, &mut sels);
+        sels.iter().any(|s| s.to_ascii_lowercase().contains("sel"))
+    });
+    assigns_ternary || case_on_sel
+}
+
+/// Decoder: output assigned `1 << input` or a case mapping to one-hot
+/// literals.
+fn detect_decoder(module: &Module) -> bool {
+    let shift_form = module.items.iter().any(|i| {
+        matches!(
+            i,
+            Item::ContinuousAssign {
+                rhs: Expr::Binary(BinaryOp::Shl, a, _),
+                ..
+            } if matches!(a.as_ref(), Expr::Literal(v) if v.to_u64() == Some(1))
+        )
+    });
+    if shift_form {
+        return true;
+    }
+    let mut one_hot_case = false;
+    for body in comb_blocks(module) {
+        collect_cases(body, &mut |arms| {
+            if arms.len() >= 3 {
+                let all_one_hot = arms.iter().all(|(_, b)| {
+                    let mut hot = false;
+                    stmt_any_assign(b, &mut |_, rhs| {
+                        if let Expr::Literal(v) = rhs {
+                            if let Some(x) = v.to_u64() {
+                                hot = x != 0 && x & (x - 1) == 0;
+                            }
+                        }
+                        false
+                    });
+                    hot
+                });
+                if all_one_hot {
+                    one_hot_case = true;
+                }
+            }
+        });
+    }
+    one_hot_case
+}
+
+/// Encoder: priority if/else chain testing individual bits of one input.
+fn detect_encoder(module: &Module) -> bool {
+    let name_hit = module.name.to_ascii_lowercase().contains("enc");
+    if name_hit {
+        return true;
+    }
+    comb_blocks(module).any(|body| {
+        let conds = stmt_conditions(body);
+        conds.len() >= 3
+            && conds
+                .iter()
+                .filter(|c| matches!(c, Expr::Index(_, _)))
+                .count()
+                >= 3
+    })
+}
+
+/// Adder: combinational `+` over two input ports.
+fn detect_adder(module: &Module) -> bool {
+    let inputs: Vec<&str> = module
+        .ports
+        .iter()
+        .filter(|p| p.direction == Some(Direction::Input))
+        .map(|p| p.name.as_str())
+        .collect();
+    fn is_add_of(rhs: &Expr, inputs: &[&str]) -> bool {
+        match rhs {
+            Expr::Binary(BinaryOp::Add, a, b) => {
+                let mut reads = Vec::new();
+                a.collect_reads(&mut reads);
+                b.collect_reads(&mut reads);
+                !reads.is_empty() && reads.iter().all(|r| inputs.contains(&r.as_str()))
+            }
+            Expr::Concat(parts) => parts.iter().any(|p| is_add_of(p, inputs)),
+            _ => false,
+        }
+    }
+    let is_add_of_inputs = |rhs: &Expr| -> bool { is_add_of(rhs, &inputs) };
+    module.items.iter().any(|i| match i {
+        Item::ContinuousAssign { rhs, .. } => is_add_of_inputs(rhs),
+        Item::Always {
+            sensitivity: Sensitivity::Star | Sensitivity::Levels(_),
+            body,
+            ..
+        } => stmt_any_assign(body, &mut |_, rhs| is_add_of_inputs(rhs)),
+        _ => false,
+    })
+}
+
+/// Comparator: output driven by a bare relational/equality operator.
+fn detect_comparator(module: &Module) -> bool {
+    module.items.iter().any(|i| {
+        matches!(
+            i,
+            Item::ContinuousAssign {
+                rhs: Expr::Binary(
+                    BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge | BinaryOp::Eq
+                        | BinaryOp::Neq,
+                    _,
+                    _
+                ),
+                ..
+            }
+        )
+    })
+}
+
+/// Walks every assignment in a statement, returning `true` if the
+/// predicate matched any (and short-circuiting).
+fn stmt_any_assign(stmt: &Stmt, pred: &mut impl FnMut(&LValue, &Expr) -> bool) -> bool {
+    match stmt {
+        Stmt::Block(ss) => ss.iter().any(|s| stmt_any_assign(s, pred)),
+        Stmt::Blocking { lhs, rhs, .. } | Stmt::NonBlocking { lhs, rhs, .. } => pred(lhs, rhs),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            stmt_any_assign(then_branch, pred)
+                || else_branch
+                    .as_deref()
+                    .map(|e| stmt_any_assign(e, pred))
+                    .unwrap_or(false)
+        }
+        Stmt::Case { arms, default, .. } => {
+            arms.iter().any(|(_, b)| stmt_any_assign(b, pred))
+                || default
+                    .as_deref()
+                    .map(|d| stmt_any_assign(d, pred))
+                    .unwrap_or(false)
+        }
+        Stmt::For { body, .. } => stmt_any_assign(body, pred),
+        Stmt::Empty => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyze_src(src: &str) -> Analysis {
+        analyze(&parse(src).unwrap().modules[0])
+    }
+
+    #[test]
+    fn counter_detected_with_sync_reset() {
+        let a = analyze_src(
+            "module c(input clk, input rst, output reg [3:0] q);\n always @(posedge clk)\n  if (rst) q <= 4'd0; else q <= q + 4'd1;\nendmodule",
+        );
+        assert!(a.topics.contains(&Topic::Counter));
+        assert_eq!(a.attributes.reset, Some(ResetKind::Sync));
+        assert_eq!(a.attributes.clock_edge, Some(Edge::Pos));
+        assert!(a.attributes.clean_nonblocking);
+    }
+
+    #[test]
+    fn fsm_detected_with_async_low_reset() {
+        let a = analyze_src(
+            "module f(input clk, rst_n, x, output reg y);\n reg [1:0] state, next_state;\n always @(posedge clk or negedge rst_n)\n  if (!rst_n) state <= 2'd0; else state <= next_state;\n always @(*)\n  case (state)\n   2'd0: next_state = x ? 2'd1 : 2'd0;\n   default: next_state = 2'd0;\n  endcase\n always @(*) y = (state == 2'd1);\nendmodule",
+        );
+        assert!(a.topics.contains(&Topic::Fsm));
+        assert_eq!(a.attributes.reset, Some(ResetKind::AsyncActiveLow));
+    }
+
+    #[test]
+    fn shift_register_detected() {
+        let a = analyze_src(
+            "module s(input clk, input d, output reg [7:0] q);\n always @(posedge clk) q <= {q[6:0], d};\nendmodule",
+        );
+        assert!(a.topics.contains(&Topic::ShiftRegister));
+    }
+
+    #[test]
+    fn alu_detected() {
+        let a = analyze_src(
+            "module alu(input [1:0] op, input [7:0] a, b, output reg [7:0] y);\n always @(*)\n  case (op)\n   2'd0: y = a + b;\n   2'd1: y = a - b;\n   2'd2: y = a & b;\n   default: y = a | b;\n  endcase\nendmodule",
+        );
+        assert!(a.topics.contains(&Topic::Alu));
+    }
+
+    #[test]
+    fn clock_divider_detected() {
+        let a = analyze_src(
+            "module d(input clk, output reg q);\n reg [3:0] cnt;\n always @(posedge clk) begin\n  cnt <= cnt + 4'd1;\n  if (cnt == 4'd9) q <= ~q;\n end\nendmodule",
+        );
+        assert!(a.topics.contains(&Topic::ClockDivider));
+        assert!(a.topics.contains(&Topic::Counter));
+    }
+
+    #[test]
+    fn mux_and_comparator_and_adder() {
+        let a = analyze_src(
+            "module m(input a, b, sel, output y);\n assign y = sel ? b : a;\nendmodule",
+        );
+        assert!(a.topics.contains(&Topic::Mux));
+        let a = analyze_src(
+            "module m(input [3:0] a, b, output y);\n assign y = a < b;\nendmodule",
+        );
+        assert!(a.topics.contains(&Topic::Comparator));
+        let a = analyze_src(
+            "module m(input [3:0] a, b, output [3:0] s);\n assign s = a + b;\nendmodule",
+        );
+        assert!(a.topics.contains(&Topic::Adder));
+    }
+
+    #[test]
+    fn plain_register_falls_back() {
+        let a = analyze_src(
+            "module r(input clk, input [7:0] d, output reg [7:0] q);\n always @(posedge clk) q <= d;\nendmodule",
+        );
+        assert_eq!(a.topics, vec![Topic::Register]);
+    }
+
+    #[test]
+    fn pure_comb_falls_back() {
+        let a = analyze_src("module g(input a, b, output y);\n assign y = a ^ b;\nendmodule");
+        assert_eq!(a.topics, vec![Topic::CombLogic]);
+    }
+
+    #[test]
+    fn enable_detected() {
+        let a = analyze_src(
+            "module r(input clk, en, input [3:0] d, output reg [3:0] q);\n always @(posedge clk) if (en) q <= d;\nendmodule",
+        );
+        assert!(a.attributes.has_enable);
+    }
+
+    #[test]
+    fn dirty_blocking_in_seq_flagged() {
+        let a = analyze_src(
+            "module r(input clk, d, output reg q);\n always @(posedge clk) q = d;\nendmodule",
+        );
+        assert!(!a.attributes.clean_nonblocking);
+    }
+
+    #[test]
+    fn missing_case_default_flagged() {
+        let a = analyze_src(
+            "module m(input [1:0] s, output reg y);\n always @(*)\n  case (s)\n   2'd0: y = 1'b0;\n   2'd1: y = 1'b1;\n  endcase\nendmodule",
+        );
+        assert!(!a.attributes.cases_have_default);
+    }
+}

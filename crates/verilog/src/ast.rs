@@ -1,0 +1,553 @@
+//! Abstract syntax tree for the synthesizable Verilog subset.
+
+use crate::error::Span;
+use crate::logic::LogicVec;
+
+/// A parsed source file: one or more module definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFile {
+    /// Modules in declaration order.
+    pub modules: Vec<Module>,
+}
+
+impl SourceFile {
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// A module definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Ports in header order.
+    pub ports: Vec<Port>,
+    /// Body items in declaration order.
+    pub items: Vec<Item>,
+    /// Position of the `module` keyword.
+    pub span: Span,
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `inout`
+    Inout,
+}
+
+impl Direction {
+    /// Source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::Input => "input",
+            Direction::Output => "output",
+            Direction::Inout => "inout",
+        }
+    }
+}
+
+/// A bit range `[msb:lsb]` written in a declaration. Both bounds are
+/// constant expressions (usually literals, possibly parameter refs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Range {
+    /// Most significant bit index expression.
+    pub msb: Expr,
+    /// Least significant bit index expression.
+    pub lsb: Expr,
+}
+
+/// A port declaration (ANSI style, or legacy direction-only header entry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Direction; `None` for legacy headers where the direction is declared
+    /// in the body.
+    pub direction: Option<Direction>,
+    /// Declared as `reg`?
+    pub is_reg: bool,
+    /// Optional `[msb:lsb]` range.
+    pub range: Option<Range>,
+    /// Port name.
+    pub name: String,
+    /// Source position.
+    pub span: Span,
+}
+
+/// Net/variable kind for body declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// `wire`
+    Wire,
+    /// `reg`
+    Reg,
+    /// `integer` (treated as a 32-bit reg)
+    Integer,
+}
+
+/// A module body item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `input/output/inout [range] name, name, ...;` inside the body.
+    PortDecl {
+        /// Direction keyword used.
+        direction: Direction,
+        /// Declared with `reg`?
+        is_reg: bool,
+        /// Optional range.
+        range: Option<Range>,
+        /// Declared names.
+        names: Vec<String>,
+        /// Source position.
+        span: Span,
+    },
+    /// `wire/reg/integer [range] name [= init], ...;`
+    NetDecl {
+        /// wire / reg / integer.
+        kind: NetKind,
+        /// Optional range.
+        range: Option<Range>,
+        /// Name and optional initializer for each declarator.
+        names: Vec<(String, Option<Expr>)>,
+        /// Source position.
+        span: Span,
+    },
+    /// `parameter` / `localparam` declaration.
+    ParamDecl {
+        /// `true` for `localparam`.
+        is_local: bool,
+        /// Name/value pairs.
+        assignments: Vec<(String, Expr)>,
+        /// Source position.
+        span: Span,
+    },
+    /// `assign lhs = rhs;`
+    ContinuousAssign {
+        /// Assignment target.
+        lhs: LValue,
+        /// Driven expression.
+        rhs: Expr,
+        /// Source position.
+        span: Span,
+    },
+    /// `always @(...) stmt`
+    Always {
+        /// Sensitivity list.
+        sensitivity: Sensitivity,
+        /// Body.
+        body: Stmt,
+        /// Source position.
+        span: Span,
+    },
+    /// `initial stmt` — accepted and elaborated as a one-shot process.
+    Initial {
+        /// Body.
+        body: Stmt,
+        /// Source position.
+        span: Span,
+    },
+    /// Module instantiation `Type inst (.port(expr), ...);`
+    Instance {
+        /// Instantiated module type name.
+        module: String,
+        /// Instance name.
+        instance: String,
+        /// Named or positional connections.
+        connections: Vec<Connection>,
+        /// Source position.
+        span: Span,
+    },
+}
+
+/// One port connection of a module instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Connection {
+    /// Port name for named connections; `None` for positional.
+    pub port: Option<String>,
+    /// Connected expression (`None` = explicitly unconnected `.p()`).
+    pub expr: Option<Expr>,
+}
+
+/// Edge specifier in a sensitivity list.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum Edge {
+    /// `posedge`
+    Pos,
+    /// `negedge`
+    Neg,
+}
+
+/// `always` sensitivity list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sensitivity {
+    /// `@(*)` or `@*`
+    Star,
+    /// `@(posedge clk or negedge rst_n ...)`
+    Edges(Vec<(Edge, String)>),
+    /// `@(a or b or c)` — level-sensitive explicit list.
+    Levels(Vec<String>),
+}
+
+/// Case statement flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaseKind {
+    /// `case`
+    Exact,
+    /// `casez`
+    Z,
+    /// `casex`
+    X,
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Whole signal.
+    Ident(String),
+    /// Single-bit select `sig[expr]`.
+    Index(String, Expr),
+    /// Part select `sig[msb:lsb]` with constant bounds.
+    Slice(String, Expr, Expr),
+    /// Concatenation `{a, b[0], ...}`.
+    Concat(Vec<LValue>),
+}
+
+impl LValue {
+    /// Names of all signals written by this lvalue.
+    pub fn target_names(&self) -> Vec<&str> {
+        match self {
+            LValue::Ident(n) | LValue::Index(n, _) | LValue::Slice(n, _, _) => vec![n],
+            LValue::Concat(parts) => parts.iter().flat_map(|p| p.target_names()).collect(),
+        }
+    }
+}
+
+/// A behavioural statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `begin ... end`
+    Block(Vec<Stmt>),
+    /// `lhs = rhs;`
+    Blocking {
+        /// Target.
+        lhs: LValue,
+        /// Value.
+        rhs: Expr,
+        /// Source position.
+        span: Span,
+    },
+    /// `lhs <= rhs;`
+    NonBlocking {
+        /// Target.
+        lhs: LValue,
+        /// Value.
+        rhs: Expr,
+        /// Source position.
+        span: Span,
+    },
+    /// `if (cond) then [else alt]`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Taken when the condition is true.
+        then_branch: Box<Stmt>,
+        /// Taken otherwise (x/z conditions also land here).
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `case/casez/casex (expr) arms endcase`
+    Case {
+        /// Flavour.
+        kind: CaseKind,
+        /// Selector.
+        expr: Expr,
+        /// `(labels, body)` arms in order.
+        arms: Vec<(Vec<Expr>, Stmt)>,
+        /// `default:` body if present.
+        default: Option<Box<Stmt>>,
+    },
+    /// `for (init; cond; step) body` with constant trip count.
+    For {
+        /// Loop variable initialization `i = e`.
+        init: (String, Expr),
+        /// Loop condition.
+        cond: Expr,
+        /// Loop step `i = e`.
+        step: (String, Expr),
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// Empty statement `;`.
+    Empty,
+}
+
+/// Unary operators.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum UnaryOp {
+    /// `!`
+    LogicNot,
+    /// `~`
+    BitNot,
+    /// `&`
+    ReduceAnd,
+    /// `|`
+    ReduceOr,
+    /// `^`
+    ReduceXor,
+    /// `~&`
+    ReduceNand,
+    /// `~|`
+    ReduceNor,
+    /// `~^`
+    ReduceXnor,
+    /// `-`
+    Negate,
+    /// `+`
+    Plus,
+}
+
+/// Binary operators, in increasing precedence groups (see the parser).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    LogicOr,
+    LogicAnd,
+    BitOr,
+    BitXor,
+    BitXnor,
+    BitAnd,
+    Eq,
+    Neq,
+    CaseEq,
+    CaseNeq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl,
+    Shr,
+    AShr,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Pow,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Expr {
+    /// Literal value.
+    Literal(LogicVec),
+    /// Signal or parameter reference.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b` (x condition merges per Verilog).
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `{a, b, ...}` — first element is most significant.
+    Concat(Vec<Expr>),
+    /// `{n{e}}`
+    Replicate(Box<Expr>, Box<Expr>),
+    /// Bit select `sig[expr]`.
+    Index(String, Box<Expr>),
+    /// Part select `sig[msb:lsb]`.
+    Slice(String, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Literal helper.
+    pub fn lit(value: u64, width: usize) -> Expr {
+        Expr::Literal(LogicVec::from_u64(value, width))
+    }
+
+    /// Identifier helper.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into())
+    }
+
+    /// Collects every identifier read by this expression into `out`.
+    pub fn collect_reads(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Ident(n) => out.push(n.clone()),
+            Expr::Unary(_, e) => e.collect_reads(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            Expr::Ternary(c, a, b) => {
+                c.collect_reads(out);
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            Expr::Concat(parts) => parts.iter().for_each(|p| p.collect_reads(out)),
+            Expr::Replicate(n, e) => {
+                n.collect_reads(out);
+                e.collect_reads(out);
+            }
+            Expr::Index(n, i) => {
+                out.push(n.clone());
+                i.collect_reads(out);
+            }
+            Expr::Slice(n, a, b) => {
+                out.push(n.clone());
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+        }
+    }
+}
+
+impl Stmt {
+    /// Collects identifiers read anywhere in the statement (conditions,
+    /// right-hand sides, selects) into `out`.
+    pub fn collect_reads(&self, out: &mut Vec<String>) {
+        match self {
+            Stmt::Block(stmts) => stmts.iter().for_each(|s| s.collect_reads(out)),
+            Stmt::Blocking { lhs, rhs, .. } | Stmt::NonBlocking { lhs, rhs, .. } => {
+                rhs.collect_reads(out);
+                lvalue_index_reads(lhs, out);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                cond.collect_reads(out);
+                then_branch.collect_reads(out);
+                if let Some(e) = else_branch {
+                    e.collect_reads(out);
+                }
+            }
+            Stmt::Case {
+                expr,
+                arms,
+                default,
+                ..
+            } => {
+                expr.collect_reads(out);
+                for (labels, body) in arms {
+                    labels.iter().for_each(|l| l.collect_reads(out));
+                    body.collect_reads(out);
+                }
+                if let Some(d) = default {
+                    d.collect_reads(out);
+                }
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                init.1.collect_reads(out);
+                cond.collect_reads(out);
+                step.1.collect_reads(out);
+                body.collect_reads(out);
+            }
+            Stmt::Empty => {}
+        }
+    }
+
+    /// Collects names of signals written anywhere in the statement.
+    pub fn collect_writes(&self, out: &mut Vec<String>) {
+        match self {
+            Stmt::Block(stmts) => stmts.iter().for_each(|s| s.collect_writes(out)),
+            Stmt::Blocking { lhs, .. } | Stmt::NonBlocking { lhs, .. } => {
+                out.extend(lhs.target_names().iter().map(|s| s.to_string()));
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                then_branch.collect_writes(out);
+                if let Some(e) = else_branch {
+                    e.collect_writes(out);
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                for (_, body) in arms {
+                    body.collect_writes(out);
+                }
+                if let Some(d) = default {
+                    d.collect_writes(out);
+                }
+            }
+            Stmt::For { init, step, body, .. } => {
+                out.push(init.0.clone());
+                out.push(step.0.clone());
+                body.collect_writes(out);
+            }
+            Stmt::Empty => {}
+        }
+    }
+}
+
+fn lvalue_index_reads(lv: &LValue, out: &mut Vec<String>) {
+    match lv {
+        LValue::Ident(_) => {}
+        LValue::Index(_, i) => i.collect_reads(out),
+        LValue::Slice(_, a, b) => {
+            a.collect_reads(out);
+            b.collect_reads(out);
+        }
+        LValue::Concat(parts) => parts.iter().for_each(|p| lvalue_index_reads(p, out)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_reads_walks_everything() {
+        let e = Expr::Ternary(
+            Box::new(Expr::ident("sel")),
+            Box::new(Expr::Binary(
+                BinaryOp::Add,
+                Box::new(Expr::ident("a")),
+                Box::new(Expr::ident("b")),
+            )),
+            Box::new(Expr::Index("mem".into(), Box::new(Expr::ident("addr")))),
+        );
+        let mut reads = Vec::new();
+        e.collect_reads(&mut reads);
+        assert_eq!(reads, vec!["sel", "a", "b", "mem", "addr"]);
+    }
+
+    #[test]
+    fn collect_writes_sees_all_branches() {
+        let s = Stmt::If {
+            cond: Expr::ident("c"),
+            then_branch: Box::new(Stmt::Blocking {
+                lhs: LValue::Ident("y".into()),
+                rhs: Expr::lit(1, 1),
+                span: Span::default(),
+            }),
+            else_branch: Some(Box::new(Stmt::NonBlocking {
+                lhs: LValue::Concat(vec![LValue::Ident("p".into()), LValue::Ident("q".into())]),
+                rhs: Expr::lit(0, 2),
+                span: Span::default(),
+            })),
+        };
+        let mut writes = Vec::new();
+        s.collect_writes(&mut writes);
+        assert_eq!(writes, vec!["y", "p", "q"]);
+    }
+
+    use crate::error::Span;
+}

@@ -1,0 +1,1106 @@
+//! Elaboration: resolves parameters, flattens module instances, checks
+//! structural legality and compiles a [`SourceFile`] into a [`Design`]
+//! ready for simulation.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::error::{Result, VerilogError};
+use crate::logic::LogicVec;
+
+/// Identifies a signal within a [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub u32);
+
+/// What kind of storage a signal is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// Top-level input port.
+    Input,
+    /// Top-level output port.
+    Output,
+    /// Internal wire (driven by continuous assigns / instance outputs).
+    Wire,
+    /// Internal reg / integer (driven by procedural blocks).
+    Reg,
+}
+
+/// Metadata for one elaborated signal.
+#[derive(Debug, Clone)]
+pub struct SignalInfo {
+    /// Flattened hierarchical name (`u0.q` for instance-internal signals).
+    pub name: String,
+    /// Bit width.
+    pub width: usize,
+    /// Declared least-significant index (`[7:4]` has `lsb = 4`).
+    pub lsb: usize,
+    /// Storage kind.
+    pub kind: SignalKind,
+    /// Declared (or port-declared) as `reg` — procedural storage. Always
+    /// true for [`SignalKind::Reg`]; may also be true for output ports.
+    pub is_reg: bool,
+    /// Declared initializer, if any.
+    pub init: Option<LogicVec>,
+}
+
+/// What causes a process to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trigger {
+    /// Combinational: runs when any of these signals change. For `@(*)`
+    /// this is the inferred read set; for explicit level lists it is the
+    /// *declared* list — an incomplete list faithfully reproduces the
+    /// stale-value bug it causes in real simulators.
+    Comb(Vec<SignalId>),
+    /// Edge-triggered: runs when any watched signal sees its edge.
+    Edge(Vec<(Edge, SignalId)>),
+    /// Runs once at time zero (`initial`).
+    Once,
+}
+
+/// An executable process compiled from an `always`/`initial`/`assign`.
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Stable index within the design.
+    pub id: usize,
+    /// Activation condition.
+    pub trigger: Trigger,
+    /// Statement body with parameters folded to literals and hierarchical
+    /// names resolved.
+    pub body: Stmt,
+    /// Signals the body may write.
+    pub writes: Vec<SignalId>,
+}
+
+/// A fully elaborated, flattened, simulatable design.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Top module name.
+    pub name: String,
+    /// All signals; indexed by [`SignalId`].
+    pub signals: Vec<SignalInfo>,
+    /// Name → id lookup.
+    pub by_name: HashMap<String, SignalId>,
+    /// Top-level inputs in port order.
+    pub inputs: Vec<SignalId>,
+    /// Top-level outputs in port order.
+    pub outputs: Vec<SignalId>,
+    /// All processes.
+    pub processes: Vec<Process>,
+}
+
+impl Design {
+    /// Looks up a signal by (flattened) name.
+    pub fn signal(&self, name: &str) -> Option<SignalId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Signal metadata.
+    pub fn info(&self, id: SignalId) -> &SignalInfo {
+        &self.signals[id.0 as usize]
+    }
+
+    /// `(name, width)` pairs for the top-level inputs, in port order.
+    pub fn input_ports(&self) -> Vec<(String, usize)> {
+        self.inputs
+            .iter()
+            .map(|&id| (self.info(id).name.clone(), self.info(id).width))
+            .collect()
+    }
+
+    /// `(name, width)` pairs for the top-level outputs, in port order.
+    pub fn output_ports(&self) -> Vec<(String, usize)> {
+        self.outputs
+            .iter()
+            .map(|&id| (self.info(id).name.clone(), self.info(id).width))
+            .collect()
+    }
+}
+
+/// Elaborates `top` (and, transitively, every instantiated module) from
+/// `file` into a flat [`Design`].
+///
+/// # Errors
+///
+/// Returns [`VerilogError::Elaborate`] for undeclared identifiers, duplicate
+/// declarations, direction clashes, non-constant widths, unknown instance
+/// types, recursive instantiation and other structural problems.
+///
+/// # Examples
+///
+/// ```
+/// use haven_verilog::{parser::parse, elab::elaborate};
+/// let file = parse("module inv(input a, output y); assign y = ~a; endmodule")?;
+/// let design = elaborate(&file, "inv")?;
+/// assert_eq!(design.input_ports(), vec![("a".to_string(), 1)]);
+/// # Ok::<(), haven_verilog::error::VerilogError>(())
+/// ```
+pub fn elaborate(file: &SourceFile, top: &str) -> Result<Design> {
+    let module = file
+        .module(top)
+        .ok_or_else(|| VerilogError::elab(format!("top module `{top}` not found")))?;
+    let mut ctx = Elaborator {
+        file,
+        design: Design {
+            name: top.to_string(),
+            signals: Vec::new(),
+            by_name: HashMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            processes: Vec::new(),
+        },
+        depth: 0,
+    };
+    ctx.instantiate(module, "", true)?;
+    ctx.check_drivers()?;
+    Ok(ctx.design)
+}
+
+/// Parses and elaborates in one step — the "does this compile" check used
+/// by the dataset verification stage and the syntax-pass metric.
+///
+/// # Errors
+///
+/// Propagates any lex, parse or elaboration error.
+pub fn compile(source: &str) -> Result<Design> {
+    let file = crate::parser::parse(source)?;
+    let top = file.modules[0].name.clone();
+    elaborate(&file, &top)
+}
+
+const MAX_HIERARCHY_DEPTH: usize = 16;
+
+struct Elaborator<'a> {
+    file: &'a SourceFile,
+    design: Design,
+    depth: usize,
+}
+
+/// Per-instance elaboration scope.
+struct Scope {
+    /// Hierarchical prefix (`""` for top, `"u0."` below).
+    prefix: String,
+    /// Parameter values in this instance.
+    params: HashMap<String, LogicVec>,
+}
+
+impl Scope {
+    fn qualify(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}{}", self.prefix, name)
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PortMeta {
+    direction: Direction,
+    is_reg: bool,
+    width: usize,
+    lsb: usize,
+}
+
+impl<'a> Elaborator<'a> {
+    fn instantiate(&mut self, module: &Module, prefix: &str, is_top: bool) -> Result<()> {
+        if self.depth > MAX_HIERARCHY_DEPTH {
+            return Err(VerilogError::elab(format!(
+                "instance hierarchy deeper than {MAX_HIERARCHY_DEPTH} (recursive instantiation?)"
+            )));
+        }
+        let mut scope = Scope {
+            prefix: prefix.to_string(),
+            params: HashMap::new(),
+        };
+
+        // Pass 1: resolve parameters (in order; later params may use earlier).
+        for item in &module.items {
+            if let Item::ParamDecl { assignments, .. } = item {
+                for (name, expr) in assignments {
+                    let v = self.const_eval(expr, &scope.params)?;
+                    scope.params.insert(name.clone(), v);
+                }
+            }
+        }
+
+        // Pass 2: work out port metadata (direction/range possibly split
+        // between header and body for legacy style).
+        let mut port_meta: HashMap<String, PortMeta> = HashMap::new();
+        let mut port_order: Vec<String> = Vec::new();
+        for p in &module.ports {
+            port_order.push(p.name.clone());
+            let (width, lsb) = self.range_of(&p.range, &scope.params)?;
+            if let Some(dir) = p.direction {
+                let dup = port_meta.insert(
+                    p.name.clone(),
+                    PortMeta {
+                        direction: dir,
+                        is_reg: p.is_reg,
+                        width,
+                        lsb,
+                    },
+                );
+                if dup.is_some() {
+                    return Err(VerilogError::elab(format!(
+                        "duplicate port `{}` in module `{}`",
+                        p.name, module.name
+                    )));
+                }
+            }
+        }
+        for item in &module.items {
+            if let Item::PortDecl {
+                direction,
+                is_reg,
+                range,
+                names,
+                ..
+            } = item
+            {
+                let (width, lsb) = self.range_of(range, &scope.params)?;
+                for n in names {
+                    if !port_order.contains(n) {
+                        return Err(VerilogError::elab(format!(
+                            "`{n}` declared as port but not listed in header of `{}`",
+                            module.name
+                        )));
+                    }
+                    if let Some(existing) = port_meta.get_mut(n) {
+                        // Header gave a direction already; body may add reg.
+                        if existing.direction != *direction {
+                            return Err(VerilogError::elab(format!(
+                                "port `{n}` direction conflict in `{}`",
+                                module.name
+                            )));
+                        }
+                        existing.is_reg |= *is_reg;
+                    } else {
+                        port_meta.insert(
+                            n.clone(),
+                            PortMeta {
+                                direction: *direction,
+                                is_reg: *is_reg,
+                                width,
+                                lsb,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        for name in &port_order {
+            if !port_meta.contains_key(name) {
+                return Err(VerilogError::elab(format!(
+                    "port `{name}` of `{}` has no direction",
+                    module.name
+                )));
+            }
+        }
+
+        // Pass 3: declare signals — ports first (in order), then nets.
+        for name in &port_order {
+            let meta = &port_meta[name];
+            let kind = if is_top {
+                match meta.direction {
+                    Direction::Input => SignalKind::Input,
+                    Direction::Output => SignalKind::Output,
+                    Direction::Inout => {
+                        return Err(VerilogError::elab(
+                            "inout ports are outside the supported subset",
+                        ))
+                    }
+                }
+            } else {
+                // Instance ports become plain nets after flattening.
+                if meta.is_reg {
+                    SignalKind::Reg
+                } else {
+                    SignalKind::Wire
+                }
+            };
+            let id = self.declare(
+                scope.qualify(name),
+                meta.width,
+                meta.lsb,
+                kind,
+                meta.is_reg,
+                None,
+            )?;
+            if is_top {
+                match meta.direction {
+                    Direction::Input => self.design.inputs.push(id),
+                    Direction::Output => self.design.outputs.push(id),
+                    Direction::Inout => unreachable!(),
+                }
+            }
+        }
+        // A `reg` port needs reg semantics for driver checking even at top.
+        // Wire declarations with non-constant initializers are implicit
+        // continuous assigns (`wire n = a & b;`); collect them here and
+        // compile them as processes after all signals exist.
+        let mut implicit_assigns: Vec<(String, Expr)> = Vec::new();
+        for item in &module.items {
+            if let Item::NetDecl {
+                kind, range, names, ..
+            } = item
+            {
+                let (width, lsb) = self.range_of(range, &scope.params)?;
+                for (name, init) in names {
+                    let (width, lsb) = if *kind == NetKind::Integer {
+                        (32, 0)
+                    } else {
+                        (width, lsb)
+                    };
+                    let mut init_v = None;
+                    if let Some(e) = init {
+                        match (kind, self.const_eval(e, &scope.params)) {
+                            (_, Ok(v)) => init_v = Some(v.resized(width)),
+                            (NetKind::Wire, Err(_)) => {
+                                implicit_assigns.push((name.clone(), e.clone()));
+                            }
+                            (_, Err(err)) => return Err(err),
+                        }
+                    }
+                    let skind = match kind {
+                        NetKind::Wire => SignalKind::Wire,
+                        NetKind::Reg | NetKind::Integer => SignalKind::Reg,
+                    };
+                    let is_reg = skind == SignalKind::Reg;
+                    self.declare(scope.qualify(name), width, lsb, skind, is_reg, init_v)?;
+                }
+            }
+        }
+
+        // Track reg-ness of ports for driver checks.
+        let mut reg_ports: Vec<String> = port_meta
+            .iter()
+            .filter(|(_, m)| m.is_reg)
+            .map(|(n, _)| scope.qualify(n))
+            .collect();
+        reg_ports.sort();
+
+        // Implicit continuous assigns from wire initializers.
+        for (name, expr) in &implicit_assigns {
+            self.add_assign(&scope, &LValue::Ident(name.clone()), expr, &reg_ports)?;
+        }
+
+        // Pass 4: compile processes and recurse into instances.
+        for item in &module.items {
+            match item {
+                Item::ContinuousAssign { lhs, rhs, .. } => {
+                    self.add_assign(&scope, lhs, rhs, &reg_ports)?;
+                }
+                Item::Always {
+                    sensitivity, body, ..
+                } => {
+                    self.add_always(&scope, sensitivity, body)?;
+                }
+                Item::Initial { body, .. } => {
+                    let body = self.resolve_stmt(&scope, body)?;
+                    let mut wnames = Vec::new();
+                    body.collect_writes(&mut wnames);
+                    let writes = self.resolve_names(&wnames)?;
+                    let id = self.design.processes.len();
+                    self.design.processes.push(Process {
+                        id,
+                        trigger: Trigger::Once,
+                        body,
+                        writes,
+                    });
+                }
+                Item::Instance {
+                    module: type_name,
+                    instance,
+                    connections,
+                    ..
+                } => {
+                    self.add_instance(&scope, type_name, instance, connections, module)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn declare(
+        &mut self,
+        name: String,
+        width: usize,
+        lsb: usize,
+        kind: SignalKind,
+        is_reg: bool,
+        init: Option<LogicVec>,
+    ) -> Result<SignalId> {
+        if self.design.by_name.contains_key(&name) {
+            return Err(VerilogError::elab(format!(
+                "duplicate declaration of `{name}`"
+            )));
+        }
+        let id = SignalId(self.design.signals.len() as u32);
+        self.design.signals.push(SignalInfo {
+            name: name.clone(),
+            width,
+            lsb,
+            kind,
+            is_reg: is_reg || kind == SignalKind::Reg,
+            init,
+        });
+        self.design.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    fn range_of(
+        &self,
+        range: &Option<Range>,
+        params: &HashMap<String, LogicVec>,
+    ) -> Result<(usize, usize)> {
+        match range {
+            None => Ok((1, 0)),
+            Some(r) => {
+                let msb = self
+                    .const_eval(&r.msb, params)?
+                    .to_u64()
+                    .ok_or_else(|| VerilogError::elab("range bound is not a known constant"))?
+                    as usize;
+                let lsb = self
+                    .const_eval(&r.lsb, params)?
+                    .to_u64()
+                    .ok_or_else(|| VerilogError::elab("range bound is not a known constant"))?
+                    as usize;
+                if msb < lsb {
+                    return Err(VerilogError::elab(format!(
+                        "descending ranges only: got [{msb}:{lsb}]"
+                    )));
+                }
+                if msb - lsb + 1 > 64 {
+                    return Err(VerilogError::elab("signals wider than 64 bits unsupported"));
+                }
+                Ok((msb - lsb + 1, lsb))
+            }
+        }
+    }
+
+    /// Constant-folds an expression over parameter values only.
+    fn const_eval(&self, e: &Expr, params: &HashMap<String, LogicVec>) -> Result<LogicVec> {
+        let resolved = substitute_params(e, params);
+        crate::eval::eval_const(&resolved)
+            .ok_or_else(|| VerilogError::elab("expression is not compile-time constant"))
+    }
+
+    fn add_assign(
+        &mut self,
+        scope: &Scope,
+        lhs: &LValue,
+        rhs: &Expr,
+        _reg_ports: &[String],
+    ) -> Result<()> {
+        let lhs = self.resolve_lvalue(scope, lhs)?;
+        let rhs = self.resolve_expr(scope, rhs)?;
+        for name in lhs.target_names() {
+            let id = self.lookup(name)?;
+            let info = self.design.info(id);
+            if info.is_reg {
+                return Err(VerilogError::elab(format!(
+                    "continuous assignment to reg `{name}`"
+                )));
+            }
+            if info.kind == SignalKind::Input {
+                return Err(VerilogError::elab(format!(
+                    "continuous assignment drives input port `{name}`"
+                )));
+            }
+        }
+        let mut reads = Vec::new();
+        rhs.collect_reads(&mut reads);
+        lvalue_reads(&lhs, &mut reads);
+        let reads = self.resolve_names(&reads)?;
+        let mut wnames = Vec::new();
+        wnames.extend(lhs.target_names().iter().map(|s| s.to_string()));
+        let writes = self.resolve_names(&wnames)?;
+        let id = self.design.processes.len();
+        let span = crate::error::Span::default();
+        self.design.processes.push(Process {
+            id,
+            trigger: Trigger::Comb(reads),
+            body: Stmt::Blocking { lhs, rhs, span },
+            writes,
+        });
+        Ok(())
+    }
+
+    fn add_always(&mut self, scope: &Scope, sens: &Sensitivity, body: &Stmt) -> Result<()> {
+        let body = self.resolve_stmt(scope, body)?;
+        let mut wnames = Vec::new();
+        body.collect_writes(&mut wnames);
+        for w in &wnames {
+            let id = self.lookup(w)?;
+            let info = self.design.info(id);
+            if info.kind == SignalKind::Input {
+                return Err(VerilogError::elab(format!(
+                    "procedural assignment drives input port `{w}`"
+                )));
+            }
+            if !info.is_reg {
+                return Err(VerilogError::elab(format!(
+                    "procedural assignment to wire `{w}` (declare it `reg`)"
+                )));
+            }
+        }
+        let writes = self.resolve_names(&wnames)?;
+        let trigger = match sens {
+            Sensitivity::Star => {
+                let mut rnames = Vec::new();
+                body.collect_reads(&mut rnames);
+                Trigger::Comb(self.resolve_names(&rnames)?)
+            }
+            Sensitivity::Levels(names) => {
+                let q: Vec<String> = names.iter().map(|n| scope.qualify(n)).collect();
+                Trigger::Comb(self.resolve_names(&q)?)
+            }
+            Sensitivity::Edges(edges) => {
+                let mut resolved = Vec::new();
+                for (edge, name) in edges {
+                    resolved.push((*edge, self.lookup(&scope.qualify(name))?));
+                }
+                Trigger::Edge(resolved)
+            }
+        };
+        let id = self.design.processes.len();
+        self.design.processes.push(Process {
+            id,
+            trigger,
+            body,
+            writes,
+        });
+        Ok(())
+    }
+
+    fn add_instance(
+        &mut self,
+        scope: &Scope,
+        type_name: &str,
+        instance: &str,
+        connections: &[Connection],
+        parent: &Module,
+    ) -> Result<()> {
+        if type_name == parent.name {
+            return Err(VerilogError::elab(format!(
+                "module `{type_name}` instantiates itself"
+            )));
+        }
+        let child = self.file.module(type_name).ok_or_else(|| {
+            VerilogError::elab(format!("unknown module type `{type_name}`"))
+        })?;
+        let child_prefix = format!("{}{}.", scope.prefix, instance);
+        self.depth += 1;
+        self.instantiate(child, &child_prefix, false)?;
+        self.depth -= 1;
+
+        // Port order of the child for positional connections.
+        let child_ports: Vec<&Port> = child.ports.iter().collect();
+        // Determine child port directions from the instantiated design
+        // signals (they were just declared).
+        for (i, conn) in connections.iter().enumerate() {
+            let port_name = match &conn.port {
+                Some(p) => p.clone(),
+                None => child_ports
+                    .get(i)
+                    .map(|p| p.name.clone())
+                    .ok_or_else(|| {
+                        VerilogError::elab(format!(
+                            "too many positional connections on `{instance}`"
+                        ))
+                    })?,
+            };
+            let child_sig_name = format!("{child_prefix}{port_name}");
+            let child_id = self.lookup(&child_sig_name).map_err(|_| {
+                VerilogError::elab(format!(
+                    "module `{type_name}` has no port `{port_name}`"
+                ))
+            })?;
+            let Some(expr) = &conn.expr else { continue };
+            let expr = self.resolve_expr(scope, expr)?;
+            // Direction from the child module's declarations.
+            let dir = child_port_direction(child, &port_name).ok_or_else(|| {
+                VerilogError::elab(format!(
+                    "module `{type_name}` has no port `{port_name}`"
+                ))
+            })?;
+            let span = crate::error::Span::default();
+            match dir {
+                Direction::Input => {
+                    // child_in = parent_expr
+                    let mut reads = Vec::new();
+                    expr.collect_reads(&mut reads);
+                    let reads = self.resolve_names(&reads)?;
+                    let pid = self.design.processes.len();
+                    self.design.processes.push(Process {
+                        id: pid,
+                        trigger: Trigger::Comb(reads),
+                        body: Stmt::Blocking {
+                            lhs: LValue::Ident(child_sig_name.clone()),
+                            rhs: expr,
+                            span,
+                        },
+                        writes: vec![child_id],
+                    });
+                }
+                Direction::Output => {
+                    // parent_target = child_out; target must be a name.
+                    let lhs = match expr {
+                        Expr::Ident(n) => LValue::Ident(n),
+                        Expr::Index(n, i) => LValue::Index(n, *i),
+                        Expr::Slice(n, a, b) => LValue::Slice(n, *a, *b),
+                        _ => {
+                            return Err(VerilogError::elab(format!(
+                                "output port `{port_name}` of `{instance}` must connect to a signal"
+                            )))
+                        }
+                    };
+                    for n in lhs.target_names() {
+                        let id = self.lookup(n)?;
+                        if self.design.info(id).is_reg {
+                            return Err(VerilogError::elab(format!(
+                                "instance output drives reg `{n}`"
+                            )));
+                        }
+                    }
+                    let mut wnames = Vec::new();
+                    wnames.extend(lhs.target_names().iter().map(|s| s.to_string()));
+                    let writes = self.resolve_names(&wnames)?;
+                    let pid = self.design.processes.len();
+                    self.design.processes.push(Process {
+                        id: pid,
+                        trigger: Trigger::Comb(vec![child_id]),
+                        body: Stmt::Blocking {
+                            lhs,
+                            rhs: Expr::Ident(child_sig_name.clone()),
+                            span,
+                        },
+                        writes,
+                    });
+                }
+                Direction::Inout => {
+                    return Err(VerilogError::elab(
+                        "inout ports are outside the supported subset",
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Result<SignalId> {
+        self.design
+            .by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| VerilogError::elab(format!("use of undeclared identifier `{name}`")))
+    }
+
+    fn resolve_names(&self, names: &[String]) -> Result<Vec<SignalId>> {
+        let mut out: Vec<SignalId> = Vec::new();
+        for n in names {
+            let id = self.lookup(n)?;
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Qualifies identifiers with the scope prefix and folds parameters.
+    fn resolve_expr(&self, scope: &Scope, e: &Expr) -> Result<Expr> {
+        let out = match e {
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Ident(n) => {
+                if let Some(v) = scope.params.get(n) {
+                    Expr::Literal(v.clone())
+                } else {
+                    let q = scope.qualify(n);
+                    self.lookup(&q)?;
+                    Expr::Ident(q)
+                }
+            }
+            Expr::Unary(op, a) => Expr::Unary(*op, Box::new(self.resolve_expr(scope, a)?)),
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(self.resolve_expr(scope, a)?),
+                Box::new(self.resolve_expr(scope, b)?),
+            ),
+            Expr::Ternary(c, t, f) => Expr::Ternary(
+                Box::new(self.resolve_expr(scope, c)?),
+                Box::new(self.resolve_expr(scope, t)?),
+                Box::new(self.resolve_expr(scope, f)?),
+            ),
+            Expr::Concat(parts) => Expr::Concat(
+                parts
+                    .iter()
+                    .map(|p| self.resolve_expr(scope, p))
+                    .collect::<Result<_>>()?,
+            ),
+            Expr::Replicate(n, inner) => Expr::Replicate(
+                Box::new(self.resolve_expr(scope, n)?),
+                Box::new(self.resolve_expr(scope, inner)?),
+            ),
+            Expr::Index(n, i) => {
+                if scope.params.contains_key(n) {
+                    return Err(VerilogError::elab(format!(
+                        "cannot index parameter `{n}`"
+                    )));
+                }
+                let q = scope.qualify(n);
+                self.lookup(&q)?;
+                Expr::Index(q, Box::new(self.resolve_expr(scope, i)?))
+            }
+            Expr::Slice(n, a, b) => {
+                let q = scope.qualify(n);
+                self.lookup(&q)?;
+                Expr::Slice(
+                    q,
+                    Box::new(self.resolve_expr(scope, a)?),
+                    Box::new(self.resolve_expr(scope, b)?),
+                )
+            }
+        };
+        Ok(out)
+    }
+
+    fn resolve_lvalue(&self, scope: &Scope, lv: &LValue) -> Result<LValue> {
+        let out = match lv {
+            LValue::Ident(n) => {
+                let q = scope.qualify(n);
+                self.lookup(&q)?;
+                LValue::Ident(q)
+            }
+            LValue::Index(n, i) => {
+                let q = scope.qualify(n);
+                self.lookup(&q)?;
+                LValue::Index(q, self.resolve_expr(scope, i)?)
+            }
+            LValue::Slice(n, a, b) => {
+                let q = scope.qualify(n);
+                self.lookup(&q)?;
+                LValue::Slice(q, self.resolve_expr(scope, a)?, self.resolve_expr(scope, b)?)
+            }
+            LValue::Concat(parts) => LValue::Concat(
+                parts
+                    .iter()
+                    .map(|p| self.resolve_lvalue(scope, p))
+                    .collect::<Result<_>>()?,
+            ),
+        };
+        Ok(out)
+    }
+
+    fn resolve_stmt(&self, scope: &Scope, s: &Stmt) -> Result<Stmt> {
+        let out = match s {
+            Stmt::Block(ss) => Stmt::Block(
+                ss.iter()
+                    .map(|s| self.resolve_stmt(scope, s))
+                    .collect::<Result<_>>()?,
+            ),
+            Stmt::Blocking { lhs, rhs, span } => Stmt::Blocking {
+                lhs: self.resolve_lvalue(scope, lhs)?,
+                rhs: self.resolve_expr(scope, rhs)?,
+                span: *span,
+            },
+            Stmt::NonBlocking { lhs, rhs, span } => Stmt::NonBlocking {
+                lhs: self.resolve_lvalue(scope, lhs)?,
+                rhs: self.resolve_expr(scope, rhs)?,
+                span: *span,
+            },
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => Stmt::If {
+                cond: self.resolve_expr(scope, cond)?,
+                then_branch: Box::new(self.resolve_stmt(scope, then_branch)?),
+                else_branch: match else_branch {
+                    Some(e) => Some(Box::new(self.resolve_stmt(scope, e)?)),
+                    None => None,
+                },
+            },
+            Stmt::Case {
+                kind,
+                expr,
+                arms,
+                default,
+            } => Stmt::Case {
+                kind: *kind,
+                expr: self.resolve_expr(scope, expr)?,
+                arms: arms
+                    .iter()
+                    .map(|(labels, body)| {
+                        let labels = labels
+                            .iter()
+                            .map(|l| self.resolve_expr(scope, l))
+                            .collect::<Result<_>>()?;
+                        Ok((labels, self.resolve_stmt(scope, body)?))
+                    })
+                    .collect::<Result<_>>()?,
+                default: match default {
+                    Some(d) => Some(Box::new(self.resolve_stmt(scope, d)?)),
+                    None => None,
+                },
+            },
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let iq = scope.qualify(&init.0);
+                self.lookup(&iq)?;
+                let sq = scope.qualify(&step.0);
+                self.lookup(&sq)?;
+                Stmt::For {
+                    init: (iq, self.resolve_expr(scope, &init.1)?),
+                    cond: self.resolve_expr(scope, cond)?,
+                    step: (sq, self.resolve_expr(scope, &step.1)?),
+                    body: Box::new(self.resolve_stmt(scope, body)?),
+                }
+            }
+            Stmt::Empty => Stmt::Empty,
+        };
+        Ok(out)
+    }
+
+    /// Multiple continuous drivers of the same bit are almost always bugs;
+    /// reject whole-signal conflicts (bit-resolution nets are out of scope).
+    fn check_drivers(&self) -> Result<()> {
+        let mut whole_drivers: HashMap<SignalId, usize> = HashMap::new();
+        for p in &self.design.processes {
+            if let Trigger::Comb(_) = p.trigger {
+                if let Stmt::Blocking {
+                    lhs: LValue::Ident(n),
+                    ..
+                } = &p.body
+                {
+                    let id = self.design.by_name[n];
+                    *whole_drivers.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        for (id, count) in whole_drivers {
+            if count > 1 {
+                return Err(VerilogError::elab(format!(
+                    "signal `{}` has {count} continuous drivers",
+                    self.design.info(id).name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn child_port_direction(child: &Module, port: &str) -> Option<Direction> {
+    for p in &child.ports {
+        if p.name == port {
+            if let Some(d) = p.direction {
+                return Some(d);
+            }
+        }
+    }
+    for item in &child.items {
+        if let Item::PortDecl {
+            direction, names, ..
+        } = item
+        {
+            if names.iter().any(|n| n == port) {
+                return Some(*direction);
+            }
+        }
+    }
+    None
+}
+
+fn substitute_params(e: &Expr, params: &HashMap<String, LogicVec>) -> Expr {
+    match e {
+        Expr::Literal(v) => Expr::Literal(v.clone()),
+        Expr::Ident(n) => match params.get(n) {
+            Some(v) => Expr::Literal(v.clone()),
+            None => Expr::Ident(n.clone()),
+        },
+        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(substitute_params(a, params))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(substitute_params(a, params)),
+            Box::new(substitute_params(b, params)),
+        ),
+        Expr::Ternary(c, t, f) => Expr::Ternary(
+            Box::new(substitute_params(c, params)),
+            Box::new(substitute_params(t, params)),
+            Box::new(substitute_params(f, params)),
+        ),
+        Expr::Concat(parts) => {
+            Expr::Concat(parts.iter().map(|p| substitute_params(p, params)).collect())
+        }
+        Expr::Replicate(n, inner) => Expr::Replicate(
+            Box::new(substitute_params(n, params)),
+            Box::new(substitute_params(inner, params)),
+        ),
+        Expr::Index(n, i) => Expr::Index(n.clone(), Box::new(substitute_params(i, params))),
+        Expr::Slice(n, a, b) => Expr::Slice(
+            n.clone(),
+            Box::new(substitute_params(a, params)),
+            Box::new(substitute_params(b, params)),
+        ),
+    }
+}
+
+fn lvalue_reads(lv: &LValue, out: &mut Vec<String>) {
+    match lv {
+        LValue::Ident(_) => {}
+        LValue::Index(_, i) => i.collect_reads(out),
+        LValue::Slice(_, a, b) => {
+            a.collect_reads(out);
+            b.collect_reads(out);
+        }
+        LValue::Concat(parts) => parts.iter().for_each(|p| lvalue_reads(p, out)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn simple_module_elaborates() {
+        let d = compile("module inv(input a, output y); assign y = ~a; endmodule").unwrap();
+        assert_eq!(d.inputs.len(), 1);
+        assert_eq!(d.outputs.len(), 1);
+        assert_eq!(d.processes.len(), 1);
+    }
+
+    #[test]
+    fn parameters_fold_into_widths() {
+        let d = compile(
+            "module c #(parameter W = 4) (input clk, output reg [W-1:0] q);\n always @(posedge clk) q <= q + 1'b1;\nendmodule",
+        )
+        .unwrap();
+        let q = d.signal("q").unwrap();
+        assert_eq!(d.info(q).width, 4);
+    }
+
+    #[test]
+    fn undeclared_identifier_is_error() {
+        let err = compile("module m(input a, output y); assign y = a & b; endmodule")
+            .unwrap_err();
+        assert!(err.to_string().contains("undeclared"), "{err}");
+    }
+
+    #[test]
+    fn assign_to_reg_is_error() {
+        let err = compile("module m(input a, output reg y); assign y = a; endmodule")
+            .unwrap_err();
+        assert!(err.to_string().contains("reg"), "{err}");
+    }
+
+    #[test]
+    fn procedural_write_to_wire_is_error() {
+        let err = compile(
+            "module m(input a, output y); always @(*) y = a; endmodule",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("wire"), "{err}");
+    }
+
+    #[test]
+    fn double_continuous_driver_is_error() {
+        let err = compile(
+            "module m(input a, b, output y); assign y = a; assign y = b; endmodule",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("drivers"), "{err}");
+    }
+
+    #[test]
+    fn flattening_instances() {
+        let src = "module top(input a, b, output y);\n wire n;\n and2 u0 (.x(a), .y(b), .z(n));\n assign y = ~n;\nendmodule\nmodule and2(input x, y, output z);\n assign z = x & y;\nendmodule";
+        let f = parse(src).unwrap();
+        let d = elaborate(&f, "top").unwrap();
+        assert!(d.signal("u0.z").is_some());
+        assert!(d.signal("u0.x").is_some());
+        // processes: child assign + 3 port connects + top assign
+        assert_eq!(d.processes.len(), 5);
+    }
+
+    #[test]
+    fn self_instantiation_rejected() {
+        let src = "module m(input a, output y); m u0 (.a(a), .y(y)); endmodule";
+        let f = parse(src).unwrap();
+        assert!(elaborate(&f, "m").is_err());
+    }
+
+    #[test]
+    fn unknown_instance_type_rejected() {
+        let src = "module m(input a, output y); ghost u0 (.a(a), .y(y)); endmodule";
+        let f = parse(src).unwrap();
+        let err = elaborate(&f, "m").unwrap_err();
+        assert!(err.to_string().contains("unknown module type"), "{err}");
+    }
+
+    #[test]
+    fn legacy_ports_get_directions_from_body() {
+        let d = compile(
+            "module m(a, y);\n input a;\n output y;\n assign y = a;\nendmodule",
+        )
+        .unwrap();
+        assert_eq!(d.input_ports(), vec![("a".to_string(), 1)]);
+        assert_eq!(d.output_ports(), vec![("y".to_string(), 1)]);
+    }
+
+    #[test]
+    fn incomplete_sensitivity_is_kept_as_declared() {
+        let d = compile(
+            "module m(input a, b, output reg y);\n always @(a) y = a & b;\nendmodule",
+        )
+        .unwrap();
+        let Trigger::Comb(reads) = &d.processes[0].trigger else {
+            panic!()
+        };
+        // only `a` — the declared (buggy) list, not the inferred one
+        assert_eq!(reads.len(), 1);
+        assert_eq!(d.info(reads[0]).name, "a");
+    }
+}
+
+#[cfg(test)]
+mod wire_init_tests {
+    use super::compile;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn wire_with_expression_initializer_is_a_continuous_assign() {
+        let d = compile(
+            "module m(input a, input b, output y);\n wire n = a & b;\n assign y = ~n;\nendmodule",
+        )
+        .unwrap();
+        let mut s = Simulator::new(d).unwrap();
+        s.poke_u64("a", 1).unwrap();
+        s.poke_u64("b", 1).unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(0));
+        s.poke_u64("b", 0).unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn wire_with_constant_initializer_still_works() {
+        let d = compile("module m(output y);\n wire n = 1'b1;\n assign y = n;\nendmodule").unwrap();
+        let s = Simulator::new(d).unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn reg_with_nonconstant_initializer_is_rejected() {
+        let err = compile(
+            "module m(input a, output y);\n reg r = a;\n assign y = r;\nendmodule",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("constant"), "{err}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Error types shared across the Verilog frontend and simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// A position in Verilog source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given line and column.
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any error raised while lexing, parsing, elaborating or simulating.
+///
+/// Syntax-correctness checks in the evaluation harness are defined as
+/// "source produces no [`VerilogError`] up to elaboration".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerilogError {
+    /// A character or literal the lexer cannot tokenize.
+    Lex {
+        /// Where the offending text starts.
+        span: Span,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A token sequence the parser cannot accept.
+    Parse {
+        /// Where the offending token is.
+        span: Span,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A structurally invalid design (undeclared name, width clash, ...).
+    Elaborate {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A runtime simulation failure (combinational oscillation, missing
+    /// signal, ...).
+    Simulate {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl VerilogError {
+    /// Convenience constructor for lex errors.
+    pub fn lex(span: Span, message: impl Into<String>) -> VerilogError {
+        VerilogError::Lex {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for parse errors.
+    pub fn parse(span: Span, message: impl Into<String>) -> VerilogError {
+        VerilogError::Parse {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for elaboration errors.
+    pub fn elab(message: impl Into<String>) -> VerilogError {
+        VerilogError::Elaborate {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for simulation errors.
+    pub fn sim(message: impl Into<String>) -> VerilogError {
+        VerilogError::Simulate {
+            message: message.into(),
+        }
+    }
+
+    /// True for errors raised before runtime (lex/parse/elaborate); these
+    /// are what the pass@k harness counts as syntax failures.
+    pub fn is_static(&self) -> bool {
+        !matches!(self, VerilogError::Simulate { .. })
+    }
+}
+
+impl fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerilogError::Lex { span, message } => {
+                write!(f, "lex error at {span}: {message}")
+            }
+            VerilogError::Parse { span, message } => {
+                write!(f, "parse error at {span}: {message}")
+            }
+            VerilogError::Elaborate { message } => write!(f, "elaboration error: {message}"),
+            VerilogError::Simulate { message } => write!(f, "simulation error: {message}"),
+        }
+    }
+}
+
+impl Error for VerilogError {}
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, VerilogError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = VerilogError::parse(Span::new(3, 7), "expected `;`");
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `;`");
+        assert!(e.is_static());
+        assert!(!VerilogError::sim("oscillation").is_static());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VerilogError>();
+    }
+}

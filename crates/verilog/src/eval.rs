@@ -1,0 +1,342 @@
+//! Four-state expression evaluation.
+//!
+//! Used by the simulator at runtime and by the elaborator for constant
+//! folding. Width rules follow self-determined Verilog sizing: arithmetic
+//! and bitwise operators produce `max(w_lhs, w_rhs)` bits, comparisons and
+//! logical operators produce one bit, shifts keep the left operand's width.
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::logic::{Logic, LogicVec};
+
+/// Supplies signal values (and their declared LSB offsets) to the
+/// evaluator. Implemented by the simulator's value store.
+pub trait SignalEnv {
+    /// Current value of `name`, or `None` if unknown to the environment.
+    fn value_of(&self, name: &str) -> Option<LogicVec>;
+    /// Declared least-significant index of `name` (`[7:4] → 4`).
+    fn lsb_of(&self, name: &str) -> usize;
+}
+
+/// An environment with no signals: only literal expressions evaluate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmptyEnv;
+
+impl SignalEnv for EmptyEnv {
+    fn value_of(&self, _name: &str) -> Option<LogicVec> {
+        None
+    }
+    fn lsb_of(&self, _name: &str) -> usize {
+        0
+    }
+}
+
+/// Evaluates a constant expression (no signal references).
+///
+/// Returns `None` if the expression references any identifier or a
+/// replication count is unknown.
+pub fn eval_const(e: &Expr) -> Option<LogicVec> {
+    if has_idents(e) {
+        return None;
+    }
+    Some(eval_expr(e, &EmptyEnv))
+}
+
+fn has_idents(e: &Expr) -> bool {
+    let mut reads = Vec::new();
+    e.collect_reads(&mut reads);
+    !reads.is_empty()
+}
+
+/// Evaluates an expression against an environment. Unresolvable
+/// identifiers evaluate to 1-bit `x` (elaboration normally rules them out).
+pub fn eval_expr(e: &Expr, env: &dyn SignalEnv) -> LogicVec {
+    match e {
+        Expr::Literal(v) => v.clone(),
+        Expr::Ident(n) => env
+            .value_of(n)
+            .unwrap_or_else(|| LogicVec::unknown(1)),
+        Expr::Unary(op, a) => eval_unary(*op, &eval_expr(a, env)),
+        Expr::Binary(op, a, b) => eval_binary(*op, &eval_expr(a, env), &eval_expr(b, env)),
+        Expr::Ternary(c, t, f) => {
+            let cond = eval_expr(c, env).truthiness();
+            let tv = eval_expr(t, env);
+            let fv = eval_expr(f, env);
+            match cond {
+                Logic::One => tv,
+                Logic::Zero => fv,
+                // Verilog merges the arms bitwise when the condition is
+                // unknown: agreeing bits survive, the rest become x.
+                _ => merge_unknown(&tv, &fv),
+            }
+        }
+        Expr::Concat(parts) => {
+            let vals: Vec<LogicVec> = parts.iter().map(|p| eval_expr(p, env)).collect();
+            // First part is most significant.
+            let mut it = vals.into_iter().rev();
+            let mut acc = it.next().unwrap_or_else(|| LogicVec::unknown(1));
+            for hi in it {
+                acc = hi.concat(&acc);
+            }
+            acc
+        }
+        Expr::Replicate(n, inner) => {
+            let count = eval_expr(n, env).to_u64();
+            let v = eval_expr(inner, env);
+            match count {
+                Some(c) if (1..=64).contains(&c) => v.replicate(c as usize),
+                _ => LogicVec::unknown(v.width()),
+            }
+        }
+        Expr::Index(name, i) => {
+            let base = env
+                .value_of(name)
+                .unwrap_or_else(|| LogicVec::unknown(1));
+            let lsb = env.lsb_of(name);
+            match eval_expr(i, env).to_u64() {
+                Some(ix) => {
+                    let ix = ix as usize;
+                    if ix < lsb {
+                        return LogicVec::filled(Logic::X, 1);
+                    }
+                    LogicVec::from_bits(vec![base.bit(ix - lsb)])
+                }
+                None => LogicVec::unknown(1),
+            }
+        }
+        Expr::Slice(name, a, b) => {
+            let base = env
+                .value_of(name)
+                .unwrap_or_else(|| LogicVec::unknown(1));
+            let lsb_off = env.lsb_of(name);
+            match (eval_expr(a, env).to_u64(), eval_expr(b, env).to_u64()) {
+                (Some(hi), Some(lo)) if hi >= lo => {
+                    let hi = hi as usize;
+                    let lo = lo as usize;
+                    if lo < lsb_off {
+                        return LogicVec::unknown(hi - lo + 1);
+                    }
+                    base.slice(hi - lsb_off, lo - lsb_off)
+                }
+                (Some(hi), Some(lo)) => LogicVec::unknown((lo - hi) as usize + 1),
+                _ => LogicVec::unknown(1),
+            }
+        }
+    }
+}
+
+fn merge_unknown(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    let w = a.width().max(b.width());
+    let bits = (0..w)
+        .map(|i| {
+            let x = a.get(i).unwrap_or(Logic::Zero);
+            let y = b.get(i).unwrap_or(Logic::Zero);
+            if x == y && x.is_known() {
+                x
+            } else {
+                Logic::X
+            }
+        })
+        .collect();
+    LogicVec::from_bits(bits)
+}
+
+fn eval_unary(op: UnaryOp, a: &LogicVec) -> LogicVec {
+    let one_bit = |l: Logic| LogicVec::from_bits(vec![l]);
+    match op {
+        UnaryOp::LogicNot => one_bit(a.truthiness().not()),
+        UnaryOp::BitNot => a.not(),
+        UnaryOp::ReduceAnd => one_bit(a.reduce_and()),
+        UnaryOp::ReduceOr => one_bit(a.reduce_or()),
+        UnaryOp::ReduceXor => one_bit(a.reduce_xor()),
+        UnaryOp::ReduceNand => one_bit(a.reduce_and().not()),
+        UnaryOp::ReduceNor => one_bit(a.reduce_or().not()),
+        UnaryOp::ReduceXnor => one_bit(a.reduce_xor().not()),
+        UnaryOp::Negate => LogicVec::zero(a.width()).sub(a),
+        UnaryOp::Plus => a.clone(),
+    }
+}
+
+fn eval_binary(op: BinaryOp, a: &LogicVec, b: &LogicVec) -> LogicVec {
+    let one_bit = |l: Logic| LogicVec::from_bits(vec![l]);
+    match op {
+        BinaryOp::LogicOr => one_bit(a.truthiness().or(b.truthiness())),
+        BinaryOp::LogicAnd => one_bit(a.truthiness().and(b.truthiness())),
+        BinaryOp::BitOr => a.clone() | b.clone(),
+        BinaryOp::BitAnd => a.clone() & b.clone(),
+        BinaryOp::BitXor => a.clone() ^ b.clone(),
+        BinaryOp::BitXnor => (a.clone() ^ b.clone()).not(),
+        BinaryOp::Eq => one_bit(a.eq_logic(b)),
+        BinaryOp::Neq => one_bit(a.eq_logic(b).not()),
+        BinaryOp::CaseEq => one_bit(a.eq_case(b)),
+        BinaryOp::CaseNeq => one_bit(a.eq_case(b).not()),
+        BinaryOp::Lt => one_bit(a.lt(b)),
+        BinaryOp::Le => one_bit(a.le(b)),
+        BinaryOp::Gt => one_bit(b.lt(a)),
+        BinaryOp::Ge => one_bit(b.le(a)),
+        BinaryOp::Shl => a.shl(b),
+        BinaryOp::Shr => a.shr(b),
+        BinaryOp::AShr => ashr(a, b),
+        BinaryOp::Add => a.add(b),
+        BinaryOp::Sub => a.sub(b),
+        BinaryOp::Mul => a.mul(b),
+        BinaryOp::Div => a.div(b),
+        BinaryOp::Rem => a.rem(b),
+        BinaryOp::Pow => pow(a, b),
+    }
+}
+
+fn ashr(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    let w = a.width();
+    match b.to_u64() {
+        Some(n) => {
+            let n = n as usize;
+            let msb = a.bit(w - 1);
+            let bits = (0..w)
+                .map(|i| if i + n < w { a.bit(i + n) } else { msb })
+                .collect();
+            LogicVec::from_bits(bits)
+        }
+        None => LogicVec::unknown(w),
+    }
+}
+
+fn pow(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    let w = a.width().max(b.width());
+    match (a.to_u64(), b.to_u64()) {
+        (Some(base), Some(exp)) => {
+            let mut acc: u64 = 1;
+            for _ in 0..exp.min(64) {
+                acc = acc.wrapping_mul(base);
+            }
+            LogicVec::from_u64(acc, w)
+        }
+        _ => LogicVec::unknown(w),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use std::collections::HashMap;
+
+    struct MapEnv(HashMap<String, LogicVec>);
+
+    impl SignalEnv for MapEnv {
+        fn value_of(&self, name: &str) -> Option<LogicVec> {
+            self.0.get(name).cloned()
+        }
+        fn lsb_of(&self, _name: &str) -> usize {
+            0
+        }
+    }
+
+    fn env(pairs: &[(&str, u64, usize)]) -> MapEnv {
+        MapEnv(
+            pairs
+                .iter()
+                .map(|(n, v, w)| (n.to_string(), LogicVec::from_u64(*v, *w)))
+                .collect(),
+        )
+    }
+
+    fn ev(src: &str, e: &MapEnv) -> LogicVec {
+        eval_expr(&parse_expr(src).unwrap(), e)
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let e = env(&[("a", 3, 4), ("b", 2, 4), ("c", 1, 4)]);
+        assert_eq!(ev("a + b * c", &e).to_u64(), Some(5));
+        assert_eq!(ev("(a + b) * c", &e).to_u64(), Some(5));
+        assert_eq!(ev("a - b - c", &e).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn the_paper_logical_expression_example() {
+        // "output equals a plus b, then or c" → (a + b) | c
+        let e = env(&[("a", 1, 4), ("b", 2, 4), ("c", 8, 4)]);
+        assert_eq!(ev("(a + b) | c", &e).to_u64(), Some(11));
+        // the hallucinated version (a + c) & b differs
+        assert_eq!(ev("(a + c) & b", &e).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn ternary_with_unknown_condition_merges() {
+        let mut m = HashMap::new();
+        m.insert("c".to_string(), LogicVec::unknown(1));
+        m.insert("a".to_string(), LogicVec::from_u64(0b1100, 4));
+        m.insert("b".to_string(), LogicVec::from_u64(0b1010, 4));
+        let e = MapEnv(m);
+        let v = ev("c ? a : b", &e);
+        assert_eq!(v.bit(3), Logic::One); // both 1
+        assert_eq!(v.bit(0), Logic::Zero); // both 0
+        assert_eq!(v.bit(1), Logic::X); // differ
+        assert_eq!(v.bit(2), Logic::X); // differ
+    }
+
+    #[test]
+    fn reductions_and_logic_ops() {
+        let e = env(&[("a", 0b111, 3), ("b", 0, 3)]);
+        assert_eq!(ev("&a", &e).to_u64(), Some(1));
+        assert_eq!(ev("|b", &e).to_u64(), Some(0));
+        assert_eq!(ev("a && b", &e).to_u64(), Some(0));
+        assert_eq!(ev("a || b", &e).to_u64(), Some(1));
+        assert_eq!(ev("!b", &e).to_u64(), Some(1));
+        assert_eq!(ev("~&a", &e).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn concat_orders_msb_first() {
+        let e = env(&[("a", 0b10, 2), ("b", 0b01, 2)]);
+        assert_eq!(ev("{a, b}", &e).to_u64(), Some(0b1001));
+        assert_eq!(ev("{b, a, 1'b1}", &e).to_u64(), Some(0b01101));
+    }
+
+    #[test]
+    fn index_and_slice() {
+        let e = env(&[("v", 0b1100, 4)]);
+        assert_eq!(ev("v[3]", &e).to_u64(), Some(1));
+        assert_eq!(ev("v[0]", &e).to_u64(), Some(0));
+        assert_eq!(ev("v[3:2]", &e).to_u64(), Some(0b11));
+    }
+
+    #[test]
+    fn arithmetic_shift_fills_with_msb() {
+        let e = env(&[("v", 0b1000, 4)]);
+        assert_eq!(ev("v >>> 2", &e).to_u64(), Some(0b1110));
+        assert_eq!(ev("v >> 2", &e).to_u64(), Some(0b0010));
+    }
+
+    #[test]
+    fn const_eval_rejects_identifiers() {
+        assert!(eval_const(&parse_expr("a + 1").unwrap()).is_none());
+        assert_eq!(
+            eval_const(&parse_expr("3 + 4 * 2").unwrap()).and_then(|v| v.to_u64()),
+            Some(11)
+        );
+    }
+
+    #[test]
+    fn power_operator() {
+        let e = env(&[("a", 2, 8), ("b", 5, 8)]);
+        assert_eq!(ev("a ** b", &e).to_u64(), Some(32));
+    }
+
+    #[test]
+    fn nonzero_lsb_offset() {
+        struct OffsetEnv;
+        impl SignalEnv for OffsetEnv {
+            fn value_of(&self, _n: &str) -> Option<LogicVec> {
+                Some(LogicVec::from_u64(0b01, 2)) // declared [5:4]
+            }
+            fn lsb_of(&self, _n: &str) -> usize {
+                4
+            }
+        }
+        let v = eval_expr(&parse_expr("v[4]").unwrap(), &OffsetEnv);
+        assert_eq!(v.to_u64(), Some(1));
+        let v = eval_expr(&parse_expr("v[5]").unwrap(), &OffsetEnv);
+        assert_eq!(v.to_u64(), Some(0));
+    }
+}

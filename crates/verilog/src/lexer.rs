@@ -1,0 +1,689 @@
+//! Tokenizer for the synthesizable Verilog subset.
+
+use crate::error::{Result, Span, VerilogError};
+use crate::logic::LogicVec;
+
+/// Verilog keywords recognized by the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // each variant is the keyword it spells
+pub enum Keyword {
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Inout,
+    Wire,
+    Reg,
+    Integer,
+    Assign,
+    Always,
+    Initial,
+    Posedge,
+    Negedge,
+    Or,
+    If,
+    Else,
+    Case,
+    Casez,
+    Casex,
+    Endcase,
+    Default,
+    Begin,
+    End,
+    Parameter,
+    Localparam,
+    For,
+    While,
+    Signed,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "module" => Keyword::Module,
+            "endmodule" => Keyword::Endmodule,
+            "input" => Keyword::Input,
+            "output" => Keyword::Output,
+            "inout" => Keyword::Inout,
+            "wire" => Keyword::Wire,
+            "reg" => Keyword::Reg,
+            "integer" => Keyword::Integer,
+            "assign" => Keyword::Assign,
+            "always" => Keyword::Always,
+            "initial" => Keyword::Initial,
+            "posedge" => Keyword::Posedge,
+            "negedge" => Keyword::Negedge,
+            "or" => Keyword::Or,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "case" => Keyword::Case,
+            "casez" => Keyword::Casez,
+            "casex" => Keyword::Casex,
+            "endcase" => Keyword::Endcase,
+            "default" => Keyword::Default,
+            "begin" => Keyword::Begin,
+            "end" => Keyword::End,
+            "parameter" => Keyword::Parameter,
+            "localparam" => Keyword::Localparam,
+            "for" => Keyword::For,
+            "while" => Keyword::While,
+            "signed" => Keyword::Signed,
+            _ => return None,
+        })
+    }
+
+    /// The keyword's source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Module => "module",
+            Keyword::Endmodule => "endmodule",
+            Keyword::Input => "input",
+            Keyword::Output => "output",
+            Keyword::Inout => "inout",
+            Keyword::Wire => "wire",
+            Keyword::Reg => "reg",
+            Keyword::Integer => "integer",
+            Keyword::Assign => "assign",
+            Keyword::Always => "always",
+            Keyword::Initial => "initial",
+            Keyword::Posedge => "posedge",
+            Keyword::Negedge => "negedge",
+            Keyword::Or => "or",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::Case => "case",
+            Keyword::Casez => "casez",
+            Keyword::Casex => "casex",
+            Keyword::Endcase => "endcase",
+            Keyword::Default => "default",
+            Keyword::Begin => "begin",
+            Keyword::End => "end",
+            Keyword::Parameter => "parameter",
+            Keyword::Localparam => "localparam",
+            Keyword::For => "for",
+            Keyword::While => "while",
+            Keyword::Signed => "signed",
+        }
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semicolon,
+    Colon,
+    At,
+    Hash,
+    Dot,
+    Question,
+    Assign,     // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Power,      // **
+    Eq,         // ==
+    Neq,        // !=
+    CaseEq,     // ===
+    CaseNeq,    // !==
+    Lt,
+    Gt,
+    Le,         // <=  (also non-blocking assign)
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    TildeAmp,   // ~&
+    TildePipe,  // ~|
+    TildeCaret, // ~^
+    Shl,        // <<
+    Shr,        // >>
+    AShr,       // >>>
+    AShl,       // <<<
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or escaped identifier.
+    Ident(String),
+    /// Reserved word.
+    Keyword(Keyword),
+    /// Sized or unsized numeric literal, normalized to a logic vector.
+    Number(LogicVec),
+    /// Operator / punctuation.
+    Punct(Punct),
+    /// End of input (always the final token).
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Tokenizes Verilog source, skipping whitespace, `//` and `/* */` comments
+/// and compiler directives (lines starting with `` ` ``).
+///
+/// # Errors
+///
+/// Returns [`VerilogError::Lex`] on unterminated comments, malformed based
+/// literals or characters outside the subset.
+///
+/// # Examples
+///
+/// ```
+/// use haven_verilog::lexer::tokenize;
+/// let tokens = tokenize("module m; endmodule")?;
+/// assert_eq!(tokens.len(), 5); // module, m, ;, endmodule, EOF
+/// # Ok::<(), haven_verilog::error::VerilogError>(())
+/// ```
+pub fn tokenize(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    _source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            _source: source,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn peek3(&self) -> Option<char> {
+        self.chars.get(self.pos + 2).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, span: Span) {
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        while let Some(c) = self.peek() {
+            let span = self.span();
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '/' if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some('*') if self.peek2() == Some('/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(VerilogError::lex(span, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                '`' => {
+                    // Compiler directive: skip to end of line.
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                c if c.is_ascii_alphabetic() || c == '_' || c == '\\' => {
+                    self.lex_ident(span)?;
+                }
+                c if c.is_ascii_digit() || c == '\'' => {
+                    self.lex_number(span)?;
+                }
+                _ => {
+                    self.lex_punct(span)?;
+                }
+            }
+        }
+        let span = self.span();
+        self.push(TokenKind::Eof, span);
+        Ok(self.tokens)
+    }
+
+    fn lex_ident(&mut self, span: Span) -> Result<()> {
+        let mut name = String::new();
+        if self.peek() == Some('\\') {
+            // Escaped identifier: up to whitespace.
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_whitespace() {
+                    break;
+                }
+                name.push(c);
+                self.bump();
+            }
+            if name.is_empty() {
+                return Err(VerilogError::lex(span, "empty escaped identifier"));
+            }
+            self.push(TokenKind::Ident(name), span);
+            return Ok(());
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if let Some(kw) = Keyword::from_str(&name) {
+            self.push(TokenKind::Keyword(kw), span);
+        } else {
+            self.push(TokenKind::Ident(name), span);
+        }
+        Ok(())
+    }
+
+    fn lex_number(&mut self, span: Span) -> Result<()> {
+        // Optional decimal size prefix.
+        let mut size_digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                if c != '_' {
+                    size_digits.push(c);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek() != Some('\'') {
+            // Plain decimal literal; Verilog gives it 32 bits.
+            if size_digits.is_empty() {
+                return Err(VerilogError::lex(span, "malformed number"));
+            }
+            let value: u64 = size_digits
+                .parse()
+                .map_err(|_| VerilogError::lex(span, "decimal literal out of range"))?;
+            self.push(TokenKind::Number(LogicVec::from_u64(value, 32)), span);
+            return Ok(());
+        }
+        self.bump(); // consume '
+        let base = self
+            .bump()
+            .ok_or_else(|| VerilogError::lex(span, "missing base after `'`"))?;
+        let base = base.to_ascii_lowercase();
+        let mut body = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '?' {
+                if c != '_' {
+                    body.push(c);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if body.is_empty() {
+            return Err(VerilogError::lex(span, "based literal has no digits"));
+        }
+        let bits_per_digit = match base {
+            'b' => 1,
+            'o' => 3,
+            'h' => 4,
+            'd' => 0,
+            _ => {
+                return Err(VerilogError::lex(
+                    span,
+                    format!("unknown literal base `'{base}`"),
+                ))
+            }
+        };
+        let natural = if bits_per_digit == 0 {
+            let value: u64 = body
+                .parse()
+                .map_err(|_| VerilogError::lex(span, "malformed decimal body"))?;
+            LogicVec::from_u64(value, 64)
+        } else {
+            let mut bin = String::new();
+            for c in body.chars() {
+                match c {
+                    'x' | 'X' => bin.extend(std::iter::repeat_n('x', bits_per_digit)),
+                    'z' | 'Z' | '?' => bin.extend(std::iter::repeat_n('z', bits_per_digit)),
+                    _ => {
+                        let d = c.to_digit(16).ok_or_else(|| {
+                            VerilogError::lex(span, format!("bad digit `{c}` in literal"))
+                        })? as usize;
+                        if d >= 1 << bits_per_digit {
+                            return Err(VerilogError::lex(
+                                span,
+                                format!("digit `{c}` too large for base `'{base}`"),
+                            ));
+                        }
+                        for i in (0..bits_per_digit).rev() {
+                            bin.push(if d >> i & 1 == 1 { '1' } else { '0' });
+                        }
+                    }
+                }
+            }
+            LogicVec::from_binary_str(&bin)
+                .ok_or_else(|| VerilogError::lex(span, "empty literal body"))?
+        };
+        let width = if size_digits.is_empty() {
+            32
+        } else {
+            size_digits
+                .parse::<usize>()
+                .map_err(|_| VerilogError::lex(span, "literal size out of range"))?
+        };
+        if width == 0 {
+            return Err(VerilogError::lex(span, "literal size must be positive"));
+        }
+        // Resize: when widening an x/z-headed literal Verilog extends with
+        // the top bit; we simplify to zero-extension except for all-x/z.
+        let value = resize_literal(&natural, width);
+        self.push(TokenKind::Number(value), span);
+        Ok(())
+    }
+
+    fn lex_punct(&mut self, span: Span) -> Result<()> {
+        use Punct::*;
+        let c = self.bump().expect("peeked before call");
+        let p = match c {
+            '(' => LParen,
+            ')' => RParen,
+            '[' => LBracket,
+            ']' => RBracket,
+            '{' => LBrace,
+            '}' => RBrace,
+            ',' => Comma,
+            ';' => Semicolon,
+            ':' => Colon,
+            '@' => At,
+            '#' => Hash,
+            '.' => Dot,
+            '?' => Question,
+            '+' => Plus,
+            '-' => Minus,
+            '%' => Percent,
+            '*' => {
+                if self.peek() == Some('*') {
+                    self.bump();
+                    Power
+                } else {
+                    Star
+                }
+            }
+            '/' => Slash,
+            '=' => match (self.peek(), self.peek2()) {
+                (Some('='), Some('=')) => {
+                    self.bump();
+                    self.bump();
+                    CaseEq
+                }
+                (Some('='), _) => {
+                    self.bump();
+                    Eq
+                }
+                _ => Assign,
+            },
+            '!' => match (self.peek(), self.peek2()) {
+                (Some('='), Some('=')) => {
+                    self.bump();
+                    self.bump();
+                    CaseNeq
+                }
+                (Some('='), _) => {
+                    self.bump();
+                    Neq
+                }
+                _ => Bang,
+            },
+            '<' => match (self.peek(), self.peek2()) {
+                (Some('<'), Some('<')) => {
+                    self.bump();
+                    self.bump();
+                    AShl
+                }
+                (Some('<'), _) => {
+                    self.bump();
+                    Shl
+                }
+                (Some('='), _) => {
+                    self.bump();
+                    Le
+                }
+                _ => Lt,
+            },
+            '>' => match (self.peek(), self.peek2(), self.peek3()) {
+                (Some('>'), Some('>'), _) => {
+                    self.bump();
+                    self.bump();
+                    AShr
+                }
+                (Some('>'), _, _) => {
+                    self.bump();
+                    Shr
+                }
+                (Some('='), _, _) => {
+                    self.bump();
+                    Ge
+                }
+                _ => Gt,
+            },
+            '&' => {
+                if self.peek() == Some('&') {
+                    self.bump();
+                    AndAnd
+                } else {
+                    Amp
+                }
+            }
+            '|' => {
+                if self.peek() == Some('|') {
+                    self.bump();
+                    OrOr
+                } else {
+                    Pipe
+                }
+            }
+            '^' => {
+                if self.peek() == Some('~') {
+                    self.bump();
+                    TildeCaret
+                } else {
+                    Caret
+                }
+            }
+            '~' => match self.peek() {
+                Some('&') => {
+                    self.bump();
+                    TildeAmp
+                }
+                Some('|') => {
+                    self.bump();
+                    TildePipe
+                }
+                Some('^') => {
+                    self.bump();
+                    TildeCaret
+                }
+                _ => Tilde,
+            },
+            other => {
+                return Err(VerilogError::lex(
+                    span,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        };
+        self.push(TokenKind::Punct(p), span);
+        Ok(())
+    }
+}
+
+/// Resizes a literal the way Verilog sizes based literals: truncate from the
+/// top, or extend (x/z literals extend with x/z, others with zero).
+fn resize_literal(natural: &LogicVec, width: usize) -> LogicVec {
+    use crate::logic::Logic;
+    if width <= natural.width() {
+        return natural.slice(width - 1, 0);
+    }
+    let top = natural.bit(natural.width() - 1);
+    let fill = match top {
+        Logic::X => Logic::X,
+        Logic::Z => Logic::Z,
+        _ => Logic::Zero,
+    };
+    let mut bits: Vec<Logic> = natural.iter().copied().collect();
+    bits.resize(width, fill);
+    LogicVec::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let k = kinds("module foo_1; endmodule");
+        assert_eq!(k[0], TokenKind::Keyword(Keyword::Module));
+        assert_eq!(k[1], TokenKind::Ident("foo_1".into()));
+        assert_eq!(k[2], TokenKind::Punct(Punct::Semicolon));
+        assert_eq!(k[3], TokenKind::Keyword(Keyword::Endmodule));
+        assert_eq!(k[4], TokenKind::Eof);
+    }
+
+    #[test]
+    fn sized_literals() {
+        let k = kinds("4'b10_10 8'hFF 3'o7 12 2'd3");
+        assert_eq!(k[0], TokenKind::Number(LogicVec::from_u64(0b1010, 4)));
+        assert_eq!(k[1], TokenKind::Number(LogicVec::from_u64(0xff, 8)));
+        assert_eq!(k[2], TokenKind::Number(LogicVec::from_u64(7, 3)));
+        assert_eq!(k[3], TokenKind::Number(LogicVec::from_u64(12, 32)));
+        assert_eq!(k[4], TokenKind::Number(LogicVec::from_u64(3, 2)));
+    }
+
+    #[test]
+    fn x_and_z_literals() {
+        let k = kinds("4'bxx01 4'hz");
+        match &k[0] {
+            TokenKind::Number(v) => assert_eq!(v.to_verilog_literal(), "4'bxx01"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &k[1] {
+            TokenKind::Number(v) => assert_eq!(v.to_verilog_literal(), "4'bzzzz"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let k = kinds("=== !== == != <= >= << >> >>> && || ~& ~| ~^ **");
+        use Punct::*;
+        let expect = [
+            CaseEq, CaseNeq, Eq, Neq, Le, Ge, Shl, Shr, AShr, AndAnd, OrOr, TildeAmp, TildePipe,
+            TildeCaret, Power,
+        ];
+        for (i, p) in expect.iter().enumerate() {
+            assert_eq!(k[i], TokenKind::Punct(*p), "operator #{i}");
+        }
+    }
+
+    #[test]
+    fn comments_and_directives_skipped() {
+        let k = kinds("// line\n/* block\nspanning */ `timescale 1ns/1ps\nwire");
+        assert_eq!(k[0], TokenKind::Keyword(Keyword::Wire));
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(tokenize("/* nope").is_err());
+    }
+
+    #[test]
+    fn python_def_is_just_an_ident() {
+        // "def adder()" — the syntax-misapplication hallucination — must lex
+        // fine and then fail in the parser.
+        let k = kinds("def adder_4bit()");
+        assert_eq!(k[0], TokenKind::Ident("def".into()));
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = tokenize("module\n  m").unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn bad_digit_rejected() {
+        assert!(tokenize("3'b102").is_err());
+        assert!(tokenize("4'q1").is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! Convention linting aligned with the paper's knowledge-hallucination
+//! taxonomy (Table II): each rule corresponds to a digital-design
+//! convention that fine-tuned models are expected to respect.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::*;
+use crate::error::Span;
+
+/// The convention rules checked by [`lint_module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LintRule {
+    /// Blocking assignment (`=`) inside an edge-triggered block.
+    BlockingInSequential,
+    /// Non-blocking assignment (`<=`) inside a combinational block.
+    NonBlockingInCombinational,
+    /// `case` inside a combinational block without a `default` arm.
+    CaseMissingDefault,
+    /// `if` without `else` in a combinational block (latch inference).
+    InferredLatch,
+    /// Explicit level-sensitivity list missing signals the block reads.
+    IncompleteSensitivity,
+    /// Edge-triggered block whose registers are never reset.
+    MissingReset,
+}
+
+impl LintRule {
+    /// Short rule identifier for report output.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintRule::BlockingInSequential => "SEQ-BLOCKING",
+            LintRule::NonBlockingInCombinational => "COMB-NONBLOCKING",
+            LintRule::CaseMissingDefault => "CASE-DEFAULT",
+            LintRule::InferredLatch => "LATCH",
+            LintRule::IncompleteSensitivity => "SENS-LIST",
+            LintRule::MissingReset => "NO-RESET",
+        }
+    }
+}
+
+/// One reported convention violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintIssue {
+    /// Violated rule.
+    pub rule: LintRule,
+    /// Human-readable detail.
+    pub message: String,
+    /// Location of the enclosing construct.
+    #[serde(skip)]
+    pub span: Span,
+}
+
+/// Checks one module against the digital-design conventions.
+///
+/// An empty result means the module is convention-clean in the sense of
+/// the paper's exemplars; it does **not** imply functional correctness.
+///
+/// # Examples
+///
+/// ```
+/// use haven_verilog::{parser::parse, lint::{lint_module, LintRule}};
+/// let f = parse("module m(input clk, d, output reg q);
+///                always @(posedge clk) q = d; endmodule")?;
+/// let issues = lint_module(&f.modules[0]);
+/// assert!(issues.iter().any(|i| i.rule == LintRule::BlockingInSequential));
+/// # Ok::<(), haven_verilog::error::VerilogError>(())
+/// ```
+pub fn lint_module(module: &Module) -> Vec<LintIssue> {
+    let mut issues = Vec::new();
+    for item in &module.items {
+        let Item::Always {
+            sensitivity,
+            body,
+            span,
+        } = item
+        else {
+            continue;
+        };
+        match sensitivity {
+            Sensitivity::Edges(edges) => {
+                check_assignment_kind(body, true, *span, &mut issues);
+                check_reset(edges, body, *span, &mut issues);
+            }
+            Sensitivity::Star => {
+                check_assignment_kind(body, false, *span, &mut issues);
+                check_comb_completeness(body, *span, &mut issues);
+            }
+            Sensitivity::Levels(listed) => {
+                check_assignment_kind(body, false, *span, &mut issues);
+                check_comb_completeness(body, *span, &mut issues);
+                let mut reads = Vec::new();
+                body.collect_reads(&mut reads);
+                let mut writes = Vec::new();
+                body.collect_writes(&mut writes);
+                let mut missing: Vec<String> = reads
+                    .into_iter()
+                    .filter(|r| !listed.contains(r) && !writes.contains(r))
+                    .collect();
+                missing.sort();
+                missing.dedup();
+                if !missing.is_empty() {
+                    issues.push(LintIssue {
+                        rule: LintRule::IncompleteSensitivity,
+                        message: format!(
+                            "sensitivity list misses read signal(s): {}",
+                            missing.join(", ")
+                        ),
+                        span: *span,
+                    });
+                }
+            }
+        }
+    }
+    issues
+}
+
+#[allow(clippy::only_used_in_recursion)] // span is threaded to every issue site
+fn check_assignment_kind(
+    stmt: &Stmt,
+    sequential: bool,
+    span: Span,
+    issues: &mut Vec<LintIssue>,
+) {
+    match stmt {
+        Stmt::Block(ss) => ss
+            .iter()
+            .for_each(|s| check_assignment_kind(s, sequential, span, issues)),
+        Stmt::Blocking { lhs, span: s, .. } => {
+            if sequential {
+                issues.push(LintIssue {
+                    rule: LintRule::BlockingInSequential,
+                    message: format!(
+                        "`{}` assigned with `=` in an edge-triggered block; use `<=`",
+                        lhs.target_names().join(", ")
+                    ),
+                    span: *s,
+                });
+            }
+        }
+        Stmt::NonBlocking { lhs, span: s, .. } => {
+            if !sequential {
+                issues.push(LintIssue {
+                    rule: LintRule::NonBlockingInCombinational,
+                    message: format!(
+                        "`{}` assigned with `<=` in a combinational block; use `=`",
+                        lhs.target_names().join(", ")
+                    ),
+                    span: *s,
+                });
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            check_assignment_kind(then_branch, sequential, span, issues);
+            if let Some(e) = else_branch {
+                check_assignment_kind(e, sequential, span, issues);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            arms.iter()
+                .for_each(|(_, b)| check_assignment_kind(b, sequential, span, issues));
+            if let Some(d) = default {
+                check_assignment_kind(d, sequential, span, issues);
+            }
+        }
+        Stmt::For { body, .. } => check_assignment_kind(body, sequential, span, issues),
+        Stmt::Empty => {}
+    }
+}
+
+/// Case-without-default and if-without-else checks for combinational
+/// blocks, where they infer latches.
+fn check_comb_completeness(stmt: &Stmt, span: Span, issues: &mut Vec<LintIssue>) {
+    // Signals assigned unconditionally at the top of the block are safe
+    // from latch inference even under incomplete branches below.
+    let mut pre_assigned: Vec<String> = Vec::new();
+    if let Stmt::Block(ss) = stmt {
+        for s in ss {
+            match s {
+                Stmt::Blocking { lhs, .. } | Stmt::NonBlocking { lhs, .. } => {
+                    pre_assigned.extend(lhs.target_names().iter().map(|s| s.to_string()));
+                }
+                _ => break,
+            }
+        }
+    }
+    walk_completeness(stmt, span, &pre_assigned, issues);
+}
+
+#[allow(clippy::only_used_in_recursion)] // span is threaded to every issue site
+fn walk_completeness(
+    stmt: &Stmt,
+    span: Span,
+    pre_assigned: &[String],
+    issues: &mut Vec<LintIssue>,
+) {
+    match stmt {
+        Stmt::Block(ss) => ss
+            .iter()
+            .for_each(|s| walk_completeness(s, span, pre_assigned, issues)),
+        Stmt::Case {
+            arms,
+            default,
+            ..
+        } => {
+            if default.is_none() {
+                let mut writes = Vec::new();
+                for (_, b) in arms {
+                    b.collect_writes(&mut writes);
+                }
+                writes.retain(|w| !pre_assigned.contains(w));
+                if !writes.is_empty() {
+                    issues.push(LintIssue {
+                        rule: LintRule::CaseMissingDefault,
+                        message: "combinational `case` without `default` arm".to_string(),
+                        span,
+                    });
+                }
+            }
+            arms.iter()
+                .for_each(|(_, b)| walk_completeness(b, span, pre_assigned, issues));
+            if let Some(d) = default {
+                walk_completeness(d, span, pre_assigned, issues);
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            if else_branch.is_none() {
+                let mut writes = Vec::new();
+                then_branch.collect_writes(&mut writes);
+                writes.retain(|w| !pre_assigned.contains(w));
+                if !writes.is_empty() {
+                    issues.push(LintIssue {
+                        rule: LintRule::InferredLatch,
+                        message: format!(
+                            "`if` without `else` latches: {}",
+                            writes.join(", ")
+                        ),
+                        span,
+                    });
+                }
+            }
+            walk_completeness(then_branch, span, pre_assigned, issues);
+            if let Some(e) = else_branch {
+                walk_completeness(e, span, pre_assigned, issues);
+            }
+        }
+        Stmt::For { body, .. } => walk_completeness(body, span, pre_assigned, issues),
+        _ => {}
+    }
+}
+
+fn check_reset(
+    edges: &[(Edge, String)],
+    body: &Stmt,
+    span: Span,
+    issues: &mut Vec<LintIssue>,
+) {
+    let reset_in_list = edges.iter().any(|(_, n)| {
+        let n = n.to_ascii_lowercase();
+        n.contains("rst") || n.contains("reset")
+    });
+    if reset_in_list {
+        return;
+    }
+    // Sync reset: some condition mentions a reset-like name.
+    let mut conds = Vec::new();
+    collect_conditions(body, &mut conds);
+    let tests_reset = conds.iter().any(|c| {
+        let mut reads = Vec::new();
+        c.collect_reads(&mut reads);
+        reads.iter().any(|r| {
+            let r = r.to_ascii_lowercase();
+            r.contains("rst") || r.contains("reset")
+        })
+    });
+    if !tests_reset {
+        issues.push(LintIssue {
+            rule: LintRule::MissingReset,
+            message: "edge-triggered block has no reset".to_string(),
+            span,
+        });
+    }
+}
+
+fn collect_conditions<'a>(stmt: &'a Stmt, out: &mut Vec<&'a Expr>) {
+    match stmt {
+        Stmt::Block(ss) => ss.iter().for_each(|s| collect_conditions(s, out)),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            out.push(cond);
+            collect_conditions(then_branch, out);
+            if let Some(e) = else_branch {
+                collect_conditions(e, out);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            arms.iter().for_each(|(_, b)| collect_conditions(b, out));
+            if let Some(d) = default {
+                collect_conditions(d, out);
+            }
+        }
+        Stmt::For { body, .. } => collect_conditions(body, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lint(src: &str) -> Vec<LintRule> {
+        lint_module(&parse(src).unwrap().modules[0])
+            .into_iter()
+            .map(|i| i.rule)
+            .collect()
+    }
+
+    #[test]
+    fn clean_dff_has_no_issues() {
+        let rules = lint(
+            "module d(input clk, rst_n, d, output reg q);\n always @(posedge clk or negedge rst_n)\n  if (!rst_n) q <= 1'b0; else q <= d;\nendmodule",
+        );
+        assert!(rules.is_empty(), "{rules:?}");
+    }
+
+    #[test]
+    fn blocking_in_sequential_flagged() {
+        let rules = lint(
+            "module d(input clk, rst, d, output reg q);\n always @(posedge clk) if (rst) q = 1'b0; else q = d;\nendmodule",
+        );
+        assert!(rules.contains(&LintRule::BlockingInSequential));
+    }
+
+    #[test]
+    fn nonblocking_in_comb_flagged() {
+        let rules = lint(
+            "module m(input a, output reg y);\n always @(*) y <= ~a;\nendmodule",
+        );
+        assert!(rules.contains(&LintRule::NonBlockingInCombinational));
+    }
+
+    #[test]
+    fn case_missing_default_flagged() {
+        let rules = lint(
+            "module m(input [1:0] s, output reg y);\n always @(*)\n  case (s)\n   2'd0: y = 1'b0;\n   2'd1: y = 1'b1;\n  endcase\nendmodule",
+        );
+        assert!(rules.contains(&LintRule::CaseMissingDefault));
+    }
+
+    #[test]
+    fn pre_assignment_suppresses_latch_warnings() {
+        let rules = lint(
+            "module m(input [1:0] s, output reg y);\n always @(*) begin\n  y = 1'b0;\n  case (s)\n   2'd1: y = 1'b1;\n  endcase\n end\nendmodule",
+        );
+        assert!(rules.is_empty(), "{rules:?}");
+    }
+
+    #[test]
+    fn if_without_else_is_latch() {
+        let rules = lint(
+            "module m(input a, b, output reg y);\n always @(*) if (a) y = b;\nendmodule",
+        );
+        assert!(rules.contains(&LintRule::InferredLatch));
+    }
+
+    #[test]
+    fn incomplete_sensitivity_flagged() {
+        let rules = lint(
+            "module m(input a, b, output reg y);\n always @(a) y = a & b;\nendmodule",
+        );
+        assert!(rules.contains(&LintRule::IncompleteSensitivity));
+    }
+
+    #[test]
+    fn missing_reset_flagged_but_enable_ok() {
+        let rules = lint(
+            "module m(input clk, d, output reg q);\n always @(posedge clk) q <= d;\nendmodule",
+        );
+        assert!(rules.contains(&LintRule::MissingReset));
+        let rules = lint(
+            "module m(input clk, rst, d, output reg q);\n always @(posedge clk) if (rst) q <= 1'b0; else q <= d;\nendmodule",
+        );
+        assert!(!rules.contains(&LintRule::MissingReset));
+    }
+}

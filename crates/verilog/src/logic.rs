@@ -1,0 +1,689 @@
+//! Four-state logic values (`0`, `1`, `x`, `z`) and bit vectors.
+//!
+//! Verilog's four-state semantics are load-bearing for this reproduction:
+//! X-propagation is what makes incomplete `case` statements, missing resets
+//! and uninitialized registers *fail functionally* during co-simulation
+//! instead of accidentally matching the golden model.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+use serde::{Deserialize, Serialize};
+
+/// A single four-state logic value.
+///
+/// `Z` (high impedance) behaves as `X` in every logical operation; it is kept
+/// distinct so that emitted literals and case-equality match Verilog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+    /// High impedance.
+    Z,
+}
+
+impl Logic {
+    /// Returns `true` for [`Logic::Zero`] and [`Logic::One`].
+    #[inline]
+    pub fn is_known(self) -> bool {
+        matches!(self, Logic::Zero | Logic::One)
+    }
+
+    /// Converts a known value to `bool`, or `None` for `x`/`z`.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X | Logic::Z => None,
+        }
+    }
+
+    /// Four-state AND (Verilog table: `0 & anything = 0`).
+    #[inline]
+    pub fn and(self, rhs: Logic) -> Logic {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(false), _) | (_, Some(false)) => Logic::Zero,
+            (Some(true), Some(true)) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Four-state OR (Verilog table: `1 | anything = 1`).
+    #[inline]
+    pub fn or(self, rhs: Logic) -> Logic {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(true), _) | (_, Some(true)) => Logic::One,
+            (Some(false), Some(false)) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Four-state XOR: any unknown operand yields `x`.
+    #[inline]
+    pub fn xor(self, rhs: Logic) -> Logic {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Logic::from(a ^ b),
+            _ => Logic::X,
+        }
+    }
+
+    /// Four-state NOT: `~x = x`, `~z = x`.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // `Not` is implemented and delegates here
+    pub fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X | Logic::Z => Logic::X,
+        }
+    }
+
+    /// The character used in Verilog binary literals (`0`, `1`, `x`, `z`).
+    #[inline]
+    pub fn to_char(self) -> char {
+        match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        }
+    }
+
+    /// Parses one binary-literal digit. Accepts upper or lower case `x`/`z`
+    /// and the `?` alias for `z`.
+    pub fn from_char(c: char) -> Option<Logic> {
+        match c {
+            '0' => Some(Logic::Zero),
+            '1' => Some(Logic::One),
+            'x' | 'X' => Some(Logic::X),
+            'z' | 'Z' | '?' => Some(Logic::Z),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+}
+
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// A fixed-width vector of four-state logic values, bit 0 = LSB.
+///
+/// This is the value type flowing through the simulator, the expression
+/// evaluator and testbenches. Arithmetic follows Verilog semantics for
+/// unsigned vectors: any unknown operand bit poisons the whole result to
+/// all-`x`.
+///
+/// # Examples
+///
+/// ```
+/// use haven_verilog::logic::LogicVec;
+///
+/// let a = LogicVec::from_u64(0b1010, 4);
+/// let b = LogicVec::from_u64(0b0110, 4);
+/// assert_eq!((a.clone() & b).to_u64(), Some(0b0010));
+/// assert_eq!(a.add(&LogicVec::from_u64(1, 4)).to_u64(), Some(0b1011));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LogicVec {
+    bits: Vec<Logic>,
+}
+
+impl LogicVec {
+    /// Creates an all-`x` vector of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn filled(value: Logic, width: usize) -> LogicVec {
+        assert!(width > 0, "logic vector width must be at least 1");
+        LogicVec {
+            bits: vec![value; width],
+        }
+    }
+
+    /// Creates an all-`x` vector (the reset value of every signal).
+    pub fn unknown(width: usize) -> LogicVec {
+        LogicVec::filled(Logic::X, width)
+    }
+
+    /// Creates an all-zero vector.
+    pub fn zero(width: usize) -> LogicVec {
+        LogicVec::filled(Logic::Zero, width)
+    }
+
+    /// Builds a vector from the low `width` bits of `value`.
+    pub fn from_u64(value: u64, width: usize) -> LogicVec {
+        assert!(width > 0, "logic vector width must be at least 1");
+        let bits = (0..width)
+            .map(|i| {
+                if i < 64 {
+                    Logic::from(value >> i & 1 == 1)
+                } else {
+                    Logic::Zero
+                }
+            })
+            .collect();
+        LogicVec { bits }
+    }
+
+    /// Builds a one-bit vector from a boolean.
+    pub fn from_bool(b: bool) -> LogicVec {
+        LogicVec {
+            bits: vec![Logic::from(b)],
+        }
+    }
+
+    /// Builds a vector from bits given LSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn from_bits(bits: Vec<Logic>) -> LogicVec {
+        assert!(!bits.is_empty(), "logic vector width must be at least 1");
+        LogicVec { bits }
+    }
+
+    /// Parses a string of binary digits given MSB-first (like a Verilog
+    /// binary literal body). Underscores are ignored.
+    pub fn from_binary_str(s: &str) -> Option<LogicVec> {
+        let mut bits = Vec::new();
+        for c in s.chars().rev() {
+            if c == '_' {
+                continue;
+            }
+            bits.push(Logic::from_char(c)?);
+        }
+        if bits.is_empty() {
+            None
+        } else {
+            Some(LogicVec { bits })
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The bit at `index` (LSB = 0), or `None` when out of range.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<Logic> {
+        self.bits.get(index).copied()
+    }
+
+    /// The bit at `index`, treating out-of-range reads as `x` like Verilog.
+    #[inline]
+    pub fn bit(&self, index: usize) -> Logic {
+        self.bits.get(index).copied().unwrap_or(Logic::X)
+    }
+
+    /// Sets the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn set_bit(&mut self, index: usize, value: Logic) {
+        self.bits[index] = value;
+    }
+
+    /// Bits LSB-first.
+    pub fn iter(&self) -> std::slice::Iter<'_, Logic> {
+        self.bits.iter()
+    }
+
+    /// `true` when every bit is 0 or 1.
+    pub fn is_fully_known(&self) -> bool {
+        self.bits.iter().all(|b| b.is_known())
+    }
+
+    /// Interprets the vector as an unsigned integer; `None` if any bit is
+    /// unknown or the width exceeds 64.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.width() > 64 {
+            return None;
+        }
+        let mut out = 0u64;
+        for (i, b) in self.bits.iter().enumerate() {
+            if b.to_bool()? {
+                out |= 1 << i;
+            }
+        }
+        Some(out)
+    }
+
+    /// Zero-extends or truncates to `width` bits.
+    pub fn resized(&self, width: usize) -> LogicVec {
+        assert!(width > 0, "logic vector width must be at least 1");
+        let mut bits = self.bits.clone();
+        bits.resize(width, Logic::Zero);
+        bits.truncate(width);
+        LogicVec { bits }
+    }
+
+    /// Bit slice `[hi:lo]` (inclusive), reading out-of-range bits as `x`.
+    pub fn slice(&self, hi: usize, lo: usize) -> LogicVec {
+        assert!(hi >= lo, "slice must have hi >= lo");
+        let bits = (lo..=hi).map(|i| self.bit(i)).collect();
+        LogicVec { bits }
+    }
+
+    /// Concatenation `{self, low}` — `self` supplies the high bits.
+    pub fn concat(&self, low: &LogicVec) -> LogicVec {
+        let mut bits = low.bits.clone();
+        bits.extend_from_slice(&self.bits);
+        LogicVec { bits }
+    }
+
+    /// Replication `{count{self}}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn replicate(&self, count: usize) -> LogicVec {
+        assert!(count > 0, "replication count must be at least 1");
+        let mut bits = Vec::with_capacity(self.width() * count);
+        for _ in 0..count {
+            bits.extend_from_slice(&self.bits);
+        }
+        LogicVec { bits }
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> LogicVec {
+        LogicVec {
+            bits: self.bits.iter().map(|b| b.not()).collect(),
+        }
+    }
+
+    fn zip_with(&self, rhs: &LogicVec, f: impl Fn(Logic, Logic) -> Logic) -> LogicVec {
+        let width = self.width().max(rhs.width());
+        let bits = (0..width)
+            .map(|i| {
+                let a = self.bits.get(i).copied().unwrap_or(Logic::Zero);
+                let b = rhs.bits.get(i).copied().unwrap_or(Logic::Zero);
+                f(a, b)
+            })
+            .collect();
+        LogicVec { bits }
+    }
+
+    /// Reduction AND over all bits.
+    pub fn reduce_and(&self) -> Logic {
+        self.bits.iter().fold(Logic::One, |acc, &b| acc.and(b))
+    }
+
+    /// Reduction OR over all bits.
+    pub fn reduce_or(&self) -> Logic {
+        self.bits.iter().fold(Logic::Zero, |acc, &b| acc.or(b))
+    }
+
+    /// Reduction XOR over all bits.
+    pub fn reduce_xor(&self) -> Logic {
+        self.bits.iter().fold(Logic::Zero, |acc, &b| acc.xor(b))
+    }
+
+    /// Verilog truthiness: `1` if any bit is 1, `0` if all bits are 0,
+    /// otherwise `x`.
+    pub fn truthiness(&self) -> Logic {
+        self.reduce_or()
+    }
+
+    /// Truthiness as a bool, treating `x`/`z` as false (used by `if`
+    /// statements in the simulator, which take the else branch on `x`).
+    pub fn is_true(&self) -> bool {
+        self.truthiness() == Logic::One
+    }
+
+    fn arith(&self, rhs: &LogicVec, width: usize, f: impl Fn(u64, u64) -> u64) -> LogicVec {
+        match (self.to_u64(), rhs.to_u64()) {
+            (Some(a), Some(b)) => LogicVec::from_u64(f(a, b), width),
+            _ => LogicVec::unknown(width),
+        }
+    }
+
+    /// Addition, result width = max operand width (Verilog self-determined).
+    pub fn add(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.width().max(rhs.width());
+        self.arith(rhs, w, |a, b| a.wrapping_add(b))
+    }
+
+    /// Subtraction (wrapping).
+    pub fn sub(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.width().max(rhs.width());
+        self.arith(rhs, w, |a, b| a.wrapping_sub(b))
+    }
+
+    /// Multiplication (wrapping, truncated to operand width).
+    pub fn mul(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.width().max(rhs.width());
+        self.arith(rhs, w, |a, b| a.wrapping_mul(b))
+    }
+
+    /// Division; division by zero yields all-`x` like Verilog.
+    pub fn div(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.width().max(rhs.width());
+        match (self.to_u64(), rhs.to_u64()) {
+            (Some(_), Some(0)) => LogicVec::unknown(w),
+            (Some(a), Some(b)) => LogicVec::from_u64(a / b, w),
+            _ => LogicVec::unknown(w),
+        }
+    }
+
+    /// Modulo; modulo by zero yields all-`x`.
+    pub fn rem(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.width().max(rhs.width());
+        match (self.to_u64(), rhs.to_u64()) {
+            (Some(_), Some(0)) => LogicVec::unknown(w),
+            (Some(a), Some(b)) => LogicVec::from_u64(a % b, w),
+            _ => LogicVec::unknown(w),
+        }
+    }
+
+    /// Logical shift left by an unsigned amount; unknown shift poisons.
+    pub fn shl(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.width();
+        match rhs.to_u64() {
+            Some(n) => {
+                let n = n as usize;
+                let bits = (0..w)
+                    .map(|i| {
+                        if i >= n {
+                            self.bit(i - n)
+                        } else {
+                            Logic::Zero
+                        }
+                    })
+                    .collect();
+                LogicVec { bits }
+            }
+            None => LogicVec::unknown(w),
+        }
+    }
+
+    /// Logical shift right; unknown shift poisons.
+    pub fn shr(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.width();
+        match rhs.to_u64() {
+            Some(n) => {
+                let n = n as usize;
+                let bits = (0..w)
+                    .map(|i| {
+                        if i + n < w {
+                            self.bit(i + n)
+                        } else {
+                            Logic::Zero
+                        }
+                    })
+                    .collect();
+                LogicVec { bits }
+            }
+            None => LogicVec::unknown(w),
+        }
+    }
+
+    /// Logical equality `==`: `x` if any compared bit is unknown.
+    pub fn eq_logic(&self, rhs: &LogicVec) -> Logic {
+        let w = self.width().max(rhs.width());
+        let mut all_eq = Logic::One;
+        for i in 0..w {
+            let a = self.bits.get(i).copied().unwrap_or(Logic::Zero);
+            let b = rhs.bits.get(i).copied().unwrap_or(Logic::Zero);
+            match (a.to_bool(), b.to_bool()) {
+                (Some(x), Some(y)) => {
+                    if x != y {
+                        return Logic::Zero;
+                    }
+                }
+                _ => all_eq = Logic::X,
+            }
+        }
+        all_eq
+    }
+
+    /// Case equality `===`: exact four-state match.
+    pub fn eq_case(&self, rhs: &LogicVec) -> Logic {
+        let w = self.width().max(rhs.width());
+        for i in 0..w {
+            let a = self.bits.get(i).copied().unwrap_or(Logic::Zero);
+            let b = rhs.bits.get(i).copied().unwrap_or(Logic::Zero);
+            if a != b {
+                return Logic::Zero;
+            }
+        }
+        Logic::One
+    }
+
+    /// `casez` match: `z`/`?` bits in either operand are wildcards.
+    pub fn eq_casez(&self, rhs: &LogicVec) -> Logic {
+        let w = self.width().max(rhs.width());
+        for i in 0..w {
+            let a = self.bits.get(i).copied().unwrap_or(Logic::Zero);
+            let b = rhs.bits.get(i).copied().unwrap_or(Logic::Zero);
+            if a == Logic::Z || b == Logic::Z {
+                continue;
+            }
+            if a != b {
+                return Logic::Zero;
+            }
+        }
+        Logic::One
+    }
+
+    fn cmp_known(&self, rhs: &LogicVec) -> Option<std::cmp::Ordering> {
+        Some(self.to_u64()?.cmp(&rhs.to_u64()?))
+    }
+
+    /// Unsigned `<`; `x` when either operand is unknown.
+    pub fn lt(&self, rhs: &LogicVec) -> Logic {
+        match self.cmp_known(rhs) {
+            Some(o) => Logic::from(o == std::cmp::Ordering::Less),
+            None => Logic::X,
+        }
+    }
+
+    /// Unsigned `<=`; `x` when either operand is unknown.
+    pub fn le(&self, rhs: &LogicVec) -> Logic {
+        match self.cmp_known(rhs) {
+            Some(o) => Logic::from(o != std::cmp::Ordering::Greater),
+            None => Logic::X,
+        }
+    }
+
+    /// Formats the vector as a Verilog sized binary literal, e.g. `4'b1010`.
+    pub fn to_verilog_literal(&self) -> String {
+        let body: String = self.bits.iter().rev().map(|b| b.to_char()).collect();
+        format!("{}'b{}", self.width(), body)
+    }
+}
+
+impl BitAnd for LogicVec {
+    type Output = LogicVec;
+    fn bitand(self, rhs: LogicVec) -> LogicVec {
+        self.zip_with(&rhs, Logic::and)
+    }
+}
+
+impl BitOr for LogicVec {
+    type Output = LogicVec;
+    fn bitor(self, rhs: LogicVec) -> LogicVec {
+        self.zip_with(&rhs, Logic::or)
+    }
+}
+
+impl BitXor for LogicVec {
+    type Output = LogicVec;
+    fn bitxor(self, rhs: LogicVec) -> LogicVec {
+        self.zip_with(&rhs, Logic::xor)
+    }
+}
+
+impl Not for LogicVec {
+    type Output = LogicVec;
+    fn not(self) -> LogicVec {
+        LogicVec::not(&self)
+    }
+}
+
+impl fmt::Display for LogicVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_verilog_literal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_or_tables() {
+        use Logic::*;
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(One.and(X), X);
+        assert_eq!(One.or(X), One);
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(Z.not(), X);
+    }
+
+    #[test]
+    fn roundtrip_u64() {
+        for v in [0u64, 1, 5, 255, 1023] {
+            let lv = LogicVec::from_u64(v, 10);
+            assert_eq!(lv.to_u64(), Some(v & 0x3ff));
+        }
+    }
+
+    #[test]
+    fn binary_literal_roundtrip() {
+        let lv = LogicVec::from_binary_str("10x0z1").unwrap();
+        assert_eq!(lv.width(), 6);
+        assert_eq!(lv.to_verilog_literal(), "6'b10x0z1");
+        assert_eq!(lv.bit(0), Logic::One);
+        assert_eq!(lv.bit(1), Logic::Z);
+        assert_eq!(lv.bit(3), Logic::X);
+        assert_eq!(lv.bit(5), Logic::One);
+    }
+
+    #[test]
+    fn unknown_poisons_arithmetic() {
+        let a = LogicVec::from_binary_str("1x10").unwrap();
+        let b = LogicVec::from_u64(1, 4);
+        assert_eq!(a.add(&b).to_u64(), None);
+        assert!(!a.add(&b).is_fully_known());
+    }
+
+    #[test]
+    fn add_wraps_at_width() {
+        let a = LogicVec::from_u64(0b1111, 4);
+        let b = LogicVec::from_u64(1, 4);
+        assert_eq!(a.add(&b).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn division_by_zero_is_x() {
+        let a = LogicVec::from_u64(6, 4);
+        let z = LogicVec::zero(4);
+        assert_eq!(a.div(&z).to_u64(), None);
+        assert_eq!(a.rem(&z).to_u64(), None);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = LogicVec::from_u64(0b0011, 4);
+        assert_eq!(a.shl(&LogicVec::from_u64(1, 2)).to_u64(), Some(0b0110));
+        assert_eq!(a.shr(&LogicVec::from_u64(1, 2)).to_u64(), Some(0b0001));
+        assert_eq!(a.shl(&LogicVec::from_u64(5, 4)).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn equality_flavours() {
+        let a = LogicVec::from_binary_str("1x").unwrap();
+        let b = LogicVec::from_binary_str("1x").unwrap();
+        let c = LogicVec::from_binary_str("10").unwrap();
+        assert_eq!(a.eq_logic(&b), Logic::X);
+        assert_eq!(a.eq_case(&b), Logic::One);
+        assert_eq!(a.eq_case(&c), Logic::Zero);
+        // differing known bit decides == even with x elsewhere
+        let d = LogicVec::from_binary_str("0x").unwrap();
+        assert_eq!(a.eq_logic(&d), Logic::Zero);
+    }
+
+    #[test]
+    fn casez_wildcards() {
+        let pat = LogicVec::from_binary_str("1?0").unwrap();
+        assert_eq!(LogicVec::from_u64(0b110, 3).eq_casez(&pat), Logic::One);
+        assert_eq!(LogicVec::from_u64(0b100, 3).eq_casez(&pat), Logic::One);
+        assert_eq!(LogicVec::from_u64(0b101, 3).eq_casez(&pat), Logic::Zero);
+    }
+
+    #[test]
+    fn concat_and_replicate() {
+        let hi = LogicVec::from_u64(0b10, 2);
+        let lo = LogicVec::from_u64(0b01, 2);
+        let c = hi.concat(&lo);
+        assert_eq!(c.to_u64(), Some(0b1001));
+        let r = lo.replicate(3);
+        assert_eq!(r.to_u64(), Some(0b010101));
+    }
+
+    #[test]
+    fn slice_reads_x_out_of_range() {
+        let a = LogicVec::from_u64(0b11, 2);
+        let s = a.slice(3, 1);
+        assert_eq!(s.bit(0), Logic::One);
+        assert_eq!(s.bit(1), Logic::X);
+        assert_eq!(s.bit(2), Logic::X);
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(LogicVec::from_u64(0b111, 3).reduce_and(), Logic::One);
+        assert_eq!(LogicVec::from_u64(0b110, 3).reduce_and(), Logic::Zero);
+        assert_eq!(LogicVec::from_u64(0, 3).reduce_or(), Logic::Zero);
+        assert_eq!(LogicVec::from_u64(0b101, 3).reduce_xor(), Logic::Zero);
+        assert_eq!(LogicVec::from_u64(0b100, 3).reduce_xor(), Logic::One);
+    }
+
+    #[test]
+    fn truthiness_with_x() {
+        // any known 1 dominates x
+        let v = LogicVec::from_binary_str("1x").unwrap();
+        assert_eq!(v.truthiness(), Logic::One);
+        let v = LogicVec::from_binary_str("0x").unwrap();
+        assert_eq!(v.truthiness(), Logic::X);
+        assert!(!v.is_true());
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = LogicVec::from_u64(3, 4);
+        let b = LogicVec::from_u64(5, 4);
+        assert_eq!(a.lt(&b), Logic::One);
+        assert_eq!(b.lt(&a), Logic::Zero);
+        assert_eq!(a.le(&a), Logic::One);
+        let x = LogicVec::unknown(4);
+        assert_eq!(a.lt(&x), Logic::X);
+    }
+}

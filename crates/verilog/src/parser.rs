@@ -1,0 +1,973 @@
+//! Recursive-descent parser for the synthesizable Verilog subset.
+//!
+//! The accepted grammar covers what HDL engineers write in the benchmark
+//! tasks and what the code generator emits: ANSI and legacy module headers,
+//! wire/reg/integer/parameter declarations, continuous assigns, `always`
+//! blocks with `@*` / edge / level sensitivity, `if`/`case`/`casez`/`casex`/
+//! `for`, blocking and non-blocking assignment, module instantiation, and
+//! the full expression grammar with Verilog precedence.
+
+use crate::ast::*;
+use crate::error::{Result, Span, VerilogError};
+use crate::lexer::{tokenize, Keyword, Punct, Token, TokenKind};
+
+/// Parses a complete source file.
+///
+/// # Errors
+///
+/// Returns [`VerilogError::Lex`] or [`VerilogError::Parse`] when the source
+/// is outside the subset or malformed.
+///
+/// # Examples
+///
+/// ```
+/// use haven_verilog::parser::parse;
+/// let file = parse("module top(input a, output y); assign y = ~a; endmodule")?;
+/// assert_eq!(file.modules[0].name, "top");
+/// # Ok::<(), haven_verilog::error::VerilogError>(())
+/// ```
+pub fn parse(source: &str) -> Result<SourceFile> {
+    let tokens = tokenize(source)?;
+    Parser::new(tokens).source_file()
+}
+
+/// Parses a single expression (used by modality parsers and tests).
+///
+/// # Errors
+///
+/// Returns an error if the text is not exactly one expression.
+pub fn parse_expr(source: &str) -> Result<Expr> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser::new(tokens);
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Parser {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek() == &TokenKind::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.peek() == &TokenKind::Keyword(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct, what: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(VerilogError::parse(
+                self.span(),
+                format!("expected {what}, found {}", describe(self.peek())),
+            ))
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> Result<()> {
+        if self.eat_keyword(k) {
+            Ok(())
+        } else {
+            Err(VerilogError::parse(
+                self.span(),
+                format!("expected `{}`, found {}", k.as_str(), describe(self.peek())),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.peek() {
+            TokenKind::Ident(_) => match self.bump() {
+                TokenKind::Ident(n) => Ok(n),
+                _ => unreachable!(),
+            },
+            other => Err(VerilogError::parse(
+                self.span(),
+                format!("expected {what}, found {}", describe(other)),
+            )),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.peek() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(VerilogError::parse(
+                self.span(),
+                format!("unexpected trailing {}", describe(self.peek())),
+            ))
+        }
+    }
+
+    // ---- file / module ----------------------------------------------------
+
+    fn source_file(&mut self) -> Result<SourceFile> {
+        let mut modules = Vec::new();
+        while self.peek() != &TokenKind::Eof {
+            modules.push(self.module()?);
+        }
+        if modules.is_empty() {
+            return Err(VerilogError::parse(
+                self.span(),
+                "source contains no module definition",
+            ));
+        }
+        Ok(SourceFile { modules })
+    }
+
+    fn module(&mut self) -> Result<Module> {
+        let span = self.span();
+        self.expect_keyword(Keyword::Module)?;
+        let name = self.expect_ident("module name")?;
+        // Optional parameter header `#(parameter N = 4, ...)`.
+        let mut items = Vec::new();
+        if self.eat_punct(Punct::Hash) {
+            self.expect_punct(Punct::LParen, "`(` after `#`")?;
+            loop {
+                let pspan = self.span();
+                // `parameter` keyword is optional after the first entry.
+                let _ = self.eat_keyword(Keyword::Parameter);
+                // optional range, ignored for parameters
+                if self.peek() == &TokenKind::Punct(Punct::LBracket) {
+                    let _ = self.range()?;
+                }
+                let pname = self.expect_ident("parameter name")?;
+                self.expect_punct(Punct::Assign, "`=` in parameter")?;
+                let value = self.expr()?;
+                items.push(Item::ParamDecl {
+                    is_local: false,
+                    assignments: vec![(pname, value)],
+                    span: pspan,
+                });
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RParen, "`)` closing parameter list")?;
+        }
+        let mut ports: Vec<Port> = Vec::new();
+        if self.eat_punct(Punct::LParen) {
+            if self.peek() != &TokenKind::Punct(Punct::RParen) {
+                loop {
+                    let mut port = self.header_port()?;
+                    // ANSI style: `input a, b` — a bare name inherits the
+                    // direction, reg-ness and range of the previous entry.
+                    if port.direction.is_none() {
+                        if let Some(prev) = ports.last() {
+                            if prev.direction.is_some() {
+                                port.direction = prev.direction;
+                                port.is_reg = prev.is_reg;
+                                port.range = prev.range.clone();
+                            }
+                        }
+                    }
+                    ports.push(port);
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect_punct(Punct::RParen, "`)` closing port list")?;
+        }
+        self.expect_punct(Punct::Semicolon, "`;` after module header")?;
+        while !self.eat_keyword(Keyword::Endmodule) {
+            if self.peek() == &TokenKind::Eof {
+                return Err(VerilogError::parse(
+                    self.span(),
+                    "missing `endmodule`",
+                ));
+            }
+            items.push(self.item()?);
+        }
+        Ok(Module {
+            name,
+            ports,
+            items,
+            span,
+        })
+    }
+
+    fn header_port(&mut self) -> Result<Port> {
+        let span = self.span();
+        let direction = match self.peek() {
+            TokenKind::Keyword(Keyword::Input) => {
+                self.bump();
+                Some(Direction::Input)
+            }
+            TokenKind::Keyword(Keyword::Output) => {
+                self.bump();
+                Some(Direction::Output)
+            }
+            TokenKind::Keyword(Keyword::Inout) => {
+                self.bump();
+                Some(Direction::Inout)
+            }
+            _ => None,
+        };
+        let is_reg = self.eat_keyword(Keyword::Reg);
+        let _ = self.eat_keyword(Keyword::Wire);
+        let _ = self.eat_keyword(Keyword::Signed);
+        let range = if self.peek() == &TokenKind::Punct(Punct::LBracket) {
+            Some(self.range()?)
+        } else {
+            None
+        };
+        let name = self.expect_ident("port name")?;
+        Ok(Port {
+            direction,
+            is_reg,
+            range,
+            name,
+            span,
+        })
+    }
+
+    fn range(&mut self) -> Result<Range> {
+        self.expect_punct(Punct::LBracket, "`[`")?;
+        let msb = self.expr()?;
+        self.expect_punct(Punct::Colon, "`:` in range")?;
+        let lsb = self.expr()?;
+        self.expect_punct(Punct::RBracket, "`]`")?;
+        Ok(Range { msb, lsb })
+    }
+
+    // ---- items ------------------------------------------------------------
+
+    fn item(&mut self) -> Result<Item> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Input) => self.body_port_decl(Direction::Input),
+            TokenKind::Keyword(Keyword::Output) => self.body_port_decl(Direction::Output),
+            TokenKind::Keyword(Keyword::Inout) => self.body_port_decl(Direction::Inout),
+            TokenKind::Keyword(Keyword::Wire) => self.net_decl(NetKind::Wire),
+            TokenKind::Keyword(Keyword::Reg) => self.net_decl(NetKind::Reg),
+            TokenKind::Keyword(Keyword::Integer) => self.net_decl(NetKind::Integer),
+            TokenKind::Keyword(Keyword::Parameter) => self.param_decl(false),
+            TokenKind::Keyword(Keyword::Localparam) => self.param_decl(true),
+            TokenKind::Keyword(Keyword::Assign) => {
+                self.bump();
+                let lhs = self.lvalue()?;
+                self.expect_punct(Punct::Assign, "`=` in continuous assign")?;
+                let rhs = self.expr()?;
+                self.expect_punct(Punct::Semicolon, "`;`")?;
+                Ok(Item::ContinuousAssign { lhs, rhs, span })
+            }
+            TokenKind::Keyword(Keyword::Always) => {
+                self.bump();
+                let sensitivity = self.sensitivity()?;
+                let body = self.stmt()?;
+                Ok(Item::Always {
+                    sensitivity,
+                    body,
+                    span,
+                })
+            }
+            TokenKind::Keyword(Keyword::Initial) => {
+                self.bump();
+                let body = self.stmt()?;
+                Ok(Item::Initial { body, span })
+            }
+            TokenKind::Ident(_) => self.instance(span),
+            other => Err(VerilogError::parse(
+                span,
+                format!("expected module item, found {}", describe(&other)),
+            )),
+        }
+    }
+
+    fn body_port_decl(&mut self, direction: Direction) -> Result<Item> {
+        let span = self.span();
+        self.bump(); // direction keyword
+        let is_reg = self.eat_keyword(Keyword::Reg);
+        let _ = self.eat_keyword(Keyword::Wire);
+        let _ = self.eat_keyword(Keyword::Signed);
+        let range = if self.peek() == &TokenKind::Punct(Punct::LBracket) {
+            Some(self.range()?)
+        } else {
+            None
+        };
+        let mut names = vec![self.expect_ident("port name")?];
+        while self.eat_punct(Punct::Comma) {
+            names.push(self.expect_ident("port name")?);
+        }
+        self.expect_punct(Punct::Semicolon, "`;`")?;
+        Ok(Item::PortDecl {
+            direction,
+            is_reg,
+            range,
+            names,
+            span,
+        })
+    }
+
+    fn net_decl(&mut self, kind: NetKind) -> Result<Item> {
+        let span = self.span();
+        self.bump(); // wire/reg/integer
+        let _ = self.eat_keyword(Keyword::Signed);
+        let range = if self.peek() == &TokenKind::Punct(Punct::LBracket) {
+            Some(self.range()?)
+        } else {
+            None
+        };
+        let mut names = Vec::new();
+        loop {
+            let name = self.expect_ident("declarator name")?;
+            // Memories (`reg [..] m [0:N]`) are outside the subset; report
+            // them clearly rather than silently misparsing.
+            if self.peek() == &TokenKind::Punct(Punct::LBracket) {
+                return Err(VerilogError::parse(
+                    self.span(),
+                    "memory arrays are outside the supported subset",
+                ));
+            }
+            let init = if self.eat_punct(Punct::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            names.push((name, init));
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        self.expect_punct(Punct::Semicolon, "`;`")?;
+        Ok(Item::NetDecl {
+            kind,
+            range,
+            names,
+            span,
+        })
+    }
+
+    fn param_decl(&mut self, is_local: bool) -> Result<Item> {
+        let span = self.span();
+        self.bump(); // parameter/localparam
+        if self.peek() == &TokenKind::Punct(Punct::LBracket) {
+            let _ = self.range()?;
+        }
+        let mut assignments = Vec::new();
+        loop {
+            let name = self.expect_ident("parameter name")?;
+            self.expect_punct(Punct::Assign, "`=` in parameter")?;
+            assignments.push((name, self.expr()?));
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        self.expect_punct(Punct::Semicolon, "`;`")?;
+        Ok(Item::ParamDecl {
+            is_local,
+            assignments,
+            span,
+        })
+    }
+
+    fn instance(&mut self, span: Span) -> Result<Item> {
+        let module = self.expect_ident("module type name")?;
+        // Optional parameter override `#(...)` — parsed, values ignored in
+        // elaboration if not constant.
+        if self.eat_punct(Punct::Hash) {
+            self.expect_punct(Punct::LParen, "`(`")?;
+            let mut depth = 1usize;
+            while depth > 0 {
+                match self.bump() {
+                    TokenKind::Punct(Punct::LParen) => depth += 1,
+                    TokenKind::Punct(Punct::RParen) => depth -= 1,
+                    TokenKind::Eof => {
+                        return Err(VerilogError::parse(span, "unterminated parameter override"))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let instance = self.expect_ident("instance name")?;
+        self.expect_punct(Punct::LParen, "`(` opening connection list")?;
+        let mut connections = Vec::new();
+        if self.peek() != &TokenKind::Punct(Punct::RParen) {
+            loop {
+                if self.eat_punct(Punct::Dot) {
+                    let port = self.expect_ident("port name")?;
+                    self.expect_punct(Punct::LParen, "`(`")?;
+                    let expr = if self.peek() == &TokenKind::Punct(Punct::RParen) {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect_punct(Punct::RParen, "`)`")?;
+                    connections.push(Connection {
+                        port: Some(port),
+                        expr,
+                    });
+                } else {
+                    connections.push(Connection {
+                        port: None,
+                        expr: Some(self.expr()?),
+                    });
+                }
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(Punct::RParen, "`)` closing connection list")?;
+        self.expect_punct(Punct::Semicolon, "`;`")?;
+        Ok(Item::Instance {
+            module,
+            instance,
+            connections,
+            span,
+        })
+    }
+
+    fn sensitivity(&mut self) -> Result<Sensitivity> {
+        self.expect_punct(Punct::At, "`@` after `always`")?;
+        if self.eat_punct(Punct::Star) {
+            return Ok(Sensitivity::Star);
+        }
+        self.expect_punct(Punct::LParen, "`(` in sensitivity list")?;
+        if self.eat_punct(Punct::Star) {
+            self.expect_punct(Punct::RParen, "`)`")?;
+            return Ok(Sensitivity::Star);
+        }
+        let mut edges = Vec::new();
+        let mut levels = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Keyword(Keyword::Posedge) => {
+                    self.bump();
+                    edges.push((Edge::Pos, self.expect_ident("signal after posedge")?));
+                }
+                TokenKind::Keyword(Keyword::Negedge) => {
+                    self.bump();
+                    edges.push((Edge::Neg, self.expect_ident("signal after negedge")?));
+                }
+                TokenKind::Ident(_) => {
+                    levels.push(self.expect_ident("signal")?);
+                }
+                other => {
+                    return Err(VerilogError::parse(
+                        self.span(),
+                        format!("expected sensitivity entry, found {}", describe(other)),
+                    ))
+                }
+            }
+            if self.eat_keyword(Keyword::Or) || self.eat_punct(Punct::Comma) {
+                continue;
+            }
+            break;
+        }
+        self.expect_punct(Punct::RParen, "`)` closing sensitivity list")?;
+        if !edges.is_empty() && !levels.is_empty() {
+            return Err(VerilogError::parse(
+                self.span(),
+                "mixed edge and level sensitivity is not supported",
+            ));
+        }
+        if !edges.is_empty() {
+            Ok(Sensitivity::Edges(edges))
+        } else {
+            Ok(Sensitivity::Levels(levels))
+        }
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Begin) => {
+                self.bump();
+                // optional `: label`
+                if self.eat_punct(Punct::Colon) {
+                    let _ = self.expect_ident("block label")?;
+                }
+                let mut stmts = Vec::new();
+                while !self.eat_keyword(Keyword::End) {
+                    if self.peek() == &TokenKind::Eof {
+                        return Err(VerilogError::parse(span, "missing `end`"));
+                    }
+                    stmts.push(self.stmt()?);
+                }
+                Ok(Stmt::Block(stmts))
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect_punct(Punct::LParen, "`(` after `if`")?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen, "`)` after condition")?;
+                let then_branch = Box::new(self.stmt()?);
+                let else_branch = if self.eat_keyword(Keyword::Else) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            TokenKind::Keyword(k @ (Keyword::Case | Keyword::Casez | Keyword::Casex)) => {
+                self.bump();
+                let kind = match k {
+                    Keyword::Case => CaseKind::Exact,
+                    Keyword::Casez => CaseKind::Z,
+                    _ => CaseKind::X,
+                };
+                self.expect_punct(Punct::LParen, "`(` after `case`")?;
+                let expr = self.expr()?;
+                self.expect_punct(Punct::RParen, "`)` after case selector")?;
+                let mut arms = Vec::new();
+                let mut default = None;
+                while !self.eat_keyword(Keyword::Endcase) {
+                    if self.peek() == &TokenKind::Eof {
+                        return Err(VerilogError::parse(span, "missing `endcase`"));
+                    }
+                    if self.eat_keyword(Keyword::Default) {
+                        let _ = self.eat_punct(Punct::Colon);
+                        if default.is_some() {
+                            return Err(VerilogError::parse(
+                                self.span(),
+                                "multiple `default` arms in case",
+                            ));
+                        }
+                        default = Some(Box::new(self.stmt()?));
+                        continue;
+                    }
+                    let mut labels = vec![self.expr()?];
+                    while self.eat_punct(Punct::Comma) {
+                        labels.push(self.expr()?);
+                    }
+                    self.expect_punct(Punct::Colon, "`:` after case label")?;
+                    arms.push((labels, self.stmt()?));
+                }
+                Ok(Stmt::Case {
+                    kind,
+                    expr,
+                    arms,
+                    default,
+                })
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                self.expect_punct(Punct::LParen, "`(` after `for`")?;
+                let iname = self.expect_ident("loop variable")?;
+                self.expect_punct(Punct::Assign, "`=` in for-init")?;
+                let ival = self.expr()?;
+                self.expect_punct(Punct::Semicolon, "`;`")?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::Semicolon, "`;`")?;
+                let sname = self.expect_ident("loop variable")?;
+                self.expect_punct(Punct::Assign, "`=` in for-step")?;
+                let sval = self.expr()?;
+                self.expect_punct(Punct::RParen, "`)` after for-header")?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::For {
+                    init: (iname, ival),
+                    cond,
+                    step: (sname, sval),
+                    body,
+                })
+            }
+            TokenKind::Punct(Punct::Semicolon) => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            TokenKind::Punct(Punct::Hash) => {
+                // delay `#n stmt` — delays are ignored (zero-delay model)
+                self.bump();
+                match self.peek() {
+                    TokenKind::Number(_) => {
+                        self.bump();
+                    }
+                    _ => {
+                        return Err(VerilogError::parse(
+                            self.span(),
+                            "expected delay value after `#`",
+                        ))
+                    }
+                }
+                self.stmt()
+            }
+            TokenKind::Ident(_) | TokenKind::Punct(Punct::LBrace) => {
+                let lhs = self.lvalue()?;
+                let span = self.span();
+                if self.eat_punct(Punct::Le) {
+                    let rhs = self.expr()?;
+                    self.expect_punct(Punct::Semicolon, "`;` after assignment")?;
+                    Ok(Stmt::NonBlocking { lhs, rhs, span })
+                } else if self.eat_punct(Punct::Assign) {
+                    let rhs = self.expr()?;
+                    self.expect_punct(Punct::Semicolon, "`;` after assignment")?;
+                    Ok(Stmt::Blocking { lhs, rhs, span })
+                } else {
+                    Err(VerilogError::parse(
+                        span,
+                        format!("expected `=` or `<=`, found {}", describe(self.peek())),
+                    ))
+                }
+            }
+            other => Err(VerilogError::parse(
+                span,
+                format!("expected statement, found {}", describe(&other)),
+            )),
+        }
+    }
+
+    fn lvalue(&mut self) -> Result<LValue> {
+        if self.eat_punct(Punct::LBrace) {
+            let mut parts = vec![self.lvalue()?];
+            while self.eat_punct(Punct::Comma) {
+                parts.push(self.lvalue()?);
+            }
+            self.expect_punct(Punct::RBrace, "`}` closing lvalue concat")?;
+            return Ok(LValue::Concat(parts));
+        }
+        let name = self.expect_ident("assignment target")?;
+        if self.eat_punct(Punct::LBracket) {
+            let first = self.expr()?;
+            if self.eat_punct(Punct::Colon) {
+                let lsb = self.expr()?;
+                self.expect_punct(Punct::RBracket, "`]`")?;
+                Ok(LValue::Slice(name, first, lsb))
+            } else {
+                self.expect_punct(Punct::RBracket, "`]`")?;
+                Ok(LValue::Index(name, first))
+            }
+        } else {
+            Ok(LValue::Ident(name))
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    /// Entry point: ternary has the lowest precedence.
+    fn expr(&mut self) -> Result<Expr> {
+        let cond = self.binary_expr(0)?;
+        if self.eat_punct(Punct::Question) {
+            let then_e = self.expr()?;
+            self.expect_punct(Punct::Colon, "`:` in ternary")?;
+            let else_e = self.expr()?;
+            Ok(Expr::Ternary(
+                Box::new(cond),
+                Box::new(then_e),
+                Box::new(else_e),
+            ))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binary_expr(&mut self, min_level: u8) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        while let Some((op, level)) = self.peek_binary_op() {
+            if level < min_level {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary_expr(level + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// Verilog precedence, low to high:
+    /// `||` < `&&` < `|` < `^ ~^` < `&` < equality < relational < shift
+    /// < add/sub < mul/div/mod < power.
+    fn peek_binary_op(&self) -> Option<(BinaryOp, u8)> {
+        use BinaryOp::*;
+        let p = match self.peek() {
+            TokenKind::Punct(p) => *p,
+            _ => return None,
+        };
+        Some(match p {
+            Punct::OrOr => (LogicOr, 0),
+            Punct::AndAnd => (LogicAnd, 1),
+            Punct::Pipe => (BitOr, 2),
+            Punct::Caret => (BitXor, 3),
+            Punct::TildeCaret => (BitXnor, 3),
+            Punct::Amp => (BitAnd, 4),
+            Punct::Eq => (Eq, 5),
+            Punct::Neq => (Neq, 5),
+            Punct::CaseEq => (CaseEq, 5),
+            Punct::CaseNeq => (CaseNeq, 5),
+            Punct::Lt => (Lt, 6),
+            Punct::Le => (Le, 6),
+            Punct::Gt => (Gt, 6),
+            Punct::Ge => (Ge, 6),
+            Punct::Shl | Punct::AShl => (Shl, 7),
+            Punct::Shr => (Shr, 7),
+            Punct::AShr => (AShr, 7),
+            Punct::Plus => (Add, 8),
+            Punct::Minus => (Sub, 8),
+            Punct::Star => (Mul, 9),
+            Punct::Slash => (Div, 9),
+            Punct::Percent => (Rem, 9),
+            Punct::Power => (Pow, 10),
+            _ => return None,
+        })
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        use UnaryOp::*;
+        let op = match self.peek() {
+            TokenKind::Punct(Punct::Bang) => Some(LogicNot),
+            TokenKind::Punct(Punct::Tilde) => Some(BitNot),
+            TokenKind::Punct(Punct::Amp) => Some(ReduceAnd),
+            TokenKind::Punct(Punct::Pipe) => Some(ReduceOr),
+            TokenKind::Punct(Punct::Caret) => Some(ReduceXor),
+            TokenKind::Punct(Punct::TildeAmp) => Some(ReduceNand),
+            TokenKind::Punct(Punct::TildePipe) => Some(ReduceNor),
+            TokenKind::Punct(Punct::TildeCaret) => Some(ReduceXnor),
+            TokenKind::Punct(Punct::Minus) => Some(Negate),
+            TokenKind::Punct(Punct::Plus) => Some(Plus),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary(op, Box::new(inner)));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Number(v) => {
+                self.bump();
+                Ok(Expr::Literal(v))
+            }
+            TokenKind::Ident(_) => {
+                let name = self.expect_ident("identifier")?;
+                if self.eat_punct(Punct::LBracket) {
+                    let first = self.expr()?;
+                    if self.eat_punct(Punct::Colon) {
+                        let lsb = self.expr()?;
+                        self.expect_punct(Punct::RBracket, "`]`")?;
+                        Ok(Expr::Slice(name, Box::new(first), Box::new(lsb)))
+                    } else {
+                        self.expect_punct(Punct::RBracket, "`]`")?;
+                        Ok(Expr::Index(name, Box::new(first)))
+                    }
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(Punct::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Punct(Punct::LBrace) => {
+                self.bump();
+                let first = self.expr()?;
+                // Replication `{n{e}}`
+                if self.peek() == &TokenKind::Punct(Punct::LBrace) {
+                    self.bump();
+                    let inner = self.expr()?;
+                    self.expect_punct(Punct::RBrace, "`}` closing replication body")?;
+                    self.expect_punct(Punct::RBrace, "`}` closing replication")?;
+                    return Ok(Expr::Replicate(Box::new(first), Box::new(inner)));
+                }
+                let mut parts = vec![first];
+                while self.eat_punct(Punct::Comma) {
+                    parts.push(self.expr()?);
+                }
+                self.expect_punct(Punct::RBrace, "`}` closing concatenation")?;
+                Ok(Expr::Concat(parts))
+            }
+            other => Err(VerilogError::parse(
+                span,
+                format!("expected expression, found {}", describe(&other)),
+            )),
+        }
+    }
+}
+
+fn describe(t: &TokenKind) -> String {
+    match t {
+        TokenKind::Ident(n) => format!("identifier `{n}`"),
+        TokenKind::Keyword(k) => format!("keyword `{}`", k.as_str()),
+        TokenKind::Number(v) => format!("number `{v}`"),
+        TokenKind::Punct(p) => format!("`{p:?}`"),
+        TokenKind::Eof => "end of input".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ansi_header() {
+        let f = parse(
+            "module m(input wire [3:0] a, input b, output reg [7:0] y); endmodule",
+        )
+        .unwrap();
+        let m = &f.modules[0];
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.ports[0].direction, Some(Direction::Input));
+        assert!(m.ports[0].range.is_some());
+        assert!(m.ports[2].is_reg);
+    }
+
+    #[test]
+    fn legacy_header() {
+        let f = parse(
+            "module m(a, b, y);\n input a, b;\n output y;\n assign y = a & b;\nendmodule",
+        )
+        .unwrap();
+        let m = &f.modules[0];
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.ports[0].direction, None);
+        assert!(matches!(m.items[0], Item::PortDecl { .. }));
+    }
+
+    #[test]
+    fn always_star_with_case() {
+        let src = "module m(input [1:0] s, output reg y);\n always @(*) begin\n  case (s)\n   2'b00: y = 1'b0;\n   2'b01, 2'b10: y = 1'b1;\n   default: y = 1'b0;\n  endcase\n end\nendmodule";
+        let f = parse(src).unwrap();
+        let Item::Always { sensitivity, body, .. } = &f.modules[0].items[0] else {
+            panic!("expected always")
+        };
+        assert_eq!(sensitivity, &Sensitivity::Star);
+        let Stmt::Block(stmts) = body else { panic!() };
+        let Stmt::Case { arms, default, .. } = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[1].0.len(), 2);
+        assert!(default.is_some());
+    }
+
+    #[test]
+    fn edge_sensitivity() {
+        let src = "module m(input clk, rst_n, d, output reg q);\n always @(posedge clk or negedge rst_n)\n  if (!rst_n) q <= 1'b0; else q <= d;\nendmodule";
+        let f = parse(src).unwrap();
+        let Item::Always { sensitivity, .. } = &f.modules[0].items[0] else {
+            panic!()
+        };
+        assert_eq!(
+            sensitivity,
+            &Sensitivity::Edges(vec![(Edge::Pos, "clk".into()), (Edge::Neg, "rst_n".into())])
+        );
+    }
+
+    #[test]
+    fn precedence_plus_binds_tighter_than_or() {
+        let e = parse_expr("a + b | c").unwrap();
+        let Expr::Binary(BinaryOp::BitOr, lhs, _) = e else {
+            panic!("expected | at top")
+        };
+        assert!(matches!(*lhs, Expr::Binary(BinaryOp::Add, _, _)));
+    }
+
+    #[test]
+    fn ternary_and_concat() {
+        let e = parse_expr("sel ? {a, 2'b01} : {2{b}}").unwrap();
+        let Expr::Ternary(_, t, f) = e else { panic!() };
+        assert!(matches!(*t, Expr::Concat(_)));
+        assert!(matches!(*f, Expr::Replicate(_, _)));
+    }
+
+    #[test]
+    fn instance_named_connections() {
+        let src = "module top(input a, output y);\n inv u0 (.in(a), .out(y));\nendmodule\nmodule inv(input in, output out);\n assign out = ~in;\nendmodule";
+        let f = parse(src).unwrap();
+        let Item::Instance {
+            module,
+            instance,
+            connections,
+            ..
+        } = &f.modules[0].items[0]
+        else {
+            panic!()
+        };
+        assert_eq!(module, "inv");
+        assert_eq!(instance, "u0");
+        assert_eq!(connections.len(), 2);
+        assert_eq!(connections[0].port.as_deref(), Some("in"));
+    }
+
+    #[test]
+    fn parameterized_module() {
+        let src = "module cnt #(parameter WIDTH = 4) (input clk, output reg [WIDTH-1:0] q);\n always @(posedge clk) q <= q + 1;\nendmodule";
+        let f = parse(src).unwrap();
+        assert!(matches!(
+            f.modules[0].items[0],
+            Item::ParamDecl { is_local: false, .. }
+        ));
+    }
+
+    #[test]
+    fn python_style_code_is_rejected() {
+        // The Verilog-syntax-misapplication hallucination from Table II.
+        assert!(parse("def adder_4bit():\n    return a + b").is_err());
+    }
+
+    #[test]
+    fn missing_endmodule_is_rejected() {
+        assert!(parse("module m(input a);").is_err());
+    }
+
+    #[test]
+    fn nonblocking_vs_blocking() {
+        let src = "module m(input clk, d, output reg q, p);\n always @(posedge clk) begin q <= d; p = d; end\nendmodule";
+        let f = parse(src).unwrap();
+        let Item::Always { body, .. } = &f.modules[0].items[0] else {
+            panic!()
+        };
+        let Stmt::Block(ss) = body else { panic!() };
+        assert!(matches!(ss[0], Stmt::NonBlocking { .. }));
+        assert!(matches!(ss[1], Stmt::Blocking { .. }));
+    }
+
+    #[test]
+    fn for_loop() {
+        let src = "module m(input [3:0] a, output reg [3:0] y);\n integer i;\n always @(*) begin\n  y = 4'b0;\n  for (i = 0; i < 4; i = i + 1) y[i] = a[i];\n end\nendmodule";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn memory_arrays_rejected_with_clear_message() {
+        let err = parse("module m; reg [7:0] mem [0:255]; endmodule").unwrap_err();
+        assert!(err.to_string().contains("memory arrays"));
+    }
+}

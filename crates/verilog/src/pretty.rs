@@ -1,0 +1,493 @@
+//! Emits AST back to formatted Verilog source.
+//!
+//! Used by the synthetic-corpus generator (heterogeneous style emission) and
+//! by round-trip property tests (`parse(pretty(ast)) == ast` up to spans).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a source file as Verilog text.
+pub fn pretty_file(file: &SourceFile) -> String {
+    let mut out = String::new();
+    for (i, m) in file.modules.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&pretty_module(m));
+    }
+    out
+}
+
+/// Renders one module as Verilog text.
+pub fn pretty_module(m: &Module) -> String {
+    let mut out = String::new();
+    // Pull non-local parameters up into a `#(...)` header when the module
+    // was built programmatically; parameters parsed from a header land in
+    // `items` too, so this is a normal form, not information loss.
+    let header_params: Vec<&(String, Expr)> = m
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::ParamDecl {
+                is_local: false,
+                assignments,
+                ..
+            } => Some(assignments.iter()),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+    write!(out, "module {}", m.name).unwrap();
+    if !header_params.is_empty() {
+        let inner = header_params
+            .iter()
+            .map(|(n, v)| format!("parameter {} = {}", n, pretty_expr(v)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        write!(out, " #({inner})").unwrap();
+    }
+    if !m.ports.is_empty() {
+        out.push_str(" (\n");
+        let rendered: Vec<String> = m.ports.iter().map(pretty_port).collect();
+        out.push_str(&rendered.join(",\n"));
+        out.push_str("\n)");
+    }
+    out.push_str(";\n");
+    for item in &m.items {
+        if matches!(item, Item::ParamDecl { is_local: false, .. }) {
+            continue; // already emitted in the header
+        }
+        out.push_str(&pretty_item(item, 1));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+fn indent(level: usize) -> String {
+    "    ".repeat(level)
+}
+
+fn pretty_port(p: &Port) -> String {
+    let mut s = String::from("    ");
+    if let Some(d) = p.direction {
+        s.push_str(d.as_str());
+        s.push(' ');
+    }
+    if p.is_reg {
+        s.push_str("reg ");
+    }
+    if let Some(r) = &p.range {
+        write!(s, "[{}:{}] ", pretty_expr(&r.msb), pretty_expr(&r.lsb)).unwrap();
+    }
+    s.push_str(&p.name);
+    s
+}
+
+fn pretty_range(r: &Option<Range>) -> String {
+    match r {
+        Some(r) => format!("[{}:{}] ", pretty_expr(&r.msb), pretty_expr(&r.lsb)),
+        None => String::new(),
+    }
+}
+
+/// Renders one module item at the given indent level.
+pub fn pretty_item(item: &Item, level: usize) -> String {
+    let pad = indent(level);
+    match item {
+        Item::PortDecl {
+            direction,
+            is_reg,
+            range,
+            names,
+            ..
+        } => {
+            let reg = if *is_reg { "reg " } else { "" };
+            format!(
+                "{pad}{} {reg}{}{};\n",
+                direction.as_str(),
+                pretty_range(range),
+                names.join(", ")
+            )
+        }
+        Item::NetDecl {
+            kind, range, names, ..
+        } => {
+            let kw = match kind {
+                NetKind::Wire => "wire",
+                NetKind::Reg => "reg",
+                NetKind::Integer => "integer",
+            };
+            let decls = names
+                .iter()
+                .map(|(n, init)| match init {
+                    Some(e) => format!("{n} = {}", pretty_expr(e)),
+                    None => n.clone(),
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{pad}{kw} {}{};\n", pretty_range(range), decls)
+        }
+        Item::ParamDecl {
+            is_local,
+            assignments,
+            ..
+        } => {
+            let kw = if *is_local { "localparam" } else { "parameter" };
+            let decls = assignments
+                .iter()
+                .map(|(n, e)| format!("{n} = {}", pretty_expr(e)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{pad}{kw} {decls};\n")
+        }
+        Item::ContinuousAssign { lhs, rhs, .. } => {
+            format!("{pad}assign {} = {};\n", pretty_lvalue(lhs), pretty_expr(rhs))
+        }
+        Item::Always {
+            sensitivity, body, ..
+        } => {
+            let sens = match sensitivity {
+                Sensitivity::Star => "@(*)".to_string(),
+                Sensitivity::Edges(es) => {
+                    let inner = es
+                        .iter()
+                        .map(|(e, n)| {
+                            format!(
+                                "{} {n}",
+                                match e {
+                                    Edge::Pos => "posedge",
+                                    Edge::Neg => "negedge",
+                                }
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" or ");
+                    format!("@({inner})")
+                }
+                Sensitivity::Levels(ns) => format!("@({})", ns.join(" or ")),
+            };
+            format!("{pad}always {sens}\n{}", pretty_stmt(body, level + 1))
+        }
+        Item::Initial { body, .. } => {
+            format!("{pad}initial\n{}", pretty_stmt(body, level + 1))
+        }
+        Item::Instance {
+            module,
+            instance,
+            connections,
+            ..
+        } => {
+            let conns = connections
+                .iter()
+                .map(|c| match (&c.port, &c.expr) {
+                    (Some(p), Some(e)) => format!(".{p}({})", pretty_expr(e)),
+                    (Some(p), None) => format!(".{p}()"),
+                    (None, Some(e)) => pretty_expr(e),
+                    (None, None) => String::new(),
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{pad}{module} {instance} ({conns});\n")
+        }
+    }
+}
+
+/// Renders a statement at the given indent level.
+pub fn pretty_stmt(stmt: &Stmt, level: usize) -> String {
+    let pad = indent(level);
+    match stmt {
+        Stmt::Block(stmts) => {
+            let mut s = format!("{}begin\n", indent(level.saturating_sub(1)));
+            for st in stmts {
+                s.push_str(&pretty_stmt(st, level));
+            }
+            s.push_str(&format!("{}end\n", indent(level.saturating_sub(1))));
+            s
+        }
+        Stmt::Blocking { lhs, rhs, .. } => {
+            format!("{pad}{} = {};\n", pretty_lvalue(lhs), pretty_expr(rhs))
+        }
+        Stmt::NonBlocking { lhs, rhs, .. } => {
+            format!("{pad}{} <= {};\n", pretty_lvalue(lhs), pretty_expr(rhs))
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let mut s = format!("{pad}if ({})\n", pretty_expr(cond));
+            s.push_str(&pretty_stmt_nested(then_branch, level + 1));
+            if let Some(e) = else_branch {
+                s.push_str(&format!("{pad}else\n"));
+                s.push_str(&pretty_stmt_nested(e, level + 1));
+            }
+            s
+        }
+        Stmt::Case {
+            kind,
+            expr,
+            arms,
+            default,
+        } => {
+            let kw = match kind {
+                CaseKind::Exact => "case",
+                CaseKind::Z => "casez",
+                CaseKind::X => "casex",
+            };
+            let mut s = format!("{pad}{kw} ({})\n", pretty_expr(expr));
+            for (labels, body) in arms {
+                let ls = labels
+                    .iter()
+                    .map(pretty_expr)
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                s.push_str(&format!("{}{}:\n", indent(level + 1), ls));
+                s.push_str(&pretty_stmt_nested(body, level + 2));
+            }
+            if let Some(d) = default {
+                s.push_str(&format!("{}default:\n", indent(level + 1)));
+                s.push_str(&pretty_stmt_nested(d, level + 2));
+            }
+            s.push_str(&format!("{pad}endcase\n"));
+            s
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            let mut s = format!(
+                "{pad}for ({} = {}; {}; {} = {})\n",
+                init.0,
+                pretty_expr(&init.1),
+                pretty_expr(cond),
+                step.0,
+                pretty_expr(&step.1)
+            );
+            s.push_str(&pretty_stmt_nested(body, level + 1));
+            s
+        }
+        Stmt::Empty => format!("{pad};\n"),
+    }
+}
+
+/// Blocks keep their own begin/end framing; other statements indent one
+/// level deeper.
+fn pretty_stmt_nested(stmt: &Stmt, level: usize) -> String {
+    match stmt {
+        Stmt::Block(_) => pretty_stmt(stmt, level),
+        _ => pretty_stmt(stmt, level),
+    }
+}
+
+/// Renders an assignment target.
+pub fn pretty_lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Ident(n) => n.clone(),
+        LValue::Index(n, i) => format!("{n}[{}]", pretty_expr(i)),
+        LValue::Slice(n, a, b) => format!("{n}[{}:{}]", pretty_expr(a), pretty_expr(b)),
+        LValue::Concat(parts) => {
+            let inner = parts
+                .iter()
+                .map(pretty_lvalue)
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{{{inner}}}")
+        }
+    }
+}
+
+/// Renders an expression with minimal but safe parenthesization (children
+/// of a binary/unary/ternary operator are parenthesized unless atomic).
+pub fn pretty_expr(e: &Expr) -> String {
+    match e {
+        // Default-width (32-bit) fully-known literals read best as plain
+        // decimals, which is also how they were most likely written.
+        Expr::Literal(v) if v.width() == 32 && v.is_fully_known() => {
+            format!("{}", v.to_u64().expect("fully known"))
+        }
+        Expr::Literal(v) => v.to_verilog_literal(),
+        Expr::Ident(n) => n.clone(),
+        Expr::Unary(op, inner) => {
+            format!("{}{}", unary_str(*op), pretty_atom(inner))
+        }
+        Expr::Binary(op, a, b) => {
+            format!("{} {} {}", pretty_atom(a), binary_str(*op), pretty_atom(b))
+        }
+        Expr::Ternary(c, t, f) => format!(
+            "{} ? {} : {}",
+            pretty_atom(c),
+            pretty_atom(t),
+            pretty_atom(f)
+        ),
+        Expr::Concat(parts) => {
+            let inner = parts.iter().map(pretty_expr).collect::<Vec<_>>().join(", ");
+            format!("{{{inner}}}")
+        }
+        Expr::Replicate(n, inner) => {
+            format!("{{{}{{{}}}}}", pretty_expr(n), pretty_expr(inner))
+        }
+        Expr::Index(n, i) => format!("{n}[{}]", pretty_expr(i)),
+        Expr::Slice(n, a, b) => format!("{n}[{}:{}]", pretty_expr(a), pretty_expr(b)),
+    }
+}
+
+fn pretty_atom(e: &Expr) -> String {
+    match e {
+        Expr::Literal(_)
+        | Expr::Ident(_)
+        | Expr::Concat(_)
+        | Expr::Replicate(_, _)
+        | Expr::Index(_, _)
+        | Expr::Slice(_, _, _) => pretty_expr(e),
+        _ => format!("({})", pretty_expr(e)),
+    }
+}
+
+fn unary_str(op: UnaryOp) -> &'static str {
+    match op {
+        UnaryOp::LogicNot => "!",
+        UnaryOp::BitNot => "~",
+        UnaryOp::ReduceAnd => "&",
+        UnaryOp::ReduceOr => "|",
+        UnaryOp::ReduceXor => "^",
+        UnaryOp::ReduceNand => "~&",
+        UnaryOp::ReduceNor => "~|",
+        UnaryOp::ReduceXnor => "~^",
+        UnaryOp::Negate => "-",
+        UnaryOp::Plus => "+",
+    }
+}
+
+fn binary_str(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::LogicOr => "||",
+        BinaryOp::LogicAnd => "&&",
+        BinaryOp::BitOr => "|",
+        BinaryOp::BitXor => "^",
+        BinaryOp::BitXnor => "~^",
+        BinaryOp::BitAnd => "&",
+        BinaryOp::Eq => "==",
+        BinaryOp::Neq => "!=",
+        BinaryOp::CaseEq => "===",
+        BinaryOp::CaseNeq => "!==",
+        BinaryOp::Lt => "<",
+        BinaryOp::Le => "<=",
+        BinaryOp::Gt => ">",
+        BinaryOp::Ge => ">=",
+        BinaryOp::Shl => "<<",
+        BinaryOp::Shr => ">>",
+        BinaryOp::AShr => ">>>",
+        BinaryOp::Add => "+",
+        BinaryOp::Sub => "-",
+        BinaryOp::Mul => "*",
+        BinaryOp::Div => "/",
+        BinaryOp::Rem => "%",
+        BinaryOp::Pow => "**",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn strip_spans_file(mut f: SourceFile) -> SourceFile {
+        use crate::error::Span;
+        fn fix_stmt(s: &mut Stmt) {
+            match s {
+                Stmt::Block(ss) => ss.iter_mut().for_each(fix_stmt),
+                Stmt::Blocking { span, .. } | Stmt::NonBlocking { span, .. } => {
+                    *span = Span::default()
+                }
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    fix_stmt(then_branch);
+                    if let Some(e) = else_branch {
+                        fix_stmt(e);
+                    }
+                }
+                Stmt::Case { arms, default, .. } => {
+                    arms.iter_mut().for_each(|(_, b)| fix_stmt(b));
+                    if let Some(d) = default {
+                        fix_stmt(d);
+                    }
+                }
+                Stmt::For { body, .. } => fix_stmt(body),
+                Stmt::Empty => {}
+            }
+        }
+        for m in &mut f.modules {
+            m.span = Span::default();
+            for p in &mut m.ports {
+                p.span = Span::default();
+            }
+            for i in &mut m.items {
+                match i {
+                    Item::PortDecl { span, .. }
+                    | Item::NetDecl { span, .. }
+                    | Item::ParamDecl { span, .. }
+                    | Item::ContinuousAssign { span, .. }
+                    | Item::Instance { span, .. } => *span = Span::default(),
+                    Item::Always { span, body, .. } => {
+                        *span = Span::default();
+                        fix_stmt(body);
+                    }
+                    Item::Initial { span, body } => {
+                        *span = Span::default();
+                        fix_stmt(body);
+                    }
+                }
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn roundtrip_representative_module() {
+        let src = "module fsm(input clk, input rst_n, input x, output reg out);
+    localparam S_A = 1'b0, S_B = 1'b1;
+    reg state, next_state;
+    always @(posedge clk or negedge rst_n)
+        if (!rst_n) state <= S_A;
+        else state <= next_state;
+    always @(*)
+        case (state)
+            S_A:
+                next_state = x ? S_A : S_B;
+            S_B:
+                next_state = x ? S_B : S_A;
+            default:
+                next_state = S_A;
+        endcase
+    always @(*)
+        out = (state == S_B);
+endmodule";
+        let first = parse(src).unwrap();
+        let printed = pretty_file(&first);
+        let second = parse(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(strip_spans_file(first), strip_spans_file(second));
+    }
+
+    #[test]
+    fn parenthesization_preserves_shape() {
+        use crate::parser::parse_expr;
+        let e = parse_expr("(a + b) & c").unwrap();
+        let printed = pretty_expr(&e);
+        let reparsed = parse_expr(&printed).unwrap();
+        assert_eq!(e, reparsed);
+    }
+
+    #[test]
+    fn replication_prints_correctly() {
+        use crate::parser::parse_expr;
+        let e = parse_expr("{4{a}}").unwrap();
+        assert_eq!(pretty_expr(&e), "{4{a}}");
+        assert_eq!(parse_expr(&pretty_expr(&e)).unwrap(), e);
+    }
+}

@@ -1,0 +1,743 @@
+//! Event-driven four-state simulator with delta cycles.
+//!
+//! The scheduler follows the Verilog stratified event queue in miniature:
+//! an *active* region executes triggered processes (blocking writes land
+//! immediately and wake dependents), then queued *non-blocking* updates are
+//! committed as a batch, which may wake further processes — repeating until
+//! the time step is quiescent. This distinction is load-bearing: the
+//! blocking-vs-nonblocking misuse hallucination only produces observable
+//! failures under a scheduler that honours it.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::ast::{CaseKind, Edge, Expr, LValue, Stmt};
+use crate::elab::{Design, SignalId, SignalKind, Trigger};
+use crate::error::{Result, VerilogError};
+use crate::eval::{eval_expr, SignalEnv};
+use crate::logic::{Logic, LogicVec};
+
+/// Upper bound on process executions within one time step before the
+/// simulator declares a combinational oscillation.
+const MAX_ACTIVATIONS_PER_STEP: usize = 100_000;
+
+/// Upper bound on interpreted loop iterations.
+const MAX_LOOP_ITERATIONS: usize = 4096;
+
+/// An interactive simulation of one elaborated [`Design`].
+///
+/// # Examples
+///
+/// ```
+/// use haven_verilog::{elab::compile, sim::Simulator};
+/// let design = compile("module inv(input a, output y); assign y = ~a; endmodule")?;
+/// let mut sim = Simulator::new(design)?;
+/// sim.poke_u64("a", 1)?;
+/// assert_eq!(sim.peek("y")?.to_u64(), Some(0));
+/// # Ok::<(), haven_verilog::error::VerilogError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    design: Design,
+    values: Vec<LogicVec>,
+    /// Shared process bodies (cheap to hand to the interpreter per
+    /// activation, unlike cloning the statement tree).
+    bodies: Vec<Arc<Stmt>>,
+    /// signal -> combinational processes reading it
+    comb_deps: HashMap<SignalId, Vec<usize>>,
+    /// signal -> (edge, process) watchers
+    edge_watch: HashMap<SignalId, Vec<(Edge, usize)>>,
+}
+
+/// A single resolved write: `signal[lo +: value.width()] = value`.
+#[derive(Debug, Clone)]
+struct Write {
+    target: SignalId,
+    lo: usize,
+    value: LogicVec,
+}
+
+impl Simulator {
+    /// Builds a simulator, runs `initial` processes and settles all
+    /// combinational logic from the all-`x` starting state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerilogError::Simulate`] if initial settling oscillates.
+    pub fn new(design: Design) -> Result<Simulator> {
+        let mut comb_deps: HashMap<SignalId, Vec<usize>> = HashMap::new();
+        let mut edge_watch: HashMap<SignalId, Vec<(Edge, usize)>> = HashMap::new();
+        for p in &design.processes {
+            match &p.trigger {
+                Trigger::Comb(reads) => {
+                    for &r in reads {
+                        comb_deps.entry(r).or_default().push(p.id);
+                    }
+                }
+                Trigger::Edge(edges) => {
+                    for &(edge, sig) in edges {
+                        edge_watch.entry(sig).or_default().push((edge, p.id));
+                    }
+                }
+                Trigger::Once => {}
+            }
+        }
+        let values = design
+            .signals
+            .iter()
+            .map(|s| match &s.init {
+                Some(v) => v.clone().resized(s.width),
+                None => LogicVec::unknown(s.width),
+            })
+            .collect();
+        let bodies = design
+            .processes
+            .iter()
+            .map(|p| Arc::new(p.body.clone()))
+            .collect();
+        let mut sim = Simulator {
+            design,
+            values,
+            bodies,
+            comb_deps,
+            edge_watch,
+        };
+        // Time zero: run `initial` blocks and every combinational process.
+        let initial: Vec<usize> = sim
+            .design
+            .processes
+            .iter()
+            .filter(|p| matches!(p.trigger, Trigger::Once | Trigger::Comb(_)))
+            .map(|p| p.id)
+            .collect();
+        sim.run_step(initial)?;
+        Ok(sim)
+    }
+
+    /// The design under simulation.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Current value of a signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `name` is not a signal of the design.
+    pub fn peek(&self, name: &str) -> Result<LogicVec> {
+        let id = self.signal(name)?;
+        Ok(self.values[id.0 as usize].clone())
+    }
+
+    /// Drives a top-level input and propagates the change to quiescence.
+    ///
+    /// The value is resized to the port width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `name` is not an input or propagation oscillates.
+    pub fn poke(&mut self, name: &str, value: LogicVec) -> Result<()> {
+        let id = self.signal(name)?;
+        if self.design.info(id).kind != SignalKind::Input {
+            return Err(VerilogError::sim(format!(
+                "cannot poke non-input signal `{name}`"
+            )));
+        }
+        let width = self.design.info(id).width;
+        let new = value.resized(width);
+        let old = self.values[id.0 as usize].clone();
+        if old == new {
+            return Ok(());
+        }
+        self.values[id.0 as usize] = new.clone();
+        let procs = self.wakers_for_change(id, &old, &new);
+        self.run_step(procs)
+    }
+
+    /// Convenience: drive an input from an integer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::poke`].
+    pub fn poke_u64(&mut self, name: &str, value: u64) -> Result<()> {
+        let id = self.signal(name)?;
+        let width = self.design.info(id).width;
+        self.poke(name, LogicVec::from_u64(value, width))
+    }
+
+    /// One full clock cycle on `clk`: falling edge (if currently high or
+    /// unknown), then rising edge. Sequential logic fires on the posedge;
+    /// combinational logic settles after each edge.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::poke`].
+    pub fn tick(&mut self, clk: &str) -> Result<()> {
+        self.poke_u64(clk, 0)?;
+        self.poke_u64(clk, 1)
+    }
+
+    /// Runs `n` full clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::poke`].
+    pub fn tick_n(&mut self, clk: &str, n: usize) -> Result<()> {
+        for _ in 0..n {
+            self.tick(clk)?;
+        }
+        Ok(())
+    }
+
+    fn signal(&self, name: &str) -> Result<SignalId> {
+        self.design
+            .signal(name)
+            .ok_or_else(|| VerilogError::sim(format!("no signal named `{name}`")))
+    }
+
+    fn wakers_for_change(&self, id: SignalId, old: &LogicVec, new: &LogicVec) -> Vec<usize> {
+        let mut procs = Vec::new();
+        if let Some(deps) = self.comb_deps.get(&id) {
+            procs.extend_from_slice(deps);
+        }
+        if let Some(watchers) = self.edge_watch.get(&id) {
+            let old_b = old.bit(0);
+            let new_b = new.bit(0);
+            for &(edge, pid) in watchers {
+                if edge_fired(edge, old_b, new_b) {
+                    procs.push(pid);
+                }
+            }
+        }
+        procs
+    }
+
+    /// Runs one Verilog time step starting from an initial set of
+    /// activated processes.
+    fn run_step(&mut self, initial: Vec<usize>) -> Result<()> {
+        let mut active: VecDeque<usize> = initial.into();
+        let mut nba: Vec<Write> = Vec::new();
+        let mut activations = 0usize;
+        loop {
+            while let Some(pid) = active.pop_front() {
+                activations += 1;
+                if activations > MAX_ACTIVATIONS_PER_STEP {
+                    return Err(VerilogError::sim(
+                        "combinational logic did not settle (oscillation)",
+                    ));
+                }
+                let body = Arc::clone(&self.bodies[pid]);
+                let mut changes = Vec::new();
+                self.exec_stmt(&body, &mut nba, &mut changes)?;
+                for (id, old, new) in changes {
+                    for w in self.wakers_for_change(id, &old, &new) {
+                        // A process never re-wakes on its own blocking
+                        // writes: real event semantics lose events that
+                        // occur while the process body is executing (this
+                        // is what lets `@(*)` loops with loop variables
+                        // terminate).
+                        if w != pid {
+                            active.push_back(w);
+                        }
+                    }
+                }
+            }
+            if nba.is_empty() {
+                return Ok(());
+            }
+            // Commit the non-blocking batch; wake dependents of real changes.
+            let batch = std::mem::take(&mut nba);
+            for w in batch {
+                let old = self.values[w.target.0 as usize].clone();
+                let new = apply_write(&old, &w);
+                if new != old {
+                    self.values[w.target.0 as usize] = new.clone();
+                    for p in self.wakers_for_change(w.target, &old, &new) {
+                        active.push_back(p);
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        nba: &mut Vec<Write>,
+        changes: &mut Vec<(SignalId, LogicVec, LogicVec)>,
+    ) -> Result<()> {
+        match stmt {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec_stmt(s, nba, changes)?;
+                }
+            }
+            Stmt::Blocking { lhs, rhs, .. } => {
+                let value = self.eval(rhs);
+                for w in self.resolve_writes(lhs, value)? {
+                    let old = self.values[w.target.0 as usize].clone();
+                    let new = apply_write(&old, &w);
+                    if new != old {
+                        self.values[w.target.0 as usize] = new.clone();
+                        changes.push((w.target, old, new));
+                    }
+                }
+            }
+            Stmt::NonBlocking { lhs, rhs, .. } => {
+                let value = self.eval(rhs);
+                nba.extend(self.resolve_writes(lhs, value)?);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.eval(cond).is_true() {
+                    self.exec_stmt(then_branch, nba, changes)?;
+                } else if let Some(e) = else_branch {
+                    self.exec_stmt(e, nba, changes)?;
+                }
+            }
+            Stmt::Case {
+                kind,
+                expr,
+                arms,
+                default,
+            } => {
+                let sel = self.eval(expr);
+                for (labels, body) in arms {
+                    for label in labels {
+                        let lv = self.eval(label);
+                        if case_matches(*kind, &sel, &lv) {
+                            return self.exec_stmt(body, nba, changes);
+                        }
+                    }
+                }
+                if let Some(d) = default {
+                    self.exec_stmt(d, nba, changes)?;
+                }
+                // No match, no default: nothing assigned — latched state
+                // (or x) is exactly the corner-case-hallucination symptom.
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.assign_name(&init.0, self.eval(&init.1), changes)?;
+                let mut iterations = 0usize;
+                while self.eval(cond).is_true() {
+                    iterations += 1;
+                    if iterations > MAX_LOOP_ITERATIONS {
+                        return Err(VerilogError::sim(format!(
+                            "loop exceeded {MAX_LOOP_ITERATIONS} iterations"
+                        )));
+                    }
+                    self.exec_stmt(body, nba, changes)?;
+                    self.assign_name(&step.0, self.eval(&step.1), changes)?;
+                }
+            }
+            Stmt::Empty => {}
+        }
+        Ok(())
+    }
+
+    fn assign_name(
+        &mut self,
+        name: &str,
+        value: LogicVec,
+        changes: &mut Vec<(SignalId, LogicVec, LogicVec)>,
+    ) -> Result<()> {
+        let id = self.signal(name)?;
+        let width = self.design.info(id).width;
+        let old = self.values[id.0 as usize].clone();
+        let new = value.resized(width);
+        if new != old {
+            self.values[id.0 as usize] = new.clone();
+            changes.push((id, old, new));
+        }
+        Ok(())
+    }
+
+    fn eval(&self, e: &Expr) -> LogicVec {
+        eval_expr(e, self)
+    }
+
+    /// Resolves an lvalue + value into concrete bit-range writes. Unknown
+    /// or out-of-range indices drop the write, like real simulators.
+    fn resolve_writes(&self, lhs: &LValue, value: LogicVec) -> Result<Vec<Write>> {
+        let mut out = Vec::new();
+        match lhs {
+            LValue::Ident(n) => {
+                let id = self.signal(n)?;
+                let width = self.design.info(id).width;
+                out.push(Write {
+                    target: id,
+                    lo: 0,
+                    value: value.resized(width),
+                });
+            }
+            LValue::Index(n, i) => {
+                let id = self.signal(n)?;
+                let info = self.design.info(id);
+                if let Some(ix) = self.eval(i).to_u64() {
+                    let ix = ix as usize;
+                    if ix >= info.lsb && ix - info.lsb < info.width {
+                        out.push(Write {
+                            target: id,
+                            lo: ix - info.lsb,
+                            value: value.resized(1),
+                        });
+                    }
+                }
+            }
+            LValue::Slice(n, a, b) => {
+                let id = self.signal(n)?;
+                let info = self.design.info(id);
+                if let (Some(hi), Some(lo)) = (self.eval(a).to_u64(), self.eval(b).to_u64()) {
+                    let (hi, lo) = (hi as usize, lo as usize);
+                    if hi >= lo && lo >= info.lsb && hi - info.lsb < info.width {
+                        out.push(Write {
+                            target: id,
+                            lo: lo - info.lsb,
+                            value: value.resized(hi - lo + 1),
+                        });
+                    }
+                }
+            }
+            LValue::Concat(parts) => {
+                // First lvalue receives the most significant bits.
+                let widths: Vec<usize> = parts
+                    .iter()
+                    .map(|p| self.lvalue_width(p))
+                    .collect::<Result<_>>()?;
+                let total: usize = widths.iter().sum();
+                let value = value.resized(total);
+                let mut hi = total;
+                for (part, w) in parts.iter().zip(widths) {
+                    let lo = hi - w;
+                    let slice = value.slice(hi - 1, lo);
+                    out.extend(self.resolve_writes(part, slice)?);
+                    hi = lo;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn lvalue_width(&self, lv: &LValue) -> Result<usize> {
+        Ok(match lv {
+            LValue::Ident(n) => self.design.info(self.signal(n)?).width,
+            LValue::Index(_, _) => 1,
+            LValue::Slice(_, a, b) => {
+                match (self.eval(a).to_u64(), self.eval(b).to_u64()) {
+                    (Some(hi), Some(lo)) if hi >= lo => (hi - lo + 1) as usize,
+                    _ => 1,
+                }
+            }
+            LValue::Concat(parts) => parts
+                .iter()
+                .map(|p| self.lvalue_width(p))
+                .sum::<Result<usize>>()?,
+        })
+    }
+}
+
+impl SignalEnv for Simulator {
+    fn value_of(&self, name: &str) -> Option<LogicVec> {
+        let id = self.design.signal(name)?;
+        Some(self.values[id.0 as usize].clone())
+    }
+    fn lsb_of(&self, name: &str) -> usize {
+        self.design
+            .signal(name)
+            .map(|id| self.design.info(id).lsb)
+            .unwrap_or(0)
+    }
+}
+
+fn apply_write(old: &LogicVec, w: &Write) -> LogicVec {
+    let mut new = old.clone();
+    for i in 0..w.value.width() {
+        if w.lo + i < new.width() {
+            new.set_bit(w.lo + i, w.value.bit(i));
+        }
+    }
+    new
+}
+
+/// LRM edge rules: posedge covers transitions toward 1 (`0→1, 0→x, x→1`…),
+/// negedge covers transitions toward 0.
+fn edge_fired(edge: Edge, old: Logic, new: Logic) -> bool {
+    if old == new {
+        return false;
+    }
+    match edge {
+        Edge::Pos => new == Logic::One || old == Logic::Zero,
+        Edge::Neg => new == Logic::Zero || old == Logic::One,
+    }
+}
+
+fn case_matches(kind: CaseKind, sel: &LogicVec, label: &LogicVec) -> bool {
+    match kind {
+        CaseKind::Exact => sel.eq_case(label) == Logic::One,
+        CaseKind::Z => sel.eq_casez(label) == Logic::One,
+        CaseKind::X => {
+            let w = sel.width().max(label.width());
+            for i in 0..w {
+                let a = sel.get(i).unwrap_or(Logic::Zero);
+                let b = label.get(i).unwrap_or(Logic::Zero);
+                if !a.is_known() || !b.is_known() {
+                    continue;
+                }
+                if a != b {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::compile;
+
+    fn sim(src: &str) -> Simulator {
+        Simulator::new(compile(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn combinational_chain_settles() {
+        let mut s = sim(
+            "module m(input a, output y);\n wire n;\n assign n = ~a;\n assign y = ~n;\nendmodule",
+        );
+        s.poke_u64("a", 1).unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(1));
+        s.poke_u64("a", 0).unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn oscillation_detected() {
+        // A cross-process ring that escapes the all-x fixpoint once `sel`
+        // goes high: y = p, p = ~y — a zero-delay oscillator.
+        let d = compile(
+            "module m(input sel, output y);\n wire p;\n assign p = ~y;\n assign y = sel ? p : 1'b0;\nendmodule",
+        )
+        .unwrap();
+        let mut s = Simulator::new(d).unwrap();
+        s.poke_u64("sel", 0).unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(0));
+        let r = s.poke_u64("sel", 1);
+        assert!(r.is_err(), "expected oscillation, got {r:?}");
+    }
+
+    #[test]
+    fn dff_with_async_reset() {
+        let mut s = sim(
+            "module dff(input clk, input rst_n, input d, output reg q);\n always @(posedge clk or negedge rst_n)\n  if (!rst_n) q <= 1'b0;\n  else q <= d;\nendmodule",
+        );
+        // async reset applies without a clock
+        s.poke_u64("rst_n", 1).unwrap();
+        s.poke_u64("rst_n", 0).unwrap();
+        assert_eq!(s.peek("q").unwrap().to_u64(), Some(0));
+        s.poke_u64("rst_n", 1).unwrap();
+        s.poke_u64("d", 1).unwrap();
+        assert_eq!(s.peek("q").unwrap().to_u64(), Some(0), "no clock yet");
+        s.tick("clk").unwrap();
+        assert_eq!(s.peek("q").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn sync_reset_needs_a_clock() {
+        let mut s = sim(
+            "module dff(input clk, input rst, input d, output reg q);\n always @(posedge clk)\n  if (rst) q <= 1'b0;\n  else q <= d;\nendmodule",
+        );
+        s.poke_u64("rst", 1).unwrap();
+        // reset asserted but no edge: q still x
+        assert_eq!(s.peek("q").unwrap().to_u64(), None);
+        s.tick("clk").unwrap();
+        assert_eq!(s.peek("q").unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn nonblocking_swap_is_simultaneous() {
+        let mut s = sim(
+            "module m(input clk, output reg a, output reg b);\n initial begin a = 1'b0; b = 1'b1; end\n always @(posedge clk) begin a <= b; b <= a; end\nendmodule",
+        );
+        s.tick("clk").unwrap();
+        assert_eq!(s.peek("a").unwrap().to_u64(), Some(1));
+        assert_eq!(s.peek("b").unwrap().to_u64(), Some(0));
+        s.tick("clk").unwrap();
+        assert_eq!(s.peek("a").unwrap().to_u64(), Some(0));
+        assert_eq!(s.peek("b").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn blocking_in_sequential_shifts_differently() {
+        // The classic bug: blocking assignments make the second stage read
+        // the *new* value — a 2-stage shift register degenerates.
+        let mut s = sim(
+            "module m(input clk, input d, output reg q1, output reg q2);\n always @(posedge clk) begin q1 = d; q2 = q1; end\nendmodule",
+        );
+        s.poke_u64("d", 1).unwrap();
+        s.tick("clk").unwrap();
+        // with blocking, q2 follows d after ONE cycle (wrong pipelining)
+        assert_eq!(s.peek("q2").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn nonblocking_pipeline_takes_two_cycles() {
+        let mut s = sim(
+            "module m(input clk, input d, output reg q1, output reg q2);\n always @(posedge clk) begin q1 <= d; q2 <= q1; end\nendmodule",
+        );
+        s.poke_u64("d", 1).unwrap();
+        s.tick("clk").unwrap();
+        assert_eq!(s.peek("q2").unwrap().to_u64(), None, "q1 was x at the edge");
+        s.tick("clk").unwrap();
+        assert_eq!(s.peek("q2").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut s = sim(
+            "module c(input clk, input rst, output reg [3:0] q);\n always @(posedge clk)\n  if (rst) q <= 4'd0;\n  else q <= q + 4'd1;\nendmodule",
+        );
+        s.poke_u64("rst", 1).unwrap();
+        s.tick("clk").unwrap();
+        s.poke_u64("rst", 0).unwrap();
+        for i in 1..=20u64 {
+            s.tick("clk").unwrap();
+            assert_eq!(s.peek("q").unwrap().to_u64(), Some(i % 16));
+        }
+    }
+
+    #[test]
+    fn case_without_default_latches_x() {
+        let mut s = sim(
+            "module m(input [1:0] sel, output reg y);\n always @(*)\n  case (sel)\n   2'b00: y = 1'b0;\n   2'b01: y = 1'b1;\n  endcase\nendmodule",
+        );
+        s.poke_u64("sel", 1).unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(1));
+        s.poke_u64("sel", 3).unwrap();
+        // unhandled selector: y keeps its previous (latched) value
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn incomplete_sensitivity_gives_stale_outputs() {
+        let mut s = sim(
+            "module m(input a, input b, output reg y);\n always @(a) y = a & b;\nendmodule",
+        );
+        s.poke_u64("a", 1).unwrap();
+        s.poke_u64("b", 1).unwrap(); // not in the list: no re-evaluation
+        assert_ne!(s.peek("y").unwrap().to_u64(), Some(1));
+        s.poke_u64("a", 0).unwrap();
+        s.poke_u64("a", 1).unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn hierarchical_adder() {
+        let src = "module top(input [3:0] a, input [3:0] b, output [3:0] s);\n add4 u0 (.x(a), .y(b), .sum(s));\nendmodule\nmodule add4(input [3:0] x, input [3:0] y, output [3:0] sum);\n assign sum = x + y;\nendmodule";
+        let mut s = sim(src);
+        s.poke_u64("a", 7).unwrap();
+        s.poke_u64("b", 8).unwrap();
+        assert_eq!(s.peek("s").unwrap().to_u64(), Some(15));
+    }
+
+    #[test]
+    fn for_loop_reverses_bits() {
+        let mut s = sim(
+            "module rev(input [3:0] a, output reg [3:0] y);\n integer i;\n always @(*)\n  for (i = 0; i < 4; i = i + 1)\n   y[i] = a[3 - i];\nendmodule",
+        );
+        s.poke_u64("a", 0b0001).unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(0b1000));
+        s.poke_u64("a", 0b1100).unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(0b0011));
+    }
+
+    #[test]
+    fn concat_lvalue_split() {
+        let mut s = sim(
+            "module m(input [1:0] a, output reg hi, output reg lo);\n always @(*) {hi, lo} = a;\nendmodule",
+        );
+        s.poke_u64("a", 0b10).unwrap();
+        assert_eq!(s.peek("hi").unwrap().to_u64(), Some(1));
+        assert_eq!(s.peek("lo").unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn initial_block_sets_state() {
+        let s = sim("module m(output reg [7:0] v);\n initial v = 8'hA5;\nendmodule");
+        assert_eq!(s.peek("v").unwrap().to_u64(), Some(0xA5));
+    }
+
+    #[test]
+    fn fsm_from_the_paper_table_i() {
+        // Moore FSM: A[out=0], B[out=1]; A--0-->B, A--1-->A, B--0-->A, B--1-->B
+        let src = "module fsm(input clk, input rst_n, input x, output out);
+    localparam A = 1'b0, B = 1'b1;
+    reg state, next_state;
+    always @(posedge clk or negedge rst_n)
+        if (!rst_n) state <= A;
+        else state <= next_state;
+    always @(*)
+        case (state)
+            A: next_state = x ? A : B;
+            B: next_state = x ? B : A;
+            default: next_state = A;
+        endcase
+    assign out = (state == B);
+endmodule";
+        let mut s = sim(src);
+        s.poke_u64("rst_n", 0).unwrap();
+        s.poke_u64("rst_n", 1).unwrap();
+        assert_eq!(s.peek("out").unwrap().to_u64(), Some(0));
+        s.poke_u64("x", 0).unwrap();
+        s.tick("clk").unwrap(); // A --0--> B
+        assert_eq!(s.peek("out").unwrap().to_u64(), Some(1));
+        s.poke_u64("x", 1).unwrap();
+        s.tick("clk").unwrap(); // B --1--> B
+        assert_eq!(s.peek("out").unwrap().to_u64(), Some(1));
+        s.poke_u64("x", 0).unwrap();
+        s.tick("clk").unwrap(); // B --0--> A
+        assert_eq!(s.peek("out").unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn poke_rejects_non_inputs() {
+        let mut s = sim("module m(input a, output y); assign y = a; endmodule");
+        assert!(s.poke_u64("y", 1).is_err());
+        assert!(s.poke_u64("ghost", 1).is_err());
+    }
+}
+
+#[cfg(test)]
+mod clone_tests {
+    use super::*;
+    use crate::elab::compile;
+
+    /// Cloned simulators evolve independently (the harness clones across
+    /// threads).
+    #[test]
+    fn clones_are_independent() {
+        let d = compile(
+            "module c(input clk, input rst, output reg [3:0] q);\n always @(posedge clk)\n  if (rst) q <= 4'd0; else q <= q + 4'd1;\nendmodule",
+        )
+        .unwrap();
+        let mut a = Simulator::new(d).unwrap();
+        a.poke_u64("rst", 1).unwrap();
+        a.tick("clk").unwrap();
+        a.poke_u64("rst", 0).unwrap();
+        let mut b = a.clone();
+        a.tick_n("clk", 5).unwrap();
+        b.tick_n("clk", 2).unwrap();
+        assert_eq!(a.peek("q").unwrap().to_u64(), Some(5));
+        assert_eq!(b.peek("q").unwrap().to_u64(), Some(2));
+    }
+}

@@ -1,0 +1,226 @@
+//! Value Change Dump (VCD) recording — lets downstream users inspect
+//! co-simulation failures in any waveform viewer (GTKWave etc.).
+//!
+//! The recorder snapshots every signal after each driven step; timestamps
+//! advance by a fixed step per snapshot (the simulator is untimed — zero
+//! delay — so "time" here is the stimulus step index).
+
+use std::fmt::Write as _;
+
+use crate::logic::LogicVec;
+use crate::sim::Simulator;
+
+/// Records signal values over a simulation run and renders VCD.
+///
+/// # Examples
+///
+/// ```
+/// use haven_verilog::{elab::compile, sim::Simulator, vcd::VcdRecorder};
+/// let design = compile("module inv(input a, output y); assign y = ~a; endmodule")?;
+/// let mut sim = Simulator::new(design)?;
+/// let mut rec = VcdRecorder::new(&sim);
+/// rec.sample(&sim);
+/// sim.poke_u64("a", 1)?;
+/// rec.sample(&sim);
+/// let vcd = rec.render("inv");
+/// assert!(vcd.starts_with("$timescale"));
+/// # Ok::<(), haven_verilog::error::VerilogError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VcdRecorder {
+    /// Signal names in declaration order.
+    names: Vec<String>,
+    widths: Vec<usize>,
+    /// One row of values per sample, indexed like `names`.
+    samples: Vec<Vec<LogicVec>>,
+}
+
+impl VcdRecorder {
+    /// Creates a recorder for the simulator's design (all signals,
+    /// including internals).
+    pub fn new(sim: &Simulator) -> VcdRecorder {
+        let names: Vec<String> = sim
+            .design()
+            .signals
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        let widths = sim.design().signals.iter().map(|s| s.width).collect();
+        VcdRecorder {
+            names,
+            widths,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Takes a snapshot of every signal.
+    pub fn sample(&mut self, sim: &Simulator) {
+        let row = self
+            .names
+            .iter()
+            .map(|n| sim.peek(n).expect("recorded signal exists"))
+            .collect();
+        self.samples.push(row);
+    }
+
+    /// Number of snapshots taken.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no snapshots were taken.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Renders the recording as a VCD document with one time unit per
+    /// snapshot.
+    pub fn render(&self, module_name: &str) -> String {
+        let mut out = String::new();
+        out.push_str("$timescale 1ns $end\n");
+        let _ = writeln!(out, "$scope module {module_name} $end");
+        let idents: Vec<String> = (0..self.names.len()).map(vcd_ident).collect();
+        for ((name, width), ident) in self.names.iter().zip(&self.widths).zip(&idents) {
+            // Hierarchical dots are not legal in VCD identifiers bodies.
+            let clean = name.replace('.', "_");
+            let _ = writeln!(out, "$var wire {width} {ident} {clean} $end");
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        let mut prev: Option<&Vec<LogicVec>> = None;
+        for (t, row) in self.samples.iter().enumerate() {
+            let _ = writeln!(out, "#{t}");
+            for (i, value) in row.iter().enumerate() {
+                let changed = prev.map(|p| p[i] != *value).unwrap_or(true);
+                if !changed {
+                    continue;
+                }
+                if self.widths[i] == 1 {
+                    let _ = writeln!(out, "{}{}", value.bit(0).to_char(), idents[i]);
+                } else {
+                    let bits: String = (0..self.widths[i])
+                        .rev()
+                        .map(|b| value.bit(b).to_char())
+                        .collect();
+                    let _ = writeln!(out, "b{bits} {}", idents[i]);
+                }
+            }
+            prev = Some(row);
+        }
+        out
+    }
+}
+
+/// VCD identifier codes: printable ASCII 33..=126, base-94.
+fn vcd_ident(mut index: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push(char::from(33 + (index % 94) as u8));
+        index /= 94;
+        if index == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Runs a spec's stimulus program against `source`, recording a VCD —
+/// convenience for debugging failed candidates.
+///
+/// # Errors
+///
+/// Propagates compile and simulation errors.
+pub fn record_run(
+    source: &str,
+    clock: Option<&str>,
+    steps: impl IntoIterator<Item = (String, u64)>,
+) -> crate::error::Result<String> {
+    let design = crate::elab::compile(source)?;
+    let name = design.name.clone();
+    let mut sim = Simulator::new(design)?;
+    let mut rec = VcdRecorder::new(&sim);
+    rec.sample(&sim);
+    for (signal, value) in steps {
+        if Some(signal.as_str()) == clock {
+            sim.tick(&signal)?;
+        } else {
+            sim.poke_u64(&signal, value)?;
+        }
+        rec.sample(&sim);
+    }
+    Ok(rec.render(&name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::compile;
+
+    #[test]
+    fn vcd_contains_definitions_and_changes() {
+        let design = compile(
+            "module c(input clk, input rst, output reg [3:0] q);\n always @(posedge clk)\n  if (rst) q <= 4'd0; else q <= q + 4'd1;\nendmodule",
+        )
+        .unwrap();
+        let mut sim = Simulator::new(design).unwrap();
+        let mut rec = VcdRecorder::new(&sim);
+        rec.sample(&sim);
+        sim.poke_u64("rst", 1).unwrap();
+        sim.tick("clk").unwrap();
+        rec.sample(&sim);
+        sim.poke_u64("rst", 0).unwrap();
+        for _ in 0..3 {
+            sim.tick("clk").unwrap();
+            rec.sample(&sim);
+        }
+        let vcd = rec.render("c");
+        assert!(vcd.contains("$var wire 4"));
+        assert!(vcd.contains("$var wire 1"));
+        assert!(vcd.contains("#0\n"));
+        assert!(vcd.contains("#4\n"));
+        // q reaches 3 = b0011
+        assert!(vcd.contains("b0011"), "{vcd}");
+        // initial x state appears
+        assert!(vcd.contains("bxxxx"), "{vcd}");
+    }
+
+    #[test]
+    fn unchanged_signals_are_not_re_dumped() {
+        let design =
+            compile("module m(input a, output y); assign y = ~a; endmodule").unwrap();
+        let mut sim = Simulator::new(design).unwrap();
+        let mut rec = VcdRecorder::new(&sim);
+        sim.poke_u64("a", 0).unwrap();
+        rec.sample(&sim);
+        rec.sample(&sim); // nothing changed
+        let vcd = rec.render("m");
+        let after_t1 = vcd.split("#1\n").nth(1).unwrap();
+        assert_eq!(after_t1.trim(), "", "no changes after identical sample");
+    }
+
+    #[test]
+    fn ident_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let id = vcd_ident(i);
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(id));
+        }
+    }
+
+    #[test]
+    fn record_run_convenience() {
+        let vcd = record_run(
+            "module d(input clk, input x, output reg q);\n always @(posedge clk) q <= x;\nendmodule",
+            Some("clk"),
+            [
+                ("x".to_string(), 1),
+                ("clk".to_string(), 0),
+                ("x".to_string(), 0),
+                ("clk".to_string(), 0),
+            ],
+        )
+        .unwrap();
+        assert!(vcd.contains("$scope module d $end"));
+        assert!(vcd.contains("#4"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for lexer/parser/pretty round-trips on generated
+//! fragments.
+
+use haven_verilog::lexer::{tokenize, TokenKind};
+use haven_verilog::parser::parse_expr;
+use haven_verilog::pretty::pretty_expr;
+use proptest::prelude::*;
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "module" | "endmodule" | "input" | "output" | "inout" | "wire" | "reg"
+                | "integer" | "assign" | "always" | "initial" | "posedge" | "negedge"
+                | "or" | "if" | "else" | "case" | "casez" | "casex" | "endcase"
+                | "default" | "begin" | "end" | "parameter" | "localparam" | "for"
+                | "while" | "signed"
+        )
+    })
+}
+
+#[derive(Debug, Clone)]
+enum ExprTree {
+    Ident(String),
+    Lit(u64, usize),
+    Bin(&'static str, Box<ExprTree>, Box<ExprTree>),
+    Un(&'static str, Box<ExprTree>),
+    Tern(Box<ExprTree>, Box<ExprTree>, Box<ExprTree>),
+}
+
+impl ExprTree {
+    fn render(&self) -> String {
+        match self {
+            ExprTree::Ident(n) => n.clone(),
+            ExprTree::Lit(v, w) => format!("{w}'d{v}"),
+            ExprTree::Bin(op, a, b) => format!("({} {op} {})", a.render(), b.render()),
+            ExprTree::Un(op, a) => format!("({op}{})", a.render()),
+            ExprTree::Tern(c, t, f) => {
+                format!("({} ? {} : {})", c.render(), t.render(), f.render())
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = ExprTree> {
+    let leaf = prop_oneof![
+        ident_strategy().prop_map(ExprTree::Ident),
+        (0u64..255, 1usize..=8).prop_map(|(v, w)| ExprTree::Lit(v % (1 << w), w)),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just("+"), Just("-"), Just("&"), Just("|"), Just("^"),
+                    Just("=="), Just("<"), Just(">>"), Just("<<")
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| ExprTree::Bin(op, Box::new(a), Box::new(b))),
+            (prop_oneof![Just("~"), Just("!"), Just("&"), Just("|")], inner.clone())
+                .prop_map(|(op, a)| ExprTree::Un(op, Box::new(a))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, f)| ExprTree::Tern(Box::new(c), Box::new(t), Box::new(f))),
+        ]
+    })
+}
+
+proptest! {
+    /// parse → pretty → parse is a fixpoint for arbitrary expressions.
+    #[test]
+    fn expr_pretty_parse_fixpoint(tree in arb_expr()) {
+        let text = tree.render();
+        let first = parse_expr(&text).unwrap();
+        let printed = pretty_expr(&first);
+        let second = parse_expr(&printed)
+            .unwrap_or_else(|e| panic!("{e}\nfirst:  {text}\nprinted: {printed}"));
+        prop_assert_eq!(first, second);
+    }
+
+    /// The lexer never panics on arbitrary input and always terminates
+    /// with EOF when it succeeds.
+    #[test]
+    fn lexer_total_on_arbitrary_text(s in ".{0,200}") {
+        if let Ok(tokens) = tokenize(&s) {
+            prop_assert_eq!(tokens.last().map(|t| t.kind.clone()), Some(TokenKind::Eof));
+        }
+    }
+
+    /// Sized decimal literals round-trip through the lexer.
+    #[test]
+    fn sized_literals_roundtrip(v in 0u64..1024, w in 1usize..=16) {
+        let v = v & ((1 << w) - 1);
+        let toks = tokenize(&format!("{w}'d{v}")).unwrap();
+        match &toks[0].kind {
+            TokenKind::Number(lv) => prop_assert_eq!(lv.to_u64(), Some(v)),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for four-state logic algebra.
+
+use haven_verilog::logic::{Logic, LogicVec};
+use proptest::prelude::*;
+
+fn arb_logic() -> impl Strategy<Value = Logic> {
+    prop_oneof![
+        Just(Logic::Zero),
+        Just(Logic::One),
+        Just(Logic::X),
+        Just(Logic::Z),
+    ]
+}
+
+fn arb_vec(max_w: usize) -> impl Strategy<Value = LogicVec> {
+    proptest::collection::vec(arb_logic(), 1..=max_w).prop_map(LogicVec::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn not_is_involutive_on_known(v in any::<u64>(), w in 1usize..=32) {
+        let lv = LogicVec::from_u64(v, w);
+        prop_assert_eq!(lv.not().not(), lv);
+    }
+
+    #[test]
+    fn de_morgan_holds_four_state(bits in proptest::collection::vec((arb_logic(), arb_logic()), 1..=8)) {
+        // ~(a & b) == ~a | ~b even with x/z operands — for equal widths.
+        // (Across widths Verilog zero-extends *before* the operator, so
+        // De Morgan genuinely does not hold; the simulator matches that.)
+        let a = LogicVec::from_bits(bits.iter().map(|(x, _)| *x).collect());
+        let b = LogicVec::from_bits(bits.iter().map(|(_, y)| *y).collect());
+        let left = (a.clone() & b.clone()).not();
+        let right = a.not() | b.not();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn and_or_are_commutative(a in arb_vec(8), b in arb_vec(8)) {
+        prop_assert_eq!(a.clone() & b.clone(), b.clone() & a.clone());
+        prop_assert_eq!(a.clone() | b.clone(), b | a);
+    }
+
+    #[test]
+    fn xor_with_self_is_zero_when_known(v in any::<u64>(), w in 1usize..=32) {
+        let lv = LogicVec::from_u64(v, w);
+        prop_assert_eq!((lv.clone() ^ lv).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn unknown_poisons_and_only_when_relevant(v in any::<u64>(), w in 2usize..=16) {
+        // x & 0 = 0 (not x): the zero side dominates.
+        let mut with_x = LogicVec::from_u64(v, w);
+        with_x.set_bit(0, Logic::X);
+        let zeros = LogicVec::zero(w);
+        prop_assert_eq!((with_x & zeros).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn concat_width_adds(a in arb_vec(8), b in arb_vec(8)) {
+        prop_assert_eq!(a.concat(&b).width(), a.width() + b.width());
+        // high part round-trips
+        let c = a.concat(&b);
+        prop_assert_eq!(c.slice(c.width() - 1, b.width()), a);
+        prop_assert_eq!(c.slice(b.width().max(1) - 1 + usize::from(b.width()==0), 0).width(), b.width());
+    }
+
+    #[test]
+    fn replicate_matches_manual(a in arb_vec(4), n in 1usize..=4) {
+        let r = a.replicate(n);
+        prop_assert_eq!(r.width(), a.width() * n);
+        for i in 0..r.width() {
+            prop_assert_eq!(r.bit(i), a.bit(i % a.width()));
+        }
+    }
+
+    #[test]
+    fn case_eq_is_reflexive_and_symmetric(a in arb_vec(8), b in arb_vec(8)) {
+        prop_assert_eq!(a.eq_case(&a), Logic::One);
+        prop_assert_eq!(a.eq_case(&b), b.eq_case(&a));
+    }
+
+    #[test]
+    fn literal_roundtrip(v in arb_vec(24)) {
+        let text = v.to_verilog_literal();
+        let body = text.split_once("'b").unwrap().1;
+        let back = LogicVec::from_binary_str(body).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn shift_left_then_right_loses_only_low_bits(v in any::<u64>(), w in 2usize..=32, n in 1u64..4) {
+        let lv = LogicVec::from_u64(v, w);
+        let n = n.min(w as u64 - 1);
+        let shifted = lv.shl(&LogicVec::from_u64(n, 8)).shr(&LogicVec::from_u64(n, 8));
+        let mask = ((1u64 << w) - 1) >> n << n >> n; // clears top n bits after mask to w
+        let expected = (v & ((1u64 << w) - 1)) & ((1u64 << (w as u64 - n)) - 1);
+        let _ = mask;
+        prop_assert_eq!(shifted.to_u64(), Some(expected));
+    }
+}

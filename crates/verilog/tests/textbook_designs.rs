@@ -1,0 +1,250 @@
+//! End-to-end simulator checks on realistic textbook designs — the module
+//! classes the paper's exemplar library is built from (Lin 2008, Ciletti
+//! 2010, Palnitkar 2003).
+
+use haven_verilog::elab::compile;
+use haven_verilog::sim::Simulator;
+
+fn sim(src: &str) -> Simulator {
+    Simulator::new(compile(src).unwrap_or_else(|e| panic!("{e}\n{src}"))).unwrap()
+}
+
+#[test]
+fn gray_code_counter() {
+    let src = "module gray(input clk, input rst, output [3:0] g);
+    reg [3:0] bin;
+    always @(posedge clk)
+        if (rst) bin <= 4'd0;
+        else bin <= bin + 4'd1;
+    assign g = bin ^ (bin >> 1);
+endmodule";
+    let mut s = sim(src);
+    s.poke_u64("rst", 1).unwrap();
+    s.tick("clk").unwrap();
+    s.poke_u64("rst", 0).unwrap();
+    let mut prev = s.peek("g").unwrap().to_u64().unwrap();
+    for i in 1..=31u64 {
+        s.tick("clk").unwrap();
+        let g = s.peek("g").unwrap().to_u64().unwrap();
+        assert_eq!(g, (i % 16) ^ ((i % 16) >> 1), "cycle {i}");
+        // Gray property: exactly one bit flips.
+        assert_eq!((g ^ prev).count_ones(), 1, "cycle {i}: {prev:04b}->{g:04b}");
+        prev = g;
+    }
+}
+
+#[test]
+fn johnson_counter() {
+    let src = "module johnson(input clk, input rst_n, output reg [3:0] q);
+    always @(posedge clk or negedge rst_n)
+        if (!rst_n) q <= 4'd0;
+        else q <= {q[2:0], ~q[3]};
+endmodule";
+    let mut s = sim(src);
+    s.poke_u64("rst_n", 0).unwrap();
+    s.poke_u64("rst_n", 1).unwrap();
+    let expected = [
+        0b0001u64, 0b0011, 0b0111, 0b1111, 0b1110, 0b1100, 0b1000, 0b0000, 0b0001,
+    ];
+    for (i, want) in expected.iter().enumerate() {
+        s.tick("clk").unwrap();
+        assert_eq!(s.peek("q").unwrap().to_u64(), Some(*want), "step {i}");
+    }
+}
+
+#[test]
+fn priority_encoder_with_valid() {
+    let src = "module penc(input [3:0] req, output reg [1:0] idx, output reg valid);
+    always @(*) begin
+        valid = 1'b1;
+        idx = 2'd0;
+        if (req[3]) idx = 2'd3;
+        else if (req[2]) idx = 2'd2;
+        else if (req[1]) idx = 2'd1;
+        else if (req[0]) idx = 2'd0;
+        else valid = 1'b0;
+    end
+endmodule";
+    let mut s = sim(src);
+    for req in 0u64..16 {
+        s.poke_u64("req", req).unwrap();
+        let valid = s.peek("valid").unwrap().to_u64().unwrap();
+        assert_eq!(valid, u64::from(req != 0), "req={req:04b}");
+        if req != 0 {
+            let want = 63 - req.leading_zeros() as u64;
+            assert_eq!(s.peek("idx").unwrap().to_u64(), Some(want), "req={req:04b}");
+        }
+    }
+}
+
+#[test]
+fn seven_segment_decoder() {
+    // Segments for 0-9, gfedcba active-high (common cathode).
+    let src = "module sseg(input [3:0] d, output reg [6:0] seg);
+    always @(*)
+        case (d)
+            4'd0: seg = 7'b0111111;
+            4'd1: seg = 7'b0000110;
+            4'd2: seg = 7'b1011011;
+            4'd3: seg = 7'b1001111;
+            4'd4: seg = 7'b1100110;
+            4'd5: seg = 7'b1101101;
+            4'd6: seg = 7'b1111101;
+            4'd7: seg = 7'b0000111;
+            4'd8: seg = 7'b1111111;
+            4'd9: seg = 7'b1101111;
+            default: seg = 7'b0000000;
+        endcase
+endmodule";
+    let mut s = sim(src);
+    s.poke_u64("d", 8).unwrap();
+    assert_eq!(s.peek("seg").unwrap().to_u64(), Some(0b1111111));
+    s.poke_u64("d", 1).unwrap();
+    assert_eq!(s.peek("seg").unwrap().to_u64(), Some(0b0000110));
+    s.poke_u64("d", 12).unwrap();
+    assert_eq!(s.peek("seg").unwrap().to_u64(), Some(0), "default arm");
+}
+
+#[test]
+fn traffic_light_controller() {
+    // Three-state Moore FSM with a per-state dwell counter.
+    let src = "module traffic(input clk, input rst, output reg [1:0] light);
+    localparam GREEN = 2'd0, YELLOW = 2'd1, RED = 2'd2;
+    reg [2:0] cnt;
+    always @(posedge clk)
+        if (rst) begin
+            light <= GREEN;
+            cnt <= 3'd0;
+        end else begin
+            cnt <= cnt + 3'd1;
+            case (light)
+                GREEN: if (cnt == 3'd4) begin light <= YELLOW; cnt <= 3'd0; end
+                YELLOW: if (cnt == 3'd1) begin light <= RED; cnt <= 3'd0; end
+                RED: if (cnt == 3'd4) begin light <= GREEN; cnt <= 3'd0; end
+                default: light <= GREEN;
+            endcase
+        end
+endmodule";
+    let mut s = sim(src);
+    s.poke_u64("rst", 1).unwrap();
+    s.tick("clk").unwrap();
+    s.poke_u64("rst", 0).unwrap();
+    let mut seq = Vec::new();
+    for _ in 0..24 {
+        s.tick("clk").unwrap();
+        seq.push(s.peek("light").unwrap().to_u64().unwrap());
+    }
+    // Green dwells 5 cycles, yellow 2, red 5; the reset tick consumed the
+    // first green cycle, so the observed trace starts with 4 greens and is
+    // periodic (period 12) afterwards.
+    let mut expected: Vec<u64> = vec![0, 0, 0, 0, 1, 1, 2, 2, 2, 2, 2];
+    expected.extend(
+        vec![0, 0, 0, 0, 0, 1, 1, 2, 2, 2, 2, 2]
+            .into_iter()
+            .cycle()
+            .take(24 - expected.len()),
+    );
+    assert_eq!(seq, expected);
+}
+
+#[test]
+fn sequence_detector_1011_overlapping() {
+    let src = "module det1011(input clk, input rst, input x, output found);
+    localparam S0 = 2'd0, S1 = 2'd1, S10 = 2'd2, S101 = 2'd3;
+    reg [1:0] state, next_state;
+    always @(posedge clk)
+        if (rst) state <= S0;
+        else state <= next_state;
+    always @(*)
+        case (state)
+            S0: next_state = x ? S1 : S0;
+            S1: next_state = x ? S1 : S10;
+            S10: next_state = x ? S101 : S0;
+            S101: next_state = x ? S1 : S10;
+            default: next_state = S0;
+        endcase
+    assign found = (state == S101) & x;
+endmodule";
+    let mut s = sim(src);
+    s.poke_u64("rst", 1).unwrap();
+    s.tick("clk").unwrap();
+    s.poke_u64("rst", 0).unwrap();
+    let stream = [1u64, 0, 1, 1, 0, 1, 1, 1, 0, 1, 1];
+    let mut hits = Vec::new();
+    for &bit in &stream {
+        s.poke_u64("x", bit).unwrap();
+        hits.push(s.peek("found").unwrap().to_u64().unwrap());
+        s.tick("clk").unwrap();
+    }
+    // "1011" completes at offsets 3 and (overlapping) 6; then "1011" again at 10.
+    assert_eq!(hits, vec![0, 0, 0, 1, 0, 0, 1, 0, 0, 0, 1]);
+}
+
+#[test]
+fn parameterized_alu_with_zero_flag() {
+    let src = "module alu #(parameter W = 8) (
+    input [1:0] op, input [W-1:0] a, input [W-1:0] b,
+    output reg [W-1:0] y, output zero
+);
+    always @(*)
+        case (op)
+            2'd0: y = a + b;
+            2'd1: y = a - b;
+            2'd2: y = a & b;
+            default: y = a | b;
+        endcase
+    assign zero = (y == {W{1'b0}});
+endmodule";
+    let mut s = sim(src);
+    s.poke_u64("a", 10).unwrap();
+    s.poke_u64("b", 10).unwrap();
+    s.poke_u64("op", 1).unwrap(); // SUB
+    assert_eq!(s.peek("y").unwrap().to_u64(), Some(0));
+    assert_eq!(s.peek("zero").unwrap().to_u64(), Some(1));
+    s.poke_u64("op", 0).unwrap(); // ADD
+    assert_eq!(s.peek("y").unwrap().to_u64(), Some(20));
+    assert_eq!(s.peek("zero").unwrap().to_u64(), Some(0));
+}
+
+#[test]
+fn ripple_carry_adder_hierarchy() {
+    let src = "module top(input [3:0] a, input [3:0] b, input cin, output [3:0] sum, output cout);
+    wire c0, c1, c2;
+    full_adder fa0 (.a(a[0]), .b(b[0]), .cin(cin), .s(sum[0]), .cout(c0));
+    full_adder fa1 (.a(a[1]), .b(b[1]), .cin(c0), .s(sum[1]), .cout(c1));
+    full_adder fa2 (.a(a[2]), .b(b[2]), .cin(c1), .s(sum[2]), .cout(c2));
+    full_adder fa3 (.a(a[3]), .b(b[3]), .cin(c2), .s(sum[3]), .cout(cout));
+endmodule
+module full_adder(input a, input b, input cin, output s, output cout);
+    assign s = a ^ b ^ cin;
+    assign cout = (a & b) | (a & cin) | (b & cin);
+endmodule";
+    let mut s = sim(src);
+    for (a, b, cin) in [(3u64, 5u64, 0u64), (15, 15, 1), (9, 6, 1), (0, 0, 0)] {
+        s.poke_u64("a", a).unwrap();
+        s.poke_u64("b", b).unwrap();
+        s.poke_u64("cin", cin).unwrap();
+        let total = a + b + cin;
+        assert_eq!(s.peek("sum").unwrap().to_u64(), Some(total & 0xF));
+        assert_eq!(s.peek("cout").unwrap().to_u64(), Some(total >> 4 & 1));
+    }
+}
+
+#[test]
+fn casez_priority_selector() {
+    let src = "module czsel(input [3:0] r, output reg [1:0] g);
+    always @(*)
+        casez (r)
+            4'b1???: g = 2'd3;
+            4'b01??: g = 2'd2;
+            4'b001?: g = 2'd1;
+            4'b0001: g = 2'd0;
+            default: g = 2'd0;
+        endcase
+endmodule";
+    let mut s = sim(src);
+    for (r, want) in [(0b1010u64, 3u64), (0b0110, 2), (0b0011, 1), (0b0001, 0), (0, 0)] {
+        s.poke_u64("r", r).unwrap();
+        assert_eq!(s.peek("g").unwrap().to_u64(), Some(want), "r={r:04b}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Evaluate a few models on a slice of the VerilogEval-human analogue and
+//! print a mini leaderboard — a scaled-down taste of Table IV.
+//!
+//! ```sh
+//! cargo run --release -p haven --example benchmark_eval
+//! ```
+
+use haven::experiments::{Scale, Suites};
+use haven::Haven;
+use haven_eval::harness::{evaluate, SicotMode};
+use haven_eval::report::Table;
+use haven_lm::profiles;
+
+fn main() {
+    let scale = Scale {
+        n: 5,
+        temperatures: vec![0.2],
+        task_limit: Some(60),
+        flow: haven_datagen::FlowConfig::default(),
+    };
+    let suites = Suites::generate(&scale);
+    println!(
+        "evaluating on the first {} tasks of the VerilogEval-human analogue, n = {}\n",
+        suites.human.len(),
+        scale.n
+    );
+
+    let flow = haven_datagen::run(&scale.flow);
+    let haven = Haven::train(profiles::base_codeqwen(), &flow, 0.2);
+
+    let mut table = Table::new(vec!["Model", "SI-CoT", "pass@1", "pass@5", "syntax@1"]);
+    let cfg_off = haven_eval::EvalConfig {
+        n: scale.n,
+        temperatures: scale.temperatures.clone(),
+        sicot: SicotMode::Off,
+        ..Default::default()
+    };
+    let cfg_self = haven_eval::EvalConfig {
+        sicot: SicotMode::SelfRefine,
+        ..cfg_off.clone()
+    };
+
+    for (profile, cfg, sicot) in [
+        (profiles::base_codeqwen(), &cfg_off, "no"),
+        (profiles::gpt4(), &cfg_off, "no"),
+        (profiles::origen(), &cfg_off, "no"),
+        (haven.profile().clone(), &cfg_self, "yes"),
+    ] {
+        let r = evaluate(&profile, &suites.human, cfg);
+        table.row(vec![
+            profile.name.clone(),
+            sicot.to_string(),
+            format!("{:.1}", r.pass_at(1)),
+            format!("{:.1}", r.pass_at(5)),
+            format!("{:.1}", r.syntax_pass_at(1)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(full Table IV: cargo run --release -p haven-bench --bin table4)");
+}

@@ -1,0 +1,46 @@
+//! Quickstart: train a HaVen model on a freshly generated KL-dataset,
+//! then ask it for Verilog from a truth-table prompt and verify the
+//! output against a golden model.
+//!
+//! ```sh
+//! cargo run --release -p haven --example quickstart
+//! ```
+
+use haven::Haven;
+use haven_lm::profiles;
+use haven_spec::cosim::cosimulate;
+use haven_spec::stimuli::stimuli_for;
+use haven_spec::{builders, Spec};
+
+fn main() {
+    // 1. Run the Fig. 2 dataset flow (small scale for the example).
+    let flow = haven_datagen::run(&haven_datagen::FlowConfig::small(42));
+    println!(
+        "dataset flow: {} corpus files -> {} vanilla, {} K, {} L pairs",
+        flow.stats.corpus_files, flow.stats.vanilla_valid, flow.stats.k_pairs, flow.stats.l_pairs
+    );
+
+    // 2. Fine-tune a base model on the shuffled KL-dataset.
+    let haven = Haven::train(profiles::base_deepseek(), &flow, 0.2);
+    println!("trained model: {}", haven.profile().name);
+
+    // 3. An engineer-style prompt with a symbolic truth table.
+    let spec: Spec = builders::truth_table_spec(
+        "and_gate",
+        vec!["a".into(), "b".into()],
+        vec!["out".into()],
+        vec![(0b00, 0), (0b01, 0), (0b10, 0), (0b11, 1)],
+    );
+    let prompt = haven_spec::describe::describe(&spec, haven_spec::describe::DescribeStyle::Engineer);
+    println!("\n--- prompt ---------------------------------\n{prompt}");
+
+    // 4. SI-CoT refinement, visible.
+    let refined = haven.refine(&prompt, "quickstart");
+    println!("\n--- SI-CoT refined -------------------------\n{}", refined.text);
+
+    // 5. Generate and co-simulate.
+    let code = haven.generate(&prompt, "quickstart", 0);
+    println!("\n--- generated Verilog ----------------------\n{code}");
+    let report = cosimulate(&spec, &code, &stimuli_for(&spec, 1));
+    println!("verdict: {:?}", report.verdict);
+}

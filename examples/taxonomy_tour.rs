@@ -1,0 +1,129 @@
+//! A guided tour of the paper's hallucination taxonomy (Table II): force
+//! each corruption operator on a correct design, co-simulate the result,
+//! and let `haven::diagnose` attribute the failure back to the taxonomy.
+//!
+//! ```sh
+//! cargo run --release -p haven --example taxonomy_tour
+//! ```
+
+use haven::diagnose::diagnose;
+use haven_lm::generate::render;
+use haven_lm::hallucinate::{self, ConventionVariant, GenPlan, Sabotage};
+use haven_modality::ModalityKind;
+use haven_spec::cosim::cosimulate;
+use haven_spec::stimuli::stimuli_for;
+use haven_spec::{builders, Spec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn show(title: &str, spec: &Spec, plan: &GenPlan, modality: Option<ModalityKind>) {
+    let src = render(plan);
+    let report = cosimulate(spec, &src, &stimuli_for(spec, 11));
+    let d = diagnose(spec, &src, &report.verdict, modality);
+    println!("== {title}");
+    println!("   verdict    : {:?}", short(&format!("{:?}", report.verdict)));
+    println!(
+        "   attribution: {:?} ({:?})",
+        d.hallucination, d.class
+    );
+    for e in &d.evidence {
+        println!("   evidence   : {}", short(e));
+    }
+    println!();
+}
+
+fn short(s: &str) -> String {
+    let mut t = s.replace('\n', " ");
+    if t.len() > 100 {
+        t.truncate(97);
+        t.push_str("...");
+    }
+    t
+}
+
+fn main() {
+    println!("Hallucination taxonomy tour (paper Table II)\n");
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // --- Symbolic class ---------------------------------------------------
+    let tt = builders::truth_table_spec(
+        "tt",
+        vec!["a".into(), "b".into()],
+        vec!["out".into()],
+        vec![(0, 0), (1, 0), (2, 0), (3, 1)],
+    );
+    let mut plan = GenPlan::faithful(tt.clone());
+    hallucinate::corrupt_truth_table(&mut plan, &mut rng);
+    show("truth-table misinterpretation", &tt, &plan, Some(ModalityKind::TruthTable));
+
+    let fsm = builders::fsm_ab("fsm");
+    let mut plan = GenPlan::faithful(fsm.clone());
+    hallucinate::corrupt_state_diagram(&mut plan, &mut rng);
+    show("state-diagram misinterpretation ('A and B reversed')", &fsm, &plan, Some(ModalityKind::StateDiagram));
+
+    let mut plan = GenPlan::faithful(tt.clone());
+    hallucinate::corrupt_waveform(&mut plan, &mut rng);
+    show("waveform misinterpretation (misaligned samples)", &tt, &plan, Some(ModalityKind::Waveform));
+
+    // --- Knowledge class ----------------------------------------------------
+    let cnt = builders::counter("cnt", 4, Some(10));
+    let mut plan = GenPlan::faithful(cnt.clone());
+    plan.sabotage = Some(Sabotage::PythonDef);
+    show("Verilog syntax misapplication ('def adder_4bit()')", &cnt, &plan, None);
+
+    let mut plan = GenPlan::faithful(cnt.clone());
+    hallucinate::corrupt_attributes(&mut plan, &mut rng);
+    show("attribute misunderstanding (sync vs async reset)", &cnt, &plan, None);
+
+    let mut plan = GenPlan::faithful(fsm.clone());
+    plan.variant = ConventionVariant::RegisteredFsmOutput;
+    show("convention misapplication (non-standard FSM structure)", &fsm, &plan, None);
+
+    // --- Logical class -------------------------------------------------------
+    use haven_spec::describe::chain_expr;
+    use haven_verilog::ast::BinaryOp;
+    let rest = vec![
+        (BinaryOp::Add, "b".to_string()),
+        (BinaryOp::BitOr, "c".to_string()),
+    ];
+    let chain = builders::comb(
+        "chain",
+        vec![
+            haven_spec::ir::PortSpec::new("a", 4),
+            haven_spec::ir::PortSpec::new("b", 4),
+            haven_spec::ir::PortSpec::new("c", 4),
+        ],
+        haven_spec::ir::PortSpec::new("out", 4),
+        chain_expr("a", &rest),
+    );
+    let mut plan = GenPlan::faithful(chain.clone());
+    hallucinate::corrupt_expression(&mut plan, &mut rng);
+    show("incorrect logical expression ('(a + c) & b')", &chain, &plan, None);
+
+    let mut plan = GenPlan::faithful(tt.clone());
+    hallucinate::corrupt_corner_case(&mut plan, &mut rng);
+    show("corner-case mishandling (missing default)", &tt, &plan, None);
+
+    use haven_spec::describe::{ChainArm, IfChain};
+    let ic = IfChain {
+        arms: vec![ChainArm {
+            conditions: vec![("a".into(), 0), ("b".into(), 0)],
+            output_value: 0,
+        }],
+        else_value: 1,
+    };
+    let instr = builders::comb(
+        "instr",
+        vec![
+            haven_spec::ir::PortSpec::bit("a"),
+            haven_spec::ir::PortSpec::bit("b"),
+        ],
+        haven_spec::ir::PortSpec::bit("out"),
+        ic.to_expr(&|_| 1, 1),
+    );
+    let mut plan = GenPlan::faithful(instr.clone());
+    hallucinate::corrupt_instruction(&mut plan, &mut rng);
+    show("instructional infidelity ('&&' read as '||')", &instr, &plan, None);
+
+    println!("Every failure above was produced by a concrete corruption, caught by real co-simulation, and attributed by `haven::diagnose` — the executable form of Table II's error-analysis column.");
+}

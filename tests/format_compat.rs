@@ -1,0 +1,100 @@
+//! Format compatibility across crates: `haven-spec`'s prompt renderers and
+//! `haven-modality`'s parsers were written independently (to avoid a crate
+//! cycle) — these tests pin them together.
+
+use haven_modality::state_diagram::StateDiagram;
+use haven_modality::truth_table::TruthTable;
+use haven_modality::{detect, ModalityKind};
+use haven_spec::builders;
+use haven_spec::describe::{state_diagram_text, truth_table_text};
+use haven_spec::ir::Behavior;
+
+#[test]
+fn spec_rendered_truth_tables_parse_back_identically() {
+    let spec = builders::truth_table_spec(
+        "t",
+        vec!["a".into(), "b".into(), "c".into()],
+        vec!["out".into(), "y".into()],
+        (0..8u64).map(|i| (i, i % 4)).collect(),
+    );
+    let Behavior::TruthTable(tt) = &spec.behavior else {
+        panic!()
+    };
+    let text = truth_table_text(tt);
+    let parsed = TruthTable::parse(&text).expect("modality parser accepts spec emitter output");
+    assert_eq!(parsed.inputs, tt.inputs);
+    assert_eq!(parsed.outputs, tt.outputs);
+    assert_eq!(parsed.rows, tt.rows);
+}
+
+#[test]
+fn spec_rendered_state_diagrams_parse_back_identically() {
+    let spec = builders::fsm(
+        "f",
+        vec!["IDLE".into(), "RUN".into(), "DONE".into()],
+        0,
+        vec![(1, 0), (2, 1), (2, 2)],
+        vec![0, 1, 1],
+    );
+    let Behavior::Fsm(f) = &spec.behavior else { panic!() };
+    let text = state_diagram_text(f);
+    let parsed = StateDiagram::parse(&text).expect("modality parser accepts spec emitter output");
+    let roundtrip = parsed.to_fsm_spec(&f.output, f.output_width).unwrap();
+    assert_eq!(roundtrip.states, f.states);
+    assert_eq!(roundtrip.transitions, f.transitions);
+    assert_eq!(roundtrip.outputs, f.outputs);
+}
+
+#[test]
+fn described_symbolic_prompts_are_detected_as_their_modality() {
+    use haven_spec::describe::{describe, DescribeStyle};
+    let tt_prompt = describe(
+        &builders::truth_table_spec(
+            "t",
+            vec!["a".into(), "b".into()],
+            vec!["out".into()],
+            vec![(0, 0), (1, 1), (2, 1), (3, 0)],
+        ),
+        DescribeStyle::Engineer,
+    );
+    let blocks = detect(&tt_prompt);
+    assert_eq!(blocks.len(), 1, "{tt_prompt}");
+    assert_eq!(blocks[0].kind, ModalityKind::TruthTable);
+
+    let fsm_prompt = describe(&builders::fsm_ab("f"), DescribeStyle::Engineer);
+    let blocks = detect(&fsm_prompt);
+    assert_eq!(blocks.len(), 1, "{fsm_prompt}");
+    assert_eq!(blocks[0].kind, ModalityKind::StateDiagram);
+}
+
+#[test]
+fn sicot_nl_is_perceivable_by_the_lm() {
+    // modality NL -> lm perception, the structured path end to end.
+    let tt = TruthTable::parse("a b out\n0 0 1\n0 1 0\n1 0 0\n1 1 1").unwrap();
+    let prompt = format!(
+        "Implement a combinational module named `m`.\n{}\nThe module header is: `module m (input a, input b, output out);`",
+        tt.to_natural_language()
+    );
+    let p = haven_lm::perception::perceive(&prompt).unwrap();
+    let Behavior::TruthTable(spec_tt) = &p.spec.behavior else {
+        panic!("{:?}", p.spec.behavior)
+    };
+    assert_eq!(spec_tt.lookup(0b00), 1);
+    assert_eq!(spec_tt.lookup(0b11), 1);
+    assert_eq!(spec_tt.lookup(0b01), 0);
+}
+
+#[test]
+fn header_sentence_is_parsed_by_the_verilog_parser() {
+    use haven_spec::codegen::emit_header;
+    for spec in [
+        builders::counter("c", 4, None),
+        builders::alu("a", 8, vec![haven_spec::ir::AluOp::Add, haven_spec::ir::AluOp::Sub]),
+        builders::adder("add", 16),
+    ] {
+        let header = emit_header(&spec);
+        let as_module = format!("{header} endmodule");
+        haven_verilog::parser::parse(&as_module)
+            .unwrap_or_else(|e| panic!("{header}: {e}"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests over cross-crate invariants.
+
+use proptest::prelude::*;
+
+use haven_spec::codegen::{emit, EmitStyle};
+use haven_spec::cosim::cosimulate;
+use haven_spec::stimuli::stimuli_for;
+use haven_spec::{builders, Spec};
+use haven_verilog::logic::LogicVec;
+
+// ---- strategies -----------------------------------------------------------
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    prop_oneof![
+        (2usize..=6).prop_map(|w| builders::adder("p_adder", w)),
+        (1usize..=6).prop_map(|w| builders::mux2("p_mux", w)),
+        (2usize..=6, proptest::option::of(2u64..=12))
+            .prop_map(|(w, m)| {
+                let m = m.map(|m| m.min((1u64 << w) - 1).max(2));
+                builders::counter("p_cnt", w, m)
+            }),
+        (2usize..=8).prop_map(|w| builders::shift_register(
+            "p_shift",
+            w,
+            haven_spec::ir::ShiftDirection::Right
+        )),
+        (1u64..=6).prop_map(|hp| builders::clock_divider("p_div", hp)),
+        (1usize..=8, 1usize..=3).prop_map(|(w, s)| builders::pipeline("p_pipe", w, s)),
+        proptest::collection::vec(any::<bool>(), 4).prop_map(|outs| {
+            let rows: Vec<(u64, u64)> = outs
+                .iter()
+                .enumerate()
+                .map(|(i, &o)| (i as u64, u64::from(o)))
+                .collect();
+            builders::truth_table_spec(
+                "p_tt",
+                vec!["a".into(), "b".into()],
+                vec!["out".into()],
+                rows,
+            )
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The keystone invariant at property scale: for any spec in the
+    /// family, correct emission passes co-simulation under any stimulus
+    /// seed.
+    #[test]
+    fn correct_emission_always_passes_cosim(spec in arb_spec(), seed in 0u64..1000) {
+        let src = emit(&spec, &EmitStyle::correct());
+        let report = cosimulate(&spec, &src, &stimuli_for(&spec, seed));
+        prop_assert!(
+            report.verdict.functional_ok(),
+            "{}: {:?}\n{src}",
+            spec.name,
+            report.verdict
+        );
+    }
+
+    /// Logic vectors: u64 round-trips and operator/wrapping laws.
+    #[test]
+    fn logicvec_arithmetic_matches_u64(a in any::<u64>(), b in any::<u64>(), w in 1usize..=32) {
+        let mask = (1u64 << w) - 1;
+        let la = LogicVec::from_u64(a, w);
+        let lb = LogicVec::from_u64(b, w);
+        prop_assert_eq!(la.add(&lb).to_u64(), Some(a.wrapping_add(b) & mask));
+        prop_assert_eq!(la.sub(&lb).to_u64(), Some(a.wrapping_sub(b) & mask));
+        prop_assert_eq!((la.clone() & lb.clone()).to_u64(), Some(a & b & mask));
+        prop_assert_eq!((la.clone() | lb.clone()).to_u64(), Some((a | b) & mask));
+        prop_assert_eq!((la.clone() ^ lb.clone()).to_u64(), Some((a ^ b) & mask));
+        prop_assert_eq!(la.not().to_u64(), Some(!a & mask));
+    }
+
+    /// Truth-table text round-trips through the modality parser.
+    #[test]
+    fn truth_table_text_roundtrip(outs in proptest::collection::vec(0u64..4, 8)) {
+        use haven_modality::truth_table::TruthTable;
+        let tt = TruthTable {
+            inputs: vec!["a".into(), "b".into(), "c".into()],
+            outputs: vec!["y".into(), "z".into()],
+            rows: outs.iter().enumerate().map(|(i, &o)| (i as u64, o)).collect(),
+        };
+        let parsed = TruthTable::parse(&tt.to_text()).unwrap();
+        prop_assert_eq!(parsed, tt);
+    }
+
+    /// Verilog pretty-printing round-trips through the parser.
+    #[test]
+    fn emitted_verilog_reparses_and_reprints_identically(spec in arb_spec()) {
+        use haven_verilog::parser::parse;
+        use haven_verilog::pretty::pretty_file;
+        let src = emit(&spec, &EmitStyle::correct());
+        let first = parse(&src).unwrap();
+        let printed = pretty_file(&first);
+        let second = parse(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        prop_assert_eq!(pretty_file(&second), printed);
+    }
+
+    /// pass@k estimator invariants under arbitrary (n, c, k).
+    #[test]
+    fn passk_invariants(n in 1usize..=20, c_frac in 0.0f64..=1.0, k_frac in 0.0f64..1.0) {
+        use haven_eval::passk::pass_at_k;
+        let c = ((n as f64) * c_frac) as usize;
+        let k = 1 + ((n - 1) as f64 * k_frac) as usize;
+        let v = pass_at_k(n, c.min(n), k);
+        prop_assert!((0.0..=1.0).contains(&v));
+        if k < n {
+            prop_assert!(pass_at_k(n, c.min(n), k + 1) + 1e-12 >= v);
+        }
+    }
+
+    /// Instruction evolution never breaks machine-perceivability of
+    /// engineer counter prompts and stays within its word budget.
+    #[test]
+    fn evolution_preserves_perceivability(seed in any::<u64>(), w in 2usize..=8) {
+        use haven_datagen::evolve::evolve_instruction;
+        use haven_spec::describe::{describe, DescribeStyle};
+        let spec = builders::counter("c", w, None);
+        let base = describe(&spec, DescribeStyle::Engineer);
+        let evolved = evolve_instruction(&base, seed);
+        let p = haven_lm::perception::perceive(&evolved).unwrap();
+        prop_assert_eq!(&p.spec.behavior, &spec.behavior);
+    }
+
+    /// Quine–McCluskey minimization is exhaustively equivalent for random
+    /// 4-variable functions.
+    #[test]
+    fn qm_minimization_is_equivalent(on_bits in 0u16..) {
+        use haven_datagen::qm::minimal_sop;
+        use haven_verilog::eval::{eval_expr, SignalEnv};
+        let vars: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let minterms: Vec<u64> = (0..16).filter(|&m| on_bits >> m & 1 == 1).collect();
+        let expr = minimal_sop(&vars, &minterms);
+        struct Env<'a> {
+            vars: &'a [String],
+            value: u64,
+        }
+        impl SignalEnv for Env<'_> {
+            fn value_of(&self, name: &str) -> Option<LogicVec> {
+                let i = self.vars.iter().position(|v| v == name)?;
+                Some(LogicVec::from_u64(self.value >> (3 - i) & 1, 1))
+            }
+            fn lsb_of(&self, _: &str) -> usize { 0 }
+        }
+        for value in 0..16u64 {
+            let env = Env { vars: &vars, value };
+            let got = eval_expr(&expr, &env).is_true();
+            prop_assert_eq!(got, minterms.contains(&value), "at {:04b}", value);
+        }
+    }
+}
