@@ -9,11 +9,11 @@ use std::hint::black_box;
 use haven_lm::model::CodeGenModel;
 use haven_lm::profiles;
 use haven_sicot::SiCot;
+use haven_spec::builders;
 use haven_spec::codegen::{emit, EmitStyle};
 use haven_spec::cosim::cosimulate;
 use haven_spec::describe::{describe, DescribeStyle};
 use haven_spec::stimuli::stimuli_for;
-use haven_spec::builders;
 use haven_verilog::elab::compile;
 use haven_verilog::parser::parse;
 use haven_verilog::sim::Simulator;
@@ -63,6 +63,40 @@ fn bench_simulator(c: &mut Criterion) {
     });
 }
 
+fn bench_static_analysis(c: &mut Criterion) {
+    let fsm = compile(FSM_SRC).unwrap();
+    c.bench_function("verilog/analyze_static_fsm", |b| {
+        b.iter(|| black_box(haven_verilog::analyze_design(black_box(&fsm))))
+    });
+    // A wider sequential design: the analyzer's fixpoints scale with
+    // signals × drivers rather than simulated cycles.
+    let counter = compile(&emit(
+        &builders::counter("cnt", 32, Some(1 << 30)),
+        &EmitStyle::correct(),
+    ))
+    .unwrap();
+    c.bench_function("verilog/analyze_static_counter32", |b| {
+        b.iter(|| black_box(haven_verilog::analyze_design(black_box(&counter))))
+    });
+}
+
+fn bench_eval_gating(c: &mut Criterion) {
+    // The gate's value proposition: analysis of a defective candidate vs
+    // co-simulating it to the same (failing) verdict.
+    let spec = builders::counter("cnt", 8, None);
+    let mut style = EmitStyle::correct();
+    style.ignore_reset = true;
+    let bad = emit(&spec, &style);
+    let stim = stimuli_for(&spec, 1);
+    let design = compile(&bad).unwrap();
+    c.bench_function("eval/gate_reject_static", |b| {
+        b.iter(|| black_box(haven_verilog::analyze_design(black_box(&design))))
+    });
+    c.bench_function("eval/gate_reject_cosim", |b| {
+        b.iter(|| black_box(cosimulate(&spec, &bad, &stim)))
+    });
+}
+
 fn bench_cosim(c: &mut Criterion) {
     let spec = builders::counter("cnt", 8, Some(100));
     let src = emit(&spec, &EmitStyle::correct());
@@ -104,6 +138,6 @@ fn bench_datagen(c: &mut Criterion) {
 criterion_group! {
     name = substrate;
     config = Criterion::default().sample_size(20);
-    targets = bench_frontend, bench_simulator, bench_cosim, bench_lm, bench_datagen
+    targets = bench_frontend, bench_simulator, bench_static_analysis, bench_eval_gating, bench_cosim, bench_lm, bench_datagen
 }
 criterion_main!(substrate);

@@ -22,7 +22,9 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--export") {
         let dir = std::path::PathBuf::from(
-            args.get(i + 1).map(String::as_str).unwrap_or("dataset-export"),
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or("dataset-export"),
         );
         std::fs::create_dir_all(&dir).expect("create export dir");
         for (name, data) in [
@@ -47,11 +49,25 @@ fn main() {
             paper.to_string(),
         ]
     };
-    table.row(row("corpus files (step 5 input)", s.corpus_files, "~550,000"));
+    table.row(row(
+        "corpus files (step 5 input)",
+        s.corpus_files,
+        "~550,000",
+    ));
     table.row(row("captioned", s.captioned, "n/a"));
     table.row(row("vanilla pairs, verified", s.vanilla_valid, "~43,000"));
+    table.row(row(
+        "  rejected by static analyzer",
+        s.vanilla_rejected_static,
+        "n/a",
+    ));
     table.row(row("matched >=1 exemplar (step 6)", s.matched, "n/a"));
     table.row(row("K-dataset pairs (steps 7-8)", s.k_pairs, "~14,000"));
+    table.row(row(
+        "  rejected by static analyzer",
+        s.k_rejected_static,
+        "n/a",
+    ));
     table.row(row("L-dataset pairs (steps 9-12)", s.l_pairs, "~5,000"));
     table.row(row(
         "KL-dataset (shuffled, step 13)",
@@ -59,7 +75,10 @@ fn main() {
         "~19,000",
     ));
 
-    println!("\nDataset generation funnel (Fig. 2), scale 1:{:.0}\n", ratio);
+    println!(
+        "\nDataset generation funnel (Fig. 2), scale 1:{:.0}\n",
+        ratio
+    );
     println!("{}", table.render());
 
     // Composition breakdown.

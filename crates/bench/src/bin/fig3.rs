@@ -22,12 +22,7 @@ fn main() {
     );
     let flow = haven_datagen::run(&scale.flow);
 
-    let mut table = Table::new(vec![
-        "Base model",
-        "Setting",
-        "pass@1",
-        "pass@5",
-    ]);
+    let mut table = Table::new(vec!["Base model", "Setting", "pass@1", "pass@5"]);
     for base in [
         profiles::base_codellama(),
         profiles::base_deepseek(),

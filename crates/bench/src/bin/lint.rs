@@ -1,0 +1,241 @@
+//! `haven-lint` — command-line front end for the dataflow static analyzer
+//! ([`haven_verilog::analyze_static`]) and the convention linter
+//! ([`haven_verilog::lint`]), emitting one machine-readable JSON report.
+//!
+//! ```sh
+//! cargo run --release -p haven-bench --bin lint -- design.v
+//! cargo run --release -p haven-bench --bin lint -- --pretty design.v
+//! ```
+//!
+//! Exit codes: `0` no Error-severity findings, `1` the analyzer proved a
+//! defect (or the file does not compile), `2` usage / IO error.
+//!
+//! The JSON is assembled by hand: every field is a flat string or number,
+//! and findings carry the stable rule code, severity, source span and the
+//! Table II taxonomy attribution, so downstream tooling needs no schema
+//! beyond this file.
+
+use haven_verilog::analyze_static::Severity;
+use haven_verilog::lint::lint_module;
+use haven_verilog::parser::parse;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Json {
+    buf: String,
+    pretty: bool,
+    depth: usize,
+}
+
+impl Json {
+    fn new(pretty: bool) -> Json {
+        Json {
+            buf: String::new(),
+            pretty,
+            depth: 0,
+        }
+    }
+
+    fn newline(&mut self) {
+        if self.pretty {
+            self.buf.push('\n');
+            for _ in 0..self.depth {
+                self.buf.push_str("  ");
+            }
+        }
+    }
+
+    fn open(&mut self, bracket: char) {
+        self.buf.push(bracket);
+        self.depth += 1;
+    }
+
+    fn close(&mut self, bracket: char) {
+        self.depth -= 1;
+        self.newline();
+        self.buf.push(bracket);
+    }
+
+    fn comma(&mut self, first: &mut bool) {
+        if !*first {
+            self.buf.push(',');
+        }
+        *first = false;
+        self.newline();
+    }
+
+    fn key(&mut self, k: &str) {
+        self.buf.push('"');
+        self.buf.push_str(k);
+        self.buf.push_str(if self.pretty { "\": " } else { "\":" });
+    }
+
+    fn str_field(&mut self, first: &mut bool, k: &str, v: &str) {
+        self.comma(first);
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(v));
+        self.buf.push('"');
+    }
+
+    fn num_field(&mut self, first: &mut bool, k: &str, v: usize) {
+        self.comma(first);
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+    }
+}
+
+fn report(path: &str, source: &str, pretty: bool) -> (String, i32) {
+    let mut j = Json::new(pretty);
+    let mut top_first = true;
+    j.open('{');
+    j.str_field(&mut top_first, "file", path);
+
+    // Convention lint runs on the parse tree, module by module, and does
+    // not require the file to elaborate.
+    let parsed = parse(source);
+    j.comma(&mut top_first);
+    j.key("lint");
+    j.open('[');
+    let mut lint_first = true;
+    if let Ok(file) = &parsed {
+        for module in &file.modules {
+            for issue in lint_module(module) {
+                j.comma(&mut lint_first);
+                let mut f = true;
+                j.open('{');
+                j.str_field(&mut f, "module", &module.name);
+                j.str_field(&mut f, "rule", &format!("{:?}", issue.rule));
+                j.str_field(&mut f, "message", &issue.message);
+                j.num_field(&mut f, "line", issue.span.line as usize);
+                j.num_field(&mut f, "col", issue.span.col as usize);
+                j.close('}');
+            }
+        }
+    }
+    j.close(']');
+
+    // Dataflow analysis needs the elaborated design.
+    let mut exit = 0;
+    match haven_verilog::analyze_source(source) {
+        Ok(rep) => {
+            j.comma(&mut top_first);
+            j.key("static");
+            j.open('{');
+            let mut s_first = true;
+            j.str_field(&mut s_first, "module", &rep.module);
+            j.comma(&mut s_first);
+            j.key("findings");
+            j.open('[');
+            let mut f_first = true;
+            for finding in &rep.findings {
+                j.comma(&mut f_first);
+                let mut f = true;
+                j.open('{');
+                j.str_field(&mut f, "rule", finding.rule.code());
+                j.str_field(
+                    &mut f,
+                    "severity",
+                    match finding.severity {
+                        Severity::Error => "error",
+                        Severity::Warn => "warn",
+                    },
+                );
+                j.str_field(&mut f, "message", &finding.message);
+                j.num_field(&mut f, "line", finding.span.line as usize);
+                j.num_field(&mut f, "col", finding.span.col as usize);
+                if let Some(sig) = &finding.signal {
+                    j.str_field(&mut f, "signal", sig);
+                }
+                j.str_field(&mut f, "taxonomy", finding.rule.taxonomy());
+                j.close('}');
+            }
+            j.close(']');
+            j.num_field(&mut s_first, "errors", rep.error_count());
+            j.close('}');
+            if rep.has_errors() {
+                exit = 1;
+            }
+        }
+        Err(e) => {
+            j.str_field(&mut top_first, "compile_error", &e.to_string());
+            exit = 1;
+        }
+    }
+
+    j.close('}');
+    (j.buf, exit)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pretty = args.iter().any(|a| a == "--pretty");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [path] = files.as_slice() else {
+        eprintln!("usage: lint [--pretty] <file.v>");
+        std::process::exit(2);
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lint: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (json, exit) = report(path, &source, pretty);
+    println!("{json}");
+    std::process::exit(exit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_module_reports_no_errors_and_valid_json() {
+        let src = "module c(input clk, input rst_n, output reg [3:0] q);\n always @(posedge clk or negedge rst_n)\n  if (!rst_n) q <= 4'd0; else q <= q + 4'd1;\nendmodule\n";
+        let (json, exit) = report("c.v", src, false);
+        assert_eq!(exit, 0);
+        assert!(json.contains("\"errors\":0"), "{json}");
+        assert!(json.contains("\"module\":\"c\""), "{json}");
+    }
+
+    #[test]
+    fn defective_module_exits_nonzero_with_rule_code() {
+        let src = "module c(input clk, output reg [3:0] q);\n always @(posedge clk) q <= q + 4'd1;\nendmodule\n";
+        let (json, exit) = report("c.v", src, false);
+        assert_eq!(exit, 1);
+        assert!(json.contains("SA-XSOURCE"), "{json}");
+        assert!(json.contains("\"severity\":\"error\""), "{json}");
+        assert!(
+            json.contains("\"taxonomy\":\"ConventionMisapplication\""),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn unparseable_file_reports_compile_error() {
+        let (json, exit) = report("x.v", "not verilog at all", false);
+        assert_eq!(exit, 1);
+        assert!(json.contains("compile_error"), "{json}");
+    }
+
+    #[test]
+    fn escaping_keeps_json_well_formed() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

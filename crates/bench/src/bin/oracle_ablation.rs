@@ -32,7 +32,10 @@ fn naive_stimuli(spec: &Spec, seed: u64) -> Stimuli {
         steps.push(StimulusStep::Set(p.name.clone(), 0));
     }
     if let Some(en) = &spec.attrs.enable {
-        steps.push(StimulusStep::Set(en.name.clone(), u64::from(en.active_high)));
+        steps.push(StimulusStep::Set(
+            en.name.clone(),
+            u64::from(en.active_high),
+        ));
     }
     if let Some(r) = &spec.attrs.reset {
         let assert_level = u64::from(r.asserted_by(true));

@@ -30,16 +30,21 @@ fn main() {
     roster.extend(haven_roster(&flow));
 
     let mut table = Table::new(vec![
-        "Group", "Model", "Open", "Size", "VE-machine p@1", "p@5", "VE-human p@1", "p@5",
-        "RTLLM syn p@5", "func p@5", "VE-v2 p@1", "p@5",
+        "Group",
+        "Model",
+        "Open",
+        "Size",
+        "VE-machine p@1",
+        "p@5",
+        "VE-human p@1",
+        "p@5",
+        "RTLLM syn p@5",
+        "func p@5",
+        "VE-v2 p@1",
+        "p@5",
     ]);
     for (i, contender) in roster.iter().enumerate() {
-        eprintln!(
-            "  [{}/{}] {}",
-            i + 1,
-            roster.len(),
-            contender.profile.name
-        );
+        eprintln!("  [{}/{}] {}", i + 1, roster.len(), contender.profile.name);
         let row = table4_row(contender, &suites, &scale);
         table.row(vec![
             row.group.to_string(),

@@ -42,7 +42,9 @@ fn main() {
         let mut total = 0usize;
         for task in &suites.human {
             let prompt = if sicot {
-                SiCot::new(model.clone()).refine(&task.prompt, &task.id).text
+                SiCot::new(model.clone())
+                    .refine(&task.prompt, &task.id)
+                    .text
             } else {
                 task.prompt.clone()
             };

@@ -79,10 +79,27 @@ pub fn diagnose(
                 "module interface does not match the requested header: {msg}"
             )],
         ),
-        Verdict::SimulationError(msg) => Diagnosis::class_only(
-            HallucinationClass::Knowledge,
-            vec![format!("runtime failure (combinational loop?): {msg}")],
-        ),
+        Verdict::SimulationError(msg) => {
+            let mut evidence = vec![format!("runtime failure: {msg}")];
+            // A simulation that never settles usually means a combinational
+            // loop; the dataflow analyzer can prove it.
+            if let Ok(design) = haven_verilog::compile(source) {
+                let report = haven_verilog::analyze_design(&design);
+                if let Some(f) = report
+                    .findings
+                    .iter()
+                    .find(|f| f.rule == haven_verilog::analyze_static::StaticRule::CombLoop)
+                {
+                    evidence.push(format!(
+                        "static analysis: [{}] {}",
+                        f.rule.code(),
+                        f.message
+                    ));
+                    return Diagnosis::of(HallucinationType::ConventionMisapplication, evidence);
+                }
+            }
+            Diagnosis::class_only(HallucinationClass::Knowledge, evidence)
+        }
         Verdict::FunctionalMismatch { detail, .. } => {
             diagnose_functional(spec, source, detail, modality)
         }
@@ -134,6 +151,27 @@ fn diagnose_functional(
         }
     }
 
+    // 1b. Dataflow-level evidence: an Error-severity static finding proves
+    // a structural defect, and each rule carries its own Table II
+    // attribution (see `StaticRule::taxonomy`).
+    if let Ok(design) = haven_verilog::compile(source) {
+        let report = haven_verilog::analyze_design(&design);
+        if let Some(f) = report
+            .findings
+            .iter()
+            .find(|f| f.severity == haven_verilog::analyze_static::Severity::Error)
+        {
+            if let Some(t) = hallucination_from_hint(f.rule.taxonomy()) {
+                evidence.push(format!(
+                    "static analysis: [{}] {}",
+                    f.rule.code(),
+                    f.message
+                ));
+                return Diagnosis::of(t, evidence);
+            }
+        }
+    }
+
     // 2. Convention-level evidence from lint.
     let issues = lint_module(module);
     for issue in &issues {
@@ -169,11 +207,7 @@ fn diagnose_functional(
                 body.collect_writes(&mut seq_writes);
             }
         }
-        if spec
-            .outputs
-            .iter()
-            .any(|o| seq_writes.contains(&o.name))
-        {
+        if spec.outputs.iter().any(|o| seq_writes.contains(&o.name)) {
             evidence.push("Moore output is registered in the clocked block".into());
             return Diagnosis::of(HallucinationType::ConventionMisapplication, evidence);
         }
@@ -201,6 +235,24 @@ fn diagnose_functional(
     }
 
     Diagnosis::class_only(HallucinationClass::Logical, evidence)
+}
+
+/// Maps a `StaticRule::taxonomy` hint (spelled like a
+/// [`HallucinationType`] variant, so `haven-verilog` needs no dependency
+/// on this crate) back to the typed taxonomy.
+fn hallucination_from_hint(hint: &str) -> Option<HallucinationType> {
+    Some(match hint {
+        "StateDiagramMisinterpretation" => HallucinationType::StateDiagramMisinterpretation,
+        "WaveformMisinterpretation" => HallucinationType::WaveformMisinterpretation,
+        "TruthTableMisinterpretation" => HallucinationType::TruthTableMisinterpretation,
+        "ConventionMisapplication" => HallucinationType::ConventionMisapplication,
+        "SyntaxMisapplication" => HallucinationType::SyntaxMisapplication,
+        "AttributeMisunderstanding" => HallucinationType::AttributeMisunderstanding,
+        "IncorrectExpression" => HallucinationType::IncorrectExpression,
+        "CornerCaseMishandling" => HallucinationType::CornerCaseMishandling,
+        "InstructionalInfidelity" => HallucinationType::InstructionalInfidelity,
+        _ => return None,
+    })
 }
 
 fn async_polarity_differs(want: ResetKind, got: ResetKind) -> bool {
@@ -298,7 +350,10 @@ mod tests {
         let src = "module g(input a, input b, output y);\n    assign y = a | b;\nendmodule";
         let v = run(&spec, src);
         let d = diagnose(&spec, src, &v, None);
-        assert_eq!(d.hallucination, Some(HallucinationType::IncorrectExpression));
+        assert_eq!(
+            d.hallucination,
+            Some(HallucinationType::IncorrectExpression)
+        );
     }
 
     #[test]
@@ -322,6 +377,46 @@ mod tests {
         assert_eq!(
             d.hallucination,
             Some(HallucinationType::TruthTableMisinterpretation),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn overlapping_drivers_attribute_via_static_analysis() {
+        // Elaboration admits partially-overlapping slice assigns; only the
+        // dataflow analyzer proves bits 1..=2 of `s` are double-driven.
+        let spec = builders::adder("a", 4);
+        let src = "module a(input [3:0] a, input [3:0] b, output [3:0] s);\n    assign s[2:0] = a[2:0] + b[2:0];\n    assign s[3:1] = a[3:1];\nendmodule";
+        let v = run(&spec, src);
+        assert!(matches!(v, Verdict::FunctionalMismatch { .. }), "{v:?}");
+        let d = diagnose(&spec, src, &v, None);
+        assert_eq!(
+            d.hallucination,
+            Some(HallucinationType::ConventionMisapplication),
+            "{d:?}"
+        );
+        assert!(
+            d.evidence.iter().any(|e| e.contains("SA-MULTIDRIVE")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn unsettled_simulation_attributes_to_comb_loop() {
+        // Signals power up as `x` (a fixpoint of any loop), so the ring
+        // must escape it via an input before it actually oscillates.
+        let spec = builders::adder("a", 4);
+        let src = "module a(input [3:0] a, input [3:0] b, output [3:0] s);\n    wire [3:0] p;\n    assign p = ~s;\n    assign s = ((a | b) != 4'd0) ? p : 4'd0;\nendmodule";
+        let v = run(&spec, src);
+        assert!(matches!(v, Verdict::SimulationError(_)), "{v:?}");
+        let d = diagnose(&spec, src, &v, None);
+        assert_eq!(
+            d.hallucination,
+            Some(HallucinationType::ConventionMisapplication),
+            "{d:?}"
+        );
+        assert!(
+            d.evidence.iter().any(|e| e.contains("SA-COMBLOOP")),
             "{d:?}"
         );
     }

@@ -238,9 +238,8 @@ pub fn table5_row(
             .map(|t| t.id.as_str())
             .collect()
     };
-    let part = |kind: ModalityKind| -> (usize, usize) {
-        result.filtered(&ids_of(kind)).pass_counts()
-    };
+    let part =
+        |kind: ModalityKind| -> (usize, usize) { result.filtered(&ids_of(kind)).pass_counts() };
     Table5Row {
         model: profile.name.clone(),
         truth_table: part(ModalityKind::TruthTable),

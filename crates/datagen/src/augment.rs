@@ -1,5 +1,9 @@
 //! Vanilla captioning, topic matching, exemplar-guided rewriting and
-//! compile verification (Fig. 2 steps 5–8).
+//! verification (Fig. 2 steps 5–8). Step 8 gates on *both* compilation
+//! and the dataflow static analyzer: a pair whose code compiles but is
+//! provably defective (multi-driven net, combinational loop, register
+//! stuck at `x`) would teach the fine-tuned model hallucinated idioms,
+//! so it is rejected and tallied.
 
 use haven_lm::finetune::SampleKind;
 use haven_spec::describe::{describe, DescribeStyle};
@@ -109,12 +113,46 @@ pub fn rewrite_accepted(sample_id: usize, exemplar_id: &str) -> bool {
     stable_unit(sample_id, exemplar_id) < 0.30
 }
 
-/// Step 8 — "Verification": keeps only pairs whose code compiles.
-pub fn verify(pairs: Vec<InstructionCodePair>) -> Vec<InstructionCodePair> {
-    pairs
+/// Rejection tallies from step 8's verification gate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Pairs whose code did not compile.
+    pub rejected_compile: usize,
+    /// Pairs that compiled but carried an Error-severity static-analysis
+    /// finding (multi-driven nets, combinational loops, X-generating
+    /// registers, ...).
+    pub rejected_static: usize,
+}
+
+/// Step 8 — "Verification": keeps only pairs whose code compiles and is
+/// free of Error-severity dataflow findings (see
+/// [`haven_verilog::analyze_design`]), reporting what was rejected at
+/// each gate.
+pub fn verify_counted(pairs: Vec<InstructionCodePair>) -> (Vec<InstructionCodePair>, VerifyStats) {
+    let mut stats = VerifyStats::default();
+    let kept = pairs
         .into_iter()
-        .filter(|p| compile(&p.code).is_ok())
-        .collect()
+        .filter(|p| match compile(&p.code) {
+            Err(_) => {
+                stats.rejected_compile += 1;
+                false
+            }
+            Ok(design) => {
+                if haven_verilog::analyze_design(&design).has_errors() {
+                    stats.rejected_static += 1;
+                    false
+                } else {
+                    true
+                }
+            }
+        })
+        .collect();
+    (kept, stats)
+}
+
+/// [`verify_counted`] without the tallies.
+pub fn verify(pairs: Vec<InstructionCodePair>) -> Vec<InstructionCodePair> {
+    verify_counted(pairs).0
 }
 
 #[cfg(test)]
@@ -180,9 +218,34 @@ mod tests {
                 logic_category: None,
             })
             .collect();
-        let kept = verify(pairs);
-        let expected = corpus.iter().filter(|s| s.quality != Quality::Broken).count();
-        assert_eq!(kept.len(), expected);
+        let (kept, stats) = verify_counted(pairs);
+        let broken = corpus
+            .iter()
+            .filter(|s| s.quality == Quality::Broken)
+            .count();
+        assert_eq!(stats.rejected_compile, broken);
+        assert_eq!(kept.len() + stats.rejected_static, corpus.len() - broken);
+        assert!(
+            stats.rejected_static > 0,
+            "reset-less unconventional samples should trip the static gate"
+        );
+    }
+
+    #[test]
+    fn static_gate_rejects_x_generating_register() {
+        let pair = InstructionCodePair {
+            instruction: "a counter".into(),
+            code: "module c(input clk, output reg [3:0] q);\n always @(posedge clk) q <= q + 4'd1;\nendmodule"
+                .into(),
+            kind: SampleKind::Vanilla,
+            topic: haven_verilog::analyze::Topic::Counter,
+            has_attributes: false,
+            logic_category: None,
+        };
+        let (kept, stats) = verify_counted(vec![pair]);
+        assert!(kept.is_empty());
+        assert_eq!(stats.rejected_static, 1);
+        assert_eq!(stats.rejected_compile, 0);
     }
 
     #[test]
@@ -198,7 +261,9 @@ mod tests {
             logic_category: None,
         };
         let (analysis, hits) = match_exemplars(&pair, &lib);
-        assert!(analysis.topics.contains(&haven_verilog::analyze::Topic::Counter));
+        assert!(analysis
+            .topics
+            .contains(&haven_verilog::analyze::Topic::Counter));
         assert!(!hits.is_empty());
         assert!(hits
             .iter()

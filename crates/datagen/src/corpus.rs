@@ -184,10 +184,14 @@ fn random_spec(rng: &mut StdRng, id: usize) -> Spec {
 
 fn unconventional_style(rng: &mut StdRng) -> EmitStyle {
     let mut style = EmitStyle::correct();
-    match rng.gen_range(0..3u8) {
+    match rng.gen_range(0..4u8) {
         0 => style.nonblocking_in_seq = false,
         1 => style.case_default = false,
-        _ => style.comb_always_block = true,
+        2 => style.comb_always_block = true,
+        // Scraped repos also contain registers with no reset at all —
+        // code that compiles but powers up to `x` (step 8's static
+        // verification rejects these).
+        _ => style.ignore_reset = true,
     }
     style
 }
@@ -197,8 +201,11 @@ fn hierarchical_adder_source(name: &str, width: usize) -> String {
     let mut body = String::new();
     if width > 1 {
         let carries: Vec<String> = (0..width - 1).map(|i| format!("c{i}")).collect();
-        body.push_str(&format!("    wire {};
-", carries.join(", ")));
+        body.push_str(&format!(
+            "    wire {};
+",
+            carries.join(", ")
+        ));
     }
     for i in 0..width {
         let cin = if i == 0 {
@@ -250,7 +257,10 @@ fn broken_source(spec: &Spec, rng: &mut StdRng) -> String {
             }
             None => good,
         },
-        2 => format!("# {}\nThis repo contains my homework solutions.\n", spec.name),
+        2 => format!(
+            "# {}\nThis repo contains my homework solutions.\n",
+            spec.name
+        ),
         _ => good.replacen("module", "modul", 1),
     }
 }
@@ -295,7 +305,10 @@ mod tests {
             unconventional_rate: 0.25,
         };
         let corpus = generate(&cfg, 11);
-        let broken = corpus.iter().filter(|s| s.quality == Quality::Broken).count() as f64;
+        let broken = corpus
+            .iter()
+            .filter(|s| s.quality == Quality::Broken)
+            .count() as f64;
         let frac = broken / corpus.len() as f64;
         assert!((frac - 0.25).abs() < 0.05, "broken fraction {frac}");
     }
@@ -315,13 +328,23 @@ mod tests {
             .collect();
         assert!(!hier.is_empty(), "no hierarchical samples generated");
         for s in hier.iter().take(5) {
-            compile(&s.source).unwrap_or_else(|e| panic!("{e}
-{}", s.source));
+            compile(&s.source).unwrap_or_else(|e| {
+                panic!(
+                    "{e}
+{}",
+                    s.source
+                )
+            });
             // The structural adder must actually add.
             let spec = s.spec.as_ref().unwrap();
             let report = cosimulate(spec, &s.source, &stimuli_for(spec, 1));
-            assert!(report.verdict.functional_ok(), "{:?}
-{}", report.verdict, s.source);
+            assert!(
+                report.verdict.functional_ok(),
+                "{:?}
+{}",
+                report.verdict,
+                s.source
+            );
         }
     }
 

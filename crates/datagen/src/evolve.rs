@@ -115,10 +115,7 @@ mod tests {
             // Still machine-perceivable to the same behaviour.
             let p = haven_lm::perception::perceive(&evolved)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{evolved}"));
-            assert!(matches!(
-                p.spec.behavior,
-                haven_spec::Behavior::Counter(_)
-            ));
+            assert!(matches!(p.spec.behavior, haven_spec::Behavior::Counter(_)));
         }
     }
 

@@ -80,8 +80,18 @@ fn with_attrs(mut spec: Spec, reset: Option<ResetKind>, edge: Edge, enable: bool
 pub fn library() -> Vec<Exemplar> {
     let mut out = Vec::new();
     let attr_variants: [(&str, Option<ResetKind>, Edge, bool); 4] = [
-        ("async_low", Some(ResetKind::AsyncActiveLow), Edge::Pos, false),
-        ("async_high", Some(ResetKind::AsyncActiveHigh), Edge::Pos, false),
+        (
+            "async_low",
+            Some(ResetKind::AsyncActiveLow),
+            Edge::Pos,
+            false,
+        ),
+        (
+            "async_high",
+            Some(ResetKind::AsyncActiveHigh),
+            Edge::Pos,
+            false,
+        ),
         ("sync", Some(ResetKind::Sync), Edge::Pos, true),
         ("negedge", Some(ResetKind::AsyncActiveLow), Edge::Neg, false),
     ];
@@ -93,7 +103,12 @@ pub fn library() -> Vec<Exemplar> {
         ));
         out.push(exemplar(
             &format!("counter/{label}"),
-            with_attrs(builders::counter("counter_exemplar", 4, Some(10)), reset, edge, enable),
+            with_attrs(
+                builders::counter("counter_exemplar", 4, Some(10)),
+                reset,
+                edge,
+                enable,
+            ),
         ));
         out.push(exemplar(
             &format!("shift/{label}"),
@@ -106,11 +121,21 @@ pub fn library() -> Vec<Exemplar> {
         ));
         out.push(exemplar(
             &format!("clkdiv/{label}"),
-            with_attrs(builders::clock_divider("clkdiv_exemplar", 4), reset, edge, enable),
+            with_attrs(
+                builders::clock_divider("clkdiv_exemplar", 4),
+                reset,
+                edge,
+                enable,
+            ),
         ));
         out.push(exemplar(
             &format!("register/{label}"),
-            with_attrs(builders::pipeline("reg_exemplar", 8, 2), reset, edge, enable),
+            with_attrs(
+                builders::pipeline("reg_exemplar", 8, 2),
+                reset,
+                edge,
+                enable,
+            ),
         ));
     }
     out.push(exemplar(
@@ -121,13 +146,19 @@ pub fn library() -> Vec<Exemplar> {
             vec![AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor],
         ),
     ));
-    out.push(exemplar("adder/basic", builders::adder("adder_exemplar", 8)));
+    out.push(exemplar(
+        "adder/basic",
+        builders::adder("adder_exemplar", 8),
+    ));
     out.push(exemplar("mux/basic", builders::mux2("mux_exemplar", 4)));
     out.push(exemplar(
         "comparator/basic",
         builders::comparator("cmp_exemplar", 4),
     ));
-    out.push(exemplar("decoder/basic", builders::decoder("dec_exemplar", 3)));
+    out.push(exemplar(
+        "decoder/basic",
+        builders::decoder("dec_exemplar", 3),
+    ));
     out
 }
 

@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::augment::{caption, match_exemplars, rewrite, verify};
+use crate::augment::{caption, match_exemplars, rewrite, verify_counted};
 use crate::corpus::{self, CorpusConfig};
 use crate::evolve::evolve_pairs;
 use crate::exemplars;
@@ -62,12 +62,17 @@ pub struct FlowStats {
     pub corpus_files: usize,
     /// Files the captioner could parse and caption.
     pub captioned: usize,
-    /// Vanilla pairs surviving compile verification.
+    /// Vanilla pairs surviving compile + static verification.
     pub vanilla_valid: usize,
+    /// Vanilla-side pairs rejected by the static analyzer (compiled, but
+    /// carried an Error-severity dataflow finding).
+    pub vanilla_rejected_static: usize,
     /// Vanilla pairs that matched at least one exemplar.
     pub matched: usize,
     /// K-dataset pairs after rewriting + verification.
     pub k_pairs: usize,
+    /// K-side rewrites rejected by the static analyzer.
+    pub k_rejected_static: usize,
     /// L-dataset pairs.
     pub l_pairs: usize,
 }
@@ -100,14 +105,16 @@ pub fn run(cfg: &FlowConfig) -> FlowOutput {
     // Steps 5 + 8 (vanilla side): caption, verify.
     let captioned: Vec<_> = corpus.iter().filter_map(caption).collect();
     let n_captioned = captioned.len();
-    let vanilla_pairs = verify(captioned);
+    let (vanilla_pairs, vanilla_verify) = verify_counted(captioned);
 
     // Steps 6 + 7 + 8 (knowledge side): match, rewrite, verify.
     // Rewriting needs the originating corpus sample; re-walk the corpus.
     let mut k_raw = Vec::new();
     let mut matched = 0usize;
     for sample in &corpus {
-        let Some(pair) = caption(sample) else { continue };
+        let Some(pair) = caption(sample) else {
+            continue;
+        };
         if haven_verilog::elab::compile(&pair.code).is_err() {
             continue;
         }
@@ -133,7 +140,7 @@ pub fn run(cfg: &FlowConfig) -> FlowOutput {
             }
         }
     }
-    let mut k_pairs = verify(k_raw);
+    let (mut k_pairs, k_verify) = verify_counted(k_raw);
     evolve_pairs(&mut k_pairs, cfg.seed ^ 0x6b);
 
     // Steps 9–12 (logic side).
@@ -144,8 +151,10 @@ pub fn run(cfg: &FlowConfig) -> FlowOutput {
         corpus_files: corpus.len(),
         captioned: n_captioned,
         vanilla_valid: vanilla_pairs.len(),
+        vanilla_rejected_static: vanilla_verify.rejected_static,
         matched,
         k_pairs: k_pairs.len(),
+        k_rejected_static: k_verify.rejected_static,
         l_pairs: l_pairs.len(),
     };
     FlowOutput {
@@ -184,6 +193,23 @@ mod tests {
     }
 
     #[test]
+    fn static_verification_rejects_defective_pairs() {
+        let out = run(&FlowConfig::small(1));
+        let s = out.stats;
+        assert!(s.vanilla_rejected_static > 0, "{s:?}");
+        assert!(s.k_rejected_static > 0, "{s:?}");
+        // Nothing that survives step 8 carries an Error-severity finding.
+        for p in out.vanilla.pairs.iter().chain(&out.k_dataset.pairs) {
+            let d = haven_verilog::compile(&p.code).expect("verified pairs compile");
+            assert!(
+                !haven_verilog::analyze_design(&d).has_errors(),
+                "{}",
+                p.code
+            );
+        }
+    }
+
+    #[test]
     fn flow_is_deterministic() {
         assert_eq!(run(&FlowConfig::small(2)), run(&FlowConfig::small(2)));
     }
@@ -205,8 +231,7 @@ mod tests {
             .chain(&out.k_dataset.pairs)
             .chain(&out.l_dataset.pairs)
         {
-            haven_verilog::elab::compile(&p.code)
-                .unwrap_or_else(|e| panic!("{e}\n{}", p.code));
+            haven_verilog::elab::compile(&p.code).unwrap_or_else(|e| panic!("{e}\n{}", p.code));
         }
     }
 }

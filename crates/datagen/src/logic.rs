@@ -9,9 +9,7 @@
 
 use haven_lm::finetune::{LogicCategory, SampleKind};
 use haven_spec::codegen::{emit, EmitStyle};
-use haven_spec::describe::{
-    chain_expr, render_chain_words, ChainArm, IfChain,
-};
+use haven_spec::describe::{chain_expr, render_chain_words, ChainArm, IfChain};
 use haven_spec::ir::{AttrSpec, Behavior, CombRule, PortSpec, Spec};
 use haven_verilog::ast::BinaryOp;
 use rand::rngs::StdRng;
@@ -63,7 +61,10 @@ pub fn generate(cfg: &LogicConfig, seed: u64) -> Vec<InstructionCodePair> {
 /// Quine–McCluskey-minimal expression.
 fn minimization_pair(rng: &mut StdRng, index: usize) -> InstructionCodePair {
     let n = rng.gen_range(2..=4usize);
-    let vars: Vec<String> = ["a", "b", "c", "d"][..n].iter().map(|s| s.to_string()).collect();
+    let vars: Vec<String> = ["a", "b", "c", "d"][..n]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let minterms: Vec<u64> = (0..1u64 << n).filter(|_| rng.gen_bool(0.45)).collect();
     let expr = qm::minimal_sop(&vars, &minterms);
     let name = format!("kmap_{index:03}");
@@ -106,7 +107,12 @@ fn minimization_pair(rng: &mut StdRng, index: usize) -> InstructionCodePair {
 fn chain_pair(rng: &mut StdRng, index: usize) -> InstructionCodePair {
     let pool = ["a", "b", "c", "d"];
     let len = rng.gen_range(2..=3usize);
-    let ops = [BinaryOp::Add, BinaryOp::BitAnd, BinaryOp::BitOr, BinaryOp::BitXor];
+    let ops = [
+        BinaryOp::Add,
+        BinaryOp::BitAnd,
+        BinaryOp::BitOr,
+        BinaryOp::BitXor,
+    ];
     let rest: Vec<(BinaryOp, String)> = (0..len)
         .map(|i| {
             (
@@ -252,11 +258,7 @@ mod tests {
             2,
         );
         for p in pairs {
-            assert!(
-                p.instruction.contains("equals"),
-                "{}",
-                p.instruction
-            );
+            assert!(p.instruction.contains("equals"), "{}", p.instruction);
         }
     }
 }

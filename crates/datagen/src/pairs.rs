@@ -66,10 +66,8 @@ impl Dataset {
     pub fn combine_shuffled(parts: &[&Dataset], seed: u64) -> Dataset {
         use rand::seq::SliceRandom;
         use rand::SeedableRng;
-        let mut pairs: Vec<InstructionCodePair> = parts
-            .iter()
-            .flat_map(|d| d.pairs.iter().cloned())
-            .collect();
+        let mut pairs: Vec<InstructionCodePair> =
+            parts.iter().flat_map(|d| d.pairs.iter().cloned()).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x6b6c);
         pairs.shuffle(&mut rng);
         Dataset { pairs }
@@ -115,21 +113,30 @@ mod tests {
 
     #[test]
     fn combine_is_deterministic_and_complete() {
-        let k: Dataset = (0..10).map(|_| pair(SampleKind::Knowledge, Topic::Fsm)).collect();
-        let l: Dataset = (0..5).map(|_| pair(SampleKind::Logic, Topic::CombLogic)).collect();
+        let k: Dataset = (0..10)
+            .map(|_| pair(SampleKind::Knowledge, Topic::Fsm))
+            .collect();
+        let l: Dataset = (0..5)
+            .map(|_| pair(SampleKind::Logic, Topic::CombLogic))
+            .collect();
         let a = Dataset::combine_shuffled(&[&k, &l], 7);
         let b = Dataset::combine_shuffled(&[&k, &l], 7);
         assert_eq!(a, b);
         assert_eq!(a.len(), 15);
         assert_eq!(
-            a.pairs.iter().filter(|p| p.kind == SampleKind::Logic).count(),
+            a.pairs
+                .iter()
+                .filter(|p| p.kind == SampleKind::Logic)
+                .count(),
             5
         );
     }
 
     #[test]
     fn fraction_takes_prefix() {
-        let d: Dataset = (0..10).map(|_| pair(SampleKind::Vanilla, Topic::Adder)).collect();
+        let d: Dataset = (0..10)
+            .map(|_| pair(SampleKind::Vanilla, Topic::Adder))
+            .collect();
         assert_eq!(d.take_fraction(0.5).len(), 5);
         assert_eq!(d.take_fraction(0.0).len(), 0);
         assert_eq!(d.take_fraction(1.0).len(), 10);

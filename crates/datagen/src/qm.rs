@@ -204,7 +204,12 @@ mod tests {
             let env = BitEnv { vars: &vs, value };
             let got = eval_expr(&expr, &env).truthiness() == haven_verilog::logic::Logic::One;
             let want = minterms.contains(&value);
-            assert_eq!(got, want, "minterms {minterms:?} at {value:04b}: {}", pretty_expr(&expr));
+            assert_eq!(
+                got,
+                want,
+                "minterms {minterms:?} at {value:04b}: {}",
+                pretty_expr(&expr)
+            );
         }
     }
 
@@ -216,7 +221,13 @@ mod tests {
         assert_eq!(term_count(2, &[0b11]), 1);
         // a: minterms {10, 11} → single literal a.
         let primes = minimize(2, &[0b10, 0b11]);
-        assert_eq!(primes, vec![Implicant { bits: 0b10, mask: 0b10 }]);
+        assert_eq!(
+            primes,
+            vec![Implicant {
+                bits: 0b10,
+                mask: 0b10
+            }]
+        );
     }
 
     #[test]

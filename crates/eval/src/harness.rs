@@ -20,7 +20,7 @@ pub enum SicotMode {
     /// CodeQwen-refined prompts to commercial LLMs).
     External(ModelProfile),
 }
-use haven_spec::cosim::{cosimulate, Verdict};
+use haven_spec::cosim::{cosimulate_compiled, CosimOptions, Verdict};
 use haven_spec::stimuli::stimuli_for;
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +38,10 @@ pub struct EvalConfig {
     pub sicot: SicotMode,
     /// Worker threads (tasks are sharded across them).
     pub threads: usize,
+    /// Run the dataflow static analyzer on each compiled sample and skip
+    /// co-simulation for candidates with Error-severity findings (they are
+    /// counted as functional failures without spending simulation cycles).
+    pub static_gate: bool,
 }
 
 impl Default for EvalConfig {
@@ -49,6 +53,7 @@ impl Default for EvalConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            static_gate: true,
         }
     }
 }
@@ -75,6 +80,9 @@ pub struct TaskResult {
     pub c_syntax: usize,
     /// Samples that passed co-simulation.
     pub c_func: usize,
+    /// Samples whose co-simulation was skipped because the static analyzer
+    /// reported an Error-severity finding (counted as functional failures).
+    pub skipped_sims: usize,
 }
 
 /// A full evaluation of one model on one suite.
@@ -113,6 +121,11 @@ impl SuiteResult {
         (expected.round() as usize, self.tasks.len())
     }
 
+    /// Total co-simulations skipped by the static gate across all tasks.
+    pub fn skipped_sims(&self) -> usize {
+        self.tasks.iter().map(|t| t.skipped_sims).sum()
+    }
+
     /// Filters to the tasks whose ids are in `ids` (per-modality rows).
     pub fn filtered(&self, ids: &[&str]) -> SuiteResult {
         SuiteResult {
@@ -137,8 +150,7 @@ pub fn evaluate(profile: &ModelProfile, tasks: &[BenchTask], cfg: &EvalConfig) -
         let p1 = mean_pass_at_k(&counts, 1);
         let better = match &best {
             Some((bt, bres)) => {
-                let bcounts: Vec<(usize, usize)> =
-                    bres.iter().map(|t| (t.n, t.c_func)).collect();
+                let bcounts: Vec<(usize, usize)> = bres.iter().map(|t| (t.n, t.c_func)).collect();
                 let _ = bt;
                 p1 > mean_pass_at_k(&bcounts, 1)
             }
@@ -195,18 +207,39 @@ fn run_task(
     // model and CodeGen-LLM.
     let prompt = match &cfg.sicot {
         SicotMode::Off => task.prompt.clone(),
-        SicotMode::SelfRefine => SiCot::new(model.clone()).refine(&task.prompt, &task.id).text,
+        SicotMode::SelfRefine => {
+            SiCot::new(model.clone())
+                .refine(&task.prompt, &task.id)
+                .text
+        }
         SicotMode::External(p) => {
             let refiner = CodeGenModel::new(p.clone(), temperature);
             SiCot::new(refiner).refine(&task.prompt, &task.id).text
         }
     };
     let stimuli = stimuli_for(&task.spec, task.stim_seed);
+    let options = CosimOptions::default();
     let mut c_syntax = 0usize;
     let mut c_func = 0usize;
+    let mut skipped_sims = 0usize;
     for sample in 0..cfg.n {
         let source = model.generate(&prompt, &task.id, sample);
-        let report = cosimulate(&task.spec, &source, &stimuli);
+        // Compile once; the design is shared by the static gate and the
+        // simulator instead of being re-elaborated per stage.
+        let design = match haven_verilog::compile(&source) {
+            Ok(d) => d,
+            Err(_) => continue, // syntax failure: counts toward neither pass
+        };
+        if cfg.static_gate && haven_verilog::analyze_design(&design).has_errors() {
+            // The design compiled (syntax ok) but the dataflow analyzer
+            // proved it defective — e.g. a combinational loop or an
+            // X-generating reset-less register — so co-simulation could
+            // only confirm the failure. Short-circuit it.
+            c_syntax += 1;
+            skipped_sims += 1;
+            continue;
+        }
+        let report = cosimulate_compiled(&task.spec, design, &stimuli, &options);
         if report.verdict.syntax_ok() {
             c_syntax += 1;
         }
@@ -219,6 +252,7 @@ fn run_task(
         n: cfg.n,
         c_syntax,
         c_func,
+        skipped_sims,
     }
 }
 
@@ -229,7 +263,10 @@ mod tests {
     use haven_lm::profiles::ModelProfile;
 
     fn small_suite() -> Vec<crate::suites::BenchTask> {
-        suites::verilog_eval_machine(1).into_iter().take(12).collect()
+        suites::verilog_eval_machine(1)
+            .into_iter()
+            .take(12)
+            .collect()
     }
 
     #[test]
@@ -284,6 +321,57 @@ mod tests {
     }
 
     #[test]
+    fn static_gate_is_transparent_on_clean_code() {
+        // A perfect model emits only conventional, analyzer-clean designs,
+        // so gating must not change any verdict — and must skip nothing.
+        let suite = small_suite();
+        let gated = EvalConfig::quick(3);
+        let ungated = EvalConfig {
+            static_gate: false,
+            ..EvalConfig::quick(3)
+        };
+        let profile = ModelProfile::uniform("perfect", 1.0);
+        let g = evaluate(&profile, &suite, &gated);
+        let u = evaluate(&profile, &suite, &ungated);
+        assert_eq!(g.skipped_sims(), 0);
+        assert_eq!(g.pass_at(1), u.pass_at(1));
+        assert_eq!(g.syntax_pass_at(1), u.syntax_pass_at(1));
+    }
+
+    #[test]
+    fn static_gate_skips_simulations_on_hallucinated_code() {
+        // A weak model hallucinates often; on counter tasks the common
+        // convention slip is dropping the reset branch, which the analyzer
+        // proves fatal (SA-XSOURCE). The gate should short-circuit a
+        // nonzero number of those candidates without altering pass@k.
+        let suite: Vec<_> = suites::verilog_eval_machine(1)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % 9 == 7) // the counter tasks
+            .map(|(_, t)| t)
+            .take(8)
+            .collect();
+        let gated = EvalConfig::quick(6);
+        let ungated = EvalConfig {
+            static_gate: false,
+            ..EvalConfig::quick(6)
+        };
+        let profile = ModelProfile::uniform("weak", 0.5);
+        let g = evaluate(&profile, &suite, &gated);
+        let u = evaluate(&profile, &suite, &ungated);
+        assert!(
+            g.skipped_sims() > 0,
+            "expected the gate to skip some simulations for a weak model"
+        );
+        assert_eq!(
+            g.pass_at(1),
+            u.pass_at(1),
+            "gating must not change functional verdicts"
+        );
+        assert_eq!(g.syntax_pass_at(1), u.syntax_pass_at(1));
+    }
+
+    #[test]
     fn sicot_helps_on_symbolic_tasks() {
         let suite: Vec<_> = suites::symbolic44(1).into_iter().take(16).collect();
         let profile = haven_lm::profiles::base_codeqwen();
@@ -316,18 +404,21 @@ mod result_tests {
                     n: 10,
                     c_syntax: 10,
                     c_func: 10,
+                    skipped_sims: 0,
                 },
                 TaskResult {
                     task_id: "a/001".into(),
                     n: 10,
                     c_syntax: 10,
                     c_func: 5,
+                    skipped_sims: 2,
                 },
                 TaskResult {
                     task_id: "b/000".into(),
                     n: 10,
                     c_syntax: 2,
                     c_func: 0,
+                    skipped_sims: 1,
                 },
             ],
         }

@@ -15,9 +15,7 @@
 
 use haven_modality::detect::ModalityKind;
 use haven_modality::waveform::Waveform;
-use haven_spec::describe::{
-    self, describe, render_chain_words, ChainArm, DescribeStyle, IfChain,
-};
+use haven_spec::describe::{self, describe, render_chain_words, ChainArm, DescribeStyle, IfChain};
 use haven_spec::ir::*;
 use haven_spec::{builders, Spec};
 use haven_verilog::analyze::ResetKind;
@@ -131,7 +129,10 @@ fn random_comb_expr(rng: &mut StdRng, inputs: &[&str]) -> haven_verilog::ast::Ex
     for name in &inputs[1..] {
         let op = ops[rng.gen_range(0..ops.len())];
         let rhs = if rng.gen_bool(0.25) {
-            Expr::Unary(haven_verilog::ast::UnaryOp::BitNot, Box::new(Expr::ident(*name)))
+            Expr::Unary(
+                haven_verilog::ast::UnaryOp::BitNot,
+                Box::new(Expr::ident(*name)),
+            )
         } else {
             Expr::ident(*name)
         };
@@ -160,7 +161,9 @@ fn random_fsm(rng: &mut StdRng, name: &str, n_states: usize) -> Spec {
     let transitions: Vec<(usize, usize)> = (0..n_states)
         .map(|i| ((i + 1) % n_states, rng.gen_range(0..n_states)))
         .collect();
-    let mut outputs: Vec<u64> = (0..n_states).map(|_| u64::from(rng.gen_bool(0.5))).collect();
+    let mut outputs: Vec<u64> = (0..n_states)
+        .map(|_| u64::from(rng.gen_bool(0.5)))
+        .collect();
     // At least one 0 and one 1 output so the FSM is observable.
     outputs[0] = 0;
     outputs[n_states - 1] = 1;
@@ -177,10 +180,8 @@ fn waveform_task(rng: &mut StdRng, name: &str, n_inputs: usize) -> (Spec, String
     let mut order: Vec<u64> = (0..1u64 << n_inputs).collect();
     order.shuffle(rng);
     let names = &tt.inputs;
-    let mut signals: Vec<(String, Vec<u8>)> = names
-        .iter()
-        .map(|n| (n.clone(), Vec::new()))
-        .collect();
+    let mut signals: Vec<(String, Vec<u8>)> =
+        names.iter().map(|n| (n.clone(), Vec::new())).collect();
     let mut out_samples = Vec::new();
     for &combo in &order {
         for (k, (_, samples)) in signals.iter_mut().enumerate() {
@@ -205,7 +206,12 @@ fn waveform_task(rng: &mut StdRng, name: &str, n_inputs: usize) -> (Spec, String
 fn chain_task(rng: &mut StdRng, name: &str) -> (Spec, String) {
     let pool = ["a", "b", "c", "d"];
     let len = rng.gen_range(2..=3usize);
-    let ops = [BinaryOp::Add, BinaryOp::BitAnd, BinaryOp::BitOr, BinaryOp::BitXor];
+    let ops = [
+        BinaryOp::Add,
+        BinaryOp::BitAnd,
+        BinaryOp::BitOr,
+        BinaryOp::BitXor,
+    ];
     let rest: Vec<(BinaryOp, String)> = (0..len)
         .map(|i| {
             (
@@ -292,7 +298,13 @@ pub fn verilog_eval_machine(seed: u64) -> Vec<BenchTask> {
     for i in 0..143usize {
         let name = format!("m{i:03}");
         let (spec, modality) = match i % 9 {
-            0 => (builders::gate(&name, [BinaryOp::BitAnd, BinaryOp::BitOr, BinaryOp::BitXor][i / 9 % 3]), None),
+            0 => (
+                builders::gate(
+                    &name,
+                    [BinaryOp::BitAnd, BinaryOp::BitOr, BinaryOp::BitXor][i / 9 % 3],
+                ),
+                None,
+            ),
             1 => (builders::adder(&name, rng.gen_range(2..=8usize)), None),
             2 => (builders::mux2(&name, rng.gen_range(1..=8usize)), None),
             3 => (builders::comparator(&name, rng.gen_range(2..=6usize)), None),
@@ -343,18 +355,18 @@ pub fn verilog_eval_human(seed: u64) -> Vec<BenchTask> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x0068_756d_616e);
     let mut tasks = Vec::new();
     let mut idx = 0usize;
-    let mut push = |spec: Spec, prompt: String, modality: Option<ModalityKind>,
-                    tasks: &mut Vec<BenchTask>| {
-        tasks.push(task(
-            SuiteKind::VerilogEvalHuman,
-            "human",
-            idx,
-            prompt,
-            spec,
-            modality,
-        ));
-        idx += 1;
-    };
+    let mut push =
+        |spec: Spec, prompt: String, modality: Option<ModalityKind>, tasks: &mut Vec<BenchTask>| {
+            tasks.push(task(
+                SuiteKind::VerilogEvalHuman,
+                "human",
+                idx,
+                prompt,
+                spec,
+                modality,
+            ));
+            idx += 1;
+        };
 
     // 10 truth-table tasks.
     for k in 0..10 {
@@ -380,11 +392,8 @@ pub fn verilog_eval_human(seed: u64) -> Vec<BenchTask> {
             0 => {
                 let width = rng.gen_range(3..=8usize);
                 let max_mod = (1u64 << width).min(12);
-                let mut s = builders::counter(
-                    &name,
-                    width,
-                    Some(rng.gen_range(5..=max_mod.max(5))),
-                );
+                let mut s =
+                    builders::counter(&name, width, Some(rng.gen_range(5..=max_mod.max(5))));
                 s.attrs = random_attrs(&mut rng, 0.9);
                 let p = engineer_prompt(&s);
                 push(s, p, None, &mut tasks);
@@ -410,11 +419,8 @@ pub fn verilog_eval_human(seed: u64) -> Vec<BenchTask> {
                 push(s, p, None, &mut tasks);
             }
             3 => {
-                let mut s = builders::pipeline(
-                    &name,
-                    rng.gen_range(4..=8usize),
-                    rng.gen_range(2..=3usize),
-                );
+                let mut s =
+                    builders::pipeline(&name, rng.gen_range(4..=8usize), rng.gen_range(2..=3usize));
                 s.attrs = random_attrs(&mut rng, 0.9);
                 let p = engineer_prompt(&s);
                 push(s, p, None, &mut tasks);
@@ -484,7 +490,11 @@ pub fn rtllm(seed: u64) -> Vec<BenchTask> {
                 s
             }
             2 => {
-                let mut s = builders::shift_register(&name, rng.gen_range(8..=16usize), ShiftDirection::Right);
+                let mut s = builders::shift_register(
+                    &name,
+                    rng.gen_range(8..=16usize),
+                    ShiftDirection::Right,
+                );
                 s.attrs = random_attrs(&mut rng, 1.0);
                 s
             }
@@ -501,8 +511,8 @@ pub fn rtllm(seed: u64) -> Vec<BenchTask> {
             }
         };
         let prompt = engineer_prompt(&spec);
-        let modality = matches!(spec.behavior, Behavior::Fsm(_))
-            .then_some(ModalityKind::StateDiagram);
+        let modality =
+            matches!(spec.behavior, Behavior::Fsm(_)).then_some(ModalityKind::StateDiagram);
         tasks.push(task(SuiteKind::Rtllm, "rtllm", i, prompt, spec, modality));
     }
     tasks
@@ -583,11 +593,7 @@ mod tests {
         for t in &all {
             let p = haven_lm::perception::perceive(&t.prompt)
                 .unwrap_or_else(|e| panic!("{}: {e}\n{}", t.id, t.prompt));
-            assert_eq!(
-                p.spec.behavior, t.spec.behavior,
-                "{}:\n{}",
-                t.id, t.prompt
-            );
+            assert_eq!(p.spec.behavior, t.spec.behavior, "{}:\n{}", t.id, t.prompt);
         }
     }
 

@@ -122,8 +122,10 @@ pub fn finetune_with(
 
     // Syntax and interface discipline improve with any data volume.
     let syn = out.skills.channel(Channel::KnowledgeSyntax);
-    out.skills
-        .set_channel(Channel::KnowledgeSyntax, raise(syn, cfg.syntax.0, cfg.syntax.1, eff(total)));
+    out.skills.set_channel(
+        Channel::KnowledgeSyntax,
+        raise(syn, cfg.syntax.0, cfg.syntax.1, eff(total)),
+    );
     let ifc = out.skills.channel(Channel::Interface);
     out.skills.set_channel(
         Channel::Interface,
@@ -267,7 +269,9 @@ mod tests {
     #[test]
     fn logic_samples_move_only_their_category() {
         let base = profiles::base_codeqwen();
-        let data: Vec<TrainSample> = (0..40).map(|_| l_sample(LogicCategory::Expression)).collect();
+        let data: Vec<TrainSample> = (0..40)
+            .map(|_| l_sample(LogicCategory::Expression))
+            .collect();
         let tuned = finetune(&base, &data);
         assert!(
             tuned.skills.channel(Channel::LogicExpression)

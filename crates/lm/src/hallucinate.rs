@@ -337,9 +337,11 @@ pub fn apply_sabotage(source: &str, sabotage: Sabotage, module_name: &str) -> St
         }
         Sabotage::MissingEndmodule => source.replacen("endmodule", "", 1),
         Sabotage::UnbalancedBegin => source.replacen("endmodule", "begin\nendmodule", 1),
-        Sabotage::UndeclaredSignal => {
-            source.replacen("endmodule", "    assign phantom_wire = ghost_sig;\nendmodule", 1)
-        }
+        Sabotage::UndeclaredSignal => source.replacen(
+            "endmodule",
+            "    assign phantom_wire = ghost_sig;\nendmodule",
+            1,
+        ),
     }
 }
 
@@ -351,7 +353,9 @@ pub fn corrupt_expression(plan: &mut GenPlan, rng: &mut StdRng) {
     let Behavior::Comb(rules) = &mut plan.spec.behavior else {
         return;
     };
-    let Some(rule) = rules.first_mut() else { return };
+    let Some(rule) = rules.first_mut() else {
+        return;
+    };
     match rng.gen_range(0..3u8) {
         0 => mutate_operator(&mut rule.expr, rng),
         1 => swap_operands(&mut rule.expr),
@@ -447,7 +451,9 @@ pub fn corrupt_instruction(plan: &mut GenPlan, rng: &mut StdRng) {
     let Behavior::Comb(rules) = &mut plan.spec.behavior else {
         return;
     };
-    let Some(rule) = rules.first_mut() else { return };
+    let Some(rule) = rules.first_mut() else {
+        return;
+    };
     if !weaken_first_and(&mut rule.expr) {
         mutate_operator(&mut rule.expr, rng);
     }
@@ -460,9 +466,7 @@ fn weaken_first_and(e: &mut Expr) -> bool {
             true
         }
         Expr::Binary(_, a, b) => weaken_first_and(a) || weaken_first_and(b),
-        Expr::Ternary(c, t, f) => {
-            weaken_first_and(c) || weaken_first_and(t) || weaken_first_and(f)
-        }
+        Expr::Ternary(c, t, f) => weaken_first_and(c) || weaken_first_and(t) || weaken_first_and(f),
         Expr::Unary(_, a) => weaken_first_and(a),
         _ => false,
     }

@@ -93,7 +93,12 @@ impl CodeGenModel {
     }
 
     /// [`CodeGenModel::generate`] plus the channel decision trace.
-    pub fn generate_traced(&self, prompt: &str, task_id: &str, sample: usize) -> (String, GenTrace) {
+    pub fn generate_traced(
+        &self,
+        prompt: &str,
+        task_id: &str,
+        sample: usize,
+    ) -> (String, GenTrace) {
         let mut trace = GenTrace {
             decisions: Vec::new(),
             perceived: true,
@@ -109,10 +114,10 @@ impl CodeGenModel {
         let sample_key = sample.to_string();
 
         let decide = |this: &CodeGenModel,
-                          trace: &mut GenTrace,
-                          channel: Channel,
-                          skill: f64,
-                          risk_factor: f64|
+                      trace: &mut GenTrace,
+                      channel: Channel,
+                      skill: f64,
+                      risk_factor: f64|
          -> bool {
             let p = 1.0
                 - (1.0
@@ -202,7 +207,13 @@ impl CodeGenModel {
         // --- knowledge channels --------------------------------------------
         let topic = perception.spec.behavior.topic();
         let conv_skill = self.profile.skills.topic(topic);
-        if decide(self, &mut trace, Channel::KnowledgeConvention, conv_skill, 1.0) {
+        if decide(
+            self,
+            &mut trace,
+            Channel::KnowledgeConvention,
+            conv_skill,
+            1.0,
+        ) {
             let mut rng = rng_for(&[&self.profile.name, task_id, &sample_key, "corrupt", "knc"]);
             hallucinate::corrupt_convention(&mut plan, topic, &mut rng);
         }
@@ -361,10 +372,11 @@ mod tests {
             builders::counter("cnt", 4, Some(10)),
             builders::fsm_ab("fsm"),
             builders::adder("add", 8),
-            builders::alu("alu", 8, vec![
-                haven_spec::ir::AluOp::Add,
-                haven_spec::ir::AluOp::Sub,
-            ]),
+            builders::alu(
+                "alu",
+                8,
+                vec![haven_spec::ir::AluOp::Add, haven_spec::ir::AluOp::Sub],
+            ),
         ] {
             assert_eq!(run(&perfect(), &spec, 5), 5, "{}", spec.name);
         }

@@ -116,13 +116,9 @@ pub fn perceive(prompt: &str) -> Result<Perception, PerceiveError> {
         spec = Some(s);
     } else if lower.contains("state machine") || lower.contains("fsm") {
         // FSM from raw diagram or structured interpretation.
-        if let Some(block) = blocks
-            .iter()
-            .find(|b| b.kind == ModalityKind::StateDiagram)
-        {
+        if let Some(block) = blocks.iter().find(|b| b.kind == ModalityKind::StateDiagram) {
             exposures.push(Exposure::RawModality(ModalityKind::StateDiagram));
-            let ParsedModality::StateDiagram(sd) =
-                block.parse().map_err(|e| err(e.to_string()))?
+            let ParsedModality::StateDiagram(sd) = block.parse().map_err(|e| err(e.to_string()))?
             else {
                 unreachable!()
             };
@@ -148,16 +144,14 @@ pub fn perceive(prompt: &str) -> Result<Perception, PerceiveError> {
         // combinational tasks.
         if let Some(block) = blocks.iter().find(|b| b.kind == ModalityKind::TruthTable) {
             exposures.push(Exposure::RawModality(ModalityKind::TruthTable));
-            let ParsedModality::TruthTable(tt) =
-                block.parse().map_err(|e| err(e.to_string()))?
+            let ParsedModality::TruthTable(tt) = block.parse().map_err(|e| err(e.to_string()))?
             else {
                 unreachable!()
             };
             spec = Some(tt_spec(&tt, &name));
         } else if let Some(block) = blocks.iter().find(|b| b.kind == ModalityKind::Waveform) {
             exposures.push(Exposure::RawModality(ModalityKind::Waveform));
-            let ParsedModality::Waveform(w) = block.parse().map_err(|e| err(e.to_string()))?
-            else {
+            let ParsedModality::Waveform(w) = block.parse().map_err(|e| err(e.to_string()))? else {
                 unreachable!()
             };
             spec = Some(waveform_spec(&w, &name));
@@ -292,13 +286,15 @@ fn parse_attrs(body: &str) -> (AttrSpec, bool) {
     };
     if lower.contains("asynchronous active-low reset") {
         attrs.reset = Some(ResetSpec {
-            name: named_after("asynchronous active-low reset named ").unwrap_or_else(|| "rst_n".into()),
+            name: named_after("asynchronous active-low reset named ")
+                .unwrap_or_else(|| "rst_n".into()),
             kind: ResetKind::AsyncActiveLow,
         });
         stated = true;
     } else if lower.contains("asynchronous active-high reset") {
         attrs.reset = Some(ResetSpec {
-            name: named_after("asynchronous active-high reset named ").unwrap_or_else(|| "rst".into()),
+            name: named_after("asynchronous active-high reset named ")
+                .unwrap_or_else(|| "rst".into()),
             kind: ResetKind::AsyncActiveHigh,
         });
         stated = true;
@@ -529,10 +525,12 @@ fn parse_structured_rules(body: &str) -> Option<TruthTable> {
                 seen_out += 1;
             }
         }
-        if seen_in == inputs.len() && seen_out == outputs.len()
-            && !rows.iter().any(|(i, _)| *i == in_bits) {
-                rows.push((in_bits, out_bits));
-            }
+        if seen_in == inputs.len()
+            && seen_out == outputs.len()
+            && !rows.iter().any(|(i, _)| *i == in_bits)
+        {
+            rows.push((in_bits, out_bits));
+        }
     }
     if rows.is_empty() {
         return None;
@@ -556,7 +554,9 @@ fn parse_structured_fsm(body: &str) -> Option<StateDiagram> {
     let mut outputs: Vec<(String, u64)> = Vec::new();
     for item in so_text.split(';') {
         let item = item.trim();
-        let Some(i) = item.find("state ") else { continue };
+        let Some(i) = item.find("state ") else {
+            continue;
+        };
         let rest = &item[i + "state ".len()..];
         let open = rest.find('(')?;
         let name = rest[..open].trim().to_string();
@@ -581,7 +581,9 @@ fn parse_structured_fsm(body: &str) -> Option<StateDiagram> {
             .unwrap_or(0);
         for cond in clause[colon + 1..].split(';') {
             let cond = cond.trim();
-            let Some(if_idx) = cond.find("If ") else { continue };
+            let Some(if_idx) = cond.find("If ") else {
+                continue;
+            };
             let Some(then_idx) = cond.find("then transit to state ") else {
                 continue;
             };
@@ -643,9 +645,7 @@ fn fsm_spec_from_diagram(
     name: &str,
     _attrs: &AttrSpec,
 ) -> Result<Spec, PerceiveError> {
-    let f = sd
-        .to_fsm_spec("out", 1)
-        .map_err(|e| err(e.to_string()))?;
+    let f = sd.to_fsm_spec("out", 1).map_err(|e| err(e.to_string()))?;
     Ok(Spec {
         name: name.to_string(),
         inputs: vec![PortSpec::bit(f.input.clone())],
@@ -801,7 +801,10 @@ fn parse_comb(body: &str, name: &str) -> Result<Spec, PerceiveError> {
         inputs = reads.into_iter().map(PortSpec::bit).collect();
     }
     if outputs.is_empty() {
-        outputs = rules.iter().map(|r| PortSpec::bit(r.output.clone())).collect();
+        outputs = rules
+            .iter()
+            .map(|r| PortSpec::bit(r.output.clone()))
+            .collect();
     }
     Ok(Spec {
         name: name.to_string(),
@@ -966,10 +969,7 @@ fn parse_if_chain_task(
         name: name.to_string(),
         inputs: input_names.iter().map(PortSpec::bit).collect(),
         outputs: vec![PortSpec::bit(output.clone())],
-        behavior: Behavior::Comb(vec![CombRule {
-            output,
-            expr,
-        }]),
+        behavior: Behavior::Comb(vec![CombRule { output, expr }]),
         attrs: AttrSpec::default(),
     })
 }
@@ -1070,8 +1070,7 @@ mod tests {
 
     #[test]
     fn chain_words_task_perceived() {
-        let prompt =
-            "Create a module named `m`. The output `out` equals a plus b, then or c.";
+        let prompt = "Create a module named `m`. The output `out` equals a plus b, then or c.";
         let p = perceive(prompt).unwrap();
         assert!(p.exposures.contains(&Exposure::WordChain));
         let Behavior::Comb(rules) = &p.spec.behavior else {

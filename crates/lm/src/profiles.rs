@@ -446,7 +446,9 @@ mod tests {
         );
         assert!(
             origen().skills.channel(Channel::KnowledgeConvention)
-                > rtlcoder_deepseek().skills.channel(Channel::KnowledgeConvention)
+                > rtlcoder_deepseek()
+                    .skills
+                    .channel(Channel::KnowledgeConvention)
         );
     }
 

@@ -183,10 +183,7 @@ mod tests {
                 })
                 .sum::<f64>()
                 / 4000.0;
-            assert!(
-                (mean - skill).abs() < 0.06,
-                "skill {skill}: mean {mean}"
-            );
+            assert!((mean - skill).abs() < 0.06, "skill {skill}: mean {mean}");
         }
     }
 

@@ -100,7 +100,10 @@ fn finetuned_model_outperforms_base_on_matching_topic_only() {
     let tuned = finetune(&base, &data);
     // Counter conventions rose; FSM conventions did not (topic-specific).
     assert!(tuned.skills.topic(Topic::Counter) > base.skills.topic(Topic::Counter));
-    assert_eq!(tuned.skills.topic(Topic::Fsm), base.skills.topic(Topic::Fsm));
+    assert_eq!(
+        tuned.skills.topic(Topic::Fsm),
+        base.skills.topic(Topic::Fsm)
+    );
     // Attributes rose (stated in the K pairs).
     assert!(
         tuned.skills.channel(Channel::KnowledgeAttributes)

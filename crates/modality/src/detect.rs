@@ -194,7 +194,11 @@ pub fn strip_blocks(prompt: &str, blocks: &[ModalityBlock]) -> String {
     let lines: Vec<&str> = prompt.lines().collect();
     let mut keep = vec![true; lines.len()];
     for b in blocks {
-        for flag in keep.iter_mut().take(b.end_line.min(lines.len())).skip(b.start_line) {
+        for flag in keep
+            .iter_mut()
+            .take(b.end_line.min(lines.len()))
+            .skip(b.start_line)
+        {
             *flag = false;
         }
     }

@@ -119,7 +119,11 @@ impl StateDiagram {
                 ));
             }
             if !clauses.is_empty() {
-                s.push_str(&format!("{}. From state {st}: {}; ", i + 1, clauses.join("; ")));
+                s.push_str(&format!(
+                    "{}. From state {st}: {}; ",
+                    i + 1,
+                    clauses.join("; ")
+                ));
             }
         }
         s.trim_end().to_string()
@@ -133,7 +137,11 @@ impl StateDiagram {
     /// # Errors
     ///
     /// Returns an error if edges reference more than one input signal.
-    pub fn to_fsm_spec(&self, output: &str, output_width: usize) -> Result<FsmSpec, ParseModalityError> {
+    pub fn to_fsm_spec(
+        &self,
+        output: &str,
+        output_width: usize,
+    ) -> Result<FsmSpec, ParseModalityError> {
         let err = |m: &str| ParseModalityError::new("state diagram", m);
         let input = self.edges[0].input.clone();
         if self.edges.iter().any(|e| e.input != input) {
@@ -252,8 +260,7 @@ mod tests {
 
     #[test]
     fn multiple_inputs_rejected_in_fsm_conversion() {
-        let sd =
-            StateDiagram::parse("A[out=0]-[x=0]->B\nB[out=1]-[w=0]->A").unwrap();
+        let sd = StateDiagram::parse("A[out=0]-[x=0]->B\nB[out=1]-[w=0]->A").unwrap();
         assert!(sd.to_fsm_spec("out", 1).is_err());
     }
 }

@@ -150,7 +150,10 @@ impl Waveform {
         if let Some(t) = &self.time {
             out.push_str(&format!(
                 "time(ns): {}\n",
-                t.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+                t.iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
             ));
         }
         out

@@ -27,7 +27,9 @@ fn arb_waveform() -> impl Strategy<Value = Waveform> {
     (2usize..=3, 2usize..=8, any::<u64>()).prop_map(|(n_sig, n_samples, seed)| {
         let mut x = seed | 1;
         let mut next = || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33 & 1) as u8
         };
         let mut signals: Vec<(String, Vec<u8>)> = Vec::new();
@@ -49,7 +51,9 @@ fn arb_state_diagram() -> impl Strategy<Value = StateDiagram> {
     (2usize..=4, any::<u64>()).prop_map(|(n, seed)| {
         let mut x = seed | 1;
         let mut next = |m: usize| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as usize % m
         };
         let states: Vec<String> = (0..n).map(|i| format!("S{i}")).collect();

@@ -150,7 +150,11 @@ mod tests {
         let r = refiner(1.0).refine(SD_PROMPT, "t1");
         assert!(r.steps.contains(&CotStep::Interpreted));
         assert!(r.text.contains("States&Outputs:"), "{}", r.text);
-        assert!(!r.text.contains("]->"), "raw edges should be gone:\n{}", r.text);
+        assert!(
+            !r.text.contains("]->"),
+            "raw edges should be gone:\n{}",
+            r.text
+        );
         // The refined prompt still perceives to the same FSM.
         let p = haven_lm::perception::perceive(&r.text).unwrap();
         let haven_spec::Behavior::Fsm(f) = &p.spec.behavior else {
@@ -188,7 +192,8 @@ mod tests {
         let r = refiner(1.0).refine(prompt, "t4");
         assert!(r.steps.contains(&CotStep::HeaderAdded));
         assert!(
-            r.text.contains("module cnt (input clk, input rst_n, output [3:0] q);"),
+            r.text
+                .contains("module cnt (input clk, input rst_n, output [3:0] q);"),
             "{}",
             r.text
         );

@@ -17,7 +17,11 @@ fn refinement_is_idempotent() {
     let once = r.refine(prompt, "idem");
     let twice = r.refine(&once.text, "idem");
     assert_eq!(once.text, twice.text, "second refinement changed the text");
-    assert!(!twice.changed(), "second refinement reported steps: {:?}", twice.steps);
+    assert!(
+        !twice.changed(),
+        "second refinement reported steps: {:?}",
+        twice.steps
+    );
 }
 
 #[test]

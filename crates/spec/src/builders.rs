@@ -293,7 +293,11 @@ mod tests {
             shift_register("sr", 8, ShiftDirection::Right),
             clock_divider("cd", 5),
             pipeline("p", 8, 3),
-            alu("alu", 8, vec![AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or]),
+            alu(
+                "alu",
+                8,
+                vec![AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or],
+            ),
         ] {
             for p in spec.all_inputs().iter().chain(spec.outputs.iter()) {
                 assert!(p.width >= 1 && p.width <= 64, "{}: {}", spec.name, p.name);

@@ -150,7 +150,11 @@ impl Emitter<'_> {
             };
             ports.push(format!("output {reg}{}{}", range_of(p.width), p.name));
         }
-        self.push(&format!("module {} (\n    {}\n);\n", spec.name, ports.join(",\n    ")));
+        self.push(&format!(
+            "module {} (\n    {}\n);\n",
+            spec.name,
+            ports.join(",\n    ")
+        ));
         match &spec.behavior {
             Behavior::Comb(rules) => self.comb(rules),
             Behavior::TruthTable(tt) => self.truth_table(tt),
@@ -318,7 +322,10 @@ impl Emitter<'_> {
             if assigns.len() == 1 {
                 self.line(3, &format!("{}: {}", lit(*i, n), assigns[0]));
             } else {
-                self.line(3, &format!("{}: begin {} end", lit(*i, n), assigns.join(" ")));
+                self.line(
+                    3,
+                    &format!("{}: begin {} end", lit(*i, n), assigns.join(" ")),
+                );
             }
         }
         if self.style.case_default {

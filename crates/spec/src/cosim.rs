@@ -117,6 +117,18 @@ pub fn cosimulate_with(
             }
         }
     };
+    cosimulate_compiled(spec, design, stimuli, options)
+}
+
+/// Co-simulates an already-elaborated design. Lets callers that need the
+/// [`Design`] for other purposes (static-analysis gating in the eval
+/// harness) compile once instead of twice.
+pub fn cosimulate_compiled(
+    spec: &Spec,
+    design: haven_verilog::Design,
+    stimuli: &Stimuli,
+    options: &CosimOptions,
+) -> CosimReport {
     let mut sim = match Simulator::new(design) {
         Ok(s) => s,
         Err(e) => {
@@ -142,8 +154,7 @@ pub fn cosimulate_with(
                         // Distinguish missing-port binding errors from
                         // runtime failures by the message.
                         let msg = e.to_string();
-                        let verdict = if msg.contains("no signal") || msg.contains("non-input")
-                        {
+                        let verdict = if msg.contains("no signal") || msg.contains("non-input") {
                             Verdict::InterfaceError(msg)
                         } else {
                             Verdict::SimulationError(msg)
@@ -295,7 +306,11 @@ mod tests {
             builders::clock_divider("cd", 3),
             builders::pipeline("pipe", 8, 3),
             builders::register("r", 16),
-            builders::alu("alu", 8, vec![AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Xor]),
+            builders::alu(
+                "alu",
+                8,
+                vec![AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Xor],
+            ),
         ];
         for spec in specs {
             let report = check_correct(&spec);
@@ -306,7 +321,11 @@ mod tests {
                 report.verdict,
                 emit(&spec, &EmitStyle::correct())
             );
-            assert!(report.checks_compared > 0, "{}: nothing compared", spec.name);
+            assert!(
+                report.checks_compared > 0,
+                "{}: nothing compared",
+                spec.name
+            );
         }
     }
 
@@ -372,7 +391,11 @@ mod tests {
     #[test]
     fn syntax_error_is_syntax_verdict() {
         let spec = builders::adder("a", 4);
-        let report = cosimulate(&spec, "def adder(a, b): return a + b", &stimuli_for(&spec, 1));
+        let report = cosimulate(
+            &spec,
+            "def adder(a, b): return a + b",
+            &stimuli_for(&spec, 1),
+        );
         assert!(matches!(report.verdict, Verdict::SyntaxError(_)));
         assert!(!report.verdict.syntax_ok());
     }
@@ -387,7 +410,10 @@ mod tests {
             "{:?}",
             report.verdict
         );
-        assert!(report.verdict.syntax_ok(), "interface errors still count as syntactically valid");
+        assert!(
+            report.verdict.syntax_ok(),
+            "interface errors still count as syntactically valid"
+        );
     }
 
     #[test]
@@ -396,10 +422,7 @@ mod tests {
         // hallucinated: OR instead of AND
         let src = "module g(input a, input b, output y);\n assign y = a | b;\nendmodule";
         let report = cosimulate(&spec, src, &stimuli_for(&spec, 1));
-        assert!(matches!(
-            report.verdict,
-            Verdict::FunctionalMismatch { .. }
-        ));
+        assert!(matches!(report.verdict, Verdict::FunctionalMismatch { .. }));
     }
 
     #[test]

@@ -104,7 +104,11 @@ fn engineer(spec: &Spec) -> String {
             lines.push(format!("Inputs: {}.", port_list(&spec.inputs)));
             lines.push(format!("Outputs: {}.", port_list(&spec.outputs)));
             for r in rules {
-                lines.push(format!("Function: {} = {};", r.output, pretty_expr(&r.expr)));
+                lines.push(format!(
+                    "Function: {} = {};",
+                    r.output,
+                    pretty_expr(&r.expr)
+                ));
             }
         }
         Behavior::TruthTable(tt) => {
@@ -406,16 +410,28 @@ mod tests {
 
     #[test]
     fn engineer_counter_description_is_precise() {
-        let d = describe(&builders::counter("cnt", 4, Some(10)), DescribeStyle::Engineer);
+        let d = describe(
+            &builders::counter("cnt", 4, Some(10)),
+            DescribeStyle::Engineer,
+        );
         assert!(d.contains("4-bit up counter named `cnt`"), "{d}");
         assert!(d.contains("modulo 10"), "{d}");
-        assert!(d.contains("asynchronous active-low reset named `rst_n`"), "{d}");
-        assert!(d.contains("module cnt (input clk, input rst_n, output [3:0] q);"), "{d}");
+        assert!(
+            d.contains("asynchronous active-low reset named `rst_n`"),
+            "{d}"
+        );
+        assert!(
+            d.contains("module cnt (input clk, input rst_n, output [3:0] q);"),
+            "{d}"
+        );
     }
 
     #[test]
     fn vanilla_counter_description_is_vague() {
-        let d = describe(&builders::counter("cnt", 4, Some(10)), DescribeStyle::Vanilla);
+        let d = describe(
+            &builders::counter("cnt", 4, Some(10)),
+            DescribeStyle::Vanilla,
+        );
         assert!(!d.contains("rst_n"), "{d}");
         assert!(!d.contains("modulo"), "{d}");
         assert!(d.contains("counter"), "{d}");
@@ -470,11 +486,7 @@ mod tests {
             let env = E([("a".to_string(), a), ("b".to_string(), b)]
                 .into_iter()
                 .collect());
-            assert_eq!(
-                eval_expr(&expr, &env).to_u64(),
-                Some(want),
-                "a={a} b={b}"
-            );
+            assert_eq!(eval_expr(&expr, &env).to_u64(), Some(want), "a={a} b={b}");
         }
     }
 

@@ -309,10 +309,7 @@ impl GoldenModel {
                 }
             }
             (Behavior::Register(r), GoldenState::Pipeline(stages)) => {
-                let din = self
-                    .inputs
-                    .get(&r.input)
-                    .map(|&v| mask(v, r.width));
+                let din = self.inputs.get(&r.input).map(|&v| mask(v, r.width));
                 stages.pop_front();
                 stages.push_back(din);
             }

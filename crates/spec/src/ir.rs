@@ -358,7 +358,10 @@ pub enum Behavior {
 impl Behavior {
     /// Whether the behaviour needs a clock.
     pub fn is_sequential(&self) -> bool {
-        !matches!(self, Behavior::Comb(_) | Behavior::TruthTable(_) | Behavior::Alu(_))
+        !matches!(
+            self,
+            Behavior::Comb(_) | Behavior::TruthTable(_) | Behavior::Alu(_)
+        )
     }
 
     /// The design topic this behaviour corresponds to.

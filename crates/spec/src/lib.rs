@@ -28,13 +28,13 @@
 #![warn(missing_docs)]
 
 pub mod builders;
-pub mod describe;
 pub mod codegen;
 pub mod cosim;
+pub mod describe;
 pub mod golden;
 pub mod ir;
 pub mod stimuli;
 
-pub use cosim::{cosimulate, CosimReport, Verdict};
+pub use cosim::{cosimulate, cosimulate_compiled, CosimReport, Verdict};
 pub use golden::GoldenModel;
 pub use ir::{Behavior, Spec};

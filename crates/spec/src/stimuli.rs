@@ -107,7 +107,10 @@ fn sequential_program(spec: &Spec, rng: &mut StdRng) -> Stimuli {
         steps.push(StimulusStep::Set(p.name.clone(), 0));
     }
     if let Some(en) = &enable {
-        steps.push(StimulusStep::Set(en.name.clone(), u64::from(en.active_high)));
+        steps.push(StimulusStep::Set(
+            en.name.clone(),
+            u64::from(en.active_high),
+        ));
     }
 
     // Episode 1: reset. Async resets must take effect *without* an edge —
@@ -145,7 +148,10 @@ fn sequential_program(spec: &Spec, rng: &mut StdRng) -> Stimuli {
                     steps.push(StimulusStep::Tick);
                     steps.push(StimulusStep::Check);
                 }
-                steps.push(StimulusStep::Set(en.name.clone(), u64::from(en.active_high)));
+                steps.push(StimulusStep::Set(
+                    en.name.clone(),
+                    u64::from(en.active_high),
+                ));
             }
             // Episode 4 (embedded): mid-run reset pulse.
             if let Some(r) = &reset {

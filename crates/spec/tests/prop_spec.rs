@@ -46,7 +46,11 @@ fn arb_sequential_spec() -> impl Strategy<Value = Spec> {
             (2usize..=8, any::<bool>()).prop_map(|(w, left)| builders::shift_register(
                 "p",
                 w,
-                if left { ShiftDirection::Left } else { ShiftDirection::Right }
+                if left {
+                    ShiftDirection::Left
+                } else {
+                    ShiftDirection::Right
+                }
             )),
             (1u64..=5).prop_map(|hp| builders::clock_divider("p", hp)),
             (1usize..=8, 1usize..=3).prop_map(|(w, s)| builders::pipeline("p", w, s)),

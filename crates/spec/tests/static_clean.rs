@@ -1,0 +1,112 @@
+//! Soundness of the static gate with respect to this crate's emitter:
+//! every builder's *correct* emission must produce **zero** Error-severity
+//! findings (otherwise the eval harness would fail good code without
+//! simulating it), while the X-generating `ignore_reset` deviation must
+//! be caught.
+
+use haven_spec::builders;
+use haven_spec::codegen::{emit, EmitStyle};
+use haven_spec::Spec;
+use haven_verilog::{analyze_design, StaticRule};
+
+fn all_builders() -> Vec<Spec> {
+    use haven_spec::ir::ShiftDirection;
+    use haven_verilog::ast::BinaryOp;
+
+    vec![
+        builders::gate("t_gate", BinaryOp::BitAnd),
+        builders::adder("t_adder", 8),
+        builders::mux2("t_mux", 4),
+        builders::comparator("t_cmp", 4),
+        builders::decoder("t_dec", 3),
+        builders::truth_table_spec(
+            "t_tt",
+            vec!["a".into(), "b".into()],
+            vec!["y".into()],
+            vec![(0, 0), (1, 1), (2, 1), (3, 0)],
+        ),
+        builders::fsm_ab("t_fsm"),
+        builders::counter("t_cnt", 6, None),
+        builders::counter("t_cntm", 4, Some(10)),
+        builders::down_counter("t_down", 4, None),
+        builders::shift_register("t_shl", 8, ShiftDirection::Left),
+        builders::shift_register("t_shr", 8, ShiftDirection::Right),
+        builders::clock_divider("t_div", 5),
+        builders::pipeline("t_pipe", 8, 3),
+        builders::register("t_reg", 8),
+        builders::alu(
+            "t_alu",
+            8,
+            vec![
+                haven_spec::ir::AluOp::Add,
+                haven_spec::ir::AluOp::Sub,
+                haven_spec::ir::AluOp::And,
+            ],
+        ),
+    ]
+}
+
+#[test]
+fn correct_emissions_have_no_error_findings() {
+    for spec in all_builders() {
+        let src = emit(&spec, &EmitStyle::correct());
+        let design = haven_verilog::compile(&src).unwrap_or_else(|e| {
+            panic!(
+                "correct emission of `{}` must compile: {e}\n{src}",
+                spec.name
+            )
+        });
+        let report = analyze_design(&design);
+        assert!(
+            !report.has_errors(),
+            "correct emission of `{}` tripped the static gate: {:?}\n{src}",
+            spec.name,
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn stylistic_comb_always_variant_stays_clean() {
+    // `always @(*)` instead of `assign` is unconventional, not defective.
+    let style = EmitStyle {
+        comb_always_block: true,
+        ..EmitStyle::correct()
+    };
+    for spec in all_builders() {
+        let src = emit(&spec, &style);
+        let Ok(design) = haven_verilog::compile(&src) else {
+            continue;
+        };
+        let report = analyze_design(&design);
+        assert!(
+            !report.has_errors(),
+            "comb-always emission of `{}` tripped the static gate: {:?}\n{src}",
+            spec.name,
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn ignore_reset_counter_is_caught_as_x_source() {
+    let spec = builders::counter("t_cnt", 8, None);
+    let src = emit(
+        &spec,
+        &EmitStyle {
+            ignore_reset: true,
+            ..EmitStyle::correct()
+        },
+    );
+    let design = haven_verilog::compile(&src).expect("still compiles");
+    let report = analyze_design(&design);
+    assert!(report.has_errors(), "{src}");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == StaticRule::XSource),
+        "{:?}",
+        report.findings
+    );
+}

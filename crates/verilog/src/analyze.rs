@@ -316,7 +316,10 @@ fn stmt_has_blocking(stmt: &Stmt) -> bool {
             ..
         } => {
             stmt_has_blocking(then_branch)
-                || else_branch.as_deref().map(stmt_has_blocking).unwrap_or(false)
+                || else_branch
+                    .as_deref()
+                    .map(stmt_has_blocking)
+                    .unwrap_or(false)
         }
         Stmt::Case { arms, default, .. } => {
             arms.iter().any(|(_, b)| stmt_has_blocking(b))
@@ -363,7 +366,10 @@ fn detect_fsm(module: &Module) -> bool {
     for (_, body) in seq_blocks(module) {
         body.collect_writes(&mut seq_written);
     }
-    if seq_written.iter().any(|w| w.to_ascii_lowercase().contains("state")) {
+    if seq_written
+        .iter()
+        .any(|w| w.to_ascii_lowercase().contains("state"))
+    {
         return true;
     }
     let mut case_selectors = Vec::new();
@@ -378,11 +384,17 @@ fn detect_fsm(module: &Module) -> bool {
 fn collect_case_selectors(stmt: &Stmt, out: &mut Vec<String>) {
     match stmt {
         Stmt::Block(ss) => ss.iter().for_each(|s| collect_case_selectors(s, out)),
-        Stmt::Case { expr, arms, default, .. } => {
+        Stmt::Case {
+            expr,
+            arms,
+            default,
+            ..
+        } => {
             if let Expr::Ident(n) = expr {
                 out.push(n.clone());
             }
-            arms.iter().for_each(|(_, b)| collect_case_selectors(b, out));
+            arms.iter()
+                .for_each(|(_, b)| collect_case_selectors(b, out));
             if let Some(d) = default {
                 collect_case_selectors(d, out);
             }
@@ -459,9 +471,7 @@ fn detect_alu(module: &Module) -> bool {
                     false
                 });
             }
-            if ops.len() >= 3
-                && (ops.contains(&BinaryOp::Add) || ops.contains(&BinaryOp::Sub))
-            {
+            if ops.len() >= 3 && (ops.contains(&BinaryOp::Add) || ops.contains(&BinaryOp::Sub)) {
                 found = true;
             }
         });
@@ -525,7 +535,13 @@ fn detect_mux(module: &Module) -> bool {
         return false;
     }
     let assigns_ternary = module.items.iter().any(|i| {
-        matches!(i, Item::ContinuousAssign { rhs: Expr::Ternary(..), .. })
+        matches!(
+            i,
+            Item::ContinuousAssign {
+                rhs: Expr::Ternary(..),
+                ..
+            }
+        )
     });
     let case_on_sel = comb_blocks(module).any(|b| {
         let mut sels = Vec::new();
@@ -631,7 +647,11 @@ fn detect_comparator(module: &Module) -> bool {
             i,
             Item::ContinuousAssign {
                 rhs: Expr::Binary(
-                    BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge | BinaryOp::Eq
+                    BinaryOp::Lt
+                        | BinaryOp::Le
+                        | BinaryOp::Gt
+                        | BinaryOp::Ge
+                        | BinaryOp::Eq
                         | BinaryOp::Neq,
                     _,
                     _
@@ -731,9 +751,7 @@ mod tests {
             "module m(input a, b, sel, output y);\n assign y = sel ? b : a;\nendmodule",
         );
         assert!(a.topics.contains(&Topic::Mux));
-        let a = analyze_src(
-            "module m(input [3:0] a, b, output y);\n assign y = a < b;\nendmodule",
-        );
+        let a = analyze_src("module m(input [3:0] a, b, output y);\n assign y = a < b;\nendmodule");
         assert!(a.topics.contains(&Topic::Comparator));
         let a = analyze_src(
             "module m(input [3:0] a, b, output [3:0] s);\n assign s = a + b;\nendmodule",

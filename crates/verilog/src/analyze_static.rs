@@ -1,0 +1,1260 @@
+//! Dataflow-based static analysis over elaborated designs.
+//!
+//! Runs six analyses the AST-level [`crate::lint`] cannot express, on top of
+//! the dependency graph built by [`crate::dataflow`]:
+//!
+//! | Code              | Severity | Detects                                           |
+//! |-------------------|----------|---------------------------------------------------|
+//! | `SA-MULTIDRIVE`   | Error    | one net/reg written by two or more processes      |
+//! | `SA-COMBLOOP`     | Error    | zero-delay combinational feedback (Tarjan SCC)    |
+//! | `SA-XSOURCE`      | Error    | register read but never resolvably assigned       |
+//! | `SA-UNDRIVEN`     | Error    | signal read (or exported) but never driven        |
+//! | `SA-WIDTH`        | Warn     | RHS provably wider than its assignment target     |
+//! | `SA-CONSTCOND`    | Warn     | `if`/`?:`/`case` condition folds to a constant    |
+//! | `SA-DEADARM`      | Warn     | duplicate or out-of-range case label              |
+//! | `SA-FSM-UNREACH`  | Warn     | FSM case arm whose state is unreachable           |
+//!
+//! `Error` findings are *gating*: on this simulator's semantics the design
+//! cannot co-simulate cleanly (oscillation, or observable `x`/conflicts), so
+//! the dataset funnel and the evaluation harness may reject the sample
+//! without running stimuli. `Warn` findings are diagnostic evidence only.
+//!
+//! Each finding carries a stable rule code, a serializable span and a
+//! hallucination-taxonomy hint (paper Table II) consumed by
+//! `haven::diagnose`.
+
+use std::collections::HashSet;
+
+use crate::ast::{Expr, LValue, Stmt};
+use crate::dataflow::{Dataflow, DriverKind};
+use crate::elab::{compile, Design, SignalId, SignalKind, Trigger};
+use crate::error::{Result, Span};
+use crate::eval::eval_const;
+
+/// How bad a finding is.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum Severity {
+    /// Diagnostic evidence; the design may still simulate correctly.
+    Warn,
+    /// The design cannot co-simulate cleanly; safe to reject pre-simulation.
+    Error,
+}
+
+/// Stable identifiers for the dataflow rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum StaticRule {
+    /// Same bits driven by two or more processes.
+    MultiDrive,
+    /// Combinational feedback loop.
+    CombLoop,
+    /// Register read but never resolvably assigned (stays `x`).
+    XSource,
+    /// Signal read or exported but never driven at all.
+    Undriven,
+    /// Assignment RHS provably wider than its target.
+    WidthTrunc,
+    /// Condition folds to a compile-time constant.
+    ConstCond,
+    /// Case arm that can never match.
+    DeadArm,
+    /// FSM state labelled in a case but unreachable from reset.
+    FsmUnreachable,
+}
+
+impl StaticRule {
+    /// Stable machine-readable rule code.
+    pub fn code(self) -> &'static str {
+        match self {
+            StaticRule::MultiDrive => "SA-MULTIDRIVE",
+            StaticRule::CombLoop => "SA-COMBLOOP",
+            StaticRule::XSource => "SA-XSOURCE",
+            StaticRule::Undriven => "SA-UNDRIVEN",
+            StaticRule::WidthTrunc => "SA-WIDTH",
+            StaticRule::ConstCond => "SA-CONSTCOND",
+            StaticRule::DeadArm => "SA-DEADARM",
+            StaticRule::FsmUnreachable => "SA-FSM-UNREACH",
+        }
+    }
+
+    /// Severity class of the rule.
+    pub fn severity(self) -> Severity {
+        match self {
+            StaticRule::MultiDrive
+            | StaticRule::CombLoop
+            | StaticRule::XSource
+            | StaticRule::Undriven => Severity::Error,
+            StaticRule::WidthTrunc
+            | StaticRule::ConstCond
+            | StaticRule::DeadArm
+            | StaticRule::FsmUnreachable => Severity::Warn,
+        }
+    }
+
+    /// The paper Table II hallucination sub-type this rule evidences,
+    /// spelled like `haven::taxonomy::HallucinationType`'s variants.
+    pub fn taxonomy(self) -> &'static str {
+        match self {
+            StaticRule::MultiDrive | StaticRule::CombLoop => "ConventionMisapplication",
+            StaticRule::XSource => "ConventionMisapplication",
+            StaticRule::Undriven => "IncorrectExpression",
+            StaticRule::WidthTrunc => "AttributeMisunderstanding",
+            StaticRule::ConstCond => "IncorrectExpression",
+            StaticRule::DeadArm => "CornerCaseMishandling",
+            StaticRule::FsmUnreachable => "StateDiagramMisinterpretation",
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StaticFinding {
+    /// Which rule fired.
+    pub rule: StaticRule,
+    /// Severity ([`StaticRule::severity`] of `rule`).
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Source location (0:0 when the finding has no single statement, e.g.
+    /// a never-driven signal).
+    pub span: Span,
+    /// Primary signal involved, if any.
+    pub signal: Option<String>,
+}
+
+/// Analyzer output for one elaborated design.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct StaticReport {
+    /// Top module name.
+    pub module: String,
+    /// All findings, in rule order.
+    pub findings: Vec<StaticFinding>,
+}
+
+impl StaticReport {
+    /// Number of `Error`-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Whether any gating (`Error`) finding is present.
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+
+    /// Findings for one rule.
+    pub fn by_rule(&self, rule: StaticRule) -> Vec<&StaticFinding> {
+        self.findings.iter().filter(|f| f.rule == rule).collect()
+    }
+}
+
+/// Runs every dataflow analysis over an elaborated design.
+pub fn analyze_design(design: &Design) -> StaticReport {
+    let df = Dataflow::build(design);
+    let mut findings = Vec::new();
+    check_multidrive(design, &df, &mut findings);
+    check_comb_loops(design, &df, &mut findings);
+    check_undriven(design, &df, &mut findings);
+    check_xsource(design, &df, &mut findings);
+    check_widths(design, &mut findings);
+    check_const_conditions(design, &mut findings);
+    check_dead_arms(design, &mut findings);
+    check_fsm_reachability(design, &df, &mut findings);
+    StaticReport {
+        module: design.name.clone(),
+        findings,
+    }
+}
+
+/// Parses, elaborates and analyzes `source` in one step.
+///
+/// # Errors
+///
+/// Propagates any lex, parse or elaboration error; static findings are
+/// reported in the `Ok` report, never as `Err`.
+pub fn analyze_source(source: &str) -> Result<StaticReport> {
+    let design = compile(source)?;
+    Ok(analyze_design(&design))
+}
+
+fn finding(rule: StaticRule, message: String, span: Span, signal: Option<String>) -> StaticFinding {
+    StaticFinding {
+        rule,
+        severity: rule.severity(),
+        message,
+        span,
+        signal,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SA-MULTIDRIVE
+// ---------------------------------------------------------------------------
+
+fn check_multidrive(design: &Design, df: &Dataflow, out: &mut Vec<StaticFinding>) {
+    for (idx, drivers) in df.drivers.iter().enumerate() {
+        let id = SignalId(idx as u32);
+        let info = design.info(id);
+        let live: Vec<_> = drivers
+            .iter()
+            .filter(|d| d.kind != DriverKind::Init)
+            .collect();
+        // Conflicts need two *different* processes touching the same bit;
+        // several writes inside one block are ordinary last-write-wins.
+        let mut reported = false;
+        for (i, a) in live.iter().enumerate() {
+            for b in live.iter().skip(i + 1) {
+                if a.process != b.process && a.overlaps(b, info.width) {
+                    let procs: HashSet<usize> = live.iter().map(|d| d.process).collect();
+                    out.push(finding(
+                        StaticRule::MultiDrive,
+                        format!(
+                            "`{}` is driven by {} separate processes with overlapping bit ranges",
+                            info.name,
+                            procs.len()
+                        ),
+                        b.span,
+                        Some(info.name.clone()),
+                    ));
+                    reported = true;
+                    break;
+                }
+            }
+            if reported {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SA-COMBLOOP
+// ---------------------------------------------------------------------------
+
+fn check_comb_loops(design: &Design, df: &Dataflow, out: &mut Vec<StaticFinding>) {
+    for scc in df.comb_sccs(design) {
+        let names: Vec<&str> = scc
+            .iter()
+            .map(|&id| design.info(id).name.as_str())
+            .collect();
+        out.push(finding(
+            StaticRule::CombLoop,
+            format!(
+                "combinational feedback loop through {{{}}} — the design oscillates",
+                names.join(", ")
+            ),
+            Span::default(),
+            Some(names[0].to_string()),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SA-UNDRIVEN
+// ---------------------------------------------------------------------------
+
+fn check_undriven(design: &Design, df: &Dataflow, out: &mut Vec<StaticFinding>) {
+    let read = df.read_anywhere();
+    let outputs: HashSet<SignalId> = design.outputs.iter().copied().collect();
+    for (idx, info) in design.signals.iter().enumerate() {
+        let id = SignalId(idx as u32);
+        if info.kind == SignalKind::Input || info.init.is_some() {
+            continue;
+        }
+        if !df.drivers[idx].is_empty() {
+            continue;
+        }
+        if read.contains(&id) || outputs.contains(&id) {
+            out.push(finding(
+                StaticRule::Undriven,
+                format!("`{}` is read but has no driver (always `x`)", info.name),
+                Span::default(),
+                Some(info.name.clone()),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SA-XSOURCE — optimistic knowability fixpoint
+// ---------------------------------------------------------------------------
+
+/// Whether `e` can evaluate to a fully known value assuming every signal in
+/// `known` eventually holds a known value. Optimistic on ternaries: a select
+/// with a knowable condition resolves to one arm, so one knowable arm is
+/// enough (`q <= rst ? 0 : q + 1` must not flag `q` when reset exists).
+fn expr_knowable(e: &Expr, known: &[bool], design: &Design) -> bool {
+    match e {
+        Expr::Literal(v) => v.is_fully_known(),
+        Expr::Ident(n) => design.signal(n).is_some_and(|id| known[id.0 as usize]),
+        Expr::Unary(_, a) => expr_knowable(a, known, design),
+        Expr::Binary(_, a, b) => expr_knowable(a, known, design) && expr_knowable(b, known, design),
+        Expr::Ternary(c, a, b) => {
+            expr_knowable(c, known, design)
+                && (expr_knowable(a, known, design) || expr_knowable(b, known, design))
+        }
+        Expr::Concat(parts) => parts.iter().all(|p| expr_knowable(p, known, design)),
+        Expr::Replicate(n, inner) => {
+            expr_knowable(n, known, design) && expr_knowable(inner, known, design)
+        }
+        Expr::Index(n, i) => {
+            design.signal(n).is_some_and(|id| known[id.0 as usize])
+                && expr_knowable(i, known, design)
+        }
+        Expr::Slice(n, a, b) => {
+            design.signal(n).is_some_and(|id| known[id.0 as usize])
+                && expr_knowable(a, known, design)
+                && expr_knowable(b, known, design)
+        }
+    }
+}
+
+fn collect_assignments<'a>(stmt: &'a Stmt, out: &mut Vec<(&'a LValue, &'a Expr, Span)>) {
+    match stmt {
+        Stmt::Block(stmts) => stmts.iter().for_each(|s| collect_assignments(s, out)),
+        Stmt::Blocking { lhs, rhs, span } | Stmt::NonBlocking { lhs, rhs, span } => {
+            out.push((lhs, rhs, *span));
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_assignments(then_branch, out);
+            if let Some(e) = else_branch {
+                collect_assignments(e, out);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            arms.iter().for_each(|(_, b)| collect_assignments(b, out));
+            if let Some(d) = default {
+                collect_assignments(d, out);
+            }
+        }
+        Stmt::For { body, .. } => collect_assignments(body, out),
+        Stmt::Empty => {}
+    }
+}
+
+fn check_xsource(design: &Design, df: &Dataflow, out: &mut Vec<StaticFinding>) {
+    let n = design.signals.len();
+    let mut known = vec![false; n];
+    for (idx, info) in design.signals.iter().enumerate() {
+        if info.kind == SignalKind::Input || info.init.is_some() {
+            known[idx] = true;
+        }
+    }
+    // All (target, rhs) pairs, plus `for` loop variables (driven by constant
+    // init/step machinery — treat as knowable sources).
+    let mut assigns: Vec<(SignalId, &Expr)> = Vec::new();
+    for p in &design.processes {
+        let mut pairs = Vec::new();
+        collect_assignments(&p.body, &mut pairs);
+        for (lhs, rhs, _) in pairs {
+            for name in lhs.target_names() {
+                if let Some(id) = design.signal(name) {
+                    assigns.push((id, rhs));
+                }
+            }
+        }
+        mark_for_vars(&p.body, design, &mut known);
+    }
+    loop {
+        let mut changed = false;
+        for &(id, rhs) in &assigns {
+            if !known[id.0 as usize] && expr_knowable(rhs, &known, design) {
+                known[id.0 as usize] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let read = df.read_anywhere();
+    let outputs: HashSet<SignalId> = design.outputs.iter().copied().collect();
+    for (idx, info) in design.signals.iter().enumerate() {
+        let id = SignalId(idx as u32);
+        if known[idx] || !info.is_reg {
+            continue;
+        }
+        if df.drivers[idx].is_empty() {
+            continue; // SA-UNDRIVEN owns this case
+        }
+        if read.contains(&id) || outputs.contains(&id) {
+            out.push(finding(
+                StaticRule::XSource,
+                format!(
+                    "register `{}` is read but never reset, initialized or assigned \
+                     a resolvable value — it stays `x`",
+                    info.name
+                ),
+                df.drivers[idx][0].span,
+                Some(info.name.clone()),
+            ));
+        }
+    }
+}
+
+fn mark_for_vars(stmt: &Stmt, design: &Design, known: &mut [bool]) {
+    match stmt {
+        Stmt::Block(stmts) => stmts.iter().for_each(|s| mark_for_vars(s, design, known)),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            mark_for_vars(then_branch, design, known);
+            if let Some(e) = else_branch {
+                mark_for_vars(e, design, known);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            arms.iter()
+                .for_each(|(_, b)| mark_for_vars(b, design, known));
+            if let Some(d) = default {
+                mark_for_vars(d, design, known);
+            }
+        }
+        Stmt::For {
+            init, step, body, ..
+        } => {
+            for name in [&init.0, &step.0] {
+                if let Some(id) = design.signal(name) {
+                    known[id.0 as usize] = true;
+                }
+            }
+            mark_for_vars(body, design, known);
+        }
+        Stmt::Blocking { .. } | Stmt::NonBlocking { .. } | Stmt::Empty => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SA-WIDTH
+// ---------------------------------------------------------------------------
+
+/// Effective (content-carrying) width of an expression for truncation
+/// checks. Bare literals lex at 32/64 bits regardless of intent, so literal
+/// widths are ignored outside self-determined contexts — `q <= q + 1` must
+/// not warn.
+fn effective_width(e: &Expr, design: &Design) -> usize {
+    match e {
+        Expr::Literal(_) => 0,
+        Expr::Ident(n) => design.signal(n).map_or(0, |id| design.info(id).width),
+        Expr::Unary(op, a) => {
+            use crate::ast::UnaryOp::*;
+            match op {
+                BitNot | Negate | Plus => effective_width(a, design),
+                // reductions / logical negation produce one bit
+                _ => 1,
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            use crate::ast::BinaryOp::*;
+            match op {
+                Eq | Neq | CaseEq | CaseNeq | Lt | Le | Gt | Ge | LogicAnd | LogicOr => 1,
+                Shl | Shr | AShr => effective_width(a, design),
+                _ => effective_width(a, design).max(effective_width(b, design)),
+            }
+        }
+        Expr::Ternary(_, a, b) => effective_width(a, design).max(effective_width(b, design)),
+        // Concatenation parts are self-determined: literal widths count.
+        Expr::Concat(parts) => parts.iter().map(|p| full_width(p, design)).sum(),
+        Expr::Replicate(n, inner) => {
+            let count = eval_const(n).and_then(|v| v.to_u64()).unwrap_or(1) as usize;
+            count * full_width(inner, design)
+        }
+        Expr::Index(..) => 1,
+        Expr::Slice(_, a, b) => match (const_usize(a), const_usize(b)) {
+            (Some(hi), Some(lo)) if hi >= lo => hi - lo + 1,
+            _ => 0,
+        },
+    }
+}
+
+/// Self-determined width (literals count at face value).
+fn full_width(e: &Expr, design: &Design) -> usize {
+    match e {
+        Expr::Literal(v) => v.width(),
+        _ => effective_width(e, design),
+    }
+}
+
+fn const_usize(e: &Expr) -> Option<usize> {
+    eval_const(e).and_then(|v| v.to_u64()).map(|v| v as usize)
+}
+
+/// Width of an assignment target, when statically determinable.
+fn lvalue_width(lv: &LValue, design: &Design) -> Option<usize> {
+    match lv {
+        LValue::Ident(n) => design.signal(n).map(|id| design.info(id).width),
+        LValue::Index(..) => Some(1),
+        LValue::Slice(_, a, b) => {
+            let (hi, lo) = (const_usize(a)?, const_usize(b)?);
+            (hi >= lo).then(|| hi - lo + 1)
+        }
+        LValue::Concat(parts) => parts.iter().map(|p| lvalue_width(p, design)).sum(),
+    }
+}
+
+fn check_widths(design: &Design, out: &mut Vec<StaticFinding>) {
+    for p in &design.processes {
+        let mut pairs = Vec::new();
+        collect_assignments(&p.body, &mut pairs);
+        for (lhs, rhs, span) in pairs {
+            let Some(lw) = lvalue_width(lhs, design) else {
+                continue;
+            };
+            let rw = effective_width(rhs, design);
+            if rw > lw {
+                let target = lhs
+                    .target_names()
+                    .first()
+                    .map_or_else(String::new, |s| (*s).to_string());
+                out.push(finding(
+                    StaticRule::WidthTrunc,
+                    format!("assignment truncates a {rw}-bit expression into {lw}-bit `{target}`"),
+                    span,
+                    Some(target),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SA-CONSTCOND
+// ---------------------------------------------------------------------------
+
+fn check_const_conditions(design: &Design, out: &mut Vec<StaticFinding>) {
+    for p in &design.processes {
+        walk_const_cond(&p.body, out);
+    }
+}
+
+fn expr_const_ternaries(e: &Expr, out: &mut Vec<StaticFinding>) {
+    match e {
+        Expr::Ternary(c, a, b) => {
+            if let Some(v) = eval_const(c) {
+                out.push(finding(
+                    StaticRule::ConstCond,
+                    format!("ternary condition is constant `{}`; one arm is dead", v),
+                    Span::default(),
+                    None,
+                ));
+            }
+            expr_const_ternaries(c, out);
+            expr_const_ternaries(a, out);
+            expr_const_ternaries(b, out);
+        }
+        Expr::Unary(_, a) => expr_const_ternaries(a, out),
+        Expr::Binary(_, a, b) => {
+            expr_const_ternaries(a, out);
+            expr_const_ternaries(b, out);
+        }
+        Expr::Concat(parts) => parts.iter().for_each(|p| expr_const_ternaries(p, out)),
+        Expr::Replicate(_, inner) => expr_const_ternaries(inner, out),
+        Expr::Index(_, i) => expr_const_ternaries(i, out),
+        Expr::Slice(..) | Expr::Literal(_) | Expr::Ident(_) => {}
+    }
+}
+
+fn walk_const_cond(stmt: &Stmt, out: &mut Vec<StaticFinding>) {
+    match stmt {
+        Stmt::Block(stmts) => stmts.iter().for_each(|s| walk_const_cond(s, out)),
+        Stmt::Blocking { rhs, .. } | Stmt::NonBlocking { rhs, .. } => {
+            expr_const_ternaries(rhs, out);
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            if let Some(v) = eval_const(cond) {
+                let span = first_span(then_branch).unwrap_or_default();
+                out.push(finding(
+                    StaticRule::ConstCond,
+                    format!("`if` condition is constant `{v}`; one branch is dead"),
+                    span,
+                    None,
+                ));
+            }
+            expr_const_ternaries(cond, out);
+            walk_const_cond(then_branch, out);
+            if let Some(e) = else_branch {
+                walk_const_cond(e, out);
+            }
+        }
+        Stmt::Case {
+            expr,
+            arms,
+            default,
+            ..
+        } => {
+            if let Some(v) = eval_const(expr) {
+                let span = first_span(stmt).unwrap_or_default();
+                out.push(finding(
+                    StaticRule::ConstCond,
+                    format!("`case` selector is constant `{v}`; at most one arm is live"),
+                    span,
+                    None,
+                ));
+            }
+            expr_const_ternaries(expr, out);
+            arms.iter().for_each(|(_, b)| walk_const_cond(b, out));
+            if let Some(d) = default {
+                walk_const_cond(d, out);
+            }
+        }
+        Stmt::For { cond, body, .. } => {
+            expr_const_ternaries(cond, out);
+            walk_const_cond(body, out);
+        }
+        Stmt::Empty => {}
+    }
+}
+
+/// First concrete source span inside a statement tree, if any.
+fn first_span(stmt: &Stmt) -> Option<Span> {
+    match stmt {
+        Stmt::Blocking { span, .. } | Stmt::NonBlocking { span, .. } => {
+            (*span != Span::default()).then_some(*span)
+        }
+        Stmt::Block(stmts) => stmts.iter().find_map(first_span),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => first_span(then_branch).or_else(|| else_branch.as_deref().and_then(first_span)),
+        Stmt::Case { arms, default, .. } => arms
+            .iter()
+            .find_map(|(_, b)| first_span(b))
+            .or_else(|| default.as_deref().and_then(first_span)),
+        Stmt::For { body, .. } => first_span(body),
+        Stmt::Empty => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SA-DEADARM
+// ---------------------------------------------------------------------------
+
+fn check_dead_arms(design: &Design, out: &mut Vec<StaticFinding>) {
+    for p in &design.processes {
+        walk_dead_arms(&p.body, design, out);
+    }
+}
+
+fn walk_dead_arms(stmt: &Stmt, design: &Design, out: &mut Vec<StaticFinding>) {
+    match stmt {
+        Stmt::Block(stmts) => stmts.iter().for_each(|s| walk_dead_arms(s, design, out)),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            walk_dead_arms(then_branch, design, out);
+            if let Some(e) = else_branch {
+                walk_dead_arms(e, design, out);
+            }
+        }
+        Stmt::Case {
+            expr,
+            arms,
+            default,
+            ..
+        } => {
+            let sel_w = full_width(expr, design);
+            let mut seen: HashSet<u64> = HashSet::new();
+            for (labels, body) in arms {
+                for label in labels {
+                    // Labels with x/z bits (casez/casex wildcards) have no
+                    // single value and are skipped.
+                    let Some(v) = eval_const(label).and_then(|lv| lv.to_u64()) else {
+                        continue;
+                    };
+                    let span = first_span(body).unwrap_or_default();
+                    if !seen.insert(v) {
+                        out.push(finding(
+                            StaticRule::DeadArm,
+                            format!("case label `{v}` duplicates an earlier arm; this arm never matches"),
+                            span,
+                            None,
+                        ));
+                    } else if sel_w > 0 && sel_w < 64 && v >= (1u64 << sel_w) {
+                        out.push(finding(
+                            StaticRule::DeadArm,
+                            format!(
+                                "case label `{v}` exceeds the {sel_w}-bit selector range; this arm never matches"
+                            ),
+                            span,
+                            None,
+                        ));
+                    }
+                }
+                walk_dead_arms(body, design, out);
+            }
+            if let Some(d) = default {
+                walk_dead_arms(d, design, out);
+            }
+        }
+        Stmt::For { body, .. } => walk_dead_arms(body, design, out),
+        Stmt::Blocking { .. } | Stmt::NonBlocking { .. } | Stmt::Empty => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SA-FSM-UNREACH
+// ---------------------------------------------------------------------------
+
+/// Constant targets of a next-state expression. `Ok(vec)` lists them;
+/// `Err(())` means the expression is not a recognizable state computation
+/// (analysis bails out rather than risk a false unreachable).
+fn state_targets(e: &Expr, state: &str, next: &str) -> std::result::Result<Vec<u64>, ()> {
+    if let Some(v) = eval_const(e).and_then(|v| v.to_u64()) {
+        return Ok(vec![v]);
+    }
+    match e {
+        // `state <= state` holds; `state <= next_state` forwards the targets
+        // collected from the next-state variable's own assignments.
+        Expr::Ident(n) if n == state || n == next => Ok(Vec::new()),
+        Expr::Ternary(_, a, b) => {
+            let mut out = state_targets(a, state, next)?;
+            out.extend(state_targets(b, state, next)?);
+            Ok(out)
+        }
+        _ => Err(()),
+    }
+}
+
+struct FsmFacts {
+    /// Reset/entry state values (assignments outside any `case` over the
+    /// state, plus declared initializers).
+    entries: Vec<u64>,
+    /// Edges `label value → target value`.
+    transitions: Vec<(u64, u64)>,
+    /// All constant case labels over the state, with an anchor span.
+    labels: Vec<(u64, Span)>,
+}
+
+/// Collects FSM transition facts for state register `state` / next-state
+/// variable `next` from one statement tree. `ctx` is the set of case-label
+/// values currently in scope (None outside any case over `state`, or in a
+/// `default` arm).
+fn collect_fsm(
+    stmt: &Stmt,
+    state: &str,
+    next: &str,
+    ctx: Option<&[u64]>,
+    facts: &mut FsmFacts,
+    bail: &mut bool,
+) {
+    if *bail {
+        return;
+    }
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                collect_fsm(s, state, next, ctx, facts, bail);
+            }
+        }
+        Stmt::Blocking { lhs, rhs, .. } | Stmt::NonBlocking { lhs, rhs, .. } => {
+            let names = lhs.target_names();
+            if !names.iter().any(|n| *n == state || *n == next) {
+                return;
+            }
+            match state_targets(rhs, state, next) {
+                Ok(targets) => match ctx {
+                    Some(labels) => {
+                        for &l in labels {
+                            for &t in &targets {
+                                facts.transitions.push((l, t));
+                            }
+                        }
+                    }
+                    // Outside a case over the state (reset branch, default
+                    // arm, unconditional pre-assignment): conservatively
+                    // treat the targets as entry points.
+                    None => facts.entries.extend(targets),
+                },
+                Err(()) => *bail = true,
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_fsm(then_branch, state, next, ctx, facts, bail);
+            if let Some(e) = else_branch {
+                collect_fsm(e, state, next, ctx, facts, bail);
+            }
+        }
+        Stmt::Case {
+            expr,
+            arms,
+            default,
+            ..
+        } => {
+            let over_state = matches!(expr, Expr::Ident(n) if n == state);
+            for (labels, body) in arms {
+                if over_state {
+                    let mut values = Vec::new();
+                    let mut all_const = true;
+                    for l in labels {
+                        match eval_const(l).and_then(|v| v.to_u64()) {
+                            Some(v) => values.push(v),
+                            None => all_const = false,
+                        }
+                    }
+                    if !all_const {
+                        *bail = true;
+                        return;
+                    }
+                    let span = first_span(body).unwrap_or_default();
+                    for &v in &values {
+                        facts.labels.push((v, span));
+                    }
+                    collect_fsm(body, state, next, Some(&values), facts, bail);
+                } else {
+                    collect_fsm(body, state, next, ctx, facts, bail);
+                }
+            }
+            if let Some(d) = default {
+                // A default arm matches states we cannot enumerate: treat its
+                // assignments as entries (reachable from anywhere).
+                let def_ctx = if over_state { None } else { ctx };
+                collect_fsm(d, state, next, def_ctx, facts, bail);
+            }
+        }
+        Stmt::For { body, .. } => collect_fsm(body, state, next, ctx, facts, bail),
+        Stmt::Empty => {}
+    }
+}
+
+fn check_fsm_reachability(design: &Design, df: &Dataflow, out: &mut Vec<StaticFinding>) {
+    // State registers: written by an edge-triggered process and used as the
+    // selector of some case statement.
+    let mut selectors: HashSet<String> = HashSet::new();
+    for p in &design.processes {
+        collect_case_selector_names(&p.body, &mut selectors);
+    }
+    for (idx, info) in design.signals.iter().enumerate() {
+        if !selectors.contains(&info.name) {
+            continue;
+        }
+        let seq_written = df.drivers[idx].iter().any(|d| d.kind == DriverKind::Seq);
+        if !seq_written {
+            continue;
+        }
+        let state = info.name.clone();
+        // Next-state variable: `state <= next` inside an edge process.
+        let next = find_next_state_var(design, &state).unwrap_or_else(|| state.clone());
+        let mut facts = FsmFacts {
+            entries: Vec::new(),
+            transitions: Vec::new(),
+            labels: Vec::new(),
+        };
+        if let Some(init) = &info.init {
+            if let Some(v) = init.to_u64() {
+                facts.entries.push(v);
+            }
+        }
+        let mut bail = false;
+        for p in &design.processes {
+            collect_fsm(&p.body, &state, &next, None, &mut facts, &mut bail);
+        }
+        if bail || facts.labels.is_empty() || facts.entries.is_empty() {
+            continue;
+        }
+        // BFS over the transition relation from the entry set.
+        let mut reachable: HashSet<u64> = facts.entries.iter().copied().collect();
+        loop {
+            let mut changed = false;
+            for &(from, to) in &facts.transitions {
+                if reachable.contains(&from) && reachable.insert(to) {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let width = info.width;
+        let mut reported: HashSet<u64> = HashSet::new();
+        for &(label, span) in &facts.labels {
+            if width < 64 && label >= (1u64 << width) {
+                continue; // out-of-range labels are SA-DEADARM's business
+            }
+            if !reachable.contains(&label) && reported.insert(label) {
+                out.push(finding(
+                    StaticRule::FsmUnreachable,
+                    format!("FSM state `{label}` of `{state}` is unreachable from reset/init"),
+                    span,
+                    Some(state.clone()),
+                ));
+            }
+        }
+    }
+}
+
+fn collect_case_selector_names(stmt: &Stmt, out: &mut HashSet<String>) {
+    match stmt {
+        Stmt::Block(stmts) => stmts
+            .iter()
+            .for_each(|s| collect_case_selector_names(s, out)),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_case_selector_names(then_branch, out);
+            if let Some(e) = else_branch {
+                collect_case_selector_names(e, out);
+            }
+        }
+        Stmt::Case {
+            expr,
+            arms,
+            default,
+            ..
+        } => {
+            if let Expr::Ident(n) = expr {
+                out.insert(n.clone());
+            }
+            arms.iter()
+                .for_each(|(_, b)| collect_case_selector_names(b, out));
+            if let Some(d) = default {
+                collect_case_selector_names(d, out);
+            }
+        }
+        Stmt::For { body, .. } => collect_case_selector_names(body, out),
+        Stmt::Blocking { .. } | Stmt::NonBlocking { .. } | Stmt::Empty => {}
+    }
+}
+
+/// Finds `next` in `state <= next` inside an edge-triggered process.
+fn find_next_state_var(design: &Design, state: &str) -> Option<String> {
+    for p in &design.processes {
+        if !matches!(p.trigger, Trigger::Edge(_)) {
+            continue;
+        }
+        let mut pairs = Vec::new();
+        collect_assignments(&p.body, &mut pairs);
+        for (lhs, rhs, _) in pairs {
+            if let (LValue::Ident(t), Expr::Ident(src)) = (lhs, rhs) {
+                if t == state && src != state {
+                    return Some(src.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(src: &str) -> StaticReport {
+        analyze_source(src).expect("source should compile")
+    }
+
+    fn codes(r: &StaticReport) -> Vec<&'static str> {
+        r.findings.iter().map(|f| f.rule.code()).collect()
+    }
+
+    const CLEAN_COUNTER: &str = "module counter(input clk, input rst_n, output reg [3:0] q);\n\
+         always @(posedge clk or negedge rst_n)\n\
+             if (!rst_n) q <= 4'd0;\n\
+             else q <= q + 1;\nendmodule";
+
+    #[test]
+    fn clean_counter_has_no_findings() {
+        let r = report(CLEAN_COUNTER);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn multidrive_two_always_blocks() {
+        let r = report(
+            "module m(input clk, input a, input b, output reg q);\n\
+             always @(posedge clk) q <= a;\n\
+             always @(posedge clk) q <= b;\nendmodule",
+        );
+        assert!(codes(&r).contains(&"SA-MULTIDRIVE"), "{:?}", r.findings);
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn multidrive_overlapping_slices() {
+        let r = report(
+            "module m(input a, input b, output [3:0] y);\n\
+             assign y[2:0] = {3{a}};\n\
+             assign y[3:2] = {2{b}};\nendmodule",
+        );
+        assert!(codes(&r).contains(&"SA-MULTIDRIVE"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn disjoint_slices_are_not_multidrive() {
+        let r = report(
+            "module m(input a, input b, output [3:0] y);\n\
+             assign y[1:0] = {2{a}};\n\
+             assign y[3:2] = {2{b}};\nendmodule",
+        );
+        assert!(!codes(&r).contains(&"SA-MULTIDRIVE"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn comb_loop_detected() {
+        let r = report(
+            "module m(input a, output y);\n\
+             wire n;\n\
+             assign n = y & a;\n\
+             assign y = n | a;\nendmodule",
+        );
+        assert!(codes(&r).contains(&"SA-COMBLOOP"), "{:?}", r.findings);
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let r = report("module m(output y);\n assign y = ~y;\nendmodule");
+        assert!(codes(&r).contains(&"SA-COMBLOOP"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn clocked_feedback_is_not_a_loop() {
+        let r = report(CLEAN_COUNTER);
+        assert!(!codes(&r).contains(&"SA-COMBLOOP"));
+    }
+
+    #[test]
+    fn xsource_counter_without_reset() {
+        let r = report(
+            "module m(input clk, output reg [3:0] q);\n\
+             always @(posedge clk) q <= q + 1;\nendmodule",
+        );
+        assert!(codes(&r).contains(&"SA-XSOURCE"), "{:?}", r.findings);
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn xsource_spares_resettable_ternary() {
+        // Every assignment reads q, but the reset arm makes it resolvable.
+        let r = report(
+            "module m(input clk, input rst, output reg [3:0] q);\n\
+             always @(posedge clk) q <= rst ? 4'd0 : q + 1;\nendmodule",
+        );
+        assert!(!codes(&r).contains(&"SA-XSOURCE"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn xsource_spares_initialized_reg() {
+        let r = report(
+            "module m(input clk, output reg [3:0] q);\n\
+             initial q = 0;\n\
+             always @(posedge clk) q <= q + 1;\nendmodule",
+        );
+        assert!(!codes(&r).contains(&"SA-XSOURCE"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn xsource_shift_register_without_reset() {
+        let r = report(
+            "module m(input clk, input d, output reg [3:0] q);\n\
+             always @(posedge clk) q <= {q[2:0], d};\nendmodule",
+        );
+        assert!(codes(&r).contains(&"SA-XSOURCE"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn undriven_read_wire_is_error() {
+        let r = report(
+            "module m(input a, output y);\n\
+             wire n;\n\
+             assign y = a & n;\nendmodule",
+        );
+        assert!(codes(&r).contains(&"SA-UNDRIVEN"), "{:?}", r.findings);
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn driven_wire_is_not_undriven() {
+        let r = report(
+            "module m(input a, output y);\n\
+             wire n;\n\
+             assign n = ~a;\n\
+             assign y = a & n;\nendmodule",
+        );
+        assert!(!codes(&r).contains(&"SA-UNDRIVEN"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn width_truncation_warns() {
+        let r = report(
+            "module m(input [7:0] a, output reg [3:0] y);\n\
+             always @(*) y = a;\nendmodule",
+        );
+        assert!(codes(&r).contains(&"SA-WIDTH"), "{:?}", r.findings);
+        assert!(!r.has_errors(), "width is Warn, not Error");
+    }
+
+    #[test]
+    fn increment_with_bare_literal_does_not_warn() {
+        // `q + 1` carries a 32-bit literal; must not count as truncation.
+        let r = report(CLEAN_COUNTER);
+        assert!(!codes(&r).contains(&"SA-WIDTH"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn concat_width_counts_literals() {
+        let r = report(
+            "module m(input [3:0] a, output reg [3:0] y);\n\
+             always @(*) y = {1'b0, a};\nendmodule",
+        );
+        assert!(codes(&r).contains(&"SA-WIDTH"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn constant_if_condition_warns() {
+        let r = report(
+            "module m(input a, output reg y);\n\
+             always @(*) begin if (1'b1) y = a; else y = ~a; end\nendmodule",
+        );
+        assert!(codes(&r).contains(&"SA-CONSTCOND"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn constant_ternary_condition_warns() {
+        let r = report(
+            "module m(input a, output y);\n\
+             assign y = 1'b0 ? a : ~a;\nendmodule",
+        );
+        assert!(codes(&r).contains(&"SA-CONSTCOND"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn signal_condition_is_not_constant() {
+        let r = report(
+            "module m(input a, input s, output y);\n\
+             assign y = s ? a : ~a;\nendmodule",
+        );
+        assert!(!codes(&r).contains(&"SA-CONSTCOND"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn duplicate_case_label_is_dead() {
+        let r = report(
+            "module m(input [1:0] s, input a, output reg y);\n\
+             always @(*) case (s)\n\
+                 2'd0: y = a;\n\
+                 2'd0: y = ~a;\n\
+                 default: y = 1'b0;\n\
+             endcase\nendmodule",
+        );
+        assert!(codes(&r).contains(&"SA-DEADARM"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn out_of_range_case_label_is_dead() {
+        let r = report(
+            "module m(input s, input a, output reg y);\n\
+             always @(*) case (s)\n\
+                 1'd0: y = a;\n\
+                 2'd3: y = ~a;\n\
+                 default: y = 1'b0;\n\
+             endcase\nendmodule",
+        );
+        assert!(codes(&r).contains(&"SA-DEADARM"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn exhaustive_case_is_not_dead() {
+        let r = report(
+            "module m(input [1:0] s, input a, output reg y);\n\
+             always @(*) case (s)\n\
+                 2'd0: y = a;\n\
+                 2'd1: y = ~a;\n\
+                 2'd2: y = 1'b0;\n\
+                 2'd3: y = 1'b1;\n\
+             endcase\nendmodule",
+        );
+        assert!(!codes(&r).contains(&"SA-DEADARM"), "{:?}", r.findings);
+    }
+
+    const FSM_UNREACHABLE: &str = "module fsm(input clk, input rst_n, input x, output reg out);\n\
+         localparam S0 = 2'd0, S1 = 2'd1, S2 = 2'd2;\n\
+         reg [1:0] state, next_state;\n\
+         always @(posedge clk or negedge rst_n)\n\
+             if (!rst_n) state <= S0;\n\
+             else state <= next_state;\n\
+         always @(*)\n\
+             case (state)\n\
+                 S0: next_state = x ? S0 : S1;\n\
+                 S1: next_state = x ? S1 : S0;\n\
+                 S2: next_state = S0;\n\
+                 default: next_state = S0;\n\
+             endcase\n\
+         always @(*) out = (state == S2);\nendmodule";
+
+    #[test]
+    fn orphaned_fsm_state_is_unreachable() {
+        let r = report(FSM_UNREACHABLE);
+        let unreach = r.by_rule(StaticRule::FsmUnreachable);
+        assert_eq!(unreach.len(), 1, "{:?}", r.findings);
+        assert!(unreach[0].message.contains("`2`"), "{}", unreach[0].message);
+        assert!(!r.has_errors(), "unreachable state is Warn, not Error");
+    }
+
+    #[test]
+    fn ring_fsm_is_fully_reachable() {
+        let r = report(
+            "module fsm(input clk, input rst_n, input x, output reg out);\n\
+             localparam S0 = 2'd0, S1 = 2'd1, S2 = 2'd2;\n\
+             reg [1:0] state, next_state;\n\
+             always @(posedge clk or negedge rst_n)\n\
+                 if (!rst_n) state <= S0;\n\
+                 else state <= next_state;\n\
+             always @(*)\n\
+                 case (state)\n\
+                     S0: next_state = x ? S1 : S0;\n\
+                     S1: next_state = x ? S2 : S1;\n\
+                     S2: next_state = S0;\n\
+                     default: next_state = S0;\n\
+                 endcase\n\
+             always @(*) out = (state == S2);\nendmodule",
+        );
+        assert!(!codes(&r).contains(&"SA-FSM-UNREACH"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn findings_serialize_with_spans() {
+        let r = report(
+            "module m(input clk, output reg [3:0] q);\n\
+             always @(posedge clk) q <= q + 1;\nendmodule",
+        );
+        assert!(r.has_errors());
+        let f = &r.findings[0];
+        assert_eq!(f.rule.code(), "SA-XSOURCE");
+        assert_eq!(f.rule.taxonomy(), "ConventionMisapplication");
+        assert!(f.span.line > 0, "span should point at the assignment");
+    }
+
+    #[test]
+    fn report_counts_errors_and_warns() {
+        let r = report(
+            "module m(input [7:0] a, input clk, output reg [3:0] y, output reg [3:0] q);\n\
+             always @(*) y = a;\n\
+             always @(posedge clk) q <= q + 1;\nendmodule",
+        );
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.findings.len(), 2);
+    }
+}

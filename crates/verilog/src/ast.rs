@@ -173,9 +173,7 @@ pub struct Connection {
 }
 
 /// Edge specifier in a sensitivity list.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Edge {
     /// `posedge`
     Pos,
@@ -287,9 +285,7 @@ pub enum Stmt {
 }
 
 /// Unary operators.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum UnaryOp {
     /// `!`
     LogicNot,
@@ -314,9 +310,7 @@ pub enum UnaryOp {
 }
 
 /// Binary operators, in increasing precedence groups (see the parser).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 #[allow(missing_docs)]
 pub enum BinaryOp {
     LogicOr,
@@ -487,7 +481,9 @@ impl Stmt {
                     d.collect_writes(out);
                 }
             }
-            Stmt::For { init, step, body, .. } => {
+            Stmt::For {
+                init, step, body, ..
+            } => {
                 out.push(init.0.clone());
                 out.push(step.0.clone());
                 body.collect_writes(out);

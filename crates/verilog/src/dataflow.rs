@@ -1,0 +1,578 @@
+//! Signal dependency graph over an elaborated [`Design`].
+//!
+//! [`Dataflow::build`] walks every process once and derives three facts the
+//! AST-level lint cannot see:
+//!
+//! * a **driver table** — which processes write which bits of which signal
+//!   ([`Driver`]), the substrate for multi-driver conflict detection;
+//! * per-process **external reads** — signals a process reads *before* it
+//!   definitely assigns them (per-branch join), i.e. true dataflow inputs;
+//! * the **combinational dependency graph** — edges `read → written` over
+//!   combinational processes only, whose non-trivial strongly connected
+//!   components ([`Dataflow::comb_sccs`], iterative Tarjan) are exactly the
+//!   zero-delay loops that make the event-driven simulator oscillate.
+//!
+//! The graph is consumed by [`crate::analyze_static`], the dataset
+//! verification funnel and the evaluation harness' pre-simulation gate.
+
+use std::collections::HashSet;
+
+use crate::ast::{Expr, LValue, Stmt};
+use crate::elab::{Design, Process, SignalId, Trigger};
+use crate::error::Span;
+
+/// How a [`Driver`] writes its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DriverKind {
+    /// Continuous assign or combinational always block.
+    Comb,
+    /// Edge-triggered always block.
+    Seq,
+    /// `initial` block (runs once; never conflicts).
+    Init,
+}
+
+/// One write site of a signal.
+#[derive(Debug, Clone)]
+pub struct Driver {
+    /// Index of the writing process in [`Design::processes`].
+    pub process: usize,
+    /// Continuous/combinational, sequential or initial.
+    pub kind: DriverKind,
+    /// Source location of the assignment statement.
+    pub span: Span,
+    /// Bit range driven, as `(hi, lo)` offsets from the signal's LSB, when
+    /// the bounds are compile-time constants. `None` means the whole signal
+    /// (plain identifier target) or an unresolvable dynamic part-select.
+    pub bits: Option<(usize, usize)>,
+    /// Whether `bits` is trustworthy: `true` for whole-signal targets and
+    /// constant part-selects, `false` for dynamic indices (which must be
+    /// treated as potentially touching every bit).
+    pub const_bounds: bool,
+}
+
+impl Driver {
+    /// The driven range as `(hi, lo)` bit offsets, widened to the whole
+    /// signal when the bounds are dynamic.
+    pub fn effective_bits(&self, width: usize) -> (usize, usize) {
+        match (self.const_bounds, self.bits) {
+            (true, Some(b)) => b,
+            _ => (width.saturating_sub(1), 0),
+        }
+    }
+
+    /// Whether two drivers can write the same bit.
+    pub fn overlaps(&self, other: &Driver, width: usize) -> bool {
+        let (ah, al) = self.effective_bits(width);
+        let (bh, bl) = other.effective_bits(width);
+        al <= bh && bl <= ah
+    }
+}
+
+/// Dependency facts derived from one elaborated design.
+#[derive(Debug, Clone)]
+pub struct Dataflow {
+    /// Per-signal driver table, indexed by [`SignalId`].
+    pub drivers: Vec<Vec<Driver>>,
+    /// Per-process external read set: signals read before being definitely
+    /// assigned inside the process body (indexed like
+    /// [`Design::processes`]).
+    pub external_reads: Vec<Vec<SignalId>>,
+}
+
+impl Dataflow {
+    /// Builds the driver table, external read sets and combinational
+    /// dependency graph for `design`.
+    pub fn build(design: &Design) -> Dataflow {
+        let mut drivers: Vec<Vec<Driver>> = vec![Vec::new(); design.signals.len()];
+        let mut external_reads = Vec::with_capacity(design.processes.len());
+        for (pi, p) in design.processes.iter().enumerate() {
+            let kind = match p.trigger {
+                Trigger::Comb(_) => DriverKind::Comb,
+                Trigger::Edge(_) => DriverKind::Seq,
+                Trigger::Once => DriverKind::Init,
+            };
+            collect_drivers(design, pi, kind, &p.body, &mut drivers);
+            external_reads.push(process_external_reads(design, p));
+        }
+        Dataflow {
+            drivers,
+            external_reads,
+        }
+    }
+
+    /// Signals read (before assignment) by any process, plus every signal a
+    /// dynamic part-select index depends on — the observation set used by
+    /// undriven/X-source analyses.
+    pub fn read_anywhere(&self) -> HashSet<SignalId> {
+        self.external_reads.iter().flatten().copied().collect()
+    }
+
+    /// Non-trivial strongly connected components of the combinational
+    /// dependency graph: each returned component either has two or more
+    /// signals, or is a single signal with a self-edge (`assign y = ~y;`).
+    /// Every component is a genuine zero-delay feedback loop.
+    pub fn comb_sccs(&self, design: &Design) -> Vec<Vec<SignalId>> {
+        // Edges read → write over combinational processes only. A read that
+        // is definitely assigned earlier in the same process is internal
+        // sequencing, not feedback, so external reads are the right source.
+        let n = design.signals.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut has_self = vec![false; n];
+        for (pi, p) in design.processes.iter().enumerate() {
+            if !matches!(p.trigger, Trigger::Comb(_)) {
+                continue;
+            }
+            for &r in &self.external_reads[pi] {
+                for &w in &p.writes {
+                    if r == w {
+                        has_self[r.0 as usize] = true;
+                    } else {
+                        adj[r.0 as usize].push(w.0 as usize);
+                    }
+                }
+            }
+        }
+        let sccs = tarjan_sccs(&adj);
+        let mut out = Vec::new();
+        for comp in sccs {
+            if comp.len() > 1 || has_self[comp[0]] {
+                let mut sigs: Vec<SignalId> =
+                    comp.into_iter().map(|i| SignalId(i as u32)).collect();
+                sigs.sort();
+                out.push(sigs);
+            }
+        }
+        out
+    }
+}
+
+/// Walks `stmt` collecting a [`Driver`] entry per assignment target.
+fn collect_drivers(
+    design: &Design,
+    process: usize,
+    kind: DriverKind,
+    stmt: &Stmt,
+    drivers: &mut Vec<Vec<Driver>>,
+) {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                collect_drivers(design, process, kind, s, drivers);
+            }
+        }
+        Stmt::Blocking { lhs, span, .. } | Stmt::NonBlocking { lhs, span, .. } => {
+            record_lvalue_drivers(design, process, kind, lhs, *span, drivers);
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_drivers(design, process, kind, then_branch, drivers);
+            if let Some(e) = else_branch {
+                collect_drivers(design, process, kind, e, drivers);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            for (_, body) in arms {
+                collect_drivers(design, process, kind, body, drivers);
+            }
+            if let Some(d) = default {
+                collect_drivers(design, process, kind, d, drivers);
+            }
+        }
+        Stmt::For {
+            init, step, body, ..
+        } => {
+            for name in [&init.0, &step.0] {
+                if let Some(id) = design.signal(name) {
+                    push_driver(
+                        drivers,
+                        id,
+                        Driver {
+                            process,
+                            kind,
+                            span: Span::default(),
+                            bits: None,
+                            const_bounds: true,
+                        },
+                    );
+                }
+            }
+            collect_drivers(design, process, kind, body, drivers);
+        }
+        Stmt::Empty => {}
+    }
+}
+
+fn record_lvalue_drivers(
+    design: &Design,
+    process: usize,
+    kind: DriverKind,
+    lv: &LValue,
+    span: Span,
+    drivers: &mut Vec<Vec<Driver>>,
+) {
+    match lv {
+        LValue::Ident(n) => {
+            if let Some(id) = design.signal(n) {
+                push_driver(
+                    drivers,
+                    id,
+                    Driver {
+                        process,
+                        kind,
+                        span,
+                        bits: None,
+                        const_bounds: true,
+                    },
+                );
+            }
+        }
+        LValue::Index(n, idx) => {
+            if let Some(id) = design.signal(n) {
+                let lsb = design.info(id).lsb;
+                let bits = crate::eval::eval_const(idx)
+                    .and_then(|v| v.to_u64())
+                    .map(|i| {
+                        let bit = (i as usize).saturating_sub(lsb);
+                        (bit, bit)
+                    });
+                let const_bounds = bits.is_some();
+                push_driver(
+                    drivers,
+                    id,
+                    Driver {
+                        process,
+                        kind,
+                        span,
+                        bits,
+                        const_bounds,
+                    },
+                );
+            }
+        }
+        LValue::Slice(n, a, b) => {
+            if let Some(id) = design.signal(n) {
+                let lsb = design.info(id).lsb;
+                let hi = crate::eval::eval_const(a).and_then(|v| v.to_u64());
+                let lo = crate::eval::eval_const(b).and_then(|v| v.to_u64());
+                let bits = match (hi, lo) {
+                    (Some(h), Some(l)) => Some((
+                        (h as usize).saturating_sub(lsb),
+                        (l as usize).saturating_sub(lsb),
+                    )),
+                    _ => None,
+                };
+                let const_bounds = bits.is_some();
+                push_driver(
+                    drivers,
+                    id,
+                    Driver {
+                        process,
+                        kind,
+                        span,
+                        bits,
+                        const_bounds,
+                    },
+                );
+            }
+        }
+        LValue::Concat(parts) => {
+            for p in parts {
+                record_lvalue_drivers(design, process, kind, p, span, drivers);
+            }
+        }
+    }
+}
+
+fn push_driver(drivers: &mut [Vec<Driver>], id: SignalId, d: Driver) {
+    drivers[id.0 as usize].push(d);
+}
+
+/// Signals `p` reads before definitely assigning them: the process' true
+/// dataflow inputs. Non-blocking writes never count as assignments (their
+/// effect is deferred to the end of the timestep), and partial writes
+/// (index/slice targets) are conservatively treated as not assigning.
+fn process_external_reads(design: &Design, p: &Process) -> Vec<SignalId> {
+    let mut assigned: HashSet<String> = HashSet::new();
+    let mut ext: Vec<String> = Vec::new();
+    walk_external(&p.body, &mut assigned, &mut ext);
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for name in ext {
+        if let Some(id) = design.signal(&name) {
+            if seen.insert(id) {
+                out.push(id);
+            }
+        }
+    }
+    out
+}
+
+fn note_expr_reads(e: &Expr, assigned: &HashSet<String>, ext: &mut Vec<String>) {
+    let mut names = Vec::new();
+    e.collect_reads(&mut names);
+    for n in names {
+        if !assigned.contains(&n) {
+            ext.push(n);
+        }
+    }
+}
+
+fn note_lvalue_index_reads(lv: &LValue, assigned: &HashSet<String>, ext: &mut Vec<String>) {
+    match lv {
+        LValue::Ident(_) => {}
+        LValue::Index(_, i) => note_expr_reads(i, assigned, ext),
+        LValue::Slice(_, a, b) => {
+            note_expr_reads(a, assigned, ext);
+            note_expr_reads(b, assigned, ext);
+        }
+        LValue::Concat(parts) => {
+            for p in parts {
+                note_lvalue_index_reads(p, assigned, ext);
+            }
+        }
+    }
+}
+
+fn walk_external(stmt: &Stmt, assigned: &mut HashSet<String>, ext: &mut Vec<String>) {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                walk_external(s, assigned, ext);
+            }
+        }
+        Stmt::Blocking { lhs, rhs, .. } => {
+            note_expr_reads(rhs, assigned, ext);
+            note_lvalue_index_reads(lhs, assigned, ext);
+            if let LValue::Ident(n) = lhs {
+                assigned.insert(n.clone());
+            }
+        }
+        Stmt::NonBlocking { lhs, rhs, .. } => {
+            note_expr_reads(rhs, assigned, ext);
+            note_lvalue_index_reads(lhs, assigned, ext);
+            // Deferred write: later reads in this pass still see the old
+            // value, so the target stays unassigned.
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            note_expr_reads(cond, assigned, ext);
+            let mut then_assigned = assigned.clone();
+            walk_external(then_branch, &mut then_assigned, ext);
+            // With no `else`, the branch may be skipped: nothing new is
+            // definite.
+            if let Some(e) = else_branch {
+                let mut else_assigned = assigned.clone();
+                walk_external(e, &mut else_assigned, ext);
+                // Join: definitely assigned only if assigned on both paths.
+                assigned.extend(
+                    then_assigned
+                        .intersection(&else_assigned)
+                        .cloned()
+                        .collect::<Vec<_>>(),
+                );
+            }
+        }
+        Stmt::Case {
+            expr,
+            arms,
+            default,
+            ..
+        } => {
+            note_expr_reads(expr, assigned, ext);
+            let mut joined: Option<HashSet<String>> = None;
+            let join = |set: HashSet<String>, joined: &mut Option<HashSet<String>>| {
+                *joined = Some(match joined.take() {
+                    None => set,
+                    Some(prev) => prev.intersection(&set).cloned().collect(),
+                });
+            };
+            for (labels, body) in arms {
+                for l in labels {
+                    note_expr_reads(l, assigned, ext);
+                }
+                let mut arm_assigned = assigned.clone();
+                walk_external(body, &mut arm_assigned, ext);
+                join(arm_assigned, &mut joined);
+            }
+            match default {
+                Some(d) => {
+                    let mut def_assigned = assigned.clone();
+                    walk_external(d, &mut def_assigned, ext);
+                    join(def_assigned, &mut joined);
+                }
+                None => {
+                    // No default: the selector may match nothing, so no arm's
+                    // assignments are definite.
+                    joined = None;
+                }
+            }
+            if let Some(j) = joined {
+                assigned.extend(j);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            note_expr_reads(&init.1, assigned, ext);
+            assigned.insert(init.0.clone());
+            note_expr_reads(cond, assigned, ext);
+            walk_external(body, assigned, ext);
+            note_expr_reads(&step.1, assigned, ext);
+            assigned.insert(step.0.clone());
+        }
+        Stmt::Empty => {}
+    }
+}
+
+/// Iterative Tarjan over an adjacency list; returns every SCC (including
+/// singletons — callers filter for the interesting ones).
+fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS frames: (node, next child position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == usize::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::compile;
+
+    #[test]
+    fn driver_table_records_process_kinds() {
+        let d = compile(
+            "module m(input clk, input a, output y, output reg q);\n\
+             assign y = a;\n\
+             always @(posedge clk) q <= a;\nendmodule",
+        )
+        .unwrap();
+        let df = Dataflow::build(&d);
+        let y = d.signal("y").unwrap();
+        let q = d.signal("q").unwrap();
+        assert_eq!(df.drivers[y.0 as usize].len(), 1);
+        assert_eq!(df.drivers[y.0 as usize][0].kind, DriverKind::Comb);
+        assert_eq!(df.drivers[q.0 as usize].len(), 1);
+        assert_eq!(df.drivers[q.0 as usize][0].kind, DriverKind::Seq);
+    }
+
+    #[test]
+    fn external_reads_respect_blocking_order() {
+        // t is written before it is read: not an external read.
+        let d = compile(
+            "module m(input a, input b, output reg y);\n\
+             reg t;\n\
+             always @(*) begin t = a & b; y = t; end\nendmodule",
+        )
+        .unwrap();
+        let df = Dataflow::build(&d);
+        let t = d.signal("t").unwrap();
+        let p = d
+            .processes
+            .iter()
+            .position(|p| matches!(p.trigger, Trigger::Comb(_)))
+            .unwrap();
+        assert!(!df.external_reads[p].contains(&t));
+    }
+
+    #[test]
+    fn branch_join_keeps_partial_assignment_external() {
+        // t is only assigned in one branch, then read: external.
+        let d = compile(
+            "module m(input a, input b, output reg y);\n\
+             reg t;\n\
+             always @(*) begin if (a) t = b; y = t; end\nendmodule",
+        )
+        .unwrap();
+        let df = Dataflow::build(&d);
+        let t = d.signal("t").unwrap();
+        let p = d
+            .processes
+            .iter()
+            .position(|p| matches!(p.trigger, Trigger::Comb(_)))
+            .unwrap();
+        assert!(df.external_reads[p].contains(&t));
+    }
+
+    #[test]
+    fn comb_scc_found_across_two_assigns() {
+        let d = compile(
+            "module m(input a, output y);\n\
+             wire n;\n\
+             assign n = y & a;\n\
+             assign y = n | a;\nendmodule",
+        )
+        .unwrap();
+        let df = Dataflow::build(&d);
+        let sccs = df.comb_sccs(&d);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 2);
+    }
+
+    #[test]
+    fn sequential_feedback_is_not_a_comb_loop() {
+        let d = compile(
+            "module m(input clk, output reg [3:0] q);\n\
+             always @(posedge clk) q <= q + 1;\nendmodule",
+        )
+        .unwrap();
+        let df = Dataflow::build(&d);
+        assert!(df.comb_sccs(&d).is_empty());
+    }
+}

@@ -381,14 +381,20 @@ impl<'a> Elaborator<'a> {
 
         // Implicit continuous assigns from wire initializers.
         for (name, expr) in &implicit_assigns {
-            self.add_assign(&scope, &LValue::Ident(name.clone()), expr, &reg_ports)?;
+            self.add_assign(
+                &scope,
+                &LValue::Ident(name.clone()),
+                expr,
+                &reg_ports,
+                crate::error::Span::default(),
+            )?;
         }
 
         // Pass 4: compile processes and recurse into instances.
         for item in &module.items {
             match item {
-                Item::ContinuousAssign { lhs, rhs, .. } => {
-                    self.add_assign(&scope, lhs, rhs, &reg_ports)?;
+                Item::ContinuousAssign { lhs, rhs, span } => {
+                    self.add_assign(&scope, lhs, rhs, &reg_ports, *span)?;
                 }
                 Item::Always {
                     sensitivity, body, ..
@@ -494,6 +500,7 @@ impl<'a> Elaborator<'a> {
         lhs: &LValue,
         rhs: &Expr,
         _reg_ports: &[String],
+        span: crate::error::Span,
     ) -> Result<()> {
         let lhs = self.resolve_lvalue(scope, lhs)?;
         let rhs = self.resolve_expr(scope, rhs)?;
@@ -519,7 +526,6 @@ impl<'a> Elaborator<'a> {
         wnames.extend(lhs.target_names().iter().map(|s| s.to_string()));
         let writes = self.resolve_names(&wnames)?;
         let id = self.design.processes.len();
-        let span = crate::error::Span::default();
         self.design.processes.push(Process {
             id,
             trigger: Trigger::Comb(reads),
@@ -589,9 +595,10 @@ impl<'a> Elaborator<'a> {
                 "module `{type_name}` instantiates itself"
             )));
         }
-        let child = self.file.module(type_name).ok_or_else(|| {
-            VerilogError::elab(format!("unknown module type `{type_name}`"))
-        })?;
+        let child = self
+            .file
+            .module(type_name)
+            .ok_or_else(|| VerilogError::elab(format!("unknown module type `{type_name}`")))?;
         let child_prefix = format!("{}{}.", scope.prefix, instance);
         self.depth += 1;
         self.instantiate(child, &child_prefix, false)?;
@@ -604,28 +611,19 @@ impl<'a> Elaborator<'a> {
         for (i, conn) in connections.iter().enumerate() {
             let port_name = match &conn.port {
                 Some(p) => p.clone(),
-                None => child_ports
-                    .get(i)
-                    .map(|p| p.name.clone())
-                    .ok_or_else(|| {
-                        VerilogError::elab(format!(
-                            "too many positional connections on `{instance}`"
-                        ))
-                    })?,
+                None => child_ports.get(i).map(|p| p.name.clone()).ok_or_else(|| {
+                    VerilogError::elab(format!("too many positional connections on `{instance}`"))
+                })?,
             };
             let child_sig_name = format!("{child_prefix}{port_name}");
             let child_id = self.lookup(&child_sig_name).map_err(|_| {
-                VerilogError::elab(format!(
-                    "module `{type_name}` has no port `{port_name}`"
-                ))
+                VerilogError::elab(format!("module `{type_name}` has no port `{port_name}`"))
             })?;
             let Some(expr) = &conn.expr else { continue };
             let expr = self.resolve_expr(scope, expr)?;
             // Direction from the child module's declarations.
             let dir = child_port_direction(child, &port_name).ok_or_else(|| {
-                VerilogError::elab(format!(
-                    "module `{type_name}` has no port `{port_name}`"
-                ))
+                VerilogError::elab(format!("module `{type_name}` has no port `{port_name}`"))
             })?;
             let span = crate::error::Span::default();
             match dir {
@@ -746,9 +744,7 @@ impl<'a> Elaborator<'a> {
             ),
             Expr::Index(n, i) => {
                 if scope.params.contains_key(n) {
-                    return Err(VerilogError::elab(format!(
-                        "cannot index parameter `{n}`"
-                    )));
+                    return Err(VerilogError::elab(format!("cannot index parameter `{n}`")));
                 }
                 let q = scope.qualify(n);
                 self.lookup(&q)?;
@@ -782,7 +778,11 @@ impl<'a> Elaborator<'a> {
             LValue::Slice(n, a, b) => {
                 let q = scope.qualify(n);
                 self.lookup(&q)?;
-                LValue::Slice(q, self.resolve_expr(scope, a)?, self.resolve_expr(scope, b)?)
+                LValue::Slice(
+                    q,
+                    self.resolve_expr(scope, a)?,
+                    self.resolve_expr(scope, b)?,
+                )
             }
             LValue::Concat(parts) => LValue::Concat(
                 parts
@@ -988,33 +988,26 @@ mod tests {
 
     #[test]
     fn undeclared_identifier_is_error() {
-        let err = compile("module m(input a, output y); assign y = a & b; endmodule")
-            .unwrap_err();
+        let err = compile("module m(input a, output y); assign y = a & b; endmodule").unwrap_err();
         assert!(err.to_string().contains("undeclared"), "{err}");
     }
 
     #[test]
     fn assign_to_reg_is_error() {
-        let err = compile("module m(input a, output reg y); assign y = a; endmodule")
-            .unwrap_err();
+        let err = compile("module m(input a, output reg y); assign y = a; endmodule").unwrap_err();
         assert!(err.to_string().contains("reg"), "{err}");
     }
 
     #[test]
     fn procedural_write_to_wire_is_error() {
-        let err = compile(
-            "module m(input a, output y); always @(*) y = a; endmodule",
-        )
-        .unwrap_err();
+        let err = compile("module m(input a, output y); always @(*) y = a; endmodule").unwrap_err();
         assert!(err.to_string().contains("wire"), "{err}");
     }
 
     #[test]
     fn double_continuous_driver_is_error() {
-        let err = compile(
-            "module m(input a, b, output y); assign y = a; assign y = b; endmodule",
-        )
-        .unwrap_err();
+        let err = compile("module m(input a, b, output y); assign y = a; assign y = b; endmodule")
+            .unwrap_err();
         assert!(err.to_string().contains("drivers"), "{err}");
     }
 
@@ -1046,20 +1039,16 @@ mod tests {
 
     #[test]
     fn legacy_ports_get_directions_from_body() {
-        let d = compile(
-            "module m(a, y);\n input a;\n output y;\n assign y = a;\nendmodule",
-        )
-        .unwrap();
+        let d =
+            compile("module m(a, y);\n input a;\n output y;\n assign y = a;\nendmodule").unwrap();
         assert_eq!(d.input_ports(), vec![("a".to_string(), 1)]);
         assert_eq!(d.output_ports(), vec![("y".to_string(), 1)]);
     }
 
     #[test]
     fn incomplete_sensitivity_is_kept_as_declared() {
-        let d = compile(
-            "module m(input a, b, output reg y);\n always @(a) y = a & b;\nendmodule",
-        )
-        .unwrap();
+        let d = compile("module m(input a, b, output reg y);\n always @(a) y = a & b;\nendmodule")
+            .unwrap();
         let Trigger::Comb(reads) = &d.processes[0].trigger else {
             panic!()
         };
@@ -1097,10 +1086,8 @@ mod wire_init_tests {
 
     #[test]
     fn reg_with_nonconstant_initializer_is_rejected() {
-        let err = compile(
-            "module m(input a, output y);\n reg r = a;\n assign y = r;\nendmodule",
-        )
-        .unwrap_err();
+        let err = compile("module m(input a, output y);\n reg r = a;\n assign y = r;\nendmodule")
+            .unwrap_err();
         assert!(err.to_string().contains("constant"), "{err}");
     }
 }

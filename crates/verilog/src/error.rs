@@ -4,7 +4,9 @@ use std::error::Error;
 use std::fmt;
 
 /// A position in Verilog source text (1-based line and column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Span {
     /// 1-based line number.
     pub line: u32,

@@ -52,9 +52,7 @@ fn has_idents(e: &Expr) -> bool {
 pub fn eval_expr(e: &Expr, env: &dyn SignalEnv) -> LogicVec {
     match e {
         Expr::Literal(v) => v.clone(),
-        Expr::Ident(n) => env
-            .value_of(n)
-            .unwrap_or_else(|| LogicVec::unknown(1)),
+        Expr::Ident(n) => env.value_of(n).unwrap_or_else(|| LogicVec::unknown(1)),
         Expr::Unary(op, a) => eval_unary(*op, &eval_expr(a, env)),
         Expr::Binary(op, a, b) => eval_binary(*op, &eval_expr(a, env), &eval_expr(b, env)),
         Expr::Ternary(c, t, f) => {
@@ -88,9 +86,7 @@ pub fn eval_expr(e: &Expr, env: &dyn SignalEnv) -> LogicVec {
             }
         }
         Expr::Index(name, i) => {
-            let base = env
-                .value_of(name)
-                .unwrap_or_else(|| LogicVec::unknown(1));
+            let base = env.value_of(name).unwrap_or_else(|| LogicVec::unknown(1));
             let lsb = env.lsb_of(name);
             match eval_expr(i, env).to_u64() {
                 Some(ix) => {
@@ -104,9 +100,7 @@ pub fn eval_expr(e: &Expr, env: &dyn SignalEnv) -> LogicVec {
             }
         }
         Expr::Slice(name, a, b) => {
-            let base = env
-                .value_of(name)
-                .unwrap_or_else(|| LogicVec::unknown(1));
+            let base = env.value_of(name).unwrap_or_else(|| LogicVec::unknown(1));
             let lsb_off = env.lsb_of(name);
             match (eval_expr(a, env).to_u64(), eval_expr(b, env).to_u64()) {
                 (Some(hi), Some(lo)) if hi >= lo => {

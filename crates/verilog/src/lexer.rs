@@ -124,20 +124,20 @@ pub enum Punct {
     Hash,
     Dot,
     Question,
-    Assign,     // =
+    Assign, // =
     Plus,
     Minus,
     Star,
     Slash,
     Percent,
-    Power,      // **
-    Eq,         // ==
-    Neq,        // !=
-    CaseEq,     // ===
-    CaseNeq,    // !==
+    Power,   // **
+    Eq,      // ==
+    Neq,     // !=
+    CaseEq,  // ===
+    CaseNeq, // !==
     Lt,
     Gt,
-    Le,         // <=  (also non-blocking assign)
+    Le, // <=  (also non-blocking assign)
     Ge,
     AndAnd,
     OrOr,

@@ -36,7 +36,9 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod analyze_static;
 pub mod ast;
+pub mod dataflow;
 pub mod elab;
 pub mod error;
 pub mod eval;
@@ -48,6 +50,9 @@ pub mod pretty;
 pub mod sim;
 pub mod vcd;
 
+pub use analyze_static::{
+    analyze_design, analyze_source, Severity, StaticFinding, StaticReport, StaticRule,
+};
 pub use elab::{compile, Design};
 pub use error::{Result, VerilogError};
 pub use logic::{Logic, LogicVec};

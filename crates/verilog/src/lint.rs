@@ -46,7 +46,6 @@ pub struct LintIssue {
     /// Human-readable detail.
     pub message: String,
     /// Location of the enclosing construct.
-    #[serde(skip)]
     pub span: Span,
 }
 
@@ -115,12 +114,7 @@ pub fn lint_module(module: &Module) -> Vec<LintIssue> {
 }
 
 #[allow(clippy::only_used_in_recursion)] // span is threaded to every issue site
-fn check_assignment_kind(
-    stmt: &Stmt,
-    sequential: bool,
-    span: Span,
-    issues: &mut Vec<LintIssue>,
-) {
+fn check_assignment_kind(stmt: &Stmt, sequential: bool, span: Span, issues: &mut Vec<LintIssue>) {
     match stmt {
         Stmt::Block(ss) => ss
             .iter()
@@ -201,11 +195,7 @@ fn walk_completeness(
         Stmt::Block(ss) => ss
             .iter()
             .for_each(|s| walk_completeness(s, span, pre_assigned, issues)),
-        Stmt::Case {
-            arms,
-            default,
-            ..
-        } => {
+        Stmt::Case { arms, default, .. } => {
             if default.is_none() {
                 let mut writes = Vec::new();
                 for (_, b) in arms {
@@ -238,10 +228,7 @@ fn walk_completeness(
                 if !writes.is_empty() {
                     issues.push(LintIssue {
                         rule: LintRule::InferredLatch,
-                        message: format!(
-                            "`if` without `else` latches: {}",
-                            writes.join(", ")
-                        ),
+                        message: format!("`if` without `else` latches: {}", writes.join(", ")),
                         span,
                     });
                 }
@@ -256,16 +243,17 @@ fn walk_completeness(
     }
 }
 
-fn check_reset(
-    edges: &[(Edge, String)],
-    body: &Stmt,
-    span: Span,
-    issues: &mut Vec<LintIssue>,
-) {
-    let reset_in_list = edges.iter().any(|(_, n)| {
-        let n = n.to_ascii_lowercase();
-        n.contains("rst") || n.contains("reset")
-    });
+/// Whether `name` names a reset, by whole-token match: `rst`, `reset`,
+/// `resetn` and `nrst` count (so `rst_n`, `sys_reset`, `u0.rst` match) but
+/// substring lookalikes like `first`, `burst` or `wrst_data` do not.
+fn is_reset_name(name: &str) -> bool {
+    name.to_ascii_lowercase()
+        .split(['_', '.'])
+        .any(|tok| matches!(tok, "rst" | "reset" | "resetn" | "nrst"))
+}
+
+fn check_reset(edges: &[(Edge, String)], body: &Stmt, span: Span, issues: &mut Vec<LintIssue>) {
+    let reset_in_list = edges.iter().any(|(_, n)| is_reset_name(n));
     if reset_in_list {
         return;
     }
@@ -275,10 +263,7 @@ fn check_reset(
     let tests_reset = conds.iter().any(|c| {
         let mut reads = Vec::new();
         c.collect_reads(&mut reads);
-        reads.iter().any(|r| {
-            let r = r.to_ascii_lowercase();
-            r.contains("rst") || r.contains("reset")
-        })
+        reads.iter().any(|r| is_reset_name(r))
     });
     if !tests_reset {
         issues.push(LintIssue {
@@ -344,9 +329,7 @@ mod tests {
 
     #[test]
     fn nonblocking_in_comb_flagged() {
-        let rules = lint(
-            "module m(input a, output reg y);\n always @(*) y <= ~a;\nendmodule",
-        );
+        let rules = lint("module m(input a, output reg y);\n always @(*) y <= ~a;\nendmodule");
         assert!(rules.contains(&LintRule::NonBlockingInCombinational));
     }
 
@@ -368,17 +351,14 @@ mod tests {
 
     #[test]
     fn if_without_else_is_latch() {
-        let rules = lint(
-            "module m(input a, b, output reg y);\n always @(*) if (a) y = b;\nendmodule",
-        );
+        let rules =
+            lint("module m(input a, b, output reg y);\n always @(*) if (a) y = b;\nendmodule");
         assert!(rules.contains(&LintRule::InferredLatch));
     }
 
     #[test]
     fn incomplete_sensitivity_flagged() {
-        let rules = lint(
-            "module m(input a, b, output reg y);\n always @(a) y = a & b;\nendmodule",
-        );
+        let rules = lint("module m(input a, b, output reg y);\n always @(a) y = a & b;\nendmodule");
         assert!(rules.contains(&LintRule::IncompleteSensitivity));
     }
 

@@ -14,8 +14,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// `Z` (high impedance) behaves as `X` in every logical operation; it is kept
 /// distinct so that emitted literals and case-equality match Verilog.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Logic {
     /// Logic low.
     Zero,
@@ -118,7 +117,6 @@ impl From<bool> for Logic {
         }
     }
 }
-
 
 impl fmt::Display for Logic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -408,13 +406,7 @@ impl LogicVec {
             Some(n) => {
                 let n = n as usize;
                 let bits = (0..w)
-                    .map(|i| {
-                        if i >= n {
-                            self.bit(i - n)
-                        } else {
-                            Logic::Zero
-                        }
-                    })
+                    .map(|i| if i >= n { self.bit(i - n) } else { Logic::Zero })
                     .collect();
                 LogicVec { bits }
             }

@@ -63,7 +63,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -207,10 +209,7 @@ impl Parser {
         self.expect_punct(Punct::Semicolon, "`;` after module header")?;
         while !self.eat_keyword(Keyword::Endmodule) {
             if self.peek() == &TokenKind::Eof {
-                return Err(VerilogError::parse(
-                    self.span(),
-                    "missing `endmodule`",
-                ));
+                return Err(VerilogError::parse(self.span(), "missing `endmodule`"));
             }
             items.push(self.item()?);
         }
@@ -837,10 +836,8 @@ mod tests {
 
     #[test]
     fn ansi_header() {
-        let f = parse(
-            "module m(input wire [3:0] a, input b, output reg [7:0] y); endmodule",
-        )
-        .unwrap();
+        let f =
+            parse("module m(input wire [3:0] a, input b, output reg [7:0] y); endmodule").unwrap();
         let m = &f.modules[0];
         assert_eq!(m.ports.len(), 3);
         assert_eq!(m.ports[0].direction, Some(Direction::Input));
@@ -850,10 +847,9 @@ mod tests {
 
     #[test]
     fn legacy_header() {
-        let f = parse(
-            "module m(a, b, y);\n input a, b;\n output y;\n assign y = a & b;\nendmodule",
-        )
-        .unwrap();
+        let f =
+            parse("module m(a, b, y);\n input a, b;\n output y;\n assign y = a & b;\nendmodule")
+                .unwrap();
         let m = &f.modules[0];
         assert_eq!(m.ports.len(), 3);
         assert_eq!(m.ports[0].direction, None);
@@ -864,7 +860,10 @@ mod tests {
     fn always_star_with_case() {
         let src = "module m(input [1:0] s, output reg y);\n always @(*) begin\n  case (s)\n   2'b00: y = 1'b0;\n   2'b01, 2'b10: y = 1'b1;\n   default: y = 1'b0;\n  endcase\n end\nendmodule";
         let f = parse(src).unwrap();
-        let Item::Always { sensitivity, body, .. } = &f.modules[0].items[0] else {
+        let Item::Always {
+            sensitivity, body, ..
+        } = &f.modules[0].items[0]
+        else {
             panic!("expected always")
         };
         assert_eq!(sensitivity, &Sensitivity::Star);
@@ -932,7 +931,10 @@ mod tests {
         let f = parse(src).unwrap();
         assert!(matches!(
             f.modules[0].items[0],
-            Item::ParamDecl { is_local: false, .. }
+            Item::ParamDecl {
+                is_local: false,
+                ..
+            }
         ));
     }
 

@@ -54,7 +54,13 @@ pub fn pretty_module(m: &Module) -> String {
     }
     out.push_str(";\n");
     for item in &m.items {
-        if matches!(item, Item::ParamDecl { is_local: false, .. }) {
+        if matches!(
+            item,
+            Item::ParamDecl {
+                is_local: false,
+                ..
+            }
+        ) {
             continue; // already emitted in the header
         }
         out.push_str(&pretty_item(item, 1));
@@ -141,7 +147,11 @@ pub fn pretty_item(item: &Item, level: usize) -> String {
             format!("{pad}{kw} {decls};\n")
         }
         Item::ContinuousAssign { lhs, rhs, .. } => {
-            format!("{pad}assign {} = {};\n", pretty_lvalue(lhs), pretty_expr(rhs))
+            format!(
+                "{pad}assign {} = {};\n",
+                pretty_lvalue(lhs),
+                pretty_expr(rhs)
+            )
         }
         Item::Always {
             sensitivity, body, ..

@@ -431,12 +431,10 @@ impl Simulator {
         Ok(match lv {
             LValue::Ident(n) => self.design.info(self.signal(n)?).width,
             LValue::Index(_, _) => 1,
-            LValue::Slice(_, a, b) => {
-                match (self.eval(a).to_u64(), self.eval(b).to_u64()) {
-                    (Some(hi), Some(lo)) if hi >= lo => (hi - lo + 1) as usize,
-                    _ => 1,
-                }
-            }
+            LValue::Slice(_, a, b) => match (self.eval(a).to_u64(), self.eval(b).to_u64()) {
+                (Some(hi), Some(lo)) if hi >= lo => (hi - lo + 1) as usize,
+                _ => 1,
+            },
             LValue::Concat(parts) => parts
                 .iter()
                 .map(|p| self.lvalue_width(p))
@@ -630,9 +628,8 @@ mod tests {
 
     #[test]
     fn incomplete_sensitivity_gives_stale_outputs() {
-        let mut s = sim(
-            "module m(input a, input b, output reg y);\n always @(a) y = a & b;\nendmodule",
-        );
+        let mut s =
+            sim("module m(input a, input b, output reg y);\n always @(a) y = a & b;\nendmodule");
         s.poke_u64("a", 1).unwrap();
         s.poke_u64("b", 1).unwrap(); // not in the list: no re-evaluation
         assert_ne!(s.peek("y").unwrap().to_u64(), Some(1));

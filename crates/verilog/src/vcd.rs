@@ -185,8 +185,7 @@ mod tests {
 
     #[test]
     fn unchanged_signals_are_not_re_dumped() {
-        let design =
-            compile("module m(input a, output y); assign y = ~a; endmodule").unwrap();
+        let design = compile("module m(input a, output y); assign y = ~a; endmodule").unwrap();
         let mut sim = Simulator::new(design).unwrap();
         let mut rec = VcdRecorder::new(&sim);
         sim.poke_u64("a", 0).unwrap();

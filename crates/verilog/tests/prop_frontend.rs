@@ -10,11 +10,34 @@ fn ident_strategy() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
         !matches!(
             s.as_str(),
-            "module" | "endmodule" | "input" | "output" | "inout" | "wire" | "reg"
-                | "integer" | "assign" | "always" | "initial" | "posedge" | "negedge"
-                | "or" | "if" | "else" | "case" | "casez" | "casex" | "endcase"
-                | "default" | "begin" | "end" | "parameter" | "localparam" | "for"
-                | "while" | "signed"
+            "module"
+                | "endmodule"
+                | "input"
+                | "output"
+                | "inout"
+                | "wire"
+                | "reg"
+                | "integer"
+                | "assign"
+                | "always"
+                | "initial"
+                | "posedge"
+                | "negedge"
+                | "or"
+                | "if"
+                | "else"
+                | "case"
+                | "casez"
+                | "casex"
+                | "endcase"
+                | "default"
+                | "begin"
+                | "end"
+                | "parameter"
+                | "localparam"
+                | "for"
+                | "while"
+                | "signed"
         )
     })
 }
@@ -51,17 +74,30 @@ fn arb_expr() -> impl Strategy<Value = ExprTree> {
         prop_oneof![
             (
                 prop_oneof![
-                    Just("+"), Just("-"), Just("&"), Just("|"), Just("^"),
-                    Just("=="), Just("<"), Just(">>"), Just("<<")
+                    Just("+"),
+                    Just("-"),
+                    Just("&"),
+                    Just("|"),
+                    Just("^"),
+                    Just("=="),
+                    Just("<"),
+                    Just(">>"),
+                    Just("<<")
                 ],
                 inner.clone(),
                 inner.clone()
             )
                 .prop_map(|(op, a, b)| ExprTree::Bin(op, Box::new(a), Box::new(b))),
-            (prop_oneof![Just("~"), Just("!"), Just("&"), Just("|")], inner.clone())
+            (
+                prop_oneof![Just("~"), Just("!"), Just("&"), Just("|")],
+                inner.clone()
+            )
                 .prop_map(|(op, a)| ExprTree::Un(op, Box::new(a))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, f)| ExprTree::Tern(Box::new(c), Box::new(t), Box::new(f))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| ExprTree::Tern(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
         ]
     })
 }

@@ -243,7 +243,13 @@ fn casez_priority_selector() {
         endcase
 endmodule";
     let mut s = sim(src);
-    for (r, want) in [(0b1010u64, 3u64), (0b0110, 2), (0b0011, 1), (0b0001, 0), (0, 0)] {
+    for (r, want) in [
+        (0b1010u64, 3u64),
+        (0b0110, 2),
+        (0b0011, 1),
+        (0b0001, 0),
+        (0, 0),
+    ] {
         s.poke_u64("r", r).unwrap();
         assert_eq!(s.peek("g").unwrap().to_u64(), Some(want), "r={r:04b}");
     }

@@ -17,7 +17,12 @@ fn main() {
     let lib = exemplars::library();
     println!("step 4  — exemplar library: {} exemplars", lib.len());
     let e = &lib[0];
-    println!("  e.g. `{}` ({}):\n  {}\n", e.id, e.topic.label(), e.instruction.replace('\n', "\n  "));
+    println!(
+        "  e.g. `{}` ({}):\n  {}\n",
+        e.id,
+        e.topic.label(),
+        e.instruction.replace('\n', "\n  ")
+    );
 
     // Steps 5-12: the full flow.
     let flow = haven_datagen::run(&FlowConfig::default());

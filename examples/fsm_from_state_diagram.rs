@@ -42,11 +42,20 @@ fn main() {
     };
 
     println!("model: {} (base, no fine-tuning)\n", model.profile.name);
-    println!("raw state-diagram prompt : {:>2}/{n} samples functionally correct", score(false));
-    println!("SI-CoT refined prompt    : {:>2}/{n} samples functionally correct", score(true));
+    println!(
+        "raw state-diagram prompt : {:>2}/{n} samples functionally correct",
+        score(false)
+    );
+    println!(
+        "SI-CoT refined prompt    : {:>2}/{n} samples functionally correct",
+        score(true)
+    );
 
     let refined = SiCot::new(model.clone()).refine(PROMPT, "fsm-demo");
-    println!("\n--- what SI-CoT produced (Table III format) ---\n{}", refined.text);
+    println!(
+        "\n--- what SI-CoT produced (Table III format) ---\n{}",
+        refined.text
+    );
 
     let code = model.generate(&refined.text, "fsm-demo", 0);
     println!("\n--- one generated sample ---\n{code}");

@@ -31,12 +31,16 @@ fn main() {
         vec!["out".into()],
         vec![(0b00, 0), (0b01, 0), (0b10, 0), (0b11, 1)],
     );
-    let prompt = haven_spec::describe::describe(&spec, haven_spec::describe::DescribeStyle::Engineer);
+    let prompt =
+        haven_spec::describe::describe(&spec, haven_spec::describe::DescribeStyle::Engineer);
     println!("\n--- prompt ---------------------------------\n{prompt}");
 
     // 4. SI-CoT refinement, visible.
     let refined = haven.refine(&prompt, "quickstart");
-    println!("\n--- SI-CoT refined -------------------------\n{}", refined.text);
+    println!(
+        "\n--- SI-CoT refined -------------------------\n{}",
+        refined.text
+    );
 
     // 5. Generate and co-simulate.
     let code = haven.generate(&prompt, "quickstart", 0);

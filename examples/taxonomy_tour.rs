@@ -21,11 +21,11 @@ fn show(title: &str, spec: &Spec, plan: &GenPlan, modality: Option<ModalityKind>
     let report = cosimulate(spec, &src, &stimuli_for(spec, 11));
     let d = diagnose(spec, &src, &report.verdict, modality);
     println!("== {title}");
-    println!("   verdict    : {:?}", short(&format!("{:?}", report.verdict)));
     println!(
-        "   attribution: {:?} ({:?})",
-        d.hallucination, d.class
+        "   verdict    : {:?}",
+        short(&format!("{:?}", report.verdict))
     );
+    println!("   attribution: {:?} ({:?})", d.hallucination, d.class);
     for e in &d.evidence {
         println!("   evidence   : {}", short(e));
     }
@@ -54,30 +54,60 @@ fn main() {
     );
     let mut plan = GenPlan::faithful(tt.clone());
     hallucinate::corrupt_truth_table(&mut plan, &mut rng);
-    show("truth-table misinterpretation", &tt, &plan, Some(ModalityKind::TruthTable));
+    show(
+        "truth-table misinterpretation",
+        &tt,
+        &plan,
+        Some(ModalityKind::TruthTable),
+    );
 
     let fsm = builders::fsm_ab("fsm");
     let mut plan = GenPlan::faithful(fsm.clone());
     hallucinate::corrupt_state_diagram(&mut plan, &mut rng);
-    show("state-diagram misinterpretation ('A and B reversed')", &fsm, &plan, Some(ModalityKind::StateDiagram));
+    show(
+        "state-diagram misinterpretation ('A and B reversed')",
+        &fsm,
+        &plan,
+        Some(ModalityKind::StateDiagram),
+    );
 
     let mut plan = GenPlan::faithful(tt.clone());
     hallucinate::corrupt_waveform(&mut plan, &mut rng);
-    show("waveform misinterpretation (misaligned samples)", &tt, &plan, Some(ModalityKind::Waveform));
+    show(
+        "waveform misinterpretation (misaligned samples)",
+        &tt,
+        &plan,
+        Some(ModalityKind::Waveform),
+    );
 
     // --- Knowledge class ----------------------------------------------------
     let cnt = builders::counter("cnt", 4, Some(10));
     let mut plan = GenPlan::faithful(cnt.clone());
     plan.sabotage = Some(Sabotage::PythonDef);
-    show("Verilog syntax misapplication ('def adder_4bit()')", &cnt, &plan, None);
+    show(
+        "Verilog syntax misapplication ('def adder_4bit()')",
+        &cnt,
+        &plan,
+        None,
+    );
 
     let mut plan = GenPlan::faithful(cnt.clone());
     hallucinate::corrupt_attributes(&mut plan, &mut rng);
-    show("attribute misunderstanding (sync vs async reset)", &cnt, &plan, None);
+    show(
+        "attribute misunderstanding (sync vs async reset)",
+        &cnt,
+        &plan,
+        None,
+    );
 
     let mut plan = GenPlan::faithful(fsm.clone());
     plan.variant = ConventionVariant::RegisteredFsmOutput;
-    show("convention misapplication (non-standard FSM structure)", &fsm, &plan, None);
+    show(
+        "convention misapplication (non-standard FSM structure)",
+        &fsm,
+        &plan,
+        None,
+    );
 
     // --- Logical class -------------------------------------------------------
     use haven_spec::describe::chain_expr;
@@ -98,11 +128,21 @@ fn main() {
     );
     let mut plan = GenPlan::faithful(chain.clone());
     hallucinate::corrupt_expression(&mut plan, &mut rng);
-    show("incorrect logical expression ('(a + c) & b')", &chain, &plan, None);
+    show(
+        "incorrect logical expression ('(a + c) & b')",
+        &chain,
+        &plan,
+        None,
+    );
 
     let mut plan = GenPlan::faithful(tt.clone());
     hallucinate::corrupt_corner_case(&mut plan, &mut rng);
-    show("corner-case mishandling (missing default)", &tt, &plan, None);
+    show(
+        "corner-case mishandling (missing default)",
+        &tt,
+        &plan,
+        None,
+    );
 
     use haven_spec::describe::{ChainArm, IfChain};
     let ic = IfChain {
@@ -123,7 +163,12 @@ fn main() {
     );
     let mut plan = GenPlan::faithful(instr.clone());
     hallucinate::corrupt_instruction(&mut plan, &mut rng);
-    show("instructional infidelity ('&&' read as '||')", &instr, &plan, None);
+    show(
+        "instructional infidelity ('&&' read as '||')",
+        &instr,
+        &plan,
+        None,
+    );
 
     println!("Every failure above was produced by a concrete corruption, caught by real co-simulation, and attributed by `haven::diagnose` — the executable form of Table II's error-analysis column.");
 }

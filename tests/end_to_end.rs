@@ -67,7 +67,10 @@ fn generated_code_for_every_symbolic_task_is_scored_by_real_cosim() {
     }
     // A tuned model must pass a decent share; failures must be concrete
     // verdicts, not crashes.
-    assert!(verdicts.get("pass").copied().unwrap_or(0) >= 4, "{verdicts:?}");
+    assert!(
+        verdicts.get("pass").copied().unwrap_or(0) >= 4,
+        "{verdicts:?}"
+    );
 }
 
 #[test]

@@ -36,7 +36,9 @@ fn spec_rendered_state_diagrams_parse_back_identically() {
         vec![(1, 0), (2, 1), (2, 2)],
         vec![0, 1, 1],
     );
-    let Behavior::Fsm(f) = &spec.behavior else { panic!() };
+    let Behavior::Fsm(f) = &spec.behavior else {
+        panic!()
+    };
     let text = state_diagram_text(f);
     let parsed = StateDiagram::parse(&text).expect("modality parser accepts spec emitter output");
     let roundtrip = parsed.to_fsm_spec(&f.output, f.output_width).unwrap();
@@ -89,12 +91,15 @@ fn header_sentence_is_parsed_by_the_verilog_parser() {
     use haven_spec::codegen::emit_header;
     for spec in [
         builders::counter("c", 4, None),
-        builders::alu("a", 8, vec![haven_spec::ir::AluOp::Add, haven_spec::ir::AluOp::Sub]),
+        builders::alu(
+            "a",
+            8,
+            vec![haven_spec::ir::AluOp::Add, haven_spec::ir::AluOp::Sub],
+        ),
         builders::adder("add", 16),
     ] {
         let header = emit_header(&spec);
         let as_module = format!("{header} endmodule");
-        haven_verilog::parser::parse(&as_module)
-            .unwrap_or_else(|e| panic!("{header}: {e}"));
+        haven_verilog::parser::parse(&as_module).unwrap_or_else(|e| panic!("{header}: {e}"));
     }
 }

@@ -14,11 +14,10 @@ fn arb_spec() -> impl Strategy<Value = Spec> {
     prop_oneof![
         (2usize..=6).prop_map(|w| builders::adder("p_adder", w)),
         (1usize..=6).prop_map(|w| builders::mux2("p_mux", w)),
-        (2usize..=6, proptest::option::of(2u64..=12))
-            .prop_map(|(w, m)| {
-                let m = m.map(|m| m.min((1u64 << w) - 1).max(2));
-                builders::counter("p_cnt", w, m)
-            }),
+        (2usize..=6, proptest::option::of(2u64..=12)).prop_map(|(w, m)| {
+            let m = m.map(|m| m.min((1u64 << w) - 1).max(2));
+            builders::counter("p_cnt", w, m)
+        }),
         (2usize..=8).prop_map(|w| builders::shift_register(
             "p_shift",
             w,
