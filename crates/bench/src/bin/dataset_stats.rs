@@ -61,6 +61,11 @@ fn main() {
         s.vanilla_rejected_static,
         "n/a",
     ));
+    table.row(row(
+        "  rejected by sim budget",
+        s.vanilla_rejected_budget,
+        "n/a",
+    ));
     table.row(row("matched >=1 exemplar (step 6)", s.matched, "n/a"));
     table.row(row("K-dataset pairs (steps 7-8)", s.k_pairs, "~14,000"));
     table.row(row(
@@ -68,6 +73,7 @@ fn main() {
         s.k_rejected_static,
         "n/a",
     ));
+    table.row(row("  rejected by sim budget", s.k_rejected_budget, "n/a"));
     table.row(row("L-dataset pairs (steps 9-12)", s.l_pairs, "~5,000"));
     table.row(row(
         "KL-dataset (shuffled, step 13)",

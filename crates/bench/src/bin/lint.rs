@@ -13,11 +13,17 @@
 //! The JSON is assembled by hand: every field is a flat string or number,
 //! and findings carry the stable rule code, severity, source span and the
 //! Table II taxonomy attribution, so downstream tooling needs no schema
-//! beyond this file.
+//! beyond this file. Compilable designs additionally get a `sim_probe`
+//! section — a short budget-limited simulation (time-zero settle plus a
+//! few clock cycles) whose `status` distinguishes designs that run
+//! (`settled`) from those that exhaust the resource budget
+//! (`resource_exhausted`) or fault at runtime (`sim_error`).
 
 use haven_verilog::analyze_static::Severity;
+use haven_verilog::elab::SignalKind;
 use haven_verilog::lint::lint_module;
 use haven_verilog::parser::parse;
+use haven_verilog::sim::{SimBudget, Simulator};
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -99,6 +105,44 @@ impl Json {
     }
 }
 
+/// Budget for the dynamic settle probe: generous enough that any sane
+/// single-module design settles and runs a handful of cycles, tight
+/// enough that a pathological one cannot hold the lint CLI hostage.
+const PROBE_BUDGET: SimBudget = SimBudget {
+    max_settle_per_step: 512,
+    max_loop_iterations: 10_000,
+    max_ticks: 8,
+    max_total_work: 200_000,
+};
+
+/// Runs the compiled design under [`PROBE_BUDGET`]: time-zero settle,
+/// then a few clock cycles when a `clk`/`clock` input exists. `None`
+/// when the source does not compile (already reported as
+/// `compile_error`).
+fn sim_probe(source: &str) -> Option<(&'static str, usize, usize)> {
+    let design = haven_verilog::compile(source).ok()?;
+    let clock = design
+        .signals
+        .iter()
+        .find(|s| s.kind == SignalKind::Input && (s.name == "clk" || s.name == "clock"))
+        .map(|s| s.name.clone());
+    match Simulator::with_budget(design, PROBE_BUDGET) {
+        Ok(mut sim) => {
+            let status = match clock {
+                Some(clk) => match sim.tick_n(&clk, 4) {
+                    Ok(()) => "settled",
+                    Err(e) if e.is_budget() => "resource_exhausted",
+                    Err(_) => "sim_error",
+                },
+                None => "settled",
+            };
+            Some((status, sim.work_units(), sim.ticks()))
+        }
+        Err(e) if e.is_budget() => Some(("resource_exhausted", 0, 0)),
+        Err(_) => Some(("sim_error", 0, 0)),
+    }
+}
+
 fn report(path: &str, source: &str, pretty: bool) -> (String, i32) {
     let mut j = Json::new(pretty);
     let mut top_first = true;
@@ -177,6 +221,19 @@ fn report(path: &str, source: &str, pretty: bool) -> (String, i32) {
         }
     }
 
+    // Dynamic settle probe under a hard resource budget, so downstream
+    // tooling can tell a design that *runs* from one that only compiles.
+    if let Some((status, work, ticks)) = sim_probe(source) {
+        j.comma(&mut top_first);
+        j.key("sim_probe");
+        j.open('{');
+        let mut p_first = true;
+        j.str_field(&mut p_first, "status", status);
+        j.num_field(&mut p_first, "work_units", work);
+        j.num_field(&mut p_first, "ticks", ticks);
+        j.close('}');
+    }
+
     j.close('}');
     (j.buf, exit)
 }
@@ -212,6 +269,8 @@ mod tests {
         assert_eq!(exit, 0);
         assert!(json.contains("\"errors\":0"), "{json}");
         assert!(json.contains("\"module\":\"c\""), "{json}");
+        assert!(json.contains("\"status\":\"settled\""), "{json}");
+        assert!(json.contains("\"ticks\":4"), "{json}");
     }
 
     #[test]
@@ -232,6 +291,7 @@ mod tests {
         let (json, exit) = report("x.v", "not verilog at all", false);
         assert_eq!(exit, 1);
         assert!(json.contains("compile_error"), "{json}");
+        assert!(!json.contains("sim_probe"), "{json}");
     }
 
     #[test]

@@ -119,9 +119,11 @@ fn main() {
                 let naive = naive_stimuli(spec, seed);
                 let on = CosimOptions {
                     mid_tick_checks: true,
+                    ..CosimOptions::default()
                 };
                 let off = CosimOptions {
                     mid_tick_checks: false,
+                    ..CosimOptions::default()
                 };
                 let runs = [
                     cosimulate_with(spec, &src, &full, &on),

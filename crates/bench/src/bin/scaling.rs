@@ -14,7 +14,7 @@ use haven_datagen::corpus::CorpusConfig;
 use haven_datagen::logic::LogicConfig;
 use haven_datagen::FlowConfig;
 use haven_eval::harness::{evaluate, EvalConfig, SicotMode};
-use haven_eval::report::Table;
+use haven_eval::report::{health_line, Table};
 use haven_lm::finetune::finetune;
 use haven_lm::profiles;
 
@@ -55,7 +55,11 @@ fn main() {
                 sicot: SicotMode::SelfRefine,
                 ..Default::default()
             },
-        );
+        )
+        .expect("scaling eval config is valid by construction");
+        if let Some(line) = health_line(result.faults(), result.exhausted(), result.retries()) {
+            eprintln!("x{m}: {line}");
+        }
         table.row(vec![
             format!("{m}"),
             flow.stats.corpus_files.to_string(),

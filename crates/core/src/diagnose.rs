@@ -103,6 +103,33 @@ pub fn diagnose(
         Verdict::FunctionalMismatch { detail, .. } => {
             diagnose_functional(spec, source, detail, modality)
         }
+        Verdict::ResourceExhausted(msg) => {
+            let mut evidence = vec![format!("resource budget exhausted: {msg}")];
+            // A candidate that burns its budget without settling usually
+            // hides a combinational loop or a runaway always-block; when
+            // the dataflow analyzer can prove the loop, attribute it.
+            if let Ok(design) = haven_verilog::compile(source) {
+                let report = haven_verilog::analyze_design(&design);
+                if let Some(f) = report
+                    .findings
+                    .iter()
+                    .find(|f| f.rule == haven_verilog::analyze_static::StaticRule::CombLoop)
+                {
+                    evidence.push(format!(
+                        "static analysis: [{}] {}",
+                        f.rule.code(),
+                        f.message
+                    ));
+                    return Diagnosis::of(HallucinationType::ConventionMisapplication, evidence);
+                }
+            }
+            Diagnosis::class_only(HallucinationClass::Logical, evidence)
+        }
+        // A harness fault says nothing about the candidate; attributing it
+        // to the model would corrupt the Table II histogram.
+        Verdict::HarnessFault(msg) => {
+            Diagnosis::unknown(vec![format!("harness fault, not attributable: {msg}")])
+        }
     }
 }
 

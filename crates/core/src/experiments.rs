@@ -2,7 +2,7 @@
 //! `haven-bench` binaries are thin wrappers that print these results.
 
 use haven_datagen::{Dataset, FlowConfig, FlowOutput};
-use haven_eval::harness::{evaluate, EvalConfig, SicotMode};
+use haven_eval::harness::{evaluate, EvalConfig, SicotMode, SuiteResult};
 use haven_eval::suites::{self, BenchTask};
 use haven_lm::finetune::finetune;
 use haven_lm::profiles::{self, ModelProfile};
@@ -63,6 +63,12 @@ impl Scale {
 
 /// The benchmark seed used across all experiments.
 pub const SUITE_SEED: u64 = 2025;
+
+/// All experiment configs come from [`Scale::config`], which always
+/// produces a valid harness configuration; a harness error here is a bug.
+fn run(profile: &ModelProfile, tasks: &[BenchTask], cfg: &EvalConfig) -> SuiteResult {
+    evaluate(profile, tasks, cfg).expect("experiment eval configs are valid by construction")
+}
 
 /// All suites, generated once.
 #[derive(Debug, Clone)]
@@ -182,10 +188,10 @@ pub fn table4_row(contender: &Contender, suites: &Suites, scale: &Scale) -> Tabl
         SicotMode::Off
     };
     let cfg = scale.config(mode);
-    let machine = evaluate(&contender.profile, &suites.machine, &cfg);
-    let human = evaluate(&contender.profile, &suites.human, &cfg);
-    let rtllm = evaluate(&contender.profile, &suites.rtllm, &cfg);
-    let v2 = evaluate(&contender.profile, &suites.v2, &cfg);
+    let machine = run(&contender.profile, &suites.machine, &cfg);
+    let human = run(&contender.profile, &suites.human, &cfg);
+    let rtllm = run(&contender.profile, &suites.rtllm, &cfg);
+    let v2 = run(&contender.profile, &suites.v2, &cfg);
     let k5 = scale.n.min(5);
     Table4Row {
         model: contender.profile.name.clone(),
@@ -229,7 +235,7 @@ pub fn table5_row(
         SicotMode::Off
     };
     let cfg = scale.config(mode);
-    let result = evaluate(profile, &suites.symbolic, &cfg);
+    let result = run(profile, &suites.symbolic, &cfg);
     let ids_of = |kind: ModalityKind| -> Vec<&str> {
         suites
             .symbolic
@@ -265,8 +271,8 @@ pub struct Table6Entry {
 
 /// Runs the Table VI protocol for one commercial model.
 pub fn table6_entry(profile: &ModelProfile, suites: &Suites, scale: &Scale) -> Table6Entry {
-    let plain = evaluate(profile, &suites.symbolic, &scale.config(SicotMode::Off));
-    let refined = evaluate(
+    let plain = run(profile, &suites.symbolic, &scale.config(SicotMode::Off));
+    let refined = run(
         profile,
         &suites.symbolic,
         &scale.config(SicotMode::External(profiles::base_codeqwen())),
@@ -353,7 +359,7 @@ pub fn ablation_point(
         VanillaCot | VanillaCotKl => SicotMode::SelfRefine,
         _ => SicotMode::Off,
     };
-    let result = evaluate(&profile, &suites.human, &scale.config(mode));
+    let result = run(&profile, &suites.human, &scale.config(mode));
     AblationPoint {
         base: base.name.clone(),
         setting,
@@ -390,7 +396,7 @@ pub fn composition_point(
     let mut data = flow.vanilla.clone();
     data.extend(Dataset::combine_shuffled(&[&k, &l], 0x4b4c).pairs);
     let profile = finetune(&profiles::base_codeqwen(), &data.train_samples());
-    let result = evaluate(&profile, &suites.human, &scale.config(SicotMode::Off));
+    let result = run(&profile, &suites.human, &scale.config(SicotMode::Off));
     CompositionPoint {
         k_fraction,
         l_fraction,

@@ -10,6 +10,7 @@ use haven_spec::describe::{describe, DescribeStyle};
 use haven_verilog::analyze::{analyze, Analysis};
 use haven_verilog::elab::compile;
 use haven_verilog::parser::parse;
+use haven_verilog::sim::{SimBudget, Simulator};
 
 use crate::corpus::CorpusSample;
 use crate::exemplars::{matching, Exemplar};
@@ -122,12 +123,26 @@ pub struct VerifyStats {
     /// finding (multi-driven nets, combinational loops, X-generating
     /// registers, ...).
     pub rejected_static: usize,
+    /// Pairs that passed the static gate but whose time-zero settle blew
+    /// the simulation resource budget (or faulted) — runaway code the
+    /// static analyzer could not prove defective.
+    pub rejected_budget: usize,
 }
 
-/// Step 8 — "Verification": keeps only pairs whose code compiles and is
+/// Resource ceiling for the step-8 settle probe. Any legitimate training
+/// sample settles at time zero well inside these limits; a design that
+/// does not would stall every future consumer of the pair.
+const SETTLE_BUDGET: SimBudget = SimBudget {
+    max_settle_per_step: 512,
+    max_loop_iterations: 10_000,
+    max_ticks: 1,
+    max_total_work: 200_000,
+};
+
+/// Step 8 — "Verification": keeps only pairs whose code compiles, is
 /// free of Error-severity dataflow findings (see
-/// [`haven_verilog::analyze_design`]), reporting what was rejected at
-/// each gate.
+/// [`haven_verilog::analyze_design`]), and settles at time zero within
+/// [`SETTLE_BUDGET`], reporting what was rejected at each gate.
 pub fn verify_counted(pairs: Vec<InstructionCodePair>) -> (Vec<InstructionCodePair>, VerifyStats) {
     let mut stats = VerifyStats::default();
     let kept = pairs
@@ -140,6 +155,9 @@ pub fn verify_counted(pairs: Vec<InstructionCodePair>) -> (Vec<InstructionCodePa
             Ok(design) => {
                 if haven_verilog::analyze_design(&design).has_errors() {
                     stats.rejected_static += 1;
+                    false
+                } else if Simulator::with_budget(design, SETTLE_BUDGET).is_err() {
+                    stats.rejected_budget += 1;
                     false
                 } else {
                     true
@@ -224,7 +242,10 @@ mod tests {
             .filter(|s| s.quality == Quality::Broken)
             .count();
         assert_eq!(stats.rejected_compile, broken);
-        assert_eq!(kept.len() + stats.rejected_static, corpus.len() - broken);
+        assert_eq!(
+            kept.len() + stats.rejected_static + stats.rejected_budget,
+            corpus.len() - broken
+        );
         assert!(
             stats.rejected_static > 0,
             "reset-less unconventional samples should trip the static gate"
@@ -245,6 +266,26 @@ mod tests {
         let (kept, stats) = verify_counted(vec![pair]);
         assert!(kept.is_empty());
         assert_eq!(stats.rejected_static, 1);
+        assert_eq!(stats.rejected_compile, 0);
+    }
+
+    #[test]
+    fn budget_gate_rejects_runaway_settle() {
+        // Compiles, passes the static analyzer, but its time-zero settle
+        // spins a 20k-iteration loop — past SETTLE_BUDGET's ceiling.
+        let pair = InstructionCodePair {
+            instruction: "a reducer".into(),
+            code: "module m(input [7:0] a, output reg [7:0] y);\n integer i;\n always @(*) begin\n  y = 8'd0;\n  for (i = 0; i < 20000; i = i + 1) y = y + a;\n end\nendmodule"
+                .into(),
+            kind: SampleKind::Vanilla,
+            topic: haven_verilog::analyze::Topic::CombLogic,
+            has_attributes: false,
+            logic_category: None,
+        };
+        let (kept, stats) = verify_counted(vec![pair]);
+        assert!(kept.is_empty());
+        assert_eq!(stats.rejected_budget, 1);
+        assert_eq!(stats.rejected_static, 0);
         assert_eq!(stats.rejected_compile, 0);
     }
 

@@ -67,12 +67,17 @@ pub struct FlowStats {
     /// Vanilla-side pairs rejected by the static analyzer (compiled, but
     /// carried an Error-severity dataflow finding).
     pub vanilla_rejected_static: usize,
+    /// Vanilla-side pairs rejected by the budgeted settle probe (ran away
+    /// at time zero instead of settling).
+    pub vanilla_rejected_budget: usize,
     /// Vanilla pairs that matched at least one exemplar.
     pub matched: usize,
     /// K-dataset pairs after rewriting + verification.
     pub k_pairs: usize,
     /// K-side rewrites rejected by the static analyzer.
     pub k_rejected_static: usize,
+    /// K-side rewrites rejected by the budgeted settle probe.
+    pub k_rejected_budget: usize,
     /// L-dataset pairs.
     pub l_pairs: usize,
 }
@@ -152,9 +157,11 @@ pub fn run(cfg: &FlowConfig) -> FlowOutput {
         captioned: n_captioned,
         vanilla_valid: vanilla_pairs.len(),
         vanilla_rejected_static: vanilla_verify.rejected_static,
+        vanilla_rejected_budget: vanilla_verify.rejected_budget,
         matched,
         k_pairs: k_pairs.len(),
         k_rejected_static: k_verify.rejected_static,
+        k_rejected_budget: k_verify.rejected_budget,
         l_pairs: l_pairs.len(),
     };
     FlowOutput {

@@ -1,0 +1,196 @@
+//! Deterministic fault injection for the evaluation harness.
+//!
+//! A [`FaultPlan`] decides, purely from its seed and the sample's
+//! coordinates (task id, temperature, sample index, attempt number),
+//! whether the harness should be hit by an injected fault at that site —
+//! a worker panic, a starved simulator, or source corruption at the
+//! harness boundary. Because the decision is a pure function, a faulted
+//! run is exactly reproducible, which is what lets the test suite *prove*
+//! properties like "pass@k is invariant under transient faults" instead
+//! of sampling them.
+
+use serde::{Deserialize, Serialize};
+
+/// The kinds of infrastructure fault the plan can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The worker thread panics mid-sample (absorbed by the harness's
+    /// per-sample `catch_unwind`).
+    WorkerPanic,
+    /// The simulator is starved of resources for this attempt (the
+    /// candidate runs under [`haven_spec::cosim::SimBudget::starved`]),
+    /// modelling a stalled or preempted worker.
+    SimStall,
+    /// The candidate's source is corrupted between generation and
+    /// compilation (NUL bytes injected), modelling bit-rot at the
+    /// harness boundary; the harness's input sanity check catches it.
+    SourceCorruption,
+}
+
+impl FaultKind {
+    /// Display label, used by counters and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::WorkerPanic => "worker-panic",
+            FaultKind::SimStall => "sim-stall",
+            FaultKind::SourceCorruption => "source-corruption",
+        }
+    }
+}
+
+/// A seeded, deterministic schedule of injected faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the site-hash; two plans with the same seed fault the same
+    /// sites.
+    pub seed: u64,
+    /// Probability that any given sample site is faulted (0.0 ..= 1.0).
+    pub rate: f64,
+    /// How many consecutive attempts a fault persists at a faulted site.
+    /// `1` models transient glitches (one retry clears them);
+    /// [`usize::MAX`] models permanent faults that survive every retry.
+    pub persist_attempts: usize,
+}
+
+impl FaultPlan {
+    /// Transient faults: each faulted site fails exactly its first
+    /// attempt, so any retry policy with at least one retry clears it.
+    pub fn transient(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rate,
+            persist_attempts: 1,
+        }
+    }
+
+    /// Permanent faults: a faulted site fails every attempt; the harness
+    /// quarantines it after the retry budget and counts it.
+    pub fn permanent(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rate,
+            persist_attempts: usize::MAX,
+        }
+    }
+
+    /// The fault (if any) scheduled for `attempt` of sample
+    /// `(task_id, temperature, sample)`. Pure: same arguments, same
+    /// answer, forever.
+    pub fn fault_at(
+        &self,
+        task_id: &str,
+        temperature: f64,
+        sample: usize,
+        attempt: usize,
+    ) -> Option<FaultKind> {
+        if attempt >= self.persist_attempts {
+            return None;
+        }
+        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for b in task_id.bytes() {
+            h = splitmix64(h ^ u64::from(b));
+        }
+        h = splitmix64(h ^ temperature.to_bits());
+        h = splitmix64(h ^ sample as u64);
+        // 53 uniform mantissa bits -> [0, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= self.rate {
+            return None;
+        }
+        Some(match h % 3 {
+            0 => FaultKind::WorkerPanic,
+            1 => FaultKind::SimStall,
+            _ => FaultKind::SourceCorruption,
+        })
+    }
+}
+
+/// Corrupts `source` the way the [`FaultKind::SourceCorruption`] fault
+/// does: deterministic NUL-byte damage that the harness's boundary
+/// sanity check is guaranteed to detect.
+pub fn corrupt_source(source: &str) -> String {
+    let mid = source.len() / 2;
+    // Split on a char boundary near the middle.
+    let mid = (mid..source.len())
+        .find(|&i| source.is_char_boundary(i))
+        .unwrap_or(source.len());
+    format!("{}\0\0<corrupted>\0{}", &source[..mid], &source[mid..])
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let p = FaultPlan::transient(7, 0.5);
+        for sample in 0..50 {
+            assert_eq!(
+                p.fault_at("human/001", 0.2, sample, 0),
+                p.fault_at("human/001", 0.2, sample, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn transient_faults_clear_on_retry() {
+        let p = FaultPlan::transient(7, 1.0);
+        assert!(p.fault_at("t", 0.2, 0, 0).is_some());
+        assert_eq!(p.fault_at("t", 0.2, 0, 1), None);
+    }
+
+    #[test]
+    fn permanent_faults_survive_every_retry() {
+        let p = FaultPlan::permanent(7, 1.0);
+        for attempt in 0..10 {
+            assert!(p.fault_at("t", 0.2, 0, attempt).is_some());
+        }
+    }
+
+    #[test]
+    fn rate_zero_injects_nothing_rate_one_everything() {
+        let none = FaultPlan::transient(3, 0.0);
+        let all = FaultPlan::transient(3, 1.0);
+        for sample in 0..100 {
+            assert_eq!(none.fault_at("x", 0.5, sample, 0), None);
+            assert!(all.fault_at("x", 0.5, sample, 0).is_some());
+        }
+    }
+
+    #[test]
+    fn moderate_rate_hits_a_plausible_fraction_of_sites() {
+        let p = FaultPlan::transient(11, 0.3);
+        let hits = (0..1000)
+            .filter(|&s| p.fault_at("task", 0.2, s, 0).is_some())
+            .count();
+        assert!((200..400).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn all_kinds_occur() {
+        let p = FaultPlan::permanent(5, 1.0);
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..64 {
+            if let Some(k) = p.fault_at("k", 0.8, s, 0) {
+                seen.insert(k);
+            }
+        }
+        assert_eq!(seen.len(), 3, "{seen:?}");
+    }
+
+    #[test]
+    fn corruption_is_detectable_and_deterministic() {
+        let src = "module m(input a, output y); assign y = a; endmodule";
+        let c = corrupt_source(src);
+        assert!(c.contains('\0'));
+        assert_eq!(c, corrupt_source(src));
+    }
+}

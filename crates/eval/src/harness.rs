@@ -3,6 +3,19 @@
 //! pass@k — reporting the best temperature, as the paper does
 //! ("we set the temperature of each model to 0.2, 0.5 and 0.8, reporting
 //! the best performance").
+//!
+//! The harness is fault-tolerant by construction (DESIGN.md "Failure
+//! model"): every sample runs inside `catch_unwind` under a resource
+//! budget, fault-class outcomes are retried with bounded deterministic
+//! backoff before being quarantined as counted [`Verdict::HarnessFault`] /
+//! [`Verdict::ResourceExhausted`] results, worker-thread death degrades to
+//! per-task fault records instead of aborting the suite, and completed
+//! tasks can be journaled so a killed run resumes where it stopped
+//! ([`evaluate_resumable`]).
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 
 use haven_lm::model::CodeGenModel;
 use haven_lm::profiles::ModelProfile;
@@ -20,12 +33,110 @@ pub enum SicotMode {
     /// CodeQwen-refined prompts to commercial LLMs).
     External(ModelProfile),
 }
-use haven_spec::cosim::{cosimulate_compiled, CosimOptions, Verdict};
+use haven_spec::cosim::{cosimulate_compiled, CosimOptions, SimBudget, Verdict};
 use haven_spec::stimuli::stimuli_for;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{corrupt_source, FaultKind, FaultPlan};
+use crate::journal::{read_journal, JournalHeader, JournalWriter};
 use crate::passk::mean_pass_at_k;
 use crate::suites::BenchTask;
+
+/// Why an evaluation could not start (or resume).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// `n == 0`: no samples per task means every metric is undefined.
+    ZeroSamples,
+    /// The temperature sweep is empty, so there is no best temperature.
+    NoTemperatures,
+    /// A zero resource budget would starve every sample.
+    InvalidBudget,
+    /// A retry policy with zero attempts would never run anything.
+    InvalidRetry,
+    /// The journal file could not be read or written.
+    Journal(String),
+    /// The journal on disk belongs to a different run (model, sample
+    /// count, sweep, or task suite differ) and must not be mixed in.
+    JournalMismatch {
+        /// What this run expected the journal header to be.
+        expected: String,
+        /// What the journal on disk actually says.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::ZeroSamples => write!(f, "invalid config: n must be at least 1"),
+            EvalError::NoTemperatures => {
+                write!(f, "invalid config: the temperature sweep is empty")
+            }
+            EvalError::InvalidBudget => {
+                write!(
+                    f,
+                    "invalid config: every simulation budget limit must be nonzero"
+                )
+            }
+            EvalError::InvalidRetry => {
+                write!(
+                    f,
+                    "invalid config: retry policy must allow at least one attempt"
+                )
+            }
+            EvalError::Journal(msg) => write!(f, "journal error: {msg}"),
+            EvalError::JournalMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different run (expected {expected}, found {found})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// How fault-class sample outcomes are retried before quarantine.
+///
+/// Sample evaluation is deterministic, so genuine model failures reproduce
+/// identically on retry and the policy can only change the outcome of
+/// *transient* infrastructure faults — which is exactly the property that
+/// keeps pass@k invariant under them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per sample (first try included). Must be >= 1.
+    pub max_attempts: usize,
+    /// Base backoff in milliseconds; attempt `i` sleeps `base << i`,
+    /// capped at 50 ms so a permanently faulted suite still terminates
+    /// promptly. Zero disables sleeping (used by tests).
+    pub backoff_base_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no backoff).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_ms: 0,
+        }
+    }
+
+    /// Deterministic bounded backoff before retry number `attempt`.
+    fn backoff(&self, attempt: usize) {
+        let ms = (self.backoff_base_ms << attempt.min(16)).min(50);
+        if ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+    }
+}
 
 /// Harness configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,6 +153,15 @@ pub struct EvalConfig {
     /// co-simulation for candidates with Error-severity findings (they are
     /// counted as functional failures without spending simulation cycles).
     pub static_gate: bool,
+    /// Resource budget applied to every candidate simulation; runaway
+    /// candidates yield [`Verdict::ResourceExhausted`] instead of stalling
+    /// a worker.
+    pub budget: SimBudget,
+    /// Retry policy for fault-class sample outcomes.
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection (tests and resilience drills only;
+    /// `None` in production runs).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for EvalConfig {
@@ -54,6 +174,9 @@ impl Default for EvalConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             static_gate: true,
+            budget: SimBudget::default(),
+            retry: RetryPolicy::default(),
+            fault_plan: None,
         }
     }
 }
@@ -66,6 +189,23 @@ impl EvalConfig {
             temperatures: vec![0.2],
             ..EvalConfig::default()
         }
+    }
+
+    /// Rejects configurations that cannot produce a meaningful result.
+    pub fn validate(&self) -> Result<(), EvalError> {
+        if self.n == 0 {
+            return Err(EvalError::ZeroSamples);
+        }
+        if self.temperatures.is_empty() {
+            return Err(EvalError::NoTemperatures);
+        }
+        if !self.budget.is_valid() {
+            return Err(EvalError::InvalidBudget);
+        }
+        if self.retry.max_attempts == 0 {
+            return Err(EvalError::InvalidRetry);
+        }
+        Ok(())
     }
 }
 
@@ -83,6 +223,33 @@ pub struct TaskResult {
     /// Samples whose co-simulation was skipped because the static analyzer
     /// reported an Error-severity finding (counted as functional failures).
     pub skipped_sims: usize,
+    /// Samples quarantined as harness faults (worker panic, corrupted
+    /// source) after the retry budget. Counted as failures of the
+    /// *harness*, not the model: they fail both syntax and functional
+    /// metrics but are reported separately so infrastructure trouble is
+    /// visible instead of being laundered into model quality.
+    pub faults: usize,
+    /// Samples whose simulation exhausted its resource budget.
+    pub exhausted: usize,
+    /// Retry attempts spent on fault-class outcomes across all samples.
+    pub retries: usize,
+}
+
+impl TaskResult {
+    /// The record synthesized when a whole worker thread dies: every
+    /// sample of the task is quarantined as a harness fault.
+    pub fn faulted(task_id: &str, n: usize) -> TaskResult {
+        TaskResult {
+            task_id: task_id.into(),
+            n,
+            c_syntax: 0,
+            c_func: 0,
+            skipped_sims: 0,
+            faults: n,
+            exhausted: 0,
+            retries: 0,
+        }
+    }
 }
 
 /// A full evaluation of one model on one suite.
@@ -126,6 +293,21 @@ impl SuiteResult {
         self.tasks.iter().map(|t| t.skipped_sims).sum()
     }
 
+    /// Total samples quarantined as harness faults across all tasks.
+    pub fn faults(&self) -> usize {
+        self.tasks.iter().map(|t| t.faults).sum()
+    }
+
+    /// Total samples that exhausted their resource budget.
+    pub fn exhausted(&self) -> usize {
+        self.tasks.iter().map(|t| t.exhausted).sum()
+    }
+
+    /// Total retry attempts spent on fault-class outcomes.
+    pub fn retries(&self) -> usize {
+        self.tasks.iter().map(|t| t.retries).sum()
+    }
+
     /// Filters to the tasks whose ids are in `ids` (per-modality rows).
     pub fn filtered(&self, ids: &[&str]) -> SuiteResult {
         SuiteResult {
@@ -142,30 +324,93 @@ impl SuiteResult {
 }
 
 /// Evaluates `profile` on `tasks`.
-pub fn evaluate(profile: &ModelProfile, tasks: &[BenchTask], cfg: &EvalConfig) -> SuiteResult {
-    let mut best: Option<(f64, Vec<TaskResult>)> = None;
+pub fn evaluate(
+    profile: &ModelProfile,
+    tasks: &[BenchTask],
+    cfg: &EvalConfig,
+) -> Result<SuiteResult, EvalError> {
+    cfg.validate()?;
+    run_sweep(profile, tasks, cfg, None).ok_or(EvalError::NoTemperatures)
+}
+
+/// Evaluates `profile` on `tasks`, journaling completed task results to
+/// `journal_path` and resuming from whatever a previous (killed) run with
+/// the same configuration already finished. The result is identical to an
+/// uninterrupted [`evaluate`] of the same run.
+pub fn evaluate_resumable(
+    profile: &ModelProfile,
+    tasks: &[BenchTask],
+    cfg: &EvalConfig,
+    journal_path: &Path,
+) -> Result<SuiteResult, EvalError> {
+    cfg.validate()?;
+    let header = JournalHeader {
+        model: profile.name.clone(),
+        n: cfg.n,
+        temperatures: cfg.temperatures.clone(),
+        suite_fingerprint: JournalHeader::fingerprint(tasks.iter().map(|t| t.id.as_str())),
+    };
+    let done = match read_journal(journal_path)? {
+        Some(contents) => {
+            if contents.header != header {
+                return Err(EvalError::JournalMismatch {
+                    expected: format!("{header:?}"),
+                    found: format!("{:?}", contents.header),
+                });
+            }
+            contents.done
+        }
+        None => HashMap::new(),
+    };
+    let writer = JournalWriter::open(journal_path, &header)?;
+    run_sweep(profile, tasks, cfg, Some((&done, &writer))).ok_or(EvalError::NoTemperatures)
+}
+
+/// Results already on disk, keyed by `(temperature bits, task id)`.
+type DoneMap = HashMap<(u64, String), TaskResult>;
+
+fn run_sweep(
+    profile: &ModelProfile,
+    tasks: &[BenchTask],
+    cfg: &EvalConfig,
+    journal: Option<(&DoneMap, &JournalWriter)>,
+) -> Option<SuiteResult> {
+    let mut best: Option<(f64, f64, Vec<TaskResult>)> = None;
     for &temp in &cfg.temperatures {
-        let results = run_at_temperature(profile, tasks, cfg, temp);
+        let results = match journal {
+            None => run_at_temperature(profile, tasks, cfg, temp, None),
+            Some((done, writer)) => {
+                let missing: Vec<BenchTask> = tasks
+                    .iter()
+                    .filter(|t| !done.contains_key(&(temp.to_bits(), t.id.clone())))
+                    .cloned()
+                    .collect();
+                let on_task = |r: &TaskResult| writer.append(temp, r);
+                let fresh = run_at_temperature(profile, &missing, cfg, temp, Some(&on_task));
+                let mut fresh_by_id: HashMap<String, TaskResult> =
+                    fresh.into_iter().map(|r| (r.task_id.clone(), r)).collect();
+                tasks
+                    .iter()
+                    .map(|t| {
+                        done.get(&(temp.to_bits(), t.id.clone()))
+                            .cloned()
+                            .or_else(|| fresh_by_id.remove(&t.id))
+                            .unwrap_or_else(|| TaskResult::faulted(&t.id, cfg.n))
+                    })
+                    .collect()
+            }
+        };
         let counts: Vec<(usize, usize)> = results.iter().map(|t| (t.n, t.c_func)).collect();
         let p1 = mean_pass_at_k(&counts, 1);
-        let better = match &best {
-            Some((bt, bres)) => {
-                let bcounts: Vec<(usize, usize)> = bres.iter().map(|t| (t.n, t.c_func)).collect();
-                let _ = bt;
-                p1 > mean_pass_at_k(&bcounts, 1)
-            }
-            None => true,
-        };
-        if better {
-            best = Some((temp, results));
+        if best.as_ref().map_or(true, |(_, bp, _)| p1 > *bp) {
+            best = Some((temp, p1, results));
         }
     }
-    let (best_temperature, tasks) = best.expect("at least one temperature");
-    SuiteResult {
+    best.map(|(best_temperature, _, tasks)| SuiteResult {
         model: profile.name.clone(),
         best_temperature,
         tasks,
-    }
+    })
 }
 
 fn run_at_temperature(
@@ -173,27 +418,73 @@ fn run_at_temperature(
     tasks: &[BenchTask],
     cfg: &EvalConfig,
     temperature: f64,
+    on_task: Option<&(dyn Fn(&TaskResult) + Sync)>,
 ) -> Vec<TaskResult> {
     let threads = cfg.threads.max(1).min(tasks.len().max(1));
     let chunk = tasks.len().div_ceil(threads);
     let mut out: Vec<TaskResult> = Vec::with_capacity(tasks.len());
     std::thread::scope(|scope| {
-        let handles: Vec<_> = tasks
+        let handles: Vec<(&[BenchTask], _)> = tasks
             .chunks(chunk.max(1))
             .map(|shard| {
-                scope.spawn(move || {
+                let handle = scope.spawn(move || {
                     shard
                         .iter()
-                        .map(|t| run_task(profile, t, cfg, temperature))
+                        .map(|t| {
+                            // Per-task isolation: a panic that escapes the
+                            // per-sample layer (e.g. in prompt refinement)
+                            // quarantines this task, not the shard.
+                            let r = catch_unwind(AssertUnwindSafe(|| {
+                                run_task(profile, t, cfg, temperature)
+                            }))
+                            .unwrap_or_else(|_| TaskResult::faulted(&t.id, cfg.n));
+                            if let Some(cb) = on_task {
+                                cb(&r);
+                            }
+                            r
+                        })
                         .collect::<Vec<TaskResult>>()
-                })
+                });
+                (shard, handle)
             })
             .collect();
-        for h in handles {
-            out.extend(h.join().expect("worker panicked"));
+        for (shard, h) in handles {
+            match h.join() {
+                Ok(results) => out.extend(results),
+                // A worker died in a way even catch_unwind could not
+                // absorb (e.g. a panic while panicking). The suite must
+                // survive: record every task of the shard as faulted.
+                Err(_) => out.extend(shard.iter().map(|t| {
+                    let r = TaskResult::faulted(&t.id, cfg.n);
+                    if let Some(cb) = on_task {
+                        cb(&r);
+                    }
+                    r
+                })),
+            }
         }
     });
     out
+}
+
+/// What one attempt at one sample produced.
+struct SampleOutcome {
+    verdict: Verdict,
+    /// The static gate short-circuited co-simulation.
+    gated: bool,
+}
+
+impl SampleOutcome {
+    fn of(verdict: Verdict) -> SampleOutcome {
+        SampleOutcome {
+            verdict,
+            gated: false,
+        }
+    }
+
+    fn fault(detail: impl Into<String>) -> SampleOutcome {
+        SampleOutcome::of(Verdict::HarnessFault(detail.into()))
+    }
 }
 
 fn run_task(
@@ -218,33 +509,54 @@ fn run_task(
         }
     };
     let stimuli = stimuli_for(&task.spec, task.stim_seed);
-    let options = CosimOptions::default();
     let mut c_syntax = 0usize;
     let mut c_func = 0usize;
     let mut skipped_sims = 0usize;
+    let mut faults = 0usize;
+    let mut exhausted = 0usize;
+    let mut retries = 0usize;
     for sample in 0..cfg.n {
-        let source = model.generate(&prompt, &task.id, sample);
-        // Compile once; the design is shared by the static gate and the
-        // simulator instead of being re-elaborated per stage.
-        let design = match haven_verilog::compile(&source) {
-            Ok(d) => d,
-            Err(_) => continue, // syntax failure: counts toward neither pass
+        let mut attempt = 0usize;
+        let outcome = loop {
+            let o = catch_unwind(AssertUnwindSafe(|| {
+                evaluate_sample(
+                    &model,
+                    &prompt,
+                    task,
+                    cfg,
+                    temperature,
+                    &stimuli,
+                    sample,
+                    attempt,
+                )
+            }))
+            .unwrap_or_else(|payload| {
+                SampleOutcome::fault(format!("worker panicked: {}", panic_message(&*payload)))
+            });
+            // Only fault-class verdicts are retried: sample evaluation is
+            // deterministic, so retrying a genuine model failure would
+            // reproduce it bit-for-bit — which is why retries cannot
+            // change pass@k, only recover from transient infrastructure.
+            if !o.verdict.is_fault() || attempt + 1 >= cfg.retry.max_attempts {
+                break o;
+            }
+            cfg.retry.backoff(attempt);
+            retries += 1;
+            attempt += 1;
         };
-        if cfg.static_gate && haven_verilog::analyze_design(&design).has_errors() {
-            // The design compiled (syntax ok) but the dataflow analyzer
-            // proved it defective — e.g. a combinational loop or an
-            // X-generating reset-less register — so co-simulation could
-            // only confirm the failure. Short-circuit it.
-            c_syntax += 1;
+        if outcome.gated {
             skipped_sims += 1;
-            continue;
         }
-        let report = cosimulate_compiled(&task.spec, design, &stimuli, &options);
-        if report.verdict.syntax_ok() {
+        if outcome.verdict.syntax_ok() {
             c_syntax += 1;
         }
-        if matches!(report.verdict, Verdict::Pass) {
+        if outcome.verdict.functional_ok() {
             c_func += 1;
+        }
+        match &outcome.verdict {
+            Verdict::HarnessFault(_) => faults += 1,
+            Verdict::ResourceExhausted(_) => exhausted += 1,
+            _ => {}
         }
     }
     TaskResult {
@@ -253,6 +565,83 @@ fn run_task(
         c_syntax,
         c_func,
         skipped_sims,
+        faults,
+        exhausted,
+        retries,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn evaluate_sample(
+    model: &CodeGenModel,
+    prompt: &str,
+    task: &BenchTask,
+    cfg: &EvalConfig,
+    temperature: f64,
+    stimuli: &haven_spec::stimuli::Stimuli,
+    sample: usize,
+    attempt: usize,
+) -> SampleOutcome {
+    let fault = cfg
+        .fault_plan
+        .as_ref()
+        .and_then(|p| p.fault_at(&task.id, temperature, sample, attempt));
+    if fault == Some(FaultKind::WorkerPanic) {
+        panic!("injected fault: worker panic at {}#{sample}", task.id);
+    }
+    let mut source = model.generate(prompt, &task.id, sample);
+    if fault == Some(FaultKind::SourceCorruption) {
+        source = corrupt_source(&source);
+    }
+    // Harness-boundary sanity check: generated source that was damaged in
+    // flight (NUL bytes, empty buffer) is an infrastructure fault, not a
+    // syntax error of the model.
+    if source.is_empty() || source.contains('\0') {
+        return SampleOutcome::fault(format!(
+            "source corrupted at harness boundary for {}#{sample}",
+            task.id
+        ));
+    }
+    // Compile once; the design is shared by the static gate and the
+    // simulator instead of being re-elaborated per stage.
+    let design = match haven_verilog::compile(&source) {
+        Ok(d) => d,
+        Err(e) => return SampleOutcome::of(Verdict::SyntaxError(e.to_string())),
+    };
+    if cfg.static_gate && haven_verilog::analyze_design(&design).has_errors() {
+        // The design compiled (syntax ok) but the dataflow analyzer
+        // proved it defective — e.g. a combinational loop or an
+        // X-generating reset-less register — so co-simulation could
+        // only confirm the failure. Short-circuit it.
+        return SampleOutcome {
+            verdict: Verdict::FunctionalMismatch {
+                at_check: 0,
+                detail: "skipped by static gate: analyzer proved the design defective".into(),
+            },
+            gated: true,
+        };
+    }
+    let options = CosimOptions {
+        mid_tick_checks: true,
+        // An injected stall starves this attempt's simulator through the
+        // real budget machinery, so the recovery path under test is the
+        // production one.
+        budget: if fault == Some(FaultKind::SimStall) {
+            SimBudget::starved()
+        } else {
+            cfg.budget
+        },
+    };
+    SampleOutcome::of(cosimulate_compiled(&task.spec, design, stimuli, &options).verdict)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".into()
     }
 }
 
@@ -276,17 +665,20 @@ mod tests {
             &ModelProfile::uniform("perfect", 1.0),
             &suite,
             &EvalConfig::quick(2),
-        );
+        )
+        .unwrap();
         assert_eq!(r.pass_at(1), 100.0);
         assert_eq!(r.syntax_pass_at(1), 100.0);
+        assert_eq!(r.faults(), 0);
+        assert_eq!(r.exhausted(), 0);
     }
 
     #[test]
     fn stronger_models_score_higher() {
         let suite = small_suite();
         let cfg = EvalConfig::quick(4);
-        let weak = evaluate(&ModelProfile::uniform("weak", 0.3), &suite, &cfg);
-        let strong = evaluate(&ModelProfile::uniform("strong", 0.9), &suite, &cfg);
+        let weak = evaluate(&ModelProfile::uniform("weak", 0.3), &suite, &cfg).unwrap();
+        let strong = evaluate(&ModelProfile::uniform("strong", 0.9), &suite, &cfg).unwrap();
         assert!(
             strong.pass_at(1) > weak.pass_at(1),
             "strong {} <= weak {}",
@@ -306,7 +698,8 @@ mod tests {
                 temperatures: vec![0.2],
                 ..EvalConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert!(r.pass_at(5) >= r.pass_at(1));
         assert!(r.syntax_pass_at(1) >= r.pass_at(1));
     }
@@ -315,9 +708,74 @@ mod tests {
     fn evaluation_is_deterministic() {
         let suite = small_suite();
         let cfg = EvalConfig::quick(3);
-        let a = evaluate(&ModelProfile::uniform("m", 0.5), &suite, &cfg);
-        let b = evaluate(&ModelProfile::uniform("m", 0.5), &suite, &cfg);
+        let a = evaluate(&ModelProfile::uniform("m", 0.5), &suite, &cfg).unwrap();
+        let b = evaluate(&ModelProfile::uniform("m", 0.5), &suite, &cfg).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_samples_is_rejected() {
+        let cfg = EvalConfig {
+            n: 0,
+            ..EvalConfig::default()
+        };
+        let r = evaluate(&ModelProfile::uniform("m", 0.5), &small_suite(), &cfg);
+        assert_eq!(r, Err(EvalError::ZeroSamples));
+    }
+
+    #[test]
+    fn empty_sweep_is_rejected() {
+        let cfg = EvalConfig {
+            temperatures: vec![],
+            ..EvalConfig::quick(1)
+        };
+        let r = evaluate(&ModelProfile::uniform("m", 0.5), &small_suite(), &cfg);
+        assert_eq!(r, Err(EvalError::NoTemperatures));
+    }
+
+    #[test]
+    fn zero_budget_is_rejected() {
+        let cfg = EvalConfig {
+            budget: SimBudget {
+                max_ticks: 0,
+                ..SimBudget::default()
+            },
+            ..EvalConfig::quick(1)
+        };
+        let r = evaluate(&ModelProfile::uniform("m", 0.5), &small_suite(), &cfg);
+        assert_eq!(r, Err(EvalError::InvalidBudget));
+    }
+
+    #[test]
+    fn zero_attempt_retry_is_rejected() {
+        let cfg = EvalConfig {
+            retry: RetryPolicy {
+                max_attempts: 0,
+                backoff_base_ms: 0,
+            },
+            ..EvalConfig::quick(1)
+        };
+        let r = evaluate(&ModelProfile::uniform("m", 0.5), &small_suite(), &cfg);
+        assert_eq!(r, Err(EvalError::InvalidRetry));
+    }
+
+    #[test]
+    fn starved_budget_exhausts_instead_of_hanging() {
+        // Under a starved budget every simulated sample hits the tick
+        // limit: the run completes, nothing passes functionally, and the
+        // exhaustion is counted — not silently folded into mismatches.
+        let suite = small_suite();
+        let cfg = EvalConfig {
+            budget: SimBudget::starved(),
+            retry: RetryPolicy::none(),
+            static_gate: false,
+            ..EvalConfig::quick(2)
+        };
+        let r = evaluate(&ModelProfile::uniform("perfect", 1.0), &suite, &cfg).unwrap();
+        assert_eq!(r.pass_at(1), 0.0);
+        assert!(r.exhausted() > 0, "expected counted budget exhaustion");
+        // Budget exhaustion is not a syntax failure.
+        assert_eq!(r.syntax_pass_at(1), 100.0);
     }
 
     #[test]
@@ -331,8 +789,8 @@ mod tests {
             ..EvalConfig::quick(3)
         };
         let profile = ModelProfile::uniform("perfect", 1.0);
-        let g = evaluate(&profile, &suite, &gated);
-        let u = evaluate(&profile, &suite, &ungated);
+        let g = evaluate(&profile, &suite, &gated).unwrap();
+        let u = evaluate(&profile, &suite, &ungated).unwrap();
         assert_eq!(g.skipped_sims(), 0);
         assert_eq!(g.pass_at(1), u.pass_at(1));
         assert_eq!(g.syntax_pass_at(1), u.syntax_pass_at(1));
@@ -357,8 +815,8 @@ mod tests {
             ..EvalConfig::quick(6)
         };
         let profile = ModelProfile::uniform("weak", 0.5);
-        let g = evaluate(&profile, &suite, &gated);
-        let u = evaluate(&profile, &suite, &ungated);
+        let g = evaluate(&profile, &suite, &gated).unwrap();
+        let u = evaluate(&profile, &suite, &ungated).unwrap();
         assert!(
             g.skipped_sims() > 0,
             "expected the gate to skip some simulations for a weak model"
@@ -375,12 +833,12 @@ mod tests {
     fn sicot_helps_on_symbolic_tasks() {
         let suite: Vec<_> = suites::symbolic44(1).into_iter().take(16).collect();
         let profile = haven_lm::profiles::base_codeqwen();
-        let plain = evaluate(&profile, &suite, &EvalConfig::quick(4));
+        let plain = evaluate(&profile, &suite, &EvalConfig::quick(4)).unwrap();
         let cfg = EvalConfig {
             sicot: SicotMode::SelfRefine,
             ..EvalConfig::quick(4)
         };
-        let refined = evaluate(&profile, &suite, &cfg);
+        let refined = evaluate(&profile, &suite, &cfg).unwrap();
         assert!(
             refined.pass_at(1) > plain.pass_at(1),
             "SI-CoT {} <= plain {}",
@@ -405,6 +863,9 @@ mod result_tests {
                     c_syntax: 10,
                     c_func: 10,
                     skipped_sims: 0,
+                    faults: 0,
+                    exhausted: 0,
+                    retries: 0,
                 },
                 TaskResult {
                     task_id: "a/001".into(),
@@ -412,6 +873,9 @@ mod result_tests {
                     c_syntax: 10,
                     c_func: 5,
                     skipped_sims: 2,
+                    faults: 0,
+                    exhausted: 1,
+                    retries: 2,
                 },
                 TaskResult {
                     task_id: "b/000".into(),
@@ -419,6 +883,9 @@ mod result_tests {
                     c_syntax: 2,
                     c_func: 0,
                     skipped_sims: 1,
+                    faults: 3,
+                    exhausted: 0,
+                    retries: 6,
                 },
             ],
         }
@@ -442,5 +909,21 @@ mod result_tests {
     fn syntax_rate_bounds_functional_rate() {
         let r = result();
         assert!(r.syntax_pass_at(1) >= r.pass_at(1));
+    }
+
+    #[test]
+    fn fault_counters_aggregate_across_tasks() {
+        let r = result();
+        assert_eq!(r.faults(), 3);
+        assert_eq!(r.exhausted(), 1);
+        assert_eq!(r.retries(), 8);
+    }
+
+    #[test]
+    fn faulted_record_quarantines_every_sample() {
+        let t = TaskResult::faulted("x/000", 10);
+        assert_eq!(t.faults, 10);
+        assert_eq!(t.c_syntax, 0);
+        assert_eq!(t.c_func, 0);
     }
 }

@@ -1,0 +1,412 @@
+//! Crash-tolerant result journaling for resumable suite runs.
+//!
+//! The harness appends one line per completed `(temperature, task)` to the
+//! journal as workers finish, flushing each line, so a run killed mid-sweep
+//! loses only its in-flight tasks. [`crate::harness::evaluate_resumable`]
+//! replays the journal, re-runs only what is missing, and produces a
+//! `SuiteResult` identical to an uninterrupted run.
+//!
+//! Format: line 1 is a [`JournalHeader`] binding the journal to one
+//! (model, suite, config) triple — resuming under a different configuration
+//! is refused rather than silently mixing incompatible results. Every
+//! further line is a [`JournalEntry`]. Records are tab-separated
+//! `key=value` fields closed by a lone `.` sentinel field; a torn final
+//! line (the process died mid-write) lacks the sentinel and is ignored on
+//! load. Temperatures are stored as exact `f64` bit patterns, so resume
+//! matching never depends on decimal round-tripping.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::harness::{EvalError, TaskResult};
+
+/// Magic tag opening every journal header line.
+const MAGIC: &str = "haven-journal";
+/// Journal format version.
+const VERSION: &str = "v1";
+/// Sentinel closing every complete record line.
+const SENTINEL: &str = ".";
+
+/// Identifies the run a journal belongs to. All fields must match for a
+/// resume to be accepted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalHeader {
+    /// Model under evaluation.
+    pub model: String,
+    /// Samples per task.
+    pub n: usize,
+    /// Temperature sweep.
+    pub temperatures: Vec<f64>,
+    /// Order-sensitive fingerprint of the task ids.
+    pub suite_fingerprint: u64,
+}
+
+impl JournalHeader {
+    /// Fingerprints a task-id sequence (order-sensitive FNV-1a).
+    pub fn fingerprint(task_ids: impl Iterator<Item = impl AsRef<str>>) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for id in task_ids {
+            for b in id.as_ref().bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h ^= 0xff;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    fn to_line(&self) -> String {
+        let temps: Vec<String> = self
+            .temperatures
+            .iter()
+            .map(|t| format!("{:016x}", t.to_bits()))
+            .collect();
+        format!(
+            "{MAGIC}\t{VERSION}\tmodel={}\tn={}\ttemps={}\tfingerprint={:016x}\t{SENTINEL}",
+            escape(&self.model),
+            self.n,
+            temps.join(","),
+            self.suite_fingerprint,
+        )
+    }
+
+    fn parse_line(line: &str) -> Option<JournalHeader> {
+        let fields = split_record(line)?;
+        if fields.first().map(String::as_str) != Some(MAGIC)
+            || fields.get(1).map(String::as_str) != Some(VERSION)
+        {
+            return None;
+        }
+        let get = |key: &str| field(&fields[2..], key);
+        let temps = get("temps")?;
+        let temperatures: Vec<f64> = if temps.is_empty() {
+            Vec::new()
+        } else {
+            temps
+                .split(',')
+                .map(|t| u64::from_str_radix(t, 16).ok().map(f64::from_bits))
+                .collect::<Option<Vec<f64>>>()?
+        };
+        Some(JournalHeader {
+            model: get("model")?,
+            n: get("n")?.parse().ok()?,
+            temperatures,
+            suite_fingerprint: u64::from_str_radix(&get("fingerprint")?, 16).ok()?,
+        })
+    }
+}
+
+/// One journaled per-task result at one temperature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Temperature the task ran at.
+    pub temperature: f64,
+    /// The completed result.
+    pub task: TaskResult,
+}
+
+impl JournalEntry {
+    fn to_line(&self) -> String {
+        let t = &self.task;
+        format!(
+            "t={:016x}\tid={}\tn={}\tsyntax={}\tfunc={}\tskipped={}\tfaults={}\texhausted={}\
+             \tretries={}\t{SENTINEL}",
+            self.temperature.to_bits(),
+            escape(&t.task_id),
+            t.n,
+            t.c_syntax,
+            t.c_func,
+            t.skipped_sims,
+            t.faults,
+            t.exhausted,
+            t.retries,
+        )
+    }
+
+    fn parse_line(line: &str) -> Option<JournalEntry> {
+        let fields = split_record(line)?;
+        let get = |key: &str| field(&fields, key);
+        let num = |key: &str| get(key).and_then(|v| v.parse::<usize>().ok());
+        Some(JournalEntry {
+            temperature: f64::from_bits(u64::from_str_radix(&get("t")?, 16).ok()?),
+            task: TaskResult {
+                task_id: get("id")?,
+                n: num("n")?,
+                c_syntax: num("syntax")?,
+                c_func: num("func")?,
+                skipped_sims: num("skipped")?,
+                faults: num("faults")?,
+                exhausted: num("exhausted")?,
+                retries: num("retries")?,
+            },
+        })
+    }
+}
+
+/// Splits a record into its unescaped fields, or `None` when the closing
+/// sentinel is missing (a torn write).
+fn split_record(line: &str) -> Option<Vec<String>> {
+    let mut fields: Vec<String> = line.split('\t').map(unescape).collect();
+    if fields.last().map(String::as_str) != Some(SENTINEL) {
+        return None;
+    }
+    fields.pop();
+    Some(fields)
+}
+
+/// Looks up `key=` in a field list.
+fn field(fields: &[String], key: &str) -> Option<String> {
+    fields
+        .iter()
+        .find_map(|f| f.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+        .map(str::to_string)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(c) => out.push(c),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// The journal read back from disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalContents {
+    /// The run this journal belongs to.
+    pub header: JournalHeader,
+    /// Completed results, keyed by `(temperature bits, task id)`. The
+    /// first occurrence wins: a result journaled before a crash beats
+    /// anything appended later for the same key.
+    pub done: HashMap<(u64, String), TaskResult>,
+}
+
+/// Reads a journal, tolerating a torn trailing line. Returns `Ok(None)`
+/// when the file does not exist or holds no complete header (a fresh run).
+pub fn read_journal(path: &Path) -> Result<Option<JournalContents>, EvalError> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(EvalError::Journal(format!("open {}: {e}", path.display()))),
+    };
+    let mut lines = BufReader::new(file).lines();
+    let header_line = match lines.next() {
+        Some(Ok(l)) => l,
+        // Empty or unreadable first line: the process died before the
+        // header hit the disk. Treat as a fresh run.
+        _ => return Ok(None),
+    };
+    let Some(header) = JournalHeader::parse_line(&header_line) else {
+        return Ok(None);
+    };
+    let mut done = HashMap::new();
+    for line in lines {
+        let Ok(line) = line else { break };
+        // A torn final line fails to parse; everything before it stands.
+        let Some(entry) = JournalEntry::parse_line(&line) else {
+            break;
+        };
+        done.entry((entry.temperature.to_bits(), entry.task.task_id.clone()))
+            .or_insert(entry.task);
+    }
+    Ok(Some(JournalContents { header, done }))
+}
+
+/// Append-only journal writer shared across worker threads. Each entry is
+/// written and flushed atomically under a mutex, so a kill can tear at
+/// most the final line.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: Mutex<BufWriter<File>>,
+}
+
+impl JournalWriter {
+    /// Opens `path` for appending, writing `header` first if the file is
+    /// new (or empty).
+    pub fn open(path: &Path, header: &JournalHeader) -> Result<JournalWriter, EvalError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| EvalError::Journal(format!("open {}: {e}", path.display())))?;
+        let fresh = file
+            .metadata()
+            .map(|m| m.len() == 0)
+            .map_err(|e| EvalError::Journal(e.to_string()))?;
+        let mut w = BufWriter::new(file);
+        if fresh {
+            writeln!(w, "{}", header.to_line()).map_err(|e| EvalError::Journal(e.to_string()))?;
+            w.flush().map_err(|e| EvalError::Journal(e.to_string()))?;
+        }
+        Ok(JournalWriter {
+            file: Mutex::new(w),
+        })
+    }
+
+    /// Appends one completed task result and flushes it to disk.
+    pub fn append(&self, temperature: f64, task: &TaskResult) {
+        let entry = JournalEntry {
+            temperature,
+            task: task.clone(),
+        };
+        // A poisoned or failing journal must never take down the run the
+        // journal exists to protect; journaling degrades to a no-op.
+        if let Ok(mut w) = self.file.lock() {
+            let _ = writeln!(w, "{}", entry.to_line());
+            let _ = w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("haven-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    fn result(id: &str, c: usize) -> TaskResult {
+        TaskResult {
+            task_id: id.into(),
+            n: 4,
+            c_syntax: 4,
+            c_func: c,
+            skipped_sims: 0,
+            faults: 0,
+            exhausted: 0,
+            retries: 0,
+        }
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            model: "m".into(),
+            n: 4,
+            temperatures: vec![0.2],
+            suite_fingerprint: JournalHeader::fingerprint(["a", "b"].iter()),
+        }
+    }
+
+    #[test]
+    fn round_trips_entries() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let w = JournalWriter::open(&path, &header()).unwrap();
+        w.append(0.2, &result("a", 1));
+        w.append(0.2, &result("b", 2));
+        drop(w);
+        let c = read_journal(&path).unwrap().unwrap();
+        assert_eq!(c.header, header());
+        assert_eq!(c.done.len(), 2);
+        assert_eq!(c.done[&(0.2f64.to_bits(), "b".to_string())], result("b", 2));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn awkward_ids_round_trip() {
+        let path = tmp("escape");
+        let _ = std::fs::remove_file(&path);
+        let id = "weird\tid\\with\nnoise";
+        let w = JournalWriter::open(&path, &header()).unwrap();
+        w.append(0.8, &result(id, 3));
+        drop(w);
+        let c = read_journal(&path).unwrap().unwrap();
+        assert_eq!(c.done[&(0.8f64.to_bits(), id.to_string())], result(id, 3));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_ignored() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let w = JournalWriter::open(&path, &header()).unwrap();
+        w.append(0.2, &result("a", 1));
+        drop(w);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        // A record killed mid-write: no closing sentinel.
+        write!(f, "t=3fc999999999999a\tid=b\tn=4\tsyntax=4").unwrap();
+        drop(f);
+        let c = read_journal(&path).unwrap().unwrap();
+        assert_eq!(c.done.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_a_fresh_run() {
+        assert_eq!(
+            read_journal(Path::new("/nonexistent/journal")).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn garbage_header_is_a_fresh_run() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not a journal\n").unwrap();
+        assert_eq!(read_journal(&path).unwrap(), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn first_entry_wins_on_duplicates() {
+        let path = tmp("dup");
+        let _ = std::fs::remove_file(&path);
+        let w = JournalWriter::open(&path, &header()).unwrap();
+        w.append(0.2, &result("a", 1));
+        w.append(0.2, &result("a", 3));
+        drop(w);
+        let c = read_journal(&path).unwrap().unwrap();
+        assert_eq!(c.done[&(0.2f64.to_bits(), "a".to_string())].c_func, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let a = JournalHeader::fingerprint(["x", "y"].iter());
+        let b = JournalHeader::fingerprint(["y", "x"].iter());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn header_line_round_trips() {
+        let h = JournalHeader {
+            model: "model with spaces\tand tabs".into(),
+            n: 10,
+            temperatures: vec![0.2, 0.5, 0.8],
+            suite_fingerprint: 0xdead_beef,
+        };
+        assert_eq!(JournalHeader::parse_line(&h.to_line()), Some(h));
+    }
+}

@@ -9,16 +9,29 @@
 //! * [`passk`] — the unbiased pass@k estimator (paper Eq. 1).
 //! * [`harness`] — samples a model n times per task across the
 //!   temperature sweep, compiles + co-simulates every sample against the
-//!   task's golden model, and reports the best temperature.
+//!   task's golden model, and reports the best temperature. Fault-tolerant:
+//!   per-sample panic isolation, resource budgets, bounded retry of
+//!   fault-class outcomes, and journal-backed resumable runs.
+//! * [`fault`] — seeded deterministic fault injection for resilience
+//!   tests (worker panics, simulator stalls, source corruption).
+//! * [`journal`] — crash-tolerant per-task result journaling behind
+//!   [`harness::evaluate_resumable`].
 //! * [`report`] — plain-text tables for experiment binaries.
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod harness;
+pub mod journal;
 pub mod passk;
 pub mod report;
 pub mod suites;
 
-pub use harness::{evaluate, EvalConfig, SicotMode, SuiteResult, TaskResult};
+pub use fault::{FaultKind, FaultPlan};
+pub use harness::{
+    evaluate, evaluate_resumable, EvalConfig, EvalError, RetryPolicy, SicotMode, SuiteResult,
+    TaskResult,
+};
+pub use journal::{read_journal, JournalHeader, JournalWriter};
 pub use passk::{mean_pass_at_k, pass_at_k};
 pub use suites::{BenchTask, SuiteKind};

@@ -74,6 +74,19 @@ pub fn pct(v: Option<f64>) -> String {
     }
 }
 
+/// One-line harness-health footnote for a suite run: quarantined samples
+/// (`HarnessFault`), budget-exhausted samples (`ResourceExhausted`) and
+/// retries spent recovering transient faults. `None` when the run was
+/// entirely clean, so healthy reports stay unchanged.
+pub fn health_line(faults: usize, exhausted: usize, retries: usize) -> Option<String> {
+    if faults == 0 && exhausted == 0 && retries == 0 {
+        return None;
+    }
+    Some(format!(
+        "harness health: {faults} faulted, {exhausted} budget-exhausted, {retries} retries"
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +111,14 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(Some(43.52)), "43.5");
         assert_eq!(pct(None), "n/a");
+    }
+
+    #[test]
+    fn health_line_is_silent_for_clean_runs() {
+        assert_eq!(health_line(0, 0, 0), None);
+        let line = health_line(2, 1, 5).unwrap();
+        assert!(line.contains("2 faulted"), "{line}");
+        assert!(line.contains("1 budget-exhausted"), "{line}");
+        assert!(line.contains("5 retries"), "{line}");
     }
 }

@@ -5,6 +5,7 @@
 //! the paper's benchmark testbenches play.
 
 use haven_verilog::elab::compile;
+pub use haven_verilog::sim::SimBudget;
 use haven_verilog::sim::Simulator;
 use haven_verilog::VerilogError;
 use serde::{Deserialize, Serialize};
@@ -31,17 +32,40 @@ pub enum Verdict {
     },
     /// A runtime simulation failure (combinational oscillation etc.).
     SimulationError(String),
+    /// The candidate compiled but exhausted a resource budget
+    /// ([`haven_verilog::sim::SimBudget`]) before the oracle finished —
+    /// a runaway loop, a pathological settle, or simply more work than
+    /// the harness is willing to spend on one sample.
+    ResourceExhausted(String),
+    /// The harness itself failed on this sample (worker panic, corrupted
+    /// source at the harness boundary). Says nothing about the candidate;
+    /// pass@k treats it conservatively as a failure, and the per-task
+    /// fault counters keep it attributable.
+    HarnessFault(String),
 }
 
 impl Verdict {
-    /// Syntax-level success: everything except [`Verdict::SyntaxError`].
+    /// Syntax-level success: everything except [`Verdict::SyntaxError`]
+    /// and [`Verdict::HarnessFault`] (a faulted sample proved nothing, so
+    /// it conservatively counts as no success at any level).
     pub fn syntax_ok(&self) -> bool {
-        !matches!(self, Verdict::SyntaxError(_))
+        !matches!(self, Verdict::SyntaxError(_) | Verdict::HarnessFault(_))
     }
 
     /// Full functional success.
     pub fn functional_ok(&self) -> bool {
         matches!(self, Verdict::Pass)
+    }
+
+    /// Fault-class verdicts: outcomes that can be caused by transient
+    /// infrastructure trouble (a panicking worker, a starved scheduler)
+    /// rather than by the candidate itself. The harness retries these
+    /// with bounded deterministic backoff before quarantining the sample.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            Verdict::HarnessFault(_) | Verdict::ResourceExhausted(_)
+        )
     }
 }
 
@@ -62,7 +86,9 @@ fn interface_or_sim_error(
     checks_compared: usize,
 ) -> CosimReport {
     let msg = e.to_string();
-    let verdict = if msg.contains("no signal") || msg.contains("non-input") {
+    let verdict = if e.is_budget() {
+        Verdict::ResourceExhausted(msg)
+    } else if msg.contains("no signal") || msg.contains("non-input") {
         Verdict::InterfaceError(msg)
     } else {
         Verdict::SimulationError(msg)
@@ -81,12 +107,17 @@ pub struct CosimOptions {
     /// Compare outputs at clk-low inside every tick; this is what makes
     /// wrong-clock-edge implementations observable.
     pub mid_tick_checks: bool,
+    /// Resource limits for the candidate's simulation. The oracle also
+    /// enforces [`SimBudget::max_ticks`] over the stimulus program's
+    /// `Tick` steps, since it drives the clock by poking edges directly.
+    pub budget: SimBudget,
 }
 
 impl Default for CosimOptions {
     fn default() -> CosimOptions {
         CosimOptions {
             mid_tick_checks: true,
+            budget: SimBudget::default(),
         }
     }
 }
@@ -129,52 +160,49 @@ pub fn cosimulate_compiled(
     stimuli: &Stimuli,
     options: &CosimOptions,
 ) -> CosimReport {
-    let mut sim = match Simulator::new(design) {
+    let mut sim = match Simulator::with_budget(design, options.budget) {
         Ok(s) => s,
         Err(e) => {
+            let verdict = if e.is_budget() {
+                Verdict::ResourceExhausted(e.to_string())
+            } else {
+                Verdict::SimulationError(e.to_string())
+            };
             return CosimReport {
-                verdict: Verdict::SimulationError(e.to_string()),
+                verdict,
                 checks_run: 0,
                 checks_compared: 0,
-            }
+            };
         }
     };
     let mut golden = GoldenModel::new(spec);
     let clock = spec.attrs.clock.clone();
     let mut checks_run = 0usize;
     let mut checks_compared = 0usize;
+    let mut ticks_driven = 0usize;
 
     for step in &stimuli.steps {
         match step {
             StimulusStep::Set(name, value) => {
                 golden.set_input(name, *value);
-                match sim.poke_u64(name, *value) {
-                    Ok(()) => {}
-                    Err(e @ VerilogError::Simulate { .. }) => {
-                        // Distinguish missing-port binding errors from
-                        // runtime failures by the message.
-                        let msg = e.to_string();
-                        let verdict = if msg.contains("no signal") || msg.contains("non-input") {
-                            Verdict::InterfaceError(msg)
-                        } else {
-                            Verdict::SimulationError(msg)
-                        };
-                        return CosimReport {
-                            verdict,
-                            checks_run,
-                            checks_compared,
-                        };
-                    }
-                    Err(e) => {
-                        return CosimReport {
-                            verdict: Verdict::SimulationError(e.to_string()),
-                            checks_run,
-                            checks_compared,
-                        }
-                    }
+                if let Err(e) = sim.poke_u64(name, *value) {
+                    // Distinguish missing-port binding errors and budget
+                    // exhaustion from other runtime failures.
+                    return interface_or_sim_error(e, checks_run, checks_compared);
                 }
             }
             StimulusStep::Tick => {
+                ticks_driven += 1;
+                if ticks_driven > options.budget.max_ticks {
+                    return CosimReport {
+                        verdict: Verdict::ResourceExhausted(format!(
+                            "clock-cycle budget exhausted (limit {})",
+                            options.budget.max_ticks
+                        )),
+                        checks_run,
+                        checks_compared,
+                    };
+                }
                 // Falling edge first, with a *mid-tick checkpoint*: a DUT
                 // built on the wrong clock edge has updated at the wrong
                 // moment and gets caught here. For posedge specs the golden
@@ -327,6 +355,40 @@ mod tests {
                 spec.name
             );
         }
+    }
+
+    #[test]
+    fn starved_tick_budget_is_resource_exhausted() {
+        let spec = builders::counter("c", 4, None);
+        let src = emit(&spec, &EmitStyle::correct());
+        let options = CosimOptions {
+            budget: SimBudget {
+                max_ticks: 1,
+                ..SimBudget::default()
+            },
+            ..CosimOptions::default()
+        };
+        let report = cosimulate_with(&spec, &src, &stimuli_for(&spec, 42), &options);
+        assert!(
+            matches!(report.verdict, Verdict::ResourceExhausted(_)),
+            "{:?}",
+            report.verdict
+        );
+        assert!(report.verdict.syntax_ok(), "compiled fine: still syntax-ok");
+        assert!(report.verdict.is_fault());
+        assert!(!report.verdict.functional_ok());
+    }
+
+    #[test]
+    fn runaway_loop_is_resource_exhausted() {
+        let spec = builders::adder("a", 4);
+        let src = "module a(input [3:0] a, input [3:0] b, output reg [3:0] s);\n integer i;\n always @(*) begin\n  s = 4'd0;\n  for (i = 0; i < 100000; i = i + 1) s = s + a;\n end\nendmodule";
+        let report = cosimulate(&spec, src, &stimuli_for(&spec, 1));
+        assert!(
+            matches!(report.verdict, Verdict::ResourceExhausted(_)),
+            "{:?}",
+            report.verdict
+        );
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod golden;
 pub mod ir;
 pub mod stimuli;
 
-pub use cosim::{cosimulate, cosimulate_compiled, CosimReport, Verdict};
+pub use cosim::{cosimulate, cosimulate_compiled, CosimOptions, CosimReport, SimBudget, Verdict};
 pub use golden::GoldenModel;
 pub use ir::{Behavior, Spec};

@@ -1,0 +1,195 @@
+//! Property tests for resource-budgeted simulation: across a randomized
+//! population of specs, stimulus programs and budgets, a [`SimBudget`] is
+//! a hard ceiling — the simulator's own counters never pass it, running
+//! out is always reported as the typed budget outcome, and the oracle
+//! stays total (a verdict, never a panic or an unbounded run).
+//!
+//! Generation is hand-rolled and seeded (xorshift) rather than driven by
+//! `proptest` strategies, so every case actually executes in the offline
+//! build and the failures replay deterministically.
+
+use haven_spec::builders;
+use haven_spec::codegen::{emit, EmitStyle};
+use haven_spec::cosim::{cosimulate_with, CosimOptions, SimBudget, Verdict};
+use haven_spec::ir::ShiftDirection;
+use haven_spec::stimuli::{stimuli_for, StimulusStep};
+use haven_spec::Spec;
+use haven_verilog::sim::Simulator;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn arb_spec(rng: &mut Rng) -> Spec {
+    match rng.below(8) {
+        0 => builders::adder("p_add", 1 + rng.below(8) as usize),
+        1 => builders::mux2("p_mux", 1 + rng.below(8) as usize),
+        2 => builders::comparator("p_cmp", 1 + rng.below(8) as usize),
+        3 => builders::counter("p_cnt", 2 + rng.below(6) as usize, None),
+        4 => builders::shift_register("p_shr", 2 + rng.below(6) as usize, ShiftDirection::Left),
+        5 => builders::fsm_ab("p_fsm"),
+        6 => builders::pipeline(
+            "p_pipe",
+            1 + rng.below(4) as usize,
+            1 + rng.below(3) as usize,
+        ),
+        _ => builders::register("p_reg", 1 + rng.below(8) as usize),
+    }
+}
+
+fn arb_budget(rng: &mut Rng) -> SimBudget {
+    SimBudget {
+        max_settle_per_step: 1 + rng.below(64) as usize,
+        max_loop_iterations: 1 + rng.below(16) as usize,
+        max_ticks: 1 + rng.below(8) as usize,
+        max_total_work: 1 + rng.below(256) as usize,
+    }
+}
+
+/// Replays a stimulus program directly against a budgeted [`Simulator`]
+/// and checks, after every single operation, that the counters respect
+/// the ceiling. Detection happens the instant a counter first passes its
+/// limit, so `work_units` can sit at most one past `max_total_work` and
+/// `ticks` never passes `max_ticks` at all.
+#[test]
+fn simulator_counters_never_pass_the_budget() {
+    let mut rng = Rng(0x5eed_b0d9_e7_u64);
+    for case in 0..120 {
+        let spec = arb_spec(&mut rng);
+        let budget = arb_budget(&mut rng);
+        let source = emit(&spec, &EmitStyle::correct());
+        let design = haven_verilog::compile(&source)
+            .unwrap_or_else(|e| panic!("case {case}: correct emission failed to compile: {e}"));
+        let mut sim = match Simulator::with_budget(design, budget) {
+            Ok(s) => s,
+            Err(e) => {
+                assert!(
+                    e.is_budget() || !e.is_static(),
+                    "case {case}: construction failed with a non-runtime error: {e}"
+                );
+                continue;
+            }
+        };
+        let stimuli = stimuli_for(&spec, rng.next());
+        let clock = spec.attrs.clock.clone();
+        for step in &stimuli.steps {
+            let result = match step {
+                StimulusStep::Set(name, value) => sim.poke_u64(name, *value),
+                StimulusStep::Tick => sim.tick(&clock),
+                StimulusStep::Check => Ok(()),
+            };
+            assert!(
+                sim.ticks() <= budget.max_ticks,
+                "case {case}: tick counter {} passed the budget {}",
+                sim.ticks(),
+                budget.max_ticks
+            );
+            assert!(
+                sim.work_units() <= budget.max_total_work + 1,
+                "case {case}: work counter {} ran past the budget {}",
+                sim.work_units(),
+                budget.max_total_work
+            );
+            if let Err(e) = result {
+                assert!(
+                    e.is_budget() || !e.is_static(),
+                    "case {case}: runtime op failed with a static-class error: {e}"
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// The oracle under an arbitrary budget is total: it always returns a
+/// verdict, and a budget-driven abort is reported as the dedicated
+/// fault-class [`Verdict::ResourceExhausted`] — never disguised as a
+/// syntax or functional failure of the candidate.
+#[test]
+fn cosimulation_is_total_under_arbitrary_budgets() {
+    let mut rng = Rng(0xc051_90de_u64 ^ 0xffff);
+    for case in 0..120 {
+        let spec = arb_spec(&mut rng);
+        let budget = arb_budget(&mut rng);
+        let source = emit(&spec, &EmitStyle::correct());
+        let options = CosimOptions {
+            mid_tick_checks: true,
+            budget,
+        };
+        let report = cosimulate_with(&spec, &source, &stimuli_for(&spec, rng.next()), &options);
+        // Correct emission co-simulates exactly; the only thing a budget
+        // may change is how far the oracle gets before running dry.
+        match &report.verdict {
+            Verdict::Pass => {}
+            Verdict::ResourceExhausted(msg) => {
+                assert!(!msg.is_empty(), "case {case}: empty exhaustion detail");
+                assert!(report.verdict.is_fault(), "case {case}");
+                assert!(report.verdict.syntax_ok(), "case {case}");
+                assert!(!report.verdict.functional_ok(), "case {case}");
+            }
+            other => panic!("case {case}: budget changed the verdict class: {other:?}"),
+        }
+    }
+}
+
+/// The default budget is transparent: it is generous enough that every
+/// correct design in the population passes exactly as it does unbudgeted.
+#[test]
+fn default_budget_is_transparent_for_correct_designs() {
+    let mut rng = Rng(0xdefa_0171u64);
+    for case in 0..60 {
+        let spec = arb_spec(&mut rng);
+        let source = emit(&spec, &EmitStyle::correct());
+        let report = cosimulate_with(
+            &spec,
+            &source,
+            &stimuli_for(&spec, rng.next()),
+            &CosimOptions::default(),
+        );
+        assert!(
+            report.verdict.functional_ok(),
+            "case {case}: {:?}",
+            report.verdict
+        );
+    }
+}
+
+/// A starved budget must surface as exhaustion (or a trivially complete
+/// pass on designs whose whole program fits), never as a crash and never
+/// as a verdict blaming the candidate.
+#[test]
+fn starved_budget_reports_exhaustion_not_blame() {
+    let mut rng = Rng(0x57a2_7ed1u64);
+    let mut exhausted = 0usize;
+    for _ in 0..60 {
+        let spec = arb_spec(&mut rng);
+        let source = emit(&spec, &EmitStyle::correct());
+        let options = CosimOptions {
+            mid_tick_checks: true,
+            budget: SimBudget::starved(),
+        };
+        let report = cosimulate_with(&spec, &source, &stimuli_for(&spec, rng.next()), &options);
+        match &report.verdict {
+            Verdict::Pass => {}
+            Verdict::ResourceExhausted(_) => exhausted += 1,
+            other => panic!("starved budget produced {other:?}"),
+        }
+    }
+    assert!(
+        exhausted > 30,
+        "starvation should dominate the population (got {exhausted}/60)"
+    );
+}

@@ -58,6 +58,19 @@ pub enum VerilogError {
         /// Human-readable description.
         message: String,
     },
+    /// A resource budget was exhausted before the simulation finished
+    /// (tick, loop-iteration or total-work limit — see
+    /// [`crate::sim::SimBudget`]). Distinguished from [`Simulate`] so the
+    /// evaluation harness can classify runaway candidates as
+    /// resource-exhausted rather than semantically broken.
+    ///
+    /// [`Simulate`]: VerilogError::Simulate
+    Budget {
+        /// Which budget dimension ran out.
+        what: String,
+        /// The configured limit that was hit.
+        limit: usize,
+    },
 }
 
 impl VerilogError {
@@ -91,10 +104,26 @@ impl VerilogError {
         }
     }
 
+    /// Convenience constructor for budget-exhaustion errors.
+    pub fn budget(what: impl Into<String>, limit: usize) -> VerilogError {
+        VerilogError::Budget {
+            what: what.into(),
+            limit,
+        }
+    }
+
     /// True for errors raised before runtime (lex/parse/elaborate); these
     /// are what the pass@k harness counts as syntax failures.
     pub fn is_static(&self) -> bool {
-        !matches!(self, VerilogError::Simulate { .. })
+        !matches!(
+            self,
+            VerilogError::Simulate { .. } | VerilogError::Budget { .. }
+        )
+    }
+
+    /// True when the error is a resource-budget exhaustion.
+    pub fn is_budget(&self) -> bool {
+        matches!(self, VerilogError::Budget { .. })
     }
 }
 
@@ -109,6 +138,9 @@ impl fmt::Display for VerilogError {
             }
             VerilogError::Elaborate { message } => write!(f, "elaboration error: {message}"),
             VerilogError::Simulate { message } => write!(f, "simulation error: {message}"),
+            VerilogError::Budget { what, limit } => {
+                write!(f, "resource budget exhausted: {what} (limit {limit})")
+            }
         }
     }
 }

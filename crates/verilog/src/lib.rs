@@ -56,4 +56,4 @@ pub use analyze_static::{
 pub use elab::{compile, Design};
 pub use error::{Result, VerilogError};
 pub use logic::{Logic, LogicVec};
-pub use sim::Simulator;
+pub use sim::{SimBudget, Simulator};

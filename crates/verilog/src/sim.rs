@@ -18,12 +18,64 @@ use crate::error::{Result, VerilogError};
 use crate::eval::{eval_expr, SignalEnv};
 use crate::logic::{Logic, LogicVec};
 
-/// Upper bound on process executions within one time step before the
-/// simulator declares a combinational oscillation.
-const MAX_ACTIVATIONS_PER_STEP: usize = 100_000;
+/// Resource budgets bounding one [`Simulator`]'s total work.
+///
+/// Every limit is a hard ceiling: exceeding `max_settle_per_step` reports
+/// a combinational oscillation ([`VerilogError::Simulate`], as that is a
+/// semantic defect of the design), while exceeding any other limit
+/// reports [`VerilogError::Budget`] — the design may be fine, it just
+/// costs more than the caller is willing to spend. The evaluation
+/// harness maps budget errors to a dedicated `ResourceExhausted`
+/// verdict so runaway candidates are counted, not crashed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SimBudget {
+    /// Process activations allowed within one time step before the step
+    /// is declared oscillating.
+    pub max_settle_per_step: usize,
+    /// Iterations allowed per interpreted `for` loop execution.
+    pub max_loop_iterations: usize,
+    /// Full clock cycles allowed through [`Simulator::tick`] (callers
+    /// driving edges manually enforce their own tick budget).
+    pub max_ticks: usize,
+    /// Cumulative work units (process activations + loop iterations)
+    /// over the simulator's whole lifetime.
+    pub max_total_work: usize,
+}
 
-/// Upper bound on interpreted loop iterations.
-const MAX_LOOP_ITERATIONS: usize = 4096;
+impl Default for SimBudget {
+    fn default() -> SimBudget {
+        SimBudget {
+            max_settle_per_step: 100_000,
+            max_loop_iterations: 4096,
+            max_ticks: 1_000_000,
+            max_total_work: 50_000_000,
+        }
+    }
+}
+
+impl SimBudget {
+    /// A deliberately tiny budget — used by fault-injection tests and the
+    /// harness's injected "simulator stall" fault to exercise the
+    /// exhaustion path with real machinery.
+    pub fn starved() -> SimBudget {
+        SimBudget {
+            max_settle_per_step: 4,
+            max_loop_iterations: 1,
+            max_ticks: 1,
+            max_total_work: 1,
+        }
+    }
+
+    /// True when every limit is non-zero (a zero limit would reject all
+    /// work, including the time-zero settle, and is always a
+    /// configuration mistake).
+    pub fn is_valid(&self) -> bool {
+        self.max_settle_per_step > 0
+            && self.max_loop_iterations > 0
+            && self.max_ticks > 0
+            && self.max_total_work > 0
+    }
+}
 
 /// An interactive simulation of one elaborated [`Design`].
 ///
@@ -48,6 +100,12 @@ pub struct Simulator {
     comb_deps: HashMap<SignalId, Vec<usize>>,
     /// signal -> (edge, process) watchers
     edge_watch: HashMap<SignalId, Vec<(Edge, usize)>>,
+    /// Resource limits for this simulation.
+    budget: SimBudget,
+    /// Cumulative work units spent (process activations + loop iterations).
+    work: usize,
+    /// Full clock cycles driven through [`Simulator::tick`].
+    ticks: usize,
 }
 
 /// A single resolved write: `signal[lo +: value.width()] = value`.
@@ -66,6 +124,16 @@ impl Simulator {
     ///
     /// Returns [`VerilogError::Simulate`] if initial settling oscillates.
     pub fn new(design: Design) -> Result<Simulator> {
+        Simulator::with_budget(design, SimBudget::default())
+    }
+
+    /// [`Simulator::new`] with explicit resource limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerilogError::Simulate`] if initial settling oscillates,
+    /// or [`VerilogError::Budget`] if it exhausts `budget` first.
+    pub fn with_budget(design: Design, budget: SimBudget) -> Result<Simulator> {
         let mut comb_deps: HashMap<SignalId, Vec<usize>> = HashMap::new();
         let mut edge_watch: HashMap<SignalId, Vec<(Edge, usize)>> = HashMap::new();
         for p in &design.processes {
@@ -102,6 +170,9 @@ impl Simulator {
             bodies,
             comb_deps,
             edge_watch,
+            budget,
+            work: 0,
+            ticks: 0,
         };
         // Time zero: run `initial` blocks and every combinational process.
         let initial: Vec<usize> = sim
@@ -118,6 +189,22 @@ impl Simulator {
     /// The design under simulation.
     pub fn design(&self) -> &Design {
         &self.design
+    }
+
+    /// The resource budget this simulator enforces.
+    pub fn budget(&self) -> &SimBudget {
+        &self.budget
+    }
+
+    /// Cumulative work units (process activations + loop iterations)
+    /// spent so far — the counter [`SimBudget::max_total_work`] bounds.
+    pub fn work_units(&self) -> usize {
+        self.work
+    }
+
+    /// Full clock cycles driven through [`Simulator::tick`] so far.
+    pub fn ticks(&self) -> usize {
+        self.ticks
     }
 
     /// Current value of a signal.
@@ -174,6 +261,10 @@ impl Simulator {
     ///
     /// Same conditions as [`Simulator::poke`].
     pub fn tick(&mut self, clk: &str) -> Result<()> {
+        if self.ticks >= self.budget.max_ticks {
+            return Err(VerilogError::budget("clock cycles", self.budget.max_ticks));
+        }
+        self.ticks += 1;
         self.poke_u64(clk, 0)?;
         self.poke_u64(clk, 1)
     }
@@ -222,9 +313,16 @@ impl Simulator {
         loop {
             while let Some(pid) = active.pop_front() {
                 activations += 1;
-                if activations > MAX_ACTIVATIONS_PER_STEP {
+                if activations > self.budget.max_settle_per_step {
                     return Err(VerilogError::sim(
                         "combinational logic did not settle (oscillation)",
+                    ));
+                }
+                self.work += 1;
+                if self.work > self.budget.max_total_work {
+                    return Err(VerilogError::budget(
+                        "total work units",
+                        self.budget.max_total_work,
                     ));
                 }
                 let body = Arc::clone(&self.bodies[pid]);
@@ -330,10 +428,18 @@ impl Simulator {
                 let mut iterations = 0usize;
                 while self.eval(cond).is_true() {
                     iterations += 1;
-                    if iterations > MAX_LOOP_ITERATIONS {
-                        return Err(VerilogError::sim(format!(
-                            "loop exceeded {MAX_LOOP_ITERATIONS} iterations"
-                        )));
+                    if iterations > self.budget.max_loop_iterations {
+                        return Err(VerilogError::budget(
+                            "for-loop iterations",
+                            self.budget.max_loop_iterations,
+                        ));
+                    }
+                    self.work += 1;
+                    if self.work > self.budget.max_total_work {
+                        return Err(VerilogError::budget(
+                            "total work units",
+                            self.budget.max_total_work,
+                        ));
                     }
                     self.exec_stmt(body, nba, changes)?;
                     self.assign_name(&step.0, self.eval(&step.1), changes)?;
@@ -711,6 +817,88 @@ endmodule";
         let mut s = sim("module m(input a, output y); assign y = a; endmodule");
         assert!(s.poke_u64("y", 1).is_err());
         assert!(s.poke_u64("ghost", 1).is_err());
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use crate::elab::compile;
+
+    const COUNTER: &str = "module c(input clk, input rst, output reg [3:0] q);\n always @(posedge clk)\n  if (rst) q <= 4'd0; else q <= q + 4'd1;\nendmodule";
+
+    #[test]
+    fn default_budget_is_invisible() {
+        let mut s = Simulator::new(compile(COUNTER).unwrap()).unwrap();
+        s.poke_u64("rst", 1).unwrap();
+        s.tick("clk").unwrap();
+        s.poke_u64("rst", 0).unwrap();
+        s.tick_n("clk", 100).unwrap();
+        assert_eq!(s.peek("q").unwrap().to_u64(), Some(100 % 16));
+        assert!(s.work_units() > 0);
+        assert_eq!(s.ticks(), 101);
+    }
+
+    #[test]
+    fn tick_budget_is_enforced() {
+        let budget = SimBudget {
+            max_ticks: 3,
+            ..SimBudget::default()
+        };
+        let mut s = Simulator::with_budget(compile(COUNTER).unwrap(), budget).unwrap();
+        s.tick_n("clk", 3).unwrap();
+        let e = s.tick("clk").unwrap_err();
+        assert!(e.is_budget(), "{e}");
+        assert!(!e.is_static());
+    }
+
+    #[test]
+    fn loop_budget_yields_budget_error() {
+        let src = "module m(input [7:0] a, output reg [7:0] y);\n integer i;\n always @(*) begin\n  y = 8'd0;\n  for (i = 0; i < 200; i = i + 1) y = y + a;\n end\nendmodule";
+        let budget = SimBudget {
+            max_loop_iterations: 10,
+            ..SimBudget::default()
+        };
+        let e = Simulator::with_budget(compile(src).unwrap(), budget).unwrap_err();
+        assert!(e.is_budget(), "{e}");
+        // The default budget runs the same loop fine.
+        assert!(Simulator::new(compile(src).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn total_work_budget_caps_cumulative_activity() {
+        let budget = SimBudget {
+            max_total_work: 20,
+            ..SimBudget::default()
+        };
+        let mut s = Simulator::with_budget(compile(COUNTER).unwrap(), budget).unwrap();
+        s.poke_u64("rst", 1).unwrap();
+        let mut failed = None;
+        for _ in 0..1000 {
+            if let Err(e) = s.tick("clk") {
+                failed = Some(e);
+                break;
+            }
+        }
+        let e = failed.expect("work budget never tripped");
+        assert!(e.is_budget(), "{e}");
+        assert!(
+            s.work_units() <= 21,
+            "work {} ran past budget",
+            s.work_units()
+        );
+    }
+
+    #[test]
+    fn oscillation_still_reported_as_simulation_error() {
+        let d = compile(
+            "module m(input sel, output y);\n wire p;\n assign p = ~y;\n assign y = sel ? p : 1'b0;\nendmodule",
+        )
+        .unwrap();
+        let mut s = Simulator::with_budget(d, SimBudget::default()).unwrap();
+        s.poke_u64("sel", 0).unwrap();
+        let e = s.poke_u64("sel", 1).unwrap_err();
+        assert!(!e.is_budget(), "oscillation is semantic, not budget: {e}");
     }
 }
 

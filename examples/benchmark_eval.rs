@@ -46,7 +46,7 @@ fn main() {
         (profiles::origen(), &cfg_off, "no"),
         (haven.profile().clone(), &cfg_self, "yes"),
     ] {
-        let r = evaluate(&profile, &suites.human, cfg);
+        let r = evaluate(&profile, &suites.human, cfg).expect("example config is valid");
         table.row(vec![
             profile.name.clone(),
             sicot.to_string(),

@@ -34,8 +34,12 @@ fn haven_beats_its_base_model_end_to_end() {
         sicot: SicotMode::SelfRefine,
         ..cfg_base.clone()
     };
-    let base_score = evaluate(&base, &suites.human, &cfg_base).pass_at(1);
-    let haven_score = evaluate(haven.profile(), &suites.human, &cfg_haven).pass_at(1);
+    let base_score = evaluate(&base, &suites.human, &cfg_base)
+        .unwrap()
+        .pass_at(1);
+    let haven_score = evaluate(haven.profile(), &suites.human, &cfg_haven)
+        .unwrap()
+        .pass_at(1);
     assert!(
         haven_score > base_score + 5.0,
         "HaVen {haven_score:.1} vs base {base_score:.1}"
@@ -62,6 +66,8 @@ fn generated_code_for_every_symbolic_task_is_scored_by_real_cosim() {
             Verdict::InterfaceError(_) => "interface",
             Verdict::FunctionalMismatch { .. } => "functional",
             Verdict::SimulationError(_) => "simulation",
+            Verdict::ResourceExhausted(_) => "exhausted",
+            Verdict::HarnessFault(_) => "fault",
         };
         *verdicts.entry(bucket).or_default() += 1;
     }
@@ -84,8 +90,8 @@ fn deterministic_experiments_reproduce_bit_for_bit() {
         sicot: SicotMode::Off,
         ..Default::default()
     };
-    let a = evaluate(&profile, &suites.machine, &cfg);
-    let b = evaluate(&profile, &suites.machine, &cfg);
+    let a = evaluate(&profile, &suites.machine, &cfg).unwrap();
+    let b = evaluate(&profile, &suites.machine, &cfg).unwrap();
     assert_eq!(a, b);
 }
 
@@ -115,12 +121,20 @@ fn sicot_mitigates_symbolic_but_not_knowledge_hallucinations() {
         ..cfg_off.clone()
     };
     // Symbolic tasks: SI-CoT should help clearly.
-    let sym_off = evaluate(&base, &suites.symbolic, &cfg_off).pass_at(1);
-    let sym_cot = evaluate(&base, &suites.symbolic, &cfg_cot).pass_at(1);
+    let sym_off = evaluate(&base, &suites.symbolic, &cfg_off)
+        .unwrap()
+        .pass_at(1);
+    let sym_cot = evaluate(&base, &suites.symbolic, &cfg_cot)
+        .unwrap()
+        .pass_at(1);
     assert!(sym_cot > sym_off, "symbolic: {sym_cot:.1} <= {sym_off:.1}");
     // Machine tasks carry few symbolic blocks: the gap must be smaller.
-    let mach_off = evaluate(&base, &suites.machine, &cfg_off).pass_at(1);
-    let mach_cot = evaluate(&base, &suites.machine, &cfg_cot).pass_at(1);
+    let mach_off = evaluate(&base, &suites.machine, &cfg_off)
+        .unwrap()
+        .pass_at(1);
+    let mach_cot = evaluate(&base, &suites.machine, &cfg_cot)
+        .unwrap()
+        .pass_at(1);
     assert!(
         (sym_cot - sym_off) > (mach_cot - mach_off),
         "symbolic gap {:.1} should exceed machine gap {:.1}",
