@@ -1,0 +1,260 @@
+//! Emits `BENCH_sim.json` — the simulator perf trajectory (DESIGN.md §10).
+//!
+//! Measures steady-state cost per stimulus step (median ns/tick over many
+//! batches, simulator constructed once outside the timed region) for the
+//! reference interpreter and the compiled bytecode backend on the same
+//! design shapes the Criterion bench `sim_backends` covers, plus the
+//! eval-harness memoization hit-rate on a small representative suite.
+//!
+//! ```sh
+//! cargo run --release -p haven-bench --bin bench_sim [-- --out path.json]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use haven_eval::harness::{evaluate, EvalConfig};
+use haven_eval::suites;
+use haven_lm::profiles::ModelProfile;
+use haven_verilog::elab::{compile, SignalId};
+use haven_verilog::sim::Simulator;
+use haven_verilog::{CompiledDesign, CompiledSim};
+
+const TICKS_PER_BATCH: usize = 2_000;
+const BATCHES: usize = 31;
+
+const COUNTER_SRC: &str = "module cnt(input clk, input rst_n, input en, output reg [31:0] q);
+    always @(posedge clk or negedge rst_n)
+        if (!rst_n) q <= 32'd0;
+        else if (en) q <= q + 32'd1;
+endmodule";
+
+const ADDER_SRC: &str = "module addtree(input [15:0] a, input [15:0] b, input [15:0] c, input [15:0] d, output [17:0] s);
+    wire [16:0] ab;
+    wire [16:0] cd;
+    assign ab = {1'b0, a} + {1'b0, b};
+    assign cd = {1'b0, c} + {1'b0, d};
+    assign s = {1'b0, ab} + {1'b0, cd};
+endmodule";
+
+const FSM_SRC: &str = "module fsm(input clk, input rst_n, input x, output reg out);
+    localparam S_A = 1'd0, S_B = 1'd1;
+    reg state, next_state;
+    always @(posedge clk or negedge rst_n)
+        if (!rst_n) state <= S_A;
+        else state <= next_state;
+    always @(*)
+        case (state)
+            S_A: next_state = x ? S_A : S_B;
+            S_B: next_state = x ? S_B : S_A;
+            default: next_state = S_A;
+        endcase
+    always @(*)
+        case (state)
+            S_A: out = 1'd0;
+            S_B: out = 1'd1;
+            default: out = 1'd0;
+        endcase
+endmodule";
+
+const PIPE_SRC: &str = "module pipe(input clk, input rst_n, input [15:0] d, output reg [15:0] q);
+    reg [15:0] s0, s1, s2;
+    always @(posedge clk or negedge rst_n)
+        if (!rst_n) s0 <= 16'd0; else s0 <= d + 16'd1;
+    always @(posedge clk or negedge rst_n)
+        if (!rst_n) s1 <= 16'd0; else s1 <= s0 ^ 16'h5a5a;
+    always @(posedge clk or negedge rst_n)
+        if (!rst_n) s2 <= 16'd0; else s2 <= s1 + s0;
+    always @(posedge clk or negedge rst_n)
+        if (!rst_n) q <= 16'd0; else q <= s2;
+endmodule";
+
+/// The two backends expose identical pre-resolved-handle APIs; this tiny
+/// adapter lets the timing harness drive either one through the same code.
+trait Dut {
+    fn id(&mut self, name: &str) -> SignalId;
+    fn drive(&mut self, id: SignalId, value: u64);
+    fn clock(&mut self, clk: SignalId);
+}
+
+impl Dut for Simulator {
+    fn id(&mut self, name: &str) -> SignalId {
+        self.resolve(name).expect("bench signal exists")
+    }
+    fn drive(&mut self, id: SignalId, value: u64) {
+        self.poke_id_u64(id, value).expect("bench poke is valid");
+    }
+    fn clock(&mut self, clk: SignalId) {
+        self.tick_id(clk).expect("bench tick is valid");
+    }
+}
+
+impl Dut for CompiledSim {
+    fn id(&mut self, name: &str) -> SignalId {
+        self.resolve(name).expect("bench signal exists")
+    }
+    fn drive(&mut self, id: SignalId, value: u64) {
+        self.poke_id_u64(id, value).expect("bench poke is valid");
+    }
+    fn clock(&mut self, clk: SignalId) {
+        self.tick_id(clk).expect("bench tick is valid");
+    }
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Steady-state median ns per step: warm up one full batch, then time
+/// `BATCHES` batches of `TICKS_PER_BATCH` steps and take the median batch
+/// average. Construction and time-zero settle stay outside the clock.
+fn time_steps(mut step: impl FnMut(usize)) -> f64 {
+    for i in 0..TICKS_PER_BATCH {
+        step(i);
+    }
+    let mut per_tick = Vec::with_capacity(BATCHES);
+    for b in 0..BATCHES {
+        let t0 = Instant::now();
+        for i in 0..TICKS_PER_BATCH {
+            step(b * TICKS_PER_BATCH + i);
+        }
+        per_tick.push(t0.elapsed().as_nanos() as f64 / TICKS_PER_BATCH as f64);
+    }
+    median(per_tick)
+}
+
+/// One step of a clocked design: alternate the data input, then tick.
+fn seq_steps(dut: &mut impl Dut, data: Option<&str>) -> f64 {
+    let rst = dut.id("rst_n");
+    dut.drive(rst, 0);
+    dut.drive(rst, 1);
+    let clk = dut.id("clk");
+    let data = data.map(|name| dut.id(name));
+    time_steps(|i| {
+        if let Some(d) = data {
+            dut.drive(d, (i as u64) & 0xffff);
+        }
+        dut.clock(clk);
+    })
+}
+
+/// One step of a pure-comb design: poke two inputs with fresh values.
+fn comb_steps(dut: &mut impl Dut) -> f64 {
+    let a = dut.id("a");
+    let b = dut.id("b");
+    time_steps(|i| {
+        dut.drive(a, (i as u64) & 0xffff);
+        dut.drive(b, ((i as u64) * 7 + 3) & 0xffff);
+    })
+}
+
+struct Row {
+    name: &'static str,
+    kind: &'static str,
+    levelized: bool,
+    interp_ns: f64,
+    compiled_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.interp_ns / self.compiled_ns
+    }
+}
+
+fn bench_design(name: &'static str, kind: &'static str, src: &str, data: Option<&str>) -> Row {
+    let design = compile(src).expect("bench design compiles");
+    let compiled = Arc::new(CompiledDesign::new(design.clone()));
+    let levelized = compiled.is_levelized();
+
+    let mut interp = Simulator::new(design).expect("bench design simulates");
+    let interp_ns = match kind {
+        "combinational" => comb_steps(&mut interp),
+        _ => seq_steps(&mut interp, data),
+    };
+
+    let mut fast = CompiledSim::new(compiled).expect("bench design executes");
+    let compiled_ns = match kind {
+        "combinational" => comb_steps(&mut fast),
+        _ => seq_steps(&mut fast, data),
+    };
+
+    Row {
+        name,
+        kind,
+        levelized,
+        interp_ns,
+        compiled_ns,
+    }
+}
+
+fn dedup_rate() -> (usize, usize) {
+    let suite: Vec<_> = suites::verilog_eval_machine(1)
+        .into_iter()
+        .take(12)
+        .collect();
+    let cfg = EvalConfig::quick(5);
+    let result = evaluate(&ModelProfile::uniform("mid", 0.6), &suite, &cfg)
+        .expect("bench eval config is valid by construction");
+    (result.dedup_hits(), suite.len() * cfg.n)
+}
+
+fn main() {
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_sim.json".to_string())
+    };
+
+    eprintln!("timing backends ({TICKS_PER_BATCH} ticks x {BATCHES} batches per point)...");
+    let rows = vec![
+        bench_design("counter32", "sequential", COUNTER_SRC, None),
+        bench_design("addtree16", "combinational", ADDER_SRC, None),
+        bench_design("fsm2", "mixed", FSM_SRC, Some("x")),
+        bench_design("pipe4x16", "sequential", PIPE_SRC, Some("d")),
+    ];
+
+    eprintln!("measuring memoization hit-rate...");
+    let (dedup_hits, total_samples) = dedup_rate();
+
+    let median_speedup = median(rows.iter().map(Row::speedup).collect());
+
+    let mut design_json = Vec::new();
+    for r in &rows {
+        design_json.push(format!(
+            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"levelized\": {}, \"interp_ns_per_tick\": {:.1}, \"compiled_ns_per_tick\": {:.1}, \"speedup\": {:.2}}}",
+            r.name,
+            r.kind,
+            r.levelized,
+            r.interp_ns,
+            r.compiled_ns,
+            r.speedup()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"sim_backends\",\n  \"ticks_per_batch\": {TICKS_PER_BATCH},\n  \"batches\": {BATCHES},\n  \"designs\": [\n{}\n  ],\n  \"median_speedup\": {:.2},\n  \"memoization\": {{\"dedup_hits\": {dedup_hits}, \"total_samples\": {total_samples}, \"hit_rate\": {:.3}}}\n}}\n",
+        design_json.join(",\n"),
+        median_speedup,
+        dedup_hits as f64 / total_samples.max(1) as f64,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
+
+    println!("sim backend steady-state cost (median ns/tick):");
+    for r in &rows {
+        println!(
+            "  {:<10} {:<14} interp {:>8.1}  compiled {:>8.1}  speedup {:>5.2}x{}",
+            r.name,
+            r.kind,
+            r.interp_ns,
+            r.compiled_ns,
+            r.speedup(),
+            if r.levelized { "" } else { "  (event-queue)" },
+        );
+    }
+    println!("  median speedup: {median_speedup:.2}x");
+    println!("  memoization: {dedup_hits}/{total_samples} sample verdicts replayed");
+    println!("wrote {out_path}");
+}

@@ -10,8 +10,41 @@
 //! `--export <dir>` additionally writes the three datasets as JSON
 //! (`vanilla.json`, `k_dataset.json`, `l_dataset.json`).
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use haven_bench::scale_from_args;
+use haven_datagen::augment::SETTLE_BUDGET;
 use haven_eval::report::Table;
+use haven_verilog::sim::Simulator;
+use haven_verilog::{compile, CompiledDesign, CompiledSim};
+
+/// Re-runs the step-8 settle probe over the verified pairs with both
+/// backends, so the funnel report shows what the compiled backend buys
+/// (`verify_counted` itself only runs the compiled one).
+fn settle_probe_walls(flow: &haven_datagen::FlowOutput) -> (f64, f64, usize) {
+    let designs: Vec<_> = flow
+        .vanilla
+        .pairs
+        .iter()
+        .chain(&flow.k_dataset.pairs)
+        .map(|p| compile(&p.code).expect("verified pairs compile"))
+        .collect();
+
+    let t = Instant::now();
+    for d in &designs {
+        let _ = Simulator::with_budget(d.clone(), SETTLE_BUDGET);
+    }
+    let interp_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    for d in &designs {
+        let _ = CompiledSim::with_budget(Arc::new(CompiledDesign::new(d.clone())), SETTLE_BUDGET);
+    }
+    let compiled_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    (interp_ms, compiled_ms, designs.len())
+}
 
 fn main() {
     let scale = scale_from_args();
@@ -97,4 +130,18 @@ fn main() {
         t2.row(vec![topic.to_string(), n.to_string()]);
     }
     println!("{}", t2.render());
+
+    // Step-8 verification cost: the wall-times the flow recorded (the
+    // production path, compiled backend) plus an interpreter-vs-compiled
+    // before/after over the same verified pairs.
+    println!(
+        "Step-8 verification wall-time: vanilla {:.1} ms, K {:.1} ms (compiled settle probe)",
+        s.vanilla_verify_micros as f64 / 1e3,
+        s.k_verify_micros as f64 / 1e3,
+    );
+    let (interp_ms, compiled_ms, n) = settle_probe_walls(&flow);
+    println!(
+        "Settle probe over {n} verified pairs: interpreter {interp_ms:.1} ms -> compiled {compiled_ms:.1} ms ({:.2}x)",
+        interp_ms / compiled_ms.max(1e-9),
+    );
 }

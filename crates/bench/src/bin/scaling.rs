@@ -14,7 +14,7 @@ use haven_datagen::corpus::CorpusConfig;
 use haven_datagen::logic::LogicConfig;
 use haven_datagen::FlowConfig;
 use haven_eval::harness::{evaluate, EvalConfig, SicotMode};
-use haven_eval::report::{health_line, Table};
+use haven_eval::report::{dedup_line, health_line, Table};
 use haven_lm::finetune::finetune;
 use haven_lm::profiles;
 
@@ -58,6 +58,10 @@ fn main() {
         )
         .expect("scaling eval config is valid by construction");
         if let Some(line) = health_line(result.faults(), result.exhausted(), result.retries()) {
+            eprintln!("x{m}: {line}");
+        }
+        let samples = result.tasks.len() * scale.n;
+        if let Some(line) = dedup_line(result.dedup_hits(), samples) {
             eprintln!("x{m}: {line}");
         }
         table.row(vec![

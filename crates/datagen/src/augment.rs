@@ -5,12 +5,15 @@
 //! stuck at `x`) would teach the fine-tuned model hallucinated idioms,
 //! so it is rejected and tallied.
 
+use std::sync::Arc;
+
 use haven_lm::finetune::SampleKind;
 use haven_spec::describe::{describe, DescribeStyle};
 use haven_verilog::analyze::{analyze, Analysis};
 use haven_verilog::elab::compile;
 use haven_verilog::parser::parse;
-use haven_verilog::sim::{SimBudget, Simulator};
+use haven_verilog::sim::SimBudget;
+use haven_verilog::{CompiledDesign, CompiledSim};
 
 use crate::corpus::CorpusSample;
 use crate::exemplars::{matching, Exemplar};
@@ -132,7 +135,7 @@ pub struct VerifyStats {
 /// Resource ceiling for the step-8 settle probe. Any legitimate training
 /// sample settles at time zero well inside these limits; a design that
 /// does not would stall every future consumer of the pair.
-const SETTLE_BUDGET: SimBudget = SimBudget {
+pub const SETTLE_BUDGET: SimBudget = SimBudget {
     max_settle_per_step: 512,
     max_loop_iterations: 10_000,
     max_ticks: 1,
@@ -143,6 +146,11 @@ const SETTLE_BUDGET: SimBudget = SimBudget {
 /// free of Error-severity dataflow findings (see
 /// [`haven_verilog::analyze_design`]), and settles at time zero within
 /// [`SETTLE_BUDGET`], reporting what was rejected at each gate.
+///
+/// The settle probe runs on the compiled backend ([`CompiledSim`]); its
+/// time-zero settle is verdict-identical to the reference interpreter
+/// (see the backend differential property tests), so the gate admits
+/// exactly the same pairs it always did, just faster.
 pub fn verify_counted(pairs: Vec<InstructionCodePair>) -> (Vec<InstructionCodePair>, VerifyStats) {
     let mut stats = VerifyStats::default();
     let kept = pairs
@@ -156,7 +164,12 @@ pub fn verify_counted(pairs: Vec<InstructionCodePair>) -> (Vec<InstructionCodePa
                 if haven_verilog::analyze_design(&design).has_errors() {
                     stats.rejected_static += 1;
                     false
-                } else if Simulator::with_budget(design, SETTLE_BUDGET).is_err() {
+                } else if CompiledSim::with_budget(
+                    Arc::new(CompiledDesign::new(design)),
+                    SETTLE_BUDGET,
+                )
+                .is_err()
+                {
                     stats.rejected_budget += 1;
                     false
                 } else {

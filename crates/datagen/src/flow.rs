@@ -56,7 +56,12 @@ impl FlowConfig {
 
 /// Funnel statistics of one flow run (the numbers §III-D reports at
 /// full scale: ≈43k valid vanilla, ≈14k K, ≈5k L).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Equality compares the funnel *counts* only: the two verification
+/// wall-time fields vary run to run and are excluded so determinism
+/// checks (`run(cfg) == run(cfg)`) compare what the flow decided, not
+/// how long it took to decide it.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct FlowStats {
     /// Corpus files synthesized.
     pub corpus_files: usize,
@@ -80,7 +85,44 @@ pub struct FlowStats {
     pub k_rejected_budget: usize,
     /// L-dataset pairs.
     pub l_pairs: usize,
+    /// Wall-time of the vanilla-side step-8 verification gate, in
+    /// microseconds (compile + static analysis + compiled-backend settle
+    /// probe). Excluded from equality.
+    pub vanilla_verify_micros: u64,
+    /// Wall-time of the K-side step-8 verification gate, in microseconds.
+    /// Excluded from equality.
+    pub k_verify_micros: u64,
 }
+
+impl PartialEq for FlowStats {
+    fn eq(&self, other: &FlowStats) -> bool {
+        (
+            self.corpus_files,
+            self.captioned,
+            self.vanilla_valid,
+            self.vanilla_rejected_static,
+            self.vanilla_rejected_budget,
+            self.matched,
+            self.k_pairs,
+            self.k_rejected_static,
+            self.k_rejected_budget,
+            self.l_pairs,
+        ) == (
+            other.corpus_files,
+            other.captioned,
+            other.vanilla_valid,
+            other.vanilla_rejected_static,
+            other.vanilla_rejected_budget,
+            other.matched,
+            other.k_pairs,
+            other.k_rejected_static,
+            other.k_rejected_budget,
+            other.l_pairs,
+        )
+    }
+}
+
+impl Eq for FlowStats {}
 
 /// The flow's outputs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,7 +152,9 @@ pub fn run(cfg: &FlowConfig) -> FlowOutput {
     // Steps 5 + 8 (vanilla side): caption, verify.
     let captioned: Vec<_> = corpus.iter().filter_map(caption).collect();
     let n_captioned = captioned.len();
+    let t_vanilla = std::time::Instant::now();
     let (vanilla_pairs, vanilla_verify) = verify_counted(captioned);
+    let vanilla_verify_micros = t_vanilla.elapsed().as_micros() as u64;
 
     // Steps 6 + 7 + 8 (knowledge side): match, rewrite, verify.
     // Rewriting needs the originating corpus sample; re-walk the corpus.
@@ -145,7 +189,9 @@ pub fn run(cfg: &FlowConfig) -> FlowOutput {
             }
         }
     }
+    let t_k = std::time::Instant::now();
     let (mut k_pairs, k_verify) = verify_counted(k_raw);
+    let k_verify_micros = t_k.elapsed().as_micros() as u64;
     evolve_pairs(&mut k_pairs, cfg.seed ^ 0x6b);
 
     // Steps 9–12 (logic side).
@@ -163,6 +209,8 @@ pub fn run(cfg: &FlowConfig) -> FlowOutput {
         k_rejected_static: k_verify.rejected_static,
         k_rejected_budget: k_verify.rejected_budget,
         l_pairs: l_pairs.len(),
+        vanilla_verify_micros,
+        k_verify_micros,
     };
     FlowOutput {
         vanilla: Dataset {

@@ -33,7 +33,7 @@ pub enum SicotMode {
     /// CodeQwen-refined prompts to commercial LLMs).
     External(ModelProfile),
 }
-use haven_spec::cosim::{cosimulate_compiled, CosimOptions, SimBudget, Verdict};
+use haven_spec::cosim::{cosimulate_compiled, CosimOptions, SimBackend, SimBudget, Verdict};
 use haven_spec::stimuli::stimuli_for;
 use serde::{Deserialize, Serialize};
 
@@ -159,6 +159,15 @@ pub struct EvalConfig {
     pub budget: SimBudget,
     /// Retry policy for fault-class sample outcomes.
     pub retry: RetryPolicy,
+    /// Simulation engine for candidate designs (see DESIGN.md §10). Both
+    /// backends are verdict-equivalent; this exists for A/B timing and as
+    /// an escape hatch back to the reference interpreter.
+    pub backend: SimBackend,
+    /// Deduplicate bit-identical generations within a task by source
+    /// hash: the first occurrence is simulated, later ones replay its
+    /// verdict. Verdict-preserving because sample evaluation is
+    /// deterministic in the source; injected faults bypass the cache.
+    pub memoize: bool,
     /// Deterministic fault injection (tests and resilience drills only;
     /// `None` in production runs).
     pub fault_plan: Option<FaultPlan>,
@@ -176,6 +185,8 @@ impl Default for EvalConfig {
             static_gate: true,
             budget: SimBudget::default(),
             retry: RetryPolicy::default(),
+            backend: SimBackend::default(),
+            memoize: true,
             fault_plan: None,
         }
     }
@@ -233,6 +244,9 @@ pub struct TaskResult {
     pub exhausted: usize,
     /// Retry attempts spent on fault-class outcomes across all samples.
     pub retries: usize,
+    /// Samples whose verdict was replayed from the in-task memo cache
+    /// because an earlier sample generated bit-identical source.
+    pub dedup_hits: usize,
 }
 
 impl TaskResult {
@@ -248,6 +262,7 @@ impl TaskResult {
             faults: n,
             exhausted: 0,
             retries: 0,
+            dedup_hits: 0,
         }
     }
 }
@@ -306,6 +321,12 @@ impl SuiteResult {
     /// Total retry attempts spent on fault-class outcomes.
     pub fn retries(&self) -> usize {
         self.tasks.iter().map(|t| t.retries).sum()
+    }
+
+    /// Total verdicts replayed from the per-task dedup cache instead of
+    /// being re-simulated.
+    pub fn dedup_hits(&self) -> usize {
+        self.tasks.iter().map(|t| t.dedup_hits).sum()
     }
 
     /// Filters to the tasks whose ids are in `ids` (per-modality rows).
@@ -474,6 +495,31 @@ struct SampleOutcome {
     gated: bool,
 }
 
+/// Per-task verdict cache keyed by a hash of the generated source.
+///
+/// Sample evaluation is a pure function of the source text (generation,
+/// compilation, gating and co-simulation are all deterministic), so two
+/// bit-identical generations — common at low temperature — must produce
+/// the same [`SampleOutcome`]. The first occurrence is evaluated for
+/// real; later ones replay its verdict and gate flag. Attempts with an
+/// injected fault bypass the cache entirely, in both directions: they
+/// neither read a cached verdict (the fault must actually strike) nor
+/// poison the cache for clean attempts.
+#[derive(Default)]
+struct TaskMemo {
+    verdicts: HashMap<u64, (Verdict, bool)>,
+    hits: usize,
+}
+
+impl TaskMemo {
+    fn key(source: &str) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        source.hash(&mut h);
+        h.finish()
+    }
+}
+
 impl SampleOutcome {
     fn of(verdict: Verdict) -> SampleOutcome {
         SampleOutcome {
@@ -515,6 +561,7 @@ fn run_task(
     let mut faults = 0usize;
     let mut exhausted = 0usize;
     let mut retries = 0usize;
+    let mut memo = TaskMemo::default();
     for sample in 0..cfg.n {
         let mut attempt = 0usize;
         let outcome = loop {
@@ -528,6 +575,7 @@ fn run_task(
                     &stimuli,
                     sample,
                     attempt,
+                    &mut memo,
                 )
             }))
             .unwrap_or_else(|payload| {
@@ -568,6 +616,7 @@ fn run_task(
         faults,
         exhausted,
         retries,
+        dedup_hits: memo.hits,
     }
 }
 
@@ -581,6 +630,7 @@ fn evaluate_sample(
     stimuli: &haven_spec::stimuli::Stimuli,
     sample: usize,
     attempt: usize,
+    memo: &mut TaskMemo,
 ) -> SampleOutcome {
     let fault = cfg
         .fault_plan
@@ -602,9 +652,41 @@ fn evaluate_sample(
             task.id
         ));
     }
+    // Dedup check: past the harness boundary the outcome is a pure
+    // function of the source, so a bit-identical earlier generation
+    // already decided this sample. Fault-injected attempts must run the
+    // real path, so they never consult or fill the cache.
+    let memoized = cfg.memoize && fault.is_none();
+    let key = TaskMemo::key(&source);
+    if memoized {
+        if let Some((verdict, gated)) = memo.verdicts.get(&key) {
+            memo.hits += 1;
+            return SampleOutcome {
+                verdict: verdict.clone(),
+                gated: *gated,
+            };
+        }
+    }
+    let outcome = evaluate_source(&source, task, cfg, stimuli, fault);
+    if memoized {
+        memo.verdicts
+            .insert(key, (outcome.verdict.clone(), outcome.gated));
+    }
+    outcome
+}
+
+/// The deterministic tail of sample evaluation: everything downstream of
+/// the generated source (compile → static gate → co-simulation).
+fn evaluate_source(
+    source: &str,
+    task: &BenchTask,
+    cfg: &EvalConfig,
+    stimuli: &haven_spec::stimuli::Stimuli,
+    fault: Option<FaultKind>,
+) -> SampleOutcome {
     // Compile once; the design is shared by the static gate and the
     // simulator instead of being re-elaborated per stage.
-    let design = match haven_verilog::compile(&source) {
+    let design = match haven_verilog::compile(source) {
         Ok(d) => d,
         Err(e) => return SampleOutcome::of(Verdict::SyntaxError(e.to_string())),
     };
@@ -631,6 +713,7 @@ fn evaluate_sample(
         } else {
             cfg.budget
         },
+        backend: cfg.backend,
     };
     SampleOutcome::of(cosimulate_compiled(&task.spec, design, stimuli, &options).verdict)
 }
@@ -829,6 +912,90 @@ mod tests {
         assert_eq!(g.syntax_pass_at(1), u.syntax_pass_at(1));
     }
 
+    /// Strips the cache-utilization counter so results can be compared
+    /// for the *metrics* memoization must not change.
+    fn without_dedup_counts(mut r: SuiteResult) -> SuiteResult {
+        for t in &mut r.tasks {
+            t.dedup_hits = 0;
+        }
+        r
+    }
+
+    #[test]
+    fn memoization_leaves_every_metric_bit_identical() {
+        let suite = small_suite();
+        for accuracy in [0.4, 0.9] {
+            let profile = ModelProfile::uniform("m", accuracy);
+            let on = EvalConfig::quick(6);
+            let off = EvalConfig {
+                memoize: false,
+                ..EvalConfig::quick(6)
+            };
+            let with = evaluate(&profile, &suite, &on).unwrap();
+            let without = evaluate(&profile, &suite, &off).unwrap();
+            assert_eq!(without.dedup_hits(), 0, "disabled cache must never hit");
+            assert_eq!(
+                without_dedup_counts(with),
+                without_dedup_counts(without),
+                "memoization changed an observable metric at accuracy {accuracy}"
+            );
+        }
+    }
+
+    #[test]
+    fn memoization_dedups_identical_generations() {
+        // A deterministic perfect model emits the same source for every
+        // sample of a task, so all but the first replay from the cache.
+        let suite = small_suite();
+        let r = evaluate(
+            &ModelProfile::uniform("perfect", 1.0),
+            &suite,
+            &EvalConfig::quick(4),
+        )
+        .unwrap();
+        assert_eq!(r.pass_at(1), 100.0);
+        assert!(
+            r.dedup_hits() > 0,
+            "identical generations should hit the cache"
+        );
+    }
+
+    #[test]
+    fn interpreter_backend_agrees_with_compiled() {
+        let suite = small_suite();
+        let profile = ModelProfile::uniform("mid", 0.6);
+        let compiled = evaluate(&profile, &suite, &EvalConfig::quick(4)).unwrap();
+        let interp = evaluate(
+            &profile,
+            &suite,
+            &EvalConfig {
+                backend: SimBackend::Interpreter,
+                ..EvalConfig::quick(4)
+            },
+        )
+        .unwrap();
+        assert_eq!(compiled, interp, "backends must be verdict-equivalent");
+    }
+
+    #[test]
+    fn starved_budget_exhausts_under_interpreter_backend_too() {
+        // PR 2's exhaustion accounting must hold on both engines.
+        let suite = small_suite();
+        for backend in [SimBackend::Compiled, SimBackend::Interpreter] {
+            let cfg = EvalConfig {
+                budget: SimBudget::starved(),
+                retry: RetryPolicy::none(),
+                static_gate: false,
+                backend,
+                ..EvalConfig::quick(2)
+            };
+            let r = evaluate(&ModelProfile::uniform("perfect", 1.0), &suite, &cfg).unwrap();
+            assert_eq!(r.pass_at(1), 0.0, "{backend:?}");
+            assert!(r.exhausted() > 0, "{backend:?}: uncounted exhaustion");
+            assert_eq!(r.syntax_pass_at(1), 100.0, "{backend:?}");
+        }
+    }
+
     #[test]
     fn sicot_helps_on_symbolic_tasks() {
         let suite: Vec<_> = suites::symbolic44(1).into_iter().take(16).collect();
@@ -866,6 +1033,7 @@ mod result_tests {
                     faults: 0,
                     exhausted: 0,
                     retries: 0,
+                    dedup_hits: 4,
                 },
                 TaskResult {
                     task_id: "a/001".into(),
@@ -876,6 +1044,7 @@ mod result_tests {
                     faults: 0,
                     exhausted: 1,
                     retries: 2,
+                    dedup_hits: 1,
                 },
                 TaskResult {
                     task_id: "b/000".into(),
@@ -886,6 +1055,7 @@ mod result_tests {
                     faults: 3,
                     exhausted: 0,
                     retries: 6,
+                    dedup_hits: 0,
                 },
             ],
         }
@@ -917,6 +1087,7 @@ mod result_tests {
         assert_eq!(r.faults(), 3);
         assert_eq!(r.exhausted(), 1);
         assert_eq!(r.retries(), 8);
+        assert_eq!(r.dedup_hits(), 5);
     }
 
     #[test]

@@ -114,7 +114,7 @@ impl JournalEntry {
         let t = &self.task;
         format!(
             "t={:016x}\tid={}\tn={}\tsyntax={}\tfunc={}\tskipped={}\tfaults={}\texhausted={}\
-             \tretries={}\t{SENTINEL}",
+             \tretries={}\tdedup={}\t{SENTINEL}",
             self.temperature.to_bits(),
             escape(&t.task_id),
             t.n,
@@ -124,6 +124,7 @@ impl JournalEntry {
             t.faults,
             t.exhausted,
             t.retries,
+            t.dedup_hits,
         )
     }
 
@@ -142,6 +143,9 @@ impl JournalEntry {
                 faults: num("faults")?,
                 exhausted: num("exhausted")?,
                 retries: num("retries")?,
+                // Absent in journals written before the dedup cache
+                // existed; those runs had no cache to hit.
+                dedup_hits: num("dedup").unwrap_or(0),
             },
         })
     }
@@ -307,6 +311,7 @@ mod tests {
             faults: 0,
             exhausted: 0,
             retries: 0,
+            dedup_hits: 0,
         }
     }
 

@@ -87,6 +87,19 @@ pub fn health_line(faults: usize, exhausted: usize, retries: usize) -> Option<St
     ))
 }
 
+/// One-line cache-utilization footnote: how many sample verdicts were
+/// replayed from the per-task dedup cache instead of re-simulated.
+/// `None` when the cache never hit (or memoization is off).
+pub fn dedup_line(dedup_hits: usize, total_samples: usize) -> Option<String> {
+    if dedup_hits == 0 {
+        return None;
+    }
+    let pct = 100.0 * dedup_hits as f64 / total_samples.max(1) as f64;
+    Some(format!(
+        "memoization: {dedup_hits} of {total_samples} sample verdicts replayed from cache ({pct:.1}%)"
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +124,14 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(Some(43.52)), "43.5");
         assert_eq!(pct(None), "n/a");
+    }
+
+    #[test]
+    fn dedup_line_is_silent_without_hits() {
+        assert_eq!(dedup_line(0, 100), None);
+        let line = dedup_line(30, 120).unwrap();
+        assert!(line.contains("30 of 120"), "{line}");
+        assert!(line.contains("25.0%"), "{line}");
     }
 
     #[test]

@@ -4,10 +4,13 @@
 //! This is the reproduction's *functional correctness* oracle — the role
 //! the paper's benchmark testbenches play.
 
-use haven_verilog::elab::compile;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use haven_verilog::elab::{compile, SignalId};
 pub use haven_verilog::sim::SimBudget;
 use haven_verilog::sim::Simulator;
-use haven_verilog::VerilogError;
+use haven_verilog::{CompiledDesign, CompiledSim, VerilogError};
 use serde::{Deserialize, Serialize};
 
 use crate::golden::GoldenModel;
@@ -100,6 +103,23 @@ fn interface_or_sim_error(
     }
 }
 
+/// Which simulation engine runs the candidate design.
+///
+/// Both backends are verdict-equivalent (enforced by the differential
+/// property suite in `crates/spec/tests/prop_backends.rs`); they differ
+/// only in speed. See DESIGN.md §10.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimBackend {
+    /// The tree-walking reference interpreter
+    /// ([`haven_verilog::sim::Simulator`]).
+    Interpreter,
+    /// The compiled bytecode executor ([`haven_verilog::exec::CompiledSim`]):
+    /// dense signal arena, flattened expression bytecode, levelized
+    /// combinational scheduling where the design qualifies.
+    #[default]
+    Compiled,
+}
+
 /// Oracle options — exposed so the design choices documented in
 /// `DESIGN.md` §5 can be ablated (see `haven-bench`'s `oracle_ablation`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -111,6 +131,8 @@ pub struct CosimOptions {
     /// enforces [`SimBudget::max_ticks`] over the stimulus program's
     /// `Tick` steps, since it drives the clock by poking edges directly.
     pub budget: SimBudget,
+    /// Execution engine for the candidate design.
+    pub backend: SimBackend,
 }
 
 impl Default for CosimOptions {
@@ -118,7 +140,55 @@ impl Default for CosimOptions {
         CosimOptions {
             mid_tick_checks: true,
             budget: SimBudget::default(),
+            backend: SimBackend::default(),
         }
+    }
+}
+
+/// The device under test behind either backend, with a name→id cache so
+/// the stimulus hot loop resolves each signal string at most once.
+///
+/// Resolution stays *lazy*: a name is looked up at the first step that
+/// touches it, so missing-port errors surface at exactly the same step —
+/// with exactly the same message — as when the interpreter resolved names
+/// on every call.
+enum Dut {
+    Interp(Simulator),
+    Compiled(CompiledSim),
+}
+
+struct DutHandles {
+    dut: Dut,
+    ids: HashMap<String, SignalId>,
+}
+
+impl DutHandles {
+    fn resolve(&mut self, name: &str) -> Result<SignalId, VerilogError> {
+        if let Some(&id) = self.ids.get(name) {
+            return Ok(id);
+        }
+        let id = match &self.dut {
+            Dut::Interp(s) => s.resolve(name)?,
+            Dut::Compiled(s) => s.resolve(name)?,
+        };
+        self.ids.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    fn poke_u64(&mut self, name: &str, value: u64) -> Result<(), VerilogError> {
+        let id = self.resolve(name)?;
+        match &mut self.dut {
+            Dut::Interp(s) => s.poke_id_u64(id, value),
+            Dut::Compiled(s) => s.poke_id_u64(id, value),
+        }
+    }
+
+    fn peek_u64(&mut self, name: &str) -> Result<Option<u64>, VerilogError> {
+        let id = self.resolve(name)?;
+        Ok(match &self.dut {
+            Dut::Interp(s) => s.peek_id(id).to_u64(),
+            Dut::Compiled(s) => s.peek_id_u64(id),
+        })
     }
 }
 
@@ -160,8 +230,18 @@ pub fn cosimulate_compiled(
     stimuli: &Stimuli,
     options: &CosimOptions,
 ) -> CosimReport {
-    let mut sim = match Simulator::with_budget(design, options.budget) {
-        Ok(s) => s,
+    let built = match options.backend {
+        SimBackend::Interpreter => Simulator::with_budget(design, options.budget).map(Dut::Interp),
+        SimBackend::Compiled => {
+            let compiled = Arc::new(CompiledDesign::new(design));
+            CompiledSim::with_budget(compiled, options.budget).map(Dut::Compiled)
+        }
+    };
+    let mut sim = match built {
+        Ok(dut) => DutHandles {
+            dut,
+            ids: HashMap::new(),
+        },
         Err(e) => {
             let verdict = if e.is_budget() {
                 Verdict::ResourceExhausted(e.to_string())
@@ -219,7 +299,7 @@ pub fn cosimulate_compiled(
                     let expected = golden.outputs();
                     for (name, want) in &expected {
                         let Some(want) = want else { continue };
-                        let got = sim.peek(name).ok().and_then(|v| v.to_u64());
+                        let got = sim.peek_u64(name).ok().flatten();
                         if got != Some(*want) {
                             return CosimReport {
                                 verdict: Verdict::FunctionalMismatch {
@@ -249,8 +329,8 @@ pub fn cosimulate_compiled(
                 for (name, want) in &expected {
                     let Some(want) = want else { continue };
                     known_any = true;
-                    let got = match sim.peek(name) {
-                        Ok(v) => v.to_u64(),
+                    let got = match sim.peek_u64(name) {
+                        Ok(v) => v,
                         Err(e) => {
                             return CosimReport {
                                 verdict: Verdict::InterfaceError(e.to_string()),

@@ -1,0 +1,255 @@
+//! Differential property tests for the two simulation backends: across a
+//! randomized population of specs, emission styles (correct and each
+//! hallucination class), stimulus programs and budgets, the compiled
+//! bytecode executor must be *verdict-equivalent* with the reference
+//! interpreter — bit-identical [`CosimReport`]s (verdict, first-mismatch
+//! checkpoint, checks run/compared) wherever the comparison is exact, and
+//! provably one-sided wherever levelization legally does less work than
+//! the interpreter's fixpoint loop (DESIGN.md §10).
+//!
+//! Generation is hand-rolled and seeded (xorshift) rather than driven by
+//! `proptest` strategies, so every case actually executes in the offline
+//! build and the failures replay deterministically.
+
+use haven_spec::builders;
+use haven_spec::codegen::{emit, EmitStyle};
+use haven_spec::cosim::{
+    cosimulate_with, CosimOptions, CosimReport, SimBackend, SimBudget, Verdict,
+};
+use haven_spec::ir::{AluOp, ShiftDirection};
+use haven_spec::stimuli::{stimuli_for, Stimuli};
+use haven_spec::Spec;
+use haven_verilog::analyze::ResetKind;
+use haven_verilog::ast::Edge;
+use haven_verilog::CompiledDesign;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The full builder population — every design family the oracle sees.
+fn population() -> Vec<Spec> {
+    vec![
+        builders::gate("d_gate", haven_verilog::ast::BinaryOp::BitXor),
+        builders::adder("d_add", 8),
+        builders::mux2("d_mux", 4),
+        builders::comparator("d_cmp", 5),
+        builders::decoder("d_dec", 3),
+        builders::truth_table_spec(
+            "d_tt",
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["y".into(), "z".into()],
+            (0..8).map(|i| (i, i * 3 % 4)).collect(),
+        ),
+        builders::fsm_ab("d_fsm"),
+        builders::fsm(
+            "d_fsm4",
+            vec!["S0".into(), "S1".into(), "S2".into(), "S3".into()],
+            0,
+            vec![(1, 0), (2, 1), (3, 0), (3, 3)],
+            vec![0, 0, 1, 1],
+        ),
+        builders::counter("d_cnt", 4, Some(10)),
+        builders::counter("d_cnt2", 6, None),
+        builders::down_counter("d_dcnt", 4, Some(9)),
+        builders::shift_register("d_sr", 8, ShiftDirection::Right),
+        builders::shift_register("d_sl", 5, ShiftDirection::Left),
+        builders::clock_divider("d_cd", 3),
+        builders::pipeline("d_pipe", 8, 3),
+        builders::register("d_reg", 16),
+        builders::alu(
+            "d_alu",
+            8,
+            vec![AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Xor],
+        ),
+    ]
+}
+
+/// Emission styles covering pass verdicts and every hallucination class
+/// the oracle distinguishes (wrong edge, wrong reset, flipped enable,
+/// blocking-in-sequential).
+fn styles() -> Vec<EmitStyle> {
+    vec![
+        EmitStyle::correct(),
+        EmitStyle {
+            edge_override: Some(Edge::Neg),
+            ..EmitStyle::correct()
+        },
+        EmitStyle {
+            reset_kind_override: Some(ResetKind::Sync),
+            ..EmitStyle::correct()
+        },
+        EmitStyle {
+            flip_enable_polarity: true,
+            ..EmitStyle::correct()
+        },
+        EmitStyle {
+            nonblocking_in_seq: false,
+            ..EmitStyle::correct()
+        },
+    ]
+}
+
+fn run(
+    spec: &Spec,
+    source: &str,
+    stim: &Stimuli,
+    budget: SimBudget,
+    backend: SimBackend,
+) -> CosimReport {
+    let options = CosimOptions {
+        mid_tick_checks: true,
+        budget,
+        backend,
+    };
+    cosimulate_with(spec, source, stim, &options)
+}
+
+fn both(
+    spec: &Spec,
+    source: &str,
+    stim: &Stimuli,
+    budget: SimBudget,
+) -> (CosimReport, CosimReport) {
+    (
+        run(spec, source, stim, budget, SimBackend::Interpreter),
+        run(spec, source, stim, budget, SimBackend::Compiled),
+    )
+}
+
+/// Exact equivalence under budgets that neither engine can exhaust
+/// differently: the default budget is orders of magnitude above what any
+/// population design uses, so both backends must produce bit-identical
+/// reports — same verdict variant, same first-mismatch checkpoint, same
+/// checks run and compared.
+#[test]
+fn reports_bit_identical_across_population_and_hallucinations() {
+    let mut rng = Rng(0xd1ff_u64 ^ 0xb10c_0de5_u64);
+    for spec in population() {
+        for style in styles() {
+            let source = emit(&spec, &style);
+            for _ in 0..2 {
+                let stim = stimuli_for(&spec, rng.next());
+                let (i, c) = both(&spec, &source, &stim, SimBudget::default());
+                assert_eq!(i, c, "{}: backends diverged\nsource:\n{source}", spec.name);
+            }
+        }
+    }
+}
+
+/// Syntax- and interface-class failures never reach a simulator, but the
+/// classification path still runs per backend and must agree.
+#[test]
+fn failure_classes_bit_identical() {
+    let spec = builders::adder("d_add", 4);
+    let stim = stimuli_for(&spec, 7);
+    let cases = [
+        // Not Verilog at all.
+        "def adder(a, b): return a + b",
+        // Compiles, wrong port names.
+        "module d_add(input [3:0] x, input [3:0] y, output [3:0] s);\n assign s = x + y;\nendmodule",
+        // Compiles, oscillates at the first poke.
+        "module d_add(input [3:0] a, input [3:0] b, output [3:0] s);\n wire q;\n assign q = ~q & a[0];\n assign s = {3'b0, q};\nendmodule",
+        // Compiles, runaway for-loop.
+        "module d_add(input [3:0] a, input [3:0] b, output reg [3:0] s);\n integer i;\n always @(*) begin\n  s = 4'd0;\n  for (i = 0; i < 100000; i = i + 1) s = s + a;\n end\nendmodule",
+    ];
+    for source in cases {
+        let (i, c) = both(&spec, source, &stim, SimBudget::default());
+        assert_eq!(i, c, "backends diverged on:\n{source}");
+    }
+}
+
+/// Tick starvation is counted identically by construction (the oracle
+/// drives the tick budget itself), so even a starved tick budget must
+/// keep the reports bit-identical.
+#[test]
+fn tick_starvation_bit_identical() {
+    let mut rng = Rng(0x71c57a24ed_u64);
+    for spec in population() {
+        let source = emit(&spec, &EmitStyle::correct());
+        let budget = SimBudget {
+            max_ticks: 1 + rng.below(3) as usize,
+            ..SimBudget::default()
+        };
+        let stim = stimuli_for(&spec, rng.next());
+        let (i, c) = both(&spec, &source, &stim, budget);
+        assert_eq!(i, c, "{}: diverged under tick starvation", spec.name);
+    }
+}
+
+/// Under *arbitrary* budgets the comparison is one-sided: the levelized
+/// scheduler performs at most as much work as the interpreter's fixpoint
+/// loop, so whenever the interpreter finishes inside the budget the
+/// compiled backend must too — and both stay total (typed verdicts,
+/// never a panic).
+#[test]
+fn arbitrary_budgets_interpreter_pass_implies_compiled_pass() {
+    let mut rng = Rng(0xa2b17a2e1_u64);
+    let pop = population();
+    for case in 0..160 {
+        let spec = &pop[rng.below(pop.len() as u64) as usize];
+        let source = emit(spec, &EmitStyle::correct());
+        let budget = SimBudget {
+            max_settle_per_step: 1 + rng.below(64) as usize,
+            max_loop_iterations: 1 + rng.below(16) as usize,
+            max_ticks: 1 + rng.below(8) as usize,
+            max_total_work: 1 + rng.below(256) as usize,
+        };
+        let stim = stimuli_for(spec, rng.next());
+        let (i, c) = both(spec, &source, &stim, budget);
+        for (which, r) in [("interpreter", &i), ("compiled", &c)] {
+            assert!(
+                matches!(
+                    r.verdict,
+                    Verdict::Pass | Verdict::ResourceExhausted(_) | Verdict::SimulationError(_)
+                ),
+                "case {case} ({which}): budget changed the verdict class: {:?}",
+                r.verdict
+            );
+        }
+        if i.verdict == Verdict::Pass {
+            assert_eq!(
+                c.verdict,
+                Verdict::Pass,
+                "case {case} ({}): compiled did more work than the interpreter",
+                spec.name
+            );
+            assert_eq!(i, c, "case {case}: pass-side reports must match exactly");
+        }
+    }
+}
+
+/// The fast path must actually be exercised: most of the population's
+/// correct emissions qualify for levelization. If this ratio collapses,
+/// the compiled backend silently degrades to the event-queue engine and
+/// the perf win evaporates without any test failing.
+#[test]
+fn most_correct_designs_levelize() {
+    let mut levelized = 0usize;
+    let pop = population();
+    let total = pop.len();
+    for spec in pop {
+        let source = emit(&spec, &EmitStyle::correct());
+        let design = haven_verilog::compile(&source).expect("correct emission compiles");
+        if CompiledDesign::new(design).is_levelized() {
+            levelized += 1;
+        }
+    }
+    assert!(
+        levelized * 2 >= total,
+        "only {levelized}/{total} designs levelize — the fast path is dead"
+    );
+}

@@ -128,6 +128,7 @@ fn cosimulation_is_total_under_arbitrary_budgets() {
         let options = CosimOptions {
             mid_tick_checks: true,
             budget,
+            ..CosimOptions::default()
         };
         let report = cosimulate_with(&spec, &source, &stimuli_for(&spec, rng.next()), &options);
         // Correct emission co-simulates exactly; the only thing a budget
@@ -180,6 +181,7 @@ fn starved_budget_reports_exhaustion_not_blame() {
         let options = CosimOptions {
             mid_tick_checks: true,
             budget: SimBudget::starved(),
+            ..CosimOptions::default()
         };
         let report = cosimulate_with(&spec, &source, &stimuli_for(&spec, rng.next()), &options);
         match &report.verdict {

@@ -1,0 +1,150 @@
+//! Criterion benches comparing the tree-walking interpreter against the
+//! compiled bytecode backend on the three design shapes that dominate the
+//! eval hot path: sequential (counter), combinational (adder tree), and
+//! FSM (sequential + combinational next-state logic). The `bench_sim`
+//! binary in `haven-bench` measures the same designs end-to-end and emits
+//! `BENCH_sim.json`; these benches are the microscope version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use haven_verilog::elab::compile;
+use haven_verilog::sim::Simulator;
+use haven_verilog::{CompiledDesign, CompiledSim};
+
+const COUNTER_SRC: &str = "module cnt(input clk, input rst_n, input en, output reg [31:0] q);
+    always @(posedge clk or negedge rst_n)
+        if (!rst_n) q <= 32'd0;
+        else if (en) q <= q + 32'd1;
+endmodule";
+
+const ADDER_SRC: &str = "module addtree(input [15:0] a, input [15:0] b, input [15:0] c, input [15:0] d, output [17:0] s);
+    wire [16:0] ab;
+    wire [16:0] cd;
+    assign ab = {1'b0, a} + {1'b0, b};
+    assign cd = {1'b0, c} + {1'b0, d};
+    assign s = {1'b0, ab} + {1'b0, cd};
+endmodule";
+
+const FSM_SRC: &str = "module fsm(input clk, input rst_n, input x, output reg out);
+    localparam S_A = 1'd0, S_B = 1'd1;
+    reg state, next_state;
+    always @(posedge clk or negedge rst_n)
+        if (!rst_n) state <= S_A;
+        else state <= next_state;
+    always @(*)
+        case (state)
+            S_A: next_state = x ? S_A : S_B;
+            S_B: next_state = x ? S_B : S_A;
+            default: next_state = S_A;
+        endcase
+    always @(*)
+        case (state)
+            S_A: out = 1'd0;
+            S_B: out = 1'd1;
+            default: out = 1'd0;
+        endcase
+endmodule";
+
+fn bench_seq(c: &mut Criterion) {
+    let design = compile(COUNTER_SRC).unwrap();
+    c.bench_function("backend/interp/counter_200_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(design.clone()).unwrap();
+            sim.poke_u64("rst_n", 0).unwrap();
+            sim.poke_u64("rst_n", 1).unwrap();
+            sim.poke_u64("en", 1).unwrap();
+            let clk = sim.resolve("clk").unwrap();
+            for _ in 0..200 {
+                sim.tick_id(clk).unwrap();
+            }
+            black_box(sim.peek("q").unwrap())
+        })
+    });
+    let compiled = Arc::new(CompiledDesign::new(design));
+    assert!(compiled.is_levelized());
+    c.bench_function("backend/compiled/counter_200_cycles", |b| {
+        b.iter(|| {
+            let mut sim = CompiledSim::new(Arc::clone(&compiled)).unwrap();
+            sim.poke_u64("rst_n", 0).unwrap();
+            sim.poke_u64("rst_n", 1).unwrap();
+            sim.poke_u64("en", 1).unwrap();
+            let clk = sim.resolve("clk").unwrap();
+            for _ in 0..200 {
+                sim.tick_id(clk).unwrap();
+            }
+            black_box(sim.peek("q").unwrap())
+        })
+    });
+}
+
+fn bench_comb(c: &mut Criterion) {
+    let design = compile(ADDER_SRC).unwrap();
+    c.bench_function("backend/interp/addtree_200_pokes", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(design.clone()).unwrap();
+            let a = sim.resolve("a").unwrap();
+            let bb = sim.resolve("b").unwrap();
+            for i in 0..200u64 {
+                sim.poke_id_u64(a, i & 0xffff).unwrap();
+                sim.poke_id_u64(bb, (i * 7) & 0xffff).unwrap();
+            }
+            black_box(sim.peek("s").unwrap())
+        })
+    });
+    let compiled = Arc::new(CompiledDesign::new(design));
+    assert!(compiled.is_levelized());
+    c.bench_function("backend/compiled/addtree_200_pokes", |b| {
+        b.iter(|| {
+            let mut sim = CompiledSim::new(Arc::clone(&compiled)).unwrap();
+            let a = sim.resolve("a").unwrap();
+            let bb = sim.resolve("b").unwrap();
+            for i in 0..200u64 {
+                sim.poke_id_u64(a, i & 0xffff).unwrap();
+                sim.poke_id_u64(bb, (i * 7) & 0xffff).unwrap();
+            }
+            black_box(sim.peek("s").unwrap())
+        })
+    });
+}
+
+fn bench_fsm(c: &mut Criterion) {
+    let design = compile(FSM_SRC).unwrap();
+    c.bench_function("backend/interp/fsm_200_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(design.clone()).unwrap();
+            sim.poke_u64("rst_n", 0).unwrap();
+            sim.poke_u64("rst_n", 1).unwrap();
+            let clk = sim.resolve("clk").unwrap();
+            let x = sim.resolve("x").unwrap();
+            for i in 0..200u64 {
+                sim.poke_id_u64(x, i & 1).unwrap();
+                sim.tick_id(clk).unwrap();
+            }
+            black_box(sim.peek("out").unwrap())
+        })
+    });
+    let compiled = Arc::new(CompiledDesign::new(design));
+    c.bench_function("backend/compiled/fsm_200_cycles", |b| {
+        b.iter(|| {
+            let mut sim = CompiledSim::new(Arc::clone(&compiled)).unwrap();
+            sim.poke_u64("rst_n", 0).unwrap();
+            sim.poke_u64("rst_n", 1).unwrap();
+            let clk = sim.resolve("clk").unwrap();
+            let x = sim.resolve("x").unwrap();
+            for i in 0..200u64 {
+                sim.poke_id_u64(x, i & 1).unwrap();
+                sim.tick_id(clk).unwrap();
+            }
+            black_box(sim.peek("out").unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = backends;
+    config = Criterion::default().sample_size(20);
+    targets = bench_seq, bench_comb, bench_fsm
+}
+criterion_main!(backends);

@@ -1,0 +1,846 @@
+//! Packed four-state values for the compiled backend's dense signal store.
+//!
+//! [`CVal`] stores a logic vector of width ≤ 64 as three bit-planes in
+//! plain machine words — `val` (1-bits), `xz` (unknown bits), `z` (which
+//! unknown bits are high-impedance) — so every operator the bytecode
+//! executor needs becomes a handful of word operations instead of a
+//! heap-allocated [`LogicVec`] walk. Wider values spill to [`LogicVec`]
+//! and every operator falls back to the *interpreter's own* evaluation
+//! functions, so the wide path is parity-by-construction and only the
+//! packed fast paths need independent verification (the differential
+//! tests at the bottom of this module compare each one against its
+//! `LogicVec` counterpart over randomized four-state inputs).
+//!
+//! Canonical-form invariants, maintained by every constructor:
+//! * `P` is used exactly when `width <= 64` (`W` exactly when wider),
+//! * all planes are masked to the width,
+//! * `z ⊆ xz` and `val & xz == 0` (unknown bits read 0 in `val`),
+//!
+//! which makes derived `PartialEq` value equality.
+
+use crate::ast::{BinaryOp, CaseKind, UnaryOp};
+use crate::eval::{eval_binary, eval_unary, merge_unknown};
+use crate::logic::{Logic, LogicVec};
+use crate::sim::apply_write_bits;
+
+/// Low `w` bits set (`w` is clamped to 64).
+#[inline]
+fn mask(w: u32) -> u64 {
+    if w >= 64 {
+        !0
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+/// A four-state logic vector, packed into bit-planes when it fits a word.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum CVal {
+    /// Packed planes; invariants in the module docs.
+    P {
+        /// Bits that are known `1`.
+        val: u64,
+        /// Bits that are `x` or `z`.
+        xz: u64,
+        /// The subset of `xz` that is `z`.
+        z: u64,
+        /// Width in bits, `1..=64`.
+        w: u32,
+    },
+    /// Spill representation for widths above 64.
+    W(LogicVec),
+}
+
+/// Builds a canonical packed value from raw planes (masks and normalizes).
+#[inline]
+fn packed(val: u64, xz: u64, z: u64, w: u32) -> CVal {
+    let m = mask(w);
+    let xz = xz & m;
+    CVal::P {
+        val: val & m & !xz,
+        xz,
+        z: z & xz,
+        w,
+    }
+}
+
+impl CVal {
+    /// All-`x` vector.
+    pub(crate) fn unknown(w: usize) -> CVal {
+        if w > 64 {
+            CVal::W(LogicVec::unknown(w))
+        } else {
+            let m = mask(w as u32);
+            CVal::P {
+                val: 0,
+                xz: m,
+                z: 0,
+                w: w as u32,
+            }
+        }
+    }
+
+    /// Low `w` bits of an integer (bits ≥ 64 read zero, like `LogicVec`).
+    pub(crate) fn from_u64(value: u64, w: usize) -> CVal {
+        if w > 64 {
+            CVal::W(LogicVec::from_u64(value, w))
+        } else {
+            CVal::P {
+                val: value & mask(w as u32),
+                xz: 0,
+                z: 0,
+                w: w as u32,
+            }
+        }
+    }
+
+    /// A one-bit vector.
+    pub(crate) fn single(b: Logic) -> CVal {
+        match b {
+            Logic::Zero => CVal::P {
+                val: 0,
+                xz: 0,
+                z: 0,
+                w: 1,
+            },
+            Logic::One => CVal::P {
+                val: 1,
+                xz: 0,
+                z: 0,
+                w: 1,
+            },
+            Logic::X => CVal::P {
+                val: 0,
+                xz: 1,
+                z: 0,
+                w: 1,
+            },
+            Logic::Z => CVal::P {
+                val: 0,
+                xz: 1,
+                z: 1,
+                w: 1,
+            },
+        }
+    }
+
+    /// Packs a [`LogicVec`] (spills when wider than 64 bits).
+    pub(crate) fn from_lv(v: &LogicVec) -> CVal {
+        let w = v.width();
+        if w > 64 {
+            return CVal::W(v.clone());
+        }
+        let (mut val, mut xz, mut z) = (0u64, 0u64, 0u64);
+        for (i, b) in v.iter().enumerate() {
+            match b {
+                Logic::Zero => {}
+                Logic::One => val |= 1 << i,
+                Logic::X => xz |= 1 << i,
+                Logic::Z => {
+                    xz |= 1 << i;
+                    z |= 1 << i;
+                }
+            }
+        }
+        CVal::P {
+            val,
+            xz,
+            z,
+            w: w as u32,
+        }
+    }
+
+    /// Materializes back into a [`LogicVec`].
+    pub(crate) fn to_lv(&self) -> LogicVec {
+        match self {
+            CVal::W(v) => v.clone(),
+            CVal::P { w, .. } => {
+                LogicVec::from_bits((0..*w as usize).map(|i| self.bit(i)).collect())
+            }
+        }
+    }
+
+    /// Width in bits.
+    pub(crate) fn width(&self) -> usize {
+        match self {
+            CVal::P { w, .. } => *w as usize,
+            CVal::W(v) => v.width(),
+        }
+    }
+
+    /// The bit at `index`, out-of-range reads `x` (like [`LogicVec::bit`]).
+    pub(crate) fn bit(&self, index: usize) -> Logic {
+        match self {
+            CVal::W(v) => v.bit(index),
+            CVal::P { val, xz, z, w } => {
+                if index >= *w as usize {
+                    Logic::X
+                } else if xz >> index & 1 == 1 {
+                    if z >> index & 1 == 1 {
+                        Logic::Z
+                    } else {
+                        Logic::X
+                    }
+                } else if val >> index & 1 == 1 {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                }
+            }
+        }
+    }
+
+    /// Unsigned integer value; `None` when any bit is unknown or the
+    /// width exceeds 64 (mirrors [`LogicVec::to_u64`]).
+    pub(crate) fn to_u64(&self) -> Option<u64> {
+        match self {
+            CVal::P { val, xz: 0, .. } => Some(*val),
+            _ => None,
+        }
+    }
+
+    /// Verilog truthiness (reduction OR).
+    pub(crate) fn truthiness(&self) -> Logic {
+        match self {
+            CVal::P { val, xz, .. } => {
+                if *val != 0 {
+                    Logic::One
+                } else if *xz != 0 {
+                    Logic::X
+                } else {
+                    Logic::Zero
+                }
+            }
+            CVal::W(v) => v.truthiness(),
+        }
+    }
+
+    /// Truthiness as a bool (`x`/`z` condition takes the else branch).
+    pub(crate) fn is_true(&self) -> bool {
+        self.truthiness() == Logic::One
+    }
+
+    /// Zero-extends or truncates (mirrors [`LogicVec::resized`]).
+    pub(crate) fn resized(&self, nw: usize) -> CVal {
+        if nw == self.width() {
+            return self.clone();
+        }
+        match self {
+            CVal::P { val, xz, z, .. } if nw <= 64 => packed(*val, *xz, *z, nw as u32),
+            _ => {
+                let r = self.to_lv().resized(nw);
+                CVal::from_lv(&r)
+            }
+        }
+    }
+
+    /// Bit slice `[hi:lo]`, out-of-range bits read `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` (same contract as [`LogicVec::slice`]).
+    pub(crate) fn slice(&self, hi: usize, lo: usize) -> CVal {
+        assert!(hi >= lo, "slice must have hi >= lo");
+        let nw = hi - lo + 1;
+        match self {
+            CVal::P { val, xz, z, w } if nw <= 64 => {
+                let w = *w as usize;
+                if lo >= w {
+                    return CVal::unknown(nw);
+                }
+                // Bits beyond the source width read `x`.
+                let avail = (w - lo).min(nw) as u32;
+                let ext = mask(nw as u32) & !mask(avail);
+                packed(val >> lo, (xz >> lo) | ext, z >> lo, nw as u32)
+            }
+            _ => CVal::from_lv(&self.to_lv().slice(hi, lo)),
+        }
+    }
+
+    /// Concatenation `{self, low}` — `self` supplies the high bits.
+    pub(crate) fn concat(&self, low: &CVal) -> CVal {
+        match (self, low) {
+            (
+                CVal::P { val, xz, z, w },
+                CVal::P {
+                    val: lval,
+                    xz: lxz,
+                    z: lz,
+                    w: lw,
+                },
+            ) if *w + *lw <= 64 => CVal::P {
+                val: lval | val << lw,
+                xz: lxz | xz << lw,
+                z: lz | z << lw,
+                w: w + lw,
+            },
+            _ => CVal::from_lv(&self.to_lv().concat(&low.to_lv())),
+        }
+    }
+
+    /// Replication `{count{self}}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero (same contract as [`LogicVec::replicate`]).
+    pub(crate) fn replicate(&self, count: usize) -> CVal {
+        assert!(count > 0, "replication count must be at least 1");
+        match self {
+            CVal::P { val, xz, z, w } if *w as usize * count <= 64 => {
+                let (mut rv, mut rxz, mut rz) = (0u64, 0u64, 0u64);
+                for i in 0..count {
+                    let sh = i as u32 * w;
+                    rv |= val << sh;
+                    rxz |= xz << sh;
+                    rz |= z << sh;
+                }
+                CVal::P {
+                    val: rv,
+                    xz: rxz,
+                    z: rz,
+                    w: w * count as u32,
+                }
+            }
+            _ => CVal::from_lv(&self.to_lv().replicate(count)),
+        }
+    }
+}
+
+/// Zero-plane accessor: bits known to be `0` within a width-`w` frame
+/// (extension bits of a narrower operand are known zero, like
+/// `LogicVec`'s zip extension).
+#[inline]
+fn zeros(val: u64, xz: u64, m: u64) -> u64 {
+    !val & !xz & m
+}
+
+/// Applies a unary operator; mirrors [`eval_unary`] exactly.
+pub(crate) fn unary(op: UnaryOp, a: &CVal) -> CVal {
+    let (val, xz, z, w) = match a {
+        CVal::P { val, xz, z, w } => (*val, *xz, *z, *w),
+        CVal::W(v) => return CVal::from_lv(&eval_unary(op, v)),
+    };
+    let m = mask(w);
+    match op {
+        UnaryOp::LogicNot => CVal::single(a.truthiness().not()),
+        UnaryOp::BitNot => packed(!val & !xz, xz, 0, w),
+        UnaryOp::ReduceAnd => CVal::single(reduce_and(val, xz, m)),
+        UnaryOp::ReduceOr => CVal::single(a.truthiness()),
+        UnaryOp::ReduceXor => CVal::single(reduce_xor(val, xz)),
+        UnaryOp::ReduceNand => CVal::single(reduce_and(val, xz, m).not()),
+        UnaryOp::ReduceNor => CVal::single(a.truthiness().not()),
+        UnaryOp::ReduceXnor => CVal::single(reduce_xor(val, xz).not()),
+        UnaryOp::Negate => {
+            if xz == 0 {
+                CVal::from_u64(0u64.wrapping_sub(val), w as usize)
+            } else {
+                CVal::unknown(w as usize)
+            }
+        }
+        UnaryOp::Plus => CVal::P { val, xz, z, w },
+    }
+}
+
+#[inline]
+fn reduce_and(val: u64, xz: u64, m: u64) -> Logic {
+    if zeros(val, xz, m) != 0 {
+        Logic::Zero
+    } else if xz != 0 {
+        Logic::X
+    } else {
+        Logic::One
+    }
+}
+
+#[inline]
+fn reduce_xor(val: u64, xz: u64) -> Logic {
+    if xz != 0 {
+        Logic::X
+    } else {
+        Logic::from(val.count_ones() % 2 == 1)
+    }
+}
+
+/// Applies a binary operator; mirrors [`eval_binary`] exactly.
+pub(crate) fn binary(op: BinaryOp, a: &CVal, b: &CVal) -> CVal {
+    let (av, axz, az, aw) = match a {
+        CVal::P { val, xz, z, w } => (*val, *xz, *z, *w),
+        CVal::W(_) => return CVal::from_lv(&eval_binary(op, &a.to_lv(), &b.to_lv())),
+    };
+    let (bv, bxz, bw) = match b {
+        CVal::P { val, xz, w, .. } => (*val, *xz, *w),
+        CVal::W(_) => return CVal::from_lv(&eval_binary(op, &a.to_lv(), &b.to_lv())),
+    };
+    let w = aw.max(bw);
+    let m = mask(w);
+    let known = (axz | bxz) == 0;
+    match op {
+        BinaryOp::LogicOr => CVal::single(a.truthiness().or(b.truthiness())),
+        BinaryOp::LogicAnd => CVal::single(a.truthiness().and(b.truthiness())),
+        BinaryOp::BitOr => {
+            let one = av | bv;
+            let zero = zeros(av, axz, m) & zeros(bv, bxz, m);
+            packed(one, !(one | zero), 0, w)
+        }
+        BinaryOp::BitAnd => {
+            let one = av & bv;
+            let zero = zeros(av, axz, m) | zeros(bv, bxz, m);
+            packed(one, !(one | zero), 0, w)
+        }
+        BinaryOp::BitXor => packed(av ^ bv, axz | bxz, 0, w),
+        BinaryOp::BitXnor => {
+            let k = !(axz | bxz) & m;
+            packed(!(av ^ bv) & k, axz | bxz, 0, w)
+        }
+        BinaryOp::Eq => CVal::single(eq_logic(av, axz, bv, bxz)),
+        BinaryOp::Neq => CVal::single(eq_logic(av, axz, bv, bxz).not()),
+        BinaryOp::CaseEq => CVal::single(eq_case(a, b)),
+        BinaryOp::CaseNeq => CVal::single(eq_case(a, b).not()),
+        BinaryOp::Lt => CVal::single(cmp(known, av < bv)),
+        BinaryOp::Le => CVal::single(cmp(known, av <= bv)),
+        BinaryOp::Gt => CVal::single(cmp(known, bv < av)),
+        BinaryOp::Ge => CVal::single(cmp(known, bv <= av)),
+        BinaryOp::Shl => shift(av, axz, az, aw, b, ShiftKind::Left),
+        BinaryOp::Shr => shift(av, axz, az, aw, b, ShiftKind::Right),
+        BinaryOp::AShr => ashr(av, axz, az, aw, b),
+        BinaryOp::Add => arith(known, w, av.wrapping_add(bv)),
+        BinaryOp::Sub => arith(known, w, av.wrapping_sub(bv)),
+        BinaryOp::Mul => arith(known, w, av.wrapping_mul(bv)),
+        BinaryOp::Div => {
+            if known && bv != 0 {
+                CVal::from_u64(av / bv, w as usize)
+            } else {
+                CVal::unknown(w as usize)
+            }
+        }
+        BinaryOp::Rem => {
+            if known && bv != 0 {
+                CVal::from_u64(av % bv, w as usize)
+            } else {
+                CVal::unknown(w as usize)
+            }
+        }
+        BinaryOp::Pow => {
+            if known {
+                let mut acc: u64 = 1;
+                for _ in 0..bv.min(64) {
+                    acc = acc.wrapping_mul(av);
+                }
+                CVal::from_u64(acc, w as usize)
+            } else {
+                CVal::unknown(w as usize)
+            }
+        }
+    }
+}
+
+#[inline]
+fn arith(known: bool, w: u32, result: u64) -> CVal {
+    if known {
+        CVal::from_u64(result, w as usize)
+    } else {
+        CVal::unknown(w as usize)
+    }
+}
+
+#[inline]
+fn cmp(known: bool, holds: bool) -> Logic {
+    if known {
+        Logic::from(holds)
+    } else {
+        Logic::X
+    }
+}
+
+#[inline]
+fn eq_logic(av: u64, axz: u64, bv: u64, bxz: u64) -> Logic {
+    let known = !axz & !bxz;
+    if (av ^ bv) & known != 0 {
+        Logic::Zero
+    } else if (axz | bxz) != 0 {
+        Logic::X
+    } else {
+        Logic::One
+    }
+}
+
+/// Case equality `===` (exact four-state match; derived equality works on
+/// the canonical planes, but widths must be compared zero-extended).
+fn eq_case(a: &CVal, b: &CVal) -> Logic {
+    let (
+        CVal::P {
+            val: av,
+            xz: axz,
+            z: az,
+            ..
+        },
+        CVal::P {
+            val: bv,
+            xz: bxz,
+            z: bz,
+            ..
+        },
+    ) = (a, b)
+    else {
+        unreachable!("eq_case is only called with packed operands")
+    };
+    Logic::from(av == bv && axz == bxz && az == bz)
+}
+
+/// `casez` match: `z` bits in either operand are wildcards.
+fn eq_casez(a: &CVal, b: &CVal) -> Logic {
+    let (
+        CVal::P {
+            val: av,
+            xz: axz,
+            z: az,
+            ..
+        },
+        CVal::P {
+            val: bv,
+            xz: bxz,
+            z: bz,
+            ..
+        },
+    ) = (a, b)
+    else {
+        unreachable!("eq_casez is only called with packed operands")
+    };
+    let wild = az | bz;
+    Logic::from(((av ^ bv) | (axz ^ bxz)) & !wild == 0)
+}
+
+enum ShiftKind {
+    Left,
+    Right,
+}
+
+fn shift(av: u64, axz: u64, az: u64, aw: u32, b: &CVal, kind: ShiftKind) -> CVal {
+    match b.to_u64() {
+        Some(n) if n < 64 => {
+            let n = n as u32;
+            match kind {
+                ShiftKind::Left => packed(av << n, axz << n, az << n, aw),
+                ShiftKind::Right => packed(av >> n, axz >> n, az >> n, aw),
+            }
+        }
+        // Shifting a ≤64-bit value by ≥64 leaves only known zeros.
+        Some(_) => packed(0, 0, 0, aw),
+        None => CVal::unknown(aw as usize),
+    }
+}
+
+fn ashr(av: u64, axz: u64, az: u64, aw: u32, b: &CVal) -> CVal {
+    let Some(n) = b.to_u64() else {
+        return CVal::unknown(aw as usize);
+    };
+    let msb_ix = (aw - 1) as usize;
+    let msb = if axz >> msb_ix & 1 == 1 {
+        if az >> msb_ix & 1 == 1 {
+            Logic::Z
+        } else {
+            Logic::X
+        }
+    } else if av >> msb_ix & 1 == 1 {
+        Logic::One
+    } else {
+        Logic::Zero
+    };
+    let n = (n.min(aw as u64)) as u32;
+    let keep = aw - n;
+    let (mut sv, mut sxz, mut sz) = if n >= 64 {
+        (0, 0, 0)
+    } else {
+        (av >> n, axz >> n, az >> n)
+    };
+    let fill = mask(aw) & !mask(keep);
+    match msb {
+        Logic::Zero => {}
+        Logic::One => sv |= fill,
+        Logic::X => sxz |= fill,
+        Logic::Z => {
+            sxz |= fill;
+            sz |= fill;
+        }
+    }
+    packed(sv, sxz, sz, aw)
+}
+
+/// Ternary merge on an `x` condition; mirrors [`merge_unknown`].
+pub(crate) fn merge(a: &CVal, b: &CVal) -> CVal {
+    match (a, b) {
+        (
+            CVal::P {
+                val: av,
+                xz: axz,
+                w: aw,
+                ..
+            },
+            CVal::P {
+                val: bv,
+                xz: bxz,
+                w: bw,
+                ..
+            },
+        ) => {
+            let w = aw.max(bw);
+            let m = mask(*w);
+            let same = !(av ^ bv) & !axz & !bxz & m;
+            packed(av & same, !same, 0, *w)
+        }
+        _ => CVal::from_lv(&merge_unknown(&a.to_lv(), &b.to_lv())),
+    }
+}
+
+/// Case-arm matching; mirrors [`crate::sim::case_matches`].
+pub(crate) fn matches(kind: CaseKind, sel: &CVal, label: &CVal) -> bool {
+    match (sel, label) {
+        (CVal::P { .. }, CVal::P { .. }) => match kind {
+            CaseKind::Exact => eq_case(sel, label) == Logic::One,
+            CaseKind::Z => eq_casez(sel, label) == Logic::One,
+            CaseKind::X => {
+                let (
+                    CVal::P {
+                        val: av, xz: axz, ..
+                    },
+                    CVal::P {
+                        val: bv, xz: bxz, ..
+                    },
+                ) = (sel, label)
+                else {
+                    unreachable!()
+                };
+                (av ^ bv) & !axz & !bxz == 0
+            }
+        },
+        _ => crate::sim::case_matches(kind, &sel.to_lv(), &label.to_lv()),
+    }
+}
+
+/// Overlays `value` onto `old` starting at bit `lo`; bits past `old`'s
+/// width are dropped. Mirrors [`apply_write_bits`].
+pub(crate) fn write_bits(old: &CVal, lo: usize, value: &CVal) -> CVal {
+    match (old, value) {
+        (
+            CVal::P { val, xz, z, w },
+            CVal::P {
+                val: nv,
+                xz: nxz,
+                z: nz,
+                w: nw,
+            },
+        ) => {
+            let w_us = *w as usize;
+            if lo >= w_us {
+                return old.clone();
+            }
+            let n = (*nw as usize).min(w_us - lo) as u32;
+            let rm = mask(n) << lo;
+            CVal::P {
+                val: (val & !rm) | ((nv << lo) & rm),
+                xz: (xz & !rm) | ((nxz << lo) & rm),
+                z: (z & !rm) | ((nz << lo) & rm),
+                w: *w,
+            }
+        }
+        _ => CVal::from_lv(&apply_write_bits(&old.to_lv(), lo, &value.to_lv())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+
+        /// A random four-state vector; widths cross the 64-bit packing
+        /// boundary so both representations are exercised.
+        fn lv(&mut self, max_w: u64) -> LogicVec {
+            let w = 1 + self.below(max_w) as usize;
+            let mostly_known = self.below(3) != 0;
+            LogicVec::from_bits(
+                (0..w)
+                    .map(|_| match self.below(if mostly_known { 12 } else { 4 }) {
+                        0 => Logic::X,
+                        1 => Logic::Z,
+                        n => Logic::from(n % 2 == 0),
+                    })
+                    .collect(),
+            )
+        }
+    }
+
+    fn assert_matches_lv(got: &CVal, want: &LogicVec, what: &str, a: &LogicVec, b: &LogicVec) {
+        assert_eq!(&got.to_lv(), want, "{what} diverged on a={a} b={b}");
+        // Round-tripping must land on the canonical representation.
+        assert_eq!(got, &CVal::from_lv(want), "{what} broke canonical form");
+    }
+
+    #[test]
+    fn roundtrip_is_identity_and_canonical() {
+        let mut rng = Rng(0x0ddba11);
+        for _ in 0..500 {
+            let v = rng.lv(80);
+            let c = CVal::from_lv(&v);
+            assert_eq!(c.to_lv(), v);
+            assert_eq!(matches!(c, CVal::P { .. }), v.width() <= 64);
+            if let CVal::P { val, xz, z, w } = c {
+                let m = mask(w);
+                assert_eq!(val & !m, 0);
+                assert_eq!(xz & !m, 0);
+                assert_eq!(val & xz, 0);
+                assert_eq!(z & !xz, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn every_unary_op_matches_the_interpreter() {
+        let ops = [
+            UnaryOp::LogicNot,
+            UnaryOp::BitNot,
+            UnaryOp::ReduceAnd,
+            UnaryOp::ReduceOr,
+            UnaryOp::ReduceXor,
+            UnaryOp::ReduceNand,
+            UnaryOp::ReduceNor,
+            UnaryOp::ReduceXnor,
+            UnaryOp::Negate,
+            UnaryOp::Plus,
+        ];
+        let mut rng = Rng(0xfeed_f00d);
+        for _ in 0..400 {
+            let a = rng.lv(70);
+            let ca = CVal::from_lv(&a);
+            for op in ops {
+                let want = eval_unary(op, &a);
+                let got = unary(op, &ca);
+                assert_matches_lv(&got, &want, &format!("{op:?}"), &a, &a);
+            }
+        }
+    }
+
+    #[test]
+    fn every_binary_op_matches_the_interpreter() {
+        let ops = [
+            BinaryOp::LogicOr,
+            BinaryOp::LogicAnd,
+            BinaryOp::BitOr,
+            BinaryOp::BitXor,
+            BinaryOp::BitXnor,
+            BinaryOp::BitAnd,
+            BinaryOp::Eq,
+            BinaryOp::Neq,
+            BinaryOp::CaseEq,
+            BinaryOp::CaseNeq,
+            BinaryOp::Lt,
+            BinaryOp::Le,
+            BinaryOp::Gt,
+            BinaryOp::Ge,
+            BinaryOp::Shl,
+            BinaryOp::Shr,
+            BinaryOp::AShr,
+            BinaryOp::Add,
+            BinaryOp::Sub,
+            BinaryOp::Mul,
+            BinaryOp::Div,
+            BinaryOp::Rem,
+            BinaryOp::Pow,
+        ];
+        let mut rng = Rng(0xbead_cafe);
+        for round in 0..400 {
+            let a = rng.lv(70);
+            // Narrow rhs every other round so shift amounts and divisors
+            // hit small interesting values (0, 1, width-crossing).
+            let b = rng.lv(if round % 2 == 0 { 70 } else { 7 });
+            let (ca, cb) = (CVal::from_lv(&a), CVal::from_lv(&b));
+            for op in ops {
+                let want = eval_binary(op, &a, &b);
+                let got = binary(op, &ca, &cb);
+                assert_matches_lv(&got, &want, &format!("{op:?}"), &a, &b);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_and_case_matching_match_the_interpreter() {
+        let mut rng = Rng(0x5eed_1e55);
+        for _ in 0..600 {
+            let a = rng.lv(70);
+            let b = rng.lv(70);
+            let (ca, cb) = (CVal::from_lv(&a), CVal::from_lv(&b));
+            let want = merge_unknown(&a, &b);
+            assert_matches_lv(&merge(&ca, &cb), &want, "merge_unknown", &a, &b);
+            for kind in [CaseKind::Exact, CaseKind::Z, CaseKind::X] {
+                assert_eq!(
+                    matches(kind, &ca, &cb),
+                    crate::sim::case_matches(kind, &a, &b),
+                    "case {kind:?} diverged on sel={a} label={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structural_ops_match_the_interpreter() {
+        let mut rng = Rng(0xc0ffee);
+        for _ in 0..600 {
+            let a = rng.lv(70);
+            let b = rng.lv(20);
+            let (ca, cb) = (CVal::from_lv(&a), CVal::from_lv(&b));
+
+            let nw = 1 + rng.below(80) as usize;
+            assert_matches_lv(&ca.resized(nw), &a.resized(nw), "resized", &a, &b);
+
+            let lo = rng.below(75) as usize;
+            let hi = lo + rng.below(70) as usize;
+            assert_matches_lv(&ca.slice(hi, lo), &a.slice(hi, lo), "slice", &a, &b);
+
+            assert_matches_lv(&ca.concat(&cb), &a.concat(&b), "concat", &a, &b);
+
+            let count = 1 + rng.below(6) as usize;
+            assert_matches_lv(
+                &cb.replicate(count),
+                &b.replicate(count),
+                "replicate",
+                &a,
+                &b,
+            );
+
+            let ix = rng.below(75) as usize;
+            assert_eq!(ca.bit(ix), a.bit(ix), "bit({ix}) diverged on {a}");
+
+            assert_eq!(ca.to_u64(), a.to_u64(), "to_u64 diverged on {a}");
+            assert_eq!(ca.truthiness(), a.truthiness());
+            assert_eq!(ca.is_true(), a.is_true());
+
+            let wlo = rng.below(70) as usize;
+            let want = apply_write_bits(&a, wlo, &b);
+            assert_matches_lv(&write_bits(&ca, wlo, &cb), &want, "write_bits", &a, &b);
+        }
+    }
+
+    #[test]
+    fn from_u64_matches_logicvec() {
+        let mut rng = Rng(0xabcde);
+        for _ in 0..200 {
+            let v = rng.next();
+            let w = 1 + rng.below(80) as usize;
+            assert_eq!(CVal::from_u64(v, w).to_lv(), LogicVec::from_u64(v, w));
+        }
+    }
+}

@@ -118,7 +118,10 @@ pub fn eval_expr(e: &Expr, env: &dyn SignalEnv) -> LogicVec {
     }
 }
 
-fn merge_unknown(a: &LogicVec, b: &LogicVec) -> LogicVec {
+/// Bitwise merge of two ternary arms under an unknown condition: agreeing
+/// known bits survive, everything else becomes `x`. Shared by the tree
+/// interpreter and the compiled bytecode executor.
+pub(crate) fn merge_unknown(a: &LogicVec, b: &LogicVec) -> LogicVec {
     let w = a.width().max(b.width());
     let bits = (0..w)
         .map(|i| {
@@ -134,7 +137,9 @@ fn merge_unknown(a: &LogicVec, b: &LogicVec) -> LogicVec {
     LogicVec::from_bits(bits)
 }
 
-fn eval_unary(op: UnaryOp, a: &LogicVec) -> LogicVec {
+/// Applies a unary operator with four-state semantics. Shared by the tree
+/// interpreter and the compiled bytecode executor.
+pub(crate) fn eval_unary(op: UnaryOp, a: &LogicVec) -> LogicVec {
     let one_bit = |l: Logic| LogicVec::from_bits(vec![l]);
     match op {
         UnaryOp::LogicNot => one_bit(a.truthiness().not()),
@@ -150,7 +155,9 @@ fn eval_unary(op: UnaryOp, a: &LogicVec) -> LogicVec {
     }
 }
 
-fn eval_binary(op: BinaryOp, a: &LogicVec, b: &LogicVec) -> LogicVec {
+/// Applies a binary operator with four-state semantics. Shared by the tree
+/// interpreter and the compiled bytecode executor.
+pub(crate) fn eval_binary(op: BinaryOp, a: &LogicVec, b: &LogicVec) -> LogicVec {
     let one_bit = |l: Logic| LogicVec::from_bits(vec![l]);
     match op {
         BinaryOp::LogicOr => one_bit(a.truthiness().or(b.truthiness())),

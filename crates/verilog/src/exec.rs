@@ -1,0 +1,1043 @@
+//! The execution engine of the compiled simulation backend.
+//!
+//! [`CompiledSim`] runs a [`CompiledDesign`] with two interchangeable
+//! settle engines:
+//!
+//! * an **event-queue engine** that mirrors [`crate::sim::Simulator`]'s
+//!   scheduler instruction-for-instruction — same FIFO activation order
+//!   (duplicates included), same self-wake suppression, same non-blocking
+//!   commit batching, same budget checks in the same places. It is used
+//!   for the time-zero settle of every design and for all settling of
+//!   designs that do not qualify for levelization, and is bit-exact with
+//!   the interpreter by construction;
+//! * a **levelized engine** for qualifying designs (see
+//!   `compile::levelize`): sequential processes drain from the queue
+//!   first, then dirty combinational processes are visited once in
+//!   topological order via a reusable wake-set bitset — no fixpoint
+//!   iteration and no per-change `Vec` allocation.
+//!
+//! Either way, all value semantics (four-state operators, write
+//! resolution, edge detection, case matching) match the interpreter
+//! exactly: values flow through the packed [`crate::cval`] planes, whose
+//! every operator is differentially tested against the interpreter's
+//! `LogicVec` functions (and whose wide-value path *is* those functions).
+//! All error messages are identical — the cosim layer classifies
+//! verdicts by message text, so this is load-bearing.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::compile::{CLval, CStmt, CompiledDesign, ExprId, Op, NO_SIGNAL};
+use crate::cval::{self, CVal};
+use crate::elab::{Design, SignalId, SignalKind};
+use crate::error::{Result, VerilogError};
+use crate::logic::{Logic, LogicVec};
+use crate::sim::{edge_fired, SimBudget};
+
+/// A resolved pending write: `signal[lo +: value.width()] = value`.
+#[derive(Debug, Clone)]
+struct CWrite {
+    sig: u32,
+    lo: usize,
+    value: CVal,
+}
+
+/// An interactive simulation of one [`CompiledDesign`].
+///
+/// Drop-in equivalent of [`crate::sim::Simulator`] — same constructor
+/// error behaviour, same poke/peek/tick semantics and error messages,
+/// same budget accounting — but executing flat bytecode over a dense
+/// value arena instead of interpreting `Expr` trees behind string
+/// lookups.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use haven_verilog::{elab::compile, CompiledDesign, CompiledSim};
+/// let design = compile("module inv(input a, output y); assign y = ~a; endmodule")?;
+/// let mut sim = CompiledSim::new(Arc::new(CompiledDesign::new(design)))?;
+/// sim.poke_u64("a", 1)?;
+/// assert_eq!(sim.peek("y")?.to_u64(), Some(0));
+/// # Ok::<(), haven_verilog::error::VerilogError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledSim {
+    cd: Arc<CompiledDesign>,
+    values: Vec<CVal>,
+    // Literal pool pre-packed into the dense representation.
+    clits: Vec<CVal>,
+    budget: SimBudget,
+    work: usize,
+    ticks: usize,
+    // Reusable scratch: expression stack, pending non-blocking writes,
+    // per-activation change log, resolved-write buffer, event queue and
+    // the levelized wake-set bitset (one bit per topological position).
+    stack: Vec<CVal>,
+    nba: Vec<CWrite>,
+    changes: Vec<(u32, Logic, Logic)>,
+    writes_buf: Vec<CWrite>,
+    active: VecDeque<u32>,
+    dirty: Vec<u64>,
+}
+
+impl CompiledSim {
+    /// Compiles `design` and builds a simulator over it in one step.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledSim::new`].
+    pub fn compile(design: Design) -> Result<CompiledSim> {
+        CompiledSim::new(Arc::new(CompiledDesign::new(design)))
+    }
+
+    /// Builds a simulator, runs `initial` processes and settles all
+    /// combinational logic from the all-`x` starting state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerilogError::Simulate`] if initial settling oscillates.
+    pub fn new(compiled: Arc<CompiledDesign>) -> Result<CompiledSim> {
+        CompiledSim::with_budget(compiled, SimBudget::default())
+    }
+
+    /// [`CompiledSim::new`] with explicit resource limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerilogError::Simulate`] if initial settling oscillates,
+    /// or [`VerilogError::Budget`] if it exhausts `budget` first.
+    pub fn with_budget(compiled: Arc<CompiledDesign>, budget: SimBudget) -> Result<CompiledSim> {
+        let values = compiled
+            .design
+            .signals
+            .iter()
+            .map(|s| match &s.init {
+                Some(v) => CVal::from_lv(v).resized(s.width),
+                None => CVal::unknown(s.width),
+            })
+            .collect();
+        let clits = compiled.lits.iter().map(CVal::from_lv).collect();
+        let dirty_words = compiled.level_order.len().div_ceil(64);
+        let mut sim = CompiledSim {
+            values,
+            clits,
+            budget,
+            work: 0,
+            ticks: 0,
+            stack: Vec::new(),
+            nba: Vec::new(),
+            changes: Vec::new(),
+            writes_buf: Vec::new(),
+            active: VecDeque::new(),
+            dirty: vec![0u64; dirty_words],
+            cd: compiled,
+        };
+        // Time zero runs on the event-queue engine for every design: the
+        // interleaving of `initial` blocks with combinational settling is
+        // schedule-dependent, and the interpreter's schedule is the
+        // reference.
+        let cd = Arc::clone(&sim.cd);
+        let initial: Vec<u32> = cd.init_order.clone();
+        sim.run_step_queue(&cd, initial)?;
+        Ok(sim)
+    }
+
+    /// The design under simulation.
+    pub fn design(&self) -> &Design {
+        &self.cd.design
+    }
+
+    /// The compiled form this simulator executes.
+    pub fn compiled(&self) -> &Arc<CompiledDesign> {
+        &self.cd
+    }
+
+    /// The resource budget this simulator enforces.
+    pub fn budget(&self) -> &SimBudget {
+        &self.budget
+    }
+
+    /// Cumulative work units (process activations + loop iterations)
+    /// spent so far.
+    pub fn work_units(&self) -> usize {
+        self.work
+    }
+
+    /// Full clock cycles driven through [`CompiledSim::tick`] so far.
+    pub fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    /// Resolves a signal name to its dense id for the `_id` accessors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `name` is not a signal of the design.
+    pub fn resolve(&self, name: &str) -> Result<SignalId> {
+        self.cd
+            .design
+            .signal(name)
+            .ok_or_else(|| VerilogError::sim(format!("no signal named `{name}`")))
+    }
+
+    /// Current value of a signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `name` is not a signal of the design.
+    pub fn peek(&self, name: &str) -> Result<LogicVec> {
+        let id = self.resolve(name)?;
+        Ok(self.values[id.0 as usize].to_lv())
+    }
+
+    /// Current value of a pre-resolved signal (no name lookup),
+    /// materialized from the packed store.
+    pub fn peek_id(&self, id: SignalId) -> LogicVec {
+        self.values[id.0 as usize].to_lv()
+    }
+
+    /// Current value of a pre-resolved signal as an integer, without
+    /// materializing a [`LogicVec`]; `None` when any bit is unknown or
+    /// the signal is wider than 64 bits.
+    pub fn peek_id_u64(&self, id: SignalId) -> Option<u64> {
+        self.values[id.0 as usize].to_u64()
+    }
+
+    /// Drives a top-level input and propagates the change to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `name` is not an input or propagation oscillates.
+    pub fn poke(&mut self, name: &str, value: LogicVec) -> Result<()> {
+        let id = self.resolve(name)?;
+        self.poke_id(id, value)
+    }
+
+    /// [`CompiledSim::poke`] with a pre-resolved input id (no name lookup).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is not an input or propagation oscillates.
+    pub fn poke_id(&mut self, id: SignalId, value: LogicVec) -> Result<()> {
+        let width = self.cd.design.info(id).width;
+        self.poke_id_cval(id, CVal::from_lv(&value).resized(width))
+    }
+
+    /// Shared poke tail: `new` is already canonical at the signal width.
+    fn poke_id_cval(&mut self, id: SignalId, new: CVal) -> Result<()> {
+        let cd = Arc::clone(&self.cd);
+        let info = cd.design.info(id);
+        if info.kind != SignalKind::Input {
+            return Err(VerilogError::sim(format!(
+                "cannot poke non-input signal `{}`",
+                info.name
+            )));
+        }
+        let si = id.0 as usize;
+        let old = &self.values[si];
+        if *old == new {
+            return Ok(());
+        }
+        let old0 = old.bit(0);
+        let new0 = new.bit(0);
+        self.values[si] = new;
+        if cd.levelized {
+            for &q in &cd.comb_woken[si] {
+                self.mark_dirty(&cd, q);
+            }
+            for &(edge, q) in &cd.edge_woken[si] {
+                if edge_fired(edge, old0, new0) {
+                    self.active.push_back(q);
+                }
+            }
+            self.run_step_level(&cd)
+        } else {
+            // Interpreter wake order: combinational readers first, then
+            // fired edge watchers.
+            let mut initial: Vec<u32> = cd.comb_woken[si].clone();
+            for &(edge, q) in &cd.edge_woken[si] {
+                if edge_fired(edge, old0, new0) {
+                    initial.push(q);
+                }
+            }
+            self.run_step_queue(&cd, initial)
+        }
+    }
+
+    /// Convenience: drive an input from an integer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledSim::poke`].
+    pub fn poke_u64(&mut self, name: &str, value: u64) -> Result<()> {
+        let id = self.resolve(name)?;
+        self.poke_id_u64(id, value)
+    }
+
+    /// [`CompiledSim::poke_u64`] with a pre-resolved input id.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledSim::poke_id`].
+    pub fn poke_id_u64(&mut self, id: SignalId, value: u64) -> Result<()> {
+        let width = self.cd.design.info(id).width;
+        self.poke_id_cval(id, CVal::from_u64(value, width))
+    }
+
+    /// One full clock cycle on `clk`: falling edge, then rising edge.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledSim::poke`], plus
+    /// [`VerilogError::Budget`] once [`SimBudget::max_ticks`] is spent.
+    pub fn tick(&mut self, clk: &str) -> Result<()> {
+        let id = self.resolve(clk)?;
+        self.tick_id(id)
+    }
+
+    /// [`CompiledSim::tick`] with a pre-resolved clock id.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledSim::tick`].
+    pub fn tick_id(&mut self, clk: SignalId) -> Result<()> {
+        if self.ticks >= self.budget.max_ticks {
+            return Err(VerilogError::budget("clock cycles", self.budget.max_ticks));
+        }
+        self.ticks += 1;
+        self.poke_id_u64(clk, 0)?;
+        self.poke_id_u64(clk, 1)
+    }
+
+    /// Runs `n` full clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledSim::tick`].
+    pub fn tick_n(&mut self, clk: &str, n: usize) -> Result<()> {
+        let id = self.resolve(clk)?;
+        for _ in 0..n {
+            self.tick_id(id)?;
+        }
+        Ok(())
+    }
+
+    /// Per-activation budget charge — identical checks, order and
+    /// messages as the interpreter's `run_step` preamble.
+    fn charge(&mut self, activations: &mut usize) -> Result<()> {
+        *activations += 1;
+        if *activations > self.budget.max_settle_per_step {
+            return Err(VerilogError::sim(
+                "combinational logic did not settle (oscillation)",
+            ));
+        }
+        self.work += 1;
+        if self.work > self.budget.max_total_work {
+            return Err(VerilogError::budget(
+                "total work units",
+                self.budget.max_total_work,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Event-queue settle: a faithful mirror of `Simulator::run_step`.
+    fn run_step_queue(&mut self, cd: &CompiledDesign, initial: Vec<u32>) -> Result<()> {
+        self.active.clear();
+        self.active.extend(initial);
+        let mut activations = 0usize;
+        loop {
+            while let Some(pid) = self.active.pop_front() {
+                self.charge(&mut activations)?;
+                self.exec_proc(cd, pid)?;
+                let changes = std::mem::take(&mut self.changes);
+                for &(sig, old0, new0) in &changes {
+                    let si = sig as usize;
+                    for &q in &cd.comb_woken[si] {
+                        // A process never re-wakes on its own blocking
+                        // writes (see the interpreter for why).
+                        if q != pid {
+                            self.active.push_back(q);
+                        }
+                    }
+                    for &(edge, q) in &cd.edge_woken[si] {
+                        if edge_fired(edge, old0, new0) && q != pid {
+                            self.active.push_back(q);
+                        }
+                    }
+                }
+                self.changes = changes;
+                self.changes.clear();
+            }
+            if self.nba.is_empty() {
+                return Ok(());
+            }
+            // Commit the non-blocking batch; wake dependents of real
+            // changes (no self-suppression here — the batch belongs to no
+            // running process, exactly as in the interpreter).
+            let mut batch = std::mem::take(&mut self.nba);
+            for w in &batch {
+                let si = w.sig as usize;
+                let old = &self.values[si];
+                let new = cval::write_bits(old, w.lo, &w.value);
+                if new != *old {
+                    let old0 = old.bit(0);
+                    let new0 = new.bit(0);
+                    self.values[si] = new;
+                    for &q in &cd.comb_woken[si] {
+                        self.active.push_back(q);
+                    }
+                    for &(edge, q) in &cd.edge_woken[si] {
+                        if edge_fired(edge, old0, new0) {
+                            self.active.push_back(q);
+                        }
+                    }
+                }
+            }
+            batch.clear();
+            self.nba = batch;
+        }
+    }
+
+    fn mark_dirty(&mut self, cd: &CompiledDesign, pid: u32) {
+        let pos = cd.level_pos[pid as usize];
+        debug_assert_ne!(pos, NO_SIGNAL, "marking a non-levelized process");
+        self.dirty[(pos / 64) as usize] |= 1u64 << (pos % 64);
+    }
+
+    /// Levelized settle: drain the (sequential) event queue, then visit
+    /// dirty combinational processes once in topological order, then
+    /// commit non-blocking updates; repeat until quiescent. Sound only
+    /// for designs passing the levelization qualification (DESIGN.md §10),
+    /// where the quiescent state is confluent and topological marks only
+    /// ever land at positions not yet swept.
+    fn run_step_level(&mut self, cd: &CompiledDesign) -> Result<()> {
+        let mut activations = 0usize;
+        loop {
+            while let Some(pid) = self.active.pop_front() {
+                self.charge(&mut activations)?;
+                self.exec_proc(cd, pid)?;
+                self.wake_level(cd, pid);
+            }
+            // One ordered sweep. Processes executed here may mark later
+            // positions dirty (the trigger graph is a DAG), which the
+            // word re-read picks up within the same sweep.
+            let mut wi = 0usize;
+            while wi < self.dirty.len() {
+                let word = self.dirty[wi];
+                if word == 0 {
+                    wi += 1;
+                    continue;
+                }
+                let bit = word.trailing_zeros() as usize;
+                self.dirty[wi] &= !(1u64 << bit);
+                let pid = cd.level_order[wi * 64 + bit];
+                self.charge(&mut activations)?;
+                self.exec_proc(cd, pid)?;
+                self.wake_level(cd, pid);
+            }
+            if self.nba.is_empty() && self.active.is_empty() {
+                return Ok(());
+            }
+            let mut batch = std::mem::take(&mut self.nba);
+            for w in &batch {
+                let si = w.sig as usize;
+                let old = &self.values[si];
+                let new = cval::write_bits(old, w.lo, &w.value);
+                if new != *old {
+                    let old0 = old.bit(0);
+                    let new0 = new.bit(0);
+                    self.values[si] = new;
+                    for &q in &cd.comb_woken[si] {
+                        self.mark_dirty(cd, q);
+                    }
+                    for &(edge, q) in &cd.edge_woken[si] {
+                        if edge_fired(edge, old0, new0) {
+                            self.active.push_back(q);
+                        }
+                    }
+                }
+            }
+            batch.clear();
+            self.nba = batch;
+        }
+    }
+
+    fn wake_level(&mut self, cd: &CompiledDesign, pid: u32) {
+        let changes = std::mem::take(&mut self.changes);
+        for &(sig, old0, new0) in &changes {
+            let si = sig as usize;
+            for &q in &cd.comb_woken[si] {
+                if q != pid {
+                    self.mark_dirty(cd, q);
+                }
+            }
+            // Qualification rule 4 makes edge fires impossible here (edge
+            // signals are undriven); kept for defense in depth.
+            for &(edge, q) in &cd.edge_woken[si] {
+                if edge_fired(edge, old0, new0) && q != pid {
+                    self.active.push_back(q);
+                }
+            }
+        }
+        self.changes = changes;
+        self.changes.clear();
+    }
+
+    fn exec_proc(&mut self, cd: &CompiledDesign, pid: u32) -> Result<()> {
+        self.exec_cstmt(cd, &cd.bodies[pid as usize])
+    }
+
+    fn exec_cstmt(&mut self, cd: &CompiledDesign, s: &CStmt) -> Result<()> {
+        match s {
+            CStmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec_cstmt(cd, s)?;
+                }
+            }
+            CStmt::Blocking { lhs, rhs } => {
+                let value = self.run_expr(cd, *rhs);
+                let mut writes = std::mem::take(&mut self.writes_buf);
+                writes.clear();
+                self.resolve_writes(cd, lhs, value, &mut writes);
+                for w in &writes {
+                    let si = w.sig as usize;
+                    let old = &self.values[si];
+                    let new = cval::write_bits(old, w.lo, &w.value);
+                    if new != *old {
+                        self.changes.push((w.sig, old.bit(0), new.bit(0)));
+                        self.values[si] = new;
+                    }
+                }
+                self.writes_buf = writes;
+            }
+            CStmt::NonBlocking { lhs, rhs } => {
+                let value = self.run_expr(cd, *rhs);
+                let mut nba = std::mem::take(&mut self.nba);
+                self.resolve_writes(cd, lhs, value, &mut nba);
+                self.nba = nba;
+            }
+            CStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.run_expr(cd, *cond).is_true() {
+                    self.exec_cstmt(cd, then_branch)?;
+                } else if let Some(e) = else_branch {
+                    self.exec_cstmt(cd, e)?;
+                }
+            }
+            CStmt::Case {
+                kind,
+                expr,
+                arms,
+                default,
+            } => {
+                let sel = self.run_expr(cd, *expr);
+                for (labels, body) in arms {
+                    for &label in labels {
+                        let lv = self.run_expr(cd, label);
+                        if cval::matches(*kind, &sel, &lv) {
+                            return self.exec_cstmt(cd, body);
+                        }
+                    }
+                }
+                if let Some(d) = default {
+                    self.exec_cstmt(cd, d)?;
+                }
+            }
+            CStmt::For {
+                var,
+                init,
+                cond,
+                step_var,
+                step,
+                body,
+            } => {
+                let v = self.run_expr(cd, *init);
+                self.assign_var(cd, *var, v);
+                let mut iterations = 0usize;
+                while self.run_expr(cd, *cond).is_true() {
+                    iterations += 1;
+                    if iterations > self.budget.max_loop_iterations {
+                        return Err(VerilogError::budget(
+                            "for-loop iterations",
+                            self.budget.max_loop_iterations,
+                        ));
+                    }
+                    self.work += 1;
+                    if self.work > self.budget.max_total_work {
+                        return Err(VerilogError::budget(
+                            "total work units",
+                            self.budget.max_total_work,
+                        ));
+                    }
+                    self.exec_cstmt(cd, body)?;
+                    let v = self.run_expr(cd, *step);
+                    self.assign_var(cd, *step_var, v);
+                }
+            }
+            CStmt::Empty => {}
+            CStmt::Error(msg) => return Err(VerilogError::sim(msg.clone())),
+        }
+        Ok(())
+    }
+
+    /// Whole-signal assignment with change recording (`assign_name` of
+    /// the interpreter, minus the name lookup).
+    fn assign_var(&mut self, cd: &CompiledDesign, sig: u32, value: CVal) {
+        let si = sig as usize;
+        let width = cd.design.signals[si].width;
+        let new = value.resized(width);
+        let old = &self.values[si];
+        if new != *old {
+            self.changes.push((sig, old.bit(0), new.bit(0)));
+            self.values[si] = new;
+        }
+    }
+
+    /// Resolves a compiled lvalue + value into concrete bit-range writes,
+    /// mirroring the interpreter's `resolve_writes` (unknown or
+    /// out-of-range indices drop the write).
+    fn resolve_writes(
+        &mut self,
+        cd: &CompiledDesign,
+        lhs: &CLval,
+        value: CVal,
+        out: &mut Vec<CWrite>,
+    ) {
+        match lhs {
+            CLval::Whole(sig) => {
+                let width = cd.design.signals[*sig as usize].width;
+                out.push(CWrite {
+                    sig: *sig,
+                    lo: 0,
+                    value: value.resized(width),
+                });
+            }
+            CLval::Bit { sig, ix } => {
+                let info = &cd.design.signals[*sig as usize];
+                let (lsb, width) = (info.lsb, info.width);
+                if let Some(ix) = self.run_expr(cd, *ix).to_u64() {
+                    let ix = ix as usize;
+                    if ix >= lsb && ix - lsb < width {
+                        out.push(CWrite {
+                            sig: *sig,
+                            lo: ix - lsb,
+                            value: value.resized(1),
+                        });
+                    }
+                }
+            }
+            CLval::Part { sig, hi, lo } => {
+                let info = &cd.design.signals[*sig as usize];
+                let (lsb, width) = (info.lsb, info.width);
+                let hi_v = self.run_expr(cd, *hi).to_u64();
+                let lo_v = self.run_expr(cd, *lo).to_u64();
+                if let (Some(hi), Some(lo)) = (hi_v, lo_v) {
+                    let (hi, lo) = (hi as usize, lo as usize);
+                    if hi >= lo && lo >= lsb && hi - lsb < width {
+                        out.push(CWrite {
+                            sig: *sig,
+                            lo: lo - lsb,
+                            value: value.resized(hi - lo + 1),
+                        });
+                    }
+                }
+            }
+            CLval::Concat(parts) => {
+                // First lvalue receives the most significant bits.
+                let widths: Vec<usize> = parts.iter().map(|p| self.clval_width(cd, p)).collect();
+                let total: usize = widths.iter().sum();
+                let value = value.resized(total);
+                let mut hi = total;
+                for (part, w) in parts.iter().zip(widths) {
+                    let lo = hi - w;
+                    let slice = value.slice(hi - 1, lo);
+                    self.resolve_writes(cd, part, slice, out);
+                    hi = lo;
+                }
+            }
+        }
+    }
+
+    fn clval_width(&mut self, cd: &CompiledDesign, lv: &CLval) -> usize {
+        match lv {
+            CLval::Whole(sig) => cd.design.signals[*sig as usize].width,
+            CLval::Bit { .. } => 1,
+            CLval::Part { hi, lo, .. } => {
+                let hi_v = self.run_expr(cd, *hi).to_u64();
+                let lo_v = self.run_expr(cd, *lo).to_u64();
+                match (hi_v, lo_v) {
+                    (Some(hi), Some(lo)) if hi >= lo => (hi - lo + 1) as usize,
+                    _ => 1,
+                }
+            }
+            CLval::Concat(parts) => parts.iter().map(|p| self.clval_width(cd, p)).sum(),
+        }
+    }
+
+    /// Executes one expression bytecode chunk.
+    fn run_expr(&mut self, cd: &CompiledDesign, id: ExprId) -> CVal {
+        let base = self.stack.len();
+        for op in &cd.exprs[id as usize] {
+            let v = match op {
+                Op::Lit(i) => self.clits[*i as usize].clone(),
+                Op::Load(sig) => {
+                    if *sig == NO_SIGNAL {
+                        CVal::unknown(1)
+                    } else {
+                        self.values[*sig as usize].clone()
+                    }
+                }
+                Op::Unary(uop) => {
+                    let a = self.stack.pop().expect("unary operand");
+                    cval::unary(*uop, &a)
+                }
+                Op::Binary(bop) => {
+                    let b = self.stack.pop().expect("binary rhs");
+                    let a = self.stack.pop().expect("binary lhs");
+                    cval::binary(*bop, &a, &b)
+                }
+                Op::Ternary => {
+                    let f = self.stack.pop().expect("ternary else");
+                    let t = self.stack.pop().expect("ternary then");
+                    let c = self.stack.pop().expect("ternary cond");
+                    match c.truthiness() {
+                        Logic::One => t,
+                        Logic::Zero => f,
+                        _ => cval::merge(&t, &f),
+                    }
+                }
+                Op::Concat(n) => {
+                    if *n == 0 {
+                        CVal::unknown(1)
+                    } else {
+                        let mut acc = self.stack.pop().expect("concat part");
+                        for _ in 1..*n {
+                            let hi = self.stack.pop().expect("concat part");
+                            acc = hi.concat(&acc);
+                        }
+                        acc
+                    }
+                }
+                Op::Replicate => {
+                    let v = self.stack.pop().expect("replicate inner");
+                    let n = self.stack.pop().expect("replicate count");
+                    match n.to_u64() {
+                        Some(c) if (1..=64).contains(&c) => v.replicate(c as usize),
+                        _ => CVal::unknown(v.width()),
+                    }
+                }
+                Op::Index(sig) => {
+                    let ix = self.stack.pop().expect("index operand");
+                    let missing = CVal::unknown(1);
+                    let (base_v, lsb) = if *sig == NO_SIGNAL {
+                        (&missing, 0usize)
+                    } else {
+                        (
+                            &self.values[*sig as usize],
+                            cd.design.signals[*sig as usize].lsb,
+                        )
+                    };
+                    match ix.to_u64() {
+                        Some(ix) => {
+                            let ix = ix as usize;
+                            if ix < lsb {
+                                CVal::single(Logic::X)
+                            } else {
+                                CVal::single(base_v.bit(ix - lsb))
+                            }
+                        }
+                        None => CVal::unknown(1),
+                    }
+                }
+                Op::Slice(sig) => {
+                    let lo = self.stack.pop().expect("slice lo");
+                    let hi = self.stack.pop().expect("slice hi");
+                    let missing = CVal::unknown(1);
+                    let (base_v, lsb_off) = if *sig == NO_SIGNAL {
+                        (&missing, 0usize)
+                    } else {
+                        (
+                            &self.values[*sig as usize],
+                            cd.design.signals[*sig as usize].lsb,
+                        )
+                    };
+                    match (hi.to_u64(), lo.to_u64()) {
+                        (Some(hi), Some(lo)) if hi >= lo => {
+                            let (hi, lo) = (hi as usize, lo as usize);
+                            if lo < lsb_off {
+                                CVal::unknown(hi - lo + 1)
+                            } else {
+                                base_v.slice(hi - lsb_off, lo - lsb_off)
+                            }
+                        }
+                        (Some(hi), Some(lo)) => CVal::unknown((lo - hi) as usize + 1),
+                        _ => CVal::unknown(1),
+                    }
+                }
+            };
+            self.stack.push(v);
+        }
+        debug_assert_eq!(self.stack.len(), base + 1, "chunk must net one value");
+        self.stack.pop().expect("bytecode result")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::compile;
+    use crate::sim::Simulator;
+
+    fn csim(src: &str) -> CompiledSim {
+        CompiledSim::compile(compile(src).unwrap()).unwrap()
+    }
+
+    /// Drives both backends through the same pokes/ticks and asserts every
+    /// output matches after each action.
+    fn lockstep(src: &str, script: &[(&str, u64)], clk: Option<&str>, cycles: usize) {
+        let design = compile(src).unwrap();
+        let mut interp = Simulator::new(design.clone()).unwrap();
+        let mut comp = CompiledSim::compile(design.clone()).unwrap();
+        let outs: Vec<String> = design.output_ports().into_iter().map(|(n, _)| n).collect();
+        let compare = |interp: &Simulator, comp: &CompiledSim, ctx: &str| {
+            for o in &outs {
+                assert_eq!(
+                    interp.peek(o).unwrap(),
+                    comp.peek(o).unwrap(),
+                    "`{o}` diverged {ctx}"
+                );
+            }
+        };
+        compare(&interp, &comp, "at time zero");
+        for &(name, v) in script {
+            interp.poke_u64(name, v).unwrap();
+            comp.poke_u64(name, v).unwrap();
+            compare(&interp, &comp, &format!("after poke {name}={v}"));
+        }
+        if let Some(clk) = clk {
+            for c in 0..cycles {
+                interp.tick(clk).unwrap();
+                comp.tick(clk).unwrap();
+                compare(&interp, &comp, &format!("after cycle {c}"));
+            }
+        }
+    }
+
+    #[test]
+    fn comb_chain_matches_interpreter() {
+        lockstep(
+            "module m(input a, output y);\n wire n;\n assign n = ~a;\n assign y = ~n;\nendmodule",
+            &[("a", 1), ("a", 0), ("a", 1)],
+            None,
+            0,
+        );
+    }
+
+    #[test]
+    fn counter_matches_interpreter() {
+        lockstep(
+            "module c(input clk, input rst, output reg [3:0] q);\n always @(posedge clk)\n  if (rst) q <= 4'd0;\n  else q <= q + 4'd1;\nendmodule",
+            &[("rst", 1)],
+            Some("clk"),
+            20,
+        );
+    }
+
+    #[test]
+    fn fsm_matches_interpreter() {
+        let src = "module fsm(input clk, input rst_n, input x, output out);
+    localparam A = 1'b0, B = 1'b1;
+    reg state, next_state;
+    always @(posedge clk or negedge rst_n)
+        if (!rst_n) state <= A;
+        else state <= next_state;
+    always @(*)
+        case (state)
+            A: next_state = x ? A : B;
+            B: next_state = x ? B : A;
+            default: next_state = A;
+        endcase
+    assign out = (state == B);
+endmodule";
+        lockstep(src, &[("rst_n", 0), ("rst_n", 1), ("x", 0)], Some("clk"), 6);
+    }
+
+    #[test]
+    fn incomplete_sensitivity_stale_value_reproduced() {
+        // This design is NOT levelizable; the event-queue engine must
+        // reproduce the interpreter's stale-output bug exactly.
+        let src = "module m(input a, input b, output reg y);\n always @(a) y = a & b;\nendmodule";
+        let mut s = csim(src);
+        assert!(!s.cd.is_levelized());
+        s.poke_u64("a", 1).unwrap();
+        s.poke_u64("b", 1).unwrap();
+        assert_ne!(s.peek("y").unwrap().to_u64(), Some(1));
+        s.poke_u64("a", 0).unwrap();
+        s.poke_u64("a", 1).unwrap();
+        assert_eq!(s.peek("y").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn for_loop_and_concat_lvalues_match() {
+        lockstep(
+            "module rev(input [3:0] a, output reg [3:0] y);\n integer i;\n always @(*)\n  for (i = 0; i < 4; i = i + 1)\n   y[i] = a[3 - i];\nendmodule",
+            &[("a", 0b0001), ("a", 0b1100)],
+            None,
+            0,
+        );
+        lockstep(
+            "module m(input [1:0] a, output reg hi, output reg lo);\n always @(*) {hi, lo} = a;\nendmodule",
+            &[("a", 0b10), ("a", 0b01)],
+            None,
+            0,
+        );
+    }
+
+    #[test]
+    fn initial_blocks_and_hierarchy_match() {
+        let s = csim("module m(output reg [7:0] v);\n initial v = 8'hA5;\nendmodule");
+        assert_eq!(s.peek("v").unwrap().to_u64(), Some(0xA5));
+        lockstep(
+            "module top(input [3:0] a, input [3:0] b, output [3:0] s);\n add4 u0 (.x(a), .y(b), .sum(s));\nendmodule\nmodule add4(input [3:0] x, input [3:0] y, output [3:0] sum);\n assign sum = x + y;\nendmodule",
+            &[("a", 7), ("b", 8), ("a", 3)],
+            None,
+            0,
+        );
+    }
+
+    #[test]
+    fn oscillation_detected_same_as_interpreter() {
+        let d = compile(
+            "module m(input sel, output y);\n wire p;\n assign p = ~y;\n assign y = sel ? p : 1'b0;\nendmodule",
+        )
+        .unwrap();
+        let mut s = CompiledSim::compile(d).unwrap();
+        s.poke_u64("sel", 0).unwrap();
+        let e = s.poke_u64("sel", 1).unwrap_err();
+        assert!(!e.is_budget(), "oscillation is semantic: {e}");
+        assert!(e.to_string().contains("did not settle"));
+    }
+
+    #[test]
+    fn poke_error_messages_match_interpreter() {
+        let src = "module m(input a, output y); assign y = a; endmodule";
+        let mut c = csim(src);
+        let mut i = Simulator::new(compile(src).unwrap()).unwrap();
+        assert_eq!(
+            c.poke_u64("y", 1).unwrap_err().to_string(),
+            i.poke_u64("y", 1).unwrap_err().to_string()
+        );
+        assert_eq!(
+            c.poke_u64("ghost", 1).unwrap_err().to_string(),
+            i.poke_u64("ghost", 1).unwrap_err().to_string()
+        );
+        assert_eq!(
+            c.peek("ghost").unwrap_err().to_string(),
+            i.peek("ghost").unwrap_err().to_string()
+        );
+    }
+
+    #[test]
+    fn work_accounting_is_exact_on_event_queue_designs() {
+        // Incomplete sensitivity forces the event-queue engine, where the
+        // work counter must match the interpreter activation-for-
+        // activation.
+        let src = "module m(input a, input b, output reg y);\n always @(a) y = a & b;\nendmodule";
+        let d = compile(src).unwrap();
+        let mut i = Simulator::new(d.clone()).unwrap();
+        let mut c = CompiledSim::compile(d).unwrap();
+        for &(n, v) in &[("a", 1), ("b", 1), ("a", 0), ("a", 1)] {
+            i.poke_u64(n, v).unwrap();
+            c.poke_u64(n, v).unwrap();
+            assert_eq!(i.work_units(), c.work_units());
+        }
+    }
+
+    #[test]
+    fn tick_budget_matches_interpreter() {
+        let src = "module c(input clk, output reg [3:0] q);\n always @(posedge clk) q <= q + 4'd1;\nendmodule";
+        let budget = SimBudget {
+            max_ticks: 3,
+            ..SimBudget::default()
+        };
+        let d = compile(src).unwrap();
+        let mut s = CompiledSim::with_budget(Arc::new(CompiledDesign::new(d)), budget).unwrap();
+        s.tick_n("clk", 3).unwrap();
+        let e = s.tick("clk").unwrap_err();
+        assert!(e.is_budget(), "{e}");
+        assert_eq!(s.ticks(), 3);
+    }
+
+    #[test]
+    fn loop_budget_matches_interpreter() {
+        let src = "module m(input [7:0] a, output reg [7:0] y);\n integer i;\n always @(*) begin\n  y = 8'd0;\n  for (i = 0; i < 200; i = i + 1) y = y + a;\n end\nendmodule";
+        let budget = SimBudget {
+            max_loop_iterations: 10,
+            ..SimBudget::default()
+        };
+        let d = compile(src).unwrap();
+        let e = CompiledSim::with_budget(Arc::new(CompiledDesign::new(d)), budget).unwrap_err();
+        assert!(e.is_budget(), "{e}");
+        assert_eq!(
+            e.to_string(),
+            "resource budget exhausted: for-loop iterations (limit 10)"
+        );
+    }
+
+    #[test]
+    fn clones_are_independent() {
+        let d = compile(
+            "module c(input clk, input rst, output reg [3:0] q);\n always @(posedge clk)\n  if (rst) q <= 4'd0; else q <= q + 4'd1;\nendmodule",
+        )
+        .unwrap();
+        let mut a = CompiledSim::compile(d).unwrap();
+        a.poke_u64("rst", 1).unwrap();
+        a.tick("clk").unwrap();
+        a.poke_u64("rst", 0).unwrap();
+        let mut b = a.clone();
+        a.tick_n("clk", 5).unwrap();
+        b.tick_n("clk", 2).unwrap();
+        assert_eq!(a.peek("q").unwrap().to_u64(), Some(5));
+        assert_eq!(b.peek("q").unwrap().to_u64(), Some(2));
+    }
+
+    #[test]
+    fn shared_compiled_design_serves_many_sims() {
+        let d = compile(
+            "module c(input clk, input rst, output reg [3:0] q);\n always @(posedge clk)\n  if (rst) q <= 4'd0; else q <= q + 4'd1;\nendmodule",
+        )
+        .unwrap();
+        let cd = Arc::new(CompiledDesign::new(d));
+        for n in 0..3usize {
+            let mut s = CompiledSim::new(Arc::clone(&cd)).unwrap();
+            s.poke_u64("rst", 1).unwrap();
+            s.tick("clk").unwrap();
+            s.poke_u64("rst", 0).unwrap();
+            s.tick_n("clk", n).unwrap();
+            assert_eq!(s.peek("q").unwrap().to_u64(), Some(n as u64));
+        }
+    }
+
+    #[test]
+    fn pre_resolved_handles_drive_the_dut() {
+        let mut s = csim(
+            "module c(input clk, input rst, output reg [3:0] q);\n always @(posedge clk)\n  if (rst) q <= 4'd0; else q <= q + 4'd1;\nendmodule",
+        );
+        let clk = s.resolve("clk").unwrap();
+        let rst = s.resolve("rst").unwrap();
+        let q = s.resolve("q").unwrap();
+        s.poke_id_u64(rst, 1).unwrap();
+        s.tick_id(clk).unwrap();
+        s.poke_id_u64(rst, 0).unwrap();
+        for i in 1..=5u64 {
+            s.tick_id(clk).unwrap();
+            assert_eq!(s.peek_id(q).to_u64(), Some(i));
+        }
+        assert!(s.poke_id_u64(q, 3).is_err(), "outputs are not pokeable");
+    }
+}

@@ -38,10 +38,13 @@
 pub mod analyze;
 pub mod analyze_static;
 pub mod ast;
+pub mod compile;
+mod cval;
 pub mod dataflow;
 pub mod elab;
 pub mod error;
 pub mod eval;
+pub mod exec;
 pub mod lexer;
 pub mod lint;
 pub mod logic;
@@ -53,7 +56,9 @@ pub mod vcd;
 pub use analyze_static::{
     analyze_design, analyze_source, Severity, StaticFinding, StaticReport, StaticRule,
 };
+pub use compile::CompiledDesign;
 pub use elab::{compile, Design};
 pub use error::{Result, VerilogError};
+pub use exec::CompiledSim;
 pub use logic::{Logic, LogicVec};
 pub use sim::{SimBudget, Simulator};

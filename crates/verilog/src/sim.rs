@@ -207,6 +207,18 @@ impl Simulator {
         self.ticks
     }
 
+    /// Resolves a signal name to its dense id, for use with the `_id`
+    /// accessors ([`Simulator::poke_id`], [`Simulator::peek_id`]). Hot
+    /// loops resolve once and then drive by id, skipping the per-call
+    /// string lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `name` is not a signal of the design.
+    pub fn resolve(&self, name: &str) -> Result<SignalId> {
+        self.signal(name)
+    }
+
     /// Current value of a signal.
     ///
     /// # Errors
@@ -215,6 +227,11 @@ impl Simulator {
     pub fn peek(&self, name: &str) -> Result<LogicVec> {
         let id = self.signal(name)?;
         Ok(self.values[id.0 as usize].clone())
+    }
+
+    /// Current value of a pre-resolved signal (no name lookup).
+    pub fn peek_id(&self, id: SignalId) -> &LogicVec {
+        &self.values[id.0 as usize]
     }
 
     /// Drives a top-level input and propagates the change to quiescence.
@@ -226,9 +243,19 @@ impl Simulator {
     /// Returns an error if `name` is not an input or propagation oscillates.
     pub fn poke(&mut self, name: &str, value: LogicVec) -> Result<()> {
         let id = self.signal(name)?;
+        self.poke_id(id, value)
+    }
+
+    /// [`Simulator::poke`] with a pre-resolved input id (no name lookup).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is not an input or propagation oscillates.
+    pub fn poke_id(&mut self, id: SignalId, value: LogicVec) -> Result<()> {
         if self.design.info(id).kind != SignalKind::Input {
             return Err(VerilogError::sim(format!(
-                "cannot poke non-input signal `{name}`"
+                "cannot poke non-input signal `{}`",
+                self.design.info(id).name
             )));
         }
         let width = self.design.info(id).width;
@@ -249,8 +276,17 @@ impl Simulator {
     /// Same conditions as [`Simulator::poke`].
     pub fn poke_u64(&mut self, name: &str, value: u64) -> Result<()> {
         let id = self.signal(name)?;
+        self.poke_id_u64(id, value)
+    }
+
+    /// [`Simulator::poke_u64`] with a pre-resolved input id.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::poke_id`].
+    pub fn poke_id_u64(&mut self, id: SignalId, value: u64) -> Result<()> {
         let width = self.design.info(id).width;
-        self.poke(name, LogicVec::from_u64(value, width))
+        self.poke_id(id, LogicVec::from_u64(value, width))
     }
 
     /// One full clock cycle on `clk`: falling edge (if currently high or
@@ -261,12 +297,22 @@ impl Simulator {
     ///
     /// Same conditions as [`Simulator::poke`].
     pub fn tick(&mut self, clk: &str) -> Result<()> {
+        let id = self.signal(clk)?;
+        self.tick_id(id)
+    }
+
+    /// [`Simulator::tick`] with a pre-resolved clock id (no name lookup).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::poke_id`].
+    pub fn tick_id(&mut self, clk: SignalId) -> Result<()> {
         if self.ticks >= self.budget.max_ticks {
             return Err(VerilogError::budget("clock cycles", self.budget.max_ticks));
         }
         self.ticks += 1;
-        self.poke_u64(clk, 0)?;
-        self.poke_u64(clk, 1)
+        self.poke_id_u64(clk, 0)?;
+        self.poke_id_u64(clk, 1)
     }
 
     /// Runs `n` full clock cycles.
@@ -563,10 +609,16 @@ impl SignalEnv for Simulator {
 }
 
 fn apply_write(old: &LogicVec, w: &Write) -> LogicVec {
+    apply_write_bits(old, w.lo, &w.value)
+}
+
+/// Overlays `value` onto `old` at bit offset `lo`, clipping to the target
+/// width. Shared by the interpreter and the compiled executor.
+pub(crate) fn apply_write_bits(old: &LogicVec, lo: usize, value: &LogicVec) -> LogicVec {
     let mut new = old.clone();
-    for i in 0..w.value.width() {
-        if w.lo + i < new.width() {
-            new.set_bit(w.lo + i, w.value.bit(i));
+    for i in 0..value.width() {
+        if lo + i < new.width() {
+            new.set_bit(lo + i, value.bit(i));
         }
     }
     new
@@ -574,7 +626,7 @@ fn apply_write(old: &LogicVec, w: &Write) -> LogicVec {
 
 /// LRM edge rules: posedge covers transitions toward 1 (`0→1, 0→x, x→1`…),
 /// negedge covers transitions toward 0.
-fn edge_fired(edge: Edge, old: Logic, new: Logic) -> bool {
+pub(crate) fn edge_fired(edge: Edge, old: Logic, new: Logic) -> bool {
     if old == new {
         return false;
     }
@@ -584,7 +636,9 @@ fn edge_fired(edge: Edge, old: Logic, new: Logic) -> bool {
     }
 }
 
-fn case_matches(kind: CaseKind, sel: &LogicVec, label: &LogicVec) -> bool {
+/// Case-arm matching for `case` / `casez` / `casex`. Shared by the
+/// interpreter and the compiled executor.
+pub(crate) fn case_matches(kind: CaseKind, sel: &LogicVec, label: &LogicVec) -> bool {
     match kind {
         CaseKind::Exact => sel.eq_case(label) == Logic::One,
         CaseKind::Z => sel.eq_casez(label) == Logic::One,
