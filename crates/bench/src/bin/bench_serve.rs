@@ -1,0 +1,279 @@
+//! Emits `BENCH_serve.json` — load characteristics of the serving layer
+//! (DESIGN.md §11): worker-pool throughput scaling, verified-response
+//! cache hit behaviour, and admission control under overload.
+//!
+//! Three phases, each against a fresh [`haven_serve::Server`]:
+//!
+//! 1. **scaling** — the same request stream (distinct prompts, cache off)
+//!    at worker counts 1/2/4. The engine models the remote CodeGen-LLM
+//!    call as a blocking latency, so workers overlap inference even on a
+//!    single core; throughput at 4 workers is expected to be >= 2x the
+//!    single-worker baseline.
+//! 2. **cache** — one cold pass then one warm pass over the same prompt
+//!    mix with the cache enabled; reports hit rate and warm/cold p50.
+//! 3. **admission** — a burst far past a tiny queue with a deadline
+//!    shorter than the pipeline; reports shed (queue-full) and deadline
+//!    rejection rates and checks the accounting invariant.
+//!
+//! ```sh
+//! cargo run --release -p haven-bench --bin bench_serve [-- --quick] [-- --out path.json]
+//! ```
+
+use std::sync::mpsc::channel;
+use std::time::{Duration, Instant};
+
+use haven_lm::model::CodeGenModel;
+use haven_lm::profiles::ModelProfile;
+use haven_serve::{
+    EngineConfig, MetricsSnapshot, Rejection, ServeConfig, ServeOutcome, ServeRequest, Server,
+};
+
+/// Distinct benchmark prompts: canonical machine-suite tasks, so the
+/// pipeline exercises perceive + lint + cosimulate on every request.
+fn prompts() -> Vec<String> {
+    haven_eval::suites::verilog_eval_machine(1)
+        .into_iter()
+        .take(8)
+        .map(|t| t.prompt)
+        .collect()
+}
+
+fn model() -> CodeGenModel {
+    CodeGenModel::new(ModelProfile::uniform("bench", 0.8), 0.3)
+}
+
+/// Submits `n` requests (prompt mix cycled, suffixed so every request is
+/// a distinct cache key) and waits for all replies.
+fn drive(server: &Server, n: usize, distinct: bool) -> (Duration, Vec<ServeOutcome>) {
+    let mix = prompts();
+    let (tx, rx) = channel();
+    let t0 = Instant::now();
+    for i in 0..n {
+        let prompt = if distinct {
+            format!("{} // bench variant {i}", mix[i % mix.len()])
+        } else {
+            mix[i % mix.len()].clone()
+        };
+        server.submit(ServeRequest::new(format!("r{i}"), prompt), tx.clone());
+    }
+    drop(tx);
+    let outcomes = rx.into_iter().map(|reply| reply.outcome).collect();
+    (t0.elapsed(), outcomes)
+}
+
+struct ScalingRow {
+    workers: usize,
+    throughput_rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+fn scaling_phase(requests: usize, inference: Duration) -> Vec<ScalingRow> {
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|workers| {
+            let mut server = Server::start(
+                model(),
+                ServeConfig {
+                    workers,
+                    cache_capacity: 0, // measure the pipeline, not the cache
+                    queue_capacity: requests,
+                    default_deadline: Duration::from_secs(120),
+                    engine: EngineConfig {
+                        inference_latency: inference,
+                        ..EngineConfig::default()
+                    },
+                    ..ServeConfig::default()
+                },
+            );
+            let (elapsed, outcomes) = drive(&server, requests, true);
+            server.shutdown();
+            let m = server.metrics();
+            assert!(m.accounted(), "scaling phase accounting");
+            assert_eq!(outcomes.len(), requests);
+            let total = m.total;
+            eprintln!(
+                "  workers={workers}: {requests} requests in {:.2}s ({:.1} req/s)",
+                elapsed.as_secs_f64(),
+                requests as f64 / elapsed.as_secs_f64(),
+            );
+            ScalingRow {
+                workers,
+                throughput_rps: requests as f64 / elapsed.as_secs_f64(),
+                p50_us: total.p50_us,
+                p95_us: total.p95_us,
+                p99_us: total.p99_us,
+            }
+        })
+        .collect()
+}
+
+struct CacheStats {
+    hit_rate: f64,
+    cold_p50_us: u64,
+    warm_p50_us: u64,
+    snapshot: MetricsSnapshot,
+}
+
+fn cache_phase(rounds: usize) -> CacheStats {
+    let mut server = Server::start(
+        model(),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let mix = prompts();
+    // Cold pass: every prompt is a miss.
+    for (i, p) in mix.iter().enumerate() {
+        server.serve(ServeRequest::new(format!("cold{i}"), p.clone()));
+    }
+    let cold_p50 = server.metrics().total.p50_us;
+    // Warm passes: every prompt replays from the cache.
+    for round in 0..rounds {
+        for (i, p) in mix.iter().enumerate() {
+            server.serve(ServeRequest::new(format!("warm{round}-{i}"), p.clone()));
+        }
+    }
+    server.shutdown();
+    let m = server.metrics();
+    assert!(m.accounted(), "cache phase accounting");
+    CacheStats {
+        hit_rate: m.cache_hit_rate(),
+        cold_p50_us: cold_p50,
+        warm_p50_us: m.total.p50_us,
+        snapshot: m,
+    }
+}
+
+struct AdmissionStats {
+    burst: usize,
+    shed: usize,
+    deadline_rejected: usize,
+    completed: usize,
+    rejection_rate: f64,
+}
+
+fn admission_phase(burst: usize) -> AdmissionStats {
+    let mut server = Server::start(
+        model(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            default_deadline: Duration::from_millis(40),
+            engine: EngineConfig {
+                inference_latency: Duration::from_millis(15),
+                ..EngineConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let (_, outcomes) = drive(&server, burst, true);
+    server.shutdown();
+    let m = server.metrics();
+    assert!(m.accounted(), "admission phase accounting");
+    let shed = outcomes
+        .iter()
+        .filter(|o| matches!(o, ServeOutcome::Rejected(Rejection::QueueFull { .. })))
+        .count();
+    let deadline = outcomes
+        .iter()
+        .filter(|o| {
+            matches!(
+                o,
+                ServeOutcome::Rejected(Rejection::DeadlineExceeded { .. })
+            )
+        })
+        .count();
+    let completed = outcomes
+        .iter()
+        .filter(|o| matches!(o, ServeOutcome::Completed(_)))
+        .count();
+    AdmissionStats {
+        burst,
+        shed,
+        deadline_rejected: deadline,
+        completed,
+        rejection_rate: (shed + deadline) as f64 / burst as f64,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let (requests, inference, warm_rounds, burst) = if quick {
+        (48, Duration::from_millis(3), 1, 40)
+    } else {
+        (160, Duration::from_millis(4), 3, 80)
+    };
+
+    eprintln!("scaling phase ({requests} requests, {inference:?} modeled inference)...");
+    let rows = scaling_phase(requests, inference);
+    let base = rows[0].throughput_rps;
+    let speedup4 = rows.last().expect("three rows").throughput_rps / base;
+
+    eprintln!("cache phase...");
+    let cache = cache_phase(warm_rounds);
+
+    eprintln!("admission phase ({burst}-request burst)...");
+    let adm = admission_phase(burst);
+
+    let mut scaling_json = Vec::new();
+    for r in &rows {
+        scaling_json.push(format!(
+            "    {{\"workers\": {}, \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
+            r.workers, r.throughput_rps, r.p50_us, r.p95_us, r.p99_us
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"quick\": {quick},\n  \"requests_per_scaling_run\": {requests},\n  \"inference_latency_ms\": {},\n  \"scaling\": [\n{}\n  ],\n  \"speedup_4_vs_1\": {:.2},\n  \"cache\": {{\"hit_rate\": {:.3}, \"hits\": {}, \"misses\": {}, \"cold_p50_us\": {}, \"warm_p50_us\": {}}},\n  \"admission\": {{\"burst\": {}, \"completed\": {}, \"shed_queue_full\": {}, \"deadline_rejected\": {}, \"rejection_rate\": {:.3}}}\n}}\n",
+        inference.as_millis(),
+        scaling_json.join(",\n"),
+        speedup4,
+        cache.hit_rate,
+        cache.snapshot.cache_hits,
+        cache.snapshot.cache_misses,
+        cache.cold_p50_us,
+        cache.warm_p50_us,
+        adm.burst,
+        adm.completed,
+        adm.shed,
+        adm.deadline_rejected,
+        adm.rejection_rate,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+
+    println!("serve load characteristics:");
+    for r in &rows {
+        println!(
+            "  workers={}  {:>7.1} req/s  p50 {:>6} us  p95 {:>6} us  p99 {:>6} us",
+            r.workers, r.throughput_rps, r.p50_us, r.p95_us, r.p99_us
+        );
+    }
+    println!("  speedup 4 vs 1 workers: {speedup4:.2}x");
+    println!(
+        "  cache: hit rate {:.1}% (cold p50 {} us -> warm p50 {} us)",
+        cache.hit_rate * 100.0,
+        cache.cold_p50_us,
+        cache.warm_p50_us
+    );
+    println!(
+        "  admission: {}/{} shed, {} deadline-rejected, {} completed ({:.1}% rejected)",
+        adm.shed,
+        adm.burst,
+        adm.deadline_rejected,
+        adm.completed,
+        adm.rejection_rate * 100.0
+    );
+    println!("wrote {out_path}");
+    assert!(
+        speedup4 >= 2.0,
+        "throughput at 4 workers must be >= 2x the 1-worker baseline (got {speedup4:.2}x)"
+    );
+}

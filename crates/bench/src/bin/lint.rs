@@ -7,8 +7,15 @@
 //! cargo run --release -p haven-bench --bin lint -- --pretty design.v
 //! ```
 //!
-//! Exit codes: `0` no Error-severity findings, `1` the analyzer proved a
-//! defect (or the file does not compile), `2` usage / IO error.
+//! Exit codes distinguish the three analysis outcomes so shell pipelines
+//! can branch without parsing the JSON:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | compiled; no Error-severity findings (warnings allowed) |
+//! | 1    | compiled; the analyzer proved a defect (Error findings) |
+//! | 2    | lex/parse/elaboration failure — the file never analyzed |
+//! | 3    | usage or IO error (bad flags, unreadable file) |
 //!
 //! The JSON is assembled by hand: every field is a flat string or number,
 //! and findings carry the stable rule code, severity, source span and the
@@ -217,7 +224,10 @@ fn report(path: &str, source: &str, pretty: bool) -> (String, i32) {
         }
         Err(e) => {
             j.str_field(&mut top_first, "compile_error", &e.to_string());
-            exit = 1;
+            // Distinct from exit 1: nothing was analyzed, so "defective"
+            // vs "clean" is unknown — callers gating on findings must not
+            // confuse a parse failure with a proven defect.
+            exit = 2;
         }
     }
 
@@ -244,13 +254,13 @@ fn main() {
     let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let [path] = files.as_slice() else {
         eprintln!("usage: lint [--pretty] <file.v>");
-        std::process::exit(2);
+        std::process::exit(3);
     };
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("lint: cannot read {path}: {e}");
-            std::process::exit(2);
+            std::process::exit(3);
         }
     };
     let (json, exit) = report(path, &source, pretty);
@@ -289,9 +299,32 @@ mod tests {
     #[test]
     fn unparseable_file_reports_compile_error() {
         let (json, exit) = report("x.v", "not verilog at all", false);
-        assert_eq!(exit, 1);
+        assert_eq!(exit, 2, "parse failure must be distinct from findings");
         assert!(json.contains("compile_error"), "{json}");
         assert!(!json.contains("sim_probe"), "{json}");
+    }
+
+    #[test]
+    fn warnings_alone_keep_the_clean_exit_code() {
+        // A constant condition is a Warn-severity finding: reported in
+        // the JSON but not a gating defect, so the exit stays 0.
+        let src = "module w(input a, output reg y);\n\
+                   always @(*) if (1'b1) y = a; else y = 1'b0;\nendmodule\n";
+        let (json, exit) = report("w.v", src, false);
+        assert_eq!(exit, 0, "warn-only reports must exit 0: {json}");
+        assert!(json.contains("\"severity\":\"warn\""), "{json}");
+        assert!(json.contains("\"errors\":0"), "{json}");
+    }
+
+    #[test]
+    fn exit_codes_form_a_strict_ladder() {
+        let clean = "module c(input a, output y);\n assign y = a;\nendmodule\n";
+        let defective =
+            "module d(input clk, output reg q);\n always @(posedge clk) q <= q;\nendmodule\n";
+        assert_eq!(report("c.v", clean, false).1, 0);
+        assert_eq!(report("d.v", defective, false).1, 1);
+        assert_eq!(report("b.v", "garbage(", false).1, 2);
+        // Exit 3 (usage/IO) is owned by main() and has no report() path.
     }
 
     #[test]

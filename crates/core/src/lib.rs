@@ -51,6 +51,7 @@ pub use taxonomy::{HallucinationClass, HallucinationType};
 // Re-export the substrate crates under their full names.
 pub use haven_datagen;
 pub use haven_eval;
+pub use haven_hash;
 pub use haven_lm;
 pub use haven_modality;
 pub use haven_sicot;

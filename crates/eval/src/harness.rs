@@ -512,11 +512,11 @@ struct TaskMemo {
 }
 
 impl TaskMemo {
+    /// Shared canonical content key ([`haven_hash::content_key`]) — the
+    /// same function the serve-layer response cache uses, so the two
+    /// caches cannot drift on what "identical source" means.
     fn key(source: &str) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        source.hash(&mut h);
-        h.finish()
+        haven_hash::content_key(&[source])
     }
 }
 

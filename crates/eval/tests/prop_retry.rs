@@ -1,0 +1,106 @@
+//! Property: under a fixed [`FaultPlan`] seed, the retry policy and
+//! panic-isolation machinery make suite results a pure function of the
+//! configuration — the worker-pool size must never show through.
+//!
+//! The workspace's `proptest` is a compile-only stub, so the property is
+//! exercised as a deterministic grid sweep over (plan kind, seed, rate) ×
+//! thread counts — every case actually runs, every run is reproducible,
+//! and a violation pins the exact (seed, rate, threads) triple.
+
+use haven_eval::fault::FaultPlan;
+use haven_eval::harness::{evaluate, EvalConfig, RetryPolicy, SicotMode};
+use haven_eval::suites;
+use haven_lm::profiles::ModelProfile;
+
+fn suite() -> Vec<haven_eval::BenchTask> {
+    suites::verilog_eval_machine(3)
+        .into_iter()
+        .take(8)
+        .collect()
+}
+
+fn cfg(threads: usize, plan: Option<FaultPlan>) -> EvalConfig {
+    EvalConfig {
+        n: 3,
+        temperatures: vec![0.2, 0.8],
+        sicot: SicotMode::Off,
+        threads,
+        retry: RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 0,
+        },
+        fault_plan: plan,
+        ..EvalConfig::default()
+    }
+}
+
+#[test]
+fn suite_results_are_invariant_across_worker_pool_sizes() {
+    let profile = ModelProfile::uniform("prop-mid", 0.55);
+    let tasks = suite();
+    let plans: Vec<Option<FaultPlan>> = vec![
+        None,
+        Some(FaultPlan::transient(0x0001, 0.3)),
+        Some(FaultPlan::transient(0xBEEF, 0.9)),
+        Some(FaultPlan::permanent(0x0001, 0.3)),
+        Some(FaultPlan::permanent(0xFEED, 0.7)),
+    ];
+    for plan in plans {
+        let reference = evaluate(&profile, &tasks, &cfg(1, plan.clone())).unwrap();
+        for threads in [2, 4, 7] {
+            let result = evaluate(&profile, &tasks, &cfg(threads, plan.clone())).unwrap();
+            assert_eq!(
+                reference, result,
+                "plan {plan:?}: results diverged between 1 and {threads} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn permanent_fault_attribution_is_reproducible_run_to_run() {
+    // Same seed, same config, fresh harness each time: the quarantined
+    // fault counts must land on exactly the same tasks. (Panic isolation
+    // involves catch_unwind and thread scheduling; none of it may leak
+    // into results.)
+    let profile = ModelProfile::uniform("prop-rerun", 0.6);
+    let tasks = suite();
+    let plan = Some(FaultPlan::permanent(0xD00D, 0.6));
+    let first = evaluate(&profile, &tasks, &cfg(4, plan.clone())).unwrap();
+    let faults: usize = first.tasks.iter().map(|t| t.faults).sum();
+    assert!(faults > 0, "rate 0.6 must quarantine some samples");
+    for _ in 0..3 {
+        assert_eq!(
+            first,
+            evaluate(&profile, &tasks, &cfg(4, plan.clone())).unwrap()
+        );
+    }
+}
+
+#[test]
+fn retry_budget_size_does_not_change_what_transient_faults_hide() {
+    // Any retry budget >= 2 attempts fully absorbs transient faults
+    // (persist_attempts = 1), so results must match the fault-free run
+    // for every such budget.
+    let profile = ModelProfile::uniform("prop-retry", 0.5);
+    let tasks = suite();
+    let clean = evaluate(&profile, &tasks, &cfg(2, None)).unwrap();
+    for max_attempts in [2, 3, 5] {
+        let config = EvalConfig {
+            retry: RetryPolicy {
+                max_attempts,
+                backoff_base_ms: 0,
+            },
+            ..cfg(2, Some(FaultPlan::transient(0xCAFE, 0.8)))
+        };
+        let faulted = evaluate(&profile, &tasks, &config).unwrap();
+        assert_eq!(
+            clean.pass_at(1),
+            faulted.pass_at(1),
+            "max_attempts={max_attempts}"
+        );
+        assert_eq!(clean.syntax_pass_at(1), faulted.syntax_pass_at(1));
+        let retries: usize = faulted.tasks.iter().map(|t| t.retries).sum();
+        assert!(retries > 0, "rate 0.8 must actually burn retries");
+    }
+}

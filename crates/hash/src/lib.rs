@@ -1,0 +1,140 @@
+//! # haven-hash
+//!
+//! The one place content keys are computed. Two caches in this workspace
+//! are keyed by hashed text — the eval harness's per-task verdict
+//! memoizer (`haven-eval`, DESIGN.md §10) and the serving layer's
+//! verified-response cache (`haven-serve`, DESIGN.md §11) — and they must
+//! agree forever on what "the same content" means, or a cached verdict in
+//! one layer could silently disagree with the other. Both call
+//! [`content_key`]; neither defines its own hash.
+//!
+//! This crate sits below every other workspace member on purpose: the
+//! `haven` façade crate (`crates/core`) depends on `haven-eval`, so a
+//! helper that `haven-eval` itself must call cannot live there — it lives
+//! here and is re-exported by the façade.
+//!
+//! The hash is FNV-1a/64, written out longhand so the key is a *stable
+//! function of the bytes*: unlike `std`'s `DefaultHasher`, whose
+//! algorithm is explicitly unspecified across releases, these keys can be
+//! journaled, compared across processes, and embedded in on-disk caches.
+//! FNV is not collision-resistant against adversaries; these keys gate
+//! *memoization* (a collision re-serves a deterministic response for the
+//! wrong request, it does not corrupt a verdict that is re-derivable), so
+//! speed and stability win over cryptographic strength.
+
+#![warn(missing_docs)]
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a/64 hasher over byte chunks.
+///
+/// Multi-part keys must be built with [`ContentHasher::part`] (or the
+/// [`content_key`] convenience), which length-prefixes every part so that
+/// `["ab", "c"]` and `["a", "bc"]` produce different keys.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentHasher {
+    state: u64,
+}
+
+impl Default for ContentHasher {
+    fn default() -> ContentHasher {
+        ContentHasher::new()
+    }
+}
+
+impl ContentHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> ContentHasher {
+        ContentHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes (no framing).
+    pub fn bytes(mut self, bytes: &[u8]) -> ContentHasher {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a length-prefixed part, so part boundaries are unambiguous.
+    pub fn part(self, part: &str) -> ContentHasher {
+        self.bytes(&(part.len() as u64).to_le_bytes())
+            .bytes(part.as_bytes())
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn word(self, word: u64) -> ContentHasher {
+        self.bytes(&word.to_le_bytes())
+    }
+
+    /// The 64-bit key.
+    pub fn finish(self) -> u64 {
+        self.state
+    }
+}
+
+/// Stable 64-bit key of a sequence of length-prefixed string parts.
+///
+/// This is the workspace's canonical content key: the eval memoizer calls
+/// it with `[source]`, the serve cache with `[normalized prompt, model
+/// fingerprint, ...]`.
+pub fn content_key(parts: &[&str]) -> u64 {
+    parts
+        .iter()
+        .fold(ContentHasher::new(), |h, p| h.part(p))
+        .finish()
+}
+
+/// Lower-case 16-digit hex rendering of a key, for ids and logs.
+pub fn hex16(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_across_calls_and_pinned() {
+        assert_eq!(content_key(&["abc"]), content_key(&["abc"]));
+        // Pinned value: if this assertion ever fails, the hash function
+        // changed and every persisted key in the workspace is invalid.
+        assert_eq!(content_key(&[]), FNV_OFFSET);
+        assert_eq!(
+            ContentHasher::new().bytes(b"a").finish(),
+            0xaf63_dc4c_8601_ec8c
+        );
+    }
+
+    #[test]
+    fn part_boundaries_matter() {
+        assert_ne!(content_key(&["ab", "c"]), content_key(&["a", "bc"]));
+        assert_ne!(content_key(&["abc"]), content_key(&["abc", ""]));
+        assert_ne!(content_key(&["", "abc"]), content_key(&["abc", ""]));
+    }
+
+    #[test]
+    fn content_changes_change_the_key() {
+        let base = content_key(&["module m(); endmodule"]);
+        assert_ne!(base, content_key(&["module n(); endmodule"]));
+        assert_ne!(base, content_key(&["module m();  endmodule"]));
+    }
+
+    #[test]
+    fn hex_rendering_is_fixed_width() {
+        assert_eq!(hex16(0).len(), 16);
+        assert_eq!(hex16(0xff), "00000000000000ff");
+    }
+
+    #[test]
+    fn word_and_bytes_compose() {
+        let a = ContentHasher::new().word(7).part("x").finish();
+        let b = ContentHasher::new().word(7).part("x").finish();
+        assert_eq!(a, b);
+        assert_ne!(a, ContentHasher::new().word(8).part("x").finish());
+    }
+}

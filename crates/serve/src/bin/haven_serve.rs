@@ -1,0 +1,306 @@
+//! `haven-serve` — the serving layer as a process.
+//!
+//! Two transports over the same [`haven_serve::Server`]:
+//!
+//! * **stdin mode** (default): one JSON [`ServeRequest`] per input line,
+//!   one JSON [`ServeReply`] per output line, in completion order. EOF
+//!   drains the queue, prints the metrics snapshot to stderr, exits 0.
+//! * **TCP mode** (`--listen 127.0.0.1:PORT`): same JSONL protocol per
+//!   connection; loopback only, one thread per connection. `GET /metrics`
+//!   style probing is replaced by the literal line `"metrics"`, which
+//!   returns the text snapshot.
+//!
+//! ```text
+//! haven-serve [--model NAME] [--temperature T] [--workers N]
+//!             [--queue-capacity N] [--deadline-ms MS] [--cache-capacity N]
+//!             [--inference-latency-ms MS] [--no-static-gate]
+//!             [--fault-rate R --fault-seed S [--fault-permanent]]
+//!             [--listen ADDR] [--metrics-every N]
+//! ```
+//!
+//! Model names: `codeqwen`, `deepseek`, `codellama` (base profiles), or
+//! `perfect` (a uniform full-skill profile, useful for smoke tests).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Duration;
+
+use haven_eval::FaultPlan;
+use haven_lm::model::CodeGenModel;
+use haven_lm::profiles;
+use haven_serve::wire;
+use haven_serve::{ServeConfig, Server};
+
+struct Options {
+    model: String,
+    temperature: f64,
+    config: ServeConfig,
+    listen: Option<String>,
+    metrics_every: usize,
+}
+
+fn usage() -> &'static str {
+    "usage: haven-serve [--model codeqwen|deepseek|codellama|perfect] [--temperature T]\n\
+     \x20                  [--workers N] [--queue-capacity N] [--deadline-ms MS]\n\
+     \x20                  [--cache-capacity N] [--inference-latency-ms MS] [--no-static-gate]\n\
+     \x20                  [--fault-rate R] [--fault-seed S] [--fault-permanent]\n\
+     \x20                  [--listen 127.0.0.1:PORT] [--metrics-every N]\n\
+     reads one JSON request {\"id\":..,\"prompt\":..[,\"deadline_ms\":..]} per line,\n\
+     writes one JSON reply per line; EOF drains and prints metrics to stderr"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        model: "codeqwen".into(),
+        temperature: 0.2,
+        config: ServeConfig::default(),
+        listen: None,
+        metrics_every: 0,
+    };
+    let mut fault_rate = 0.0f64;
+    let mut fault_seed = 0u64;
+    let mut fault_permanent = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--model" => opts.model = value("--model")?,
+            "--temperature" => {
+                opts.temperature = value("--temperature")?
+                    .parse()
+                    .map_err(|e| format!("--temperature: {e}"))?;
+            }
+            "--workers" => {
+                opts.config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-capacity" => {
+                opts.config.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--queue-capacity: {e}"))?;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                opts.config.default_deadline = Duration::from_millis(ms);
+            }
+            "--cache-capacity" => {
+                opts.config.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--cache-capacity: {e}"))?;
+            }
+            "--inference-latency-ms" => {
+                let ms: u64 = value("--inference-latency-ms")?
+                    .parse()
+                    .map_err(|e| format!("--inference-latency-ms: {e}"))?;
+                opts.config.engine.inference_latency = Duration::from_millis(ms);
+            }
+            "--no-static-gate" => opts.config.engine.static_gate = false,
+            "--fault-rate" => {
+                fault_rate = value("--fault-rate")?
+                    .parse()
+                    .map_err(|e| format!("--fault-rate: {e}"))?;
+            }
+            "--fault-seed" => {
+                fault_seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("--fault-seed: {e}"))?;
+            }
+            "--fault-permanent" => fault_permanent = true,
+            "--listen" => opts.listen = Some(value("--listen")?),
+            "--metrics-every" => {
+                opts.metrics_every = value("--metrics-every")?
+                    .parse()
+                    .map_err(|e| format!("--metrics-every: {e}"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if fault_rate > 0.0 {
+        opts.config.engine.fault_plan = Some(if fault_permanent {
+            FaultPlan::permanent(fault_seed, fault_rate)
+        } else {
+            FaultPlan::transient(fault_seed, fault_rate)
+        });
+    }
+    Ok(opts)
+}
+
+fn model_for(name: &str, temperature: f64) -> Result<CodeGenModel, String> {
+    let profile = match name {
+        "codeqwen" => profiles::base_codeqwen(),
+        "deepseek" => profiles::base_deepseek(),
+        "codellama" => profiles::base_codellama(),
+        "perfect" => profiles::ModelProfile::uniform("perfect", 1.0),
+        other => return Err(format!("unknown model {other}")),
+    };
+    Ok(CodeGenModel::new(profile, temperature))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                eprintln!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("haven-serve: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let model = match model_for(&opts.model, opts.temperature) {
+        Ok(m) => m,
+        Err(msg) => {
+            eprintln!("haven-serve: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = Server::start(model, opts.config.clone());
+    match &opts.listen {
+        Some(addr) => run_tcp(server, addr),
+        None => run_stdin(server, opts.metrics_every),
+    }
+}
+
+/// JSONL over stdin/stdout. Replies stream in completion order; the `id`
+/// field correlates them with requests.
+fn run_stdin(mut server: Server, metrics_every: usize) -> ExitCode {
+    let stdin = std::io::stdin();
+    let (reply_tx, reply_rx) = channel();
+    // Printer thread: serializes replies to stdout as they complete.
+    let printer = std::thread::spawn(move || {
+        let mut out = std::io::stdout().lock();
+        let mut printed = 0usize;
+        for reply in reply_rx {
+            let line = wire::reply_json(&reply);
+            if writeln!(out, "{line}").is_err() {
+                break; // Downstream hung up; keep draining the channel.
+            }
+            printed += 1;
+            if metrics_every > 0 && printed.is_multiple_of(metrics_every) {
+                let _ = out.flush();
+            }
+        }
+        let _ = out.flush();
+    });
+    let mut bad_lines = 0usize;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("haven-serve: stdin read error: {e}");
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match wire::parse_request(&line) {
+            Ok(request) => {
+                server.submit(request, reply_tx.clone());
+            }
+            Err(e) => {
+                bad_lines += 1;
+                eprintln!("haven-serve: bad request line: {e}");
+            }
+        }
+    }
+    // EOF: drain everything admitted, then let the printer finish.
+    server.shutdown();
+    eprintln!("{}", server.metrics_text());
+    drop(reply_tx);
+    let _ = printer.join();
+    if bad_lines > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// JSONL over loopback TCP: one thread per connection, same protocol as
+/// stdin mode, plus the literal line `metrics` for a text snapshot.
+fn run_tcp(server: Server, addr: &str) -> ExitCode {
+    if !addr.starts_with("127.0.0.1:") && !addr.starts_with("[::1]:") {
+        eprintln!("haven-serve: --listen only binds loopback (127.0.0.1:PORT)");
+        return ExitCode::from(2);
+    }
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("haven-serve: bind {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // The actual port (addr may say :0), printed for test harnesses.
+    match listener.local_addr() {
+        Ok(local) => println!("listening on {local}"),
+        Err(e) => eprintln!("haven-serve: local_addr: {e}"),
+    }
+    let server = Arc::new(server);
+    let mut connections = Vec::new();
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("haven-serve: accept: {e}");
+                continue;
+            }
+        };
+        let server = server.clone();
+        connections.push(std::thread::spawn(move || {
+            let reader = BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("haven-serve: clone stream: {e}");
+                    return;
+                }
+            });
+            let mut writer = stream;
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if trimmed == "metrics" {
+                    if writer
+                        .write_all(server.metrics().render_text().as_bytes())
+                        .is_err()
+                    {
+                        break;
+                    }
+                    continue;
+                }
+                let reply = match wire::parse_request(trimmed) {
+                    Ok(request) => server.serve(request),
+                    Err(e) => {
+                        let msg = wire::escape(&format!("bad request: {e}"));
+                        if writeln!(writer, "{{\"error\":\"{msg}\"}}").is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                };
+                if writeln!(writer, "{}", wire::reply_json(&reply)).is_err() {
+                    break;
+                }
+            }
+        }));
+        // Reap finished connection threads so the vec stays bounded.
+        connections.retain(|h| !h.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,183 @@
+//! The verified-response cache: content-addressed by the hash of the
+//! *normalized* request (plus the serving-model fingerprint), storing only
+//! deterministic, fully-processed [`ServeResponse`] payloads.
+//!
+//! Keying on the normalized prompt — the text *after* SI-CoT rewriting —
+//! means two users who phrase the same intent with, say, the same truth
+//! table but different surrounding prose still collide onto one entry
+//! whenever normalization canonicalizes them identically, and it
+//! generalizes the eval harness's per-task verdict memoization (same
+//! canonical key function, [`haven_hash::content_key`]) across requests
+//! and sessions.
+//!
+//! What is *never* cached, by construction:
+//! * rejected requests (deadline, queue-full) — they have no response;
+//! * fault-class outcomes (worker panics, budget exhaustion) — possibly
+//!   transient, so replaying them would pin an infrastructure hiccup to a
+//!   content key ([`ServeResponse::cacheable`]).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use crate::request::ServeResponse;
+
+/// A bounded, thread-safe, content-addressed response cache with FIFO
+/// eviction. FIFO (rather than LRU) keeps the hot path to one short
+/// critical section and is deterministic — eviction order depends only on
+/// insertion order, never on racy access timestamps.
+pub struct ResponseCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u64, Arc<ServeResponse>>,
+    order: VecDeque<u64>,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `capacity` responses. Capacity 0 disables
+    /// caching entirely (every lookup misses, every insert is dropped).
+    pub fn new(capacity: usize) -> ResponseCache {
+        ResponseCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Builds the content key for a normalized request served by a given
+    /// model configuration. `model_fingerprint` must capture everything
+    /// besides the prompt that changes the deterministic response: model
+    /// name and temperature at minimum.
+    pub fn key(normalized_prompt: &str, model_fingerprint: &str) -> u64 {
+        haven_hash::content_key(&[normalized_prompt, model_fingerprint])
+    }
+
+    /// Looks up a response by key.
+    pub fn get(&self, key: u64) -> Option<Arc<ServeResponse>> {
+        self.inner
+            .lock()
+            .expect("cache lock poisoned")
+            .map
+            .get(&key)
+            .cloned()
+    }
+
+    /// Inserts a response, evicting the oldest entry when full. Responses
+    /// that are not [`ServeResponse::cacheable`] are refused here as a
+    /// second line of defense (workers also check before calling).
+    pub fn insert(&self, key: u64, response: Arc<ServeResponse>) {
+        if self.capacity == 0 || !response.cacheable() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        if inner.map.contains_key(&key) {
+            return; // First write wins; entries are deterministic anyway.
+        }
+        if inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner.order.pop_front() {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(key, response);
+        inner.order.push_back(key);
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ServeVerdict;
+    use haven_spec::cosim::Verdict;
+
+    fn response(code: &str, verdict: ServeVerdict) -> Arc<ServeResponse> {
+        Arc::new(ServeResponse {
+            code: code.into(),
+            verdict,
+            findings: vec![],
+            gated: false,
+        })
+    }
+
+    #[test]
+    fn hit_returns_the_exact_inserted_payload() {
+        let cache = ResponseCache::new(4);
+        let key = ResponseCache::key("prompt", "model@0.2");
+        let r = response("module m; endmodule", ServeVerdict::Checked(Verdict::Pass));
+        cache.insert(key, r.clone());
+        assert_eq!(cache.get(key).as_deref(), Some(r.as_ref()));
+        assert_eq!(cache.get(key ^ 1), None);
+    }
+
+    #[test]
+    fn key_depends_on_prompt_and_model_fingerprint() {
+        let k = ResponseCache::key("p", "m@0.2");
+        assert_ne!(k, ResponseCache::key("p2", "m@0.2"));
+        assert_ne!(k, ResponseCache::key("p", "m@0.5"));
+        // Part-boundary safety comes from the shared hasher.
+        assert_ne!(ResponseCache::key("ab", "c"), ResponseCache::key("a", "bc"));
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_the_cache() {
+        let cache = ResponseCache::new(2);
+        for i in 0..5u64 {
+            cache.insert(i, response("m", ServeVerdict::Checked(Verdict::Pass)));
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(0).is_none(), "oldest entry must be evicted");
+        assert!(cache.get(4).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResponseCache::new(0);
+        cache.insert(1, response("m", ServeVerdict::Checked(Verdict::Pass)));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(1), None);
+    }
+
+    #[test]
+    fn fault_class_responses_are_refused() {
+        let cache = ResponseCache::new(4);
+        cache.insert(
+            1,
+            response(
+                "m",
+                ServeVerdict::Checked(Verdict::HarnessFault("x".into())),
+            ),
+        );
+        cache.insert(
+            2,
+            response(
+                "m",
+                ServeVerdict::Checked(Verdict::ResourceExhausted("t".into())),
+            ),
+        );
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn first_write_wins_for_concurrent_fills() {
+        let cache = ResponseCache::new(4);
+        let a = response("a", ServeVerdict::Checked(Verdict::Pass));
+        let b = response("b", ServeVerdict::Checked(Verdict::Pass));
+        cache.insert(9, a.clone());
+        cache.insert(9, b);
+        assert_eq!(cache.get(9).unwrap().code, "a");
+        assert_eq!(cache.len(), 1);
+    }
+}

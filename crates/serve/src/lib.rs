@@ -1,0 +1,77 @@
+//! # haven-serve
+//!
+//! The concurrent spec-to-RTL serving layer: what the HaVen pipeline
+//! looks like as a *service* rather than a batch evaluation.
+//!
+//! One request carries an instruction text (optionally with symbolic
+//! modality blocks — truth tables, waveform charts, state diagrams) and
+//! flows through:
+//!
+//! 1. **Normalize** — SI-CoT rewriting ([`haven_sicot`]);
+//! 2. **Generate** — the CodeGen-LLM call ([`haven_lm`]), seeded by the
+//!    content key of the *normalized* text so identical intents produce
+//!    identical code;
+//! 3. **Lint** — compile + dataflow static analysis
+//!    ([`haven_verilog::analyze_design`]), with the same short-circuit
+//!    gate the eval harness uses;
+//! 4. **Simulate** — budgeted co-simulation against the perceived golden
+//!    model on the compiled backend ([`haven_spec::cosim`]).
+//!
+//! Around the pipeline sit the serving concerns this crate exists for:
+//!
+//! * **Admission control** ([`Server`]) — a bounded queue with typed
+//!   backpressure ([`Rejection::QueueFull`]) and per-request deadlines
+//!   ([`Rejection::DeadlineExceeded`] names the stage that ran out of
+//!   time). Overload degrades to rejections, never to panics or unbounded
+//!   queues.
+//! * **Panic isolation + retries** — fault-class outcomes (worker panics,
+//!   harness faults, budget exhaustion) burn a bounded retry budget with
+//!   deterministic backoff, reusing the eval harness's
+//!   [`haven_eval::RetryPolicy`] and [`haven_eval::FaultPlan`] machinery.
+//! * **Verified-response cache** ([`ResponseCache`]) — content-addressed
+//!   by the hash of the *normalized* request ([`haven_hash`], the same
+//!   key function as the eval memoizer), replaying fully-verified
+//!   payloads bit-identically. Fault-class and rejected requests are
+//!   never cached.
+//! * **Metrics** ([`Metrics`]) — lock-free counters and per-stage latency
+//!   histograms with the admission accounting invariant
+//!   `admitted == completed + rejected + failed`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use haven_lm::{profiles, CodeGenModel};
+//! use haven_serve::{ServeConfig, ServeRequest, Server};
+//!
+//! let model = CodeGenModel::new(profiles::ModelProfile::uniform("demo", 1.0), 0.2);
+//! let server = Server::start(model, ServeConfig::default());
+//! let reply = server.serve(ServeRequest::new(
+//!     "r1",
+//!     "Implement the truth table below\na b out\n0 0 0\n0 1 0\n1 0 0\n1 1 1\n\
+//!      The module header is: `module and_gate (input a, input b, output out);`",
+//! ));
+//! match reply.outcome {
+//!     haven_serve::ServeOutcome::Completed(response) => {
+//!         assert!(response.verdict.verified_pass());
+//!     }
+//!     other => panic!("{other:?}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod pipeline;
+pub mod request;
+pub mod server;
+pub mod wire;
+
+pub use cache::ResponseCache;
+pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use pipeline::{Attempt, AttemptOutcome, DeadlineClock, Engine, EngineConfig};
+pub use request::{
+    Rejection, RequestTrace, ServeOutcome, ServeReply, ServeRequest, ServeResponse, ServeVerdict,
+    Stage,
+};
+pub use server::{ServeConfig, Server};

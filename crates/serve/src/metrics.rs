@@ -1,0 +1,350 @@
+//! Lock-free serving metrics: counters for the admission accounting
+//! invariant and log-bucketed latency histograms per pipeline stage.
+//!
+//! The registry is written on the hot path by every worker, so everything
+//! is relaxed atomics — no locks, no allocation. Reads produce a
+//! [`MetricsSnapshot`], a consistent-enough view for dashboards (each
+//! counter is individually atomic; the snapshot is taken between requests
+//! in tests, where the invariant `admitted == completed + rejected +
+//! failed` must hold exactly).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::request::Stage;
+
+/// Histogram bucket count: powers of two from 1 µs up, last bucket is
+/// overflow. 2^26 µs ≈ 67 s, far beyond any sane request deadline.
+const BUCKETS: usize = 27;
+
+/// One log2-bucketed latency histogram (microseconds).
+#[derive(Default)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, us: u64) {
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        HistogramSnapshot {
+            count,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            p50_us: quantile(&counts, count, 0.50),
+            p95_us: quantile(&counts, count, 0.95),
+            p99_us: quantile(&counts, count, 0.99),
+        }
+    }
+}
+
+/// Upper bound of the bucket holding quantile `q` (0 when empty). Bucket
+/// `i` holds observations in `[2^(i-1), 2^i)` µs, so the estimate is the
+/// bucket's upper bound — pessimistic by at most 2x, stable, and cheap.
+fn quantile(counts: &[u64], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = (q * total as f64).ceil() as u64;
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return 1u64 << i;
+        }
+    }
+    1u64 << (BUCKETS - 1)
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations (µs).
+    pub sum_us: u64,
+    /// Largest observation (µs).
+    pub max_us: u64,
+    /// Median estimate (bucket upper bound, µs).
+    pub p50_us: u64,
+    /// 95th-percentile estimate (µs).
+    pub p95_us: u64,
+    /// 99th-percentile estimate (µs).
+    pub p99_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// The registry every worker writes into.
+#[derive(Default)]
+pub struct Metrics {
+    /// Requests presented to `submit` (admitted or not).
+    pub submitted: AtomicU64,
+    /// Pre-admission refusals: malformed requests.
+    pub invalid: AtomicU64,
+    /// Pre-admission refusals: queue at capacity (backpressure).
+    pub queue_full: AtomicU64,
+    /// Requests that entered the queue. Everything admitted must end up in
+    /// exactly one of `completed` / `rejected` / `failed`.
+    pub admitted: AtomicU64,
+    /// Admitted requests that produced a response (including cache hits,
+    /// gated responses, and unchecked responses).
+    pub completed: AtomicU64,
+    /// Admitted requests refused after admission (deadline, shutdown).
+    pub rejected: AtomicU64,
+    /// Admitted requests that died as harness faults after retries.
+    pub failed: AtomicU64,
+    /// Verified-response cache hits.
+    pub cache_hits: AtomicU64,
+    /// Verified-response cache misses (lookups that ran the full pipeline).
+    pub cache_misses: AtomicU64,
+    /// Retry attempts spent on fault-class outcomes.
+    pub retries: AtomicU64,
+    /// Deadline rejections by the stage where time ran out.
+    pub deadline_by_stage: [AtomicU64; 5],
+    /// Latency histograms by stage.
+    pub stage_latency: [Histogram; 5],
+    /// Admission-to-reply latency of every finished request.
+    pub total_latency: Histogram,
+}
+
+impl Metrics {
+    /// Bumps a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a stage latency.
+    pub fn record_stage(&self, stage: Stage, us: u64) {
+        self.stage_latency[stage.index()].record(us);
+    }
+
+    /// Records a deadline rejection at `stage`.
+    pub fn record_deadline(&self, stage: Stage) {
+        Metrics::inc(&self.rejected);
+        Metrics::inc(&self.deadline_by_stage[stage.index()]);
+    }
+
+    /// Takes a snapshot of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: load(&self.submitted),
+            invalid: load(&self.invalid),
+            queue_full: load(&self.queue_full),
+            admitted: load(&self.admitted),
+            completed: load(&self.completed),
+            rejected: load(&self.rejected),
+            failed: load(&self.failed),
+            cache_hits: load(&self.cache_hits),
+            cache_misses: load(&self.cache_misses),
+            retries: load(&self.retries),
+            deadline_by_stage: Stage::ALL
+                .iter()
+                .map(|s| {
+                    (
+                        s.label().to_string(),
+                        load(&self.deadline_by_stage[s.index()]),
+                    )
+                })
+                .collect(),
+            stages: Stage::ALL
+                .iter()
+                .map(|s| {
+                    (
+                        s.label().to_string(),
+                        self.stage_latency[s.index()].snapshot(),
+                    )
+                })
+                .collect(),
+            total: self.total_latency.snapshot(),
+        }
+    }
+}
+
+/// A serializable point-in-time view of the whole registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests presented to `submit`.
+    pub submitted: u64,
+    /// Malformed-request refusals (pre-admission).
+    pub invalid: u64,
+    /// Backpressure refusals (pre-admission).
+    pub queue_full: u64,
+    /// Requests that entered the queue.
+    pub admitted: u64,
+    /// Responses delivered.
+    pub completed: u64,
+    /// Post-admission rejections (deadline, shutdown).
+    pub rejected: u64,
+    /// Harness faults that survived the retry budget.
+    pub failed: u64,
+    /// Verified-response cache hits.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+    /// Retry attempts spent on fault-class outcomes.
+    pub retries: u64,
+    /// Deadline rejections by stage label.
+    pub deadline_by_stage: Vec<(String, u64)>,
+    /// Per-stage latency, by stage label.
+    pub stages: Vec<(String, HistogramSnapshot)>,
+    /// Admission-to-reply latency.
+    pub total: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// The admission accounting invariant: every admitted request ended in
+    /// exactly one terminal bucket. Holds exactly whenever no request is
+    /// in flight (the server quiesced or was shut down).
+    pub fn accounted(&self) -> bool {
+        self.admitted == self.completed + self.rejected + self.failed
+    }
+
+    /// Cache hit rate over all lookups (0.0 when the cache was never
+    /// consulted).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Plain-text rendering in the style of a Prometheus exposition: one
+    /// `name value` line per counter, latency lines labelled by stage.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut line = |k: &str, v: u64| out.push_str(&format!("serve_{k} {v}\n"));
+        line("submitted_total", self.submitted);
+        line("invalid_total", self.invalid);
+        line("queue_full_total", self.queue_full);
+        line("admitted_total", self.admitted);
+        line("completed_total", self.completed);
+        line("rejected_total", self.rejected);
+        line("failed_total", self.failed);
+        line("cache_hits_total", self.cache_hits);
+        line("cache_misses_total", self.cache_misses);
+        line("retries_total", self.retries);
+        for (stage, n) in &self.deadline_by_stage {
+            out.push_str(&format!(
+                "serve_deadline_exceeded_total{{stage=\"{stage}\"}} {n}\n"
+            ));
+        }
+        let mut hist = |name: &str, label: &str, h: &HistogramSnapshot| {
+            for (q, v) in [("p50", h.p50_us), ("p95", h.p95_us), ("p99", h.p99_us)] {
+                out.push_str(&format!(
+                    "serve_{name}_us{{{label},quantile=\"{q}\"}} {v}\n"
+                ));
+            }
+            out.push_str(&format!("serve_{name}_us_count{{{label}}} {}\n", h.count));
+            out.push_str(&format!("serve_{name}_us_sum{{{label}}} {}\n", h.sum_us));
+        };
+        for (stage, h) in &self.stages {
+            hist("stage", &format!("stage=\"{stage}\""), h);
+        }
+        hist("total", "stage=\"total\"", &self.total);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_observations() {
+        let h = Histogram::default();
+        for us in [1u64, 2, 3, 100, 1000, 10_000] {
+            h.record(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum_us, 11_106);
+        assert_eq!(s.max_us, 10_000);
+        // Bucket upper bounds: within 2x above the true quantile.
+        assert!(s.p50_us >= 3 && s.p50_us <= 8, "{}", s.p50_us);
+        assert!(s.p99_us >= 10_000 && s.p99_us <= 20_000, "{}", s.p99_us);
+        assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!((s.count, s.p50_us, s.p99_us, s.max_us), (0, 0, 0, 0));
+        assert_eq!(s.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn oversized_observation_lands_in_overflow_bucket() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_us, 1u64 << (BUCKETS - 1));
+    }
+
+    #[test]
+    fn accounting_invariant_checks_terminal_buckets() {
+        let m = Metrics::default();
+        Metrics::inc(&m.admitted);
+        Metrics::inc(&m.admitted);
+        Metrics::inc(&m.completed);
+        assert!(!m.snapshot().accounted());
+        m.record_deadline(Stage::Generate);
+        let s = m.snapshot();
+        assert!(s.accounted());
+        assert_eq!(s.deadline_by_stage[Stage::Generate.index()].1, 1);
+    }
+
+    #[test]
+    fn text_rendering_contains_every_counter_and_stage() {
+        let m = Metrics::default();
+        m.record_stage(Stage::Simulate, 250);
+        m.total_latency.record(400);
+        let text = m.snapshot().render_text();
+        for needle in [
+            "serve_admitted_total 0",
+            "serve_cache_hits_total 0",
+            "stage=\"queue_wait\"",
+            "stage=\"simulate\"",
+            "serve_total_us_count{stage=\"total\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn hit_rate_is_guarded_against_zero_lookups() {
+        let m = Metrics::default();
+        assert_eq!(m.snapshot().cache_hit_rate(), 0.0);
+        Metrics::inc(&m.cache_hits);
+        Metrics::inc(&m.cache_misses);
+        assert_eq!(m.snapshot().cache_hit_rate(), 0.5);
+    }
+}

@@ -1,0 +1,524 @@
+//! The per-request pipeline: SI-CoT normalization → generation → static
+//! lint gate → budgeted co-simulation, under a deadline clock.
+//!
+//! One [`Engine`] is shared by every worker. An *attempt* is one pass of
+//! a request through the pipeline; the worker pool wraps attempts in
+//! `catch_unwind` and retries fault-class outcomes, so everything here
+//! returns typed results and may freely panic only where a fault was
+//! *injected* (the panic-isolation path under test).
+//!
+//! ## Determinism and the cache boundary
+//!
+//! The generation stage seeds the model with `gen_id` — the hex of the
+//! content key of the *normalized* text — never with the caller's request
+//! id. Together with the deterministic model, analyzer and simulator this
+//! makes the produced [`ServeResponse`] a pure function of (normalized
+//! prompt, engine fingerprint), which is the property the
+//! verified-response cache relies on to replay payloads bit-identically.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use haven_eval::fault::{corrupt_source, FaultKind};
+use haven_eval::FaultPlan;
+use haven_lm::model::CodeGenModel;
+use haven_lm::perception::perceive;
+use haven_sicot::SiCot;
+use haven_spec::cosim::{cosimulate_compiled, CosimOptions, SimBackend, SimBudget, Verdict};
+use haven_spec::stimuli::stimuli_for;
+
+use crate::cache::ResponseCache;
+use crate::metrics::Metrics;
+use crate::request::{Rejection, RequestTrace, ServeResponse, ServeVerdict, Stage};
+
+/// Everything that shapes the deterministic response payload, plus the
+/// serving knobs that do not (inference latency, fault plan).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Short-circuit co-simulation when the dataflow analyzer proves the
+    /// design defective (mirrors the eval harness's static gate).
+    pub static_gate: bool,
+    /// Resource budget for each candidate co-simulation.
+    pub budget: SimBudget,
+    /// Execution backend for the candidate design.
+    pub backend: SimBackend,
+    /// Simulated wall-clock latency of the remote CodeGen-LLM inference
+    /// call. Workers block on it, so it is what concurrency overlaps;
+    /// it is capped at the request's remaining deadline.
+    pub inference_latency: Duration,
+    /// Fault injection at the generation boundary (tests, chaos drills).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            static_gate: true,
+            budget: SimBudget::default(),
+            backend: SimBackend::default(),
+            inference_latency: Duration::ZERO,
+            fault_plan: None,
+        }
+    }
+}
+
+/// Tracks one request's deadline from the moment it was admitted.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineClock {
+    admitted: Instant,
+    deadline: Duration,
+}
+
+impl DeadlineClock {
+    /// A clock started at `admitted` with `deadline` to spend.
+    pub fn new(admitted: Instant, deadline: Duration) -> DeadlineClock {
+        DeadlineClock { admitted, deadline }
+    }
+
+    /// Milliseconds since admission.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.admitted.elapsed().as_millis() as u64
+    }
+
+    /// Time left before the deadline, zero once expired.
+    pub fn remaining(&self) -> Duration {
+        self.deadline.saturating_sub(self.admitted.elapsed())
+    }
+
+    /// Errors with a typed rejection if the deadline has expired, naming
+    /// the stage that was running (or about to run).
+    pub fn check(&self, stage: Stage) -> Result<(), Rejection> {
+        if self.admitted.elapsed() >= self.deadline {
+            Err(Rejection::DeadlineExceeded {
+                stage,
+                elapsed_ms: self.elapsed_ms(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// How one pipeline attempt ended. Fault-class verdicts come back as
+/// `Response` too — the worker pool inspects them to drive retries.
+#[derive(Debug)]
+pub enum AttemptOutcome {
+    /// The pipeline produced a payload (possibly fault-class).
+    Response(Arc<ServeResponse>),
+    /// The deadline expired mid-pipeline.
+    Deadline(Rejection),
+}
+
+/// The result of one attempt, with per-stage timings and cache telemetry.
+#[derive(Debug)]
+pub struct Attempt {
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+    /// Whether the payload was replayed from the verified-response cache.
+    pub cache_hit: bool,
+    /// SI-CoT steps fired while normalizing (always runs, even on hits).
+    pub sicot_steps: usize,
+    /// Stage timings for this attempt (queue/total filled by the worker).
+    pub trace: RequestTrace,
+}
+
+/// The shared request pipeline: SI-CoT refiner, serving model, static
+/// gate, co-simulation oracle, verified-response cache.
+pub struct Engine {
+    sicot: SiCot,
+    model: CodeGenModel,
+    /// Everything besides the prompt that changes the payload, baked into
+    /// the cache key: model name, temperature, gate, backend.
+    fingerprint: String,
+    config: EngineConfig,
+    cache: Arc<ResponseCache>,
+    metrics: Arc<Metrics>,
+}
+
+impl Engine {
+    /// Builds the engine. The SI-CoT refiner wraps the serving model
+    /// itself, as in the paper (the CoT prompting model and the CodeGen
+    /// model are the same pre-trained LLM).
+    pub fn new(
+        model: CodeGenModel,
+        config: EngineConfig,
+        cache: Arc<ResponseCache>,
+        metrics: Arc<Metrics>,
+    ) -> Engine {
+        let fingerprint = format!(
+            "{}@{}/gate={}/backend={:?}",
+            model.profile.name, model.temperature, config.static_gate, config.backend
+        );
+        Engine {
+            sicot: SiCot::new(model.clone()),
+            model,
+            fingerprint,
+            config,
+            cache,
+            metrics,
+        }
+    }
+
+    /// The cache-key fingerprint of this engine's serving configuration.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// Runs one pipeline attempt under `clock`. `attempt` is the retry
+    /// index (0 = first try); it selects the injected fault (if any) and
+    /// gates cache telemetry so retries don't double-count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fault plan schedules [`FaultKind::WorkerPanic`]
+    /// for this attempt — the worker pool's `catch_unwind` is the
+    /// production recovery path and is exercised for real.
+    pub fn run_attempt(&self, prompt: &str, clock: &DeadlineClock, attempt: usize) -> Attempt {
+        let mut trace = RequestTrace::default();
+
+        // --- Normalize: SI-CoT rewriting of symbolic modality blocks ---
+        if let Err(r) = clock.check(Stage::Normalize) {
+            return deadline(r, 0, trace);
+        }
+        let t = Instant::now();
+        // Normalization is seeded by the *raw* prompt's content key, so
+        // its CoT interpretation is stable for identical raw text but
+        // never leaks the caller's request id into the payload.
+        let raw_id = haven_hash::hex16(haven_hash::content_key(&[prompt]));
+        let refined = self.sicot.refine(prompt, &raw_id);
+        trace.normalize_us = t.elapsed().as_micros() as u64;
+        let sicot_steps = refined.steps.len();
+
+        // Everything downstream depends only on the normalized text.
+        let gen_key = haven_hash::content_key(&[&refined.text]);
+        let gen_id = haven_hash::hex16(gen_key);
+        let fault = self
+            .config
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.fault_at(&gen_id, self.model.temperature, 0, attempt));
+        if fault == Some(FaultKind::WorkerPanic) {
+            panic!("injected worker panic (gen {gen_id}, attempt {attempt})");
+        }
+
+        // --- Cache lookup (bypassed when a fault is injected: the fault
+        // must reach the pipeline, and its outcome must never be stored).
+        let cache_key = ResponseCache::key(&refined.text, &self.fingerprint);
+        if fault.is_none() {
+            if let Some(hit) = self.cache.get(cache_key) {
+                if attempt == 0 {
+                    Metrics::inc(&self.metrics.cache_hits);
+                }
+                return Attempt {
+                    outcome: AttemptOutcome::Response(hit),
+                    cache_hit: true,
+                    sicot_steps,
+                    trace,
+                };
+            }
+            if attempt == 0 {
+                Metrics::inc(&self.metrics.cache_misses);
+            }
+        }
+
+        // --- Generate: the (simulated) remote CodeGen-LLM call ---------
+        if let Err(r) = clock.check(Stage::Generate) {
+            return deadline(r, sicot_steps, trace);
+        }
+        let t = Instant::now();
+        if !self.config.inference_latency.is_zero() {
+            // Block for the modeled inference latency, but never past the
+            // deadline: a too-slow model call times out *here*, at the
+            // generate stage, like a real RPC timeout would.
+            std::thread::sleep(self.config.inference_latency.min(clock.remaining()));
+        }
+        let mut source = self.model.generate(&refined.text, &gen_id, 0);
+        trace.generate_us = t.elapsed().as_micros() as u64;
+        if let Err(r) = clock.check(Stage::Generate) {
+            return deadline(r, sicot_steps, trace);
+        }
+        if fault == Some(FaultKind::SourceCorruption) {
+            source = corrupt_source(&source);
+        }
+        // Harness boundary sanity check (same contract as the eval
+        // harness): damage on the wire is an infrastructure fault, not a
+        // property of the prompt.
+        if source.is_empty() || source.contains('\0') {
+            let detail = if source.is_empty() {
+                "model returned empty source".to_string()
+            } else {
+                "model returned source with NUL bytes".to_string()
+            };
+            return self.respond(
+                ServeResponse {
+                    code: String::new(),
+                    verdict: ServeVerdict::Checked(Verdict::HarnessFault(detail)),
+                    findings: vec![],
+                    gated: false,
+                },
+                cache_key,
+                fault,
+                sicot_steps,
+                trace,
+            );
+        }
+
+        // --- Lint: compile + dataflow static analysis ------------------
+        if let Err(r) = clock.check(Stage::Lint) {
+            return deadline(r, sicot_steps, trace);
+        }
+        let t = Instant::now();
+        let design = match haven_verilog::compile(&source) {
+            Ok(d) => d,
+            Err(e) => {
+                trace.lint_us = t.elapsed().as_micros() as u64;
+                return self.respond(
+                    ServeResponse {
+                        code: source,
+                        verdict: ServeVerdict::Checked(Verdict::SyntaxError(e.to_string())),
+                        findings: vec![],
+                        gated: false,
+                    },
+                    cache_key,
+                    fault,
+                    sicot_steps,
+                    trace,
+                );
+            }
+        };
+        let report = haven_verilog::analyze_design(&design);
+        trace.lint_us = t.elapsed().as_micros() as u64;
+        if self.config.static_gate && report.has_errors() {
+            // Same short-circuit (and same detail string) as the eval
+            // harness: simulating a provably defective design could only
+            // confirm the failure.
+            return self.respond(
+                ServeResponse {
+                    code: source,
+                    verdict: ServeVerdict::Checked(Verdict::FunctionalMismatch {
+                        at_check: 0,
+                        detail: "skipped by static gate: analyzer proved the design defective"
+                            .into(),
+                    }),
+                    findings: report.findings,
+                    gated: true,
+                },
+                cache_key,
+                fault,
+                sicot_steps,
+                trace,
+            );
+        }
+
+        // --- Simulate: budgeted co-simulation against the golden model -
+        if let Err(r) = clock.check(Stage::Simulate) {
+            return deadline(r, sicot_steps, trace);
+        }
+        let t = Instant::now();
+        let verdict = match perceive(&refined.text) {
+            Err(e) => ServeVerdict::Unchecked {
+                reason: e.to_string(),
+            },
+            Ok(perception) => {
+                let stimuli = stimuli_for(&perception.spec, gen_key);
+                let options = CosimOptions {
+                    mid_tick_checks: true,
+                    // An injected stall starves the simulator through the
+                    // real budget machinery — the recovery path under
+                    // test is the production one.
+                    budget: if fault == Some(FaultKind::SimStall) {
+                        SimBudget::starved()
+                    } else {
+                        self.config.budget
+                    },
+                    backend: self.config.backend,
+                };
+                ServeVerdict::Checked(
+                    cosimulate_compiled(&perception.spec, design, &stimuli, &options).verdict,
+                )
+            }
+        };
+        trace.simulate_us = t.elapsed().as_micros() as u64;
+        self.respond(
+            ServeResponse {
+                code: source,
+                verdict,
+                findings: report.findings,
+                gated: false,
+            },
+            cache_key,
+            fault,
+            sicot_steps,
+            trace,
+        )
+    }
+
+    /// Wraps a freshly computed payload, filling the cache when the
+    /// attempt was fault-free and the payload is cacheable.
+    fn respond(
+        &self,
+        response: ServeResponse,
+        cache_key: u64,
+        fault: Option<FaultKind>,
+        sicot_steps: usize,
+        trace: RequestTrace,
+    ) -> Attempt {
+        let response = Arc::new(response);
+        // An attempt with an injected fault never writes the cache: its
+        // payload was produced under sabotage (corrupted source, starved
+        // budget) and must not be replayed for honest requests.
+        if fault.is_none() {
+            self.cache.insert(cache_key, response.clone());
+        }
+        Attempt {
+            outcome: AttemptOutcome::Response(response),
+            cache_hit: false,
+            sicot_steps,
+            trace,
+        }
+    }
+}
+
+fn deadline(rejection: Rejection, sicot_steps: usize, trace: RequestTrace) -> Attempt {
+    Attempt {
+        outcome: AttemptOutcome::Deadline(rejection),
+        cache_hit: false,
+        sicot_steps,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haven_lm::profiles;
+
+    fn engine(config: EngineConfig) -> Engine {
+        engine_with(config, Arc::new(ResponseCache::new(64)))
+    }
+
+    fn engine_with(config: EngineConfig, cache: Arc<ResponseCache>) -> Engine {
+        let model = CodeGenModel::new(profiles::ModelProfile::uniform("perfect", 1.0), 0.2);
+        Engine::new(model, config, cache, Arc::new(Metrics::default()))
+    }
+
+    fn far_clock() -> DeadlineClock {
+        DeadlineClock::new(Instant::now(), Duration::from_secs(60))
+    }
+
+    const AND_PROMPT: &str = "Implement the truth table below\n\
+        a b out\n0 0 0\n0 1 0\n1 0 0\n1 1 1\n\
+        The module header is: `module and_gate (input a, input b, output out);`";
+
+    #[test]
+    fn perfect_model_serves_a_verified_pass() {
+        let e = engine(EngineConfig::default());
+        let a = e.run_attempt(AND_PROMPT, &far_clock(), 0);
+        match a.outcome {
+            AttemptOutcome::Response(r) => {
+                assert!(r.verdict.verified_pass(), "{:?}", r.verdict);
+                assert!(r.code.contains("module and_gate"));
+                assert!(!r.gated);
+            }
+            AttemptOutcome::Deadline(r) => panic!("unexpected deadline: {r}"),
+        }
+        assert!(!a.cache_hit);
+        assert!(a.sicot_steps > 0, "truth table should trigger SI-CoT");
+    }
+
+    #[test]
+    fn second_identical_request_hits_the_cache_bit_identically() {
+        let e = engine(EngineConfig::default());
+        let cold = e.run_attempt(AND_PROMPT, &far_clock(), 0);
+        let warm = e.run_attempt(AND_PROMPT, &far_clock(), 0);
+        let (AttemptOutcome::Response(a), AttemptOutcome::Response(b)) =
+            (cold.outcome, warm.outcome)
+        else {
+            panic!("both attempts must produce responses");
+        };
+        assert!(!cold.cache_hit);
+        assert!(warm.cache_hit);
+        assert_eq!(a.as_ref(), b.as_ref(), "cache must replay bit-identically");
+        // Envelope data still computed per request on hits.
+        assert_eq!(cold.sicot_steps, warm.sicot_steps);
+    }
+
+    #[test]
+    fn expired_deadline_rejects_before_generation() {
+        let e = engine(EngineConfig::default());
+        let clock = DeadlineClock::new(Instant::now() - Duration::from_secs(1), Duration::ZERO);
+        let a = e.run_attempt(AND_PROMPT, &clock, 0);
+        match a.outcome {
+            AttemptOutcome::Deadline(Rejection::DeadlineExceeded { stage, .. }) => {
+                assert_eq!(stage, Stage::Normalize);
+            }
+            other => panic!("expected deadline rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inference_latency_is_capped_by_the_remaining_deadline() {
+        let e = engine(EngineConfig {
+            inference_latency: Duration::from_secs(30),
+            ..EngineConfig::default()
+        });
+        let clock = DeadlineClock::new(Instant::now(), Duration::from_millis(30));
+        let started = Instant::now();
+        let a = e.run_attempt(AND_PROMPT, &clock, 0);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "sleep must be capped at the deadline, not the full latency"
+        );
+        match a.outcome {
+            AttemptOutcome::Deadline(Rejection::DeadlineExceeded { stage, .. }) => {
+                assert_eq!(stage, Stage::Generate);
+            }
+            other => panic!("expected generate-stage deadline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_panic_escapes_for_the_worker_to_catch() {
+        let e = engine(EngineConfig {
+            fault_plan: Some(FaultPlan::permanent(7, 1.0)),
+            ..EngineConfig::default()
+        });
+        // rate 1.0 schedules a fault every attempt; find a prompt whose
+        // scheduled fault is the panic (the kind is content-addressed).
+        let mut panicked = false;
+        for i in 0..32 {
+            let prompt = format!("{AND_PROMPT}\n// v{i}");
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                e.run_attempt(&prompt, &far_clock(), 0)
+            }));
+            if r.is_err() {
+                panicked = true;
+                break;
+            }
+        }
+        assert!(panicked, "some prompt must draw the WorkerPanic fault");
+    }
+
+    #[test]
+    fn faulted_attempts_bypass_the_cache_in_both_directions() {
+        let cache = Arc::new(ResponseCache::new(64));
+        // Permanent faults at rate 1.0: every attempt is sabotaged.
+        let faulty = engine_with(
+            EngineConfig {
+                fault_plan: Some(FaultPlan::permanent(11, 1.0)),
+                ..EngineConfig::default()
+            },
+            cache.clone(),
+        );
+        for i in 0..16 {
+            let prompt = format!("{AND_PROMPT}\n// f{i}");
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                faulty.run_attempt(&prompt, &far_clock(), 0)
+            }));
+        }
+        assert!(
+            cache.is_empty(),
+            "attempts running under an injected fault must never fill the cache"
+        );
+    }
+}

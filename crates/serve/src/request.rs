@@ -1,0 +1,312 @@
+//! Wire types of the serving layer: requests, typed rejections, responses
+//! and per-request traces.
+//!
+//! The split between [`ServeResponse`] and [`ServeReply`] is load-bearing
+//! for the verified-response cache: `ServeResponse` is the *deterministic
+//! payload* — a pure function of the normalized request and the serving
+//! model — and is what the cache stores and replays bit-identically.
+//! Everything request-specific or time-dependent (the caller's id, stage
+//! timings, whether the cache was hit) lives in the `ServeReply` envelope,
+//! which is rebuilt per request.
+
+use haven_spec::cosim::Verdict;
+use haven_verilog::StaticFinding;
+use serde::{Deserialize, Serialize};
+
+/// One spec-to-RTL request: an instruction text, optionally containing
+/// symbolic modality blocks (truth tables, waveform charts, state
+/// diagrams) that SI-CoT normalization will rewrite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// Caller-chosen id, echoed in the reply. Does not influence
+    /// generation or caching — two requests with the same prompt are the
+    /// same content no matter who sent them.
+    pub id: String,
+    /// The instruction text (plus optional modality blocks).
+    pub prompt: String,
+    /// Per-request deadline override in milliseconds, measured from
+    /// admission. `None` uses the server default.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadline_ms: Option<u64>,
+}
+
+impl ServeRequest {
+    /// A request with the server's default deadline.
+    pub fn new(id: impl Into<String>, prompt: impl Into<String>) -> ServeRequest {
+        ServeRequest {
+            id: id.into(),
+            prompt: prompt.into(),
+            deadline_ms: None,
+        }
+    }
+}
+
+/// The pipeline stages a request moves through, in order. Used to label
+/// latency histograms and to say *where* a deadline expired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Waiting in the admission queue for a worker.
+    QueueWait,
+    /// SI-CoT normalization of the instruction text.
+    Normalize,
+    /// Code generation (the CodeGen-LLM call).
+    Generate,
+    /// Compile + dataflow static analysis gate.
+    Lint,
+    /// Budgeted co-simulation against the perceived golden model.
+    Simulate,
+}
+
+impl Stage {
+    /// All stages, pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::QueueWait,
+        Stage::Normalize,
+        Stage::Generate,
+        Stage::Lint,
+        Stage::Simulate,
+    ];
+
+    /// Stable snake_case label (metrics names, JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::Normalize => "normalize",
+            Stage::Generate => "generate",
+            Stage::Lint => "lint",
+            Stage::Simulate => "simulate",
+        }
+    }
+
+    /// Index into per-stage arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Stage::QueueWait => 0,
+            Stage::Normalize => 1,
+            Stage::Generate => 2,
+            Stage::Lint => 3,
+            Stage::Simulate => 4,
+        }
+    }
+}
+
+/// Why the server refused to answer a request. Rejections are *typed and
+/// expected*: admission control and deadlines produce these, never panics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rejection {
+    /// The bounded admission queue was full — backpressure. The caller
+    /// should retry later or shed load.
+    QueueFull {
+        /// Configured queue capacity at the time of rejection.
+        capacity: usize,
+    },
+    /// The request was malformed (empty prompt, embedded NUL bytes).
+    Invalid {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The per-request deadline expired before the pipeline finished.
+    DeadlineExceeded {
+        /// The stage that was running (or about to run) when time ran out.
+        stage: Stage,
+        /// Milliseconds elapsed since admission when the deadline fired.
+        elapsed_ms: u64,
+    },
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            Rejection::Invalid { reason } => write!(f, "invalid request: {reason}"),
+            Rejection::DeadlineExceeded { stage, elapsed_ms } => write!(
+                f,
+                "deadline exceeded at {} after {elapsed_ms} ms",
+                stage.label()
+            ),
+            Rejection::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+/// The verification status attached to generated code.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServeVerdict {
+    /// The oracle ran: the perceived golden model was built and the
+    /// candidate was gated and (unless short-circuited) co-simulated.
+    Checked(Verdict),
+    /// The request could not be perceived into a hardware intent, so no
+    /// golden model exists; the code is returned unverified. This is a
+    /// property of the *request*, not an infrastructure fault.
+    Unchecked {
+        /// Why perception failed.
+        reason: String,
+    },
+}
+
+impl ServeVerdict {
+    /// Fully verified success.
+    pub fn verified_pass(&self) -> bool {
+        matches!(self, ServeVerdict::Checked(Verdict::Pass))
+    }
+
+    /// Fault-class outcome (worker trouble or budget exhaustion): retried
+    /// by the worker, never cached, and counted as `failed` when it is a
+    /// harness fault that survives the retry budget.
+    pub fn is_fault(&self) -> bool {
+        matches!(self, ServeVerdict::Checked(v) if v.is_fault())
+    }
+}
+
+/// The deterministic response payload: everything here is a pure function
+/// of (normalized prompt, serving model, serve options), which is what
+/// makes it safe for the verified-response cache to replay bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeResponse {
+    /// The generated Verilog.
+    pub code: String,
+    /// Verification outcome.
+    pub verdict: ServeVerdict,
+    /// Dataflow static-analyzer findings on the generated code (empty when
+    /// the code did not compile).
+    pub findings: Vec<StaticFinding>,
+    /// Co-simulation was skipped because the static gate proved the design
+    /// defective (the verdict then reports the gate's mismatch).
+    pub gated: bool,
+}
+
+impl ServeResponse {
+    /// Whether this response may enter the verified-response cache.
+    ///
+    /// Fault-class verdicts (harness faults, budget exhaustion) are
+    /// excluded: they can be transient, so replaying them would freeze an
+    /// infrastructure hiccup into the content-addressed cache. Deadline
+    /// rejections never produce a `ServeResponse` at all.
+    pub fn cacheable(&self) -> bool {
+        !self.verdict.is_fault()
+    }
+}
+
+/// How a request ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServeOutcome {
+    /// The pipeline produced a response (verified, gated, or unchecked).
+    Completed(ServeResponse),
+    /// Admission control or a deadline refused the request.
+    Rejected(Rejection),
+    /// The harness itself failed on this request (worker panic, corrupted
+    /// source at the generation boundary) and the retry budget did not
+    /// clear it. Says nothing about the prompt.
+    Failed {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+/// Wall-clock trace of one request, microseconds per stage. Stages that
+/// never ran (cache hit, early rejection) report 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestTrace {
+    /// Time spent queued before a worker picked the request up.
+    pub queue_us: u64,
+    /// SI-CoT normalization time.
+    pub normalize_us: u64,
+    /// Generation time (includes the configured inference latency).
+    pub generate_us: u64,
+    /// Compile + static analysis time.
+    pub lint_us: u64,
+    /// Co-simulation time.
+    pub simulate_us: u64,
+    /// Admission-to-reply total.
+    pub total_us: u64,
+    /// Retry attempts spent on fault-class outcomes for this request.
+    pub retries: u64,
+}
+
+/// The envelope delivered to the caller: the caller's id, the outcome, and
+/// per-request observability that is *not* part of the cacheable payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReply {
+    /// Echo of [`ServeRequest::id`].
+    pub id: String,
+    /// How the request ended.
+    pub outcome: ServeOutcome,
+    /// The response payload was replayed from the verified-response cache.
+    pub cache_hit: bool,
+    /// Number of SI-CoT steps that fired while normalizing this request
+    /// (normalization always runs per-request, before the cache lookup, so
+    /// this is envelope data rather than part of the cacheable payload).
+    pub sicot_steps: usize,
+    /// Stage timing trace.
+    pub trace: RequestTrace,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_json_round_trips() {
+        let r = ServeRequest::new("r1", "Implement a 2-bit counter named `c`.");
+        let json = crate::wire::request_json(&r);
+        assert!(!json.contains("deadline_ms"), "{json}");
+        assert_eq!(crate::wire::parse_request(&json).unwrap(), r);
+        let with_deadline =
+            crate::wire::parse_request(r#"{"id":"x","prompt":"p","deadline_ms":25}"#).unwrap();
+        assert_eq!(with_deadline.deadline_ms, Some(25));
+    }
+
+    #[test]
+    fn stage_labels_and_indices_are_consistent() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        let labels: std::collections::HashSet<&str> =
+            Stage::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), Stage::ALL.len());
+    }
+
+    #[test]
+    fn fault_verdicts_are_not_cacheable() {
+        let fault = ServeResponse {
+            code: String::new(),
+            verdict: ServeVerdict::Checked(Verdict::HarnessFault("panic".into())),
+            findings: vec![],
+            gated: false,
+        };
+        assert!(!fault.cacheable());
+        let exhausted = ServeResponse {
+            verdict: ServeVerdict::Checked(Verdict::ResourceExhausted("ticks".into())),
+            ..fault.clone()
+        };
+        assert!(!exhausted.cacheable());
+        let pass = ServeResponse {
+            verdict: ServeVerdict::Checked(Verdict::Pass),
+            ..fault.clone()
+        };
+        assert!(pass.cacheable());
+        let unchecked = ServeResponse {
+            verdict: ServeVerdict::Unchecked {
+                reason: "no intent".into(),
+            },
+            ..fault
+        };
+        assert!(unchecked.cacheable());
+    }
+
+    #[test]
+    fn rejections_render_their_stage() {
+        let r = Rejection::DeadlineExceeded {
+            stage: Stage::Simulate,
+            elapsed_ms: 12,
+        };
+        assert!(r.to_string().contains("simulate"));
+        assert!(Rejection::QueueFull { capacity: 4 }
+            .to_string()
+            .contains('4'));
+    }
+}

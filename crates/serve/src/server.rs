@@ -1,0 +1,461 @@
+//! The server: bounded admission queue, worker pool, retry loop with
+//! panic isolation, and graceful shutdown that drains everything admitted.
+//!
+//! ## Admission accounting
+//!
+//! Every request presented to [`Server::submit`] is either refused
+//! *before* admission (counted `invalid` or `queue_full`, reply delivered
+//! synchronously) or *admitted* — and every admitted request terminates in
+//! exactly one of `completed` / `rejected` / `failed`, even when workers
+//! panic or deadlines expire mid-pipeline. Shutdown drains the queue
+//! (queued jobs still run) so the invariant holds at quiesce; it never
+//! abandons admitted work.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use haven_eval::RetryPolicy;
+use haven_lm::model::CodeGenModel;
+
+use crate::cache::ResponseCache;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::pipeline::{AttemptOutcome, DeadlineClock, Engine, EngineConfig};
+use crate::request::{
+    Rejection, RequestTrace, ServeOutcome, ServeReply, ServeRequest, ServeVerdict, Stage,
+};
+use haven_spec::cosim::Verdict;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Admission queue capacity; a full queue refuses with
+    /// [`Rejection::QueueFull`] (backpressure, never blocking the caller).
+    pub queue_capacity: usize,
+    /// Default per-request deadline, measured from admission.
+    pub default_deadline: Duration,
+    /// Verified-response cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Retry policy for fault-class outcomes (panics, harness faults,
+    /// budget exhaustion) — same machinery as the eval harness.
+    pub retry: RetryPolicy,
+    /// Pipeline configuration (static gate, budgets, inference latency,
+    /// fault injection).
+    pub engine: EngineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            default_deadline: Duration::from_secs(10),
+            cache_capacity: 1024,
+            retry: RetryPolicy::default(),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    request: ServeRequest,
+    admitted_at: Instant,
+    deadline: Duration,
+    reply_to: Sender<ServeReply>,
+}
+
+/// Queue states shared between `submit` and the workers.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signals workers that a job arrived or shutdown began.
+    wake: Condvar,
+    /// Signals `shutdown` that the queue fully drained.
+    drained: Condvar,
+    engine: Engine,
+    metrics: Arc<Metrics>,
+    cache: Arc<ResponseCache>,
+    retry: RetryPolicy,
+    queue_capacity: usize,
+}
+
+/// The concurrent spec-to-RTL server.
+pub struct Server {
+    shared: Arc<Shared>,
+    default_deadline: Duration,
+    workers: Vec<JoinHandle<()>>,
+    stopped: AtomicBool,
+}
+
+impl Server {
+    /// Starts the worker pool.
+    pub fn start(model: CodeGenModel, config: ServeConfig) -> Server {
+        let metrics = Arc::new(Metrics::default());
+        let cache = Arc::new(ResponseCache::new(config.cache_capacity));
+        let engine = Engine::new(model, config.engine.clone(), cache.clone(), metrics.clone());
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+            }),
+            wake: Condvar::new(),
+            drained: Condvar::new(),
+            engine,
+            metrics,
+            cache,
+            retry: config.retry,
+            queue_capacity: config.queue_capacity.max(1),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Server {
+            shared,
+            default_deadline: config.default_deadline,
+            workers,
+            stopped: AtomicBool::new(false),
+        }
+    }
+
+    /// Submits a request. The reply is delivered on `reply_to` — either
+    /// synchronously (pre-admission refusal) or from a worker once the
+    /// pipeline finishes. Returns whether the request was admitted.
+    pub fn submit(&self, request: ServeRequest, reply_to: Sender<ServeReply>) -> bool {
+        let metrics = &self.shared.metrics;
+        Metrics::inc(&metrics.submitted);
+        if let Err(reason) = validate(&request) {
+            Metrics::inc(&metrics.invalid);
+            refuse(&request, Rejection::Invalid { reason }, &reply_to);
+            return false;
+        }
+        let deadline = request
+            .deadline_ms
+            .map(Duration::from_millis)
+            .unwrap_or(self.default_deadline);
+        let mut state = self.shared.state.lock().expect("queue lock poisoned");
+        if state.shutting_down {
+            drop(state);
+            refuse(&request, Rejection::ShuttingDown, &reply_to);
+            return false;
+        }
+        if state.jobs.len() >= self.shared.queue_capacity {
+            drop(state);
+            Metrics::inc(&metrics.queue_full);
+            refuse(
+                &request,
+                Rejection::QueueFull {
+                    capacity: self.shared.queue_capacity,
+                },
+                &reply_to,
+            );
+            return false;
+        }
+        Metrics::inc(&metrics.admitted);
+        state.jobs.push_back(Job {
+            request,
+            admitted_at: Instant::now(),
+            deadline,
+            reply_to,
+        });
+        drop(state);
+        self.shared.wake.notify_one();
+        true
+    }
+
+    /// Convenience: submit and block for the reply. Pre-admission refusals
+    /// return immediately; admitted requests wait for a worker.
+    pub fn serve(&self, request: ServeRequest) -> ServeReply {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.submit(request, tx);
+        rx.recv().expect("server dropped the reply channel")
+    }
+
+    /// Snapshot of the metrics registry.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Prometheus-style text rendering of the metrics registry.
+    pub fn metrics_text(&self) -> String {
+        self.metrics().render_text()
+    }
+
+    /// Entries currently in the verified-response cache.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Stops admission, waits for every queued job to finish, and joins
+    /// the workers. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut state = self.shared.state.lock().expect("queue lock poisoned");
+            state.shutting_down = true;
+            self.shared.wake.notify_all();
+            // Drain: admitted work still runs, so the accounting
+            // invariant holds exactly at quiesce.
+            while !state.jobs.is_empty() {
+                state = self
+                    .shared
+                    .drained
+                    .wait(state)
+                    .expect("queue lock poisoned");
+            }
+        }
+        self.shared.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn validate(request: &ServeRequest) -> Result<(), String> {
+    if request.prompt.trim().is_empty() {
+        return Err("empty prompt".into());
+    }
+    if request.prompt.contains('\0') {
+        return Err("prompt contains NUL bytes".into());
+    }
+    Ok(())
+}
+
+/// Delivers a pre-admission refusal. Send errors are ignored — the caller
+/// hanging up is their prerogative.
+fn refuse(request: &ServeRequest, rejection: Rejection, reply_to: &Sender<ServeReply>) {
+    let _ = reply_to.send(ServeReply {
+        id: request.id.clone(),
+        outcome: ServeOutcome::Rejected(rejection),
+        cache_hit: false,
+        sicot_steps: 0,
+        trace: RequestTrace::default(),
+    });
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    if state.jobs.is_empty() {
+                        shared.drained.notify_all();
+                    }
+                    break Some(job);
+                }
+                if state.shutting_down {
+                    break None;
+                }
+                state = shared.wake.wait(state).expect("queue lock poisoned");
+            }
+        };
+        let Some(job) = job else { return };
+        run_job(shared, job);
+    }
+}
+
+/// Runs one admitted job to its terminal state and delivers the reply.
+fn run_job(shared: &Shared, job: Job) {
+    let metrics = &shared.metrics;
+    let clock = DeadlineClock::new(job.admitted_at, job.deadline);
+    let queue_us = job.admitted_at.elapsed().as_micros() as u64;
+    metrics.record_stage(Stage::QueueWait, queue_us);
+
+    let mut trace = RequestTrace {
+        queue_us,
+        ..RequestTrace::default()
+    };
+    let mut cache_hit = false;
+    let mut sicot_steps = 0;
+
+    // Deadline may already have expired while queued (admission control
+    // under overload): typed rejection, no pipeline work.
+    let outcome = if let Err(r) = clock.check(Stage::QueueWait) {
+        metrics.record_deadline(Stage::QueueWait);
+        ServeOutcome::Rejected(r)
+    } else {
+        run_attempts(
+            shared,
+            &job,
+            &clock,
+            &mut trace,
+            &mut cache_hit,
+            &mut sicot_steps,
+        )
+    };
+
+    match &outcome {
+        ServeOutcome::Completed(response) => {
+            Metrics::inc(&metrics.completed);
+            record_pipeline_stages(metrics, &trace);
+            debug_assert!(
+                !matches!(
+                    response.verdict,
+                    ServeVerdict::Checked(Verdict::HarnessFault(_))
+                ),
+                "harness faults must terminate as Failed, not Completed"
+            );
+        }
+        // Deadline rejections inside the pipeline were already counted by
+        // `run_attempts` (with their stage); nothing more to do here.
+        ServeOutcome::Rejected(_) => {
+            record_pipeline_stages(metrics, &trace);
+        }
+        ServeOutcome::Failed { .. } => {
+            Metrics::inc(&metrics.failed);
+            record_pipeline_stages(metrics, &trace);
+        }
+    }
+    trace.total_us = job.admitted_at.elapsed().as_micros() as u64;
+    metrics.total_latency.record(trace.total_us);
+
+    let _ = job.reply_to.send(ServeReply {
+        id: job.request.id.clone(),
+        outcome,
+        cache_hit,
+        sicot_steps,
+        trace,
+    });
+}
+
+fn record_pipeline_stages(metrics: &Metrics, trace: &RequestTrace) {
+    for (stage, us) in [
+        (Stage::Normalize, trace.normalize_us),
+        (Stage::Generate, trace.generate_us),
+        (Stage::Lint, trace.lint_us),
+        (Stage::Simulate, trace.simulate_us),
+    ] {
+        if us > 0 {
+            metrics.record_stage(stage, us);
+        }
+    }
+}
+
+/// The retry loop: attempts are panic-isolated; fault-class outcomes
+/// (panics, harness faults, budget exhaustion) burn retry budget with
+/// bounded deterministic backoff, exactly like the eval harness.
+fn run_attempts(
+    shared: &Shared,
+    job: &Job,
+    clock: &DeadlineClock,
+    trace: &mut RequestTrace,
+    cache_hit: &mut bool,
+    sicot_steps: &mut usize,
+) -> ServeOutcome {
+    let metrics = &shared.metrics;
+    let max_attempts = shared.retry.max_attempts.max(1);
+    let mut last_fault = String::new();
+    for attempt in 0..max_attempts {
+        if attempt > 0 {
+            Metrics::inc(&metrics.retries);
+            trace.retries += 1;
+            backoff(&shared.retry, attempt - 1);
+            // The deadline keeps running through backoff.
+            if let Err(r) = clock.check(Stage::Generate) {
+                metrics.record_deadline(Stage::Generate);
+                return ServeOutcome::Rejected(r);
+            }
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            shared
+                .engine
+                .run_attempt(&job.request.prompt, clock, attempt)
+        }));
+        match result {
+            Err(payload) => {
+                // A worker panic mid-attempt: isolated here, retried like
+                // any other fault-class outcome.
+                last_fault = format!("worker panic: {}", panic_message(payload.as_ref()));
+                continue;
+            }
+            Ok(attempt_result) => {
+                *sicot_steps = attempt_result.sicot_steps;
+                merge_trace(trace, &attempt_result.trace);
+                match attempt_result.outcome {
+                    AttemptOutcome::Deadline(rejection) => {
+                        if let Rejection::DeadlineExceeded { stage, .. } = rejection {
+                            metrics.record_deadline(stage);
+                        }
+                        return ServeOutcome::Rejected(rejection);
+                    }
+                    AttemptOutcome::Response(response) => {
+                        match &response.verdict {
+                            ServeVerdict::Checked(Verdict::HarnessFault(detail)) => {
+                                last_fault = detail.clone();
+                                continue;
+                            }
+                            // Budget exhaustion is fault-class (retried),
+                            // but if it persists it is a *result* — the
+                            // candidate genuinely outran the budget — so
+                            // the final attempt completes with it.
+                            ServeVerdict::Checked(Verdict::ResourceExhausted(detail))
+                                if attempt + 1 < max_attempts =>
+                            {
+                                last_fault = detail.clone();
+                                continue;
+                            }
+                            _ => {
+                                *cache_hit = attempt_result.cache_hit;
+                                return ServeOutcome::Completed(Arc::unwrap_or_clone(response));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ServeOutcome::Failed { detail: last_fault }
+}
+
+/// Deterministic bounded backoff, mirroring the eval harness
+/// (`base << attempt`, capped at 50 ms).
+fn backoff(retry: &RetryPolicy, attempt: usize) {
+    let ms = (retry.backoff_base_ms << attempt.min(16)).min(50);
+    if ms > 0 {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+/// Accumulates stage timings across attempts (retries add up).
+fn merge_trace(into: &mut RequestTrace, attempt: &RequestTrace) {
+    into.normalize_us += attempt.normalize_us;
+    into.generate_us += attempt.generate_us;
+    into.lint_us += attempt.lint_us;
+    into.simulate_us += attempt.simulate_us;
+}
+
+/// Renders a panic payload (mirrors the eval harness's helper).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

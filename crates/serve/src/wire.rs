@@ -1,0 +1,543 @@
+//! Hand-rolled JSON wire format for the `haven-serve` binary.
+//!
+//! The workspace's `serde_json` is an offline stub (typecheck-only), so —
+//! like the eval journal and the bench report emitters — the serving
+//! protocol serializes by hand. The format is real JSON: one
+//! [`ServeRequest`] object per input line, one [`ServeReply`] object per
+//! output line.
+//!
+//! ```text
+//! > {"id":"r1","prompt":"Implement ...","deadline_ms":2000}
+//! < {"id":"r1","outcome":{"type":"completed","response":{...}},...}
+//! ```
+
+use crate::request::{
+    Rejection, RequestTrace, ServeOutcome, ServeReply, ServeRequest, ServeResponse, ServeVerdict,
+};
+use haven_spec::cosim::Verdict;
+use haven_verilog::analyze_static::Severity;
+use haven_verilog::StaticFinding;
+
+// ---------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn str_field(name: &str, value: &str) -> String {
+    format!("\"{name}\":\"{}\"", escape(value))
+}
+
+fn verdict_json(v: &ServeVerdict) -> String {
+    match v {
+        ServeVerdict::Unchecked { reason } => {
+            format!("{{\"type\":\"unchecked\",{}}}", str_field("reason", reason))
+        }
+        ServeVerdict::Checked(v) => match v {
+            Verdict::Pass => "{\"type\":\"pass\"}".into(),
+            Verdict::SyntaxError(d) => {
+                format!("{{\"type\":\"syntax_error\",{}}}", str_field("detail", d))
+            }
+            Verdict::InterfaceError(d) => {
+                format!(
+                    "{{\"type\":\"interface_error\",{}}}",
+                    str_field("detail", d)
+                )
+            }
+            Verdict::FunctionalMismatch { at_check, detail } => format!(
+                "{{\"type\":\"functional_mismatch\",\"at_check\":{at_check},{}}}",
+                str_field("detail", detail)
+            ),
+            Verdict::SimulationError(d) => {
+                format!(
+                    "{{\"type\":\"simulation_error\",{}}}",
+                    str_field("detail", d)
+                )
+            }
+            Verdict::ResourceExhausted(d) => format!(
+                "{{\"type\":\"resource_exhausted\",{}}}",
+                str_field("detail", d)
+            ),
+            Verdict::HarnessFault(d) => {
+                format!("{{\"type\":\"harness_fault\",{}}}", str_field("detail", d))
+            }
+        },
+    }
+}
+
+fn finding_json(f: &StaticFinding) -> String {
+    let signal = match &f.signal {
+        Some(s) => format!(",{}", str_field("signal", s)),
+        None => String::new(),
+    };
+    format!(
+        "{{\"rule\":\"{}\",\"severity\":\"{}\",{},\"line\":{},\"col\":{}{signal}}}",
+        f.rule.code(),
+        match f.severity {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        },
+        str_field("message", &f.message),
+        f.span.line,
+        f.span.col,
+    )
+}
+
+fn response_json(r: &ServeResponse) -> String {
+    let findings: Vec<String> = r.findings.iter().map(finding_json).collect();
+    format!(
+        "{{{},\"verdict\":{},\"findings\":[{}],\"gated\":{}}}",
+        str_field("code", &r.code),
+        verdict_json(&r.verdict),
+        findings.join(","),
+        r.gated,
+    )
+}
+
+fn rejection_json(r: &Rejection) -> String {
+    match r {
+        Rejection::QueueFull { capacity } => {
+            format!("{{\"type\":\"queue_full\",\"capacity\":{capacity}}}")
+        }
+        Rejection::Invalid { reason } => {
+            format!("{{\"type\":\"invalid\",{}}}", str_field("reason", reason))
+        }
+        Rejection::DeadlineExceeded { stage, elapsed_ms } => format!(
+            "{{\"type\":\"deadline_exceeded\",\"stage\":\"{}\",\"elapsed_ms\":{elapsed_ms}}}",
+            stage.label()
+        ),
+        Rejection::ShuttingDown => "{\"type\":\"shutting_down\"}".into(),
+    }
+}
+
+fn outcome_json(o: &ServeOutcome) -> String {
+    match o {
+        ServeOutcome::Completed(r) => format!(
+            "{{\"type\":\"completed\",\"response\":{}}}",
+            response_json(r)
+        ),
+        ServeOutcome::Rejected(r) => format!(
+            "{{\"type\":\"rejected\",\"rejection\":{}}}",
+            rejection_json(r)
+        ),
+        ServeOutcome::Failed { detail } => {
+            format!("{{\"type\":\"failed\",{}}}", str_field("detail", detail))
+        }
+    }
+}
+
+fn trace_json(t: &RequestTrace) -> String {
+    format!(
+        "{{\"queue_us\":{},\"normalize_us\":{},\"generate_us\":{},\"lint_us\":{},\
+         \"simulate_us\":{},\"total_us\":{},\"retries\":{}}}",
+        t.queue_us, t.normalize_us, t.generate_us, t.lint_us, t.simulate_us, t.total_us, t.retries,
+    )
+}
+
+/// Renders one reply as a single JSON line (no trailing newline).
+pub fn reply_json(reply: &ServeReply) -> String {
+    format!(
+        "{{{},\"outcome\":{},\"cache_hit\":{},\"sicot_steps\":{},\"trace\":{}}}",
+        str_field("id", &reply.id),
+        outcome_json(&reply.outcome),
+        reply.cache_hit,
+        reply.sicot_steps,
+        trace_json(&reply.trace),
+    )
+}
+
+/// Renders one request as a single JSON line (load generators, tests).
+pub fn request_json(request: &ServeRequest) -> String {
+    let deadline = match request.deadline_ms {
+        Some(ms) => format!(",\"deadline_ms\":{ms}"),
+        None => String::new(),
+    };
+    format!(
+        "{{{},{}{deadline}}}",
+        str_field("id", &request.id),
+        str_field("prompt", &request.prompt),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value — the minimal tree the wire protocol needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(input, bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(input: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(input, bytes, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {pos}")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                members.push((key, parse_value(input, bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(input, bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(input, bytes, pos).map(Json::Str),
+        Some(b't') if input[*pos..].starts_with("true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if input[*pos..].starts_with("false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if input[*pos..].starts_with("null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            input[start..*pos]
+                .parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("invalid number at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(input: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err("unterminated string".into());
+        };
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = input
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        // Surrogate pairs are not needed by this protocol;
+                        // lone surrogates degrade to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape in string".into()),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one full UTF-8 scalar from the source.
+                let rest = &input[*pos..];
+                let c = rest.chars().next().ok_or("invalid utf-8 boundary")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<ServeRequest, String> {
+    let value = parse_json(line)?;
+    let id = value
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"id\"")?
+        .to_string();
+    let prompt = value
+        .get("prompt")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"prompt\"")?
+        .to_string();
+    let deadline_ms = match value.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_f64()
+                .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                .ok_or("\"deadline_ms\" must be a non-negative integer")? as u64,
+        ),
+    };
+    Ok(ServeRequest {
+        id,
+        prompt,
+        deadline_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Stage;
+    use haven_verilog::analyze_static::StaticRule;
+    use haven_verilog::error::Span;
+
+    #[test]
+    fn request_line_round_trips_through_emit_and_parse() {
+        let r = ServeRequest {
+            id: "r\"1\"".into(),
+            prompt: "line1\nline2\ttabbed \\ slash \u{263a}".into(),
+            deadline_ms: Some(250),
+        };
+        assert_eq!(parse_request(&request_json(&r)), Ok(r.clone()));
+        let without = ServeRequest {
+            deadline_ms: None,
+            ..r
+        };
+        assert_eq!(parse_request(&request_json(&without)), Ok(without));
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("{\"id\":\"x\"}").is_err(), "prompt required");
+        assert!(parse_request("{\"id\":1,\"prompt\":\"p\"}").is_err());
+        assert!(parse_request("{\"id\":\"x\",\"prompt\":\"p\",\"deadline_ms\":-1}").is_err());
+        assert!(parse_request("{\"id\":\"x\",\"prompt\":\"p\"} junk").is_err());
+    }
+
+    #[test]
+    fn reply_json_is_parseable_and_carries_the_verdict() {
+        let reply = ServeReply {
+            id: "req-7".into(),
+            outcome: ServeOutcome::Completed(ServeResponse {
+                code: "module m;\nendmodule\n".into(),
+                verdict: ServeVerdict::Checked(Verdict::Pass),
+                findings: vec![StaticFinding {
+                    rule: StaticRule::WidthTrunc,
+                    severity: Severity::Warn,
+                    message: "assignment \"wider\" than target".into(),
+                    span: Span { line: 3, col: 7 },
+                    signal: Some("q".into()),
+                }],
+                gated: false,
+            }),
+            cache_hit: true,
+            sicot_steps: 2,
+            trace: RequestTrace {
+                queue_us: 10,
+                total_us: 1500,
+                ..RequestTrace::default()
+            },
+        };
+        let line = reply_json(&reply);
+        let parsed = parse_json(&line).expect("reply must be valid JSON");
+        assert_eq!(parsed.get("id").and_then(Json::as_str), Some("req-7"));
+        assert_eq!(parsed.get("cache_hit").and_then(Json::as_bool), Some(true));
+        let outcome = parsed.get("outcome").unwrap();
+        assert_eq!(
+            outcome.get("type").and_then(Json::as_str),
+            Some("completed")
+        );
+        let response = outcome.get("response").unwrap();
+        assert_eq!(
+            response
+                .get("verdict")
+                .unwrap()
+                .get("type")
+                .and_then(Json::as_str),
+            Some("pass")
+        );
+        let Some(Json::Arr(findings)) = response.get("findings") else {
+            panic!("findings must be an array");
+        };
+        assert_eq!(
+            findings[0].get("rule").and_then(Json::as_str),
+            Some("SA-WIDTH")
+        );
+        assert_eq!(
+            parsed
+                .get("trace")
+                .unwrap()
+                .get("total_us")
+                .and_then(Json::as_f64),
+            Some(1500.0)
+        );
+    }
+
+    #[test]
+    fn rejection_replies_name_their_stage() {
+        let reply = ServeReply {
+            id: "r".into(),
+            outcome: ServeOutcome::Rejected(Rejection::DeadlineExceeded {
+                stage: Stage::Generate,
+                elapsed_ms: 42,
+            }),
+            cache_hit: false,
+            sicot_steps: 0,
+            trace: RequestTrace::default(),
+        };
+        let parsed = parse_json(&reply_json(&reply)).unwrap();
+        let rejection = parsed.get("outcome").unwrap().get("rejection").unwrap();
+        assert_eq!(
+            rejection.get("type").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
+        assert_eq!(
+            rejection.get("stage").and_then(Json::as_str),
+            Some("generate")
+        );
+    }
+
+    #[test]
+    fn parser_handles_nesting_whitespace_and_escapes() {
+        let v = parse_json(
+            " { \"a\" : [ 1 , 2.5 , -3e2 ] , \"b\" : { \"c\" : null , \"d\" : \"\\u0041\\n\" } } ",
+        )
+        .unwrap();
+        let Some(Json::Arr(a)) = v.get("a") else {
+            panic!()
+        };
+        assert_eq!(a[2].as_f64(), Some(-300.0));
+        assert_eq!(
+            v.get("b").unwrap().get("d").and_then(Json::as_str),
+            Some("A\n")
+        );
+        assert!(parse_json("{\"k\":}").is_err());
+        assert!(parse_json("[1,]").is_err());
+    }
+}

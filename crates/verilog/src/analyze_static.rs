@@ -108,7 +108,7 @@ impl StaticRule {
 }
 
 /// One analyzer finding.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct StaticFinding {
     /// Which rule fired.
     pub rule: StaticRule,
@@ -124,7 +124,7 @@ pub struct StaticFinding {
 }
 
 /// Analyzer output for one elaborated design.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct StaticReport {
     /// Top module name.
     pub module: String,
