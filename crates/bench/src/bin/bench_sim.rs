@@ -10,15 +10,13 @@
 //! cargo run --release -p haven-bench --bin bench_sim [-- --out path.json]
 //! ```
 
-use std::sync::Arc;
 use std::time::Instant;
 
+use haven_engine::{DutSession, Engine, SimBackend};
 use haven_eval::harness::{evaluate, EvalConfig};
 use haven_eval::suites;
 use haven_lm::profiles::ModelProfile;
-use haven_verilog::elab::{compile, SignalId};
-use haven_verilog::sim::Simulator;
-use haven_verilog::{CompiledDesign, CompiledSim};
+use haven_verilog::sim::SimBudget;
 
 const TICKS_PER_BATCH: usize = 2_000;
 const BATCHES: usize = 31;
@@ -69,38 +67,6 @@ const PIPE_SRC: &str = "module pipe(input clk, input rst_n, input [15:0] d, outp
         if (!rst_n) q <= 16'd0; else q <= s2;
 endmodule";
 
-/// The two backends expose identical pre-resolved-handle APIs; this tiny
-/// adapter lets the timing harness drive either one through the same code.
-trait Dut {
-    fn id(&mut self, name: &str) -> SignalId;
-    fn drive(&mut self, id: SignalId, value: u64);
-    fn clock(&mut self, clk: SignalId);
-}
-
-impl Dut for Simulator {
-    fn id(&mut self, name: &str) -> SignalId {
-        self.resolve(name).expect("bench signal exists")
-    }
-    fn drive(&mut self, id: SignalId, value: u64) {
-        self.poke_id_u64(id, value).expect("bench poke is valid");
-    }
-    fn clock(&mut self, clk: SignalId) {
-        self.tick_id(clk).expect("bench tick is valid");
-    }
-}
-
-impl Dut for CompiledSim {
-    fn id(&mut self, name: &str) -> SignalId {
-        self.resolve(name).expect("bench signal exists")
-    }
-    fn drive(&mut self, id: SignalId, value: u64) {
-        self.poke_id_u64(id, value).expect("bench poke is valid");
-    }
-    fn clock(&mut self, clk: SignalId) {
-        self.tick_id(clk).expect("bench tick is valid");
-    }
-}
-
 fn median(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
@@ -125,27 +91,32 @@ fn time_steps(mut step: impl FnMut(usize)) -> f64 {
 }
 
 /// One step of a clocked design: alternate the data input, then tick.
-fn seq_steps(dut: &mut impl Dut, data: Option<&str>) -> f64 {
-    let rst = dut.id("rst_n");
-    dut.drive(rst, 0);
-    dut.drive(rst, 1);
-    let clk = dut.id("clk");
-    let data = data.map(|name| dut.id(name));
+/// Handles resolve once up front through the session's cache, so the
+/// timed region drives pre-resolved ids on either backend.
+fn seq_steps(dut: &mut DutSession, data: Option<&str>) -> f64 {
+    let rst = dut.resolve("rst_n").expect("bench signal exists");
+    dut.poke_id_u64(rst, 0).expect("bench poke is valid");
+    dut.poke_id_u64(rst, 1).expect("bench poke is valid");
+    let clk = dut.resolve("clk").expect("bench signal exists");
+    let data = data.map(|name| dut.resolve(name).expect("bench signal exists"));
     time_steps(|i| {
         if let Some(d) = data {
-            dut.drive(d, (i as u64) & 0xffff);
+            dut.poke_id_u64(d, (i as u64) & 0xffff)
+                .expect("bench poke is valid");
         }
-        dut.clock(clk);
+        dut.tick_id(clk).expect("bench tick is valid");
     })
 }
 
 /// One step of a pure-comb design: poke two inputs with fresh values.
-fn comb_steps(dut: &mut impl Dut) -> f64 {
-    let a = dut.id("a");
-    let b = dut.id("b");
+fn comb_steps(dut: &mut DutSession) -> f64 {
+    let a = dut.resolve("a").expect("bench signal exists");
+    let b = dut.resolve("b").expect("bench signal exists");
     time_steps(|i| {
-        dut.drive(a, (i as u64) & 0xffff);
-        dut.drive(b, ((i as u64) * 7 + 3) & 0xffff);
+        dut.poke_id_u64(a, (i as u64) & 0xffff)
+            .expect("bench poke is valid");
+        dut.poke_id_u64(b, ((i as u64) * 7 + 3) & 0xffff)
+            .expect("bench poke is valid");
     })
 }
 
@@ -164,17 +135,26 @@ impl Row {
 }
 
 fn bench_design(name: &'static str, kind: &'static str, src: &str, data: Option<&str>) -> Row {
-    let design = compile(src).expect("bench design compiles");
-    let compiled = Arc::new(CompiledDesign::new(design.clone()));
-    let levelized = compiled.is_levelized();
+    let interp_engine = Engine::uncached(SimBackend::Interpreter, SimBudget::default());
+    let compiled_engine = Engine::uncached(SimBackend::Compiled, SimBudget::default());
+    let interp_art = interp_engine.prepare(src).expect("bench design compiles");
+    let compiled_art = compiled_engine.prepare(src).expect("bench design compiles");
+    let levelized = compiled_art
+        .bytecode()
+        .expect("compiled artifact carries bytecode")
+        .is_levelized();
 
-    let mut interp = Simulator::new(design).expect("bench design simulates");
+    let mut interp = interp_engine
+        .session(&interp_art)
+        .expect("bench design simulates");
     let interp_ns = match kind {
         "combinational" => comb_steps(&mut interp),
         _ => seq_steps(&mut interp, data),
     };
 
-    let mut fast = CompiledSim::new(compiled).expect("bench design executes");
+    let mut fast = compiled_engine
+        .session(&compiled_art)
+        .expect("bench design executes");
     let compiled_ns = match kind {
         "combinational" => comb_steps(&mut fast),
         _ => seq_steps(&mut fast, data),

@@ -10,40 +10,54 @@
 //! `--export <dir>` additionally writes the three datasets as JSON
 //! (`vanilla.json`, `k_dataset.json`, `l_dataset.json`).
 
-use std::sync::Arc;
 use std::time::Instant;
 
 use haven_bench::scale_from_args;
 use haven_datagen::augment::SETTLE_BUDGET;
+use haven_engine::{Engine, SimBackend};
 use haven_eval::report::Table;
-use haven_verilog::sim::Simulator;
-use haven_verilog::{compile, CompiledDesign, CompiledSim};
 
 /// Re-runs the step-8 settle probe over the verified pairs with both
 /// backends, so the funnel report shows what the compiled backend buys
-/// (`verify_counted` itself only runs the compiled one).
+/// (`verify_counted` itself only runs the compiled one). Artifacts are
+/// prepared outside the timed region: the probe measures session boot
+/// (time-zero settle), not compilation.
 fn settle_probe_walls(flow: &haven_datagen::FlowOutput) -> (f64, f64, usize) {
-    let designs: Vec<_> = flow
+    let interp_engine = Engine::uncached(SimBackend::Interpreter, SETTLE_BUDGET);
+    let compiled_engine = Engine::uncached(SimBackend::Compiled, SETTLE_BUDGET);
+    let pairs: Vec<&str> = flow
         .vanilla
         .pairs
         .iter()
         .chain(&flow.k_dataset.pairs)
-        .map(|p| compile(&p.code).expect("verified pairs compile"))
+        .map(|p| p.code.as_str())
+        .collect();
+    let interp_arts: Vec<_> = pairs
+        .iter()
+        .map(|code| interp_engine.prepare(code).expect("verified pairs compile"))
+        .collect();
+    let compiled_arts: Vec<_> = pairs
+        .iter()
+        .map(|code| {
+            compiled_engine
+                .prepare(code)
+                .expect("verified pairs compile")
+        })
         .collect();
 
     let t = Instant::now();
-    for d in &designs {
-        let _ = Simulator::with_budget(d.clone(), SETTLE_BUDGET);
+    for a in &interp_arts {
+        let _ = interp_engine.session(a);
     }
     let interp_ms = t.elapsed().as_secs_f64() * 1e3;
 
     let t = Instant::now();
-    for d in &designs {
-        let _ = CompiledSim::with_budget(Arc::new(CompiledDesign::new(d.clone())), SETTLE_BUDGET);
+    for a in &compiled_arts {
+        let _ = compiled_engine.session(a);
     }
     let compiled_ms = t.elapsed().as_secs_f64() * 1e3;
 
-    (interp_ms, compiled_ms, designs.len())
+    (interp_ms, compiled_ms, pairs.len())
 }
 
 fn main() {

@@ -24,13 +24,18 @@
 //! section — a short budget-limited simulation (time-zero settle plus a
 //! few clock cycles) whose `status` distinguishes designs that run
 //! (`settled`) from those that exhaust the resource budget
-//! (`resource_exhausted`) or fault at runtime (`sim_error`).
+//! (`resource_exhausted`) or fault at runtime (`sim_error`). Every
+//! report also carries an `engine` section — the structured
+//! [`haven_engine::EngineFingerprint`] (hex key plus analyzer rule-set
+//! version) of the pipeline that produced it, so reports can be
+//! correlated with serve-cache entries and eval memo keys.
 
+use haven_engine::{Artifact, Engine, SimBackend};
 use haven_verilog::analyze_static::Severity;
 use haven_verilog::elab::SignalKind;
 use haven_verilog::lint::lint_module;
 use haven_verilog::parser::parse;
-use haven_verilog::sim::{SimBudget, Simulator};
+use haven_verilog::sim::SimBudget;
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -122,18 +127,18 @@ const PROBE_BUDGET: SimBudget = SimBudget {
     max_total_work: 200_000,
 };
 
-/// Runs the compiled design under [`PROBE_BUDGET`]: time-zero settle,
-/// then a few clock cycles when a `clk`/`clock` input exists. `None`
-/// when the source does not compile (already reported as
-/// `compile_error`).
-fn sim_probe(source: &str) -> Option<(&'static str, usize, usize)> {
-    let design = haven_verilog::compile(source).ok()?;
-    let clock = design
+/// Runs the prepared artifact under [`PROBE_BUDGET`]: time-zero settle,
+/// then a few clock cycles when a `clk`/`clock` input exists. Only
+/// called once the engine has produced an artifact, so compile failures
+/// never reach here (they are reported as `compile_error`).
+fn sim_probe(engine: &Engine, artifact: &std::sync::Arc<Artifact>) -> (&'static str, usize, usize) {
+    let clock = artifact
+        .design()
         .signals
         .iter()
         .find(|s| s.kind == SignalKind::Input && (s.name == "clk" || s.name == "clock"))
         .map(|s| s.name.clone());
-    match Simulator::with_budget(design, PROBE_BUDGET) {
+    match engine.session(artifact) {
         Ok(mut sim) => {
             let status = match clock {
                 Some(clk) => match sim.tick_n(&clk, 4) {
@@ -143,18 +148,41 @@ fn sim_probe(source: &str) -> Option<(&'static str, usize, usize)> {
                 },
                 None => "settled",
             };
-            Some((status, sim.work_units(), sim.ticks()))
+            (status, sim.work_units(), sim.ticks())
         }
-        Err(e) if e.is_budget() => Some(("resource_exhausted", 0, 0)),
-        Err(_) => Some(("sim_error", 0, 0)),
+        Err(e) if e.is_budget() => ("resource_exhausted", 0, 0),
+        Err(_) => ("sim_error", 0, 0),
     }
 }
 
 fn report(path: &str, source: &str, pretty: bool) -> (String, i32) {
+    // One uncached engine per invocation: the CLI analyzes a single file,
+    // so an artifact cache would never see a second hit. The interpreter
+    // backend keeps the probe's step accounting identical to the
+    // pre-engine CLI.
+    let engine = Engine::uncached(SimBackend::Interpreter, PROBE_BUDGET);
+    let fingerprint = engine.fingerprint();
+
     let mut j = Json::new(pretty);
     let mut top_first = true;
     j.open('{');
     j.str_field(&mut top_first, "file", path);
+
+    // Pipeline identity: lets downstream tooling correlate this report
+    // with serve-cache entries and eval memo keys produced by the same
+    // engine configuration.
+    j.comma(&mut top_first);
+    j.key("engine");
+    j.open('{');
+    let mut e_first = true;
+    j.str_field(&mut e_first, "backend", "interpreter");
+    j.str_field(&mut e_first, "fingerprint", &fingerprint.hex());
+    j.num_field(
+        &mut e_first,
+        "analyzer_version",
+        fingerprint.analyzer_version as usize,
+    );
+    j.close('}');
 
     // Convention lint runs on the parse tree, module by module, and does
     // not require the file to elaborate.
@@ -180,10 +208,14 @@ fn report(path: &str, source: &str, pretty: bool) -> (String, i32) {
     }
     j.close(']');
 
-    // Dataflow analysis needs the elaborated design.
+    // Dataflow analysis needs the elaborated design; the engine's
+    // prepare step runs compile + analyze in one pass and hands back the
+    // artifact the probe below reuses.
     let mut exit = 0;
-    match haven_verilog::analyze_source(source) {
-        Ok(rep) => {
+    let mut artifact = None;
+    match engine.prepare(source) {
+        Ok(prepared) => {
+            let rep = &prepared.report;
             j.comma(&mut top_first);
             j.key("static");
             j.open('{');
@@ -221,6 +253,7 @@ fn report(path: &str, source: &str, pretty: bool) -> (String, i32) {
             if rep.has_errors() {
                 exit = 1;
             }
+            artifact = Some(prepared);
         }
         Err(e) => {
             j.str_field(&mut top_first, "compile_error", &e.to_string());
@@ -233,7 +266,8 @@ fn report(path: &str, source: &str, pretty: bool) -> (String, i32) {
 
     // Dynamic settle probe under a hard resource budget, so downstream
     // tooling can tell a design that *runs* from one that only compiles.
-    if let Some((status, work, ticks)) = sim_probe(source) {
+    if let Some(artifact) = &artifact {
+        let (status, work, ticks) = sim_probe(&engine, artifact);
         j.comma(&mut top_first);
         j.key("sim_probe");
         j.open('{');
@@ -281,6 +315,22 @@ mod tests {
         assert!(json.contains("\"module\":\"c\""), "{json}");
         assert!(json.contains("\"status\":\"settled\""), "{json}");
         assert!(json.contains("\"ticks\":4"), "{json}");
+    }
+
+    #[test]
+    fn every_report_carries_the_engine_fingerprint() {
+        let clean = "module c(input a, output y);\n assign y = a;\nendmodule\n";
+        let expected = Engine::uncached(SimBackend::Interpreter, PROBE_BUDGET)
+            .fingerprint()
+            .hex();
+        for src in [clean, "not verilog at all"] {
+            let (json, _) = report("c.v", src, false);
+            assert!(
+                json.contains(&format!("\"fingerprint\":\"{expected}\"")),
+                "{json}"
+            );
+            assert!(json.contains("\"analyzer_version\":1"), "{json}");
+        }
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! candidate's AST, its lint report and its attribute analysis versus the
 //! golden spec.
 
+use std::sync::{Arc, OnceLock};
+
+use haven_engine::{Artifact, Engine, EngineOptions, SimBackend};
 use haven_modality::detect::ModalityKind;
 use haven_spec::cosim::Verdict;
 use haven_spec::ir::Behavior;
@@ -14,9 +17,31 @@ use haven_spec::Spec;
 use haven_verilog::analyze::{analyze, ResetKind};
 use haven_verilog::lint::{lint_module, LintRule};
 use haven_verilog::parser::parse;
+use haven_verilog::sim::SimBudget;
 use serde::{Deserialize, Serialize};
 
 use crate::taxonomy::{HallucinationClass, HallucinationType};
+
+/// Shared engine for post-mortem static analysis. Diagnosis runs over
+/// sweep outputs where the same failing source recurs (several verdict
+/// arms below consult the analyzer), so a small artifact cache turns the
+/// repeat compiles into lookups.
+fn analysis_engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        Engine::new(EngineOptions {
+            backend: SimBackend::Interpreter,
+            budget: SimBudget::default(),
+            cache_capacity: 64,
+        })
+    })
+}
+
+/// Compile-and-analyze through the engine; `None` when the source does
+/// not elaborate (the caller already holds a more specific verdict).
+fn static_artifact(source: &str) -> Option<Arc<Artifact>> {
+    analysis_engine().prepare(source).ok()
+}
 
 /// The attribution for one failed sample.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,9 +108,9 @@ pub fn diagnose(
             let mut evidence = vec![format!("runtime failure: {msg}")];
             // A simulation that never settles usually means a combinational
             // loop; the dataflow analyzer can prove it.
-            if let Ok(design) = haven_verilog::compile(source) {
-                let report = haven_verilog::analyze_design(&design);
-                if let Some(f) = report
+            if let Some(artifact) = static_artifact(source) {
+                if let Some(f) = artifact
+                    .report
                     .findings
                     .iter()
                     .find(|f| f.rule == haven_verilog::analyze_static::StaticRule::CombLoop)
@@ -108,9 +133,9 @@ pub fn diagnose(
             // A candidate that burns its budget without settling usually
             // hides a combinational loop or a runaway always-block; when
             // the dataflow analyzer can prove the loop, attribute it.
-            if let Ok(design) = haven_verilog::compile(source) {
-                let report = haven_verilog::analyze_design(&design);
-                if let Some(f) = report
+            if let Some(artifact) = static_artifact(source) {
+                if let Some(f) = artifact
+                    .report
                     .findings
                     .iter()
                     .find(|f| f.rule == haven_verilog::analyze_static::StaticRule::CombLoop)
@@ -181,9 +206,9 @@ fn diagnose_functional(
     // 1b. Dataflow-level evidence: an Error-severity static finding proves
     // a structural defect, and each rule carries its own Table II
     // attribution (see `StaticRule::taxonomy`).
-    if let Ok(design) = haven_verilog::compile(source) {
-        let report = haven_verilog::analyze_design(&design);
-        if let Some(f) = report
+    if let Some(artifact) = static_artifact(source) {
+        if let Some(f) = artifact
+            .report
             .findings
             .iter()
             .find(|f| f.severity == haven_verilog::analyze_static::Severity::Error)

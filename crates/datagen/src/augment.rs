@@ -5,15 +5,12 @@
 //! stuck at `x`) would teach the fine-tuned model hallucinated idioms,
 //! so it is rejected and tallied.
 
-use std::sync::Arc;
-
+use haven_engine::{Engine, EngineOptions, SimBackend};
 use haven_lm::finetune::SampleKind;
 use haven_spec::describe::{describe, DescribeStyle};
 use haven_verilog::analyze::{analyze, Analysis};
-use haven_verilog::elab::compile;
 use haven_verilog::parser::parse;
 use haven_verilog::sim::SimBudget;
-use haven_verilog::{CompiledDesign, CompiledSim};
 
 use crate::corpus::CorpusSample;
 use crate::exemplars::{matching, Exemplar};
@@ -147,29 +144,35 @@ pub const SETTLE_BUDGET: SimBudget = SimBudget {
 /// [`haven_verilog::analyze_design`]), and settles at time zero within
 /// [`SETTLE_BUDGET`], reporting what was rejected at each gate.
 ///
-/// The settle probe runs on the compiled backend ([`CompiledSim`]); its
-/// time-zero settle is verdict-identical to the reference interpreter
-/// (see the backend differential property tests), so the gate admits
-/// exactly the same pairs it always did, just faster.
+/// The whole gate runs through a shared [`haven_engine::Engine`] on the
+/// compiled backend: one `prepare` per pair climbs the ladder (compile →
+/// static report → bytecode, deduplicated by content for repeated code),
+/// and the settle probe is a session open on the artifact. Time-zero
+/// settle is verdict-identical to the reference interpreter (see the
+/// backend differential property tests), so the gate admits exactly the
+/// same pairs it always did, just faster.
 pub fn verify_counted(pairs: Vec<InstructionCodePair>) -> (Vec<InstructionCodePair>, VerifyStats) {
+    let engine = Engine::new(EngineOptions {
+        backend: SimBackend::Compiled,
+        budget: SETTLE_BUDGET,
+        cache_capacity: 1024,
+    });
     let mut stats = VerifyStats::default();
     let kept = pairs
         .into_iter()
-        .filter(|p| match compile(&p.code) {
+        .filter(|p| match engine.prepare(&p.code) {
             Err(_) => {
                 stats.rejected_compile += 1;
                 false
             }
-            Ok(design) => {
-                if haven_verilog::analyze_design(&design).has_errors() {
+            Ok(artifact) => {
+                if artifact.report.has_errors() {
                     stats.rejected_static += 1;
                     false
-                } else if CompiledSim::with_budget(
-                    Arc::new(CompiledDesign::new(design)),
-                    SETTLE_BUDGET,
-                )
-                .is_err()
-                {
+                } else if engine.session(&artifact).is_err() {
+                    // Any settle failure — budget blown or a runtime
+                    // fault the analyzer could not prove — is tallied
+                    // here, exactly as direct construction counted it.
                     stats.rejected_budget += 1;
                     false
                 } else {

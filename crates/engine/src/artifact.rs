@@ -1,0 +1,159 @@
+//! The artifact ladder and its content-addressed cache.
+//!
+//! An [`Artifact`] is everything the engine derives from one Verilog
+//! source string: the elaborated [`Design`], the dataflow
+//! [`StaticReport`], and (on the compiled backend) the lowered
+//! [`CompiledDesign`] bytecode in an `Arc` ready to be shared by any
+//! number of simulator instances. Building one is the hot inner loop of
+//! every consumer — the eval harness compiles n×temperatures samples per
+//! task, datagen step 8 gates thousands of pairs, the serve pipeline
+//! compiles per request — so the engine memoizes artifacts behind a
+//! bounded LRU keyed by [`Artifact::key_for`]: the content key of the
+//! source text plus the analyzer rule-set version, the backend, and the
+//! budget class. Identical source under an identical configuration is
+//! compiled exactly once.
+
+use std::sync::Arc;
+
+use haven_verilog::{CompiledDesign, Design, SimBudget, StaticReport};
+
+use crate::SimBackend;
+
+/// One fully-derived compile artifact: source → AST → elaborated design →
+/// static-analysis report → (compiled backend only) bytecode.
+///
+/// Artifacts are immutable once built and always handed out as
+/// `Arc<Artifact>`: a cache hit and a cold build are indistinguishable to
+/// the consumer, which is what makes warm reuse verdict-preserving.
+#[derive(Debug)]
+pub struct Artifact {
+    /// Full cache key ([`Artifact::key_for`]).
+    pub key: u64,
+    /// Content key of the source text alone ([`haven_hash::content_key`]
+    /// of `[source]` — the same key the eval memoizer and serve cache
+    /// build on).
+    pub source_key: u64,
+    /// Dataflow static-analysis report for the design.
+    pub report: StaticReport,
+    design: Design,
+    bytecode: Option<Arc<CompiledDesign>>,
+}
+
+impl Artifact {
+    /// The cache key for `source` under an engine configuration: source
+    /// content + analyzer rule-set version + backend + budget class.
+    /// The budget does not change what an artifact *contains* today, but
+    /// it is part of the key by contract so budget-dependent lowering can
+    /// be added later without a cache-poisoning migration.
+    pub fn key_for(source: &str, backend: SimBackend, budget: &SimBudget) -> u64 {
+        haven_hash::ContentHasher::new()
+            .part(source)
+            .word(u64::from(haven_verilog::ANALYZER_VERSION))
+            .word(match backend {
+                SimBackend::Interpreter => 0,
+                SimBackend::Compiled => 1,
+            })
+            .word(budget.max_settle_per_step as u64)
+            .word(budget.max_loop_iterations as u64)
+            .word(budget.max_ticks as u64)
+            .word(budget.max_total_work as u64)
+            .finish()
+    }
+
+    /// Builds the full ladder for `source`. `Err` is a lex/parse/
+    /// elaboration failure — the syntax-fail bucket every consumer maps
+    /// to its own syntax verdict.
+    pub(crate) fn build(
+        source: &str,
+        backend: SimBackend,
+        budget: &SimBudget,
+    ) -> haven_verilog::Result<Artifact> {
+        let design = haven_verilog::compile(source)?;
+        let report = haven_verilog::analyze_design(&design);
+        let bytecode = match backend {
+            SimBackend::Interpreter => None,
+            SimBackend::Compiled => Some(Arc::new(CompiledDesign::new(design.clone()))),
+        };
+        Ok(Artifact {
+            key: Artifact::key_for(source, backend, budget),
+            source_key: haven_hash::content_key(&[source]),
+            report,
+            design,
+            bytecode,
+        })
+    }
+
+    /// The elaborated design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The compiled bytecode, present when the artifact was built for the
+    /// compiled backend.
+    pub fn bytecode(&self) -> Option<&Arc<CompiledDesign>> {
+        self.bytecode.as_ref()
+    }
+}
+
+/// Artifact-cache telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the artifact.
+    pub misses: u64,
+    /// Artifacts evicted to stay within capacity.
+    pub evictions: u64,
+    /// Artifacts currently held.
+    pub entries: usize,
+    /// Maximum artifacts held (0 = caching disabled).
+    pub capacity: usize,
+}
+
+/// Bounded LRU map from artifact key to `Arc<Artifact>`.
+///
+/// Recency is tracked with a monotone stamp per entry; eviction scans for
+/// the minimum stamp. O(capacity) per eviction is deliberate: capacities
+/// are small (hundreds), the scan is branch-predictable, and the
+/// structure stays a single `HashMap` guarded by one short critical
+/// section in [`crate::Engine`].
+#[derive(Debug, Default)]
+pub(crate) struct Lru {
+    entries: std::collections::HashMap<u64, (Arc<Artifact>, u64)>,
+    clock: u64,
+    pub(crate) evictions: u64,
+}
+
+impl Lru {
+    pub(crate) fn get(&mut self, key: u64) -> Option<Arc<Artifact>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(&key).map(|(artifact, stamp)| {
+            *stamp = clock;
+            artifact.clone()
+        })
+    }
+
+    pub(crate) fn insert(&mut self, key: u64, artifact: Arc<Artifact>, capacity: usize) {
+        if capacity == 0 || self.entries.contains_key(&key) {
+            return;
+        }
+        if self.entries.len() >= capacity {
+            if let Some(&coldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&coldest);
+                self.evictions += 1;
+            }
+        }
+        self.clock += 1;
+        self.entries.insert(key, (artifact, self.clock));
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}

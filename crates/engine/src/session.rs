@@ -1,0 +1,221 @@
+//! Reusable device-under-test sessions over a compile artifact.
+//!
+//! A [`DutSession`] binds one [`Artifact`] to one live simulator (either
+//! backend) plus a name→[`SignalId`] handle map that outlives the
+//! simulator: [`DutSession::reset`] rebuilds the simulator from the
+//! shared artifact — re-running time-zero settle, exactly like a fresh
+//! construction — while the handles resolved by earlier runs stay valid,
+//! because signal ids are positions in the artifact's design, not in any
+//! particular simulator instance. One compiled artifact can therefore
+//! service many stimuli runs without ever re-resolving a port name,
+//! replacing the per-run handle map the co-simulation oracle used to
+//! rebuild on every call.
+//!
+//! Name resolution stays *lazy*: a name is looked up at the first step
+//! that touches it, so a missing-port error surfaces at exactly the same
+//! stimulus step — with exactly the same message — as it always did.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use haven_verilog::elab::SignalId;
+use haven_verilog::{CompiledDesign, CompiledSim, Result, SimBudget, Simulator};
+
+use crate::{Artifact, SimBackend};
+
+enum Dut {
+    Interp(Simulator),
+    Compiled(CompiledSim),
+}
+
+/// A live simulator over a shared [`Artifact`], with persistent port
+/// handles and reset-and-rerun support.
+pub struct DutSession {
+    artifact: Arc<Artifact>,
+    backend: SimBackend,
+    budget: SimBudget,
+    /// Bytecode backing the compiled backend. Taken from the artifact
+    /// when present; lowered once here when a compiled session is asked
+    /// of an interpreter-keyed artifact, so resets never re-lower.
+    code: Option<Arc<CompiledDesign>>,
+    dut: Dut,
+    handles: HashMap<String, SignalId>,
+    runs: usize,
+    dirty: bool,
+}
+
+impl DutSession {
+    /// Builds a session on `artifact`. Construction runs the simulator's
+    /// time-zero settle, so it can fail with a budget or simulation
+    /// error — the same errors a direct backend construction reported.
+    pub fn new(
+        artifact: Arc<Artifact>,
+        backend: SimBackend,
+        budget: SimBudget,
+    ) -> Result<DutSession> {
+        let code = match backend {
+            SimBackend::Interpreter => None,
+            SimBackend::Compiled => Some(
+                artifact
+                    .bytecode()
+                    .cloned()
+                    .unwrap_or_else(|| Arc::new(CompiledDesign::new(artifact.design().clone()))),
+            ),
+        };
+        let dut = Self::boot(&artifact, backend, &code, budget)?;
+        Ok(DutSession {
+            artifact,
+            backend,
+            budget,
+            code,
+            dut,
+            handles: HashMap::new(),
+            runs: 0,
+            dirty: false,
+        })
+    }
+
+    fn boot(
+        artifact: &Artifact,
+        backend: SimBackend,
+        code: &Option<Arc<CompiledDesign>>,
+        budget: SimBudget,
+    ) -> Result<Dut> {
+        match backend {
+            SimBackend::Interpreter => {
+                Simulator::with_budget(artifact.design().clone(), budget).map(Dut::Interp)
+            }
+            SimBackend::Compiled => {
+                let code = code.as_ref().expect("compiled session carries bytecode");
+                CompiledSim::with_budget(code.clone(), budget).map(Dut::Compiled)
+            }
+        }
+    }
+
+    /// Discards all simulator state and re-runs time-zero settle, keeping
+    /// the artifact, the budget and every resolved handle. After a
+    /// successful reset the session is indistinguishable from a freshly
+    /// constructed one (pinned by the repeated-run cosim tests).
+    pub fn reset(&mut self) -> Result<()> {
+        self.dut = Self::boot(&self.artifact, self.backend, &self.code, self.budget)?;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Resets only if the session has been driven since the last boot.
+    /// Returns whether a reset actually happened.
+    pub fn ensure_fresh(&mut self) -> Result<bool> {
+        if self.dirty {
+            self.reset()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Marks the session driven and counts the run. Called by run-shaped
+    /// consumers (the co-simulation oracle) at the start of a stimulus
+    /// program.
+    pub fn begin_run(&mut self) {
+        self.runs += 1;
+        self.dirty = true;
+    }
+
+    /// The artifact this session executes.
+    pub fn artifact(&self) -> &Arc<Artifact> {
+        &self.artifact
+    }
+
+    /// The backend this session runs on.
+    pub fn backend(&self) -> SimBackend {
+        self.backend
+    }
+
+    /// Stimulus runs begun on this session.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Distinct port names resolved so far (across all runs).
+    pub fn handle_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Resolves `name` to a signal handle, caching the answer for the
+    /// session's lifetime (resets included).
+    pub fn resolve(&mut self, name: &str) -> Result<SignalId> {
+        if let Some(&id) = self.handles.get(name) {
+            return Ok(id);
+        }
+        let id = match &self.dut {
+            Dut::Interp(s) => s.resolve(name)?,
+            Dut::Compiled(s) => s.resolve(name)?,
+        };
+        self.handles.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Drives an input by name.
+    pub fn poke_u64(&mut self, name: &str, value: u64) -> Result<()> {
+        self.dirty = true;
+        let id = self.resolve(name)?;
+        self.poke_id_u64(id, value)
+    }
+
+    /// Drives an input by pre-resolved handle.
+    pub fn poke_id_u64(&mut self, id: SignalId, value: u64) -> Result<()> {
+        self.dirty = true;
+        match &mut self.dut {
+            Dut::Interp(s) => s.poke_id_u64(id, value),
+            Dut::Compiled(s) => s.poke_id_u64(id, value),
+        }
+    }
+
+    /// Reads a signal by name (`None` when the value carries `x`/`z`).
+    pub fn peek_u64(&mut self, name: &str) -> Result<Option<u64>> {
+        let id = self.resolve(name)?;
+        Ok(self.peek_id_u64(id))
+    }
+
+    /// Reads a signal by pre-resolved handle.
+    pub fn peek_id_u64(&self, id: SignalId) -> Option<u64> {
+        match &self.dut {
+            Dut::Interp(s) => s.peek_id(id).to_u64(),
+            Dut::Compiled(s) => s.peek_id_u64(id),
+        }
+    }
+
+    /// Runs one full clock cycle on `clk` by pre-resolved handle.
+    pub fn tick_id(&mut self, clk: SignalId) -> Result<()> {
+        self.dirty = true;
+        match &mut self.dut {
+            Dut::Interp(s) => s.tick_id(clk),
+            Dut::Compiled(s) => s.tick_id(clk),
+        }
+    }
+
+    /// Runs `n` full clock cycles on the named clock.
+    pub fn tick_n(&mut self, clk: &str, n: usize) -> Result<()> {
+        self.dirty = true;
+        let id = self.resolve(clk)?;
+        for _ in 0..n {
+            self.tick_id(id)?;
+        }
+        Ok(())
+    }
+
+    /// Cumulative work units spent by the live simulator.
+    pub fn work_units(&self) -> usize {
+        match &self.dut {
+            Dut::Interp(s) => s.work_units(),
+            Dut::Compiled(s) => s.work_units(),
+        }
+    }
+
+    /// Full clock cycles driven through the live simulator's tick API.
+    pub fn ticks(&self) -> usize {
+        match &self.dut {
+            Dut::Interp(s) => s.ticks(),
+            Dut::Compiled(s) => s.ticks(),
+        }
+    }
+}

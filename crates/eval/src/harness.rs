@@ -33,7 +33,8 @@ pub enum SicotMode {
     /// CodeQwen-refined prompts to commercial LLMs).
     External(ModelProfile),
 }
-use haven_spec::cosim::{cosimulate_compiled, CosimOptions, SimBackend, SimBudget, Verdict};
+use haven_engine::{Engine, EngineOptions};
+use haven_spec::cosim::{cosimulate_artifact, CosimOptions, SimBackend, SimBudget, Verdict};
 use haven_spec::stimuli::stimuli_for;
 use serde::{Deserialize, Serialize};
 
@@ -168,6 +169,13 @@ pub struct EvalConfig {
     /// verdict. Verdict-preserving because sample evaluation is
     /// deterministic in the source; injected faults bypass the cache.
     pub memoize: bool,
+    /// Capacity of the shared engine artifact cache (compiled designs,
+    /// static reports, bytecode — see `haven-engine`). Unlike `memoize`,
+    /// which replays whole verdicts within one task, this caches the
+    /// *compile* ladder across tasks, temperatures and samples. 0 turns
+    /// it off (every sample re-compiles — the bench baseline).
+    #[serde(default = "default_artifact_cache")]
+    pub artifact_cache: usize,
     /// Deterministic fault injection (tests and resilience drills only;
     /// `None` in production runs).
     pub fault_plan: Option<FaultPlan>,
@@ -187,9 +195,14 @@ impl Default for EvalConfig {
             retry: RetryPolicy::default(),
             backend: SimBackend::default(),
             memoize: true,
+            artifact_cache: default_artifact_cache(),
             fault_plan: None,
         }
     }
+}
+
+fn default_artifact_cache() -> usize {
+    512
 }
 
 impl EvalConfig {
@@ -396,10 +409,18 @@ fn run_sweep(
     cfg: &EvalConfig,
     journal: Option<(&DoneMap, &JournalWriter)>,
 ) -> Option<SuiteResult> {
+    // One engine for the whole sweep: the artifact cache is shared by
+    // every worker thread, task and temperature, so a source generated
+    // twice anywhere in the run compiles once.
+    let engine = Engine::new(EngineOptions {
+        backend: cfg.backend,
+        budget: cfg.budget,
+        cache_capacity: cfg.artifact_cache,
+    });
     let mut best: Option<(f64, f64, Vec<TaskResult>)> = None;
     for &temp in &cfg.temperatures {
         let results = match journal {
-            None => run_at_temperature(profile, tasks, cfg, temp, None),
+            None => run_at_temperature(&engine, profile, tasks, cfg, temp, None),
             Some((done, writer)) => {
                 let missing: Vec<BenchTask> = tasks
                     .iter()
@@ -407,7 +428,8 @@ fn run_sweep(
                     .cloned()
                     .collect();
                 let on_task = |r: &TaskResult| writer.append(temp, r);
-                let fresh = run_at_temperature(profile, &missing, cfg, temp, Some(&on_task));
+                let fresh =
+                    run_at_temperature(&engine, profile, &missing, cfg, temp, Some(&on_task));
                 let mut fresh_by_id: HashMap<String, TaskResult> =
                     fresh.into_iter().map(|r| (r.task_id.clone(), r)).collect();
                 tasks
@@ -423,7 +445,7 @@ fn run_sweep(
         };
         let counts: Vec<(usize, usize)> = results.iter().map(|t| (t.n, t.c_func)).collect();
         let p1 = mean_pass_at_k(&counts, 1);
-        if best.as_ref().map_or(true, |(_, bp, _)| p1 > *bp) {
+        if best.as_ref().is_none_or(|(_, bp, _)| p1 > *bp) {
             best = Some((temp, p1, results));
         }
     }
@@ -435,6 +457,7 @@ fn run_sweep(
 }
 
 fn run_at_temperature(
+    engine: &Engine,
     profile: &ModelProfile,
     tasks: &[BenchTask],
     cfg: &EvalConfig,
@@ -456,7 +479,7 @@ fn run_at_temperature(
                             // per-sample layer (e.g. in prompt refinement)
                             // quarantines this task, not the shard.
                             let r = catch_unwind(AssertUnwindSafe(|| {
-                                run_task(profile, t, cfg, temperature)
+                                run_task(engine, profile, t, cfg, temperature)
                             }))
                             .unwrap_or_else(|_| TaskResult::faulted(&t.id, cfg.n));
                             if let Some(cb) = on_task {
@@ -512,11 +535,16 @@ struct TaskMemo {
 }
 
 impl TaskMemo {
-    /// Shared canonical content key ([`haven_hash::content_key`]) — the
-    /// same function the serve-layer response cache uses, so the two
-    /// caches cannot drift on what "identical source" means.
-    fn key(source: &str) -> u64 {
-        haven_hash::content_key(&[source])
+    /// Memo key: the source's content plus the structured
+    /// [`haven_engine::EngineFingerprint`] of the configuration that
+    /// judged it — built on the same [`haven_hash::ContentHasher`] the
+    /// serve-layer response cache uses, so the two caches cannot drift
+    /// on what "identical source under the same engine" means.
+    fn key(source: &str, fingerprint_key: u64) -> u64 {
+        haven_hash::ContentHasher::new()
+            .part(source)
+            .word(fingerprint_key)
+            .finish()
     }
 }
 
@@ -534,11 +562,16 @@ impl SampleOutcome {
 }
 
 fn run_task(
+    engine: &Engine,
     profile: &ModelProfile,
     task: &BenchTask,
     cfg: &EvalConfig,
     temperature: f64,
 ) -> TaskResult {
+    // The structured fingerprint of everything besides the source that
+    // shapes a verdict; folded into every memo key so a config change
+    // can never replay a stale verdict.
+    let fingerprint_key = engine.fingerprint().with_static_gate(cfg.static_gate).key();
     let model = CodeGenModel::new(profile.clone(), temperature);
     // Per the paper, the same pre-trained model serves as CoT prompting
     // model and CodeGen-LLM.
@@ -567,6 +600,8 @@ fn run_task(
         let outcome = loop {
             let o = catch_unwind(AssertUnwindSafe(|| {
                 evaluate_sample(
+                    engine,
+                    fingerprint_key,
                     &model,
                     &prompt,
                     task,
@@ -622,6 +657,8 @@ fn run_task(
 
 #[allow(clippy::too_many_arguments)]
 fn evaluate_sample(
+    engine: &Engine,
+    fingerprint_key: u64,
     model: &CodeGenModel,
     prompt: &str,
     task: &BenchTask,
@@ -657,7 +694,7 @@ fn evaluate_sample(
     // already decided this sample. Fault-injected attempts must run the
     // real path, so they never consult or fill the cache.
     let memoized = cfg.memoize && fault.is_none();
-    let key = TaskMemo::key(&source);
+    let key = TaskMemo::key(&source, fingerprint_key);
     if memoized {
         if let Some((verdict, gated)) = memo.verdicts.get(&key) {
             memo.hits += 1;
@@ -667,7 +704,7 @@ fn evaluate_sample(
             };
         }
     }
-    let outcome = evaluate_source(&source, task, cfg, stimuli, fault);
+    let outcome = evaluate_source(engine, &source, task, cfg, stimuli, fault);
     if memoized {
         memo.verdicts
             .insert(key, (outcome.verdict.clone(), outcome.gated));
@@ -676,21 +713,25 @@ fn evaluate_sample(
 }
 
 /// The deterministic tail of sample evaluation: everything downstream of
-/// the generated source (compile → static gate → co-simulation).
+/// the generated source (engine prepare → static gate → co-simulation).
 fn evaluate_source(
+    engine: &Engine,
     source: &str,
     task: &BenchTask,
     cfg: &EvalConfig,
     stimuli: &haven_spec::stimuli::Stimuli,
     fault: Option<FaultKind>,
 ) -> SampleOutcome {
-    // Compile once; the design is shared by the static gate and the
-    // simulator instead of being re-elaborated per stage.
-    let design = match haven_verilog::compile(source) {
-        Ok(d) => d,
+    // One engine prepare climbs the whole ladder (parse → elaborate →
+    // analyze → bytecode) and answers from the shared artifact cache when
+    // any worker already compiled this exact source. Artifacts are pure
+    // compile products, so a cache hit is safe even on fault-injected
+    // attempts — the fault machinery lives downstream.
+    let artifact = match engine.prepare(source) {
+        Ok(a) => a,
         Err(e) => return SampleOutcome::of(Verdict::SyntaxError(e.to_string())),
     };
-    if cfg.static_gate && haven_verilog::analyze_design(&design).has_errors() {
+    if cfg.static_gate && artifact.report.has_errors() {
         // The design compiled (syntax ok) but the dataflow analyzer
         // proved it defective — e.g. a combinational loop or an
         // X-generating reset-less register — so co-simulation could
@@ -715,7 +756,7 @@ fn evaluate_source(
         },
         backend: cfg.backend,
     };
-    SampleOutcome::of(cosimulate_compiled(&task.spec, design, stimuli, &options).verdict)
+    SampleOutcome::of(cosimulate_artifact(&task.spec, engine, &artifact, stimuli, &options).verdict)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

@@ -49,11 +49,18 @@ impl ResponseCache {
     }
 
     /// Builds the content key for a normalized request served by a given
-    /// model configuration. `model_fingerprint` must capture everything
-    /// besides the prompt that changes the deterministic response: model
-    /// name and temperature at minimum.
-    pub fn key(normalized_prompt: &str, model_fingerprint: &str) -> u64 {
-        haven_hash::content_key(&[normalized_prompt, model_fingerprint])
+    /// engine configuration. The structured
+    /// [`EngineFingerprint`](haven_engine::EngineFingerprint) captures
+    /// everything besides the prompt that changes the deterministic
+    /// response — model name and temperature, simulation backend and
+    /// budget, analyzer rule-set version, static-gate switch — so any
+    /// configuration change rolls the key instead of replaying a payload
+    /// computed under different rules.
+    pub fn key(normalized_prompt: &str, fingerprint: &haven_engine::EngineFingerprint) -> u64 {
+        haven_hash::ContentHasher::new()
+            .part(normalized_prompt)
+            .word(fingerprint.key())
+            .finish()
     }
 
     /// Looks up a response by key.
@@ -112,23 +119,79 @@ mod tests {
         })
     }
 
+    fn fingerprint() -> haven_engine::EngineFingerprint {
+        use haven_engine::{EngineFingerprint, SimBackend};
+        EngineFingerprint::new(
+            SimBackend::Compiled,
+            haven_spec::cosim::SimBudget::default(),
+        )
+        .with_model("m", 0.2)
+    }
+
     #[test]
     fn hit_returns_the_exact_inserted_payload() {
         let cache = ResponseCache::new(4);
-        let key = ResponseCache::key("prompt", "model@0.2");
+        let key = ResponseCache::key("prompt", &fingerprint());
         let r = response("module m; endmodule", ServeVerdict::Checked(Verdict::Pass));
         cache.insert(key, r.clone());
         assert_eq!(cache.get(key).as_deref(), Some(r.as_ref()));
         assert_eq!(cache.get(key ^ 1), None);
     }
 
+    /// The satellite contract for the structured fingerprint: identical
+    /// configurations share a key; a change to the prompt, model,
+    /// backend, budget, static gate or analyzer rule-set version each
+    /// rolls it.
     #[test]
-    fn key_depends_on_prompt_and_model_fingerprint() {
-        let k = ResponseCache::key("p", "m@0.2");
-        assert_ne!(k, ResponseCache::key("p2", "m@0.2"));
-        assert_ne!(k, ResponseCache::key("p", "m@0.5"));
-        // Part-boundary safety comes from the shared hasher.
-        assert_ne!(ResponseCache::key("ab", "c"), ResponseCache::key("a", "bc"));
+    fn key_depends_on_every_fingerprint_field() {
+        use haven_engine::{EngineFingerprint, SimBackend};
+        use haven_spec::cosim::SimBudget;
+        let fp = fingerprint();
+        let k = ResponseCache::key("p", &fp);
+        assert_eq!(
+            k,
+            ResponseCache::key("p", &fingerprint()),
+            "identical configuration must produce an identical key"
+        );
+        assert_ne!(k, ResponseCache::key("p2", &fp), "prompt");
+        assert_ne!(
+            k,
+            ResponseCache::key("p", &fingerprint().with_model("m", 0.5)),
+            "temperature"
+        );
+        assert_ne!(
+            k,
+            ResponseCache::key("p", &fingerprint().with_model("m2", 0.2)),
+            "model name"
+        );
+        assert_ne!(
+            k,
+            ResponseCache::key(
+                "p",
+                &EngineFingerprint::new(SimBackend::Interpreter, SimBudget::default())
+                    .with_model("m", 0.2)
+            ),
+            "backend"
+        );
+        assert_ne!(
+            k,
+            ResponseCache::key(
+                "p",
+                &EngineFingerprint::new(SimBackend::Compiled, SimBudget::starved())
+                    .with_model("m", 0.2)
+            ),
+            "budget"
+        );
+        assert_ne!(
+            k,
+            ResponseCache::key("p", &fingerprint().with_static_gate(false)),
+            "static gate"
+        );
+        let bumped = haven_engine::EngineFingerprint {
+            analyzer_version: fp.analyzer_version + 1,
+            ..fp
+        };
+        assert_ne!(k, ResponseCache::key("p", &bumped), "analyzer version");
     }
 
     #[test]

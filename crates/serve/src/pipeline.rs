@@ -19,12 +19,13 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use haven_engine::{Engine as CompileEngine, EngineFingerprint, EngineOptions};
 use haven_eval::fault::{corrupt_source, FaultKind};
 use haven_eval::FaultPlan;
 use haven_lm::model::CodeGenModel;
 use haven_lm::perception::perceive;
 use haven_sicot::SiCot;
-use haven_spec::cosim::{cosimulate_compiled, CosimOptions, SimBackend, SimBudget, Verdict};
+use haven_spec::cosim::{cosimulate_artifact, CosimOptions, SimBackend, SimBudget, Verdict};
 use haven_spec::stimuli::stimuli_for;
 
 use crate::cache::ResponseCache;
@@ -42,6 +43,12 @@ pub struct EngineConfig {
     pub budget: SimBudget,
     /// Execution backend for the candidate design.
     pub backend: SimBackend,
+    /// Capacity of the shared compile-artifact cache (`haven-engine`):
+    /// repeated generations — common, since the cache key is the
+    /// *generated source* and low-temperature models repeat themselves —
+    /// skip the parse → elaborate → analyze → bytecode ladder. 0 turns
+    /// artifact caching off.
+    pub artifact_cache: usize,
     /// Simulated wall-clock latency of the remote CodeGen-LLM inference
     /// call. Workers block on it, so it is what concurrency overlaps;
     /// it is capped at the request's remaining deadline.
@@ -56,6 +63,7 @@ impl Default for EngineConfig {
             static_gate: true,
             budget: SimBudget::default(),
             backend: SimBackend::default(),
+            artifact_cache: 256,
             inference_latency: Duration::ZERO,
             fault_plan: None,
         }
@@ -127,9 +135,13 @@ pub struct Attempt {
 pub struct Engine {
     sicot: SiCot,
     model: CodeGenModel,
+    /// The shared compile engine: artifact cache + session factory.
+    compiler: CompileEngine,
     /// Everything besides the prompt that changes the payload, baked into
-    /// the cache key: model name, temperature, gate, backend.
-    fingerprint: String,
+    /// the cache key as a structured [`EngineFingerprint`]: model name
+    /// and temperature, simulation backend and budget, analyzer rule-set
+    /// version, static-gate switch.
+    fingerprint: EngineFingerprint,
     config: EngineConfig,
     cache: Arc<ResponseCache>,
     metrics: Arc<Metrics>,
@@ -145,13 +157,19 @@ impl Engine {
         cache: Arc<ResponseCache>,
         metrics: Arc<Metrics>,
     ) -> Engine {
-        let fingerprint = format!(
-            "{}@{}/gate={}/backend={:?}",
-            model.profile.name, model.temperature, config.static_gate, config.backend
-        );
+        let compiler = CompileEngine::new(EngineOptions {
+            backend: config.backend,
+            budget: config.budget,
+            cache_capacity: config.artifact_cache,
+        });
+        let fingerprint = compiler
+            .fingerprint()
+            .with_static_gate(config.static_gate)
+            .with_model(&model.profile.name, model.temperature);
         Engine {
             sicot: SiCot::new(model.clone()),
             model,
+            compiler,
             fingerprint,
             config,
             cache,
@@ -159,9 +177,15 @@ impl Engine {
         }
     }
 
-    /// The cache-key fingerprint of this engine's serving configuration.
-    pub fn fingerprint(&self) -> &str {
+    /// The structured fingerprint of this engine's serving configuration
+    /// — the second half of every response-cache key.
+    pub fn fingerprint(&self) -> &EngineFingerprint {
         &self.fingerprint
+    }
+
+    /// Compile-artifact cache telemetry for this engine.
+    pub fn artifact_stats(&self) -> haven_engine::CacheStats {
+        self.compiler.stats()
     }
 
     /// Runs one pipeline attempt under `clock`. `attempt` is the retry
@@ -263,13 +287,15 @@ impl Engine {
             );
         }
 
-        // --- Lint: compile + dataflow static analysis ------------------
+        // --- Lint: one engine prepare climbs the whole artifact ladder
+        // (parse → elaborate → analyze → bytecode), answering from the
+        // shared artifact cache for repeated generations. ---------------
         if let Err(r) = clock.check(Stage::Lint) {
             return deadline(r, sicot_steps, trace);
         }
         let t = Instant::now();
-        let design = match haven_verilog::compile(&source) {
-            Ok(d) => d,
+        let artifact = match self.compiler.prepare(&source) {
+            Ok(a) => a,
             Err(e) => {
                 trace.lint_us = t.elapsed().as_micros() as u64;
                 return self.respond(
@@ -286,7 +312,7 @@ impl Engine {
                 );
             }
         };
-        let report = haven_verilog::analyze_design(&design);
+        let report = artifact.report.clone();
         trace.lint_us = t.elapsed().as_micros() as u64;
         if self.config.static_gate && report.has_errors() {
             // Same short-circuit (and same detail string) as the eval
@@ -334,7 +360,14 @@ impl Engine {
                     backend: self.config.backend,
                 };
                 ServeVerdict::Checked(
-                    cosimulate_compiled(&perception.spec, design, &stimuli, &options).verdict,
+                    cosimulate_artifact(
+                        &perception.spec,
+                        &self.compiler,
+                        &artifact,
+                        &stimuli,
+                        &options,
+                    )
+                    .verdict,
                 )
             }
         };

@@ -4,13 +4,12 @@
 //! This is the reproduction's *functional correctness* oracle — the role
 //! the paper's benchmark testbenches play.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use haven_verilog::elab::{compile, SignalId};
+pub use haven_engine::SimBackend;
+use haven_engine::{Artifact, DutSession, Engine};
 pub use haven_verilog::sim::SimBudget;
-use haven_verilog::sim::Simulator;
-use haven_verilog::{CompiledDesign, CompiledSim, VerilogError};
+use haven_verilog::VerilogError;
 use serde::{Deserialize, Serialize};
 
 use crate::golden::GoldenModel;
@@ -103,23 +102,6 @@ fn interface_or_sim_error(
     }
 }
 
-/// Which simulation engine runs the candidate design.
-///
-/// Both backends are verdict-equivalent (enforced by the differential
-/// property suite in `crates/spec/tests/prop_backends.rs`); they differ
-/// only in speed. See DESIGN.md §10.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub enum SimBackend {
-    /// The tree-walking reference interpreter
-    /// ([`haven_verilog::sim::Simulator`]).
-    Interpreter,
-    /// The compiled bytecode executor ([`haven_verilog::exec::CompiledSim`]):
-    /// dense signal arena, flattened expression bytecode, levelized
-    /// combinational scheduling where the design qualifies.
-    #[default]
-    Compiled,
-}
-
 /// Oracle options — exposed so the design choices documented in
 /// `DESIGN.md` §5 can be ablated (see `haven-bench`'s `oracle_ablation`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -145,50 +127,18 @@ impl Default for CosimOptions {
     }
 }
 
-/// The device under test behind either backend, with a name→id cache so
-/// the stimulus hot loop resolves each signal string at most once.
-///
-/// Resolution stays *lazy*: a name is looked up at the first step that
-/// touches it, so missing-port errors surface at exactly the same step —
-/// with exactly the same message — as when the interpreter resolved names
-/// on every call.
-enum Dut {
-    Interp(Simulator),
-    Compiled(CompiledSim),
-}
-
-struct DutHandles {
-    dut: Dut,
-    ids: HashMap<String, SignalId>,
-}
-
-impl DutHandles {
-    fn resolve(&mut self, name: &str) -> Result<SignalId, VerilogError> {
-        if let Some(&id) = self.ids.get(name) {
-            return Ok(id);
-        }
-        let id = match &self.dut {
-            Dut::Interp(s) => s.resolve(name)?,
-            Dut::Compiled(s) => s.resolve(name)?,
-        };
-        self.ids.insert(name.to_string(), id);
-        Ok(id)
-    }
-
-    fn poke_u64(&mut self, name: &str, value: u64) -> Result<(), VerilogError> {
-        let id = self.resolve(name)?;
-        match &mut self.dut {
-            Dut::Interp(s) => s.poke_id_u64(id, value),
-            Dut::Compiled(s) => s.poke_id_u64(id, value),
-        }
-    }
-
-    fn peek_u64(&mut self, name: &str) -> Result<Option<u64>, VerilogError> {
-        let id = self.resolve(name)?;
-        Ok(match &self.dut {
-            Dut::Interp(s) => s.peek_id(id).to_u64(),
-            Dut::Compiled(s) => s.peek_id_u64(id),
-        })
+/// Maps a session construction (or reset) failure — time-zero settle ran
+/// and failed — to a verdict, exactly as direct backend construction did.
+fn construction_error(e: VerilogError) -> CosimReport {
+    let verdict = if e.is_budget() {
+        Verdict::ResourceExhausted(e.to_string())
+    } else {
+        Verdict::SimulationError(e.to_string())
+    };
+    CosimReport {
+        verdict,
+        checks_run: 0,
+        checks_compared: 0,
     }
 }
 
@@ -201,15 +151,19 @@ pub fn cosimulate(spec: &Spec, source: &str, stimuli: &Stimuli) -> CosimReport {
     cosimulate_with(spec, source, stimuli, &CosimOptions::default())
 }
 
-/// [`cosimulate`] with explicit oracle options.
+/// [`cosimulate`] with explicit oracle options. One-shot: compiles
+/// `source` through a cache-less [`Engine`]. Callers with repeated
+/// sources (the eval harness, the serve pipeline) hold a shared engine
+/// and use [`cosimulate_artifact`] instead.
 pub fn cosimulate_with(
     spec: &Spec,
     source: &str,
     stimuli: &Stimuli,
     options: &CosimOptions,
 ) -> CosimReport {
-    let design = match compile(source) {
-        Ok(d) => d,
+    let engine = Engine::uncached(options.backend, options.budget);
+    let artifact = match engine.prepare(source) {
+        Ok(a) => a,
         Err(e) => {
             return CosimReport {
                 verdict: Verdict::SyntaxError(e.to_string()),
@@ -218,43 +172,42 @@ pub fn cosimulate_with(
             }
         }
     };
-    cosimulate_compiled(spec, design, stimuli, options)
+    cosimulate_artifact(spec, &engine, &artifact, stimuli, options)
 }
 
-/// Co-simulates an already-elaborated design. Lets callers that need the
-/// [`Design`] for other purposes (static-analysis gating in the eval
-/// harness) compile once instead of twice.
-pub fn cosimulate_compiled(
+/// Co-simulates a prepared engine [`Artifact`]: opens a fresh
+/// [`DutSession`] under `options.budget` and runs the stimulus program.
+/// This is the entry point for engine-holding consumers — the artifact
+/// may be a cache hit shared with other workers; the session is private.
+pub fn cosimulate_artifact(
     spec: &Spec,
-    design: haven_verilog::Design,
+    engine: &Engine,
+    artifact: &Arc<Artifact>,
     stimuli: &Stimuli,
     options: &CosimOptions,
 ) -> CosimReport {
-    let built = match options.backend {
-        SimBackend::Interpreter => Simulator::with_budget(design, options.budget).map(Dut::Interp),
-        SimBackend::Compiled => {
-            let compiled = Arc::new(CompiledDesign::new(design));
-            CompiledSim::with_budget(compiled, options.budget).map(Dut::Compiled)
-        }
+    let mut session = match engine.session_with_budget(artifact, options.budget) {
+        Ok(s) => s,
+        Err(e) => return construction_error(e),
     };
-    let mut sim = match built {
-        Ok(dut) => DutHandles {
-            dut,
-            ids: HashMap::new(),
-        },
-        Err(e) => {
-            let verdict = if e.is_budget() {
-                Verdict::ResourceExhausted(e.to_string())
-            } else {
-                Verdict::SimulationError(e.to_string())
-            };
-            return CosimReport {
-                verdict,
-                checks_run: 0,
-                checks_compared: 0,
-            };
-        }
-    };
+    cosimulate_session(spec, &mut session, stimuli, options)
+}
+
+/// Co-simulates on an existing [`DutSession`], resetting it first if a
+/// previous run drove it. Port handles resolved by earlier runs are
+/// reused, so repeated runs of the same stimuli are bit-identical to a
+/// fresh session (pinned by `repeated_session_runs_are_bit_identical`).
+pub fn cosimulate_session(
+    spec: &Spec,
+    session: &mut DutSession,
+    stimuli: &Stimuli,
+    options: &CosimOptions,
+) -> CosimReport {
+    if let Err(e) = session.ensure_fresh() {
+        return construction_error(e);
+    }
+    session.begin_run();
+    let sim = session;
     let mut golden = GoldenModel::new(spec);
     let clock = spec.attrs.clock.clone();
     let mut checks_run = 0usize;
@@ -565,6 +518,56 @@ mod tests {
         let src = "module g(input a, input b, output y);\n assign y = a | b;\nendmodule";
         let report = cosimulate(&spec, src, &stimuli_for(&spec, 1));
         assert!(matches!(report.verdict, Verdict::FunctionalMismatch { .. }));
+    }
+
+    /// The satellite fix this refactor exists for: port handles are
+    /// resolved once per artifact, and re-running the same stimuli on a
+    /// reused session is bit-identical to a fresh one — for passing and
+    /// failing candidates alike, on both backends.
+    #[test]
+    fn repeated_session_runs_are_bit_identical() {
+        use haven_engine::{Engine, EngineOptions};
+        let spec = builders::counter("c", 4, Some(10));
+        let correct = emit(&spec, &EmitStyle::correct());
+        let wrong = emit(
+            &spec,
+            &EmitStyle {
+                reset_kind_override: Some(ResetKind::Sync),
+                ..EmitStyle::correct()
+            },
+        );
+        let stim = stimuli_for(&spec, 42);
+        for backend in [SimBackend::Compiled, SimBackend::Interpreter] {
+            let options = CosimOptions {
+                backend,
+                ..CosimOptions::default()
+            };
+            for src in [&correct, &wrong] {
+                let engine = Engine::new(EngineOptions {
+                    backend,
+                    ..EngineOptions::default()
+                });
+                let artifact = engine.prepare(src).unwrap();
+                let mut session = engine
+                    .session_with_budget(&artifact, options.budget)
+                    .unwrap();
+                let first = cosimulate_session(&spec, &mut session, &stim, &options);
+                let handles = session.handle_count();
+                let second = cosimulate_session(&spec, &mut session, &stim, &options);
+                let third = cosimulate_session(&spec, &mut session, &stim, &options);
+                assert_eq!(first, second, "{backend:?}: run 2 diverged");
+                assert_eq!(first, third, "{backend:?}: run 3 diverged");
+                assert_eq!(
+                    session.handle_count(),
+                    handles,
+                    "{backend:?}: later runs must not re-resolve ports"
+                );
+                assert_eq!(session.runs(), 3);
+                // And the session answer matches the one-shot oracle.
+                let one_shot = cosimulate_with(&spec, src, &stim, &options);
+                assert_eq!(first, one_shot, "{backend:?}: session vs one-shot");
+            }
+        }
     }
 
     #[test]

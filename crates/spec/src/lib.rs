@@ -35,6 +35,9 @@ pub mod golden;
 pub mod ir;
 pub mod stimuli;
 
-pub use cosim::{cosimulate, cosimulate_compiled, CosimOptions, CosimReport, SimBudget, Verdict};
+pub use cosim::{
+    cosimulate, cosimulate_artifact, cosimulate_session, CosimOptions, CosimReport, SimBackend,
+    SimBudget, Verdict,
+};
 pub use golden::GoldenModel;
 pub use ir::{Behavior, Spec};

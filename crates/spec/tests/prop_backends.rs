@@ -11,10 +11,13 @@
 //! `proptest` strategies, so every case actually executes in the offline
 //! build and the failures replay deterministically.
 
+use std::sync::Arc;
+
+use haven_engine::{Engine, EngineOptions};
 use haven_spec::builders;
 use haven_spec::codegen::{emit, EmitStyle};
 use haven_spec::cosim::{
-    cosimulate_with, CosimOptions, CosimReport, SimBackend, SimBudget, Verdict,
+    cosimulate_artifact, cosimulate_with, CosimOptions, CosimReport, SimBackend, SimBudget, Verdict,
 };
 use haven_spec::ir::{AluOp, ShiftDirection};
 use haven_spec::stimuli::{stimuli_for, Stimuli};
@@ -229,6 +232,127 @@ fn arbitrary_budgets_interpreter_pass_implies_compiled_pass() {
             );
             assert_eq!(i, c, "case {case}: pass-side reports must match exactly");
         }
+    }
+}
+
+/// Warm artifact reuse must be invisible to the oracle: on both backends,
+/// a cold compile and a cache hit on the same source produce bit-identical
+/// reports, and both match the uncached one-shot path the rest of this
+/// suite exercises.
+#[test]
+fn cold_vs_warm_cache_hit_bit_identical() {
+    let mut rng = Rng(0xca5e_ca54e_u64);
+    let wrong_edge = EmitStyle {
+        edge_override: Some(Edge::Neg),
+        ..EmitStyle::correct()
+    };
+    for backend in [SimBackend::Interpreter, SimBackend::Compiled] {
+        let engine = Engine::new(EngineOptions {
+            backend,
+            budget: SimBudget::default(),
+            cache_capacity: 64,
+        });
+        let options = CosimOptions {
+            mid_tick_checks: true,
+            budget: SimBudget::default(),
+            backend,
+        };
+        // Styles that don't apply to a spec emit identical source (a
+        // wrong-edge override is a no-op on combinational designs), so
+        // count lookups against *distinct* sources.
+        let mut distinct = std::collections::HashSet::new();
+        let mut lookups = 0u64;
+        for spec in population() {
+            for style in [EmitStyle::correct(), wrong_edge.clone()] {
+                let source = emit(&spec, &style);
+                distinct.insert(source.clone());
+                lookups += 2;
+                let stim = stimuli_for(&spec, rng.next());
+                let cold_artifact = engine.prepare(&source).expect("population compiles");
+                let cold = cosimulate_artifact(&spec, &engine, &cold_artifact, &stim, &options);
+                let warm_artifact = engine.prepare(&source).expect("population compiles");
+                assert!(
+                    Arc::ptr_eq(&cold_artifact, &warm_artifact),
+                    "{}: second prepare must be a cache hit",
+                    spec.name
+                );
+                let warm = cosimulate_artifact(&spec, &engine, &warm_artifact, &stim, &options);
+                assert_eq!(
+                    cold, warm,
+                    "{}: cache hit changed the report\nsource:\n{source}",
+                    spec.name
+                );
+                let oneshot = cosimulate_with(&spec, &source, &stim, &options);
+                assert_eq!(
+                    cold, oneshot,
+                    "{}: cached path diverged from the uncached one-shot path",
+                    spec.name
+                );
+            }
+        }
+        let stats = engine.stats();
+        assert_eq!(
+            stats.misses,
+            distinct.len() as u64,
+            "one build per distinct source"
+        );
+        assert_eq!(
+            stats.hits,
+            lookups - distinct.len() as u64,
+            "every other lookup is a hit"
+        );
+        assert_eq!(stats.evictions, 0);
+    }
+}
+
+/// A capacity-1 cache thrashed by two alternating sources must keep
+/// every verdict correct while missing on every lookup — eviction never
+/// trades correctness for space, and the counters tell the truth about
+/// the thrash.
+#[test]
+fn capacity_one_cache_evicts_correctly_and_counts_misses() {
+    let spec_a = builders::adder("d_add", 8);
+    let spec_b = builders::counter("d_cnt", 4, Some(10));
+    let src_a = emit(&spec_a, &EmitStyle::correct());
+    let src_b = emit(&spec_b, &EmitStyle::correct());
+    let stim_a = stimuli_for(&spec_a, 11);
+    let stim_b = stimuli_for(&spec_b, 12);
+    for backend in [SimBackend::Interpreter, SimBackend::Compiled] {
+        let options = CosimOptions {
+            mid_tick_checks: true,
+            budget: SimBudget::default(),
+            backend,
+        };
+        let baseline_a = cosimulate_with(&spec_a, &src_a, &stim_a, &options);
+        let baseline_b = cosimulate_with(&spec_b, &src_b, &stim_b, &options);
+        let engine = Engine::new(EngineOptions {
+            backend,
+            budget: SimBudget::default(),
+            cache_capacity: 1,
+        });
+        for round in 0..3 {
+            let a = engine.prepare(&src_a).expect("adder compiles");
+            assert_eq!(
+                cosimulate_artifact(&spec_a, &engine, &a, &stim_a, &options),
+                baseline_a,
+                "round {round}: eviction changed the adder report"
+            );
+            let b = engine.prepare(&src_b).expect("counter compiles");
+            assert_eq!(
+                cosimulate_artifact(&spec_b, &engine, &b, &stim_b, &options),
+                baseline_b,
+                "round {round}: eviction changed the counter report"
+            );
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.capacity, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(
+            stats.misses, 6,
+            "two sources alternating through one slot miss every time"
+        );
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.evictions, 5, "every insert after the first evicts");
     }
 }
 

@@ -42,6 +42,15 @@ pub enum Severity {
     Error,
 }
 
+/// Version of the analyzer rule set. Bump whenever a rule is added,
+/// removed, or its verdict-relevant behaviour changes: the engine layer
+/// folds this number into every content-addressed artifact key and into
+/// the canonical [`EngineFingerprint`](https://docs.rs/haven-engine)
+/// consumed by the serve cache, the eval memoizer and `haven-lint`, so a
+/// rule-set change automatically invalidates cached reports and cached
+/// responses instead of silently replaying stale verdicts.
+pub const ANALYZER_VERSION: u32 = 1;
+
 /// Stable identifiers for the dataflow rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum StaticRule {

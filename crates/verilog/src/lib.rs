@@ -55,6 +55,7 @@ pub mod vcd;
 
 pub use analyze_static::{
     analyze_design, analyze_source, Severity, StaticFinding, StaticReport, StaticRule,
+    ANALYZER_VERSION,
 };
 pub use compile::CompiledDesign;
 pub use elab::{compile, Design};
