@@ -1,0 +1,224 @@
+//! Emits `BENCH_absint.json` — the abstract-interpretation analyzer's
+//! perf and precision profile (DESIGN.md §13).
+//!
+//! Two measurements:
+//!
+//! 1. **analysis wall-time** — `analyze_design` (dataflow + fixpoint +
+//!    rules) timed per design over a mixed corpus: every spec builder's
+//!    correct emission, its X-generating `ignore_reset` deviation, and a
+//!    set of hand-written value-rule designs (division x-prop, CDC,
+//!    forgotten reset siblings, width-decided compares).
+//! 2. **confirmation split** — the same corpus pushed through the full
+//!    engine ladder (which replays synthesized witnesses), tallying
+//!    findings by confirmation status and by analyzer-v2 rule class.
+//!
+//! The run also enforces the precision acceptance bar: the clean
+//! sub-corpus (correct spec emissions) must produce **zero** Confirmed
+//! findings — a witness-confirmed defect on known-good code would mean
+//! the abstract domains or the replay harness are unsound.
+//!
+//! ```sh
+//! cargo run --release -p haven-bench --bin bench_absint [-- --quick] [-- --out path.json]
+//! ```
+//!
+//! `--quick` trims the timing iterations for CI smoke runs (the JSON
+//! then carries `"quick": true` so dashboards don't mix the two).
+
+use std::time::Instant;
+
+use haven_engine::{Engine, SimBackend};
+use haven_spec::codegen::{emit, EmitStyle};
+use haven_spec::{builders, Spec};
+use haven_verilog::sim::SimBudget;
+use haven_verilog::{analyze_design, compile, Confirmation};
+
+fn builder_specs() -> Vec<Spec> {
+    use haven_spec::ir::ShiftDirection;
+    use haven_verilog::ast::BinaryOp;
+
+    vec![
+        builders::gate("b_gate", BinaryOp::BitAnd),
+        builders::adder("b_adder", 8),
+        builders::mux2("b_mux", 4),
+        builders::comparator("b_cmp", 4),
+        builders::decoder("b_dec", 3),
+        builders::fsm_ab("b_fsm"),
+        builders::counter("b_cnt", 6, None),
+        builders::counter("b_cntm", 4, Some(10)),
+        builders::down_counter("b_down", 4, None),
+        builders::shift_register("b_shl", 8, ShiftDirection::Left),
+        builders::clock_divider("b_div", 5),
+        builders::pipeline("b_pipe", 8, 3),
+        builders::register("b_reg", 8),
+    ]
+}
+
+/// Hand-written designs exercising each analyzer-v2 value rule.
+fn value_rule_designs() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "xprop_div",
+            "module m(input clk, input rst, input [3:0] a, input [3:0] b, output reg [3:0] q);\n\
+              always @(posedge clk)\n if (rst) q <= 4'd0; else q <= a / b;\nendmodule"
+                .to_string(),
+        ),
+        (
+            "reset_sibling",
+            "module m(input clk, input rst, output reg [3:0] q, output reg [3:0] r);\n\
+              always @(posedge clk)\n  if (rst) q <= 4'd0;\n\
+              else begin q <= q + 4'd1; r <= r + 4'd1; end\nendmodule"
+                .to_string(),
+        ),
+        (
+            "cdc_raw",
+            "module m(input clk_a, input clk_b, input d, output reg q);\n reg src;\n\
+              always @(posedge clk_a) src <= d;\n always @(posedge clk_b) q <= ~src;\nendmodule"
+                .to_string(),
+        ),
+        (
+            "width_compare",
+            "module m(input [3:0] a, output y);\n assign y = a > 8'd200;\nendmodule".to_string(),
+        ),
+        (
+            "const_cond",
+            "module m(input [2:0] a, output reg y);\n wire [3:0] t;\n\
+              assign t = {1'b0, a} + 4'd1;\n\
+              always @(*) if (t != 4'd0) y = 1'b1; else y = 1'b0;\nendmodule"
+                .to_string(),
+        ),
+    ]
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_absint.json".to_string());
+    let iters = if quick { 5 } else { 31 };
+
+    // Corpus: (name, source, part of the clean sub-corpus?).
+    let mut corpus: Vec<(String, String, bool)> = Vec::new();
+    for spec in builder_specs() {
+        corpus.push((
+            format!("clean:{}", spec.name),
+            emit(&spec, &EmitStyle::correct()),
+            true,
+        ));
+        let deviant = emit(
+            &spec,
+            &EmitStyle {
+                ignore_reset: true,
+                ..EmitStyle::correct()
+            },
+        );
+        corpus.push((format!("noreset:{}", spec.name), deviant, false));
+    }
+    for (name, src) in value_rule_designs() {
+        corpus.push((format!("value:{name}"), src, false));
+    }
+
+    // Phase 1: analysis wall-time (compile excluded; median of `iters`
+    // runs per design).
+    eprintln!(
+        "timing analyze_design over {} designs ({iters} iters)...",
+        corpus.len()
+    );
+    let mut per_design_us = Vec::new();
+    let mut analyzed = 0usize;
+    for (_, src, _) in &corpus {
+        let Ok(design) = compile(src) else { continue };
+        analyzed += 1;
+        per_design_us.push(median(
+            (0..iters)
+                .map(|_| {
+                    let t = Instant::now();
+                    let report = analyze_design(&design);
+                    std::hint::black_box(&report);
+                    t.elapsed().as_nanos() as f64 / 1e3
+                })
+                .collect(),
+        ));
+    }
+    let analyze_median_us = median(per_design_us.clone());
+    let analyze_total_us: f64 = per_design_us.iter().sum();
+
+    // Phase 2: full-ladder confirmation split (engine prepare replays
+    // witnesses; wall time includes compile + lower + replay).
+    eprintln!("running engine ladder with witness replay...");
+    let engine = Engine::uncached(SimBackend::Compiled, SimBudget::default());
+    let (mut structural, mut unconfirmed, mut confirmed) = (0usize, 0usize, 0usize);
+    let mut rule_counts: std::collections::BTreeMap<&'static str, usize> = [
+        ("SA-XPROP", 0),
+        ("SA-SIGNRANGE", 0),
+        ("SA-CDC", 0),
+        ("SA-RESET", 0),
+    ]
+    .into_iter()
+    .collect();
+    let mut clean_confirmed = 0usize;
+    let t = Instant::now();
+    for (name, src, is_clean) in &corpus {
+        let artifact = match engine.prepare(src) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("  skip {name}: {e}");
+                continue;
+            }
+        };
+        for finding in &artifact.report.findings {
+            match finding.confirmation {
+                Confirmation::Structural => structural += 1,
+                Confirmation::Unconfirmed => unconfirmed += 1,
+                Confirmation::Confirmed => {
+                    confirmed += 1;
+                    if *is_clean {
+                        clean_confirmed += 1;
+                        eprintln!("  CLEAN-CORPUS CONFIRMED FINDING on {name}: {finding:?}");
+                    }
+                }
+            }
+            if let Some(count) = rule_counts.get_mut(finding.rule.code()) {
+                *count += 1;
+            }
+        }
+    }
+    let ladder_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        clean_confirmed, 0,
+        "acceptance: the clean spec corpus must yield zero Confirmed findings"
+    );
+
+    let rules_json: Vec<String> = rule_counts
+        .iter()
+        .map(|(rule, count)| format!("    \"{rule}\": {count}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"absint\",\n  \"quick\": {quick},\n  \"corpus\": {},\n  \"analyzed\": {analyzed},\n  \"analyze\": {{\"median_us\": {analyze_median_us:.1}, \"total_us\": {analyze_total_us:.1}}},\n  \"ladder_ms\": {ladder_ms:.1},\n  \"confirmation\": {{\"structural\": {structural}, \"unconfirmed\": {unconfirmed}, \"confirmed\": {confirmed}}},\n  \"rules\": {{\n{}\n  }},\n  \"clean_corpus_confirmed\": {clean_confirmed}\n}}\n",
+        corpus.len(),
+        rules_json.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_absint.json");
+
+    println!(
+        "analyze_design over {analyzed} designs: median {analyze_median_us:.1} us, total {analyze_total_us:.1} us"
+    );
+    println!(
+        "full ladder with witness replay: {ladder_ms:.1} ms; findings {structural} structural / {unconfirmed} unconfirmed / {confirmed} confirmed"
+    );
+    for (rule, count) in &rule_counts {
+        println!("  {rule:<13} {count}");
+    }
+    println!("clean-corpus confirmed findings: {clean_confirmed} (must be 0)");
+    println!("wrote {out_path}");
+}

@@ -5,6 +5,7 @@
 //! ```sh
 //! cargo run --release -p haven-bench --bin lint -- design.v
 //! cargo run --release -p haven-bench --bin lint -- --pretty design.v
+//! cargo run --release -p haven-bench --bin lint -- --format sarif design.v
 //! ```
 //!
 //! Exit codes distinguish the three analysis outcomes so shell pipelines
@@ -12,15 +13,27 @@
 //!
 //! | code | meaning |
 //! |------|---------|
-//! | 0    | compiled; no Error-severity findings (warnings allowed) |
-//! | 1    | compiled; the analyzer proved a defect (Error findings) |
+//! | 0    | compiled; no gating findings (warnings allowed) |
+//! | 1    | compiled; the analyzer proved a defect (gating findings) |
 //! | 2    | lex/parse/elaboration failure — the file never analyzed |
 //! | 3    | usage or IO error (bad flags, unreadable file) |
 //!
+//! `--format sarif` swaps the report body for a minimal SARIF 2.1 log
+//! (rule id, level, location, message — enough for code-scanning UIs);
+//! the exit-code ladder above is **format-independent**: a pipeline can
+//! upload the SARIF artifact and still branch on the same codes it used
+//! with the JSON format. Compile failures emit a single `compile-error`
+//! SARIF result and exit 2, exactly mirroring the JSON `compile_error`
+//! field. A "gating" finding is an Error-severity finding that is not
+//! `unconfirmed` (see [`haven_verilog::analyze_static`]): value-dependent
+//! analyzer-v2 findings whose witness replay did not reproduce the
+//! defect are reported but never flip exit 0 → 1.
 //! The JSON is assembled by hand: every field is a flat string or number,
-//! and findings carry the stable rule code, severity, source span and the
-//! Table II taxonomy attribution, so downstream tooling needs no schema
-//! beyond this file. Compilable designs additionally get a `sim_probe`
+//! and findings carry the stable rule code, severity, source span, the
+//! Table II taxonomy attribution, the analyzer-v2 `confirmation` label
+//! (`structural` / `unconfirmed` / `confirmed`) and, for value-dependent
+//! findings, the abstract `trace` plus a `witness` stimulus summary, so
+//! downstream tooling needs no schema beyond this file. Compilable designs additionally get a `sim_probe`
 //! section — a short budget-limited simulation (time-zero settle plus a
 //! few clock cycles) whose `status` distinguishes designs that run
 //! (`settled`) from those that exhaust the resource budget
@@ -36,6 +49,7 @@ use haven_verilog::elab::SignalKind;
 use haven_verilog::lint::lint_module;
 use haven_verilog::parser::parse;
 use haven_verilog::sim::SimBudget;
+use haven_verilog::Expect;
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -245,6 +259,36 @@ fn report(path: &str, source: &str, pretty: bool) -> (String, i32) {
                     j.str_field(&mut f, "signal", sig);
                 }
                 j.str_field(&mut f, "taxonomy", finding.rule.taxonomy());
+                j.str_field(&mut f, "confirmation", finding.confirmation.label());
+                if let Some(ev) = &finding.evidence {
+                    if !ev.trace.is_empty() {
+                        j.comma(&mut f);
+                        j.key("trace");
+                        j.open('[');
+                        let mut t_first = true;
+                        for line in &ev.trace {
+                            j.comma(&mut t_first);
+                            j.buf.push('"');
+                            j.buf.push_str(&json_escape(line));
+                            j.buf.push('"');
+                        }
+                        j.close(']');
+                    }
+                    if let Some(w) = &ev.witness {
+                        j.comma(&mut f);
+                        j.key("witness");
+                        j.open('{');
+                        let mut w_first = true;
+                        j.num_field(&mut w_first, "steps", w.steps.len());
+                        j.str_field(&mut w_first, "observe", &w.observe);
+                        let expect = match w.expect {
+                            Expect::IsX => "is_x".to_string(),
+                            Expect::Equals(v) => format!("equals {v}"),
+                        };
+                        j.str_field(&mut w_first, "expect", &expect);
+                        j.close('}');
+                    }
+                }
                 j.close('}');
             }
             j.close(']');
@@ -282,12 +326,203 @@ fn report(path: &str, source: &str, pretty: bool) -> (String, i32) {
     (j.buf, exit)
 }
 
+/// One result row of the SARIF log, format-agnostic.
+struct SarifResult {
+    rule: String,
+    level: &'static str,
+    message: String,
+    line: usize,
+    col: usize,
+    confirmation: Option<&'static str>,
+}
+
+/// Minimal SARIF 2.1 log: tool driver with the distinct rule ids, one
+/// result per finding with level, message and physical location. The
+/// exit code is computed from the same gating predicate as the JSON
+/// format, so `--format sarif` never changes a pipeline's branching.
+fn sarif_report(path: &str, source: &str, pretty: bool) -> (String, i32) {
+    let engine = Engine::uncached(SimBackend::Interpreter, PROBE_BUDGET);
+    let mut results: Vec<SarifResult> = Vec::new();
+    let mut exit = 0;
+    if let Ok(file) = &parse(source) {
+        for module in &file.modules {
+            for issue in lint_module(module) {
+                results.push(SarifResult {
+                    rule: format!("{:?}", issue.rule),
+                    level: "note",
+                    message: issue.message,
+                    line: issue.span.line as usize,
+                    col: issue.span.col as usize,
+                    confirmation: None,
+                });
+            }
+        }
+    }
+    match engine.prepare(source) {
+        Ok(artifact) => {
+            for finding in &artifact.report.findings {
+                results.push(SarifResult {
+                    rule: finding.rule.code().to_string(),
+                    level: match finding.severity {
+                        Severity::Error => "error",
+                        Severity::Warn => "warning",
+                    },
+                    message: finding.message.clone(),
+                    line: finding.span.line as usize,
+                    col: finding.span.col as usize,
+                    confirmation: Some(finding.confirmation.label()),
+                });
+            }
+            if artifact.report.has_errors() {
+                exit = 1;
+            }
+        }
+        Err(e) => {
+            results.push(SarifResult {
+                rule: "compile-error".to_string(),
+                level: "error",
+                message: e.to_string(),
+                line: 1,
+                col: 1,
+                confirmation: None,
+            });
+            exit = 2;
+        }
+    }
+
+    let rules: std::collections::BTreeSet<&str> = results.iter().map(|r| r.rule.as_str()).collect();
+    let mut j = Json::new(pretty);
+    let mut top = true;
+    j.open('{');
+    j.str_field(&mut top, "version", "2.1.0");
+    j.str_field(
+        &mut top,
+        "$schema",
+        "https://json.schemastore.org/sarif-2.1.0.json",
+    );
+    j.comma(&mut top);
+    j.key("runs");
+    j.open('[');
+    let mut runs_first = true;
+    j.comma(&mut runs_first);
+    j.open('{');
+    let mut run_first = true;
+    j.comma(&mut run_first);
+    j.key("tool");
+    j.open('{');
+    let mut tool_first = true;
+    j.comma(&mut tool_first);
+    j.key("driver");
+    j.open('{');
+    let mut drv_first = true;
+    j.str_field(&mut drv_first, "name", "haven-lint");
+    j.str_field(
+        &mut drv_first,
+        "version",
+        &haven_verilog::ANALYZER_VERSION.to_string(),
+    );
+    j.comma(&mut drv_first);
+    j.key("rules");
+    j.open('[');
+    let mut rules_first = true;
+    for rule in &rules {
+        j.comma(&mut rules_first);
+        let mut r = true;
+        j.open('{');
+        j.str_field(&mut r, "id", rule);
+        j.close('}');
+    }
+    j.close(']');
+    j.close('}'); // driver
+    j.close('}'); // tool
+    j.comma(&mut run_first);
+    j.key("results");
+    j.open('[');
+    let mut res_first = true;
+    for result in &results {
+        j.comma(&mut res_first);
+        let mut r = true;
+        j.open('{');
+        j.str_field(&mut r, "ruleId", &result.rule);
+        j.str_field(&mut r, "level", result.level);
+        j.comma(&mut r);
+        j.key("message");
+        j.open('{');
+        let mut m = true;
+        j.str_field(&mut m, "text", &result.message);
+        j.close('}');
+        if let Some(confirmation) = result.confirmation {
+            j.comma(&mut r);
+            j.key("properties");
+            j.open('{');
+            let mut p = true;
+            j.str_field(&mut p, "confirmation", confirmation);
+            j.close('}');
+        }
+        j.comma(&mut r);
+        j.key("locations");
+        j.open('[');
+        let mut locs_first = true;
+        j.comma(&mut locs_first);
+        j.open('{');
+        let mut loc = true;
+        j.comma(&mut loc);
+        j.key("physicalLocation");
+        j.open('{');
+        let mut phys = true;
+        j.comma(&mut phys);
+        j.key("artifactLocation");
+        j.open('{');
+        let mut art = true;
+        j.str_field(&mut art, "uri", path);
+        j.close('}');
+        j.comma(&mut phys);
+        j.key("region");
+        j.open('{');
+        let mut reg = true;
+        // SARIF requires positive line/column numbers; synthetic spans
+        // (line 0) clamp to 1.
+        j.num_field(&mut reg, "startLine", result.line.max(1));
+        j.num_field(&mut reg, "startColumn", result.col.max(1));
+        j.close('}');
+        j.close('}'); // physicalLocation
+        j.close('}'); // location
+        j.close(']'); // locations
+        j.close('}'); // result
+    }
+    j.close(']'); // results
+    j.close('}'); // run
+    j.close(']'); // runs
+    j.close('}');
+    (j.buf, exit)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let pretty = args.iter().any(|a| a == "--pretty");
-    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut format = String::from("json");
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg == "--format" {
+            i += 1;
+            match args.get(i) {
+                Some(v) => format = v.clone(),
+                None => {
+                    eprintln!("usage: lint [--pretty] [--format json|sarif] <file.v>");
+                    std::process::exit(3);
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--format=") {
+            format = v.to_string();
+        } else if !arg.starts_with("--") {
+            files.push(arg.clone());
+        }
+        i += 1;
+    }
     let [path] = files.as_slice() else {
-        eprintln!("usage: lint [--pretty] <file.v>");
+        eprintln!("usage: lint [--pretty] [--format json|sarif] <file.v>");
         std::process::exit(3);
     };
     let source = match std::fs::read_to_string(path) {
@@ -297,7 +532,14 @@ fn main() {
             std::process::exit(3);
         }
     };
-    let (json, exit) = report(path, &source, pretty);
+    let (json, exit) = match format.as_str() {
+        "json" => report(path, &source, pretty),
+        "sarif" => sarif_report(path, &source, pretty),
+        other => {
+            eprintln!("lint: unknown format `{other}` (expected json or sarif)");
+            std::process::exit(3);
+        }
+    };
     println!("{json}");
     std::process::exit(exit);
 }
@@ -329,7 +571,7 @@ mod tests {
                 json.contains(&format!("\"fingerprint\":\"{expected}\"")),
                 "{json}"
             );
-            assert!(json.contains("\"analyzer_version\":1"), "{json}");
+            assert!(json.contains("\"analyzer_version\":2"), "{json}");
         }
     }
 
@@ -380,5 +622,60 @@ mod tests {
     #[test]
     fn escaping_keeps_json_well_formed() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn findings_expose_confirmation_labels() {
+        let src = "module w(input a, output reg y);\n\
+                   always @(*) if (1'b1) y = a; else y = 1'b0;\nendmodule\n";
+        let (json, _) = report("w.v", src, false);
+        assert!(json.contains("\"confirmation\":\"structural\""), "{json}");
+    }
+
+    #[test]
+    fn value_findings_carry_trace_and_witness_summary() {
+        let src = "module m(input clk, input rst, output reg [3:0] q, output reg [3:0] r);\n\
+                    always @(posedge clk)\n\
+                     if (rst) q <= 4'd0;\n\
+                     else begin q <= q + 4'd1; r <= r + 4'd1; end\nendmodule\n";
+        let (json, _) = report("m.v", src, false);
+        assert!(json.contains("\"confirmation\":\"confirmed\""), "{json}");
+        assert!(json.contains("\"witness\":"), "{json}");
+        assert!(json.contains("\"expect\":\"is_x\""), "{json}");
+    }
+
+    #[test]
+    fn sarif_log_has_rules_results_and_locations() {
+        let src = "module c(input clk, output reg [3:0] q);\n always @(posedge clk) q <= q + 4'd1;\nendmodule\n";
+        let (sarif, exit) = sarif_report("c.v", src, false);
+        assert_eq!(exit, 1);
+        assert!(sarif.contains("\"version\":\"2.1.0\""), "{sarif}");
+        assert!(sarif.contains("\"name\":\"haven-lint\""), "{sarif}");
+        assert!(sarif.contains("\"id\":\"SA-XSOURCE\""), "{sarif}");
+        assert!(sarif.contains("\"ruleId\":\"SA-XSOURCE\""), "{sarif}");
+        assert!(sarif.contains("\"level\":\"error\""), "{sarif}");
+        assert!(sarif.contains("\"uri\":\"c.v\""), "{sarif}");
+        assert!(sarif.contains("\"startLine\":"), "{sarif}");
+    }
+
+    #[test]
+    fn sarif_exit_codes_match_the_json_ladder() {
+        let clean = "module c(input a, output y);\n assign y = a;\nendmodule\n";
+        let defective =
+            "module d(input clk, output reg q);\n always @(posedge clk) q <= q;\nendmodule\n";
+        for (src, want) in [(clean, 0), (defective, 1), ("garbage(", 2)] {
+            let (_, json_exit) = report("f.v", src, false);
+            let (sarif, sarif_exit) = sarif_report("f.v", src, false);
+            assert_eq!(json_exit, want, "json ladder");
+            assert_eq!(sarif_exit, want, "sarif must share the ladder: {sarif}");
+        }
+    }
+
+    #[test]
+    fn sarif_compile_failure_is_a_single_error_result() {
+        let (sarif, exit) = sarif_report("x.v", "not verilog at all", false);
+        assert_eq!(exit, 2);
+        assert!(sarif.contains("\"ruleId\":\"compile-error\""), "{sarif}");
+        assert!(sarif.contains("\"level\":\"error\""), "{sarif}");
     }
 }

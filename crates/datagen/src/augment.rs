@@ -11,6 +11,7 @@ use haven_spec::describe::{describe, DescribeStyle};
 use haven_verilog::analyze::{analyze, Analysis};
 use haven_verilog::parser::parse;
 use haven_verilog::sim::SimBudget;
+use haven_verilog::Confirmation;
 
 use crate::corpus::CorpusSample;
 use crate::exemplars::{matching, Exemplar};
@@ -114,19 +115,39 @@ pub fn rewrite_accepted(sample_id: usize, exemplar_id: &str) -> bool {
     stable_unit(sample_id, exemplar_id) < 0.30
 }
 
-/// Rejection tallies from step 8's verification gate.
+/// Rejection tallies from step 8's verification gate, plus observational
+/// counters for the analyzer-v2 value rules on *admitted* pairs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VerifyStats {
     /// Pairs whose code did not compile.
     pub rejected_compile: usize,
-    /// Pairs that compiled but carried an Error-severity static-analysis
-    /// finding (multi-driven nets, combinational loops, X-generating
+    /// Pairs that compiled but carried a gating static-analysis finding
+    /// (multi-driven nets, combinational loops, X-generating
     /// registers, ...).
     pub rejected_static: usize,
     /// Pairs that passed the static gate but whose time-zero settle blew
     /// the simulation resource budget (or faulted) — runaway code the
     /// static analyzer could not prove defective.
     pub rejected_budget: usize,
+    /// Admitted pairs carrying an `SA-XPROP` finding (x can reach a
+    /// registered output in steady state). Warn-severity: tallied, not
+    /// rejected.
+    pub warned_xprop: usize,
+    /// Admitted pairs carrying an `SA-SIGNRANGE` finding (width-decided
+    /// comparison or provably lossy truncation).
+    pub warned_signrange: usize,
+    /// Admitted pairs carrying an `SA-CDC` finding (unsynchronized
+    /// clock-domain crossing).
+    pub warned_cdc: usize,
+    /// Admitted pairs carrying an `SA-RESET` finding (reset branch
+    /// misses a register).
+    pub warned_reset: usize,
+    /// Value-dependent findings on admitted pairs whose witness replay
+    /// reproduced the predicted value.
+    pub confirmed_value: usize,
+    /// Value-dependent findings on admitted pairs with no reproducing
+    /// witness.
+    pub unconfirmed_value: usize,
 }
 
 /// Resource ceiling for the step-8 settle probe. Any legitimate training
@@ -176,6 +197,23 @@ pub fn verify_counted(pairs: Vec<InstructionCodePair>) -> (Vec<InstructionCodePa
                     stats.rejected_budget += 1;
                     false
                 } else {
+                    // Admitted: tally the analyzer-v2 value findings so
+                    // dataset reports can break down residual warnings
+                    // by class and confirmation status.
+                    for finding in &artifact.report.findings {
+                        match finding.rule.code() {
+                            "SA-XPROP" => stats.warned_xprop += 1,
+                            "SA-SIGNRANGE" => stats.warned_signrange += 1,
+                            "SA-CDC" => stats.warned_cdc += 1,
+                            "SA-RESET" => stats.warned_reset += 1,
+                            _ => {}
+                        }
+                        match finding.confirmation {
+                            Confirmation::Confirmed => stats.confirmed_value += 1,
+                            Confirmation::Unconfirmed => stats.unconfirmed_value += 1,
+                            Confirmation::Structural => {}
+                        }
+                    }
                     true
                 }
             }
@@ -283,6 +321,29 @@ mod tests {
         assert!(kept.is_empty());
         assert_eq!(stats.rejected_static, 1);
         assert_eq!(stats.rejected_compile, 0);
+    }
+
+    #[test]
+    fn value_warnings_are_tallied_without_rejecting() {
+        // A divide-by-possibly-zero feeding a registered output: admitted
+        // (warn-only), but counted under SA-XPROP with its confirmation.
+        let pair = InstructionCodePair {
+            instruction: "a divider".into(),
+            code: "module m(input clk, input rst, input [3:0] a, input [3:0] b, output reg [3:0] q);\n always @(posedge clk)\n  if (rst) q <= 4'd0; else q <= a / b;\nendmodule"
+                .into(),
+            kind: SampleKind::Vanilla,
+            topic: haven_verilog::analyze::Topic::Register,
+            has_attributes: false,
+            logic_category: None,
+        };
+        let (kept, stats) = verify_counted(vec![pair]);
+        assert_eq!(kept.len(), 1, "warn-severity findings must not reject");
+        assert_eq!(stats.rejected_static, 0);
+        assert!(stats.warned_xprop > 0, "{stats:?}");
+        assert!(
+            stats.confirmed_value + stats.unconfirmed_value > 0,
+            "{stats:?}"
+        );
     }
 
     #[test]

@@ -63,6 +63,12 @@ impl Artifact {
     /// Builds the full ladder for `source`. `Err` is a lex/parse/
     /// elaboration failure — the syntax-fail bucket every consumer maps
     /// to its own syntax verdict.
+    ///
+    /// Value-dependent findings with a synthesized witness are replayed
+    /// through a compiled-backend [`crate::DutSession`] here (see
+    /// [`crate::replay_witness`]), so the `Confirmed`/`Unconfirmed`
+    /// labels land in the cached report and every warm consumer reads
+    /// the same verdicts the cold build computed.
     pub(crate) fn build(
         source: &str,
         backend: SimBackend,
@@ -74,13 +80,30 @@ impl Artifact {
             SimBackend::Interpreter => None,
             SimBackend::Compiled => Some(Arc::new(CompiledDesign::new(design.clone()))),
         };
-        Ok(Artifact {
+        let mut artifact = Artifact {
             key: Artifact::key_for(source, backend, budget),
             source_key: haven_hash::content_key(&[source]),
             report,
             design,
             bytecode,
-        })
+        };
+        if artifact
+            .report
+            .findings
+            .iter()
+            .any(|f| f.evidence.as_ref().is_some_and(|e| e.witness.is_some()))
+        {
+            // The replay session borrows the artifact through an `Arc`;
+            // it is dropped inside `confirm_findings`, so the unwrap
+            // cannot observe an outstanding reference.
+            let shared = Arc::new(artifact);
+            let confirmed = crate::witness::confirm_findings(&shared, *budget);
+            artifact = Arc::try_unwrap(shared).expect("witness replay must drop its session");
+            for idx in confirmed {
+                artifact.report.findings[idx].confirmation = haven_verilog::Confirmation::Confirmed;
+            }
+        }
+        Ok(artifact)
     }
 
     /// The elaborated design.

@@ -50,6 +50,7 @@
 mod artifact;
 mod fingerprint;
 mod session;
+mod witness;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -60,6 +61,7 @@ use serde::{Deserialize, Serialize};
 pub use artifact::{Artifact, CacheStats};
 pub use fingerprint::{EngineFingerprint, ModelFingerprint};
 pub use session::DutSession;
+pub use witness::{replay_witness, CONFIRM_BUDGET};
 
 use artifact::Lru;
 

@@ -1,0 +1,149 @@
+//! Witness replay: concrete confirmation of value-dependent findings.
+//!
+//! The analyzer's abstract fixpoint (DESIGN.md §13) labels its
+//! value-dependent findings [`Confirmation::Unconfirmed`] and, when the
+//! abstract counterexample is concrete enough, attaches a replayable
+//! [`Witness`] — a poke/tick stimulus plus a predicted observation.
+//! This module drives those witnesses through a [`DutSession`] on the
+//! compiled backend during [`crate::Artifact`] construction: a replay
+//! that observes exactly the predicted value promotes the finding to
+//! [`Confirmation::Confirmed`]. Replays that error (budget exhaustion,
+//! a port the stimulus cannot reach) leave the finding untouched —
+//! confirmation is monotone and never fails an artifact build.
+//!
+//! Confirmation happens *inside* the artifact ladder, so the
+//! confirmed/unconfirmed status is content-addressed along with the rest
+//! of the report: a cache hit returns the same labels the cold build
+//! computed, and `ANALYZER_VERSION` bumps invalidate stale labels
+//! everywhere at once.
+
+use std::sync::Arc;
+
+use haven_verilog::{Confirmation, Expect, Result, SimBudget, Witness, WitnessStep};
+
+use crate::{Artifact, DutSession, SimBackend};
+
+/// Maximum witness replays per artifact build. Witness stimuli are tiny
+/// (a handful of pokes and at most a few clock cycles), so the cap is a
+/// guard against pathological designs with hundreds of value findings,
+/// not a tuning knob. Findings past the cap stay
+/// [`Confirmation::Unconfirmed`].
+pub const CONFIRM_BUDGET: usize = 32;
+
+/// Replays one witness through a session and reports whether the
+/// predicted observation held.
+///
+/// The session is re-booted to power-on state first (witness stimuli are
+/// defined from time zero), then each step is applied in order and the
+/// observed signal is compared against [`Witness::expect`]. `Err` means
+/// the replay itself could not run (unknown port, budget exhaustion);
+/// callers treat that the same as a failed prediction.
+pub fn replay_witness(dut: &mut DutSession, witness: &Witness) -> Result<bool> {
+    dut.ensure_fresh()?;
+    dut.begin_run();
+    for step in &witness.steps {
+        match step {
+            WitnessStep::Poke { signal, value } => dut.poke_u64(signal, *value)?,
+            WitnessStep::Tick { clock, cycles } => dut.tick_n(clock, *cycles as usize)?,
+        }
+    }
+    let observed = dut.peek_u64(&witness.observe)?;
+    Ok(match witness.expect {
+        Expect::IsX => observed.is_none(),
+        Expect::Equals(v) => observed == Some(v),
+    })
+}
+
+/// Replays every witness-bearing `Unconfirmed` finding in `artifact`'s
+/// report (up to [`CONFIRM_BUDGET`]) and returns the indexes of findings
+/// whose replay observed the predicted value.
+///
+/// Always replays on the compiled backend regardless of the artifact's
+/// keyed backend: [`DutSession`] lowers bytecode on demand, and the
+/// backends are verdict-equivalent, so confirmation labels cannot differ
+/// across engine configurations.
+pub(crate) fn confirm_findings(artifact: &Arc<Artifact>, budget: SimBudget) -> Vec<usize> {
+    let candidates: Vec<(usize, Witness)> = artifact
+        .report
+        .findings
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.confirmation == Confirmation::Unconfirmed)
+        .filter_map(|(i, f)| {
+            let w = f.evidence.as_ref()?.witness.as_ref()?;
+            Some((i, w.clone()))
+        })
+        .take(CONFIRM_BUDGET)
+        .collect();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let Ok(mut dut) = DutSession::new(artifact.clone(), SimBackend::Compiled, budget) else {
+        return Vec::new(); // time-zero settle failed: nothing is confirmable
+    };
+    candidates
+        .into_iter()
+        .filter(|(_, witness)| replay_witness(&mut dut, witness).unwrap_or(false))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, EngineOptions};
+
+    #[test]
+    fn replay_observes_power_on_x() {
+        let engine = Engine::new(EngineOptions::default());
+        let artifact = engine
+            .prepare(
+                "module m(input clk, input d, output reg q);\n\
+                  always @(posedge clk) q <= d;\nendmodule",
+            )
+            .unwrap();
+        let mut dut = engine.session(&artifact).unwrap();
+        let at_power_on = Witness {
+            steps: vec![],
+            observe: "q".into(),
+            expect: Expect::IsX,
+        };
+        assert!(replay_witness(&mut dut, &at_power_on).unwrap());
+        let after_clocking = Witness {
+            steps: vec![
+                WitnessStep::Poke {
+                    signal: "d".into(),
+                    value: 0,
+                },
+                WitnessStep::Tick {
+                    clock: "clk".into(),
+                    cycles: 1,
+                },
+            ],
+            observe: "q".into(),
+            expect: Expect::Equals(0),
+        };
+        assert!(
+            replay_witness(&mut dut, &after_clocking).unwrap(),
+            "session must be re-booted between replays"
+        );
+    }
+
+    #[test]
+    fn replay_errors_on_unknown_ports() {
+        let engine = Engine::new(EngineOptions::default());
+        let artifact = engine
+            .prepare("module m(input a, output y);\n assign y = a;\nendmodule")
+            .unwrap();
+        let mut dut = engine.session(&artifact).unwrap();
+        let bogus = Witness {
+            steps: vec![WitnessStep::Poke {
+                signal: "nope".into(),
+                value: 1,
+            }],
+            observe: "y".into(),
+            expect: Expect::Equals(1),
+        };
+        assert!(replay_witness(&mut dut, &bogus).is_err());
+    }
+}

@@ -953,6 +953,41 @@ mod tests {
         assert_eq!(g.syntax_pass_at(1), u.syntax_pass_at(1));
     }
 
+    #[test]
+    fn analyzer_v2_gate_keeps_passk_bit_identical() {
+        // The analyzer-v2 upgrade adds Warn-severity value rules
+        // (SA-XPROP, SA-SIGNRANGE, SA-CDC, SA-RESET) and witness-based
+        // confirmation; `StaticReport::has_errors` gates only on
+        // findings that are Error-severity *and* not unconfirmed, so the
+        // gating set is exactly the structural Error set v1 had. Pin
+        // that: across model strengths, every pass@k metric is identical
+        // with the upgraded gate on and off except for candidates the
+        // gate short-circuits — whose verdicts must not change.
+        assert_eq!(haven_verilog::ANALYZER_VERSION, 2);
+        let suite = small_suite();
+        for accuracy in [0.4, 0.7, 1.0] {
+            let profile = ModelProfile::uniform("m", accuracy);
+            let gated = evaluate(&profile, &suite, &EvalConfig::quick(4)).unwrap();
+            let ungated = evaluate(
+                &profile,
+                &suite,
+                &EvalConfig {
+                    static_gate: false,
+                    ..EvalConfig::quick(4)
+                },
+            )
+            .unwrap();
+            for k in [1, 4] {
+                assert_eq!(
+                    gated.pass_at(k),
+                    ungated.pass_at(k),
+                    "pass@{k} drifted under the v2 gate at accuracy {accuracy}"
+                );
+                assert_eq!(gated.syntax_pass_at(k), ungated.syntax_pass_at(k));
+            }
+        }
+    }
+
     /// Strips the cache-utilization counter so results can be compared
     /// for the *metrics* memoization must not change.
     fn without_dedup_counts(mut r: SuiteResult) -> SuiteResult {

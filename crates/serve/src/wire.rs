@@ -86,7 +86,7 @@ fn finding_json(f: &StaticFinding) -> String {
         None => String::new(),
     };
     format!(
-        "{{\"rule\":\"{}\",\"severity\":\"{}\",{},\"line\":{},\"col\":{}{signal}}}",
+        "{{\"rule\":\"{}\",\"severity\":\"{}\",{},\"line\":{},\"col\":{},\"confirmation\":\"{}\"{signal}}}",
         f.rule.code(),
         match f.severity {
             Severity::Warn => "warn",
@@ -95,6 +95,7 @@ fn finding_json(f: &StaticFinding) -> String {
         str_field("message", &f.message),
         f.span.line,
         f.span.col,
+        f.confirmation.label(),
     )
 }
 
@@ -453,6 +454,8 @@ mod tests {
                     message: "assignment \"wider\" than target".into(),
                     span: Span { line: 3, col: 7 },
                     signal: Some("q".into()),
+                    confirmation: haven_verilog::Confirmation::Structural,
+                    evidence: None,
                 }],
                 gated: false,
             }),
@@ -465,6 +468,10 @@ mod tests {
             },
         };
         let line = reply_json(&reply);
+        assert!(
+            line.contains("\"confirmation\":\"structural\""),
+            "findings carry the analyzer-v2 confirmation label: {line}"
+        );
         let parsed = parse_json(&line).expect("reply must be valid JSON");
         assert_eq!(parsed.get("id").and_then(Json::as_str), Some("req-7"));
         assert_eq!(parsed.get("cache_hit").and_then(Json::as_bool), Some(true));

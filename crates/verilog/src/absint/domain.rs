@@ -1,0 +1,438 @@
+//! The abstract value domain: a four-state-aware **interval × known-bits**
+//! product lattice over ≤64-bit signal values.
+//!
+//! One [`AbsVal`] over-approximates the set of four-state values a signal
+//! can hold across all reachable executions:
+//!
+//! * the **x-mask** records which bits may carry `x`/`z` — the substrate
+//!   for X-propagation reasoning (SA-XPROP, SA-RESET witnesses);
+//! * the **known-bits** pair `(kb_mask, kb_val)` records bits whose
+//!   two-state value is fixed in every concrete value — which is what
+//!   proves a case label unmatchable (SA-FSM re-grounding) or a dropped
+//!   high bit provably set (SA-SIGNRANGE);
+//! * the **unsigned interval** `[lo, hi]` bounds every *fully known*
+//!   concrete value — the classic value-range component.
+//!
+//! Concretization: a `LogicVec` `v` of the right width is described by an
+//! `AbsVal` `a` iff (1) every `x`/`z` bit of `v` is set in `a.xmask`,
+//! (2) every known bit of `v` covered by `a.kb_mask` agrees with
+//! `a.kb_val`, and (3) if `v` is fully known, `a.lo ≤ v ≤ a.hi`.
+//! The empty set is `bottom` (`lo > hi` with no x-bits).
+
+use crate::logic::{Logic, LogicVec};
+
+/// All-ones mask for a `width`-bit value (`width` clamped to 64).
+#[inline]
+pub fn width_mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// One abstract four-state value. See the module docs for the lattice
+/// structure and concretization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsVal {
+    /// Bit width of the described signal (1..=64).
+    pub width: usize,
+    /// Lower bound of fully-known concrete values (unsigned).
+    pub lo: u64,
+    /// Upper bound of fully-known concrete values (unsigned).
+    pub hi: u64,
+    /// Bits whose two-state value is fixed across all concrete values.
+    pub kb_mask: u64,
+    /// Values of the bits in `kb_mask` (subset of `kb_mask`).
+    pub kb_val: u64,
+    /// Bits that may carry `x` or `z` in some concrete value.
+    pub xmask: u64,
+}
+
+impl AbsVal {
+    /// The empty set of values (unreachable / not yet computed).
+    pub fn bottom(width: usize) -> AbsVal {
+        AbsVal {
+            width: width.clamp(1, 64),
+            lo: 1,
+            hi: 0,
+            kb_mask: 0,
+            kb_val: 0,
+            xmask: 0,
+        }
+    }
+
+    /// Every four-state value of `width` bits (top of the lattice).
+    pub fn top(width: usize) -> AbsVal {
+        let width = width.clamp(1, 64);
+        let m = width_mask(width);
+        AbsVal {
+            width,
+            lo: 0,
+            hi: m,
+            kb_mask: 0,
+            kb_val: 0,
+            xmask: m,
+        }
+    }
+
+    /// Every fully-known (`0`/`1`-only) value of `width` bits — the
+    /// abstraction of an externally driven input.
+    pub fn any_known(width: usize) -> AbsVal {
+        let width = width.clamp(1, 64);
+        AbsVal {
+            width,
+            lo: 0,
+            hi: width_mask(width),
+            kb_mask: 0,
+            kb_val: 0,
+            xmask: 0,
+        }
+    }
+
+    /// The single fully-known constant `value` (masked to `width`).
+    pub fn constant(value: u64, width: usize) -> AbsVal {
+        let width = width.clamp(1, 64);
+        let m = width_mask(width);
+        let v = value & m;
+        AbsVal {
+            width,
+            lo: v,
+            hi: v,
+            kb_mask: m,
+            kb_val: v,
+            xmask: 0,
+        }
+    }
+
+    /// The abstraction of one concrete four-state literal.
+    pub fn from_logicvec(v: &LogicVec) -> AbsVal {
+        let width = v.width().clamp(1, 64);
+        let m = width_mask(width);
+        let mut kb_mask = 0u64;
+        let mut kb_val = 0u64;
+        let mut xmask = 0u64;
+        for i in 0..width {
+            match v.bit(i) {
+                Logic::Zero => kb_mask |= 1 << i,
+                Logic::One => {
+                    kb_mask |= 1 << i;
+                    kb_val |= 1 << i;
+                }
+                Logic::X | Logic::Z => xmask |= 1 << i,
+            }
+        }
+        let mut out = AbsVal {
+            width,
+            lo: 0,
+            hi: m,
+            kb_mask,
+            kb_val,
+            xmask,
+        };
+        out.normalize();
+        out
+    }
+
+    /// Whether this value describes no concrete value at all.
+    pub fn is_bottom(&self) -> bool {
+        self.lo > self.hi && self.xmask == 0
+    }
+
+    /// Whether some concrete value may carry an `x`/`z` bit.
+    pub fn may_x(&self) -> bool {
+        self.xmask != 0
+    }
+
+    /// The single concrete value this abstraction pins down, if any:
+    /// no x-bits and a one-point interval.
+    pub fn as_const(&self) -> Option<u64> {
+        if !self.is_bottom() && self.xmask == 0 && self.lo == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
+    /// Restores the internal invariants after a transfer function:
+    /// masks everything to `width`, drops known-bits that may be x, and
+    /// tightens interval and known-bits against each other (x-free case).
+    pub fn normalize(&mut self) {
+        let m = width_mask(self.width);
+        self.kb_mask &= m & !self.xmask;
+        self.kb_val &= self.kb_mask;
+        self.xmask &= m;
+        if self.is_bottom() {
+            *self = AbsVal::bottom(self.width);
+            return;
+        }
+        self.lo &= m;
+        self.hi &= m;
+        if self.lo > self.hi {
+            // An inverted interval from a transfer is "no information",
+            // not "empty": widen to the full range.
+            self.lo = 0;
+            self.hi = m;
+        }
+        if self.xmask == 0 {
+            // Interval and known bits constrain the same set: tighten
+            // each against the other.
+            let kb_min = self.kb_val;
+            let kb_max = self.kb_val | (m & !self.kb_mask);
+            self.lo = self.lo.max(kb_min);
+            self.hi = self.hi.min(kb_max);
+            if self.lo > self.hi {
+                *self = AbsVal::bottom(self.width);
+                return;
+            }
+            if self.lo == self.hi {
+                self.kb_mask = m;
+                self.kb_val = self.lo;
+            } else {
+                // High bits that no value ≤ hi can set are known zero.
+                for i in 0..self.width {
+                    let bit = 1u64 << i;
+                    if bit > self.hi {
+                        self.kb_mask |= bit;
+                        self.kb_val &= !bit;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Least upper bound: describes every value either side describes.
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        let width = self.width.max(other.width);
+        if self.is_bottom() {
+            return other.with_width(width);
+        }
+        if other.is_bottom() {
+            return self.with_width(width);
+        }
+        let a = self.with_width(width);
+        let b = other.with_width(width);
+        let agree = a.kb_mask & b.kb_mask & !(a.kb_val ^ b.kb_val);
+        let mut out = AbsVal {
+            width,
+            lo: a.lo.min(b.lo),
+            hi: a.hi.max(b.hi),
+            kb_mask: agree,
+            kb_val: a.kb_val & agree,
+            xmask: a.xmask | b.xmask,
+        };
+        out.normalize();
+        out
+    }
+
+    /// Widening: like [`join`](Self::join) but jumps moving interval
+    /// bounds to their extremes so ascending chains terminate. Known-bits
+    /// shrink and the x-mask grows monotonically, so they need no
+    /// acceleration beyond the join.
+    pub fn widen(&self, next: &AbsVal) -> AbsVal {
+        let mut out = self.join(next);
+        if out.is_bottom() || self.is_bottom() {
+            return out;
+        }
+        let m = width_mask(out.width);
+        let mut moved = false;
+        if next.lo < self.lo {
+            out.lo = 0;
+            moved = true;
+        }
+        if next.hi > self.hi {
+            out.hi = m;
+            moved = true;
+        }
+        if moved {
+            // A moving bound means the joined pair's per-bit agreement is
+            // transient (a rising counter's high bits are "known zero" only
+            // until it gets there); keep it and normalize() would clamp the
+            // jumped bound straight back.
+            out.kb_mask = 0;
+            out.kb_val = 0;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Reinterprets the value at a different width: truncation drops
+    /// high bits; extension zero-extends (Verilog unsigned semantics,
+    /// except that x-contaminated arithmetic never reaches here —
+    /// transfers poison the whole result instead).
+    pub fn with_width(&self, width: usize) -> AbsVal {
+        let width = width.clamp(1, 64);
+        if width == self.width {
+            return *self;
+        }
+        if self.is_bottom() {
+            return AbsVal::bottom(width);
+        }
+        let m = width_mask(width);
+        let mut out = AbsVal {
+            width,
+            lo: 0,
+            hi: m,
+            kb_mask: self.kb_mask & m,
+            kb_val: self.kb_val & m,
+            xmask: self.xmask & m,
+        };
+        if width > self.width {
+            // Zero extension: the new high bits are known zero.
+            out.kb_mask |= m & !width_mask(self.width);
+            out.xmask = self.xmask;
+            out.lo = self.lo;
+            out.hi = self.hi;
+        } else if self.xmask == 0 && self.hi <= m {
+            // Truncation that provably drops nothing keeps the interval.
+            out.lo = self.lo;
+            out.hi = self.hi;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Extracts bits `[hi_bit, lo_bit]` (inclusive, design-relative).
+    pub fn extract(&self, hi_bit: usize, lo_bit: usize) -> AbsVal {
+        let width = hi_bit.saturating_sub(lo_bit) + 1;
+        if self.is_bottom() {
+            return AbsVal::bottom(width);
+        }
+        if lo_bit >= 64 {
+            return AbsVal::constant(0, width);
+        }
+        let m = width_mask(width);
+        let mut out = AbsVal {
+            width,
+            lo: 0,
+            hi: m,
+            kb_mask: (self.kb_mask >> lo_bit) & m,
+            kb_val: (self.kb_val >> lo_bit) & m,
+            xmask: (self.xmask >> lo_bit) & m,
+        };
+        // Bits beyond the source width read as zero.
+        for i in 0..width {
+            if lo_bit + i >= self.width {
+                out.kb_mask |= 1 << i;
+                out.kb_val &= !(1u64 << i);
+                out.xmask &= !(1u64 << i);
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    /// Abstract truthiness (the value of `|v` / an `if` condition).
+    pub fn truth(&self) -> AbsTruth {
+        if self.is_bottom() {
+            return AbsTruth::Bottom;
+        }
+        if self.kb_val != 0 {
+            // A known 1 bit dominates any x elsewhere.
+            return AbsTruth::True;
+        }
+        if self.as_const() == Some(0) {
+            return AbsTruth::False;
+        }
+        if self.xmask == 0 {
+            if self.lo > 0 {
+                return AbsTruth::True;
+            }
+            return AbsTruth::Unknown;
+        }
+        // All-known-zero except maybe-x bits: could be 0 or x, never 1?
+        // Only when every non-x bit is known zero.
+        let m = width_mask(self.width);
+        if self.kb_mask | self.xmask == m && self.kb_val == 0 {
+            return AbsTruth::MaybeX;
+        }
+        AbsTruth::MaybeX
+    }
+}
+
+/// Abstract boolean: the four-state truthiness of a condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsTruth {
+    /// Condition of an unreachable path.
+    Bottom,
+    /// Provably truthy in every execution.
+    True,
+    /// Provably falsy in every execution.
+    False,
+    /// 0 or 1 depending on inputs; never x.
+    Unknown,
+    /// May be x (both branches merge in Verilog semantics).
+    MaybeX,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_round_trip() {
+        let c = AbsVal::constant(5, 4);
+        assert_eq!(c.as_const(), Some(5));
+        assert!(!c.may_x());
+        assert_eq!(c.truth(), AbsTruth::True);
+        assert_eq!(AbsVal::constant(0, 4).truth(), AbsTruth::False);
+    }
+
+    #[test]
+    fn join_of_two_constants_is_their_hull() {
+        let j = AbsVal::constant(0, 2).join(&AbsVal::constant(1, 2));
+        assert_eq!((j.lo, j.hi), (0, 1));
+        // Bit 1 is known zero in both values.
+        assert_eq!(j.kb_mask & 0b10, 0b10);
+        assert_eq!(j.kb_val & 0b10, 0);
+        assert!(j.as_const().is_none());
+    }
+
+    #[test]
+    fn x_literal_sets_the_xmask() {
+        let v = LogicVec::unknown(4);
+        let a = AbsVal::from_logicvec(&v);
+        assert_eq!(a.xmask, 0b1111);
+        assert_eq!(a.truth(), AbsTruth::MaybeX);
+    }
+
+    #[test]
+    fn widen_jumps_moving_bounds() {
+        let a = AbsVal::constant(0, 8);
+        let b = AbsVal::constant(1, 8);
+        let w = a.widen(&b);
+        assert_eq!(w.lo, 0);
+        assert_eq!(w.hi, 255, "rising hi must jump to the top");
+    }
+
+    #[test]
+    fn normalize_derives_known_zeros_from_the_interval() {
+        let mut a = AbsVal {
+            width: 8,
+            lo: 0,
+            hi: 3,
+            kb_mask: 0,
+            kb_val: 0,
+            xmask: 0,
+        };
+        a.normalize();
+        assert_eq!(a.kb_mask & 0xFC, 0xFC, "bits ≥ 2 are known zero");
+        assert_eq!(a.kb_val & 0xFC, 0);
+    }
+
+    #[test]
+    fn bottom_is_identity_for_join() {
+        let c = AbsVal::constant(9, 6);
+        assert_eq!(AbsVal::bottom(6).join(&c), c);
+        assert_eq!(c.join(&AbsVal::bottom(6)), c);
+    }
+
+    #[test]
+    fn extract_slices_known_bits() {
+        let c = AbsVal::constant(0b1010, 4);
+        let hi = c.extract(3, 2);
+        assert_eq!(hi.as_const(), Some(0b10));
+        let lo = c.extract(1, 0);
+        assert_eq!(lo.as_const(), Some(0b10));
+    }
+}

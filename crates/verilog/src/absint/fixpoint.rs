@@ -1,0 +1,1139 @@
+//! Widening/narrowing fixpoint over the process dataflow graph.
+//!
+//! [`analyze_abs`] computes, for every signal, a sound [`AbsVal`]
+//! over-approximation of the values it can hold, by abstractly executing
+//! every process until nothing changes:
+//!
+//! * **blocking** assignments update a per-process local overlay
+//!   immediately; **non-blocking** assignments are deferred and applied
+//!   at the end of the process pass (with a definite/partial flag so a
+//!   branch-dependent write joins with the old value);
+//! * branches whose condition is abstractly decided are pruned; undecided
+//!   branches execute both ways and join; `case` arms are pruned via
+//!   per-label match analysis with priority/duplicate handling;
+//! * signal states only ascend (join-accumulate). After
+//!   [`WIDEN_AFTER`] changes a signal's interval is widened to its
+//!   extremes, which bounds every ascending chain; a sweep cap with a
+//!   weaken-to-top fallback guarantees termination regardless;
+//! * after convergence two **narrowing** sweeps recompute the equations
+//!   from the initial state and keep any component that provably
+//!   shrinks, recovering precision lost to widening.
+//!
+//! The fixpoint runs twice: once from **power-on** (registers without a
+//! reset or initializer start all-x) and once in **steady state**
+//! (such registers are assumed to eventually hold known values), so the
+//! rules can tell "x inherited from power-on" apart from "x generated
+//! structurally" — see [`crate::analyze_static`].
+//!
+//! Detected reset branches ([`ResetInfo`]) feed the register start
+//! values: a register assigned a constant under a recognized reset
+//! condition starts at that constant, which is what keeps clean
+//! resettable designs x-free.
+
+use std::collections::{HashMap, HashSet};
+
+use super::domain::{width_mask, AbsTruth, AbsVal};
+use super::transfer::{decide_eq, eval_abs, AbsEnv};
+use crate::ast::{CaseKind, Expr, LValue, Stmt};
+use crate::dataflow::{Dataflow, DriverKind};
+use crate::elab::{Design, SignalId, SignalKind, Trigger};
+use crate::eval::{eval_expr, SignalEnv};
+use crate::logic::{Logic, LogicVec};
+
+/// Number of observed changes to one signal before its interval is
+/// widened to the extremes.
+pub const WIDEN_AFTER: usize = 4;
+
+/// Narrowing sweeps run after convergence.
+const NARROW_SWEEPS: usize = 2;
+
+/// Per-iteration cap on concrete `for`-loop unrolling.
+const MAX_UNROLL: usize = 64;
+
+/// A recognized reset branch of an edge-triggered process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResetInfo {
+    /// Index of the process in [`Design::processes`].
+    pub process: usize,
+    /// The 1-bit input acting as the reset.
+    pub signal: SignalId,
+    /// Level of `signal` that asserts the reset.
+    pub active_high: bool,
+    /// Registers assigned a constant in the reset branch, with the value.
+    pub covered: Vec<(SignalId, u64)>,
+}
+
+/// Which start state the fixpoint models for unreset registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsMode {
+    /// Registers without reset/init start all-x (power-on pessimism).
+    PowerOn,
+    /// Registers without reset/init are assumed to eventually hold known
+    /// values; any x remaining is *generated* by the logic itself.
+    Steady,
+}
+
+/// Everything the abstract interpretation derives from one design.
+#[derive(Debug, Clone)]
+pub struct AbsResult {
+    /// Per-signal values under [`AbsMode::PowerOn`].
+    pub poweron: Vec<AbsVal>,
+    /// Per-signal values under [`AbsMode::Steady`].
+    pub steady: Vec<AbsVal>,
+    /// Total sweeps spent across both fixpoints (including narrowing).
+    pub sweeps: usize,
+    /// Whether both fixpoints converged inside the sweep budget. On
+    /// `false` the affected values were weakened to top (still sound).
+    pub converged: bool,
+    /// Recognized reset branches.
+    pub resets: Vec<ResetInfo>,
+    /// Per-process clock signal (edge-triggered processes only).
+    pub clock_of: Vec<Option<SignalId>>,
+}
+
+impl AbsResult {
+    /// Steady-state value of a signal.
+    pub fn steady_of(&self, id: SignalId) -> &AbsVal {
+        &self.steady[id.0 as usize]
+    }
+
+    /// The reset covering `id`, if any.
+    pub fn reset_covering(&self, id: SignalId) -> Option<&ResetInfo> {
+        self.resets
+            .iter()
+            .find(|r| r.covered.iter().any(|(s, _)| *s == id))
+    }
+}
+
+/// Runs both fixpoints (power-on and steady) plus reset/clock detection.
+pub fn analyze_abs(design: &Design, df: &Dataflow) -> AbsResult {
+    let (resets, clock_of) = detect_resets(design);
+    let mut total_sweeps = 0;
+    let mut converged = true;
+    let mut run = |mode: AbsMode| {
+        let mut interp = Interp::new(design, df, &resets, mode);
+        let (sweeps, ok) = interp.solve();
+        total_sweeps += sweeps;
+        converged &= ok;
+        interp.state
+    };
+    let poweron = run(AbsMode::PowerOn);
+    let steady = run(AbsMode::Steady);
+    AbsResult {
+        poweron,
+        steady,
+        sweeps: total_sweeps,
+        converged,
+        resets,
+        clock_of,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reset / clock detection
+// ---------------------------------------------------------------------------
+
+/// Evaluates a one-signal condition concretely for reset polarity probing.
+struct OneSignalEnv<'a> {
+    name: &'a str,
+    value: u64,
+}
+
+impl SignalEnv for OneSignalEnv<'_> {
+    fn value_of(&self, name: &str) -> Option<LogicVec> {
+        (name == self.name).then(|| LogicVec::from_u64(self.value, 1))
+    }
+    fn lsb_of(&self, _name: &str) -> usize {
+        0
+    }
+}
+
+/// Skips `begin … end` wrappers holding a single meaningful statement.
+pub(crate) fn unwrap_single(stmt: &Stmt) -> &Stmt {
+    match stmt {
+        Stmt::Block(stmts) => {
+            let mut live = stmts.iter().filter(|s| !matches!(s, Stmt::Empty));
+            match (live.next(), live.next()) {
+                (Some(single), None) => unwrap_single(single),
+                _ => stmt,
+            }
+        }
+        _ => stmt,
+    }
+}
+
+/// Collects `reg <= constant` (or blocking) assignments at the top level
+/// of a reset branch. Assignments nested under further conditions are not
+/// guaranteed to execute, so they are not collected.
+fn collect_reset_consts(stmt: &Stmt, design: &Design, out: &mut Vec<(SignalId, u64)>) {
+    match stmt {
+        Stmt::Block(stmts) => stmts
+            .iter()
+            .for_each(|s| collect_reset_consts(s, design, out)),
+        Stmt::Blocking { lhs, rhs, .. } | Stmt::NonBlocking { lhs, rhs, .. } => {
+            if let LValue::Ident(n) = lhs {
+                if let (Some(id), Some(v)) = (
+                    design.signal(n),
+                    crate::eval::eval_const(rhs).and_then(|v| v.to_u64()),
+                ) {
+                    out.push((id, v));
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Finds reset branches: an edge-triggered process whose body is
+/// `if (cond) <constant assigns> else …` with `cond` reading exactly one
+/// 1-bit input that is not the clock, whose polarity is decided by
+/// concrete evaluation at both levels, and whose branch constant-assigns
+/// at least one register (a guard that resets nothing is an enable).
+fn detect_resets(design: &Design) -> (Vec<ResetInfo>, Vec<Option<SignalId>>) {
+    let mut resets = Vec::new();
+    let mut clock_of = vec![None; design.processes.len()];
+    for (pi, p) in design.processes.iter().enumerate() {
+        let Trigger::Edge(edges) = &p.trigger else {
+            continue;
+        };
+        let mut detected = false;
+        if let Stmt::If {
+            cond, then_branch, ..
+        } = unwrap_single(&p.body)
+        {
+            let mut reads = Vec::new();
+            cond.collect_reads(&mut reads);
+            reads.dedup();
+            if reads.len() == 1 {
+                if let Some(rid) = design.signal(&reads[0]) {
+                    let info = design.info(rid);
+                    if info.kind == SignalKind::Input && info.width == 1 {
+                        let name = reads[0].as_str();
+                        let at = |value: u64| {
+                            eval_expr(cond, &OneSignalEnv { name, value }).truthiness()
+                        };
+                        let polarity = match (at(1), at(0)) {
+                            (Logic::One, Logic::Zero) => Some(true),
+                            (Logic::Zero, Logic::One) => Some(false),
+                            _ => None,
+                        };
+                        let clock = edges.iter().map(|(_, s)| *s).find(|s| *s != rid);
+                        if let (Some(active_high), Some(clock)) = (polarity, clock) {
+                            let mut covered = Vec::new();
+                            collect_reset_consts(then_branch, design, &mut covered);
+                            // A guard that resets nothing is an enable,
+                            // not a reset — treating it as one would pin
+                            // the signal at its deassert level in steady
+                            // mode and misfire SA-RESET on enable-gated
+                            // registers.
+                            if !covered.is_empty() {
+                                clock_of[pi] = Some(clock);
+                                resets.push(ResetInfo {
+                                    process: pi,
+                                    signal: rid,
+                                    active_high,
+                                    covered,
+                                });
+                                detected = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !detected {
+            clock_of[pi] = edges.first().map(|(_, s)| *s);
+        }
+    }
+    (resets, clock_of)
+}
+
+// ---------------------------------------------------------------------------
+// Abstract interpreter
+// ---------------------------------------------------------------------------
+
+/// A deferred (non-blocking) write: the pending value, and whether it
+/// fully defines the signal's next value on every path that reached here.
+#[derive(Debug, Clone, Copy)]
+struct Deferred {
+    val: AbsVal,
+    definite: bool,
+}
+
+/// Per-process execution overlay.
+#[derive(Debug, Clone, Default)]
+struct Frame {
+    local: HashMap<u32, AbsVal>,
+    deferred: HashMap<u32, Deferred>,
+}
+
+/// Read view: local overlay over the global state.
+struct View<'a> {
+    design: &'a Design,
+    state: &'a [AbsVal],
+    local: &'a HashMap<u32, AbsVal>,
+}
+
+impl AbsEnv for View<'_> {
+    fn abs_of(&self, name: &str) -> Option<AbsVal> {
+        let id = self.design.signal(name)?;
+        Some(
+            self.local
+                .get(&id.0)
+                .copied()
+                .unwrap_or(self.state[id.0 as usize]),
+        )
+    }
+    fn lsb_of(&self, name: &str) -> usize {
+        self.design
+            .signal(name)
+            .map(|id| self.design.info(id).lsb)
+            .unwrap_or(0)
+    }
+}
+
+struct Interp<'a> {
+    design: &'a Design,
+    state: Vec<AbsVal>,
+    base: Vec<AbsVal>,
+    update_count: Vec<usize>,
+}
+
+/// Replaces bits `[hi, lo]` of `base` with `v` (resized to the segment).
+fn insert_bits(base: &AbsVal, hi: usize, lo: usize, v: &AbsVal) -> AbsVal {
+    let w = base.width;
+    if lo >= w {
+        return *base;
+    }
+    let hi = hi.min(w - 1);
+    let seg_w = hi - lo + 1;
+    let v = v.with_width(seg_w);
+    let seg_mask = width_mask(seg_w) << lo;
+    let mut out = AbsVal {
+        width: w,
+        lo: 0,
+        hi: width_mask(w),
+        kb_mask: (base.kb_mask & !seg_mask) | ((v.kb_mask << lo) & seg_mask),
+        kb_val: (base.kb_val & !seg_mask) | ((v.kb_val << lo) & seg_mask),
+        xmask: (base.xmask & !seg_mask) | ((v.xmask << lo) & seg_mask),
+    };
+    out.normalize();
+    out
+}
+
+/// A write at an unknown bit position: every bit may keep its old value
+/// or take (any bit of) `v`.
+fn smear_any(base: &AbsVal, v: &AbsVal) -> AbsVal {
+    let mut vbits = AbsVal::bottom(1);
+    for b in 0..v.width {
+        vbits = vbits.join(&v.extract(b, b));
+    }
+    let mut out = *base;
+    for b in 0..base.width {
+        let joined = base.extract(b, b).join(&vbits);
+        out = insert_bits(&out, b, b, &joined);
+    }
+    out
+}
+
+/// How a case label can relate to the abstract selector value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelMatch {
+    /// Provably never matches.
+    No,
+    /// May or may not match.
+    May,
+    /// Provably matches in every execution.
+    Must,
+}
+
+/// Matches one constant four-state label value against an abstract
+/// selector under `case`/`casez`/`casex` semantics (`z`, or `x`/`z`,
+/// bits of the *label* are wildcards respectively).
+pub fn match_const_label(sel: &AbsVal, label: &LogicVec, kind: CaseKind) -> LabelMatch {
+    let w = sel.width.max(label.width().clamp(1, 64));
+    let sel = sel.with_width(w);
+    let mut known_mask = 0u64;
+    let mut known_val = 0u64;
+    let mut label_x = 0u64; // non-wildcard x/z label bits
+    for i in 0..w {
+        let bit = if i < label.width() {
+            label.bit(i)
+        } else {
+            Logic::Zero
+        };
+        let wild = matches!(
+            (kind, bit),
+            (CaseKind::Z, Logic::Z) | (CaseKind::X, Logic::X | Logic::Z)
+        );
+        if wild {
+            continue;
+        }
+        match bit {
+            Logic::Zero => known_mask |= 1 << i,
+            Logic::One => {
+                known_mask |= 1 << i;
+                known_val |= 1 << i;
+            }
+            Logic::X | Logic::Z => label_x |= 1 << i,
+        }
+    }
+    // A care bit where the selector's known value conflicts, or where the
+    // label demands x but the selector is known, rules the arm out.
+    if (sel.kb_val ^ known_val) & sel.kb_mask & known_mask != 0 {
+        return LabelMatch::No;
+    }
+    if label_x & sel.kb_mask != 0 {
+        return LabelMatch::No;
+    }
+    // Fully known, wildcard-free label outside the selector's value range.
+    if label_x == 0 && known_mask == width_mask(w) && sel.xmask == 0 {
+        let v = known_val;
+        if v < sel.lo || v > sel.hi {
+            return LabelMatch::No;
+        }
+    }
+    // Must: every care bit pinned by the selector's known bits, no x
+    // possibility in the care region, and no x demanded by the label.
+    if label_x == 0
+        && sel.kb_mask & known_mask == known_mask
+        && (sel.kb_val ^ known_val) & known_mask == 0
+        && sel.xmask & known_mask == 0
+    {
+        return LabelMatch::Must;
+    }
+    LabelMatch::May
+}
+
+impl<'a> Interp<'a> {
+    fn new(design: &'a Design, df: &Dataflow, resets: &[ResetInfo], mode: AbsMode) -> Interp<'a> {
+        let covered: HashMap<SignalId, u64> = resets
+            .iter()
+            .flat_map(|r| r.covered.iter().copied())
+            .collect();
+        let n = design.signals.len();
+        let mut state = Vec::with_capacity(n);
+        for (idx, info) in design.signals.iter().enumerate() {
+            let w = info.width.clamp(1, 64);
+            let id = SignalId(idx as u32);
+            let v = if info.kind == SignalKind::Input {
+                AbsVal::any_known(w)
+            } else if let Some(init) = &info.init {
+                AbsVal::from_logicvec(init)
+            } else if let Some(&c) = covered.get(&id) {
+                AbsVal::constant(c, w)
+            } else {
+                let drivers = &df.drivers[idx];
+                let seq = drivers.iter().any(|d| d.kind == DriverKind::Seq);
+                let comb = drivers.iter().any(|d| d.kind == DriverKind::Comb);
+                if drivers.is_empty() {
+                    AbsVal::top(w) // undriven: x forever
+                } else if seq {
+                    match mode {
+                        AbsMode::PowerOn => AbsVal::top(w),
+                        AbsMode::Steady => AbsVal::any_known(w),
+                    }
+                } else if comb {
+                    AbsVal::bottom(w) // ascends from unreachable
+                } else {
+                    AbsVal::top(w) // only `initial` drivers; Once pass sets it
+                }
+            };
+            state.push(v);
+        }
+        let mut interp = Interp {
+            design,
+            state,
+            base: Vec::new(),
+            update_count: vec![0; n],
+        };
+        // `initial` blocks run once at time zero: apply them strongly.
+        for p in design.processes.iter() {
+            if matches!(p.trigger, Trigger::Once) {
+                let mut frame = Frame::default();
+                interp.exec(&p.body, &mut frame);
+                for (k, v) in frame.local {
+                    let w = interp.state[k as usize].width;
+                    interp.state[k as usize] = v.with_width(w);
+                }
+                for (k, d) in frame.deferred {
+                    let w = interp.state[k as usize].width;
+                    interp.state[k as usize] = d.val.with_width(w);
+                }
+            }
+        }
+        interp.base = interp.state.clone();
+        interp
+    }
+
+    /// Runs the ascending fixpoint, then narrowing. Returns
+    /// `(sweeps, converged)`.
+    fn solve(&mut self) -> (usize, bool) {
+        let max_sweeps = 64 + 8 * self.design.signals.len();
+        let mut sweeps = 0;
+        let mut converged = false;
+        while sweeps < max_sweeps {
+            sweeps += 1;
+            if !self.sweep() {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            // Weaken every non-input signal to top: trivially a sound
+            // post-fixpoint, at total precision loss.
+            for (idx, info) in self.design.signals.iter().enumerate() {
+                if info.kind != SignalKind::Input {
+                    self.state[idx] = AbsVal::top(info.width);
+                }
+            }
+            return (sweeps, false);
+        }
+        sweeps += self.narrow();
+        (sweeps, true)
+    }
+
+    /// One chaotic-iteration sweep over every process. Returns whether
+    /// any signal changed.
+    fn sweep(&mut self) -> bool {
+        let mut changed = false;
+        for p in self.design.processes.iter() {
+            if matches!(p.trigger, Trigger::Once) {
+                continue;
+            }
+            let mut frame = Frame::default();
+            self.exec(&p.body, &mut frame);
+            changed |= self.apply(frame);
+        }
+        changed
+    }
+
+    /// Descending sweeps from the initial state: recompute the equations
+    /// against the converged values and keep provable refinements.
+    fn narrow(&mut self) -> usize {
+        for _ in 0..NARROW_SWEEPS {
+            let mut cands: Vec<(u32, AbsVal)> = Vec::new();
+            for p in self.design.processes.iter() {
+                if matches!(p.trigger, Trigger::Once) {
+                    continue;
+                }
+                let mut frame = Frame::default();
+                self.exec(&p.body, &mut frame);
+                for (k, v) in frame.local {
+                    cands.push((k, v));
+                }
+                for (k, d) in frame.deferred {
+                    let cand = if d.definite {
+                        d.val
+                    } else {
+                        d.val.join(&self.state[k as usize])
+                    };
+                    cands.push((k, cand));
+                }
+            }
+            let mut next = self.base.clone();
+            for (k, v) in cands {
+                let w = next[k as usize].width;
+                next[k as usize] = next[k as usize].join(&v.with_width(w));
+            }
+            for (i, n) in next.into_iter().enumerate() {
+                // Keep only components that provably shrank.
+                if n.join(&self.state[i]) == self.state[i] {
+                    self.state[i] = n;
+                }
+            }
+        }
+        NARROW_SWEEPS
+    }
+
+    fn apply(&mut self, frame: Frame) -> bool {
+        let mut changed = false;
+        for (k, v) in frame.local {
+            changed |= self.merge(k, v);
+        }
+        for (k, d) in frame.deferred {
+            let cand = if d.definite {
+                d.val
+            } else {
+                d.val.join(&self.state[k as usize])
+            };
+            changed |= self.merge(k, cand);
+        }
+        changed
+    }
+
+    fn merge(&mut self, k: u32, cand: AbsVal) -> bool {
+        let old = self.state[k as usize];
+        let cand = cand.with_width(old.width);
+        let new = if self.update_count[k as usize] >= WIDEN_AFTER {
+            old.widen(&cand)
+        } else {
+            old.join(&cand)
+        };
+        if new != old {
+            self.state[k as usize] = new;
+            self.update_count[k as usize] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eval(&self, e: &Expr, frame: &Frame) -> AbsVal {
+        let view = View {
+            design: self.design,
+            state: &self.state,
+            local: &frame.local,
+        };
+        eval_abs(e, &view)
+    }
+
+    fn lookup(&self, frame: &Frame, id: SignalId) -> AbsVal {
+        frame
+            .local
+            .get(&id.0)
+            .copied()
+            .unwrap_or(self.state[id.0 as usize])
+    }
+
+    fn exec(&self, stmt: &Stmt, frame: &mut Frame) {
+        match stmt {
+            Stmt::Block(stmts) => stmts.iter().for_each(|s| self.exec(s, frame)),
+            Stmt::Blocking { lhs, rhs, .. } => {
+                let v = self.eval(rhs, frame);
+                self.assign(frame, lhs, v, true);
+            }
+            Stmt::NonBlocking { lhs, rhs, .. } => {
+                let v = self.eval(rhs, frame);
+                self.assign(frame, lhs, v, false);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => match self.eval(cond, frame).truth() {
+                AbsTruth::True => self.exec(then_branch, frame),
+                AbsTruth::False | AbsTruth::Bottom => {
+                    if let Some(e) = else_branch {
+                        self.exec(e, frame);
+                    }
+                }
+                _ => {
+                    let mut then_f = frame.clone();
+                    self.exec(then_branch, &mut then_f);
+                    let mut else_f = frame.clone();
+                    if let Some(e) = else_branch {
+                        self.exec(e, &mut else_f);
+                    }
+                    *frame = self.join_frames(frame, vec![then_f, else_f]);
+                }
+            },
+            Stmt::Case {
+                kind,
+                expr,
+                arms,
+                default,
+            } => self.exec_case(*kind, expr, arms, default.as_deref(), frame),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => self.exec_for(init, cond, step, body, frame),
+            Stmt::Empty => {}
+        }
+    }
+
+    fn exec_case(
+        &self,
+        kind: CaseKind,
+        expr: &Expr,
+        arms: &[(Vec<Expr>, Stmt)],
+        default: Option<&Stmt>,
+        frame: &mut Frame,
+    ) {
+        let sel = self.eval(expr, frame);
+        let mut reachable: Vec<&Stmt> = Vec::new();
+        let mut any_must = false;
+        let mut covered: HashSet<u64> = HashSet::new();
+        for (labels, body) in arms {
+            if any_must {
+                break; // an earlier arm always matches first
+            }
+            let mut arm_match = LabelMatch::No;
+            for label in labels {
+                let m = match crate::eval::eval_const(label) {
+                    Some(lv) => {
+                        // A duplicate exact value can never fire (priority).
+                        if kind == CaseKind::Exact {
+                            if let Some(v) = lv.to_u64() {
+                                if !covered.insert(v) {
+                                    continue;
+                                }
+                            }
+                        }
+                        match_const_label(&sel, &lv, kind)
+                    }
+                    None => {
+                        let lv = self.eval(label, frame);
+                        match decide_eq(&sel, &lv) {
+                            Some(false) => LabelMatch::No,
+                            Some(true) => LabelMatch::Must,
+                            None => LabelMatch::May,
+                        }
+                    }
+                };
+                arm_match = match (arm_match, m) {
+                    (_, LabelMatch::Must) => LabelMatch::Must,
+                    (LabelMatch::No, x) => x,
+                    (x, LabelMatch::No) => x,
+                    _ => LabelMatch::May,
+                };
+            }
+            match arm_match {
+                LabelMatch::No => {}
+                LabelMatch::May => reachable.push(body),
+                LabelMatch::Must => {
+                    reachable.push(body);
+                    any_must = true;
+                }
+            }
+        }
+        if !any_must {
+            if let Some(d) = default {
+                reachable.push(d);
+            }
+        }
+        match reachable.len() {
+            0 => {} // nothing can execute: state unchanged (latched)
+            1 if any_must || default.is_none() && arms.is_empty() => {
+                self.exec(reachable[0], frame);
+            }
+            _ => {
+                let mut variants: Vec<Frame> = Vec::with_capacity(reachable.len() + 1);
+                for body in &reachable {
+                    let mut f = frame.clone();
+                    self.exec(body, &mut f);
+                    variants.push(f);
+                }
+                if !any_must && default.is_none() {
+                    // The selector may match no arm at all: include the
+                    // fall-through (unchanged) path in the join.
+                    variants.push(frame.clone());
+                }
+                *frame = self.join_frames(frame, variants);
+            }
+        }
+    }
+
+    fn exec_for(
+        &self,
+        init: &(String, Expr),
+        cond: &Expr,
+        step: &(String, Expr),
+        body: &Stmt,
+        frame: &mut Frame,
+    ) {
+        let iv = self.eval(&init.1, frame);
+        if let Some(id) = self.design.signal(&init.0) {
+            let w = self.design.info(id).width;
+            frame.local.insert(id.0, iv.with_width(w));
+        }
+        let mut iters = 0;
+        loop {
+            match self.eval(cond, frame).truth() {
+                AbsTruth::False | AbsTruth::Bottom => return,
+                AbsTruth::True if iters < MAX_UNROLL => {}
+                _ => break, // undecided condition or unroll budget exhausted
+            }
+            self.exec(body, frame);
+            let sv = self.eval(&step.1, frame);
+            if let Some(id) = self.design.signal(&step.0) {
+                let w = self.design.info(id).width;
+                frame.local.insert(id.0, sv.with_width(w));
+            }
+            iters += 1;
+        }
+        // Weaken everything the loop can touch to top.
+        let mut blocking = vec![init.0.clone(), step.0.clone()];
+        let mut nba = Vec::new();
+        collect_write_kinds(body, &mut blocking, &mut nba);
+        for name in blocking {
+            if let Some(id) = self.design.signal(&name) {
+                let w = self.design.info(id).width;
+                frame.local.insert(id.0, AbsVal::top(w));
+            }
+        }
+        for name in nba {
+            if let Some(id) = self.design.signal(&name) {
+                let w = self.design.info(id).width;
+                frame.deferred.insert(
+                    id.0,
+                    Deferred {
+                        val: AbsVal::top(w),
+                        definite: false,
+                    },
+                );
+            }
+        }
+    }
+
+    fn assign(&self, frame: &mut Frame, lv: &LValue, v: AbsVal, blocking: bool) {
+        match lv {
+            LValue::Ident(n) => {
+                let Some(id) = self.design.signal(n) else {
+                    return;
+                };
+                let w = self.design.info(id).width;
+                let val = v.with_width(w);
+                if blocking {
+                    frame.local.insert(id.0, val);
+                } else {
+                    frame.deferred.insert(
+                        id.0,
+                        Deferred {
+                            val,
+                            definite: true,
+                        },
+                    );
+                }
+            }
+            LValue::Index(n, i) => {
+                let Some(id) = self.design.signal(n) else {
+                    return;
+                };
+                let info = self.design.info(id);
+                let base = if blocking {
+                    self.lookup(frame, id)
+                } else {
+                    frame
+                        .deferred
+                        .get(&id.0)
+                        .map(|d| d.val)
+                        .unwrap_or_else(|| self.lookup(frame, id))
+                };
+                let idx = {
+                    let view = View {
+                        design: self.design,
+                        state: &self.state,
+                        local: &frame.local,
+                    };
+                    eval_abs(i, &view).as_const()
+                };
+                let new = match idx {
+                    Some(ix) => {
+                        let ix = (ix as usize).saturating_sub(info.lsb);
+                        insert_bits(&base, ix, ix, &v)
+                    }
+                    None => smear_any(&base, &v),
+                };
+                if blocking {
+                    frame.local.insert(id.0, new);
+                } else {
+                    let definite = frame
+                        .deferred
+                        .get(&id.0)
+                        .map(|d| d.definite)
+                        .unwrap_or(true);
+                    frame.deferred.insert(id.0, Deferred { val: new, definite });
+                }
+            }
+            LValue::Slice(n, a, b) => {
+                let Some(id) = self.design.signal(n) else {
+                    return;
+                };
+                let info = self.design.info(id);
+                let base = if blocking {
+                    self.lookup(frame, id)
+                } else {
+                    frame
+                        .deferred
+                        .get(&id.0)
+                        .map(|d| d.val)
+                        .unwrap_or_else(|| self.lookup(frame, id))
+                };
+                let bounds = {
+                    let view = View {
+                        design: self.design,
+                        state: &self.state,
+                        local: &frame.local,
+                    };
+                    (eval_abs(a, &view).as_const(), eval_abs(b, &view).as_const())
+                };
+                let new = match bounds {
+                    (Some(hi), Some(lo)) if hi >= lo => {
+                        let hi = (hi as usize).saturating_sub(info.lsb);
+                        let lo = (lo as usize).saturating_sub(info.lsb);
+                        insert_bits(&base, hi, lo, &v)
+                    }
+                    _ => smear_any(&base, &v),
+                };
+                if blocking {
+                    frame.local.insert(id.0, new);
+                } else {
+                    let definite = frame
+                        .deferred
+                        .get(&id.0)
+                        .map(|d| d.definite)
+                        .unwrap_or(true);
+                    frame.deferred.insert(id.0, Deferred { val: new, definite });
+                }
+            }
+            LValue::Concat(parts) => {
+                // First part is most significant; split `v` accordingly.
+                let widths: Vec<usize> = parts.iter().map(|p| self.lvalue_part_width(p)).collect();
+                let total: usize = widths.iter().sum();
+                let v = v.with_width(total.clamp(1, 64));
+                let mut off = total;
+                for (p, w) in parts.iter().zip(widths) {
+                    off = off.saturating_sub(w);
+                    let seg = if w == 0 {
+                        AbsVal::top(1)
+                    } else {
+                        v.extract(off + w - 1, off)
+                    };
+                    self.assign(frame, p, seg, blocking);
+                }
+            }
+        }
+    }
+
+    fn lvalue_part_width(&self, lv: &LValue) -> usize {
+        match lv {
+            LValue::Ident(n) => self
+                .design
+                .signal(n)
+                .map(|id| self.design.info(id).width)
+                .unwrap_or(1),
+            LValue::Index(..) => 1,
+            LValue::Slice(_, a, b) => {
+                let hi = crate::eval::eval_const(a).and_then(|x| x.to_u64());
+                let lo = crate::eval::eval_const(b).and_then(|x| x.to_u64());
+                match (hi, lo) {
+                    (Some(h), Some(l)) if h >= l => (h - l + 1) as usize,
+                    _ => 1,
+                }
+            }
+            LValue::Concat(parts) => parts.iter().map(|p| self.lvalue_part_width(p)).sum(),
+        }
+    }
+
+    fn join_frames(&self, base: &Frame, variants: Vec<Frame>) -> Frame {
+        let mut out = base.clone();
+        let keys: HashSet<u32> = variants
+            .iter()
+            .flat_map(|f| f.local.keys().copied())
+            .collect();
+        for k in keys {
+            let underlying = base
+                .local
+                .get(&k)
+                .copied()
+                .unwrap_or(self.state[k as usize]);
+            let mut acc = AbsVal::bottom(underlying.width);
+            for f in &variants {
+                let v = f.local.get(&k).copied().unwrap_or(underlying);
+                acc = acc.join(&v);
+            }
+            out.local.insert(k, acc);
+        }
+        let dkeys: HashSet<u32> = variants
+            .iter()
+            .flat_map(|f| f.deferred.keys().copied())
+            .collect();
+        for k in dkeys {
+            let mut acc: Option<AbsVal> = None;
+            let mut definite = true;
+            for f in &variants {
+                match f.deferred.get(&k) {
+                    Some(d) => {
+                        acc = Some(match acc {
+                            None => d.val,
+                            Some(a) => a.join(&d.val),
+                        });
+                        definite &= d.definite;
+                    }
+                    None => definite = false,
+                }
+            }
+            if let Some(val) = acc {
+                out.deferred.insert(k, Deferred { val, definite });
+            }
+        }
+        out
+    }
+}
+
+pub(crate) fn collect_write_kinds(stmt: &Stmt, blocking: &mut Vec<String>, nba: &mut Vec<String>) {
+    match stmt {
+        Stmt::Block(stmts) => stmts
+            .iter()
+            .for_each(|s| collect_write_kinds(s, blocking, nba)),
+        Stmt::Blocking { lhs, .. } => {
+            blocking.extend(lhs.target_names().iter().map(|s| s.to_string()));
+        }
+        Stmt::NonBlocking { lhs, .. } => {
+            nba.extend(lhs.target_names().iter().map(|s| s.to_string()));
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_write_kinds(then_branch, blocking, nba);
+            if let Some(e) = else_branch {
+                collect_write_kinds(e, blocking, nba);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            for (_, b) in arms {
+                collect_write_kinds(b, blocking, nba);
+            }
+            if let Some(d) = default {
+                collect_write_kinds(d, blocking, nba);
+            }
+        }
+        Stmt::For {
+            init, step, body, ..
+        } => {
+            blocking.push(init.0.clone());
+            blocking.push(step.0.clone());
+            collect_write_kinds(body, blocking, nba);
+        }
+        Stmt::Empty => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::compile;
+
+    fn abs_of(src: &str) -> (crate::elab::Design, AbsResult) {
+        let d = compile(src).unwrap();
+        let df = Dataflow::build(&d);
+        let r = analyze_abs(&d, &df);
+        (d, r)
+    }
+
+    const CLEAN_COUNTER: &str = "module counter(input clk, input rst_n, output reg [3:0] q);\n\
+         always @(posedge clk or negedge rst_n)\n\
+             if (!rst_n) q <= 4'd0;\n\
+             else q <= q + 1;\nendmodule";
+
+    #[test]
+    fn clean_counter_is_x_free_and_converges() {
+        let (d, r) = abs_of(CLEAN_COUNTER);
+        assert!(r.converged);
+        let q = d.signal("q").unwrap();
+        assert_eq!(r.steady_of(q).xmask, 0, "reset-covered reg never x");
+        assert_eq!(r.poweron[q.0 as usize].xmask, 0);
+    }
+
+    #[test]
+    fn reset_polarity_is_detected() {
+        let (d, r) = abs_of(CLEAN_COUNTER);
+        assert_eq!(r.resets.len(), 1);
+        let reset = &r.resets[0];
+        assert_eq!(reset.signal, d.signal("rst_n").unwrap());
+        assert!(!reset.active_high, "`!rst_n` asserts at 0");
+        let q = d.signal("q").unwrap();
+        assert_eq!(reset.covered, vec![(q, 0)]);
+        assert_eq!(r.clock_of[reset.process], d.signal("clk"));
+    }
+
+    #[test]
+    fn active_high_sync_reset_is_detected() {
+        let (d, r) = abs_of(
+            "module m(input clk, input rst, output reg [1:0] q);\n\
+             always @(posedge clk) if (rst) q <= 2'd0; else q <= q + 1;\nendmodule",
+        );
+        assert_eq!(r.resets.len(), 1);
+        assert!(r.resets[0].active_high);
+        assert_eq!(r.resets[0].signal, d.signal("rst").unwrap());
+    }
+
+    #[test]
+    fn unreset_register_differs_between_poweron_and_steady() {
+        let (d, r) = abs_of(
+            "module m(input clk, input d, output reg q);\n\
+             always @(posedge clk) q <= d;\nendmodule",
+        );
+        let q = d.signal("q").unwrap();
+        assert_ne!(r.poweron[q.0 as usize].xmask, 0, "x at power-on");
+        assert_eq!(r.steady_of(q).xmask, 0, "no x generated in steady state");
+    }
+
+    #[test]
+    fn fsm_state_values_exclude_orphan() {
+        let (d, r) = abs_of(
+            "module fsm(input clk, input rst_n, input x, output reg out);\n\
+             localparam S0 = 2'd0, S1 = 2'd1, S2 = 2'd2;\n\
+             reg [1:0] state, next_state;\n\
+             always @(posedge clk or negedge rst_n)\n\
+                 if (!rst_n) state <= S0;\n\
+                 else state <= next_state;\n\
+             always @(*)\n\
+                 case (state)\n\
+                     S0: next_state = x ? S0 : S1;\n\
+                     S1: next_state = x ? S1 : S0;\n\
+                     S2: next_state = S0;\n\
+                     default: next_state = S0;\n\
+                 endcase\n\
+             always @(*) out = (state == S2);\nendmodule",
+        );
+        let state = d.signal("state").unwrap();
+        let v = r.steady_of(state);
+        assert!(r.converged);
+        assert!(v.hi <= 1, "S2 = 2 must be excluded, got hi = {}", v.hi);
+    }
+
+    #[test]
+    fn constant_comb_chain_folds() {
+        let (d, r) = abs_of(
+            "module m(input en, output y);\n\
+             wire g;\n\
+             assign g = en & 1'b0;\n\
+             assign y = g;\nendmodule",
+        );
+        let y = d.signal("y").unwrap();
+        assert_eq!(r.steady_of(y).as_const(), Some(0));
+    }
+
+    #[test]
+    fn widening_terminates_wide_counter() {
+        // 64-bit counter: without widening the interval ascends 2^64 steps.
+        let (d, r) = abs_of(
+            "module m(input clk, input rst, output reg [63:0] q);\n\
+             always @(posedge clk) if (rst) q <= 64'd0; else q <= q + 64'd1;\nendmodule",
+        );
+        assert!(r.converged);
+        let q = d.signal("q").unwrap();
+        assert_eq!(r.steady_of(q).xmask, 0);
+    }
+
+    #[test]
+    fn division_by_possibly_zero_input_generates_x_in_steady_state() {
+        let (d, r) = abs_of(
+            "module m(input [3:0] a, input [3:0] b, output [3:0] y);\n\
+             assign y = a / b;\nendmodule",
+        );
+        let y = d.signal("y").unwrap();
+        assert!(r.steady_of(y).may_x(), "b may be zero, so y may be x");
+    }
+
+    #[test]
+    fn for_loop_unrolls_concretely() {
+        let (d, r) = abs_of(
+            "module m(input [3:0] a, output reg [3:0] y);\n\
+             integer i;\n\
+             always @(*) begin\n\
+                 y = 4'd0;\n\
+                 for (i = 0; i < 4; i = i + 1) y = y | (a & 4'd1);\n\
+             end\nendmodule",
+        );
+        assert!(r.converged);
+        let y = d.signal("y").unwrap();
+        assert!(!r.steady_of(y).may_x());
+    }
+}

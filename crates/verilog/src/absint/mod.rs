@@ -1,0 +1,29 @@
+//! Abstract interpretation over elaborated designs.
+//!
+//! The analyzer's value-reasoning substrate (DESIGN.md §13):
+//!
+//! * [`domain`] — a four-state-aware abstract value: an unsigned
+//!   interval, a known-bits mask and an x-capability mask per signal.
+//! * [`transfer`] — abstract transfer functions mirroring the concrete
+//!   expression evaluator's width and x-propagation rules.
+//! * [`fixpoint`] — a widening/narrowing fixpoint over the process
+//!   dataflow graph, run from both power-on and steady-state starts,
+//!   plus reset-branch and clock-domain detection.
+//! * [`rules`] — the fixpoint-grounded analyzer rules (`SA-XPROP`,
+//!   `SA-SIGNRANGE`, `SA-CDC`, `SA-RESET`, and value-grounded
+//!   `SA-CONSTCOND`/`SA-DEADARM`/`SA-FSM-UNREACH`).
+//! * [`witness`] — structured evidence: confirmation states, abstract
+//!   traces, and replayable stimulus witnesses the engine layer drives
+//!   through the compiled simulator.
+
+pub mod domain;
+pub mod fixpoint;
+pub mod rules;
+pub mod transfer;
+pub mod witness;
+
+pub use domain::{width_mask, AbsTruth, AbsVal};
+pub use fixpoint::{analyze_abs, AbsMode, AbsResult, ResetInfo, WIDEN_AFTER};
+pub use rules::check_value_rules;
+pub use transfer::{eval_abs, AbsEnv};
+pub use witness::{Confirmation, Evidence, Expect, Witness, WitnessStep};

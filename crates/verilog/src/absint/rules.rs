@@ -1,0 +1,920 @@
+//! Value-dependent analyzer rules grounded in the abstract fixpoint.
+//!
+//! [`check_value_rules`] runs after the purely structural checks in
+//! [`crate::analyze_static`] and uses the converged [`AbsResult`] to
+//!
+//! * re-ground `SA-CONSTCOND` / `SA-DEADARM` / `SA-FSM-UNREACH` on value
+//!   reasoning (conditions that are provably constant and case labels
+//!   that are provably excluded, even when no literal folds), and
+//! * emit the new classes `SA-XPROP`, `SA-SIGNRANGE`, `SA-CDC` and
+//!   `SA-RESET`.
+//!
+//! Every finding produced here is value-dependent: it carries
+//! [`Evidence`] and starts [`Confirmation::Unconfirmed`] (except
+//! `SA-CDC`, which is structural), optionally with a replayable
+//! [`Witness`] the engine layer can confirm on the compiled simulator.
+//!
+//! ## Soundness of reading the global state
+//!
+//! The fixpoint state over-approximates every value a signal can hold
+//! *between* process activations. A condition inside a process that reads
+//! a signal **blocking-written by the same process** sees an
+//! intermediate value the global state does not model, so such
+//! conditions are skipped entirely rather than risk a false "provably
+//! constant" — see `blocking_written`.
+
+use std::collections::{HashMap, HashSet};
+
+use super::domain::{AbsTruth, AbsVal};
+use super::fixpoint::{
+    collect_write_kinds, match_const_label, unwrap_single, AbsResult, LabelMatch,
+};
+use super::transfer::{eval_abs, AbsEnv};
+use super::witness::{Confirmation, Evidence, Expect, Witness, WitnessStep};
+use crate::analyze_static::{
+    collect_assignments, first_span, lvalue_width, StaticFinding, StaticRule,
+};
+use crate::ast::{BinaryOp, Expr, LValue, Stmt};
+use crate::dataflow::{Dataflow, DriverKind};
+use crate::elab::{Design, Process, SignalId, SignalKind, Trigger};
+use crate::error::Span;
+use crate::eval::eval_const;
+
+/// Runs every fixpoint-grounded rule, appending to `findings` (which
+/// already holds the structural findings — used to avoid piling an
+/// `SA-XPROP` onto a net whose x-ness is already reported at its source).
+pub fn check_value_rules(
+    design: &Design,
+    df: &Dataflow,
+    abs: &AbsResult,
+    findings: &mut Vec<StaticFinding>,
+) {
+    check_abs_conditions(design, abs, findings);
+    check_abs_dead_arms(design, df, abs, findings);
+    check_xprop(design, df, abs, findings);
+    check_signrange(design, abs, findings);
+    check_cdc(design, df, abs, findings);
+    check_reset_coverage(design, df, abs, findings);
+}
+
+/// A finding backed by value reasoning: starts unconfirmed until a
+/// witness replay (engine layer) promotes it.
+fn value_finding(
+    rule: StaticRule,
+    message: String,
+    span: Span,
+    signal: Option<String>,
+    evidence: Evidence,
+) -> StaticFinding {
+    StaticFinding {
+        rule,
+        severity: rule.severity(),
+        message,
+        span,
+        signal,
+        confirmation: Confirmation::Unconfirmed,
+        evidence: Some(evidence),
+    }
+}
+
+/// Read view over the converged steady state.
+struct SteadyEnv<'a> {
+    design: &'a Design,
+    state: &'a [AbsVal],
+}
+
+impl AbsEnv for SteadyEnv<'_> {
+    fn abs_of(&self, name: &str) -> Option<AbsVal> {
+        self.design.signal(name).map(|id| self.state[id.0 as usize])
+    }
+    fn lsb_of(&self, name: &str) -> usize {
+        self.design
+            .signal(name)
+            .map(|id| self.design.info(id).lsb)
+            .unwrap_or(0)
+    }
+}
+
+/// Signals blocking-written anywhere in `p` — their global state does not
+/// describe their value at intermediate points of the process body.
+fn blocking_written(p: &Process) -> HashSet<String> {
+    let mut blocking = Vec::new();
+    let mut nba = Vec::new();
+    collect_write_kinds(&p.body, &mut blocking, &mut nba);
+    blocking.into_iter().collect()
+}
+
+/// Whether `e` reads any signal from `tainted`.
+fn reads_tainted(e: &Expr, tainted: &HashSet<String>) -> bool {
+    if tainted.is_empty() {
+        return false;
+    }
+    let mut reads = Vec::new();
+    e.collect_reads(&mut reads);
+    reads.iter().any(|r| tainted.contains(r))
+}
+
+/// Input pokes that park the design for a replay: reset inputs are
+/// asserted, every clock ticks once, then resets deassert.
+fn stimulus_preamble(design: &Design, abs: &AbsResult) -> Vec<WitnessStep> {
+    let mut reset_level: HashMap<u32, u64> = HashMap::new();
+    for r in &abs.resets {
+        reset_level.insert(r.signal.0, u64::from(r.active_high));
+    }
+    let mut steps = Vec::new();
+    for &id in &design.inputs {
+        steps.push(WitnessStep::Poke {
+            signal: design.info(id).name.clone(),
+            value: reset_level.get(&id.0).copied().unwrap_or(0),
+        });
+    }
+    for clock in pokeable_clocks(design, abs) {
+        steps.push(WitnessStep::Tick { clock, cycles: 1 });
+    }
+    for r in &abs.resets {
+        steps.push(WitnessStep::Poke {
+            signal: design.info(r.signal).name.clone(),
+            value: u64::from(!r.active_high),
+        });
+    }
+    steps
+}
+
+/// Distinct clock inputs, in process order.
+fn pokeable_clocks(design: &Design, abs: &AbsResult) -> Vec<String> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for clk in abs.clock_of.iter().flatten() {
+        let info = design.info(*clk);
+        if info.kind == SignalKind::Input && seen.insert(clk.0) {
+            out.push(info.name.clone());
+        }
+    }
+    out
+}
+
+/// Preamble plus `cycles` ticks of every clock.
+fn settled_stimulus(design: &Design, abs: &AbsResult, cycles: u32) -> Vec<WitnessStep> {
+    let mut steps = stimulus_preamble(design, abs);
+    if cycles > 0 {
+        for clock in pokeable_clocks(design, abs) {
+            steps.push(WitnessStep::Tick { clock, cycles });
+        }
+    }
+    steps
+}
+
+// ---------------------------------------------------------------------------
+// SA-CONSTCOND (fixpoint-grounded)
+// ---------------------------------------------------------------------------
+
+fn check_abs_conditions(design: &Design, abs: &AbsResult, out: &mut Vec<StaticFinding>) {
+    let env = SteadyEnv {
+        design,
+        state: &abs.steady,
+    };
+    for p in &design.processes {
+        let tainted = blocking_written(p);
+        walk_abs_cond(design, &p.body, &env, &tainted, abs, out);
+    }
+}
+
+/// A condition decided by the steady state (but not by literal folding,
+/// which the structural pass already owns).
+fn decided_truth(cond: &Expr, env: &SteadyEnv, tainted: &HashSet<String>) -> Option<bool> {
+    if eval_const(cond).is_some() || reads_tainted(cond, tainted) {
+        return None;
+    }
+    match eval_abs(cond, env).truth() {
+        AbsTruth::True => Some(true),
+        AbsTruth::False => Some(false),
+        _ => None,
+    }
+}
+
+/// Witness for a decided condition: only a bare-identifier condition with
+/// a constant steady value has an observable to replay against.
+fn cond_witness(cond: &Expr, design: &Design, abs: &AbsResult, env: &SteadyEnv) -> Option<Witness> {
+    let Expr::Ident(name) = cond else {
+        return None;
+    };
+    let value = env.abs_of(name)?.as_const()?;
+    design.signal(name)?;
+    Some(Witness {
+        steps: settled_stimulus(design, abs, 2),
+        observe: name.clone(),
+        expect: Expect::Equals(value),
+    })
+}
+
+fn expr_abs_ternaries(
+    e: &Expr,
+    design: &Design,
+    env: &SteadyEnv,
+    tainted: &HashSet<String>,
+    abs: &AbsResult,
+    out: &mut Vec<StaticFinding>,
+) {
+    match e {
+        Expr::Ternary(c, a, b) => {
+            if let Some(v) = decided_truth(c, env, tainted) {
+                out.push(value_finding(
+                    StaticRule::ConstCond,
+                    format!(
+                        "ternary condition is provably constant `{}`; one arm is dead",
+                        u64::from(v)
+                    ),
+                    Span::default(),
+                    None,
+                    Evidence {
+                        trace: vec![abs_trace_line(c, env)],
+                        witness: cond_witness(c, design, abs, env),
+                    },
+                ));
+            }
+            expr_abs_ternaries(c, design, env, tainted, abs, out);
+            expr_abs_ternaries(a, design, env, tainted, abs, out);
+            expr_abs_ternaries(b, design, env, tainted, abs, out);
+        }
+        Expr::Unary(_, a) => expr_abs_ternaries(a, design, env, tainted, abs, out),
+        Expr::Binary(_, a, b) => {
+            expr_abs_ternaries(a, design, env, tainted, abs, out);
+            expr_abs_ternaries(b, design, env, tainted, abs, out);
+        }
+        Expr::Concat(parts) => parts
+            .iter()
+            .for_each(|p| expr_abs_ternaries(p, design, env, tainted, abs, out)),
+        Expr::Replicate(_, inner) => expr_abs_ternaries(inner, design, env, tainted, abs, out),
+        Expr::Index(_, i) => expr_abs_ternaries(i, design, env, tainted, abs, out),
+        Expr::Slice(..) | Expr::Literal(_) | Expr::Ident(_) => {}
+    }
+}
+
+/// One-line description of the abstract value deciding a condition.
+fn abs_trace_line(cond: &Expr, env: &SteadyEnv) -> String {
+    let v = eval_abs(cond, env);
+    match v.as_const() {
+        Some(c) => format!("condition evaluates to the single abstract value `{c}`"),
+        None => format!(
+            "condition value lies in [{}, {}] with known bits 0x{:x}",
+            v.lo, v.hi, v.kb_mask
+        ),
+    }
+}
+
+fn walk_abs_cond(
+    design: &Design,
+    stmt: &Stmt,
+    env: &SteadyEnv,
+    tainted: &HashSet<String>,
+    abs: &AbsResult,
+    out: &mut Vec<StaticFinding>,
+) {
+    match stmt {
+        Stmt::Block(stmts) => stmts
+            .iter()
+            .for_each(|s| walk_abs_cond(design, s, env, tainted, abs, out)),
+        Stmt::Blocking { rhs, .. } | Stmt::NonBlocking { rhs, .. } => {
+            expr_abs_ternaries(rhs, design, env, tainted, abs, out);
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            if let Some(v) = decided_truth(cond, env, tainted) {
+                out.push(value_finding(
+                    StaticRule::ConstCond,
+                    format!(
+                        "`if` condition is provably constant `{}`; one branch is dead",
+                        u64::from(v)
+                    ),
+                    first_span(then_branch).unwrap_or_default(),
+                    None,
+                    Evidence {
+                        trace: vec![abs_trace_line(cond, env)],
+                        witness: cond_witness(cond, design, abs, env),
+                    },
+                ));
+            }
+            expr_abs_ternaries(cond, design, env, tainted, abs, out);
+            walk_abs_cond(design, then_branch, env, tainted, abs, out);
+            if let Some(e) = else_branch {
+                walk_abs_cond(design, e, env, tainted, abs, out);
+            }
+        }
+        Stmt::Case {
+            expr,
+            arms,
+            default,
+            ..
+        } => {
+            if eval_const(expr).is_none() && !reads_tainted(expr, tainted) {
+                if let Some(v) = eval_abs(expr, env).as_const() {
+                    out.push(value_finding(
+                        StaticRule::ConstCond,
+                        format!(
+                            "`case` selector is provably constant `{v}`; at most one arm is live"
+                        ),
+                        first_span(stmt).unwrap_or_default(),
+                        None,
+                        Evidence {
+                            trace: vec![abs_trace_line(expr, env)],
+                            witness: cond_witness(expr, design, abs, env),
+                        },
+                    ));
+                }
+            }
+            expr_abs_ternaries(expr, design, env, tainted, abs, out);
+            arms.iter()
+                .for_each(|(_, b)| walk_abs_cond(design, b, env, tainted, abs, out));
+            if let Some(d) = default {
+                walk_abs_cond(design, d, env, tainted, abs, out);
+            }
+        }
+        Stmt::For { body, .. } => walk_abs_cond(design, body, env, tainted, abs, out),
+        Stmt::Empty => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SA-DEADARM / SA-FSM-UNREACH (fixpoint-grounded)
+// ---------------------------------------------------------------------------
+
+fn check_abs_dead_arms(
+    design: &Design,
+    df: &Dataflow,
+    abs: &AbsResult,
+    out: &mut Vec<StaticFinding>,
+) {
+    let env = SteadyEnv {
+        design,
+        state: &abs.steady,
+    };
+    for p in &design.processes {
+        let tainted = blocking_written(p);
+        walk_abs_arms(design, df, &p.body, &env, &tainted, out);
+    }
+}
+
+fn walk_abs_arms(
+    design: &Design,
+    df: &Dataflow,
+    stmt: &Stmt,
+    env: &SteadyEnv,
+    tainted: &HashSet<String>,
+    out: &mut Vec<StaticFinding>,
+) {
+    match stmt {
+        Stmt::Block(stmts) => stmts
+            .iter()
+            .for_each(|s| walk_abs_arms(design, df, s, env, tainted, out)),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            walk_abs_arms(design, df, then_branch, env, tainted, out);
+            if let Some(e) = else_branch {
+                walk_abs_arms(design, df, e, env, tainted, out);
+            }
+        }
+        Stmt::Case {
+            kind,
+            expr,
+            arms,
+            default,
+        } => {
+            let selector_ok = eval_const(expr).is_none() && !reads_tainted(expr, tainted);
+            let sel = selector_ok.then(|| eval_abs(expr, env));
+            // An FSM-style selector: a bare identifier registered by an
+            // edge process; exclusion then means the state never occurs.
+            let fsm_state = match expr {
+                Expr::Ident(n) => design.signal(n).filter(|id| {
+                    df.drivers[id.0 as usize]
+                        .iter()
+                        .any(|d| d.kind == DriverKind::Seq)
+                }),
+                _ => None,
+            };
+            let mut seen: HashSet<u64> = HashSet::new();
+            for (labels, body) in arms {
+                for label in labels {
+                    let Some(lv) = eval_const(label) else {
+                        continue;
+                    };
+                    let sel_w = design
+                        .signal(match expr {
+                            Expr::Ident(n) => n.as_str(),
+                            _ => "",
+                        })
+                        .map(|id| design.info(id).width)
+                        .unwrap_or(64);
+                    if let Some(v) = lv.to_u64() {
+                        // Duplicate and out-of-range labels belong to the
+                        // structural SA-DEADARM pass.
+                        if !seen.insert(v) {
+                            continue;
+                        }
+                        if sel_w < 64 && v >= (1u64 << sel_w) {
+                            continue;
+                        }
+                    }
+                    let Some(sel) = &sel else {
+                        continue;
+                    };
+                    if match_const_label(sel, &lv, *kind) != LabelMatch::No {
+                        continue;
+                    }
+                    let span = first_span(body).unwrap_or_default();
+                    let trace = vec![format!(
+                        "selector value lies in [{}, {}] with known bits 0x{:x}, excluding this label",
+                        sel.lo, sel.hi, sel.kb_mask
+                    )];
+                    match (&fsm_state, lv.to_u64()) {
+                        (Some(id), Some(v)) => {
+                            let state = &design.info(*id).name;
+                            out.push(value_finding(
+                                StaticRule::FsmUnreachable,
+                                format!(
+                                    "FSM state `{v}` of `{state}` is unreachable from reset/init"
+                                ),
+                                span,
+                                Some(state.clone()),
+                                Evidence::trace_only(trace),
+                            ));
+                        }
+                        _ => {
+                            let shown = lv
+                                .to_u64()
+                                .map(|v| v.to_string())
+                                .unwrap_or_else(|| lv.to_string());
+                            out.push(value_finding(
+                                StaticRule::DeadArm,
+                                format!(
+                                    "case label `{shown}` can never match; the selector's \
+                                     value set excludes it"
+                                ),
+                                span,
+                                None,
+                                Evidence::trace_only(trace),
+                            ));
+                        }
+                    }
+                }
+                walk_abs_arms(design, df, body, env, tainted, out);
+            }
+            if let Some(d) = default {
+                walk_abs_arms(design, df, d, env, tainted, out);
+            }
+        }
+        Stmt::For { body, .. } => walk_abs_arms(design, df, body, env, tainted, out),
+        Stmt::Blocking { .. } | Stmt::NonBlocking { .. } | Stmt::Empty => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SA-XPROP
+// ---------------------------------------------------------------------------
+
+fn check_xprop(design: &Design, df: &Dataflow, abs: &AbsResult, out: &mut Vec<StaticFinding>) {
+    // Nets whose x-ness is already reported at the source.
+    let sourced: HashSet<String> = out
+        .iter()
+        .filter(|f| matches!(f.rule, StaticRule::XSource | StaticRule::Undriven))
+        .filter_map(|f| f.signal.clone())
+        .collect();
+    for &oid in &design.outputs {
+        let idx = oid.0 as usize;
+        let info = design.info(oid);
+        if sourced.contains(info.name.as_str()) {
+            continue;
+        }
+        let seq_driver = df.drivers[idx].iter().find(|d| d.kind == DriverKind::Seq);
+        let Some(driver) = seq_driver else {
+            continue; // rule covers *registered* outputs
+        };
+        if abs.steady[idx].xmask == 0 {
+            continue;
+        }
+        let witness = abs.clock_of[driver.process].and_then(|clk| {
+            let cinfo = design.info(clk);
+            (cinfo.kind == SignalKind::Input).then(|| Witness {
+                steps: settled_stimulus(design, abs, 2),
+                observe: info.name.clone(),
+                expect: Expect::IsX,
+            })
+        });
+        out.push(value_finding(
+            StaticRule::XProp,
+            format!(
+                "`x` can reach registered output `{}` even in steady state",
+                info.name
+            ),
+            driver.span,
+            Some(info.name.clone()),
+            Evidence {
+                trace: x_trace(design, df, abs, oid),
+                witness,
+            },
+        ));
+    }
+}
+
+/// Backward walk from an x-capable signal through its drivers, listing
+/// the x-capable signals feeding it (bounded depth/length).
+fn x_trace(design: &Design, df: &Dataflow, abs: &AbsResult, start: SignalId) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut seen = HashSet::new();
+    let mut queue = vec![start];
+    seen.insert(start.0);
+    while let Some(sig) = queue.pop() {
+        if lines.len() >= 6 {
+            break;
+        }
+        let info = design.info(sig);
+        let v = &abs.steady[sig.0 as usize];
+        lines.push(format!(
+            "`{}` may hold `x` (bit mask 0x{:x})",
+            info.name, v.xmask
+        ));
+        for d in &df.drivers[sig.0 as usize] {
+            let p = &design.processes[d.process];
+            let mut pairs = Vec::new();
+            collect_assignments(&p.body, &mut pairs);
+            for (lhs, rhs, _) in pairs {
+                if !lhs.target_names().contains(&info.name.as_str()) {
+                    continue;
+                }
+                let mut reads = Vec::new();
+                rhs.collect_reads(&mut reads);
+                for r in reads {
+                    if let Some(rid) = design.signal(&r) {
+                        if abs.steady[rid.0 as usize].xmask != 0 && seen.insert(rid.0) {
+                            queue.push(rid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    lines
+}
+
+// ---------------------------------------------------------------------------
+// SA-SIGNRANGE
+// ---------------------------------------------------------------------------
+
+fn check_signrange(design: &Design, abs: &AbsResult, out: &mut Vec<StaticFinding>) {
+    let env = SteadyEnv {
+        design,
+        state: &abs.steady,
+    };
+    for p in &design.processes {
+        let tainted = blocking_written(p);
+        let mut pairs = Vec::new();
+        collect_assignments(&p.body, &mut pairs);
+        let unconditional_comb = matches!(p.trigger, Trigger::Comb(_))
+            && matches!(
+                unwrap_single(&p.body),
+                Stmt::Blocking { .. } | Stmt::NonBlocking { .. }
+            );
+        for (lhs, rhs, span) in pairs {
+            if reads_tainted(rhs, &tainted) {
+                continue;
+            }
+            check_truncating_assign(design, abs, &env, lhs, rhs, span, unconditional_comb, out);
+            check_width_decided_compares(
+                design,
+                abs,
+                &env,
+                lhs,
+                rhs,
+                span,
+                unconditional_comb,
+                out,
+            );
+        }
+    }
+}
+
+/// A truncating assignment where the discarded high bits are provably
+/// non-zero (known-1 bits at or above the target width, or an interval
+/// floor above the target's maximum).
+#[allow(clippy::too_many_arguments)]
+fn check_truncating_assign(
+    design: &Design,
+    abs: &AbsResult,
+    env: &SteadyEnv,
+    lhs: &LValue,
+    rhs: &Expr,
+    span: Span,
+    unconditional_comb: bool,
+    out: &mut Vec<StaticFinding>,
+) {
+    let Some(lw) = lvalue_width(lhs, design) else {
+        return;
+    };
+    if lw >= 64 {
+        return;
+    }
+    let v = eval_abs(rhs, env);
+    if v.width <= lw || v.may_x() || v.is_bottom() {
+        return;
+    }
+    let lmask = super::domain::width_mask(lw);
+    let high_ones = v.kb_val & v.kb_mask & !lmask;
+    let floor_high = v.lo > lmask && v.lo <= v.hi;
+    if high_ones == 0 && !floor_high {
+        return;
+    }
+    let target = lhs
+        .target_names()
+        .first()
+        .map_or_else(String::new, |s| (*s).to_string());
+    let trace = if high_ones != 0 {
+        vec![format!(
+            "RHS bit mask 0x{high_ones:x} is always 1 but lies above bit {}",
+            lw - 1
+        )]
+    } else {
+        vec![format!(
+            "RHS value is always in [{}, {}], above the {lw}-bit maximum {lmask}",
+            v.lo, v.hi
+        )]
+    };
+    let witness = match (v.as_const(), lhs, unconditional_comb) {
+        (Some(c), LValue::Ident(name), true) => Some(Witness {
+            steps: settled_stimulus(design, abs, 1),
+            observe: name.clone(),
+            expect: Expect::Equals(c & lmask),
+        }),
+        _ => None,
+    };
+    out.push(value_finding(
+        StaticRule::SignRange,
+        format!(
+            "assignment provably loses value: the RHS always exceeds `{target}`'s {lw}-bit range"
+        ),
+        span,
+        Some(target),
+        Evidence { trace, witness },
+    ));
+}
+
+/// Comparisons decided purely by operand width: an x-free `w`-bit signal
+/// compared against a constant that no `w`-bit value can reach.
+#[allow(clippy::too_many_arguments)]
+fn check_width_decided_compares(
+    design: &Design,
+    abs: &AbsResult,
+    env: &SteadyEnv,
+    lhs: &LValue,
+    rhs: &Expr,
+    span: Span,
+    unconditional_comb: bool,
+    out: &mut Vec<StaticFinding>,
+) {
+    let mut stack = vec![(rhs, true)];
+    while let Some((e, is_root)) = stack.pop() {
+        if let Expr::Binary(op, a, b) = e {
+            let decided = width_decided(design, env, *op, a, b);
+            if let Some((name, w, cval, result)) = decided {
+                let witness = match (lhs, is_root, unconditional_comb) {
+                    (LValue::Ident(target), true, true) => Some(Witness {
+                        steps: settled_stimulus(design, abs, 1),
+                        observe: target.clone(),
+                        expect: Expect::Equals(u64::from(result)),
+                    }),
+                    _ => None,
+                };
+                out.push(value_finding(
+                    StaticRule::SignRange,
+                    format!(
+                        "comparison is decided by width: `{name}` holds {w} bits but is \
+                         compared with `{cval}`; the result is always `{}`",
+                        u64::from(result)
+                    ),
+                    span,
+                    Some(name),
+                    Evidence {
+                        trace: vec![format!(
+                            "no {w}-bit value reaches `{cval}` (maximum {})",
+                            super::domain::width_mask(w)
+                        )],
+                        witness,
+                    },
+                ));
+            }
+        }
+        match e {
+            Expr::Unary(_, a) => stack.push((a, false)),
+            Expr::Binary(_, a, b) => {
+                stack.push((a, false));
+                stack.push((b, false));
+            }
+            Expr::Ternary(c, a, b) => {
+                stack.push((c, false));
+                stack.push((a, false));
+                stack.push((b, false));
+            }
+            Expr::Concat(parts) => parts.iter().for_each(|p| stack.push((p, false))),
+            Expr::Replicate(_, inner) => stack.push((inner, false)),
+            Expr::Index(_, i) => stack.push((i, false)),
+            Expr::Slice(..) | Expr::Literal(_) | Expr::Ident(_) => {}
+        }
+    }
+}
+
+/// `Some((signal, width, constant, result))` when `a op b` is decided
+/// because one side is a narrow x-free identifier and the other a
+/// constant beyond its range.
+fn width_decided(
+    design: &Design,
+    env: &SteadyEnv,
+    op: BinaryOp,
+    a: &Expr,
+    b: &Expr,
+) -> Option<(String, usize, u64, bool)> {
+    let (name, cval, ident_on_left) = match (a, b) {
+        (Expr::Ident(n), other) => (n, eval_const(other)?.to_u64()?, true),
+        (other, Expr::Ident(n)) => (n, eval_const(other)?.to_u64()?, false),
+        _ => return None,
+    };
+    let id = design.signal(name)?;
+    let w = design.info(id).width;
+    if w >= 64 || cval <= super::domain::width_mask(w) {
+        return None;
+    }
+    // An x-bearing operand would make the comparison `x`, not 0/1.
+    if env.abs_of(name)?.may_x() {
+        return None;
+    }
+    // `sig op big`: sig < big always, sig == big never.
+    let result = match op {
+        BinaryOp::Eq => false,
+        BinaryOp::Neq => true,
+        BinaryOp::Lt => ident_on_left,
+        BinaryOp::Le => ident_on_left,
+        BinaryOp::Gt => !ident_on_left,
+        BinaryOp::Ge => !ident_on_left,
+        _ => return None,
+    };
+    Some((name.clone(), w, cval, result))
+}
+
+// ---------------------------------------------------------------------------
+// SA-CDC
+// ---------------------------------------------------------------------------
+
+fn check_cdc(design: &Design, df: &Dataflow, abs: &AbsResult, out: &mut Vec<StaticFinding>) {
+    let distinct: HashSet<u32> = abs.clock_of.iter().flatten().map(|c| c.0).collect();
+    if distinct.len() < 2 {
+        return;
+    }
+    // Launch domain of each signal: the clock of its sequential driver
+    // (ambiguous multi-clock drivers are SA-MULTIDRIVE's problem).
+    let mut domain_of: Vec<Option<SignalId>> = vec![None; design.signals.len()];
+    for (idx, drivers) in df.drivers.iter().enumerate() {
+        let mut clocks = drivers
+            .iter()
+            .filter(|d| d.kind == DriverKind::Seq)
+            .filter_map(|d| abs.clock_of[d.process]);
+        if let Some(first) = clocks.next() {
+            if clocks.all(|c| c == first) {
+                domain_of[idx] = Some(first);
+            }
+        }
+    }
+    for (pi, p) in design.processes.iter().enumerate() {
+        if !matches!(p.trigger, Trigger::Edge(_)) {
+            continue;
+        }
+        let Some(capture_clk) = abs.clock_of[pi] else {
+            continue;
+        };
+        for &s in &df.external_reads[pi] {
+            let Some(launch_clk) = domain_of[s.0 as usize] else {
+                continue;
+            };
+            if launch_clk == capture_clk {
+                continue;
+            }
+            let name = &design.info(s).name;
+            if is_synchronizer_read(p, name) {
+                continue;
+            }
+            let span = read_site_span(p, name).unwrap_or_default();
+            out.push(StaticFinding {
+                rule: StaticRule::Cdc,
+                severity: StaticRule::Cdc.severity(),
+                message: format!(
+                    "`{name}` is registered on clock `{}` but sampled on clock `{}` \
+                     without a synchronizer stage",
+                    design.info(launch_clk).name,
+                    design.info(capture_clk).name
+                ),
+                span,
+                signal: Some(name.clone()),
+                confirmation: Confirmation::Structural,
+                evidence: Some(Evidence::trace_only(vec![format!(
+                    "the design has {} clock domains; this crossing feeds logic, not a \
+                     plain `<=` capture flop",
+                    distinct.len()
+                )])),
+            });
+        }
+    }
+}
+
+/// A synchronizer-style consumer: every assignment in `p` that reads
+/// `name` has the bare identifier as its whole RHS (a first capture
+/// flop), so the crossing is pointed, not spread through logic.
+fn is_synchronizer_read(p: &Process, name: &str) -> bool {
+    let mut pairs = Vec::new();
+    collect_assignments(&p.body, &mut pairs);
+    pairs.iter().all(|(_, rhs, _)| {
+        let mut reads = Vec::new();
+        rhs.collect_reads(&mut reads);
+        !reads.iter().any(|r| r == name) || matches!(rhs, Expr::Ident(n) if n == name)
+    })
+}
+
+/// Span of the first assignment in `p` whose RHS reads `name`.
+fn read_site_span(p: &Process, name: &str) -> Option<Span> {
+    let mut pairs = Vec::new();
+    collect_assignments(&p.body, &mut pairs);
+    pairs.iter().find_map(|(_, rhs, span)| {
+        let mut reads = Vec::new();
+        rhs.collect_reads(&mut reads);
+        (reads.iter().any(|r| r == name) && *span != Span::default()).then_some(*span)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// SA-RESET
+// ---------------------------------------------------------------------------
+
+fn check_reset_coverage(
+    design: &Design,
+    df: &Dataflow,
+    abs: &AbsResult,
+    out: &mut Vec<StaticFinding>,
+) {
+    for r in &abs.resets {
+        let p = &design.processes[r.process];
+        let covered: HashSet<u32> = r.covered.iter().map(|(s, _)| s.0).collect();
+        let mut reported = HashSet::new();
+        for &sig in &p.writes {
+            if covered.contains(&sig.0) || !reported.insert(sig.0) {
+                continue;
+            }
+            let info = design.info(sig);
+            if !info.is_reg || info.init.is_some() {
+                continue;
+            }
+            let span = df.drivers[sig.0 as usize]
+                .iter()
+                .find(|d| d.process == r.process)
+                .map(|d| d.span)
+                .unwrap_or_default();
+            // Observe the register before any clock activity, with the
+            // reset held *inactive*: it must still be x.
+            let mut steps = Vec::new();
+            for &id in &design.inputs {
+                let value = if id == r.signal {
+                    u64::from(!r.active_high)
+                } else {
+                    0
+                };
+                steps.push(WitnessStep::Poke {
+                    signal: design.info(id).name.clone(),
+                    value,
+                });
+            }
+            out.push(value_finding(
+                StaticRule::Reset,
+                format!(
+                    "register `{}` is written by a process with a reset branch but not \
+                     assigned on reset; it powers up as `x`",
+                    info.name
+                ),
+                span,
+                Some(info.name.clone()),
+                Evidence {
+                    trace: vec![format!(
+                        "reset branch on `{}` covers {} register(s) but not `{}`",
+                        design.info(r.signal).name,
+                        r.covered.len(),
+                        info.name
+                    )],
+                    witness: Some(Witness {
+                        steps,
+                        observe: info.name.clone(),
+                        expect: Expect::IsX,
+                    }),
+                },
+            ));
+        }
+    }
+}

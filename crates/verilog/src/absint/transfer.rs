@@ -1,0 +1,710 @@
+//! Abstract transfer functions for the expression language.
+//!
+//! [`eval_abs`] mirrors [`crate::eval::eval_expr`] bit-width rule for
+//! bit-width rule (arithmetic/bitwise produce `max(w)`, comparisons and
+//! logical operators one bit, shifts keep the left width) but computes over
+//! [`AbsVal`] instead of `LogicVec`. Every case is a sound
+//! over-approximation of the concrete four-state semantics:
+//!
+//! * arithmetic is **x-poisoning** — any may-x operand poisons the whole
+//!   result, matching `LogicVec::add` and friends;
+//! * bitwise ops keep the classic dominance precision: a known-0 bit
+//!   forces `0 & x = 0`, a known-1 bit forces `1 | x = 1`;
+//! * `===`/`!==` never produce x; `==`/`<`/… go may-x as soon as either
+//!   side may carry x;
+//! * ternary with a may-x condition merges the arms bitwise (agreeing
+//!   known bits survive, the rest may be x), like `merge_unknown`.
+
+use super::domain::{width_mask, AbsTruth, AbsVal};
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+
+/// Supplies abstract signal values to [`eval_abs`]; implemented by the
+/// fixpoint engine's state.
+pub trait AbsEnv {
+    /// Current abstract value of `name`, or `None` if unknown.
+    fn abs_of(&self, name: &str) -> Option<AbsVal>;
+    /// Declared least-significant index of `name` (`[7:4] → 4`).
+    fn lsb_of(&self, name: &str) -> usize;
+}
+
+/// A `width`-bit value that may be x in every bit.
+fn x_top(width: usize) -> AbsVal {
+    AbsVal::top(width)
+}
+
+/// Abstracts a 1-bit truth value back into the domain.
+fn from_truth(t: AbsTruth) -> AbsVal {
+    match t {
+        AbsTruth::Bottom => AbsVal::bottom(1),
+        AbsTruth::True => AbsVal::constant(1, 1),
+        AbsTruth::False => AbsVal::constant(0, 1),
+        AbsTruth::Unknown => AbsVal::any_known(1),
+        AbsTruth::MaybeX => x_top(1),
+    }
+}
+
+/// Evaluates an expression to an abstract value under `env`.
+pub fn eval_abs(e: &Expr, env: &dyn AbsEnv) -> AbsVal {
+    match e {
+        Expr::Literal(v) => AbsVal::from_logicvec(v),
+        Expr::Ident(n) => env.abs_of(n).unwrap_or_else(|| x_top(1)),
+        Expr::Unary(op, a) => eval_abs_unary(*op, &eval_abs(a, env)),
+        Expr::Binary(op, a, b) => eval_abs_binary(*op, &eval_abs(a, env), &eval_abs(b, env)),
+        Expr::Ternary(c, t, f) => {
+            let cond = eval_abs(c, env);
+            let tv = eval_abs(t, env);
+            let fv = eval_abs(f, env);
+            eval_abs_ternary(&cond, &tv, &fv)
+        }
+        Expr::Concat(parts) => {
+            let vals: Vec<AbsVal> = parts.iter().map(|p| eval_abs(p, env)).collect();
+            abs_concat(&vals)
+        }
+        Expr::Replicate(n, inner) => {
+            let count = eval_abs(n, env).as_const();
+            let v = eval_abs(inner, env);
+            match count {
+                Some(c) if (1..=64).contains(&c) => {
+                    let vals: Vec<AbsVal> = (0..c).map(|_| v).collect();
+                    abs_concat(&vals)
+                }
+                _ => x_top(v.width),
+            }
+        }
+        Expr::Index(name, i) => {
+            let base = env.abs_of(name).unwrap_or_else(|| x_top(1));
+            let lsb = env.lsb_of(name);
+            match eval_abs(i, env).as_const() {
+                Some(ix) => {
+                    let ix = ix as usize;
+                    if ix < lsb || ix - lsb >= base.width {
+                        return x_top(1);
+                    }
+                    base.extract(ix - lsb, ix - lsb)
+                }
+                None => {
+                    // Unknown bit index: join of every bit of the base.
+                    let mut out = AbsVal::bottom(1);
+                    for b in 0..base.width {
+                        out = out.join(&base.extract(b, b));
+                    }
+                    out
+                }
+            }
+        }
+        Expr::Slice(name, a, b) => {
+            let base = env.abs_of(name).unwrap_or_else(|| x_top(1));
+            let lsb_off = env.lsb_of(name);
+            match (eval_abs(a, env).as_const(), eval_abs(b, env).as_const()) {
+                (Some(hi), Some(lo)) if hi >= lo => {
+                    let hi = hi as usize;
+                    let lo = lo as usize;
+                    if lo < lsb_off {
+                        return x_top(hi - lo + 1);
+                    }
+                    base.extract(hi - lsb_off, lo - lsb_off)
+                }
+                (Some(hi), Some(lo)) => x_top((lo - hi) as usize + 1),
+                _ => x_top(1),
+            }
+        }
+    }
+}
+
+/// Concatenation, first part most significant (matches `eval_expr`).
+/// Results wider than 64 bits degrade to the low-64-bit approximation.
+fn abs_concat(parts: &[AbsVal]) -> AbsVal {
+    let total: usize = parts.iter().map(|p| p.width).sum();
+    if total > 64 {
+        let any_x = parts.iter().any(|p| p.may_x());
+        return if any_x {
+            x_top(64)
+        } else {
+            AbsVal::any_known(64)
+        };
+    }
+    let width = total.max(1);
+    let mut kb_mask = 0u64;
+    let mut kb_val = 0u64;
+    let mut xmask = 0u64;
+    let mut shift = width; // consume from the most significant end
+    let mut all_const = true;
+    let mut cval = 0u64;
+    for p in parts {
+        shift -= p.width;
+        kb_mask |= p.kb_mask << shift;
+        kb_val |= p.kb_val << shift;
+        xmask |= p.xmask << shift;
+        match p.as_const() {
+            Some(v) => cval |= v << shift,
+            None => all_const = false,
+        }
+    }
+    let m = width_mask(width);
+    let mut out = AbsVal {
+        width,
+        lo: if all_const { cval } else { 0 },
+        hi: if all_const { cval } else { m },
+        kb_mask,
+        kb_val,
+        xmask,
+    };
+    out.normalize();
+    out
+}
+
+/// Ternary with the three possible condition shapes: a decided condition
+/// selects an arm, an unknown-but-known condition joins them, a may-x
+/// condition merges bitwise (only bits known equal in both arms survive).
+pub fn eval_abs_ternary(cond: &AbsVal, t: &AbsVal, f: &AbsVal) -> AbsVal {
+    match cond.truth() {
+        AbsTruth::Bottom => AbsVal::bottom(t.width.max(f.width)),
+        AbsTruth::True => *t,
+        AbsTruth::False => *f,
+        AbsTruth::Unknown => t.join(f),
+        AbsTruth::MaybeX => {
+            let width = t.width.max(f.width);
+            let a = t.with_width(width);
+            let b = f.with_width(width);
+            let m = width_mask(width);
+            let agree = a.kb_mask & b.kb_mask & !(a.kb_val ^ b.kb_val);
+            let mut out = AbsVal {
+                width,
+                lo: 0,
+                hi: m,
+                kb_mask: agree,
+                kb_val: a.kb_val & agree,
+                xmask: (m & !agree) | a.xmask | b.xmask,
+            };
+            out.normalize();
+            out
+        }
+    }
+}
+
+fn eval_abs_unary(op: UnaryOp, a: &AbsVal) -> AbsVal {
+    if a.is_bottom() {
+        return AbsVal::bottom(match op {
+            UnaryOp::BitNot | UnaryOp::Negate | UnaryOp::Plus => a.width,
+            _ => 1,
+        });
+    }
+    let m = width_mask(a.width);
+    match op {
+        UnaryOp::LogicNot => match a.truth() {
+            AbsTruth::True => AbsVal::constant(0, 1),
+            AbsTruth::False => AbsVal::constant(1, 1),
+            AbsTruth::MaybeX => x_top(1),
+            _ => AbsVal::any_known(1),
+        },
+        UnaryOp::BitNot => {
+            let mut out = AbsVal {
+                width: a.width,
+                lo: if a.xmask == 0 { m - a.hi } else { 0 },
+                hi: if a.xmask == 0 { m - a.lo } else { m },
+                kb_mask: a.kb_mask,
+                kb_val: !a.kb_val & a.kb_mask,
+                xmask: a.xmask,
+            };
+            out.normalize();
+            out
+        }
+        UnaryOp::ReduceAnd => {
+            if a.kb_mask & !a.kb_val != 0 {
+                AbsVal::constant(0, 1) // a known-0 bit dominates any x
+            } else if a.as_const() == Some(m) {
+                AbsVal::constant(1, 1)
+            } else if a.may_x() {
+                x_top(1)
+            } else {
+                AbsVal::any_known(1)
+            }
+        }
+        UnaryOp::ReduceOr => {
+            if a.kb_val != 0 {
+                AbsVal::constant(1, 1) // a known-1 bit dominates any x
+            } else if a.as_const() == Some(0) {
+                AbsVal::constant(0, 1)
+            } else if a.may_x() {
+                x_top(1)
+            } else {
+                AbsVal::any_known(1)
+            }
+        }
+        UnaryOp::ReduceXor => match a.as_const() {
+            Some(v) => AbsVal::constant(u64::from(v.count_ones() % 2 == 1), 1),
+            None if a.may_x() => x_top(1),
+            None => AbsVal::any_known(1),
+        },
+        UnaryOp::ReduceNand => {
+            eval_abs_unary(UnaryOp::LogicNot, &eval_abs_unary(UnaryOp::ReduceAnd, a))
+        }
+        UnaryOp::ReduceNor => {
+            eval_abs_unary(UnaryOp::LogicNot, &eval_abs_unary(UnaryOp::ReduceOr, a))
+        }
+        UnaryOp::ReduceXnor => {
+            eval_abs_unary(UnaryOp::LogicNot, &eval_abs_unary(UnaryOp::ReduceXor, a))
+        }
+        UnaryOp::Negate => {
+            if a.may_x() {
+                x_top(a.width)
+            } else if let Some(v) = a.as_const() {
+                AbsVal::constant(v.wrapping_neg(), a.width)
+            } else {
+                AbsVal::any_known(a.width)
+            }
+        }
+        UnaryOp::Plus => *a,
+    }
+}
+
+fn eval_abs_binary(op: BinaryOp, a: &AbsVal, b: &AbsVal) -> AbsVal {
+    if a.is_bottom() || b.is_bottom() {
+        return AbsVal::bottom(match op {
+            BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShr => a.width,
+            BinaryOp::LogicOr
+            | BinaryOp::LogicAnd
+            | BinaryOp::Eq
+            | BinaryOp::Neq
+            | BinaryOp::CaseEq
+            | BinaryOp::CaseNeq
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge => 1,
+            _ => a.width.max(b.width),
+        });
+    }
+    let w = a.width.max(b.width);
+    let m = width_mask(w);
+    match op {
+        BinaryOp::LogicOr => from_truth(truth_or(a.truth(), b.truth())),
+        BinaryOp::LogicAnd => from_truth(truth_and(a.truth(), b.truth())),
+        BinaryOp::BitAnd => {
+            let a = a.with_width(w);
+            let b = b.with_width(w);
+            let known0 = (a.kb_mask & !a.kb_val) | (b.kb_mask & !b.kb_val);
+            let known1 = (a.kb_mask & a.kb_val) & (b.kb_mask & b.kb_val);
+            let xm = (a.xmask | b.xmask) & !known0;
+            let x_free = xm == 0;
+            let mut out = AbsVal {
+                width: w,
+                lo: 0,
+                hi: if x_free { a.hi.min(b.hi) } else { m },
+                kb_mask: known0 | known1,
+                kb_val: known1,
+                xmask: xm,
+            };
+            out.normalize();
+            out
+        }
+        BinaryOp::BitOr => {
+            let a = a.with_width(w);
+            let b = b.with_width(w);
+            let known1 = (a.kb_mask & a.kb_val) | (b.kb_mask & b.kb_val);
+            let known0 = (a.kb_mask & !a.kb_val) & (b.kb_mask & !b.kb_val);
+            let xm = (a.xmask | b.xmask) & !known1;
+            let x_free = xm == 0;
+            let mut out = AbsVal {
+                width: w,
+                lo: if x_free { a.lo.max(b.lo) } else { 0 },
+                hi: m,
+                kb_mask: known0 | known1,
+                kb_val: known1,
+                xmask: xm,
+            };
+            out.normalize();
+            out
+        }
+        BinaryOp::BitXor | BinaryOp::BitXnor => {
+            let a = a.with_width(w);
+            let b = b.with_width(w);
+            let xm = a.xmask | b.xmask;
+            let both = a.kb_mask & b.kb_mask & !xm;
+            let mut val = (a.kb_val ^ b.kb_val) & both;
+            if op == BinaryOp::BitXnor {
+                val = !val & both;
+            }
+            let mut out = AbsVal {
+                width: w,
+                lo: 0,
+                hi: m,
+                kb_mask: both,
+                kb_val: val,
+                xmask: xm,
+            };
+            out.normalize();
+            out
+        }
+        BinaryOp::Eq | BinaryOp::Neq => {
+            // Logical equality is x as soon as either side may be x.
+            if a.may_x() || b.may_x() {
+                return x_top(1);
+            }
+            let decided = decide_eq(a, b);
+            let flip = op == BinaryOp::Neq;
+            match decided {
+                Some(v) => AbsVal::constant(u64::from(v != flip), 1),
+                None => AbsVal::any_known(1),
+            }
+        }
+        BinaryOp::CaseEq | BinaryOp::CaseNeq => {
+            // Case equality never yields x, even over x operands.
+            let decided = if a.may_x() || b.may_x() {
+                None
+            } else {
+                decide_eq(a, b)
+            };
+            let flip = op == BinaryOp::CaseNeq;
+            match decided {
+                Some(v) => AbsVal::constant(u64::from(v != flip), 1),
+                None => AbsVal::any_known(1),
+            }
+        }
+        BinaryOp::Lt => cmp_interval(a, b, |a, b| (a.hi < b.lo, a.lo >= b.hi)),
+        BinaryOp::Le => cmp_interval(a, b, |a, b| (a.hi <= b.lo, a.lo > b.hi)),
+        BinaryOp::Gt => cmp_interval(b, a, |a, b| (a.hi < b.lo, a.lo >= b.hi)),
+        BinaryOp::Ge => cmp_interval(b, a, |a, b| (a.hi <= b.lo, a.lo > b.hi)),
+        BinaryOp::Shl => shift(a, b, true),
+        BinaryOp::Shr => shift(a, b, false),
+        BinaryOp::AShr => {
+            // Precise only for a known sign bit; otherwise value-unknown
+            // but x-free iff the operand is.
+            let msb = 1u64 << (a.width - 1);
+            if a.kb_mask & msb != 0 && a.kb_val & msb == 0 {
+                shift(a, b, false)
+            } else if a.may_x() || b.may_x() {
+                x_top(a.width)
+            } else {
+                AbsVal::any_known(a.width)
+            }
+        }
+        BinaryOp::Add => arith(a, b, w, |a, b| {
+            let lo = a.lo.checked_add(b.lo)?;
+            let hi = a.hi.checked_add(b.hi)?;
+            if hi > m {
+                None
+            } else {
+                Some((lo, hi))
+            }
+        }),
+        BinaryOp::Sub => arith(a, b, w, |a, b| {
+            if a.lo >= b.hi {
+                Some((a.lo - b.hi, a.hi - b.lo))
+            } else {
+                None
+            }
+        }),
+        BinaryOp::Mul => arith(a, b, w, |a, b| {
+            let lo = a.lo.checked_mul(b.lo)?;
+            let hi = a.hi.checked_mul(b.hi)?;
+            if hi > m {
+                None
+            } else {
+                Some((lo, hi))
+            }
+        }),
+        BinaryOp::Div => {
+            if a.may_x() || b.may_x() {
+                x_top(w)
+            } else {
+                // checked_div is None iff the divisor may be zero, in
+                // which case the result may be x.
+                match (a.lo.checked_div(b.hi), a.hi.checked_div(b.lo)) {
+                    (Some(lo), Some(hi)) => {
+                        let mut out = AbsVal::any_known(w);
+                        out.lo = lo;
+                        out.hi = hi;
+                        out.normalize();
+                        out
+                    }
+                    _ => x_top(w),
+                }
+            }
+        }
+        BinaryOp::Rem => {
+            if a.may_x() || b.may_x() || b.lo == 0 {
+                x_top(w)
+            } else {
+                let mut out = AbsVal::any_known(w);
+                out.lo = 0;
+                out.hi = a.hi.min(b.hi - 1);
+                out.normalize();
+                out
+            }
+        }
+        BinaryOp::Pow => {
+            if a.may_x() || b.may_x() {
+                x_top(w)
+            } else if let (Some(base), Some(exp)) = (a.as_const(), b.as_const()) {
+                let mut acc: u64 = 1;
+                for _ in 0..exp.min(64) {
+                    acc = acc.wrapping_mul(base);
+                }
+                AbsVal::constant(acc, w)
+            } else {
+                AbsVal::any_known(w)
+            }
+        }
+    }
+}
+
+/// `Some(true/false)` when equality of all concrete values is decided by
+/// the known bits / intervals; `None` when both outcomes are possible.
+pub(crate) fn decide_eq(a: &AbsVal, b: &AbsVal) -> Option<bool> {
+    let w = a.width.max(b.width);
+    let a = a.with_width(w);
+    let b = b.with_width(w);
+    if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+        return Some(x == y);
+    }
+    let both = a.kb_mask & b.kb_mask;
+    if (a.kb_val ^ b.kb_val) & both != 0 {
+        return Some(false); // a known bit differs in every concrete pair
+    }
+    if a.xmask == 0 && b.xmask == 0 && (a.hi < b.lo || b.hi < a.lo) {
+        return Some(false); // disjoint value ranges
+    }
+    None
+}
+
+/// Interval comparison: `decide(a, b)` returns `(always_true, always_false)`.
+fn cmp_interval(a: &AbsVal, b: &AbsVal, decide: fn(&AbsVal, &AbsVal) -> (bool, bool)) -> AbsVal {
+    if a.may_x() || b.may_x() {
+        return x_top(1);
+    }
+    let (t, f) = decide(a, b);
+    if t {
+        AbsVal::constant(1, 1)
+    } else if f {
+        AbsVal::constant(0, 1)
+    } else {
+        AbsVal::any_known(1)
+    }
+}
+
+/// Shift keeping the left operand's width; precise for constant amounts.
+fn shift(a: &AbsVal, b: &AbsVal, left: bool) -> AbsVal {
+    let w = a.width;
+    let m = width_mask(w);
+    match b.as_const() {
+        Some(c) if c >= 64 => AbsVal::constant(0, w),
+        Some(c) => {
+            let c = c as u32;
+            let (kb_mask, kb_val, xmask, vacated) = if left {
+                (a.kb_mask << c, a.kb_val << c, a.xmask << c, m & !(m << c))
+            } else {
+                (a.kb_mask >> c, a.kb_val >> c, a.xmask >> c, m & !(m >> c))
+            };
+            let mut out = AbsVal {
+                width: w,
+                lo: 0,
+                hi: m,
+                kb_mask: (kb_mask & m) | vacated,
+                kb_val: kb_val & m & !vacated,
+                xmask: xmask & m,
+            };
+            if out.xmask == 0 {
+                if left {
+                    if let Some(hi) = a.hi.checked_shl(c).filter(|h| *h <= m) {
+                        out.lo = a.lo << c;
+                        out.hi = hi;
+                    }
+                } else {
+                    out.lo = a.lo >> c;
+                    out.hi = a.hi >> c;
+                }
+            }
+            out.normalize();
+            out
+        }
+        None => {
+            if a.may_x() || b.may_x() {
+                x_top(w)
+            } else {
+                AbsVal::any_known(w)
+            }
+        }
+    }
+}
+
+/// Common shape for x-poisoning arithmetic: a may-x operand poisons the
+/// whole result; otherwise `bounds` yields the result interval or `None`
+/// when it may wrap (→ full known range).
+fn arith(
+    a: &AbsVal,
+    b: &AbsVal,
+    w: usize,
+    bounds: impl Fn(&AbsVal, &AbsVal) -> Option<(u64, u64)>,
+) -> AbsVal {
+    if a.may_x() || b.may_x() {
+        return x_top(w);
+    }
+    let a = a.with_width(w);
+    let b = b.with_width(w);
+    let mut out = AbsVal::any_known(w);
+    if let Some((lo, hi)) = bounds(&a, &b) {
+        out.lo = lo;
+        out.hi = hi;
+    }
+    out.normalize();
+    out
+}
+
+fn truth_and(a: AbsTruth, b: AbsTruth) -> AbsTruth {
+    use AbsTruth::*;
+    match (a, b) {
+        (Bottom, _) | (_, Bottom) => Bottom,
+        (False, _) | (_, False) => False, // 0 && x = 0
+        (True, True) => True,
+        (MaybeX, _) | (_, MaybeX) => MaybeX,
+        _ => Unknown,
+    }
+}
+
+fn truth_or(a: AbsTruth, b: AbsTruth) -> AbsTruth {
+    use AbsTruth::*;
+    match (a, b) {
+        (Bottom, _) | (_, Bottom) => Bottom,
+        (True, _) | (_, True) => True, // 1 || x = 1
+        (False, False) => False,
+        (MaybeX, _) | (_, MaybeX) => MaybeX,
+        _ => Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use std::collections::HashMap;
+
+    struct MapEnv(HashMap<String, AbsVal>);
+
+    impl AbsEnv for MapEnv {
+        fn abs_of(&self, name: &str) -> Option<AbsVal> {
+            self.0.get(name).copied()
+        }
+        fn lsb_of(&self, _name: &str) -> usize {
+            0
+        }
+    }
+
+    fn env(pairs: &[(&str, AbsVal)]) -> MapEnv {
+        MapEnv(pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect())
+    }
+
+    fn ev(src: &str, e: &MapEnv) -> AbsVal {
+        eval_abs(&parse_expr(src).unwrap(), e)
+    }
+
+    #[test]
+    fn constant_arithmetic_folds() {
+        let e = env(&[]);
+        assert_eq!(ev("3 + 4 * 2", &e).as_const(), Some(11));
+    }
+
+    #[test]
+    fn interval_addition_stays_bounded() {
+        let e = env(&[
+            ("a", AbsVal::constant(3, 8)),
+            ("b", {
+                let mut v = AbsVal::any_known(8);
+                v.lo = 0;
+                v.hi = 4;
+                v.normalize();
+                v
+            }),
+        ]);
+        let r = ev("a + b", &e);
+        assert_eq!((r.lo, r.hi), (3, 7));
+        assert!(!r.may_x());
+    }
+
+    #[test]
+    fn x_poisons_arithmetic() {
+        let e = env(&[("a", AbsVal::top(4)), ("b", AbsVal::constant(1, 4))]);
+        assert!(ev("a + b", &e).may_x());
+    }
+
+    #[test]
+    fn known_zero_dominates_and() {
+        let e = env(&[("a", AbsVal::top(4)), ("b", AbsVal::constant(0, 4))]);
+        let r = ev("a & b", &e);
+        assert_eq!(r.as_const(), Some(0), "0 & x must be 0");
+    }
+
+    #[test]
+    fn known_one_dominates_or() {
+        let e = env(&[("a", AbsVal::top(1)), ("b", AbsVal::constant(1, 1))]);
+        assert_eq!(ev("a | b", &e).as_const(), Some(1), "1 | x must be 1");
+    }
+
+    #[test]
+    fn disjoint_intervals_decide_comparison() {
+        let mut small = AbsVal::any_known(8);
+        small.hi = 3;
+        small.normalize();
+        let e = env(&[("a", small), ("b", AbsVal::constant(10, 8))]);
+        assert_eq!(ev("a < b", &e).as_const(), Some(1));
+        assert_eq!(ev("a == b", &e).as_const(), Some(0));
+        assert_eq!(ev("a >= b", &e).as_const(), Some(0));
+    }
+
+    #[test]
+    fn equality_goes_x_when_an_operand_may_x() {
+        let e = env(&[("a", AbsVal::top(4)), ("b", AbsVal::constant(3, 4))]);
+        assert!(ev("a == b", &e).may_x());
+        // but case equality never does
+        assert!(!ev("a === b", &e).may_x());
+    }
+
+    #[test]
+    fn ternary_maybe_x_merges_agreeing_bits() {
+        let e = env(&[
+            ("c", AbsVal::top(1)),
+            ("a", AbsVal::constant(0b1100, 4)),
+            ("b", AbsVal::constant(0b1010, 4)),
+        ]);
+        let r = ev("c ? a : b", &e);
+        // bit 3 agrees (1), bit 0 agrees (0); bits 1 and 2 differ → may x
+        assert_eq!(r.kb_mask & 0b1001, 0b1001);
+        assert_eq!(r.kb_val & 0b1001, 0b1000);
+        assert_eq!(r.xmask & 0b0110, 0b0110);
+    }
+
+    #[test]
+    fn concat_tracks_known_bits() {
+        let e = env(&[
+            ("a", AbsVal::constant(0b10, 2)),
+            ("b", AbsVal::constant(0b01, 2)),
+        ]);
+        assert_eq!(ev("{a, b}", &e).as_const(), Some(0b1001));
+    }
+
+    #[test]
+    fn shift_by_constant_is_precise() {
+        let e = env(&[("v", AbsVal::constant(0b0011, 4))]);
+        assert_eq!(ev("v << 1", &e).as_const(), Some(0b0110));
+        assert_eq!(ev("v >> 1", &e).as_const(), Some(0b0001));
+    }
+
+    #[test]
+    fn division_by_possibly_zero_may_x() {
+        let e = env(&[("a", AbsVal::constant(8, 4)), ("b", AbsVal::any_known(4))]);
+        assert!(ev("a / b", &e).may_x());
+        let e = env(&[("a", AbsVal::constant(8, 4)), ("b", AbsVal::constant(2, 4))]);
+        assert_eq!(ev("a / b", &e).as_const(), Some(4));
+    }
+
+    #[test]
+    fn reduce_or_of_value_with_known_one_is_one() {
+        let mut v = AbsVal::top(4);
+        v.kb_mask = 0b0001;
+        v.kb_val = 0b0001;
+        v.xmask = 0b1110;
+        v.normalize();
+        let e = env(&[("a", v)]);
+        assert_eq!(ev("|a", &e).as_const(), Some(1));
+    }
+}

@@ -1,0 +1,138 @@
+//! Structured evidence attached to analyzer findings.
+//!
+//! Value-dependent findings (those derived from the abstract fixpoint
+//! rather than pure structure) carry an [`Evidence`] block: a short
+//! abstract trace explaining the derivation and, when the abstract
+//! counterexample is concrete enough, a replayable [`Witness`] — a
+//! stimulus the engine drives through a `DutSession` on the compiled
+//! backend. If the replay observes the predicted value the finding is
+//! promoted from [`Confirmation::Unconfirmed`] to
+//! [`Confirmation::Confirmed`]; purely structural findings stay
+//! [`Confirmation::Structural`] and never replay.
+
+/// How a finding's claim has been validated.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+#[serde(rename_all = "snake_case")]
+pub enum Confirmation {
+    /// The finding follows from design structure alone; no value
+    /// reasoning was involved, so there is nothing to replay.
+    #[default]
+    Structural,
+    /// Value-dependent, but no witness replay has (yet) reproduced it —
+    /// either no concrete stimulus could be synthesized from the
+    /// abstract counterexample, or the replay did not observe the
+    /// predicted value.
+    Unconfirmed,
+    /// A witness replay on the compiled simulator observed exactly the
+    /// value the abstract analysis predicted.
+    Confirmed,
+}
+
+impl Confirmation {
+    /// Stable lowercase label used in JSON/SARIF output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Confirmation::Structural => "structural",
+            Confirmation::Unconfirmed => "unconfirmed",
+            Confirmation::Confirmed => "confirmed",
+        }
+    }
+}
+
+/// One step of a witness stimulus.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum WitnessStep {
+    /// Drive an input port to a two-state value.
+    Poke {
+        /// Input port name.
+        signal: String,
+        /// Value to drive (truncated to the port width).
+        value: u64,
+    },
+    /// Toggle a clock input low→high `cycles` times, settling after
+    /// each edge.
+    Tick {
+        /// Clock port name.
+        clock: String,
+        /// Number of rising edges to apply.
+        cycles: u32,
+    },
+}
+
+/// The value the replay must observe for the finding to be confirmed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Expect {
+    /// The observed signal must contain at least one `x`/`z` bit.
+    IsX,
+    /// The observed signal must equal this two-state value exactly.
+    Equals(u64),
+}
+
+/// A replayable stimulus derived from an abstract counterexample.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Witness {
+    /// Stimulus applied in order from power-on.
+    pub steps: Vec<WitnessStep>,
+    /// Signal peeked after the last step.
+    pub observe: String,
+    /// Predicted observation.
+    pub expect: Expect,
+}
+
+/// Evidence backing a value-dependent finding.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Evidence {
+    /// Human-readable abstract derivation, outermost fact first.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub trace: Vec<String>,
+    /// Replayable stimulus, when one could be synthesized.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub witness: Option<Witness>,
+}
+
+impl Evidence {
+    /// Evidence with a trace and no witness.
+    pub fn trace_only(trace: Vec<String>) -> Evidence {
+        Evidence {
+            trace,
+            witness: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confirmation_defaults_to_structural() {
+        assert_eq!(Confirmation::default(), Confirmation::Structural);
+        assert_eq!(Confirmation::Confirmed.label(), "confirmed");
+    }
+
+    #[test]
+    fn evidence_skips_empty_fields() {
+        let e = Evidence::trace_only(vec!["`q` may be x".into()]);
+        assert!(e.witness.is_none());
+        let w = Witness {
+            steps: vec![
+                WitnessStep::Poke {
+                    signal: "rst_n".into(),
+                    value: 0,
+                },
+                WitnessStep::Tick {
+                    clock: "clk".into(),
+                    cycles: 2,
+                },
+            ],
+            observe: "q".into(),
+            expect: Expect::IsX,
+        };
+        assert_eq!(w.steps.len(), 2);
+        assert_eq!(w.expect, Expect::IsX);
+    }
+}

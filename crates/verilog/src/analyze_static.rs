@@ -1,7 +1,8 @@
 //! Dataflow-based static analysis over elaborated designs.
 //!
-//! Runs six analyses the AST-level [`crate::lint`] cannot express, on top of
-//! the dependency graph built by [`crate::dataflow`]:
+//! Runs the analyses the AST-level [`crate::lint`] cannot express, on top of
+//! the dependency graph built by [`crate::dataflow`] and the abstract
+//! value/X fixpoint computed by [`crate::absint`]:
 //!
 //! | Code              | Severity | Detects                                           |
 //! |-------------------|----------|---------------------------------------------------|
@@ -10,21 +11,36 @@
 //! | `SA-XSOURCE`      | Error    | register read but never resolvably assigned       |
 //! | `SA-UNDRIVEN`     | Error    | signal read (or exported) but never driven        |
 //! | `SA-WIDTH`        | Warn     | RHS provably wider than its assignment target     |
-//! | `SA-CONSTCOND`    | Warn     | `if`/`?:`/`case` condition folds to a constant    |
-//! | `SA-DEADARM`      | Warn     | duplicate or out-of-range case label              |
+//! | `SA-CONSTCOND`    | Warn     | condition folds — literally or provably — constant|
+//! | `SA-DEADARM`      | Warn     | case label that can never match                   |
 //! | `SA-FSM-UNREACH`  | Warn     | FSM case arm whose state is unreachable           |
+//! | `SA-XPROP`        | Warn     | `x` reaches a registered output in steady state   |
+//! | `SA-SIGNRANGE`    | Warn     | truncation/compare provably loses value by width  |
+//! | `SA-CDC`          | Warn     | unsynchronized clock-domain crossing              |
+//! | `SA-RESET`        | Warn     | reg in a reset-having process not reset there     |
 //!
 //! `Error` findings are *gating*: on this simulator's semantics the design
 //! cannot co-simulate cleanly (oscillation, or observable `x`/conflicts), so
 //! the dataset funnel and the evaluation harness may reject the sample
 //! without running stimuli. `Warn` findings are diagnostic evidence only.
+//! Gating additionally requires the finding not to be
+//! [`Confirmation::Unconfirmed`] — an unconfirmed value-dependent claim
+//! never rejects a sample (see [`StaticFinding::is_gating`]).
 //!
-//! Each finding carries a stable rule code, a serializable span and a
+//! Each finding carries a stable rule code, a serializable span, a
 //! hallucination-taxonomy hint (paper Table II) consumed by
-//! `haven::diagnose`.
+//! `haven::diagnose`, and — for value-dependent rules — structured
+//! [`Evidence`] with an optional replayable witness the engine layer can
+//! confirm on the compiled simulator.
+//!
+//! Findings are deduplicated (same rule at the same span, and overlapping
+//! rules that restate each other at one site) and emitted in a stable
+//! order: severity (errors first), then span, then rule code, so JSON
+//! output is deterministic across runs.
 
 use std::collections::HashSet;
 
+use crate::absint::{self, Confirmation, Evidence};
 use crate::ast::{Expr, LValue, Stmt};
 use crate::dataflow::{Dataflow, DriverKind};
 use crate::elab::{compile, Design, SignalId, SignalKind, Trigger};
@@ -49,7 +65,12 @@ pub enum Severity {
 /// consumed by the serve cache, the eval memoizer and `haven-lint`, so a
 /// rule-set change automatically invalidates cached reports and cached
 /// responses instead of silently replaying stale verdicts.
-pub const ANALYZER_VERSION: u32 = 1;
+///
+/// Version 2: abstract-interpretation grounding (value-provable
+/// `SA-CONSTCOND`/`SA-DEADARM`/`SA-FSM-UNREACH`), the new
+/// `SA-XPROP`/`SA-SIGNRANGE`/`SA-CDC`/`SA-RESET` classes, confirmation
+/// states with witness evidence, and deterministic dedup/ordering.
+pub const ANALYZER_VERSION: u32 = 2;
 
 /// Stable identifiers for the dataflow rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -70,6 +91,14 @@ pub enum StaticRule {
     DeadArm,
     /// FSM state labelled in a case but unreachable from reset.
     FsmUnreachable,
+    /// `x` can reach a registered output even in steady state.
+    XProp,
+    /// Comparison or truncation provably loses value because of widths.
+    SignRange,
+    /// Signal crosses clock domains without a synchronizer stage.
+    Cdc,
+    /// Register written by a reset-having process but not reset there.
+    Reset,
 }
 
 impl StaticRule {
@@ -84,6 +113,10 @@ impl StaticRule {
             StaticRule::ConstCond => "SA-CONSTCOND",
             StaticRule::DeadArm => "SA-DEADARM",
             StaticRule::FsmUnreachable => "SA-FSM-UNREACH",
+            StaticRule::XProp => "SA-XPROP",
+            StaticRule::SignRange => "SA-SIGNRANGE",
+            StaticRule::Cdc => "SA-CDC",
+            StaticRule::Reset => "SA-RESET",
         }
     }
 
@@ -97,7 +130,11 @@ impl StaticRule {
             StaticRule::WidthTrunc
             | StaticRule::ConstCond
             | StaticRule::DeadArm
-            | StaticRule::FsmUnreachable => Severity::Warn,
+            | StaticRule::FsmUnreachable
+            | StaticRule::XProp
+            | StaticRule::SignRange
+            | StaticRule::Cdc
+            | StaticRule::Reset => Severity::Warn,
         }
     }
 
@@ -112,6 +149,10 @@ impl StaticRule {
             StaticRule::ConstCond => "IncorrectExpression",
             StaticRule::DeadArm => "CornerCaseMishandling",
             StaticRule::FsmUnreachable => "StateDiagramMisinterpretation",
+            StaticRule::XProp => "ConventionMisapplication",
+            StaticRule::SignRange => "AttributeMisunderstanding",
+            StaticRule::Cdc => "ConventionMisapplication",
+            StaticRule::Reset => "AttributeMisunderstanding",
         }
     }
 }
@@ -130,6 +171,25 @@ pub struct StaticFinding {
     pub span: Span,
     /// Primary signal involved, if any.
     pub signal: Option<String>,
+    /// How the claim was validated: structural findings need no replay;
+    /// value-dependent findings start unconfirmed and are promoted to
+    /// confirmed when their witness replays on the compiled simulator.
+    #[serde(default)]
+    pub confirmation: Confirmation,
+    /// Structured evidence (abstract trace + optional witness) for
+    /// value-dependent findings.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub evidence: Option<Evidence>,
+}
+
+impl StaticFinding {
+    /// Whether this finding may reject a sample pre-simulation: it must
+    /// be `Error` severity *and* not an unconfirmed value-dependent
+    /// claim. Today every `Error` rule is structural, so gating behaves
+    /// exactly as in analyzer v1 — pinned by the eval harness tests.
+    pub fn is_gating(&self) -> bool {
+        self.severity == Severity::Error && self.confirmation != Confirmation::Unconfirmed
+    }
 }
 
 /// Analyzer output for one elaborated design.
@@ -137,22 +197,20 @@ pub struct StaticFinding {
 pub struct StaticReport {
     /// Top module name.
     pub module: String,
-    /// All findings, in rule order.
+    /// All findings, deduplicated and sorted by (severity desc, span,
+    /// rule code, signal) for deterministic output.
     pub findings: Vec<StaticFinding>,
 }
 
 impl StaticReport {
-    /// Number of `Error`-severity findings.
+    /// Number of gating findings (see [`StaticFinding::is_gating`]).
     pub fn error_count(&self) -> usize {
-        self.findings
-            .iter()
-            .filter(|f| f.severity == Severity::Error)
-            .count()
+        self.findings.iter().filter(|f| f.is_gating()).count()
     }
 
-    /// Whether any gating (`Error`) finding is present.
+    /// Whether any gating finding is present.
     pub fn has_errors(&self) -> bool {
-        self.findings.iter().any(|f| f.severity == Severity::Error)
+        self.findings.iter().any(|f| f.is_gating())
     }
 
     /// Findings for one rule.
@@ -173,10 +231,106 @@ pub fn analyze_design(design: &Design) -> StaticReport {
     check_const_conditions(design, &mut findings);
     check_dead_arms(design, &mut findings);
     check_fsm_reachability(design, &df, &mut findings);
+    let abs = absint::analyze_abs(design, &df);
+    absint::check_value_rules(design, &df, &abs, &mut findings);
     StaticReport {
         module: design.name.clone(),
-        findings,
+        findings: finalize_findings(findings),
     }
+}
+
+/// Rules that restate each other at one source location: within a group,
+/// only the highest-priority (lowest number) survives.
+fn overlap_group(rule: StaticRule) -> Option<(u8, u8)> {
+    match rule {
+        // x-origin restatements on one net.
+        StaticRule::XSource => Some((0, 0)),
+        StaticRule::Undriven => Some((0, 1)),
+        StaticRule::XProp => Some((0, 2)),
+        // unreachable-arm restatements.
+        StaticRule::FsmUnreachable => Some((1, 0)),
+        StaticRule::DeadArm => Some((1, 1)),
+        // width-decided restatements (SignRange explains WidthTrunc).
+        StaticRule::SignRange => Some((2, 0)),
+        StaticRule::WidthTrunc => Some((2, 1)),
+        _ => None,
+    }
+}
+
+/// Confirmation strength for merging exact duplicates: a replay-confirmed
+/// copy beats a structural one beats an unconfirmed one.
+fn confirmation_rank(c: Confirmation) -> u8 {
+    match c {
+        Confirmation::Confirmed => 0,
+        Confirmation::Structural => 1,
+        Confirmation::Unconfirmed => 2,
+    }
+}
+
+/// Deduplicates and deterministically orders findings:
+///
+/// 1. exact duplicates — same (rule, span, message, signal) — collapse to
+///    the copy with the strongest confirmation / richest evidence;
+/// 2. overlapping rules at one concrete span (see [`overlap_group`])
+///    collapse to the group's primary rule;
+/// 3. stable sort by (severity desc, span, rule code, signal, message).
+fn finalize_findings(findings: Vec<StaticFinding>) -> Vec<StaticFinding> {
+    use std::collections::HashMap;
+    // Pass 1: exact dedup, keeping the strongest copy in first-seen order.
+    let mut kept: Vec<StaticFinding> = Vec::with_capacity(findings.len());
+    let mut index: HashMap<(StaticRule, Span, String, Option<String>), usize> = HashMap::new();
+    for f in findings {
+        let key = (f.rule, f.span, f.message.clone(), f.signal.clone());
+        match index.get(&key) {
+            Some(&i) => {
+                let old = &mut kept[i];
+                if confirmation_rank(f.confirmation) < confirmation_rank(old.confirmation) {
+                    old.confirmation = f.confirmation;
+                }
+                if old.evidence.is_none() {
+                    old.evidence = f.evidence;
+                }
+            }
+            None => {
+                index.insert(key, kept.len());
+                kept.push(f);
+            }
+        }
+    }
+    // Pass 2: overlap groups at concrete spans (0:0 spans are anonymous
+    // and never treated as "the same site").
+    let mut best: HashMap<(u8, Span), u8> = HashMap::new();
+    for f in &kept {
+        if f.span == Span::default() {
+            continue;
+        }
+        if let Some((group, prio)) = overlap_group(f.rule) {
+            let e = best.entry((group, f.span)).or_insert(prio);
+            *e = (*e).min(prio);
+        }
+    }
+    let mut out: Vec<StaticFinding> = kept
+        .into_iter()
+        .filter(|f| {
+            if f.span == Span::default() {
+                return true;
+            }
+            match overlap_group(f.rule) {
+                Some((group, prio)) => best.get(&(group, f.span)).is_none_or(|&b| b == prio),
+                None => true,
+            }
+        })
+        .collect();
+    // Pass 3: stable deterministic order.
+    out.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| (a.span.line, a.span.col).cmp(&(b.span.line, b.span.col)))
+            .then_with(|| a.rule.code().cmp(b.rule.code()))
+            .then_with(|| a.signal.cmp(&b.signal))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    out
 }
 
 /// Parses, elaborates and analyzes `source` in one step.
@@ -197,6 +351,8 @@ fn finding(rule: StaticRule, message: String, span: Span, signal: Option<String>
         message,
         span,
         signal,
+        confirmation: Confirmation::Structural,
+        evidence: None,
     }
 }
 
@@ -322,7 +478,7 @@ fn expr_knowable(e: &Expr, known: &[bool], design: &Design) -> bool {
     }
 }
 
-fn collect_assignments<'a>(stmt: &'a Stmt, out: &mut Vec<(&'a LValue, &'a Expr, Span)>) {
+pub(crate) fn collect_assignments<'a>(stmt: &'a Stmt, out: &mut Vec<(&'a LValue, &'a Expr, Span)>) {
     match stmt {
         Stmt::Block(stmts) => stmts.iter().for_each(|s| collect_assignments(s, out)),
         Stmt::Blocking { lhs, rhs, span } | Stmt::NonBlocking { lhs, rhs, span } => {
@@ -499,7 +655,7 @@ fn const_usize(e: &Expr) -> Option<usize> {
 }
 
 /// Width of an assignment target, when statically determinable.
-fn lvalue_width(lv: &LValue, design: &Design) -> Option<usize> {
+pub(crate) fn lvalue_width(lv: &LValue, design: &Design) -> Option<usize> {
     match lv {
         LValue::Ident(n) => design.signal(n).map(|id| design.info(id).width),
         LValue::Index(..) => Some(1),
@@ -629,7 +785,7 @@ fn walk_const_cond(stmt: &Stmt, out: &mut Vec<StaticFinding>) {
 }
 
 /// First concrete source span inside a statement tree, if any.
-fn first_span(stmt: &Stmt) -> Option<Span> {
+pub(crate) fn first_span(stmt: &Stmt) -> Option<Span> {
     match stmt {
         Stmt::Blocking { span, .. } | Stmt::NonBlocking { span, .. } => {
             (*span != Span::default()).then_some(*span)

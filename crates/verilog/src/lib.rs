@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod analyze;
 pub mod analyze_static;
 pub mod ast;
@@ -53,6 +54,7 @@ pub mod pretty;
 pub mod sim;
 pub mod vcd;
 
+pub use absint::{Confirmation, Evidence, Expect, Witness, WitnessStep};
 pub use analyze_static::{
     analyze_design, analyze_source, Severity, StaticFinding, StaticReport, StaticRule,
     ANALYZER_VERSION,

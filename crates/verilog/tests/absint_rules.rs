@@ -1,0 +1,303 @@
+//! Golden tests for the fixpoint-grounded analyzer rules: one true
+//! positive and one structurally similar clean design ("near miss") per
+//! rule class, pinning both directions of the precision contract from
+//! DESIGN.md §13.
+
+use haven_verilog::{analyze_design, compile, Confirmation, Severity, StaticRule};
+
+fn findings_for(src: &str, rule: StaticRule) -> Vec<String> {
+    let design = compile(src).unwrap_or_else(|e| panic!("must compile: {e}\n{src}"));
+    analyze_design(&design)
+        .findings
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.message)
+        .collect()
+}
+
+fn assert_fires(src: &str, rule: StaticRule) {
+    assert!(
+        !findings_for(src, rule).is_empty(),
+        "{rule:?} must fire on:\n{src}"
+    );
+}
+
+fn assert_clean(src: &str, rule: StaticRule) {
+    let hits = findings_for(src, rule);
+    assert!(
+        hits.is_empty(),
+        "{rule:?} false positive {hits:?} on:\n{src}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// SA-XPROP — x reaches a registered output even in steady state
+// ---------------------------------------------------------------------------
+
+#[test]
+fn xprop_fires_on_divider_fed_register() {
+    assert_fires(
+        "module m(input clk, input rst, input [3:0] a, input [3:0] b, output reg [3:0] q);\n\
+          always @(posedge clk)\n\
+           if (rst) q <= 4'd0; else q <= a / b;\n\
+         endmodule",
+        StaticRule::XProp,
+    );
+}
+
+#[test]
+fn xprop_near_miss_nonzero_divisor_is_clean() {
+    // Same shape, but the divisor has a guaranteed-set bit.
+    assert_clean(
+        "module m(input clk, input rst, input [3:0] a, input [2:0] b, output reg [3:0] q);\n\
+          always @(posedge clk)\n\
+           if (rst) q <= 4'd0; else q <= a / {b, 1'b1};\n\
+         endmodule",
+        StaticRule::XProp,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// SA-SIGNRANGE — comparison/truncation provably loses value
+// ---------------------------------------------------------------------------
+
+#[test]
+fn signrange_fires_on_width_decided_compare() {
+    assert_fires(
+        "module m(input [3:0] a, output y);\n\
+          assign y = a > 8'd200;\n\
+         endmodule",
+        StaticRule::SignRange,
+    );
+}
+
+#[test]
+fn signrange_near_miss_reachable_compare_is_clean() {
+    assert_clean(
+        "module m(input [3:0] a, output y);\n\
+          assign y = a > 8'd7;\n\
+         endmodule",
+        StaticRule::SignRange,
+    );
+}
+
+#[test]
+fn signrange_fires_on_provably_lossy_truncation() {
+    assert_fires(
+        "module m(input [1:0] a, output [1:0] y);\n\
+          assign y = {1'b1, a, 1'b0};\n\
+         endmodule",
+        StaticRule::SignRange,
+    );
+}
+
+#[test]
+fn signrange_near_miss_lossless_narrowing_is_clean() {
+    // Wider expression, but its value always fits the target.
+    assert_clean(
+        "module m(input [1:0] a, output [2:0] y);\n\
+          assign y = {1'b0, 4'd0 + a};\n\
+         endmodule",
+        StaticRule::SignRange,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// SA-CDC — cross-domain sample without a synchronizer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cdc_fires_on_raw_cross_domain_sample() {
+    assert_fires(
+        "module m(input clk_a, input clk_b, input d, output reg q);\n\
+          reg src;\n\
+          always @(posedge clk_a) src <= d;\n\
+          always @(posedge clk_b) q <= ~src;\n\
+         endmodule",
+        StaticRule::Cdc,
+    );
+}
+
+#[test]
+fn cdc_near_miss_two_flop_synchronizer_is_clean() {
+    assert_clean(
+        "module m(input clk_a, input clk_b, input d, output reg q);\n\
+          reg src;\n\
+          reg s1;\n\
+          always @(posedge clk_a) src <= d;\n\
+          always @(posedge clk_b) s1 <= src;\n\
+          always @(posedge clk_b) q <= s1;\n\
+         endmodule",
+        StaticRule::Cdc,
+    );
+}
+
+#[test]
+fn cdc_is_silent_in_single_clock_designs() {
+    assert_clean(
+        "module m(input clk, input d, output reg q);\n\
+          reg s;\n\
+          always @(posedge clk) s <= d;\n\
+          always @(posedge clk) q <= ~s;\n\
+         endmodule",
+        StaticRule::Cdc,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// SA-RESET — reset branch exists but misses a register
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reset_rule_fires_on_uncovered_sibling() {
+    assert_fires(
+        "module m(input clk, input rst, output reg [3:0] q, output reg [3:0] r);\n\
+          always @(posedge clk)\n\
+           if (rst) q <= 4'd0;\n\
+           else begin q <= q + 4'd1; r <= r + 4'd1; end\n\
+         endmodule",
+        StaticRule::Reset,
+    );
+}
+
+#[test]
+fn reset_rule_near_miss_full_coverage_is_clean() {
+    assert_clean(
+        "module m(input clk, input rst, output reg [3:0] q, output reg [3:0] r);\n\
+          always @(posedge clk)\n\
+           if (rst) begin q <= 4'd0; r <= 4'd0; end\n\
+           else begin q <= q + 4'd1; r <= r + 4'd1; end\n\
+         endmodule",
+        StaticRule::Reset,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Value-grounded SA-CONSTCOND / SA-DEADARM
+// ---------------------------------------------------------------------------
+
+#[test]
+fn constcond_fires_on_fixpoint_constant_condition() {
+    // `t` is not a literal, but the fixpoint proves it is always 1.
+    assert_fires(
+        "module m(input [2:0] a, output reg y);\n\
+          wire [3:0] t;\n\
+          assign t = {1'b0, a} + 4'd1;\n\
+          always @(*) if (t != 4'd0) y = 1'b1; else y = 1'b0;\n\
+         endmodule",
+        StaticRule::ConstCond,
+    );
+}
+
+#[test]
+fn constcond_near_miss_reachable_zero_is_clean() {
+    assert_clean(
+        "module m(input [3:0] a, output reg y);\n\
+          wire [3:0] t;\n\
+          assign t = a + 4'd1;\n\
+          always @(*) if (t != 4'd0) y = 1'b1; else y = 1'b0;\n\
+         endmodule",
+        StaticRule::ConstCond,
+    );
+}
+
+#[test]
+fn deadarm_fires_on_value_excluded_case_label() {
+    // The selector's top bit is always zero, so label 3'd7 can't match.
+    assert_fires(
+        "module m(input [1:0] a, output reg [1:0] y);\n\
+          wire [2:0] s;\n\
+          assign s = {1'b0, a};\n\
+          always @(*) case (s)\n\
+           3'd7: y = 2'd3;\n\
+           default: y = a;\n\
+          endcase\n\
+         endmodule",
+        StaticRule::DeadArm,
+    );
+}
+
+#[test]
+fn deadarm_near_miss_reachable_labels_are_clean() {
+    assert_clean(
+        "module m(input [2:0] a, output reg [1:0] y);\n\
+          always @(*) case (a)\n\
+           3'd7: y = 2'd3;\n\
+           default: y = a[1:0];\n\
+          endcase\n\
+         endmodule",
+        StaticRule::DeadArm,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Cross-cutting invariants
+// ---------------------------------------------------------------------------
+
+#[test]
+fn new_rules_are_warn_severity_with_evidence() {
+    let src = "module m(input clk, input rst, output reg [3:0] q, output reg [3:0] r);\n\
+          always @(posedge clk)\n\
+           if (rst) q <= 4'd0;\n\
+           else begin q <= q + 4'd1; r <= r + 4'd1; end\n\
+         endmodule";
+    let design = compile(src).unwrap();
+    let report = analyze_design(&design);
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.rule == StaticRule::Reset)
+        .expect("SA-RESET fires");
+    assert_eq!(finding.severity, Severity::Warn);
+    assert_ne!(finding.confirmation, Confirmation::Structural);
+    let evidence = finding
+        .evidence
+        .as_ref()
+        .expect("value rules carry evidence");
+    assert!(!evidence.trace.is_empty() || evidence.witness.is_some());
+    // `r` also trips the pre-existing Error-severity SA-XSOURCE (it is
+    // read but never reset); the v2 invariant is that no *new* rule
+    // joins the gating set.
+    assert!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.is_gating())
+            .all(|f| f.rule == StaticRule::XSource),
+        "v2 rules must not add gating findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn findings_are_sorted_and_deduplicated() {
+    let src = "module m(input clk, input rst, input [3:0] a, input [3:0] b, output reg [3:0] q, output reg [3:0] r);\n\
+          always @(posedge clk)\n\
+           if (rst) q <= 4'd0;\n\
+           else begin q <= a / b; r <= r + 4'd1; end\n\
+         endmodule";
+    let design = compile(src).unwrap();
+    let report = analyze_design(&design);
+    let keys: Vec<_> = report
+        .findings
+        .iter()
+        .map(|f| {
+            (
+                match f.severity {
+                    Severity::Error => 0,
+                    Severity::Warn => 1,
+                },
+                f.span.line,
+                f.span.col,
+                f.rule.code(),
+                f.signal.clone(),
+                f.message.clone(),
+            )
+        })
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "findings must be emitted in canonical order");
+    sorted.dedup();
+    assert_eq!(keys.len(), sorted.len(), "no duplicate findings");
+}
