@@ -1,7 +1,7 @@
 //! Emits `BENCH_engine.json` — the artifact-cache and session-reuse
 //! perf profile of `haven-engine` (DESIGN.md §12).
 //!
-//! Three measurements:
+//! Four measurements:
 //!
 //! 1. **prepare latency** — cold compile (parse → elaborate → analyze →
 //!    lower) vs a warm cache hit on the same source, per design shape.
@@ -13,6 +13,11 @@
 //!    corpus, timed with the artifact cache off (every sample re-runs
 //!    the compile ladder) and on (each distinct source compiles once).
 //!    Both arms must produce bit-identical per-sample outcomes.
+//! 4. **warm restart** — a durable engine persists its artifacts, is
+//!    dropped, and reopens from the same store directory; prepare p50 on
+//!    the preloaded entries must be within 2x of the in-memory warm
+//!    number (DESIGN.md §14), because warm start rebuilds the LRU at
+//!    open time and steady-state lookups are ordinary cache hits.
 //!
 //! ```sh
 //! cargo run --release -p haven-bench --bin bench_engine [-- --quick] [-- --out path.json]
@@ -331,6 +336,75 @@ fn eval_workload(tasks: usize, n: usize, sweeps: usize) -> EvalRow {
     }
 }
 
+struct RestartRow {
+    name: &'static str,
+    warm_us: f64,
+    warm_restart_us: f64,
+}
+
+impl RestartRow {
+    fn ratio(&self) -> f64 {
+        self.warm_restart_us / self.warm_us.max(1e-9)
+    }
+}
+
+/// Prepares every bench design on a durable engine, drops it, reopens
+/// from the same store directory, and times prepare on the preloaded
+/// entries. Returns (per-design rows, preloaded count).
+fn warm_restart(iters: usize, warm: &[PrepareRow]) -> (Vec<RestartRow>, u64) {
+    let dir = std::env::temp_dir().join(format!("haven-bench-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = EngineOptions {
+        backend: SimBackend::Compiled,
+        budget: SimBudget::default(),
+        cache_capacity: 8,
+    };
+    let designs: [(&'static str, &str); 3] = [
+        ("counter32", COUNTER_SRC),
+        ("fsm2", FSM_SRC),
+        ("pipe4x16", PIPE_SRC),
+    ];
+    {
+        let engine = Engine::open_durable(options, &dir).expect("open durable engine");
+        for (_, src) in designs {
+            engine.prepare(src).expect("bench design compiles");
+        }
+        let stats = engine.durability_stats().expect("durable engine has stats");
+        assert_eq!(stats.persisted, 3);
+    } // First life ends here — only the on-disk store survives.
+
+    let engine = Engine::open_durable(options, &dir).expect("reopen durable engine");
+    let stats = engine.durability_stats().expect("durable engine has stats");
+    assert_eq!(stats.preloaded, 3, "restart must preload every artifact");
+    let rows = designs
+        .iter()
+        .zip(warm)
+        .map(|(&(name, src), w)| {
+            let warm_restart_us = median(
+                (0..iters)
+                    .map(|_| {
+                        let t = Instant::now();
+                        engine.prepare(src).expect("bench design compiles");
+                        t.elapsed().as_nanos() as f64 / 1e3
+                    })
+                    .collect(),
+            );
+            RestartRow {
+                name,
+                warm_us: w.warm_us,
+                warm_restart_us,
+            }
+        })
+        .collect();
+    assert_eq!(
+        engine.stats().misses,
+        0,
+        "every restart-phase prepare must hit the preloaded cache"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    (rows, stats.preloaded)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -368,6 +442,22 @@ fn main() {
         );
     }
 
+    eprintln!("timing warm restart from a durable store ({prep_iters} iters)...");
+    let (restart, preloaded) = warm_restart(prep_iters, &prepare);
+    if !quick {
+        for r in &restart {
+            assert!(
+                r.ratio() <= 2.0,
+                "acceptance: warm-restart prepare p50 must be within 2x of in-memory warm \
+                 ({}: {:.2} us vs {:.2} us = {:.2}x)",
+                r.name,
+                r.warm_restart_us,
+                r.warm_us,
+                r.ratio()
+            );
+        }
+    }
+
     let mut prep_json = Vec::new();
     for r in &prepare {
         prep_json.push(format!(
@@ -378,8 +468,18 @@ fn main() {
             r.speedup()
         ));
     }
+    let mut restart_json = Vec::new();
+    for r in &restart {
+        restart_json.push(format!(
+            "    {{\"name\": \"{}\", \"warm_us\": {:.2}, \"warm_restart_us\": {:.2}, \"ratio\": {:.2}}}",
+            r.name,
+            r.warm_us,
+            r.warm_restart_us,
+            r.ratio()
+        ));
+    }
     let json = format!(
-        "{{\n  \"bench\": \"engine\",\n  \"quick\": {quick},\n  \"prepare\": [\n{}\n  ],\n  \"session_reuse\": {{\"design\": \"counter32\", \"runs\": {}, \"ticks_per_run\": {}, \"oneshot_ms\": {:.1}, \"session_ms\": {:.1}, \"speedup\": {:.2}}},\n  \"eval_workload\": {{\"tasks\": {}, \"samples_per_task\": {}, \"temperatures\": {}, \"sweeps\": {}, \"samples\": {}, \"distinct_sources\": {}, \"syntax_fails\": {}, \"static_gated\": {}, \"simulated\": {}, \"memoize\": false, \"uncached_ms\": {:.1}, \"cached_ms\": {:.1}, \"speedup\": {:.2}}}\n}}\n",
+        "{{\n  \"bench\": \"engine\",\n  \"quick\": {quick},\n  \"prepare\": [\n{}\n  ],\n  \"session_reuse\": {{\"design\": \"counter32\", \"runs\": {}, \"ticks_per_run\": {}, \"oneshot_ms\": {:.1}, \"session_ms\": {:.1}, \"speedup\": {:.2}}},\n  \"eval_workload\": {{\"tasks\": {}, \"samples_per_task\": {}, \"temperatures\": {}, \"sweeps\": {}, \"samples\": {}, \"distinct_sources\": {}, \"syntax_fails\": {}, \"static_gated\": {}, \"simulated\": {}, \"memoize\": false, \"uncached_ms\": {:.1}, \"cached_ms\": {:.1}, \"speedup\": {:.2}}},\n  \"warm_restart\": {{\"preloaded\": {preloaded}, \"rows\": [\n{}\n  ]}}\n}}\n",
         prep_json.join(",\n"),
         reuse.runs,
         reuse.ticks_per_run,
@@ -398,6 +498,7 @@ fn main() {
         eval.uncached_ms,
         eval.cached_ms,
         eval.speedup(),
+        restart_json.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
 
@@ -434,5 +535,15 @@ fn main() {
         eval.cached_ms,
         eval.speedup()
     );
+    println!("warm restart ({preloaded} artifacts preloaded from disk):");
+    for r in &restart {
+        println!(
+            "  {:<10} in-memory warm {:>6.2} us  warm restart {:>6.2} us  ({:.2}x)",
+            r.name,
+            r.warm_us,
+            r.warm_restart_us,
+            r.ratio()
+        );
+    }
     println!("wrote {out_path}");
 }

@@ -14,6 +14,13 @@
 //! 3. **admission** — a burst far past a tiny queue with a deadline
 //!    shorter than the pipeline; reports shed (queue-full) and deadline
 //!    rejection rates and checks the accounting invariant.
+//! 4. **overload** — a sustained burst at ~10x the pool's service
+//!    capacity; reports goodput (completions per second), completed p99
+//!    and exact max. Backpressure must keep goodput near capacity
+//!    instead of collapsing.
+//! 5. **restart** — a durable server (`store_dir`) serves a cold pass,
+//!    shuts down, and a second server lifetime warm-starts from the WAL;
+//!    reports cold vs warm-restart p50 and the replayed-entry count.
 //!
 //! ```sh
 //! cargo run --release -p haven-bench --bin bench_serve [-- --quick] [-- --out path.json]
@@ -199,6 +206,116 @@ fn admission_phase(burst: usize) -> AdmissionStats {
     }
 }
 
+struct OverloadStats {
+    burst: usize,
+    capacity_rps: f64,
+    goodput_rps: f64,
+    completed: usize,
+    shed: usize,
+    p99_us: u64,
+    max_us: u64,
+}
+
+/// A sustained burst at roughly 10x what the pool can serve within the
+/// run: the queue bounds memory, shed requests are typed `QueueFull`,
+/// and goodput — completions per wall-clock second — must track the
+/// pool's capacity rather than collapsing under the burst.
+fn overload_phase(workers: usize, inference: Duration, burst: usize) -> OverloadStats {
+    let capacity_rps = workers as f64 / inference.as_secs_f64();
+    let mut server = Server::start(
+        model(),
+        ServeConfig {
+            workers,
+            queue_capacity: burst / 10,
+            default_deadline: Duration::from_secs(120),
+            engine: EngineConfig {
+                inference_latency: inference,
+                ..EngineConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let (elapsed, outcomes) = drive(&server, burst, true);
+    server.shutdown();
+    let m = server.metrics();
+    assert!(m.accounted(), "overload phase accounting");
+    let completed = outcomes
+        .iter()
+        .filter(|o| matches!(o, ServeOutcome::Completed(_)))
+        .count();
+    let shed = outcomes
+        .iter()
+        .filter(|o| matches!(o, ServeOutcome::Rejected(Rejection::QueueFull { .. })))
+        .count();
+    OverloadStats {
+        burst,
+        capacity_rps,
+        goodput_rps: completed as f64 / elapsed.as_secs_f64(),
+        completed,
+        shed,
+        p99_us: m.total.p99_us,
+        max_us: m.total.max_us,
+    }
+}
+
+struct RestartStats {
+    cold_p50_us: u64,
+    warm_restart_p50_us: u64,
+    persisted: u64,
+    replayed: u64,
+    warm_hits: u64,
+}
+
+/// Two server lifetimes over one durable store directory: the first
+/// serves every prompt cold and persists responses to the WAL; the
+/// second warm-starts by replaying the WAL and must serve the same
+/// prompts as pure cache hits.
+fn restart_phase() -> RestartStats {
+    let dir =
+        std::env::temp_dir().join(format!("haven-bench-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = || ServeConfig {
+        workers: 2,
+        default_deadline: Duration::from_secs(120),
+        engine: EngineConfig {
+            store_dir: Some(dir.clone()),
+            ..EngineConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let mix = prompts();
+
+    let mut first = Server::start(model(), durable());
+    for (i, p) in mix.iter().enumerate() {
+        first.serve(ServeRequest::new(format!("cold{i}"), p.clone()));
+    }
+    first.shutdown();
+    let m1 = first.metrics();
+    assert!(m1.accounted(), "restart phase (cold) accounting");
+    drop(first);
+
+    let mut second = Server::start(model(), durable());
+    for (i, p) in mix.iter().enumerate() {
+        second.serve(ServeRequest::new(format!("warm{i}"), p.clone()));
+    }
+    second.shutdown();
+    let m2 = second.metrics();
+    assert!(m2.accounted(), "restart phase (warm) accounting");
+    assert_eq!(
+        m2.cache_hits as usize,
+        mix.len(),
+        "warm restart must serve every prompt from the replayed cache"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    RestartStats {
+        cold_p50_us: m1.total.p50_us,
+        warm_restart_p50_us: m2.total.p50_us,
+        persisted: m1.responses_persisted,
+        replayed: m2.wal_replayed,
+        warm_hits: m2.cache_hits,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -224,6 +341,13 @@ fn main() {
     eprintln!("admission phase ({burst}-request burst)...");
     let adm = admission_phase(burst);
 
+    let overload_burst = if quick { 60 } else { 200 };
+    eprintln!("overload phase ({overload_burst}-request burst at ~10x capacity)...");
+    let ovl = overload_phase(2, Duration::from_millis(10), overload_burst);
+
+    eprintln!("restart phase (durable store, two server lifetimes)...");
+    let restart = restart_phase();
+
     let mut scaling_json = Vec::new();
     for r in &rows {
         scaling_json.push(format!(
@@ -232,7 +356,7 @@ fn main() {
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"quick\": {quick},\n  \"requests_per_scaling_run\": {requests},\n  \"inference_latency_ms\": {},\n  \"scaling\": [\n{}\n  ],\n  \"speedup_4_vs_1\": {:.2},\n  \"cache\": {{\"hit_rate\": {:.3}, \"hits\": {}, \"misses\": {}, \"cold_p50_us\": {}, \"warm_p50_us\": {}}},\n  \"admission\": {{\"burst\": {}, \"completed\": {}, \"shed_queue_full\": {}, \"deadline_rejected\": {}, \"rejection_rate\": {:.3}}}\n}}\n",
+        "{{\n  \"bench\": \"serve\",\n  \"quick\": {quick},\n  \"requests_per_scaling_run\": {requests},\n  \"inference_latency_ms\": {},\n  \"scaling\": [\n{}\n  ],\n  \"speedup_4_vs_1\": {:.2},\n  \"cache\": {{\"hit_rate\": {:.3}, \"hits\": {}, \"misses\": {}, \"cold_p50_us\": {}, \"warm_p50_us\": {}}},\n  \"admission\": {{\"burst\": {}, \"completed\": {}, \"shed_queue_full\": {}, \"deadline_rejected\": {}, \"rejection_rate\": {:.3}}},\n  \"overload\": {{\"burst\": {}, \"capacity_rps\": {:.1}, \"goodput_rps\": {:.1}, \"completed\": {}, \"shed_queue_full\": {}, \"p99_us\": {}, \"max_us\": {}}},\n  \"restart\": {{\"cold_p50_us\": {}, \"warm_restart_p50_us\": {}, \"responses_persisted\": {}, \"wal_replayed\": {}, \"warm_cache_hits\": {}}}\n}}\n",
         inference.as_millis(),
         scaling_json.join(",\n"),
         speedup4,
@@ -246,6 +370,18 @@ fn main() {
         adm.shed,
         adm.deadline_rejected,
         adm.rejection_rate,
+        ovl.burst,
+        ovl.capacity_rps,
+        ovl.goodput_rps,
+        ovl.completed,
+        ovl.shed,
+        ovl.p99_us,
+        ovl.max_us,
+        restart.cold_p50_us,
+        restart.warm_restart_p50_us,
+        restart.persisted,
+        restart.replayed,
+        restart.warm_hits,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
 
@@ -270,6 +406,18 @@ fn main() {
         adm.deadline_rejected,
         adm.completed,
         adm.rejection_rate * 100.0
+    );
+    println!(
+        "  overload: {} burst vs {:.0} req/s capacity -> goodput {:.1} req/s ({} completed, {} shed), p99 {} us, max {} us",
+        ovl.burst, ovl.capacity_rps, ovl.goodput_rps, ovl.completed, ovl.shed, ovl.p99_us, ovl.max_us
+    );
+    println!(
+        "  restart: cold p50 {} us -> warm-restart p50 {} us ({} persisted, {} replayed, {} warm hits)",
+        restart.cold_p50_us,
+        restart.warm_restart_p50_us,
+        restart.persisted,
+        restart.replayed,
+        restart.warm_hits
     );
     println!("wrote {out_path}");
     assert!(

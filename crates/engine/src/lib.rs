@@ -104,6 +104,26 @@ impl Default for EngineOptions {
     }
 }
 
+/// Warm-restart telemetry for a durable engine (see
+/// [`Engine::open_durable`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Artifacts rebuilt into the warm cache from disk at open.
+    pub preloaded: u64,
+    /// On-disk entries skipped at open because their key no longer
+    /// matches the current configuration (analyzer version, backend or
+    /// budget changed since they were written) or their source no longer
+    /// compiles — stale state is invalidated, never served.
+    pub skipped_stale: u64,
+    /// Sources persisted to disk since open (best-effort; a failed write
+    /// never fails the prepare that triggered it).
+    pub persisted: u64,
+    /// Persist attempts that failed (disk trouble or injected chaos).
+    pub persist_failures: u64,
+    /// Counters of the underlying object store.
+    pub store: haven_store::StoreStats,
+}
+
 /// The shared compile engine: artifact cache + session factory +
 /// fingerprint authority. One engine is meant to be shared by all
 /// workers of a consumer (`&Engine` is `Sync`); sessions are per-worker.
@@ -112,17 +132,90 @@ pub struct Engine {
     cache: Mutex<Lru>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Disk tier under the LRU: sources of successfully built artifacts,
+    /// keyed by the full artifact key. `None` for a memory-only engine.
+    store: Option<haven_store::ObjectStore>,
+    preloaded: u64,
+    skipped_stale: u64,
+    persisted: AtomicU64,
+    persist_failures: AtomicU64,
 }
 
 impl Engine {
-    /// Builds an engine.
+    /// Builds a memory-only engine.
     pub fn new(options: EngineOptions) -> Engine {
         Engine {
             options,
             cache: Mutex::new(Lru::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            store: None,
+            preloaded: 0,
+            skipped_stale: 0,
+            persisted: AtomicU64::new(0),
+            persist_failures: AtomicU64::new(0),
         }
+    }
+
+    /// Opens a *durable* engine whose artifact cache survives restarts:
+    /// a [`haven_store::ObjectStore`] at `dir` persists the source text
+    /// of every successfully built artifact under its full artifact key
+    /// (source + analyzer version + backend + budget), and opening warm-
+    /// starts the in-memory LRU by recompiling every still-valid entry.
+    ///
+    /// Because an [`Artifact`] is a pure function of (source, backend,
+    /// budget), persisting the *source* is enough: recovery rebuilds
+    /// bit-identical artifacts, and any entry whose recomputed key no
+    /// longer matches (analyzer bumped, config changed, bytes damaged)
+    /// is invalidated instead of served. Corrupt entries were already
+    /// quarantined by the store's checksums before we ever see them.
+    pub fn open_durable(
+        options: EngineOptions,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<Engine> {
+        Ok(Engine::with_store(
+            options,
+            haven_store::ObjectStore::open(dir)?,
+        ))
+    }
+
+    /// [`Engine::open_durable`] over an already-opened store (lets tests
+    /// and drills attach a [`haven_store::ChaosPolicy`] first).
+    pub fn with_store(options: EngineOptions, store: haven_store::ObjectStore) -> Engine {
+        let mut engine = Engine::new(options);
+        let mut lru = Lru::default();
+        let capacity = options.cache_capacity;
+        let (mut preloaded, mut skipped) = (0u64, 0u64);
+        if capacity > 0 {
+            for entry in store.scan() {
+                if preloaded as usize >= capacity {
+                    break;
+                }
+                let Ok(source) = std::str::from_utf8(&entry.payload) else {
+                    skipped += 1;
+                    continue;
+                };
+                let key = Artifact::key_for(source, options.backend, &options.budget);
+                if key != entry.key {
+                    // Stale: written under a different analyzer version,
+                    // backend or budget. Never served.
+                    skipped += 1;
+                    continue;
+                }
+                match Artifact::build(source, options.backend, &options.budget) {
+                    Ok(artifact) => {
+                        lru.insert(key, Arc::new(artifact), capacity);
+                        preloaded += 1;
+                    }
+                    Err(_) => skipped += 1,
+                }
+            }
+        }
+        engine.cache = Mutex::new(lru);
+        engine.store = Some(store);
+        engine.preloaded = preloaded;
+        engine.skipped_stale = skipped;
+        engine
     }
 
     /// An engine with caching disabled — the one-shot configuration the
@@ -172,6 +265,20 @@ impl Engine {
                 self.options.cache_capacity,
             );
         }
+        if let Some(store) = &self.store {
+            // Best-effort write-through: the disk tier is a warm-restart
+            // accelerator, so a failed write degrades durability, never
+            // the prepare that triggered it.
+            match store.put(key, source.as_bytes()) {
+                Ok(true) => {
+                    self.persisted.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(false) => {}
+                Err(_) => {
+                    self.persist_failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         Ok(artifact)
     }
 
@@ -191,6 +298,17 @@ impl Engine {
         budget: SimBudget,
     ) -> Result<DutSession> {
         DutSession::new(artifact.clone(), self.options.backend, budget)
+    }
+
+    /// Warm-restart telemetry, `None` for a memory-only engine.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        self.store.as_ref().map(|store| DurabilityStats {
+            preloaded: self.preloaded,
+            skipped_stale: self.skipped_stale,
+            persisted: self.persisted.load(Ordering::Relaxed),
+            persist_failures: self.persist_failures.load(Ordering::Relaxed),
+            store: store.stats(),
+        })
     }
 
     /// Cache telemetry counters.
@@ -359,6 +477,104 @@ mod tests {
         assert_eq!(dut.peek_u64("q").unwrap(), Some(3));
         dut.reset().unwrap();
         assert_eq!(dut.peek_u64("q").unwrap(), None, "state cleared by reset");
+    }
+
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "haven-engine-durable-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_engine_warm_starts_from_disk() {
+        let dir = durable_dir("warm");
+        let options = EngineOptions::default();
+        {
+            let engine = Engine::open_durable(options, &dir).unwrap();
+            engine.prepare(MUX).unwrap();
+            engine.prepare(CNT).unwrap();
+            let d = engine.durability_stats().unwrap();
+            assert_eq!((d.preloaded, d.persisted), (0, 2));
+        }
+        // A fresh process: the LRU warm-starts from the persisted sources,
+        // so the first prepare is already a hit.
+        let engine = Engine::open_durable(options, &dir).unwrap();
+        let d = engine.durability_stats().unwrap();
+        assert_eq!((d.preloaded, d.skipped_stale), (2, 0));
+        engine.prepare(MUX).unwrap();
+        engine.prepare(CNT).unwrap();
+        let s = engine.stats();
+        assert_eq!((s.hits, s.misses), (2, 0), "warm restart must serve hits");
+    }
+
+    #[test]
+    fn stale_configuration_entries_are_invalidated_not_served() {
+        let dir = durable_dir("stale");
+        {
+            let engine = Engine::open_durable(EngineOptions::default(), &dir).unwrap();
+            engine.prepare(MUX).unwrap();
+        }
+        // Same store, different backend: the recomputed key no longer
+        // matches, so the entry is skipped (and the rebuilt engine
+        // persists its own entry under the new key on next prepare).
+        let interp = Engine::open_durable(
+            EngineOptions {
+                backend: SimBackend::Interpreter,
+                ..EngineOptions::default()
+            },
+            &dir,
+        )
+        .unwrap();
+        let d = interp.durability_stats().unwrap();
+        assert_eq!((d.preloaded, d.skipped_stale), (0, 1));
+        interp.prepare(MUX).unwrap();
+        assert_eq!(interp.stats().misses, 1, "stale entry must rebuild");
+    }
+
+    #[test]
+    fn persist_failures_never_fail_the_prepare() {
+        let dir = durable_dir("chaos");
+        let store = haven_store::ObjectStore::open(&dir)
+            .unwrap()
+            .with_chaos(haven_store::ChaosPolicy::failing(3, 1.0));
+        let engine = Engine::with_store(EngineOptions::default(), store);
+        let artifact = engine.prepare(MUX).unwrap();
+        assert!(!artifact.report.has_errors());
+        let d = engine.durability_stats().unwrap();
+        assert_eq!((d.persisted, d.persist_failures), (0, 1));
+    }
+
+    #[test]
+    fn corrupted_disk_entries_fall_back_to_rebuild() {
+        let dir = durable_dir("corrupt");
+        {
+            let engine = Engine::open_durable(EngineOptions::default(), &dir).unwrap();
+            engine.prepare(MUX).unwrap();
+        }
+        // Flip a payload byte on disk; the store's checksum must catch it
+        // at preload, quarantine the file, and the engine rebuilds cold.
+        let path = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|e| e == "obj"))
+            .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let engine = Engine::open_durable(EngineOptions::default(), &dir).unwrap();
+        let d = engine.durability_stats().unwrap();
+        assert_eq!(d.preloaded, 0);
+        assert_eq!(d.store.quarantined, 1, "damaged entry must be quarantined");
+        let artifact = engine.prepare(MUX).unwrap();
+        assert!(!artifact.report.has_errors(), "rebuild must still work");
+        assert_eq!(engine.stats().misses, 1);
     }
 
     #[test]

@@ -38,6 +38,43 @@ impl FaultKind {
     }
 }
 
+/// Serving-layer infrastructure faults, injected by the same seeded
+/// [`FaultPlan`] through [`FaultPlan::serve_fault_at`]. A separate enum
+/// from [`FaultKind`] on purpose: the eval-harness kinds are pinned by
+/// the fault-tolerance acceptance suite, and these model a different
+/// layer — the machinery *around* the pipeline (workers, disks, clients)
+/// rather than the pipeline's own attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServeFaultKind {
+    /// The worker wedges mid-stage (models a lost thread, an OS stall, a
+    /// runaway simulation): the per-worker watchdog must detect it,
+    /// deliver a typed harness-fault reply, and recycle the worker.
+    WorkerHang,
+    /// The durable store refuses the write (full disk, yanked volume):
+    /// persistence is skipped, counted, and repeated failures push the
+    /// server into degraded mode.
+    DiskWriteFail,
+    /// The durable store's write lands but is silently corrupted after
+    /// checksumming: the *next restart's* replay must quarantine it.
+    StoreCorruption,
+    /// The caller drains its reply slowly (models a congested client
+    /// connection): holds the worker longer but must never change the
+    /// payload or break accounting.
+    SlowClient,
+}
+
+impl ServeFaultKind {
+    /// Display label, used by counters and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeFaultKind::WorkerHang => "worker-hang",
+            ServeFaultKind::DiskWriteFail => "disk-write-fail",
+            ServeFaultKind::StoreCorruption => "store-corruption",
+            ServeFaultKind::SlowClient => "slow-client",
+        }
+    }
+}
+
 /// A seeded, deterministic schedule of injected faults.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -101,6 +138,32 @@ impl FaultPlan {
             0 => FaultKind::WorkerPanic,
             1 => FaultKind::SimStall,
             _ => FaultKind::SourceCorruption,
+        })
+    }
+
+    /// The serving-layer fault (if any) scheduled for `attempt` of the
+    /// request site `site` (the serve pipeline uses the generation id —
+    /// the content key of the normalized prompt — so the schedule is a
+    /// pure function of request *content*, reproducible across runs and
+    /// worker counts). Drawn from an independent stream to the eval-layer
+    /// [`FaultPlan::fault_at`] so the two schedules never alias.
+    pub fn serve_fault_at(&self, site: &str, attempt: usize) -> Option<ServeFaultKind> {
+        if attempt >= self.persist_attempts {
+            return None;
+        }
+        let mut h = self.seed ^ 0x7365_7276_655f_6661; // distinct stream tag
+        for b in site.bytes() {
+            h = splitmix64(h ^ u64::from(b));
+        }
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= self.rate {
+            return None;
+        }
+        Some(match h % 4 {
+            0 => ServeFaultKind::WorkerHang,
+            1 => ServeFaultKind::DiskWriteFail,
+            2 => ServeFaultKind::StoreCorruption,
+            _ => ServeFaultKind::SlowClient,
         })
     }
 }
@@ -184,6 +247,47 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 3, "{seen:?}");
+    }
+
+    #[test]
+    fn serve_faults_are_deterministic_and_cover_all_kinds() {
+        let p = FaultPlan::permanent(5, 1.0);
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..64 {
+            let site = format!("gen-{s}");
+            assert_eq!(p.serve_fault_at(&site, 0), p.serve_fault_at(&site, 0));
+            if let Some(k) = p.serve_fault_at(&site, 0) {
+                seen.insert(k);
+            }
+        }
+        assert_eq!(seen.len(), 4, "{seen:?}");
+    }
+
+    #[test]
+    fn serve_faults_respect_rate_and_persistence() {
+        let none = FaultPlan::transient(3, 0.0);
+        let transient = FaultPlan::transient(3, 1.0);
+        for s in 0..50 {
+            let site = format!("s{s}");
+            assert_eq!(none.serve_fault_at(&site, 0), None);
+            assert!(transient.serve_fault_at(&site, 0).is_some());
+            assert_eq!(transient.serve_fault_at(&site, 1), None, "transient clears");
+        }
+    }
+
+    #[test]
+    fn serve_and_eval_schedules_are_independent_streams() {
+        let p = FaultPlan::permanent(7, 0.5);
+        // Same seed, same sites: the two draws must not be the same
+        // subset of sites (independent streams), which would couple the
+        // layers' chaos.
+        let eval_hits: Vec<bool> = (0..200)
+            .map(|s| p.fault_at(&format!("site{s}"), 0.2, 0, 0).is_some())
+            .collect();
+        let serve_hits: Vec<bool> = (0..200)
+            .map(|s| p.serve_fault_at(&format!("site{s}"), 0).is_some())
+            .collect();
+        assert_ne!(eval_hits, serve_hits);
     }
 
     #[test]

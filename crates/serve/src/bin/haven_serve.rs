@@ -15,8 +15,13 @@
 //!             [--queue-capacity N] [--deadline-ms MS] [--cache-capacity N]
 //!             [--inference-latency-ms MS] [--no-static-gate]
 //!             [--fault-rate R --fault-seed S [--fault-permanent]]
+//!             [--store-dir DIR] [--stall-timeout-ms MS]
 //!             [--listen ADDR] [--metrics-every N]
 //! ```
+//!
+//! `--store-dir DIR` makes the server durable: compile artifacts persist
+//! under `DIR/artifacts` and verified responses are redo-logged to
+//! `DIR/responses.wal`, so a restart warm-starts both caches from disk.
 //!
 //! Model names: `codeqwen`, `deepseek`, `codellama` (base profiles), or
 //! `perfect` (a uniform full-skill profile, useful for smoke tests).
@@ -47,6 +52,7 @@ fn usage() -> &'static str {
      \x20                  [--workers N] [--queue-capacity N] [--deadline-ms MS]\n\
      \x20                  [--cache-capacity N] [--inference-latency-ms MS] [--no-static-gate]\n\
      \x20                  [--fault-rate R] [--fault-seed S] [--fault-permanent]\n\
+     \x20                  [--store-dir DIR] [--stall-timeout-ms MS]\n\
      \x20                  [--listen 127.0.0.1:PORT] [--metrics-every N]\n\
      reads one JSON request {\"id\":..,\"prompt\":..[,\"deadline_ms\":..]} per line,\n\
      writes one JSON reply per line; EOF drains and prints metrics to stderr"
@@ -115,6 +121,15 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--fault-seed: {e}"))?;
             }
             "--fault-permanent" => fault_permanent = true,
+            "--store-dir" => {
+                opts.config.engine.store_dir = Some(value("--store-dir")?.into());
+            }
+            "--stall-timeout-ms" => {
+                let ms: u64 = value("--stall-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--stall-timeout-ms: {e}"))?;
+                opts.config.stall_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
             "--listen" => opts.listen = Some(value("--listen")?),
             "--metrics-every" => {
                 opts.metrics_every = value("--metrics-every")?

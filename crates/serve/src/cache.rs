@@ -76,13 +76,15 @@ impl ResponseCache {
     /// Inserts a response, evicting the oldest entry when full. Responses
     /// that are not [`ServeResponse::cacheable`] are refused here as a
     /// second line of defense (workers also check before calling).
-    pub fn insert(&self, key: u64, response: Arc<ServeResponse>) {
+    /// Returns whether a new entry was stored — the signal the durable
+    /// WAL uses to append exactly one redo record per unique payload.
+    pub fn insert(&self, key: u64, response: Arc<ServeResponse>) -> bool {
         if self.capacity == 0 || !response.cacheable() {
-            return;
+            return false;
         }
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         if inner.map.contains_key(&key) {
-            return; // First write wins; entries are deterministic anyway.
+            return false; // First write wins; entries are deterministic anyway.
         }
         if inner.map.len() >= self.capacity {
             if let Some(oldest) = inner.order.pop_front() {
@@ -91,6 +93,7 @@ impl ResponseCache {
         }
         inner.map.insert(key, response);
         inner.order.push_back(key);
+        true
     }
 
     /// Entries currently held.

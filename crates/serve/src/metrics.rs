@@ -14,23 +14,62 @@ use serde::{Deserialize, Serialize};
 
 use crate::request::Stage;
 
-/// Histogram bucket count: powers of two from 1 µs up, last bucket is
-/// overflow. 2^26 µs ≈ 67 s, far beyond any sane request deadline.
-const BUCKETS: usize = 27;
+/// Sub-buckets per octave. Log-linear bucketing: each power-of-two
+/// octave is split into 16 linear sub-buckets, so the quantile estimate
+/// (a bucket upper bound) overshoots the true value by at most 6.25% —
+/// the resolution that lets p95 and p99 separate instead of saturating
+/// into the same power of two, which is what made BENCH_serve.json
+/// report p95 == p99 at every worker count under the old log2 scheme.
+const SUB: usize = 16;
+/// log2(SUB): the first octave that gets sub-bucketed.
+const SUB_SHIFT: usize = SUB.trailing_zeros() as usize;
+/// Values 0..SUB get exact buckets; octaves SUB_SHIFT..=63 get SUB
+/// sub-buckets each, covering the full `u64` microsecond range with no
+/// overflow bucket.
+const BUCKETS: usize = SUB + (64 - SUB_SHIFT) * SUB;
 
-/// One log2-bucketed latency histogram (microseconds).
-#[derive(Default)]
+/// One log-linear latency histogram (microseconds).
 pub struct Histogram {
     counts: [AtomicU64; BUCKETS],
     sum_us: AtomicU64,
     max_us: AtomicU64,
 }
 
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index holding `us`.
+fn bucket_for(us: u64) -> usize {
+    if us < SUB as u64 {
+        return us as usize;
+    }
+    let octave = 63 - us.leading_zeros() as usize;
+    let sub = ((us - (1u64 << octave)) >> (octave - SUB_SHIFT)) as usize;
+    SUB + (octave - SUB_SHIFT) * SUB + sub
+}
+
+/// The largest value that lands in `bucket` (its inclusive upper bound).
+fn bucket_upper(bucket: usize) -> u64 {
+    if bucket < SUB {
+        return bucket as u64;
+    }
+    let octave = SUB_SHIFT + (bucket - SUB) / SUB;
+    let sub = ((bucket - SUB) % SUB) as u128;
+    let upper = (1u128 << octave) + (sub + 1) * (1u128 << (octave - SUB_SHIFT)) - 1;
+    u64::try_from(upper).unwrap_or(u64::MAX)
+}
+
 impl Histogram {
     /// Records one observation.
     pub fn record(&self, us: u64) {
-        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.counts[bucket_for(us)].fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
         self.max_us.fetch_max(us, Ordering::Relaxed);
     }
@@ -42,21 +81,23 @@ impl Histogram {
             .map(|c| c.load(Ordering::Relaxed))
             .collect();
         let count: u64 = counts.iter().sum();
+        let max_us = self.max_us.load(Ordering::Relaxed);
         HistogramSnapshot {
             count,
             sum_us: self.sum_us.load(Ordering::Relaxed),
-            max_us: self.max_us.load(Ordering::Relaxed),
-            p50_us: quantile(&counts, count, 0.50),
-            p95_us: quantile(&counts, count, 0.95),
-            p99_us: quantile(&counts, count, 0.99),
+            max_us,
+            p50_us: quantile(&counts, count, max_us, 0.50),
+            p95_us: quantile(&counts, count, max_us, 0.95),
+            p99_us: quantile(&counts, count, max_us, 0.99),
         }
     }
 }
 
-/// Upper bound of the bucket holding quantile `q` (0 when empty). Bucket
-/// `i` holds observations in `[2^(i-1), 2^i)` µs, so the estimate is the
-/// bucket's upper bound — pessimistic by at most 2x, stable, and cheap.
-fn quantile(counts: &[u64], total: u64, q: f64) -> u64 {
+/// Upper bound of the bucket holding quantile `q` (0 when empty),
+/// clamped by the exact recorded maximum — a quantile can never exceed
+/// the largest observation, so the clamp tightens the tail estimate for
+/// free (and makes `p99 <= max` exact).
+fn quantile(counts: &[u64], total: u64, max_us: u64, q: f64) -> u64 {
     if total == 0 {
         return 0;
     }
@@ -65,10 +106,10 @@ fn quantile(counts: &[u64], total: u64, q: f64) -> u64 {
     for (i, &c) in counts.iter().enumerate() {
         seen += c;
         if seen >= rank {
-            return 1u64 << i;
+            return bucket_upper(i).min(max_us);
         }
     }
-    1u64 << (BUCKETS - 1)
+    max_us
 }
 
 /// Point-in-time view of one histogram.
@@ -124,6 +165,26 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Retry attempts spent on fault-class outcomes.
     pub retries: AtomicU64,
+    /// Admitted requests terminated by the watchdog after their worker
+    /// stalled past the stall timeout (counted inside `failed` too; this
+    /// attributes them).
+    pub watchdog_recycles: AtomicU64,
+    /// Durable-store / WAL writes that failed (disk trouble or injected
+    /// chaos). Consecutive failures push the server into degraded mode.
+    pub store_write_failures: AtomicU64,
+    /// Injected silent store corruptions (chaos drills only; detected
+    /// and quarantined by the next restart's replay).
+    pub store_corruptions: AtomicU64,
+    /// Requests shed with [`crate::Rejection::Retrying`] while degraded.
+    pub degraded_shed: AtomicU64,
+    /// Requests served from the verified-response cache while degraded.
+    pub degraded_hits: AtomicU64,
+    /// Times the server entered degraded mode.
+    pub degraded_entered: AtomicU64,
+    /// Responses replayed into the cache from the WAL at startup.
+    pub wal_replayed: AtomicU64,
+    /// Responses appended to the WAL (durable across restarts).
+    pub responses_persisted: AtomicU64,
     /// Deadline rejections by the stage where time ran out.
     pub deadline_by_stage: [AtomicU64; 5],
     /// Latency histograms by stage.
@@ -163,6 +224,14 @@ impl Metrics {
             cache_hits: load(&self.cache_hits),
             cache_misses: load(&self.cache_misses),
             retries: load(&self.retries),
+            watchdog_recycles: load(&self.watchdog_recycles),
+            store_write_failures: load(&self.store_write_failures),
+            store_corruptions: load(&self.store_corruptions),
+            degraded_shed: load(&self.degraded_shed),
+            degraded_hits: load(&self.degraded_hits),
+            degraded_entered: load(&self.degraded_entered),
+            wal_replayed: load(&self.wal_replayed),
+            responses_persisted: load(&self.responses_persisted),
             deadline_by_stage: Stage::ALL
                 .iter()
                 .map(|s| {
@@ -209,6 +278,22 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Retry attempts spent on fault-class outcomes.
     pub retries: u64,
+    /// Watchdog-terminated stalled requests.
+    pub watchdog_recycles: u64,
+    /// Failed durable-store / WAL writes.
+    pub store_write_failures: u64,
+    /// Injected silent store corruptions (chaos drills).
+    pub store_corruptions: u64,
+    /// Requests shed with a typed retry-after while degraded.
+    pub degraded_shed: u64,
+    /// Cache hits served while degraded.
+    pub degraded_hits: u64,
+    /// Degraded-mode entries.
+    pub degraded_entered: u64,
+    /// Responses replayed from the WAL at startup.
+    pub wal_replayed: u64,
+    /// Responses appended to the WAL.
+    pub responses_persisted: u64,
     /// Deadline rejections by stage label.
     pub deadline_by_stage: Vec<(String, u64)>,
     /// Per-stage latency, by stage label.
@@ -251,13 +336,28 @@ impl MetricsSnapshot {
         line("cache_hits_total", self.cache_hits);
         line("cache_misses_total", self.cache_misses);
         line("retries_total", self.retries);
+        line("watchdog_recycles_total", self.watchdog_recycles);
+        line("store_write_failures_total", self.store_write_failures);
+        line("store_corruptions_total", self.store_corruptions);
+        line("degraded_shed_total", self.degraded_shed);
+        line("degraded_hits_total", self.degraded_hits);
+        line("degraded_entered_total", self.degraded_entered);
+        line("wal_replayed_total", self.wal_replayed);
+        line("responses_persisted_total", self.responses_persisted);
         for (stage, n) in &self.deadline_by_stage {
             out.push_str(&format!(
                 "serve_deadline_exceeded_total{{stage=\"{stage}\"}} {n}\n"
             ));
         }
         let mut hist = |name: &str, label: &str, h: &HistogramSnapshot| {
-            for (q, v) in [("p50", h.p50_us), ("p95", h.p95_us), ("p99", h.p99_us)] {
+            // `max` is the exact largest observation, not an estimate —
+            // the one number bucketing can never blur.
+            for (q, v) in [
+                ("p50", h.p50_us),
+                ("p95", h.p95_us),
+                ("p99", h.p99_us),
+                ("max", h.max_us),
+            ] {
                 out.push_str(&format!(
                     "serve_{name}_us{{{label},quantile=\"{q}\"}} {v}\n"
                 ));
@@ -287,10 +387,62 @@ mod tests {
         assert_eq!(s.count, 6);
         assert_eq!(s.sum_us, 11_106);
         assert_eq!(s.max_us, 10_000);
-        // Bucket upper bounds: within 2x above the true quantile.
-        assert!(s.p50_us >= 3 && s.p50_us <= 8, "{}", s.p50_us);
-        assert!(s.p99_us >= 10_000 && s.p99_us <= 20_000, "{}", s.p99_us);
+        // Log-linear bucket upper bounds: within 6.25% above the true
+        // quantile (exact below 16 µs, and the tail clamps to max).
+        assert_eq!(s.p50_us, 3, "{}", s.p50_us);
+        assert!(s.p99_us >= 10_000 && s.p99_us <= 11_250, "{}", s.p99_us);
         assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us);
+    }
+
+    #[test]
+    fn buckets_are_exhaustive_and_tight() {
+        // Every value lands in a bucket whose upper bound is >= the value
+        // and overshoots by at most 1/SUB (exact below SUB).
+        let mut us = 1u64;
+        while us < u64::MAX / 3 {
+            for v in [us, us + us / 3, us.saturating_mul(2) - 1] {
+                let b = bucket_for(v);
+                let ub = bucket_upper(b);
+                assert!(ub >= v, "upper bound {ub} below value {v}");
+                assert!(
+                    b == 0 || bucket_upper(b - 1) < v,
+                    "value {v} fits an earlier bucket"
+                );
+                if v >= SUB as u64 {
+                    assert!(
+                        (ub - v) as f64 / v as f64 <= 1.0 / SUB as f64,
+                        "bucket error for {v}: upper {ub}"
+                    );
+                }
+            }
+            us = us.saturating_mul(2);
+        }
+        assert!(bucket_for(u64::MAX) < BUCKETS);
+        assert_eq!(bucket_upper(bucket_for(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn p95_and_p99_separate_under_a_bimodal_tail() {
+        // The regression the log2 scheme had: a tail one octave out
+        // collapsed p95 and p99 into the same power of two. With linear
+        // sub-buckets per octave they must separate.
+        let h = Histogram::default();
+        for _ in 0..95 {
+            h.record(1_000);
+        }
+        for _ in 0..5 {
+            h.record(5_000);
+        }
+        let s = h.snapshot();
+        assert!(s.p95_us >= 1_000 && s.p95_us <= 1_125, "{}", s.p95_us);
+        assert!(s.p99_us >= 5_000 && s.p99_us <= 5_625, "{}", s.p99_us);
+        assert!(
+            s.p95_us < s.p99_us,
+            "p95 {} must not equal p99 {}",
+            s.p95_us,
+            s.p99_us
+        );
+        assert_eq!(s.max_us, 5_000, "exact max is reported alongside");
     }
 
     #[test]
@@ -301,12 +453,13 @@ mod tests {
     }
 
     #[test]
-    fn oversized_observation_lands_in_overflow_bucket() {
+    fn oversized_observation_is_covered_without_an_overflow_bucket() {
         let h = Histogram::default();
         h.record(u64::MAX);
         let s = h.snapshot();
         assert_eq!(s.count, 1);
-        assert_eq!(s.p50_us, 1u64 << (BUCKETS - 1));
+        assert_eq!(s.p50_us, u64::MAX, "quantile clamps to the exact max");
+        assert_eq!(s.max_us, u64::MAX);
     }
 
     #[test]
@@ -331,8 +484,12 @@ mod tests {
         for needle in [
             "serve_admitted_total 0",
             "serve_cache_hits_total 0",
+            "serve_watchdog_recycles_total 0",
+            "serve_store_write_failures_total 0",
+            "serve_degraded_shed_total 0",
             "stage=\"queue_wait\"",
             "stage=\"simulate\"",
+            "quantile=\"max\"",
             "serve_total_us_count{stage=\"total\"} 1",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");

@@ -16,17 +16,19 @@
 //! prompt, engine fingerprint), which is the property the
 //! verified-response cache relies on to replay payloads bit-identically.
 
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use haven_engine::{Engine as CompileEngine, EngineFingerprint, EngineOptions};
-use haven_eval::fault::{corrupt_source, FaultKind};
+use haven_eval::fault::{corrupt_source, FaultKind, ServeFaultKind};
 use haven_eval::FaultPlan;
 use haven_lm::model::CodeGenModel;
 use haven_lm::perception::perceive;
 use haven_sicot::SiCot;
 use haven_spec::cosim::{cosimulate_artifact, CosimOptions, SimBackend, SimBudget, Verdict};
 use haven_spec::stimuli::stimuli_for;
+use haven_store::Wal;
 
 use crate::cache::ResponseCache;
 use crate::metrics::Metrics;
@@ -55,6 +57,22 @@ pub struct EngineConfig {
     pub inference_latency: Duration,
     /// Fault injection at the generation boundary (tests, chaos drills).
     pub fault_plan: Option<FaultPlan>,
+    /// Durable state directory. When set, compile artifacts persist under
+    /// `<dir>/artifacts` and verified responses are redo-logged to
+    /// `<dir>/responses.wal`, so a restarted server warm-starts both
+    /// caches from disk. `None` keeps everything in memory.
+    pub store_dir: Option<PathBuf>,
+    /// Serve-level fault injection (worker hangs, disk-write failures,
+    /// store corruption, slow clients) — exercised by chaos drills; the
+    /// generation-boundary `fault_plan` above stays independent.
+    pub serve_fault_plan: Option<FaultPlan>,
+    /// How long an injected [`ServeFaultKind::WorkerHang`] blocks the
+    /// worker. Long enough for the watchdog under test to fire, short
+    /// enough that the detached thread drains promptly afterwards.
+    pub hang_duration: Duration,
+    /// Added latency for an injected [`ServeFaultKind::SlowClient`]
+    /// (models a reader draining its reply slowly).
+    pub slow_client_delay: Duration,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +84,10 @@ impl Default for EngineConfig {
             artifact_cache: 256,
             inference_latency: Duration::ZERO,
             fault_plan: None,
+            store_dir: None,
+            serve_fault_plan: None,
+            hang_duration: Duration::from_millis(1500),
+            slow_client_delay: Duration::from_millis(20),
         }
     }
 }
@@ -128,6 +150,10 @@ pub struct Attempt {
     pub sicot_steps: usize,
     /// Stage timings for this attempt (queue/total filled by the worker).
     pub trace: RequestTrace,
+    /// The durable store failed to accept this attempt's redo record
+    /// (injected or real). The response itself is unaffected — the worker
+    /// feeds this into server health to drive degraded mode.
+    pub store_write_failed: bool,
 }
 
 /// The shared request pipeline: SI-CoT refiner, serving model, static
@@ -145,6 +171,20 @@ pub struct Engine {
     config: EngineConfig,
     cache: Arc<ResponseCache>,
     metrics: Arc<Metrics>,
+    /// Redo log of verified responses (`None` when serving in-memory).
+    /// Installed only *after* startup replay, so replay can never append
+    /// the records it is reading back.
+    wal: Mutex<Option<Wal>>,
+}
+
+/// Whether an attempt serves a live request or replays a WAL record at
+/// startup. Replay skips fault draws, the modeled inference latency, and
+/// cache-traffic metrics: it must reconstruct yesterday's payloads, not
+/// re-roll today's dice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttemptMode {
+    Live,
+    Replay,
 }
 
 impl Engine {
@@ -157,16 +197,24 @@ impl Engine {
         cache: Arc<ResponseCache>,
         metrics: Arc<Metrics>,
     ) -> Engine {
-        let compiler = CompileEngine::new(EngineOptions {
+        let options = EngineOptions {
             backend: config.backend,
             budget: config.budget,
             cache_capacity: config.artifact_cache,
-        });
+        };
+        // Durable mode: compile artifacts persist under <dir>/artifacts.
+        // Persistence is an optimization, so an unusable directory
+        // degrades to in-memory serving rather than refusing to start.
+        let compiler = match &config.store_dir {
+            Some(dir) => CompileEngine::open_durable(options, dir.join("artifacts"))
+                .unwrap_or_else(|_| CompileEngine::new(options)),
+            None => CompileEngine::new(options),
+        };
         let fingerprint = compiler
             .fingerprint()
             .with_static_gate(config.static_gate)
             .with_model(&model.profile.name, model.temperature);
-        Engine {
+        let engine = Engine {
             sicot: SiCot::new(model.clone()),
             model,
             compiler,
@@ -174,7 +222,43 @@ impl Engine {
             config,
             cache,
             metrics,
+            wal: Mutex::new(None),
+        };
+        if let Some(dir) = engine.config.store_dir.clone() {
+            engine.warm_start(&dir);
         }
+        engine
+    }
+
+    /// Opens the response WAL and replays every committed record whose
+    /// fingerprint matches the current configuration, refilling the
+    /// verified-response cache by re-running each prompt through a
+    /// fault-free pipeline attempt. The WAL handle is installed only once
+    /// replay is done.
+    fn warm_start(&self, dir: &std::path::Path) {
+        let Ok((wal, replay)) = Wal::open(dir.join("responses.wal")) else {
+            return;
+        };
+        let fp_key = self.fingerprint.key().to_le_bytes();
+        let mut seen = std::collections::HashSet::new();
+        let clock = DeadlineClock::new(Instant::now(), Duration::from_secs(3600));
+        for record in &replay.records {
+            // Record layout: fingerprint key (u64 LE) ++ raw prompt bytes.
+            if record.len() <= 8 || record[..8] != fp_key {
+                continue; // Stale configuration: recompute on demand.
+            }
+            let Ok(prompt) = std::str::from_utf8(&record[8..]) else {
+                continue;
+            };
+            if !seen.insert(haven_hash::content_key(&[prompt])) {
+                continue;
+            }
+            let attempt = self.attempt_inner(prompt, &clock, 0, AttemptMode::Replay);
+            if matches!(attempt.outcome, AttemptOutcome::Response(_)) {
+                Metrics::inc(&self.metrics.wal_replayed);
+            }
+        }
+        *self.wal.lock().expect("wal lock poisoned") = Some(wal);
     }
 
     /// The structured fingerprint of this engine's serving configuration
@@ -198,6 +282,27 @@ impl Engine {
     /// for this attempt — the worker pool's `catch_unwind` is the
     /// production recovery path and is exercised for real.
     pub fn run_attempt(&self, prompt: &str, clock: &DeadlineClock, attempt: usize) -> Attempt {
+        self.attempt_inner(prompt, clock, attempt, AttemptMode::Live)
+    }
+
+    /// Cache-only lookup for degraded mode: normalizes the prompt and
+    /// consults the verified-response cache without generating, touching
+    /// the store, or bumping cache-traffic metrics. Returns the payload
+    /// (if cached) and the SI-CoT step count for the reply envelope.
+    pub fn lookup_cached(&self, prompt: &str) -> (Option<Arc<ServeResponse>>, usize) {
+        let raw_id = haven_hash::hex16(haven_hash::content_key(&[prompt]));
+        let refined = self.sicot.refine(prompt, &raw_id);
+        let key = ResponseCache::key(&refined.text, &self.fingerprint);
+        (self.cache.get(key), refined.steps.len())
+    }
+
+    fn attempt_inner(
+        &self,
+        prompt: &str,
+        clock: &DeadlineClock,
+        attempt: usize,
+        mode: AttemptMode,
+    ) -> Attempt {
         let mut trace = RequestTrace::default();
 
         // --- Normalize: SI-CoT rewriting of symbolic modality blocks ---
@@ -216,13 +321,29 @@ impl Engine {
         // Everything downstream depends only on the normalized text.
         let gen_key = haven_hash::content_key(&[&refined.text]);
         let gen_id = haven_hash::hex16(gen_key);
-        let fault = self
-            .config
-            .fault_plan
-            .as_ref()
-            .and_then(|p| p.fault_at(&gen_id, self.model.temperature, 0, attempt));
+        let (fault, serve_fault) = if mode == AttemptMode::Live {
+            (
+                self.config
+                    .fault_plan
+                    .as_ref()
+                    .and_then(|p| p.fault_at(&gen_id, self.model.temperature, 0, attempt)),
+                self.config
+                    .serve_fault_plan
+                    .as_ref()
+                    .and_then(|p| p.serve_fault_at(&gen_id, attempt)),
+            )
+        } else {
+            // Replay reconstructs committed payloads: no dice.
+            (None, None)
+        };
         if fault == Some(FaultKind::WorkerPanic) {
             panic!("injected worker panic (gen {gen_id}, attempt {attempt})");
+        }
+        if serve_fault == Some(ServeFaultKind::WorkerHang) {
+            // The worker thread wedges here — the watchdog's job to notice.
+            // It eventually wakes and finishes the attempt, then loses the
+            // delivery race to the watchdog's typed failure.
+            std::thread::sleep(self.config.hang_duration);
         }
 
         // --- Cache lookup (bypassed when a fault is injected: the fault
@@ -230,7 +351,7 @@ impl Engine {
         let cache_key = ResponseCache::key(&refined.text, &self.fingerprint);
         if fault.is_none() {
             if let Some(hit) = self.cache.get(cache_key) {
-                if attempt == 0 {
+                if attempt == 0 && mode == AttemptMode::Live {
                     Metrics::inc(&self.metrics.cache_hits);
                 }
                 return Attempt {
@@ -238,9 +359,10 @@ impl Engine {
                     cache_hit: true,
                     sicot_steps,
                     trace,
+                    store_write_failed: false,
                 };
             }
-            if attempt == 0 {
+            if attempt == 0 && mode == AttemptMode::Live {
                 Metrics::inc(&self.metrics.cache_misses);
             }
         }
@@ -250,10 +372,11 @@ impl Engine {
             return deadline(r, sicot_steps, trace);
         }
         let t = Instant::now();
-        if !self.config.inference_latency.is_zero() {
+        if !self.config.inference_latency.is_zero() && mode == AttemptMode::Live {
             // Block for the modeled inference latency, but never past the
             // deadline: a too-slow model call times out *here*, at the
-            // generate stage, like a real RPC timeout would.
+            // generate stage, like a real RPC timeout would. Replay skips
+            // it — warm restart must not re-pay yesterday's inference.
             std::thread::sleep(self.config.inference_latency.min(clock.remaining()));
         }
         let mut source = self.model.generate(&refined.text, &gen_id, 0);
@@ -282,6 +405,9 @@ impl Engine {
                 },
                 cache_key,
                 fault,
+                serve_fault,
+                prompt,
+                mode,
                 sicot_steps,
                 trace,
             );
@@ -307,6 +433,9 @@ impl Engine {
                     },
                     cache_key,
                     fault,
+                    serve_fault,
+                    prompt,
+                    mode,
                     sicot_steps,
                     trace,
                 );
@@ -331,6 +460,9 @@ impl Engine {
                 },
                 cache_key,
                 fault,
+                serve_fault,
+                prompt,
+                mode,
                 sicot_steps,
                 trace,
             );
@@ -381,18 +513,26 @@ impl Engine {
             },
             cache_key,
             fault,
+            serve_fault,
+            prompt,
+            mode,
             sicot_steps,
             trace,
         )
     }
 
     /// Wraps a freshly computed payload, filling the cache when the
-    /// attempt was fault-free and the payload is cacheable.
+    /// attempt was fault-free and the payload is cacheable, and appending
+    /// one redo record to the response WAL per fresh cache fill.
+    #[allow(clippy::too_many_arguments)]
     fn respond(
         &self,
         response: ServeResponse,
         cache_key: u64,
         fault: Option<FaultKind>,
+        serve_fault: Option<ServeFaultKind>,
+        prompt: &str,
+        mode: AttemptMode,
         sicot_steps: usize,
         trace: RequestTrace,
     ) -> Attempt {
@@ -400,14 +540,67 @@ impl Engine {
         // An attempt with an injected fault never writes the cache: its
         // payload was produced under sabotage (corrupted source, starved
         // budget) and must not be replayed for honest requests.
+        let mut store_write_failed = false;
         if fault.is_none() {
-            self.cache.insert(cache_key, response.clone());
+            let inserted = self.cache.insert(cache_key, response.clone());
+            // One WAL record per *fresh* cacheable fill (insert returning
+            // false means non-cacheable, capacity 0, or already present —
+            // none of which need a redo record). Replay never appends:
+            // the WAL handle is not even installed until replay finishes.
+            if inserted && mode == AttemptMode::Live {
+                store_write_failed = self.persist(prompt, serve_fault);
+            }
+        }
+        if mode == AttemptMode::Live && serve_fault == Some(ServeFaultKind::SlowClient) {
+            // The reply sits in the worker while the modeled client
+            // drains slowly; payload and accounting are unaffected.
+            std::thread::sleep(self.config.slow_client_delay);
         }
         Attempt {
             outcome: AttemptOutcome::Response(response),
             cache_hit: false,
             sicot_steps,
             trace,
+            store_write_failed,
+        }
+    }
+
+    /// Appends one redo record (fingerprint key ++ raw prompt) to the
+    /// response WAL, honoring injected store faults. Returns whether the
+    /// write failed — the health signal that drives degraded mode. A
+    /// missing WAL (in-memory serving) is not a failure.
+    fn persist(&self, prompt: &str, serve_fault: Option<ServeFaultKind>) -> bool {
+        let mut guard = self.wal.lock().expect("wal lock poisoned");
+        let Some(wal) = guard.as_mut() else {
+            return false;
+        };
+        let mut record = Vec::with_capacity(8 + prompt.len());
+        record.extend_from_slice(&self.fingerprint.key().to_le_bytes());
+        record.extend_from_slice(prompt.as_bytes());
+        match serve_fault {
+            Some(ServeFaultKind::DiskWriteFail) => {
+                // The disk refused the write: the response still goes out,
+                // the record is simply not durable.
+                Metrics::inc(&self.metrics.store_write_failures);
+                true
+            }
+            Some(ServeFaultKind::StoreCorruption) => {
+                // Silent media corruption: the append "succeeds" and only
+                // the next restart's replay can detect and quarantine it.
+                let _ = wal.append_corrupt(&record);
+                Metrics::inc(&self.metrics.store_corruptions);
+                false
+            }
+            _ => match wal.append(&record) {
+                Ok(()) => {
+                    Metrics::inc(&self.metrics.responses_persisted);
+                    false
+                }
+                Err(_) => {
+                    Metrics::inc(&self.metrics.store_write_failures);
+                    true
+                }
+            },
         }
     }
 }
@@ -418,6 +611,7 @@ fn deadline(rejection: Rejection, sicot_steps: usize, trace: RequestTrace) -> At
         cache_hit: false,
         sicot_steps,
         trace,
+        store_write_failed: false,
     }
 }
 

@@ -114,6 +114,14 @@ pub enum Rejection {
     },
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The server is in degraded mode (unhealthy store or recycled
+    /// workers): cache hits are still served, but fresh compiles are
+    /// shed. The caller should retry after the hinted delay, by which
+    /// time the server expects to have recovered.
+    Retrying {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for Rejection {
@@ -129,6 +137,9 @@ impl std::fmt::Display for Rejection {
                 stage.label()
             ),
             Rejection::ShuttingDown => write!(f, "server shutting down"),
+            Rejection::Retrying { retry_after_ms } => {
+                write!(f, "server degraded, retry after {retry_after_ms} ms")
+            }
         }
     }
 }

@@ -11,9 +11,9 @@
 //! (queued jobs still run) so the invariant holds at quiesce; it never
 //! abandons admitted work.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -48,6 +48,17 @@ pub struct ServeConfig {
     /// Pipeline configuration (static gate, budgets, inference latency,
     /// fault injection).
     pub engine: EngineConfig,
+    /// Watchdog threshold: a job still running this long after a worker
+    /// picked it up is declared stalled — the watchdog resolves it with a
+    /// typed failure and recycles the worker. `None` disables the
+    /// watchdog. Queue wait does not count toward the threshold.
+    pub stall_timeout: Option<Duration>,
+    /// Store write failures tolerated before the server enters degraded
+    /// mode (cache hits still served, fresh compiles shed).
+    pub store_failure_threshold: u64,
+    /// How long degraded mode lasts before normal serving resumes (also
+    /// the retry-after hint sent with [`Rejection::Retrying`]).
+    pub degraded_cooldown: Duration,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +70,9 @@ impl Default for ServeConfig {
             cache_capacity: 1024,
             retry: RetryPolicy::default(),
             engine: EngineConfig::default(),
+            stall_timeout: Some(Duration::from_secs(2)),
+            store_failure_threshold: 3,
+            degraded_cooldown: Duration::from_millis(250),
         }
     }
 }
@@ -75,6 +89,65 @@ struct Job {
 struct QueueState {
     jobs: VecDeque<Job>,
     shutting_down: bool,
+    /// Jobs popped from the queue but not yet terminally resolved.
+    /// Shutdown drains until `jobs.is_empty() && in_flight == 0`, so
+    /// already-admitted requests always get their reply before workers
+    /// exit — queue emptiness alone is not quiescence.
+    in_flight: usize,
+}
+
+/// A popped job's entry in the watchdog registry. Whoever wins the
+/// `claimed` CAS — the worker finishing the pipeline, or the watchdog
+/// declaring it stalled — delivers the one and only terminal reply.
+struct Inflight {
+    claimed: Arc<AtomicBool>,
+    reply_to: Sender<ServeReply>,
+    id: String,
+    started: Instant,
+}
+
+/// Store-health tracker driving degraded mode.
+struct Health {
+    /// Store write failures since the last degraded-mode entry.
+    store_failures: AtomicU64,
+    /// While `Some(t)` with `t` in the future, the server is degraded:
+    /// cache hits are served, fresh compiles are shed with a typed
+    /// `Retrying` rejection. Cleared lazily once the cooldown passes.
+    degraded_until: Mutex<Option<Instant>>,
+}
+
+impl Health {
+    /// Remaining degraded time, clearing the flag once expired.
+    fn degraded_remaining(&self) -> Option<Duration> {
+        let mut until = self.degraded_until.lock().expect("health lock poisoned");
+        match *until {
+            Some(t) => {
+                let now = Instant::now();
+                if now < t {
+                    Some(t - now)
+                } else {
+                    *until = None;
+                    None
+                }
+            }
+            None => None,
+        }
+    }
+
+    /// Records one store write failure; crossing `threshold` enters (or
+    /// extends) degraded mode for `cooldown`.
+    fn note_store_failure(&self, threshold: u64, cooldown: Duration, metrics: &Metrics) {
+        let n = self.store_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        if n >= threshold.max(1) {
+            self.store_failures.store(0, Ordering::SeqCst);
+            let mut until = self.degraded_until.lock().expect("health lock poisoned");
+            let now = Instant::now();
+            if !matches!(*until, Some(t) if t > now) {
+                Metrics::inc(&metrics.degraded_entered);
+            }
+            *until = Some(now + cooldown);
+        }
+    }
 }
 
 struct Shared {
@@ -88,13 +161,24 @@ struct Shared {
     cache: Arc<ResponseCache>,
     retry: RetryPolicy,
     queue_capacity: usize,
+    /// Jobs currently being worked, by serial — what the watchdog scans.
+    inflight: Mutex<HashMap<u64, Inflight>>,
+    job_serial: AtomicU64,
+    /// Worker pool handles. Lives in `Shared` (not `Server`) so the
+    /// watchdog can push replacement workers after recycling a stalled
+    /// one; shutdown joins whatever is here at quiesce.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_serial: AtomicU64,
+    health: Health,
+    store_failure_threshold: u64,
+    degraded_cooldown: Duration,
 }
 
 /// The concurrent spec-to-RTL server.
 pub struct Server {
     shared: Arc<Shared>,
     default_deadline: Duration,
-    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
     stopped: AtomicBool,
 }
 
@@ -108,6 +192,7 @@ impl Server {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 shutting_down: false,
+                in_flight: 0,
             }),
             wake: Condvar::new(),
             drained: Condvar::new(),
@@ -116,20 +201,31 @@ impl Server {
             cache,
             retry: config.retry,
             queue_capacity: config.queue_capacity.max(1),
+            inflight: Mutex::new(HashMap::new()),
+            job_serial: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+            worker_serial: AtomicU64::new(0),
+            health: Health {
+                store_failures: AtomicU64::new(0),
+                degraded_until: Mutex::new(None),
+            },
+            store_failure_threshold: config.store_failure_threshold,
+            degraded_cooldown: config.degraded_cooldown,
         });
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        for _ in 0..config.workers.max(1) {
+            spawn_worker(&shared);
+        }
+        let watchdog = config.stall_timeout.map(|stall| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("serve-watchdog".into())
+                .spawn(move || watchdog_loop(&shared, stall))
+                .expect("spawn watchdog thread")
+        });
         Server {
             shared,
             default_deadline: config.default_deadline,
-            workers,
+            watchdog,
             stopped: AtomicBool::new(false),
         }
     }
@@ -202,8 +298,9 @@ impl Server {
         self.shared.cache.len()
     }
 
-    /// Stops admission, waits for every queued job to finish, and joins
-    /// the workers. Idempotent; also runs on drop.
+    /// Stops admission, waits for every admitted job — queued *and*
+    /// in-flight — to reach its terminal reply, and joins the workers.
+    /// Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         if self.stopped.swap(true, Ordering::SeqCst) {
             return;
@@ -212,9 +309,12 @@ impl Server {
             let mut state = self.shared.state.lock().expect("queue lock poisoned");
             state.shutting_down = true;
             self.shared.wake.notify_all();
-            // Drain: admitted work still runs, so the accounting
-            // invariant holds exactly at quiesce.
-            while !state.jobs.is_empty() {
+            // Drain: admitted work still runs, and a job a worker already
+            // picked up must deliver its reply before quiesce — so the
+            // accounting invariant holds exactly at shutdown. A wedged
+            // worker cannot stall this forever: the watchdog resolves its
+            // job with a typed failure and the drain proceeds.
+            while !state.jobs.is_empty() || state.in_flight > 0 {
                 state = self
                     .shared
                     .drained
@@ -223,7 +323,11 @@ impl Server {
             }
         }
         self.shared.wake.notify_all();
-        for handle in self.workers.drain(..) {
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
+        let workers = std::mem::take(&mut *self.shared.workers.lock().expect("workers lock"));
+        for handle in workers {
             let _ = handle.join();
         }
     }
@@ -257,15 +361,29 @@ fn refuse(request: &ServeRequest, rejection: Rejection, reply_to: &Sender<ServeR
     });
 }
 
+/// Spawns one worker thread and registers its handle for shutdown.
+/// Called at startup and by the watchdog when recycling a stalled worker.
+fn spawn_worker(shared: &Arc<Shared>) {
+    let i = shared.worker_serial.fetch_add(1, Ordering::SeqCst);
+    let cloned = shared.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("serve-worker-{i}"))
+        .spawn(move || worker_loop(&cloned))
+        .expect("spawn worker thread");
+    shared
+        .workers
+        .lock()
+        .expect("workers lock poisoned")
+        .push(handle);
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
             let mut state = shared.state.lock().expect("queue lock poisoned");
             loop {
                 if let Some(job) = state.jobs.pop_front() {
-                    if state.jobs.is_empty() {
-                        shared.drained.notify_all();
-                    }
+                    state.in_flight += 1;
                     break Some(job);
                 }
                 if state.shutting_down {
@@ -275,16 +393,112 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let Some(job) = job else { return };
-        run_job(shared, job);
+        if !run_job(shared, job) {
+            // The watchdog declared this worker stalled, resolved its job
+            // and already spawned a replacement: retire quietly.
+            return;
+        }
+    }
+}
+
+/// Marks one in-flight job terminally resolved and wakes `shutdown` if
+/// that was the last piece of admitted work.
+fn finish_job(shared: &Shared) {
+    let mut state = shared.state.lock().expect("queue lock poisoned");
+    state.in_flight -= 1;
+    if state.jobs.is_empty() && state.in_flight == 0 {
+        shared.drained.notify_all();
+    }
+}
+
+/// Scans the in-flight registry for jobs running longer than `stall`,
+/// resolves each with a typed failure, and recycles the wedged worker by
+/// spawning a replacement. The stalled thread itself eventually wakes,
+/// loses the delivery race, and retires.
+fn watchdog_loop(shared: &Arc<Shared>, stall: Duration) {
+    let poll = (stall / 8).max(Duration::from_millis(1));
+    loop {
+        {
+            let state = shared.state.lock().expect("queue lock poisoned");
+            if state.shutting_down && state.jobs.is_empty() && state.in_flight == 0 {
+                return;
+            }
+        }
+        let stalled: Vec<(u64, Arc<AtomicBool>, Sender<ServeReply>, String, Instant)> = {
+            let registry = shared.inflight.lock().expect("inflight lock poisoned");
+            registry
+                .iter()
+                .filter(|(_, e)| e.started.elapsed() >= stall)
+                .map(|(&serial, e)| {
+                    (
+                        serial,
+                        e.claimed.clone(),
+                        e.reply_to.clone(),
+                        e.id.clone(),
+                        e.started,
+                    )
+                })
+                .collect()
+        };
+        for (serial, claimed, reply_to, id, started) in stalled {
+            if claimed.swap(true, Ordering::SeqCst) {
+                continue; // The worker delivered in the meantime.
+            }
+            shared
+                .inflight
+                .lock()
+                .expect("inflight lock poisoned")
+                .remove(&serial);
+            Metrics::inc(&shared.metrics.failed);
+            Metrics::inc(&shared.metrics.watchdog_recycles);
+            let elapsed_ms = started.elapsed().as_millis() as u64;
+            let _ = reply_to.send(ServeReply {
+                id,
+                outcome: ServeOutcome::Failed {
+                    detail: format!(
+                        "watchdog: worker stalled for {elapsed_ms} ms; \
+                         request abandoned, worker recycled"
+                    ),
+                },
+                cache_hit: false,
+                sicot_steps: 0,
+                trace: RequestTrace {
+                    total_us: started.elapsed().as_micros() as u64,
+                    ..RequestTrace::default()
+                },
+            });
+            finish_job(shared);
+            spawn_worker(shared);
+        }
+        std::thread::sleep(poll);
     }
 }
 
 /// Runs one admitted job to its terminal state and delivers the reply.
-fn run_job(shared: &Shared, job: Job) {
+/// Returns whether this worker should keep serving (`false` means the
+/// watchdog claimed the job first — the worker has been replaced).
+fn run_job(shared: &Shared, job: Job) -> bool {
     let metrics = &shared.metrics;
     let clock = DeadlineClock::new(job.admitted_at, job.deadline);
     let queue_us = job.admitted_at.elapsed().as_micros() as u64;
     metrics.record_stage(Stage::QueueWait, queue_us);
+
+    // Register with the watchdog before any pipeline work.
+    let serial = shared.job_serial.fetch_add(1, Ordering::SeqCst);
+    let claimed = Arc::new(AtomicBool::new(false));
+    shared
+        .inflight
+        .lock()
+        .expect("inflight lock poisoned")
+        .insert(
+            serial,
+            Inflight {
+                claimed: claimed.clone(),
+                reply_to: job.reply_to.clone(),
+                id: job.request.id.clone(),
+                started: Instant::now(),
+            },
+        );
 
     let mut trace = RequestTrace {
         queue_us,
@@ -298,6 +512,26 @@ fn run_job(shared: &Shared, job: Job) {
     let outcome = if let Err(r) = clock.check(Stage::QueueWait) {
         metrics.record_deadline(Stage::QueueWait);
         ServeOutcome::Rejected(r)
+    } else if let Some(remaining) = shared.health.degraded_remaining() {
+        // Degraded mode: the store (or workers) are unhealthy. Serve what
+        // the verified-response cache already holds; shed fresh compiles
+        // with a typed retry hint instead of risking more damage.
+        let (hit, steps) = shared.engine.lookup_cached(&job.request.prompt);
+        sicot_steps = steps;
+        match hit {
+            Some(response) => {
+                cache_hit = true;
+                Metrics::inc(&metrics.degraded_hits);
+                ServeOutcome::Completed(Arc::unwrap_or_clone(response))
+            }
+            None => {
+                Metrics::inc(&metrics.rejected);
+                Metrics::inc(&metrics.degraded_shed);
+                ServeOutcome::Rejected(Rejection::Retrying {
+                    retry_after_ms: (remaining.as_millis() as u64).max(1),
+                })
+            }
+        }
     } else {
         run_attempts(
             shared,
@@ -308,6 +542,20 @@ fn run_job(shared: &Shared, job: Job) {
             &mut sicot_steps,
         )
     };
+
+    // Terminal delivery: race the watchdog for the claim. The loser must
+    // not touch counters or the reply channel — the job was already
+    // resolved once, and resolving it twice would break the accounting
+    // invariant.
+    let won = !claimed.swap(true, Ordering::SeqCst);
+    shared
+        .inflight
+        .lock()
+        .expect("inflight lock poisoned")
+        .remove(&serial);
+    if !won {
+        return false;
+    }
 
     match &outcome {
         ServeOutcome::Completed(response) => {
@@ -341,6 +589,8 @@ fn run_job(shared: &Shared, job: Job) {
         sicot_steps,
         trace,
     });
+    finish_job(shared);
+    true
 }
 
 fn record_pipeline_stages(metrics: &Metrics, trace: &RequestTrace) {
@@ -396,6 +646,15 @@ fn run_attempts(
             Ok(attempt_result) => {
                 *sicot_steps = attempt_result.sicot_steps;
                 merge_trace(trace, &attempt_result.trace);
+                if attempt_result.store_write_failed {
+                    // The response still goes out; repeated failures tip
+                    // the server into degraded mode.
+                    shared.health.note_store_failure(
+                        shared.store_failure_threshold,
+                        shared.degraded_cooldown,
+                        metrics,
+                    );
+                }
                 match attempt_result.outcome {
                     AttemptOutcome::Deadline(rejection) => {
                         if let Rejection::DeadlineExceeded { stage, .. } = rejection {

@@ -123,6 +123,9 @@ fn rejection_json(r: &Rejection) -> String {
             stage.label()
         ),
         Rejection::ShuttingDown => "{\"type\":\"shutting_down\"}".into(),
+        Rejection::Retrying { retry_after_ms } => {
+            format!("{{\"type\":\"retrying\",\"retry_after_ms\":{retry_after_ms}}}")
+        }
     }
 }
 

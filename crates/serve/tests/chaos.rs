@@ -1,0 +1,417 @@
+//! Chaos drills for the hardened serving layer: seeded serve-level fault
+//! injection (worker hangs, disk-write failures, silent store corruption,
+//! slow clients), the per-worker watchdog, degraded mode, shutdown drain,
+//! and WAL-backed warm restart.
+//!
+//! The load-bearing contract, checked for every seed: the admission
+//! accounting invariant `admitted == completed + rejected + failed` holds
+//! at quiesce, and every payload a faulted run *does* complete is
+//! bit-identical to the fault-free run's payload for the same prompt.
+
+use std::collections::HashMap;
+use std::sync::mpsc::channel;
+use std::time::{Duration, Instant};
+
+use haven_eval::{FaultPlan, RetryPolicy};
+use haven_lm::model::CodeGenModel;
+use haven_lm::profiles;
+use haven_serve::{
+    EngineConfig, Rejection, ServeConfig, ServeOutcome, ServeReply, ServeRequest, ServeResponse,
+    Server,
+};
+
+fn flaky_model() -> CodeGenModel {
+    CodeGenModel::new(profiles::ModelProfile::uniform("flaky", 0.55), 0.5)
+}
+
+fn prompt_mix() -> Vec<String> {
+    let mut prompts: Vec<String> = haven_eval::suites::verilog_eval_machine(1)
+        .into_iter()
+        .take(8)
+        .map(|t| t.prompt)
+        .collect();
+    prompts.push("Ponder the sound of one hand clapping.".to_string());
+    prompts
+}
+
+fn drain_all(server: &Server, requests: Vec<ServeRequest>) -> Vec<ServeReply> {
+    let (tx, rx) = channel();
+    for request in requests {
+        server.submit(request, tx.clone());
+    }
+    drop(tx);
+    rx.into_iter().collect()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "haven-serve-chaos-{tag}-{}-{}",
+        std::process::id(),
+        Instant::now().elapsed().as_nanos(),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn requests_for(prompts: &[String]) -> Vec<ServeRequest> {
+    prompts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| ServeRequest::new(format!("r{i}"), p.clone()))
+        .collect()
+}
+
+/// Payloads by prompt id from a batch of replies (completed only).
+fn payloads(replies: &[ServeReply]) -> HashMap<String, ServeResponse> {
+    replies
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            ServeOutcome::Completed(response) => Some((r.id.clone(), response.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The acceptance drill: under every seeded serve fault plan, accounting
+/// holds and whatever completes is bit-identical to the fault-free run.
+/// Each chaotic run is durable, and a restart from its (possibly
+/// corrupted) store must still replay only bit-identical payloads.
+#[test]
+fn every_seeded_fault_plan_preserves_accounting_and_payloads() {
+    let prompts = prompt_mix();
+
+    // Fault-free baseline, in-memory.
+    let mut baseline_server = Server::start(flaky_model(), ServeConfig::default());
+    let baseline = payloads(&drain_all(&baseline_server, requests_for(&prompts)));
+    baseline_server.shutdown();
+    assert!(
+        baseline.len() >= prompts.len() - 1,
+        "baseline mostly completes"
+    );
+
+    for seed in [1u64, 7, 42, 1999] {
+        let store = temp_dir(&format!("plan{seed}"));
+        let chaotic = ServeConfig {
+            workers: 3,
+            engine: EngineConfig {
+                // Rate 1.0: every unique prompt draws one of the four
+                // serve fault kinds. Hangs are short and the watchdog is
+                // generous here, so hung requests complete late rather
+                // than being recycled — the watchdog drill is separate.
+                serve_fault_plan: Some(FaultPlan::transient(seed, 1.0)),
+                hang_duration: Duration::from_millis(30),
+                slow_client_delay: Duration::from_millis(5),
+                store_dir: Some(store.clone()),
+                ..EngineConfig::default()
+            },
+            stall_timeout: Some(Duration::from_secs(10)),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                backoff_base_ms: 0,
+            },
+            ..ServeConfig::default()
+        };
+        let mut server = Server::start(flaky_model(), chaotic.clone());
+        let replies = drain_all(&server, requests_for(&prompts));
+        assert_eq!(replies.len(), prompts.len(), "seed {seed}: one reply each");
+        server.shutdown();
+        let m = server.metrics();
+        assert!(
+            m.accounted(),
+            "seed {seed}: admitted ({}) != completed ({}) + rejected ({}) + failed ({})",
+            m.admitted,
+            m.completed,
+            m.rejected,
+            m.failed
+        );
+        for (id, payload) in payloads(&replies) {
+            assert_eq!(
+                baseline.get(&id),
+                Some(&payload),
+                "seed {seed}: faulted completion for {id} must be bit-identical"
+            );
+        }
+
+        // Restart from the chaos-era store: injected corruption may have
+        // cost durability (quarantined tail), never correctness.
+        let mut restarted = Server::start(
+            flaky_model(),
+            ServeConfig {
+                engine: EngineConfig {
+                    serve_fault_plan: None,
+                    store_dir: Some(store.clone()),
+                    ..EngineConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+        );
+        let replayed = payloads(&drain_all(&restarted, requests_for(&prompts)));
+        restarted.shutdown();
+        for (id, payload) in &replayed {
+            assert_eq!(
+                baseline.get(id),
+                Some(payload),
+                "seed {seed}: post-restart payload for {id} must be bit-identical"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&store);
+    }
+}
+
+/// The watchdog drill: a wedged worker is detected, its request resolved
+/// with a typed failure, and a replacement worker keeps the pool serving
+/// — all without breaking accounting.
+#[test]
+fn watchdog_recycles_stalled_workers_and_accounting_survives() {
+    let prompts = prompt_mix();
+    let mut server = Server::start(
+        flaky_model(),
+        ServeConfig {
+            workers: 1,
+            engine: EngineConfig {
+                // Rate 1.0 over many unique prompts: roughly a quarter
+                // draw WorkerHang, wedging the lone worker well past the
+                // stall timeout.
+                serve_fault_plan: Some(FaultPlan::permanent(5, 1.0)),
+                hang_duration: Duration::from_millis(400),
+                slow_client_delay: Duration::ZERO,
+                ..EngineConfig::default()
+            },
+            stall_timeout: Some(Duration::from_millis(60)),
+            default_deadline: Duration::from_secs(30),
+            retry: RetryPolicy {
+                max_attempts: 1,
+                backoff_base_ms: 0,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let requests: Vec<ServeRequest> = prompts
+        .iter()
+        .cycle()
+        .take(12)
+        .enumerate()
+        .map(|(i, p)| ServeRequest::new(format!("w{i}"), format!("{p} // hang variant {i}")))
+        .collect();
+    let n = requests.len();
+    let replies = drain_all(&server, requests);
+    assert_eq!(replies.len(), n, "every request gets exactly one reply");
+    let watchdog_failures = replies
+        .iter()
+        .filter(|r| {
+            matches!(&r.outcome, ServeOutcome::Failed { detail } if detail.contains("watchdog"))
+        })
+        .count();
+    // The pool must still serve *after* recycling: a fresh request on the
+    // replacement worker completes normally.
+    let after = server.serve(ServeRequest::new("after", prompts[0].clone()));
+    assert!(
+        matches!(after.outcome, ServeOutcome::Completed(_)),
+        "replacement worker must serve: {:?}",
+        after.outcome
+    );
+    server.shutdown();
+    let m = server.metrics();
+    assert!(m.watchdog_recycles >= 1, "some hang must trip the watchdog");
+    assert_eq!(m.watchdog_recycles as usize, watchdog_failures);
+    assert!(
+        m.accounted(),
+        "admitted ({}) != completed ({}) + rejected ({}) + failed ({})",
+        m.admitted,
+        m.completed,
+        m.rejected,
+        m.failed
+    );
+}
+
+/// Degraded mode: store write failures past the threshold flip the server
+/// into cache-only serving — hits still answered, fresh compiles shed
+/// with a typed `Retrying` carrying a retry-after hint.
+#[test]
+fn store_failures_degrade_to_cache_only_serving() {
+    let store = temp_dir("degraded");
+    let prompts = prompt_mix();
+    let mut server = Server::start(
+        flaky_model(),
+        ServeConfig {
+            workers: 1,
+            engine: EngineConfig {
+                serve_fault_plan: Some(FaultPlan::permanent(11, 1.0)),
+                hang_duration: Duration::from_millis(10),
+                slow_client_delay: Duration::ZERO,
+                store_dir: Some(store.clone()),
+                ..EngineConfig::default()
+            },
+            stall_timeout: None,
+            store_failure_threshold: 1,
+            degraded_cooldown: Duration::from_secs(30),
+            retry: RetryPolicy {
+                max_attempts: 1,
+                backoff_base_ms: 0,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    // Serve unique prompts until one draws DiskWriteFail (seeded, so the
+    // sequence is deterministic); threshold 1 then enters degraded mode.
+    let mut served_before: Vec<(String, ServeReply)> = Vec::new();
+    for (i, p) in prompts.iter().cycle().take(24).enumerate() {
+        let prompt = format!("{p} // degrade variant {i}");
+        let reply = server.serve(ServeRequest::new(format!("d{i}"), prompt.clone()));
+        if server.metrics().degraded_entered > 0 {
+            break;
+        }
+        if matches!(reply.outcome, ServeOutcome::Completed(_)) {
+            served_before.push((prompt, reply));
+        }
+    }
+    let m = server.metrics();
+    assert!(m.store_write_failures >= 1, "a DiskWriteFail must be drawn");
+    assert_eq!(
+        m.degraded_entered, 1,
+        "threshold 1 must enter degraded mode"
+    );
+    let (cached_prompt, cached_reply) = served_before
+        .last()
+        .expect("at least one completion before degrading")
+        .clone();
+
+    // A fresh prompt is shed with a typed retry-after...
+    let shed = server.serve(ServeRequest::new(
+        "shed",
+        format!("{cached_prompt} // fresh"),
+    ));
+    match &shed.outcome {
+        ServeOutcome::Rejected(Rejection::Retrying { retry_after_ms }) => {
+            assert!(*retry_after_ms >= 1, "retry hint must be positive");
+        }
+        other => panic!("expected Retrying rejection while degraded, got {other:?}"),
+    }
+    // ...while a cached prompt is still served, bit-identically.
+    let hit = server.serve(ServeRequest::new("hit", cached_prompt));
+    match (&hit.outcome, &cached_reply.outcome) {
+        (ServeOutcome::Completed(now), ServeOutcome::Completed(before)) => {
+            assert_eq!(now, before, "degraded cache hit must be bit-identical");
+        }
+        other => panic!("expected degraded cache hit to complete, got {other:?}"),
+    }
+    assert!(hit.cache_hit);
+    server.shutdown();
+    let m = server.metrics();
+    assert!(m.degraded_shed >= 1);
+    assert!(m.degraded_hits >= 1);
+    assert!(m.accounted());
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// The graceful-shutdown satellite: shutdown called with requests still
+/// queued and in flight must deliver every admitted reply before workers
+/// exit, with the accounting invariant holding exactly at quiesce.
+#[test]
+fn shutdown_drains_admitted_requests_before_workers_exit() {
+    let prompts = prompt_mix();
+    let mut server = Server::start(
+        flaky_model(),
+        ServeConfig {
+            workers: 4,
+            engine: EngineConfig {
+                // Slow the pipeline so shutdown lands mid-flight.
+                inference_latency: Duration::from_millis(40),
+                ..EngineConfig::default()
+            },
+            default_deadline: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    );
+    let (tx, rx) = channel();
+    let mut admitted = 0u64;
+    for (i, p) in prompts.iter().cycle().take(16).enumerate() {
+        if server.submit(
+            ServeRequest::new(format!("s{i}"), format!("{p} // drain {i}")),
+            tx.clone(),
+        ) {
+            admitted += 1;
+        }
+    }
+    drop(tx);
+    // Shut down immediately: most requests are still queued or mid-pipeline.
+    server.shutdown();
+    let replies: Vec<ServeReply> = rx.into_iter().collect();
+    assert_eq!(
+        replies.len() as u64,
+        admitted,
+        "every admitted request must be answered before shutdown returns"
+    );
+    let m = server.metrics();
+    assert_eq!(m.admitted, admitted);
+    assert!(
+        m.accounted(),
+        "admitted ({}) != completed ({}) + rejected ({}) + failed ({})",
+        m.admitted,
+        m.completed,
+        m.rejected,
+        m.failed
+    );
+}
+
+/// Warm restart: a durable server's second life replays the response WAL
+/// into the cache, so every previously served prompt is a bit-identical
+/// cache hit — and a fingerprint change invalidates instead of replaying.
+#[test]
+fn restart_replays_the_wal_into_bit_identical_cache_hits() {
+    let store = temp_dir("restart");
+    let prompts = prompt_mix();
+    let durable = |store: &std::path::Path| ServeConfig {
+        workers: 2,
+        engine: EngineConfig {
+            store_dir: Some(store.to_path_buf()),
+            ..EngineConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+
+    let mut first = Server::start(flaky_model(), durable(&store));
+    let cold = payloads(&drain_all(&first, requests_for(&prompts)));
+    first.shutdown();
+    let m1 = first.metrics();
+    assert!(m1.responses_persisted > 0, "completions must reach the WAL");
+    drop(first);
+
+    let mut second = Server::start(flaky_model(), durable(&store));
+    let m2 = second.metrics();
+    assert!(
+        m2.wal_replayed >= m1.responses_persisted,
+        "replay must refill the cache ({} replayed, {} persisted)",
+        m2.wal_replayed,
+        m1.responses_persisted
+    );
+    assert!(second.cache_len() > 0, "cache must be warm before traffic");
+    let warm_replies = drain_all(&second, requests_for(&prompts));
+    for reply in &warm_replies {
+        assert!(
+            reply.cache_hit,
+            "{}: warm restart must serve from the replayed cache",
+            reply.id
+        );
+    }
+    let warm = payloads(&warm_replies);
+    assert_eq!(warm, cold, "replayed payloads must be bit-identical");
+    second.shutdown();
+    assert!(second.metrics().accounted());
+    drop(second);
+
+    // A different serving model rolls the fingerprint: stale WAL records
+    // are skipped, not replayed into wrong answers.
+    let mut other_model = Server::start(
+        CodeGenModel::new(profiles::ModelProfile::uniform("other", 0.9), 0.2),
+        durable(&store),
+    );
+    assert_eq!(
+        other_model.metrics().wal_replayed,
+        0,
+        "a rolled fingerprint must invalidate the WAL, not replay it"
+    );
+    assert_eq!(other_model.cache_len(), 0);
+    other_model.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}

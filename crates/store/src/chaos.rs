@@ -1,0 +1,125 @@
+//! Seeded, deterministic fault injection for the persistence layer.
+//!
+//! The same philosophy as the eval harness's `FaultPlan`
+//! (`crates/eval/src/fault.rs`): whether an operation is sabotaged is a
+//! *pure function* of the policy's seed and the operation's ordinal, so a
+//! chaotic run is exactly reproducible and tests can assert recovery
+//! behaviour instead of sampling it.
+
+/// What the chaos policy decided for one write operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosVerdict {
+    /// The write proceeds untouched.
+    Clean,
+    /// The write fails with an I/O error before any byte lands on disk —
+    /// models a full disk or a yanked volume. The store surfaces the
+    /// error to its caller (who falls back to memory-only operation).
+    FailWrite,
+    /// The write succeeds but its payload is flipped *after* the
+    /// checksum was computed — models silent media corruption. The next
+    /// read of the entry must detect the mismatch and quarantine it.
+    CorruptWrite,
+}
+
+/// A seeded schedule of injected persistence faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPolicy {
+    /// Seed of the per-operation hash; same seed, same sabotage.
+    pub seed: u64,
+    /// Probability that a write fails outright (0.0 ..= 1.0).
+    pub fail_rate: f64,
+    /// Probability that a write is silently corrupted (0.0 ..= 1.0).
+    /// Drawn after `fail_rate`; an operation is never both.
+    pub corrupt_rate: f64,
+}
+
+impl ChaosPolicy {
+    /// A policy that only fails writes.
+    pub fn failing(seed: u64, fail_rate: f64) -> ChaosPolicy {
+        ChaosPolicy {
+            seed,
+            fail_rate,
+            corrupt_rate: 0.0,
+        }
+    }
+
+    /// A policy that only corrupts writes.
+    pub fn corrupting(seed: u64, corrupt_rate: f64) -> ChaosPolicy {
+        ChaosPolicy {
+            seed,
+            fail_rate: 0.0,
+            corrupt_rate,
+        }
+    }
+
+    /// The verdict for write operation number `op`. Pure: same policy,
+    /// same ordinal, same verdict, forever.
+    pub fn verdict(&self, op: u64) -> ChaosVerdict {
+        let h = splitmix64(self.seed ^ splitmix64(op ^ 0x6368_616f_735f_6f70));
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.fail_rate {
+            ChaosVerdict::FailWrite
+        } else if u < self.fail_rate + self.corrupt_rate {
+            ChaosVerdict::CorruptWrite
+        } else {
+            ChaosVerdict::Clean
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_are_deterministic() {
+        let p = ChaosPolicy {
+            seed: 9,
+            fail_rate: 0.3,
+            corrupt_rate: 0.3,
+        };
+        for op in 0..200 {
+            assert_eq!(p.verdict(op), p.verdict(op));
+        }
+    }
+
+    #[test]
+    fn rates_partition_the_unit_interval() {
+        let p = ChaosPolicy {
+            seed: 4,
+            fail_rate: 0.25,
+            corrupt_rate: 0.25,
+        };
+        let mut fail = 0;
+        let mut corrupt = 0;
+        let mut clean = 0;
+        for op in 0..2000 {
+            match p.verdict(op) {
+                ChaosVerdict::FailWrite => fail += 1,
+                ChaosVerdict::CorruptWrite => corrupt += 1,
+                ChaosVerdict::Clean => clean += 1,
+            }
+        }
+        assert!((350..650).contains(&fail), "{fail}");
+        assert!((350..650).contains(&corrupt), "{corrupt}");
+        assert!((800..1200).contains(&clean), "{clean}");
+    }
+
+    #[test]
+    fn zero_rates_never_sabotage() {
+        let p = ChaosPolicy {
+            seed: 1,
+            fail_rate: 0.0,
+            corrupt_rate: 0.0,
+        };
+        assert!((0..500).all(|op| p.verdict(op) == ChaosVerdict::Clean));
+    }
+}

@@ -1,0 +1,46 @@
+//! # haven-store
+//!
+//! Crash-safe disk persistence for the serving stack (DESIGN.md §14):
+//! a content-addressed [`ObjectStore`] for compile artifacts and an
+//! append-only checksummed [`Wal`] for redo-log replay, both built on the
+//! same torn-write discipline the eval journal pioneered
+//! (`crates/eval/src/journal.rs`) and generalized here:
+//!
+//! * **Committed means durable.** An object becomes visible only through
+//!   write-temp → `fsync` → atomic-rename; a WAL record only after its
+//!   length-prefixed, checksummed frame is flushed. A `kill -9` at any
+//!   instant leaves either the old state or the new state, never a
+//!   half-written entry that parses.
+//! * **Corruption is quarantined, never served and never fatal.** Every
+//!   entry carries an FNV-1a/64 checksum ([`haven_hash`], the same hash
+//!   the in-memory caches key on). A mismatch on read moves the entry to
+//!   a `quarantine/` sidecar directory, counts it, and reports a miss —
+//!   callers fall back to recomputing, exactly as if the cache were cold.
+//! * **Torn tails are expected.** The WAL treats a truncated or
+//!   bit-flipped final frame as the signature of a crash mid-append: the
+//!   torn bytes are quarantined and the log is truncated back to its last
+//!   good frame. Records before the tear are always recovered.
+//! * **Chaos is a first-class input.** A seeded [`ChaosPolicy`] injects
+//!   deterministic write failures and post-checksum corruption so every
+//!   recovery path above is exercised by tests against the *production*
+//!   code, not a mock.
+//!
+//! The store never panics on untrusted disk state; every read path
+//! returns typed results and every invalid byte sequence has a defined
+//! destination (quarantine) and a defined observable effect (a miss).
+
+#![warn(missing_docs)]
+
+mod chaos;
+mod object;
+mod wal;
+
+pub use chaos::{ChaosPolicy, ChaosVerdict};
+pub use object::{ObjectEntry, ObjectStore, StoreStats};
+pub use wal::{Wal, WalReplay, WalStats};
+
+/// Checksum used by every on-disk frame in this crate: FNV-1a/64 over the
+/// raw bytes, via the workspace's canonical [`haven_hash::ContentHasher`].
+pub(crate) fn checksum(bytes: &[u8]) -> u64 {
+    haven_hash::ContentHasher::new().bytes(bytes).finish()
+}

@@ -1,0 +1,401 @@
+//! The content-addressed object store: one file per entry, committed by
+//! atomic rename, verified by checksum on every read.
+//!
+//! ## On-disk format
+//!
+//! An entry for key `k` lives at `<hex16(k)>.obj`:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"HVSTOBJ1"
+//!      8     8  key    u64 LE (must match the file name)
+//!     16     4  payload_len u32 LE
+//!     20     4  reserved (zero)
+//!     24     8  payload checksum, FNV-1a/64
+//!     32     8  header checksum, FNV-1a/64 over bytes 0..32
+//!     40     …  payload
+//! ```
+//!
+//! Writes go to `<hex16(k)>.<nonce>.tmp`, are `fsync`ed, then renamed
+//! over the final name; the directory is fsynced after the rename so the
+//! *name* is durable too. A crash leaves either no entry or a complete
+//! entry — `.tmp` droppings are swept (and counted) on open. Any file
+//! that fails validation on read is moved to `quarantine/` and reported
+//! as a miss; the store never serves bytes whose checksum does not match
+//! and never panics on hostile disk state.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::chaos::{ChaosPolicy, ChaosVerdict};
+use crate::checksum;
+
+const MAGIC: &[u8; 8] = b"HVSTOBJ1";
+const HEADER_LEN: usize = 40;
+
+/// A fully validated entry read back from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectEntry {
+    /// The content key the entry was stored under.
+    pub key: u64,
+    /// The entry's payload bytes, checksum-verified.
+    pub payload: Vec<u8>,
+}
+
+/// Store telemetry counters (monotone since open).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Entries durably committed by `put`.
+    pub puts: u64,
+    /// `put` calls that failed (I/O error or injected write failure).
+    pub put_failures: u64,
+    /// `put` calls skipped because the key was already present.
+    pub put_skips: u64,
+    /// Entries that failed validation and were moved to quarantine.
+    pub quarantined: u64,
+    /// Orphaned `.tmp` files swept on open (crash droppings).
+    pub tmp_swept: u64,
+}
+
+/// A disk-backed content-addressed store of checksummed entries.
+///
+/// Thread-safe: keys are content addresses, so concurrent writers of the
+/// same key write identical bytes and the atomic rename makes the race
+/// harmless (last rename wins, both files are valid).
+pub struct ObjectStore {
+    dir: PathBuf,
+    quarantine: PathBuf,
+    chaos: Option<ChaosPolicy>,
+    ops: AtomicU64,
+    nonce: AtomicU64,
+    puts: AtomicU64,
+    put_failures: AtomicU64,
+    put_skips: AtomicU64,
+    quarantined: AtomicU64,
+    tmp_swept: AtomicU64,
+}
+
+impl ObjectStore {
+    /// Opens (creating if needed) the store rooted at `dir`, sweeping any
+    /// `.tmp` droppings a previous crash left behind.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ObjectStore> {
+        let dir = dir.into();
+        let quarantine = dir.join("quarantine");
+        fs::create_dir_all(&quarantine)?;
+        let store = ObjectStore {
+            dir,
+            quarantine,
+            chaos: None,
+            ops: AtomicU64::new(0),
+            nonce: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            put_failures: AtomicU64::new(0),
+            put_skips: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            tmp_swept: AtomicU64::new(0),
+        };
+        let mut swept = 0;
+        for path in store.list_files("tmp")? {
+            let _ = fs::remove_file(&path);
+            swept += 1;
+        }
+        store.tmp_swept.store(swept, Ordering::Relaxed);
+        Ok(store)
+    }
+
+    /// Attaches a deterministic chaos policy (tests and drills only).
+    pub fn with_chaos(mut self, chaos: ChaosPolicy) -> ObjectStore {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Durably stores `payload` under `key`. Returns `Ok(true)` when a
+    /// new entry was committed, `Ok(false)` when the key already existed
+    /// (entries are content-addressed, so rewriting would be a no-op).
+    pub fn put(&self, key: u64, payload: &[u8]) -> io::Result<bool> {
+        let final_path = self.entry_path(key);
+        if final_path.exists() {
+            self.put_skips.fetch_add(1, Ordering::Relaxed);
+            return Ok(false);
+        }
+        let verdict = match &self.chaos {
+            Some(policy) => policy.verdict(self.ops.fetch_add(1, Ordering::Relaxed)),
+            None => ChaosVerdict::Clean,
+        };
+        if verdict == ChaosVerdict::FailWrite {
+            self.put_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::other("injected store write failure"));
+        }
+        let mut bytes = encode_entry(key, payload);
+        if verdict == ChaosVerdict::CorruptWrite {
+            // Silent media corruption: flip a payload bit *after* the
+            // checksum was computed, so the read path must catch it.
+            let idx = HEADER_LEN
+                + (key as usize % payload.len().max(1)).min(bytes.len() - HEADER_LEN - 1);
+            bytes[idx] ^= 0x40;
+        }
+        let tmp = self.dir.join(format!(
+            "{}.{}.tmp",
+            haven_hash::hex16(key),
+            self.nonce.fetch_add(1, Ordering::Relaxed)
+        ));
+        let committed = (|| -> io::Result<()> {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+            drop(file);
+            fs::rename(&tmp, &final_path)?;
+            // Make the new *name* durable too; failure here is tolerable
+            // (worst case the entry vanishes across a crash, which is a
+            // recoverable miss, not corruption).
+            let _ = fs::File::open(&self.dir).and_then(|d| d.sync_all());
+            Ok(())
+        })();
+        match committed {
+            Ok(()) => {
+                self.puts.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                self.put_failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads the entry stored under `key`, verifying its checksums.
+    /// Returns `None` for absent entries *and* for invalid ones — an
+    /// entry that fails validation is quarantined and becomes a miss, so
+    /// callers always fall back to recomputing.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        let path = self.entry_path(key);
+        let bytes = fs::read(&path).ok()?;
+        match decode_entry(&bytes) {
+            Some(entry) if entry.key == key => Some(entry.payload),
+            _ => {
+                self.quarantine_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Validates and returns every entry in the store, quarantining any
+    /// file that fails its checksums. Order is deterministic (sorted by
+    /// file name, i.e. by key). This is the warm-restart preload path.
+    pub fn scan(&self) -> Vec<ObjectEntry> {
+        let mut paths = self.list_files("obj").unwrap_or_default();
+        paths.sort();
+        let mut entries = Vec::with_capacity(paths.len());
+        for path in paths {
+            let Ok(bytes) = fs::read(&path) else { continue };
+            let named_key = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| u64::from_str_radix(s, 16).ok());
+            match decode_entry(&bytes) {
+                Some(entry) if Some(entry.key) == named_key => entries.push(entry),
+                _ => self.quarantine_file(&path),
+            }
+        }
+        entries
+    }
+
+    /// Number of (unvalidated) entries currently on disk.
+    pub fn len(&self) -> usize {
+        self.list_files("obj").map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Files currently sitting in quarantine.
+    pub fn quarantine_len(&self) -> usize {
+        fs::read_dir(&self.quarantine)
+            .map(|d| d.filter_map(|e| e.ok()).count())
+            .unwrap_or(0)
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            puts: self.puts.load(Ordering::Relaxed),
+            put_failures: self.put_failures.load(Ordering::Relaxed),
+            put_skips: self.put_skips.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            tmp_swept: self.tmp_swept.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{}.obj", haven_hash::hex16(key)))
+    }
+
+    fn quarantine_file(&self, path: &Path) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unnamed".into());
+        let dest = self.quarantine.join(format!(
+            "{}.{name}",
+            self.nonce.fetch_add(1, Ordering::Relaxed)
+        ));
+        if fs::rename(path, &dest).is_err() {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    fn list_files(&self, extension: &str) -> io::Result<Vec<PathBuf>> {
+        Ok(fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == extension))
+            .collect())
+    }
+}
+
+fn encode_entry(key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&key.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    bytes.extend_from_slice(&checksum(payload).to_le_bytes());
+    let head = checksum(&bytes[..32]);
+    bytes.extend_from_slice(&head.to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+/// Parses and fully validates one entry. `None` means the bytes are not
+/// a committed entry — torn, truncated, bit-flipped, or foreign.
+fn decode_entry(bytes: &[u8]) -> Option<ObjectEntry> {
+    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+        return None;
+    }
+    let head = u64::from_le_bytes(bytes[32..40].try_into().ok()?);
+    if head != checksum(&bytes[..32]) {
+        return None;
+    }
+    let key = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+    let payload_len = u32::from_le_bytes(bytes[16..20].try_into().ok()?) as usize;
+    if bytes.len() != HEADER_LEN + payload_len {
+        return None;
+    }
+    let body = u64::from_le_bytes(bytes[24..32].try_into().ok()?);
+    let payload = &bytes[HEADER_LEN..];
+    if body != checksum(payload) {
+        return None;
+    }
+    Some(ObjectEntry {
+        key,
+        payload: payload.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "haven-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_round_trips() {
+        let store = ObjectStore::open(tmpdir("roundtrip")).unwrap();
+        assert!(store.put(7, b"module m; endmodule").unwrap());
+        assert_eq!(store.get(7).as_deref(), Some(&b"module m; endmodule"[..]));
+        assert_eq!(store.get(8), None);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn second_put_of_same_key_is_skipped() {
+        let store = ObjectStore::open(tmpdir("skip")).unwrap();
+        assert!(store.put(1, b"a").unwrap());
+        assert!(!store.put(1, b"a").unwrap());
+        assert_eq!(store.stats().put_skips, 1);
+        assert_eq!(store.stats().puts, 1);
+    }
+
+    #[test]
+    fn scan_returns_entries_sorted_by_key() {
+        let store = ObjectStore::open(tmpdir("scan")).unwrap();
+        for key in [9u64, 3, 12] {
+            store.put(key, format!("payload-{key}").as_bytes()).unwrap();
+        }
+        let keys: Vec<u64> = store.scan().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![3, 9, 12]);
+    }
+
+    #[test]
+    fn reopen_recovers_committed_entries_and_sweeps_tmp() {
+        let dir = tmpdir("reopen");
+        {
+            let store = ObjectStore::open(&dir).unwrap();
+            store.put(5, b"five").unwrap();
+            // A crash dropping: half-written temp that never renamed.
+            fs::write(dir.join("dead.0.tmp"), b"HVSTOBJ1 torn").unwrap();
+        }
+        let store = ObjectStore::open(&dir).unwrap();
+        assert_eq!(store.stats().tmp_swept, 1);
+        assert_eq!(store.get(5).as_deref(), Some(&b"five"[..]));
+        assert!(!dir.join("dead.0.tmp").exists());
+    }
+
+    #[test]
+    fn mismatched_file_name_is_quarantined() {
+        let dir = tmpdir("rename-attack");
+        let store = ObjectStore::open(&dir).unwrap();
+        store.put(1, b"one").unwrap();
+        // A valid entry renamed to another key's slot must not serve.
+        fs::rename(
+            dir.join(format!("{}.obj", haven_hash::hex16(1))),
+            dir.join(format!("{}.obj", haven_hash::hex16(2))),
+        )
+        .unwrap();
+        assert_eq!(store.get(2), None);
+        assert_eq!(store.stats().quarantined, 1);
+        assert_eq!(store.quarantine_len(), 1);
+    }
+
+    #[test]
+    fn injected_write_failure_surfaces_and_leaves_no_debris() {
+        let dir = tmpdir("chaos-fail");
+        let store = ObjectStore::open(&dir)
+            .unwrap()
+            .with_chaos(ChaosPolicy::failing(3, 1.0));
+        assert!(store.put(1, b"x").is_err());
+        assert_eq!(store.stats().put_failures, 1);
+        assert_eq!(store.len(), 0);
+        assert!(ObjectStore::open(&dir).unwrap().stats().tmp_swept == 0);
+    }
+
+    #[test]
+    fn injected_corruption_is_caught_on_read() {
+        let store = ObjectStore::open(tmpdir("chaos-corrupt"))
+            .unwrap()
+            .with_chaos(ChaosPolicy::corrupting(5, 1.0));
+        assert!(store.put(4, b"payload under sabotage").unwrap());
+        assert_eq!(store.get(4), None, "corrupt entry must read as a miss");
+        assert_eq!(store.stats().quarantined, 1);
+        assert_eq!(store.len(), 0, "corrupt entry must leave the data dir");
+    }
+}

@@ -1,0 +1,354 @@
+//! The write-ahead log: append-only checksummed frames with torn-tail
+//! recovery.
+//!
+//! A WAL file is the 8-byte magic `HVSTWAL1` followed by frames:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  payload_len u32 LE
+//!      4     8  payload checksum, FNV-1a/64
+//!     12     …  payload
+//! ```
+//!
+//! The framing generalizes the eval journal's torn-write discipline
+//! (`crates/eval/src/journal.rs`): a crash mid-append leaves a final
+//! frame that is short or fails its checksum, and replay treats exactly
+//! that — and only that — as the crash signature. The torn bytes are
+//! moved to a `.quarantine.<n>` sidecar, the log is truncated back to
+//! the last good frame, and every frame before the tear is returned.
+//! Garbage *before* the tail (a bit-flipped middle frame) also stops
+//! replay at the last trustworthy prefix: once framing desynchronizes,
+//! byte offsets downstream are meaningless, so the safe prefix is all
+//! the log can vouch for.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+use crate::chaos::{ChaosPolicy, ChaosVerdict};
+use crate::checksum;
+
+const MAGIC: &[u8; 8] = b"HVSTWAL1";
+const FRAME_HEADER: usize = 12;
+/// Upper bound on a single frame payload (16 MiB): a length prefix
+/// larger than this is treated as corruption, not as an allocation
+/// request.
+const MAX_FRAME: usize = 16 << 20;
+
+/// What replay recovered from disk at open.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalReplay {
+    /// Every committed frame payload, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Whether a torn or corrupt tail was quarantined and truncated.
+    pub torn_tail: bool,
+    /// Bytes moved to the quarantine sidecar.
+    pub quarantined_bytes: u64,
+}
+
+/// WAL telemetry counters (monotone since open).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Frames durably appended since open.
+    pub appends: u64,
+    /// Append attempts that failed (I/O error or injected failure).
+    pub append_failures: u64,
+}
+
+/// An append-only, checksum-framed, torn-tail-safe log.
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    chaos: Option<ChaosPolicy>,
+    ops: u64,
+    stats: WalStats,
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log at `path`, replaying every
+    /// committed frame and quarantining any torn tail. A file that does
+    /// not even carry the magic is quarantined whole and restarted.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<(Wal, WalReplay)> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut replay = WalReplay::default();
+        let mut good_len = MAGIC.len() as u64;
+        match fs::read(&path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                let mut file = File::create(&path)?;
+                file.write_all(MAGIC)?;
+                file.sync_all()?;
+            }
+            Err(e) => return Err(e),
+            Ok(bytes) => {
+                if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+                    // Not our log at all: quarantine the whole file.
+                    quarantine_bytes(&path, &bytes, 0)?;
+                    replay.torn_tail = true;
+                    replay.quarantined_bytes = bytes.len() as u64;
+                    let mut file = File::create(&path)?;
+                    file.write_all(MAGIC)?;
+                    file.sync_all()?;
+                } else {
+                    let mut offset = MAGIC.len();
+                    loop {
+                        match next_frame(&bytes, offset) {
+                            Frame::Complete(payload, end) => {
+                                replay.records.push(payload);
+                                offset = end;
+                                good_len = end as u64;
+                            }
+                            Frame::End => break,
+                            Frame::Torn => {
+                                let tail = &bytes[offset..];
+                                quarantine_bytes(&path, tail, offset)?;
+                                replay.torn_tail = true;
+                                replay.quarantined_bytes = tail.len() as u64;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let file = OpenOptions::new().write(true).open(&path)?;
+        // Truncate back to the last good frame so future appends extend
+        // a clean log instead of burying the tear.
+        file.set_len(good_len.max(MAGIC.len() as u64))?;
+        let mut wal = Wal {
+            path,
+            file,
+            chaos: None,
+            ops: 0,
+            stats: WalStats::default(),
+        };
+        wal.seek_end()?;
+        Ok((wal, replay))
+    }
+
+    /// Attaches a deterministic chaos policy (tests and drills only).
+    pub fn with_chaos(mut self, chaos: ChaosPolicy) -> Wal {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Durably appends one frame. On success the frame is flushed to
+    /// disk and will be replayed by every future open.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let verdict = match &self.chaos {
+            Some(policy) => {
+                let v = policy.verdict(self.ops);
+                self.ops += 1;
+                v
+            }
+            None => ChaosVerdict::Clean,
+        };
+        if verdict == ChaosVerdict::FailWrite {
+            self.stats.append_failures += 1;
+            return Err(io::Error::other("injected wal append failure"));
+        }
+        self.write_frame(payload, verdict == ChaosVerdict::CorruptWrite)
+    }
+
+    /// Appends a frame whose payload is flipped *after* checksumming — a
+    /// chaos-drill API modelling silent media corruption. The append
+    /// "succeeds"; the next open's replay must detect the frame as a
+    /// tear and quarantine it.
+    pub fn append_corrupt(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.write_frame(payload, true)
+    }
+
+    fn write_frame(&mut self, payload: &[u8], corrupt: bool) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&checksum(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        if corrupt && !payload.is_empty() {
+            // Post-checksum bit flip: replay must detect and quarantine.
+            let idx = FRAME_HEADER + payload.len() / 2;
+            frame[idx] ^= 0x20;
+        }
+        let written = (|| -> io::Result<()> {
+            self.file.write_all(&frame)?;
+            self.file.sync_data()
+        })();
+        match written {
+            Ok(()) => {
+                self.stats.appends += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.append_failures += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    fn seek_end(&mut self) -> io::Result<()> {
+        use std::io::Seek;
+        self.file.seek(io::SeekFrom::End(0)).map(|_| ())
+    }
+}
+
+enum Frame {
+    Complete(Vec<u8>, usize),
+    Torn,
+    End,
+}
+
+fn next_frame(bytes: &[u8], offset: usize) -> Frame {
+    if offset == bytes.len() {
+        return Frame::End;
+    }
+    let Some(header) = bytes.get(offset..offset + FRAME_HEADER) else {
+        return Frame::Torn;
+    };
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME {
+        return Frame::Torn;
+    }
+    let sum = u64::from_le_bytes(header[4..12].try_into().unwrap());
+    let start = offset + FRAME_HEADER;
+    let Some(payload) = bytes.get(start..start + len) else {
+        return Frame::Torn;
+    };
+    if checksum(payload) != sum {
+        return Frame::Torn;
+    }
+    Frame::Complete(payload.to_vec(), start + len)
+}
+
+fn quarantine_bytes(path: &std::path::Path, bytes: &[u8], offset: usize) -> io::Result<()> {
+    for n in 0.. {
+        let dest = path.with_extension(format!("quarantine.{n}"));
+        if !dest.exists() {
+            let mut file = File::create(dest)?;
+            writeln!(file, "# torn wal tail quarantined from offset {offset}")?;
+            file.write_all(bytes)?;
+            return Ok(());
+        }
+    }
+    unreachable!("quarantine sidecar numbering is unbounded")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpwal(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "haven-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir.join("log.wal")
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = tmpwal("roundtrip");
+        {
+            let (mut wal, replay) = Wal::open(&path).unwrap();
+            assert!(replay.records.is_empty() && !replay.torn_tail);
+            wal.append(b"one").unwrap();
+            wal.append(b"two").unwrap();
+            wal.append(b"").unwrap();
+        }
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(
+            replay.records,
+            vec![b"one".to_vec(), b"two".to_vec(), Vec::new()]
+        );
+        assert!(!replay.torn_tail);
+    }
+
+    #[test]
+    fn torn_tail_is_quarantined_and_prefix_recovered() {
+        let path = tmpwal("torn");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(b"committed").unwrap();
+        }
+        // Simulate a crash mid-append: half a frame header.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[9, 0, 0]);
+        fs::write(&path, &bytes).unwrap();
+        let (mut wal, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, vec![b"committed".to_vec()]);
+        assert!(replay.torn_tail);
+        assert_eq!(replay.quarantined_bytes, 3);
+        // The log keeps working after recovery.
+        wal.append(b"after").unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(
+            replay.records,
+            vec![b"committed".to_vec(), b"after".to_vec()]
+        );
+        assert!(!replay.torn_tail);
+    }
+
+    #[test]
+    fn foreign_file_is_quarantined_whole() {
+        let path = tmpwal("foreign");
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, b"not a wal at all").unwrap();
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(replay.torn_tail);
+        assert!(path.with_extension("quarantine.0").exists());
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_corruption_not_allocation() {
+        let path = tmpwal("hugelen");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(b"good").unwrap();
+        }
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        fs::write(&path, &bytes).unwrap();
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, vec![b"good".to_vec()]);
+        assert!(replay.torn_tail);
+    }
+
+    #[test]
+    fn injected_append_failure_keeps_the_log_clean() {
+        let path = tmpwal("chaos-fail");
+        let (wal, _) = Wal::open(&path).unwrap();
+        let mut wal = wal.with_chaos(ChaosPolicy::failing(2, 1.0));
+        assert!(wal.append(b"never lands").is_err());
+        assert_eq!(wal.stats().append_failures, 1);
+        drop(wal);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert!(replay.records.is_empty() && !replay.torn_tail);
+    }
+
+    #[test]
+    fn injected_corruption_is_detected_on_replay() {
+        let path = tmpwal("chaos-corrupt");
+        let (wal, _) = Wal::open(&path).unwrap();
+        let mut wal = wal.with_chaos(ChaosPolicy::corrupting(6, 1.0));
+        wal.append(b"sabotaged frame").unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(replay.torn_tail, "flipped frame must read as a tear");
+    }
+}
