@@ -3,23 +3,49 @@
 //! Measures steady-state cost per stimulus step (median ns/tick over many
 //! batches, simulator constructed once outside the timed region) for the
 //! reference interpreter and the compiled bytecode backend on the same
-//! design shapes the Criterion bench `sim_backends` covers, plus the
-//! eval-harness memoization hit-rate on a small representative suite.
+//! design shapes the Criterion bench `sim_backends` covers, the
+//! eval-harness memoization hit-rate on a small representative suite, and
+//! verdicts/sec of the scalar vs bit-parallel batched co-simulation on
+//! the eval screening workload (DESIGN.md §15).
 //!
 //! ```sh
-//! cargo run --release -p haven-bench --bin bench_sim [-- --out path.json]
+//! cargo run --release -p haven-bench --bin bench_sim [-- --out path.json] [-- --quick]
 //! ```
+//!
+//! `--quick` shrinks every timed region for CI smoke runs; the JSON
+//! layout is identical.
 
 use std::time::Instant;
 
-use haven_engine::{DutSession, Engine, SimBackend};
+use haven_engine::{DutSession, Engine, EngineOptions, SimBackend};
 use haven_eval::harness::{evaluate, EvalConfig};
 use haven_eval::suites;
 use haven_lm::profiles::ModelProfile;
+use haven_spec::codegen::{emit, EmitStyle};
+use haven_spec::cosim::{cosimulate_artifact, cosimulate_batch_planned, BatchPlan, CosimOptions};
+use haven_spec::stimuli::stimuli_for;
+use haven_spec::{builders, Spec};
 use haven_verilog::sim::SimBudget;
 
-const TICKS_PER_BATCH: usize = 2_000;
-const BATCHES: usize = 31;
+/// Sizes of every timed region, selected by `--quick`.
+struct BenchScale {
+    ticks_per_batch: usize,
+    batches: usize,
+    /// Verdicts per (design, backend) point in the screening section.
+    screen_repeats: usize,
+}
+
+const FULL: BenchScale = BenchScale {
+    ticks_per_batch: 2_000,
+    batches: 31,
+    screen_repeats: 300,
+};
+
+const QUICK: BenchScale = BenchScale {
+    ticks_per_batch: 400,
+    batches: 7,
+    screen_repeats: 40,
+};
 
 const COUNTER_SRC: &str = "module cnt(input clk, input rst_n, input en, output reg [31:0] q);
     always @(posedge clk or negedge rst_n)
@@ -73,19 +99,20 @@ fn median(mut samples: Vec<f64>) -> f64 {
 }
 
 /// Steady-state median ns per step: warm up one full batch, then time
-/// `BATCHES` batches of `TICKS_PER_BATCH` steps and take the median batch
-/// average. Construction and time-zero settle stay outside the clock.
-fn time_steps(mut step: impl FnMut(usize)) -> f64 {
-    for i in 0..TICKS_PER_BATCH {
+/// `scale.batches` batches of `scale.ticks_per_batch` steps and take the
+/// median batch average. Construction and time-zero settle stay outside
+/// the clock.
+fn time_steps(scale: &BenchScale, mut step: impl FnMut(usize)) -> f64 {
+    for i in 0..scale.ticks_per_batch {
         step(i);
     }
-    let mut per_tick = Vec::with_capacity(BATCHES);
-    for b in 0..BATCHES {
+    let mut per_tick = Vec::with_capacity(scale.batches);
+    for b in 0..scale.batches {
         let t0 = Instant::now();
-        for i in 0..TICKS_PER_BATCH {
-            step(b * TICKS_PER_BATCH + i);
+        for i in 0..scale.ticks_per_batch {
+            step(b * scale.ticks_per_batch + i);
         }
-        per_tick.push(t0.elapsed().as_nanos() as f64 / TICKS_PER_BATCH as f64);
+        per_tick.push(t0.elapsed().as_nanos() as f64 / scale.ticks_per_batch as f64);
     }
     median(per_tick)
 }
@@ -93,13 +120,13 @@ fn time_steps(mut step: impl FnMut(usize)) -> f64 {
 /// One step of a clocked design: alternate the data input, then tick.
 /// Handles resolve once up front through the session's cache, so the
 /// timed region drives pre-resolved ids on either backend.
-fn seq_steps(dut: &mut DutSession, data: Option<&str>) -> f64 {
+fn seq_steps(scale: &BenchScale, dut: &mut DutSession, data: Option<&str>) -> f64 {
     let rst = dut.resolve("rst_n").expect("bench signal exists");
     dut.poke_id_u64(rst, 0).expect("bench poke is valid");
     dut.poke_id_u64(rst, 1).expect("bench poke is valid");
     let clk = dut.resolve("clk").expect("bench signal exists");
     let data = data.map(|name| dut.resolve(name).expect("bench signal exists"));
-    time_steps(|i| {
+    time_steps(scale, |i| {
         if let Some(d) = data {
             dut.poke_id_u64(d, (i as u64) & 0xffff)
                 .expect("bench poke is valid");
@@ -109,10 +136,10 @@ fn seq_steps(dut: &mut DutSession, data: Option<&str>) -> f64 {
 }
 
 /// One step of a pure-comb design: poke two inputs with fresh values.
-fn comb_steps(dut: &mut DutSession) -> f64 {
+fn comb_steps(scale: &BenchScale, dut: &mut DutSession) -> f64 {
     let a = dut.resolve("a").expect("bench signal exists");
     let b = dut.resolve("b").expect("bench signal exists");
-    time_steps(|i| {
+    time_steps(scale, |i| {
         dut.poke_id_u64(a, (i as u64) & 0xffff)
             .expect("bench poke is valid");
         dut.poke_id_u64(b, ((i as u64) * 7 + 3) & 0xffff)
@@ -134,7 +161,13 @@ impl Row {
     }
 }
 
-fn bench_design(name: &'static str, kind: &'static str, src: &str, data: Option<&str>) -> Row {
+fn bench_design(
+    scale: &BenchScale,
+    name: &'static str,
+    kind: &'static str,
+    src: &str,
+    data: Option<&str>,
+) -> Row {
     let interp_engine = Engine::uncached(SimBackend::Interpreter, SimBudget::default());
     let compiled_engine = Engine::uncached(SimBackend::Compiled, SimBudget::default());
     let interp_art = interp_engine.prepare(src).expect("bench design compiles");
@@ -148,16 +181,16 @@ fn bench_design(name: &'static str, kind: &'static str, src: &str, data: Option<
         .session(&interp_art)
         .expect("bench design simulates");
     let interp_ns = match kind {
-        "combinational" => comb_steps(&mut interp),
-        _ => seq_steps(&mut interp, data),
+        "combinational" => comb_steps(scale, &mut interp),
+        _ => seq_steps(scale, &mut interp, data),
     };
 
     let mut fast = compiled_engine
         .session(&compiled_art)
         .expect("bench design executes");
     let compiled_ns = match kind {
-        "combinational" => comb_steps(&mut fast),
-        _ => seq_steps(&mut fast, data),
+        "combinational" => comb_steps(scale, &mut fast),
+        _ => seq_steps(scale, &mut fast, data),
     };
 
     Row {
@@ -180,22 +213,151 @@ fn dedup_rate() -> (usize, usize) {
     (result.dedup_hits(), suite.len() * cfg.n)
 }
 
-fn main() {
-    let out_path = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--out")
-            .and_then(|i| args.get(i + 1).cloned())
-            .unwrap_or_else(|| "BENCH_sim.json".to_string())
-    };
+/// One design's scalar-vs-batched screening throughput.
+struct ScreenRow {
+    name: String,
+    scalar_vps: f64,
+    batched_vps: f64,
+    /// All three reports (interpreter, scalar compiled, batched) equal.
+    bit_identical: bool,
+}
 
-    eprintln!("timing backends ({TICKS_PER_BATCH} ticks x {BATCHES} batches per point)...");
+impl ScreenRow {
+    fn speedup(&self) -> f64 {
+        self.batched_vps / self.scalar_vps
+    }
+}
+
+/// The screening workload: combinational candidate sweeps, the shape the
+/// eval harness spends its simulation time on (one verdict = one full
+/// co-simulation of one candidate against its stimulus program). Widths
+/// track the top of the ranges `suites::verilog_eval_machine` draws from,
+/// so the numbers transfer to real eval runs.
+fn screening_specs() -> Vec<Spec> {
+    vec![
+        builders::adder("screen_add8", 8),
+        builders::mux2("screen_mux8", 8),
+        builders::comparator("screen_cmp6", 6),
+        builders::decoder("screen_dec3", 3),
+    ]
+}
+
+/// Scalar vs bit-parallel verdict throughput on the screening workload,
+/// with every batched report checked bit-identical against both the
+/// scalar compiled run and the reference-interpreter oracle.
+fn verdicts_per_second(scale: &BenchScale) -> (Vec<ScreenRow>, f64, f64) {
+    let compiled = |cache| {
+        Engine::new(EngineOptions {
+            backend: SimBackend::Compiled,
+            budget: SimBudget::default(),
+            cache_capacity: cache,
+        })
+    };
+    let scalar_engine = compiled(64);
+    let batched_engine = compiled(64);
+    let interp_engine = Engine::new(EngineOptions {
+        backend: SimBackend::Interpreter,
+        budget: SimBudget::default(),
+        cache_capacity: 64,
+    });
+
+    let mut rows = Vec::new();
+    let (mut scalar_total, mut batched_total) = (0.0f64, 0.0f64);
+    for spec in screening_specs() {
+        let source = emit(&spec, &EmitStyle::correct());
+        let stim = stimuli_for(&spec, 0xb1697);
+        let options = CosimOptions {
+            mid_tick_checks: true,
+            budget: SimBudget::default(),
+            backend: SimBackend::Compiled,
+        };
+        let interp_options = CosimOptions {
+            backend: SimBackend::Interpreter,
+            ..options
+        };
+        let scalar_art = scalar_engine
+            .prepare(&source)
+            .expect("screening design compiles");
+        let batched_art = batched_engine
+            .prepare(&source)
+            .expect("screening design compiles");
+        let interp_art = interp_engine
+            .prepare(&source)
+            .expect("screening design compiles");
+
+        // Differential oracle check (untimed): the batched verdict must
+        // be bit-identical to both scalar runs.
+        let interp_report =
+            cosimulate_artifact(&spec, &interp_engine, &interp_art, &stim, &interp_options);
+        let scalar_report =
+            cosimulate_artifact(&spec, &scalar_engine, &scalar_art, &stim, &options);
+        // One plan per design, exactly like the eval harness: the task's
+        // stimulus program is shared by every candidate, so the golden
+        // sweep is amortized and the timed loop measures per-candidate
+        // cost only (pokes + settles + divergence masks).
+        let plan = BatchPlan::new(&spec, &stim);
+        let batched_report =
+            cosimulate_batch_planned(&spec, &batched_engine, &batched_art, &stim, &options, &plan);
+        let bit_identical = interp_report == scalar_report && scalar_report == batched_report;
+
+        let t0 = Instant::now();
+        for _ in 0..scale.screen_repeats {
+            let _ = cosimulate_artifact(&spec, &scalar_engine, &scalar_art, &stim, &options);
+        }
+        let scalar_s = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        for _ in 0..scale.screen_repeats {
+            let _ = cosimulate_batch_planned(
+                &spec,
+                &batched_engine,
+                &batched_art,
+                &stim,
+                &options,
+                &plan,
+            );
+        }
+        let batched_s = t0.elapsed().as_secs_f64();
+
+        scalar_total += scalar_s;
+        batched_total += batched_s;
+        rows.push(ScreenRow {
+            name: spec.name.clone(),
+            scalar_vps: scale.screen_repeats as f64 / scalar_s,
+            batched_vps: scale.screen_repeats as f64 / batched_s,
+            bit_identical,
+        });
+    }
+    let verdicts = (rows.len() * scale.screen_repeats) as f64;
+    (rows, verdicts / scalar_total, verdicts / batched_total)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { QUICK } else { FULL };
+
+    eprintln!(
+        "timing backends ({} ticks x {} batches per point{})...",
+        scale.ticks_per_batch,
+        scale.batches,
+        if quick { ", quick" } else { "" }
+    );
     let rows = vec![
-        bench_design("counter32", "sequential", COUNTER_SRC, None),
-        bench_design("addtree16", "combinational", ADDER_SRC, None),
-        bench_design("fsm2", "mixed", FSM_SRC, Some("x")),
-        bench_design("pipe4x16", "sequential", PIPE_SRC, Some("d")),
+        bench_design(&scale, "counter32", "sequential", COUNTER_SRC, None),
+        bench_design(&scale, "addtree16", "combinational", ADDER_SRC, None),
+        bench_design(&scale, "fsm2", "mixed", FSM_SRC, Some("x")),
+        bench_design(&scale, "pipe4x16", "sequential", PIPE_SRC, Some("d")),
     ];
+
+    eprintln!("measuring batched screening throughput...");
+    let (screen_rows, scalar_vps, batched_vps) = verdicts_per_second(&scale);
+    let screen_speedup = batched_vps / scalar_vps;
+    let all_identical = screen_rows.iter().all(|r| r.bit_identical);
 
     eprintln!("measuring memoization hit-rate...");
     let (dedup_hits, total_samples) = dedup_rate();
@@ -214,10 +376,29 @@ fn main() {
             r.speedup()
         ));
     }
+    let mut screen_json = Vec::new();
+    for r in &screen_rows {
+        screen_json.push(format!(
+            "      {{\"name\": \"{}\", \"scalar_verdicts_per_sec\": {:.0}, \"batched_verdicts_per_sec\": {:.0}, \"speedup\": {:.2}, \"bit_identical\": {}}}",
+            r.name,
+            r.scalar_vps,
+            r.batched_vps,
+            r.speedup(),
+            r.bit_identical
+        ));
+    }
     let json = format!(
-        "{{\n  \"bench\": \"sim_backends\",\n  \"ticks_per_batch\": {TICKS_PER_BATCH},\n  \"batches\": {BATCHES},\n  \"designs\": [\n{}\n  ],\n  \"median_speedup\": {:.2},\n  \"memoization\": {{\"dedup_hits\": {dedup_hits}, \"total_samples\": {total_samples}, \"hit_rate\": {:.3}}}\n}}\n",
+        "{{\n  \"bench\": \"sim_backends\",\n  \"ticks_per_batch\": {},\n  \"batches\": {},\n  \"designs\": [\n{}\n  ],\n  \"median_speedup\": {:.2},\n  \"verdicts_per_second\": {{\n    \"workload\": \"eval screening (combinational candidate sweeps)\",\n    \"repeats_per_design\": {},\n    \"designs\": [\n{}\n    ],\n    \"scalar_verdicts_per_sec\": {:.0},\n    \"batched_verdicts_per_sec\": {:.0},\n    \"speedup\": {:.2},\n    \"bit_identical\": {}\n  }},\n  \"memoization\": {{\"dedup_hits\": {dedup_hits}, \"total_samples\": {total_samples}, \"hit_rate\": {:.3}}}\n}}\n",
+        scale.ticks_per_batch,
+        scale.batches,
         design_json.join(",\n"),
         median_speedup,
+        scale.screen_repeats,
+        screen_json.join(",\n"),
+        scalar_vps,
+        batched_vps,
+        screen_speedup,
+        all_identical,
         dedup_hits as f64 / total_samples.max(1) as f64,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
@@ -235,6 +416,18 @@ fn main() {
         );
     }
     println!("  median speedup: {median_speedup:.2}x");
+    println!("screening verdicts/sec (scalar vs 64-lane batched):");
+    for r in &screen_rows {
+        println!(
+            "  {:<14} scalar {:>8.0}/s  batched {:>9.0}/s  speedup {:>5.2}x  identical: {}",
+            r.name,
+            r.scalar_vps,
+            r.batched_vps,
+            r.speedup(),
+            r.bit_identical
+        );
+    }
+    println!("  overall: {scalar_vps:.0}/s -> {batched_vps:.0}/s ({screen_speedup:.2}x, bit_identical: {all_identical})");
     println!("  memoization: {dedup_hits}/{total_samples} sample verdicts replayed");
     println!("wrote {out_path}");
 }

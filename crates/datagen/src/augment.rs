@@ -5,13 +5,16 @@
 //! stuck at `x`) would teach the fine-tuned model hallucinated idioms,
 //! so it is rejected and tallied.
 
-use haven_engine::{Engine, EngineOptions, SimBackend};
+use std::sync::Arc;
+
+use haven_engine::{Artifact, Engine, EngineOptions, SimBackend};
 use haven_lm::finetune::SampleKind;
 use haven_spec::describe::{describe, DescribeStyle};
 use haven_verilog::analyze::{analyze, Analysis};
+use haven_verilog::elab::SignalKind;
 use haven_verilog::parser::parse;
 use haven_verilog::sim::SimBudget;
-use haven_verilog::Confirmation;
+use haven_verilog::{Confirmation, LANES};
 
 use crate::corpus::CorpusSample;
 use crate::exemplars::{matching, Exemplar};
@@ -148,6 +151,15 @@ pub struct VerifyStats {
     /// Value-dependent findings on admitted pairs with no reproducing
     /// witness.
     pub unconfirmed_value: usize,
+    /// Settle probes that ran on the bit-parallel batched engine (lane 0
+    /// is the classic time-zero vector; the other lanes are free extra
+    /// coverage). Observational — admission is unchanged.
+    pub batched_probes: usize,
+    /// Settle probes that fell back to the scalar session (artifact not
+    /// batch-qualified: sequential, unsupported statements, ...).
+    pub scalar_probes: usize,
+    /// Total stimulus lanes swept across all batched probes.
+    pub probe_lanes: usize,
 }
 
 /// Resource ceiling for the step-8 settle probe. Any legitimate training
@@ -190,7 +202,7 @@ pub fn verify_counted(pairs: Vec<InstructionCodePair>) -> (Vec<InstructionCodePa
                 if artifact.report.has_errors() {
                     stats.rejected_static += 1;
                     false
-                } else if engine.session(&artifact).is_err() {
+                } else if !settle_probe(&engine, &artifact, &mut stats) {
                     // Any settle failure — budget blown or a runtime
                     // fault the analyzer could not prove — is tallied
                     // here, exactly as direct construction counted it.
@@ -220,6 +232,63 @@ pub fn verify_counted(pairs: Vec<InstructionCodePair>) -> (Vec<InstructionCodePa
         })
         .collect();
     (kept, stats)
+}
+
+/// Step-8 settle probe: does the artifact settle at time zero inside
+/// [`SETTLE_BUDGET`]?
+///
+/// Batch-qualified artifacts answer with one bit-parallel sweep of
+/// [`LANES`] stimulus vectors. Lane 0 drives nothing — it is exactly the
+/// classic time-zero vector, and because the batched engine shares its
+/// construction (and any construction error) with the scalar session, a
+/// pair is admitted or rejected by precisely the same vector as before.
+/// Lanes 1.. drive deterministic pseudo-random input values: free extra
+/// settle coverage for the price the scalar probe paid on one vector.
+/// Unqualified artifacts (sequential, unsupported statements, tight
+/// budgets) fall back to the scalar probe unchanged; the engine tallies
+/// the spill reason.
+fn settle_probe(engine: &Engine, artifact: &Arc<Artifact>, stats: &mut VerifyStats) -> bool {
+    match engine.batch_session(artifact, 1) {
+        // Construction failure is byte-identical to the scalar session's:
+        // the budget (or a runtime fault) killed the time-zero settle.
+        Err(_) => false,
+        Ok(Err(_spill)) => {
+            stats.scalar_probes += 1;
+            engine.session(artifact).is_ok()
+        }
+        Ok(Ok(mut session)) => {
+            let inputs: Vec<(String, usize)> = session
+                .design()
+                .signals
+                .iter()
+                .filter(|s| s.kind == SignalKind::Input)
+                .map(|s| (s.name.clone(), s.width))
+                .collect();
+            // xorshift64* seeded from the artifact key: deterministic per
+            // pair, no ordering dependence between pairs.
+            let mut rng = artifact.key | 1;
+            let mut lanes = vec![None; LANES];
+            for (name, width) in inputs {
+                let Some(id) = session.input_id(&name) else {
+                    continue;
+                };
+                let mask = if width >= 64 { !0 } else { (1u64 << width) - 1 };
+                lanes[0] = None; // the classic probe vector: all inputs x
+                for lane in lanes.iter_mut().skip(1) {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    *lane = Some(rng & mask);
+                }
+                session.poke_lanes(id, &lanes);
+            }
+            session.settle();
+            engine.record_batch_run(LANES, session.op_stats());
+            stats.batched_probes += 1;
+            stats.probe_lanes += LANES;
+            true
+        }
+    }
 }
 
 /// [`verify_counted`] without the tallies.
@@ -304,6 +373,38 @@ mod tests {
             stats.rejected_static > 0,
             "reset-less unconventional samples should trip the static gate"
         );
+    }
+
+    #[test]
+    fn settle_probe_batches_combinational_pairs_and_spills_sequential() {
+        let corpus = small_corpus();
+        let pairs: Vec<InstructionCodePair> = corpus
+            .iter()
+            .map(|s| InstructionCodePair {
+                instruction: "x".into(),
+                code: s.source.clone(),
+                kind: SampleKind::Vanilla,
+                topic: haven_verilog::analyze::Topic::CombLogic,
+                has_attributes: false,
+                logic_category: None,
+            })
+            .collect();
+        let (kept, stats) = verify_counted(pairs);
+        // Every admitted pair was probed one way or the other; budget
+        // rejections may die during shared construction before either
+        // counter ticks.
+        let probes = stats.batched_probes + stats.scalar_probes;
+        assert!(
+            probes >= kept.len() && probes <= kept.len() + stats.rejected_budget,
+            "kept {} vs {stats:?}",
+            kept.len()
+        );
+        assert!(stats.batched_probes > 0, "{stats:?}");
+        assert!(
+            stats.scalar_probes > 0,
+            "sequential samples should spill to the scalar probe: {stats:?}"
+        );
+        assert_eq!(stats.probe_lanes, stats.batched_probes * LANES);
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! Batched (64-lane) sessions over compiled artifacts.
+//!
+//! A [`BatchSession`] runs up to [`haven_verilog::LANES`] stimulus vectors against one
+//! cached artifact at once using the bit-parallel engine in
+//! `haven_verilog::batch` (DESIGN.md §15). Qualification is strict —
+//! anything the batched engine cannot reproduce bit-identically falls
+//! back to the scalar path with a typed [`BatchSpill`] reason — so the
+//! engine keeps fleet-wide counters of runs, lanes and every fallback
+//! reason, making batch-coverage regressions observable instead of
+//! silent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use haven_verilog::batch::{BatchSim, BatchSpill};
+use haven_verilog::elab::{SignalId, SignalKind};
+use haven_verilog::{BatchOpStats, CompiledSim, Design, Result, SimBudget};
+
+use crate::{Artifact, Engine, SimBackend};
+
+/// Fleet-wide batched-execution telemetry for one [`Engine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batched settle sweeps completed.
+    pub runs: u64,
+    /// Stimulus lanes those sweeps carried (≤ [`haven_verilog::LANES`] each).
+    pub lanes: u64,
+    /// Fallbacks to the scalar path, by [`BatchSpill::index`].
+    pub fallbacks: [u64; BatchSpill::COUNT],
+    /// Ops that left the word-parallel fast path and serialized per
+    /// lane (divergent shift amounts, multiplies, …).
+    pub lane_serialized_ops: u64,
+    /// Ops that spilled to the scalar wide-value path (>64-bit).
+    pub wide_value_spills: u64,
+}
+
+impl BatchStats {
+    /// Total fallbacks across all reasons.
+    pub fn total_fallbacks(&self) -> u64 {
+        self.fallbacks.iter().sum()
+    }
+
+    /// Fallback count for one reason.
+    pub fn fallbacks_for(&self, reason: BatchSpill) -> u64 {
+        self.fallbacks[reason.index()]
+    }
+}
+
+/// The engine-internal atomic counters behind [`BatchStats`].
+#[derive(Debug, Default)]
+pub(crate) struct BatchCounters {
+    runs: AtomicU64,
+    lanes: AtomicU64,
+    fallbacks: [AtomicU64; BatchSpill::COUNT],
+    lane_serialized_ops: AtomicU64,
+    wide_value_spills: AtomicU64,
+}
+
+impl BatchCounters {
+    pub(crate) fn snapshot(&self) -> BatchStats {
+        let mut fallbacks = [0u64; BatchSpill::COUNT];
+        for (slot, counter) in fallbacks.iter_mut().zip(&self.fallbacks) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        BatchStats {
+            runs: self.runs.load(Ordering::Relaxed),
+            lanes: self.lanes.load(Ordering::Relaxed),
+            fallbacks,
+            lane_serialized_ops: self.lane_serialized_ops.load(Ordering::Relaxed),
+            wide_value_spills: self.wide_value_spills.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Engine {
+    /// Opens a batched session on `artifact` under the engine's budget,
+    /// or reports why the artifact must take the scalar path.
+    ///
+    /// The double `Result` separates the two failure classes: the outer
+    /// error is a *construction* failure (time-zero settle oscillated or
+    /// exhausted the budget — exactly the error a scalar session would
+    /// raise, so callers propagate it identically); the inner `Err` is a
+    /// typed qualification spill, already counted in
+    /// [`Engine::batch_stats`], after which the caller falls back to the
+    /// scalar path.
+    ///
+    /// `planned_pokes` is the total number of input sets the caller will
+    /// drive across all lane groups; the qualification uses it to prove
+    /// the scalar oracle could never exhaust the budget on the same
+    /// stimuli.
+    ///
+    /// # Errors
+    ///
+    /// See above: outer = backend construction error, inner = spill.
+    pub fn batch_session(
+        &self,
+        artifact: &Arc<Artifact>,
+        planned_pokes: usize,
+    ) -> Result<std::result::Result<BatchSession, BatchSpill>> {
+        self.batch_session_with_budget(artifact, self.options().budget, planned_pokes)
+    }
+
+    /// [`Engine::batch_session`] with an explicit budget override
+    /// (mirrors [`Engine::session_with_budget`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::batch_session`].
+    pub fn batch_session_with_budget(
+        &self,
+        artifact: &Arc<Artifact>,
+        budget: SimBudget,
+        planned_pokes: usize,
+    ) -> Result<std::result::Result<BatchSession, BatchSpill>> {
+        if self.options().backend == SimBackend::Interpreter {
+            self.record_batch_fallback(BatchSpill::ScalarBackend);
+            return Ok(Err(BatchSpill::ScalarBackend));
+        }
+        let Some(bytecode) = artifact.bytecode() else {
+            self.record_batch_fallback(BatchSpill::NoBytecode);
+            return Ok(Err(BatchSpill::NoBytecode));
+        };
+        // Time-zero settle: shared with the scalar path so construction
+        // errors stay byte-identical.
+        let scalar = CompiledSim::with_budget(bytecode.clone(), budget)?;
+        match BatchSim::from_scalar(&scalar, planned_pokes) {
+            Ok(sim) => Ok(Ok(BatchSession {
+                artifact: artifact.clone(),
+                sim,
+            })),
+            Err(spill) => {
+                self.record_batch_fallback(spill);
+                Ok(Err(spill))
+            }
+        }
+    }
+
+    /// Counts a scalar fallback (also called internally when
+    /// [`Engine::batch_session`] spills). Cosimulation layers call this
+    /// for program-level spills ([`BatchSpill::SequentialProgram`],
+    /// [`BatchSpill::BadInterface`]) the engine cannot see.
+    pub fn record_batch_fallback(&self, reason: BatchSpill) {
+        self.batch_counters.fallbacks[reason.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a completed batched sweep of `lanes` stimulus vectors and
+    /// folds in the session's op-level spill counters.
+    pub fn record_batch_run(&self, lanes: usize, stats: BatchOpStats) {
+        self.batch_counters.runs.fetch_add(1, Ordering::Relaxed);
+        self.batch_counters
+            .lanes
+            .fetch_add(lanes as u64, Ordering::Relaxed);
+        self.batch_counters
+            .lane_serialized_ops
+            .fetch_add(stats.lane_serialized_ops, Ordering::Relaxed);
+        self.batch_counters
+            .wide_value_spills
+            .fetch_add(stats.wide_value_spills, Ordering::Relaxed);
+    }
+
+    /// Batched-execution telemetry counters.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch_counters.snapshot()
+    }
+}
+
+/// A 64-lane batched simulation session bound to one compiled artifact.
+///
+/// The session is a thin, strongly-typed veneer over
+/// [`haven_verilog::batch::BatchSim`]: names resolve once through the
+/// artifact's design, pokes carry per-lane values, and divergence masks
+/// give the caller per-lane early exit. See [`Engine::batch_session`].
+#[derive(Debug)]
+pub struct BatchSession {
+    artifact: Arc<Artifact>,
+    sim: BatchSim,
+}
+
+impl BatchSession {
+    /// The artifact this session simulates.
+    pub fn artifact(&self) -> &Arc<Artifact> {
+        &self.artifact
+    }
+
+    /// The elaborated design (for port introspection).
+    pub fn design(&self) -> &Design {
+        self.artifact.design()
+    }
+
+    /// Resolves an *input* port name to its dense id. `None` when the
+    /// name is missing or not an input — the caller spills with
+    /// [`BatchSpill::BadInterface`] and lets the scalar path produce its
+    /// canonical error message.
+    pub fn input_id(&self, name: &str) -> Option<SignalId> {
+        let design = self.artifact.design();
+        let id = design.signal(name)?;
+        (design.info(id).kind == SignalKind::Input).then_some(id)
+    }
+
+    /// Resolves any signal name (outputs, internal nets) for peeking.
+    pub fn signal_id(&self, name: &str) -> Option<SignalId> {
+        self.artifact.design().signal(name)
+    }
+
+    /// Drives one input with per-lane values; see
+    /// [`BatchSim::poke_lanes`].
+    pub fn poke_lanes(&mut self, id: SignalId, values: &[Option<u64>]) {
+        self.sim.poke_lanes(id, values);
+    }
+
+    /// Settles all lanes (one topological sweep; infallible under the
+    /// qualification rules).
+    pub fn settle(&mut self) {
+        self.sim.settle();
+    }
+
+    /// Lane `lane`'s value of a signal as an integer (`None` when any
+    /// bit is `x`/`z` or the signal is wider than 64 bits).
+    pub fn peek_lane_u64(&self, id: SignalId, lane: usize) -> Option<u64> {
+        self.sim.peek_lane_u64(id, lane)
+    }
+
+    /// Per-lane mismatch mask against expectations; see
+    /// [`BatchSim::divergence_mask`].
+    pub fn divergence_mask(&self, id: SignalId, want: &[Option<u64>]) -> u64 {
+        self.sim.divergence_mask(id, want)
+    }
+
+    /// Op-level spill counters accumulated by this session.
+    pub fn op_stats(&self) -> BatchOpStats {
+        self.sim.op_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineOptions;
+    use haven_verilog::LANES;
+
+    const MUX: &str =
+        "module mux(input a, input b, input sel, output y);\n assign y = sel ? b : a;\nendmodule";
+    const CNT: &str = "module cnt(input clk, input rst_n, output reg [3:0] q);\n always @(posedge clk or negedge rst_n)\n  if (!rst_n) q <= 4'd0; else q <= q + 4'd1;\nendmodule";
+
+    #[test]
+    fn batch_session_sweeps_lanes_and_counts_runs() {
+        let engine = Engine::new(EngineOptions::default());
+        let artifact = engine.prepare(MUX).unwrap();
+        let mut session = engine
+            .batch_session(&artifact, 3 * LANES)
+            .unwrap()
+            .expect("mux qualifies");
+        let a = session.input_id("a").unwrap();
+        let b = session.input_id("b").unwrap();
+        let sel = session.input_id("sel").unwrap();
+        let y = session.signal_id("y").unwrap();
+        let av: Vec<Option<u64>> = (0..LANES).map(|l| Some((l & 1) as u64)).collect();
+        let bv: Vec<Option<u64>> = (0..LANES).map(|l| Some((l >> 1 & 1) as u64)).collect();
+        let sv: Vec<Option<u64>> = (0..LANES).map(|l| Some((l >> 2 & 1) as u64)).collect();
+        session.poke_lanes(a, &av);
+        session.poke_lanes(b, &bv);
+        session.poke_lanes(sel, &sv);
+        session.settle();
+        for lane in 0..LANES {
+            let want = if sv[lane] == Some(1) {
+                bv[lane]
+            } else {
+                av[lane]
+            };
+            assert_eq!(session.peek_lane_u64(y, lane), want, "lane {lane}");
+        }
+        engine.record_batch_run(LANES, session.op_stats());
+        let stats = engine.batch_stats();
+        assert_eq!((stats.runs, stats.lanes), (1, LANES as u64));
+        assert_eq!(stats.total_fallbacks(), 0);
+    }
+
+    #[test]
+    fn sequential_artifacts_spill_and_are_counted() {
+        let engine = Engine::new(EngineOptions::default());
+        let artifact = engine.prepare(CNT).unwrap();
+        let spill = engine
+            .batch_session(&artifact, LANES)
+            .unwrap()
+            .expect_err("sequential design must spill");
+        assert_eq!(spill, BatchSpill::EdgeSensitive);
+        assert_eq!(
+            engine
+                .batch_stats()
+                .fallbacks_for(BatchSpill::EdgeSensitive),
+            1
+        );
+    }
+
+    #[test]
+    fn interpreter_engines_spill_to_scalar_backend() {
+        let engine = Engine::new(EngineOptions {
+            backend: SimBackend::Interpreter,
+            ..EngineOptions::default()
+        });
+        let artifact = engine.prepare(MUX).unwrap();
+        let spill = engine.batch_session(&artifact, LANES).unwrap().unwrap_err();
+        assert_eq!(spill, BatchSpill::ScalarBackend);
+        assert_eq!(
+            engine
+                .batch_stats()
+                .fallbacks_for(BatchSpill::ScalarBackend),
+            1
+        );
+    }
+
+    #[test]
+    fn interface_resolution_distinguishes_inputs() {
+        let engine = Engine::new(EngineOptions::default());
+        let artifact = engine.prepare(MUX).unwrap();
+        let session = engine.batch_session(&artifact, LANES).unwrap().unwrap();
+        assert!(session.input_id("a").is_some());
+        assert!(session.input_id("y").is_none(), "output is not pokeable");
+        assert!(session.input_id("nope").is_none());
+        assert!(session.signal_id("y").is_some());
+    }
+}

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod artifact;
+mod batch;
 mod fingerprint;
 mod session;
 mod witness;
@@ -59,6 +60,7 @@ use haven_verilog::{Result, SimBudget};
 use serde::{Deserialize, Serialize};
 
 pub use artifact::{Artifact, CacheStats};
+pub use batch::{BatchSession, BatchStats};
 pub use fingerprint::{EngineFingerprint, ModelFingerprint};
 pub use session::DutSession;
 pub use witness::{replay_witness, CONFIRM_BUDGET};
@@ -139,6 +141,7 @@ pub struct Engine {
     skipped_stale: u64,
     persisted: AtomicU64,
     persist_failures: AtomicU64,
+    batch_counters: batch::BatchCounters,
 }
 
 impl Engine {
@@ -154,6 +157,7 @@ impl Engine {
             skipped_stale: 0,
             persisted: AtomicU64::new(0),
             persist_failures: AtomicU64::new(0),
+            batch_counters: batch::BatchCounters::default(),
         }
     }
 

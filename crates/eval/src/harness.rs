@@ -34,7 +34,9 @@ pub enum SicotMode {
     External(ModelProfile),
 }
 use haven_engine::{Engine, EngineOptions};
-use haven_spec::cosim::{cosimulate_artifact, CosimOptions, SimBackend, SimBudget, Verdict};
+use haven_spec::cosim::{
+    cosimulate_batch_planned, BatchPlan, CosimOptions, SimBackend, SimBudget, Verdict,
+};
 use haven_spec::stimuli::stimuli_for;
 use serde::{Deserialize, Serialize};
 
@@ -280,8 +282,39 @@ impl TaskResult {
     }
 }
 
+/// Batched-simulation telemetry for one evaluation run, summarized from
+/// [`Engine::batch_stats`]. Observational only: two runs that produce
+/// identical verdicts may batch differently (different backends, cache
+/// warmth or memoization), so this field is excluded from `SuiteResult`
+/// equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalBatchStats {
+    /// Batched settle sweeps run.
+    pub runs: u64,
+    /// Stimulus lanes those sweeps carried.
+    pub lanes: u64,
+    /// Fallbacks to the scalar path (all spill reasons).
+    pub fallbacks: u64,
+    /// Ops serialized per lane inside batched sweeps.
+    pub lane_serialized_ops: u64,
+    /// Ops that spilled to the scalar wide-value (>64-bit) path.
+    pub wide_value_spills: u64,
+}
+
+impl EvalBatchStats {
+    fn from_engine(stats: haven_engine::BatchStats) -> EvalBatchStats {
+        EvalBatchStats {
+            runs: stats.runs,
+            lanes: stats.lanes,
+            fallbacks: stats.total_fallbacks(),
+            lane_serialized_ops: stats.lane_serialized_ops,
+            wide_value_spills: stats.wide_value_spills,
+        }
+    }
+}
+
 /// A full evaluation of one model on one suite.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SuiteResult {
     /// Model evaluated.
     pub model: String,
@@ -289,6 +322,22 @@ pub struct SuiteResult {
     pub best_temperature: f64,
     /// Per-task outcomes at the best temperature.
     pub tasks: Vec<TaskResult>,
+    /// Batched-simulation telemetry (excluded from equality — see
+    /// [`EvalBatchStats`]).
+    #[serde(default)]
+    pub batch: EvalBatchStats,
+}
+
+/// Equality covers the *verdict-bearing* fields only: `batch` is
+/// engine telemetry that legitimately differs between runs which must
+/// otherwise be bit-identical (backend equivalence, memoization on/off,
+/// resumed vs uninterrupted).
+impl PartialEq for SuiteResult {
+    fn eq(&self, other: &SuiteResult) -> bool {
+        self.model == other.model
+            && self.best_temperature == other.best_temperature
+            && self.tasks == other.tasks
+    }
 }
 
 impl SuiteResult {
@@ -353,6 +402,7 @@ impl SuiteResult {
                 .filter(|t| ids.contains(&t.task_id.as_str()))
                 .cloned()
                 .collect(),
+            batch: self.batch,
         }
     }
 }
@@ -453,6 +503,7 @@ fn run_sweep(
         model: profile.name.clone(),
         best_temperature,
         tasks,
+        batch: EvalBatchStats::from_engine(engine.batch_stats()),
     })
 }
 
@@ -588,6 +639,10 @@ fn run_task(
         }
     };
     let stimuli = stimuli_for(&task.spec, task.stim_seed);
+    // One batch plan per task: every candidate sample shares this task's
+    // stimulus program, so the golden-model sweep and lane transposition
+    // are paid once, not per sample.
+    let plan = BatchPlan::new(&task.spec, &stimuli);
     let mut c_syntax = 0usize;
     let mut c_func = 0usize;
     let mut skipped_sims = 0usize;
@@ -608,6 +663,7 @@ fn run_task(
                     cfg,
                     temperature,
                     &stimuli,
+                    &plan,
                     sample,
                     attempt,
                     &mut memo,
@@ -665,6 +721,7 @@ fn evaluate_sample(
     cfg: &EvalConfig,
     temperature: f64,
     stimuli: &haven_spec::stimuli::Stimuli,
+    plan: &BatchPlan,
     sample: usize,
     attempt: usize,
     memo: &mut TaskMemo,
@@ -704,7 +761,7 @@ fn evaluate_sample(
             };
         }
     }
-    let outcome = evaluate_source(engine, &source, task, cfg, stimuli, fault);
+    let outcome = evaluate_source(engine, &source, task, cfg, stimuli, plan, fault);
     if memoized {
         memo.verdicts
             .insert(key, (outcome.verdict.clone(), outcome.gated));
@@ -720,6 +777,7 @@ fn evaluate_source(
     task: &BenchTask,
     cfg: &EvalConfig,
     stimuli: &haven_spec::stimuli::Stimuli,
+    plan: &BatchPlan,
     fault: Option<FaultKind>,
 ) -> SampleOutcome {
     // One engine prepare climbs the whole ladder (parse → elaborate →
@@ -756,7 +814,15 @@ fn evaluate_source(
         },
         backend: cfg.backend,
     };
-    SampleOutcome::of(cosimulate_artifact(&task.spec, engine, &artifact, stimuli, &options).verdict)
+    // Batched co-simulation: combinational stimulus programs sweep up to
+    // 64 Check episodes per settle on the bit-parallel engine, falling
+    // back to the scalar path (spill counted on the engine) whenever the
+    // program or artifact does not qualify. Verdicts are bit-identical
+    // either way — pinned by the backend-equivalence test below and the
+    // differential suite in crates/spec.
+    SampleOutcome::of(
+        cosimulate_batch_planned(&task.spec, engine, &artifact, stimuli, &options, plan).verdict,
+    )
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -795,6 +861,26 @@ mod tests {
         assert_eq!(r.syntax_pass_at(1), 100.0);
         assert_eq!(r.faults(), 0);
         assert_eq!(r.exhausted(), 0);
+    }
+
+    #[test]
+    fn suite_result_carries_batch_telemetry() {
+        let suite = small_suite();
+        let r = evaluate(
+            &ModelProfile::uniform("perfect", 1.0),
+            &suite,
+            &EvalConfig::quick(2),
+        )
+        .unwrap();
+        // Every simulated sample either ran batched or was counted as a
+        // scalar fallback; a populated suite can't leave both at zero.
+        assert!(
+            r.batch.runs + r.batch.fallbacks > 0,
+            "batch telemetry not wired: {:?}",
+            r.batch
+        );
+        // Each batched sweep carries at least one lane.
+        assert!(r.batch.lanes >= r.batch.runs);
     }
 
     #[test]
@@ -1134,6 +1220,7 @@ mod result_tests {
                     dedup_hits: 0,
                 },
             ],
+            batch: EvalBatchStats::default(),
         }
     }
 

@@ -163,6 +163,10 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Verified-response cache misses (lookups that ran the full pipeline).
     pub cache_misses: AtomicU64,
+    /// Requests served by waiting out another in-flight request with the
+    /// same cache key instead of computing a duplicate payload
+    /// (single-flight coalescing).
+    pub coalesced: AtomicU64,
     /// Retry attempts spent on fault-class outcomes.
     pub retries: AtomicU64,
     /// Admitted requests terminated by the watchdog after their worker
@@ -223,6 +227,7 @@ impl Metrics {
             failed: load(&self.failed),
             cache_hits: load(&self.cache_hits),
             cache_misses: load(&self.cache_misses),
+            coalesced: load(&self.coalesced),
             retries: load(&self.retries),
             watchdog_recycles: load(&self.watchdog_recycles),
             store_write_failures: load(&self.store_write_failures),
@@ -276,6 +281,9 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Cache lookups that missed.
     pub cache_misses: u64,
+    /// Requests coalesced onto an in-flight duplicate's result.
+    #[serde(default)]
+    pub coalesced: u64,
     /// Retry attempts spent on fault-class outcomes.
     pub retries: u64,
     /// Watchdog-terminated stalled requests.
@@ -335,6 +343,7 @@ impl MetricsSnapshot {
         line("failed_total", self.failed);
         line("cache_hits_total", self.cache_hits);
         line("cache_misses_total", self.cache_misses);
+        line("coalesced_total", self.coalesced);
         line("retries_total", self.retries);
         line("watchdog_recycles_total", self.watchdog_recycles);
         line("store_write_failures_total", self.store_write_failures);

@@ -16,8 +16,9 @@
 //! prompt, engine fingerprint), which is the property the
 //! verified-response cache relies on to replay payloads bit-identically.
 
+use std::collections::HashSet;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use haven_engine::{Engine as CompileEngine, EngineFingerprint, EngineOptions};
@@ -26,7 +27,7 @@ use haven_eval::FaultPlan;
 use haven_lm::model::CodeGenModel;
 use haven_lm::perception::perceive;
 use haven_sicot::SiCot;
-use haven_spec::cosim::{cosimulate_artifact, CosimOptions, SimBackend, SimBudget, Verdict};
+use haven_spec::cosim::{cosimulate_batch, CosimOptions, SimBackend, SimBudget, Verdict};
 use haven_spec::stimuli::stimuli_for;
 use haven_store::Wal;
 
@@ -175,6 +176,35 @@ pub struct Engine {
     /// Installed only *after* startup replay, so replay can never append
     /// the records it is reading back.
     wal: Mutex<Option<Wal>>,
+    /// Cache keys with a pipeline attempt currently computing them.
+    /// Duplicate requests park on [`Engine::inflight_cv`] and replay the
+    /// leader's cache fill instead of recomputing (single-flight).
+    inflight: Mutex<HashSet<u64>>,
+    /// Wakes coalesced waiters when a leader finishes (either way).
+    inflight_cv: Condvar,
+}
+
+/// Single-flight leadership over one cache key. Dropping the guard —
+/// normal return, deadline rejection, or unwind from an injected panic —
+/// releases the key and wakes every coalesced waiter so they can re-check
+/// the cache (and, if the leader produced nothing cacheable, race to
+/// become the new leader).
+struct FlightGuard<'a> {
+    key: u64,
+    inflight: &'a Mutex<HashSet<u64>>,
+    cv: &'a Condvar,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut set = match self.inflight.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        set.remove(&self.key);
+        drop(set);
+        self.cv.notify_all();
+    }
 }
 
 /// Whether an attempt serves a live request or replays a WAL record at
@@ -223,6 +253,8 @@ impl Engine {
             cache,
             metrics,
             wal: Mutex::new(None),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_cv: Condvar::new(),
         };
         if let Some(dir) = engine.config.store_dir.clone() {
             engine.warm_start(&dir);
@@ -270,6 +302,12 @@ impl Engine {
     /// Compile-artifact cache telemetry for this engine.
     pub fn artifact_stats(&self) -> haven_engine::CacheStats {
         self.compiler.stats()
+    }
+
+    /// Bit-parallel simulation telemetry (batched sweeps, lanes, scalar
+    /// fallbacks) for this engine.
+    pub fn batch_stats(&self) -> haven_engine::BatchStats {
+        self.compiler.batch_stats()
     }
 
     /// Runs one pipeline attempt under `clock`. `attempt` is the retry
@@ -364,6 +402,54 @@ impl Engine {
             }
             if attempt == 0 && mode == AttemptMode::Live {
                 Metrics::inc(&self.metrics.cache_misses);
+            }
+        }
+
+        // --- Coalesce: if another worker is already computing this exact
+        // payload (same normalized prompt, same fingerprint), park on its
+        // result instead of duplicating generate → lint → simulate. The
+        // wait is deadline-bounded; on each wake the cache is re-checked
+        // and, if the leader produced nothing replayable, the waiters
+        // race to take over leadership. Faulted attempts bypass this the
+        // same way they bypass the cache: sabotage must reach the
+        // pipeline and its outcome must never be shared.
+        let mut _flight: Option<FlightGuard<'_>> = None;
+        if fault.is_none() && mode == AttemptMode::Live {
+            loop {
+                let mut set = match self.inflight.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                if set.insert(cache_key) {
+                    drop(set);
+                    _flight = Some(FlightGuard {
+                        key: cache_key,
+                        inflight: &self.inflight,
+                        cv: &self.inflight_cv,
+                    });
+                    break;
+                }
+                if let Err(r) = clock.check(Stage::Generate) {
+                    return deadline(r, sicot_steps, trace);
+                }
+                // Bounded nap: wake on the leader's notify, or shortly
+                // anyway in case the notify raced past before we parked.
+                let wait = clock.remaining().min(Duration::from_millis(25));
+                let parked = self
+                    .inflight_cv
+                    .wait_timeout(set, wait)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                drop(parked);
+                if let Some(hit) = self.cache.get(cache_key) {
+                    Metrics::inc(&self.metrics.coalesced);
+                    return Attempt {
+                        outcome: AttemptOutcome::Response(hit),
+                        cache_hit: true,
+                        sicot_steps,
+                        trace,
+                        store_write_failed: false,
+                    };
+                }
             }
         }
 
@@ -491,8 +577,11 @@ impl Engine {
                     },
                     backend: self.config.backend,
                 };
+                // Bit-parallel when the program and artifact qualify
+                // (scalar fallback tallied on the engine) — the verdict
+                // is bit-identical either way.
                 ServeVerdict::Checked(
-                    cosimulate_artifact(
+                    cosimulate_batch(
                         &perception.spec,
                         &self.compiler,
                         &artifact,
@@ -668,6 +757,52 @@ mod tests {
         assert_eq!(a.as_ref(), b.as_ref(), "cache must replay bit-identically");
         // Envelope data still computed per request on hits.
         assert_eq!(cold.sicot_steps, warm.sicot_steps);
+    }
+
+    #[test]
+    fn concurrent_duplicates_coalesce_onto_one_compute() {
+        let metrics = Arc::new(Metrics::default());
+        let model = CodeGenModel::new(profiles::ModelProfile::uniform("perfect", 1.0), 0.2);
+        // A slow modeled inference call keeps the leader in flight long
+        // enough for the other three workers to park on its result.
+        let e = Arc::new(Engine::new(
+            model,
+            EngineConfig {
+                inference_latency: Duration::from_millis(150),
+                ..EngineConfig::default()
+            },
+            Arc::new(ResponseCache::new(64)),
+            metrics.clone(),
+        ));
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let e = e.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let a = e.run_attempt(AND_PROMPT, &far_clock(), 0);
+                    match a.outcome {
+                        AttemptOutcome::Response(r) => r,
+                        AttemptOutcome::Deadline(r) => panic!("unexpected deadline: {r}"),
+                    }
+                })
+            })
+            .collect();
+        let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &responses {
+            assert_eq!(
+                r.as_ref(),
+                responses[0].as_ref(),
+                "coalesced replies must be bit-identical"
+            );
+        }
+        let s = metrics.snapshot();
+        // Exactly one request computed; the rest were served from its
+        // fill — either by parking on it (coalesced) or, had a thread
+        // been scheduled late, by an ordinary cache hit.
+        assert_eq!(s.coalesced + s.cache_hits, 3, "{s:?}");
+        assert!(s.coalesced > 0, "{s:?}");
     }
 
     #[test]

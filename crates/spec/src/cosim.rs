@@ -8,6 +8,7 @@ use std::sync::Arc;
 
 pub use haven_engine::SimBackend;
 use haven_engine::{Artifact, DutSession, Engine};
+use haven_verilog::batch::BatchSpill;
 pub use haven_verilog::sim::SimBudget;
 use haven_verilog::VerilogError;
 use serde::{Deserialize, Serialize};
@@ -127,6 +128,17 @@ impl Default for CosimOptions {
     }
 }
 
+/// Golden outputs in deterministic (name-sorted) order, so the first
+/// mismatch reported at a checkpoint with several diverging outputs does
+/// not depend on hash-map iteration order. Both scalar backends and the
+/// batched path compare in this order, which is what makes their
+/// `FunctionalMismatch` details bit-identical.
+fn sorted_outputs(golden: &GoldenModel) -> Vec<(String, Option<u64>)> {
+    let mut outs: Vec<(String, Option<u64>)> = golden.outputs().into_iter().collect();
+    outs.sort_by(|a, b| a.0.cmp(&b.0));
+    outs
+}
+
 /// Maps a session construction (or reset) failure — time-zero settle ran
 /// and failed — to a verdict, exactly as direct backend construction did.
 fn construction_error(e: VerilogError) -> CosimReport {
@@ -193,6 +205,300 @@ pub fn cosimulate_artifact(
     cosimulate_session(spec, &mut session, stimuli, options)
 }
 
+/// Batched co-simulation: like [`cosimulate_artifact`], but evaluates up
+/// to [`haven_verilog::LANES`] (64) stimulus episodes of a combinational
+/// program per settle sweep on the bit-parallel engine (DESIGN.md §15).
+///
+/// A tickless stimulus program is a sequence of Check-terminated
+/// *episodes*; each episode's cumulative input state becomes one lane.
+/// The verdict contract is strict: the returned [`CosimReport`] is
+/// bit-identical to [`cosimulate_artifact`] on the same arguments —
+/// pinned by the differential property suite. Programs or artifacts the
+/// batched engine cannot reproduce exactly (clocked stimuli, sequential
+/// designs, unsupported statements, tight budgets, unresolvable ports)
+/// fall back to the scalar path, with the spill reason counted in
+/// [`Engine::batch_stats`].
+pub fn cosimulate_batch(
+    spec: &Spec,
+    engine: &Engine,
+    artifact: &Arc<Artifact>,
+    stimuli: &Stimuli,
+    options: &CosimOptions,
+) -> CosimReport {
+    let plan = BatchPlan::new(spec, stimuli);
+    cosimulate_batch_planned(spec, engine, artifact, stimuli, options, &plan)
+}
+
+/// [`cosimulate_batch`] with the candidate-independent half hoisted out:
+/// `plan` must have been built by [`BatchPlan::new`] from the *same*
+/// `spec` and `stimuli`. This is the screening entry point — one plan per
+/// task amortizes the golden-model sweep across every candidate sample,
+/// leaving pokes + settles + divergence masks as the whole per-candidate
+/// cost.
+pub fn cosimulate_batch_planned(
+    spec: &Spec,
+    engine: &Engine,
+    artifact: &Arc<Artifact>,
+    stimuli: &Stimuli,
+    options: &CosimOptions,
+    plan: &BatchPlan,
+) -> CosimReport {
+    match batch_attempt(plan, engine, artifact, options) {
+        Ok(report) => report,
+        Err(spill) => {
+            if let Some(reason) = spill {
+                // Program-level spills the engine cannot see; session-
+                // level spills were already counted by `batch_session`.
+                engine.record_batch_fallback(reason);
+            }
+            cosimulate_artifact(spec, engine, artifact, stimuli, options)
+        }
+    }
+}
+
+/// The candidate-independent half of a batched co-simulation: the
+/// stimulus program walked once against the golden model, transposed into
+/// ≤[`haven_verilog::LANES`]-lane groups of cumulative input state and
+/// expected outputs.
+///
+/// Building a plan costs one golden-model sweep of the program; running a
+/// candidate against it ([`cosimulate_batch_planned`]) costs only pokes,
+/// settles and divergence masks. The eval harness builds one plan per
+/// task and screens every sample through it.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    /// The program drives a clock: the batched engine cannot run it.
+    sequential: bool,
+    /// Total `Set` steps (batch-session budget qualification).
+    set_count: usize,
+    /// Poked input names, first-seen order.
+    inputs: Vec<String>,
+    /// Compared output names, sorted (the order both scalar backends and
+    /// the batched path report the first mismatch in).
+    outputs: Vec<String>,
+    /// Check episodes, grouped and lane-transposed.
+    groups: Vec<PlanGroup>,
+}
+
+/// One Check snapshot during the plan walk: (cumulative input state,
+/// expected outputs), both in plan order.
+type Episode = (Vec<Option<u64>>, Vec<Option<u64>>);
+
+/// One ≤64-episode group of a [`BatchPlan`].
+#[derive(Debug, Clone)]
+struct PlanGroup {
+    /// Episodes in this group.
+    lanes: usize,
+    /// Cumulative input state per lane: `pokes[input][lane]`; `None` =
+    /// never poked (all-x, the scalar construction state).
+    pokes: Vec<Vec<Option<u64>>>,
+    /// Golden expectation per lane: `wants[output][lane]`; `None` =
+    /// golden is x there (comparison masked).
+    wants: Vec<Vec<Option<u64>>>,
+    /// Lanes with at least one known expectation (what the scalar loop
+    /// counts as `checks_compared`).
+    compared: usize,
+}
+
+impl BatchPlan {
+    /// Walks `stimuli` once against the golden model of `spec`. Cheap for
+    /// sequential programs (detected and left for the scalar path).
+    pub fn new(spec: &Spec, stimuli: &Stimuli) -> BatchPlan {
+        let sequential = stimuli
+            .steps
+            .iter()
+            .any(|s| matches!(s, StimulusStep::Tick));
+        let set_count = stimuli
+            .steps
+            .iter()
+            .filter(|s| matches!(s, StimulusStep::Set(..)))
+            .count();
+        let mut golden = GoldenModel::new(spec);
+        let mut outputs: Vec<String> = golden.outputs().into_keys().collect();
+        outputs.sort();
+        if sequential {
+            return BatchPlan {
+                sequential,
+                set_count,
+                inputs: Vec::new(),
+                outputs,
+                groups: Vec::new(),
+            };
+        }
+
+        // Walk the program: forward-fill cumulative input state, and at
+        // every Check snapshot (inputs, expected outputs) as one episode.
+        let mut inputs: Vec<String> = Vec::new();
+        let mut cur: Vec<Option<u64>> = Vec::new();
+        let mut episodes: Vec<Episode> = Vec::new();
+        for step in &stimuli.steps {
+            match step {
+                StimulusStep::Set(name, value) => {
+                    golden.set_input(name, *value);
+                    let idx = match inputs.iter().position(|n| n == name) {
+                        Some(i) => i,
+                        None => {
+                            inputs.push(name.clone());
+                            cur.push(None);
+                            inputs.len() - 1
+                        }
+                    };
+                    cur[idx] = Some(*value);
+                }
+                StimulusStep::Tick => unreachable!("gated above"),
+                StimulusStep::Check => {
+                    let outs = golden.outputs();
+                    let wants: Vec<Option<u64>> = outputs
+                        .iter()
+                        .map(|n| outs.get(n).copied().flatten())
+                        .collect();
+                    episodes.push((cur.clone(), wants));
+                }
+            }
+        }
+
+        // Lane-transpose into ≤LANES-episode groups. Episodes recorded
+        // before an input's first Set have short snapshots; the missing
+        // slots are "never poked" (all-x).
+        let groups = episodes
+            .chunks(haven_verilog::LANES)
+            .map(|group| PlanGroup {
+                lanes: group.len(),
+                pokes: (0..inputs.len())
+                    .map(|i| {
+                        group
+                            .iter()
+                            .map(|(ins, _)| ins.get(i).copied().flatten())
+                            .collect()
+                    })
+                    .collect(),
+                wants: (0..outputs.len())
+                    .map(|oi| group.iter().map(|(_, w)| w[oi]).collect())
+                    .collect(),
+                compared: group
+                    .iter()
+                    .filter(|(_, w)| w.iter().any(Option::is_some))
+                    .count(),
+            })
+            .collect();
+        BatchPlan {
+            sequential,
+            set_count,
+            inputs,
+            outputs,
+            groups,
+        }
+    }
+}
+
+/// The batched fast path. `Err(Some(reason))` is a program-level spill
+/// still to be counted; `Err(None)` was already counted by the engine.
+fn batch_attempt(
+    plan: &BatchPlan,
+    engine: &Engine,
+    artifact: &Arc<Artifact>,
+    options: &CosimOptions,
+) -> Result<CosimReport, Option<BatchSpill>> {
+    if plan.sequential {
+        return Err(Some(BatchSpill::SequentialProgram));
+    }
+    let mut session =
+        match engine.batch_session_with_budget(artifact, options.budget, plan.set_count) {
+            // Time-zero settle failed: the scalar session construction
+            // fails with the same error, so answer directly.
+            Err(e) => return Ok(construction_error(e)),
+            Ok(Err(_already_counted)) => return Err(None),
+            Ok(Ok(s)) => s,
+        };
+
+    // Interface gate: every poked name must be an input and every golden
+    // output must resolve, otherwise the scalar path owns the error
+    // wording (and the exact step it surfaces at).
+    let mut in_ids = Vec::with_capacity(plan.inputs.len());
+    for name in &plan.inputs {
+        let Some(id) = session.input_id(name) else {
+            return Err(Some(BatchSpill::BadInterface));
+        };
+        in_ids.push(id);
+    }
+    let mut out_ids = Vec::with_capacity(plan.outputs.len());
+    for name in &plan.outputs {
+        let Some(id) = session.signal_id(name) else {
+            return Err(Some(BatchSpill::BadInterface));
+        };
+        out_ids.push(id);
+    }
+
+    // Sweep the groups, replaying the scalar Check loop's exact counting
+    // and first-mismatch semantics per lane.
+    let mut checks_run = 0usize;
+    let mut checks_compared = 0usize;
+    let mut prev_ops = haven_verilog::BatchOpStats::default();
+    for group in &plan.groups {
+        for (i, id) in in_ids.iter().enumerate() {
+            session.poke_lanes(*id, &group.pokes[i]);
+        }
+        session.settle();
+        let now = session.op_stats();
+        engine.record_batch_run(
+            group.lanes,
+            haven_verilog::BatchOpStats {
+                lane_serialized_ops: now.lane_serialized_ops - prev_ops.lane_serialized_ops,
+                wide_value_spills: now.wide_value_spills - prev_ops.wide_value_spills,
+            },
+        );
+        prev_ops = now;
+
+        // Fast path: one divergence mask per output; all-zero means every
+        // episode in the group matches.
+        let mut combined = 0u64;
+        for (oi, id) in out_ids.iter().enumerate() {
+            combined |= session.divergence_mask(*id, &group.wants[oi]);
+        }
+        if combined == 0 {
+            checks_run += group.lanes;
+            checks_compared += group.compared;
+            continue;
+        }
+        // Some lane diverged: replay the scalar per-check scan lane by
+        // lane (program order) to reproduce the exact counters and
+        // detail string of the first mismatch.
+        for lane in 0..group.lanes {
+            checks_run += 1;
+            let mut known_any = false;
+            for (oi, name) in plan.outputs.iter().enumerate() {
+                let Some(want) = group.wants[oi][lane] else {
+                    continue;
+                };
+                known_any = true;
+                let got = session.peek_lane_u64(out_ids[oi], lane);
+                if got != Some(want) {
+                    let detail = match got {
+                        Some(g) => format!("`{name}`: expected {want}, got {g}"),
+                        None => format!("`{name}`: expected {want}, got x"),
+                    };
+                    return Ok(CosimReport {
+                        verdict: Verdict::FunctionalMismatch {
+                            at_check: checks_run - 1,
+                            detail,
+                        },
+                        checks_run,
+                        checks_compared: checks_compared + 1,
+                    });
+                }
+            }
+            if known_any {
+                checks_compared += 1;
+            }
+        }
+    }
+    Ok(CosimReport {
+        verdict: Verdict::Pass,
+        checks_run,
+        checks_compared,
+    })
+}
+
 /// Co-simulates on an existing [`DutSession`], resetting it first if a
 /// previous run drove it. Port handles resolved by earlier runs are
 /// reused, so repeated runs of the same stimuli are bit-identical to a
@@ -249,7 +555,7 @@ pub fn cosimulate_session(
                     golden.tick();
                 }
                 if options.mid_tick_checks {
-                    let expected = golden.outputs();
+                    let expected = sorted_outputs(&golden);
                     for (name, want) in &expected {
                         let Some(want) = want else { continue };
                         let got = sim.peek_u64(name).ok().flatten();
@@ -277,7 +583,7 @@ pub fn cosimulate_session(
             }
             StimulusStep::Check => {
                 checks_run += 1;
-                let expected = golden.outputs();
+                let expected = sorted_outputs(&golden);
                 let mut known_any = false;
                 for (name, want) in &expected {
                     let Some(want) = want else { continue };

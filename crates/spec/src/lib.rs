@@ -36,8 +36,8 @@ pub mod ir;
 pub mod stimuli;
 
 pub use cosim::{
-    cosimulate, cosimulate_artifact, cosimulate_session, CosimOptions, CosimReport, SimBackend,
-    SimBudget, Verdict,
+    cosimulate, cosimulate_artifact, cosimulate_batch, cosimulate_batch_planned,
+    cosimulate_session, BatchPlan, CosimOptions, CosimReport, SimBackend, SimBudget, Verdict,
 };
 pub use golden::GoldenModel;
 pub use ir::{Behavior, Spec};

@@ -17,7 +17,8 @@ use haven_engine::{Engine, EngineOptions};
 use haven_spec::builders;
 use haven_spec::codegen::{emit, EmitStyle};
 use haven_spec::cosim::{
-    cosimulate_artifact, cosimulate_with, CosimOptions, CosimReport, SimBackend, SimBudget, Verdict,
+    cosimulate_artifact, cosimulate_batch, cosimulate_with, CosimOptions, CosimReport, SimBackend,
+    SimBudget, Verdict,
 };
 use haven_spec::ir::{AluOp, ShiftDirection};
 use haven_spec::stimuli::{stimuli_for, Stimuli};
@@ -353,6 +354,255 @@ fn capacity_one_cache_evicts_correctly_and_counts_misses() {
         );
         assert_eq!(stats.hits, 0);
         assert_eq!(stats.evictions, 5, "every insert after the first evicts");
+    }
+}
+
+/// Runs one case through all three engines — interpreter, scalar
+/// compiled, and the 64-lane batched path — and returns the reports.
+/// The batched call goes through a compiled-backend engine so spills are
+/// observable on `engine.batch_stats()`.
+fn all_three(
+    spec: &Spec,
+    source: &str,
+    stim: &Stimuli,
+    budget: SimBudget,
+) -> (CosimReport, CosimReport, CosimReport, Engine) {
+    let options = CosimOptions {
+        mid_tick_checks: true,
+        budget,
+        backend: SimBackend::Compiled,
+    };
+    let engine = Engine::new(EngineOptions {
+        backend: SimBackend::Compiled,
+        budget,
+        cache_capacity: 8,
+    });
+    let interp = run(spec, source, stim, budget, SimBackend::Interpreter);
+    let (scalar, batched) = match engine.prepare(source) {
+        Ok(artifact) => (
+            cosimulate_artifact(spec, &engine, &artifact, stim, &options),
+            cosimulate_batch(spec, &engine, &artifact, stim, &options),
+        ),
+        Err(e) => {
+            let syntax = CosimReport {
+                verdict: Verdict::SyntaxError(e.to_string()),
+                checks_run: 0,
+                checks_compared: 0,
+            };
+            (syntax.clone(), syntax)
+        }
+    };
+    (interp, scalar, batched, engine)
+}
+
+/// The tentpole contract: across the full population × hallucination
+/// styles, the batched per-lane verdicts are bit-identical to both the
+/// scalar compiled run and the interpreter oracle — same verdict, same
+/// first-mismatch checkpoint and detail, same checks run/compared.
+/// Sequential specs exercise the spill-and-fallback path; combinational
+/// specs exercise real 64-lane sweeps.
+#[test]
+fn batched_reports_bit_identical_to_both_oracles() {
+    let mut rng = Rng(0xba7c_4ed0_u64);
+    let mut batched_runs = 0u64;
+    for spec in population() {
+        for style in styles() {
+            let source = emit(&spec, &style);
+            let stim = stimuli_for(&spec, rng.next());
+            let (interp, scalar, batched, engine) =
+                all_three(&spec, &source, &stim, SimBudget::default());
+            assert_eq!(
+                batched, scalar,
+                "{}: batched diverged from scalar compiled\nsource:\n{source}",
+                spec.name
+            );
+            assert_eq!(
+                batched, interp,
+                "{}: batched diverged from the interpreter\nsource:\n{source}",
+                spec.name
+            );
+            batched_runs += engine.batch_stats().runs;
+        }
+    }
+    assert!(
+        batched_runs > 0,
+        "no case engaged the batched engine — the fast path is dead"
+    );
+}
+
+/// X-propagation lanes: episodes that check before every input is driven
+/// must read back `x` exactly as the scalar run does (inputs start
+/// all-x; forward-filled lanes keep earlier pokes). Also covers checks
+/// with zero known golden outputs (compared-counter arithmetic).
+#[test]
+fn batched_x_propagation_lanes_bit_identical() {
+    use haven_spec::stimuli::StimulusStep as Step;
+    let mut rng = Rng(0x0dd_faded_u64);
+    let specs = [
+        builders::gate("d_gate", haven_verilog::ast::BinaryOp::BitXor),
+        builders::adder("d_add", 8),
+        builders::mux2("d_mux", 4),
+        builders::alu(
+            "d_alu",
+            8,
+            vec![AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Xor],
+        ),
+    ];
+    for spec in specs {
+        let inputs: Vec<(String, usize)> = spec
+            .inputs
+            .iter()
+            .map(|p| (p.name.clone(), p.width))
+            .collect();
+        let source = emit(&spec, &EmitStyle::correct());
+        let mut steps = Vec::new();
+        // A check before any input is driven: golden outputs unknown,
+        // nothing compared, but the check still counts as run.
+        steps.push(Step::Check);
+        for round in 0..150 {
+            // Drive a random subset of inputs, then check: undriven
+            // inputs stay x, driven ones forward-fill across episodes.
+            for (name, width) in &inputs {
+                if rng.below(3) == 0 {
+                    continue;
+                }
+                let mask = if *width >= 64 {
+                    !0
+                } else {
+                    (1u64 << width) - 1
+                };
+                steps.push(Step::Set(name.clone(), rng.next() & mask));
+            }
+            steps.push(Step::Check);
+            if round == 75 {
+                steps.push(Step::Check); // back-to-back checks share state
+            }
+        }
+        let stim = Stimuli { steps };
+        let (interp, scalar, batched, engine) =
+            all_three(&spec, &source, &stim, SimBudget::default());
+        assert_eq!(batched, scalar, "{}: x-prop lanes diverged", spec.name);
+        assert_eq!(batched, interp, "{}: x-prop vs interpreter", spec.name);
+        assert!(
+            engine.batch_stats().runs > 0,
+            "{}: x-prop program must engage the batched engine",
+            spec.name
+        );
+    }
+}
+
+/// Budget exhaustion: starved budgets spill to the scalar path (which
+/// owns exhaustion verdicts), and the fallback must keep the report
+/// bit-identical to calling the scalar path directly — for every budget,
+/// including ones the scalar run exhausts mid-program.
+#[test]
+fn batched_budget_exhaustion_bit_identical_via_spill() {
+    use haven_verilog::batch::BatchSpill;
+    let mut rng = Rng(0xbad_b0d9e7_u64);
+    let pop = population();
+    let mut tight_spills = 0u64;
+    for case in 0..80 {
+        let spec = &pop[rng.below(pop.len() as u64) as usize];
+        let source = emit(spec, &EmitStyle::correct());
+        let budget = SimBudget {
+            max_settle_per_step: 1 + rng.below(32) as usize,
+            max_loop_iterations: 1 + rng.below(16) as usize,
+            max_ticks: 1 + rng.below(8) as usize,
+            max_total_work: 1 + rng.below(192) as usize,
+        };
+        let stim = stimuli_for(spec, rng.next());
+        let (_, scalar, batched, engine) = all_three(spec, &source, &stim, budget);
+        assert_eq!(
+            batched, scalar,
+            "case {case} ({}): starved-budget batched run diverged from scalar",
+            spec.name
+        );
+        tight_spills += engine.batch_stats().fallbacks_for(BatchSpill::TightBudget);
+    }
+    assert!(
+        tight_spills > 0,
+        "no case hit the tight-budget spill — the qualification gate is untested"
+    );
+}
+
+/// Batching composes with the artifact cache: a warm (cache-hit)
+/// artifact batched twice gives the same report, and matches the scalar
+/// session on the same shared artifact.
+#[test]
+fn batched_warm_artifact_reuse_bit_identical() {
+    let mut rng = Rng(0xbaa7_c0de_u64);
+    let options = CosimOptions {
+        mid_tick_checks: true,
+        budget: SimBudget::default(),
+        backend: SimBackend::Compiled,
+    };
+    let engine = Engine::new(EngineOptions {
+        backend: SimBackend::Compiled,
+        budget: SimBudget::default(),
+        cache_capacity: 16,
+    });
+    for spec in [
+        builders::comparator("d_cmp", 5),
+        builders::decoder("d_dec", 3),
+        builders::adder("d_add", 8),
+    ] {
+        let source = emit(&spec, &EmitStyle::correct());
+        let stim = stimuli_for(&spec, rng.next());
+        let cold_artifact = engine.prepare(&source).unwrap();
+        let cold = cosimulate_batch(&spec, &engine, &cold_artifact, &stim, &options);
+        let warm_artifact = engine.prepare(&source).unwrap();
+        assert!(Arc::ptr_eq(&cold_artifact, &warm_artifact));
+        let warm = cosimulate_batch(&spec, &engine, &warm_artifact, &stim, &options);
+        assert_eq!(cold, warm, "{}: warm batched run diverged", spec.name);
+        let scalar = cosimulate_artifact(&spec, &engine, &warm_artifact, &stim, &options);
+        assert_eq!(
+            cold, scalar,
+            "{}: batched vs scalar on shared artifact",
+            spec.name
+        );
+    }
+    assert!(engine.batch_stats().runs > 0);
+}
+
+/// The screening entry point: a [`BatchPlan`] built once per (spec,
+/// stimuli) and reused across candidates — the shape the eval harness
+/// runs — must give reports bit-identical to the plan-free call on every
+/// population × hallucination case, including a second reuse of the same
+/// plan against the same artifact (the hot screening loop).
+#[test]
+fn planned_batched_bit_identical_to_unplanned() {
+    use haven_spec::cosim::{cosimulate_batch_planned, BatchPlan};
+    let mut rng = Rng(0x91a7_dead_u64);
+    for spec in population() {
+        let stim = stimuli_for(&spec, rng.next());
+        let plan = BatchPlan::new(&spec, &stim);
+        for style in styles() {
+            let source = emit(&spec, &style);
+            let options = CosimOptions {
+                mid_tick_checks: true,
+                budget: SimBudget::default(),
+                backend: SimBackend::Compiled,
+            };
+            let engine = Engine::new(EngineOptions {
+                backend: SimBackend::Compiled,
+                budget: SimBudget::default(),
+                cache_capacity: 8,
+            });
+            let Ok(artifact) = engine.prepare(&source) else {
+                continue;
+            };
+            let unplanned = cosimulate_batch(&spec, &engine, &artifact, &stim, &options);
+            let planned =
+                cosimulate_batch_planned(&spec, &engine, &artifact, &stim, &options, &plan);
+            assert_eq!(
+                planned, unplanned,
+                "{}: planned batch diverged from unplanned\nsource:\n{source}",
+                spec.name
+            );
+            let replanned =
+                cosimulate_batch_planned(&spec, &engine, &artifact, &stim, &options, &plan);
+            assert_eq!(planned, replanned, "{}: plan reuse diverged", spec.name);
+        }
     }
 }
 

@@ -1,0 +1,824 @@
+//! Bit-parallel batched execution of compiled combinational designs.
+//!
+//! [`BatchSim`] evaluates up to [`LANES`] (64) independent stimulus
+//! vectors against one [`CompiledDesign`] at once: the value arena is
+//! transposed so each signal holds per-bit *lane words*
+//! ([`crate::bval`]), and every bytecode op becomes a handful of
+//! word-ops over all lanes.
+//!
+//! The engine is only engaged for programs where the batched run is
+//! provably bit-identical to driving the scalar [`CompiledSim`] once
+//! per lane — anything else reports a typed [`BatchSpill`] and the
+//! caller falls back to the scalar path. The qualification leans on
+//! the levelization guarantees (`compile::levelize`, DESIGN.md §10):
+//!
+//! * the design is levelized, so every combinational process has
+//!   complete sensitivity, a single driver per signal and an acyclic
+//!   trigger graph — the settled state after a poke is exactly one
+//!   topological sweep over `level_order`, independent of poke order
+//!   and with no oscillation possible;
+//! * no process is edge-sensitive, so pokes can never fire an edge
+//!   process whose scheduling the sweep does not model;
+//! * bodies contain only whole-signal blocking assignments under
+//!   `begin`/`if`/`case` — control flow becomes lane masks, and
+//!   re-executing an unchanged lane is idempotent;
+//! * the scalar run's resource budget is provably ample (a poke costs
+//!   at most one activation per combinational process), so neither
+//!   path can exhaust it and budget verdicts cannot diverge.
+//!
+//! Under those rules a settle is *unconditional*: every combinational
+//! process executes once in topological order for all 64 lanes, with
+//! no dirty tracking at all — the sweep itself is the fixpoint.
+
+use std::sync::Arc;
+
+use crate::bval::{self, BVal, BatchOpStats, Uniform, LANES};
+use crate::compile::{CLval, CStmt, CompiledDesign, ExprId, Op, NO_SIGNAL};
+use crate::cval::CVal;
+use crate::elab::{SignalId, SignalKind};
+use crate::exec::CompiledSim;
+use crate::logic::Logic;
+
+/// Why a design or program could not engage the batched engine.
+///
+/// The first three variants are decided by the cosimulation layer
+/// (which sees the stimulus program and options); the rest by
+/// [`BatchSim::from_scalar`]. Every spill falls back to the scalar
+/// backend, so the only cost is the lost speedup — counted by the
+/// engine so coverage regressions are visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSpill {
+    /// The caller asked for the interpreter backend.
+    ScalarBackend,
+    /// The stimulus program drives a clock; batching covers
+    /// combinational (tickless) programs only.
+    SequentialProgram,
+    /// A poked name is missing or not an input, or a checked output
+    /// does not resolve — the scalar path owns the error wording.
+    BadInterface,
+    /// The artifact carries no compiled bytecode.
+    NoBytecode,
+    /// The design did not qualify for levelized settling.
+    NotLevelized,
+    /// The design has edge-sensitive processes a poke could fire.
+    EdgeSensitive,
+    /// A process body uses a construct outside the batched subset
+    /// (non-blocking writes, `for` loops, bit/part-select targets).
+    UnsupportedStmt,
+    /// The resource budget is tight enough that the scalar run might
+    /// exhaust it; budget verdicts must come from the scalar path.
+    TightBudget,
+}
+
+impl BatchSpill {
+    /// Number of variants (for fixed-size counter arrays).
+    pub const COUNT: usize = 8;
+
+    /// Dense index for counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            BatchSpill::ScalarBackend => 0,
+            BatchSpill::SequentialProgram => 1,
+            BatchSpill::BadInterface => 2,
+            BatchSpill::NoBytecode => 3,
+            BatchSpill::NotLevelized => 4,
+            BatchSpill::EdgeSensitive => 5,
+            BatchSpill::UnsupportedStmt => 6,
+            BatchSpill::TightBudget => 7,
+        }
+    }
+
+    /// Stable snake_case label (metrics / JSON emitters).
+    pub fn label(self) -> &'static str {
+        match self {
+            BatchSpill::ScalarBackend => "scalar_backend",
+            BatchSpill::SequentialProgram => "sequential_program",
+            BatchSpill::BadInterface => "bad_interface",
+            BatchSpill::NoBytecode => "no_bytecode",
+            BatchSpill::NotLevelized => "not_levelized",
+            BatchSpill::EdgeSensitive => "edge_sensitive",
+            BatchSpill::UnsupportedStmt => "unsupported_stmt",
+            BatchSpill::TightBudget => "tight_budget",
+        }
+    }
+
+    /// All variants in [`BatchSpill::index`] order.
+    pub fn all() -> [BatchSpill; Self::COUNT] {
+        [
+            BatchSpill::ScalarBackend,
+            BatchSpill::SequentialProgram,
+            BatchSpill::BadInterface,
+            BatchSpill::NoBytecode,
+            BatchSpill::NotLevelized,
+            BatchSpill::EdgeSensitive,
+            BatchSpill::UnsupportedStmt,
+            BatchSpill::TightBudget,
+        ]
+    }
+}
+
+/// Conservative upper bound on the scalar work one poke can cost under
+/// the batched qualification rules (one activation per combinational
+/// process, doubled plus slack for headroom).
+fn per_poke_work_bound(cd: &CompiledDesign) -> usize {
+    2 * cd.level_order.len() + 2
+}
+
+/// A 64-lane batched simulation of one combinational design.
+#[derive(Debug)]
+pub struct BatchSim {
+    cd: Arc<CompiledDesign>,
+    values: Vec<BVal>,
+    stack: Vec<BVal>,
+    spills: BatchOpStats,
+}
+
+impl BatchSim {
+    /// Builds a batched simulator from a scalar simulator that already
+    /// ran time zero. Every lane starts from the scalar's settled
+    /// time-zero state (so construction errors, `initial` blocks and
+    /// the time-zero schedule stay byte-identical with the scalar
+    /// path), then diverges only through [`BatchSim::poke_lanes`].
+    ///
+    /// `planned_pokes` is the total number of input sets the caller
+    /// will replay; it bounds the scalar run's work for the budget
+    /// qualification.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BatchSpill`] reason when the design or budget does
+    /// not qualify — the caller must fall back to the scalar path.
+    pub fn from_scalar(sim: &CompiledSim, planned_pokes: usize) -> Result<BatchSim, BatchSpill> {
+        let cd = Arc::clone(sim.compiled());
+        if !cd.levelized {
+            return Err(BatchSpill::NotLevelized);
+        }
+        if cd.edge_woken.iter().any(|w| !w.is_empty()) {
+            return Err(BatchSpill::EdgeSensitive);
+        }
+        if !cd
+            .level_order
+            .iter()
+            .all(|&pid| stmt_supported(&cd.bodies[pid as usize]))
+        {
+            return Err(BatchSpill::UnsupportedStmt);
+        }
+        let budget = sim.budget();
+        let per_poke = per_poke_work_bound(&cd);
+        let needed = planned_pokes
+            .saturating_mul(per_poke)
+            .saturating_add(sim.work_units());
+        if budget.max_settle_per_step <= per_poke || budget.max_total_work < needed {
+            return Err(BatchSpill::TightBudget);
+        }
+        let values = sim
+            .values()
+            .iter()
+            .map(|v| BVal::broadcast(v.clone()))
+            .collect();
+        Ok(BatchSim {
+            cd,
+            values,
+            stack: Vec::new(),
+            spills: BatchOpStats::default(),
+        })
+    }
+
+    /// The compiled design under simulation.
+    pub fn compiled(&self) -> &Arc<CompiledDesign> {
+        &self.cd
+    }
+
+    /// Counters for ops that left the word-parallel fast path.
+    pub fn op_stats(&self) -> BatchOpStats {
+        self.spills
+    }
+
+    /// Drives one input with a per-lane value: `values[b]` is lane
+    /// `b`'s integer (masked to the signal width, like the scalar
+    /// `poke_u64`) or `None` for an input that lane has never poked
+    /// (all-`x`, the scalar construction state). Lanes beyond
+    /// `values.len()` duplicate the last entry so no lane holds
+    /// garbage. Does not propagate — call [`BatchSim::settle`] after
+    /// all inputs of an episode group are in place.
+    ///
+    /// The caller must have verified `id` is an input (part of the
+    /// cosim-layer interface gate); this is debug-asserted only.
+    pub fn poke_lanes(&mut self, id: SignalId, values: &[Option<u64>]) {
+        let info = self.cd.design.info(id);
+        debug_assert_eq!(info.kind, SignalKind::Input, "batched poke of non-input");
+        debug_assert!(!values.is_empty() && values.len() <= LANES);
+        let width = info.width;
+        let last = *values.last().expect("at least one lane");
+        let lane_value = |b: usize| values.get(b).copied().unwrap_or(last);
+        let bv = if width <= 64 {
+            let n = width.max(1);
+            let mut val = vec![0u64; n].into_boxed_slice();
+            let mut xz = vec![0u64; n].into_boxed_slice();
+            let z = vec![0u64; n].into_boxed_slice();
+            for b in 0..LANES {
+                match lane_value(b) {
+                    Some(v) => {
+                        for (i, word) in val.iter_mut().enumerate() {
+                            *word |= (v >> i & 1) << b;
+                        }
+                    }
+                    None => {
+                        for word in xz.iter_mut() {
+                            *word |= 1 << b;
+                        }
+                    }
+                }
+            }
+            BVal::P {
+                w: n as u32,
+                val,
+                xz,
+                z,
+            }
+        } else {
+            BVal::from_lanes(
+                (0..LANES)
+                    .map(|b| match lane_value(b) {
+                        Some(v) => CVal::from_u64(v, width),
+                        None => CVal::unknown(width),
+                    })
+                    .collect(),
+            )
+        };
+        self.values[id.0 as usize] = bv;
+    }
+
+    /// Settles all lanes: one unconditional topological sweep over the
+    /// combinational processes. Infallible under the qualification
+    /// rules (no oscillation, no budget, no runtime statement errors).
+    pub fn settle(&mut self) {
+        let cd = Arc::clone(&self.cd);
+        for &pid in &cd.level_order {
+            self.exec_bstmt(&cd, &cd.bodies[pid as usize], !0u64);
+        }
+    }
+
+    /// Lane `b`'s value of a signal as an integer (`None` when any bit
+    /// is unknown or the signal is wider than 64 bits — exactly the
+    /// scalar `peek_id_u64`).
+    pub fn peek_lane_u64(&self, id: SignalId, lane: usize) -> Option<u64> {
+        self.values[id.0 as usize].lane_u64(lane)
+    }
+
+    /// Divergence mask of a signal against per-lane expectations: bit
+    /// `b` set when `want[b]` is `Some(v)` and lane `b` does not read
+    /// exactly `v`. A zero mask means every compared lane matches —
+    /// the group-level early-exit check.
+    pub fn divergence_mask(&self, id: SignalId, want: &[Option<u64>]) -> u64 {
+        bval::divergence(&self.values[id.0 as usize], want)
+    }
+
+    fn exec_bstmt(&mut self, cd: &CompiledDesign, s: &CStmt, mask: u64) {
+        if mask == 0 {
+            return;
+        }
+        match s {
+            CStmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec_bstmt(cd, s, mask);
+                }
+            }
+            CStmt::Blocking { lhs, rhs } => {
+                let CLval::Whole(sig) = lhs else {
+                    unreachable!("qualification admits whole-signal targets only")
+                };
+                let value = self.run_bexpr(cd, *rhs);
+                let width = cd.design.signals[*sig as usize].width;
+                let new = bval::resized(&value, width);
+                let si = *sig as usize;
+                self.values[si] = if mask == !0 {
+                    new
+                } else {
+                    bval::select(mask, &new, &self.values[si])
+                };
+            }
+            CStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self.run_bexpr(cd, *cond);
+                // Scalar `If` branches on `is_true()`: only `One`
+                // lanes take the then-branch; `Zero` and `x` both
+                // take the else-branch.
+                let (one, _x) = bval::truth_masks(&c);
+                self.exec_bstmt(cd, then_branch, mask & one);
+                if let Some(e) = else_branch {
+                    self.exec_bstmt(cd, e, mask & !one);
+                }
+            }
+            CStmt::Case {
+                kind,
+                expr,
+                arms,
+                default,
+            } => {
+                let sel = self.run_bexpr(cd, *expr);
+                let mut remaining = mask;
+                for (labels, body) in arms {
+                    // Per-lane first-match-wins: a lane matched by an
+                    // earlier arm (or earlier label of this arm) has
+                    // already left `remaining`. Label evaluation is
+                    // pure, so evaluating labels the scalar engine
+                    // would have skipped is unobservable.
+                    let mut arm_mask = 0u64;
+                    for &label in labels {
+                        if remaining == 0 {
+                            break;
+                        }
+                        let lv = self.run_bexpr(cd, label);
+                        arm_mask |=
+                            remaining & bval::match_mask(*kind, &sel, &lv, &mut self.spills);
+                    }
+                    self.exec_bstmt(cd, body, arm_mask);
+                    remaining &= !arm_mask;
+                }
+                if let Some(d) = default {
+                    self.exec_bstmt(cd, d, remaining);
+                }
+            }
+            CStmt::Empty => {}
+            _ => unreachable!("qualification rejects this statement"),
+        }
+    }
+
+    /// Executes one expression bytecode chunk over all lanes; mirrors
+    /// the scalar `run_expr` op-for-op.
+    fn run_bexpr(&mut self, cd: &CompiledDesign, id: ExprId) -> BVal {
+        let base = self.stack.len();
+        for op in &cd.exprs[id as usize] {
+            let v = match op {
+                Op::Lit(i) => BVal::broadcast(CVal::from_lv(&cd.lits[*i as usize])),
+                Op::Load(sig) => {
+                    if *sig == NO_SIGNAL {
+                        BVal::broadcast(CVal::unknown(1))
+                    } else {
+                        self.values[*sig as usize].clone()
+                    }
+                }
+                Op::Unary(uop) => {
+                    let a = self.stack.pop().expect("unary operand");
+                    bval::unary(*uop, &a, &mut self.spills)
+                }
+                Op::Binary(bop) => {
+                    let b = self.stack.pop().expect("binary rhs");
+                    let a = self.stack.pop().expect("binary lhs");
+                    bval::binary(*bop, &a, &b, &mut self.spills)
+                }
+                Op::Ternary => {
+                    let f = self.stack.pop().expect("ternary else");
+                    let t = self.stack.pop().expect("ternary then");
+                    let c = self.stack.pop().expect("ternary cond");
+                    bval::ternary(&c, &t, &f, &mut self.spills)
+                }
+                Op::Concat(n) => {
+                    if *n == 0 {
+                        BVal::broadcast(CVal::unknown(1))
+                    } else {
+                        let mut acc = self.stack.pop().expect("concat part");
+                        for _ in 1..*n {
+                            let hi = self.stack.pop().expect("concat part");
+                            acc = bval::concat(&hi, &acc, &mut self.spills);
+                        }
+                        acc
+                    }
+                }
+                Op::Replicate => {
+                    let v = self.stack.pop().expect("replicate inner");
+                    let n = self.stack.pop().expect("replicate count");
+                    self.op_replicate(&v, &n)
+                }
+                Op::Index(sig) => {
+                    let ix = self.stack.pop().expect("index operand");
+                    self.op_index(cd, *sig, &ix)
+                }
+                Op::Slice(sig) => {
+                    let lo = self.stack.pop().expect("slice lo");
+                    let hi = self.stack.pop().expect("slice hi");
+                    self.op_slice(cd, *sig, &hi, &lo)
+                }
+            };
+            self.stack.push(v);
+        }
+        debug_assert_eq!(self.stack.len(), base + 1, "chunk must net one value");
+        self.stack.pop().expect("bytecode result")
+    }
+
+    /// `Op::Replicate` semantics over lanes (counts outside `1..=64`
+    /// produce all-`x` of the inner width, per lane).
+    fn op_replicate(&mut self, v: &BVal, n: &BVal) -> BVal {
+        match bval::to_u64_uniform(n) {
+            Uniform::Same(Some(c)) if (1..=64).contains(&c) => {
+                bval::replicate(v, c as usize, &mut self.spills)
+            }
+            Uniform::Same(_) => unknown_like(v),
+            Uniform::Divergent => {
+                self.spills.lane_serialized_ops += 1;
+                BVal::from_lanes(
+                    (0..LANES)
+                        .map(|b| {
+                            let vl = v.lane(b);
+                            match n.lane(b).to_u64() {
+                                Some(c) if (1..=64).contains(&c) => vl.replicate(c as usize),
+                                _ => CVal::unknown(vl.width()),
+                            }
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// `Op::Index` semantics over lanes, honouring the declared LSB.
+    fn op_index(&mut self, cd: &CompiledDesign, sig: u32, ix: &BVal) -> BVal {
+        let missing = BVal::broadcast(CVal::unknown(1));
+        let (base, lsb) = if sig == NO_SIGNAL {
+            (&missing, 0usize)
+        } else {
+            (
+                &self.values[sig as usize],
+                cd.design.signals[sig as usize].lsb,
+            )
+        };
+        match bval::to_u64_uniform(ix) {
+            Uniform::Same(Some(i)) => {
+                let i = i as usize;
+                if i < lsb {
+                    BVal::broadcast(CVal::single(Logic::X))
+                } else {
+                    bval::bit(base, i - lsb)
+                }
+            }
+            Uniform::Same(None) => BVal::broadcast(CVal::unknown(1)),
+            Uniform::Divergent => {
+                self.spills.lane_serialized_ops += 1;
+                BVal::from_lanes(
+                    (0..LANES)
+                        .map(|b| match ix.lane(b).to_u64() {
+                            Some(i) => {
+                                let i = i as usize;
+                                if i < lsb {
+                                    CVal::single(Logic::X)
+                                } else {
+                                    CVal::single(base.lane(b).bit(i - lsb))
+                                }
+                            }
+                            None => CVal::unknown(1),
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// `Op::Slice` semantics over lanes, honouring the declared LSB.
+    fn op_slice(&mut self, cd: &CompiledDesign, sig: u32, hi: &BVal, lo: &BVal) -> BVal {
+        let missing = BVal::broadcast(CVal::unknown(1));
+        let (base, lsb_off) = if sig == NO_SIGNAL {
+            (&missing, 0usize)
+        } else {
+            (
+                &self.values[sig as usize],
+                cd.design.signals[sig as usize].lsb,
+            )
+        };
+        match (bval::to_u64_uniform(hi), bval::to_u64_uniform(lo)) {
+            (Uniform::Same(hv), Uniform::Same(lv)) => match (hv, lv) {
+                (Some(h), Some(l)) if h >= l => {
+                    let (h, l) = (h as usize, l as usize);
+                    if l < lsb_off {
+                        BVal::broadcast(CVal::unknown(h - l + 1))
+                    } else {
+                        bval::slice(base, h - lsb_off, l - lsb_off, &mut self.spills)
+                    }
+                }
+                (Some(h), Some(l)) => BVal::broadcast(CVal::unknown((l - h) as usize + 1)),
+                _ => BVal::broadcast(CVal::unknown(1)),
+            },
+            _ => {
+                self.spills.lane_serialized_ops += 1;
+                BVal::from_lanes(
+                    (0..LANES)
+                        .map(|b| match (hi.lane(b).to_u64(), lo.lane(b).to_u64()) {
+                            (Some(h), Some(l)) if h >= l => {
+                                let (h, l) = (h as usize, l as usize);
+                                if l < lsb_off {
+                                    CVal::unknown(h - l + 1)
+                                } else {
+                                    base.lane(b).slice(h - lsb_off, l - lsb_off)
+                                }
+                            }
+                            (Some(h), Some(l)) => CVal::unknown((l - h) as usize + 1),
+                            _ => CVal::unknown(1),
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+/// All-`x` of each lane's width (lane widths may diverge in `L`).
+fn unknown_like(v: &BVal) -> BVal {
+    match v {
+        BVal::L(lanes) => {
+            BVal::from_lanes(lanes.iter().map(|c| CVal::unknown(c.width())).collect())
+        }
+        other => {
+            let w = other.lane(0).width();
+            BVal::broadcast(CVal::unknown(w))
+        }
+    }
+}
+
+/// Whether a compiled statement is inside the batched subset.
+fn stmt_supported(s: &CStmt) -> bool {
+    // NB: keep in sync with `exec_bstmt`'s `unreachable!` arms.
+    match s {
+        CStmt::Block(stmts) => stmts.iter().all(stmt_supported),
+        CStmt::Blocking {
+            lhs: CLval::Whole(_),
+            ..
+        } => true,
+        CStmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => stmt_supported(then_branch) && else_branch.as_deref().is_none_or(stmt_supported),
+        CStmt::Case { arms, default, .. } => {
+            arms.iter().all(|(_, body)| stmt_supported(body))
+                && default.as_deref().is_none_or(stmt_supported)
+        }
+        CStmt::Empty => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::compile;
+    use crate::sim::SimBudget;
+
+    /// A deterministic xorshift for stimulus sweeps.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    fn boot(src: &str) -> CompiledSim {
+        CompiledSim::compile(compile(src).unwrap()).unwrap()
+    }
+
+    /// Drives 64 random input vectors through the batched engine and a
+    /// scalar `CompiledSim` per lane; asserts every output of every
+    /// lane is bit-identical (via `peek_lane_u64` vs `peek_id_u64`).
+    fn lockstep_64(src: &str, seed: u64, sparse: bool) {
+        let scalar = boot(src);
+        let design = scalar.design().clone();
+        let inputs: Vec<(SignalId, usize)> = design
+            .input_ports()
+            .iter()
+            .map(|(n, w)| (design.signal(n).unwrap(), *w))
+            .collect();
+        let outputs: Vec<SignalId> = design
+            .output_ports()
+            .iter()
+            .map(|(n, _)| design.signal(n).unwrap())
+            .collect();
+        let mut rng = Rng(seed);
+        let mut batch =
+            BatchSim::from_scalar(&scalar, inputs.len() * LANES).expect("design qualifies");
+        // Per-input per-lane values; `None` lanes never poke that
+        // input (x-propagation lanes).
+        let mut plan: Vec<(SignalId, Vec<Option<u64>>)> = Vec::new();
+        for &(id, w) in &inputs {
+            let vals: Vec<Option<u64>> = (0..LANES)
+                .map(|_| {
+                    if sparse && rng.below(4) == 0 {
+                        None
+                    } else {
+                        Some(rng.next() & if w >= 64 { !0 } else { (1u64 << w) - 1 })
+                    }
+                })
+                .collect();
+            batch.poke_lanes(id, &vals);
+            plan.push((id, vals));
+        }
+        batch.settle();
+        for lane in 0..LANES {
+            let mut s = scalar.clone();
+            for (id, vals) in &plan {
+                if let Some(v) = vals[lane] {
+                    s.poke_id_u64(*id, v).unwrap();
+                }
+            }
+            for &o in &outputs {
+                assert_eq!(
+                    batch.peek_lane_u64(o, lane),
+                    s.peek_id_u64(o),
+                    "lane {lane} output {:?} diverged in {src}",
+                    design.info(o).name
+                );
+            }
+        }
+    }
+
+    const GATES: &str = "module g(input a, input b, output x, output y, output z);
+  assign x = a & b;
+  assign y = a ^ b;
+  assign z = ~(a | b);
+endmodule";
+
+    const ADDER: &str = "module add(input [7:0] a, input [7:0] b, input cin, output [8:0] s);
+  assign s = a + b + cin;
+endmodule";
+
+    const MUX_CMP: &str =
+        "module m(input [3:0] a, input [3:0] b, input sel, output [3:0] y, output lt);
+  assign y = sel ? a : b;
+  assign lt = a < b;
+endmodule";
+
+    const CASE_ALU: &str =
+        "module alu(input [1:0] op, input [3:0] a, input [3:0] b, output reg [3:0] y);
+  always @(*)
+    case (op)
+      2'd0: y = a + b;
+      2'd1: y = a - b;
+      2'd2: y = a & b;
+      default: y = a | b;
+    endcase
+endmodule";
+
+    const SHIFTER: &str = "module sh(input [7:0] a, input [2:0] n, output [7:0] l, output [7:0] r);
+  assign l = a << n;
+  assign r = a >> n;
+endmodule";
+
+    const CHAIN: &str = "module c(input [3:0] a, input [3:0] b, output [3:0] y);
+  wire [3:0] t0, t1;
+  assign t0 = a ^ b;
+  assign t1 = t0 & a;
+  assign y = t1 | b;
+endmodule";
+
+    #[test]
+    fn batched_lanes_match_scalar_runs() {
+        for (i, src) in [GATES, ADDER, MUX_CMP, CASE_ALU, SHIFTER, CHAIN]
+            .iter()
+            .enumerate()
+        {
+            lockstep_64(src, 0xb000 + i as u64, false);
+            lockstep_64(src, 0xc000 + i as u64, true);
+        }
+    }
+
+    #[test]
+    fn repeated_poke_settle_rounds_stay_bit_identical() {
+        // Lanes are re-scattered and re-swept across episode groups;
+        // state from the previous group must never leak.
+        let scalar = boot(ADDER);
+        let design = scalar.design().clone();
+        let a = design.signal("a").unwrap();
+        let b = design.signal("b").unwrap();
+        let cin = design.signal("cin").unwrap();
+        let s = design.signal("s").unwrap();
+        let mut batch = BatchSim::from_scalar(&scalar, 3 * LANES * 4).unwrap();
+        let mut rng = Rng(0xabcdef);
+        for _round in 0..4 {
+            let av: Vec<Option<u64>> = (0..LANES).map(|_| Some(rng.below(256))).collect();
+            let bv: Vec<Option<u64>> = (0..LANES).map(|_| Some(rng.below(256))).collect();
+            let cv: Vec<Option<u64>> = (0..LANES).map(|_| Some(rng.below(2))).collect();
+            batch.poke_lanes(a, &av);
+            batch.poke_lanes(b, &bv);
+            batch.poke_lanes(cin, &cv);
+            batch.settle();
+            for lane in 0..LANES {
+                let mut oracle = scalar.clone();
+                oracle.poke_id_u64(a, av[lane].unwrap()).unwrap();
+                oracle.poke_id_u64(b, bv[lane].unwrap()).unwrap();
+                oracle.poke_id_u64(cin, cv[lane].unwrap()).unwrap();
+                assert_eq!(batch.peek_lane_u64(s, lane), oracle.peek_id_u64(s));
+            }
+        }
+    }
+
+    #[test]
+    fn divergence_mask_flags_exactly_the_mismatching_lanes() {
+        let scalar = boot(GATES);
+        let design = scalar.design().clone();
+        let a = design.signal("a").unwrap();
+        let b = design.signal("b").unwrap();
+        let x = design.signal("x").unwrap();
+        let mut batch = BatchSim::from_scalar(&scalar, 2 * LANES).unwrap();
+        batch.poke_lanes(a, &vec![Some(1); LANES]);
+        let bv: Vec<Option<u64>> = (0..LANES).map(|l| Some((l % 2) as u64)).collect();
+        batch.poke_lanes(b, &bv);
+        batch.settle();
+        // Expect x = 1 everywhere: even lanes (b=0 → x=0) diverge.
+        let want = vec![Some(1u64); LANES];
+        let mask = batch.divergence_mask(x, &want);
+        for lane in 0..LANES {
+            assert_eq!(mask >> lane & 1 == 1, lane % 2 == 0, "lane {lane}");
+        }
+        // `None` expectations are never compared.
+        assert_eq!(batch.divergence_mask(x, &vec![None; LANES]), 0);
+    }
+
+    #[test]
+    fn qualification_rejects_designs_outside_the_subset() {
+        // Sequential design: edge-sensitive.
+        let seq = boot(
+            "module c(input clk, output reg [3:0] q);\n always @(posedge clk) q <= q + 4'd1;\nendmodule",
+        );
+        assert_eq!(
+            BatchSim::from_scalar(&seq, 8).unwrap_err(),
+            BatchSpill::EdgeSensitive
+        );
+
+        // Incomplete sensitivity: not levelized.
+        let stale =
+            boot("module m(input a, input b, output reg y);\n always @(a) y = a & b;\nendmodule");
+        assert_eq!(
+            BatchSim::from_scalar(&stale, 8).unwrap_err(),
+            BatchSpill::NotLevelized
+        );
+
+        // For-loop bodies are outside the statement subset.
+        let looped = boot(
+            "module rev(input [3:0] a, output reg [3:0] y);\n integer i;\n always @(*)\n  for (i = 0; i < 4; i = i + 1)\n   y[i] = a[3 - i];\nendmodule",
+        );
+        assert_eq!(
+            BatchSim::from_scalar(&looped, 8).unwrap_err(),
+            BatchSpill::UnsupportedStmt
+        );
+
+        // Tight budgets must divert to the scalar path, which owns
+        // budget-exhaustion verdicts.
+        let d = compile(GATES).unwrap();
+        let starved = CompiledSim::with_budget(
+            Arc::new(CompiledDesign::new(d)),
+            SimBudget {
+                max_total_work: 40,
+                ..SimBudget::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            BatchSim::from_scalar(&starved, 1000).unwrap_err(),
+            BatchSpill::TightBudget
+        );
+    }
+
+    #[test]
+    fn spill_counters_track_serialized_ops() {
+        // Lane-divergent multiply forces the per-lane fallback.
+        let src = "module m(input [3:0] a, input [3:0] b, output [3:0] y);\n assign y = a * b;\nendmodule";
+        let scalar = boot(src);
+        let design = scalar.design().clone();
+        let a = design.signal("a").unwrap();
+        let b = design.signal("b").unwrap();
+        let y = design.signal("y").unwrap();
+        let mut batch = BatchSim::from_scalar(&scalar, 2 * LANES).unwrap();
+        let av: Vec<Option<u64>> = (0..LANES).map(|l| Some(l as u64 % 16)).collect();
+        let bv: Vec<Option<u64>> = (0..LANES).map(|l| Some((l as u64 + 3) % 16)).collect();
+        batch.poke_lanes(a, &av);
+        batch.poke_lanes(b, &bv);
+        batch.settle();
+        assert!(batch.op_stats().lane_serialized_ops > 0);
+        for lane in 0..LANES {
+            let want = (av[lane].unwrap() * bv[lane].unwrap()) % 16;
+            assert_eq!(batch.peek_lane_u64(y, lane), Some(want));
+        }
+    }
+
+    #[test]
+    fn spill_reason_labels_are_stable_and_dense() {
+        let mut seen = [false; BatchSpill::COUNT];
+        for r in BatchSpill::all() {
+            assert!(!seen[r.index()], "duplicate index for {r:?}");
+            seen[r.index()] = true;
+            assert!(!r.label().is_empty());
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

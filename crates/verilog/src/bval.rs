@@ -1,0 +1,1153 @@
+//! Lane-transposed four-state values for bit-parallel batched simulation.
+//!
+//! A [`BVal`] holds the value of one signal across up to 64 *lanes*
+//! (independent stimulus vectors). The packed representation transposes
+//! the [`crate::cval::CVal`] planes: word `i` corresponds to bit
+//! position `i` of the signal, and bit `b` of that word is the bit's
+//! state in lane `b`. One word-op therefore evaluates 64 stimulus
+//! vectors at once ("parallel-pattern" simulation).
+//!
+//! Every operator here mirrors its `cval` counterpart *per lane*:
+//! the differential tests at the bottom extract each lane of every
+//! batched result and compare it against the scalar `cval` op applied
+//! to the extracted lane operands. Operators without a word-parallel
+//! fast path (multiplication, division, lane-divergent shift amounts,
+//! wide >64-bit values) fall back to gather → scalar `cval` op →
+//! scatter, which is parity-by-construction; those events are counted
+//! in [`BatchOpStats`] so coverage regressions are visible.
+//!
+//! Invariants of the packed `P` variant, maintained by every
+//! constructor (mirroring `cval`'s canonical form per lane):
+//! * plane slices have exactly `w` words (`w ≤ 64`),
+//! * `val[i] & xz[i] == 0` and `z[i] ⊆ xz[i]` for every word.
+
+use crate::ast::{BinaryOp, CaseKind, UnaryOp};
+use crate::cval::{self, CVal};
+use crate::logic::Logic;
+
+/// Number of lanes a batch holds. Every [`BVal`] logically carries
+/// exactly this many lanes; callers with fewer stimulus vectors
+/// duplicate the last one so no lane ever holds garbage.
+pub const LANES: usize = 64;
+
+/// Counters for operations that left the word-parallel fast path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOpStats {
+    /// Ops evaluated lane-by-lane through the scalar `cval` functions
+    /// (unsupported op, lane-divergent shift/index/slice/replicate
+    /// operands, lane-divergent widths).
+    pub lane_serialized_ops: u64,
+    /// Ops that touched a wide (>64-bit) value and spilled to the
+    /// scalar path exactly as the scalar backend does.
+    pub wide_value_spills: u64,
+}
+
+impl BatchOpStats {
+    /// Accumulates another counter set into this one.
+    pub fn absorb(&mut self, other: BatchOpStats) {
+        self.lane_serialized_ops += other.lane_serialized_ops;
+        self.wide_value_spills += other.wide_value_spills;
+    }
+}
+
+/// A signal value across [`LANES`] lanes.
+#[derive(Debug, Clone)]
+pub(crate) enum BVal {
+    /// The same scalar value in every lane (literals, time-zero state).
+    U(CVal),
+    /// Transposed planes: word `i` is bit position `i`, bit `b` of a
+    /// word is lane `b`.
+    P {
+        /// Width in bits (`1..=64`); each plane has `w` words.
+        w: u32,
+        /// Known-one plane.
+        val: Box<[u64]>,
+        /// Unknown (`x`/`z`) plane.
+        xz: Box<[u64]>,
+        /// High-impedance subset of `xz`.
+        z: Box<[u64]>,
+    },
+    /// Per-lane escape hatch: wide values or lane-divergent widths.
+    L(Vec<CVal>),
+}
+
+/// Whether all lanes share one `to_u64` view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Uniform {
+    /// Every lane yields this same `to_u64()` result.
+    Same(Option<u64>),
+    /// Lanes disagree (or we cannot cheaply prove they agree).
+    Divergent,
+}
+
+/// Borrowed plane accessor over `U`(packed) or `P` operands, with
+/// implicit zero-extension past the operand width (exactly the
+/// zero-extension `cval::binary` gets from its masked u64 planes).
+#[derive(Clone, Copy)]
+enum Planes<'a> {
+    Tr {
+        w: u32,
+        val: &'a [u64],
+        xz: &'a [u64],
+        z: &'a [u64],
+    },
+    Bc {
+        w: u32,
+        val: u64,
+        xz: u64,
+        z: u64,
+    },
+}
+
+impl Planes<'_> {
+    fn w(&self) -> u32 {
+        match self {
+            Planes::Tr { w, .. } | Planes::Bc { w, .. } => *w,
+        }
+    }
+
+    #[inline]
+    fn v(&self, i: usize) -> u64 {
+        match self {
+            Planes::Tr { val, .. } => val.get(i).copied().unwrap_or(0),
+            Planes::Bc { val, .. } => bc_word(*val, i),
+        }
+    }
+
+    #[inline]
+    fn x(&self, i: usize) -> u64 {
+        match self {
+            Planes::Tr { xz, .. } => xz.get(i).copied().unwrap_or(0),
+            Planes::Bc { xz, .. } => bc_word(*xz, i),
+        }
+    }
+
+    #[inline]
+    fn zp(&self, i: usize) -> u64 {
+        match self {
+            Planes::Tr { z, .. } => z.get(i).copied().unwrap_or(0),
+            Planes::Bc { z, .. } => bc_word(*z, i),
+        }
+    }
+}
+
+/// Broadcast word: all-ones when bit `i` of the scalar plane is set.
+#[inline]
+fn bc_word(plane: u64, i: usize) -> u64 {
+    if i < 64 && plane >> i & 1 == 1 {
+        !0
+    } else {
+        0
+    }
+}
+
+/// Plane view of a value when it is narrow and lane-regular.
+fn planes(v: &BVal) -> Option<Planes<'_>> {
+    match v {
+        BVal::U(CVal::P { val, xz, z, w }) => Some(Planes::Bc {
+            w: *w,
+            val: *val,
+            xz: *xz,
+            z: *z,
+        }),
+        BVal::U(CVal::W(_)) => None,
+        BVal::P { w, val, xz, z } => Some(Planes::Tr { w: *w, val, xz, z }),
+        BVal::L(_) => None,
+    }
+}
+
+/// Builds a canonical packed batch from a per-word plane function.
+fn build_p(w: u32, mut f: impl FnMut(usize) -> (u64, u64, u64)) -> BVal {
+    let n = w as usize;
+    let mut val = vec![0u64; n].into_boxed_slice();
+    let mut xz = vec![0u64; n].into_boxed_slice();
+    let mut z = vec![0u64; n].into_boxed_slice();
+    for i in 0..n {
+        let (v, x, zz) = f(i);
+        val[i] = v & !x;
+        xz[i] = x;
+        z[i] = zz & x;
+    }
+    BVal::P { w, val, xz, z }
+}
+
+/// Builds a 1-bit batch from lane masks (canonicalized).
+fn build_bit(val: u64, xz: u64, z: u64) -> BVal {
+    BVal::P {
+        w: 1,
+        val: Box::new([val & !xz]),
+        xz: Box::new([xz]),
+        z: Box::new([z & xz]),
+    }
+}
+
+impl BVal {
+    /// The same scalar value in every lane.
+    pub(crate) fn broadcast(v: CVal) -> BVal {
+        BVal::U(v)
+    }
+
+    /// Extracts one lane as a canonical scalar value.
+    pub(crate) fn lane(&self, b: usize) -> CVal {
+        match self {
+            BVal::U(v) => v.clone(),
+            BVal::P { w, val, xz, z } => {
+                let (mut lv, mut lx, mut lz) = (0u64, 0u64, 0u64);
+                for i in 0..*w as usize {
+                    lv |= (val[i] >> b & 1) << i;
+                    lx |= (xz[i] >> b & 1) << i;
+                    lz |= (z[i] >> b & 1) << i;
+                }
+                cval::packed(lv, lx, lz, *w)
+            }
+            BVal::L(v) => v[b].clone(),
+        }
+    }
+
+    /// `to_u64` of one lane without materializing the `CVal`.
+    pub(crate) fn lane_u64(&self, b: usize) -> Option<u64> {
+        match self {
+            BVal::U(v) => v.to_u64(),
+            BVal::P { w, val, xz, .. } => {
+                let mut lv = 0u64;
+                for i in 0..*w as usize {
+                    if xz[i] >> b & 1 == 1 {
+                        return None;
+                    }
+                    lv |= (val[i] >> b & 1) << i;
+                }
+                Some(lv)
+            }
+            BVal::L(v) => v[b].to_u64(),
+        }
+    }
+
+    /// Packs per-lane scalars back into the tightest representation.
+    pub(crate) fn from_lanes(v: Vec<CVal>) -> BVal {
+        debug_assert_eq!(v.len(), LANES);
+        let first_w = match &v[0] {
+            CVal::P { w, .. } => Some(*w),
+            CVal::W(_) => None,
+        };
+        let regular = first_w.is_some()
+            && v.iter()
+                .all(|c| matches!(c, CVal::P { w, .. } if Some(*w) == first_w));
+        if !regular {
+            return BVal::L(v);
+        }
+        let w = first_w.expect("regular implies packed width");
+        let n = w as usize;
+        let mut pv = vec![0u64; n].into_boxed_slice();
+        let mut px = vec![0u64; n].into_boxed_slice();
+        let mut pz = vec![0u64; n].into_boxed_slice();
+        for (b, c) in v.iter().enumerate() {
+            let CVal::P { val, xz, z, .. } = c else {
+                unreachable!("regular lanes are packed")
+            };
+            for i in 0..n {
+                pv[i] |= (val >> i & 1) << b;
+                px[i] |= (xz >> i & 1) << b;
+                pz[i] |= (z >> i & 1) << b;
+            }
+        }
+        BVal::P {
+            w,
+            val: pv,
+            xz: px,
+            z: pz,
+        }
+    }
+
+    /// Whether any lane holds a wide (>64-bit) spill value.
+    fn any_wide(&self) -> bool {
+        match self {
+            BVal::U(v) => matches!(v, CVal::W(_)),
+            BVal::P { .. } => false,
+            BVal::L(v) => v.iter().any(|c| matches!(c, CVal::W(_))),
+        }
+    }
+}
+
+/// Checks whether every lane agrees on `to_u64()`.
+pub(crate) fn to_u64_uniform(v: &BVal) -> Uniform {
+    match v {
+        BVal::U(c) => Uniform::Same(c.to_u64()),
+        BVal::P { w, val, xz, .. } => {
+            if xz.iter().any(|&x| x != 0) {
+                // Some bit position that is unknown in *every* lane
+                // proves every lane reads `None`; anything subtler is
+                // conservatively divergent (always sound — the caller
+                // falls back to the per-lane path).
+                if xz.contains(&!0) {
+                    Uniform::Same(None)
+                } else {
+                    Uniform::Divergent
+                }
+            } else {
+                let mut bits = 0u64;
+                for i in 0..*w as usize {
+                    match val[i] {
+                        0 => {}
+                        u64::MAX => bits |= 1 << i,
+                        _ => return Uniform::Divergent,
+                    }
+                }
+                Uniform::Same(Some(bits))
+            }
+        }
+        BVal::L(v) => {
+            let first = v[0].to_u64();
+            if v.iter().all(|c| c.to_u64() == first) {
+                Uniform::Same(first)
+            } else {
+                Uniform::Divergent
+            }
+        }
+    }
+}
+
+/// Records the right spill counter for a lane-serialized op.
+fn note_fallback(st: &mut BatchOpStats, wide: bool) {
+    if wide {
+        st.wide_value_spills += 1;
+    } else {
+        st.lane_serialized_ops += 1;
+    }
+}
+
+/// Gather → scalar unary → scatter fallback.
+fn lanewise_unary(op: UnaryOp, a: &BVal, st: &mut BatchOpStats) -> BVal {
+    note_fallback(st, a.any_wide());
+    BVal::from_lanes((0..LANES).map(|b| cval::unary(op, &a.lane(b))).collect())
+}
+
+/// Gather → scalar binary → scatter fallback.
+fn lanewise_binary(op: BinaryOp, a: &BVal, b: &BVal, st: &mut BatchOpStats) -> BVal {
+    note_fallback(st, a.any_wide() || b.any_wide());
+    BVal::from_lanes(
+        (0..LANES)
+            .map(|l| cval::binary(op, &a.lane(l), &b.lane(l)))
+            .collect(),
+    )
+}
+
+/// Truthiness lane masks: (`One` lanes, `X`-or-`Z` lanes). The
+/// remaining lanes are `Zero`. Mirrors `CVal::truthiness` per lane.
+pub(crate) fn truth_masks(v: &BVal) -> (u64, u64) {
+    match v {
+        BVal::U(c) => match c.truthiness() {
+            Logic::One => (!0, 0),
+            Logic::Zero => (0, 0),
+            _ => (0, !0),
+        },
+        BVal::P { val, xz, .. } => {
+            let one = val.iter().fold(0, |acc, &w| acc | w);
+            let x = xz.iter().fold(0, |acc, &w| acc | w) & !one;
+            (one, x)
+        }
+        BVal::L(v) => {
+            let (mut one, mut x) = (0u64, 0u64);
+            for (b, c) in v.iter().enumerate() {
+                match c.truthiness() {
+                    Logic::One => one |= 1 << b,
+                    Logic::Zero => {}
+                    _ => x |= 1 << b,
+                }
+            }
+            (one, x)
+        }
+    }
+}
+
+/// Applies a unary operator to every lane; mirrors [`cval::unary`].
+pub(crate) fn unary(op: UnaryOp, a: &BVal, st: &mut BatchOpStats) -> BVal {
+    if let BVal::U(c) = a {
+        return BVal::U(cval::unary(op, c));
+    }
+    let Some(pa) = planes(a) else {
+        return lanewise_unary(op, a, st);
+    };
+    let w = pa.w();
+    let n = w as usize;
+    match op {
+        UnaryOp::LogicNot => {
+            let (one, x) = truth_masks(a);
+            build_bit(!(one | x), x, 0)
+        }
+        UnaryOp::BitNot => build_p(w, |i| (!pa.v(i) & !pa.x(i), pa.x(i), 0)),
+        UnaryOp::ReduceAnd | UnaryOp::ReduceNand => {
+            let mut zero = 0u64;
+            let mut xa = 0u64;
+            for i in 0..n {
+                zero |= !pa.v(i) & !pa.x(i);
+                xa |= pa.x(i);
+            }
+            let (val, xz) = (!(zero | xa), xa & !zero);
+            if op == UnaryOp::ReduceAnd {
+                build_bit(val, xz, 0)
+            } else {
+                build_bit(!(val | xz), xz, 0)
+            }
+        }
+        UnaryOp::ReduceOr | UnaryOp::ReduceNor => {
+            let (one, x) = truth_masks(a);
+            if op == UnaryOp::ReduceOr {
+                build_bit(one, x, 0)
+            } else {
+                build_bit(!(one | x), x, 0)
+            }
+        }
+        UnaryOp::ReduceXor | UnaryOp::ReduceXnor => {
+            let mut parity = 0u64;
+            let mut xa = 0u64;
+            for i in 0..n {
+                parity ^= pa.v(i);
+                xa |= pa.x(i);
+            }
+            let val = parity & !xa;
+            if op == UnaryOp::ReduceXor {
+                build_bit(val, xa, 0)
+            } else {
+                build_bit(!(val | xa), xa, 0)
+            }
+        }
+        UnaryOp::Negate => {
+            let known = !(0..n).fold(0u64, |acc, i| acc | pa.x(i));
+            // Two's complement per lane: `!a + 1`, rippled over `w` bit
+            // positions — exactly `0u64.wrapping_sub(val)` masked to `w`.
+            let mut carry = !0u64;
+            build_p(w, |i| {
+                let b = !pa.v(i);
+                let sum = b ^ carry;
+                carry &= b;
+                (sum & known, !known, 0)
+            })
+        }
+        UnaryOp::Plus => a.clone(),
+    }
+}
+
+/// Ripple add across bit positions: `a + b + carry_in` per lane.
+/// Returns the sum plane; known-masking is applied by the caller.
+fn ripple(pa: &Planes<'_>, pb: &Planes<'_>, w: u32, invert_b: bool, carry_in: u64) -> Vec<u64> {
+    let mut out = vec![0u64; w as usize];
+    let mut carry = carry_in;
+    for (i, o) in out.iter_mut().enumerate() {
+        let av = pa.v(i);
+        let bv = if invert_b { !pb.v(i) } else { pb.v(i) };
+        *o = av ^ bv ^ carry;
+        carry = (av & bv) | (carry & (av ^ bv));
+    }
+    out
+}
+
+/// Applies a binary operator to every lane; mirrors [`cval::binary`].
+pub(crate) fn binary(op: BinaryOp, a: &BVal, b: &BVal, st: &mut BatchOpStats) -> BVal {
+    if let (BVal::U(x), BVal::U(y)) = (a, b) {
+        return BVal::U(cval::binary(op, x, y));
+    }
+    let (Some(pa), Some(pb)) = (planes(a), planes(b)) else {
+        return lanewise_binary(op, a, b, st);
+    };
+    let w = pa.w().max(pb.w());
+    let n = w as usize;
+    match op {
+        BinaryOp::LogicOr | BinaryOp::LogicAnd => {
+            let (oa, xa) = truth_masks(a);
+            let (ob, xb) = truth_masks(b);
+            let (za, zb) = (!(oa | xa), !(ob | xb));
+            let (one, zero) = if op == BinaryOp::LogicOr {
+                (oa | ob, za & zb)
+            } else {
+                (oa & ob, za | zb)
+            };
+            build_bit(one, !(one | zero), 0)
+        }
+        BinaryOp::BitOr => build_p(w, |i| {
+            let one = pa.v(i) | pb.v(i);
+            let zero = (!pa.v(i) & !pa.x(i)) & (!pb.v(i) & !pb.x(i));
+            (one, !(one | zero), 0)
+        }),
+        BinaryOp::BitAnd => build_p(w, |i| {
+            let one = pa.v(i) & pb.v(i);
+            let zero = (!pa.v(i) & !pa.x(i)) | (!pb.v(i) & !pb.x(i));
+            (one, !(one | zero), 0)
+        }),
+        BinaryOp::BitXor => build_p(w, |i| (pa.v(i) ^ pb.v(i), pa.x(i) | pb.x(i), 0)),
+        BinaryOp::BitXnor => build_p(w, |i| {
+            let x = pa.x(i) | pb.x(i);
+            (!(pa.v(i) ^ pb.v(i)) & !x, x, 0)
+        }),
+        BinaryOp::Eq | BinaryOp::Neq => {
+            let (mut hard_diff, mut xa) = (0u64, 0u64);
+            for i in 0..n {
+                hard_diff |= (pa.v(i) ^ pb.v(i)) & !pa.x(i) & !pb.x(i);
+                xa |= pa.x(i) | pb.x(i);
+            }
+            let xz = xa & !hard_diff;
+            if op == BinaryOp::Eq {
+                build_bit(!(hard_diff | xa), xz, 0)
+            } else {
+                build_bit(hard_diff, xz, 0)
+            }
+        }
+        BinaryOp::CaseEq | BinaryOp::CaseNeq => {
+            let mut diff = 0u64;
+            for i in 0..n {
+                diff |= (pa.v(i) ^ pb.v(i)) | (pa.x(i) ^ pb.x(i)) | (pa.zp(i) ^ pb.zp(i));
+            }
+            if op == BinaryOp::CaseEq {
+                build_bit(!diff, 0, 0)
+            } else {
+                build_bit(diff, 0, 0)
+            }
+        }
+        BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
+            let mut known = !0u64;
+            let (mut lt, mut gt) = (0u64, 0u64);
+            for i in (0..n).rev() {
+                known &= !(pa.x(i) | pb.x(i));
+                let und = !(lt | gt);
+                gt |= und & pa.v(i) & !pb.v(i);
+                lt |= und & !pa.v(i) & pb.v(i);
+            }
+            let holds = match op {
+                BinaryOp::Lt => lt,
+                BinaryOp::Le => !gt,
+                BinaryOp::Gt => gt,
+                _ => !lt,
+            };
+            build_bit(holds & known, !known, 0)
+        }
+        BinaryOp::Add | BinaryOp::Sub => {
+            let known = !(0..n).fold(0u64, |acc, i| acc | pa.x(i) | pb.x(i));
+            let sum = ripple(
+                &pa,
+                &pb,
+                w,
+                op == BinaryOp::Sub,
+                if op == BinaryOp::Sub { !0 } else { 0 },
+            );
+            build_p(w, |i| (sum[i] & known, !known, 0))
+        }
+        BinaryOp::Shl | BinaryOp::Shr => match to_u64_uniform(b) {
+            Uniform::Same(Some(sh)) if sh < 64 => {
+                let (aw, sh) = (pa.w(), sh as usize);
+                if op == BinaryOp::Shl {
+                    build_p(aw, |i| {
+                        if i >= sh {
+                            (pa.v(i - sh), pa.x(i - sh), pa.zp(i - sh))
+                        } else {
+                            (0, 0, 0)
+                        }
+                    })
+                } else {
+                    build_p(aw, |i| (pa.v(i + sh), pa.x(i + sh), pa.zp(i + sh)))
+                }
+            }
+            // Shifting a ≤64-bit value by ≥64 leaves only known zeros.
+            Uniform::Same(Some(_)) => build_p(pa.w(), |_| (0, 0, 0)),
+            Uniform::Same(None) => BVal::U(CVal::unknown(pa.w() as usize)),
+            Uniform::Divergent => lanewise_binary(op, a, b, st),
+        },
+        BinaryOp::AShr => match to_u64_uniform(b) {
+            Uniform::Same(Some(sh)) => {
+                let aw = pa.w();
+                let msb = (aw - 1) as usize;
+                let (mv, mx, mz) = (pa.v(msb), pa.x(msb), pa.zp(msb));
+                let sh = sh.min(aw as u64) as usize;
+                let keep = aw as usize - sh;
+                build_p(aw, |i| {
+                    if i < keep {
+                        (pa.v(i + sh), pa.x(i + sh), pa.zp(i + sh))
+                    } else {
+                        (mv, mx, mz)
+                    }
+                })
+            }
+            Uniform::Same(None) => BVal::U(CVal::unknown(pa.w() as usize)),
+            Uniform::Divergent => lanewise_binary(op, a, b, st),
+        },
+        BinaryOp::Mul | BinaryOp::Div | BinaryOp::Rem | BinaryOp::Pow => {
+            lanewise_binary(op, a, b, st)
+        }
+    }
+}
+
+/// Ternary select; mirrors the `Op::Ternary` semantics per lane
+/// (`One` → `t` unresized, `Zero` → `f` unresized, otherwise
+/// [`cval::merge`]).
+pub(crate) fn ternary(c: &BVal, t: &BVal, f: &BVal, st: &mut BatchOpStats) -> BVal {
+    let (one, x) = truth_masks(c);
+    if x == 0 {
+        if one == !0 {
+            return t.clone();
+        }
+        if one == 0 {
+            return f.clone();
+        }
+    }
+    let (Some(pt), Some(pf)) = (planes(t), planes(f)) else {
+        return lanewise_ternary(c, t, f, st);
+    };
+    if pt.w() != pf.w() {
+        // `One`/`Zero` lanes keep their arm's own width; lanes would
+        // diverge in width, which `P` cannot represent.
+        return lanewise_ternary(c, t, f, st);
+    }
+    let zero = !(one | x);
+    build_p(pt.w(), |i| {
+        let same = !(pt.v(i) ^ pf.v(i)) & !pt.x(i) & !pf.x(i);
+        let val = (pt.v(i) & one) | (pf.v(i) & zero) | (pt.v(i) & same & x);
+        let xz = (pt.x(i) & one) | (pf.x(i) & zero) | (!same & x);
+        let z = (pt.zp(i) & one) | (pf.zp(i) & zero);
+        (val, xz, z)
+    })
+}
+
+fn lanewise_ternary(c: &BVal, t: &BVal, f: &BVal, st: &mut BatchOpStats) -> BVal {
+    note_fallback(st, c.any_wide() || t.any_wide() || f.any_wide());
+    BVal::from_lanes(
+        (0..LANES)
+            .map(|b| match c.lane(b).truthiness() {
+                Logic::One => t.lane(b),
+                Logic::Zero => f.lane(b),
+                _ => cval::merge(&t.lane(b), &f.lane(b)),
+            })
+            .collect(),
+    )
+}
+
+/// Concatenation `{hi, lo}` per lane; mirrors [`CVal::concat`].
+pub(crate) fn concat(hi: &BVal, lo: &BVal, st: &mut BatchOpStats) -> BVal {
+    if let (BVal::U(a), BVal::U(b)) = (hi, lo) {
+        return BVal::U(a.concat(b));
+    }
+    let (Some(ph), Some(pl)) = (planes(hi), planes(lo)) else {
+        return lanewise_concat(hi, lo, st);
+    };
+    let (hw, lw) = (ph.w(), pl.w());
+    if hw + lw > 64 {
+        return lanewise_concat(hi, lo, st);
+    }
+    build_p(hw + lw, |i| {
+        if i < lw as usize {
+            (pl.v(i), pl.x(i), pl.zp(i))
+        } else {
+            let j = i - lw as usize;
+            (ph.v(j), ph.x(j), ph.zp(j))
+        }
+    })
+}
+
+fn lanewise_concat(hi: &BVal, lo: &BVal, st: &mut BatchOpStats) -> BVal {
+    note_fallback(st, true);
+    BVal::from_lanes((0..LANES).map(|b| hi.lane(b).concat(&lo.lane(b))).collect())
+}
+
+/// Replication `{count{v}}` with a lane-uniform count; mirrors
+/// [`CVal::replicate`].
+pub(crate) fn replicate(v: &BVal, count: usize, st: &mut BatchOpStats) -> BVal {
+    if let BVal::U(c) = v {
+        return BVal::U(c.replicate(count));
+    }
+    let Some(pv) = planes(v) else {
+        note_fallback(st, true);
+        return BVal::from_lanes((0..LANES).map(|b| v.lane(b).replicate(count)).collect());
+    };
+    let w = pv.w() as usize;
+    if w * count > 64 {
+        note_fallback(st, true);
+        return BVal::from_lanes((0..LANES).map(|b| v.lane(b).replicate(count)).collect());
+    }
+    build_p((w * count) as u32, |i| {
+        let j = i % w;
+        (pv.v(j), pv.x(j), pv.zp(j))
+    })
+}
+
+/// Zero-extend or truncate every lane; mirrors [`CVal::resized`].
+pub(crate) fn resized(v: &BVal, nw: usize) -> BVal {
+    match v {
+        BVal::U(c) => BVal::U(c.resized(nw)),
+        BVal::P { w, .. } if nw == *w as usize => v.clone(),
+        BVal::P { .. } if nw <= 64 => {
+            let pv = planes(v).expect("packed batch has planes");
+            build_p(nw as u32, |i| (pv.v(i), pv.x(i), pv.zp(i)))
+        }
+        _ => BVal::from_lanes((0..LANES).map(|b| v.lane(b).resized(nw)).collect()),
+    }
+}
+
+/// Bit select `v[i]` per lane with a lane-uniform index; mirrors
+/// [`CVal::bit`] (out-of-range reads `x`).
+pub(crate) fn bit(v: &BVal, index: usize) -> BVal {
+    match v {
+        BVal::U(c) => BVal::U(CVal::single(c.bit(index))),
+        BVal::P { w, val, xz, z } => {
+            if index >= *w as usize {
+                BVal::U(CVal::unknown(1))
+            } else {
+                build_bit(val[index], xz[index], z[index])
+            }
+        }
+        BVal::L(v) => BVal::from_lanes((0..LANES).map(|b| CVal::single(v[b].bit(index))).collect()),
+    }
+}
+
+/// Bit slice `v[hi:lo]` per lane with lane-uniform bounds; mirrors
+/// [`CVal::slice`].
+pub(crate) fn slice(v: &BVal, hi: usize, lo: usize, st: &mut BatchOpStats) -> BVal {
+    if let BVal::U(c) = v {
+        return BVal::U(c.slice(hi, lo));
+    }
+    let nw = hi - lo + 1;
+    let Some(pv) = planes(v) else {
+        note_fallback(st, true);
+        return BVal::from_lanes((0..LANES).map(|b| v.lane(b).slice(hi, lo)).collect());
+    };
+    if nw > 64 {
+        note_fallback(st, true);
+        return BVal::from_lanes((0..LANES).map(|b| v.lane(b).slice(hi, lo)).collect());
+    }
+    let w = pv.w() as usize;
+    if lo >= w {
+        return BVal::U(CVal::unknown(nw));
+    }
+    build_p(nw as u32, |i| {
+        if lo + i < w {
+            (pv.v(lo + i), pv.x(lo + i), pv.zp(lo + i))
+        } else {
+            // Bits beyond the source width read `x`.
+            (0, !0, 0)
+        }
+    })
+}
+
+/// Lane-wise select: lanes in `mask` take `a`, the rest take `b`.
+/// Both operands must have the same width in every lane (the executor
+/// resizes to the signal width before storing).
+pub(crate) fn select(mask: u64, a: &BVal, b: &BVal) -> BVal {
+    if mask == !0 {
+        return a.clone();
+    }
+    if mask == 0 {
+        return b.clone();
+    }
+    if let (Some(pa), Some(pb)) = (planes(a), planes(b)) {
+        if pa.w() == pb.w() {
+            return build_p(pa.w(), |i| {
+                (
+                    (pa.v(i) & mask) | (pb.v(i) & !mask),
+                    (pa.x(i) & mask) | (pb.x(i) & !mask),
+                    (pa.zp(i) & mask) | (pb.zp(i) & !mask),
+                )
+            });
+        }
+    }
+    BVal::from_lanes(
+        (0..LANES)
+            .map(|l| {
+                if mask >> l & 1 == 1 {
+                    a.lane(l)
+                } else {
+                    b.lane(l)
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Case-arm match mask: lanes where `label` matches `sel`; mirrors
+/// [`cval::matches`] per lane.
+pub(crate) fn match_mask(kind: CaseKind, sel: &BVal, label: &BVal, st: &mut BatchOpStats) -> u64 {
+    if let (BVal::U(s), BVal::U(l)) = (sel, label) {
+        return if cval::matches(kind, s, l) { !0 } else { 0 };
+    }
+    let (Some(ps), Some(pl)) = (planes(sel), planes(label)) else {
+        note_fallback(st, sel.any_wide() || label.any_wide());
+        let mut m = 0u64;
+        for b in 0..LANES {
+            if cval::matches(kind, &sel.lane(b), &label.lane(b)) {
+                m |= 1 << b;
+            }
+        }
+        return m;
+    };
+    let n = ps.w().max(pl.w()) as usize;
+    let mut diff = 0u64;
+    for i in 0..n {
+        diff |= match kind {
+            CaseKind::Exact => (ps.v(i) ^ pl.v(i)) | (ps.x(i) ^ pl.x(i)) | (ps.zp(i) ^ pl.zp(i)),
+            CaseKind::Z => {
+                let wild = ps.zp(i) | pl.zp(i);
+                ((ps.v(i) ^ pl.v(i)) | (ps.x(i) ^ pl.x(i))) & !wild
+            }
+            CaseKind::X => (ps.v(i) ^ pl.v(i)) & !ps.x(i) & !pl.x(i),
+        };
+    }
+    !diff
+}
+
+/// Per-lane divergence from expected integer values: bit `b` is set
+/// when `want[b]` is `Some(w)` and lane `b` does not read exactly `w`
+/// (an `x`/`z` or wide lane never equals a known expectation).
+pub(crate) fn divergence(v: &BVal, want: &[Option<u64>]) -> u64 {
+    let mut m = 0u64;
+    for (b, w) in want.iter().enumerate() {
+        if let Some(w) = w {
+            if v.lane_u64(b) != Some(*w) {
+                m |= 1 << b;
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::LogicVec;
+
+    /// The same xorshift generator the `cval` differential tests use.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+
+        fn logic(&mut self, four_state: bool) -> Logic {
+            if four_state {
+                match self.below(4) {
+                    0 => Logic::Zero,
+                    1 => Logic::One,
+                    2 => Logic::X,
+                    _ => Logic::Z,
+                }
+            } else if self.below(2) == 0 {
+                Logic::Zero
+            } else {
+                Logic::One
+            }
+        }
+
+        fn cval(&mut self, w: usize, four_state: bool) -> CVal {
+            let bits: Vec<Logic> = (0..w).map(|_| self.logic(four_state)).collect();
+            CVal::from_lv(&LogicVec::from_bits(bits))
+        }
+
+        /// A batch of lane values, sometimes uniform / lane-packed /
+        /// per-lane, so every representation is exercised.
+        fn bval(&mut self, w: usize, four_state: bool) -> BVal {
+            match self.below(4) {
+                0 => BVal::U(self.cval(w, four_state)),
+                1 => BVal::L((0..LANES).map(|_| self.cval(w, four_state)).collect()),
+                _ => BVal::from_lanes((0..LANES).map(|_| self.cval(w, four_state)).collect()),
+            }
+        }
+    }
+
+    fn assert_lanes_match(got: &BVal, expect: impl Fn(usize) -> CVal, ctx: &str) {
+        for b in 0..LANES {
+            let want = expect(b);
+            let lane = got.lane(b);
+            assert_eq!(lane, want, "lane {b} diverged: {ctx}");
+            assert_eq!(lane.to_u64(), got.lane_u64(b), "lane_u64 {b}: {ctx}");
+        }
+    }
+
+    const UNARY_OPS: &[UnaryOp] = &[
+        UnaryOp::LogicNot,
+        UnaryOp::BitNot,
+        UnaryOp::ReduceAnd,
+        UnaryOp::ReduceOr,
+        UnaryOp::ReduceXor,
+        UnaryOp::ReduceNand,
+        UnaryOp::ReduceNor,
+        UnaryOp::ReduceXnor,
+        UnaryOp::Negate,
+        UnaryOp::Plus,
+    ];
+
+    const BINARY_OPS: &[BinaryOp] = &[
+        BinaryOp::LogicOr,
+        BinaryOp::LogicAnd,
+        BinaryOp::BitOr,
+        BinaryOp::BitAnd,
+        BinaryOp::BitXor,
+        BinaryOp::BitXnor,
+        BinaryOp::Eq,
+        BinaryOp::Neq,
+        BinaryOp::CaseEq,
+        BinaryOp::CaseNeq,
+        BinaryOp::Lt,
+        BinaryOp::Le,
+        BinaryOp::Gt,
+        BinaryOp::Ge,
+        BinaryOp::Shl,
+        BinaryOp::Shr,
+        BinaryOp::AShr,
+        BinaryOp::Add,
+        BinaryOp::Sub,
+        BinaryOp::Mul,
+        BinaryOp::Div,
+        BinaryOp::Rem,
+        BinaryOp::Pow,
+    ];
+
+    #[test]
+    fn unary_ops_match_cval_per_lane() {
+        let mut rng = Rng(0x5eed_0001);
+        let mut st = BatchOpStats::default();
+        for round in 0..150 {
+            let w = rng.below(16) as usize + 1;
+            let four_state = rng.below(3) > 0;
+            let a = rng.bval(w, four_state);
+            for &op in UNARY_OPS {
+                let got = unary(op, &a, &mut st);
+                assert_lanes_match(
+                    &got,
+                    |b| cval::unary(op, &a.lane(b)),
+                    &format!("{op:?} round {round} w {w}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_ops_match_cval_per_lane() {
+        let mut rng = Rng(0x5eed_0002);
+        let mut st = BatchOpStats::default();
+        for round in 0..120 {
+            let aw = rng.below(16) as usize + 1;
+            let bw = if rng.below(2) == 0 {
+                aw
+            } else {
+                rng.below(16) as usize + 1
+            };
+            let four_state = rng.below(3) > 0;
+            let a = rng.bval(aw, four_state);
+            let b = rng.bval(bw, four_state);
+            for &op in BINARY_OPS {
+                let got = binary(op, &a, &b, &mut st);
+                assert_lanes_match(
+                    &got,
+                    |l| cval::binary(op, &a.lane(l), &b.lane(l)),
+                    &format!("{op:?} round {round} {aw}x{bw}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shifts_with_uniform_and_divergent_amounts_match() {
+        let mut rng = Rng(0x5eed_0003);
+        let mut st = BatchOpStats::default();
+        for round in 0..200 {
+            let aw = rng.below(32) as usize + 1;
+            let a = rng.bval(aw, true);
+            // Uniform amounts (sometimes huge, sometimes x) and
+            // lane-divergent amounts both funnel through `binary`.
+            let b = match rng.below(3) {
+                0 => BVal::U(CVal::from_u64(rng.below(80), 8)),
+                1 => BVal::U(CVal::unknown(4)),
+                _ => BVal::from_lanes((0..LANES).map(|_| rng.cval(6, false)).collect()),
+            };
+            for &op in &[BinaryOp::Shl, BinaryOp::Shr, BinaryOp::AShr] {
+                let got = binary(op, &a, &b, &mut st);
+                assert_lanes_match(
+                    &got,
+                    |l| cval::binary(op, &a.lane(l), &b.lane(l)),
+                    &format!("{op:?} round {round}"),
+                );
+            }
+        }
+        assert!(st.lane_serialized_ops > 0, "divergent amounts must spill");
+    }
+
+    #[test]
+    fn wide_values_spill_and_match() {
+        let mut rng = Rng(0x5eed_0004);
+        let mut st = BatchOpStats::default();
+        for _ in 0..40 {
+            let a = rng.bval(70, true);
+            let b = rng.bval(70, true);
+            for &op in &[BinaryOp::BitAnd, BinaryOp::Add, BinaryOp::Eq] {
+                let got = binary(op, &a, &b, &mut st);
+                assert_lanes_match(&got, |l| cval::binary(op, &a.lane(l), &b.lane(l)), "wide");
+            }
+        }
+        assert!(st.wide_value_spills > 0, "wide operands must be counted");
+    }
+
+    #[test]
+    fn ternary_matches_op_semantics_per_lane() {
+        let mut rng = Rng(0x5eed_0005);
+        let mut st = BatchOpStats::default();
+        for round in 0..200 {
+            let cw = rng.below(4) as usize + 1;
+            let tw = rng.below(12) as usize + 1;
+            let fw = if rng.below(2) == 0 {
+                tw
+            } else {
+                rng.below(12) as usize + 1
+            };
+            let c = rng.bval(cw, true);
+            let t = rng.bval(tw, true);
+            let f = rng.bval(fw, true);
+            let got = ternary(&c, &t, &f, &mut st);
+            assert_lanes_match(
+                &got,
+                |b| match c.lane(b).truthiness() {
+                    Logic::One => t.lane(b),
+                    Logic::Zero => f.lane(b),
+                    _ => cval::merge(&t.lane(b), &f.lane(b)),
+                },
+                &format!("ternary round {round} {tw}/{fw}"),
+            );
+        }
+    }
+
+    #[test]
+    fn structural_ops_match_per_lane() {
+        let mut rng = Rng(0x5eed_0006);
+        let mut st = BatchOpStats::default();
+        for round in 0..200 {
+            let w = rng.below(20) as usize + 1;
+            let a = rng.bval(w, true);
+            let lw = rng.below(10) as usize + 1;
+            let lo = rng.bval(lw, true);
+            let ctx = format!("round {round} w {w}");
+
+            let got = concat(&a, &lo, &mut st);
+            assert_lanes_match(&got, |b| a.lane(b).concat(&lo.lane(b)), &ctx);
+
+            let count = rng.below(5) as usize + 1;
+            let got = replicate(&a, count, &mut st);
+            assert_lanes_match(&got, |b| a.lane(b).replicate(count), &ctx);
+
+            let nw = rng.below(24) as usize + 1;
+            let got = resized(&a, nw);
+            assert_lanes_match(&got, |b| a.lane(b).resized(nw), &ctx);
+
+            let ix = rng.below(w as u64 + 4) as usize;
+            let got = bit(&a, ix);
+            assert_lanes_match(&got, |b| CVal::single(a.lane(b).bit(ix)), &ctx);
+
+            let lo_ix = rng.below(w as u64 + 2) as usize;
+            let hi_ix = lo_ix + rng.below(8) as usize;
+            let got = slice(&a, hi_ix, lo_ix, &mut st);
+            assert_lanes_match(&got, |b| a.lane(b).slice(hi_ix, lo_ix), &ctx);
+        }
+    }
+
+    #[test]
+    fn case_match_masks_agree_with_cval() {
+        let mut rng = Rng(0x5eed_0007);
+        let mut st = BatchOpStats::default();
+        for _ in 0..300 {
+            let w = rng.below(8) as usize + 1;
+            let lw = if rng.below(2) == 0 {
+                w
+            } else {
+                rng.below(8) as usize + 1
+            };
+            let sel = rng.bval(w, true);
+            let label = rng.bval(lw, true);
+            for &kind in &[CaseKind::Exact, CaseKind::Z, CaseKind::X] {
+                let mask = match_mask(kind, &sel, &label, &mut st);
+                for b in 0..LANES {
+                    assert_eq!(
+                        mask >> b & 1 == 1,
+                        cval::matches(kind, &sel.lane(b), &label.lane(b)),
+                        "{kind:?} lane {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truthiness_select_and_divergence_behave_per_lane() {
+        let mut rng = Rng(0x5eed_0008);
+        for _ in 0..200 {
+            let w = rng.below(10) as usize + 1;
+            let a = rng.bval(w, true);
+            let (one, x) = truth_masks(&a);
+            assert_eq!(one & x, 0, "truth masks are disjoint");
+            for b in 0..LANES {
+                let want = a.lane(b).truthiness();
+                assert_eq!(one >> b & 1 == 1, want == Logic::One);
+                assert_eq!(x >> b & 1 == 1, want == Logic::X || want == Logic::Z);
+            }
+
+            let c = rng.bval(w, true);
+            let mask = rng.next();
+            let sel = select(mask, &a, &c);
+            for b in 0..LANES {
+                let want = if mask >> b & 1 == 1 {
+                    a.lane(b)
+                } else {
+                    c.lane(b)
+                };
+                assert_eq!(sel.lane(b), want, "select lane {b}");
+            }
+
+            let wants: Vec<Option<u64>> = (0..LANES)
+                .map(|_| {
+                    if rng.below(4) == 0 {
+                        None
+                    } else {
+                        Some(rng.below(1u64 << w.min(62)))
+                    }
+                })
+                .collect();
+            let div = divergence(&a, &wants);
+            for (b, want) in wants.iter().enumerate() {
+                let expect = match want {
+                    None => false,
+                    Some(v) => a.lane(b).to_u64() != Some(*v),
+                };
+                assert_eq!(div >> b & 1 == 1, expect, "divergence lane {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniformity_detection_is_sound() {
+        let mut rng = Rng(0x5eed_0009);
+        for _ in 0..300 {
+            let w = rng.below(12) as usize + 1;
+            let narrow = rng.below(2) == 0;
+            let v = rng.bval(w, narrow);
+            match to_u64_uniform(&v) {
+                Uniform::Same(u) => {
+                    for b in 0..LANES {
+                        assert_eq!(
+                            v.lane(b).to_u64(),
+                            u,
+                            "claimed uniform but lane {b} differs"
+                        );
+                    }
+                }
+                Uniform::Divergent => {} // Conservative answers are always sound.
+            }
+        }
+        // Broadcasts must be recognized as uniform — the fast shift
+        // paths depend on it.
+        let u = BVal::U(CVal::from_u64(9, 8));
+        assert_eq!(to_u64_uniform(&u), Uniform::Same(Some(9)));
+        let p = BVal::from_lanes(vec![CVal::from_u64(5, 4); LANES]);
+        assert_eq!(to_u64_uniform(&p), Uniform::Same(Some(5)));
+    }
+}

@@ -53,7 +53,7 @@ pub(crate) enum CVal {
 
 /// Builds a canonical packed value from raw planes (masks and normalizes).
 #[inline]
-fn packed(val: u64, xz: u64, z: u64, w: u32) -> CVal {
+pub(crate) fn packed(val: u64, xz: u64, z: u64, w: u32) -> CVal {
     let m = mask(w);
     let xz = xz & m;
     CVal::P {

@@ -164,6 +164,12 @@ impl CompiledSim {
         self.work
     }
 
+    /// The dense value arena (one slot per [`SignalId`]) — the batched
+    /// engine broadcasts this settled state into every lane.
+    pub(crate) fn values(&self) -> &[CVal] {
+        &self.values
+    }
+
     /// Full clock cycles driven through [`CompiledSim::tick`] so far.
     pub fn ticks(&self) -> usize {
         self.ticks

@@ -39,6 +39,8 @@ pub mod absint;
 pub mod analyze;
 pub mod analyze_static;
 pub mod ast;
+pub mod batch;
+mod bval;
 pub mod compile;
 mod cval;
 pub mod dataflow;
@@ -59,6 +61,8 @@ pub use analyze_static::{
     analyze_design, analyze_source, Severity, StaticFinding, StaticReport, StaticRule,
     ANALYZER_VERSION,
 };
+pub use batch::{BatchSim, BatchSpill};
+pub use bval::{BatchOpStats, LANES};
 pub use compile::CompiledDesign;
 pub use elab::{compile, Design};
 pub use error::{Result, VerilogError};
