@@ -10,13 +10,24 @@
 //! * **naive** — a plain reset-then-run-random-cycles testbench with no
 //!   edge-free async-reset probe and no enable hold window.
 //!
+//! A second table quantifies the **stimulus-miss rate**: every corrupted
+//! candidate the naive testbench false-passes is handed to the formal
+//! equivalence oracle, which decides all input assignments at once and
+//! (being stimulus-free) catches exactly the misses a weakened
+//! testbench is blind to. The run asserts at least one such recovery —
+//! the formal rung must demonstrably add discrimination power, not just
+//! agree with cosim.
+//!
 //! ```sh
-//! cargo run --release -p haven-bench --bin oracle_ablation
+//! cargo run --release -p haven-bench --bin oracle_ablation [-- --quick]
 //! ```
 
+use haven_engine::{Engine, EngineOptions, FormalOracle};
 use haven_eval::report::Table;
+use haven_formal::{EquivOptions, EquivVerdict};
 use haven_lm::hallucinate::{self, ConventionVariant, GenPlan};
 use haven_spec::cosim::{cosimulate_with, CosimOptions, Verdict};
+use haven_spec::formal::formal_check;
 use haven_spec::ir::{EnableSpec, ShiftDirection, Spec};
 use haven_spec::stimuli::{stimuli_for, Stimuli, StimulusStep};
 use haven_spec::{builders, codegen::EmitStyle};
@@ -73,6 +84,8 @@ fn specimens() -> Vec<Spec> {
 type Corruptor = fn(&mut GenPlan, &mut StdRng);
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds = if quick { 3u64 } else { 8 };
     let corruptions: Vec<(&str, Corruptor)> = vec![
         ("wrong reset kind / polarity", |p, r| {
             hallucinate::corrupt_attributes(p, r)
@@ -92,17 +105,29 @@ fn main() {
         }),
     ];
 
+    let engine = Engine::new(EngineOptions::default());
+    let oracle = FormalOracle::new(EquivOptions::default());
+
     let mut table = Table::new(vec![
         "Corruption",
         "full oracle",
         "no mid-tick",
         "naive testbench",
     ]);
+    let mut miss_table = Table::new(vec![
+        "Corruption",
+        "naive false-passes",
+        "formally refuted",
+        "formal unknown",
+    ]);
+    let mut total_misses = 0usize;
+    let mut total_recovered = 0usize;
     for (label, corrupt) in &corruptions {
         let mut caught = [0usize; 3];
         let mut total = 0usize;
+        let (mut misses, mut refuted, mut unknown) = (0usize, 0usize, 0usize);
         for (i, spec) in specimens().iter().enumerate() {
-            for seed in 0..8u64 {
+            for seed in 0..seeds {
                 let mut rng = StdRng::seed_from_u64(seed * 31 + i as u64);
                 let mut plan = GenPlan::faithful(spec.clone());
                 corrupt(&mut plan, &mut rng);
@@ -135,8 +160,30 @@ fn main() {
                         caught[k] += 1;
                     }
                 }
+                // Stimulus-miss: the naive testbench passed a corrupted
+                // candidate. The formal oracle sees every assignment —
+                // if it produces a replay-confirmed counterexample, the
+                // miss is recovered without any stimulus authoring.
+                if matches!(runs[2].verdict, Verdict::Pass) {
+                    misses += 1;
+                    match formal_check(&engine, &oracle, spec, &src)
+                        .map(|o| o.report.verdict.clone())
+                    {
+                        Some(EquivVerdict::Counterexample(_)) => refuted += 1,
+                        Some(EquivVerdict::Equivalent) => {}
+                        Some(EquivVerdict::Unknown(_)) | None => unknown += 1,
+                    }
+                }
             }
         }
+        total_misses += misses;
+        total_recovered += refuted;
+        miss_table.row(vec![
+            label.to_string(),
+            misses.to_string(),
+            refuted.to_string(),
+            unknown.to_string(),
+        ]);
         let pct = |c: usize| {
             if total == 0 {
                 "n/a".to_string()
@@ -155,4 +202,14 @@ fn main() {
     println!("{}", table.render());
     println!("Reading: the discriminating episodes (async probe without a clock edge, enable hold window, mid-tick checkpoint) are what make attribute-level hallucinations *observable*; a naive testbench would silently pass much of the taxonomy.");
     println!("Note: each corruption is applied to all five specimen designs; corruptions that only bite one design class (blocking → multi-stage pipelines, registered output → FSMs) correctly cap at the share of applicable specimens.");
+
+    println!("\nStimulus-miss recovery — naive-testbench false-passes re-judged by the formal oracle\n");
+    println!("{}", miss_table.render());
+    println!(
+        "Reading: of {total_misses} corrupted candidates the naive testbench false-passed, the formal oracle refuted {total_recovered} with replay-confirmed counterexamples — discrimination a finite stimulus program cannot buy without authoring exactly the right episode."
+    );
+    assert!(
+        total_recovered >= 1,
+        "acceptance: the formal oracle must recover at least one stimulus miss"
+    );
 }

@@ -39,6 +39,7 @@ fn main() {
                 n_chains_instructional: (15.0 * m) as usize,
             },
             seed: base_cfg.seed,
+            formal_verify: base_cfg.formal_verify,
         };
         eprintln!("flow at x{m} ({} corpus files)...", cfg.corpus.size);
         let flow = haven_datagen::run(&cfg);

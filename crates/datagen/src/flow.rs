@@ -1,9 +1,15 @@
 //! The end-to-end generation flow of Fig. 2, producing the vanilla,
 //! K- and L-datasets with funnel statistics.
 
+use std::collections::HashMap;
+
+use haven_engine::{Engine, EngineOptions, FormalOracle};
+use haven_formal::{EquivOptions, EquivVerdict};
+use haven_spec::Spec;
 use serde::{Deserialize, Serialize};
 
 use crate::augment::{caption, match_exemplars, rewrite, verify_counted};
+use crate::pairs::InstructionCodePair;
 use crate::corpus::{self, CorpusConfig};
 use crate::evolve::evolve_pairs;
 use crate::exemplars;
@@ -20,6 +26,14 @@ pub struct FlowConfig {
     pub logic: LogicConfig,
     /// Master seed.
     pub seed: u64,
+    /// Extend step 8 with the formal equivalence oracle: admitted pairs
+    /// whose originating corpus sample carries a spec are checked
+    /// against the spec's correct emission, and pairs refuted by a
+    /// replay-confirmed counterexample are dropped — functional
+    /// hallucinations that compile, pass static analysis and settle
+    /// cleanly. Off by default (the paper's funnel has no such gate).
+    #[serde(default)]
+    pub formal_verify: bool,
 }
 
 impl Default for FlowConfig {
@@ -32,6 +46,7 @@ impl Default for FlowConfig {
                 n_chains_instructional: 15,
             },
             seed: 20_250_704,
+            formal_verify: false,
         }
     }
 }
@@ -50,6 +65,7 @@ impl FlowConfig {
                 n_chains_instructional: 6,
             },
             seed,
+            formal_verify: false,
         }
     }
 }
@@ -85,6 +101,22 @@ pub struct FlowStats {
     pub k_rejected_budget: usize,
     /// L-dataset pairs.
     pub l_pairs: usize,
+    /// Formal equivalence queries run by the opt-in step-8 formal gate
+    /// (zero when [`FlowConfig::formal_verify`] is off).
+    #[serde(default)]
+    pub formal_checked: usize,
+    /// Vanilla pairs dropped by a replay-confirmed formal
+    /// counterexample — functional hallucinations the settle probe and
+    /// static analyzer both missed.
+    #[serde(default)]
+    pub vanilla_rejected_formal: usize,
+    /// K-side pairs dropped the same way.
+    #[serde(default)]
+    pub k_rejected_formal: usize,
+    /// Formal queries left undecided (taint, SAT budget, unsupported);
+    /// the pair is kept — `Unknown` never silently rejects.
+    #[serde(default)]
+    pub formal_unknown: usize,
     /// Wall-time of the vanilla-side step-8 verification gate, in
     /// microseconds (compile + static analysis + compiled-backend settle
     /// probe). Excluded from equality.
@@ -92,6 +124,10 @@ pub struct FlowStats {
     /// Wall-time of the K-side step-8 verification gate, in microseconds.
     /// Excluded from equality.
     pub k_verify_micros: u64,
+    /// Wall-time of the formal gate across both sides, in microseconds.
+    /// Excluded from equality.
+    #[serde(default)]
+    pub formal_verify_micros: u64,
 }
 
 impl PartialEq for FlowStats {
@@ -118,6 +154,16 @@ impl PartialEq for FlowStats {
             other.k_rejected_static,
             other.k_rejected_budget,
             other.l_pairs,
+        ) && (
+            self.formal_checked,
+            self.vanilla_rejected_formal,
+            self.k_rejected_formal,
+            self.formal_unknown,
+        ) == (
+            other.formal_checked,
+            other.vanilla_rejected_formal,
+            other.k_rejected_formal,
+            other.formal_unknown,
         )
     }
 }
@@ -153,8 +199,28 @@ pub fn run(cfg: &FlowConfig) -> FlowOutput {
     let captioned: Vec<_> = corpus.iter().filter_map(caption).collect();
     let n_captioned = captioned.len();
     let t_vanilla = std::time::Instant::now();
-    let (vanilla_pairs, vanilla_verify) = verify_counted(captioned);
+    let (mut vanilla_pairs, vanilla_verify) = verify_counted(captioned);
     let vanilla_verify_micros = t_vanilla.elapsed().as_micros() as u64;
+
+    // Opt-in formal rung of step 8: every admitted pair whose corpus
+    // sample kept its generating spec is checked against the spec's
+    // correct emission. Only replay-confirmed counterexamples reject.
+    let formal = cfg.formal_verify.then(|| {
+        (
+            Engine::new(EngineOptions::default()),
+            FormalOracle::new(EquivOptions::default()),
+            corpus
+                .iter()
+                .filter_map(|s| s.spec.as_ref().map(|spec| (s.source.as_str(), spec)))
+                .collect::<HashMap<&str, &Spec>>(),
+        )
+    });
+    let mut formal_stats = FormalGateStats::default();
+    if let Some((engine, oracle, spec_of)) = &formal {
+        vanilla_pairs = formal_gate(vanilla_pairs, spec_of, engine, oracle, &mut formal_stats);
+    }
+    let vanilla_rejected_formal = formal_stats.rejected;
+    formal_stats.rejected = 0;
 
     // Steps 6 + 7 + 8 (knowledge side): match, rewrite, verify.
     // Rewriting needs the originating corpus sample; re-walk the corpus.
@@ -192,6 +258,9 @@ pub fn run(cfg: &FlowConfig) -> FlowOutput {
     let t_k = std::time::Instant::now();
     let (mut k_pairs, k_verify) = verify_counted(k_raw);
     let k_verify_micros = t_k.elapsed().as_micros() as u64;
+    if let Some((engine, oracle, spec_of)) = &formal {
+        k_pairs = formal_gate(k_pairs, spec_of, engine, oracle, &mut formal_stats);
+    }
     evolve_pairs(&mut k_pairs, cfg.seed ^ 0x6b);
 
     // Steps 9–12 (logic side).
@@ -209,8 +278,13 @@ pub fn run(cfg: &FlowConfig) -> FlowOutput {
         k_rejected_static: k_verify.rejected_static,
         k_rejected_budget: k_verify.rejected_budget,
         l_pairs: l_pairs.len(),
+        formal_checked: formal_stats.checked,
+        vanilla_rejected_formal,
+        k_rejected_formal: formal_stats.rejected,
+        formal_unknown: formal_stats.unknown,
         vanilla_verify_micros,
         k_verify_micros,
+        formal_verify_micros: formal_stats.micros,
     };
     FlowOutput {
         vanilla: Dataset {
@@ -220,6 +294,59 @@ pub fn run(cfg: &FlowConfig) -> FlowOutput {
         l_dataset: Dataset { pairs: l_pairs },
         stats,
     }
+}
+
+/// Running tallies of the opt-in formal rung.
+#[derive(Default)]
+struct FormalGateStats {
+    checked: usize,
+    rejected: usize,
+    unknown: usize,
+    micros: u64,
+}
+
+/// Drops pairs refuted by a replay-confirmed formal counterexample
+/// against their originating spec's correct emission. Pairs with no
+/// spec on file and undecided queries pass through — the gate only ever
+/// acts on a concrete, replayed mismatch.
+fn formal_gate(
+    pairs: Vec<InstructionCodePair>,
+    spec_of: &HashMap<&str, &Spec>,
+    engine: &Engine,
+    oracle: &FormalOracle,
+    stats: &mut FormalGateStats,
+) -> Vec<InstructionCodePair> {
+    let start = std::time::Instant::now();
+    let kept = pairs
+        .into_iter()
+        .filter(|p| {
+            let Some(spec) = spec_of.get(p.code.as_str()) else {
+                return true;
+            };
+            stats.checked += 1;
+            match haven_spec::formal::formal_check(engine, oracle, spec, &p.code) {
+                Some(outcome) => match &outcome.report.verdict {
+                    EquivVerdict::Counterexample(_) => {
+                        stats.rejected += 1;
+                        false
+                    }
+                    EquivVerdict::Equivalent => true,
+                    EquivVerdict::Unknown(_) => {
+                        stats.unknown += 1;
+                        true
+                    }
+                },
+                // The golden emission failed to prepare: a harness-side
+                // surprise, counted as undecided, never a rejection.
+                None => {
+                    stats.unknown += 1;
+                    true
+                }
+            }
+        })
+        .collect();
+    stats.micros += start.elapsed().as_micros() as u64;
+    kept
 }
 
 #[cfg(test)]
@@ -267,6 +394,36 @@ mod tests {
     #[test]
     fn flow_is_deterministic() {
         assert_eq!(run(&FlowConfig::small(2)), run(&FlowConfig::small(2)));
+    }
+
+    #[test]
+    fn formal_gate_drops_functional_hallucinations() {
+        // Unconventional corpus styles include blocking assignments in
+        // sequential blocks — code that compiles, passes the static
+        // gate and settles at time zero, yet computes the wrong
+        // function. Only the formal rung can reject those.
+        let base = FlowConfig::small(1);
+        let gated_cfg = FlowConfig {
+            formal_verify: true,
+            ..base.clone()
+        };
+        let plain = run(&base);
+        let gated = run(&gated_cfg);
+        let s = gated.stats;
+        assert!(s.formal_checked > 0, "{s:?}");
+        assert!(
+            s.vanilla_rejected_formal + s.k_rejected_formal > 0,
+            "expected at least one formally-refuted admitted pair: {s:?}"
+        );
+        assert_eq!(
+            s.vanilla_valid + s.vanilla_rejected_formal,
+            plain.stats.vanilla_valid,
+            "the formal gate must only ever subtract"
+        );
+        // Off by default: the plain run never consulted the oracle.
+        assert_eq!(plain.stats.formal_checked, 0);
+        // The gate is deterministic like everything else in the flow.
+        assert_eq!(gated, run(&gated_cfg));
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub struct EngineFingerprint {
     pub analyzer_version: u32,
     /// Whether Error-severity findings short-circuit simulation.
     pub static_gate: bool,
+    /// Whether the formal equivalence oracle participates in verdicts.
+    /// A formally-refuted candidate fails where a cosim-only
+    /// configuration may pass it, so cached results under the two
+    /// configurations must never alias.
+    pub formal_oracle: bool,
     /// Serving-model configuration, when a model is part of the
     /// deterministic response (serve pipeline); `None` for pure
     /// compile-and-verify consumers (datagen, lint).
@@ -65,6 +70,7 @@ impl EngineFingerprint {
             budget,
             analyzer_version: ANALYZER_VERSION,
             static_gate: true,
+            formal_oracle: false,
             model: None,
         }
     }
@@ -72,6 +78,12 @@ impl EngineFingerprint {
     /// Sets the static-gate switch.
     pub fn with_static_gate(mut self, on: bool) -> EngineFingerprint {
         self.static_gate = on;
+        self
+    }
+
+    /// Sets the formal-oracle switch.
+    pub fn with_formal_oracle(mut self, on: bool) -> EngineFingerprint {
+        self.formal_oracle = on;
         self
     }
 
@@ -98,7 +110,8 @@ impl EngineFingerprint {
             .word(self.budget.max_ticks as u64)
             .word(self.budget.max_total_work as u64)
             .word(u64::from(self.analyzer_version))
-            .word(u64::from(self.static_gate));
+            .word(u64::from(self.static_gate))
+            .word(u64::from(self.formal_oracle));
         match &self.model {
             None => h.word(0).finish(),
             Some(m) => h.word(1).part(&m.name).word(m.temperature_bits).finish(),
@@ -139,6 +152,7 @@ mod tests {
             EngineFingerprint::new(SimBackend::Compiled, SimBudget::starved()).key()
         );
         assert_ne!(k, base().with_static_gate(false).key());
+        assert_ne!(k, base().with_formal_oracle(true).key());
         assert_ne!(k, base().with_model("m", 0.2).key());
         let bumped = EngineFingerprint {
             analyzer_version: ANALYZER_VERSION + 1,

@@ -50,6 +50,7 @@
 mod artifact;
 mod batch;
 mod fingerprint;
+mod formal;
 mod session;
 mod witness;
 
@@ -62,6 +63,7 @@ use serde::{Deserialize, Serialize};
 pub use artifact::{Artifact, CacheStats};
 pub use batch::{BatchSession, BatchStats};
 pub use fingerprint::{EngineFingerprint, ModelFingerprint};
+pub use formal::{FormalCacheStats, FormalOracle, FormalOutcome, FORMAL_VERSION};
 pub use session::DutSession;
 pub use witness::{replay_witness, CONFIRM_BUDGET};
 

@@ -33,7 +33,8 @@ pub enum SicotMode {
     /// CodeQwen-refined prompts to commercial LLMs).
     External(ModelProfile),
 }
-use haven_engine::{Engine, EngineOptions};
+use haven_engine::{Engine, EngineOptions, FormalOracle};
+use haven_formal::EquivOptions;
 use haven_spec::cosim::{
     cosimulate_batch_planned, BatchPlan, CosimOptions, SimBackend, SimBudget, Verdict,
 };
@@ -178,6 +179,14 @@ pub struct EvalConfig {
     /// it off (every sample re-compiles — the bench baseline).
     #[serde(default = "default_artifact_cache")]
     pub artifact_cache: usize,
+    /// Run the formal equivalence oracle (`haven-formal`) on samples
+    /// that pass co-simulation: a replay-confirmed counterexample
+    /// demotes the sample to a functional failure (cosim's stimulus
+    /// program missed the bug), an `Unknown` is counted as typed
+    /// telemetry without changing the verdict. Off by default; when off,
+    /// every metric is bit-identical to a build without the oracle.
+    #[serde(default)]
+    pub formal_oracle: bool,
     /// Deterministic fault injection (tests and resilience drills only;
     /// `None` in production runs).
     pub fault_plan: Option<FaultPlan>,
@@ -198,6 +207,7 @@ impl Default for EvalConfig {
             backend: SimBackend::default(),
             memoize: true,
             artifact_cache: default_artifact_cache(),
+            formal_oracle: false,
             fault_plan: None,
         }
     }
@@ -262,6 +272,22 @@ pub struct TaskResult {
     /// Samples whose verdict was replayed from the in-task memo cache
     /// because an earlier sample generated bit-identical source.
     pub dedup_hits: usize,
+    /// Cosim-passing samples the formal oracle examined (zero when
+    /// [`EvalConfig::formal_oracle`] is off).
+    #[serde(default)]
+    pub formal_checked: usize,
+    /// Oracle-examined samples proved equivalent to the golden design.
+    #[serde(default)]
+    pub formal_equivalent: usize,
+    /// Cosim-passing samples refuted by a replay-confirmed formal
+    /// counterexample and demoted to functional failures — each one is a
+    /// bug the stimulus program missed.
+    #[serde(default)]
+    pub formal_refuted: usize,
+    /// Oracle-examined samples left undecided (x-abstraction taint, SAT
+    /// budget, unsupported constructs); their cosim pass stands.
+    #[serde(default)]
+    pub formal_unknown: usize,
 }
 
 impl TaskResult {
@@ -278,6 +304,10 @@ impl TaskResult {
             exhausted: 0,
             retries: 0,
             dedup_hits: 0,
+            formal_checked: 0,
+            formal_equivalent: 0,
+            formal_refuted: 0,
+            formal_unknown: 0,
         }
     }
 }
@@ -391,6 +421,26 @@ impl SuiteResult {
         self.tasks.iter().map(|t| t.dedup_hits).sum()
     }
 
+    /// Total cosim-passing samples the formal oracle examined.
+    pub fn formal_checked(&self) -> usize {
+        self.tasks.iter().map(|t| t.formal_checked).sum()
+    }
+
+    /// Total samples the oracle proved equivalent.
+    pub fn formal_equivalent(&self) -> usize {
+        self.tasks.iter().map(|t| t.formal_equivalent).sum()
+    }
+
+    /// Total cosim passes demoted by a replay-confirmed counterexample.
+    pub fn formal_refuted(&self) -> usize {
+        self.tasks.iter().map(|t| t.formal_refuted).sum()
+    }
+
+    /// Total oracle queries left undecided (typed `Unknown` outcomes).
+    pub fn formal_unknown(&self) -> usize {
+        self.tasks.iter().map(|t| t.formal_unknown).sum()
+    }
+
     /// Filters to the tasks whose ids are in `ids` (per-modality rows).
     pub fn filtered(&self, ids: &[&str]) -> SuiteResult {
         SuiteResult {
@@ -467,10 +517,16 @@ fn run_sweep(
         budget: cfg.budget,
         cache_capacity: cfg.artifact_cache,
     });
+    // One oracle for the whole sweep, like the engine: its outcome LRU
+    // is keyed by (golden, candidate, options) content, so a pair judged
+    // at one temperature replays at every other.
+    let oracle = cfg
+        .formal_oracle
+        .then(|| FormalOracle::new(EquivOptions::default()));
     let mut best: Option<(f64, f64, Vec<TaskResult>)> = None;
     for &temp in &cfg.temperatures {
         let results = match journal {
-            None => run_at_temperature(&engine, profile, tasks, cfg, temp, None),
+            None => run_at_temperature(&engine, oracle.as_ref(), profile, tasks, cfg, temp, None),
             Some((done, writer)) => {
                 let missing: Vec<BenchTask> = tasks
                     .iter()
@@ -478,8 +534,15 @@ fn run_sweep(
                     .cloned()
                     .collect();
                 let on_task = |r: &TaskResult| writer.append(temp, r);
-                let fresh =
-                    run_at_temperature(&engine, profile, &missing, cfg, temp, Some(&on_task));
+                let fresh = run_at_temperature(
+                    &engine,
+                    oracle.as_ref(),
+                    profile,
+                    &missing,
+                    cfg,
+                    temp,
+                    Some(&on_task),
+                );
                 let mut fresh_by_id: HashMap<String, TaskResult> =
                     fresh.into_iter().map(|r| (r.task_id.clone(), r)).collect();
                 tasks
@@ -509,6 +572,7 @@ fn run_sweep(
 
 fn run_at_temperature(
     engine: &Engine,
+    oracle: Option<&FormalOracle>,
     profile: &ModelProfile,
     tasks: &[BenchTask],
     cfg: &EvalConfig,
@@ -530,7 +594,7 @@ fn run_at_temperature(
                             // per-sample layer (e.g. in prompt refinement)
                             // quarantines this task, not the shard.
                             let r = catch_unwind(AssertUnwindSafe(|| {
-                                run_task(engine, profile, t, cfg, temperature)
+                                run_task(engine, oracle, profile, t, cfg, temperature)
                             }))
                             .unwrap_or_else(|_| TaskResult::faulted(&t.id, cfg.n));
                             if let Some(cb) = on_task {
@@ -567,6 +631,17 @@ struct SampleOutcome {
     verdict: Verdict,
     /// The static gate short-circuited co-simulation.
     gated: bool,
+    /// How the formal oracle classified a cosim pass, when it ran.
+    formal: Option<FormalClass>,
+}
+
+/// The three-way classification a formal query contributes to the
+/// per-task counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FormalClass {
+    Equivalent,
+    Refuted,
+    Unknown,
 }
 
 /// Per-task verdict cache keyed by a hash of the generated source.
@@ -581,7 +656,7 @@ struct SampleOutcome {
 /// poison the cache for clean attempts.
 #[derive(Default)]
 struct TaskMemo {
-    verdicts: HashMap<u64, (Verdict, bool)>,
+    verdicts: HashMap<u64, (Verdict, bool, Option<FormalClass>)>,
     hits: usize,
 }
 
@@ -604,6 +679,7 @@ impl SampleOutcome {
         SampleOutcome {
             verdict,
             gated: false,
+            formal: None,
         }
     }
 
@@ -614,6 +690,7 @@ impl SampleOutcome {
 
 fn run_task(
     engine: &Engine,
+    oracle: Option<&FormalOracle>,
     profile: &ModelProfile,
     task: &BenchTask,
     cfg: &EvalConfig,
@@ -622,7 +699,11 @@ fn run_task(
     // The structured fingerprint of everything besides the source that
     // shapes a verdict; folded into every memo key so a config change
     // can never replay a stale verdict.
-    let fingerprint_key = engine.fingerprint().with_static_gate(cfg.static_gate).key();
+    let fingerprint_key = engine
+        .fingerprint()
+        .with_static_gate(cfg.static_gate)
+        .with_formal_oracle(cfg.formal_oracle)
+        .key();
     let model = CodeGenModel::new(profile.clone(), temperature);
     // Per the paper, the same pre-trained model serves as CoT prompting
     // model and CodeGen-LLM.
@@ -649,6 +730,10 @@ fn run_task(
     let mut faults = 0usize;
     let mut exhausted = 0usize;
     let mut retries = 0usize;
+    let mut formal_checked = 0usize;
+    let mut formal_equivalent = 0usize;
+    let mut formal_refuted = 0usize;
+    let mut formal_unknown = 0usize;
     let mut memo = TaskMemo::default();
     for sample in 0..cfg.n {
         let mut attempt = 0usize;
@@ -656,6 +741,7 @@ fn run_task(
             let o = catch_unwind(AssertUnwindSafe(|| {
                 evaluate_sample(
                     engine,
+                    oracle,
                     fingerprint_key,
                     &model,
                     &prompt,
@@ -697,6 +783,14 @@ fn run_task(
             Verdict::ResourceExhausted(_) => exhausted += 1,
             _ => {}
         }
+        if let Some(class) = outcome.formal {
+            formal_checked += 1;
+            match class {
+                FormalClass::Equivalent => formal_equivalent += 1,
+                FormalClass::Refuted => formal_refuted += 1,
+                FormalClass::Unknown => formal_unknown += 1,
+            }
+        }
     }
     TaskResult {
         task_id: task.id.clone(),
@@ -708,12 +802,17 @@ fn run_task(
         exhausted,
         retries,
         dedup_hits: memo.hits,
+        formal_checked,
+        formal_equivalent,
+        formal_refuted,
+        formal_unknown,
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn evaluate_sample(
     engine: &Engine,
+    oracle: Option<&FormalOracle>,
     fingerprint_key: u64,
     model: &CodeGenModel,
     prompt: &str,
@@ -753,26 +852,30 @@ fn evaluate_sample(
     let memoized = cfg.memoize && fault.is_none();
     let key = TaskMemo::key(&source, fingerprint_key);
     if memoized {
-        if let Some((verdict, gated)) = memo.verdicts.get(&key) {
+        if let Some((verdict, gated, formal)) = memo.verdicts.get(&key) {
             memo.hits += 1;
             return SampleOutcome {
                 verdict: verdict.clone(),
                 gated: *gated,
+                formal: *formal,
             };
         }
     }
-    let outcome = evaluate_source(engine, &source, task, cfg, stimuli, plan, fault);
+    let outcome = evaluate_source(engine, oracle, &source, task, cfg, stimuli, plan, fault);
     if memoized {
         memo.verdicts
-            .insert(key, (outcome.verdict.clone(), outcome.gated));
+            .insert(key, (outcome.verdict.clone(), outcome.gated, outcome.formal));
     }
     outcome
 }
 
 /// The deterministic tail of sample evaluation: everything downstream of
-/// the generated source (engine prepare → static gate → co-simulation).
+/// the generated source (engine prepare → static gate → co-simulation →
+/// optional formal equivalence check on a cosim pass).
+#[allow(clippy::too_many_arguments)]
 fn evaluate_source(
     engine: &Engine,
+    oracle: Option<&FormalOracle>,
     source: &str,
     task: &BenchTask,
     cfg: &EvalConfig,
@@ -800,6 +903,7 @@ fn evaluate_source(
                 detail: "skipped by static gate: analyzer proved the design defective".into(),
             },
             gated: true,
+            formal: None,
         };
     }
     let options = CosimOptions {
@@ -820,9 +924,48 @@ fn evaluate_source(
     // program or artifact does not qualify. Verdicts are bit-identical
     // either way — pinned by the backend-equivalence test below and the
     // differential suite in crates/spec.
-    SampleOutcome::of(
-        cosimulate_batch_planned(&task.spec, engine, &artifact, stimuli, &options, plan).verdict,
-    )
+    let verdict =
+        cosimulate_batch_planned(&task.spec, engine, &artifact, stimuli, &options, plan).verdict;
+
+    // Formal rung: only cosim passes are worth a proof attempt — every
+    // other verdict already names a concrete failure. A replay-confirmed
+    // counterexample means the stimulus program false-passed the sample;
+    // it is demoted to a functional mismatch. Unknown outcomes are typed
+    // telemetry: the cosim pass stands.
+    let (verdict, formal) = match (&verdict, oracle) {
+        (Verdict::Pass, Some(oracle)) => {
+            match haven_spec::formal::formal_check(engine, oracle, &task.spec, source) {
+                Some(outcome) => match &outcome.report.verdict {
+                    haven_formal::EquivVerdict::Equivalent => {
+                        (verdict, Some(FormalClass::Equivalent))
+                    }
+                    haven_formal::EquivVerdict::Counterexample(trace) => (
+                        Verdict::FunctionalMismatch {
+                            at_check: trace.mismatch_step,
+                            detail: format!(
+                                "formal counterexample on `{}` (cosim stimuli missed it)",
+                                trace.mismatch_output
+                            ),
+                        },
+                        Some(FormalClass::Refuted),
+                    ),
+                    haven_formal::EquivVerdict::Unknown(_) => {
+                        (verdict, Some(FormalClass::Unknown))
+                    }
+                },
+                // Either side failed to prepare — for a cosim-passing
+                // candidate that means the golden emission, which is a
+                // harness-side surprise, not a candidate failure.
+                None => (verdict, Some(FormalClass::Unknown)),
+            }
+        }
+        _ => (verdict, None),
+    };
+    SampleOutcome {
+        verdict,
+        gated: false,
+        formal,
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -1159,6 +1302,63 @@ mod tests {
     }
 
     #[test]
+    fn formal_oracle_confirms_a_perfect_model() {
+        // Perfect generations are bit-identically the golden emission,
+        // so every formal query must prove equivalence and no metric may
+        // move relative to an oracle-free run.
+        let suite = small_suite();
+        let profile = ModelProfile::uniform("perfect", 1.0);
+        let off = evaluate(&profile, &suite, &EvalConfig::quick(2)).unwrap();
+        let on = evaluate(
+            &profile,
+            &suite,
+            &EvalConfig {
+                formal_oracle: true,
+                ..EvalConfig::quick(2)
+            },
+        )
+        .unwrap();
+        assert_eq!(on.pass_at(1), 100.0);
+        assert_eq!(on.pass_at(1), off.pass_at(1));
+        assert!(on.formal_checked() > 0, "oracle never consulted");
+        assert_eq!(on.formal_refuted(), 0);
+        assert_eq!(
+            on.formal_checked(),
+            on.formal_equivalent() + on.formal_refuted() + on.formal_unknown()
+        );
+        assert_eq!(off.formal_checked(), 0, "oracle off must not run");
+    }
+
+    #[test]
+    fn formal_oracle_never_raises_passk() {
+        // The oracle can only demote cosim passes (refutation) or leave
+        // them standing — pass@k with the oracle on is bounded above by
+        // pass@k with it off, at every model strength.
+        let suite = small_suite();
+        for accuracy in [0.4, 0.7] {
+            let profile = ModelProfile::uniform("m", accuracy);
+            let off = evaluate(&profile, &suite, &EvalConfig::quick(4)).unwrap();
+            let on = evaluate(
+                &profile,
+                &suite,
+                &EvalConfig {
+                    formal_oracle: true,
+                    ..EvalConfig::quick(4)
+                },
+            )
+            .unwrap();
+            assert!(
+                on.pass_at(1) <= off.pass_at(1),
+                "oracle raised pass@1 at accuracy {accuracy}: {} > {}",
+                on.pass_at(1),
+                off.pass_at(1)
+            );
+            // Syntax metrics are upstream of the oracle.
+            assert_eq!(on.syntax_pass_at(1), off.syntax_pass_at(1));
+        }
+    }
+
+    #[test]
     fn sicot_helps_on_symbolic_tasks() {
         let suite: Vec<_> = suites::symbolic44(1).into_iter().take(16).collect();
         let profile = haven_lm::profiles::base_codeqwen();
@@ -1196,6 +1396,10 @@ mod result_tests {
                     exhausted: 0,
                     retries: 0,
                     dedup_hits: 4,
+                    formal_checked: 8,
+                    formal_equivalent: 6,
+                    formal_refuted: 1,
+                    formal_unknown: 1,
                 },
                 TaskResult {
                     task_id: "a/001".into(),
@@ -1207,6 +1411,10 @@ mod result_tests {
                     exhausted: 1,
                     retries: 2,
                     dedup_hits: 1,
+                    formal_checked: 5,
+                    formal_equivalent: 4,
+                    formal_refuted: 1,
+                    formal_unknown: 0,
                 },
                 TaskResult {
                     task_id: "b/000".into(),
@@ -1218,6 +1426,10 @@ mod result_tests {
                     exhausted: 0,
                     retries: 6,
                     dedup_hits: 0,
+                    formal_checked: 0,
+                    formal_equivalent: 0,
+                    formal_refuted: 0,
+                    formal_unknown: 0,
                 },
             ],
             batch: EvalBatchStats::default(),
@@ -1251,6 +1463,10 @@ mod result_tests {
         assert_eq!(r.exhausted(), 1);
         assert_eq!(r.retries(), 8);
         assert_eq!(r.dedup_hits(), 5);
+        assert_eq!(r.formal_checked(), 13);
+        assert_eq!(r.formal_equivalent(), 10);
+        assert_eq!(r.formal_refuted(), 2);
+        assert_eq!(r.formal_unknown(), 1);
     }
 
     #[test]

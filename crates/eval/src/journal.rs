@@ -114,7 +114,7 @@ impl JournalEntry {
         let t = &self.task;
         format!(
             "t={:016x}\tid={}\tn={}\tsyntax={}\tfunc={}\tskipped={}\tfaults={}\texhausted={}\
-             \tretries={}\tdedup={}\t{SENTINEL}",
+             \tretries={}\tdedup={}\tfchecked={}\tfequiv={}\tfrefuted={}\tfunknown={}\t{SENTINEL}",
             self.temperature.to_bits(),
             escape(&t.task_id),
             t.n,
@@ -125,6 +125,10 @@ impl JournalEntry {
             t.exhausted,
             t.retries,
             t.dedup_hits,
+            t.formal_checked,
+            t.formal_equivalent,
+            t.formal_refuted,
+            t.formal_unknown,
         )
     }
 
@@ -146,6 +150,11 @@ impl JournalEntry {
                 // Absent in journals written before the dedup cache
                 // existed; those runs had no cache to hit.
                 dedup_hits: num("dedup").unwrap_or(0),
+                // Likewise for journals predating the formal oracle.
+                formal_checked: num("fchecked").unwrap_or(0),
+                formal_equivalent: num("fequiv").unwrap_or(0),
+                formal_refuted: num("frefuted").unwrap_or(0),
+                formal_unknown: num("funknown").unwrap_or(0),
             },
         })
     }
@@ -312,6 +321,10 @@ mod tests {
             exhausted: 0,
             retries: 0,
             dedup_hits: 0,
+            formal_checked: 2,
+            formal_equivalent: 1,
+            formal_refuted: 1,
+            formal_unknown: 0,
         }
     }
 

@@ -1,0 +1,313 @@
+//! And-Inverter Graph with structural hashing and constant propagation.
+//!
+//! The AIG is the shared normal form of the formal oracle: the bitblaster
+//! lowers both sides of an equivalence query into **one** graph, so
+//! identical subcircuits of the golden and candidate designs hash-cons to
+//! the same node and the miter often collapses to constant false before
+//! the SAT core ever runs. Nodes are append-only; a [`Lit`] is a node
+//! index with a complement bit in its LSB, so negation is free.
+//!
+//! Two cheap semantic engines run directly on the graph:
+//!
+//! * constant propagation happens *inside* [`Aig::and`] (two-level rules:
+//!   identical/complementary operands, constant absorption), so constant
+//!   miters never materialize nodes at all;
+//! * [`Aig::sim64`] evaluates all nodes under 64 input patterns at once
+//!   (the same bit-parallel trick as the batched simulator), which the
+//!   equivalence checker uses to fish for counterexample candidates
+//!   before paying for CNF.
+
+use std::collections::HashMap;
+
+/// A literal: an AIG node index with a complement flag in bit 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Constant false (the complement-free literal of node 0).
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true.
+    pub const TRUE: Lit = Lit(1);
+
+    /// The node this literal refers to.
+    #[inline]
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the literal complements its node.
+    #[inline]
+    pub fn negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Logical negation (free: flips the complement bit).
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // by-value helper, chains better than `!lit`
+    pub fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Whether this is one of the two constant literals.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.node() == 0
+    }
+
+    /// The constant value, if this is a constant literal.
+    #[inline]
+    pub fn const_value(self) -> Option<bool> {
+        if self.is_const() {
+            Some(self.negated())
+        } else {
+            None
+        }
+    }
+
+    fn of_node(node: u32) -> Lit {
+        Lit(node << 1)
+    }
+}
+
+/// One AIG node: either a primary input or a two-input AND gate.
+#[derive(Debug, Clone, Copy)]
+enum Node {
+    /// Constant-false node (index 0 only).
+    Const,
+    /// Primary input; the payload is its position in input order.
+    Input(u32),
+    /// AND of two literals.
+    And(Lit, Lit),
+}
+
+/// An And-Inverter Graph.
+///
+/// # Examples
+///
+/// ```
+/// use haven_formal::aig::{Aig, Lit};
+/// let mut g = Aig::new();
+/// let a = g.input();
+/// let b = g.input();
+/// let y1 = g.and(a, b);
+/// let y2 = g.and(b, a);
+/// assert_eq!(y1, y2, "structural hashing canonicalizes operand order");
+/// assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    /// Node ids of primary inputs, in creation order.
+    inputs: Vec<u32>,
+    /// Structural hash: (lhs, rhs) of an existing AND → its node id.
+    strash: HashMap<(u32, u32), u32>,
+}
+
+impl Aig {
+    /// An empty graph containing only the constant node.
+    pub fn new() -> Aig {
+        Aig {
+            nodes: vec![Node::Const],
+            inputs: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Total node count (constant + inputs + AND gates).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph holds only the constant node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Number of AND gates.
+    pub fn and_count(&self) -> usize {
+        self.nodes.len() - 1 - self.inputs.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Appends a fresh primary input and returns its literal.
+    pub fn input(&mut self) -> Lit {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node::Input(self.inputs.len() as u32));
+        self.inputs.push(id);
+        Lit::of_node(id)
+    }
+
+    /// The positive literal of the input at position `pos`.
+    pub fn input_lit(&self, pos: usize) -> Lit {
+        Lit::of_node(self.inputs[pos])
+    }
+
+    /// The input-order position of `lit`'s node, if it is an input.
+    pub fn input_index(&self, lit: Lit) -> Option<usize> {
+        match self.nodes[lit.node() as usize] {
+            Node::Input(pos) => Some(pos as usize),
+            _ => None,
+        }
+    }
+
+    /// AND of two literals with constant propagation and structural
+    /// hashing. Never creates a node when a two-level rule decides the
+    /// result.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == Lit::FALSE || b == Lit::FALSE || a == b.not() {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&node) = self.strash.get(&(a.0, b.0)) {
+            return Lit::of_node(node);
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node::And(a, b));
+        self.strash.insert((a.0, b.0), id);
+        Lit::of_node(id)
+    }
+
+    /// OR via De Morgan.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.not(), b.not()).not()
+    }
+
+    /// XOR as two ANDs.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let l = self.and(a, b.not());
+        let r = self.and(a.not(), b);
+        self.or(l, r)
+    }
+
+    /// XNOR.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        self.xor(a, b).not()
+    }
+
+    /// `if c { t } else { e }`.
+    pub fn mux(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
+        if t == e {
+            return t;
+        }
+        let th = self.and(c, t);
+        let el = self.and(c.not(), e);
+        self.or(th, el)
+    }
+
+    /// Bit-parallel simulation: evaluates every node under the 64 input
+    /// patterns packed into `input_words` (one word per input, in input
+    /// creation order; missing trailing inputs read 0) and returns one
+    /// word per node.
+    pub fn sim64(&self, input_words: &[u64]) -> Vec<u64> {
+        let mut vals = vec![0u64; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            vals[i] = match node {
+                Node::Const => 0,
+                Node::Input(pos) => input_words.get(*pos as usize).copied().unwrap_or(0),
+                Node::And(a, b) => {
+                    let av = vals[a.node() as usize] ^ if a.negated() { !0 } else { 0 };
+                    let bv = vals[b.node() as usize] ^ if b.negated() { !0 } else { 0 };
+                    av & bv
+                }
+            };
+        }
+        vals
+    }
+
+    /// Evaluates one literal against a node-value table from [`Aig::sim64`].
+    pub fn read64(vals: &[u64], lit: Lit) -> u64 {
+        vals[lit.node() as usize] ^ if lit.negated() { !0 } else { 0 }
+    }
+
+    /// Evaluates one literal under a boolean assignment to primary inputs
+    /// (indexed by input creation order; missing inputs read false).
+    pub fn eval(&self, inputs: &[bool], lit: Lit) -> bool {
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        let vals = self.sim64(&words);
+        Aig::read64(&vals, lit) & 1 == 1
+    }
+
+    /// The fanin literals of an AND node, if `node` is one.
+    pub(crate) fn and_fanin(&self, node: u32) -> Option<(Lit, Lit)> {
+        match self.nodes[node as usize] {
+            Node::And(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rules() {
+        let mut g = Aig::new();
+        let a = g.input();
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(g.and(Lit::FALSE, a), Lit::FALSE);
+        assert_eq!(g.and(a, Lit::TRUE), a);
+        assert_eq!(g.and(Lit::TRUE, a), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, a.not()), Lit::FALSE);
+        assert_eq!(g.and_count(), 0, "no nodes created by folded ANDs");
+    }
+
+    #[test]
+    fn strash_dedupes_and_negation_is_free() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let y = g.and(a, b);
+        assert_eq!(g.and(b, a), y);
+        assert_eq!(y.not().not(), y);
+        assert_eq!(g.and_count(), 1);
+    }
+
+    #[test]
+    fn xor_mux_semantics_via_sim() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let x = g.xor(a, b);
+        let m = g.mux(c, a, b);
+        for bits in 0..8u64 {
+            let (av, bv, cv) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            assert_eq!(g.eval(&[av, bv, cv], x), av ^ bv);
+            assert_eq!(g.eval(&[av, bv, cv], m), if cv { av } else { bv });
+        }
+    }
+
+    #[test]
+    fn sim64_matches_scalar_eval() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let n1 = g.and(a, b);
+        let n2 = g.or(n1, c.not());
+        let root = g.xor(n2, a);
+        // Patterns: lane i carries assignment i of the 8-value truth table.
+        let words = [0xAAu64, 0xCC, 0xF0];
+        let vals = g.sim64(&words);
+        for lane in 0..8 {
+            let ins: Vec<bool> = words.iter().map(|w| w >> lane & 1 == 1).collect();
+            assert_eq!(
+                Aig::read64(&vals, root) >> lane & 1 == 1,
+                g.eval(&ins, root),
+                "lane {lane}"
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Formal equivalence-checking oracle for compiled Verilog designs.
+//!
+//! Simulation-based verdicts are only as strong as their stimuli: a
+//! candidate that happens to agree with the golden design on every
+//! driven input vector still passes, and the oracle-ablation experiments
+//! show such false passes are exactly what weakened stimuli produce.
+//! This crate decides `candidate ≡ golden` *for all* inputs instead:
+//!
+//! 1. [`bitblast`] symbolically executes the existing compiled bytecode
+//!    (the same `CompiledDesign` the simulator runs) into an
+//!    And-Inverter Graph, with a documented two-valued abstraction of
+//!    the four-state domain (per-bit taint, sound by construction);
+//! 2. [`aig`] hash-conses both designs into **one** graph, so the miter
+//!    over their outputs often collapses to constant false structurally;
+//! 3. surviving miters go through random bit-parallel simulation (a
+//!    cheap counterexample fishery) and then [`cnf`]/[`sat`] — a
+//!    Tseitin encoding feeding a small CDCL solver with watched
+//!    literals, first-UIP learning, VSIDS and restarts;
+//! 4. [`equiv`] orchestrates the pipeline and renders a three-valued
+//!    [`equiv::EquivVerdict`]: `Equivalent`, `Counterexample` (a
+//!    concrete stimulus, later replayed on the scalar simulator), or
+//!    `Unknown` with the reason (taint, budget, unsupported construct).
+//!
+//! Nothing in this crate trusts itself: counterexamples are confirmed
+//! by replay, `Equivalent` is only reported on taint-free outputs, and
+//! the property suite cross-checks every verdict against cosimulation.
+
+pub mod aig;
+pub mod bitblast;
+pub mod cnf;
+pub mod equiv;
+pub mod sat;
+
+pub use aig::{Aig, Lit};
+pub use bitblast::{BlastError, Blaster, SVal};
+pub use cnf::{encode, CnfMap};
+pub use equiv::{
+    check_equiv, hard_mismatch, replay_cex, CexStep, CexTrace, EquivOptions, EquivReport,
+    EquivVerdict, PreambleOp, ReplayMismatch, UnknownReason,
+};
+pub use sat::{SatResult, SatStats, Solver};

@@ -13,7 +13,7 @@
 //! ```text
 //! haven-serve [--model NAME] [--temperature T] [--workers N]
 //!             [--queue-capacity N] [--deadline-ms MS] [--cache-capacity N]
-//!             [--inference-latency-ms MS] [--no-static-gate]
+//!             [--inference-latency-ms MS] [--no-static-gate] [--formal-oracle]
 //!             [--fault-rate R --fault-seed S [--fault-permanent]]
 //!             [--store-dir DIR] [--stall-timeout-ms MS]
 //!             [--listen ADDR] [--metrics-every N]
@@ -51,6 +51,7 @@ fn usage() -> &'static str {
     "usage: haven-serve [--model codeqwen|deepseek|codellama|perfect] [--temperature T]\n\
      \x20                  [--workers N] [--queue-capacity N] [--deadline-ms MS]\n\
      \x20                  [--cache-capacity N] [--inference-latency-ms MS] [--no-static-gate]\n\
+     \x20                  [--formal-oracle]\n\
      \x20                  [--fault-rate R] [--fault-seed S] [--fault-permanent]\n\
      \x20                  [--store-dir DIR] [--stall-timeout-ms MS]\n\
      \x20                  [--listen 127.0.0.1:PORT] [--metrics-every N]\n\
@@ -110,6 +111,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.config.engine.inference_latency = Duration::from_millis(ms);
             }
             "--no-static-gate" => opts.config.engine.static_gate = false,
+            "--formal-oracle" => opts.config.engine.formal_oracle = true,
             "--fault-rate" => {
                 fault_rate = value("--fault-rate")?
                     .parse()

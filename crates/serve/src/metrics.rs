@@ -185,6 +185,17 @@ pub struct Metrics {
     pub degraded_hits: AtomicU64,
     /// Times the server entered degraded mode.
     pub degraded_entered: AtomicU64,
+    /// Cosim `Pass` verdicts escalated to the formal equivalence oracle.
+    pub formal_checked: AtomicU64,
+    /// Formal checks that proved candidate ≡ golden.
+    pub formal_equivalent: AtomicU64,
+    /// Formal checks that refuted a cosim pass with a replay-confirmed
+    /// counterexample (the stimulus program had missed the bug).
+    pub formal_refuted: AtomicU64,
+    /// Formal checks that came back undecided (typed `Unknown`: resource
+    /// cap, x-abstraction taint, unsupported construct) — the cosim
+    /// verdict stood.
+    pub formal_unknown: AtomicU64,
     /// Responses replayed into the cache from the WAL at startup.
     pub wal_replayed: AtomicU64,
     /// Responses appended to the WAL (durable across restarts).
@@ -235,6 +246,10 @@ impl Metrics {
             degraded_shed: load(&self.degraded_shed),
             degraded_hits: load(&self.degraded_hits),
             degraded_entered: load(&self.degraded_entered),
+            formal_checked: load(&self.formal_checked),
+            formal_equivalent: load(&self.formal_equivalent),
+            formal_refuted: load(&self.formal_refuted),
+            formal_unknown: load(&self.formal_unknown),
             wal_replayed: load(&self.wal_replayed),
             responses_persisted: load(&self.responses_persisted),
             deadline_by_stage: Stage::ALL
@@ -298,6 +313,19 @@ pub struct MetricsSnapshot {
     pub degraded_hits: u64,
     /// Degraded-mode entries.
     pub degraded_entered: u64,
+    /// Cosim passes escalated to the formal oracle. Absent in snapshots
+    /// serialized before the oracle existed.
+    #[serde(default)]
+    pub formal_checked: u64,
+    /// Formal proofs of equivalence.
+    #[serde(default)]
+    pub formal_equivalent: u64,
+    /// Cosim passes overturned by a replay-confirmed counterexample.
+    #[serde(default)]
+    pub formal_refuted: u64,
+    /// Undecided formal checks (typed `Unknown`).
+    #[serde(default)]
+    pub formal_unknown: u64,
     /// Responses replayed from the WAL at startup.
     pub wal_replayed: u64,
     /// Responses appended to the WAL.
@@ -351,6 +379,10 @@ impl MetricsSnapshot {
         line("degraded_shed_total", self.degraded_shed);
         line("degraded_hits_total", self.degraded_hits);
         line("degraded_entered_total", self.degraded_entered);
+        line("formal_checked_total", self.formal_checked);
+        line("formal_equivalent_total", self.formal_equivalent);
+        line("formal_refuted_total", self.formal_refuted);
+        line("formal_unknown_total", self.formal_unknown);
         line("wal_replayed_total", self.wal_replayed);
         line("responses_persisted_total", self.responses_persisted);
         for (stage, n) in &self.deadline_by_stage {
@@ -496,6 +528,9 @@ mod tests {
             "serve_watchdog_recycles_total 0",
             "serve_store_write_failures_total 0",
             "serve_degraded_shed_total 0",
+            "serve_formal_checked_total 0",
+            "serve_formal_refuted_total 0",
+            "serve_formal_unknown_total 0",
             "stage=\"queue_wait\"",
             "stage=\"simulate\"",
             "quantile=\"max\"",

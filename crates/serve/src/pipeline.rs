@@ -21,7 +21,8 @@ use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use haven_engine::{Engine as CompileEngine, EngineFingerprint, EngineOptions};
+use haven_engine::{Engine as CompileEngine, EngineFingerprint, EngineOptions, FormalOracle};
+use haven_formal::{EquivOptions, EquivVerdict};
 use haven_eval::fault::{corrupt_source, FaultKind, ServeFaultKind};
 use haven_eval::FaultPlan;
 use haven_lm::model::CodeGenModel;
@@ -42,6 +43,14 @@ pub struct EngineConfig {
     /// Short-circuit co-simulation when the dataflow analyzer proves the
     /// design defective (mirrors the eval harness's static gate).
     pub static_gate: bool,
+    /// Consult the formal equivalence oracle (AIG + SAT, `haven-formal`)
+    /// after a candidate passes budgeted co-simulation. A replay-confirmed
+    /// counterexample overturns the `Pass` into a functional mismatch —
+    /// catching hallucinations the stimulus program happened to miss —
+    /// while `Unknown` outcomes leave the cosim verdict standing and are
+    /// surfaced as typed telemetry. The flag is folded into the engine
+    /// fingerprint, so cached responses never cross the on/off boundary.
+    pub formal_oracle: bool,
     /// Resource budget for each candidate co-simulation.
     pub budget: SimBudget,
     /// Execution backend for the candidate design.
@@ -80,6 +89,7 @@ impl Default for EngineConfig {
     fn default() -> EngineConfig {
         EngineConfig {
             static_gate: true,
+            formal_oracle: false,
             budget: SimBudget::default(),
             backend: SimBackend::default(),
             artifact_cache: 256,
@@ -169,6 +179,10 @@ pub struct Engine {
     /// and temperature, simulation backend and budget, analyzer rule-set
     /// version, static-gate switch.
     fingerprint: EngineFingerprint,
+    /// The formal equivalence oracle (present only when configured): its
+    /// verdict cache rides the same artifact fingerprints as the compile
+    /// ladder, so repeated generations replay equivalence proofs too.
+    formal: Option<FormalOracle>,
     config: EngineConfig,
     cache: Arc<ResponseCache>,
     metrics: Arc<Metrics>,
@@ -243,12 +257,17 @@ impl Engine {
         let fingerprint = compiler
             .fingerprint()
             .with_static_gate(config.static_gate)
+            .with_formal_oracle(config.formal_oracle)
             .with_model(&model.profile.name, model.temperature);
+        let formal = config
+            .formal_oracle
+            .then(|| FormalOracle::new(EquivOptions::default()));
         let engine = Engine {
             sicot: SiCot::new(model.clone()),
             model,
             compiler,
             fingerprint,
+            formal,
             config,
             cache,
             metrics,
@@ -580,16 +599,58 @@ impl Engine {
                 // Bit-parallel when the program and artifact qualify
                 // (scalar fallback tallied on the engine) — the verdict
                 // is bit-identical either way.
-                ServeVerdict::Checked(
-                    cosimulate_batch(
-                        &perception.spec,
-                        &self.compiler,
-                        &artifact,
-                        &stimuli,
-                        &options,
-                    )
-                    .verdict,
+                let mut verdict = cosimulate_batch(
+                    &perception.spec,
+                    &self.compiler,
+                    &artifact,
+                    &stimuli,
+                    &options,
                 )
+                .verdict;
+                // --- Formal oracle: only a cosim Pass is escalated; a
+                // replay-confirmed counterexample demotes it (the stimulus
+                // program missed the bug), Unknown leaves it standing.
+                // Deterministic, so replay reconstructs the same verdict;
+                // only the telemetry is live-gated.
+                if let (Verdict::Pass, Some(oracle)) = (&verdict, self.formal.as_ref()) {
+                    let live = mode == AttemptMode::Live;
+                    if live {
+                        Metrics::inc(&self.metrics.formal_checked);
+                    }
+                    let outcome = haven_spec::formal::formal_check(
+                        &self.compiler,
+                        oracle,
+                        &perception.spec,
+                        &source,
+                    );
+                    match outcome.as_ref().map(|o| &o.report.verdict) {
+                        Some(EquivVerdict::Counterexample(trace)) => {
+                            if live {
+                                Metrics::inc(&self.metrics.formal_refuted);
+                            }
+                            verdict = Verdict::FunctionalMismatch {
+                                at_check: trace.mismatch_step,
+                                detail: format!(
+                                    "formal counterexample on `{}` (cosim stimuli missed it)",
+                                    trace.mismatch_output
+                                ),
+                            };
+                        }
+                        Some(EquivVerdict::Equivalent) => {
+                            if live {
+                                Metrics::inc(&self.metrics.formal_equivalent);
+                            }
+                        }
+                        // Undecided (or unblastable): typed telemetry, the
+                        // cosim verdict stands.
+                        Some(EquivVerdict::Unknown(_)) | None => {
+                            if live {
+                                Metrics::inc(&self.metrics.formal_unknown);
+                            }
+                        }
+                    }
+                }
+                ServeVerdict::Checked(verdict)
             }
         };
         trace.simulate_us = t.elapsed().as_micros() as u64;
@@ -803,6 +864,60 @@ mod tests {
         // been scheduled late, by an ordinary cache hit.
         assert_eq!(s.coalesced + s.cache_hits, 3, "{s:?}");
         assert!(s.coalesced > 0, "{s:?}");
+    }
+
+    #[test]
+    fn formal_oracle_confirms_a_perfect_pass_and_counts_it() {
+        let metrics = Arc::new(Metrics::default());
+        let model = CodeGenModel::new(profiles::ModelProfile::uniform("perfect", 1.0), 0.2);
+        let e = Engine::new(
+            model,
+            EngineConfig {
+                formal_oracle: true,
+                ..EngineConfig::default()
+            },
+            Arc::new(ResponseCache::new(64)),
+            metrics.clone(),
+        );
+        let a = e.run_attempt(AND_PROMPT, &far_clock(), 0);
+        match a.outcome {
+            AttemptOutcome::Response(r) => {
+                assert!(r.verdict.verified_pass(), "{:?}", r.verdict);
+            }
+            AttemptOutcome::Deadline(r) => panic!("unexpected deadline: {r}"),
+        }
+        let s = metrics.snapshot();
+        assert_eq!(s.formal_checked, 1, "{s:?}");
+        assert_eq!(s.formal_equivalent, 1, "{s:?}");
+        assert_eq!((s.formal_refuted, s.formal_unknown), (0, 0), "{s:?}");
+        // A cache replay of the same prompt must not re-check.
+        let warm = e.run_attempt(AND_PROMPT, &far_clock(), 0);
+        assert!(warm.cache_hit);
+        assert_eq!(metrics.snapshot().formal_checked, 1);
+    }
+
+    #[test]
+    fn formal_oracle_flag_partitions_the_response_cache() {
+        // Same prompt, same shared cache: the fingerprint folds the
+        // formal-oracle bit, so an oracle-on engine must not replay a
+        // payload verified without the oracle (and vice versa).
+        let cache = Arc::new(ResponseCache::new(64));
+        let off = engine_with(EngineConfig::default(), cache.clone());
+        let on = engine_with(
+            EngineConfig {
+                formal_oracle: true,
+                ..EngineConfig::default()
+            },
+            cache,
+        );
+        assert_ne!(off.fingerprint().key(), on.fingerprint().key());
+        let cold = off.run_attempt(AND_PROMPT, &far_clock(), 0);
+        assert!(!cold.cache_hit);
+        let cross = on.run_attempt(AND_PROMPT, &far_clock(), 0);
+        assert!(
+            !cross.cache_hit,
+            "oracle-on engine must not replay an oracle-off payload"
+        );
     }
 
     #[test]

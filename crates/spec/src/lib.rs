@@ -31,6 +31,7 @@ pub mod builders;
 pub mod codegen;
 pub mod cosim;
 pub mod describe;
+pub mod formal;
 pub mod golden;
 pub mod ir;
 pub mod stimuli;

@@ -1,0 +1,214 @@
+//! Agreement sweep between the formal equivalence oracle and cosim.
+//!
+//! For random specs crossed with seeded hallucination mutations (the
+//! `haven-lm` corruption channels), this pins the soundness direction
+//! of the formal rung:
+//!
+//! * formal **never** answers `Equivalent` where co-simulation exhibits
+//!   a real functional mismatch *within the formal observation
+//!   schedule*; and
+//! * every `Counterexample` the oracle emits is confirmed by a
+//!   bit-identical scalar replay (`FormalOutcome::replay_confirmed`).
+//!
+//! Observation schedules matter: the shipped cosim oracle also samples
+//! outputs **mid-tick** (clk low), where e.g. a wrong-clock-edge
+//! candidate is distinguishable even though it agrees with the golden
+//! design at every post-edge instant — and the formal oracle's
+//! obligations are exactly the post-tick instants (plus the reset
+//! postamble). So the sweep drives cosim with `mid_tick_checks: false`
+//! and a bounded program that mirrors the formal preamble (inputs
+//! parked, enable active, one reset cycle) followed by at most
+//! `seq_steps` random data ticks with a check after each tick. Every
+//! checkpoint the program compares is then, by construction, one
+//! assignment of one obligation the oracle decided for *all*
+//! assignments — a cosim mismatch with a formal `Equivalent` would be
+//! an outright soundness bug, not a schedule disagreement.
+
+use haven_engine::{Engine, EngineOptions, FormalOracle};
+use haven_formal::{EquivOptions, EquivVerdict};
+use haven_lm::hallucinate::{self, ConventionVariant, GenPlan};
+use haven_spec::builders;
+use haven_spec::cosim::{cosimulate_with, CosimOptions, Verdict};
+use haven_spec::formal::formal_check;
+use haven_spec::ir::{EnableSpec, ShiftDirection, Spec};
+use haven_spec::stimuli::{Stimuli, StimulusStep};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bounded cosim program whose checkpoints are a subset of the formal
+/// oracle's proof obligations (see module docs): preamble mirror, then
+/// `ticks` cycles of random data with reset held released and a check
+/// after each tick. Combinational specs get `ticks` random evaluation
+/// rounds instead — the single-step formal query covers all of them.
+fn bounded_program(spec: &Spec, seed: u64, ticks: usize) -> Stimuli {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut steps = Vec::new();
+    for p in &spec.inputs {
+        steps.push(StimulusStep::Set(p.name.clone(), 0));
+    }
+    if let Some(en) = &spec.attrs.enable {
+        steps.push(StimulusStep::Set(
+            en.name.clone(),
+            u64::from(en.active_high),
+        ));
+    }
+    if !spec.behavior.is_sequential() {
+        for _ in 0..ticks.max(1) {
+            for p in &spec.inputs {
+                steps.push(StimulusStep::Set(p.name.clone(), rng.gen()));
+            }
+            steps.push(StimulusStep::Check);
+        }
+        return Stimuli { steps };
+    }
+    let reset_name = spec.attrs.reset.as_ref().map(|r| r.name.clone());
+    if let Some(r) = &spec.attrs.reset {
+        let assert_level = u64::from(r.asserted_by(true));
+        steps.push(StimulusStep::Set(r.name.clone(), assert_level));
+        steps.push(StimulusStep::Tick);
+        steps.push(StimulusStep::Set(r.name.clone(), 1 - assert_level));
+    }
+    for _ in 0..ticks {
+        for p in &spec.inputs {
+            // The reset pin stays released: the oracle holds it there
+            // when it is edge-watched, and frees it otherwise, so a
+            // released-reset trace is checked in both regimes.
+            if Some(&p.name) != reset_name.as_ref() {
+                steps.push(StimulusStep::Set(p.name.clone(), rng.gen()));
+            }
+        }
+        steps.push(StimulusStep::Tick);
+        steps.push(StimulusStep::Check);
+    }
+    Stimuli { steps }
+}
+
+/// Random-ish spec pool: every builder family, widths drawn from the
+/// seed so successive sweep seeds exercise different instantiations.
+fn spec_pool(seed: u64) -> Vec<Spec> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(7));
+    let mut w = |lo: usize, hi: usize| rng.gen_range(lo..=hi);
+    let mut specs = vec![
+        builders::adder("p_add", w(2, 6)),
+        builders::mux2("p_mux", w(2, 5)),
+        builders::comparator("p_cmp", w(2, 5)),
+        builders::decoder("p_dec", 2),
+        builders::counter("p_cnt", w(3, 5), Some(w(5, 11) as u64)),
+        builders::counter("p_free", w(2, 4), None),
+        builders::shift_register(
+            "p_sr",
+            w(3, 6),
+            if seed.is_multiple_of(2) {
+                ShiftDirection::Left
+            } else {
+                ShiftDirection::Right
+            },
+        ),
+        builders::clock_divider("p_div", w(2, 4) as u64),
+        builders::pipeline("p_pipe", w(2, 5), w(1, 3)),
+        builders::register("p_reg", w(2, 6)),
+        builders::fsm_ab("p_fsm"),
+    ];
+    for s in &mut specs {
+        if s.behavior.is_sequential() && seed % 3 != 1 {
+            s.attrs.enable = Some(EnableSpec {
+                name: "en".into(),
+                active_high: seed.is_multiple_of(2),
+            });
+        }
+    }
+    specs
+}
+
+type Corruptor = fn(&mut GenPlan, &mut StdRng);
+
+fn corruption_channels() -> Vec<(&'static str, Corruptor)> {
+    vec![
+        ("truth table", |p, r| hallucinate::corrupt_truth_table(p, r)),
+        ("state diagram", |p, r| {
+            hallucinate::corrupt_state_diagram(p, r)
+        }),
+        ("waveform", |p, r| hallucinate::corrupt_waveform(p, r)),
+        ("attributes", |p, r| hallucinate::corrupt_attributes(p, r)),
+        ("expression", |p, r| hallucinate::corrupt_expression(p, r)),
+        ("corner case", |p, r| hallucinate::corrupt_corner_case(p, r)),
+        ("wrong clock edge", |p, _| {
+            p.style.edge_override = Some(haven_verilog::ast::Edge::Neg);
+        }),
+        ("flipped enable polarity", |p, _| {
+            p.style.flip_enable_polarity = true;
+        }),
+        ("blocking in sequential", |p, _| {
+            p.style.nonblocking_in_seq = false;
+        }),
+        ("missing reset branch", |p, _| p.style.ignore_reset = true),
+        ("registered FSM output", |p, _| {
+            p.variant = ConventionVariant::RegisteredFsmOutput;
+        }),
+    ]
+}
+
+#[test]
+fn formal_is_never_equivalent_where_cosim_mismatches() {
+    let engine = Engine::new(EngineOptions::default());
+    let oracle = FormalOracle::new(EquivOptions::default());
+    let ticks = oracle.options().seq_steps;
+    let cosim_opts = CosimOptions {
+        mid_tick_checks: false,
+        ..CosimOptions::default()
+    };
+
+    let mut mismatches = 0usize;
+    let mut counterexamples = 0usize;
+    let mut checked = 0usize;
+    for seed in 0..2u64 {
+        for spec in spec_pool(seed) {
+            for (label, corrupt) in corruption_channels() {
+                let mut rng = StdRng::seed_from_u64(seed ^ (label.len() as u64) << 32);
+                let mut plan = GenPlan::faithful(spec.clone());
+                corrupt(&mut plan, &mut rng);
+                let src = haven_lm::generate::render(&plan);
+
+                let program = bounded_program(&spec, seed.wrapping_add(17), ticks);
+                let cosim = cosimulate_with(&spec, &src, &program, &cosim_opts);
+                let formal = formal_check(&engine, &oracle, &spec, &src);
+                checked += 1;
+
+                if let Some(outcome) = &formal {
+                    if let EquivVerdict::Counterexample(_) = outcome.report.verdict {
+                        counterexamples += 1;
+                        assert!(
+                            outcome.replay_confirmed,
+                            "{}/{label}: counterexample not confirmed by scalar replay",
+                            spec.name
+                        );
+                    }
+                }
+                if let Verdict::FunctionalMismatch { at_check, .. } = &cosim.verdict {
+                    mismatches += 1;
+                    let verdict = formal
+                        .as_ref()
+                        .map(|o| &o.report.verdict)
+                        .expect("cosim simulated the candidate, so the oracle must prepare it");
+                    assert!(
+                        !matches!(verdict, EquivVerdict::Equivalent),
+                        "{}/{label}: formal oracle claims Equivalent but cosim mismatches \
+                         at aligned checkpoint {at_check} — soundness bug",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+    // The sweep must have teeth: plenty of corrupted candidates actually
+    // mismatched inside the bound, and the oracle produced (and replayed)
+    // a healthy number of counterexamples of its own.
+    assert!(
+        mismatches >= 20,
+        "sweep lost its teeth: only {mismatches} cosim mismatches across {checked} pairs"
+    );
+    assert!(
+        counterexamples >= 20,
+        "sweep lost its teeth: only {counterexamples} formal counterexamples across {checked} pairs"
+    );
+}

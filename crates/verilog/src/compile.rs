@@ -41,7 +41,7 @@ pub type ExprId = u32;
 /// time (cannot happen for elaborated designs; kept for robustness on
 /// hand-built ones). Loads through it produce 1-bit `x`, matching the
 /// interpreter's unresolved-identifier behaviour.
-pub(crate) const NO_SIGNAL: u32 = u32::MAX;
+pub const NO_SIGNAL: u32 = u32::MAX;
 
 /// One stack-machine instruction of the expression bytecode.
 ///
@@ -277,6 +277,44 @@ impl CompiledDesign {
     /// Number of expression bytecode chunks.
     pub fn chunk_count(&self) -> usize {
         self.exprs.len()
+    }
+
+    /// The deduplicated literal pool referenced by [`Op::Lit`].
+    pub fn literals(&self) -> &[LogicVec] {
+        &self.lits
+    }
+
+    /// The bytecode chunk behind an [`ExprId`].
+    pub fn expr(&self, id: ExprId) -> &[Op] {
+        &self.exprs[id as usize]
+    }
+
+    /// Compiled process bodies, indexed by process id.
+    pub fn bodies(&self) -> &[CStmt] {
+        &self.bodies
+    }
+
+    /// Per-signal combinational wake lists (process ids sensitive to the
+    /// signal), indexed by signal id.
+    pub fn comb_woken(&self) -> &[Vec<u32>] {
+        &self.comb_woken
+    }
+
+    /// Per-signal edge watch lists, indexed by signal id.
+    pub fn edge_woken(&self) -> &[Vec<(Edge, u32)>] {
+        &self.edge_woken
+    }
+
+    /// Process ids activated at time zero (`initial` blocks and
+    /// combinational processes), in interpreter activation order.
+    pub fn init_order(&self) -> &[u32] {
+        &self.init_order
+    }
+
+    /// Topological order of combinational processes; empty unless
+    /// [`CompiledDesign::is_levelized`].
+    pub fn level_order(&self) -> &[u32] {
+        &self.level_order
     }
 }
 

@@ -626,7 +626,7 @@ pub(crate) fn apply_write_bits(old: &LogicVec, lo: usize, value: &LogicVec) -> L
 
 /// LRM edge rules: posedge covers transitions toward 1 (`0→1, 0→x, x→1`…),
 /// negedge covers transitions toward 0.
-pub(crate) fn edge_fired(edge: Edge, old: Logic, new: Logic) -> bool {
+pub fn edge_fired(edge: Edge, old: Logic, new: Logic) -> bool {
     if old == new {
         return false;
     }
