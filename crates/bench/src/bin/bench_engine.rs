@@ -100,6 +100,7 @@ fn prepare_latency(name: &'static str, src: &str, iters: usize) -> PrepareRow {
                     backend: SimBackend::Compiled,
                     budget: SimBudget::default(),
                     cache_capacity: 1,
+                    ..EngineOptions::default()
                 });
                 let t = Instant::now();
                 engine.prepare(src).expect("bench design compiles");
@@ -112,6 +113,7 @@ fn prepare_latency(name: &'static str, src: &str, iters: usize) -> PrepareRow {
         backend: SimBackend::Compiled,
         budget: SimBudget::default(),
         cache_capacity: 1,
+        ..EngineOptions::default()
     });
     engine.prepare(src).expect("bench design compiles");
     let warm_us = median(
@@ -281,6 +283,7 @@ fn eval_workload(tasks: usize, n: usize, sweeps: usize) -> EvalRow {
             backend: SimBackend::Compiled,
             budget: SimBudget::default(),
             cache_capacity,
+            ..EngineOptions::default()
         });
         let mut outcomes = Vec::with_capacity(corpus.len() * sweeps);
         let mut counts = [0usize; 3]; // syntax, gated, simulated
@@ -358,6 +361,7 @@ fn warm_restart(iters: usize, warm: &[PrepareRow]) -> (Vec<RestartRow>, u64) {
         backend: SimBackend::Compiled,
         budget: SimBudget::default(),
         cache_capacity: 8,
+        ..EngineOptions::default()
     };
     let designs: [(&'static str, &str); 3] = [
         ("counter32", COUNTER_SRC),

@@ -35,7 +35,7 @@ use haven_spec::codegen::{emit, EmitStyle};
 use haven_spec::formal::{equiv_options_for, formal_check};
 use haven_spec::ir::ShiftDirection;
 use haven_spec::{builders, Spec};
-use haven_verilog::{compile, CompiledDesign};
+use haven_verilog::{compile, CompiledDesign, PassConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -137,6 +137,39 @@ fn main() {
     let build_total_us: f64 = build_us.iter().sum();
     let nodes_median = median(miter_nodes);
 
+    // Phase 1b: pass-pipeline effect on AIG size (DESIGN.md §17). Each
+    // design is bitblasted from the unoptimized and the fully optimized
+    // netlist; the self-miter node counts isolate cone size. A cross
+    // miter (unopt vs opt) is also discharged — the pipeline must never
+    // be refutable against its own input.
+    eprintln!("bitblasting pre/post-optimization netlists...");
+    let (mut pre_total, mut post_total) = (0usize, 0usize);
+    let (mut pre_nodes, mut post_nodes) = (Vec::new(), Vec::new());
+    let (mut cross_equivalent, mut cross_unknown) = (0usize, 0usize);
+    for spec in &specs {
+        let src = emit(spec, &EmitStyle::correct());
+        let design = compile(&src).expect("correct emission compiles");
+        let unopt = CompiledDesign::with_passes(design.clone(), PassConfig::none());
+        let opt = CompiledDesign::with_passes(design, PassConfig::full());
+        let opts = equiv_options_for(spec, &base);
+        let pre = check_equiv(&unopt, &unopt, &opts);
+        let post = check_equiv(&opt, &opt, &opts);
+        pre_total += pre.aig_nodes;
+        post_total += post.aig_nodes;
+        pre_nodes.push(pre.aig_nodes as f64);
+        post_nodes.push(post.aig_nodes as f64);
+        let cross = check_equiv(&unopt, &opt, &opts);
+        match cross.verdict {
+            EquivVerdict::Equivalent => cross_equivalent += 1,
+            EquivVerdict::Unknown(_) => cross_unknown += 1,
+            EquivVerdict::Counterexample(_) => {
+                panic!("{}: optimized netlist refuted against unoptimized", spec.name)
+            }
+        }
+    }
+    let pre_median = median(pre_nodes);
+    let post_median = median(post_nodes);
+
     // Phase 2: refutation matrix through the cached oracle (cold).
     eprintln!("running refutation matrix ({seeds} seeds x {} channels)...", 7);
     let engine = Engine::new(EngineOptions::default());
@@ -195,13 +228,16 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"formal\",\n  \"quick\": {quick},\n  \"designs\": {},\n  \"aig_build\": {{\"median_us\": {build_median_us:.1}, \"total_us\": {build_total_us:.1}, \"median_miter_nodes\": {nodes_median:.0}}},\n  \"matrix\": {{\"checks\": {checks}, \"seconds\": {matrix_s:.3}, \"checks_per_sec\": {checks_per_sec:.1}, \"equivalent\": {equivalent}, \"counterexample\": {cex}, \"unknown\": {unknown}, \"unprepared\": {unprepared}}},\n  \"sat\": {{\"decisions\": {decisions}, \"conflicts\": {conflicts}, \"propagations\": {propagations}}},\n  \"cex_replay\": {{\"total\": {cex}, \"confirmed\": {cex_confirmed}, \"rate\": {replay_rate:.3}}}\n}}\n",
+        "{{\n  \"bench\": \"formal\",\n  \"quick\": {quick},\n  \"designs\": {},\n  \"aig_build\": {{\"median_us\": {build_median_us:.1}, \"total_us\": {build_total_us:.1}, \"median_miter_nodes\": {nodes_median:.0}}},\n  \"pass_pipeline\": {{\"median_pre_nodes\": {pre_median:.0}, \"median_post_nodes\": {post_median:.0}, \"total_pre_nodes\": {pre_total}, \"total_post_nodes\": {post_total}, \"cross_equivalent\": {cross_equivalent}, \"cross_unknown\": {cross_unknown}, \"cross_counterexample\": 0}},\n  \"matrix\": {{\"checks\": {checks}, \"seconds\": {matrix_s:.3}, \"checks_per_sec\": {checks_per_sec:.1}, \"equivalent\": {equivalent}, \"counterexample\": {cex}, \"unknown\": {unknown}, \"unprepared\": {unprepared}}},\n  \"sat\": {{\"decisions\": {decisions}, \"conflicts\": {conflicts}, \"propagations\": {propagations}}},\n  \"cex_replay\": {{\"total\": {cex}, \"confirmed\": {cex_confirmed}, \"rate\": {replay_rate:.3}}}\n}}\n",
         specs.len(),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_formal.json");
 
     println!(
         "AIG build (self-equiv, structural): median {build_median_us:.1} us/design, median miter {nodes_median:.0} nodes"
+    );
+    println!(
+        "pass pipeline: miter nodes {pre_total} -> {post_total} (median {pre_median:.0} -> {post_median:.0}), cross-miters {cross_equivalent} equivalent / {cross_unknown} unknown"
     );
     println!(
         "refutation matrix: {checks} checks in {matrix_s:.2} s ({checks_per_sec:.1} checks/s) — {equivalent} equivalent / {cex} counterexample / {unknown} unknown / {unprepared} unprepared"

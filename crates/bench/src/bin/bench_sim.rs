@@ -4,9 +4,11 @@
 //! batches, simulator constructed once outside the timed region) for the
 //! reference interpreter and the compiled bytecode backend on the same
 //! design shapes the Criterion bench `sim_backends` covers, the
-//! eval-harness memoization hit-rate on a small representative suite, and
+//! eval-harness memoization hit-rate on a small representative suite,
 //! verdicts/sec of the scalar vs bit-parallel batched co-simulation on
-//! the eval screening workload (DESIGN.md §15).
+//! the eval screening workload (DESIGN.md §15), and the netlist pass
+//! pipeline's effect — ns/tick and total bytecode ops with
+//! `PassConfig::none` vs `PassConfig::full` (DESIGN.md §17).
 //!
 //! ```sh
 //! cargo run --release -p haven-bench --bin bench_sim [-- --out path.json] [-- --quick]
@@ -26,6 +28,7 @@ use haven_spec::cosim::{cosimulate_artifact, cosimulate_batch_planned, BatchPlan
 use haven_spec::stimuli::stimuli_for;
 use haven_spec::{builders, Spec};
 use haven_verilog::sim::SimBudget;
+use haven_verilog::{CompiledDesign, PassConfig};
 
 /// Sizes of every timed region, selected by `--quick`.
 struct BenchScale {
@@ -202,6 +205,78 @@ fn bench_design(
     }
 }
 
+/// One design's cost with the netlist pass pipeline off vs on
+/// (DESIGN.md §17): same compiled backend, same stimulus loop, only
+/// `PassConfig` differs. `ops_*` count total bytecode ops across every
+/// expression chunk, the quantity the pipeline exists to shrink.
+struct PassRow {
+    name: &'static str,
+    kind: &'static str,
+    unopt_ns: f64,
+    opt_ns: f64,
+    ops_pre: usize,
+    ops_post: usize,
+}
+
+impl PassRow {
+    fn tick_ratio(&self) -> f64 {
+        self.unopt_ns / self.opt_ns
+    }
+
+    fn op_shrink(&self) -> f64 {
+        1.0 - self.ops_post as f64 / self.ops_pre.max(1) as f64
+    }
+}
+
+fn total_ops(cd: &CompiledDesign) -> usize {
+    (0..cd.chunk_count() as u32).map(|i| cd.expr(i).len()).sum()
+}
+
+fn bench_passes(
+    scale: &BenchScale,
+    name: &'static str,
+    kind: &'static str,
+    src: &str,
+    data: Option<&str>,
+) -> PassRow {
+    let engine_with = |passes| {
+        Engine::new(EngineOptions {
+            backend: SimBackend::Compiled,
+            budget: SimBudget::default(),
+            cache_capacity: 4,
+            passes,
+        })
+    };
+    let unopt_engine = engine_with(PassConfig::none());
+    let opt_engine = engine_with(PassConfig::full());
+    let unopt_art = unopt_engine.prepare(src).expect("bench design compiles");
+    let opt_art = opt_engine.prepare(src).expect("bench design compiles");
+    let ops_pre = total_ops(unopt_art.bytecode().expect("compiled backend"));
+    let ops_post = total_ops(opt_art.bytecode().expect("compiled backend"));
+
+    let mut unopt = unopt_engine
+        .session(&unopt_art)
+        .expect("bench design executes");
+    let unopt_ns = match kind {
+        "combinational" => comb_steps(scale, &mut unopt),
+        _ => seq_steps(scale, &mut unopt, data),
+    };
+    let mut opt = opt_engine.session(&opt_art).expect("bench design executes");
+    let opt_ns = match kind {
+        "combinational" => comb_steps(scale, &mut opt),
+        _ => seq_steps(scale, &mut opt, data),
+    };
+
+    PassRow {
+        name,
+        kind,
+        unopt_ns,
+        opt_ns,
+        ops_pre,
+        ops_post,
+    }
+}
+
 fn dedup_rate() -> (usize, usize) {
     let suite: Vec<_> = suites::verilog_eval_machine(1)
         .into_iter()
@@ -251,6 +326,7 @@ fn verdicts_per_second(scale: &BenchScale) -> (Vec<ScreenRow>, f64, f64) {
             backend: SimBackend::Compiled,
             budget: SimBudget::default(),
             cache_capacity: cache,
+            ..EngineOptions::default()
         })
     };
     let scalar_engine = compiled(64);
@@ -259,6 +335,7 @@ fn verdicts_per_second(scale: &BenchScale) -> (Vec<ScreenRow>, f64, f64) {
         backend: SimBackend::Interpreter,
         budget: SimBudget::default(),
         cache_capacity: 64,
+        ..EngineOptions::default()
     });
 
     let mut rows = Vec::new();
@@ -354,6 +431,14 @@ fn main() {
         bench_design(&scale, "pipe4x16", "sequential", PIPE_SRC, Some("d")),
     ];
 
+    eprintln!("timing pass pipeline off vs on...");
+    let pass_rows = vec![
+        bench_passes(&scale, "counter32", "sequential", COUNTER_SRC, None),
+        bench_passes(&scale, "addtree16", "combinational", ADDER_SRC, None),
+        bench_passes(&scale, "fsm2", "mixed", FSM_SRC, Some("x")),
+        bench_passes(&scale, "pipe4x16", "sequential", PIPE_SRC, Some("d")),
+    ];
+
     eprintln!("measuring batched screening throughput...");
     let (screen_rows, scalar_vps, batched_vps) = verdicts_per_second(&scale);
     let screen_speedup = batched_vps / scalar_vps;
@@ -376,6 +461,24 @@ fn main() {
             r.speedup()
         ));
     }
+    let mut pass_json = Vec::new();
+    for r in &pass_rows {
+        pass_json.push(format!(
+            "      {{\"name\": \"{}\", \"kind\": \"{}\", \"unopt_ns_per_tick\": {:.1}, \"opt_ns_per_tick\": {:.1}, \"tick_ratio\": {:.2}, \"ops_pre\": {}, \"ops_post\": {}, \"op_shrink\": {:.3}}}",
+            r.name,
+            r.kind,
+            r.unopt_ns,
+            r.opt_ns,
+            r.tick_ratio(),
+            r.ops_pre,
+            r.ops_post,
+            r.op_shrink()
+        ));
+    }
+    let median_tick_ratio = median(pass_rows.iter().map(PassRow::tick_ratio).collect());
+    let (ops_pre_total, ops_post_total) = pass_rows
+        .iter()
+        .fold((0usize, 0usize), |(p, q), r| (p + r.ops_pre, q + r.ops_post));
     let mut screen_json = Vec::new();
     for r in &screen_rows {
         screen_json.push(format!(
@@ -388,11 +491,15 @@ fn main() {
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"sim_backends\",\n  \"ticks_per_batch\": {},\n  \"batches\": {},\n  \"designs\": [\n{}\n  ],\n  \"median_speedup\": {:.2},\n  \"verdicts_per_second\": {{\n    \"workload\": \"eval screening (combinational candidate sweeps)\",\n    \"repeats_per_design\": {},\n    \"designs\": [\n{}\n    ],\n    \"scalar_verdicts_per_sec\": {:.0},\n    \"batched_verdicts_per_sec\": {:.0},\n    \"speedup\": {:.2},\n    \"bit_identical\": {}\n  }},\n  \"memoization\": {{\"dedup_hits\": {dedup_hits}, \"total_samples\": {total_samples}, \"hit_rate\": {:.3}}}\n}}\n",
+        "{{\n  \"bench\": \"sim_backends\",\n  \"ticks_per_batch\": {},\n  \"batches\": {},\n  \"designs\": [\n{}\n  ],\n  \"median_speedup\": {:.2},\n  \"pass_pipeline\": {{\n    \"workload\": \"compiled backend, PassConfig::none vs PassConfig::full (DESIGN.md \\u00a717)\",\n    \"designs\": [\n{}\n    ],\n    \"median_tick_ratio\": {:.2},\n    \"ops_pre_total\": {},\n    \"ops_post_total\": {}\n  }},\n  \"verdicts_per_second\": {{\n    \"workload\": \"eval screening (combinational candidate sweeps)\",\n    \"repeats_per_design\": {},\n    \"designs\": [\n{}\n    ],\n    \"scalar_verdicts_per_sec\": {:.0},\n    \"batched_verdicts_per_sec\": {:.0},\n    \"speedup\": {:.2},\n    \"bit_identical\": {}\n  }},\n  \"memoization\": {{\"dedup_hits\": {dedup_hits}, \"total_samples\": {total_samples}, \"hit_rate\": {:.3}}}\n}}\n",
         scale.ticks_per_batch,
         scale.batches,
         design_json.join(",\n"),
         median_speedup,
+        pass_json.join(",\n"),
+        median_tick_ratio,
+        ops_pre_total,
+        ops_post_total,
         scale.screen_repeats,
         screen_json.join(",\n"),
         scalar_vps,
@@ -416,6 +523,23 @@ fn main() {
         );
     }
     println!("  median speedup: {median_speedup:.2}x");
+    println!("netlist pass pipeline (off vs on, compiled backend):");
+    for r in &pass_rows {
+        println!(
+            "  {:<10} {:<14} unopt {:>8.1}  opt {:>8.1}  ratio {:>5.2}x  ops {:>4} -> {:<4} (-{:.1}%)",
+            r.name,
+            r.kind,
+            r.unopt_ns,
+            r.opt_ns,
+            r.tick_ratio(),
+            r.ops_pre,
+            r.ops_post,
+            r.op_shrink() * 100.0,
+        );
+    }
+    println!(
+        "  median tick ratio: {median_tick_ratio:.2}x, total ops {ops_pre_total} -> {ops_post_total}"
+    );
     println!("screening verdicts/sec (scalar vs 64-lane batched):");
     for r in &screen_rows {
         println!(

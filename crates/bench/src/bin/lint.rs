@@ -6,6 +6,7 @@
 //! cargo run --release -p haven-bench --bin lint -- design.v
 //! cargo run --release -p haven-bench --bin lint -- --pretty design.v
 //! cargo run --release -p haven-bench --bin lint -- --format sarif design.v
+//! cargo run --release -p haven-bench --bin lint -- --dump-netlist design.v
 //! ```
 //!
 //! Exit codes distinguish the three analysis outcomes so shell pipelines
@@ -42,14 +43,21 @@
 //! [`haven_engine::EngineFingerprint`] (hex key plus analyzer rule-set
 //! version) of the pipeline that produced it, so reports can be
 //! correlated with serve-cache entries and eval memo keys.
+//!
+//! `--dump-netlist` appends a `netlist` section: the optimized
+//! word-level graph the compile pipeline lowers the design to — one
+//! entry per cell with its operator mnemonic, static width, operand
+//! cell ids, def-use fan-out and logic-level assignment, plus the
+//! pass-pipeline rewrite stats (see DESIGN.md §17).
 
 use haven_engine::{Artifact, Engine, SimBackend};
 use haven_verilog::analyze_static::Severity;
 use haven_verilog::elab::SignalKind;
 use haven_verilog::lint::lint_module;
+use haven_verilog::netlist::level::cell_levels;
 use haven_verilog::parser::parse;
 use haven_verilog::sim::SimBudget;
-use haven_verilog::Expect;
+use haven_verilog::{CompiledDesign, Expect, PassConfig};
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -169,7 +177,7 @@ fn sim_probe(engine: &Engine, artifact: &std::sync::Arc<Artifact>) -> (&'static 
     }
 }
 
-fn report(path: &str, source: &str, pretty: bool) -> (String, i32) {
+fn report(path: &str, source: &str, pretty: bool, dump_netlist: bool) -> (String, i32) {
     // One uncached engine per invocation: the CLI analyzes a single file,
     // so an artifact cache would never see a second hit. The interpreter
     // backend keeps the probe's step accounting identical to the
@@ -320,6 +328,72 @@ fn report(path: &str, source: &str, pretty: bool) -> (String, i32) {
         j.num_field(&mut p_first, "work_units", work);
         j.num_field(&mut p_first, "ticks", ticks);
         j.close('}');
+    }
+
+    // `--dump-netlist`: the optimized word-level graph the compile
+    // pipeline lowered this design to — one entry per cell (operator
+    // mnemonic, static width when known, operand cell ids), plus the
+    // def-use fan-out and logic-level assignment of every cell and the
+    // pass-pipeline stats. The lint probe itself runs interpreted; the
+    // dump lowers the already-elaborated design once, on demand.
+    if dump_netlist {
+        if let Some(artifact) = &artifact {
+            let cd = CompiledDesign::with_passes(artifact.design().clone(), PassConfig::full());
+            let nl = cd.netlist().expect("compiled design carries the netlist rung");
+            let uses = nl.use_counts();
+            let levels = cell_levels(nl);
+            let stats = cd.pass_stats();
+            j.comma(&mut top_first);
+            j.key("netlist");
+            j.open('{');
+            let mut n_first = true;
+            j.num_field(&mut n_first, "cells", nl.cell_count());
+            j.num_field(
+                &mut n_first,
+                "roots",
+                nl.roots().iter().filter(|r| r.is_some()).count(),
+            );
+            j.comma(&mut n_first);
+            j.key("passes");
+            j.open('{');
+            let mut ps_first = true;
+            j.num_field(&mut ps_first, "rounds", stats.rounds as usize);
+            j.num_field(&mut ps_first, "normalized", stats.normalized as usize);
+            j.num_field(&mut ps_first, "folded", stats.folded as usize);
+            j.num_field(&mut ps_first, "lowered", stats.lowered as usize);
+            j.num_field(&mut ps_first, "rebalanced", stats.rebalanced as usize);
+            j.num_field(&mut ps_first, "cells_in", stats.cells_in as usize);
+            j.num_field(&mut ps_first, "cells_out", stats.cells_out as usize);
+            j.close('}');
+            j.comma(&mut n_first);
+            j.key("cells");
+            j.open('[');
+            let mut c_first = true;
+            for id in 0..nl.cell_count() as u32 {
+                j.comma(&mut c_first);
+                let mut f = true;
+                j.open('{');
+                j.num_field(&mut f, "id", id as usize);
+                j.str_field(&mut f, "op", &nl.kind(id).mnemonic());
+                if let Some(w) = nl.width(id) {
+                    j.num_field(&mut f, "width", w);
+                }
+                j.comma(&mut f);
+                j.key("operands");
+                j.open('[');
+                let mut o_first = true;
+                nl.kind(id).for_each_operand(|o| {
+                    j.comma(&mut o_first);
+                    j.buf.push_str(&o.to_string());
+                });
+                j.close(']');
+                j.num_field(&mut f, "uses", uses[id as usize] as usize);
+                j.num_field(&mut f, "level", levels[id as usize] as usize);
+                j.close('}');
+            }
+            j.close(']');
+            j.close('}');
+        }
     }
 
     j.close('}');
@@ -500,6 +574,7 @@ fn sarif_report(path: &str, source: &str, pretty: bool) -> (String, i32) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let pretty = args.iter().any(|a| a == "--pretty");
+    let dump_netlist = args.iter().any(|a| a == "--dump-netlist");
     let mut format = String::from("json");
     let mut files: Vec<String> = Vec::new();
     let mut i = 0;
@@ -510,7 +585,9 @@ fn main() {
             match args.get(i) {
                 Some(v) => format = v.clone(),
                 None => {
-                    eprintln!("usage: lint [--pretty] [--format json|sarif] <file.v>");
+                    eprintln!(
+                        "usage: lint [--pretty] [--dump-netlist] [--format json|sarif] <file.v>"
+                    );
                     std::process::exit(3);
                 }
             }
@@ -522,7 +599,7 @@ fn main() {
         i += 1;
     }
     let [path] = files.as_slice() else {
-        eprintln!("usage: lint [--pretty] [--format json|sarif] <file.v>");
+        eprintln!("usage: lint [--pretty] [--dump-netlist] [--format json|sarif] <file.v>");
         std::process::exit(3);
     };
     let source = match std::fs::read_to_string(path) {
@@ -533,7 +610,7 @@ fn main() {
         }
     };
     let (json, exit) = match format.as_str() {
-        "json" => report(path, &source, pretty),
+        "json" => report(path, &source, pretty, dump_netlist),
         "sarif" => sarif_report(path, &source, pretty),
         other => {
             eprintln!("lint: unknown format `{other}` (expected json or sarif)");
@@ -551,12 +628,40 @@ mod tests {
     #[test]
     fn clean_module_reports_no_errors_and_valid_json() {
         let src = "module c(input clk, input rst_n, output reg [3:0] q);\n always @(posedge clk or negedge rst_n)\n  if (!rst_n) q <= 4'd0; else q <= q + 4'd1;\nendmodule\n";
-        let (json, exit) = report("c.v", src, false);
+        let (json, exit) = report("c.v", src, false, false);
         assert_eq!(exit, 0);
         assert!(json.contains("\"errors\":0"), "{json}");
         assert!(json.contains("\"module\":\"c\""), "{json}");
         assert!(json.contains("\"status\":\"settled\""), "{json}");
         assert!(json.contains("\"ticks\":4"), "{json}");
+        assert!(
+            !json.contains("\"netlist\""),
+            "netlist section must be opt-in: {json}"
+        );
+    }
+
+    #[test]
+    fn dump_netlist_reports_cells_uses_and_levels() {
+        let src = "module d(input [3:0] a, input [3:0] b, output [3:0] y);\n assign y = (a & b) ^ (a & b);\nendmodule\n";
+        let (json, exit) = report("d.v", src, false, true);
+        assert_eq!(exit, 0);
+        assert!(json.contains("\"netlist\":{"), "{json}");
+        assert!(json.contains("\"cells\":"), "{json}");
+        assert!(json.contains("\"passes\":{"), "{json}");
+        assert!(json.contains("\"rounds\":"), "{json}");
+        // Cell entries carry the def-use and depth annotations.
+        assert!(json.contains("\"uses\":"), "{json}");
+        assert!(json.contains("\"level\":"), "{json}");
+        assert!(json.contains("\"operands\":["), "{json}");
+        // The shared `(a & b)` subterm is one cell with fan-out, and the
+        // xor of identical operands is visible in the dumped mnemonics.
+        assert!(json.contains("\"op\":\"load s0\""), "{json}");
+        assert!(json.contains("\"op\":\"bitand\""), "{json}");
+        // Compile failures keep the section absent rather than emitting
+        // a partial graph.
+        let (broken, exit) = report("b.v", "not verilog", false, true);
+        assert_eq!(exit, 2);
+        assert!(!broken.contains("\"netlist\""), "{broken}");
     }
 
     #[test]
@@ -566,7 +671,7 @@ mod tests {
             .fingerprint()
             .hex();
         for src in [clean, "not verilog at all"] {
-            let (json, _) = report("c.v", src, false);
+            let (json, _) = report("c.v", src, false, false);
             assert!(
                 json.contains(&format!("\"fingerprint\":\"{expected}\"")),
                 "{json}"
@@ -578,7 +683,7 @@ mod tests {
     #[test]
     fn defective_module_exits_nonzero_with_rule_code() {
         let src = "module c(input clk, output reg [3:0] q);\n always @(posedge clk) q <= q + 4'd1;\nendmodule\n";
-        let (json, exit) = report("c.v", src, false);
+        let (json, exit) = report("c.v", src, false, false);
         assert_eq!(exit, 1);
         assert!(json.contains("SA-XSOURCE"), "{json}");
         assert!(json.contains("\"severity\":\"error\""), "{json}");
@@ -590,7 +695,7 @@ mod tests {
 
     #[test]
     fn unparseable_file_reports_compile_error() {
-        let (json, exit) = report("x.v", "not verilog at all", false);
+        let (json, exit) = report("x.v", "not verilog at all", false, false);
         assert_eq!(exit, 2, "parse failure must be distinct from findings");
         assert!(json.contains("compile_error"), "{json}");
         assert!(!json.contains("sim_probe"), "{json}");
@@ -602,7 +707,7 @@ mod tests {
         // the JSON but not a gating defect, so the exit stays 0.
         let src = "module w(input a, output reg y);\n\
                    always @(*) if (1'b1) y = a; else y = 1'b0;\nendmodule\n";
-        let (json, exit) = report("w.v", src, false);
+        let (json, exit) = report("w.v", src, false, false);
         assert_eq!(exit, 0, "warn-only reports must exit 0: {json}");
         assert!(json.contains("\"severity\":\"warn\""), "{json}");
         assert!(json.contains("\"errors\":0"), "{json}");
@@ -613,9 +718,9 @@ mod tests {
         let clean = "module c(input a, output y);\n assign y = a;\nendmodule\n";
         let defective =
             "module d(input clk, output reg q);\n always @(posedge clk) q <= q;\nendmodule\n";
-        assert_eq!(report("c.v", clean, false).1, 0);
-        assert_eq!(report("d.v", defective, false).1, 1);
-        assert_eq!(report("b.v", "garbage(", false).1, 2);
+        assert_eq!(report("c.v", clean, false, false).1, 0);
+        assert_eq!(report("d.v", defective, false, false).1, 1);
+        assert_eq!(report("b.v", "garbage(", false, false).1, 2);
         // Exit 3 (usage/IO) is owned by main() and has no report() path.
     }
 
@@ -628,7 +733,7 @@ mod tests {
     fn findings_expose_confirmation_labels() {
         let src = "module w(input a, output reg y);\n\
                    always @(*) if (1'b1) y = a; else y = 1'b0;\nendmodule\n";
-        let (json, _) = report("w.v", src, false);
+        let (json, _) = report("w.v", src, false, false);
         assert!(json.contains("\"confirmation\":\"structural\""), "{json}");
     }
 
@@ -638,7 +743,7 @@ mod tests {
                     always @(posedge clk)\n\
                      if (rst) q <= 4'd0;\n\
                      else begin q <= q + 4'd1; r <= r + 4'd1; end\nendmodule\n";
-        let (json, _) = report("m.v", src, false);
+        let (json, _) = report("m.v", src, false, false);
         assert!(json.contains("\"confirmation\":\"confirmed\""), "{json}");
         assert!(json.contains("\"witness\":"), "{json}");
         assert!(json.contains("\"expect\":\"is_x\""), "{json}");
@@ -664,7 +769,7 @@ mod tests {
         let defective =
             "module d(input clk, output reg q);\n always @(posedge clk) q <= q;\nendmodule\n";
         for (src, want) in [(clean, 0), (defective, 1), ("garbage(", 2)] {
-            let (_, json_exit) = report("f.v", src, false);
+            let (_, json_exit) = report("f.v", src, false, false);
             let (sarif, sarif_exit) = sarif_report("f.v", src, false);
             assert_eq!(json_exit, want, "json ladder");
             assert_eq!(sarif_exit, want, "sarif must share the ladder: {sarif}");

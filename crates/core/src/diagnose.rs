@@ -33,6 +33,7 @@ fn analysis_engine() -> &'static Engine {
             backend: SimBackend::Interpreter,
             budget: SimBudget::default(),
             cache_capacity: 64,
+            ..EngineOptions::default()
         })
     })
 }

@@ -189,6 +189,7 @@ pub fn verify_counted(pairs: Vec<InstructionCodePair>) -> (Vec<InstructionCodePa
         backend: SimBackend::Compiled,
         budget: SETTLE_BUDGET,
         cache_capacity: 1024,
+        ..EngineOptions::default()
     });
     let mut stats = VerifyStats::default();
     let kept = pairs

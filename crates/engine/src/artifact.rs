@@ -15,7 +15,9 @@
 
 use std::sync::Arc;
 
-use haven_verilog::{CompiledDesign, Design, SimBudget, StaticReport};
+use haven_verilog::{
+    CompiledDesign, Design, Netlist, PassConfig, SimBudget, StaticReport, NETLIST_PASS_VERSION,
+};
 
 use crate::SimBackend;
 
@@ -41,14 +43,26 @@ pub struct Artifact {
 
 impl Artifact {
     /// The cache key for `source` under an engine configuration: source
-    /// content + analyzer rule-set version + backend + budget class.
+    /// content + analyzer rule-set version + netlist pass-pipeline
+    /// version + pass configuration + backend + budget class.
     /// The budget does not change what an artifact *contains* today, but
     /// it is part of the key by contract so budget-dependent lowering can
-    /// be added later without a cache-poisoning migration.
-    pub fn key_for(source: &str, backend: SimBackend, budget: &SimBudget) -> u64 {
+    /// be added later without a cache-poisoning migration. The pass
+    /// pipeline *does* change the contained bytecode, so both the
+    /// compiled-in pipeline version and the enabled-pass mask are keyed:
+    /// a rewrite-rule bump or a pass toggle invalidates rather than
+    /// aliases.
+    pub fn key_for(
+        source: &str,
+        backend: SimBackend,
+        budget: &SimBudget,
+        passes: PassConfig,
+    ) -> u64 {
         haven_hash::ContentHasher::new()
             .part(source)
             .word(u64::from(haven_verilog::ANALYZER_VERSION))
+            .word(u64::from(NETLIST_PASS_VERSION))
+            .word(passes.mask())
             .word(match backend {
                 SimBackend::Interpreter => 0,
                 SimBackend::Compiled => 1,
@@ -73,15 +87,19 @@ impl Artifact {
         source: &str,
         backend: SimBackend,
         budget: &SimBudget,
+        passes: PassConfig,
     ) -> haven_verilog::Result<Artifact> {
         let design = haven_verilog::compile(source)?;
         let report = haven_verilog::analyze_design(&design);
         let bytecode = match backend {
             SimBackend::Interpreter => None,
-            SimBackend::Compiled => Some(Arc::new(CompiledDesign::new(design.clone()))),
+            SimBackend::Compiled => Some(Arc::new(CompiledDesign::with_passes(
+                design.clone(),
+                passes,
+            ))),
         };
         let mut artifact = Artifact {
-            key: Artifact::key_for(source, backend, budget),
+            key: Artifact::key_for(source, backend, budget, passes),
             source_key: haven_hash::content_key(&[source]),
             report,
             design,
@@ -115,6 +133,19 @@ impl Artifact {
     /// compiled backend.
     pub fn bytecode(&self) -> Option<&Arc<CompiledDesign>> {
         self.bytecode.as_ref()
+    }
+
+    /// The word-level netlist rung of the ladder: present exactly when
+    /// bytecode is (the compiled backend), and shared with the formal
+    /// bitblaster, `haven-lint --dump-netlist` and the bench reporters.
+    pub fn netlist(&self) -> Option<&Arc<Netlist>> {
+        self.bytecode.as_ref().and_then(|b| b.netlist())
+    }
+
+    /// What the pass pipeline did while lowering this artifact (`None`
+    /// on the interpreter backend, which has no bytecode to optimize).
+    pub fn pass_stats(&self) -> Option<&haven_verilog::PassStats> {
+        self.bytecode.as_ref().map(|b| b.pass_stats())
     }
 }
 

@@ -14,7 +14,7 @@
 //!
 //! [`key`]: EngineFingerprint::key
 
-use haven_verilog::{SimBudget, ANALYZER_VERSION};
+use haven_verilog::{PassConfig, SimBudget, ANALYZER_VERSION, NETLIST_PASS_VERSION};
 use serde::{Deserialize, Serialize};
 
 use crate::SimBackend;
@@ -48,6 +48,15 @@ pub struct EngineFingerprint {
     /// Dataflow analyzer rule-set version
     /// ([`haven_verilog::ANALYZER_VERSION`]).
     pub analyzer_version: u32,
+    /// Netlist pass-pipeline version
+    /// ([`haven_verilog::NETLIST_PASS_VERSION`]). Bumped whenever a
+    /// rewrite rule changes, so bytecode cached under an older pipeline
+    /// is never replayed as if the current one produced it.
+    pub netlist_pass_version: u32,
+    /// Which netlist optimization passes run between elaboration and
+    /// codegen. Two configurations that optimize differently produce
+    /// different bytecode, so their results must never alias.
+    pub passes: PassConfig,
     /// Whether Error-severity findings short-circuit simulation.
     pub static_gate: bool,
     /// Whether the formal equivalence oracle participates in verdicts.
@@ -69,10 +78,18 @@ impl EngineFingerprint {
             backend,
             budget,
             analyzer_version: ANALYZER_VERSION,
+            netlist_pass_version: NETLIST_PASS_VERSION,
+            passes: PassConfig::full(),
             static_gate: true,
             formal_oracle: false,
             model: None,
         }
+    }
+
+    /// Sets the netlist pass configuration.
+    pub fn with_passes(mut self, passes: PassConfig) -> EngineFingerprint {
+        self.passes = passes;
+        self
     }
 
     /// Sets the static-gate switch.
@@ -110,6 +127,8 @@ impl EngineFingerprint {
             .word(self.budget.max_ticks as u64)
             .word(self.budget.max_total_work as u64)
             .word(u64::from(self.analyzer_version))
+            .word(u64::from(self.netlist_pass_version))
+            .word(self.passes.mask())
             .word(u64::from(self.static_gate))
             .word(u64::from(self.formal_oracle));
         match &self.model {
@@ -159,6 +178,29 @@ mod tests {
             ..base()
         };
         assert_ne!(k, bumped.key(), "analyzer version must invalidate keys");
+        assert_ne!(k, base().with_passes(PassConfig::none()).key());
+        let repiped = EngineFingerprint {
+            netlist_pass_version: NETLIST_PASS_VERSION + 1,
+            ..base()
+        };
+        assert_ne!(k, repiped.key(), "pass-pipeline version must invalidate keys");
+    }
+
+    #[test]
+    fn every_pass_toggle_is_key_relevant() {
+        // Each of the four pass switches occupies its own bit in the
+        // hashed mask, so any single toggle re-keys the configuration.
+        let full = base().key();
+        for i in 0..4 {
+            let mut p = PassConfig::full();
+            match i {
+                0 => p.normalize = false,
+                1 => p.constfold = false,
+                2 => p.lower = false,
+                _ => p.rebalance = false,
+            }
+            assert_ne!(full, base().with_passes(p).key(), "toggle {i}");
+        }
     }
 
     #[test]

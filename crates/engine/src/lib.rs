@@ -57,7 +57,7 @@ mod witness;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use haven_verilog::{Result, SimBudget};
+use haven_verilog::{PassConfig, Result, SimBudget};
 use serde::{Deserialize, Serialize};
 
 pub use artifact::{Artifact, CacheStats};
@@ -96,6 +96,11 @@ pub struct EngineOptions {
     /// Artifacts held by the cache; 0 disables caching (every prepare
     /// rebuilds the ladder — the cold path, used as the bench baseline).
     pub cache_capacity: usize,
+    /// Which netlist optimization passes run between elaboration and
+    /// bytecode emission on the compiled backend. Part of the artifact
+    /// cache key and the engine fingerprint: differently-optimized
+    /// bytecode never aliases.
+    pub passes: PassConfig,
 }
 
 impl Default for EngineOptions {
@@ -104,6 +109,7 @@ impl Default for EngineOptions {
             backend: SimBackend::default(),
             budget: SimBudget::default(),
             cache_capacity: 256,
+            passes: PassConfig::full(),
         }
     }
 }
@@ -201,14 +207,14 @@ impl Engine {
                     skipped += 1;
                     continue;
                 };
-                let key = Artifact::key_for(source, options.backend, &options.budget);
+                let key = Artifact::key_for(source, options.backend, &options.budget, options.passes);
                 if key != entry.key {
                     // Stale: written under a different analyzer version,
-                    // backend or budget. Never served.
+                    // pass pipeline, backend or budget. Never served.
                     skipped += 1;
                     continue;
                 }
-                match Artifact::build(source, options.backend, &options.budget) {
+                match Artifact::build(source, options.backend, &options.budget, options.passes) {
                     Ok(artifact) => {
                         lru.insert(key, Arc::new(artifact), capacity);
                         preloaded += 1;
@@ -231,6 +237,7 @@ impl Engine {
             backend,
             budget,
             cache_capacity: 0,
+            passes: PassConfig::full(),
         })
     }
 
@@ -244,6 +251,7 @@ impl Engine {
     /// builders before keying caches that gate differently).
     pub fn fingerprint(&self) -> EngineFingerprint {
         EngineFingerprint::new(self.options.backend, self.options.budget)
+            .with_passes(self.options.passes)
     }
 
     /// Climbs the artifact ladder for `source`, answering from the cache
@@ -251,7 +259,12 @@ impl Engine {
     /// before. `Err` is a lex/parse/elaboration failure; failures are
     /// never cached (they are cheap to reproduce and carry no ladder).
     pub fn prepare(&self, source: &str) -> Result<Arc<Artifact>> {
-        let key = Artifact::key_for(source, self.options.backend, &self.options.budget);
+        let key = Artifact::key_for(
+            source,
+            self.options.backend,
+            &self.options.budget,
+            self.options.passes,
+        );
         if self.options.cache_capacity > 0 {
             if let Some(hit) = self.cache.lock().expect("artifact cache poisoned").get(key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -263,6 +276,7 @@ impl Engine {
             source,
             self.options.backend,
             &self.options.budget,
+            self.options.passes,
         )?);
         if self.options.cache_capacity > 0 {
             self.cache.lock().expect("artifact cache poisoned").insert(
@@ -539,6 +553,36 @@ mod tests {
         assert_eq!((d.preloaded, d.skipped_stale), (0, 1));
         interp.prepare(MUX).unwrap();
         assert_eq!(interp.stats().misses, 1, "stale entry must rebuild");
+    }
+
+    #[test]
+    fn pass_pipeline_config_rekeys_durable_entries() {
+        // Same store, different pass pipeline: bytecode persisted under
+        // the fully-optimizing configuration must not be served to an
+        // engine that optimizes differently (the bytecode differs even
+        // though the source is identical).
+        let dir = durable_dir("passes");
+        {
+            let engine = Engine::open_durable(EngineOptions::default(), &dir).unwrap();
+            engine.prepare(MUX).unwrap();
+        }
+        let unopt = Engine::open_durable(
+            EngineOptions {
+                passes: PassConfig::none(),
+                ..EngineOptions::default()
+            },
+            &dir,
+        )
+        .unwrap();
+        let d = unopt.durability_stats().unwrap();
+        assert_eq!((d.preloaded, d.skipped_stale), (0, 1));
+        unopt.prepare(MUX).unwrap();
+        assert_eq!(unopt.stats().misses, 1, "re-keyed entry must rebuild");
+        // And the two configurations never share an artifact key.
+        assert_ne!(
+            Artifact::key_for(MUX, SimBackend::Compiled, &SimBudget::default(), PassConfig::full()),
+            Artifact::key_for(MUX, SimBackend::Compiled, &SimBudget::default(), PassConfig::none()),
+        );
     }
 
     #[test]

@@ -516,6 +516,7 @@ fn run_sweep(
         backend: cfg.backend,
         budget: cfg.budget,
         cache_capacity: cfg.artifact_cache,
+        ..EngineOptions::default()
     });
     // One oracle for the whole sweep, like the engine: its outcome LRU
     // is keyed by (golden, candidate, options) content, so a pair judged

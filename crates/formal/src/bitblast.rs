@@ -54,10 +54,13 @@
 //! the executor's value depend on *which* writes the dirty set skipped,
 //! so such designs are rejected.
 
+use std::collections::HashMap;
+
 use haven_verilog::ast::{BinaryOp, CaseKind, UnaryOp};
 use haven_verilog::compile::{CLval, CStmt, CompiledDesign, ExprId, Op, NO_SIGNAL};
 use haven_verilog::elab::{SignalKind, Trigger};
 use haven_verilog::logic::{Logic, LogicVec};
+use haven_verilog::netlist::{CellId, CellKind, Netlist};
 use haven_verilog::sim::edge_fired;
 
 use crate::aig::{Aig, Lit};
@@ -796,12 +799,29 @@ impl<'a> Blaster<'a> {
         }
     }
 
-    /// Executes one expression bytecode chunk symbolically.
+    /// Executes one expression chunk symbolically.
+    ///
+    /// When the compile pipeline kept the word-level netlist rung (it
+    /// always does now), the chunk is blasted from its root *cell*
+    /// instead of the flat bytecode: the cell graph is a DAG, so a
+    /// subexpression the stack machine had to duplicate — `(a & b)` in
+    /// `(a & b) ^ (a & b + 1)`, every leaf a rebalanced reduction tree
+    /// shares — blasts exactly once per chunk via the memo, giving
+    /// shallower and smaller AIGs for the SAT stage. Chunks that failed
+    /// netlist import (`expr_root` is `None`) fall back to the bytecode
+    /// walk, which remains semantically identical.
     fn run_expr(&mut self, g: &mut Aig, id: ExprId) -> Result<SVal> {
+        let cd: &'a CompiledDesign = self.cd;
+        if let Some(nl) = cd.netlist() {
+            if let Some(root) = cd.expr_root(id) {
+                let nl: &'a Netlist = nl.as_ref();
+                let mut memo: HashMap<CellId, SVal> = HashMap::new();
+                return self.blast_cell(g, nl, root, &mut memo);
+            }
+        }
         let base = self.stack.len();
         // Copy the design reference out so the op slice borrows `'a`,
         // not `&mut self`.
-        let cd: &'a CompiledDesign = self.cd;
         for op in cd.expr(id) {
             let v = match op {
                 Op::Lit(i) => SVal::from_lv(&cd.literals()[*i as usize]),
@@ -879,6 +899,98 @@ impl<'a> Blaster<'a> {
         }
         debug_assert_eq!(self.stack.len(), base + 1, "chunk must net one value");
         Ok(self.stack.pop().expect("bytecode result"))
+    }
+
+    /// Blasts one netlist cell, memoized per `run_expr` call (the memo
+    /// is only valid for the current signal state, so it never outlives
+    /// the chunk evaluation). Each transfer function is the same one the
+    /// bytecode walk uses — only the traversal changed from a tree to a
+    /// DAG.
+    fn blast_cell(
+        &mut self,
+        g: &mut Aig,
+        nl: &'a Netlist,
+        id: CellId,
+        memo: &mut HashMap<CellId, SVal>,
+    ) -> Result<SVal> {
+        if let Some(v) = memo.get(&id) {
+            return Ok(v.clone());
+        }
+        let v = match nl.kind(id) {
+            CellKind::Const(c) => SVal::from_lv(c),
+            CellKind::Load(sig) => {
+                if *sig == NO_SIGNAL {
+                    SVal::all_x(1)
+                } else {
+                    self.values[*sig as usize].clone()
+                }
+            }
+            CellKind::Unary(uop, a) => {
+                let a = self.blast_cell(g, nl, *a, memo)?;
+                unary(g, *uop, &a)
+            }
+            CellKind::Binary(bop, a, b) => {
+                let a = self.blast_cell(g, nl, *a, memo)?;
+                let b = self.blast_cell(g, nl, *b, memo)?;
+                binary(g, *bop, &a, &b)?
+            }
+            CellKind::Mux {
+                cond,
+                then_arm,
+                else_arm,
+            } => {
+                let c = self.blast_cell(g, nl, *cond, memo)?;
+                let t = self.blast_cell(g, nl, *then_arm, memo)?;
+                let f = self.blast_cell(g, nl, *else_arm, memo)?;
+                ternary(g, &c, &t, &f)?
+            }
+            CellKind::Concat(parts) => {
+                if parts.is_empty() {
+                    SVal::all_x(1)
+                } else {
+                    // Parts are MSB-first; SVal bits are LSB-first, so
+                    // append from the last (least significant) part up.
+                    let mut bits = Vec::new();
+                    let mut x = Vec::new();
+                    for &p in parts.iter().rev() {
+                        let v = self.blast_cell(g, nl, p, memo)?;
+                        bits.extend_from_slice(&v.bits);
+                        x.extend_from_slice(&v.x);
+                    }
+                    SVal { bits, x }
+                }
+            }
+            CellKind::Replicate { count, value } => {
+                let n = self.blast_cell(g, nl, *count, memo)?;
+                let v = self.blast_cell(g, nl, *value, memo)?;
+                match n.to_u64_mirror() {
+                    Some(c) if (1..=64).contains(&c) => {
+                        let mut bits = Vec::with_capacity(v.width() * c as usize);
+                        let mut x = Vec::with_capacity(v.width() * c as usize);
+                        for _ in 0..c {
+                            bits.extend_from_slice(&v.bits);
+                            x.extend_from_slice(&v.x);
+                        }
+                        SVal { bits, x }
+                    }
+                    Some(_) => SVal::all_x(v.width()),
+                    None => {
+                        return Err(BlastError::new("dynamic replication count"));
+                    }
+                }
+            }
+            CellKind::BitSelect { sig, index } => {
+                let ix = self.blast_cell(g, nl, *index, memo)?;
+                self.index_op(g, *sig, &ix)?
+            }
+            CellKind::PartSelect { sig, hi, lo } => {
+                let hi = self.blast_cell(g, nl, *hi, memo)?;
+                let lo = self.blast_cell(g, nl, *lo, memo)?;
+                self.slice_op(*sig, &hi, &lo)?
+            }
+        };
+        memo.insert(id, v.clone());
+        Ok(v)
     }
 
     /// `sig[ix]` — constant indices resolve exactly (out-of-range and

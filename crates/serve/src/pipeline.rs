@@ -245,6 +245,7 @@ impl Engine {
             backend: config.backend,
             budget: config.budget,
             cache_capacity: config.artifact_cache,
+            ..EngineOptions::default()
         };
         // Durable mode: compile artifacts persist under <dir>/artifacts.
         // Persistence is an optimization, so an unusable directory

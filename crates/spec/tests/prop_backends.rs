@@ -252,6 +252,7 @@ fn cold_vs_warm_cache_hit_bit_identical() {
             backend,
             budget: SimBudget::default(),
             cache_capacity: 64,
+            ..EngineOptions::default()
         });
         let options = CosimOptions {
             mid_tick_checks: true,
@@ -330,6 +331,7 @@ fn capacity_one_cache_evicts_correctly_and_counts_misses() {
             backend,
             budget: SimBudget::default(),
             cache_capacity: 1,
+            ..EngineOptions::default()
         });
         for round in 0..3 {
             let a = engine.prepare(&src_a).expect("adder compiles");
@@ -376,6 +378,7 @@ fn all_three(
         backend: SimBackend::Compiled,
         budget,
         cache_capacity: 8,
+        ..EngineOptions::default()
     });
     let interp = run(spec, source, stim, budget, SimBackend::Interpreter);
     let (scalar, batched) = match engine.prepare(source) {
@@ -540,6 +543,7 @@ fn batched_warm_artifact_reuse_bit_identical() {
         backend: SimBackend::Compiled,
         budget: SimBudget::default(),
         cache_capacity: 16,
+        ..EngineOptions::default()
     });
     for spec in [
         builders::comparator("d_cmp", 5),
@@ -587,6 +591,7 @@ fn planned_batched_bit_identical_to_unplanned() {
                 backend: SimBackend::Compiled,
                 budget: SimBudget::default(),
                 cache_capacity: 8,
+                ..EngineOptions::default()
             });
             let Ok(artifact) = engine.prepare(&source) else {
                 continue;

@@ -14,10 +14,15 @@
 //!   precomputed as sorted vectors, replacing the interpreter's per-change
 //!   `wakers_for_change` map probing and `Vec` allocation;
 //! * pure combinational designs are **levelized**: if the design passes
-//!   the qualification rules (see [`levelize`]) the combinational
+//!   the qualification rules (see
+//!   [`crate::netlist::level::levelize_processes`]) the combinational
 //!   processes get a topological order, and the executor settles each
 //!   delta cycle in one ordered sweep over a dirty bitset instead of
-//!   fixpoint-iterating an event queue.
+//!   fixpoint-iterating an event queue;
+//! * between the front-end and the final bytecode sits the word-level
+//!   netlist ([`crate::netlist`]): chunks are decoded into a hash-consed
+//!   cell DAG, rewritten by the optimizing pass pipeline, and re-emitted
+//!   with literal-pool and whole-chunk deduplication.
 //!
 //! The pass is semantics-preserving by construction: all four-state
 //! operator semantics are the same functions the interpreter uses
@@ -26,13 +31,14 @@
 //! scheduling exactly (same FIFO order, same self-wake suppression, same
 //! budget accounting).
 
-use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use crate::ast::BinaryOp;
 use crate::ast::{CaseKind, Edge, Expr, LValue, Stmt, UnaryOp};
-use crate::dataflow::{Dataflow, DriverKind};
-use crate::elab::{Design, SignalId, SignalKind, Trigger};
+use crate::elab::{Design, Trigger};
 use crate::logic::LogicVec;
+use crate::netlist::level::levelize_processes;
+use crate::netlist::{self, CellId, Netlist, PassConfig, PassStats};
 
 /// Index of a compiled expression chunk in [`CompiledDesign`].
 pub type ExprId = u32;
@@ -193,13 +199,38 @@ pub struct CompiledDesign {
     pub(crate) level_pos: Vec<u32>,
     /// Whether the levelized settle engine may be used after time zero.
     pub(crate) levelized: bool,
+    /// The optimized word-level netlist the bytecode was emitted from.
+    /// Consumers that want structure instead of a stack program (the
+    /// formal bitblaster, `haven-lint --dump-netlist`) read this.
+    pub(crate) netlist: Option<Arc<Netlist>>,
+    /// Per-chunk root cell in `netlist` (`None` for chunks carried
+    /// through verbatim).
+    pub(crate) expr_roots: Vec<Option<CellId>>,
+    /// Rewrite counters from the pass pipeline.
+    pub(crate) pass_stats: PassStats,
 }
 
 impl CompiledDesign {
-    /// Lowers an elaborated design. Infallible: unresolved names (possible
+    /// Lowers an elaborated design through the full pass pipeline
+    /// ([`PassConfig::full`]). Infallible: unresolved names (possible
     /// only in hand-built designs) are lowered to constructs that
     /// reproduce the interpreter's runtime behaviour for them.
     pub fn new(design: Design) -> CompiledDesign {
+        CompiledDesign::with_passes(design, PassConfig::full())
+    }
+
+    /// Lowers without running any netlist passes. The netlist round-trip
+    /// (and its chunk/literal dedup) still applies; the graph is simply
+    /// not rewritten. This is the pre-optimization baseline benches
+    /// compare against.
+    pub fn new_unoptimized(design: Design) -> CompiledDesign {
+        CompiledDesign::with_passes(design, PassConfig::none())
+    }
+
+    /// Lowers under an explicit pass configuration: AST → elaborated
+    /// design (already done by the caller) → bytecode front-end →
+    /// netlist import → pass pipeline → bytecode codegen.
+    pub fn with_passes(design: Design, passes: PassConfig) -> CompiledDesign {
         let mut cx = Compiler {
             design: &design,
             lits: Vec::new(),
@@ -211,6 +242,16 @@ impl CompiledDesign {
             .map(|p| cx.compile_stmt(&p.body))
             .collect();
         let Compiler { lits, exprs, .. } = cx;
+
+        // Netlist rung: decode the chunks into cells, rewrite, re-emit.
+        let imported = netlist::build::import(&design, &lits, &exprs);
+        let (nl, pass_stats) = netlist::passes::run(imported, passes);
+        let emitted = netlist::codegen::emit(&nl, &lits, &exprs);
+        let bodies: Vec<CStmt> = bodies
+            .into_iter()
+            .map(|b| remap_stmt(b, &emitted.chunk_map))
+            .collect();
+        let (lits, exprs) = (emitted.lits, emitted.exprs);
 
         let nsig = design.signals.len();
         let mut comb_woken: Vec<Vec<u32>> = vec![Vec::new(); nsig];
@@ -237,7 +278,7 @@ impl CompiledDesign {
             .map(|p| p.id as u32)
             .collect();
 
-        let level = levelize(&design, &comb_woken);
+        let level = levelize_processes(&design, &comb_woken);
         let (level_order, level_pos, levelized) = match level {
             Some(order) => {
                 let mut pos = vec![NO_SIGNAL; design.processes.len()];
@@ -260,6 +301,9 @@ impl CompiledDesign {
             level_order,
             level_pos,
             levelized,
+            netlist: Some(Arc::new(nl)),
+            expr_roots: emitted.expr_roots,
+            pass_stats,
         }
     }
 
@@ -315,6 +359,103 @@ impl CompiledDesign {
     /// [`CompiledDesign::is_levelized`].
     pub fn level_order(&self) -> &[u32] {
         &self.level_order
+    }
+
+    /// The optimized word-level netlist the bytecode was emitted from.
+    pub fn netlist(&self) -> Option<&Arc<Netlist>> {
+        self.netlist.as_ref()
+    }
+
+    /// The netlist cell computing chunk `id`, when the chunk was lowered
+    /// through the netlist (always, for compiler-produced designs).
+    pub fn expr_root(&self, id: ExprId) -> Option<CellId> {
+        self.expr_roots.get(id as usize).copied().flatten()
+    }
+
+    /// Rewrite counters from the pass pipeline this design was lowered
+    /// under.
+    pub fn pass_stats(&self) -> &PassStats {
+        &self.pass_stats
+    }
+}
+
+/// Rewrites a compiled statement's chunk references through the codegen
+/// chunk map (identity except for deduplicated chunks).
+fn remap_stmt(s: CStmt, map: &[ExprId]) -> CStmt {
+    let m = |id: ExprId| map[id as usize];
+    match s {
+        CStmt::Block(stmts) => {
+            CStmt::Block(stmts.into_iter().map(|s| remap_stmt(s, map)).collect())
+        }
+        CStmt::Blocking { lhs, rhs } => CStmt::Blocking {
+            lhs: remap_lval(lhs, map),
+            rhs: m(rhs),
+        },
+        CStmt::NonBlocking { lhs, rhs } => CStmt::NonBlocking {
+            lhs: remap_lval(lhs, map),
+            rhs: m(rhs),
+        },
+        CStmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => CStmt::If {
+            cond: m(cond),
+            then_branch: Box::new(remap_stmt(*then_branch, map)),
+            else_branch: else_branch.map(|e| Box::new(remap_stmt(*e, map))),
+        },
+        CStmt::Case {
+            kind,
+            expr,
+            arms,
+            default,
+        } => CStmt::Case {
+            kind,
+            expr: m(expr),
+            arms: arms
+                .into_iter()
+                .map(|(labels, body)| {
+                    (
+                        labels.into_iter().map(m).collect(),
+                        remap_stmt(body, map),
+                    )
+                })
+                .collect(),
+            default: default.map(|d| Box::new(remap_stmt(*d, map))),
+        },
+        CStmt::For {
+            var,
+            init,
+            cond,
+            step_var,
+            step,
+            body,
+        } => CStmt::For {
+            var,
+            init: m(init),
+            cond: m(cond),
+            step_var,
+            step: m(step),
+            body: Box::new(remap_stmt(*body, map)),
+        },
+        CStmt::Empty => CStmt::Empty,
+        CStmt::Error(e) => CStmt::Error(e),
+    }
+}
+
+fn remap_lval(lv: CLval, map: &[ExprId]) -> CLval {
+    let m = |id: ExprId| map[id as usize];
+    match lv {
+        CLval::Whole(s) => CLval::Whole(s),
+        CLval::Bit { sig, ix } => CLval::Bit { sig, ix: m(ix) },
+        CLval::Part { sig, hi, lo } => CLval::Part {
+            sig,
+            hi: m(hi),
+            lo: m(lo),
+        },
+        CLval::Concat(parts) => {
+            CLval::Concat(parts.into_iter().map(|p| remap_lval(p, map)).collect())
+        }
     }
 }
 
@@ -520,151 +661,6 @@ impl Compiler<'_> {
     }
 }
 
-/// Decides whether the design's combinational processes can be settled by
-/// a single topological sweep, and if so returns their order.
-///
-/// Levelization replaces fixpoint iteration, so it is only sound when the
-/// swept order provably reaches the same quiescent state the event queue
-/// would. The qualification rules (documented in DESIGN.md §10):
-///
-/// 1. no combinational feedback (no comb SCCs in the dataflow graph);
-/// 2. every combinational process has *complete sensitivity* — its
-///    declared trigger list covers all of its external reads (`@(*)`
-///    qualifies by construction). Incomplete lists make the final state
-///    depend on activation order, which the sweep would not reproduce;
-/// 3. combinational processes contain no non-blocking assignments (NBA
-///    batching from comb processes reintroduces ordering sensitivity);
-/// 4. every edge-watched signal is a top-level input with *no drivers*
-///    and no combinational process sensitive to it — so edges can fire
-///    only from pokes, never from mid-sweep glitches (a swept settle has
-///    no glitch sequence to fire them from);
-/// 5. at most one combinational driver per signal (multiple drivers make
-///    last-writer-wins order observable);
-/// 6. the process-level trigger graph (edge `P → Q` iff `P` writes a
-///    signal in `Q`'s trigger list, self-edges excluded to mirror
-///    self-wake suppression) is acyclic — this can fail even when rule 1
-///    holds, because declared trigger lists may include signals the
-///    process never reads.
-///
-/// Processes failing any rule put the whole design on the event-queue
-/// engine, which is bit-exact with the interpreter by construction.
-fn levelize(design: &Design, comb_woken: &[Vec<u32>]) -> Option<Vec<u32>> {
-    let df = Dataflow::build(design);
-    // Rule 1: no combinational feedback.
-    if !df.comb_sccs(design).is_empty() {
-        return None;
-    }
-    let mut comb_procs: Vec<u32> = Vec::new();
-    let mut edge_watched: HashSet<SignalId> = HashSet::new();
-    for (pi, p) in design.processes.iter().enumerate() {
-        match &p.trigger {
-            Trigger::Comb(reads) => {
-                // Rule 2: complete sensitivity.
-                let declared: HashSet<SignalId> = reads.iter().copied().collect();
-                if df.external_reads[pi].iter().any(|r| !declared.contains(r)) {
-                    return None;
-                }
-                // Rule 3: no NBA inside combinational processes.
-                if has_nonblocking(&p.body) {
-                    return None;
-                }
-                comb_procs.push(pi as u32);
-            }
-            Trigger::Edge(edges) => {
-                for &(_, sig) in edges {
-                    edge_watched.insert(sig);
-                }
-            }
-            Trigger::Once => {}
-        }
-    }
-    // Rule 4: edge-watched signals are undriven top-level inputs that no
-    // combinational process is sensitive to.
-    for &sig in &edge_watched {
-        let si = sig.0 as usize;
-        if design.info(sig).kind != SignalKind::Input
-            || !df.drivers[si].is_empty()
-            || !comb_woken[si].is_empty()
-        {
-            return None;
-        }
-    }
-    // Rule 5: at most one combinational driver process per signal.
-    for drs in &df.drivers {
-        let mut comb_driver: Option<usize> = None;
-        for d in drs {
-            if d.kind == DriverKind::Comb {
-                match comb_driver {
-                    Some(p) if p != d.process => return None,
-                    _ => comb_driver = Some(d.process),
-                }
-            }
-        }
-    }
-    // Rule 6: Kahn toposort of the trigger graph, smallest process id
-    // first so the order is deterministic.
-    let is_comb: HashSet<u32> = comb_procs.iter().copied().collect();
-    let mut edges: HashSet<(u32, u32)> = HashSet::new();
-    for &p in &comb_procs {
-        for &w in &design.processes[p as usize].writes {
-            for &q in &comb_woken[w.0 as usize] {
-                if q != p && is_comb.contains(&q) {
-                    edges.insert((p, q));
-                }
-            }
-        }
-    }
-    let mut indegree: HashMap<u32, usize> = comb_procs.iter().map(|&p| (p, 0)).collect();
-    let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
-    for &(p, q) in &edges {
-        *indegree.get_mut(&q).expect("edge into unknown process") += 1;
-        adj.entry(p).or_default().push(q);
-    }
-    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = indegree
-        .iter()
-        .filter(|&(_, &d)| d == 0)
-        .map(|(&p, _)| std::cmp::Reverse(p))
-        .collect();
-    let mut order = Vec::with_capacity(comb_procs.len());
-    while let Some(std::cmp::Reverse(p)) = ready.pop() {
-        order.push(p);
-        if let Some(next) = adj.get(&p) {
-            for &q in next {
-                let d = indegree.get_mut(&q).expect("missing indegree");
-                *d -= 1;
-                if *d == 0 {
-                    ready.push(std::cmp::Reverse(q));
-                }
-            }
-        }
-    }
-    if order.len() != comb_procs.len() {
-        return None; // trigger-graph cycle
-    }
-    Some(order)
-}
-
-fn has_nonblocking(s: &Stmt) -> bool {
-    match s {
-        Stmt::NonBlocking { .. } => true,
-        Stmt::Block(stmts) => stmts.iter().any(has_nonblocking),
-        Stmt::Blocking { .. } | Stmt::Empty => false,
-        Stmt::If {
-            then_branch,
-            else_branch,
-            ..
-        } => {
-            has_nonblocking(then_branch)
-                || else_branch.as_deref().map(has_nonblocking).unwrap_or(false)
-        }
-        Stmt::Case { arms, default, .. } => {
-            arms.iter().any(|(_, b)| has_nonblocking(b))
-                || default.as_deref().map(has_nonblocking).unwrap_or(false)
-        }
-        Stmt::For { body, .. } => has_nonblocking(body),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -749,5 +745,62 @@ mod tests {
         let cd = CompiledDesign::new(d);
         let one = LogicVec::from_u64(1, 4);
         assert_eq!(cd.lits.iter().filter(|l| **l == one).count(), 1);
+    }
+
+    fn total_ops(cd: &CompiledDesign) -> usize {
+        cd.exprs.iter().map(|c| c.len()).sum()
+    }
+
+    #[test]
+    fn identical_rhs_chunks_dedupe_and_shrink_bytecode() {
+        // Two assigns with the same right-hand side must share one chunk
+        // after the netlist round-trip, shrinking total bytecode size.
+        let src = "module m(input [3:0] a, input [3:0] b, output [3:0] y, output [3:0] z);\n assign y = (a & b) ^ 4'd5;\n assign z = (a & b) ^ 4'd5;\nendmodule";
+        let d = compile(src).unwrap();
+        let opt = CompiledDesign::new(d);
+        let rhs_ids: Vec<u32> = opt
+            .bodies()
+            .iter()
+            .filter_map(|b| match b {
+                CStmt::Blocking { rhs, .. } => Some(*rhs),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rhs_ids.len(), 2);
+        assert_eq!(rhs_ids[0], rhs_ids[1], "identical chunks must share an id");
+        // The shared chunk halves the expression bytecode.
+        assert_eq!(opt.exprs.len(), 1);
+    }
+
+    #[test]
+    fn optimized_bytecode_is_never_larger() {
+        for src in [
+            "module m(input [7:0] a, output y);\n assign y = (a == 8'd0);\nendmodule",
+            "module m(input [3:0] a, output [3:0] y);\n assign y = (a & 4'hf) + 4'd1;\nendmodule",
+            "module m(input [7:0] a, input [7:0] b, input [7:0] c, input [7:0] d, output [7:0] y);\n assign y = a ^ b ^ c ^ d;\nendmodule",
+        ] {
+            let d = compile(src).unwrap();
+            let unopt = CompiledDesign::new_unoptimized(d.clone());
+            let opt = CompiledDesign::new(d);
+            assert!(
+                total_ops(&opt) <= total_ops(&unopt),
+                "optimized bytecode grew for {src}: {} > {}",
+                total_ops(&opt),
+                total_ops(&unopt)
+            );
+            assert!(opt.lits.len() <= unopt.lits.len());
+        }
+    }
+
+    #[test]
+    fn netlist_rung_is_always_present() {
+        let d = compile("module m(input a, output y);\n assign y = ~a;\nendmodule").unwrap();
+        let cd = CompiledDesign::new(d);
+        let nl = cd.netlist().expect("netlist rung");
+        assert!(nl.cell_count() > 0);
+        for id in 0..cd.chunk_count() as ExprId {
+            assert!(cd.expr_root(id).is_some());
+        }
+        assert!(cd.pass_stats().cells_out <= cd.pass_stats().cells_in);
     }
 }

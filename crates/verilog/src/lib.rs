@@ -51,6 +51,7 @@ pub mod exec;
 pub mod lexer;
 pub mod lint;
 pub mod logic;
+pub mod netlist;
 pub mod parser;
 pub mod pretty;
 pub mod sim;
@@ -68,4 +69,5 @@ pub use elab::{compile, Design};
 pub use error::{Result, VerilogError};
 pub use exec::CompiledSim;
 pub use logic::{Logic, LogicVec};
+pub use netlist::{Netlist, PassConfig, PassStats, NETLIST_PASS_VERSION};
 pub use sim::{SimBudget, Simulator};

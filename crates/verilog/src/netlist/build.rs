@@ -1,0 +1,164 @@
+//! Netlist construction: decoding expression bytecode into cells.
+//!
+//! The compiler front-end ([`crate::compile`]) still owns AST traversal —
+//! name resolution, lvalue error-discovery order, statement lowering —
+//! because those semantics are pinned against the interpreter down to the
+//! order error messages surface. What it hands us is a flat stack-machine
+//! chunk per expression, and decoding that into a cell DAG is a purely
+//! mechanical abstract run of the stack: push a cell per operand op, pop
+//! the right arity per operator op. Hash consing in [`Netlist::add`] means
+//! repeated subtrees across *all* chunks of a design collapse into shared
+//! cells, recovering the DAG structure that flat bytecode duplicates.
+
+use crate::compile::Op;
+use crate::elab::Design;
+use crate::logic::LogicVec;
+
+use super::{CellId, CellKind, Netlist};
+
+/// Imports every bytecode chunk of a design into one netlist. Chunk `i`'s
+/// value cell lands in `roots()[i]`; a chunk that fails to decode (not
+/// producible by the compiler, but tolerated for robustness) gets a `None`
+/// root and is carried through codegen verbatim.
+pub fn import(design: &Design, lits: &[LogicVec], exprs: &[Vec<Op>]) -> Netlist {
+    let mut nl = Netlist::for_design(design);
+    for ops in exprs {
+        let root = import_chunk(&mut nl, lits, ops);
+        nl.push_root(root);
+    }
+    nl
+}
+
+/// Decodes one chunk by abstract interpretation of the operand stack.
+/// Returns `None` on underflow, a dangling literal index, or a non-unit
+/// final stack — the malformed-bytecode cases.
+fn import_chunk(nl: &mut Netlist, lits: &[LogicVec], ops: &[Op]) -> Option<CellId> {
+    let mut stack: Vec<CellId> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Lit(i) => {
+                let v = lits.get(*i as usize)?.clone();
+                let id = nl.add(CellKind::Const(v));
+                stack.push(id);
+            }
+            Op::Load(s) => {
+                let id = nl.add(CellKind::Load(*s));
+                stack.push(id);
+            }
+            Op::Unary(u) => {
+                let a = stack.pop()?;
+                let id = nl.add(CellKind::Unary(*u, a));
+                stack.push(id);
+            }
+            Op::Binary(b) => {
+                let rhs = stack.pop()?;
+                let lhs = stack.pop()?;
+                let id = nl.add(CellKind::Binary(*b, lhs, rhs));
+                stack.push(id);
+            }
+            Op::Ternary => {
+                let else_arm = stack.pop()?;
+                let then_arm = stack.pop()?;
+                let cond = stack.pop()?;
+                let id = nl.add(CellKind::Mux {
+                    cond,
+                    then_arm,
+                    else_arm,
+                });
+                stack.push(id);
+            }
+            Op::Concat(n) => {
+                let n = *n as usize;
+                if n == 0 {
+                    // `Concat(0)` pushes 1-bit x; fold it to the constant
+                    // it always evaluates to.
+                    let id = nl.add(CellKind::Const(LogicVec::unknown(1)));
+                    stack.push(id);
+                    continue;
+                }
+                if stack.len() < n {
+                    return None;
+                }
+                // Operands were pushed most-significant first, so the tail
+                // of the stack is already in MSB-first order.
+                let parts: Vec<CellId> = stack.split_off(stack.len() - n);
+                let id = nl.add(CellKind::Concat(parts));
+                stack.push(id);
+            }
+            Op::Replicate => {
+                let value = stack.pop()?;
+                let count = stack.pop()?;
+                let id = nl.add(CellKind::Replicate { count, value });
+                stack.push(id);
+            }
+            Op::Index(sig) => {
+                let index = stack.pop()?;
+                let id = nl.add(CellKind::BitSelect { sig: *sig, index });
+                stack.push(id);
+            }
+            Op::Slice(sig) => {
+                let lo = stack.pop()?;
+                let hi = stack.pop()?;
+                let id = nl.add(CellKind::PartSelect { sig: *sig, hi, lo });
+                stack.push(id);
+            }
+        }
+    }
+    match stack.as_slice() {
+        [root] => Some(*root),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinaryOp;
+    use crate::compile::CompiledDesign;
+    use crate::elab::compile;
+
+    fn netlist_of(src: &str) -> (CompiledDesign, std::sync::Arc<Netlist>) {
+        let d = compile(src).unwrap();
+        let cd = CompiledDesign::new(d);
+        let nl = cd.netlist().expect("netlist present").clone();
+        (cd, nl)
+    }
+
+    #[test]
+    fn every_chunk_gets_a_root() {
+        let (cd, nl) = netlist_of(
+            "module m(input [3:0] a, input [3:0] b, output [3:0] y);\n assign y = (a & b) + 4'd1;\nendmodule",
+        );
+        assert!(nl.roots().iter().all(|r| r.is_some()));
+        assert!(cd.chunk_count() >= 1);
+    }
+
+    #[test]
+    fn shared_subtrees_cons_across_chunks() {
+        // `a & b` appears in two separate expression chunks; the netlist
+        // must hold exactly one BitAnd cell for it.
+        let (_, nl) = netlist_of(
+            "module m(input [3:0] a, input [3:0] b, output [3:0] y, output [3:0] z);\n assign y = (a & b) | 4'd1;\n assign z = (a & b) ^ 4'd2;\nendmodule",
+        );
+        let ands = (0..nl.cell_count() as CellId)
+            .filter(|&i| matches!(nl.kind(i), CellKind::Binary(BinaryOp::BitAnd, _, _)))
+            .count();
+        assert_eq!(ands, 1);
+    }
+
+    #[test]
+    fn malformed_chunk_imports_as_none() {
+        let d = compile("module m(input a, output y);\n assign y = a;\nendmodule").unwrap();
+        let mut nl = Netlist::for_design(&d);
+        // Binary with an empty stack underflows.
+        assert_eq!(
+            import_chunk(&mut nl, &[], &[Op::Binary(BinaryOp::Add)]),
+            None
+        );
+        // Two leftover values are not a single root.
+        assert_eq!(
+            import_chunk(&mut nl, &[], &[Op::Load(0), Op::Load(0)]),
+            None
+        );
+    }
+}

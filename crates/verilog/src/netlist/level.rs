@@ -1,0 +1,207 @@
+//! Levelization as a netlist-layer analysis pass.
+//!
+//! Two analyses live here:
+//!
+//! * [`levelize_processes`] — the process-level qualification + toposort
+//!   that decides whether the compiled executor may settle each delta
+//!   cycle with one ordered sweep. It used to live inside
+//!   `compile.rs`; it is an *analysis* (it rewrites nothing), so it sits
+//!   with the other netlist-layer analyses now. Its rules and output are
+//!   unchanged — the executor and its differential pins are untouched.
+//! * [`cell_levels`] — per-cell logic depth of the word-level graph,
+//!   used by `haven-lint --dump-netlist` and as the depth proxy the
+//!   rebalance pass is judged by (a balanced 8-input reduction has level
+//!   3 where the source chain has 7).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::Stmt;
+use crate::dataflow::{Dataflow, DriverKind};
+use crate::elab::{Design, SignalId, SignalKind, Trigger};
+
+use super::{CellId, Netlist};
+
+/// Decides whether the design's combinational processes can be settled by
+/// a single topological sweep, and if so returns their order.
+///
+/// Levelization replaces fixpoint iteration, so it is only sound when the
+/// swept order provably reaches the same quiescent state the event queue
+/// would. The qualification rules (documented in DESIGN.md §10):
+///
+/// 1. no combinational feedback (no comb SCCs in the dataflow graph);
+/// 2. every combinational process has *complete sensitivity* — its
+///    declared trigger list covers all of its external reads (`@(*)`
+///    qualifies by construction). Incomplete lists make the final state
+///    depend on activation order, which the sweep would not reproduce;
+/// 3. combinational processes contain no non-blocking assignments (NBA
+///    batching from comb processes reintroduces ordering sensitivity);
+/// 4. every edge-watched signal is a top-level input with *no drivers*
+///    and no combinational process sensitive to it — so edges can fire
+///    only from pokes, never from mid-sweep glitches (a swept settle has
+///    no glitch sequence to fire them from);
+/// 5. at most one combinational driver per signal (multiple drivers make
+///    last-writer-wins order observable);
+/// 6. the process-level trigger graph (edge `P → Q` iff `P` writes a
+///    signal in `Q`'s trigger list, self-edges excluded to mirror
+///    self-wake suppression) is acyclic — this can fail even when rule 1
+///    holds, because declared trigger lists may include signals the
+///    process never reads.
+///
+/// Processes failing any rule put the whole design on the event-queue
+/// engine, which is bit-exact with the interpreter by construction.
+pub fn levelize_processes(design: &Design, comb_woken: &[Vec<u32>]) -> Option<Vec<u32>> {
+    let df = Dataflow::build(design);
+    // Rule 1: no combinational feedback.
+    if !df.comb_sccs(design).is_empty() {
+        return None;
+    }
+    let mut comb_procs: Vec<u32> = Vec::new();
+    let mut edge_watched: HashSet<SignalId> = HashSet::new();
+    for (pi, p) in design.processes.iter().enumerate() {
+        match &p.trigger {
+            Trigger::Comb(reads) => {
+                // Rule 2: complete sensitivity.
+                let declared: HashSet<SignalId> = reads.iter().copied().collect();
+                if df.external_reads[pi].iter().any(|r| !declared.contains(r)) {
+                    return None;
+                }
+                // Rule 3: no NBA inside combinational processes.
+                if has_nonblocking(&p.body) {
+                    return None;
+                }
+                comb_procs.push(pi as u32);
+            }
+            Trigger::Edge(edges) => {
+                for &(_, sig) in edges {
+                    edge_watched.insert(sig);
+                }
+            }
+            Trigger::Once => {}
+        }
+    }
+    // Rule 4: edge-watched signals are undriven top-level inputs that no
+    // combinational process is sensitive to.
+    for &sig in &edge_watched {
+        let si = sig.0 as usize;
+        if design.info(sig).kind != SignalKind::Input
+            || !df.drivers[si].is_empty()
+            || !comb_woken[si].is_empty()
+        {
+            return None;
+        }
+    }
+    // Rule 5: at most one combinational driver process per signal.
+    for drs in &df.drivers {
+        let mut comb_driver: Option<usize> = None;
+        for d in drs {
+            if d.kind == DriverKind::Comb {
+                match comb_driver {
+                    Some(p) if p != d.process => return None,
+                    _ => comb_driver = Some(d.process),
+                }
+            }
+        }
+    }
+    // Rule 6: Kahn toposort of the trigger graph, smallest process id
+    // first so the order is deterministic.
+    let is_comb: HashSet<u32> = comb_procs.iter().copied().collect();
+    let mut edges: HashSet<(u32, u32)> = HashSet::new();
+    for &p in &comb_procs {
+        for &w in &design.processes[p as usize].writes {
+            for &q in &comb_woken[w.0 as usize] {
+                if q != p && is_comb.contains(&q) {
+                    edges.insert((p, q));
+                }
+            }
+        }
+    }
+    let mut indegree: HashMap<u32, usize> = comb_procs.iter().map(|&p| (p, 0)).collect();
+    let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+    for &(p, q) in &edges {
+        *indegree.get_mut(&q).expect("edge into unknown process") += 1;
+        adj.entry(p).or_default().push(q);
+    }
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = indegree
+        .iter()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(&p, _)| std::cmp::Reverse(p))
+        .collect();
+    let mut order = Vec::with_capacity(comb_procs.len());
+    while let Some(std::cmp::Reverse(p)) = ready.pop() {
+        order.push(p);
+        if let Some(next) = adj.get(&p) {
+            for &q in next {
+                let d = indegree.get_mut(&q).expect("missing indegree");
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(std::cmp::Reverse(q));
+                }
+            }
+        }
+    }
+    if order.len() != comb_procs.len() {
+        return None; // trigger-graph cycle
+    }
+    Some(order)
+}
+
+fn has_nonblocking(s: &Stmt) -> bool {
+    match s {
+        Stmt::NonBlocking { .. } => true,
+        Stmt::Block(stmts) => stmts.iter().any(has_nonblocking),
+        Stmt::Blocking { .. } | Stmt::Empty => false,
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            has_nonblocking(then_branch)
+                || else_branch.as_deref().map(has_nonblocking).unwrap_or(false)
+        }
+        Stmt::Case { arms, default, .. } => {
+            arms.iter().any(|(_, b)| has_nonblocking(b))
+                || default.as_deref().map(has_nonblocking).unwrap_or(false)
+        }
+        Stmt::For { body, .. } => has_nonblocking(body),
+    }
+}
+
+/// Logic depth of every cell: leaves (constants and signal reads) are
+/// level 0, every other cell is one above its deepest operand. Cells are
+/// topologically ordered by construction, so one ascending sweep suffices.
+pub fn cell_levels(nl: &Netlist) -> Vec<u32> {
+    let mut levels = vec![0u32; nl.cell_count()];
+    for id in 0..nl.cell_count() as CellId {
+        let mut deepest: Option<u32> = None;
+        nl.kind(id).for_each_operand(|o| {
+            let l = levels[o as usize];
+            deepest = Some(deepest.map_or(l, |d| d.max(l)));
+        });
+        levels[id as usize] = match deepest {
+            Some(d) => d + 1,
+            None => 0,
+        };
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinaryOp;
+    use crate::netlist::CellKind;
+
+    #[test]
+    fn cell_levels_measure_dag_depth() {
+        let mut nl = Netlist::with_sig_widths(vec![1, 1, 1]);
+        let a = nl.add(CellKind::Load(0));
+        let b = nl.add(CellKind::Load(1));
+        let c = nl.add(CellKind::Load(2));
+        let ab = nl.add(CellKind::Binary(BinaryOp::BitAnd, a, b));
+        let abc = nl.add(CellKind::Binary(BinaryOp::BitAnd, ab, c));
+        let levels = cell_levels(&nl);
+        assert_eq!(levels[a as usize], 0);
+        assert_eq!(levels[ab as usize], 1);
+        assert_eq!(levels[abc as usize], 2);
+    }
+}

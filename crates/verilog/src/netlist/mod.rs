@@ -1,0 +1,486 @@
+//! Word-level netlist IR between elaboration and bytecode codegen.
+//!
+//! The compiled backend used to lower elaborated expression trees straight
+//! into stack-machine bytecode, which left no canonical, rewritable form
+//! where optimization could happen once and benefit every consumer (scalar
+//! sim, 64-lane batched screening, the AIG/SAT formal oracle). This module
+//! is that form: every expression chunk becomes a DAG of coarse **cells**
+//! over packed four-state words, hash-consed so structurally identical
+//! subtrees share one [`CellId`], with a recomputable def-use index and a
+//! pass pipeline ([`passes`]) that rewrites the graph before
+//! [`codegen`] re-emits bytecode. The compile path is now
+//!
+//! ```text
+//! AST → elaborate → netlist (build) → pass pipeline → codegen → bytecode
+//! ```
+//!
+//! while the tree interpreter stays untouched as the differential oracle —
+//! `prop_backends` and `prop_netlist` pin that every pass configuration
+//! produces bit-identical verdicts.
+//!
+//! Cell semantics are *defined* to be [`crate::eval`]'s: constant folding
+//! literally calls `eval_unary`/`eval_binary`/`merge_unknown`, so a folded
+//! cell cannot disagree with the interpreter. Rewrites that are only valid
+//! for two-state logic (e.g. `a + 0 → a`, which breaks under x-poisoning
+//! arithmetic, or `a | 0 → a` when `a` can carry `z` bits that the OR
+//! would coerce to `x`) are guarded or rejected; see [`passes`] for the
+//! soundness notes on each rule.
+
+pub mod build;
+pub mod codegen;
+pub mod level;
+pub mod passes;
+
+use std::collections::HashMap;
+
+use crate::ast::{BinaryOp, UnaryOp};
+use crate::compile::NO_SIGNAL;
+use crate::elab::Design;
+use crate::logic::LogicVec;
+
+pub use passes::{PassConfig, PassStats};
+
+/// Version of the netlist pass pipeline. Folded into
+/// [`crate::ANALYZER_VERSION`]-style cache keys (engine artifact keys and
+/// `EngineFingerprint`) so durable stores never replay artifacts lowered
+/// by an older pipeline.
+pub const NETLIST_PASS_VERSION: u32 = 1;
+
+/// Index of a cell in a [`Netlist`].
+pub type CellId = u32;
+
+/// One word-level cell. Operand ids always refer to earlier cells, so the
+/// graph is acyclic by construction and a single ascending walk visits
+/// operands before users.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// A literal four-state word.
+    Const(LogicVec),
+    /// The current value of a signal (dense [`crate::elab::SignalId`]
+    /// index; [`NO_SIGNAL`] reads as 1-bit `x`).
+    Load(u32),
+    /// Unary operator over one operand.
+    Unary(UnaryOp, CellId),
+    /// Binary operator over two operands.
+    Binary(BinaryOp, CellId, CellId),
+    /// `cond ? then_arm : else_arm`, with the interpreter's x-merge when
+    /// the condition is unknown.
+    Mux {
+        /// Condition word (truthiness-reduced).
+        cond: CellId,
+        /// Value when the condition is true.
+        then_arm: CellId,
+        /// Value when the condition is false.
+        else_arm: CellId,
+    },
+    /// Concatenation; the first element supplies the most significant bits.
+    Concat(Vec<CellId>),
+    /// `{count{value}}`; counts outside `1..=64` produce all-`x` of the
+    /// inner width.
+    Replicate {
+        /// Replication count word.
+        count: CellId,
+        /// Replicated value.
+        value: CellId,
+    },
+    /// `sig[index]`, honouring the signal's declared LSB.
+    BitSelect {
+        /// Indexed signal.
+        sig: u32,
+        /// Bit index word.
+        index: CellId,
+    },
+    /// `sig[hi:lo]`, honouring the signal's declared LSB.
+    PartSelect {
+        /// Sliced signal.
+        sig: u32,
+        /// High bound word.
+        hi: CellId,
+        /// Low bound word.
+        lo: CellId,
+    },
+}
+
+impl CellKind {
+    /// Calls `f` with each operand cell id.
+    pub fn for_each_operand(&self, mut f: impl FnMut(CellId)) {
+        match self {
+            CellKind::Const(_) | CellKind::Load(_) => {}
+            CellKind::Unary(_, a) => f(*a),
+            CellKind::Binary(_, a, b) => {
+                f(*a);
+                f(*b);
+            }
+            CellKind::Mux {
+                cond,
+                then_arm,
+                else_arm,
+            } => {
+                f(*cond);
+                f(*then_arm);
+                f(*else_arm);
+            }
+            CellKind::Concat(parts) => parts.iter().copied().for_each(f),
+            CellKind::Replicate { count, value } => {
+                f(*count);
+                f(*value);
+            }
+            CellKind::BitSelect { index, .. } => f(*index),
+            CellKind::PartSelect { hi, lo, .. } => {
+                f(*hi);
+                f(*lo);
+            }
+        }
+    }
+
+    /// Rebuilds the kind with every operand id passed through `m`.
+    pub fn map_operands(&self, mut m: impl FnMut(CellId) -> CellId) -> CellKind {
+        match self {
+            CellKind::Const(v) => CellKind::Const(v.clone()),
+            CellKind::Load(s) => CellKind::Load(*s),
+            CellKind::Unary(op, a) => CellKind::Unary(*op, m(*a)),
+            CellKind::Binary(op, a, b) => CellKind::Binary(*op, m(*a), m(*b)),
+            CellKind::Mux {
+                cond,
+                then_arm,
+                else_arm,
+            } => CellKind::Mux {
+                cond: m(*cond),
+                then_arm: m(*then_arm),
+                else_arm: m(*else_arm),
+            },
+            CellKind::Concat(parts) => CellKind::Concat(parts.iter().map(|&p| m(p)).collect()),
+            CellKind::Replicate { count, value } => CellKind::Replicate {
+                count: m(*count),
+                value: m(*value),
+            },
+            CellKind::BitSelect { sig, index } => CellKind::BitSelect {
+                sig: *sig,
+                index: m(*index),
+            },
+            CellKind::PartSelect { sig, hi, lo } => CellKind::PartSelect {
+                sig: *sig,
+                hi: m(*hi),
+                lo: m(*lo),
+            },
+        }
+    }
+
+    /// A short mnemonic for reports (`haven-lint --dump-netlist`).
+    pub fn mnemonic(&self) -> String {
+        match self {
+            CellKind::Const(v) => format!("const {v}"),
+            CellKind::Load(s) => format!("load s{s}"),
+            CellKind::Unary(op, _) => format!("{op:?}").to_lowercase(),
+            CellKind::Binary(op, _, _) => format!("{op:?}").to_lowercase(),
+            CellKind::Mux { .. } => "mux".to_string(),
+            CellKind::Concat(_) => "concat".to_string(),
+            CellKind::Replicate { .. } => "replicate".to_string(),
+            CellKind::BitSelect { sig, .. } => format!("bitsel s{sig}"),
+            CellKind::PartSelect { sig, .. } => format!("partsel s{sig}"),
+        }
+    }
+}
+
+/// A cell plus its statically known result width (`None` when the width
+/// is data-dependent, e.g. a mux with differently sized arms or a dynamic
+/// part-select).
+#[derive(Debug, Clone)]
+pub struct Cell {
+    kind: CellKind,
+    width: Option<usize>,
+}
+
+impl Cell {
+    /// The operation.
+    pub fn kind(&self) -> &CellKind {
+        &self.kind
+    }
+
+    /// Statically known result width, if any.
+    pub fn width(&self) -> Option<usize> {
+        self.width
+    }
+}
+
+/// A hash-consed word-level netlist for one design.
+///
+/// `roots[i]` is the cell computing expression chunk `i` of the original
+/// lowering (`None` when the chunk could not be imported — the codegen
+/// then carries the original bytecode through verbatim). Statement bodies
+/// keep referring to chunk slots, so rewrites never touch control flow.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    cells: Vec<Cell>,
+    cons: HashMap<CellKind, CellId>,
+    roots: Vec<Option<CellId>>,
+    sig_widths: Vec<usize>,
+}
+
+impl Netlist {
+    /// An empty netlist that resolves [`CellKind::Load`] widths against
+    /// `design`'s signal table.
+    pub fn for_design(design: &Design) -> Netlist {
+        Netlist {
+            sig_widths: design.signals.iter().map(|s| s.width).collect(),
+            ..Netlist::default()
+        }
+    }
+
+    /// An empty netlist with an explicit signal-width table (tests).
+    pub fn with_sig_widths(sig_widths: Vec<usize>) -> Netlist {
+        Netlist {
+            sig_widths,
+            ..Netlist::default()
+        }
+    }
+
+    /// Adds (or revives) a cell, returning the id of the structurally
+    /// identical cell if one already exists — hash consing is what gives
+    /// rewrites congruence closure for free.
+    pub fn add(&mut self, kind: CellKind) -> CellId {
+        if let Some(&id) = self.cons.get(&kind) {
+            return id;
+        }
+        let width = self.width_of(&kind);
+        let id = self.cells.len() as CellId;
+        self.cons.insert(kind.clone(), id);
+        self.cells.push(Cell { kind, width });
+        id
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The cell behind `id`.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id as usize]
+    }
+
+    /// The operation behind `id`.
+    pub fn kind(&self, id: CellId) -> &CellKind {
+        &self.cells[id as usize].kind
+    }
+
+    /// Statically known width of `id`'s value.
+    pub fn width(&self, id: CellId) -> Option<usize> {
+        self.cells[id as usize].width
+    }
+
+    /// The constant behind `id`, when it is a [`CellKind::Const`].
+    pub fn const_of(&self, id: CellId) -> Option<&LogicVec> {
+        match self.kind(id) {
+            CellKind::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Root cells, indexed by original expression-chunk id.
+    pub fn roots(&self) -> &[Option<CellId>] {
+        &self.roots
+    }
+
+    /// Appends a root slot.
+    pub fn push_root(&mut self, root: Option<CellId>) {
+        self.roots.push(root);
+    }
+
+    /// The signal-width table the netlist was built against.
+    pub fn sig_widths(&self) -> &[usize] {
+        &self.sig_widths
+    }
+
+    /// Def-use index: how many times each cell is referenced, counting
+    /// every operand edge plus one per root slot. Recomputed on demand —
+    /// passes rebuild the graph, so a stored index would go stale.
+    pub fn use_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.cells.len()];
+        for cell in &self.cells {
+            cell.kind.for_each_operand(|o| counts[o as usize] += 1);
+        }
+        for root in self.roots.iter().flatten() {
+            counts[*root as usize] += 1;
+        }
+        counts
+    }
+
+    /// Statically known result width of `kind`, mirroring the
+    /// self-determined sizing rules of [`crate::eval`].
+    fn width_of(&self, kind: &CellKind) -> Option<usize> {
+        let w = |id: CellId| self.cells[id as usize].width;
+        match kind {
+            CellKind::Const(v) => Some(v.width()),
+            CellKind::Load(s) => {
+                if *s == NO_SIGNAL {
+                    Some(1)
+                } else {
+                    // Unresolved ids read as 1-bit x at runtime.
+                    Some(self.sig_widths.get(*s as usize).copied().unwrap_or(1))
+                }
+            }
+            CellKind::Unary(op, a) => match op {
+                UnaryOp::LogicNot
+                | UnaryOp::ReduceAnd
+                | UnaryOp::ReduceOr
+                | UnaryOp::ReduceXor
+                | UnaryOp::ReduceNand
+                | UnaryOp::ReduceNor
+                | UnaryOp::ReduceXnor => Some(1),
+                UnaryOp::BitNot | UnaryOp::Negate | UnaryOp::Plus => w(*a),
+            },
+            CellKind::Binary(op, a, b) => match op {
+                BinaryOp::LogicOr
+                | BinaryOp::LogicAnd
+                | BinaryOp::Eq
+                | BinaryOp::Neq
+                | BinaryOp::CaseEq
+                | BinaryOp::CaseNeq
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge => Some(1),
+                BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShr => w(*a),
+                BinaryOp::BitOr
+                | BinaryOp::BitXor
+                | BinaryOp::BitXnor
+                | BinaryOp::BitAnd
+                | BinaryOp::Add
+                | BinaryOp::Sub
+                | BinaryOp::Mul
+                | BinaryOp::Div
+                | BinaryOp::Rem
+                | BinaryOp::Pow => Some(w(*a)?.max(w(*b)?)),
+            },
+            CellKind::Mux {
+                then_arm, else_arm, ..
+            } => match (w(*then_arm), w(*else_arm)) {
+                (Some(t), Some(f)) if t == f => Some(t),
+                // A known condition selects one arm's width, an unknown
+                // one merges at the max — not static when they differ.
+                _ => None,
+            },
+            CellKind::Concat(parts) => {
+                let mut total = 0usize;
+                for &p in parts {
+                    total += w(p)?;
+                }
+                Some(total)
+            }
+            CellKind::Replicate { count, value } => match self.const_of(*count) {
+                Some(c) => match c.to_u64() {
+                    Some(n) if (1..=64).contains(&n) => Some(w(*value)? * n as usize),
+                    // Out-of-range or x counts produce all-x of the inner
+                    // width at runtime.
+                    _ => w(*value),
+                },
+                None => None,
+            },
+            CellKind::BitSelect { .. } => Some(1),
+            CellKind::PartSelect { hi, lo, .. } => {
+                match (self.const_of(*hi), self.const_of(*lo)) {
+                    (Some(h), Some(l)) => match (h.to_u64(), l.to_u64()) {
+                        (Some(h), Some(l)) if h >= l => Some((h - l) as usize + 1),
+                        (Some(h), Some(l)) => Some((l - h) as usize + 1),
+                        // Unknown constant bounds evaluate to 1-bit x.
+                        _ => Some(1),
+                    },
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::Logic;
+
+    fn lv(v: u64, w: usize) -> LogicVec {
+        LogicVec::from_u64(v, w)
+    }
+
+    #[test]
+    fn hash_consing_shares_structurally_identical_cells() {
+        let mut nl = Netlist::with_sig_widths(vec![4, 4]);
+        let a = nl.add(CellKind::Load(0));
+        let b = nl.add(CellKind::Load(1));
+        let x = nl.add(CellKind::Binary(BinaryOp::BitAnd, a, b));
+        let y = nl.add(CellKind::Binary(BinaryOp::BitAnd, a, b));
+        assert_eq!(x, y);
+        assert_eq!(nl.cell_count(), 3);
+    }
+
+    #[test]
+    fn widths_follow_self_determined_sizing() {
+        let mut nl = Netlist::with_sig_widths(vec![4, 8]);
+        let a = nl.add(CellKind::Load(0));
+        let b = nl.add(CellKind::Load(1));
+        assert_eq!(nl.width(a), Some(4));
+        let add = nl.add(CellKind::Binary(BinaryOp::Add, a, b));
+        assert_eq!(nl.width(add), Some(8));
+        let cmp = nl.add(CellKind::Binary(BinaryOp::Lt, a, b));
+        assert_eq!(nl.width(cmp), Some(1));
+        let shl = nl.add(CellKind::Binary(BinaryOp::Shl, a, b));
+        assert_eq!(nl.width(shl), Some(4));
+        let cat = nl.add(CellKind::Concat(vec![a, b]));
+        assert_eq!(nl.width(cat), Some(12));
+        let red = nl.add(CellKind::Unary(UnaryOp::ReduceOr, b));
+        assert_eq!(nl.width(red), Some(1));
+    }
+
+    #[test]
+    fn mux_with_mismatched_arms_has_dynamic_width() {
+        let mut nl = Netlist::with_sig_widths(vec![4, 8, 1]);
+        let a = nl.add(CellKind::Load(0));
+        let b = nl.add(CellKind::Load(1));
+        let c = nl.add(CellKind::Load(2));
+        let m = nl.add(CellKind::Mux {
+            cond: c,
+            then_arm: a,
+            else_arm: b,
+        });
+        assert_eq!(nl.width(m), None);
+        let same = nl.add(CellKind::Mux {
+            cond: c,
+            then_arm: a,
+            else_arm: a,
+        });
+        assert_eq!(nl.width(same), Some(4));
+    }
+
+    #[test]
+    fn replicate_width_tracks_constant_counts() {
+        let mut nl = Netlist::with_sig_widths(vec![2]);
+        let v = nl.add(CellKind::Load(0));
+        let three = nl.add(CellKind::Const(lv(3, 4)));
+        let r = nl.add(CellKind::Replicate {
+            count: three,
+            value: v,
+        });
+        assert_eq!(nl.width(r), Some(6));
+        let xcount = nl.add(CellKind::Const(LogicVec::filled(Logic::X, 4)));
+        let rx = nl.add(CellKind::Replicate {
+            count: xcount,
+            value: v,
+        });
+        assert_eq!(nl.width(rx), Some(2));
+    }
+
+    #[test]
+    fn use_counts_index_every_operand_edge_and_root() {
+        let mut nl = Netlist::with_sig_widths(vec![1, 1]);
+        let a = nl.add(CellKind::Load(0));
+        let b = nl.add(CellKind::Load(1));
+        let and = nl.add(CellKind::Binary(BinaryOp::BitAnd, a, b));
+        let or = nl.add(CellKind::Binary(BinaryOp::BitOr, and, a));
+        nl.push_root(Some(or));
+        let uses = nl.use_counts();
+        assert_eq!(uses[a as usize], 2);
+        assert_eq!(uses[b as usize], 1);
+        assert_eq!(uses[and as usize], 1);
+        assert_eq!(uses[or as usize], 1);
+    }
+}
